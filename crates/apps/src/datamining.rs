@@ -1,0 +1,279 @@
+//! Data-mining / statistics benchmarks: linear regression (the
+//! energy-unfriendly kernel of Figure 2a), regression coefficients,
+//! k-means, nearest neighbour, geometric mean and a Mersenne-Twister
+//! random generator.
+
+use crate::suite::{Benchmark, Boundedness};
+use synergy_kernel::{Inst, IrBuilder};
+use synergy_rt::{Buffer, Event, Queue};
+
+/// Linear-regression error evaluation: each work-item scores one candidate
+/// model over a chunk of points — heavy FMA loops per byte, the
+/// compute-bound pole of Figure 2 (≤10% energy savings available, low
+/// frequencies very inefficient).
+pub fn linear_regression() -> Benchmark {
+    let ir = IrBuilder::new()
+        .ops(Inst::GlobalLoad, 2)
+        .loop_n(64, |b| {
+            b.ops(Inst::FloatMul, 2).ops(Inst::FloatAdd, 2)
+        })
+        .ops(Inst::GlobalStore, 1)
+        .build("linear_regression")
+        .with_dram_fraction(0.8);
+    Benchmark {
+        name: "linear_regression",
+        description: "linear-regression error evaluation over candidate models",
+        ir,
+        // Small model population, as in SYCL-Bench: short launches whose
+        // fixed overhead compresses the achievable energy savings — the
+        // "<10% to save" characterization of Figure 2a.
+        work_items: 1 << 16,
+        bound: Boundedness::ComputeBound,
+    }
+}
+
+/// Run a real linear-regression error pass: item `i` evaluates the mean
+/// squared error of model `(slope[i], bias[i])` over all `(x, y)` points.
+pub fn run_linear_regression(
+    q: &Queue,
+    xs: &Buffer<f32>,
+    ys: &Buffer<f32>,
+    slopes: &Buffer<f32>,
+    biases: &Buffer<f32>,
+    errors: &Buffer<f32>,
+) -> Event {
+    let points = xs.len();
+    assert_eq!(points, ys.len());
+    let models = slopes.len();
+    assert_eq!(models, biases.len());
+    assert_eq!(models, errors.len());
+    let (xa, ya, sa, ba, ea) = (
+        xs.accessor(),
+        ys.accessor(),
+        slopes.accessor(),
+        biases.accessor(),
+        errors.accessor(),
+    );
+    let ir = linear_regression().ir;
+    q.submit(move |h| {
+        h.parallel_for(models, &ir, move |m| {
+            let (s, b) = (sa.get(m), ba.get(m));
+            let mut acc = 0.0f32;
+            for i in 0..points {
+                let e = ya.get(i) - (s * xa.get(i) + b);
+                acc += e * e;
+            }
+            ea.set(m, acc / points as f32);
+        });
+    })
+}
+
+/// Regression coefficient (correlation) computation: moderate compute.
+pub fn lin_reg_coeff() -> Benchmark {
+    let ir = IrBuilder::new()
+        .ops(Inst::GlobalLoad, 2)
+        .loop_n(24, |b| b.ops(Inst::FloatMul, 2).ops(Inst::FloatAdd, 3))
+        .ops(Inst::FloatDiv, 2)
+        .ops(Inst::SpecialFn, 1)
+        .ops(Inst::GlobalStore, 1)
+        .build("lin_reg_coeff")
+        .with_dram_fraction(0.8);
+    Benchmark {
+        name: "lin_reg_coeff",
+        description: "regression coefficient (Pearson) computation",
+        ir,
+        work_items: 1 << 22,
+        bound: Boundedness::ComputeBound,
+    }
+}
+
+/// Number of clusters in the k-means benchmark.
+pub const KMEANS_K: usize = 16;
+/// Dimensionality of k-means points.
+pub const KMEANS_DIM: usize = 4;
+
+/// K-means assignment step: distance to every centroid (centroids cached
+/// in local memory).
+pub fn kmeans() -> Benchmark {
+    let ir = IrBuilder::new()
+        .ops(Inst::GlobalLoad, KMEANS_DIM as u64 + 1)
+        .loop_n(KMEANS_K as u64, |b| {
+            b.ops(Inst::LocalLoad, KMEANS_DIM as u64)
+                .ops(Inst::FloatAdd, 2 * KMEANS_DIM as u64)
+                .ops(Inst::FloatMul, KMEANS_DIM as u64)
+                .ops(Inst::IntAdd, 1)
+        })
+        .ops(Inst::GlobalStore, 1)
+        .build("kmeans")
+        .with_dram_fraction(0.6);
+    Benchmark {
+        name: "kmeans",
+        description: "k-means cluster-assignment step",
+        ir,
+        work_items: 1 << 22,
+        bound: Boundedness::ComputeBound,
+    }
+}
+
+/// Run a real k-means assignment: each point gets the index of its nearest
+/// centroid. Points and centroids are row-major `[n × DIM]`.
+pub fn run_kmeans_assign(
+    q: &Queue,
+    points: &Buffer<f32>,
+    centroids: &Buffer<f32>,
+    assignment: &Buffer<u32>,
+) -> Event {
+    let n = points.len() / KMEANS_DIM;
+    assert_eq!(centroids.len(), KMEANS_K * KMEANS_DIM);
+    assert_eq!(assignment.len(), n);
+    let (pa, ca, aa) = (points.accessor(), centroids.accessor(), assignment.accessor());
+    let ir = kmeans().ir;
+    q.submit(move |h| {
+        h.parallel_for(n, &ir, move |i| {
+            let mut best = (f32::MAX, 0u32);
+            for k in 0..KMEANS_K {
+                let mut d = 0.0f32;
+                for j in 0..KMEANS_DIM {
+                    let diff = pa.get(i * KMEANS_DIM + j) - ca.get(k * KMEANS_DIM + j);
+                    d += diff * diff;
+                }
+                if d < best.0 {
+                    best = (d, k as u32);
+                }
+            }
+            aa.set(i, best.1);
+        });
+    })
+}
+
+/// k-nearest-neighbour distance pass: streaming with a little arithmetic.
+pub fn nearest_neighbor() -> Benchmark {
+    let ir = IrBuilder::new()
+        .ops(Inst::GlobalLoad, 3)
+        .ops(Inst::FloatAdd, 4)
+        .ops(Inst::FloatMul, 4)
+        .ops(Inst::SpecialFn, 1)
+        .ops(Inst::GlobalStore, 1)
+        .build("nearest_neighbor");
+    Benchmark {
+        name: "nearest_neighbor",
+        description: "nearest-neighbour distance computation",
+        ir,
+        work_items: 1 << 24,
+        bound: Boundedness::MemoryBound,
+    }
+}
+
+/// Geometric mean via log-sum: one load, two special functions.
+pub fn geometric_mean() -> Benchmark {
+    let ir = IrBuilder::new()
+        .ops(Inst::GlobalLoad, 1)
+        .ops(Inst::SpecialFn, 2)
+        .ops(Inst::FloatAdd, 1)
+        .ops(Inst::GlobalStore, 1)
+        .build("geometric_mean");
+    Benchmark {
+        name: "geometric_mean",
+        description: "geometric mean (log-domain reduction)",
+        ir,
+        work_items: 1 << 24,
+        bound: Boundedness::Mixed,
+    }
+}
+
+/// Mersenne-Twister tempering + Box-Muller: integer/bitwise heavy.
+pub fn mersenne_twister() -> Benchmark {
+    let ir = IrBuilder::new()
+        .ops(Inst::GlobalLoad, 1)
+        .ops(Inst::IntBitwise, 32)
+        .ops(Inst::IntMul, 8)
+        .ops(Inst::IntAdd, 16)
+        .ops(Inst::SpecialFn, 4)
+        .ops(Inst::GlobalStore, 2)
+        .build("mersenne_twister");
+    Benchmark {
+        name: "mersenne_twister",
+        description: "Mersenne-Twister generation with Box-Muller transform",
+        ir,
+        work_items: 1 << 24,
+        bound: Boundedness::Mixed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use synergy_sim::{DeviceSpec, SimDevice};
+
+    fn queue() -> Queue {
+        Queue::new(SimDevice::new(DeviceSpec::v100(), 0))
+    }
+
+    #[test]
+    fn linear_regression_finds_true_model() {
+        let q = queue();
+        // Points on y = 2x + 1.
+        let xs: Vec<f32> = (0..256).map(|i| i as f32 / 32.0).collect();
+        let ys: Vec<f32> = xs.iter().map(|&x| 2.0 * x + 1.0).collect();
+        let slopes = vec![0.0f32, 1.0, 2.0, 3.0];
+        let biases = vec![0.0f32, 1.0, 1.0, 1.0];
+        let xb = Buffer::from_slice(&xs);
+        let yb = Buffer::from_slice(&ys);
+        let sb = Buffer::from_slice(&slopes);
+        let bb = Buffer::from_slice(&biases);
+        let eb: Buffer<f32> = Buffer::zeros(4);
+        run_linear_regression(&q, &xb, &yb, &sb, &bb, &eb).wait();
+        let errs = eb.to_vec();
+        let best = errs
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.total_cmp(b.1))
+            .unwrap()
+            .0;
+        assert_eq!(best, 2, "model (2.0, 1.0) should win: {errs:?}");
+        assert!(errs[2] < 1e-6);
+    }
+
+    #[test]
+    fn kmeans_assigns_to_nearest() {
+        let q = queue();
+        // Two obvious clusters at (0,0,0,0) and (10,10,10,10); centroids
+        // seeded exactly there (remaining centroids far away).
+        let mut centroids = vec![1000.0f32; KMEANS_K * KMEANS_DIM];
+        for j in 0..KMEANS_DIM {
+            centroids[j] = 0.0;
+            centroids[KMEANS_DIM + j] = 10.0;
+        }
+        let mut points = Vec::new();
+        for i in 0..64 {
+            let base = if i % 2 == 0 { 0.0 } else { 10.0 };
+            for j in 0..KMEANS_DIM {
+                points.push(base + (j as f32) * 0.01);
+            }
+        }
+        let pb = Buffer::from_slice(&points);
+        let cb = Buffer::from_slice(&centroids);
+        let ab: Buffer<u32> = Buffer::zeros(64);
+        run_kmeans_assign(&q, &pb, &cb, &ab).wait();
+        let assign = ab.to_vec();
+        for (i, &a) in assign.iter().enumerate() {
+            assert_eq!(a, (i % 2) as u32, "point {i}");
+        }
+    }
+
+    #[test]
+    fn linreg_is_strongly_compute_bound() {
+        let spec = DeviceSpec::v100();
+        let info = synergy_kernel::extract(&linear_regression().ir);
+        let cycles: f64 = synergy_kernel::FeatureClass::ALL
+            .iter()
+            .map(|&c| spec.cpi[c as usize] * info.features[c])
+            .sum();
+        let r = cycles * spec.mem_bw_gbps * 1e9
+            / (info.global_bytes_per_item
+                * spec.total_lanes() as f64
+                * spec.freq_table.max_core() as f64
+                * 1e6);
+        assert!(r > 2.5, "linear_regression R = {r:.2}");
+    }
+}

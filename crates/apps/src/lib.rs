@@ -1,0 +1,31 @@
+//! # synergy-apps
+//!
+//! The evaluation workloads of the SYnergy paper: a 23-kernel benchmark
+//! suite in the style of SYCL-Bench (Section 8.1) and two real-world
+//! mini-apps — CloverLeaf (2-D compressible Euler hydrodynamics) and
+//! MiniWeather (2-D stratified atmospheric flow) — decomposed into the
+//! per-timestep kernels whose differing energy characterizations make
+//! fine-grained tuning pay off.
+//!
+//! Every benchmark carries a calibrated [`synergy_kernel::KernelIr`] that
+//! drives the device timing/energy model; a representative subset (and both
+//! mini-apps) additionally provide real host-computed numerics through the
+//! runtime so results can be validated.
+
+#![warn(missing_docs)]
+
+pub mod cloverleaf;
+pub mod datamining;
+pub mod image;
+pub mod linalg;
+pub mod physics;
+pub mod reference;
+pub mod suite;
+pub mod verify;
+
+pub use cloverleaf::CloverLeaf;
+pub use miniweather::MiniWeather;
+pub use suite::{by_name, figure7_selection, suite, Benchmark, Boundedness};
+pub use verify::run_small_reference;
+
+pub mod miniweather;

@@ -1,0 +1,285 @@
+//! Linear-algebra benchmarks: vector add, tiled matrix multiply, a matmul
+//! chain, LU decomposition, scalar product and segmented reduction — plus
+//! real-compute runners for the ones the examples and tests exercise
+//! numerically.
+
+use crate::suite::{Benchmark, Boundedness};
+use synergy_kernel::{Inst, IrBuilder, KernelIr};
+use synergy_rt::{Buffer, Event, Queue};
+
+/// `z[i] = x[i] + y[i]` — the canonical streaming (memory-bound) kernel.
+pub fn vec_add() -> Benchmark {
+    let ir = IrBuilder::new()
+        .ops(Inst::GlobalLoad, 2)
+        .ops(Inst::FloatAdd, 1)
+        .ops(Inst::GlobalStore, 1)
+        .build("vec_add");
+    Benchmark {
+        name: "vec_add",
+        description: "streaming elementwise vector addition",
+        ir,
+        work_items: 1 << 24,
+        bound: Boundedness::MemoryBound,
+    }
+}
+
+/// Run vec_add with real numerics.
+pub fn run_vec_add(q: &Queue, x: &Buffer<f32>, y: &Buffer<f32>, z: &Buffer<f32>) -> Event {
+    let n = x.len();
+    assert_eq!(n, y.len());
+    assert_eq!(n, z.len());
+    let (xa, ya, za) = (x.accessor(), y.accessor(), z.accessor());
+    let ir = vec_add().ir;
+    q.submit(move |h| {
+        h.parallel_for(n, &ir, move |i| za.set(i, xa.get(i) + ya.get(i)));
+    })
+}
+
+/// Tile width of the shared-memory matmul.
+pub const MATMUL_TILE: u64 = 4;
+/// Inner dimension of the default matmul problem.
+pub const MATMUL_K: u64 = 512;
+
+fn mat_mul_ir(name: &str, k: u64) -> KernelIr {
+    // One output element per work-item; K/TILE tiles, each staging two
+    // elements per item into local memory then doing TILE MACs out of it.
+    IrBuilder::new()
+        .loop_n(k / MATMUL_TILE, |b| {
+            b.ops(Inst::GlobalLoad, 2)
+                .ops(Inst::LocalStore, 2)
+                .loop_n(MATMUL_TILE, |b| {
+                    b.ops(Inst::LocalLoad, 2)
+                        .ops(Inst::FloatMul, 1)
+                        .ops(Inst::FloatAdd, 1)
+                })
+        })
+        .ops(Inst::GlobalStore, 1)
+        .build(name)
+}
+
+/// Tiled GEMM. Calibrated just under the V100 balance point so its Pareto
+/// front is flat in speedup (Section 8.2: 0.95–1.01) with a steep energy
+/// slope (33% saving at 5% loss).
+pub fn mat_mul() -> Benchmark {
+    Benchmark {
+        name: "mat_mul",
+        description: "tiled single-precision matrix multiplication",
+        ir: mat_mul_ir("mat_mul", MATMUL_K),
+        work_items: 1024 * 1024,
+        bound: Boundedness::MemoryBound,
+    }
+}
+
+/// Two chained GEMMs (A·B·C); slightly more compute per byte than mat_mul.
+pub fn matmul_chain() -> Benchmark {
+    let mut ir = mat_mul_ir("matmul_chain", MATMUL_K);
+    // The chain reuses the intermediate from cache: ~30% more arithmetic
+    // per DRAM byte.
+    ir.body.push(synergy_kernel::Stmt::loop_n(
+        MATMUL_K / 8,
+        vec![
+            synergy_kernel::Stmt::ops(Inst::FloatMul, 1),
+            synergy_kernel::Stmt::ops(Inst::FloatAdd, 1),
+        ],
+    ));
+    Benchmark {
+        name: "matmul_chain",
+        description: "chained matrix multiplications sharing an intermediate",
+        ir,
+        work_items: 1024 * 1024,
+        bound: Boundedness::Mixed,
+    }
+}
+
+/// Dense matmul with real numerics: `c = a·b` for `n × n` matrices
+/// (row-major), launched one work-item per output element.
+pub fn run_mat_mul(
+    q: &Queue,
+    a: &Buffer<f32>,
+    b: &Buffer<f32>,
+    c: &Buffer<f32>,
+    n: usize,
+) -> Event {
+    assert_eq!(a.len(), n * n);
+    assert_eq!(b.len(), n * n);
+    assert_eq!(c.len(), n * n);
+    let (aa, ba, ca) = (a.accessor(), b.accessor(), c.accessor());
+    let ir = mat_mul_ir("mat_mul", n as u64);
+    q.submit(move |h| {
+        h.parallel_for(n * n, &ir, move |idx| {
+            let (row, col) = (idx / n, idx % n);
+            let mut acc = 0.0f32;
+            for k in 0..n {
+                acc += aa.get(row * n + k) * ba.get(k * n + col);
+            }
+            ca.set(idx, acc);
+        });
+    })
+}
+
+/// LU decomposition (one elimination step per item over a band).
+pub fn lud() -> Benchmark {
+    let ir = IrBuilder::new()
+        .ops(Inst::GlobalLoad, 4)
+        .loop_n(170, |b| b.ops(Inst::FloatMul, 1).ops(Inst::FloatAdd, 1))
+        .ops(Inst::FloatDiv, 1)
+        .ops(Inst::GlobalStore, 1)
+        .build("lud")
+        .with_dram_fraction(0.4);
+    Benchmark {
+        name: "lud",
+        description: "blocked LU decomposition elimination step",
+        ir,
+        work_items: 1 << 20,
+        bound: Boundedness::Mixed,
+    }
+}
+
+/// Scalar (dot) product with local-memory tree reduction.
+pub fn scalar_prod() -> Benchmark {
+    let ir = IrBuilder::new()
+        .ops(Inst::GlobalLoad, 2)
+        .ops(Inst::FloatMul, 1)
+        .ops(Inst::FloatAdd, 2)
+        .ops(Inst::LocalStore, 1)
+        .ops(Inst::LocalLoad, 1)
+        .ops(Inst::IntBitwise, 2)
+        .ops(Inst::GlobalStore, 1)
+        .build("scalar_prod");
+    Benchmark {
+        name: "scalar_prod",
+        description: "dot product with work-group tree reduction",
+        ir,
+        work_items: 1 << 24,
+        bound: Boundedness::MemoryBound,
+    }
+}
+
+/// Real scalar product; returns the partial sums buffer (one per chunk).
+pub fn run_scalar_prod(
+    q: &Queue,
+    x: &Buffer<f32>,
+    y: &Buffer<f32>,
+    partials: &Buffer<f32>,
+    chunk: usize,
+) -> Event {
+    let n = x.len();
+    assert_eq!(n, y.len());
+    assert_eq!(partials.len(), n.div_ceil(chunk));
+    let (xa, ya, pa) = (x.accessor(), y.accessor(), partials.accessor());
+    let ir = scalar_prod().ir;
+    let groups = partials.len();
+    q.submit(move |h| {
+        h.parallel_for(groups, &ir, move |g| {
+            let lo = g * chunk;
+            let hi = (lo + chunk).min(n);
+            let mut acc = 0.0f32;
+            for i in lo..hi {
+                acc += xa.get(i) * ya.get(i);
+            }
+            pa.set(g, acc);
+        });
+    })
+}
+
+/// Segmented reduction: per-element add into its segment accumulator.
+pub fn segmented_reduction() -> Benchmark {
+    let ir = IrBuilder::new()
+        .ops(Inst::GlobalLoad, 2)
+        .ops(Inst::IntAdd, 2)
+        .ops(Inst::IntBitwise, 2)
+        .ops(Inst::FloatAdd, 1)
+        .ops(Inst::GlobalStore, 1)
+        .build("segmented_reduction");
+    Benchmark {
+        name: "segmented_reduction",
+        description: "reduction over irregular segments",
+        ir,
+        work_items: 1 << 24,
+        bound: Boundedness::MemoryBound,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use synergy_sim::{DeviceSpec, SimDevice};
+
+    fn queue() -> Queue {
+        Queue::new(SimDevice::new(DeviceSpec::v100(), 0))
+    }
+
+    #[test]
+    fn vec_add_computes() {
+        let q = queue();
+        let n = 4096;
+        let x = Buffer::from_slice(&vec![1.5f32; n]);
+        let y = Buffer::from_slice(&vec![2.5f32; n]);
+        let z: Buffer<f32> = Buffer::zeros(n);
+        run_vec_add(&q, &x, &y, &z).wait();
+        assert!(z.to_vec().iter().all(|&v| v == 4.0));
+    }
+
+    #[test]
+    fn mat_mul_matches_reference() {
+        let q = queue();
+        let n = 24;
+        let a: Vec<f32> = (0..n * n).map(|i| (i % 7) as f32 - 3.0).collect();
+        let b: Vec<f32> = (0..n * n).map(|i| (i % 5) as f32 * 0.5).collect();
+        let ab = Buffer::from_slice(&a);
+        let bb = Buffer::from_slice(&b);
+        let cb: Buffer<f32> = Buffer::zeros(n * n);
+        run_mat_mul(&q, &ab, &bb, &cb, n).wait();
+        let c = cb.to_vec();
+        // Reference check of a few entries.
+        for &(i, j) in &[(0usize, 0usize), (3, 7), (n - 1, n - 1)] {
+            let want: f32 = (0..n).map(|k| a[i * n + k] * b[k * n + j]).sum();
+            assert!((c[i * n + j] - want).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn scalar_prod_sums_correctly() {
+        let q = queue();
+        let n = 10_000;
+        let x = Buffer::from_slice(&vec![2.0f32; n]);
+        let y = Buffer::from_slice(&vec![3.0f32; n]);
+        let chunk = 256;
+        let partials: Buffer<f32> = Buffer::zeros(n.div_ceil(chunk));
+        run_scalar_prod(&q, &x, &y, &partials, chunk).wait();
+        let total: f32 = partials.to_vec().iter().sum();
+        assert_eq!(total, 60_000.0);
+    }
+
+    #[test]
+    fn mat_mul_sits_below_balance_on_v100() {
+        // The calibration promise: R < 1 so the Pareto front is flat.
+        let spec = DeviceSpec::v100();
+        let info = synergy_kernel::extract(&mat_mul().ir);
+        let cycles: f64 = synergy_kernel::FeatureClass::ALL
+            .iter()
+            .map(|&c| spec.cpi[c as usize] * info.features[c])
+            .sum();
+        let r = cycles * spec.mem_bw_gbps * 1e9
+            / (info.global_bytes_per_item
+                * spec.total_lanes() as f64
+                * spec.freq_table.max_core() as f64
+                * 1e6);
+        assert!(r < 1.0, "mat_mul R = {r:.2} should be memory-leaning");
+        assert!(r > 0.3, "mat_mul R = {r:.2} should not be purely streaming");
+    }
+
+    #[test]
+    fn device_shared_across_runs_advances_time() {
+        let dev = SimDevice::new(DeviceSpec::v100(), 0);
+        let q = Queue::new(Arc::clone(&dev));
+        let x = Buffer::from_slice(&vec![0.0f32; 1024]);
+        let y = Buffer::from_slice(&vec![0.0f32; 1024]);
+        let z: Buffer<f32> = Buffer::zeros(1024);
+        run_vec_add(&q, &x, &y, &z).wait();
+        let t1 = dev.now_ns();
+        run_vec_add(&q, &x, &y, &z).wait();
+        assert!(dev.now_ns() > t1);
+    }
+}

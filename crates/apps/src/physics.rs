@@ -1,0 +1,286 @@
+//! Physics and finance benchmarks: molecular dynamics, N-body (the most
+//! compute-bound kernel of the suite), Black-Scholes (the mild-tradeoff
+//! kernel of Figures 4 and 5), HotSpot thermal stencil and PathFinder
+//! dynamic programming.
+
+use crate::suite::{Benchmark, Boundedness};
+use synergy_kernel::{Inst, IrBuilder};
+use synergy_rt::{Buffer, Event, Queue};
+
+/// Neighbours per atom in the molecular-dynamics force kernel.
+pub const MOLDYN_NEIGHBORS: u64 = 32;
+
+/// Lennard-Jones force evaluation over a fixed neighbour list.
+pub fn mol_dyn() -> Benchmark {
+    let ir = IrBuilder::new()
+        .ops(Inst::GlobalLoad, 4)
+        .loop_n(MOLDYN_NEIGHBORS, |b| {
+            b.ops(Inst::GlobalLoad, 1)
+                .ops(Inst::FloatAdd, 5)
+                .ops(Inst::FloatMul, 6)
+                .ops(Inst::FloatDiv, 1)
+                .ops(Inst::SpecialFn, 1)
+        })
+        .ops(Inst::GlobalStore, 3)
+        .build("mol_dyn")
+        .with_dram_fraction(0.3);
+    Benchmark {
+        name: "mol_dyn",
+        description: "Lennard-Jones force evaluation over neighbour lists",
+        ir,
+        work_items: 1 << 20,
+        bound: Boundedness::ComputeBound,
+    }
+}
+
+/// Bodies interacting per work-item (one on-chip tile).
+pub const NBODY_TILE: u64 = 256;
+
+/// All-pairs N-body tile: the classic compute-bound GPU kernel.
+pub fn nbody() -> Benchmark {
+    let ir = IrBuilder::new()
+        .ops(Inst::GlobalLoad, 4)
+        .loop_n(NBODY_TILE, |b| {
+            b.ops(Inst::LocalLoad, 2)
+                .ops(Inst::FloatAdd, 6)
+                .ops(Inst::FloatMul, 6)
+                .ops(Inst::SpecialFn, 1) // rsqrt
+        })
+        .ops(Inst::GlobalStore, 4)
+        .build("nbody")
+        .with_dram_fraction(0.5);
+    Benchmark {
+        name: "nbody",
+        description: "all-pairs gravitational N-body (tiled)",
+        ir,
+        work_items: 1 << 17,
+        bound: Boundedness::ComputeBound,
+    }
+}
+
+/// Run one real N-body acceleration step over `n` bodies in 2-D
+/// (positions `[x0, y0, x1, y1, ...]`, softened gravity, unit masses).
+pub fn run_nbody_step(
+    q: &Queue,
+    pos: &Buffer<f32>,
+    acc: &Buffer<f32>,
+    softening: f32,
+) -> Event {
+    let n = pos.len() / 2;
+    assert_eq!(acc.len(), pos.len());
+    let (pa, aa) = (pos.accessor(), acc.accessor());
+    let ir = nbody().ir;
+    q.submit(move |h| {
+        h.parallel_for(n, &ir, move |i| {
+            let (xi, yi) = (pa.get(2 * i), pa.get(2 * i + 1));
+            let (mut ax, mut ay) = (0.0f32, 0.0f32);
+            for j in 0..n {
+                if j == i {
+                    continue;
+                }
+                let dx = pa.get(2 * j) - xi;
+                let dy = pa.get(2 * j + 1) - yi;
+                let d2 = dx * dx + dy * dy + softening * softening;
+                let inv = 1.0 / (d2 * d2.sqrt());
+                ax += dx * inv;
+                ay += dy * inv;
+            }
+            aa.set(2 * i, ax);
+            aa.set(2 * i + 1, ay);
+        });
+    })
+}
+
+/// Black-Scholes European option pricing — the kernel of Figures 4 and 5:
+/// transcendental-heavy but streaming, yielding the classic mild tradeoff
+/// curve where MIN_EDP sits between MIN_ENERGY and MAX_PERF.
+pub fn black_scholes() -> Benchmark {
+    let ir = IrBuilder::new()
+        .ops(Inst::GlobalLoad, 3)
+        .ops(Inst::FloatMul, 20)
+        .ops(Inst::FloatAdd, 15)
+        .ops(Inst::FloatDiv, 2)
+        .ops(Inst::SpecialFn, 8) // exp, log, sqrt, CND polynomials
+        .ops(Inst::GlobalStore, 2)
+        .build("black_scholes");
+    Benchmark {
+        name: "black_scholes",
+        description: "Black-Scholes European option pricing",
+        ir,
+        work_items: 1 << 23,
+        bound: Boundedness::Mixed,
+    }
+}
+
+/// Real Black-Scholes call/put pricing.
+///
+/// Inputs: spot, strike, time-to-expiry (years). Rate and volatility are
+/// scalar parameters. Outputs: call and put premia.
+#[allow(clippy::too_many_arguments)] // mirrors the kernel's parameter list
+pub fn run_black_scholes(
+    q: &Queue,
+    spot: &Buffer<f32>,
+    strike: &Buffer<f32>,
+    expiry: &Buffer<f32>,
+    call: &Buffer<f32>,
+    put: &Buffer<f32>,
+    rate: f32,
+    vol: f32,
+) -> Event {
+    let n = spot.len();
+    for b in [strike.len(), expiry.len(), call.len(), put.len()] {
+        assert_eq!(b, n);
+    }
+    let (sa, ka, ta, ca, pa) = (
+        spot.accessor(),
+        strike.accessor(),
+        expiry.accessor(),
+        call.accessor(),
+        put.accessor(),
+    );
+    let ir = black_scholes().ir;
+    q.submit(move |h| {
+        h.parallel_for(n, &ir, move |i| {
+            let s = sa.get(i);
+            let k = ka.get(i);
+            let t = ta.get(i);
+            let sqrt_t = t.sqrt();
+            let d1 = ((s / k).ln() + (rate + 0.5 * vol * vol) * t) / (vol * sqrt_t);
+            let d2 = d1 - vol * sqrt_t;
+            let disc = (-rate * t).exp();
+            let c = s * cnd(d1) - k * disc * cnd(d2);
+            ca.set(i, c);
+            // Put-call parity.
+            pa.set(i, c - s + k * disc);
+        });
+    })
+}
+
+/// Cumulative normal distribution (Abramowitz–Stegun polynomial).
+pub fn cnd(x: f32) -> f32 {
+    const A: [f32; 5] = [0.319_381_54, -0.356_563_78, 1.781_477_9, -1.821_255_9, 1.330_274_5];
+    let l = x.abs();
+    let k = 1.0 / (1.0 + 0.2316419 * l);
+    let poly = k * (A[0] + k * (A[1] + k * (A[2] + k * (A[3] + k * A[4]))));
+    let w = 1.0 - (-l * l / 2.0).exp() / (2.0 * std::f32::consts::PI).sqrt() * poly;
+    if x < 0.0 {
+        1.0 - w
+    } else {
+        w
+    }
+}
+
+/// HotSpot 5-point thermal stencil.
+pub fn hotspot() -> Benchmark {
+    let ir = IrBuilder::new()
+        .ops(Inst::IntAdd, 4)
+        .ops(Inst::GlobalLoad, 7)
+        .ops(Inst::FloatMul, 6)
+        .ops(Inst::FloatAdd, 6)
+        .ops(Inst::GlobalStore, 1)
+        .build("hotspot")
+        .with_dram_fraction(0.25);
+    Benchmark {
+        name: "hotspot",
+        description: "HotSpot thermal simulation stencil",
+        ir,
+        work_items: 2048 * 2048,
+        bound: Boundedness::Mixed,
+    }
+}
+
+/// PathFinder dynamic-programming row relaxation.
+pub fn pathfinder() -> Benchmark {
+    let ir = IrBuilder::new()
+        .ops(Inst::GlobalLoad, 4)
+        .ops(Inst::IntAdd, 6)
+        .ops(Inst::IntBitwise, 4)
+        .ops(Inst::GlobalStore, 1)
+        .build("pathfinder")
+        .with_dram_fraction(0.5);
+    Benchmark {
+        name: "pathfinder",
+        description: "PathFinder shortest-path DP row relaxation",
+        ir,
+        work_items: 1 << 23,
+        bound: Boundedness::MemoryBound,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use synergy_sim::{DeviceSpec, SimDevice};
+
+    fn queue() -> Queue {
+        Queue::new(SimDevice::new(DeviceSpec::v100(), 0))
+    }
+
+    #[test]
+    fn black_scholes_matches_known_value() {
+        // S=100, K=100, T=1, r=5%, vol=20%: call ≈ 10.4506, put ≈ 5.5735.
+        let q = queue();
+        let s = Buffer::from_slice(&[100.0f32]);
+        let k = Buffer::from_slice(&[100.0f32]);
+        let t = Buffer::from_slice(&[1.0f32]);
+        let c: Buffer<f32> = Buffer::zeros(1);
+        let p: Buffer<f32> = Buffer::zeros(1);
+        run_black_scholes(&q, &s, &k, &t, &c, &p, 0.05, 0.20).wait();
+        assert!((c.to_vec()[0] - 10.4506).abs() < 0.01, "call {}", c.to_vec()[0]);
+        assert!((p.to_vec()[0] - 5.5735).abs() < 0.01, "put {}", p.to_vec()[0]);
+    }
+
+    #[test]
+    fn put_call_parity_holds_across_grid() {
+        let q = queue();
+        let n = 64;
+        let spots: Vec<f32> = (0..n).map(|i| 50.0 + i as f32).collect();
+        let strikes = vec![90.0f32; n];
+        let expiries: Vec<f32> = (0..n).map(|i| 0.25 + (i as f32) * 0.01).collect();
+        let (r, v) = (0.03f32, 0.25f32);
+        let sb = Buffer::from_slice(&spots);
+        let kb = Buffer::from_slice(&strikes);
+        let tb = Buffer::from_slice(&expiries);
+        let cb: Buffer<f32> = Buffer::zeros(n);
+        let pb: Buffer<f32> = Buffer::zeros(n);
+        run_black_scholes(&q, &sb, &kb, &tb, &cb, &pb, r, v).wait();
+        let (c, p) = (cb.to_vec(), pb.to_vec());
+        for i in 0..n {
+            let parity = c[i] - p[i];
+            let want = spots[i] - strikes[i] * (-r * expiries[i]).exp();
+            assert!((parity - want).abs() < 1e-3, "i={i}");
+        }
+    }
+
+    #[test]
+    fn nbody_two_bodies_attract() {
+        let q = queue();
+        let pos = Buffer::from_slice(&[0.0f32, 0.0, 1.0, 0.0]);
+        let acc: Buffer<f32> = Buffer::zeros(4);
+        run_nbody_step(&q, &pos, &acc, 0.01).wait();
+        let a = acc.to_vec();
+        assert!(a[0] > 0.0, "body 0 pulled towards +x");
+        assert!(a[2] < 0.0, "body 1 pulled towards -x");
+        assert!((a[0] + a[2]).abs() < 1e-3, "forces are equal and opposite");
+    }
+
+    #[test]
+    fn nbody_is_most_compute_bound() {
+        let spec = DeviceSpec::v100();
+        let ratio = |b: &Benchmark| {
+            let info = synergy_kernel::extract(&b.ir);
+            let cycles: f64 = synergy_kernel::FeatureClass::ALL
+                .iter()
+                .map(|&c| spec.cpi[c as usize] * info.features[c])
+                .sum();
+            cycles * spec.mem_bw_gbps * 1e9
+                / (info.global_bytes_per_item
+                    * spec.total_lanes() as f64
+                    * spec.freq_table.max_core() as f64
+                    * 1e6)
+        };
+        assert!(ratio(&nbody()) > 10.0);
+        assert!(ratio(&nbody()) > ratio(&black_scholes()));
+        assert!(ratio(&black_scholes()) > ratio(&pathfinder()));
+    }
+}

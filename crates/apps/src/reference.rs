@@ -1,0 +1,679 @@
+//! Reference (host-computed) implementations for the rest of the suite,
+//! so that **every** benchmark is runnable with real numerics — not just
+//! modeled. Each runner submits through the energy-aware queue with the
+//! benchmark's calibrated IR, so profiling/frequency scaling applies to
+//! real computations.
+
+use crate::{datamining, image, linalg, physics};
+use synergy_rt::{Buffer, Event, Queue};
+
+/// Generic Sobel for width 3/5/7 (gradient magnitude with box-like taps).
+pub fn run_sobel(
+    q: &Queue,
+    width: usize,
+    src: &Buffer<f32>,
+    dst: &Buffer<f32>,
+    w: usize,
+    h: usize,
+) -> Event {
+    assert!(matches!(width, 3 | 5 | 7));
+    assert_eq!(src.len(), w * h);
+    assert_eq!(dst.len(), w * h);
+    let (sa, da) = (src.accessor(), dst.accessor());
+    let bench = match width {
+        3 => image::sobel3(),
+        5 => image::sobel5(),
+        _ => image::sobel7(),
+    };
+    let ir = bench.ir;
+    let r = width / 2;
+    q.submit(move |hd| {
+        hd.parallel_for(w * h, &ir, move |idx| {
+            let (x, y) = (idx % w, idx / w);
+            if x < r || y < r || x + r >= w || y + r >= h {
+                da.set(idx, 0.0);
+                return;
+            }
+            // Separable derivative taps: weight = offset along the axis.
+            let (mut gx, mut gy) = (0.0f32, 0.0f32);
+            for dy in -(r as isize)..=(r as isize) {
+                for dx in -(r as isize)..=(r as isize) {
+                    let p = sa.get(
+                        ((y as isize + dy) as usize) * w + (x as isize + dx) as usize,
+                    );
+                    gx += dx as f32 * p;
+                    gy += dy as f32 * p;
+                }
+            }
+            da.set(idx, (gx * gx + gy * gy).sqrt());
+        });
+    })
+}
+
+/// 5×5 Gaussian blur with σ≈1 binomial weights (normalized).
+pub fn run_gaussian_blur(
+    q: &Queue,
+    src: &Buffer<f32>,
+    dst: &Buffer<f32>,
+    w: usize,
+    h: usize,
+) -> Event {
+    const K: [f32; 5] = [1.0, 4.0, 6.0, 4.0, 1.0]; // binomial row, sum 16
+    assert_eq!(src.len(), w * h);
+    assert_eq!(dst.len(), w * h);
+    let (sa, da) = (src.accessor(), dst.accessor());
+    let ir = image::gaussian_blur().ir;
+    q.submit(move |hd| {
+        hd.parallel_for(w * h, &ir, move |idx| {
+            let (x, y) = (idx % w, idx / w);
+            if x < 2 || y < 2 || x + 2 >= w || y + 2 >= h {
+                da.set(idx, sa.get(idx));
+                return;
+            }
+            let mut acc = 0.0f32;
+            for (dy, ky) in (-2isize..=2).zip(K) {
+                for (dx, kx) in (-2isize..=2).zip(K) {
+                    let p = sa.get(
+                        ((y as isize + dy) as usize) * w + (x as isize + dx) as usize,
+                    );
+                    acc += kx * ky * p;
+                }
+            }
+            da.set(idx, acc / 256.0);
+        });
+    })
+}
+
+/// SUSAN response: count of neighbours within `threshold` brightness of
+/// the nucleus (the "USAN area" — small at corners, large on flat areas).
+pub fn run_susan(
+    q: &Queue,
+    src: &Buffer<f32>,
+    usan: &Buffer<f32>,
+    w: usize,
+    h: usize,
+    threshold: f32,
+) -> Event {
+    assert_eq!(src.len(), w * h);
+    assert_eq!(usan.len(), w * h);
+    let (sa, ua) = (src.accessor(), usan.accessor());
+    let ir = image::susan().ir;
+    q.submit(move |hd| {
+        hd.parallel_for(w * h, &ir, move |idx| {
+            let (x, y) = (idx % w, idx / w);
+            if x < 3 || y < 3 || x + 3 >= w || y + 3 >= h {
+                ua.set(idx, 37.0);
+                return;
+            }
+            let nucleus = sa.get(idx);
+            let mut area = 0.0f32;
+            for dy in -3isize..=3 {
+                for dx in -3isize..=3 {
+                    if dx * dx + dy * dy > 9 {
+                        continue; // circular mask, 37 pixels
+                    }
+                    let p = sa.get(
+                        ((y as isize + dy) as usize) * w + (x as isize + dx) as usize,
+                    );
+                    let d = (p - nucleus) / threshold;
+                    area += (-(d * d * d * d * d * d)).exp();
+                }
+            }
+            ua.set(idx, area);
+        });
+    })
+}
+
+/// One LU elimination step for pivot `k` on an `n × n` matrix (in place):
+/// computes the multipliers column and updates the trailing submatrix.
+pub fn run_lud_step(q: &Queue, a: &Buffer<f32>, n: usize, k: usize) -> Event {
+    assert_eq!(a.len(), n * n);
+    assert!(k < n);
+    let aa = a.accessor();
+    let ir = linalg::lud().ir;
+    let rows = n - k - 1;
+    q.submit(move |hd| {
+        hd.parallel_for(rows.max(1), &ir, move |r| {
+            if rows == 0 {
+                return;
+            }
+            let i = k + 1 + r;
+            let pivot = aa.get(k * n + k);
+            if pivot == 0.0 {
+                return;
+            }
+            let m = aa.get(i * n + k) / pivot;
+            aa.set(i * n + k, m);
+            for j in (k + 1)..n {
+                aa.set(i * n + j, aa.get(i * n + j) - m * aa.get(k * n + j));
+            }
+        });
+    })
+}
+
+/// Full LU decomposition via repeated elimination steps.
+pub fn run_lud(q: &Queue, a: &Buffer<f32>, n: usize) {
+    for k in 0..n - 1 {
+        run_lud_step(q, a, n, k);
+    }
+    q.wait();
+}
+
+/// Chained matmul `(A·B)·C` via two GEMM launches.
+pub fn run_matmul_chain(
+    q: &Queue,
+    a: &Buffer<f32>,
+    b: &Buffer<f32>,
+    c: &Buffer<f32>,
+    tmp: &Buffer<f32>,
+    out: &Buffer<f32>,
+    n: usize,
+) -> Event {
+    linalg::run_mat_mul(q, a, b, tmp, n).wait();
+    let ev = linalg::run_mat_mul(q, tmp, c, out, n);
+    ev.wait();
+    ev
+}
+
+/// Segmented reduction: `sums[seg[i]] += data[i]` with fixed-size segments.
+pub fn run_segmented_reduction(
+    q: &Queue,
+    data: &Buffer<f32>,
+    sums: &Buffer<f32>,
+    segment: usize,
+) -> Event {
+    let n = data.len();
+    assert_eq!(sums.len(), n.div_ceil(segment));
+    let (da, sa) = (data.accessor(), sums.accessor());
+    let ir = linalg::segmented_reduction().ir;
+    let groups = sums.len();
+    q.submit(move |hd| {
+        hd.parallel_for(groups, &ir, move |g| {
+            let lo = g * segment;
+            let hi = (lo + segment).min(n);
+            let mut acc = 0.0f32;
+            for i in lo..hi {
+                acc += da.get(i);
+            }
+            sa.set(g, acc);
+        });
+    })
+}
+
+/// Pearson correlation coefficient per chunk of `(x, y)` pairs.
+pub fn run_lin_reg_coeff(
+    q: &Queue,
+    xs: &Buffer<f32>,
+    ys: &Buffer<f32>,
+    coeffs: &Buffer<f32>,
+    chunk: usize,
+) -> Event {
+    let n = xs.len();
+    assert_eq!(n, ys.len());
+    assert_eq!(coeffs.len(), n.div_ceil(chunk));
+    let (xa, ya, ca) = (xs.accessor(), ys.accessor(), coeffs.accessor());
+    let ir = datamining::lin_reg_coeff().ir;
+    let groups = coeffs.len();
+    q.submit(move |hd| {
+        hd.parallel_for(groups, &ir, move |g| {
+            let lo = g * chunk;
+            let hi = (lo + chunk).min(n);
+            let m = (hi - lo) as f32;
+            let (mut sx, mut sy, mut sxx, mut syy, mut sxy) = (0.0f32, 0.0, 0.0, 0.0, 0.0);
+            for i in lo..hi {
+                let (x, y) = (xa.get(i), ya.get(i));
+                sx += x;
+                sy += y;
+                sxx += x * x;
+                syy += y * y;
+                sxy += x * y;
+            }
+            let cov = sxy - sx * sy / m;
+            let vx = sxx - sx * sx / m;
+            let vy = syy - sy * sy / m;
+            let denom = (vx * vy).sqrt();
+            ca.set(g, if denom > 0.0 { cov / denom } else { 0.0 });
+        });
+    })
+}
+
+/// Nearest-neighbour: distance from each 2-D query to its closest of `k`
+/// reference points (`refs` is `[x0, y0, x1, y1, ...]`).
+pub fn run_nearest_neighbor(
+    q: &Queue,
+    queries: &Buffer<f32>,
+    refs: &Buffer<f32>,
+    best: &Buffer<f32>,
+) -> Event {
+    let n = queries.len() / 2;
+    let k = refs.len() / 2;
+    assert_eq!(best.len(), n);
+    let (qa, ra, ba) = (queries.accessor(), refs.accessor(), best.accessor());
+    let ir = datamining::nearest_neighbor().ir;
+    q.submit(move |hd| {
+        hd.parallel_for(n, &ir, move |i| {
+            let (x, y) = (qa.get(2 * i), qa.get(2 * i + 1));
+            let mut d2 = f32::MAX;
+            for j in 0..k {
+                let dx = x - ra.get(2 * j);
+                let dy = y - ra.get(2 * j + 1);
+                d2 = d2.min(dx * dx + dy * dy);
+            }
+            ba.set(i, d2.sqrt());
+        });
+    })
+}
+
+/// Geometric mean per chunk via log-domain sums.
+pub fn run_geometric_mean(
+    q: &Queue,
+    data: &Buffer<f32>,
+    means: &Buffer<f32>,
+    chunk: usize,
+) -> Event {
+    let n = data.len();
+    assert_eq!(means.len(), n.div_ceil(chunk));
+    let (da, ma) = (data.accessor(), means.accessor());
+    let ir = datamining::geometric_mean().ir;
+    let groups = means.len();
+    q.submit(move |hd| {
+        hd.parallel_for(groups, &ir, move |g| {
+            let lo = g * chunk;
+            let hi = (lo + chunk).min(n);
+            let mut acc = 0.0f32;
+            for i in lo..hi {
+                acc += da.get(i).max(1e-20).ln();
+            }
+            ma.set(g, (acc / (hi - lo) as f32).exp());
+        });
+    })
+}
+
+/// MT19937-style tempering over per-item SplitMix state, then Box–Muller
+/// to standard normals. Deterministic per (seed, index).
+pub fn run_mersenne_twister(q: &Queue, seed: u32, normals: &Buffer<f32>) -> Event {
+    let n = normals.len();
+    assert!(n.is_multiple_of(2), "Box-Muller emits pairs");
+    let na = normals.accessor();
+    let ir = datamining::mersenne_twister().ir;
+    q.submit(move |hd| {
+        hd.parallel_for(n / 2, &ir, move |i| {
+            let word = |salt: u32| -> f32 {
+                // Strong 32-bit avalanche (murmur3 fmix32) of the per-item
+                // state, followed by the MT19937 tempering shifts.
+                let mut y = (seed ^ (i as u32).wrapping_mul(2_654_435_761)).wrapping_add(salt);
+                y ^= y >> 16;
+                y = y.wrapping_mul(0x85EB_CA6B);
+                y ^= y >> 13;
+                y = y.wrapping_mul(0xC2B2_AE35);
+                y ^= y >> 16;
+                y ^= y >> 11;
+                y ^= (y << 7) & 0x9D2C_5680;
+                y ^= (y << 15) & 0xEFC6_0000;
+                y ^= y >> 18;
+                // (0, 1]: avoid ln(0).
+                (y as f32 + 1.0) / (u32::MAX as f32 + 2.0)
+            };
+            let u1 = word(0x9E37);
+            let u2 = word(0x79B9);
+            let r = (-2.0 * u1.ln()).sqrt();
+            let theta = 2.0 * std::f32::consts::PI * u2;
+            na.set(2 * i, r * theta.cos());
+            na.set(2 * i + 1, r * theta.sin());
+        });
+    })
+}
+
+/// One HotSpot thermal step: 5-point diffusion plus a power source.
+pub fn run_hotspot_step(
+    q: &Queue,
+    temp_in: &Buffer<f32>,
+    power: &Buffer<f32>,
+    temp_out: &Buffer<f32>,
+    w: usize,
+    h: usize,
+    alpha: f32,
+) -> Event {
+    assert_eq!(temp_in.len(), w * h);
+    assert_eq!(power.len(), w * h);
+    assert_eq!(temp_out.len(), w * h);
+    let (ta, pa, oa) = (temp_in.accessor(), power.accessor(), temp_out.accessor());
+    let ir = physics::hotspot().ir;
+    q.submit(move |hd| {
+        hd.parallel_for(w * h, &ir, move |idx| {
+            let (x, y) = (idx % w, idx / w);
+            if x == 0 || y == 0 || x + 1 >= w || y + 1 >= h {
+                oa.set(idx, ta.get(idx));
+                return;
+            }
+            let lap = ta.get(idx - 1) + ta.get(idx + 1) + ta.get(idx - w) + ta.get(idx + w)
+                - 4.0 * ta.get(idx);
+            oa.set(idx, ta.get(idx) + alpha * lap + pa.get(idx));
+        });
+    })
+}
+
+/// One PathFinder DP row relaxation:
+/// `next[i] = cost[i] + min(prev[i-1], prev[i], prev[i+1])`.
+pub fn run_pathfinder_row(
+    q: &Queue,
+    prev: &Buffer<f32>,
+    cost: &Buffer<f32>,
+    next: &Buffer<f32>,
+) -> Event {
+    let n = prev.len();
+    assert_eq!(cost.len(), n);
+    assert_eq!(next.len(), n);
+    let (pa, ca, na) = (prev.accessor(), cost.accessor(), next.accessor());
+    let ir = physics::pathfinder().ir;
+    q.submit(move |hd| {
+        hd.parallel_for(n, &ir, move |i| {
+            let mut m = pa.get(i);
+            if i > 0 {
+                m = m.min(pa.get(i - 1));
+            }
+            if i + 1 < n {
+                m = m.min(pa.get(i + 1));
+            }
+            na.set(i, ca.get(i) + m);
+        });
+    })
+}
+
+/// Lennard-Jones forces over a fixed-stride neighbour list on a 2-D
+/// particle set (`pos` is `[x0, y0, ...]`; neighbours are the next
+/// `MOLDYN_NEIGHBORS` particles cyclically).
+pub fn run_mol_dyn(q: &Queue, pos: &Buffer<f32>, force: &Buffer<f32>, eps: f32, sigma: f32) -> Event {
+    let n = pos.len() / 2;
+    assert_eq!(force.len(), pos.len());
+    let (pa, fa) = (pos.accessor(), force.accessor());
+    let ir = physics::mol_dyn().ir;
+    let neigh = physics::MOLDYN_NEIGHBORS as usize;
+    q.submit(move |hd| {
+        hd.parallel_for(n, &ir, move |i| {
+            let (xi, yi) = (pa.get(2 * i), pa.get(2 * i + 1));
+            let (mut fx, mut fy) = (0.0f32, 0.0f32);
+            for d in 1..=neigh.min(n.saturating_sub(1)) {
+                let j = (i + d) % n;
+                let dx = pa.get(2 * j) - xi;
+                let dy = pa.get(2 * j + 1) - yi;
+                let r2 = (dx * dx + dy * dy).max(1e-6);
+                let sr2 = sigma * sigma / r2;
+                let sr6 = sr2 * sr2 * sr2;
+                // F/r = 24ε(2σ¹²/r¹² − σ⁶/r⁶)/r²
+                let mag = 24.0 * eps * (2.0 * sr6 * sr6 - sr6) / r2;
+                fx -= mag * dx;
+                fy -= mag * dy;
+            }
+            fa.set(2 * i, fx);
+            fa.set(2 * i + 1, fy);
+        });
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use synergy_sim::{DeviceSpec, SimDevice};
+
+    fn queue() -> Queue {
+        Queue::new(SimDevice::new(DeviceSpec::v100(), 0))
+    }
+
+    #[test]
+    fn sobel5_and_7_respond_to_edges() {
+        let q = queue();
+        let (w, h) = (24, 24);
+        let img: Vec<f32> = (0..w * h)
+            .map(|i| if i % w < w / 2 { 0.0 } else { 1.0 })
+            .collect();
+        let src = Buffer::from_slice(&img);
+        for width in [5usize, 7] {
+            let dst: Buffer<f32> = Buffer::zeros(w * h);
+            run_sobel(&q, width, &src, &dst, w, h).wait();
+            let out = dst.to_vec();
+            assert!(out[10 * w + w / 2] > 0.5, "sobel{width} missed the edge");
+            assert_eq!(out[10 * w + 4], 0.0, "sobel{width} fired on flat area");
+        }
+    }
+
+    #[test]
+    fn gaussian_blur_preserves_constants_and_spreads_impulses() {
+        let q = queue();
+        let (w, h) = (16, 16);
+        // Constant image stays constant.
+        let flat = Buffer::from_slice(&vec![3.0f32; w * h]);
+        let out: Buffer<f32> = Buffer::zeros(w * h);
+        run_gaussian_blur(&q, &flat, &out, w, h).wait();
+        assert!((out.to_vec()[8 * w + 8] - 3.0).abs() < 1e-5);
+        // Impulse spreads but keeps its mass (interior).
+        let mut img = vec![0.0f32; w * h];
+        img[8 * w + 8] = 256.0;
+        let src = Buffer::from_slice(&img);
+        let dst: Buffer<f32> = Buffer::zeros(w * h);
+        run_gaussian_blur(&q, &src, &dst, w, h).wait();
+        let v = dst.to_vec();
+        assert!((v[8 * w + 8] - 36.0).abs() < 1e-3, "centre weight 36/256");
+        let total: f32 = v.iter().sum();
+        assert!((total - 256.0).abs() < 1e-2, "blur must conserve mass");
+    }
+
+    #[test]
+    fn susan_distinguishes_corner_from_flat() {
+        let q = queue();
+        let (w, h) = (24, 24);
+        // Bright quadrant: pixel at the quadrant corner sees ~1/4 similar.
+        let img: Vec<f32> = (0..w * h)
+            .map(|i| {
+                let (x, y) = (i % w, i / w);
+                if x >= 12 && y >= 12 {
+                    1.0
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        let src = Buffer::from_slice(&img);
+        let usan: Buffer<f32> = Buffer::zeros(w * h);
+        run_susan(&q, &src, &usan, w, h, 0.1).wait();
+        let v = usan.to_vec();
+        let corner = v[12 * w + 12];
+        let flat = v[6 * w + 6];
+        assert!(
+            corner < flat * 0.5,
+            "corner USAN {corner} should be well below flat {flat}"
+        );
+    }
+
+    #[test]
+    fn lud_reconstructs_matrix() {
+        let q = queue();
+        let n = 8;
+        // Diagonally dominant matrix: LU without pivoting is stable.
+        let mut a = vec![0.0f32; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                a[i * n + j] = if i == j { 10.0 } else { 1.0 / (1.0 + (i + j) as f32) };
+            }
+        }
+        let buf = Buffer::from_slice(&a);
+        run_lud(&q, &buf, n);
+        let lu = buf.to_vec();
+        // Reconstruct A = L·U and compare.
+        for i in 0..n {
+            for j in 0..n {
+                let mut acc = 0.0f32;
+                for k in 0..=i.min(j) {
+                    let l = if k == i { 1.0 } else { lu[i * n + k] };
+                    let u = lu[k * n + j];
+                    if k <= j && k <= i {
+                        acc += if k == i { u } else { l * u };
+                    }
+                }
+                // General reconstruction: sum_k L[i][k] U[k][j], L unit diag.
+                let mut full = 0.0f32;
+                for k in 0..n {
+                    let l = if k < i {
+                        lu[i * n + k]
+                    } else if k == i {
+                        1.0
+                    } else {
+                        0.0
+                    };
+                    let u = if k <= j { lu[k * n + j] } else { 0.0 };
+                    full += l * u;
+                }
+                let _ = acc;
+                assert!(
+                    (full - a[i * n + j]).abs() < 1e-3,
+                    "A[{i}][{j}] = {} reconstructed {full}",
+                    a[i * n + j]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn matmul_chain_matches_direct_product() {
+        let q = queue();
+        let n = 12;
+        let a: Vec<f32> = (0..n * n).map(|i| ((i % 7) as f32 - 3.0) * 0.25).collect();
+        let b: Vec<f32> = (0..n * n).map(|i| ((i % 5) as f32) * 0.5).collect();
+        let c: Vec<f32> = (0..n * n).map(|i| ((i % 3) as f32) - 1.0).collect();
+        let (ab, bb, cb) = (
+            Buffer::from_slice(&a),
+            Buffer::from_slice(&b),
+            Buffer::from_slice(&c),
+        );
+        let tmp: Buffer<f32> = Buffer::zeros(n * n);
+        let out: Buffer<f32> = Buffer::zeros(n * n);
+        run_matmul_chain(&q, &ab, &bb, &cb, &tmp, &out, n);
+        // Reference: (A·B)·C at one position.
+        let mut ab_ref = vec![0.0f32; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                ab_ref[i * n + j] = (0..n).map(|k| a[i * n + k] * b[k * n + j]).sum();
+            }
+        }
+        let want: f32 = (0..n).map(|k| ab_ref[3 * n + k] * c[k * n + 4]).sum();
+        assert!((out.to_vec()[3 * n + 4] - want).abs() < 1e-2);
+    }
+
+    #[test]
+    fn segmented_reduction_sums_segments() {
+        let q = queue();
+        let data: Vec<f32> = (0..100).map(|i| i as f32).collect();
+        let db = Buffer::from_slice(&data);
+        let sums: Buffer<f32> = Buffer::zeros(4);
+        run_segmented_reduction(&q, &db, &sums, 25).wait();
+        let s = sums.to_vec();
+        assert_eq!(s[0], (0..25).sum::<i32>() as f32);
+        assert_eq!(s[3], (75..100).sum::<i32>() as f32);
+    }
+
+    #[test]
+    fn lin_reg_coeff_detects_perfect_correlation() {
+        let q = queue();
+        let xs: Vec<f32> = (0..64).map(|i| i as f32).collect();
+        let ys_pos: Vec<f32> = xs.iter().map(|&x| 2.0 * x + 1.0).collect();
+        let ys_neg: Vec<f32> = xs.iter().map(|&x| -x).collect();
+        for (ys, want) in [(ys_pos, 1.0f32), (ys_neg, -1.0)] {
+            let out: Buffer<f32> = Buffer::zeros(1);
+            run_lin_reg_coeff(
+                &q,
+                &Buffer::from_slice(&xs),
+                &Buffer::from_slice(&ys),
+                &out,
+                64,
+            )
+            .wait();
+            assert!((out.to_vec()[0] - want).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn nearest_neighbor_finds_closest() {
+        let q = queue();
+        let queries = Buffer::from_slice(&[0.0f32, 0.0, 10.0, 10.0]);
+        let refs = Buffer::from_slice(&[1.0f32, 0.0, 10.0, 11.0, -5.0, -5.0]);
+        let best: Buffer<f32> = Buffer::zeros(2);
+        run_nearest_neighbor(&q, &queries, &refs, &best).wait();
+        let b = best.to_vec();
+        assert!((b[0] - 1.0).abs() < 1e-5);
+        assert!((b[1] - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn geometric_mean_known_values() {
+        let q = queue();
+        let data = Buffer::from_slice(&[1.0f32, 4.0, 2.0, 8.0]);
+        let means: Buffer<f32> = Buffer::zeros(1);
+        run_geometric_mean(&q, &data, &means, 4).wait();
+        // (1·4·2·8)^(1/4) = 64^(1/4) = 2.828...
+        assert!((means.to_vec()[0] - 64f32.powf(0.25)).abs() < 1e-3);
+    }
+
+    #[test]
+    fn mersenne_twister_normals_are_standard() {
+        let q = queue();
+        let n = 1 << 16;
+        let out: Buffer<f32> = Buffer::zeros(n);
+        run_mersenne_twister(&q, 12345, &out).wait();
+        let v = out.to_vec();
+        let mean = v.iter().sum::<f32>() / n as f32;
+        let var = v.iter().map(|x| x * x).sum::<f32>() / n as f32 - mean * mean;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "variance {var}");
+        // Deterministic.
+        let out2: Buffer<f32> = Buffer::zeros(n);
+        run_mersenne_twister(&q, 12345, &out2).wait();
+        assert_eq!(v[..64], out2.to_vec()[..64]);
+    }
+
+    #[test]
+    fn hotspot_diffuses_heat() {
+        let q = queue();
+        let (w, h) = (16, 16);
+        let mut t0 = vec![0.0f32; w * h];
+        t0[8 * w + 8] = 100.0;
+        let tin = Buffer::from_slice(&t0);
+        let power: Buffer<f32> = Buffer::zeros(w * h);
+        let tout: Buffer<f32> = Buffer::zeros(w * h);
+        run_hotspot_step(&q, &tin, &power, &tout, w, h, 0.2).wait();
+        let v = tout.to_vec();
+        assert!(v[8 * w + 8] < 100.0, "peak must cool");
+        assert!(v[8 * w + 9] > 0.0, "neighbour must warm");
+        let total: f32 = v.iter().sum();
+        assert!((total - 100.0).abs() < 1e-3, "diffusion conserves heat");
+    }
+
+    #[test]
+    fn pathfinder_relaxation_matches_reference() {
+        let q = queue();
+        let prev = vec![5.0f32, 1.0, 7.0, 3.0];
+        let cost = vec![1.0f32, 1.0, 1.0, 1.0];
+        let pb = Buffer::from_slice(&prev);
+        let cb = Buffer::from_slice(&cost);
+        let nb: Buffer<f32> = Buffer::zeros(4);
+        run_pathfinder_row(&q, &pb, &cb, &nb).wait();
+        assert_eq!(nb.to_vec(), vec![2.0, 2.0, 2.0, 4.0]);
+    }
+
+    #[test]
+    fn mol_dyn_equilibrium_distance_has_zero_force() {
+        let q = queue();
+        // Two particles at the LJ minimum r = 2^(1/6) σ: force ≈ 0.
+        let sigma = 1.0f32;
+        let r_min = 2f32.powf(1.0 / 6.0) * sigma;
+        let pos = Buffer::from_slice(&[0.0f32, 0.0, r_min, 0.0]);
+        let force: Buffer<f32> = Buffer::zeros(4);
+        run_mol_dyn(&q, &pos, &force, 1.0, sigma).wait();
+        let f = force.to_vec();
+        assert!(f[0].abs() < 1e-3, "force at equilibrium: {}", f[0]);
+        // Closer than equilibrium: strong repulsion.
+        let pos2 = Buffer::from_slice(&[0.0f32, 0.0, 0.8, 0.0]);
+        let force2: Buffer<f32> = Buffer::zeros(4);
+        run_mol_dyn(&q, &pos2, &force2, 1.0, sigma).wait();
+        assert!(force2.to_vec()[0] < -1.0, "repulsion pushes body 0 to -x");
+    }
+}

@@ -1,0 +1,129 @@
+//! The benchmark suite: 23 kernels in the style of SYCL-Bench (the suite
+//! the paper evaluates on), each described by a calibrated IR and a default
+//! launch size.
+//!
+//! Calibration is *shape-level*: each kernel's arithmetic-intensity ratio
+//! `R = cycles·BW / (dram_bytes · lanes · f_max)` on the V100 model places
+//! it on the compute-bound (`R ≫ 1`) ↔ memory-bound (`R < 1`) spectrum so
+//! the paper's characterization findings reproduce (e.g. MatMul's flat
+//! Pareto front, Sobel3's wide speedup range, Figure 2's contrast between
+//! LinearRegression and MedianFilter).
+
+use crate::{datamining, image, linalg, physics};
+use synergy_kernel::KernelIr;
+
+/// Rough boundedness classification (used by tests and docs, not the model).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Boundedness {
+    /// Time limited by DRAM bandwidth at most frequencies.
+    MemoryBound,
+    /// Crossover inside the frequency range: both regimes visible.
+    Mixed,
+    /// Time limited by issue/compute at all frequencies.
+    ComputeBound,
+}
+
+/// One benchmark of the suite.
+#[derive(Debug, Clone)]
+pub struct Benchmark {
+    /// Suite-unique name (matches the kernel IR name).
+    pub name: &'static str,
+    /// One-line description.
+    pub description: &'static str,
+    /// The kernel IR at the default problem size.
+    pub ir: KernelIr,
+    /// Default number of work-items for characterization runs.
+    pub work_items: u64,
+    /// Expected boundedness on the V100 model.
+    pub bound: Boundedness,
+}
+
+/// All 23 benchmarks, in a stable order.
+pub fn suite() -> Vec<Benchmark> {
+    vec![
+        // linear algebra / BLAS-ish
+        linalg::vec_add(),
+        linalg::mat_mul(),
+        linalg::matmul_chain(),
+        linalg::lud(),
+        linalg::scalar_prod(),
+        linalg::segmented_reduction(),
+        // image processing
+        image::sobel3(),
+        image::sobel5(),
+        image::sobel7(),
+        image::median_filter(),
+        image::gaussian_blur(),
+        image::susan(),
+        // data mining / statistics
+        datamining::linear_regression(),
+        datamining::lin_reg_coeff(),
+        datamining::kmeans(),
+        datamining::nearest_neighbor(),
+        datamining::geometric_mean(),
+        datamining::mersenne_twister(),
+        // physics / finance
+        physics::mol_dyn(),
+        physics::nbody(),
+        physics::black_scholes(),
+        physics::hotspot(),
+        physics::pathfinder(),
+    ]
+}
+
+/// Look up a benchmark by name.
+pub fn by_name(name: &str) -> Option<Benchmark> {
+    suite().into_iter().find(|b| b.name == name)
+}
+
+/// The four benchmarks the paper characterizes in Figures 7 and 8.
+pub fn figure7_selection() -> Vec<Benchmark> {
+    ["mat_mul", "sobel3", "median_filter", "nbody"]
+        .iter()
+        .map(|n| by_name(n).expect("selection exists"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use synergy_kernel::extract;
+
+    #[test]
+    fn suite_has_23_unique_benchmarks() {
+        let s = suite();
+        assert_eq!(s.len(), 23);
+        let names: HashSet<_> = s.iter().map(|b| b.name).collect();
+        assert_eq!(names.len(), 23);
+    }
+
+    #[test]
+    fn ir_names_match_benchmark_names() {
+        for b in suite() {
+            assert_eq!(b.ir.name, b.name);
+        }
+    }
+
+    #[test]
+    fn all_features_valid_and_nonempty() {
+        for b in suite() {
+            let info = extract(&b.ir);
+            assert!(info.features.is_valid(), "{}", b.name);
+            assert!(info.features.total() > 0.0, "{}", b.name);
+            assert!(b.work_items > 0, "{}", b.name);
+        }
+    }
+
+    #[test]
+    fn figure7_selection_present() {
+        let sel = figure7_selection();
+        assert_eq!(sel.len(), 4);
+        assert_eq!(sel[0].name, "mat_mul");
+    }
+
+    #[test]
+    fn by_name_misses_gracefully() {
+        assert!(by_name("not_a_benchmark").is_none());
+    }
+}

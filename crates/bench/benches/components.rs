@@ -1,0 +1,68 @@
+//! Component micro-benchmarks: throughput of the building blocks the
+//! methodology leans on — feature extraction, the device model, Pareto
+//! fronts, target selection, and model inference.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use synergy_bench::DeviceContext;
+use synergy_kernel::extract;
+use synergy_metrics::{pareto_front, search_optimal, EnergyTarget, MetricPoint};
+use synergy_rt::{measured_sweep, predict_sweep};
+use synergy_sim::{evaluate, ClockConfig, DeviceSpec, Workload};
+
+fn bench_extraction(c: &mut Criterion) {
+    let irs: Vec<_> = synergy_apps::suite().into_iter().map(|b| b.ir).collect();
+    c.bench_function("extract_23_benchmarks", |b| {
+        b.iter(|| {
+            for ir in &irs {
+                black_box(extract(ir));
+            }
+        })
+    });
+}
+
+fn bench_device_model(c: &mut Criterion) {
+    let spec = DeviceSpec::v100();
+    let info = extract(&synergy_apps::by_name("mat_mul").unwrap().ir);
+    let wl = Workload::from_static(&info, 1 << 20);
+    c.bench_function("model_evaluate", |b| {
+        b.iter(|| black_box(evaluate(&spec, &wl, ClockConfig::new(877, 1086))))
+    });
+    c.bench_function("measured_sweep_196", |b| {
+        let ir = synergy_apps::by_name("mat_mul").unwrap().ir;
+        b.iter(|| black_box(measured_sweep(&spec, &ir, 1 << 20)))
+    });
+}
+
+fn bench_pareto_and_selection(c: &mut Criterion) {
+    let spec = DeviceSpec::v100();
+    let sweep: Vec<MetricPoint> =
+        measured_sweep(&spec, &synergy_apps::by_name("sobel3").unwrap().ir, 1 << 20);
+    c.bench_function("pareto_front_196", |b| {
+        b.iter(|| black_box(pareto_front(&sweep)))
+    });
+    c.bench_function("target_search_all_10", |b| {
+        b.iter(|| {
+            for &t in &EnergyTarget::PAPER_SET {
+                black_box(search_optimal(t, &sweep, spec.baseline_clocks()));
+            }
+        })
+    });
+}
+
+fn bench_prediction(c: &mut Criterion) {
+    let ctx = DeviceContext::v100();
+    let ir = synergy_apps::by_name("black_scholes").unwrap().ir;
+    c.bench_function("predict_sweep_196", |b| {
+        b.iter(|| black_box(predict_sweep(&ctx.spec, &ctx.models, &ir)))
+    });
+}
+
+criterion_group!(
+    components,
+    bench_extraction,
+    bench_device_model,
+    bench_pareto_and_selection,
+    bench_prediction
+);
+criterion_main!(components);

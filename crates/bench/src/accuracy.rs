@@ -1,0 +1,137 @@
+//! The prediction-accuracy study behind Figure 9 and Table 2.
+//!
+//! For every ML algorithm, the four single-target models are trained on the
+//! micro-benchmark sweep; for every benchmark of the 23-kernel suite and
+//! every user objective, the predicted sweep is searched for the optimal
+//! frequency, and the error is computed the paper's way: the objective
+//! value *measured* at the predicted frequency versus the objective value
+//! measured at the true optimal frequency (APE per benchmark, MAPE and
+//! RMSE across the suite).
+
+use serde::Serialize;
+use synergy_apps::suite;
+use synergy_metrics::{
+    objective_value, point_at, search_optimal, EnergyTarget, MetricPoint,
+};
+use synergy_ml::{Algorithm, ModelSelection};
+use synergy_rt::{measured_sweep, predict_sweep, train_device_models};
+use synergy_sim::DeviceSpec;
+
+/// One (algorithm, objective, benchmark) accuracy observation.
+#[derive(Debug, Clone, Serialize)]
+pub struct AccuracyRecord {
+    /// The ML algorithm that produced the prediction.
+    pub algorithm: String,
+    /// The user objective.
+    pub target: String,
+    /// The benchmark evaluated.
+    pub benchmark: String,
+    /// Absolute percentage error of the objective at the predicted vs
+    /// actual optimal frequency.
+    pub ape: f64,
+    /// Objective value at the measured optimum.
+    pub actual_objective: f64,
+    /// Objective value measured at the predicted frequency.
+    pub predicted_objective: f64,
+    /// Predicted optimal core clock.
+    pub predicted_core_mhz: u32,
+    /// Measured optimal core clock.
+    pub actual_core_mhz: u32,
+}
+
+/// Summary per (algorithm, objective): the Table-2 cells.
+#[derive(Debug, Clone, Serialize)]
+pub struct AccuracySummary {
+    /// Algorithm.
+    pub algorithm: String,
+    /// Objective.
+    pub target: String,
+    /// Mean absolute percentage error across the suite.
+    pub mape: f64,
+    /// Root-mean-square error of the objective values.
+    pub rmse: f64,
+}
+
+/// Run the full study on one device. Deterministic given `seed`.
+pub fn run_accuracy_study(
+    spec: &DeviceSpec,
+    seed: u64,
+    train_stride: usize,
+) -> (Vec<AccuracyRecord>, Vec<AccuracySummary>) {
+    let micro = crate::microbench_suite();
+    let benches = suite();
+    let baseline = spec.baseline_clocks();
+
+    // Measured ground truth per benchmark (shared by all algorithms).
+    let measured: Vec<(String, Vec<MetricPoint>)> = benches
+        .iter()
+        .map(|b| (b.name.to_string(), measured_sweep(spec, &b.ir, b.work_items)))
+        .collect();
+
+    let mut records = Vec::new();
+    for algo in Algorithm::ALL {
+        let models = train_device_models(
+            spec,
+            &micro,
+            ModelSelection::uniform(algo),
+            train_stride,
+            seed,
+        );
+        for (bench, meas) in benches.iter().zip(&measured) {
+            let predicted = predict_sweep(spec, &models, &bench.ir);
+            for &target in &EnergyTarget::PAPER_SET {
+                let pred_opt = search_optimal(target, &predicted, baseline)
+                    .expect("non-empty sweep");
+                let actual_opt =
+                    search_optimal(target, &meas.1, baseline).expect("non-empty sweep");
+                let at_pred = point_at(&meas.1, pred_opt.clocks).expect("clock in sweep");
+                let actual = objective_value(target, &actual_opt);
+                let predicted_obj = objective_value(target, &at_pred);
+                let ape = if actual == 0.0 {
+                    0.0
+                } else {
+                    ((predicted_obj - actual) / actual).abs()
+                };
+                records.push(AccuracyRecord {
+                    algorithm: algo.to_string(),
+                    target: target.to_string(),
+                    benchmark: bench.name.to_string(),
+                    ape,
+                    actual_objective: actual,
+                    predicted_objective: predicted_obj,
+                    predicted_core_mhz: pred_opt.clocks.core_mhz,
+                    actual_core_mhz: actual_opt.clocks.core_mhz,
+                });
+            }
+        }
+    }
+
+    let mut summaries = Vec::new();
+    for algo in Algorithm::ALL {
+        for &target in &EnergyTarget::PAPER_SET {
+            let rows: Vec<&AccuracyRecord> = records
+                .iter()
+                .filter(|r| r.algorithm == algo.to_string() && r.target == target.to_string())
+                .collect();
+            let actual: Vec<f64> = rows.iter().map(|r| r.actual_objective).collect();
+            let predicted: Vec<f64> = rows.iter().map(|r| r.predicted_objective).collect();
+            summaries.push(AccuracySummary {
+                algorithm: algo.to_string(),
+                target: target.to_string(),
+                mape: rows.iter().map(|r| r.ape).sum::<f64>() / rows.len() as f64,
+                rmse: synergy_ml::rmse(&actual, &predicted),
+            });
+        }
+    }
+    (records, summaries)
+}
+
+/// The algorithm with the lowest MAPE for a target.
+pub fn best_algorithm(summaries: &[AccuracySummary], target: EnergyTarget) -> String {
+    summaries
+        .iter()
+        .filter(|s| s.target == target.to_string())
+        .min_by(|a, b| a.mape.total_cmp(&b.mape))
+        .map(|s| s.algorithm.clone())
+        .expect("summaries cover every target")
+}

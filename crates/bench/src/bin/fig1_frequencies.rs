@@ -1,0 +1,53 @@
+//! Figure 1: available core and memory frequencies for NVIDIA V100,
+//! NVIDIA A100 and AMD MI100.
+
+use serde::Serialize;
+use synergy_bench::{print_table, write_artifact};
+use synergy_sim::DeviceSpec;
+
+#[derive(Serialize)]
+struct DeviceFrequencies {
+    device: String,
+    mem_mhz: Vec<u32>,
+    core_count: usize,
+    core_min_mhz: u32,
+    core_max_mhz: u32,
+    default_core_mhz: Option<u32>,
+    core_mhz: Vec<u32>,
+}
+
+fn main() {
+    println!("Figure 1 — available frequencies per device\n");
+    let specs = [DeviceSpec::v100(), DeviceSpec::a100(), DeviceSpec::mi100()];
+    let mut rows = Vec::new();
+    let mut artifacts = Vec::new();
+    for spec in &specs {
+        let t = &spec.freq_table;
+        rows.push(vec![
+            spec.name.clone(),
+            format!("{:?}", t.mem_mhz),
+            t.core_mhz.len().to_string(),
+            format!("{}..{}", t.min_core(), t.max_core()),
+            spec.default_clocks
+                .map_or("auto".to_string(), |c| c.core_mhz.to_string()),
+        ]);
+        artifacts.push(DeviceFrequencies {
+            device: spec.name.clone(),
+            mem_mhz: t.mem_mhz.clone(),
+            core_count: t.core_mhz.len(),
+            core_min_mhz: t.min_core(),
+            core_max_mhz: t.max_core(),
+            default_core_mhz: spec.default_clocks.map(|c| c.core_mhz),
+            core_mhz: t.core_mhz.clone(),
+        });
+    }
+    print_table(
+        &["device", "mem MHz", "#core cfgs", "core range MHz", "default"],
+        &rows,
+    );
+    println!(
+        "\nPaper: V100 196 cfgs 135-1530 @877; A100 81 cfgs 210-1410 @1215; \
+         MI100 16 cfgs 300-1502 @1200 (no default)."
+    );
+    write_artifact("fig1_frequencies", &artifacts);
+}

@@ -1,0 +1,76 @@
+//! Figure 4: Black-Scholes EDP and ED2P versus core frequency on V100,
+//! with the minima marked. The expected shape: the ED2P minimum sits close
+//! to the maximum-performance frequency; the EDP minimum lies between the
+//! minimum-energy point and maximum performance.
+
+use serde::Serialize;
+use synergy_apps::by_name;
+use synergy_bench::{characterize, print_table, write_artifact};
+use synergy_metrics::{search_optimal, EnergyTarget};
+use synergy_sim::DeviceSpec;
+
+#[derive(Serialize)]
+struct EdpCurvePoint {
+    core_mhz: u32,
+    time_s: f64,
+    energy_j: f64,
+    edp: f64,
+    ed2p: f64,
+}
+
+#[derive(Serialize)]
+struct Figure4 {
+    min_edp_core_mhz: u32,
+    min_ed2p_core_mhz: u32,
+    min_energy_core_mhz: u32,
+    max_perf_core_mhz: u32,
+    curve: Vec<EdpCurvePoint>,
+}
+
+fn main() {
+    println!("Figure 4 — Black-Scholes EDP / ED2P vs core frequency (V100)\n");
+    let spec = DeviceSpec::v100();
+    let bench = by_name("black_scholes").expect("benchmark exists");
+    let sweep = characterize(&spec, &bench);
+    let base = spec.baseline_clocks();
+
+    let pick = |t: EnergyTarget| search_optimal(t, &sweep, base).unwrap().clocks.core_mhz;
+    let fig = Figure4 {
+        min_edp_core_mhz: pick(EnergyTarget::MinEdp),
+        min_ed2p_core_mhz: pick(EnergyTarget::MinEd2p),
+        min_energy_core_mhz: pick(EnergyTarget::MinEnergy),
+        max_perf_core_mhz: pick(EnergyTarget::MaxPerf),
+        curve: sweep
+            .iter()
+            .map(|p| EdpCurvePoint {
+                core_mhz: p.clocks.core_mhz,
+                time_s: p.time_s,
+                energy_j: p.energy_j,
+                edp: p.edp(),
+                ed2p: p.ed2p(),
+            })
+            .collect(),
+    };
+
+    print_table(
+        &["marker", "core MHz"],
+        &[
+            vec!["MIN_ENERGY".into(), fig.min_energy_core_mhz.to_string()],
+            vec!["MIN_EDP".into(), fig.min_edp_core_mhz.to_string()],
+            vec!["MIN_ED2P".into(), fig.min_ed2p_core_mhz.to_string()],
+            vec!["MAX_PERF".into(), fig.max_perf_core_mhz.to_string()],
+        ],
+    );
+
+    assert!(
+        fig.min_energy_core_mhz <= fig.min_edp_core_mhz
+            && fig.min_edp_core_mhz <= fig.min_ed2p_core_mhz
+            && fig.min_ed2p_core_mhz <= fig.max_perf_core_mhz,
+        "expected MIN_ENERGY <= MIN_EDP <= MIN_ED2P <= MAX_PERF ordering"
+    );
+    println!(
+        "\nShape check passed: MIN_ENERGY <= MIN_EDP <= MIN_ED2P <= MAX_PERF, \
+         with ED2P close to maximum performance (paper Section 5.1)."
+    );
+    write_artifact("fig4_blackscholes_edp", &fig);
+}

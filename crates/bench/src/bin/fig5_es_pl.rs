@@ -1,0 +1,83 @@
+//! Figure 5: the ES_x and PL_x markers on the Black-Scholes energy and
+//! time curves (V100). ES_25/50/75 step down the energy axis between the
+//! default configuration and the minimum-energy configuration; PL_25/50/75
+//! step along the time axis over the same interval.
+
+use serde::Serialize;
+use synergy_apps::by_name;
+use synergy_bench::{characterize, print_table, write_artifact};
+use synergy_metrics::{point_at, search_optimal, EnergyTarget};
+use synergy_sim::DeviceSpec;
+
+#[derive(Serialize)]
+struct TargetMarker {
+    target: String,
+    core_mhz: u32,
+    time_s: f64,
+    energy_j: f64,
+    energy_saving_pct: f64,
+    perf_loss_pct: f64,
+}
+
+fn main() {
+    println!("Figure 5 — ES_x and PL_x markers for Black-Scholes (V100)\n");
+    let spec = DeviceSpec::v100();
+    let bench = by_name("black_scholes").expect("benchmark exists");
+    let sweep = characterize(&spec, &bench);
+    let base_clocks = spec.baseline_clocks();
+    let base = point_at(&sweep, base_clocks).unwrap();
+
+    let targets = [
+        EnergyTarget::EnergySaving(25),
+        EnergyTarget::EnergySaving(50),
+        EnergyTarget::EnergySaving(75),
+        EnergyTarget::EnergySaving(100),
+        EnergyTarget::PerfLoss(25),
+        EnergyTarget::PerfLoss(50),
+        EnergyTarget::PerfLoss(75),
+        EnergyTarget::PerfLoss(100),
+    ];
+    let markers: Vec<TargetMarker> = targets
+        .iter()
+        .map(|&t| {
+            let p = search_optimal(t, &sweep, base_clocks).unwrap();
+            TargetMarker {
+                target: t.to_string(),
+                core_mhz: p.clocks.core_mhz,
+                time_s: p.time_s,
+                energy_j: p.energy_j,
+                energy_saving_pct: (1.0 - p.energy_j / base.energy_j) * 100.0,
+                perf_loss_pct: (p.time_s / base.time_s - 1.0) * 100.0,
+            }
+        })
+        .collect();
+
+    let rows: Vec<Vec<String>> = markers
+        .iter()
+        .map(|m| {
+            vec![
+                m.target.clone(),
+                m.core_mhz.to_string(),
+                format!("{:+.1}%", m.energy_saving_pct),
+                format!("{:+.1}%", m.perf_loss_pct),
+            ]
+        })
+        .collect();
+    print_table(&["target", "core MHz", "energy saved", "perf loss"], &rows);
+
+    // Shape checks: ES savings grow with x; PL losses grow with x.
+    for w in markers[..4].windows(2) {
+        assert!(
+            w[1].energy_saving_pct >= w[0].energy_saving_pct - 1e-9,
+            "ES savings must be monotone"
+        );
+    }
+    for w in markers[4..].windows(2) {
+        assert!(
+            w[1].perf_loss_pct >= w[0].perf_loss_pct - 1e-9,
+            "PL losses must be monotone"
+        );
+    }
+    println!("\nShape check passed: ES savings and PL losses are monotone in x.");
+    write_artifact("fig5_es_pl", &markers);
+}

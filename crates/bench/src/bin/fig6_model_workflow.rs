@@ -1,0 +1,75 @@
+//! Figure 6 (and Table 1): the machine-learning modeling workflow,
+//! end-to-end — micro-benchmark generation, feature extraction, training
+//! of the four single-target models, prediction for a new workload, and
+//! the frequency search for each user target.
+
+use serde::Serialize;
+use synergy_apps::by_name;
+use synergy_bench::{microbench_suite, print_table, write_artifact, DeviceContext, TRAIN_STRIDE};
+use synergy_kernel::{extract, FeatureClass};
+use synergy_metrics::{search_optimal, EnergyTarget};
+use synergy_rt::{build_training_set, predict_sweep};
+
+#[derive(Serialize)]
+struct WorkflowReport {
+    microbenchmarks: usize,
+    training_rows: usize,
+    example_kernel: String,
+    example_features: Vec<(String, f64)>,
+    decisions: Vec<(String, u32)>,
+}
+
+fn main() {
+    println!("Figure 6 — modeling workflow (train → predict → search)\n");
+    let ctx = DeviceContext::v100();
+    let suite = microbench_suite();
+    let training_rows = build_training_set(&ctx.spec, &suite, TRAIN_STRIDE).len();
+    println!(
+        "① generated {} micro-benchmarks; ② swept every {}th of {} core clocks → {} training rows; ③ trained time/energy/EDP/ED2P models",
+        suite.len(),
+        TRAIN_STRIDE,
+        ctx.spec.freq_table.core_mhz.len(),
+        training_rows
+    );
+
+    // ④ extract static features of a new workload (Table 1).
+    let bench = by_name("black_scholes").expect("benchmark exists");
+    let info = extract(&bench.ir);
+    println!("\n④ static features of `{}` (Table 1):", bench.name);
+    let feature_rows: Vec<Vec<String>> = FeatureClass::ALL
+        .iter()
+        .map(|&c| vec![format!("k_{}", c.name()), format!("{:.1}", info.features[c])])
+        .collect();
+    print_table(&["feature", "per work-item"], &feature_rows);
+
+    // ⑤ predict the metric sweep; ⑥ search per target.
+    let sweep = predict_sweep(&ctx.spec, &ctx.models, &bench.ir);
+    let base = ctx.spec.baseline_clocks();
+    let decisions: Vec<(String, u32)> = EnergyTarget::PAPER_SET
+        .iter()
+        .map(|&t| {
+            let p = search_optimal(t, &sweep, base).unwrap();
+            (t.to_string(), p.clocks.core_mhz)
+        })
+        .collect();
+    println!("\n⑤/⑥ predicted optimal frequency per target:");
+    let rows: Vec<Vec<String>> = decisions
+        .iter()
+        .map(|(t, f)| vec![t.clone(), f.to_string()])
+        .collect();
+    print_table(&["target", "core MHz"], &rows);
+
+    write_artifact(
+        "fig6_model_workflow",
+        &WorkflowReport {
+            microbenchmarks: suite.len(),
+            training_rows,
+            example_kernel: bench.name.to_string(),
+            example_features: FeatureClass::ALL
+                .iter()
+                .map(|&c| (c.name().to_string(), info.features[c]))
+                .collect(),
+            decisions,
+        },
+    );
+}

@@ -1,0 +1,75 @@
+//! Figure 8: the same four benchmarks characterized on AMD MI100.
+//!
+//! Shape target from the paper: on MI100 the default configuration (the
+//! auto-boost maximum) always delivers the best performance, so every
+//! Pareto-front speedup tops out at 1.0.
+
+use serde::Serialize;
+use synergy_bench::{
+    characterization_points, characterize, print_table, write_artifact, CharacterizationPoint,
+};
+use synergy_apps::figure7_selection;
+use synergy_sim::DeviceSpec;
+
+#[derive(Serialize)]
+struct Mi100Characterization {
+    kernel: String,
+    front_speedup_max: f64,
+    max_energy_saving_pct: f64,
+    configurations: usize,
+    points: Vec<CharacterizationPoint>,
+}
+
+fn main() {
+    println!("Figure 8 — benchmark characterization on AMD MI100\n");
+    let spec = DeviceSpec::mi100();
+    let mut results = Vec::new();
+    for bench in figure7_selection() {
+        let sweep = characterize(&spec, &bench);
+        let pts = characterization_points(&spec, &sweep);
+        let front_max = pts
+            .iter()
+            .filter(|p| p.pareto)
+            .map(|p| p.speedup)
+            .fold(f64::MIN, f64::max);
+        let min_e = pts
+            .iter()
+            .map(|p| p.normalized_energy)
+            .fold(f64::INFINITY, f64::min);
+        results.push(Mi100Characterization {
+            kernel: bench.name.to_string(),
+            front_speedup_max: front_max,
+            max_energy_saving_pct: (1.0 - min_e) * 100.0,
+            configurations: pts.len(),
+            points: pts,
+        });
+    }
+    let rows: Vec<Vec<String>> = results
+        .iter()
+        .map(|r| {
+            vec![
+                r.kernel.clone(),
+                format!("{:.3}", r.front_speedup_max),
+                format!("{:.1}%", r.max_energy_saving_pct),
+                r.configurations.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        &["kernel", "best front speedup", "max saving", "#configs"],
+        &rows,
+    );
+    for r in &results {
+        assert!(
+            r.front_speedup_max <= 1.0 + 1e-9,
+            "{}: MI100 default must be fastest",
+            r.kernel
+        );
+        assert_eq!(r.configurations, 16, "MI100 exposes 16 configurations");
+    }
+    println!(
+        "\nShape check passed: the MI100 default (auto max) is the fastest \
+         configuration for every benchmark (paper Section 8.2)."
+    );
+    write_artifact("fig8_mi100_characterization", &results);
+}

@@ -1,0 +1,60 @@
+//! Figure 9: absolute percentage error of the predicted optimal frequency
+//! per benchmark, per ML algorithm, per objective.
+//!
+//! Expected shapes (Section 8.3): many zero-APE cells for MAX_PERF
+//! (predicted frequency equals the actual optimum); Linear best on the
+//! performance-flavoured objectives, Random Forest best on the
+//! energy-flavoured ones.
+
+use synergy_bench::accuracy::run_accuracy_study;
+use synergy_bench::{print_table, write_artifact, EXPERIMENT_SEED, TRAIN_STRIDE};
+use synergy_ml::Algorithm;
+use synergy_sim::DeviceSpec;
+
+fn main() {
+    println!("Figure 9 — per-benchmark frequency-prediction APE (V100)\n");
+    let spec = DeviceSpec::v100();
+    let (records, _summaries) = run_accuracy_study(&spec, EXPERIMENT_SEED, TRAIN_STRIDE);
+
+    // One printed panel per headline objective (the paper's subfigures).
+    for objective in ["MAX_PERF", "MIN_ENERGY", "MIN_EDP", "MIN_ED2P"] {
+        println!("\n--- objective {objective} (APE, %) ---");
+        let benches: Vec<String> = records
+            .iter()
+            .filter(|r| r.algorithm == "Linear" && r.target == objective)
+            .map(|r| r.benchmark.clone())
+            .collect();
+        let rows: Vec<Vec<String>> = benches
+            .iter()
+            .map(|b| {
+                let mut row = vec![b.clone()];
+                for algo in Algorithm::ALL {
+                    let ape = records
+                        .iter()
+                        .find(|r| {
+                            r.benchmark == *b
+                                && r.algorithm == algo.to_string()
+                                && r.target == objective
+                        })
+                        .map(|r| r.ape * 100.0)
+                        .unwrap_or(f64::NAN);
+                    row.push(format!("{ape:.2}"));
+                }
+                row
+            })
+            .collect();
+        print_table(&["benchmark", "Linear", "Lasso", "RandomForest", "SVR_RBF"], &rows);
+    }
+
+    let zero_maxperf = records
+        .iter()
+        .filter(|r| r.target == "MAX_PERF" && r.ape == 0.0)
+        .count();
+    println!(
+        "\n{} of {} MAX_PERF cells have zero APE (predicted frequency == \
+         actual optimum), matching the paper's Figure 9a observation.",
+        zero_maxperf,
+        records.iter().filter(|r| r.target == "MAX_PERF").count()
+    );
+    write_artifact("fig9_prediction_ape", &records);
+}

@@ -1,0 +1,137 @@
+//! Model-sensitivity ablation: how the headline characterization results
+//! respond to the simulator's free parameters (the DVFS knee position, the
+//! stall-activity share, the compute/memory overlap residual). This
+//! documents which conclusions are robust to calibration and which are
+//! knob-driven.
+
+use serde::Serialize;
+use synergy_apps::by_name;
+use synergy_bench::{print_table, write_artifact};
+use synergy_metrics::{is_pareto_optimal, point_at, MetricPoint};
+use synergy_rt::measured_sweep;
+use synergy_sim::{DeviceSpec, VfCurve};
+
+#[derive(Serialize)]
+struct SensitivityRow {
+    parameter: String,
+    value: f64,
+    matmul_saving_5pct: f64,
+    sobel3_front_low_speedup: f64,
+    sobel3_max_saving: f64,
+}
+
+fn characterize(spec: &DeviceSpec) -> (f64, f64, f64) {
+    let matmul = by_name("mat_mul").unwrap();
+    let sobel = by_name("sobel3").unwrap();
+    let base = spec.baseline_clocks();
+
+    let mm = measured_sweep(spec, &matmul.ir, matmul.work_items);
+    let mm_base = point_at(&mm, base).unwrap();
+    let saving_5pct = mm
+        .iter()
+        .filter(|p| p.time_s <= mm_base.time_s * 1.05)
+        .map(|p| 1.0 - p.energy_j / mm_base.energy_j)
+        .fold(f64::NEG_INFINITY, f64::max);
+
+    let so = measured_sweep(spec, &sobel.ir, sobel.work_items);
+    let so_base = point_at(&so, base).unwrap();
+    let front: Vec<&MetricPoint> = so.iter().filter(|p| is_pareto_optimal(p, &so)).collect();
+    let low_speedup = front
+        .iter()
+        .map(|p| so_base.time_s / p.time_s)
+        .fold(f64::INFINITY, f64::min);
+    let max_saving = so
+        .iter()
+        .map(|p| 1.0 - p.energy_j / so_base.energy_j)
+        .fold(f64::NEG_INFINITY, f64::max);
+    (saving_5pct, low_speedup, max_saving)
+}
+
+fn main() {
+    println!("Sensitivity analysis — simulator parameters vs headline shapes\n");
+    let mut rows = Vec::new();
+
+    // Knee position.
+    for knee in [800.0f64, 1000.0, 1200.0] {
+        let mut spec = DeviceSpec::v100();
+        spec.vf = VfCurve::knee(135.0, knee, 1530.0, 0.712);
+        let (a, b, c) = characterize(&spec);
+        rows.push(SensitivityRow {
+            parameter: "vf_knee_mhz".into(),
+            value: knee,
+            matmul_saving_5pct: a,
+            sobel3_front_low_speedup: b,
+            sobel3_max_saving: c,
+        });
+    }
+    // Stall activity.
+    for stall in [0.0f64, 0.2, 0.4, 0.6] {
+        let mut spec = DeviceSpec::v100();
+        spec.stall_activity = stall;
+        let (a, b, c) = characterize(&spec);
+        rows.push(SensitivityRow {
+            parameter: "stall_activity".into(),
+            value: stall,
+            matmul_saving_5pct: a,
+            sobel3_front_low_speedup: b,
+            sobel3_max_saving: c,
+        });
+    }
+    // Overlap residual.
+    for rho in [0.0f64, 0.15, 0.3] {
+        let mut spec = DeviceSpec::v100();
+        spec.overlap_residual = rho;
+        let (a, b, c) = characterize(&spec);
+        rows.push(SensitivityRow {
+            parameter: "overlap_residual".into(),
+            value: rho,
+            matmul_saving_5pct: a,
+            sobel3_front_low_speedup: b,
+            sobel3_max_saving: c,
+        });
+    }
+
+    print_table(
+        &[
+            "parameter",
+            "value",
+            "matmul saving@5%",
+            "sobel3 front low",
+            "sobel3 max saving",
+        ],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.parameter.clone(),
+                    format!("{:.2}", r.value),
+                    format!("{:.1}%", r.matmul_saving_5pct * 100.0),
+                    format!("{:.3}", r.sobel3_front_low_speedup),
+                    format!("{:.1}%", r.sobel3_max_saving * 100.0),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+
+    // Robustness assertions: the qualitative findings must survive every
+    // parameter setting we swept.
+    for r in &rows {
+        assert!(
+            r.matmul_saving_5pct > 0.10,
+            "{}={}: matmul must keep double-digit cheap savings",
+            r.parameter,
+            r.value
+        );
+        assert!(
+            r.sobel3_front_low_speedup < 0.95,
+            "{}={}: sobel3 front must stay wide",
+            r.parameter,
+            r.value
+        );
+    }
+    println!(
+        "\nRobustness check passed: the paper's qualitative contrasts survive \
+         every parameter setting; magnitudes shift with the knee position."
+    );
+    write_artifact("sensitivity_analysis", &rows);
+}

@@ -1,0 +1,171 @@
+//! # synergy-bench
+//!
+//! The experiment harness: shared context (trained models, characterization
+//! sweeps) and output helpers used by the per-figure/table binaries in
+//! `src/bin/` and the Criterion ablations in `benches/`.
+//!
+//! Every binary prints a human-readable table to stdout and writes a JSON
+//! artifact under `experiments/` so EXPERIMENTS.md can cite exact numbers.
+
+#![warn(missing_docs)]
+
+pub mod accuracy;
+
+use serde::Serialize;
+use std::fs;
+use std::path::PathBuf;
+use synergy_apps::Benchmark;
+use synergy_kernel::{generate_microbench, MicroBenchConfig, MicroBenchmark};
+use synergy_metrics::MetricPoint;
+use synergy_ml::{MetricModels, ModelSelection};
+use synergy_rt::{measured_sweep, train_device_models};
+use synergy_sim::DeviceSpec;
+
+/// Deterministic seed used by every experiment.
+pub const EXPERIMENT_SEED: u64 = 2023;
+
+/// Micro-benchmark generator seed.
+pub const MICROBENCH_SEED: u64 = 42;
+
+/// Frequency stride used when building training sets (full sweeps are
+/// reserved for evaluation).
+pub const TRAIN_STRIDE: usize = 8;
+
+/// The micro-benchmark suite used to train models (Section 6.1).
+pub fn microbench_suite() -> Vec<MicroBenchmark> {
+    generate_microbench(MICROBENCH_SEED, &MicroBenchConfig::default())
+}
+
+/// A device plus its trained metric models.
+pub struct DeviceContext {
+    /// The device model.
+    pub spec: DeviceSpec,
+    /// The four trained single-target models.
+    pub models: MetricModels,
+}
+
+impl DeviceContext {
+    /// Train the paper-best model selection for a device.
+    pub fn new(spec: DeviceSpec, seed: u64) -> DeviceContext {
+        let suite = microbench_suite();
+        let models =
+            train_device_models(&spec, &suite, ModelSelection::paper_best(), TRAIN_STRIDE, seed);
+        DeviceContext { spec, models }
+    }
+
+    /// V100 context.
+    pub fn v100() -> DeviceContext {
+        DeviceContext::new(DeviceSpec::v100(), EXPERIMENT_SEED)
+    }
+
+    /// MI100 context.
+    pub fn mi100() -> DeviceContext {
+        DeviceContext::new(DeviceSpec::mi100(), EXPERIMENT_SEED)
+    }
+}
+
+/// Measured characterization sweep of one benchmark on a device.
+pub fn characterize(spec: &DeviceSpec, bench: &Benchmark) -> Vec<MetricPoint> {
+    measured_sweep(spec, &bench.ir, bench.work_items)
+}
+
+/// A characterization row: one frequency point, normalized to the default
+/// configuration as in the paper's Figures 2, 7 and 8.
+#[derive(Debug, Clone, Serialize)]
+pub struct CharacterizationPoint {
+    /// Core clock in MHz.
+    pub core_mhz: u32,
+    /// Speedup vs the default configuration (x-axis).
+    pub speedup: f64,
+    /// Normalized energy vs the default configuration (y-axis).
+    pub normalized_energy: f64,
+    /// Whether the point lies on the Pareto front.
+    pub pareto: bool,
+}
+
+/// Normalize a sweep against its default-clock point and mark the front.
+pub fn characterization_points(
+    spec: &DeviceSpec,
+    sweep: &[MetricPoint],
+) -> Vec<CharacterizationPoint> {
+    let baseline = synergy_metrics::point_at(sweep, spec.baseline_clocks())
+        .expect("baseline in sweep");
+    sweep
+        .iter()
+        .map(|p| CharacterizationPoint {
+            core_mhz: p.clocks.core_mhz,
+            speedup: p.speedup_vs(&baseline),
+            normalized_energy: p.normalized_energy_vs(&baseline),
+            pareto: synergy_metrics::is_pareto_optimal(p, sweep),
+        })
+        .collect()
+}
+
+/// Where JSON artifacts land (`experiments/` at the workspace root).
+pub fn artifact_dir() -> PathBuf {
+    let mut dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    dir.pop(); // crates/
+    dir.pop(); // workspace root
+    dir.push("experiments");
+    dir
+}
+
+/// Write one experiment artifact as pretty JSON and announce it.
+pub fn write_artifact<T: Serialize>(name: &str, value: &T) {
+    let dir = artifact_dir();
+    fs::create_dir_all(&dir).expect("create experiments dir");
+    let path = dir.join(format!("{name}.json"));
+    let json = serde_json::to_string_pretty(value).expect("serialize artifact");
+    fs::write(&path, json).expect("write artifact");
+    println!("\n[artifact] {}", path.display());
+}
+
+/// Render a simple aligned text table.
+pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let line = |cells: Vec<String>| {
+        cells
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!("{c:>w$}"))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    println!("{}", line(headers.iter().map(|s| s.to_string()).collect()));
+    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+    for row in rows {
+        println!("{}", line(row.clone()));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use synergy_apps::by_name;
+
+    #[test]
+    fn characterization_contains_baseline_at_unity() {
+        let spec = DeviceSpec::v100();
+        let bench = by_name("vec_add").unwrap();
+        let sweep = characterize(&spec, &bench);
+        let pts = characterization_points(&spec, &sweep);
+        let base = pts
+            .iter()
+            .find(|p| p.core_mhz == spec.baseline_clocks().core_mhz)
+            .unwrap();
+        assert!((base.speedup - 1.0).abs() < 1e-12);
+        assert!((base.normalized_energy - 1.0).abs() < 1e-12);
+        assert!(pts.iter().any(|p| p.pareto));
+    }
+
+    #[test]
+    fn artifact_dir_is_workspace_experiments() {
+        let d = artifact_dir();
+        assert!(d.ends_with("experiments"));
+    }
+}

@@ -1,0 +1,246 @@
+//! Subcommand implementations. Every function writes to a generic
+//! `io::Write` sink so tests can capture output.
+
+use crate::{device_by_key, UsageError};
+use std::io::Write;
+use synergy_kernel::{generate_microbench, MicroBenchConfig};
+use synergy_metrics::{pareto_front, point_at, search_optimal, EnergyTarget};
+use synergy_ml::ModelSelection;
+use synergy_rt::{compile_application, measured_sweep, train_device_models, TargetRegistry};
+
+/// `synergy devices`
+pub fn devices(out: &mut dyn Write) -> std::io::Result<()> {
+    writeln!(out, "{:<16} {:>10} {:>12} {:>16} {:>9}", "device", "mem MHz", "#core cfgs", "core range MHz", "default")?;
+    for spec in [
+        synergy_sim::DeviceSpec::v100(),
+        synergy_sim::DeviceSpec::a100(),
+        synergy_sim::DeviceSpec::mi100(),
+        synergy_sim::DeviceSpec::titan_x(),
+    ] {
+        let t = &spec.freq_table;
+        writeln!(
+            out,
+            "{:<16} {:>10} {:>12} {:>16} {:>9}",
+            spec.name,
+            format!("{:?}", t.mem_mhz),
+            t.core_mhz.len(),
+            format!("{}..{}", t.min_core(), t.max_core()),
+            spec.default_clocks
+                .map_or("auto".into(), |c| c.core_mhz.to_string()),
+        )?;
+    }
+    Ok(())
+}
+
+/// `synergy benchmarks`
+pub fn benchmarks(out: &mut dyn Write) -> std::io::Result<()> {
+    writeln!(out, "{:<22} {:>12} {:>14}  description", "name", "work-items", "bound")?;
+    for b in synergy_apps::suite() {
+        writeln!(
+            out,
+            "{:<22} {:>12} {:>14}  {}",
+            b.name,
+            b.work_items,
+            format!("{:?}", b.bound),
+            b.description
+        )?;
+    }
+    Ok(())
+}
+
+/// `synergy characterize <bench> --device <key>`
+pub fn characterize(out: &mut dyn Write, bench: &str, device: &str) -> Result<(), UsageError> {
+    let spec = device_by_key(device).ok_or_else(|| UsageError(format!("unknown device `{device}`")))?;
+    let b = synergy_apps::by_name(bench)
+        .ok_or_else(|| UsageError(format!("unknown benchmark `{bench}`")))?;
+    let sweep = measured_sweep(&spec, &b.ir, b.work_items);
+    let baseline = point_at(&sweep, spec.baseline_clocks()).expect("baseline in sweep");
+    let w = |r: std::io::Result<()>| r.map_err(|e| UsageError(e.to_string()));
+    w(writeln!(
+        out,
+        "{} on {} — {} configurations, default {}",
+        b.name,
+        spec.name,
+        sweep.len(),
+        spec.baseline_clocks()
+    ))?;
+    w(writeln!(out, "\nPareto front:"))?;
+    for p in pareto_front(&sweep) {
+        w(writeln!(
+            out,
+            "  {:>5} {:>5}  speedup {:>6.3}  energy {:>6.3}",
+            p.clocks.mem_mhz,
+            p.clocks.core_mhz,
+            p.speedup_vs(&baseline),
+            p.normalized_energy_vs(&baseline)
+        ))?;
+    }
+    w(writeln!(out, "\ntargets:"))?;
+    for target in EnergyTarget::PAPER_SET {
+        let p = search_optimal(target, &sweep, spec.baseline_clocks()).expect("non-empty");
+        w(writeln!(
+            out,
+            "  {:>10} -> {:>5}/{:>5} MHz  energy {:+6.1}%  time {:+6.1}%",
+            target.to_string(),
+            p.clocks.mem_mhz,
+            p.clocks.core_mhz,
+            (p.normalized_energy_vs(&baseline) - 1.0) * 100.0,
+            (1.0 / p.speedup_vs(&baseline) - 1.0) * 100.0
+        ))?;
+    }
+    Ok(())
+}
+
+/// `synergy compile <bench>... --device <key>` → registry JSON.
+pub fn compile(benches: &[String], device: &str) -> Result<TargetRegistry, UsageError> {
+    let spec = device_by_key(device).ok_or_else(|| UsageError(format!("unknown device `{device}`")))?;
+    let mut irs = Vec::new();
+    for name in benches {
+        let b = synergy_apps::by_name(name)
+            .ok_or_else(|| UsageError(format!("unknown benchmark `{name}`")))?;
+        irs.push(b.ir);
+    }
+    let suite = generate_microbench(42, &MicroBenchConfig::default());
+    let models = train_device_models(&spec, &suite, ModelSelection::paper_best(), 8, 2023);
+    Ok(compile_application(
+        &spec,
+        &models,
+        &irs,
+        &EnergyTarget::PAPER_SET,
+    ))
+}
+
+/// `synergy scaling --gpus N --app <name>`
+pub fn scaling(out: &mut dyn Write, gpus: usize, app: &str) -> Result<(), UsageError> {
+    use synergy_cluster::{
+        fresh_v100_ranks, run_weak_scaling, FrequencySchedule, MiniApp, WeakScalingConfig,
+    };
+    let app = match app.to_ascii_lowercase().as_str() {
+        "cloverleaf" => MiniApp::CloverLeaf,
+        "miniweather" => MiniApp::MiniWeather,
+        other => return Err(UsageError(format!("unknown app `{other}`"))),
+    };
+    let spec = synergy_sim::DeviceSpec::v100();
+    let suite = generate_microbench(42, &MicroBenchConfig::default());
+    let models = train_device_models(&spec, &suite, ModelSelection::paper_best(), 8, 2023);
+    let registry = std::sync::Arc::new(compile_application(
+        &spec,
+        &models,
+        &app.kernel_irs(),
+        &EnergyTarget::PAPER_SET,
+    ));
+    let cfg = WeakScalingConfig::figure10(gpus);
+    let w = |r: std::io::Result<()>| r.map_err(|e| UsageError(e.to_string()));
+    w(writeln!(
+        out,
+        "{} weak scaling on {gpus} simulated V100 GPUs ({} steps, {}x{} local grid)",
+        app.name(),
+        cfg.steps,
+        cfg.local_nx,
+        cfg.local_ny
+    ))?;
+    let base = run_weak_scaling(
+        app,
+        &cfg,
+        &fresh_v100_ranks(gpus),
+        synergy_hal::Caller::Root,
+        &FrequencySchedule::Default,
+    );
+    w(writeln!(
+        out,
+        "  {:<10} {:>9.3} s {:>11.1} J",
+        base.schedule, base.time_s, base.energy_j
+    ))?;
+    for target in [
+        EnergyTarget::MinEdp,
+        EnergyTarget::EnergySaving(50),
+        EnergyTarget::PerfLoss(50),
+    ] {
+        let outc = run_weak_scaling(
+            app,
+            &cfg,
+            &fresh_v100_ranks(gpus),
+            synergy_hal::Caller::Root,
+            &FrequencySchedule::PerKernel {
+                registry: std::sync::Arc::clone(&registry),
+                target,
+            },
+        );
+        w(writeln!(
+            out,
+            "  {:<10} {:>9.3} s {:>11.1} J  ({:+.1}% energy, {:+.1}% time)",
+            outc.schedule,
+            outc.time_s,
+            outc.energy_j,
+            (outc.energy_j / base.energy_j - 1.0) * 100.0,
+            (outc.time_s / base.time_s - 1.0) * 100.0
+        ))?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn devices_lists_catalogue() {
+        let mut buf = Vec::new();
+        devices(&mut buf).unwrap();
+        let s = String::from_utf8(buf).unwrap();
+        assert!(s.contains("NVIDIA V100"));
+        assert!(s.contains("AMD MI100"));
+        assert!(s.contains("Titan X"));
+        assert!(s.contains("auto"));
+    }
+
+    #[test]
+    fn benchmarks_lists_all_23() {
+        let mut buf = Vec::new();
+        benchmarks(&mut buf).unwrap();
+        let s = String::from_utf8(buf).unwrap();
+        assert_eq!(s.lines().count(), 24); // header + 23
+        assert!(s.contains("black_scholes"));
+    }
+
+    #[test]
+    fn characterize_prints_targets() {
+        let mut buf = Vec::new();
+        characterize(&mut buf, "vec_add", "mi100").unwrap();
+        let s = String::from_utf8(buf).unwrap();
+        assert!(s.contains("AMD MI100"));
+        assert!(s.contains("MIN_EDP"));
+        assert!(s.contains("Pareto front"));
+    }
+
+    #[test]
+    fn characterize_rejects_unknowns() {
+        let mut buf = Vec::new();
+        assert!(characterize(&mut buf, "nope", "v100").is_err());
+        assert!(characterize(&mut buf, "vec_add", "h100").is_err());
+    }
+
+    #[test]
+    fn compile_emits_full_registry() {
+        let reg = compile(&["vec_add".into(), "sobel3".into()], "v100").unwrap();
+        assert_eq!(reg.len(), 2 * EnergyTarget::PAPER_SET.len());
+        let json = serde_json::to_string(&reg).unwrap();
+        let back: TargetRegistry = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, reg);
+    }
+
+    #[test]
+    fn scaling_runs_small() {
+        let mut buf = Vec::new();
+        scaling(&mut buf, 2, "miniweather").unwrap();
+        let s = String::from_utf8(buf).unwrap();
+        assert!(s.contains("default"));
+        assert!(s.contains("ES_50"));
+    }
+
+    #[test]
+    fn scaling_rejects_unknown_app() {
+        let mut buf = Vec::new();
+        assert!(scaling(&mut buf, 2, "linpack").is_err());
+    }
+}

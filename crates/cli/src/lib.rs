@@ -1,0 +1,241 @@
+//! # synergy-cli
+//!
+//! Library backing the `synergy` command-line tool: argument parsing (no
+//! external dependencies) and the subcommand implementations. Keeping the
+//! logic in a library makes every command unit-testable; `main.rs` is a
+//! thin shell.
+//!
+//! Subcommands:
+//!
+//! * `devices` — the device catalogue with Figure-1 frequency tables;
+//! * `benchmarks` — the 23-kernel suite with boundedness labels;
+//! * `characterize <bench> [--device v100|a100|mi100|titanx]` — full
+//!   frequency sweep, Pareto front, and per-target selections;
+//! * `compile <bench>... [--device ...] [--out registry.json]` — train
+//!   models and emit the target registry JSON;
+//! * `scaling [--gpus N] [--app cloverleaf|miniweather]` — a Figure-10
+//!   style weak-scaling run.
+
+#![warn(missing_docs)]
+
+pub mod commands;
+
+use std::fmt;
+
+/// A parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// List the device catalogue.
+    Devices,
+    /// List the benchmark suite.
+    Benchmarks,
+    /// Characterize one benchmark on one device.
+    Characterize {
+        /// Benchmark name.
+        bench: String,
+        /// Device key (`v100`, `a100`, `mi100`, `titanx`).
+        device: String,
+    },
+    /// Compile a target registry for benchmarks.
+    Compile {
+        /// Benchmark names.
+        benches: Vec<String>,
+        /// Device key.
+        device: String,
+        /// Output path (`-` = stdout).
+        out: String,
+    },
+    /// Weak-scaling study.
+    Scaling {
+        /// Number of GPUs.
+        gpus: usize,
+        /// App name (`cloverleaf` or `miniweather`).
+        app: String,
+    },
+    /// Print usage.
+    Help,
+}
+
+/// Errors from argument parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UsageError(pub String);
+
+impl fmt::Display for UsageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for UsageError {}
+
+/// Parse a command line (excluding argv[0]).
+pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, UsageError> {
+    let args: Vec<String> = args.into_iter().collect();
+    let mut it = args.iter();
+    let Some(cmd) = it.next() else {
+        return Ok(Command::Help);
+    };
+    let take_flag = |name: &str, default: &str| -> String {
+        let mut val = default.to_string();
+        let mut i = 0;
+        while i < args.len() {
+            if args[i] == name {
+                if let Some(v) = args.get(i + 1) {
+                    val = v.clone();
+                }
+            }
+            i += 1;
+        }
+        val
+    };
+    match cmd.as_str() {
+        "devices" => Ok(Command::Devices),
+        "benchmarks" => Ok(Command::Benchmarks),
+        "characterize" => {
+            let bench = it
+                .find(|a| !a.starts_with("--"))
+                .ok_or_else(|| UsageError("characterize needs a benchmark name".into()))?
+                .clone();
+            Ok(Command::Characterize {
+                bench,
+                device: take_flag("--device", "v100"),
+            })
+        }
+        "compile" => {
+            let mut benches = Vec::new();
+            let mut skip_next = false;
+            for a in it {
+                if skip_next {
+                    skip_next = false;
+                    continue;
+                }
+                if a.starts_with("--") {
+                    skip_next = true;
+                    continue;
+                }
+                benches.push(a.clone());
+            }
+            if benches.is_empty() {
+                return Err(UsageError("compile needs at least one benchmark".into()));
+            }
+            Ok(Command::Compile {
+                benches,
+                device: take_flag("--device", "v100"),
+                out: take_flag("--out", "-"),
+            })
+        }
+        "scaling" => {
+            let gpus: usize = take_flag("--gpus", "4")
+                .parse()
+                .map_err(|_| UsageError("--gpus must be a number".into()))?;
+            if gpus == 0 {
+                return Err(UsageError("--gpus must be positive".into()));
+            }
+            Ok(Command::Scaling {
+                gpus,
+                app: take_flag("--app", "cloverleaf"),
+            })
+        }
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        other => Err(UsageError(format!("unknown subcommand `{other}`"))),
+    }
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+synergy — fine-grained GPU energy tuning (SC'23 reproduction)
+
+USAGE:
+  synergy devices
+  synergy benchmarks
+  synergy characterize <bench> [--device v100|a100|mi100|titanx]
+  synergy compile <bench>... [--device v100|...] [--out registry.json]
+  synergy scaling [--gpus N] [--app cloverleaf|miniweather]
+";
+
+/// Resolve a device key to its spec.
+pub fn device_by_key(key: &str) -> Option<synergy_sim::DeviceSpec> {
+    match key.to_ascii_lowercase().as_str() {
+        "v100" => Some(synergy_sim::DeviceSpec::v100()),
+        "a100" => Some(synergy_sim::DeviceSpec::a100()),
+        "mi100" => Some(synergy_sim::DeviceSpec::mi100()),
+        "titanx" | "titan_x" => Some(synergy_sim::DeviceSpec::titan_x()),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parses_simple_commands() {
+        assert_eq!(parse_args(args("devices")).unwrap(), Command::Devices);
+        assert_eq!(parse_args(args("benchmarks")).unwrap(), Command::Benchmarks);
+        assert_eq!(parse_args(args("help")).unwrap(), Command::Help);
+        assert_eq!(parse_args(Vec::new()).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn characterize_with_defaults_and_flags() {
+        assert_eq!(
+            parse_args(args("characterize sobel3")).unwrap(),
+            Command::Characterize {
+                bench: "sobel3".into(),
+                device: "v100".into()
+            }
+        );
+        assert_eq!(
+            parse_args(args("characterize sobel3 --device mi100")).unwrap(),
+            Command::Characterize {
+                bench: "sobel3".into(),
+                device: "mi100".into()
+            }
+        );
+    }
+
+    #[test]
+    fn compile_collects_benches() {
+        let c = parse_args(args("compile sobel3 mat_mul --device titanx --out reg.json"))
+            .unwrap();
+        assert_eq!(
+            c,
+            Command::Compile {
+                benches: vec!["sobel3".into(), "mat_mul".into()],
+                device: "titanx".into(),
+                out: "reg.json".into()
+            }
+        );
+    }
+
+    #[test]
+    fn scaling_parses_gpus() {
+        assert_eq!(
+            parse_args(args("scaling --gpus 16 --app miniweather")).unwrap(),
+            Command::Scaling {
+                gpus: 16,
+                app: "miniweather".into()
+            }
+        );
+        assert!(parse_args(args("scaling --gpus zero")).is_err());
+        assert!(parse_args(args("scaling --gpus 0")).is_err());
+    }
+
+    #[test]
+    fn errors_on_nonsense() {
+        assert!(parse_args(args("frobnicate")).is_err());
+        assert!(parse_args(args("characterize")).is_err());
+        assert!(parse_args(args("compile --device v100")).is_err());
+    }
+
+    #[test]
+    fn device_keys_resolve() {
+        assert_eq!(device_by_key("v100").unwrap().name, "NVIDIA V100");
+        assert_eq!(device_by_key("TitanX").unwrap().name, "NVIDIA Titan X");
+        assert!(device_by_key("h100").is_none());
+    }
+}

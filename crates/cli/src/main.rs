@@ -1,0 +1,55 @@
+//! The `synergy` command-line tool (thin shell over `synergy_cli`).
+
+use std::process::ExitCode;
+use synergy_cli::{commands, parse_args, Command, USAGE};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = match parse_args(args) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut out = std::io::stdout();
+    let result = match cmd {
+        Command::Help => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        Command::Devices => commands::devices(&mut out).map_err(|e| e.to_string()),
+        Command::Benchmarks => commands::benchmarks(&mut out).map_err(|e| e.to_string()),
+        Command::Characterize { bench, device } => {
+            commands::characterize(&mut out, &bench, &device).map_err(|e| e.to_string())
+        }
+        Command::Compile {
+            benches,
+            device,
+            out: out_path,
+        } => commands::compile(&benches, &device)
+            .map_err(|e| e.to_string())
+            .and_then(|registry| {
+                let json = serde_json::to_string_pretty(&registry)
+                    .expect("registry serializes");
+                if out_path == "-" {
+                    println!("{json}");
+                    Ok(())
+                } else {
+                    std::fs::write(&out_path, json).map_err(|e| e.to_string())?;
+                    eprintln!("wrote {out_path}");
+                    Ok(())
+                }
+            }),
+        Command::Scaling { gpus, app } => {
+            commands::scaling(&mut out, gpus, &app).map_err(|e| e.to_string())
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

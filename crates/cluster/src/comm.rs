@@ -1,0 +1,87 @@
+//! Communication model: an α–β (latency–bandwidth) model of the
+//! Marconi-100 interconnect — Mellanox InfiniBand EDR in a DragonFly+
+//! topology (Section 8.1).
+//!
+//! Each weak-scaling step ends with a halo exchange between neighbouring
+//! ranks; its cost is `α · hops + bytes / β`. Hop count grows with the
+//! node count the DragonFly+ way: intra-node, intra-group, then global
+//! links — this is what bends the weak-scaling curves of Figure 10.
+
+use serde::{Deserialize, Serialize};
+
+/// α–β interconnect model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CommModel {
+    /// Per-hop latency in nanoseconds.
+    pub hop_latency_ns: u64,
+    /// Link bandwidth in GB/s.
+    pub bandwidth_gbps: f64,
+    /// Software (MPI) overhead per message in nanoseconds.
+    pub sw_overhead_ns: u64,
+}
+
+impl CommModel {
+    /// Mellanox InfiniBand EDR (100 Gb/s ≈ 12.5 GB/s) with DragonFly+
+    /// hop latencies, as on Marconi-100.
+    pub fn edr_dragonfly() -> CommModel {
+        CommModel {
+            hop_latency_ns: 700,
+            bandwidth_gbps: 12.5,
+            sw_overhead_ns: 1_500,
+        }
+    }
+
+    /// Time to move `bytes` over `hops` switch hops, in nanoseconds.
+    pub fn transfer_ns(&self, bytes: f64, hops: u32) -> u64 {
+        let serial = bytes / (self.bandwidth_gbps * 1e9) * 1e9;
+        self.sw_overhead_ns + self.hop_latency_ns * hops as u64 + serial as u64
+    }
+}
+
+/// DragonFly+ hop count for a job spanning `nodes` nodes: GPUs on one node
+/// talk over NVLink/PCIe (1 hop), nodes within a group over the local
+/// switch (2 hops), larger jobs cross global links (3 hops). Groups hold
+/// 16 nodes on Marconi-100.
+pub fn hops_for(nodes: usize) -> u32 {
+    match nodes {
+        0 | 1 => 1,
+        2..=16 => 2,
+        _ => 3,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_scales_with_bytes() {
+        let m = CommModel::edr_dragonfly();
+        let small = m.transfer_ns(1e3, 2);
+        let large = m.transfer_ns(1e6, 2);
+        assert!(large > small);
+        // 1 MB at 12.5 GB/s = 80 µs of serialization.
+        assert!((large as i64 - small as i64 - 79_920).abs() < 200);
+    }
+
+    #[test]
+    fn latency_floor_for_tiny_messages() {
+        let m = CommModel::edr_dragonfly();
+        let t = m.transfer_ns(8.0, 3);
+        assert!(t >= m.sw_overhead_ns + 3 * m.hop_latency_ns);
+    }
+
+    #[test]
+    fn hop_counts_follow_dragonfly() {
+        assert_eq!(hops_for(1), 1);
+        assert_eq!(hops_for(2), 2);
+        assert_eq!(hops_for(16), 2);
+        assert_eq!(hops_for(17), 3);
+    }
+
+    #[test]
+    fn more_hops_cost_more() {
+        let m = CommModel::edr_dragonfly();
+        assert!(m.transfer_ns(1e5, 3) > m.transfer_ns(1e5, 1));
+    }
+}

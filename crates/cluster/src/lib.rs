@@ -1,0 +1,20 @@
+//! # synergy-cluster
+//!
+//! Multi-node simulation for the paper's Figure-10 experiment: an α–β
+//! model of the Marconi-100 interconnect (InfiniBand EDR, DragonFly+) and
+//! a weak-scaling driver that runs CloverLeaf and MiniWeather across 4–64
+//! simulated V100 GPUs with per-kernel frequency schedules compiled from
+//! the energy models.
+
+#![warn(missing_docs)]
+
+pub mod comm;
+pub mod strong_scaling;
+pub mod weak_scaling;
+
+pub use comm::{hops_for, CommModel};
+pub use strong_scaling::{run_strong_scaling, StrongScalingConfig};
+pub use weak_scaling::{
+    fresh_v100_ranks, run_weak_scaling, FrequencySchedule, MiniApp, ScalingOutcome,
+    WeakScalingConfig,
+};

@@ -1,0 +1,176 @@
+//! Strong scaling: a fixed global problem divided across more GPUs.
+//!
+//! The paper's Figure 10 uses weak scaling; strong scaling is the natural
+//! companion study (and the regime where the communication model actually
+//! bends the curve): per-rank compute shrinks as 1/N while halo traffic
+//! stays put, so speedup saturates and energy develops a minimum at a
+//! finite GPU count — more boards eventually burn idle/comm joules for no
+//! time gain.
+
+use crate::comm::{hops_for, CommModel};
+use crate::weak_scaling::{FrequencySchedule, MiniApp, ScalingOutcome};
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+use synergy_hal::{open_device, Caller, DeviceManagement};
+use synergy_kernel::extract;
+use synergy_sim::{SimDevice, Workload};
+
+/// Configuration of a strong-scaling run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StrongScalingConfig {
+    /// GPUs sharing the problem.
+    pub gpus: usize,
+    /// Global grid size in x (divided across ranks).
+    pub global_nx: usize,
+    /// Global grid size in y.
+    pub global_ny: usize,
+    /// Timesteps.
+    pub steps: usize,
+    /// Interconnect model.
+    pub comm: CommModel,
+}
+
+impl StrongScalingConfig {
+    /// A study-sized default: 8192² global grid.
+    pub fn study(gpus: usize) -> StrongScalingConfig {
+        StrongScalingConfig {
+            gpus,
+            global_nx: 8192,
+            global_ny: 8192,
+            steps: 10,
+            comm: CommModel::edr_dragonfly(),
+        }
+    }
+
+    /// Per-rank work items (1-D decomposition along x).
+    pub fn items_per_rank(&self) -> u64 {
+        (self.global_nx / self.gpus.max(1)) as u64 * self.global_ny as u64
+    }
+
+    /// Nodes at 4 GPUs per node.
+    pub fn nodes(&self) -> usize {
+        self.gpus.div_ceil(4)
+    }
+}
+
+/// Run a strong-scaling experiment (same schedule semantics as the weak
+/// driver; devices must be fresh).
+pub fn run_strong_scaling(
+    app: MiniApp,
+    cfg: &StrongScalingConfig,
+    devices: &[Arc<SimDevice>],
+    caller: Caller,
+    schedule: &FrequencySchedule,
+) -> ScalingOutcome {
+    assert_eq!(devices.len(), cfg.gpus);
+    let irs = app.kernel_irs();
+    let infos: Vec<_> = irs.iter().map(extract).collect();
+    let items = cfg.items_per_rank();
+    let hops = hops_for(cfg.nodes());
+    // Halo along the decomposition axis: full y-edges, independent of N.
+    let halo = app.halo_bytes(cfg.global_nx / cfg.gpus.max(1), cfg.global_ny);
+
+    let mgmt: Vec<Arc<dyn DeviceManagement>> =
+        devices.iter().map(|d| open_device(Arc::clone(d))).collect();
+    let e0: f64 = devices.iter().map(|d| d.total_energy_mj()).sum::<f64>() * 1e-3;
+    let t0 = devices.iter().map(|d| d.now_ns()).max().expect("ranks");
+
+    for _ in 0..cfg.steps {
+        for (rank, dev) in devices.iter().enumerate() {
+            for (ir, info) in irs.iter().zip(&infos) {
+                let wanted = match schedule {
+                    FrequencySchedule::Default => None,
+                    FrequencySchedule::PerKernel { registry, target } => {
+                        registry.lookup(&ir.name, *target)
+                    }
+                    FrequencySchedule::Coarse(c) => Some(*c),
+                };
+                if let Some(clocks) = wanted {
+                    let _ = mgmt[rank].set_clocks(caller, clocks);
+                }
+                dev.execute(&Workload::from_static(info, items));
+            }
+        }
+        let t_sync = devices.iter().map(|d| d.now_ns()).max().expect("ranks");
+        let comm_ns = if cfg.gpus > 1 {
+            cfg.comm.transfer_ns(halo, hops)
+        } else {
+            0
+        };
+        for dev in devices {
+            dev.advance_idle(t_sync - dev.now_ns() + comm_ns);
+        }
+    }
+
+    let t1 = devices.iter().map(|d| d.now_ns()).max().expect("ranks");
+    let e1: f64 = devices.iter().map(|d| d.total_energy_mj()).sum::<f64>() * 1e-3;
+    ScalingOutcome {
+        app: app.name().to_string(),
+        schedule: match schedule {
+            FrequencySchedule::Default => "default".into(),
+            FrequencySchedule::PerKernel { target, .. } => target.to_string(),
+            FrequencySchedule::Coarse(c) => format!("coarse@{}", c.core_mhz),
+        },
+        gpus: cfg.gpus,
+        time_s: (t1 - t0) as f64 * 1e-9,
+        energy_j: e1 - e0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::weak_scaling::fresh_v100_ranks;
+
+    fn run(gpus: usize) -> ScalingOutcome {
+        run_strong_scaling(
+            MiniApp::CloverLeaf,
+            &StrongScalingConfig {
+                gpus,
+                global_nx: 4096,
+                global_ny: 2048,
+                steps: 2,
+                comm: CommModel::edr_dragonfly(),
+            },
+            &fresh_v100_ranks(gpus),
+            Caller::Root,
+            &FrequencySchedule::Default,
+        )
+    }
+
+    #[test]
+    fn more_gpus_reduce_time() {
+        let t1 = run(1).time_s;
+        let t4 = run(4).time_s;
+        let t16 = run(16).time_s;
+        assert!(t4 < t1, "4 GPUs should beat 1 ({t4} vs {t1})");
+        assert!(t16 < t4, "16 GPUs should beat 4 ({t16} vs {t4})");
+        // But sublinearly: comm + per-wave floors eat the ideal speedup.
+        assert!(t1 / t16 < 16.0);
+    }
+
+    #[test]
+    fn items_split_evenly() {
+        let cfg = StrongScalingConfig::study(8);
+        assert_eq!(cfg.items_per_rank(), (8192 / 8) as u64 * 8192);
+        assert_eq!(cfg.nodes(), 2);
+    }
+
+    #[test]
+    fn strong_scaling_is_deterministic() {
+        assert_eq!(run(4), run(4));
+    }
+
+    #[test]
+    fn energy_does_not_scale_linearly_down() {
+        // Strong scaling wastes energy at high counts: 16 GPUs must burn
+        // more total joules than 1 GPU doing the same problem (idle +
+        // launch + comm overheads replicated per board).
+        let e1 = run(1).energy_j;
+        let e16 = run(16).energy_j;
+        assert!(
+            e16 > e1 * 0.9,
+            "16-GPU strong scaling should not be dramatically cheaper: {e16} vs {e1}"
+        );
+    }
+}

@@ -1,0 +1,379 @@
+//! The weak-scaling driver behind Figure 10: CloverLeaf and MiniWeather
+//! across 4–64 GPUs, one MPI rank per GPU, with per-kernel frequency
+//! selection from a compiled [`TargetRegistry`].
+//!
+//! Per step, every rank runs the app's kernel sequence on its device
+//! (setting the kernel's compiled clocks first — paying the vendor-library
+//! switch latency), then all ranks synchronize through a halo exchange
+//! priced by the α–β interconnect model. Time is the makespan over ranks;
+//! energy is summed over GPUs only, matching the paper's measurement
+//! ("the energy consumption regards only the GPU devices, while the
+//! execution time includes computation and communication").
+
+use crate::comm::{hops_for, CommModel};
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+use synergy_hal::{open_device, Caller, DeviceManagement};
+use synergy_kernel::{extract, KernelIr};
+use synergy_metrics::EnergyTarget;
+use synergy_rt::TargetRegistry;
+use synergy_sim::{SimDevice, Workload};
+
+/// Which mini-app to scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MiniApp {
+    /// 2-D compressible Euler hydrodynamics.
+    CloverLeaf,
+    /// 2-D stratified atmospheric flow.
+    MiniWeather,
+}
+
+impl MiniApp {
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            MiniApp::CloverLeaf => "CloverLeaf",
+            MiniApp::MiniWeather => "MiniWeather",
+        }
+    }
+
+    /// The app's per-step kernel IRs.
+    pub fn kernel_irs(&self) -> Vec<KernelIr> {
+        match self {
+            MiniApp::CloverLeaf => synergy_apps::cloverleaf::kernel_irs(),
+            MiniApp::MiniWeather => synergy_apps::miniweather::kernel_irs(),
+        }
+    }
+
+    /// Halo bytes exchanged per rank per step for an `nx × ny` local grid:
+    /// both x-edges of every exchanged field at 4 bytes per value.
+    pub fn halo_bytes(&self, nx: usize, ny: usize) -> f64 {
+        let fields = match self {
+            MiniApp::CloverLeaf => 6.0, // density, energy, pressure, visc, u, v
+            MiniApp::MiniWeather => 4.0, // the four state variables
+        };
+        let _ = nx;
+        2.0 * ny as f64 * 4.0 * fields
+    }
+}
+
+/// Configuration of one weak-scaling run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WeakScalingConfig {
+    /// Number of GPUs (ranks). Marconi-100 packs 4 per node.
+    pub gpus: usize,
+    /// Local grid size in x (per GPU — weak scaling keeps this fixed).
+    pub local_nx: usize,
+    /// Local grid size in y.
+    pub local_ny: usize,
+    /// Timesteps to run.
+    pub steps: usize,
+    /// Interconnect model.
+    pub comm: CommModel,
+}
+
+impl WeakScalingConfig {
+    /// The Figure-10 configuration at a given GPU count.
+    pub fn figure10(gpus: usize) -> WeakScalingConfig {
+        WeakScalingConfig {
+            gpus,
+            local_nx: 4096,
+            local_ny: 4096,
+            steps: 10,
+            comm: CommModel::edr_dragonfly(),
+        }
+    }
+
+    /// Nodes needed at 4 GPUs per node.
+    pub fn nodes(&self) -> usize {
+        self.gpus.div_ceil(4)
+    }
+}
+
+/// How kernels pick their clocks during a run.
+#[derive(Debug, Clone)]
+pub enum FrequencySchedule {
+    /// Default clocks for every kernel (the Figure-10 baseline cross).
+    Default,
+    /// Per-kernel clocks compiled for one energy target.
+    PerKernel {
+        /// The compiled registry.
+        registry: Arc<TargetRegistry>,
+        /// The target to look up.
+        target: EnergyTarget,
+    },
+    /// One fixed frequency for the entire application — the coarse-grained
+    /// strategy the paper argues against (used by the ablation bench).
+    Coarse(synergy_sim::ClockConfig),
+}
+
+impl FrequencySchedule {
+    fn label(&self) -> String {
+        match self {
+            FrequencySchedule::Default => "default".to_string(),
+            FrequencySchedule::PerKernel { target, .. } => target.to_string(),
+            FrequencySchedule::Coarse(c) => format!("coarse@{}", c.core_mhz),
+        }
+    }
+}
+
+/// Result of one weak-scaling run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScalingOutcome {
+    /// App name.
+    pub app: String,
+    /// Schedule label ("default", "ES_50", ...).
+    pub schedule: String,
+    /// GPU count.
+    pub gpus: usize,
+    /// End-to-end time (compute + communication), seconds.
+    pub time_s: f64,
+    /// Total GPU energy, joules.
+    pub energy_j: f64,
+}
+
+/// Run one weak-scaling experiment on the given devices.
+///
+/// `devices` must all start from a fresh timeline (one per rank); `caller`
+/// is the identity used for clock changes — without the SLURM plugin's
+/// privilege raising, clock requests fail and every kernel runs at default
+/// clocks (exactly what happens to an unprivileged job on a production
+/// cluster).
+pub fn run_weak_scaling(
+    app: MiniApp,
+    cfg: &WeakScalingConfig,
+    devices: &[Arc<SimDevice>],
+    caller: Caller,
+    schedule: &FrequencySchedule,
+) -> ScalingOutcome {
+    assert_eq!(devices.len(), cfg.gpus, "one device per rank");
+    let irs = app.kernel_irs();
+    let infos: Vec<_> = irs.iter().map(extract).collect();
+    let items = (cfg.local_nx * cfg.local_ny) as u64;
+    let hops = hops_for(cfg.nodes());
+    let halo = app.halo_bytes(cfg.local_nx, cfg.local_ny);
+
+    let mgmt: Vec<Arc<dyn DeviceManagement>> =
+        devices.iter().map(|d| open_device(Arc::clone(d))).collect();
+
+    let t0: Vec<u64> = devices.iter().map(|d| d.now_ns()).collect();
+    let e0: f64 = devices.iter().map(|d| d.total_energy_mj()).sum::<f64>() * 1e-3;
+
+    for _step in 0..cfg.steps {
+        // Compute phase on every rank.
+        for (rank, dev) in devices.iter().enumerate() {
+            for (ir, info) in irs.iter().zip(&infos) {
+                let wanted = match schedule {
+                    FrequencySchedule::Default => None,
+                    FrequencySchedule::PerKernel { registry, target } => {
+                        registry.lookup(&ir.name, *target)
+                    }
+                    FrequencySchedule::Coarse(c) => Some(*c),
+                };
+                if let Some(clocks) = wanted {
+                    // Unprivileged callers fail here and fall through to
+                    // the current clocks.
+                    let _ = mgmt[rank].set_clocks(caller, clocks);
+                }
+                let wl = Workload::from_static(info, items);
+                dev.execute(&wl);
+            }
+        }
+        // Synchronization + halo exchange: every rank waits for the
+        // slowest, then pays the transfer (single-rank runs skip it).
+        let t_sync = devices.iter().map(|d| d.now_ns()).max().expect("ranks");
+        let comm_ns = if cfg.gpus > 1 {
+            cfg.comm.transfer_ns(halo, hops)
+        } else {
+            0
+        };
+        for dev in devices {
+            let idle = t_sync - dev.now_ns() + comm_ns;
+            dev.advance_idle(idle);
+        }
+    }
+
+    let t1 = devices.iter().map(|d| d.now_ns()).max().expect("ranks");
+    let t0_max = t0.into_iter().max().expect("ranks");
+    let e1: f64 = devices.iter().map(|d| d.total_energy_mj()).sum::<f64>() * 1e-3;
+
+    ScalingOutcome {
+        app: app.name().to_string(),
+        schedule: schedule.label(),
+        gpus: cfg.gpus,
+        time_s: (t1 - t0_max) as f64 * 1e-9,
+        energy_j: e1 - e0,
+    }
+}
+
+/// Convenience: fresh V100 devices for `gpus` ranks.
+pub fn fresh_v100_ranks(gpus: usize) -> Vec<Arc<SimDevice>> {
+    (0..gpus)
+        .map(|i| SimDevice::new(synergy_sim::DeviceSpec::v100(), i as u32))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use synergy_ml::ModelSelection;
+    use synergy_rt::{compile_application, train_device_models};
+    use synergy_sim::DeviceSpec;
+
+    fn small_cfg(gpus: usize) -> WeakScalingConfig {
+        WeakScalingConfig {
+            gpus,
+            local_nx: 2048,
+            local_ny: 2048,
+            steps: 3,
+            comm: CommModel::edr_dragonfly(),
+        }
+    }
+
+    fn compiled_registry(app: MiniApp) -> Arc<TargetRegistry> {
+        let spec = DeviceSpec::v100();
+        let suite = synergy_kernel::microbench::generate_default(7);
+        let models =
+            train_device_models(&spec, &suite, ModelSelection::paper_best(), 24, 0);
+        Arc::new(compile_application(
+            &spec,
+            &models,
+            &app.kernel_irs(),
+            &EnergyTarget::PAPER_SET,
+        ))
+    }
+
+    #[test]
+    fn default_run_produces_time_and_energy() {
+        let cfg = small_cfg(4);
+        let devs = fresh_v100_ranks(4);
+        let out = run_weak_scaling(
+            MiniApp::CloverLeaf,
+            &cfg,
+            &devs,
+            Caller::Root,
+            &FrequencySchedule::Default,
+        );
+        assert!(out.time_s > 0.0);
+        assert!(out.energy_j > 0.0);
+        assert_eq!(out.schedule, "default");
+        assert_eq!(out.gpus, 4);
+    }
+
+    #[test]
+    fn es50_saves_energy_vs_default() {
+        let registry = compiled_registry(MiniApp::MiniWeather);
+        let cfg = small_cfg(4);
+        let base = run_weak_scaling(
+            MiniApp::MiniWeather,
+            &cfg,
+            &fresh_v100_ranks(4),
+            Caller::Root,
+            &FrequencySchedule::Default,
+        );
+        let es = run_weak_scaling(
+            MiniApp::MiniWeather,
+            &cfg,
+            &fresh_v100_ranks(4),
+            Caller::Root,
+            &FrequencySchedule::PerKernel {
+                registry,
+                target: EnergyTarget::EnergySaving(50),
+            },
+        );
+        assert!(
+            es.energy_j < base.energy_j,
+            "ES_50 {} J should beat default {} J",
+            es.energy_j,
+            base.energy_j
+        );
+    }
+
+    #[test]
+    fn unprivileged_caller_runs_at_default() {
+        let registry = compiled_registry(MiniApp::CloverLeaf);
+        let cfg = small_cfg(2);
+        let sched = FrequencySchedule::PerKernel {
+            registry,
+            target: EnergyTarget::MinEnergy,
+        };
+        let privileged = run_weak_scaling(
+            MiniApp::CloverLeaf,
+            &cfg,
+            &fresh_v100_ranks(2),
+            Caller::Root,
+            &sched,
+        );
+        let unprivileged = run_weak_scaling(
+            MiniApp::CloverLeaf,
+            &cfg,
+            &fresh_v100_ranks(2),
+            Caller::User(1000),
+            &sched,
+        );
+        // Without privileges the clocks never change: same as default.
+        let default = run_weak_scaling(
+            MiniApp::CloverLeaf,
+            &cfg,
+            &fresh_v100_ranks(2),
+            Caller::Root,
+            &FrequencySchedule::Default,
+        );
+        assert!((unprivileged.energy_j - default.energy_j).abs() / default.energy_j < 0.05);
+        assert!(privileged.energy_j < unprivileged.energy_j);
+    }
+
+    #[test]
+    fn weak_scaling_time_grows_slowly() {
+        let out4 = run_weak_scaling(
+            MiniApp::MiniWeather,
+            &small_cfg(4),
+            &fresh_v100_ranks(4),
+            Caller::Root,
+            &FrequencySchedule::Default,
+        );
+        let out16 = run_weak_scaling(
+            MiniApp::MiniWeather,
+            &small_cfg(16),
+            &fresh_v100_ranks(16),
+            Caller::Root,
+            &FrequencySchedule::Default,
+        );
+        // Weak scaling: same local problem, a bit more communication.
+        assert!(out16.time_s >= out4.time_s);
+        assert!(out16.time_s < out4.time_s * 1.5);
+        // Energy scales with GPU count.
+        assert!(out16.energy_j > 3.0 * out4.energy_j);
+    }
+
+    #[test]
+    fn single_gpu_has_no_comm() {
+        let out = run_weak_scaling(
+            MiniApp::CloverLeaf,
+            &small_cfg(1),
+            &fresh_v100_ranks(1),
+            Caller::Root,
+            &FrequencySchedule::Default,
+        );
+        assert!(out.time_s > 0.0);
+    }
+
+    #[test]
+    fn coarse_schedule_applies_one_frequency() {
+        let cfg = small_cfg(2);
+        let devs = fresh_v100_ranks(2);
+        let clocks = synergy_sim::ClockConfig::new(877, devs[0].spec().freq_table.nearest_core(900));
+        let out = run_weak_scaling(
+            MiniApp::CloverLeaf,
+            &cfg,
+            &devs,
+            Caller::Root,
+            &FrequencySchedule::Coarse(clocks),
+        );
+        assert!(out.schedule.starts_with("coarse@"));
+        // Exactly one clock change per device (same clocks each kernel).
+        for d in &devs {
+            assert_eq!(d.clock_sets(), 1);
+        }
+    }
+}

@@ -1,0 +1,51 @@
+//! Caller identity for privileged management calls.
+//!
+//! NVML restricts state-changing APIs to the root user unless the
+//! API restriction has been lowered for a device
+//! (`nvmlDeviceSetAPIRestriction`) — the exact mechanism the paper's SLURM
+//! plugin toggles in its prologue/epilogue.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Who is making a management-library call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Caller {
+    /// The root user (system daemons, the SLURM plugin).
+    Root,
+    /// An unprivileged user with the given uid.
+    User(u32),
+}
+
+impl Caller {
+    /// True for root.
+    pub fn is_root(&self) -> bool {
+        matches!(self, Caller::Root)
+    }
+}
+
+impl fmt::Display for Caller {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Caller::Root => write!(f, "root"),
+            Caller::User(uid) => write!(f, "uid {uid}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn root_detection() {
+        assert!(Caller::Root.is_root());
+        assert!(!Caller::User(1000).is_root());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Caller::Root.to_string(), "root");
+        assert_eq!(Caller::User(42).to_string(), "uid 42");
+    }
+}

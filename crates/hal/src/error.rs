@@ -1,0 +1,83 @@
+//! HAL error types, mirroring the error surface of the vendor management
+//! libraries (NVML return codes, ROCm SMI statuses).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use synergy_sim::{ClockConfig, SimError};
+
+/// Errors returned by the management-library analogues.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum HalError {
+    /// The library handle was not initialized (`NVML_ERROR_UNINITIALIZED`).
+    Uninitialized,
+    /// The caller lacks the privilege for a state-changing call
+    /// (`NVML_ERROR_NO_PERMISSION`).
+    NoPermission,
+    /// No device at the requested index (`NVML_ERROR_NOT_FOUND`).
+    NotFound(u32),
+    /// The requested clocks are not in the supported table
+    /// (`NVML_ERROR_INVALID_ARGUMENT`).
+    UnsupportedClock(ClockConfig),
+    /// Clock bounds rejected by the hardware.
+    InvalidClockBounds {
+        /// Lower bound (MHz).
+        lo: u32,
+        /// Upper bound (MHz).
+        hi: u32,
+    },
+    /// The operation is not supported on this device/vendor
+    /// (`NVML_ERROR_NOT_SUPPORTED`), e.g. NVML calls on an AMD board.
+    WrongVendor,
+    /// The shared object could not be loaded (`dlopen` failure in the
+    /// SLURM plugin's check chain).
+    LibraryNotLoaded,
+}
+
+impl fmt::Display for HalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HalError::Uninitialized => write!(f, "management library not initialized"),
+            HalError::NoPermission => write!(f, "caller lacks permission"),
+            HalError::NotFound(i) => write!(f, "no device at index {i}"),
+            HalError::UnsupportedClock(c) => write!(f, "unsupported clock configuration {c}"),
+            HalError::InvalidClockBounds { lo, hi } => {
+                write!(f, "invalid clock bounds [{lo}, {hi}] MHz")
+            }
+            HalError::WrongVendor => write!(f, "operation not supported on this vendor"),
+            HalError::LibraryNotLoaded => write!(f, "management library could not be loaded"),
+        }
+    }
+}
+
+impl std::error::Error for HalError {}
+
+impl From<SimError> for HalError {
+    fn from(e: SimError) -> HalError {
+        match e {
+            SimError::UnsupportedClock(c) => HalError::UnsupportedClock(c),
+            SimError::InvalidClockBounds { lo, hi } => HalError::InvalidClockBounds { lo, hi },
+        }
+    }
+}
+
+/// Result alias for HAL calls.
+pub type HalResult<T> = Result<T, HalError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sim_error_converts() {
+        let e: HalError = SimError::UnsupportedClock(ClockConfig::new(1, 2)).into();
+        assert_eq!(e, HalError::UnsupportedClock(ClockConfig::new(1, 2)));
+        let e: HalError = SimError::InvalidClockBounds { lo: 1, hi: 2 }.into();
+        assert_eq!(e, HalError::InvalidClockBounds { lo: 1, hi: 2 });
+    }
+
+    #[test]
+    fn display_strings() {
+        assert!(HalError::NoPermission.to_string().contains("permission"));
+        assert!(HalError::NotFound(3).to_string().contains('3'));
+    }
+}

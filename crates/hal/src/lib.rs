@@ -1,0 +1,139 @@
+//! # synergy-hal
+//!
+//! Vendor management-library analogues over the GPU simulator: an NVML
+//! surface (application clocks, API restrictions, locked clocks, power and
+//! energy counters) for NVIDIA boards, a ROCm SMI surface (performance
+//! levels, sclk pinning) for AMD boards, and the vendor-portable
+//! [`DeviceManagement`] layer that the SYnergy runtime programs against.
+//!
+//! Privilege semantics follow the paper's Section 7: state-changing calls
+//! are root-only by default; `nvmlDeviceSetAPIRestriction` (root-only)
+//! lowers the requirement per board, which is exactly what the SLURM
+//! plugin toggles in its prologue and epilogue.
+
+#![warn(missing_docs)]
+
+pub mod caller;
+pub mod error;
+pub mod mgmt;
+pub mod nvml;
+pub mod rocm;
+
+pub use caller::Caller;
+pub use error::{HalError, HalResult};
+pub use mgmt::{open_device, DeviceManagement};
+pub use nvml::{Nvml, NvmlDevice, RestrictedApi};
+pub use rocm::{PerfLevel, RocmDevice, RocmSmi};
+
+#[cfg(test)]
+mod proptests {
+    use crate::caller::Caller;
+    use crate::mgmt::{open_device, DeviceManagement};
+    use crate::HalError;
+    use proptest::prelude::*;
+    use std::sync::Arc;
+    use synergy_sim::{ClockConfig, DeviceSpec, SimDevice};
+
+    /// One step of a management-call fuzz sequence.
+    #[derive(Debug, Clone)]
+    enum Op {
+        SetClocks { as_root: bool, core_idx: usize },
+        ResetClocks { as_root: bool },
+        Restrict { as_root: bool, restricted: bool },
+    }
+
+    fn arb_op() -> impl Strategy<Value = Op> {
+        prop_oneof![
+            (any::<bool>(), 0usize..200).prop_map(|(as_root, core_idx)| Op::SetClocks {
+                as_root,
+                core_idx
+            }),
+            any::<bool>().prop_map(|as_root| Op::ResetClocks { as_root }),
+            (any::<bool>(), any::<bool>()).prop_map(|(as_root, restricted)| Op::Restrict {
+                as_root,
+                restricted
+            }),
+        ]
+    }
+
+    fn caller(as_root: bool) -> Caller {
+        if as_root {
+            Caller::Root
+        } else {
+            Caller::User(1000)
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Permission invariant: across any call sequence, an unprivileged
+        /// caller only ever changes clocks while the device is
+        /// unrestricted, and a restriction toggle only ever succeeds for
+        /// root. Clocks always remain supported table entries.
+        #[test]
+        fn permission_invariants_hold(ops in prop::collection::vec(arb_op(), 1..40)) {
+            let dev: Arc<dyn DeviceManagement> =
+                open_device(SimDevice::new(DeviceSpec::v100(), 0));
+            let table = dev.raw().spec().freq_table.clone();
+            for op in ops {
+                match op {
+                    Op::SetClocks { as_root, core_idx } => {
+                        let core = table.core_mhz[core_idx % table.core_mhz.len()];
+                        let cfg = ClockConfig::new(877, core);
+                        let restricted_before = dev.restricted();
+                        let result = dev.set_clocks(caller(as_root), cfg);
+                        if !as_root && restricted_before {
+                            prop_assert_eq!(result.unwrap_err(), HalError::NoPermission);
+                        } else {
+                            prop_assert!(result.is_ok());
+                        }
+                    }
+                    Op::ResetClocks { as_root } => {
+                        let restricted_before = dev.restricted();
+                        let result = dev.reset_clocks(caller(as_root));
+                        if !as_root && restricted_before {
+                            prop_assert!(result.is_err());
+                        } else {
+                            prop_assert!(result.is_ok());
+                        }
+                    }
+                    Op::Restrict { as_root, restricted } => {
+                        let result = dev.set_restriction(caller(as_root), restricted);
+                        prop_assert_eq!(result.is_ok(), as_root);
+                    }
+                }
+                // The device's effective clocks are always supported.
+                let eff = dev.raw().effective_clocks();
+                prop_assert!(table.supports(eff), "unsupported effective clocks {eff}");
+            }
+        }
+
+        /// Sensor reads are always available and physically bounded, no
+        /// matter what management calls happened.
+        #[test]
+        fn sensor_reads_always_sane(ops in prop::collection::vec(arb_op(), 0..20)) {
+            let dev: Arc<dyn DeviceManagement> =
+                open_device(SimDevice::new(DeviceSpec::mi100(), 0));
+            for op in ops {
+                match op {
+                    Op::SetClocks { as_root, core_idx } => {
+                        let table = &dev.raw().spec().freq_table;
+                        let core = table.core_mhz[core_idx % table.core_mhz.len()];
+                        let _ = dev.set_clocks(caller(as_root), ClockConfig::new(1200, core));
+                    }
+                    Op::ResetClocks { as_root } => {
+                        let _ = dev.reset_clocks(caller(as_root));
+                    }
+                    Op::Restrict { as_root, restricted } => {
+                        let _ = dev.set_restriction(caller(as_root), restricted);
+                    }
+                }
+                dev.raw().advance_idle(1_000_000);
+                let p = dev.power_usage_w();
+                prop_assert!(p >= 0.0 && p <= dev.raw().spec().tdp_w * 1.05);
+                prop_assert!(dev.total_energy_j() >= 0.0);
+            }
+        }
+    }
+}

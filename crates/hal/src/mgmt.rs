@@ -1,0 +1,209 @@
+//! The portable device-management layer.
+//!
+//! Section 2.1 of the paper observes that *"there is no common interface to
+//! provide portable common functionality"* across vendor power libraries —
+//! SYnergy's API is exactly that wrapper. [`DeviceManagement`] is the
+//! narrow, vendor-neutral surface the runtime programs against; it is
+//! implemented by dispatching onto the NVML or ROCm SMI analogue depending
+//! on the board's vendor.
+
+use crate::caller::Caller;
+use crate::error::{HalError, HalResult};
+use crate::nvml::{NvmlDevice, RestrictedApi};
+use crate::rocm::{PerfLevel, RocmDevice};
+use std::sync::Arc;
+use synergy_sim::{ClockConfig, SimDevice, Vendor};
+
+/// Vendor-portable management operations over one GPU board.
+pub trait DeviceManagement: Send + Sync {
+    /// Board name.
+    fn name(&self) -> String;
+
+    /// Supported memory clocks in MHz.
+    fn supported_memory_clocks(&self) -> Vec<u32>;
+
+    /// Supported core clocks in MHz (at the top memory clock).
+    fn supported_core_clocks(&self) -> Vec<u32>;
+
+    /// Pin the board to an exact (mem, core) clock pair.
+    fn set_clocks(&self, caller: Caller, clocks: ClockConfig) -> HalResult<()>;
+
+    /// Return the board to its default/auto clock behaviour.
+    fn reset_clocks(&self, caller: Caller) -> HalResult<()>;
+
+    /// Lower or restore the privilege requirement for clock control
+    /// (root-only).
+    fn set_restriction(&self, caller: Caller, restricted: bool) -> HalResult<()>;
+
+    /// Whether clock control currently requires root.
+    fn restricted(&self) -> bool;
+
+    /// Instantaneous (sensor-smoothed) board power in watts.
+    fn power_usage_w(&self) -> f64;
+
+    /// Total energy since power-on in joules.
+    fn total_energy_j(&self) -> f64;
+
+    /// The raw simulated board (the runtime's executor needs it to submit
+    /// work; a real implementation would hand back a CUDA/HIP context).
+    fn raw(&self) -> &Arc<SimDevice>;
+}
+
+impl DeviceManagement for NvmlDevice {
+    fn name(&self) -> String {
+        NvmlDevice::name(self)
+    }
+
+    fn supported_memory_clocks(&self) -> Vec<u32> {
+        NvmlDevice::supported_memory_clocks(self)
+    }
+
+    fn supported_core_clocks(&self) -> Vec<u32> {
+        let mem = *self
+            .supported_memory_clocks()
+            .last()
+            .expect("table is never empty");
+        self.supported_graphics_clocks(mem)
+            .expect("top mem clock is supported")
+    }
+
+    fn set_clocks(&self, caller: Caller, clocks: ClockConfig) -> HalResult<()> {
+        self.set_application_clocks(caller, clocks)
+    }
+
+    fn reset_clocks(&self, caller: Caller) -> HalResult<()> {
+        self.reset_application_clocks(caller)
+    }
+
+    fn set_restriction(&self, caller: Caller, restricted: bool) -> HalResult<()> {
+        self.set_api_restriction(caller, RestrictedApi::SetApplicationClocks, restricted)
+    }
+
+    fn restricted(&self) -> bool {
+        self.api_restricted()
+    }
+
+    fn power_usage_w(&self) -> f64 {
+        NvmlDevice::power_usage_w(self)
+    }
+
+    fn total_energy_j(&self) -> f64 {
+        self.total_energy_mj() * 1e-3
+    }
+
+    fn raw(&self) -> &Arc<SimDevice> {
+        NvmlDevice::raw(self)
+    }
+}
+
+impl DeviceManagement for RocmDevice {
+    fn name(&self) -> String {
+        RocmDevice::name(self)
+    }
+
+    fn supported_memory_clocks(&self) -> Vec<u32> {
+        vec![self.mclk_mhz()]
+    }
+
+    fn supported_core_clocks(&self) -> Vec<u32> {
+        self.supported_sclk()
+    }
+
+    fn set_clocks(&self, caller: Caller, clocks: ClockConfig) -> HalResult<()> {
+        if clocks.mem_mhz != self.mclk_mhz() {
+            return Err(HalError::UnsupportedClock(clocks));
+        }
+        self.set_perf_level(
+            caller,
+            PerfLevel::Manual {
+                sclk_mhz: clocks.core_mhz,
+            },
+        )
+    }
+
+    fn reset_clocks(&self, caller: Caller) -> HalResult<()> {
+        self.set_perf_level(caller, PerfLevel::Auto)
+    }
+
+    fn set_restriction(&self, caller: Caller, restricted: bool) -> HalResult<()> {
+        RocmDevice::set_restriction(self, caller, restricted)
+    }
+
+    fn restricted(&self) -> bool {
+        self.raw().api_restricted()
+    }
+
+    fn power_usage_w(&self) -> f64 {
+        RocmDevice::power_usage_w(self)
+    }
+
+    fn total_energy_j(&self) -> f64 {
+        self.total_energy_mj() * 1e-3
+    }
+
+    fn raw(&self) -> &Arc<SimDevice> {
+        RocmDevice::raw(self)
+    }
+}
+
+/// Open the vendor-appropriate management handle for a board — the
+/// dispatch that makes the SYnergy API portable.
+pub fn open_device(dev: Arc<SimDevice>) -> Arc<dyn DeviceManagement> {
+    match dev.spec().vendor {
+        Vendor::Nvidia => {
+            Arc::new(NvmlDevice::new(dev).expect("vendor checked")) as Arc<dyn DeviceManagement>
+        }
+        Vendor::Amd => {
+            Arc::new(RocmDevice::new(dev).expect("vendor checked")) as Arc<dyn DeviceManagement>
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use synergy_sim::DeviceSpec;
+
+    #[test]
+    fn open_dispatches_by_vendor() {
+        let nv = open_device(SimDevice::new(DeviceSpec::v100(), 0));
+        assert_eq!(nv.name(), "NVIDIA V100");
+        let amd = open_device(SimDevice::new(DeviceSpec::mi100(), 0));
+        assert_eq!(amd.name(), "AMD MI100");
+    }
+
+    #[test]
+    fn portable_surface_works_on_both_vendors() {
+        for dev in [
+            open_device(SimDevice::new(DeviceSpec::v100(), 0)),
+            open_device(SimDevice::new(DeviceSpec::mi100(), 0)),
+        ] {
+            let mems = dev.supported_memory_clocks();
+            let cores = dev.supported_core_clocks();
+            assert!(!mems.is_empty() && !cores.is_empty());
+            let cfg = ClockConfig::new(*mems.last().unwrap(), cores[0]);
+            // Restricted: user denied, root allowed.
+            assert_eq!(
+                dev.set_clocks(Caller::User(1), cfg).unwrap_err(),
+                HalError::NoPermission
+            );
+            dev.set_clocks(Caller::Root, cfg).unwrap();
+            assert_eq!(dev.raw().effective_clocks(), cfg);
+            dev.reset_clocks(Caller::Root).unwrap();
+            assert!(dev.restricted());
+            dev.set_restriction(Caller::Root, false).unwrap();
+            dev.set_clocks(Caller::User(1), cfg).unwrap();
+            assert!(dev.power_usage_w() >= 0.0);
+            assert!(dev.total_energy_j() >= 0.0);
+        }
+    }
+
+    #[test]
+    fn rocm_rejects_foreign_mem_clock() {
+        let amd = open_device(SimDevice::new(DeviceSpec::mi100(), 0));
+        let err = amd
+            .set_clocks(Caller::Root, ClockConfig::new(877, 1502))
+            .unwrap_err();
+        assert!(matches!(err, HalError::UnsupportedClock(_)));
+    }
+}

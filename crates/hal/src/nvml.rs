@@ -1,0 +1,320 @@
+//! NVML analogue: the NVIDIA Management Library surface the paper's
+//! runtime and SLURM plugin program against.
+//!
+//! Reproduced semantics:
+//! * `init` / device enumeration by index;
+//! * supported memory/graphics clock queries;
+//! * `set_application_clocks` — rejected with `NoPermission` for
+//!   unprivileged callers while the API restriction is in place;
+//! * `set_api_restriction` — root-only toggle that lowers the privilege
+//!   requirement for application-clock calls on one board;
+//! * root-only locked (min/max) clocks that bound application clocks;
+//! * board power reads (smoothed sensor with ~15 ms granularity) and the
+//!   total-energy counter.
+
+use crate::caller::Caller;
+use crate::error::{HalError, HalResult};
+use std::sync::Arc;
+use synergy_sim::{ClockConfig, SimDevice, Vendor};
+
+/// NVML APIs whose privilege requirement can be lowered per device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RestrictedApi {
+    /// `nvmlDeviceSetApplicationClocks` and the reset call.
+    SetApplicationClocks,
+}
+
+/// An initialized NVML library handle over a node's NVIDIA boards.
+#[derive(Debug, Clone)]
+pub struct Nvml {
+    devices: Vec<Arc<SimDevice>>,
+}
+
+impl Nvml {
+    /// `nvmlInit`: attach to every NVIDIA board among `devices`.
+    /// Boards from other vendors are invisible to NVML.
+    pub fn init(devices: &[Arc<SimDevice>]) -> Nvml {
+        Nvml {
+            devices: devices
+                .iter()
+                .filter(|d| d.spec().vendor == Vendor::Nvidia)
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// Number of visible NVIDIA devices.
+    pub fn device_count(&self) -> u32 {
+        self.devices.len() as u32
+    }
+
+    /// `nvmlDeviceGetHandleByIndex`.
+    pub fn device_by_index(&self, index: u32) -> HalResult<NvmlDevice> {
+        self.devices
+            .get(index as usize)
+            .cloned()
+            .map(|dev| NvmlDevice { dev })
+            .ok_or(HalError::NotFound(index))
+    }
+
+    /// Handles for all visible devices.
+    pub fn devices(&self) -> Vec<NvmlDevice> {
+        self.devices
+            .iter()
+            .cloned()
+            .map(|dev| NvmlDevice { dev })
+            .collect()
+    }
+}
+
+/// A handle to one NVIDIA board.
+#[derive(Debug, Clone)]
+pub struct NvmlDevice {
+    dev: Arc<SimDevice>,
+}
+
+impl NvmlDevice {
+    /// Wrap a raw simulated device; fails on non-NVIDIA boards.
+    pub fn new(dev: Arc<SimDevice>) -> HalResult<NvmlDevice> {
+        if dev.spec().vendor != Vendor::Nvidia {
+            return Err(HalError::WrongVendor);
+        }
+        Ok(NvmlDevice { dev })
+    }
+
+    /// Board name.
+    pub fn name(&self) -> String {
+        self.dev.spec().name.clone()
+    }
+
+    /// Board UUID.
+    pub fn uuid(&self) -> String {
+        self.dev.uuid().to_string()
+    }
+
+    /// `nvmlDeviceGetSupportedMemoryClocks`.
+    pub fn supported_memory_clocks(&self) -> Vec<u32> {
+        self.dev.spec().freq_table.mem_mhz.clone()
+    }
+
+    /// `nvmlDeviceGetSupportedGraphicsClocks(mem_mhz)`.
+    pub fn supported_graphics_clocks(&self, mem_mhz: u32) -> HalResult<Vec<u32>> {
+        let table = &self.dev.spec().freq_table;
+        if table.mem_mhz.binary_search(&mem_mhz).is_err() {
+            return Err(HalError::UnsupportedClock(ClockConfig::new(mem_mhz, 0)));
+        }
+        Ok(table.core_mhz.clone())
+    }
+
+    /// `nvmlDeviceSetApplicationsClocks`: root, or any caller once the API
+    /// restriction has been lowered on this board.
+    pub fn set_application_clocks(
+        &self,
+        caller: Caller,
+        clocks: ClockConfig,
+    ) -> HalResult<()> {
+        self.check_app_clock_permission(caller)?;
+        self.dev.set_application_clocks(clocks)?;
+        Ok(())
+    }
+
+    /// `nvmlDeviceResetApplicationsClocks` (same permission rule).
+    pub fn reset_application_clocks(&self, caller: Caller) -> HalResult<()> {
+        self.check_app_clock_permission(caller)?;
+        self.dev.reset_application_clocks();
+        Ok(())
+    }
+
+    fn check_app_clock_permission(&self, caller: Caller) -> HalResult<()> {
+        if caller.is_root() || !self.dev.api_restricted() {
+            Ok(())
+        } else {
+            Err(HalError::NoPermission)
+        }
+    }
+
+    /// Current application clocks, if set.
+    pub fn application_clocks(&self) -> Option<ClockConfig> {
+        self.dev.application_clocks()
+    }
+
+    /// `nvmlDeviceSetAPIRestriction(SetApplicationClocks, ...)` — strictly
+    /// root-only; this is the privilege-raising lever of Section 7.
+    pub fn set_api_restriction(
+        &self,
+        caller: Caller,
+        _api: RestrictedApi,
+        restricted: bool,
+    ) -> HalResult<()> {
+        if !caller.is_root() {
+            return Err(HalError::NoPermission);
+        }
+        self.dev.set_api_restriction(restricted);
+        Ok(())
+    }
+
+    /// Whether application-clock calls currently require root.
+    pub fn api_restricted(&self) -> bool {
+        self.dev.api_restricted()
+    }
+
+    /// `nvmlDeviceSetGpuLockedClocks` — hard min/max bounds, root-only; the
+    /// paper notes privileges for these "cannot be lowered".
+    pub fn set_locked_clocks(&self, caller: Caller, lo: u32, hi: u32) -> HalResult<()> {
+        if !caller.is_root() {
+            return Err(HalError::NoPermission);
+        }
+        self.dev.set_locked_core_clocks(Some((lo, hi)))?;
+        Ok(())
+    }
+
+    /// `nvmlDeviceResetGpuLockedClocks` (root-only).
+    pub fn reset_locked_clocks(&self, caller: Caller) -> HalResult<()> {
+        if !caller.is_root() {
+            return Err(HalError::NoPermission);
+        }
+        self.dev.set_locked_core_clocks(None)?;
+        Ok(())
+    }
+
+    /// `nvmlDeviceGetPowerUsage`: current smoothed board power in watts
+    /// (unprivileged).
+    pub fn power_usage_w(&self) -> f64 {
+        self.dev.power_usage_w()
+    }
+
+    /// `nvmlDeviceGetTotalEnergyConsumption`: millijoules since power-on.
+    pub fn total_energy_mj(&self) -> f64 {
+        self.dev.total_energy_mj()
+    }
+
+    /// The underlying simulated board (for the runtime executor).
+    pub fn raw(&self) -> &Arc<SimDevice> {
+        &self.dev
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use synergy_sim::{DeviceSpec, SimNode};
+
+    fn nvml_node() -> (SimNode, Nvml) {
+        let node = SimNode::marconi100("node001");
+        let nvml = Nvml::init(&node.gpus);
+        (node, nvml)
+    }
+
+    #[test]
+    fn init_sees_only_nvidia() {
+        let (_n, nvml) = nvml_node();
+        assert_eq!(nvml.device_count(), 4);
+        let amd = SimNode::amd_node("amd01");
+        let nvml_amd = Nvml::init(&amd.gpus);
+        assert_eq!(nvml_amd.device_count(), 0);
+    }
+
+    #[test]
+    fn wrong_vendor_handle_rejected() {
+        let amd = SimDevice::new(DeviceSpec::mi100(), 0);
+        assert_eq!(NvmlDevice::new(amd).unwrap_err(), HalError::WrongVendor);
+    }
+
+    #[test]
+    fn out_of_range_index() {
+        let (_n, nvml) = nvml_node();
+        assert_eq!(nvml.device_by_index(9).unwrap_err(), HalError::NotFound(9));
+    }
+
+    #[test]
+    fn user_cannot_set_clocks_while_restricted() {
+        let (_n, nvml) = nvml_node();
+        let dev = nvml.device_by_index(0).unwrap();
+        let err = dev
+            .set_application_clocks(Caller::User(1000), ClockConfig::new(877, 1530))
+            .unwrap_err();
+        assert_eq!(err, HalError::NoPermission);
+    }
+
+    #[test]
+    fn root_can_always_set_clocks() {
+        let (_n, nvml) = nvml_node();
+        let dev = nvml.device_by_index(0).unwrap();
+        dev.set_application_clocks(Caller::Root, ClockConfig::new(877, 1530))
+            .unwrap();
+        assert_eq!(dev.application_clocks(), Some(ClockConfig::new(877, 1530)));
+    }
+
+    #[test]
+    fn lowering_restriction_enables_user_clock_control() {
+        let (_n, nvml) = nvml_node();
+        let dev = nvml.device_by_index(0).unwrap();
+        dev.set_api_restriction(Caller::Root, RestrictedApi::SetApplicationClocks, false)
+            .unwrap();
+        dev.set_application_clocks(Caller::User(1000), ClockConfig::new(877, 135))
+            .unwrap();
+        dev.reset_application_clocks(Caller::User(1000)).unwrap();
+        // Restore: user loses access again.
+        dev.set_api_restriction(Caller::Root, RestrictedApi::SetApplicationClocks, true)
+            .unwrap();
+        let err = dev
+            .set_application_clocks(Caller::User(1000), ClockConfig::new(877, 135))
+            .unwrap_err();
+        assert_eq!(err, HalError::NoPermission);
+    }
+
+    #[test]
+    fn user_cannot_toggle_restriction() {
+        let (_n, nvml) = nvml_node();
+        let dev = nvml.device_by_index(0).unwrap();
+        let err = dev
+            .set_api_restriction(
+                Caller::User(1000),
+                RestrictedApi::SetApplicationClocks,
+                false,
+            )
+            .unwrap_err();
+        assert_eq!(err, HalError::NoPermission);
+    }
+
+    #[test]
+    fn locked_clocks_root_only() {
+        let (_n, nvml) = nvml_node();
+        let dev = nvml.device_by_index(0).unwrap();
+        assert_eq!(
+            dev.set_locked_clocks(Caller::User(7), 135, 1000).unwrap_err(),
+            HalError::NoPermission
+        );
+        dev.set_locked_clocks(Caller::Root, 135, 1000).unwrap();
+        dev.reset_locked_clocks(Caller::Root).unwrap();
+    }
+
+    #[test]
+    fn clock_queries_match_spec() {
+        let (_n, nvml) = nvml_node();
+        let dev = nvml.device_by_index(0).unwrap();
+        assert_eq!(dev.supported_memory_clocks(), vec![877]);
+        let cores = dev.supported_graphics_clocks(877).unwrap();
+        assert_eq!(cores.len(), 196);
+        assert!(dev.supported_graphics_clocks(1215).is_err());
+    }
+
+    #[test]
+    fn invalid_clock_propagates() {
+        let (_n, nvml) = nvml_node();
+        let dev = nvml.device_by_index(0).unwrap();
+        let err = dev
+            .set_application_clocks(Caller::Root, ClockConfig::new(877, 77777))
+            .unwrap_err();
+        assert!(matches!(err, HalError::UnsupportedClock(_)));
+    }
+
+    #[test]
+    fn power_and_energy_reads_are_unprivileged() {
+        let (node, nvml) = nvml_node();
+        node.gpus[0].advance_idle(100_000_000);
+        let dev = nvml.device_by_index(0).unwrap();
+        assert!(dev.power_usage_w() > 0.0);
+        assert!(dev.total_energy_mj() > 0.0);
+    }
+}

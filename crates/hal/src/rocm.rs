@@ -1,0 +1,233 @@
+//! ROCm SMI analogue: the AMD system-management surface.
+//!
+//! AMD boards expose performance levels rather than application clocks:
+//! `auto` (the firmware picks, which is why MI100 has no default
+//! configuration in Figure 1), `manual` with an explicit sclk ceiling, or
+//! `high`/`low` shortcuts. Clock control requires root or a prior
+//! unrestriction, matching how production clusters gate `rocm-smi`.
+
+use crate::caller::Caller;
+use crate::error::{HalError, HalResult};
+use std::sync::Arc;
+use synergy_sim::{ClockConfig, SimDevice, Vendor};
+
+/// AMD performance-level selection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PerfLevel {
+    /// Firmware-managed boosting (the MI100 default).
+    Auto,
+    /// Pin the sclk to an explicit supported frequency.
+    Manual {
+        /// Target core clock in MHz (must be in the supported table).
+        sclk_mhz: u32,
+    },
+    /// Highest supported sclk.
+    High,
+    /// Lowest supported sclk.
+    Low,
+}
+
+/// An initialized ROCm SMI handle over a node's AMD boards.
+#[derive(Debug, Clone)]
+pub struct RocmSmi {
+    devices: Vec<Arc<SimDevice>>,
+}
+
+impl RocmSmi {
+    /// `rsmi_init`: attach to every AMD board among `devices`.
+    pub fn init(devices: &[Arc<SimDevice>]) -> RocmSmi {
+        RocmSmi {
+            devices: devices
+                .iter()
+                .filter(|d| d.spec().vendor == Vendor::Amd)
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// Number of visible AMD devices.
+    pub fn device_count(&self) -> u32 {
+        self.devices.len() as u32
+    }
+
+    /// Handle by index.
+    pub fn device_by_index(&self, index: u32) -> HalResult<RocmDevice> {
+        self.devices
+            .get(index as usize)
+            .cloned()
+            .map(|dev| RocmDevice { dev })
+            .ok_or(HalError::NotFound(index))
+    }
+}
+
+/// A handle to one AMD board.
+#[derive(Debug, Clone)]
+pub struct RocmDevice {
+    dev: Arc<SimDevice>,
+}
+
+impl RocmDevice {
+    /// Wrap a raw simulated device; fails on non-AMD boards.
+    pub fn new(dev: Arc<SimDevice>) -> HalResult<RocmDevice> {
+        if dev.spec().vendor != Vendor::Amd {
+            return Err(HalError::WrongVendor);
+        }
+        Ok(RocmDevice { dev })
+    }
+
+    /// Board name.
+    pub fn name(&self) -> String {
+        self.dev.spec().name.clone()
+    }
+
+    /// Supported sclk frequencies (`rsmi_dev_gpu_clk_freq_get`).
+    pub fn supported_sclk(&self) -> Vec<u32> {
+        self.dev.spec().freq_table.core_mhz.clone()
+    }
+
+    /// The fixed memory clock of the HBM stack.
+    pub fn mclk_mhz(&self) -> u32 {
+        self.dev.spec().freq_table.top_mem()
+    }
+
+    /// `rsmi_dev_perf_level_set` (+ manual sclk pin). Root-only while the
+    /// board is restricted.
+    pub fn set_perf_level(&self, caller: Caller, level: PerfLevel) -> HalResult<()> {
+        if !caller.is_root() && self.dev.api_restricted() {
+            return Err(HalError::NoPermission);
+        }
+        let mem = self.mclk_mhz();
+        match level {
+            PerfLevel::Auto => {
+                self.dev.reset_application_clocks();
+                Ok(())
+            }
+            PerfLevel::Manual { sclk_mhz } => {
+                self.dev
+                    .set_application_clocks(ClockConfig::new(mem, sclk_mhz))?;
+                Ok(())
+            }
+            PerfLevel::High => {
+                let hi = self.dev.spec().freq_table.max_core();
+                self.dev.set_application_clocks(ClockConfig::new(mem, hi))?;
+                Ok(())
+            }
+            PerfLevel::Low => {
+                let lo = self.dev.spec().freq_table.min_core();
+                self.dev.set_application_clocks(ClockConfig::new(mem, lo))?;
+                Ok(())
+            }
+        }
+    }
+
+    /// Root-only toggle allowing unprivileged perf-level control
+    /// (the AMD-side equivalent the paper's plugin would use).
+    pub fn set_restriction(&self, caller: Caller, restricted: bool) -> HalResult<()> {
+        if !caller.is_root() {
+            return Err(HalError::NoPermission);
+        }
+        self.dev.set_api_restriction(restricted);
+        Ok(())
+    }
+
+    /// Current pinned sclk, `None` in auto mode.
+    pub fn pinned_sclk(&self) -> Option<u32> {
+        self.dev.application_clocks().map(|c| c.core_mhz)
+    }
+
+    /// Board power in watts (`rsmi_dev_power_ave_get`).
+    pub fn power_usage_w(&self) -> f64 {
+        self.dev.power_usage_w()
+    }
+
+    /// Accumulated energy counter in millijoules
+    /// (`rsmi_dev_energy_count_get`).
+    pub fn total_energy_mj(&self) -> f64 {
+        self.dev.total_energy_mj()
+    }
+
+    /// The underlying simulated board.
+    pub fn raw(&self) -> &Arc<SimDevice> {
+        &self.dev
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use synergy_sim::{DeviceSpec, SimNode};
+
+    fn rocm() -> (SimNode, RocmDevice) {
+        let node = SimNode::amd_node("amd01");
+        let smi = RocmSmi::init(&node.gpus);
+        let dev = smi.device_by_index(0).unwrap();
+        (node, dev)
+    }
+
+    #[test]
+    fn init_sees_only_amd() {
+        let nvidia = SimNode::marconi100("node001");
+        assert_eq!(RocmSmi::init(&nvidia.gpus).device_count(), 0);
+        let amd = SimNode::amd_node("amd01");
+        assert_eq!(RocmSmi::init(&amd.gpus).device_count(), 1);
+    }
+
+    #[test]
+    fn wrong_vendor_rejected() {
+        let v100 = SimDevice::new(DeviceSpec::v100(), 0);
+        assert_eq!(RocmDevice::new(v100).unwrap_err(), HalError::WrongVendor);
+    }
+
+    #[test]
+    fn perf_levels_map_to_clocks() {
+        let (_n, dev) = rocm();
+        dev.set_perf_level(Caller::Root, PerfLevel::High).unwrap();
+        assert_eq!(dev.pinned_sclk(), Some(1502));
+        dev.set_perf_level(Caller::Root, PerfLevel::Low).unwrap();
+        assert_eq!(dev.pinned_sclk(), Some(300));
+        dev.set_perf_level(Caller::Root, PerfLevel::Manual { sclk_mhz: 300 })
+            .unwrap();
+        assert_eq!(dev.pinned_sclk(), Some(300));
+        dev.set_perf_level(Caller::Root, PerfLevel::Auto).unwrap();
+        assert_eq!(dev.pinned_sclk(), None);
+    }
+
+    #[test]
+    fn manual_requires_supported_sclk() {
+        let (_n, dev) = rocm();
+        let err = dev
+            .set_perf_level(Caller::Root, PerfLevel::Manual { sclk_mhz: 301 })
+            .unwrap_err();
+        assert!(matches!(err, HalError::UnsupportedClock(_)));
+    }
+
+    #[test]
+    fn user_blocked_until_unrestricted() {
+        let (_n, dev) = rocm();
+        let err = dev
+            .set_perf_level(Caller::User(500), PerfLevel::High)
+            .unwrap_err();
+        assert_eq!(err, HalError::NoPermission);
+        dev.set_restriction(Caller::Root, false).unwrap();
+        dev.set_perf_level(Caller::User(500), PerfLevel::High).unwrap();
+        assert_eq!(
+            dev.set_restriction(Caller::User(500), true).unwrap_err(),
+            HalError::NoPermission
+        );
+    }
+
+    #[test]
+    fn clock_table_matches_figure1() {
+        let (_n, dev) = rocm();
+        assert_eq!(dev.supported_sclk().len(), 16);
+        assert_eq!(dev.mclk_mhz(), 1200);
+    }
+
+    #[test]
+    fn power_reads_work() {
+        let (node, dev) = rocm();
+        node.gpus[0].advance_idle(50_000_000);
+        assert!(dev.power_usage_w() > 0.0);
+        assert!(dev.total_energy_mj() > 0.0);
+    }
+}

@@ -1,0 +1,210 @@
+//! Human-readable IR dumps and structural validation.
+//!
+//! `dump` renders a kernel the way a compiler's `-emit-ir` flag would —
+//! indented, one statement per line — which makes calibration reviews and
+//! bug reports tractable. `validate` rejects structurally broken IRs
+//! (non-finite probabilities or trip counts, zero-count ops) before they
+//! reach the extraction pass.
+
+use crate::ir::{KernelIr, Stmt, TripCount};
+use std::fmt::Write;
+
+/// Render a kernel IR as indented text.
+pub fn dump(kernel: &KernelIr) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "kernel {} (width {} B, coalescing {:.2}, dram {:.2}) {{",
+        kernel.name,
+        kernel.element_width.bytes(),
+        kernel.coalescing,
+        kernel.dram_fraction
+    );
+    dump_stmts(&kernel.body, 1, &mut out);
+    out.push_str("}\n");
+    out
+}
+
+fn indent(depth: usize, out: &mut String) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+fn dump_stmts(stmts: &[Stmt], depth: usize, out: &mut String) {
+    for stmt in stmts {
+        indent(depth, out);
+        match stmt {
+            Stmt::Op(inst, count) => {
+                let _ = writeln!(out, "{inst:?} x{count}");
+            }
+            Stmt::Loop { trip, body } => {
+                match trip {
+                    TripCount::Const(n) => {
+                        let _ = writeln!(out, "loop {n} {{");
+                    }
+                    TripCount::Estimated(e) => {
+                        let _ = writeln!(out, "loop ~{e:.1} {{");
+                    }
+                }
+                dump_stmts(body, depth + 1, out);
+                indent(depth, out);
+                out.push_str("}\n");
+            }
+            Stmt::Branch { prob, then, els } => {
+                let _ = writeln!(out, "if p={prob:.2} {{");
+                dump_stmts(then, depth + 1, out);
+                indent(depth, out);
+                out.push_str("} else {\n");
+                dump_stmts(els, depth + 1, out);
+                indent(depth, out);
+                out.push_str("}\n");
+            }
+        }
+    }
+}
+
+/// A structural defect found by [`validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IrDefect {
+    /// An `Op` with a zero repeat count (dead statement).
+    ZeroCountOp,
+    /// A loop trip count that is not finite or is negative.
+    BadTripCount,
+    /// A branch probability outside `[0, 1]` or not finite.
+    BadBranchProbability,
+    /// An empty loop body (burns trips doing nothing).
+    EmptyLoopBody,
+    /// Coalescing or DRAM fraction outside their valid ranges.
+    BadMemoryFractions,
+}
+
+/// Validate a kernel IR; returns every defect found (empty = valid).
+pub fn validate(kernel: &KernelIr) -> Vec<IrDefect> {
+    let mut defects = Vec::new();
+    if !(0.0..=1.0).contains(&kernel.coalescing)
+        || !(0.0..=1.0).contains(&kernel.dram_fraction)
+        || !kernel.coalescing.is_finite()
+        || !kernel.dram_fraction.is_finite()
+    {
+        defects.push(IrDefect::BadMemoryFractions);
+    }
+    fn walk(stmts: &[Stmt], defects: &mut Vec<IrDefect>) {
+        for stmt in stmts {
+            match stmt {
+                Stmt::Op(_, 0) => defects.push(IrDefect::ZeroCountOp),
+                Stmt::Op(..) => {}
+                Stmt::Loop { trip, body } => {
+                    match trip {
+                        TripCount::Estimated(e) if !e.is_finite() || *e < 0.0 => {
+                            defects.push(IrDefect::BadTripCount)
+                        }
+                        _ => {}
+                    }
+                    if body.is_empty() {
+                        defects.push(IrDefect::EmptyLoopBody);
+                    }
+                    walk(body, defects);
+                }
+                Stmt::Branch { prob, then, els } => {
+                    if !prob.is_finite() || !(0.0..=1.0).contains(prob) {
+                        defects.push(IrDefect::BadBranchProbability);
+                    }
+                    walk(then, defects);
+                    walk(els, defects);
+                }
+            }
+        }
+    }
+    walk(&kernel.body, &mut defects);
+    defects
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{Inst, IrBuilder};
+
+    fn sample() -> KernelIr {
+        IrBuilder::new()
+            .ops(Inst::GlobalLoad, 2)
+            .loop_n(8, |b| b.ops(Inst::FloatMul, 1).ops(Inst::FloatAdd, 1))
+            .branch(0.25, |b| b.ops(Inst::SpecialFn, 1), |b| b)
+            .ops(Inst::GlobalStore, 1)
+            .build("demo")
+    }
+
+    #[test]
+    fn dump_is_structured_and_complete() {
+        let text = dump(&sample());
+        assert!(text.starts_with("kernel demo"));
+        assert!(text.contains("loop 8 {"));
+        assert!(text.contains("if p=0.25 {"));
+        assert!(text.contains("GlobalLoad x2"));
+        assert!(text.contains("SpecialFn x1"));
+        // Balanced braces.
+        assert_eq!(
+            text.matches('{').count(),
+            text.matches('}').count(),
+            "unbalanced braces in:\n{text}"
+        );
+    }
+
+    #[test]
+    fn valid_kernels_have_no_defects() {
+        assert!(validate(&sample()).is_empty());
+        for b in crate::microbench::generate_default(3) {
+            assert!(validate(&b.ir).is_empty(), "{}", b.ir.name);
+        }
+    }
+
+    #[test]
+    fn detects_zero_count_op() {
+        let k = KernelIr::new("z", vec![Stmt::Op(Inst::IntAdd, 0)]);
+        assert_eq!(validate(&k), vec![IrDefect::ZeroCountOp]);
+    }
+
+    #[test]
+    fn detects_bad_trip_and_empty_body() {
+        let k = KernelIr::new(
+            "bad",
+            vec![Stmt::Loop {
+                trip: TripCount::Estimated(f64::NAN),
+                body: vec![],
+            }],
+        );
+        let d = validate(&k);
+        assert!(d.contains(&IrDefect::BadTripCount));
+        assert!(d.contains(&IrDefect::EmptyLoopBody));
+    }
+
+    #[test]
+    fn detects_bad_branch_probability() {
+        let k = KernelIr::new(
+            "p",
+            vec![Stmt::Branch {
+                prob: f64::INFINITY,
+                then: vec![],
+                els: vec![],
+            }],
+        );
+        assert_eq!(validate(&k), vec![IrDefect::BadBranchProbability]);
+    }
+
+    #[test]
+    fn detects_bad_memory_fractions() {
+        let mut k = sample();
+        k.dram_fraction = f64::NAN;
+        assert!(validate(&k).contains(&IrDefect::BadMemoryFractions));
+    }
+
+    #[test]
+    fn suite_irs_dump_and_validate() {
+        // Smoke over the micro-benchmark suite: dumps stay proportional to
+        // node counts and all validate.
+        for b in crate::microbench::generate_default(1) {
+            let text = dump(&b.ir);
+            assert!(text.lines().count() >= 3);
+        }
+    }
+}

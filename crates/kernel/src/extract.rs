@@ -1,0 +1,246 @@
+//! The static feature-extraction pass.
+//!
+//! This is the compiler-side half of the SYnergy modeling workflow (step ①/④
+//! of Figure 6): walk a kernel's IR and compute the *expected dynamic count*
+//! of each Table-1 instruction class per work-item. Loops multiply their
+//! body counts by the (constant or estimated) trip count; branches weight
+//! both sides by the branch probability.
+//!
+//! The pass also derives the quantities the device model needs beyond the
+//! raw feature vector: expected global memory traffic in bytes per work-item
+//! and the split between loads and stores.
+
+use crate::features::FeatureVector;
+#[cfg(test)]
+use crate::features::FeatureClass;
+use crate::ir::{Inst, KernelIr, Stmt};
+use serde::{Deserialize, Serialize};
+
+/// Everything the extraction pass learns about one kernel.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KernelStaticInfo {
+    /// Kernel name (model key).
+    pub name: String,
+    /// Expected dynamic instruction counts per work-item (Table 1).
+    pub features: FeatureVector,
+    /// Expected global-memory bytes moved per work-item, after applying the
+    /// kernel's coalescing factor (uncoalesced accesses are charged extra
+    /// DRAM traffic, as a wide cache line is fetched for a narrow use).
+    pub global_bytes_per_item: f64,
+    /// Expected global loads per work-item.
+    pub global_loads: f64,
+    /// Expected global stores per work-item.
+    pub global_stores: f64,
+}
+
+impl KernelStaticInfo {
+    /// Arithmetic intensity of the kernel in ops per global byte.
+    /// `INFINITY` when the kernel touches no global memory.
+    pub fn ops_per_byte(&self) -> f64 {
+        if self.global_bytes_per_item == 0.0 {
+            f64::INFINITY
+        } else {
+            self.features.compute_ops() / self.global_bytes_per_item
+        }
+    }
+}
+
+/// Intermediate accumulation while walking the IR.
+#[derive(Debug, Clone, Copy, Default)]
+struct Counts {
+    features: FeatureVector,
+    global_loads: f64,
+    global_stores: f64,
+}
+
+impl Counts {
+    fn add_scaled(&mut self, other: Counts, scale: f64) {
+        self.features += other.features * scale;
+        self.global_loads += other.global_loads * scale;
+        self.global_stores += other.global_stores * scale;
+    }
+
+    fn add_inst(&mut self, inst: Inst, count: f64) {
+        self.features[inst.feature_class()] += count;
+        match inst {
+            Inst::GlobalLoad => self.global_loads += count,
+            Inst::GlobalStore => self.global_stores += count,
+            _ => {}
+        }
+    }
+}
+
+fn walk(stmts: &[Stmt]) -> Counts {
+    let mut acc = Counts::default();
+    for stmt in stmts {
+        match stmt {
+            Stmt::Op(inst, count) => acc.add_inst(*inst, *count as f64),
+            Stmt::Loop { trip, body } => {
+                let inner = walk(body);
+                acc.add_scaled(inner, trip.expected().max(0.0));
+            }
+            Stmt::Branch { prob, then, els } => {
+                let p = prob.clamp(0.0, 1.0);
+                acc.add_scaled(walk(then), p);
+                acc.add_scaled(walk(els), 1.0 - p);
+            }
+        }
+    }
+    acc
+}
+
+/// Run the extraction pass over one kernel.
+///
+/// This is a pure function of the IR: calling it twice yields identical
+/// results, and extraction never fails (an empty body yields the zero
+/// vector).
+pub fn extract(kernel: &KernelIr) -> KernelStaticInfo {
+    let counts = walk(&kernel.body);
+    let accesses = counts.global_loads + counts.global_stores;
+    // Coalesced accesses move exactly the element width; uncoalesced ones
+    // drag a 32-byte DRAM sector for each element touched.
+    const UNCOALESCED_SECTOR: f64 = 32.0;
+    let w = kernel.element_width.bytes();
+    let eff_bytes =
+        kernel.coalescing * w + (1.0 - kernel.coalescing) * UNCOALESCED_SECTOR.max(w);
+    KernelStaticInfo {
+        name: kernel.name.clone(),
+        features: counts.features,
+        global_bytes_per_item: accesses * eff_bytes * kernel.dram_fraction,
+        global_loads: counts.global_loads,
+        global_stores: counts.global_stores,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{ElementWidth, IrBuilder, TripCount};
+
+    #[test]
+    fn straight_line_counts() {
+        let k = IrBuilder::new()
+            .ops(Inst::IntAdd, 3)
+            .ops(Inst::FloatMul, 2)
+            .ops(Inst::GlobalLoad, 2)
+            .ops(Inst::GlobalStore, 1)
+            .build("sl");
+        let info = extract(&k);
+        assert_eq!(info.features[FeatureClass::IntAdd], 3.0);
+        assert_eq!(info.features[FeatureClass::FloatMul], 2.0);
+        assert_eq!(info.features[FeatureClass::GlobalAccess], 3.0);
+        assert_eq!(info.global_loads, 2.0);
+        assert_eq!(info.global_stores, 1.0);
+        // fully coalesced f32: 3 accesses * 4 bytes
+        assert_eq!(info.global_bytes_per_item, 12.0);
+    }
+
+    #[test]
+    fn loops_multiply() {
+        let k = IrBuilder::new()
+            .loop_n(10, |b| {
+                b.ops(Inst::FloatAdd, 1)
+                    .loop_n(4, |b| b.ops(Inst::FloatMul, 2))
+            })
+            .build("loops");
+        let info = extract(&k);
+        assert_eq!(info.features[FeatureClass::FloatAdd], 10.0);
+        assert_eq!(info.features[FeatureClass::FloatMul], 80.0);
+    }
+
+    #[test]
+    fn branches_weight_by_probability() {
+        let k = IrBuilder::new()
+            .branch(
+                0.25,
+                |b| b.ops(Inst::SpecialFn, 4),
+                |b| b.ops(Inst::IntBitwise, 8),
+            )
+            .build("br");
+        let info = extract(&k);
+        assert_eq!(info.features[FeatureClass::SpecialFn], 1.0);
+        assert_eq!(info.features[FeatureClass::IntBitwise], 6.0);
+    }
+
+    #[test]
+    fn estimated_trip_counts() {
+        let k = IrBuilder::new()
+            .loop_est(2.5, |b| b.ops(Inst::IntDiv, 2))
+            .build("est");
+        let info = extract(&k);
+        assert_eq!(info.features[FeatureClass::IntDiv], 5.0);
+    }
+
+    #[test]
+    fn negative_estimated_trip_clamped_to_zero() {
+        let k = KernelIr::new(
+            "neg",
+            vec![Stmt::Loop {
+                trip: TripCount::Estimated(-3.0),
+                body: vec![Stmt::op(Inst::IntAdd)],
+            }],
+        );
+        let info = extract(&k);
+        assert_eq!(info.features[FeatureClass::IntAdd], 0.0);
+        assert!(info.features.is_valid());
+    }
+
+    #[test]
+    fn uncoalesced_access_costs_a_sector() {
+        let k = IrBuilder::new()
+            .ops(Inst::GlobalLoad, 1)
+            .build("uc")
+            .with_coalescing(0.0);
+        let info = extract(&k);
+        assert_eq!(info.global_bytes_per_item, 32.0);
+    }
+
+    #[test]
+    fn word8_coalesced_bytes() {
+        let k = IrBuilder::new()
+            .ops(Inst::GlobalLoad, 3)
+            .build("w8")
+            .with_element_width(ElementWidth::Word8);
+        let info = extract(&k);
+        assert_eq!(info.global_bytes_per_item, 24.0);
+    }
+
+    #[test]
+    fn dram_fraction_scales_traffic() {
+        let k = IrBuilder::new()
+            .ops(Inst::GlobalLoad, 4)
+            .build("cache")
+            .with_dram_fraction(0.25);
+        let info = extract(&k);
+        assert_eq!(info.global_bytes_per_item, 4.0 * 4.0 * 0.25);
+        // Issue counts are unaffected by caching.
+        assert_eq!(info.features[FeatureClass::GlobalAccess], 4.0);
+    }
+
+    #[test]
+    fn empty_kernel_is_zero() {
+        let info = extract(&KernelIr::new("empty", vec![]));
+        assert_eq!(info.features, FeatureVector::ZERO);
+        assert!(info.ops_per_byte().is_infinite());
+    }
+
+    #[test]
+    fn extraction_is_deterministic() {
+        let k = IrBuilder::new()
+            .loop_n(7, |b| b.ops(Inst::FloatDiv, 1).ops(Inst::GlobalLoad, 2))
+            .branch(0.5, |b| b.ops(Inst::SpecialFn, 1), |b| b)
+            .build("det");
+        assert_eq!(extract(&k), extract(&k));
+    }
+
+    #[test]
+    fn local_accesses_do_not_count_as_global_traffic() {
+        let k = IrBuilder::new()
+            .ops(Inst::LocalLoad, 5)
+            .ops(Inst::LocalStore, 5)
+            .build("loc");
+        let info = extract(&k);
+        assert_eq!(info.features[FeatureClass::LocalAccess], 10.0);
+        assert_eq!(info.global_bytes_per_item, 0.0);
+    }
+}

@@ -1,0 +1,305 @@
+//! Static code features (Table 1 of the SYnergy paper).
+//!
+//! Every kernel is represented by a 10-dimensional static feature vector
+//! \\(\vec k\\) whose components count, per work-item, the expected dynamic
+//! occurrences of each instruction class:
+//!
+//! | feature        | description                                |
+//! |----------------|--------------------------------------------|
+//! | `int_add`      | integer additions and subtractions         |
+//! | `int_mul`      | integer multiplications                    |
+//! | `int_div`      | integer divisions                          |
+//! | `int_bw`       | integer bitwise operations                 |
+//! | `float_add`    | floating point additions and subtractions  |
+//! | `float_mul`    | floating point multiplications             |
+//! | `float_div`    | floating point divisions                   |
+//! | `sf`           | special functions (exp, log, sqrt, sin...) |
+//! | `gl_access`    | global memory accesses                     |
+//! | `loc_access`   | local memory accesses                      |
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Index, IndexMut, Mul};
+
+/// Number of static feature classes (Table 1).
+pub const NUM_FEATURES: usize = 10;
+
+/// One instruction class of the Table-1 feature space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[repr(usize)]
+pub enum FeatureClass {
+    /// Integer additions and subtractions (`k_int_add`).
+    IntAdd = 0,
+    /// Integer multiplications (`k_int_mul`).
+    IntMul = 1,
+    /// Integer divisions (`k_int_div`).
+    IntDiv = 2,
+    /// Integer bitwise operations (`k_int_bw`).
+    IntBitwise = 3,
+    /// Floating point additions and subtractions (`k_float_add`).
+    FloatAdd = 4,
+    /// Floating point multiplications (`k_float_mul`).
+    FloatMul = 5,
+    /// Floating point divisions (`k_float_div`).
+    FloatDiv = 6,
+    /// Special functions: transcendental / sqrt / rsqrt (`k_sf`).
+    SpecialFn = 7,
+    /// Global memory accesses (`k_gl_access`).
+    GlobalAccess = 8,
+    /// Local (shared) memory accesses (`k_loc_access`).
+    LocalAccess = 9,
+}
+
+impl FeatureClass {
+    /// All feature classes, in Table-1 order.
+    pub const ALL: [FeatureClass; NUM_FEATURES] = [
+        FeatureClass::IntAdd,
+        FeatureClass::IntMul,
+        FeatureClass::IntDiv,
+        FeatureClass::IntBitwise,
+        FeatureClass::FloatAdd,
+        FeatureClass::FloatMul,
+        FeatureClass::FloatDiv,
+        FeatureClass::SpecialFn,
+        FeatureClass::GlobalAccess,
+        FeatureClass::LocalAccess,
+    ];
+
+    /// The short name used in the paper (`k_<name>`).
+    pub fn name(self) -> &'static str {
+        match self {
+            FeatureClass::IntAdd => "int_add",
+            FeatureClass::IntMul => "int_mul",
+            FeatureClass::IntDiv => "int_div",
+            FeatureClass::IntBitwise => "int_bw",
+            FeatureClass::FloatAdd => "float_add",
+            FeatureClass::FloatMul => "float_mul",
+            FeatureClass::FloatDiv => "float_div",
+            FeatureClass::SpecialFn => "sf",
+            FeatureClass::GlobalAccess => "gl_access",
+            FeatureClass::LocalAccess => "loc_access",
+        }
+    }
+
+    /// Whether the class is a memory access rather than an ALU operation.
+    pub fn is_memory(self) -> bool {
+        matches!(self, FeatureClass::GlobalAccess | FeatureClass::LocalAccess)
+    }
+}
+
+impl fmt::Display for FeatureClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The static feature vector \\(\vec k\\): expected dynamic instruction counts
+/// per work-item, one entry per [`FeatureClass`].
+///
+/// Counts are `f64` because branch-probability weighting in the extraction
+/// pass produces fractional expectations.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct FeatureVector(pub [f64; NUM_FEATURES]);
+
+impl FeatureVector {
+    /// The all-zero vector (an empty kernel).
+    pub const ZERO: FeatureVector = FeatureVector([0.0; NUM_FEATURES]);
+
+    /// Build from an explicit array in Table-1 order.
+    pub fn from_array(a: [f64; NUM_FEATURES]) -> Self {
+        FeatureVector(a)
+    }
+
+    /// A vector with `count` in a single class and zero elsewhere.
+    pub fn single(class: FeatureClass, count: f64) -> Self {
+        let mut v = FeatureVector::ZERO;
+        v[class] = count;
+        v
+    }
+
+    /// Total expected instructions per work-item (all classes).
+    pub fn total(&self) -> f64 {
+        self.0.iter().sum()
+    }
+
+    /// Total compute (non-memory) operations per work-item.
+    pub fn compute_ops(&self) -> f64 {
+        FeatureClass::ALL
+            .iter()
+            .filter(|c| !c.is_memory())
+            .map(|&c| self[c])
+            .sum()
+    }
+
+    /// Total memory accesses (global + local) per work-item.
+    pub fn memory_ops(&self) -> f64 {
+        self[FeatureClass::GlobalAccess] + self[FeatureClass::LocalAccess]
+    }
+
+    /// Arithmetic intensity: compute operations per global memory access.
+    /// Returns `f64::INFINITY` for kernels with no global accesses.
+    pub fn arithmetic_intensity(&self) -> f64 {
+        let gl = self[FeatureClass::GlobalAccess];
+        if gl == 0.0 {
+            f64::INFINITY
+        } else {
+            self.compute_ops() / gl
+        }
+    }
+
+    /// True if every component is finite and non-negative.
+    pub fn is_valid(&self) -> bool {
+        self.0.iter().all(|&x| x.is_finite() && x >= 0.0)
+    }
+
+    /// Iterate `(class, count)` pairs in Table-1 order.
+    pub fn iter(&self) -> impl Iterator<Item = (FeatureClass, f64)> + '_ {
+        FeatureClass::ALL.iter().map(move |&c| (c, self[c]))
+    }
+
+    /// The vector as a plain slice (model input row).
+    pub fn as_slice(&self) -> &[f64] {
+        &self.0
+    }
+}
+
+impl Index<FeatureClass> for FeatureVector {
+    type Output = f64;
+    fn index(&self, c: FeatureClass) -> &f64 {
+        &self.0[c as usize]
+    }
+}
+
+impl IndexMut<FeatureClass> for FeatureVector {
+    fn index_mut(&mut self, c: FeatureClass) -> &mut f64 {
+        &mut self.0[c as usize]
+    }
+}
+
+impl Add for FeatureVector {
+    type Output = FeatureVector;
+    fn add(mut self, rhs: FeatureVector) -> FeatureVector {
+        self += rhs;
+        self
+    }
+}
+
+impl AddAssign for FeatureVector {
+    fn add_assign(&mut self, rhs: FeatureVector) {
+        for i in 0..NUM_FEATURES {
+            self.0[i] += rhs.0[i];
+        }
+    }
+}
+
+impl Mul<f64> for FeatureVector {
+    type Output = FeatureVector;
+    fn mul(mut self, s: f64) -> FeatureVector {
+        for x in &mut self.0 {
+            *x *= s;
+        }
+        self
+    }
+}
+
+impl fmt::Display for FeatureVector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "k(")?;
+        for (i, (c, v)) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{c}={v:.2}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_order_matches_table1() {
+        let names: Vec<_> = FeatureClass::ALL.iter().map(|c| c.name()).collect();
+        assert_eq!(
+            names,
+            [
+                "int_add",
+                "int_mul",
+                "int_div",
+                "int_bw",
+                "float_add",
+                "float_mul",
+                "float_div",
+                "sf",
+                "gl_access",
+                "loc_access"
+            ]
+        );
+    }
+
+    #[test]
+    fn indexing_roundtrip() {
+        let mut v = FeatureVector::ZERO;
+        for (i, &c) in FeatureClass::ALL.iter().enumerate() {
+            v[c] = i as f64;
+        }
+        for (i, &c) in FeatureClass::ALL.iter().enumerate() {
+            assert_eq!(v[c], i as f64);
+            assert_eq!(v.0[i], i as f64);
+        }
+    }
+
+    #[test]
+    fn totals_split_by_memory() {
+        let mut v = FeatureVector::ZERO;
+        v[FeatureClass::FloatAdd] = 3.0;
+        v[FeatureClass::FloatMul] = 2.0;
+        v[FeatureClass::GlobalAccess] = 4.0;
+        v[FeatureClass::LocalAccess] = 1.0;
+        assert_eq!(v.compute_ops(), 5.0);
+        assert_eq!(v.memory_ops(), 5.0);
+        assert_eq!(v.total(), 10.0);
+        assert!((v.arithmetic_intensity() - 5.0 / 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn arithmetic_intensity_no_global_is_infinite() {
+        let v = FeatureVector::single(FeatureClass::FloatAdd, 7.0);
+        assert!(v.arithmetic_intensity().is_infinite());
+    }
+
+    #[test]
+    fn add_and_scale() {
+        let a = FeatureVector::single(FeatureClass::IntAdd, 2.0);
+        let b = FeatureVector::single(FeatureClass::IntAdd, 3.0);
+        assert_eq!((a + b)[FeatureClass::IntAdd], 5.0);
+        assert_eq!((a * 4.0)[FeatureClass::IntAdd], 8.0);
+    }
+
+    #[test]
+    fn validity() {
+        assert!(FeatureVector::ZERO.is_valid());
+        let mut v = FeatureVector::ZERO;
+        v[FeatureClass::IntDiv] = -1.0;
+        assert!(!v.is_valid());
+        v[FeatureClass::IntDiv] = f64::NAN;
+        assert!(!v.is_valid());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let v = FeatureVector::from_array([1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0]);
+        let s = serde_json::to_string(&v).unwrap();
+        let w: FeatureVector = serde_json::from_str(&s).unwrap();
+        assert_eq!(v, w);
+    }
+
+    #[test]
+    fn display_contains_names() {
+        let v = FeatureVector::single(FeatureClass::SpecialFn, 1.5);
+        let s = format!("{v}");
+        assert!(s.contains("sf=1.50"));
+    }
+}

@@ -1,0 +1,347 @@
+//! A miniature per-work-item kernel IR.
+//!
+//! The SYnergy paper extracts its static features with a compiler pass over
+//! the SYCL/LLVM IR of each kernel. Our substrate replaces LLVM IR with a
+//! small structured IR: a kernel body is a tree of [`Stmt`]s — straight-line
+//! instruction bundles, counted loops and probabilistic branches. The
+//! extraction pass in [`crate::extract`] walks this tree and produces the
+//! expected dynamic instruction counts per work-item, exactly the quantity
+//! the paper's pass computes.
+
+use crate::features::FeatureClass;
+use serde::{Deserialize, Serialize};
+
+/// One primitive instruction of the IR, mapping 1:1 onto a [`FeatureClass`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Inst {
+    /// Integer add / subtract.
+    IntAdd,
+    /// Integer multiply.
+    IntMul,
+    /// Integer divide / modulo.
+    IntDiv,
+    /// Integer bitwise (and/or/xor/shift).
+    IntBitwise,
+    /// Floating add / subtract.
+    FloatAdd,
+    /// Floating multiply (also counts each half of an FMA).
+    FloatMul,
+    /// Floating divide.
+    FloatDiv,
+    /// Special function (exp, log, sqrt, sin, cos, pow...).
+    SpecialFn,
+    /// Global memory load.
+    GlobalLoad,
+    /// Global memory store.
+    GlobalStore,
+    /// Local (shared) memory load.
+    LocalLoad,
+    /// Local (shared) memory store.
+    LocalStore,
+}
+
+impl Inst {
+    /// The feature class this instruction is counted under.
+    pub fn feature_class(self) -> FeatureClass {
+        match self {
+            Inst::IntAdd => FeatureClass::IntAdd,
+            Inst::IntMul => FeatureClass::IntMul,
+            Inst::IntDiv => FeatureClass::IntDiv,
+            Inst::IntBitwise => FeatureClass::IntBitwise,
+            Inst::FloatAdd => FeatureClass::FloatAdd,
+            Inst::FloatMul => FeatureClass::FloatMul,
+            Inst::FloatDiv => FeatureClass::FloatDiv,
+            Inst::SpecialFn => FeatureClass::SpecialFn,
+            Inst::GlobalLoad | Inst::GlobalStore => FeatureClass::GlobalAccess,
+            Inst::LocalLoad | Inst::LocalStore => FeatureClass::LocalAccess,
+        }
+    }
+
+    /// Whether this is a global memory access (drives DRAM traffic).
+    pub fn is_global_access(self) -> bool {
+        matches!(self, Inst::GlobalLoad | Inst::GlobalStore)
+    }
+}
+
+/// Loop trip count: either a compile-time constant or a symbolic parameter
+/// with a static estimate (the pass uses the estimate, as a real compiler
+/// would use profile or heuristic data).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum TripCount {
+    /// Known constant trip count.
+    Const(u64),
+    /// Unknown trip count with a static estimate.
+    Estimated(f64),
+}
+
+impl TripCount {
+    /// The value the extraction pass uses.
+    pub fn expected(self) -> f64 {
+        match self {
+            TripCount::Const(n) => n as f64,
+            TripCount::Estimated(e) => e,
+        }
+    }
+}
+
+/// A statement of the kernel body.
+// repr(C): dodge a layout-niche miscompilation observed with the default
+// repr on this toolchain (drop glue of builder-constructed trees faulted
+// at opt-level >= 2); the explicit tagged-union layout compiles correctly.
+#[repr(C)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Stmt {
+    /// `count` repetitions of a primitive instruction (a straight-line bundle).
+    Op(Inst, u64),
+    /// A counted loop.
+    Loop {
+        /// Trip count of the loop.
+        trip: TripCount,
+        /// Loop body.
+        body: Vec<Stmt>,
+    },
+    /// A two-way branch taken with probability `prob` (then-side).
+    Branch {
+        /// Probability of taking `then`, in `[0, 1]`.
+        prob: f64,
+        /// Statements executed when the branch is taken.
+        then: Vec<Stmt>,
+        /// Statements executed otherwise.
+        els: Vec<Stmt>,
+    },
+}
+
+impl Stmt {
+    /// Convenience: a single occurrence of `inst`.
+    pub fn op(inst: Inst) -> Stmt {
+        Stmt::Op(inst, 1)
+    }
+
+    /// Convenience: `count` occurrences of `inst`.
+    pub fn ops(inst: Inst, count: u64) -> Stmt {
+        Stmt::Op(inst, count)
+    }
+
+    /// Convenience: a constant-trip-count loop.
+    pub fn loop_n(trip: u64, body: Vec<Stmt>) -> Stmt {
+        Stmt::Loop {
+            trip: TripCount::Const(trip),
+            body,
+        }
+    }
+}
+
+/// The element type a kernel predominantly moves through global memory;
+/// used to convert access counts into DRAM bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ElementWidth {
+    /// 4-byte elements (f32 / i32).
+    Word4 = 4,
+    /// 8-byte elements (f64 / i64).
+    Word8 = 8,
+}
+
+impl ElementWidth {
+    /// Width in bytes.
+    pub fn bytes(self) -> f64 {
+        self as usize as f64
+    }
+}
+
+/// A complete kernel: a name, a per-work-item body, and memory layout info.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KernelIr {
+    /// Kernel name (unique within an application; used as the model key).
+    pub name: String,
+    /// Per-work-item body.
+    pub body: Vec<Stmt>,
+    /// Predominant global-memory element width.
+    pub element_width: ElementWidth,
+    /// Fraction of global accesses that are coalesced (hit peak bandwidth);
+    /// uncoalesced accesses cost a device-specific multiplier. In `[0, 1]`.
+    pub coalescing: f64,
+    /// Fraction of global accesses that miss on-chip caches and reach DRAM.
+    /// Stencils and tiled kernels reuse neighbours' data and stay well below
+    /// 1.0; streaming kernels sit at 1.0. In `(0, 1]`.
+    pub dram_fraction: f64,
+}
+
+impl KernelIr {
+    /// Create a kernel IR with fully-coalesced 4-byte accesses.
+    pub fn new(name: impl Into<String>, body: Vec<Stmt>) -> Self {
+        KernelIr {
+            name: name.into(),
+            body,
+            element_width: ElementWidth::Word4,
+            coalescing: 1.0,
+            dram_fraction: 1.0,
+        }
+    }
+
+    /// Builder: set the element width.
+    pub fn with_element_width(mut self, w: ElementWidth) -> Self {
+        self.element_width = w;
+        self
+    }
+
+    /// Builder: set the coalescing fraction (clamped to `[0, 1]`).
+    pub fn with_coalescing(mut self, c: f64) -> Self {
+        self.coalescing = c.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Builder: set the fraction of global accesses that reach DRAM
+    /// (clamped to `[0.01, 1]` — some traffic always escapes the caches).
+    pub fn with_dram_fraction(mut self, f: f64) -> Self {
+        self.dram_fraction = f.clamp(0.01, 1.0);
+        self
+    }
+
+    /// Total number of `Stmt` nodes (for diagnostics and tests).
+    pub fn node_count(&self) -> usize {
+        fn count(stmts: &[Stmt]) -> usize {
+            stmts
+                .iter()
+                .map(|s| match s {
+                    Stmt::Op(..) => 1,
+                    Stmt::Loop { body, .. } => 1 + count(body),
+                    Stmt::Branch { then, els, .. } => 1 + count(then) + count(els),
+                })
+                .sum()
+        }
+        count(&self.body)
+    }
+}
+
+/// A fluent builder for kernel bodies, mirroring how the benchmark suite
+/// constructs its IRs.
+#[derive(Debug, Default)]
+pub struct IrBuilder {
+    stmts: Vec<Stmt>,
+}
+
+impl IrBuilder {
+    /// Start an empty body.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append `count` occurrences of `inst`.
+    pub fn ops(mut self, inst: Inst, count: u64) -> Self {
+        self.stmts.push(Stmt::Op(inst, count));
+        self
+    }
+
+    // The push helpers below are monomorphic and never inlined: building
+    // the nested `Stmt` inside the generic closure-taking combinators
+    // miscompiled on this toolchain at opt-level >= 2 (the pushed Vecs were
+    // freed with a corrupt capacity). Keeping construction out of the
+    // generic frame sidesteps the bad codegen; the public API is unchanged.
+    #[inline(never)]
+    fn push_loop(&mut self, trip: TripCount, body: Vec<Stmt>) {
+        self.stmts.push(Stmt::Loop { trip, body });
+    }
+
+    #[inline(never)]
+    fn push_branch(&mut self, prob: f64, then: Vec<Stmt>, els: Vec<Stmt>) {
+        self.stmts.push(Stmt::Branch {
+            prob: prob.clamp(0.0, 1.0),
+            then,
+            els,
+        });
+    }
+
+    /// Append a constant-trip loop built by `f`.
+    pub fn loop_n(mut self, trip: u64, f: impl FnOnce(IrBuilder) -> IrBuilder) -> Self {
+        let body = f(IrBuilder::new()).stmts;
+        self.push_loop(TripCount::Const(trip), body);
+        self
+    }
+
+    /// Append an estimated-trip loop built by `f`.
+    pub fn loop_est(mut self, trip: f64, f: impl FnOnce(IrBuilder) -> IrBuilder) -> Self {
+        let body = f(IrBuilder::new()).stmts;
+        self.push_loop(TripCount::Estimated(trip), body);
+        self
+    }
+
+    /// Append a branch taken with probability `prob`.
+    pub fn branch(
+        mut self,
+        prob: f64,
+        then: impl FnOnce(IrBuilder) -> IrBuilder,
+        els: impl FnOnce(IrBuilder) -> IrBuilder,
+    ) -> Self {
+        let then_stmts = then(IrBuilder::new()).stmts;
+        let els_stmts = els(IrBuilder::new()).stmts;
+        self.push_branch(prob, then_stmts, els_stmts);
+        self
+    }
+
+    /// Finish into a named kernel.
+    pub fn build(self, name: impl Into<String>) -> KernelIr {
+        KernelIr::new(name, self.stmts)
+    }
+
+    /// Finish into a raw statement list.
+    pub fn into_stmts(self) -> Vec<Stmt> {
+        self.stmts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inst_feature_classes() {
+        assert_eq!(Inst::GlobalLoad.feature_class(), FeatureClass::GlobalAccess);
+        assert_eq!(Inst::GlobalStore.feature_class(), FeatureClass::GlobalAccess);
+        assert_eq!(Inst::LocalLoad.feature_class(), FeatureClass::LocalAccess);
+        assert_eq!(Inst::FloatMul.feature_class(), FeatureClass::FloatMul);
+        assert!(Inst::GlobalStore.is_global_access());
+        assert!(!Inst::LocalStore.is_global_access());
+    }
+
+    #[test]
+    fn builder_builds_nested_structure() {
+        let k = IrBuilder::new()
+            .ops(Inst::IntAdd, 2)
+            .loop_n(8, |b| b.ops(Inst::FloatMul, 1).ops(Inst::FloatAdd, 1))
+            .branch(0.25, |b| b.ops(Inst::SpecialFn, 1), |b| b)
+            .build("test");
+        assert_eq!(k.name, "test");
+        assert_eq!(k.body.len(), 3);
+        assert_eq!(k.node_count(), 6);
+    }
+
+    #[test]
+    fn trip_count_expected() {
+        assert_eq!(TripCount::Const(16).expected(), 16.0);
+        assert_eq!(TripCount::Estimated(3.5).expected(), 3.5);
+    }
+
+    #[test]
+    fn coalescing_is_clamped() {
+        let k = KernelIr::new("k", vec![]).with_coalescing(2.0);
+        assert_eq!(k.coalescing, 1.0);
+        let k = k.with_coalescing(-1.0);
+        assert_eq!(k.coalescing, 0.0);
+    }
+
+    #[test]
+    fn element_width_bytes() {
+        assert_eq!(ElementWidth::Word4.bytes(), 4.0);
+        assert_eq!(ElementWidth::Word8.bytes(), 8.0);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let k = IrBuilder::new()
+            .loop_est(5.5, |b| b.ops(Inst::GlobalLoad, 2))
+            .build("rt");
+        let s = serde_json::to_string(&k).unwrap();
+        let k2: KernelIr = serde_json::from_str(&s).unwrap();
+        assert_eq!(k, k2);
+    }
+}

@@ -1,0 +1,132 @@
+//! # synergy-kernel
+//!
+//! The compiler-side substrate of the SYnergy reproduction: a miniature
+//! per-work-item kernel IR, the static code features of Table 1, the
+//! feature-extraction pass (steps ① and ④ of the paper's Figure 6), and a
+//! micro-benchmark generator used to build model training sets (Section 6.1).
+//!
+//! The real system runs an LLVM pass inside the DPC++ SYCL toolchain; this
+//! crate performs the same computation — expected dynamic instruction counts
+//! per work-item, weighted by loop trip counts and branch probabilities —
+//! over a small structured IR, so the rest of the stack (models, runtime,
+//! scheduler) is exercised end-to-end.
+
+#![warn(missing_docs)]
+
+pub mod display;
+pub mod extract;
+pub mod features;
+pub mod ir;
+pub mod microbench;
+
+pub use display::{dump, validate, IrDefect};
+pub use extract::{extract, KernelStaticInfo};
+pub use features::{FeatureClass, FeatureVector, NUM_FEATURES};
+pub use ir::{ElementWidth, Inst, IrBuilder, KernelIr, Stmt, TripCount};
+pub use microbench::{generate as generate_microbench, MicroBenchConfig, MicroBenchmark};
+
+#[cfg(test)]
+mod proptests {
+    use crate::extract::extract;
+    use crate::ir::{Inst, KernelIr, Stmt, TripCount};
+    use proptest::prelude::*;
+
+    const ALL_INSTS: [Inst; 12] = [
+        Inst::IntAdd,
+        Inst::IntMul,
+        Inst::IntDiv,
+        Inst::IntBitwise,
+        Inst::FloatAdd,
+        Inst::FloatMul,
+        Inst::FloatDiv,
+        Inst::SpecialFn,
+        Inst::GlobalLoad,
+        Inst::GlobalStore,
+        Inst::LocalLoad,
+        Inst::LocalStore,
+    ];
+
+    fn arb_inst() -> impl Strategy<Value = Inst> {
+        (0..ALL_INSTS.len()).prop_map(|i| ALL_INSTS[i])
+    }
+
+    fn arb_stmt() -> impl Strategy<Value = Stmt> {
+        let leaf = (arb_inst(), 1u64..16).prop_map(|(i, c)| Stmt::Op(i, c));
+        leaf.prop_recursive(3, 24, 4, |inner| {
+            prop_oneof![
+                (1u64..8, prop::collection::vec(inner.clone(), 1..4)).prop_map(|(t, body)| {
+                    Stmt::Loop {
+                        trip: TripCount::Const(t),
+                        body,
+                    }
+                }),
+                (
+                    0.0f64..1.0,
+                    prop::collection::vec(inner.clone(), 0..3),
+                    prop::collection::vec(inner, 0..3)
+                )
+                    .prop_map(|(p, then, els)| Stmt::Branch { prob: p, then, els }),
+            ]
+        })
+    }
+
+    fn arb_kernel() -> impl Strategy<Value = KernelIr> {
+        prop::collection::vec(arb_stmt(), 0..6).prop_map(|body| KernelIr::new("prop", body))
+    }
+
+    proptest! {
+        /// Extraction always yields finite, non-negative counts.
+        #[test]
+        fn extraction_is_valid(k in arb_kernel()) {
+            let info = extract(&k);
+            prop_assert!(info.features.is_valid());
+            prop_assert!(info.global_bytes_per_item >= 0.0);
+            prop_assert!(info.global_loads >= 0.0);
+            prop_assert!(info.global_stores >= 0.0);
+        }
+
+        /// Extraction is a pure function of the IR.
+        #[test]
+        fn extraction_deterministic(k in arb_kernel()) {
+            prop_assert_eq!(extract(&k), extract(&k));
+        }
+
+        /// Concatenating two kernel bodies adds their feature vectors
+        /// (linearity of the expectation).
+        #[test]
+        fn extraction_is_linear(a in arb_kernel(), b in arb_kernel()) {
+            let mut cat = a.body.clone();
+            cat.extend(b.body.clone());
+            let joined = extract(&KernelIr::new("cat", cat));
+            let fa = extract(&a);
+            let fb = extract(&b);
+            for (i, &x) in joined.features.0.iter().enumerate() {
+                let want = fa.features.0[i] + fb.features.0[i];
+                prop_assert!((x - want).abs() <= 1e-9 * want.abs().max(1.0));
+            }
+        }
+
+        /// Wrapping a body in a `Loop { trip: n }` multiplies counts by n.
+        #[test]
+        fn loop_scales_counts(k in arb_kernel(), n in 1u64..10) {
+            let wrapped = KernelIr::new(
+                "wrapped",
+                vec![Stmt::Loop { trip: TripCount::Const(n), body: k.body.clone() }],
+            );
+            let base = extract(&k);
+            let scaled = extract(&wrapped);
+            for (i, &x) in scaled.features.0.iter().enumerate() {
+                let want = base.features.0[i] * n as f64;
+                prop_assert!((x - want).abs() <= 1e-9 * want.abs().max(1.0));
+            }
+        }
+
+        /// Global access count equals loads + stores.
+        #[test]
+        fn global_access_consistency(k in arb_kernel()) {
+            let info = extract(&k);
+            let gl = info.features[crate::features::FeatureClass::GlobalAccess];
+            prop_assert!((gl - (info.global_loads + info.global_stores)).abs() < 1e-9);
+        }
+    }
+}

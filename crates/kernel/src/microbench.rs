@@ -1,0 +1,272 @@
+//! Micro-benchmark generator for model training.
+//!
+//! Section 6.1 of the paper: *"we first, instead of using existing
+//! benchmarks, construct a set of micro-benchmarks and extract a set of
+//! static features of each micro-benchmark to build the training set"*.
+//!
+//! The generator produces two families of kernels:
+//!
+//! * **pure** kernels that stress a single instruction class at several
+//!   intensities (relative to a fixed stream of global accesses), spanning
+//!   the compute-bound ↔ memory-bound spectrum for that class;
+//! * **mixed** kernels with seeded-random blends of classes, filling the
+//!   interior of the feature space so models interpolate rather than
+//!   extrapolate.
+//!
+//! Generation is fully deterministic given the seed and configuration.
+
+use crate::ir::{ElementWidth, Inst, IrBuilder, KernelIr};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// A generated micro-benchmark: an IR plus its launch size.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MicroBenchmark {
+    /// Kernel IR (name encodes the family and parameters).
+    pub ir: KernelIr,
+    /// Number of work-items to launch.
+    pub work_items: u64,
+}
+
+/// Configuration of the generator.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MicroBenchConfig {
+    /// Intensities (ops per global access) used for the pure family.
+    pub intensities: [u64; 4],
+    /// Number of seeded-random mixed kernels.
+    pub mixed_kernels: usize,
+    /// Work-items per kernel launch.
+    pub work_items: u64,
+}
+
+impl Default for MicroBenchConfig {
+    fn default() -> Self {
+        MicroBenchConfig {
+            intensities: [1, 8, 32, 128],
+            mixed_kernels: 24,
+            work_items: 1 << 20,
+        }
+    }
+}
+
+/// The compute instruction classes stressed by the pure family.
+const PURE_INSTS: [Inst; 8] = [
+    Inst::IntAdd,
+    Inst::IntMul,
+    Inst::IntDiv,
+    Inst::IntBitwise,
+    Inst::FloatAdd,
+    Inst::FloatMul,
+    Inst::FloatDiv,
+    Inst::SpecialFn,
+];
+
+fn pure_kernel(inst: Inst, intensity: u64, idx: usize) -> KernelIr {
+    // One streamed load + store pair per item, with `intensity` compute ops
+    // in between: classic bandwidth-vs-compute dial.
+    IrBuilder::new()
+        .ops(Inst::GlobalLoad, 1)
+        .loop_n(intensity, |b| b.ops(inst, 1))
+        .ops(Inst::GlobalStore, 1)
+        .build(format!("mb_pure_{:?}_{}x_{}", inst, intensity, idx))
+}
+
+fn local_kernel(intensity: u64, idx: usize) -> KernelIr {
+    IrBuilder::new()
+        .ops(Inst::GlobalLoad, 1)
+        .loop_n(intensity, |b| {
+            b.ops(Inst::LocalStore, 1)
+                .ops(Inst::LocalLoad, 1)
+                .ops(Inst::FloatAdd, 1)
+        })
+        .ops(Inst::GlobalStore, 1)
+        .build(format!("mb_local_{}x_{}", intensity, idx))
+}
+
+fn streaming_kernel(accesses: u64, idx: usize) -> KernelIr {
+    IrBuilder::new()
+        .ops(Inst::GlobalLoad, accesses)
+        .ops(Inst::FloatAdd, accesses.saturating_sub(1).max(1))
+        .ops(Inst::GlobalStore, 1)
+        .build(format!("mb_stream_{}w_{}", accesses, idx))
+}
+
+fn branchy_kernel(prob_pct: u64, idx: usize) -> KernelIr {
+    // Divergent control flow: a costly special-function path taken with a
+    // known probability — exercises the extraction pass's branch weighting
+    // in the training set itself.
+    IrBuilder::new()
+        .ops(Inst::GlobalLoad, 1)
+        .branch(
+            prob_pct as f64 / 100.0,
+            |b| b.loop_n(16, |b| b.ops(Inst::SpecialFn, 1).ops(Inst::FloatMul, 1)),
+            |b| b.loop_n(16, |b| b.ops(Inst::IntAdd, 1)),
+        )
+        .ops(Inst::GlobalStore, 1)
+        .build(format!("mb_branchy_{}pct_{}", prob_pct, idx))
+}
+
+fn mixed_kernel(rng: &mut StdRng, idx: usize) -> KernelIr {
+    let loads = rng.random_range(1..=6u64);
+    let stores = rng.random_range(1..=3u64);
+    let mut b = IrBuilder::new().ops(Inst::GlobalLoad, loads);
+    let trip = rng.random_range(1..=64u64);
+    let n_classes = rng.random_range(1..=4usize);
+    // Pre-draw the class mix so the closure does not capture the RNG.
+    let mut picks: Vec<(Inst, u64)> = Vec::with_capacity(n_classes);
+    for _ in 0..n_classes {
+        let inst = PURE_INSTS[rng.random_range(0..PURE_INSTS.len())];
+        let count = rng.random_range(1..=8u64);
+        picks.push((inst, count));
+    }
+    let use_local = rng.random_bool(0.3);
+    b = b.loop_n(trip, move |mut lb| {
+        for (inst, count) in picks {
+            lb = lb.ops(inst, count);
+        }
+        if use_local {
+            lb = lb.ops(Inst::LocalLoad, 1).ops(Inst::LocalStore, 1);
+        }
+        lb
+    });
+    let wide = rng.random_bool(0.5);
+    let kernel = b.ops(Inst::GlobalStore, stores).build(format!("mb_mixed_{idx}"));
+    if wide {
+        kernel.with_element_width(ElementWidth::Word8)
+    } else {
+        kernel
+    }
+}
+
+/// Generate the micro-benchmark suite deterministically from `seed`.
+pub fn generate(seed: u64, config: &MicroBenchConfig) -> Vec<MicroBenchmark> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::new();
+    let mut idx = 0usize;
+    for inst in PURE_INSTS {
+        for &intensity in &config.intensities {
+            out.push(MicroBenchmark {
+                ir: pure_kernel(inst, intensity, idx),
+                work_items: config.work_items,
+            });
+            idx += 1;
+        }
+    }
+    for &intensity in &config.intensities {
+        out.push(MicroBenchmark {
+            ir: local_kernel(intensity, idx),
+            work_items: config.work_items,
+        });
+        idx += 1;
+    }
+    for accesses in [2u64, 4, 8, 16] {
+        out.push(MicroBenchmark {
+            ir: streaming_kernel(accesses, idx),
+            work_items: config.work_items,
+        });
+        idx += 1;
+    }
+    for prob in [10u64, 50, 90] {
+        out.push(MicroBenchmark {
+            ir: branchy_kernel(prob, idx),
+            work_items: config.work_items,
+        });
+        idx += 1;
+    }
+    for i in 0..config.mixed_kernels {
+        out.push(MicroBenchmark {
+            ir: mixed_kernel(&mut rng, i),
+            work_items: config.work_items,
+        });
+    }
+    out
+}
+
+/// Generate with the default configuration.
+pub fn generate_default(seed: u64) -> Vec<MicroBenchmark> {
+    generate(seed, &MicroBenchConfig::default())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::extract::extract;
+    use crate::features::FeatureClass;
+    use std::collections::HashSet;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate_default(42);
+        let b = generate_default(42);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ_in_mixed_family() {
+        let a = generate_default(1);
+        let b = generate_default(2);
+        assert_ne!(a, b);
+        // pure family is seed-independent
+        assert_eq!(a[0], b[0]);
+    }
+
+    #[test]
+    fn expected_count() {
+        let cfg = MicroBenchConfig::default();
+        let n = generate(7, &cfg).len();
+        // 8 pure classes * 4 intensities + 4 local + 4 streaming
+        // + 3 branchy + mixed
+        assert_eq!(n, 8 * 4 + 4 + 4 + 3 + cfg.mixed_kernels);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let suite = generate_default(3);
+        let names: HashSet<_> = suite.iter().map(|m| m.ir.name.as_str()).collect();
+        assert_eq!(names.len(), suite.len());
+    }
+
+    #[test]
+    fn pure_kernels_hit_intended_class() {
+        let cfg = MicroBenchConfig::default();
+        let suite = generate(0, &cfg);
+        // First kernel: IntAdd at intensity 1.
+        let info = extract(&suite[0].ir);
+        assert_eq!(info.features[FeatureClass::IntAdd], 1.0);
+        assert_eq!(info.features[FeatureClass::GlobalAccess], 2.0);
+        // Fourth kernel: IntAdd at max intensity.
+        let info = extract(&suite[3].ir);
+        assert_eq!(
+            info.features[FeatureClass::IntAdd],
+            cfg.intensities[3] as f64
+        );
+    }
+
+    #[test]
+    fn all_features_covered_by_suite() {
+        let suite = generate_default(11);
+        let mut covered = [false; crate::features::NUM_FEATURES];
+        for mb in &suite {
+            let info = extract(&mb.ir);
+            for (c, v) in info.features.iter() {
+                if v > 0.0 {
+                    covered[c as usize] = true;
+                }
+            }
+        }
+        assert!(
+            covered.iter().all(|&c| c),
+            "some feature class never exercised: {covered:?}"
+        );
+    }
+
+    #[test]
+    fn features_are_valid_and_nonzero() {
+        for mb in generate_default(5) {
+            let info = extract(&mb.ir);
+            assert!(info.features.is_valid(), "{}", mb.ir.name);
+            assert!(info.features.total() > 0.0, "{}", mb.ir.name);
+        }
+    }
+}

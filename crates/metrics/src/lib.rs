@@ -1,0 +1,144 @@
+//! # synergy-metrics
+//!
+//! Energy metrics and target selection (Section 5 of the SYnergy paper):
+//! metric points over frequency sweeps, Pareto fronts in the
+//! (time, energy) plane, the scalar energy targets `MAX_PERF`,
+//! `MIN_ENERGY`, `MIN_EDP`, `MIN_ED2P`, `ES_x` and `PL_x`, and the
+//! frequency-search / accuracy bookkeeping used by the modeling workflow.
+
+#![warn(missing_docs)]
+
+pub mod pareto;
+pub mod point;
+pub mod search;
+pub mod targets;
+
+pub use pareto::{is_pareto_optimal, pareto_front, pareto_indices};
+pub use point::MetricPoint;
+pub use search::{frequency_ape, objective_value, point_at, search_optimal};
+pub use targets::{select, EnergyTarget, ParseTargetError};
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use synergy_sim::ClockConfig;
+
+    fn arb_point() -> impl Strategy<Value = MetricPoint> {
+        (100u32..2000, 0.001f64..100.0, 0.001f64..1000.0)
+            .prop_map(|(c, t, e)| MetricPoint::new(ClockConfig::new(877, c), t, e))
+    }
+
+    fn arb_points() -> impl Strategy<Value = Vec<MetricPoint>> {
+        prop::collection::vec(arb_point(), 1..40)
+    }
+
+    /// A sweep with one point per clock configuration, as frequency sweeps
+    /// produce in practice (`point_at` is only well-defined then).
+    fn arb_sweep() -> impl Strategy<Value = Vec<MetricPoint>> {
+        prop::collection::vec((0.001f64..100.0, 0.001f64..1000.0), 1..40).prop_map(|te| {
+            te.into_iter()
+                .enumerate()
+                .map(|(i, (t, e))| {
+                    MetricPoint::new(ClockConfig::new(877, 100 + 10 * i as u32), t, e)
+                })
+                .collect()
+        })
+    }
+
+    proptest! {
+        /// No point on the front is dominated by any input point.
+        #[test]
+        fn front_points_undominated(pts in arb_points()) {
+            let front = pareto_front(&pts);
+            for f in &front {
+                prop_assert!(!pts.iter().any(|q| q.dominates(f)));
+            }
+        }
+
+        /// Every front point's coordinates come from the input.
+        #[test]
+        fn front_subset_of_input(pts in arb_points()) {
+            let front = pareto_front(&pts);
+            for f in &front {
+                prop_assert!(pts.iter().any(|q|
+                    q.time_s == f.time_s && q.energy_j == f.energy_j));
+            }
+        }
+
+        /// Every input point is dominated by (or equal to) some front point.
+        #[test]
+        fn front_covers_input(pts in arb_points()) {
+            let front = pareto_front(&pts);
+            for q in &pts {
+                prop_assert!(front.iter().any(|f|
+                    f.dominates(q) || (f.time_s == q.time_s && f.energy_j == q.energy_j)));
+            }
+        }
+
+        /// Selected targets always come from the candidate set.
+        #[test]
+        fn selection_in_candidates(pts in arb_points(), x in 0u8..=100) {
+            let baseline = pts[0];
+            for target in [
+                EnergyTarget::MaxPerf,
+                EnergyTarget::MinEnergy,
+                EnergyTarget::MinEdp,
+                EnergyTarget::MinEd2p,
+                EnergyTarget::EnergySaving(x),
+                EnergyTarget::PerfLoss(x),
+            ] {
+                let sel = select(target, &pts, &baseline).unwrap();
+                prop_assert!(pts.contains(&sel), "{target}");
+            }
+        }
+
+        /// ES selection energy is monotone non-increasing in x, and ES
+        /// selections are Pareto-optimal.
+        #[test]
+        fn es_monotone_and_pareto(pts in arb_points()) {
+            let baseline = pts[0];
+            let mut prev = f64::INFINITY;
+            for x in [0u8, 10, 25, 40, 50, 60, 75, 90, 100] {
+                let sel = select(EnergyTarget::EnergySaving(x), &pts, &baseline).unwrap();
+                prop_assert!(sel.energy_j <= prev + 1e-12);
+                prev = sel.energy_j;
+                prop_assert!(is_pareto_optimal(&sel, &pts));
+            }
+        }
+
+        /// The four argmin targets pick true minima.
+        #[test]
+        fn argmin_targets_minimize(pts in arb_points()) {
+            let baseline = pts[0];
+            for target in [
+                EnergyTarget::MaxPerf,
+                EnergyTarget::MinEnergy,
+                EnergyTarget::MinEdp,
+                EnergyTarget::MinEd2p,
+            ] {
+                let sel = select(target, &pts, &baseline).unwrap();
+                let v = target.objective(&sel).unwrap();
+                for q in &pts {
+                    prop_assert!(v <= target.objective(q).unwrap() + 1e-12);
+                }
+            }
+        }
+
+        /// Frequency APE is zero for the true optimum and non-negative
+        /// everywhere.
+        #[test]
+        fn ape_nonnegative(pts in arb_sweep(), pick in 0usize..40) {
+            let base = pts[0].clocks;
+            let probe = pts[pick % pts.len()].clocks;
+            for target in EnergyTarget::PAPER_SET {
+                if let Some(ape) = frequency_ape(target, &pts, base, probe) {
+                    prop_assert!(ape >= 0.0);
+                }
+                let opt = search_optimal(target, &pts, base).unwrap();
+                let ape0 = frequency_ape(target, &pts, base, opt.clocks).unwrap();
+                prop_assert!(ape0.abs() < 1e-12);
+            }
+        }
+    }
+}

@@ -1,0 +1,148 @@
+//! Pareto fronts over (time, energy).
+//!
+//! The paper's characterization figures (2, 7, 8) draw the Pareto front of
+//! the speedup/normalized-energy cloud; the energy targets of Section 5 are
+//! then defined over that front. Minimizing both execution time and energy,
+//! a point is Pareto-optimal when no other point is at least as good on
+//! both axes and strictly better on one.
+
+use crate::point::MetricPoint;
+
+/// Compute the Pareto front (minimize time, minimize energy).
+///
+/// Returns the front sorted by ascending time (hence descending energy).
+/// Duplicate-coordinate points keep one representative. `O(n log n)`.
+///
+/// ```
+/// use synergy_metrics::{pareto_front, MetricPoint};
+/// use synergy_sim::ClockConfig;
+///
+/// let points = vec![
+///     MetricPoint::new(ClockConfig::new(877, 1530), 1.0, 10.0),
+///     MetricPoint::new(ClockConfig::new(877, 1000), 2.0, 5.0),
+///     MetricPoint::new(ClockConfig::new(877, 1200), 2.5, 6.0), // dominated
+/// ];
+/// let front = pareto_front(&points);
+/// assert_eq!(front.len(), 2);
+/// assert_eq!(front[0].clocks.core_mhz, 1530);
+/// ```
+pub fn pareto_front(points: &[MetricPoint]) -> Vec<MetricPoint> {
+    let mut sorted: Vec<MetricPoint> = points.to_vec();
+    // Sort by time, ties broken by energy so the best-energy duplicate wins.
+    sorted.sort_by(|a, b| {
+        a.time_s
+            .total_cmp(&b.time_s)
+            .then(a.energy_j.total_cmp(&b.energy_j))
+    });
+    let mut front: Vec<MetricPoint> = Vec::new();
+    let mut best_energy = f64::INFINITY;
+    let mut last_time = f64::NEG_INFINITY;
+    for p in sorted {
+        if p.energy_j < best_energy {
+            // Equal-time points: only the first (lowest-energy) survives.
+            if p.time_s == last_time {
+                continue;
+            }
+            best_energy = p.energy_j;
+            last_time = p.time_s;
+            front.push(p);
+        }
+    }
+    front
+}
+
+/// Indices into `points` of the Pareto-optimal elements (first occurrence
+/// per coordinate pair), in input order.
+pub fn pareto_indices(points: &[MetricPoint]) -> Vec<usize> {
+    (0..points.len())
+        .filter(|&i| {
+            let p = &points[i];
+            !points.iter().enumerate().any(|(j, q)| {
+                (q.dominates(p))
+                    || (j < i && q.time_s == p.time_s && q.energy_j == p.energy_j)
+            })
+        })
+        .collect()
+}
+
+/// True when `p` lies on the Pareto front of `points` (it is not dominated
+/// by any of them).
+pub fn is_pareto_optimal(p: &MetricPoint, points: &[MetricPoint]) -> bool {
+    !points.iter().any(|q| q.dominates(p))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use synergy_sim::ClockConfig;
+
+    fn p(core: u32, t: f64, e: f64) -> MetricPoint {
+        MetricPoint::new(ClockConfig::new(877, core), t, e)
+    }
+
+    #[test]
+    fn simple_front() {
+        let pts = vec![
+            p(1, 1.0, 10.0),
+            p(2, 2.0, 5.0),
+            p(3, 3.0, 2.0),
+            p(4, 2.5, 6.0), // dominated by (2.0, 5.0)
+            p(5, 1.5, 12.0), // dominated by (1.0, 10.0)
+        ];
+        let front = pareto_front(&pts);
+        let cores: Vec<u32> = front.iter().map(|q| q.clocks.core_mhz).collect();
+        assert_eq!(cores, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn front_is_sorted_and_monotone() {
+        let pts = vec![p(1, 3.0, 1.0), p(2, 1.0, 3.0), p(3, 2.0, 2.0)];
+        let front = pareto_front(&pts);
+        assert_eq!(front.len(), 3);
+        for w in front.windows(2) {
+            assert!(w[0].time_s < w[1].time_s);
+            assert!(w[0].energy_j > w[1].energy_j);
+        }
+    }
+
+    #[test]
+    fn duplicates_collapse() {
+        let pts = vec![p(1, 1.0, 1.0), p(2, 1.0, 1.0), p(3, 1.0, 1.0)];
+        assert_eq!(pareto_front(&pts).len(), 1);
+        assert_eq!(pareto_indices(&pts), vec![0]);
+    }
+
+    #[test]
+    fn single_point_is_front() {
+        let pts = vec![p(1, 5.0, 5.0)];
+        assert_eq!(pareto_front(&pts), pts);
+        assert!(is_pareto_optimal(&pts[0], &pts));
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(pareto_front(&[]).is_empty());
+        assert!(pareto_indices(&[]).is_empty());
+    }
+
+    #[test]
+    fn indices_agree_with_front() {
+        let pts = vec![
+            p(1, 1.0, 10.0),
+            p(2, 2.0, 5.0),
+            p(3, 1.5, 12.0),
+            p(4, 3.0, 2.0),
+        ];
+        let idx = pareto_indices(&pts);
+        let mut from_idx: Vec<MetricPoint> = idx.iter().map(|&i| pts[i]).collect();
+        from_idx.sort_by(|a, b| a.time_s.total_cmp(&b.time_s));
+        assert_eq!(from_idx, pareto_front(&pts));
+    }
+
+    #[test]
+    fn dominated_point_detected() {
+        let pts = vec![p(1, 1.0, 1.0), p(2, 2.0, 2.0)];
+        assert!(!is_pareto_optimal(&pts[1], &pts));
+        assert!(is_pareto_optimal(&pts[0], &pts));
+    }
+}

@@ -1,0 +1,107 @@
+//! Measured (or predicted) metric points: one frequency configuration with
+//! its execution time and energy, plus the derived energy-delay products.
+
+use serde::{Deserialize, Serialize};
+use synergy_sim::ClockConfig;
+
+/// One (frequency, time, energy) observation for a kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MetricPoint {
+    /// The clock configuration the kernel ran (or would run) at.
+    pub clocks: ClockConfig,
+    /// Execution time in seconds.
+    pub time_s: f64,
+    /// Energy in joules.
+    pub energy_j: f64,
+}
+
+impl MetricPoint {
+    /// Construct a point.
+    pub fn new(clocks: ClockConfig, time_s: f64, energy_j: f64) -> Self {
+        MetricPoint {
+            clocks,
+            time_s,
+            energy_j,
+        }
+    }
+
+    /// Energy-delay product `e·t` (Horowitz et al.).
+    pub fn edp(&self) -> f64 {
+        self.energy_j * self.time_s
+    }
+
+    /// Energy-delay-squared product `e·t²`, weighting performance more.
+    pub fn ed2p(&self) -> f64 {
+        self.energy_j * self.time_s * self.time_s
+    }
+
+    /// Speedup relative to a baseline point (>1 means faster).
+    pub fn speedup_vs(&self, baseline: &MetricPoint) -> f64 {
+        baseline.time_s / self.time_s
+    }
+
+    /// Energy normalized to a baseline point (<1 means saving).
+    pub fn normalized_energy_vs(&self, baseline: &MetricPoint) -> f64 {
+        self.energy_j / baseline.energy_j
+    }
+
+    /// Pareto dominance for (minimize time, minimize energy): true when
+    /// `self` is no worse on both axes and strictly better on at least one.
+    pub fn dominates(&self, other: &MetricPoint) -> bool {
+        (self.time_s <= other.time_s && self.energy_j <= other.energy_j)
+            && (self.time_s < other.time_s || self.energy_j < other.energy_j)
+    }
+
+    /// All fields finite and positive — a sanity gate for model output.
+    pub fn is_physical(&self) -> bool {
+        self.time_s.is_finite()
+            && self.energy_j.is_finite()
+            && self.time_s > 0.0
+            && self.energy_j > 0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(core: u32, t: f64, e: f64) -> MetricPoint {
+        MetricPoint::new(ClockConfig::new(877, core), t, e)
+    }
+
+    #[test]
+    fn derived_products() {
+        let a = p(1000, 2.0, 3.0);
+        assert_eq!(a.edp(), 6.0);
+        assert_eq!(a.ed2p(), 12.0);
+    }
+
+    #[test]
+    fn speedup_and_normalized_energy() {
+        let base = p(1312, 2.0, 10.0);
+        let a = p(1530, 1.0, 12.0);
+        assert_eq!(a.speedup_vs(&base), 2.0);
+        assert_eq!(a.normalized_energy_vs(&base), 1.2);
+    }
+
+    #[test]
+    fn dominance() {
+        let a = p(1, 1.0, 1.0);
+        let b = p(2, 2.0, 2.0);
+        let c = p(3, 1.0, 2.0);
+        let d = p(4, 1.0, 1.0);
+        assert!(a.dominates(&b));
+        assert!(a.dominates(&c));
+        assert!(!a.dominates(&d), "equal points do not dominate");
+        assert!(!b.dominates(&a));
+        assert!(!c.dominates(&b) || b.time_s > c.time_s);
+    }
+
+    #[test]
+    fn physicality() {
+        assert!(p(1, 1.0, 1.0).is_physical());
+        assert!(!p(1, 0.0, 1.0).is_physical());
+        assert!(!p(1, f64::NAN, 1.0).is_physical());
+        assert!(!p(1, 1.0, f64::INFINITY).is_physical());
+    }
+}

@@ -1,0 +1,154 @@
+//! Frequency search (step ⑥ of the paper's Figure 6) and the paper's
+//! prediction-accuracy bookkeeping.
+//!
+//! Given per-frequency metric predictions for a new kernel, the search picks
+//! the frequency configuration that realizes a user target. Accuracy is then
+//! judged the way Section 8.3 defines it: *"the error metrics are not
+//! between the predicted and actual objectives ... but between the predicted
+//! and actual optimal frequency. The actual value is one objective obtained
+//! from the training set according to the actual optimal frequency. The
+//! predicted value is the same objective obtained from the training set but
+//! corresponds to the predicted optimal frequency."*
+
+use crate::point::MetricPoint;
+use crate::targets::{select, EnergyTarget};
+use synergy_sim::ClockConfig;
+
+/// The scalar objective the paper reads off for a target when scoring a
+/// predicted frequency: time for performance-flavoured targets, energy for
+/// energy-flavoured ones, the product for EDP/ED2P.
+pub fn objective_value(target: EnergyTarget, p: &MetricPoint) -> f64 {
+    match target {
+        EnergyTarget::MaxPerf | EnergyTarget::PerfLoss(_) => p.time_s,
+        EnergyTarget::MinEnergy | EnergyTarget::EnergySaving(_) => p.energy_j,
+        EnergyTarget::MinEdp => p.edp(),
+        EnergyTarget::MinEd2p => p.ed2p(),
+    }
+}
+
+/// Find the point of a sweep at (or nearest in core clock to) `clocks`.
+pub fn point_at(points: &[MetricPoint], clocks: ClockConfig) -> Option<MetricPoint> {
+    points
+        .iter()
+        .filter(|p| p.clocks.mem_mhz == clocks.mem_mhz)
+        .min_by_key(|p| p.clocks.core_mhz.abs_diff(clocks.core_mhz))
+        .copied()
+}
+
+/// Run the target search over a (predicted or measured) sweep.
+///
+/// The baseline for ES/PL semantics is the sweep's own point at
+/// `baseline_clocks` (nearest core clock). Returns the selected point.
+pub fn search_optimal(
+    target: EnergyTarget,
+    sweep: &[MetricPoint],
+    baseline_clocks: ClockConfig,
+) -> Option<MetricPoint> {
+    let baseline = point_at(sweep, baseline_clocks)?;
+    select(target, sweep, &baseline)
+}
+
+/// Absolute percentage error of a *predicted* optimal frequency, evaluated
+/// on the measured sweep per the paper's definition. Returns `0.0` when the
+/// predicted frequency coincides with the measured optimum.
+pub fn frequency_ape(
+    target: EnergyTarget,
+    measured: &[MetricPoint],
+    baseline_clocks: ClockConfig,
+    predicted_clocks: ClockConfig,
+) -> Option<f64> {
+    let actual_opt = search_optimal(target, measured, baseline_clocks)?;
+    let at_predicted = point_at(measured, predicted_clocks)?;
+    let actual = objective_value(target, &actual_opt);
+    let predicted = objective_value(target, &at_predicted);
+    if actual == 0.0 {
+        return Some(0.0);
+    }
+    Some(((predicted - actual) / actual).abs())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(core: u32, t: f64, e: f64) -> MetricPoint {
+        MetricPoint::new(ClockConfig::new(877, core), t, e)
+    }
+
+    fn sweep() -> Vec<MetricPoint> {
+        vec![
+            p(400, 4.0, 8.0),
+            p(600, 3.0, 6.0),
+            p(800, 2.5, 5.0),
+            p(1000, 2.2, 5.5),
+            p(1200, 2.0, 6.5),
+            p(1312, 1.9, 7.5),
+            p(1530, 1.8, 9.0),
+        ]
+    }
+
+    #[test]
+    fn point_at_exact_and_nearest() {
+        let s = sweep();
+        assert_eq!(point_at(&s, ClockConfig::new(877, 800)).unwrap().clocks.core_mhz, 800);
+        assert_eq!(point_at(&s, ClockConfig::new(877, 790)).unwrap().clocks.core_mhz, 800);
+        assert_eq!(point_at(&s, ClockConfig::new(900, 800)), None, "wrong mem clock");
+    }
+
+    #[test]
+    fn search_uses_sweep_baseline() {
+        let s = sweep();
+        let opt = search_optimal(
+            EnergyTarget::EnergySaving(100),
+            &s,
+            ClockConfig::new(877, 1312),
+        )
+        .unwrap();
+        assert_eq!(opt.clocks.core_mhz, 800);
+    }
+
+    #[test]
+    fn perfect_prediction_has_zero_ape() {
+        let s = sweep();
+        let base = ClockConfig::new(877, 1312);
+        for target in EnergyTarget::PAPER_SET {
+            let opt = search_optimal(target, &s, base).unwrap();
+            let ape = frequency_ape(target, &s, base, opt.clocks).unwrap();
+            assert_eq!(ape, 0.0, "{target}");
+        }
+    }
+
+    #[test]
+    fn wrong_prediction_has_positive_ape() {
+        let s = sweep();
+        let base = ClockConfig::new(877, 1312);
+        // Predicting f_min for MAX_PERF: time 4.0 vs optimal 1.8.
+        let ape = frequency_ape(
+            EnergyTarget::MaxPerf,
+            &s,
+            base,
+            ClockConfig::new(877, 400),
+        )
+        .unwrap();
+        assert!((ape - (4.0 - 1.8) / 1.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn objective_values_match_target_flavour() {
+        let q = p(1000, 2.0, 3.0);
+        assert_eq!(objective_value(EnergyTarget::MaxPerf, &q), 2.0);
+        assert_eq!(objective_value(EnergyTarget::PerfLoss(50), &q), 2.0);
+        assert_eq!(objective_value(EnergyTarget::MinEnergy, &q), 3.0);
+        assert_eq!(objective_value(EnergyTarget::EnergySaving(25), &q), 3.0);
+        assert_eq!(objective_value(EnergyTarget::MinEdp, &q), 6.0);
+        assert_eq!(objective_value(EnergyTarget::MinEd2p, &q), 12.0);
+    }
+
+    #[test]
+    fn empty_sweep_yields_none() {
+        assert_eq!(
+            search_optimal(EnergyTarget::MinEdp, &[], ClockConfig::new(877, 1312)),
+            None
+        );
+    }
+}

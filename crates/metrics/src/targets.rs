@@ -1,0 +1,345 @@
+//! Energy targets (Section 5): scalar metrics that pick one Pareto-optimal
+//! frequency configuration on the user's behalf.
+//!
+//! * `MAX_PERF` / `MIN_ENERGY` — the extremes of the tradeoff interval.
+//! * `MIN_EDP`, `MIN_ED2P` — classic energy-delay products.
+//! * `ES_x` — the best-performing configuration that realizes x% of the
+//!   *potential* energy saving, where the potential is the gap between the
+//!   default configuration's energy and the minimum achievable energy.
+//!   `ES_100` is the minimum-energy configuration.
+//! * `PL_x` — the most energy-efficient configuration whose performance
+//!   loss is at most x% of the *potential* loss over the same interval
+//!   (default-frequency time to minimum-energy-frequency time).
+
+use crate::point::MetricPoint;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// A user-selectable energy target for a kernel.
+///
+/// Targets round-trip through their paper spelling:
+///
+/// ```
+/// use synergy_metrics::EnergyTarget;
+///
+/// let t: EnergyTarget = "ES_25".parse().unwrap();
+/// assert_eq!(t, EnergyTarget::EnergySaving(25));
+/// assert_eq!(t.to_string(), "ES_25");
+/// assert_eq!(EnergyTarget::PAPER_SET.len(), 10);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EnergyTarget {
+    /// Fastest configuration, ignoring energy.
+    MaxPerf,
+    /// Lowest-energy configuration, ignoring performance.
+    MinEnergy,
+    /// Minimize the energy-delay product `e·t`.
+    MinEdp,
+    /// Minimize the energy-delay-squared product `e·t²`.
+    MinEd2p,
+    /// Best performance subject to achieving `x`% of the potential energy
+    /// saving (`ES_x`), `x` in `[0, 100]`.
+    EnergySaving(u8),
+    /// Best energy subject to losing at most `x`% of the potential
+    /// performance (`PL_x`), `x` in `[0, 100]`.
+    PerfLoss(u8),
+}
+
+impl EnergyTarget {
+    /// The ten targets evaluated throughout the paper (Table 2, Figure 9).
+    pub const PAPER_SET: [EnergyTarget; 10] = [
+        EnergyTarget::MaxPerf,
+        EnergyTarget::MinEnergy,
+        EnergyTarget::MinEdp,
+        EnergyTarget::MinEd2p,
+        EnergyTarget::EnergySaving(25),
+        EnergyTarget::EnergySaving(50),
+        EnergyTarget::EnergySaving(75),
+        EnergyTarget::PerfLoss(25),
+        EnergyTarget::PerfLoss(50),
+        EnergyTarget::PerfLoss(75),
+    ];
+
+    /// The scalar objective this target minimizes, when it is a plain
+    /// argmin (None for the constrained ES/PL targets).
+    pub fn objective(&self, p: &MetricPoint) -> Option<f64> {
+        match self {
+            EnergyTarget::MaxPerf => Some(p.time_s),
+            EnergyTarget::MinEnergy => Some(p.energy_j),
+            EnergyTarget::MinEdp => Some(p.edp()),
+            EnergyTarget::MinEd2p => Some(p.ed2p()),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for EnergyTarget {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EnergyTarget::MaxPerf => write!(f, "MAX_PERF"),
+            EnergyTarget::MinEnergy => write!(f, "MIN_ENERGY"),
+            EnergyTarget::MinEdp => write!(f, "MIN_EDP"),
+            EnergyTarget::MinEd2p => write!(f, "MIN_ED2P"),
+            EnergyTarget::EnergySaving(x) => write!(f, "ES_{x}"),
+            EnergyTarget::PerfLoss(x) => write!(f, "PL_{x}"),
+        }
+    }
+}
+
+/// Error parsing an [`EnergyTarget`] from text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseTargetError(pub String);
+
+impl fmt::Display for ParseTargetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown energy target `{}`", self.0)
+    }
+}
+
+impl std::error::Error for ParseTargetError {}
+
+impl FromStr for EnergyTarget {
+    type Err = ParseTargetError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let up = s.trim().to_ascii_uppercase();
+        match up.as_str() {
+            "MAX_PERF" => return Ok(EnergyTarget::MaxPerf),
+            "MIN_ENERGY" => return Ok(EnergyTarget::MinEnergy),
+            "MIN_EDP" => return Ok(EnergyTarget::MinEdp),
+            "MIN_ED2P" => return Ok(EnergyTarget::MinEd2p),
+            _ => {}
+        }
+        let parse_pct = |rest: &str| -> Option<u8> {
+            rest.parse::<u8>().ok().filter(|&x| x <= 100)
+        };
+        if let Some(rest) = up.strip_prefix("ES_") {
+            if let Some(x) = parse_pct(rest) {
+                return Ok(EnergyTarget::EnergySaving(x));
+            }
+        }
+        if let Some(rest) = up.strip_prefix("PL_") {
+            if let Some(x) = parse_pct(rest) {
+                return Ok(EnergyTarget::PerfLoss(x));
+            }
+        }
+        Err(ParseTargetError(s.to_string()))
+    }
+}
+
+/// Select the configuration meeting `target` from `points`, judging energy
+/// savings and performance loss against `baseline` (the default-frequency
+/// point). Returns `None` only for an empty `points`.
+pub fn select(
+    target: EnergyTarget,
+    points: &[MetricPoint],
+    baseline: &MetricPoint,
+) -> Option<MetricPoint> {
+    if points.is_empty() {
+        return None;
+    }
+    let argmin = |f: &dyn Fn(&MetricPoint) -> f64| -> MetricPoint {
+        *points
+            .iter()
+            .min_by(|a, b| f(a).total_cmp(&f(b)))
+            .expect("non-empty")
+    };
+    match target {
+        EnergyTarget::MaxPerf => Some(argmin(&|p| p.time_s)),
+        EnergyTarget::MinEnergy => Some(argmin(&|p| p.energy_j)),
+        EnergyTarget::MinEdp => Some(argmin(&|p| p.edp())),
+        EnergyTarget::MinEd2p => Some(argmin(&|p| p.ed2p())),
+        EnergyTarget::EnergySaving(x) => {
+            let e_min = points
+                .iter()
+                .map(|p| p.energy_j)
+                .fold(f64::INFINITY, f64::min);
+            let potential = (baseline.energy_j - e_min).max(0.0);
+            let budget = baseline.energy_j - potential * x as f64 / 100.0;
+            let feasible: Vec<MetricPoint> = points
+                .iter()
+                .filter(|p| p.energy_j <= budget + 1e-12)
+                .copied()
+                .collect();
+            // The min-energy point always qualifies, so this is non-empty.
+            feasible
+                .iter()
+                .min_by(|a, b| a.time_s.total_cmp(&b.time_s))
+                .copied()
+        }
+        EnergyTarget::PerfLoss(x) => {
+            let min_energy_point = argmin(&|p| p.energy_j);
+            let potential = (min_energy_point.time_s - baseline.time_s).max(0.0);
+            let allowance = baseline.time_s + potential * x as f64 / 100.0;
+            let feasible: Vec<MetricPoint> = points
+                .iter()
+                .filter(|p| p.time_s <= allowance + 1e-12)
+                .copied()
+                .collect();
+            if feasible.is_empty() {
+                // Baseline itself is not in `points` and everything is
+                // slower than the allowance: degrade gracefully to the
+                // fastest configuration.
+                return Some(argmin(&|p| p.time_s));
+            }
+            feasible
+                .iter()
+                .min_by(|a, b| a.energy_j.total_cmp(&b.energy_j))
+                .copied()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use synergy_sim::ClockConfig;
+
+    fn p(core: u32, t: f64, e: f64) -> MetricPoint {
+        MetricPoint::new(ClockConfig::new(877, core), t, e)
+    }
+
+    /// A synthetic sweep shaped like a real one: faster costs more energy
+    /// above the knee; the baseline sits near (but not at) max perf.
+    fn sweep() -> (Vec<MetricPoint>, MetricPoint) {
+        let points = vec![
+            p(400, 4.0, 8.0),
+            p(600, 3.0, 6.0),
+            p(800, 2.5, 5.0), // min energy
+            p(1000, 2.2, 5.5),
+            p(1200, 2.0, 6.5),
+            p(1312, 1.9, 7.5), // baseline / default
+            p(1530, 1.8, 9.0), // max perf
+        ];
+        let baseline = points[5];
+        (points, baseline)
+    }
+
+    #[test]
+    fn display_and_parse_roundtrip() {
+        for t in EnergyTarget::PAPER_SET {
+            let s = t.to_string();
+            assert_eq!(s.parse::<EnergyTarget>().unwrap(), t, "{s}");
+        }
+        assert!("ES_101".parse::<EnergyTarget>().is_err());
+        assert!("WHAT".parse::<EnergyTarget>().is_err());
+        assert_eq!(
+            "min_edp".parse::<EnergyTarget>().unwrap(),
+            EnergyTarget::MinEdp
+        );
+    }
+
+    #[test]
+    fn extremes() {
+        let (pts, base) = sweep();
+        assert_eq!(
+            select(EnergyTarget::MaxPerf, &pts, &base).unwrap().clocks.core_mhz,
+            1530
+        );
+        assert_eq!(
+            select(EnergyTarget::MinEnergy, &pts, &base).unwrap().clocks.core_mhz,
+            800
+        );
+    }
+
+    #[test]
+    fn edp_family() {
+        let (pts, base) = sweep();
+        let edp = select(EnergyTarget::MinEdp, &pts, &base).unwrap();
+        // argmin of e*t over the sweep: 800 -> 12.5, 1000 -> 12.1,
+        // 1200 -> 13, so 1000 wins.
+        assert_eq!(edp.clocks.core_mhz, 1000);
+        let ed2p = select(EnergyTarget::MinEd2p, &pts, &base).unwrap();
+        // ed2p favours speed: 1530 -> 29.16, 1312 -> 27.1, 1200 -> 26,
+        // 1000 -> 26.6 => 1200.
+        assert_eq!(ed2p.clocks.core_mhz, 1200);
+    }
+
+    #[test]
+    fn es_semantics() {
+        let (pts, base) = sweep();
+        // potential saving = 7.5 - 5.0 = 2.5
+        // ES_100: energy <= 5.0 -> only the 800 MHz point.
+        let es100 = select(EnergyTarget::EnergySaving(100), &pts, &base).unwrap();
+        assert_eq!(es100.clocks.core_mhz, 800);
+        // ES_0: budget = baseline energy; fastest point under 7.5 J is 1312.
+        let es0 = select(EnergyTarget::EnergySaving(0), &pts, &base).unwrap();
+        assert_eq!(es0.clocks.core_mhz, 1312);
+        // ES_50: budget = 7.5 - 1.25 = 6.25; feasible {400,600,800,1000};
+        // fastest is 1000 MHz.
+        let es50 = select(EnergyTarget::EnergySaving(50), &pts, &base).unwrap();
+        assert_eq!(es50.clocks.core_mhz, 1000);
+    }
+
+    #[test]
+    fn pl_semantics() {
+        let (pts, base) = sweep();
+        // min-energy point time = 2.5, baseline = 1.9: potential loss 0.6 s.
+        // PL_0: allowance 1.9 -> {1312, 1530}; lower energy is 1312.
+        let pl0 = select(EnergyTarget::PerfLoss(0), &pts, &base).unwrap();
+        assert_eq!(pl0.clocks.core_mhz, 1312);
+        // PL_100: allowance 2.5 -> includes 800; min energy = 800.
+        let pl100 = select(EnergyTarget::PerfLoss(100), &pts, &base).unwrap();
+        assert_eq!(pl100.clocks.core_mhz, 800);
+        // PL_50: allowance 2.2 -> {1000,1200,1312,1530}; min energy = 1000.
+        let pl50 = select(EnergyTarget::PerfLoss(50), &pts, &base).unwrap();
+        assert_eq!(pl50.clocks.core_mhz, 1000);
+    }
+
+    #[test]
+    fn es_monotone_in_x() {
+        let (pts, base) = sweep();
+        let mut prev_energy = f64::INFINITY;
+        for x in [0u8, 25, 50, 75, 100] {
+            let sel = select(EnergyTarget::EnergySaving(x), &pts, &base).unwrap();
+            assert!(
+                sel.energy_j <= prev_energy + 1e-12,
+                "ES_{x} energy should not increase"
+            );
+            prev_energy = sel.energy_j;
+        }
+    }
+
+    #[test]
+    fn pl_monotone_in_x() {
+        let (pts, base) = sweep();
+        let mut prev_time = 0.0;
+        for x in [0u8, 25, 50, 75, 100] {
+            let sel = select(EnergyTarget::PerfLoss(x), &pts, &base).unwrap();
+            assert!(
+                sel.time_s >= prev_time - 1e-12,
+                "PL_{x} time should not decrease"
+            );
+            prev_time = sel.time_s;
+        }
+    }
+
+    #[test]
+    fn empty_points_yield_none() {
+        let base = p(1312, 1.0, 1.0);
+        assert_eq!(select(EnergyTarget::MinEdp, &[], &base), None);
+    }
+
+    #[test]
+    fn single_point_always_selected() {
+        let only = p(800, 2.0, 2.0);
+        let base = p(1312, 1.0, 3.0);
+        for t in EnergyTarget::PAPER_SET {
+            assert_eq!(select(t, &[only], &base), Some(only), "{t}");
+        }
+    }
+
+    #[test]
+    fn baseline_faster_than_min_energy_degenerate_interval() {
+        // Min-energy config is *faster* than baseline: potential loss is
+        // zero, every PL_x returns the best-energy point within baseline
+        // time.
+        let pts = vec![p(800, 1.5, 2.0), p(1312, 1.9, 7.5)];
+        let base = pts[1];
+        for x in [0u8, 50, 100] {
+            let sel = select(EnergyTarget::PerfLoss(x), &pts, &base).unwrap();
+            assert_eq!(sel.clocks.core_mhz, 800);
+        }
+    }
+}

@@ -1,0 +1,168 @@
+//! K-fold cross-validation and automatic algorithm selection.
+//!
+//! Section 6.1 of the paper applies *"different machine learning methods"*
+//! per target and Section 8.3 picks the best per objective. This module
+//! provides the machinery: deterministic k-fold splits, per-algorithm CV
+//! scores, and a selector that returns the winning algorithm for a
+//! dataset.
+
+use crate::data::Dataset;
+use crate::errors::rmse;
+use crate::model::Algorithm;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Deterministic k-fold index assignment: `folds[i]` is the fold of row
+/// `i`. Every fold size differs by at most one.
+pub fn kfold_assignment(rows: usize, k: usize, seed: u64) -> Vec<usize> {
+    assert!(k >= 2, "need at least two folds");
+    assert!(rows >= k, "need at least one row per fold");
+    let mut idx: Vec<usize> = (0..rows).collect();
+    idx.shuffle(&mut StdRng::seed_from_u64(seed));
+    let mut folds = vec![0usize; rows];
+    for (pos, &row) in idx.iter().enumerate() {
+        folds[row] = pos % k;
+    }
+    folds
+}
+
+/// Cross-validation result for one algorithm.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CvScore {
+    /// The algorithm evaluated.
+    pub algorithm: Algorithm,
+    /// Per-fold RMSE on the held-out fold.
+    pub fold_rmse: Vec<f64>,
+}
+
+impl CvScore {
+    /// Mean held-out RMSE.
+    pub fn mean_rmse(&self) -> f64 {
+        self.fold_rmse.iter().sum::<f64>() / self.fold_rmse.len() as f64
+    }
+}
+
+/// Run k-fold CV for one algorithm on a dataset.
+pub fn cross_validate(
+    algorithm: Algorithm,
+    data: &Dataset,
+    k: usize,
+    seed: u64,
+) -> CvScore {
+    let folds = kfold_assignment(data.len(), k, seed);
+    let mut fold_rmse = Vec::with_capacity(k);
+    for fold in 0..k {
+        let (train, test) = data.split_by(|i| folds[i] == fold);
+        let mut model = algorithm.build(seed.wrapping_add(fold as u64));
+        model.fit(&train.x, &train.y);
+        let pred = model.predict(&test.x);
+        fold_rmse.push(rmse(&test.y, &pred));
+    }
+    CvScore {
+        algorithm,
+        fold_rmse,
+    }
+}
+
+/// Cross-validate every algorithm and return all scores, best first.
+pub fn compare_algorithms(data: &Dataset, k: usize, seed: u64) -> Vec<CvScore> {
+    let mut scores: Vec<CvScore> = Algorithm::ALL
+        .iter()
+        .map(|&a| cross_validate(a, data, k, seed))
+        .collect();
+    scores.sort_by(|a, b| a.mean_rmse().total_cmp(&b.mean_rmse()));
+    scores
+}
+
+/// The algorithm with the lowest mean held-out RMSE.
+pub fn select_algorithm(data: &Dataset, k: usize, seed: u64) -> Algorithm {
+    compare_algorithms(data, k, seed)[0].algorithm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn linear_dataset() -> Dataset {
+        let mut d = Dataset::new();
+        for i in 0..120 {
+            let a = (i as f64 * 0.37).sin();
+            let b = (i as f64 * 0.73).cos();
+            d.push(vec![a, b], 3.0 * a - 2.0 * b + 1.0);
+        }
+        d
+    }
+
+    fn step_dataset() -> Dataset {
+        // Axis-aligned steps: tree territory, hostile to linear models.
+        let mut d = Dataset::new();
+        for i in 0..200 {
+            let x = (i % 20) as f64 / 20.0;
+            let y = (i / 20) as f64 / 10.0;
+            let t = (if x > 0.5 { 4.0 } else { 0.0 }) + (if y > 0.55 { 2.0 } else { 0.0 });
+            d.push(vec![x, y], t);
+        }
+        d
+    }
+
+    #[test]
+    fn kfold_assignment_is_balanced_and_deterministic() {
+        let a = kfold_assignment(103, 5, 9);
+        let b = kfold_assignment(103, 5, 9);
+        assert_eq!(a, b);
+        let mut counts = [0usize; 5];
+        for &f in &a {
+            counts[f] += 1;
+        }
+        let (min, max) = (counts.iter().min().unwrap(), counts.iter().max().unwrap());
+        assert!(max - min <= 1, "{counts:?}");
+        assert_ne!(a, kfold_assignment(103, 5, 10));
+    }
+
+    #[test]
+    #[should_panic(expected = "two folds")]
+    fn one_fold_rejected() {
+        kfold_assignment(10, 1, 0);
+    }
+
+    #[test]
+    fn linear_data_selects_a_linear_model() {
+        let d = linear_dataset();
+        let best = select_algorithm(&d, 5, 3);
+        assert!(
+            matches!(best, Algorithm::Linear | Algorithm::Lasso),
+            "linear ground truth should favour a linear model, got {best}"
+        );
+    }
+
+    #[test]
+    fn step_data_selects_a_tree_model() {
+        let d = step_dataset();
+        let best = select_algorithm(&d, 5, 3);
+        assert_eq!(
+            best,
+            Algorithm::RandomForest,
+            "axis-aligned steps should favour trees"
+        );
+    }
+
+    #[test]
+    fn scores_are_sorted_best_first() {
+        let d = linear_dataset();
+        let scores = compare_algorithms(&d, 4, 1);
+        assert_eq!(scores.len(), 4);
+        for w in scores.windows(2) {
+            assert!(w[0].mean_rmse() <= w[1].mean_rmse());
+        }
+    }
+
+    #[test]
+    fn fold_count_respected() {
+        let d = linear_dataset();
+        let s = cross_validate(Algorithm::Linear, &d, 6, 0);
+        assert_eq!(s.fold_rmse.len(), 6);
+        assert!(s.fold_rmse.iter().all(|r| r.is_finite()));
+    }
+}

@@ -1,0 +1,263 @@
+//! Datasets, standardization, and deterministic splits.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// A supervised regression dataset: rows of features with scalar targets.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Dataset {
+    /// Feature rows; all rows share one width.
+    pub x: Vec<Vec<f64>>,
+    /// Targets, one per row.
+    pub y: Vec<f64>,
+}
+
+impl Dataset {
+    /// Empty dataset.
+    pub fn new() -> Dataset {
+        Dataset::default()
+    }
+
+    /// Append one `(features, target)` observation.
+    pub fn push(&mut self, features: Vec<f64>, target: f64) {
+        if let Some(first) = self.x.first() {
+            assert_eq!(features.len(), first.len(), "inconsistent feature width");
+        }
+        self.x.push(features);
+        self.y.push(target);
+    }
+
+    /// Number of observations.
+    pub fn len(&self) -> usize {
+        self.y.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.y.is_empty()
+    }
+
+    /// Feature dimensionality (0 when empty).
+    pub fn dim(&self) -> usize {
+        self.x.first().map_or(0, Vec::len)
+    }
+
+    /// Deterministic shuffled split into `(train, test)` with `test_frac`
+    /// of rows held out (at least one row stays in train when possible).
+    pub fn split(&self, test_frac: f64, seed: u64) -> (Dataset, Dataset) {
+        assert!((0.0..1.0).contains(&test_frac));
+        let mut idx: Vec<usize> = (0..self.len()).collect();
+        idx.shuffle(&mut StdRng::seed_from_u64(seed));
+        let n_test = ((self.len() as f64) * test_frac).round() as usize;
+        let n_test = n_test.min(self.len().saturating_sub(1));
+        let (test_idx, train_idx) = idx.split_at(n_test);
+        let pick = |ids: &[usize]| Dataset {
+            x: ids.iter().map(|&i| self.x[i].clone()).collect(),
+            y: ids.iter().map(|&i| self.y[i]).collect(),
+        };
+        (pick(train_idx), pick(test_idx))
+    }
+
+    /// Leave out exactly the rows for which `hold_out` is true — the
+    /// leave-one-benchmark-out protocol of the accuracy study.
+    pub fn split_by(&self, hold_out: impl Fn(usize) -> bool) -> (Dataset, Dataset) {
+        let mut train = Dataset::new();
+        let mut test = Dataset::new();
+        for i in 0..self.len() {
+            let row = self.x[i].clone();
+            if hold_out(i) {
+                test.push(row, self.y[i]);
+            } else {
+                train.push(row, self.y[i]);
+            }
+        }
+        (train, test)
+    }
+}
+
+/// Per-column standardizer: `x' = (x - mean) / std`.
+///
+/// Constant columns get `std = 1` so they map to zero rather than NaN.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StandardScaler {
+    /// Column means.
+    pub mean: Vec<f64>,
+    /// Column standard deviations (1.0 for constant columns).
+    pub std: Vec<f64>,
+}
+
+impl StandardScaler {
+    /// Fit to the rows of `x`.
+    pub fn fit(x: &[Vec<f64>]) -> StandardScaler {
+        assert!(!x.is_empty(), "cannot fit a scaler to no data");
+        let d = x[0].len();
+        let n = x.len() as f64;
+        let mut mean = vec![0.0; d];
+        for row in x {
+            for (m, &v) in mean.iter_mut().zip(row) {
+                *m += v;
+            }
+        }
+        for m in &mut mean {
+            *m /= n;
+        }
+        let mut var = vec![0.0; d];
+        for row in x {
+            for ((v, &xv), &m) in var.iter_mut().zip(row).zip(&mean) {
+                let dlt = xv - m;
+                *v += dlt * dlt;
+            }
+        }
+        let std = var
+            .into_iter()
+            .map(|v| {
+                let s = (v / n).sqrt();
+                if s > 1e-12 {
+                    s
+                } else {
+                    1.0
+                }
+            })
+            .collect();
+        StandardScaler { mean, std }
+    }
+
+    /// Transform one row.
+    pub fn transform_row(&self, row: &[f64]) -> Vec<f64> {
+        row.iter()
+            .zip(&self.mean)
+            .zip(&self.std)
+            .map(|((&x, &m), &s)| (x - m) / s)
+            .collect()
+    }
+
+    /// Transform many rows.
+    pub fn transform(&self, x: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        x.iter().map(|r| self.transform_row(r)).collect()
+    }
+}
+
+/// Scalar standardizer for targets.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TargetScaler {
+    /// Target mean.
+    pub mean: f64,
+    /// Target standard deviation (1.0 when constant).
+    pub std: f64,
+}
+
+impl TargetScaler {
+    /// Fit to the targets.
+    pub fn fit(y: &[f64]) -> TargetScaler {
+        assert!(!y.is_empty());
+        let n = y.len() as f64;
+        let mean = y.iter().sum::<f64>() / n;
+        let var = y.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+        let std = var.sqrt();
+        TargetScaler {
+            mean,
+            std: if std > 1e-12 { std } else { 1.0 },
+        }
+    }
+
+    /// To standardized space.
+    pub fn transform(&self, v: f64) -> f64 {
+        (v - self.mean) / self.std
+    }
+
+    /// Back to original space.
+    pub fn inverse(&self, v: f64) -> f64 {
+        v * self.std + self.mean
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Dataset {
+        let mut d = Dataset::new();
+        for i in 0..10 {
+            d.push(vec![i as f64, (i * i) as f64], i as f64 * 2.0);
+        }
+        d
+    }
+
+    #[test]
+    fn push_and_dims() {
+        let d = toy();
+        assert_eq!(d.len(), 10);
+        assert_eq!(d.dim(), 2);
+        assert!(!d.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "inconsistent")]
+    fn ragged_push_panics() {
+        let mut d = toy();
+        d.push(vec![1.0], 0.0);
+    }
+
+    #[test]
+    fn split_is_deterministic_and_partitions() {
+        let d = toy();
+        let (tr1, te1) = d.split(0.3, 42);
+        let (tr2, te2) = d.split(0.3, 42);
+        assert_eq!(tr1, tr2);
+        assert_eq!(te1, te2);
+        assert_eq!(tr1.len() + te1.len(), d.len());
+        assert_eq!(te1.len(), 3);
+        let (_, te3) = d.split(0.3, 43);
+        assert_ne!(te1, te3, "different seed, different split");
+    }
+
+    #[test]
+    fn split_by_predicate() {
+        let d = toy();
+        let (tr, te) = d.split_by(|i| i % 2 == 0);
+        assert_eq!(te.len(), 5);
+        assert_eq!(tr.len(), 5);
+        assert!(te.y.iter().all(|&y| ((y / 2.0) as usize).is_multiple_of(2)));
+    }
+
+    #[test]
+    fn scaler_zero_mean_unit_var() {
+        let d = toy();
+        let sc = StandardScaler::fit(&d.x);
+        let t = sc.transform(&d.x);
+        for j in 0..2 {
+            let mean: f64 = t.iter().map(|r| r[j]).sum::<f64>() / t.len() as f64;
+            let var: f64 = t.iter().map(|r| r[j] * r[j]).sum::<f64>() / t.len() as f64;
+            assert!(mean.abs() < 1e-12);
+            assert!((var - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn scaler_handles_constant_column() {
+        let x = vec![vec![5.0, 1.0], vec![5.0, 2.0]];
+        let sc = StandardScaler::fit(&x);
+        let t = sc.transform(&x);
+        assert_eq!(t[0][0], 0.0);
+        assert_eq!(t[1][0], 0.0);
+        assert!(t[0][1].is_finite());
+    }
+
+    #[test]
+    fn target_scaler_roundtrip() {
+        let y = vec![1.0, 2.0, 3.0, 10.0];
+        let ts = TargetScaler::fit(&y);
+        for &v in &y {
+            assert!((ts.inverse(ts.transform(v)) - v).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn target_scaler_constant() {
+        let ts = TargetScaler::fit(&[4.0, 4.0, 4.0]);
+        assert_eq!(ts.transform(4.0), 0.0);
+        assert_eq!(ts.inverse(0.0), 4.0);
+    }
+}

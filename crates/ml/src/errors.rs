@@ -1,0 +1,107 @@
+//! Prediction error metrics: APE, MAPE, RMSE (the quantities of the paper's
+//! Figure 9 and Table 2), plus R² for internal diagnostics.
+
+/// Absolute percentage error of one prediction. Zero actuals yield the
+/// absolute error instead of dividing by zero.
+pub fn ape(actual: f64, predicted: f64) -> f64 {
+    if actual == 0.0 {
+        (predicted - actual).abs()
+    } else {
+        ((predicted - actual) / actual).abs()
+    }
+}
+
+/// Mean absolute percentage error over paired slices.
+pub fn mape(actual: &[f64], predicted: &[f64]) -> f64 {
+    assert_eq!(actual.len(), predicted.len());
+    assert!(!actual.is_empty(), "MAPE of nothing");
+    actual
+        .iter()
+        .zip(predicted)
+        .map(|(&a, &p)| ape(a, p))
+        .sum::<f64>()
+        / actual.len() as f64
+}
+
+/// Root mean squared error over paired slices.
+pub fn rmse(actual: &[f64], predicted: &[f64]) -> f64 {
+    assert_eq!(actual.len(), predicted.len());
+    assert!(!actual.is_empty(), "RMSE of nothing");
+    let mse = actual
+        .iter()
+        .zip(predicted)
+        .map(|(&a, &p)| (a - p) * (a - p))
+        .sum::<f64>()
+        / actual.len() as f64;
+    mse.sqrt()
+}
+
+/// Coefficient of determination. 1.0 is perfect; 0.0 matches the mean
+/// predictor; negative is worse than the mean.
+pub fn r2(actual: &[f64], predicted: &[f64]) -> f64 {
+    assert_eq!(actual.len(), predicted.len());
+    assert!(!actual.is_empty());
+    let mean = actual.iter().sum::<f64>() / actual.len() as f64;
+    let ss_tot: f64 = actual.iter().map(|&a| (a - mean) * (a - mean)).sum();
+    let ss_res: f64 = actual
+        .iter()
+        .zip(predicted)
+        .map(|(&a, &p)| (a - p) * (a - p))
+        .sum();
+    if ss_tot == 0.0 {
+        if ss_res == 0.0 {
+            1.0
+        } else {
+            f64::NEG_INFINITY
+        }
+    } else {
+        1.0 - ss_res / ss_tot
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ape_basic() {
+        assert_eq!(ape(10.0, 12.0), 0.2);
+        assert_eq!(ape(10.0, 8.0), 0.2);
+        assert_eq!(ape(0.0, 3.0), 3.0);
+    }
+
+    #[test]
+    fn mape_averages() {
+        let a = [10.0, 20.0];
+        let p = [12.0, 18.0];
+        assert!((mape(&a, &p) - 0.15).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rmse_known_value() {
+        let a = [0.0, 0.0];
+        let p = [3.0, 4.0];
+        assert!((rmse(&a, &p) - (12.5f64).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_predictions() {
+        let a = [1.0, 2.0, 3.0];
+        assert_eq!(mape(&a, &a), 0.0);
+        assert_eq!(rmse(&a, &a), 0.0);
+        assert_eq!(r2(&a, &a), 1.0);
+    }
+
+    #[test]
+    fn r2_of_mean_predictor_is_zero() {
+        let a = [1.0, 2.0, 3.0];
+        let p = [2.0, 2.0, 2.0];
+        assert!(r2(&a, &p).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_mape_panics() {
+        mape(&[], &[]);
+    }
+}

@@ -1,0 +1,171 @@
+//! Random forest regression: bagged CART trees with per-split feature
+//! subsampling, fitted in parallel with Rayon. Fully deterministic given
+//! the forest seed (per-tree seeds are derived, independent of thread
+//! scheduling).
+
+use crate::model::Regressor;
+use crate::tree::{RegressionTree, TreeConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// Random forest hyperparameters and fitted state.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RandomForest {
+    /// Number of trees.
+    pub n_trees: usize,
+    /// Per-tree configuration. `feature_subsample: None` considers every
+    /// feature at every split (the usual regression-forest default).
+    pub tree_config: TreeConfig,
+    /// Forest seed.
+    pub seed: u64,
+    trees: Vec<RegressionTree>,
+}
+
+impl Default for RandomForest {
+    fn default() -> Self {
+        RandomForest {
+            n_trees: 40,
+            tree_config: TreeConfig::default(),
+            seed: 0,
+            trees: Vec::new(),
+        }
+    }
+}
+
+impl RandomForest {
+    /// Default forest with an explicit seed.
+    pub fn with_seed(seed: u64) -> RandomForest {
+        RandomForest {
+            seed,
+            ..Default::default()
+        }
+    }
+
+    /// Builder: set the number of trees.
+    pub fn with_trees(mut self, n: usize) -> RandomForest {
+        self.n_trees = n.max(1);
+        self
+    }
+
+    /// Number of fitted trees (0 before fit).
+    pub fn tree_count(&self) -> usize {
+        self.trees.len()
+    }
+}
+
+impl Regressor for RandomForest {
+    fn fit(&mut self, x: &[Vec<f64>], y: &[f64]) {
+        assert!(!x.is_empty(), "cannot fit to an empty dataset");
+        assert_eq!(x.len(), y.len());
+        let n = x.len();
+        // Regression forests default to considering every feature per split
+        // (bagging alone decorrelates); callers can opt into subsampling
+        // via `tree_config.feature_subsample`.
+        let cfg = self.tree_config;
+        let seed = self.seed;
+        self.trees = (0..self.n_trees)
+            .into_par_iter()
+            .map(|t| {
+                // Derive a stable per-tree seed.
+                let tree_seed = seed
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    .wrapping_add(t as u64);
+                let mut rng = StdRng::seed_from_u64(tree_seed);
+                let bootstrap: Vec<usize> =
+                    (0..n).map(|_| rng.random_range(0..n)).collect();
+                RegressionTree::fit(x, y, &bootstrap, cfg, rng.random())
+            })
+            .collect();
+    }
+
+    fn predict_row(&self, row: &[f64]) -> f64 {
+        assert!(!self.trees.is_empty(), "predict before fit");
+        self.trees.iter().map(|t| t.predict_row(row)).sum::<f64>() / self.trees.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::errors::rmse;
+
+    fn wavy() -> (Vec<Vec<f64>>, Vec<f64>) {
+        let x: Vec<Vec<f64>> = (0..300)
+            .map(|i| vec![i as f64 / 300.0, ((i * 13) % 300) as f64 / 300.0])
+            .collect();
+        let y: Vec<f64> = x
+            .iter()
+            .map(|r| (6.0 * r[0]).sin() + r[1] * r[1])
+            .collect();
+        (x, y)
+    }
+
+    #[test]
+    fn fits_nonlinear_function() {
+        let (x, y) = wavy();
+        let mut f = RandomForest::with_seed(3);
+        f.fit(&x, &y);
+        let pred = f.predict(&x);
+        assert!(rmse(&y, &pred) < 0.15, "rmse {}", rmse(&y, &pred));
+    }
+
+    #[test]
+    fn deterministic_across_fits() {
+        let (x, y) = wavy();
+        let mut a = RandomForest::with_seed(9);
+        let mut b = RandomForest::with_seed(9);
+        a.fit(&x, &y);
+        b.fit(&x, &y);
+        for row in x.iter().take(20) {
+            assert_eq!(a.predict_row(row), b.predict_row(row));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let (x, y) = wavy();
+        let mut a = RandomForest::with_seed(1);
+        let mut b = RandomForest::with_seed(2);
+        a.fit(&x, &y);
+        b.fit(&x, &y);
+        let differs = x
+            .iter()
+            .take(50)
+            .any(|r| a.predict_row(r) != b.predict_row(r));
+        assert!(differs);
+    }
+
+    #[test]
+    fn prediction_within_target_range() {
+        let (x, y) = wavy();
+        let mut f = RandomForest::with_seed(5);
+        f.fit(&x, &y);
+        let (lo, hi) = y
+            .iter()
+            .fold((f64::MAX, f64::MIN), |(l, h), &v| (l.min(v), h.max(v)));
+        for row in x.iter().take(50) {
+            let p = f.predict_row(row);
+            assert!(p >= lo - 1e-9 && p <= hi + 1e-9, "tree means cannot extrapolate");
+        }
+    }
+
+    #[test]
+    fn tree_count_matches_config() {
+        let (x, y) = wavy();
+        let mut f = RandomForest {
+            n_trees: 7,
+            ..RandomForest::with_seed(0)
+        };
+        f.fit(&x, &y);
+        assert_eq!(f.tree_count(), 7);
+    }
+
+    #[test]
+    fn single_sample_dataset() {
+        let mut f = RandomForest::with_seed(0);
+        f.fit(&[vec![1.0, 2.0]], &[5.0]);
+        assert_eq!(f.predict_row(&[9.0, 9.0]), 5.0);
+    }
+}

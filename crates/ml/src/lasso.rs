@@ -1,0 +1,184 @@
+//! Lasso (L1-regularized least squares) via cyclic coordinate descent on
+//! standardized features, with soft-thresholding updates.
+
+use crate::data::{StandardScaler, TargetScaler};
+use crate::model::Regressor;
+use serde::{Deserialize, Serialize};
+
+/// Lasso regression.
+///
+/// Features and target are standardized internally; `lambda` is the L1
+/// strength in standardized space (so the default is meaningful across
+/// datasets of any scale).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Lasso {
+    /// L1 regularization strength (standardized space).
+    pub lambda: f64,
+    /// Maximum coordinate-descent sweeps.
+    pub max_iter: usize,
+    /// Convergence tolerance on the largest coefficient change per sweep.
+    pub tol: f64,
+    weights: Vec<f64>,
+    scaler: Option<StandardScaler>,
+    target: Option<TargetScaler>,
+}
+
+impl Default for Lasso {
+    fn default() -> Self {
+        Lasso {
+            lambda: 1e-3,
+            max_iter: 1000,
+            tol: 1e-8,
+            weights: Vec::new(),
+            scaler: None,
+            target: None,
+        }
+    }
+}
+
+impl Lasso {
+    /// Lasso with an explicit L1 strength.
+    pub fn with_lambda(lambda: f64) -> Lasso {
+        Lasso {
+            lambda,
+            ..Default::default()
+        }
+    }
+
+    /// Standardized-space coefficients (diagnostics; empty before fit).
+    pub fn coefficients(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Number of exactly-zero coefficients (the sparsity Lasso buys).
+    pub fn zero_count(&self) -> usize {
+        self.weights.iter().filter(|w| **w == 0.0).count()
+    }
+}
+
+fn soft_threshold(v: f64, t: f64) -> f64 {
+    if v > t {
+        v - t
+    } else if v < -t {
+        v + t
+    } else {
+        0.0
+    }
+}
+
+impl Regressor for Lasso {
+    fn fit(&mut self, x: &[Vec<f64>], y: &[f64]) {
+        assert!(!x.is_empty(), "cannot fit to an empty dataset");
+        assert_eq!(x.len(), y.len());
+        let scaler = StandardScaler::fit(x);
+        let xs = scaler.transform(x);
+        let ts = TargetScaler::fit(y);
+        let ys: Vec<f64> = y.iter().map(|&v| ts.transform(v)).collect();
+
+        let n = xs.len();
+        let d = xs[0].len();
+        let nf = n as f64;
+        // Column norms (constant columns were mapped to zero by the scaler).
+        let col_sq: Vec<f64> = (0..d)
+            .map(|j| xs.iter().map(|r| r[j] * r[j]).sum::<f64>() / nf)
+            .collect();
+        let mut w = vec![0.0; d];
+        let mut residual = ys.clone(); // r = y - Xw, starts at y since w = 0
+        for _ in 0..self.max_iter {
+            let mut max_delta: f64 = 0.0;
+            for j in 0..d {
+                if col_sq[j] == 0.0 {
+                    continue;
+                }
+                // rho = (1/n) x_j · (r + w_j x_j)
+                let mut rho = 0.0;
+                for (row, r) in xs.iter().zip(&residual) {
+                    rho += row[j] * r;
+                }
+                rho = rho / nf + w[j] * col_sq[j];
+                let new_w = soft_threshold(rho, self.lambda) / col_sq[j];
+                let delta = new_w - w[j];
+                if delta != 0.0 {
+                    for (row, r) in xs.iter().zip(residual.iter_mut()) {
+                        *r -= delta * row[j];
+                    }
+                    w[j] = new_w;
+                    max_delta = max_delta.max(delta.abs());
+                }
+            }
+            if max_delta < self.tol {
+                break;
+            }
+        }
+        self.weights = w;
+        self.scaler = Some(scaler);
+        self.target = Some(ts);
+    }
+
+    fn predict_row(&self, row: &[f64]) -> f64 {
+        let scaler = self.scaler.as_ref().expect("predict before fit");
+        let ts = self.target.expect("predict before fit");
+        let rs = scaler.transform_row(row);
+        let z: f64 = rs.iter().zip(&self.weights).map(|(a, b)| a * b).sum();
+        ts.inverse(z)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn soft_threshold_cases() {
+        assert_eq!(soft_threshold(3.0, 1.0), 2.0);
+        assert_eq!(soft_threshold(-3.0, 1.0), -2.0);
+        assert_eq!(soft_threshold(0.5, 1.0), 0.0);
+    }
+
+    #[test]
+    fn fits_linear_relation_with_small_lambda() {
+        let x: Vec<Vec<f64>> = (0..60)
+            .map(|i| vec![(i as f64 * 0.31).sin(), (i as f64 * 0.17).cos()])
+            .collect();
+        let y: Vec<f64> = x.iter().map(|r| 5.0 * r[0] - 3.0 * r[1] + 1.0).collect();
+        let mut m = Lasso::with_lambda(1e-6);
+        m.fit(&x, &y);
+        for (row, want) in x.iter().zip(&y) {
+            assert!((m.predict_row(row) - want).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn large_lambda_zeroes_noise_features() {
+        // y depends only on x0; x1 is random-ish noise.
+        let x: Vec<Vec<f64>> = (0..100)
+            .map(|i| vec![i as f64 / 100.0, ((i * 7919) % 100) as f64 / 100.0])
+            .collect();
+        let y: Vec<f64> = x.iter().map(|r| 10.0 * r[0]).collect();
+        let mut m = Lasso::with_lambda(0.2);
+        m.fit(&x, &y);
+        assert_eq!(m.coefficients()[1], 0.0, "noise coefficient not zeroed");
+        assert!(m.coefficients()[0] > 0.0);
+    }
+
+    #[test]
+    fn extreme_lambda_gives_mean_predictor() {
+        let x: Vec<Vec<f64>> = (0..50).map(|i| vec![i as f64]).collect();
+        let y: Vec<f64> = (0..50).map(|i| i as f64 * 2.0).collect();
+        let mut m = Lasso::with_lambda(1e6);
+        m.fit(&x, &y);
+        assert_eq!(m.zero_count(), 1);
+        let mean = y.iter().sum::<f64>() / y.len() as f64;
+        assert!((m.predict_row(&[25.0]) - mean).abs() < 1e-9);
+    }
+
+    #[test]
+    fn handles_constant_features() {
+        let x: Vec<Vec<f64>> = (0..20).map(|i| vec![3.0, i as f64]).collect();
+        let y: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        let mut m = Lasso::default();
+        m.fit(&x, &y);
+        let p = m.predict_row(&[3.0, 10.0]);
+        assert!((p - 10.0).abs() < 0.3, "pred {p}");
+    }
+}

@@ -1,0 +1,122 @@
+//! # synergy-ml
+//!
+//! From-scratch regression models for the SYnergy modeling methodology
+//! (Section 6): linear regression, Lasso, random forest, and ε-SVR with an
+//! RBF kernel, plus datasets, standardization, prediction-error metrics
+//! (APE / MAPE / RMSE) and the four single-target metric models
+//! (time, energy, EDP, ED2P) of Figure 6.
+//!
+//! No external ML dependencies: a small dense-linear-algebra module, CART
+//! trees, coordinate-descent solvers. Every algorithm is deterministic
+//! given its seed, including the Rayon-parallel random forest.
+
+#![warn(missing_docs)]
+
+pub mod cv;
+pub mod data;
+pub mod errors;
+pub mod forest;
+pub mod lasso;
+pub mod linalg;
+pub mod linear;
+pub mod model;
+pub mod pipeline;
+pub mod svr;
+pub mod tree;
+
+pub use cv::{compare_algorithms, cross_validate, kfold_assignment, select_algorithm, CvScore};
+pub use data::{Dataset, StandardScaler, TargetScaler};
+pub use errors::{ape, mape, r2, rmse};
+pub use forest::RandomForest;
+pub use lasso::Lasso;
+pub use linear::LinearRegression;
+pub use model::{Algorithm, Regressor};
+pub use pipeline::{input_row, MetricModels, ModelSelection, PredictedMetrics, SweepSample};
+pub use svr::SvrRbf;
+pub use tree::{RegressionTree, TreeConfig};
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_xy() -> impl Strategy<Value = (Vec<Vec<f64>>, Vec<f64>)> {
+        // Linear ground truth with bounded coefficients, 2-4 features.
+        (2usize..5, 10usize..60).prop_flat_map(|(d, n)| {
+            (
+                prop::collection::vec(-5.0f64..5.0, d),
+                -5.0f64..5.0,
+                Just(d),
+                Just(n),
+            )
+                .prop_map(|(coef, intercept, d, n)| {
+                    let x: Vec<Vec<f64>> = (0..n)
+                        .map(|i| {
+                            (0..d)
+                                .map(|j| ((i * (j + 3) * 2654435761) % 1000) as f64 / 500.0 - 1.0)
+                                .collect()
+                        })
+                        .collect();
+                    let y: Vec<f64> = x
+                        .iter()
+                        .map(|r| {
+                            r.iter().zip(&coef).map(|(a, b)| a * b).sum::<f64>() + intercept
+                        })
+                        .collect();
+                    (x, y)
+                })
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// OLS reproduces noiseless linear data to near machine precision.
+        #[test]
+        fn ols_exact_on_linear_data((x, y) in arb_xy()) {
+            let mut m = LinearRegression::default();
+            m.fit(&x, &y);
+            let spread = y.iter().cloned().fold(f64::MIN, f64::max)
+                - y.iter().cloned().fold(f64::MAX, f64::min);
+            let tol = 1e-6 * spread.max(1.0);
+            for (row, &want) in x.iter().zip(&y) {
+                prop_assert!((m.predict_row(row) - want).abs() < tol);
+            }
+        }
+
+        /// Error metrics are non-negative and zero on perfect predictions.
+        #[test]
+        fn error_metrics_sane(ys in prop::collection::vec(0.1f64..100.0, 1..30)) {
+            prop_assert_eq!(mape(&ys, &ys), 0.0);
+            prop_assert_eq!(rmse(&ys, &ys), 0.0);
+            let shifted: Vec<f64> = ys.iter().map(|v| v + 1.0).collect();
+            prop_assert!(mape(&ys, &shifted) > 0.0);
+            prop_assert!(rmse(&ys, &shifted) > 0.0);
+        }
+
+        /// Forest predictions stay within the convex hull of targets.
+        #[test]
+        fn forest_bounded_by_targets((x, y) in arb_xy()) {
+            let mut f = RandomForest::with_seed(1).with_trees(8);
+            f.fit(&x, &y);
+            let lo = y.iter().cloned().fold(f64::MAX, f64::min);
+            let hi = y.iter().cloned().fold(f64::MIN, f64::max);
+            for row in &x {
+                let p = f.predict_row(row);
+                prop_assert!(p >= lo - 1e-9 && p <= hi + 1e-9);
+            }
+        }
+
+        /// Scaler transform is invertible in distribution: transformed
+        /// data has mean ~0 and the original column stds are preserved.
+        #[test]
+        fn scaler_is_affine((x, _y) in arb_xy()) {
+            let sc = StandardScaler::fit(&x);
+            let t = sc.transform(&x);
+            for j in 0..x[0].len() {
+                let mean: f64 = t.iter().map(|r| r[j]).sum::<f64>() / t.len() as f64;
+                prop_assert!(mean.abs() < 1e-9);
+            }
+        }
+    }
+}

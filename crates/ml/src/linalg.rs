@@ -1,0 +1,268 @@
+//! Minimal dense linear algebra for the regression models: a row-major
+//! matrix, normal-equation assembly, and a Cholesky solver for symmetric
+//! positive-definite systems (with a ridge jitter fallback so nearly
+//! collinear feature sets still solve).
+
+/// Row-major dense matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Zero matrix of the given shape.
+    pub fn zeros(rows: usize, cols: usize) -> Matrix {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Build from a row iterator; every row must have `cols` entries.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Matrix {
+        let r = rows.len();
+        let c = rows.first().map_or(0, Vec::len);
+        let mut m = Matrix::zeros(r, c);
+        for (i, row) in rows.iter().enumerate() {
+            assert_eq!(row.len(), c, "ragged row {i}");
+            m.data[i * c..(i + 1) * c].copy_from_slice(row);
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Immutable element access.
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        self.data[i * self.cols + j]
+    }
+
+    /// Mutable element access.
+    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+        self.data[i * self.cols + j] = v;
+    }
+
+    /// Borrow row `i` as a slice.
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Gram matrix `XᵀX` (symmetric, cols × cols).
+    // Triangular index ranges express the symmetry directly; iterator
+    // adaptors would obscure the j >= i structure.
+    #[allow(clippy::needless_range_loop)]
+    pub fn gram(&self) -> Matrix {
+        let d = self.cols;
+        let mut g = Matrix::zeros(d, d);
+        for row in 0..self.rows {
+            let r = self.row(row);
+            for i in 0..d {
+                let ri = r[i];
+                if ri == 0.0 {
+                    continue;
+                }
+                for j in i..d {
+                    let v = ri * r[j];
+                    g.data[i * d + j] += v;
+                }
+            }
+        }
+        // Mirror the upper triangle.
+        for i in 0..d {
+            for j in 0..i {
+                g.data[i * d + j] = g.data[j * d + i];
+            }
+        }
+        g
+    }
+
+    /// `Xᵀy` as a vector.
+    pub fn t_mul_vec(&self, y: &[f64]) -> Vec<f64> {
+        assert_eq!(y.len(), self.rows);
+        let mut out = vec![0.0; self.cols];
+        for (row, &yi) in y.iter().enumerate() {
+            if yi == 0.0 {
+                continue;
+            }
+            let r = self.row(row);
+            for (o, &x) in out.iter_mut().zip(r) {
+                *o += x * yi;
+            }
+        }
+        out
+    }
+}
+
+/// Solve the SPD system `A x = b` by Cholesky factorization. When `A` is
+/// singular or indefinite (collinear features), retry with growing ridge
+/// jitter on the diagonal. Panics only if the system stays unsolvable after
+/// heavy regularization (numerically impossible for Gram matrices).
+pub fn solve_spd(a: &Matrix, b: &[f64]) -> Vec<f64> {
+    assert_eq!(a.rows(), a.cols(), "solve_spd needs a square matrix");
+    assert_eq!(b.len(), a.rows());
+    let n = a.rows();
+    let mut jitter = 0.0;
+    let scale = (0..n).map(|i| a.get(i, i)).fold(0.0f64, f64::max).max(1e-30);
+    for _attempt in 0..12 {
+        if let Some(l) = cholesky(a, jitter) {
+            return cholesky_solve(&l, b);
+        }
+        jitter = if jitter == 0.0 {
+            scale * 1e-12
+        } else {
+            jitter * 100.0
+        };
+    }
+    panic!("solve_spd: matrix is not SPD even with ridge {jitter:e}");
+}
+
+/// Lower-triangular Cholesky factor of `A + jitter·I`, or `None` when the
+/// factorization breaks down.
+fn cholesky(a: &Matrix, jitter: f64) -> Option<Matrix> {
+    let n = a.rows();
+    let mut l = Matrix::zeros(n, n);
+    for i in 0..n {
+        for j in 0..=i {
+            let mut sum = a.get(i, j) + if i == j { jitter } else { 0.0 };
+            for k in 0..j {
+                sum -= l.get(i, k) * l.get(j, k);
+            }
+            if i == j {
+                if sum <= 0.0 || !sum.is_finite() {
+                    return None;
+                }
+                l.set(i, j, sum.sqrt());
+            } else {
+                l.set(i, j, sum / l.get(j, j));
+            }
+        }
+    }
+    Some(l)
+}
+
+/// Solve `L Lᵀ x = b` given the Cholesky factor `L`.
+#[allow(clippy::needless_range_loop)] // triangular solves index by k < i / k > i
+fn cholesky_solve(l: &Matrix, b: &[f64]) -> Vec<f64> {
+    let n = l.rows();
+    // Forward: L z = b
+    let mut z = vec![0.0; n];
+    for i in 0..n {
+        let mut s = b[i];
+        for k in 0..i {
+            s -= l.get(i, k) * z[k];
+        }
+        z[i] = s / l.get(i, i);
+    }
+    // Backward: Lᵀ x = z
+    let mut x = vec![0.0; n];
+    for i in (0..n).rev() {
+        let mut s = z[i];
+        for k in (i + 1)..n {
+            s -= l.get(k, i) * x[k];
+        }
+        x[i] = s / l.get(i, i);
+    }
+    x
+}
+
+/// Dot product.
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Squared Euclidean distance.
+pub fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| {
+            let d = x - y;
+            d * d
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gram_and_tmulvec() {
+        let x = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]]);
+        let g = x.gram();
+        assert_eq!(g.get(0, 0), 35.0);
+        assert_eq!(g.get(0, 1), 44.0);
+        assert_eq!(g.get(1, 0), 44.0);
+        assert_eq!(g.get(1, 1), 56.0);
+        let v = x.t_mul_vec(&[1.0, 1.0, 1.0]);
+        assert_eq!(v, vec![9.0, 12.0]);
+    }
+
+    #[test]
+    fn solves_well_conditioned_system() {
+        // A = [[4,2],[2,3]], b = [10, 8] -> x = [1.75, 1.5]
+        let mut a = Matrix::zeros(2, 2);
+        a.set(0, 0, 4.0);
+        a.set(0, 1, 2.0);
+        a.set(1, 0, 2.0);
+        a.set(1, 1, 3.0);
+        let x = solve_spd(&a, &[10.0, 8.0]);
+        assert!((x[0] - 1.75).abs() < 1e-12);
+        assert!((x[1] - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singular_system_solved_with_jitter() {
+        // Perfectly collinear columns: rank 1.
+        let x = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0], vec![3.0, 6.0]]);
+        let g = x.gram();
+        let b = x.t_mul_vec(&[1.0, 2.0, 3.0]);
+        let w = solve_spd(&g, &b);
+        // The ridge solution still reproduces the targets.
+        for (row, y) in [(vec![1.0, 2.0], 1.0), (vec![3.0, 6.0], 3.0)] {
+            let pred = dot(&row, &w);
+            assert!((pred - y).abs() < 1e-3, "pred {pred} vs {y}");
+        }
+    }
+
+    #[test]
+    fn least_squares_recovers_coefficients() {
+        // y = 3 x0 - 2 x1 + noiseless
+        let rows: Vec<Vec<f64>> = (0..50)
+            .map(|i| {
+                let a = (i as f64 * 0.37).sin();
+                let b = (i as f64 * 0.73).cos();
+                vec![a, b]
+            })
+            .collect();
+        let y: Vec<f64> = rows.iter().map(|r| 3.0 * r[0] - 2.0 * r[1]).collect();
+        let x = Matrix::from_rows(&rows);
+        let w = solve_spd(&x.gram(), &x.t_mul_vec(&y));
+        assert!((w[0] - 3.0).abs() < 1e-9);
+        assert!((w[1] + 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dot_and_sq_dist() {
+        assert_eq!(dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+        assert_eq!(sq_dist(&[0.0, 0.0], &[3.0, 4.0]), 25.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_rows_panic() {
+        Matrix::from_rows(&[vec![1.0], vec![1.0, 2.0]]);
+    }
+}

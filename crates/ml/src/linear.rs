@@ -1,0 +1,119 @@
+//! Ordinary least squares with an intercept (and a vanishing ridge term for
+//! numerical stability on collinear inputs), solved via the normal
+//! equations and Cholesky factorization.
+
+use crate::linalg::{dot, solve_spd, Matrix};
+use crate::model::Regressor;
+use serde::{Deserialize, Serialize};
+
+/// Linear regression `y = w·x + b`.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct LinearRegression {
+    /// Feature weights (empty before `fit`).
+    pub weights: Vec<f64>,
+    /// Intercept.
+    pub intercept: f64,
+    /// Optional explicit ridge strength (0.0 = pure OLS; the solver still
+    /// adds a microscopic jitter if the system is singular).
+    pub ridge: f64,
+}
+
+impl LinearRegression {
+    /// Ridge regression with the given L2 strength.
+    pub fn ridge(lambda: f64) -> LinearRegression {
+        LinearRegression {
+            ridge: lambda,
+            ..Default::default()
+        }
+    }
+}
+
+impl Regressor for LinearRegression {
+    fn fit(&mut self, x: &[Vec<f64>], y: &[f64]) {
+        assert!(!x.is_empty(), "cannot fit to an empty dataset");
+        assert_eq!(x.len(), y.len());
+        let d = x[0].len();
+        // Augment with a constant column for the intercept.
+        let aug: Vec<Vec<f64>> = x
+            .iter()
+            .map(|r| {
+                let mut v = Vec::with_capacity(d + 1);
+                v.extend_from_slice(r);
+                v.push(1.0);
+                v
+            })
+            .collect();
+        let xm = Matrix::from_rows(&aug);
+        let mut gram = xm.gram();
+        if self.ridge > 0.0 {
+            // Do not penalize the intercept.
+            for i in 0..d {
+                gram.set(i, i, gram.get(i, i) + self.ridge);
+            }
+        }
+        let rhs = xm.t_mul_vec(y);
+        let sol = solve_spd(&gram, &rhs);
+        self.intercept = sol[d];
+        self.weights = sol[..d].to_vec();
+    }
+
+    fn predict_row(&self, row: &[f64]) -> f64 {
+        assert_eq!(row.len(), self.weights.len(), "predict before fit?");
+        dot(row, &self.weights) + self.intercept
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovers_exact_linear_relation() {
+        let x: Vec<Vec<f64>> = (0..40)
+            .map(|i| vec![(i as f64 * 0.7).sin(), (i as f64 * 0.3).cos(), i as f64])
+            .collect();
+        let y: Vec<f64> = x.iter().map(|r| 4.0 * r[0] - r[1] + 0.5 * r[2] + 7.0).collect();
+        let mut m = LinearRegression::default();
+        m.fit(&x, &y);
+        assert!((m.weights[0] - 4.0).abs() < 1e-8);
+        assert!((m.weights[1] + 1.0).abs() < 1e-8);
+        assert!((m.weights[2] - 0.5).abs() < 1e-8);
+        assert!((m.intercept - 7.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn intercept_only_data() {
+        let x = vec![vec![0.0], vec![0.0], vec![0.0]];
+        let y = vec![5.0, 5.0, 5.0];
+        let mut m = LinearRegression::default();
+        m.fit(&x, &y);
+        assert!((m.predict_row(&[0.0]) - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ridge_shrinks_weights() {
+        let x: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64]).collect();
+        let y: Vec<f64> = x.iter().map(|r| 2.0 * r[0]).collect();
+        let mut ols = LinearRegression::default();
+        ols.fit(&x, &y);
+        let mut rr = LinearRegression::ridge(1e4);
+        rr.fit(&x, &y);
+        assert!(rr.weights[0].abs() < ols.weights[0].abs());
+    }
+
+    #[test]
+    fn collinear_features_still_fit() {
+        let x: Vec<Vec<f64>> = (0..30).map(|i| vec![i as f64, 2.0 * i as f64]).collect();
+        let y: Vec<f64> = (0..30).map(|i| 3.0 * i as f64).collect();
+        let mut m = LinearRegression::default();
+        m.fit(&x, &y);
+        let pred = m.predict_row(&[10.0, 20.0]);
+        assert!((pred - 30.0).abs() < 1e-3);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_fit_panics() {
+        LinearRegression::default().fit(&[], &[]);
+    }
+}

@@ -1,0 +1,113 @@
+//! The common regressor interface and the algorithm catalogue of the
+//! paper's Section 8.3: Linear regression, Lasso, Random Forest, and
+//! SVR with an RBF kernel.
+
+use crate::forest::RandomForest;
+use crate::lasso::Lasso;
+use crate::linear::LinearRegression;
+use crate::svr::SvrRbf;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A trainable regression model.
+pub trait Regressor: Send + Sync {
+    /// Fit to `(x, y)`. Panics on empty or ragged input.
+    fn fit(&mut self, x: &[Vec<f64>], y: &[f64]);
+
+    /// Predict one row. Must be called after `fit`.
+    fn predict_row(&self, row: &[f64]) -> f64;
+
+    /// Predict many rows.
+    fn predict(&self, x: &[Vec<f64>]) -> Vec<f64> {
+        x.iter().map(|r| self.predict_row(r)).collect()
+    }
+}
+
+/// The ML algorithms compared in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Algorithm {
+    /// Ordinary least squares (with a tiny ridge for stability).
+    Linear,
+    /// L1-regularized linear regression via coordinate descent.
+    Lasso,
+    /// Bagged CART regression trees.
+    RandomForest,
+    /// ε-support-vector regression with an RBF kernel.
+    SvrRbf,
+}
+
+impl Algorithm {
+    /// All four algorithms, in Table-2 column order.
+    pub const ALL: [Algorithm; 4] = [
+        Algorithm::Linear,
+        Algorithm::Lasso,
+        Algorithm::RandomForest,
+        Algorithm::SvrRbf,
+    ];
+
+    /// Instantiate the algorithm with its default hyperparameters
+    /// (deterministic given `seed`, which only randomized algorithms use).
+    pub fn build(self, seed: u64) -> Box<dyn Regressor> {
+        match self {
+            Algorithm::Linear => Box::new(LinearRegression::default()),
+            Algorithm::Lasso => Box::new(Lasso::default()),
+            Algorithm::RandomForest => Box::new(RandomForest::with_seed(seed)),
+            Algorithm::SvrRbf => Box::new(SvrRbf::default()),
+        }
+    }
+}
+
+impl fmt::Display for Algorithm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Algorithm::Linear => write!(f, "Linear"),
+            Algorithm::Lasso => write!(f, "Lasso"),
+            Algorithm::RandomForest => write!(f, "RandomForest"),
+            Algorithm::SvrRbf => write!(f, "SVR_RBF"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A smooth nonlinear function all four algorithms should track on
+    /// in-sample data.
+    fn toy_problem() -> (Vec<Vec<f64>>, Vec<f64>) {
+        let x: Vec<Vec<f64>> = (0..120)
+            .map(|i| {
+                let a = (i % 12) as f64 / 12.0;
+                let b = (i / 12) as f64 / 10.0;
+                vec![a, b]
+            })
+            .collect();
+        let y: Vec<f64> = x.iter().map(|r| 2.0 * r[0] + r[1] * r[1]).collect();
+        (x, y)
+    }
+
+    #[test]
+    fn all_algorithms_fit_in_sample() {
+        let (x, y) = toy_problem();
+        for algo in Algorithm::ALL {
+            let mut m = algo.build(7);
+            m.fit(&x, &y);
+            let pred = m.predict(&x);
+            let err = crate::errors::rmse(&y, &pred);
+            let spread = y.iter().cloned().fold(f64::MIN, f64::max)
+                - y.iter().cloned().fold(f64::MAX, f64::min);
+            assert!(
+                err < 0.2 * spread,
+                "{algo}: in-sample rmse {err} too large vs spread {spread}"
+            );
+        }
+    }
+
+    #[test]
+    fn display_names_match_paper() {
+        assert_eq!(Algorithm::Linear.to_string(), "Linear");
+        assert_eq!(Algorithm::Lasso.to_string(), "Lasso");
+        assert_eq!(Algorithm::RandomForest.to_string(), "RandomForest");
+        assert_eq!(Algorithm::SvrRbf.to_string(), "SVR_RBF");
+    }
+}

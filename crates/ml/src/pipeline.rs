@@ -1,0 +1,293 @@
+//! The four single-target metric models of the paper's Figure 6:
+//! execution time `F_t(k, f)`, energy `F_e(k, f)`, EDP `F_edp(k, f)` and
+//! ED2P `F_ed2p(k, f)`, trained on micro-benchmark frequency sweeps and
+//! queried per (kernel-features, frequency) pair.
+//!
+//! The input row is a basis expansion of `(k, f)` that lets even the linear
+//! models capture the leading physics: compute time is `Σ a_i k_i / f`, so
+//! the expansion contains each feature both raw and divided by the
+//! normalized core clock, plus the clock, its inverse, and the memory-clock
+//! ratio.
+
+use crate::model::{Algorithm, Regressor};
+use serde::{Deserialize, Serialize};
+
+/// One training observation: a kernel's features, the clocks it ran at,
+/// and its measured per-item time and energy.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepSample {
+    /// Static feature vector (Table 1), any fixed width.
+    pub features: Vec<f64>,
+    /// Core clock in MHz.
+    pub core_mhz: f64,
+    /// Memory clock in MHz.
+    pub mem_mhz: f64,
+    /// Measured execution time (seconds; normalize per-item upstream for
+    /// cross-kernel training).
+    pub time_s: f64,
+    /// Measured energy (joules; same normalization note).
+    pub energy_j: f64,
+}
+
+/// Predicted metric values for one (kernel, frequency) pair.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PredictedMetrics {
+    /// Predicted time (seconds).
+    pub time_s: f64,
+    /// Predicted energy (joules).
+    pub energy_j: f64,
+    /// Predicted energy-delay product.
+    pub edp: f64,
+    /// Predicted energy-delay-squared product.
+    pub ed2p: f64,
+}
+
+/// Which algorithm trains which single-target model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ModelSelection {
+    /// Algorithm for the execution-time model.
+    pub time: Algorithm,
+    /// Algorithm for the energy model.
+    pub energy: Algorithm,
+    /// Algorithm for the EDP model.
+    pub edp: Algorithm,
+    /// Algorithm for the ED2P model.
+    pub ed2p: Algorithm,
+}
+
+impl ModelSelection {
+    /// The per-objective winners of the paper's Table 2: Linear for
+    /// performance and ED2P, Random Forest for energy and EDP.
+    pub fn paper_best() -> ModelSelection {
+        ModelSelection {
+            time: Algorithm::Linear,
+            energy: Algorithm::RandomForest,
+            edp: Algorithm::RandomForest,
+            ed2p: Algorithm::Linear,
+        }
+    }
+
+    /// The same algorithm for all four targets (for the accuracy study).
+    pub fn uniform(algo: Algorithm) -> ModelSelection {
+        ModelSelection {
+            time: algo,
+            energy: algo,
+            edp: algo,
+            ed2p: algo,
+        }
+    }
+}
+
+/// Build the expanded model-input row for `(features, clocks)`.
+///
+/// Targets are trained per-kernel *normalized* (relative to the kernel's
+/// default-clock metric), so the inputs must be scale-invariant too: raw
+/// instruction counts are converted to **shape fractions** `s_i = k_i/Σk`.
+/// The basis then contains each fraction raw and divided by the normalized
+/// core clock (letting linear models express the `1/f` compute law per
+/// instruction mix), the clock itself and its inverse, the memory-clock
+/// ratio, and one log-magnitude term (total work per item — which governs
+/// how much fixed launch overhead dilutes the frequency effect).
+pub fn input_row(features: &[f64], core_mhz: f64, mem_mhz: f64, f_max_mhz: f64) -> Vec<f64> {
+    let fhat = (core_mhz / f_max_mhz).max(1e-6);
+    let mem_ratio = if f_max_mhz > 0.0 { mem_mhz / f_max_mhz } else { 0.0 };
+    let total: f64 = features.iter().sum();
+    let denom = total.max(1e-9);
+    let mut row = Vec::with_capacity(features.len() * 2 + 4);
+    row.extend(features.iter().map(|&k| k / denom));
+    row.extend(features.iter().map(|&k| k / denom / fhat));
+    row.push(fhat);
+    row.push(1.0 / fhat);
+    row.push(mem_ratio);
+    row.push((1.0 + total).log10());
+    row
+}
+
+/// The four trained single-target models.
+pub struct MetricModels {
+    selection: ModelSelection,
+    f_max_mhz: f64,
+    time: Box<dyn Regressor>,
+    energy: Box<dyn Regressor>,
+    edp: Box<dyn Regressor>,
+    ed2p: Box<dyn Regressor>,
+}
+
+impl MetricModels {
+    /// Train all four models on the sweep samples.
+    ///
+    /// `f_max_mhz` is the device's maximum core clock (used to normalize
+    /// inputs); `seed` drives any randomized algorithm deterministically.
+    pub fn train(
+        selection: ModelSelection,
+        samples: &[SweepSample],
+        f_max_mhz: f64,
+        seed: u64,
+    ) -> MetricModels {
+        assert!(!samples.is_empty(), "cannot train on an empty sweep");
+        let x: Vec<Vec<f64>> = samples
+            .iter()
+            .map(|s| input_row(&s.features, s.core_mhz, s.mem_mhz, f_max_mhz))
+            .collect();
+        let t: Vec<f64> = samples.iter().map(|s| s.time_s).collect();
+        let e: Vec<f64> = samples.iter().map(|s| s.energy_j).collect();
+        let edp: Vec<f64> = samples.iter().map(|s| s.energy_j * s.time_s).collect();
+        let ed2p: Vec<f64> = samples
+            .iter()
+            .map(|s| s.energy_j * s.time_s * s.time_s)
+            .collect();
+
+        let fit = |algo: Algorithm, y: &[f64], salt: u64| -> Box<dyn Regressor> {
+            let mut m = algo.build(seed.wrapping_add(salt));
+            m.fit(&x, y);
+            m
+        };
+        MetricModels {
+            time: fit(selection.time, &t, 1),
+            energy: fit(selection.energy, &e, 2),
+            edp: fit(selection.edp, &edp, 3),
+            ed2p: fit(selection.ed2p, &ed2p, 4),
+            selection,
+            f_max_mhz,
+        }
+    }
+
+    /// Predict all four metrics for a kernel at one clock configuration.
+    /// Predictions are floored at a tiny positive value — time and energy
+    /// are physical quantities.
+    pub fn predict(&self, features: &[f64], core_mhz: f64, mem_mhz: f64) -> PredictedMetrics {
+        let row = input_row(features, core_mhz, mem_mhz, self.f_max_mhz);
+        let floor = 1e-12;
+        PredictedMetrics {
+            time_s: self.time.predict_row(&row).max(floor),
+            energy_j: self.energy.predict_row(&row).max(floor),
+            edp: self.edp.predict_row(&row).max(floor),
+            ed2p: self.ed2p.predict_row(&row).max(floor),
+        }
+    }
+
+    /// The algorithm selection this bundle was trained with.
+    pub fn selection(&self) -> ModelSelection {
+        self.selection
+    }
+
+    /// The core-clock normalizer.
+    pub fn f_max_mhz(&self) -> f64 {
+        self.f_max_mhz
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A synthetic device-physics generator producing *normalized* targets
+    /// (relative to the value at the baseline clock), mirroring how the
+    /// SYnergy compile step trains: time = (a·k0 + b·k1)/f̂ + c,
+    /// power = p0 + p1·f̂³, energy = power·time, each divided by its value
+    /// at f̂ = 0.875.
+    fn synth_samples() -> Vec<SweepSample> {
+        let raw = |k0: f64, k1: f64, fhat: f64| -> (f64, f64) {
+            let time = (0.2 * k0 + 0.1 * k1) / fhat + 0.05;
+            let power = 40.0 + 200.0 * fhat * fhat * fhat;
+            (time, power * time)
+        };
+        let mut out = Vec::new();
+        for k0 in [1.0f64, 4.0, 16.0] {
+            for k1 in [2.0f64, 8.0] {
+                let (t_base, e_base) = raw(k0, k1, 0.875);
+                for step in 0..20 {
+                    let core = 400.0 + step as f64 * 55.0;
+                    let fhat = core / 1500.0;
+                    let (t, e) = raw(k0, k1, fhat);
+                    out.push(SweepSample {
+                        features: vec![k0, k1],
+                        core_mhz: core,
+                        mem_mhz: 877.0,
+                        time_s: t / t_base,
+                        energy_j: e / e_base,
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn linear_time_model_captures_inverse_frequency() {
+        let samples = synth_samples();
+        let models = MetricModels::train(
+            ModelSelection::uniform(Algorithm::Linear),
+            &samples,
+            1500.0,
+            0,
+        );
+        for s in samples.iter().step_by(7) {
+            let p = models.predict(&s.features, s.core_mhz, s.mem_mhz);
+            let err = (p.time_s - s.time_s).abs() / s.time_s;
+            assert!(err < 0.06, "time err {err} at f={}", s.core_mhz);
+        }
+    }
+
+    #[test]
+    fn forest_energy_model_tracks_energy() {
+        let samples = synth_samples();
+        let models = MetricModels::train(
+            ModelSelection::paper_best(),
+            &samples,
+            1500.0,
+            7,
+        );
+        let actual: Vec<f64> = samples.iter().map(|s| s.energy_j).collect();
+        let pred: Vec<f64> = samples
+            .iter()
+            .map(|s| models.predict(&s.features, s.core_mhz, s.mem_mhz).energy_j)
+            .collect();
+        let err = crate::errors::mape(&actual, &pred);
+        assert!(err < 0.10, "energy MAPE {err}");
+    }
+
+    #[test]
+    fn predictions_are_positive() {
+        let samples = synth_samples();
+        let models = MetricModels::train(
+            ModelSelection::uniform(Algorithm::Lasso),
+            &samples,
+            1500.0,
+            0,
+        );
+        // Probe far outside the training range.
+        let p = models.predict(&[0.0, 0.0], 100.0, 877.0);
+        assert!(p.time_s > 0.0 && p.energy_j > 0.0 && p.edp > 0.0 && p.ed2p > 0.0);
+    }
+
+    #[test]
+    fn input_row_shape_and_content() {
+        let row = input_row(&[2.0, 3.0], 750.0, 877.0, 1500.0);
+        assert_eq!(row.len(), 2 * 2 + 4);
+        assert_eq!(row[0], 0.4); // shape fraction 2/5
+        assert_eq!(row[1], 0.6);
+        assert_eq!(row[2], 0.8); // 0.4 / f̂
+        assert_eq!(row[3], 1.2);
+        assert_eq!(row[4], 0.5); // f̂
+        assert_eq!(row[5], 2.0); // 1/f̂
+        assert!((row[7] - 6f64.log10()).abs() < 1e-12); // log magnitude
+    }
+
+    #[test]
+    fn selection_accessors() {
+        let samples = synth_samples();
+        let sel = ModelSelection::paper_best();
+        let models = MetricModels::train(sel, &samples, 1500.0, 0);
+        assert_eq!(models.selection(), sel);
+        assert_eq!(models.f_max_mhz(), 1500.0);
+        assert_eq!(sel.time, Algorithm::Linear);
+        assert_eq!(sel.energy, Algorithm::RandomForest);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_training_panics() {
+        MetricModels::train(ModelSelection::paper_best(), &[], 1500.0, 0);
+    }
+}

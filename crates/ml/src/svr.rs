@@ -1,0 +1,252 @@
+//! ε-support-vector regression with an RBF kernel.
+//!
+//! We solve the standard SVR dual in the β = α − α* parametrization with
+//! the bias absorbed into the kernel (`K'(x,z) = K(x,z) + 1`), which removes
+//! the equality constraint and leaves a box-constrained problem:
+//!
+//! ```text
+//! min_β  ½ βᵀ K' β + ε Σ|β_i| − yᵀ β     s.t.  −C ≤ β_i ≤ C
+//! ```
+//!
+//! Exact cyclic coordinate descent then has a closed-form soft-threshold
+//! update per coordinate, giving a deterministic, dependency-free solver.
+//! Features and targets are standardized internally so the default
+//! hyperparameters are meaningful at any scale.
+
+use crate::data::{StandardScaler, TargetScaler};
+use crate::linalg::sq_dist;
+use crate::model::Regressor;
+use serde::{Deserialize, Serialize};
+
+/// ε-SVR with an RBF kernel `exp(-γ‖x−z‖²)`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SvrRbf {
+    /// Box constraint (regularization strength).
+    pub c: f64,
+    /// ε-insensitive tube half-width (standardized target units).
+    pub epsilon: f64,
+    /// RBF bandwidth; `None` = 1/d heuristic on standardized features.
+    pub gamma: Option<f64>,
+    /// Maximum coordinate sweeps.
+    pub max_iter: usize,
+    /// Convergence tolerance on the largest β change in one sweep.
+    pub tol: f64,
+    beta: Vec<f64>,
+    train_x: Vec<Vec<f64>>,
+    gamma_fitted: f64,
+    scaler: Option<StandardScaler>,
+    target: Option<TargetScaler>,
+}
+
+impl Default for SvrRbf {
+    fn default() -> Self {
+        SvrRbf {
+            c: 10.0,
+            epsilon: 0.05,
+            gamma: None,
+            max_iter: 300,
+            tol: 1e-6,
+            beta: Vec::new(),
+            train_x: Vec::new(),
+            gamma_fitted: 0.0,
+            scaler: None,
+            target: None,
+        }
+    }
+}
+
+impl SvrRbf {
+    /// SVR with explicit hyperparameters.
+    pub fn new(c: f64, epsilon: f64, gamma: Option<f64>) -> SvrRbf {
+        SvrRbf {
+            c,
+            epsilon,
+            gamma,
+            ..Default::default()
+        }
+    }
+
+    /// Number of support vectors (non-zero dual coefficients).
+    pub fn support_vector_count(&self) -> usize {
+        self.beta.iter().filter(|b| **b != 0.0).count()
+    }
+
+    fn kernel(&self, a: &[f64], b: &[f64]) -> f64 {
+        // +1 absorbs the bias term.
+        (-self.gamma_fitted * sq_dist(a, b)).exp() + 1.0
+    }
+}
+
+fn soft_threshold(v: f64, t: f64) -> f64 {
+    if v > t {
+        v - t
+    } else if v < -t {
+        v + t
+    } else {
+        0.0
+    }
+}
+
+impl Regressor for SvrRbf {
+    fn fit(&mut self, x: &[Vec<f64>], y: &[f64]) {
+        assert!(!x.is_empty(), "cannot fit to an empty dataset");
+        assert_eq!(x.len(), y.len());
+        let scaler = StandardScaler::fit(x);
+        let xs = scaler.transform(x);
+        let ts = TargetScaler::fit(y);
+        let ys: Vec<f64> = y.iter().map(|&v| ts.transform(v)).collect();
+        let n = xs.len();
+        let d = xs[0].len() as f64;
+        self.gamma_fitted = self.gamma.unwrap_or(1.0 / d.max(1.0));
+
+        // Dense kernel matrix (n is a few thousand at most in this system).
+        let mut k = vec![0.0f64; n * n];
+        for i in 0..n {
+            for j in i..n {
+                let v = (-self.gamma_fitted * sq_dist(&xs[i], &xs[j])).exp() + 1.0;
+                k[i * n + j] = v;
+                k[j * n + i] = v;
+            }
+        }
+
+        let mut beta = vec![0.0f64; n];
+        // f_i = Σ_j K_ij β_j, maintained incrementally.
+        let mut f = vec![0.0f64; n];
+        for _sweep in 0..self.max_iter {
+            let mut max_delta: f64 = 0.0;
+            for i in 0..n {
+                let kii = k[i * n + i];
+                if kii <= 0.0 {
+                    continue;
+                }
+                // Minimize ½ kii b² + (f_i − kii β_i) b + ε|b| − y_i b over b.
+                let g = f[i] - kii * beta[i];
+                let unclipped = soft_threshold(ys[i] - g, self.epsilon) / kii;
+                let new_b = unclipped.clamp(-self.c, self.c);
+                let delta = new_b - beta[i];
+                if delta != 0.0 {
+                    let krow = &k[i * n..(i + 1) * n];
+                    for (fj, &kij) in f.iter_mut().zip(krow) {
+                        *fj += delta * kij;
+                    }
+                    beta[i] = new_b;
+                    max_delta = max_delta.max(delta.abs());
+                }
+            }
+            if max_delta < self.tol {
+                break;
+            }
+        }
+
+        self.beta = beta;
+        self.train_x = xs;
+        self.scaler = Some(scaler);
+        self.target = Some(ts);
+    }
+
+    fn predict_row(&self, row: &[f64]) -> f64 {
+        let scaler = self.scaler.as_ref().expect("predict before fit");
+        let ts = self.target.expect("predict before fit");
+        let rs = scaler.transform_row(row);
+        let z: f64 = self
+            .train_x
+            .iter()
+            .zip(&self.beta)
+            .filter(|(_, &b)| b != 0.0)
+            .map(|(sv, &b)| b * self.kernel(sv, &rs))
+            .sum();
+        ts.inverse(z)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::errors::rmse;
+
+    fn sine_problem() -> (Vec<Vec<f64>>, Vec<f64>) {
+        let x: Vec<Vec<f64>> = (0..150).map(|i| vec![i as f64 / 150.0]).collect();
+        let y: Vec<f64> = x.iter().map(|r| (4.0 * r[0]).sin()).collect();
+        (x, y)
+    }
+
+    #[test]
+    fn fits_smooth_nonlinear_function() {
+        let (x, y) = sine_problem();
+        let mut m = SvrRbf::default();
+        m.fit(&x, &y);
+        let pred = m.predict(&x);
+        assert!(rmse(&y, &pred) < 0.1, "rmse {}", rmse(&y, &pred));
+    }
+
+    #[test]
+    fn interpolates_between_training_points() {
+        let (x, y) = sine_problem();
+        let mut m = SvrRbf::default();
+        m.fit(&x, &y);
+        let mid = 75.5 / 150.0;
+        let want = (4.0f64 * mid).sin();
+        assert!((m.predict_row(&[mid]) - want).abs() < 0.15);
+    }
+
+    #[test]
+    fn epsilon_tube_creates_sparsity() {
+        let (x, y) = sine_problem();
+        let mut tight = SvrRbf::new(10.0, 0.001, None);
+        tight.fit(&x, &y);
+        let mut loose = SvrRbf::new(10.0, 0.3, None);
+        loose.fit(&x, &y);
+        assert!(
+            loose.support_vector_count() < tight.support_vector_count(),
+            "wider tube should need fewer support vectors: {} vs {}",
+            loose.support_vector_count(),
+            tight.support_vector_count()
+        );
+    }
+
+    #[test]
+    fn dual_variables_respect_box() {
+        let (x, y) = sine_problem();
+        let mut m = SvrRbf::new(0.5, 0.01, None);
+        m.fit(&x, &y);
+        assert!(m.beta.iter().all(|b| b.abs() <= 0.5 + 1e-12));
+    }
+
+    #[test]
+    fn deterministic() {
+        let (x, y) = sine_problem();
+        let mut a = SvrRbf::default();
+        let mut b = SvrRbf::default();
+        a.fit(&x, &y);
+        b.fit(&x, &y);
+        for row in x.iter().take(10) {
+            assert_eq!(a.predict_row(row), b.predict_row(row));
+        }
+    }
+
+    #[test]
+    fn constant_target() {
+        let x: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64]).collect();
+        let y = vec![3.0; 20];
+        let mut m = SvrRbf::default();
+        m.fit(&x, &y);
+        assert!((m.predict_row(&[10.0]) - 3.0).abs() < 0.2);
+    }
+
+    #[test]
+    fn multidimensional_input() {
+        let x: Vec<Vec<f64>> = (0..200)
+            .map(|i| {
+                vec![
+                    (i % 20) as f64 / 20.0,
+                    (i / 20) as f64 / 10.0,
+                ]
+            })
+            .collect();
+        let y: Vec<f64> = x.iter().map(|r| r[0] * r[1] + r[0]).collect();
+        let mut m = SvrRbf::default();
+        m.fit(&x, &y);
+        let pred = m.predict(&x);
+        assert!(rmse(&y, &pred) < 0.1);
+    }
+}

@@ -1,0 +1,319 @@
+//! CART regression trees: variance-reduction splits, depth and leaf-size
+//! limits, and optional per-node feature subsampling (for forests).
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Hyperparameters of a regression tree.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TreeConfig {
+    /// Maximum tree depth (root is depth 0).
+    pub max_depth: usize,
+    /// Minimum samples in a leaf.
+    pub min_samples_leaf: usize,
+    /// Minimum samples required to attempt a split.
+    pub min_samples_split: usize,
+    /// Features considered per split; `None` = all features.
+    pub feature_subsample: Option<usize>,
+}
+
+impl Default for TreeConfig {
+    fn default() -> Self {
+        TreeConfig {
+            max_depth: 14,
+            min_samples_leaf: 2,
+            min_samples_split: 4,
+            feature_subsample: None,
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+enum Node {
+    Leaf {
+        value: f64,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: usize,
+        right: usize,
+    },
+}
+
+/// A fitted CART regression tree.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RegressionTree {
+    config: TreeConfig,
+    nodes: Vec<Node>,
+}
+
+impl RegressionTree {
+    /// Fit a tree to the rows of `x` selected by `indices` (duplicates
+    /// allowed — that is how bagging delivers bootstrap samples).
+    pub fn fit(
+        x: &[Vec<f64>],
+        y: &[f64],
+        indices: &[usize],
+        config: TreeConfig,
+        seed: u64,
+    ) -> RegressionTree {
+        assert!(!indices.is_empty(), "cannot fit a tree to no samples");
+        let mut tree = RegressionTree {
+            config,
+            nodes: Vec::new(),
+        };
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut idx = indices.to_vec();
+        tree.build(x, y, &mut idx, 0, &mut rng);
+        tree
+    }
+
+    /// Number of nodes (diagnostics).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Depth of the deepest leaf.
+    pub fn depth(&self) -> usize {
+        fn depth_of(nodes: &[Node], at: usize) -> usize {
+            match &nodes[at] {
+                Node::Leaf { .. } => 0,
+                Node::Split { left, right, .. } => {
+                    1 + depth_of(nodes, *left).max(depth_of(nodes, *right))
+                }
+            }
+        }
+        depth_of(&self.nodes, 0)
+    }
+
+    fn build(
+        &mut self,
+        x: &[Vec<f64>],
+        y: &[f64],
+        idx: &mut [usize],
+        depth: usize,
+        rng: &mut StdRng,
+    ) -> usize {
+        let n = idx.len();
+        let mean = idx.iter().map(|&i| y[i]).sum::<f64>() / n as f64;
+        let sse: f64 = idx.iter().map(|&i| (y[i] - mean) * (y[i] - mean)).sum();
+
+        let stop = depth >= self.config.max_depth
+            || n < self.config.min_samples_split
+            || sse <= 1e-12;
+        if !stop {
+            if let Some((feature, threshold)) = self.best_split(x, y, idx, rng) {
+                // Partition in place.
+                let mid = partition(idx, |i| x[i][feature] <= threshold);
+                if mid >= self.config.min_samples_leaf
+                    && n - mid >= self.config.min_samples_leaf
+                {
+                    let node_id = self.nodes.len();
+                    self.nodes.push(Node::Leaf { value: mean }); // placeholder
+                    let (left_idx, right_idx) = idx.split_at_mut(mid);
+                    let left = self.build(x, y, left_idx, depth + 1, rng);
+                    let right = self.build(x, y, right_idx, depth + 1, rng);
+                    self.nodes[node_id] = Node::Split {
+                        feature,
+                        threshold,
+                        left,
+                        right,
+                    };
+                    return node_id;
+                }
+            }
+        }
+        let node_id = self.nodes.len();
+        self.nodes.push(Node::Leaf { value: mean });
+        node_id
+    }
+
+    /// Best (feature, threshold) by SSE reduction over the candidate
+    /// feature set, or `None` when no valid split exists.
+    fn best_split(
+        &self,
+        x: &[Vec<f64>],
+        y: &[f64],
+        idx: &[usize],
+        rng: &mut StdRng,
+    ) -> Option<(usize, f64)> {
+        let d = x[0].len();
+        let mut features: Vec<usize> = (0..d).collect();
+        if let Some(k) = self.config.feature_subsample {
+            features.shuffle(rng);
+            features.truncate(k.clamp(1, d));
+        }
+        let n = idx.len() as f64;
+        let total_sum: f64 = idx.iter().map(|&i| y[i]).sum();
+        let mut best: Option<(f64, usize, f64)> = None; // (score, feature, threshold)
+        let mut order = idx.to_vec();
+        for &f in &features {
+            order.sort_by(|&a, &b| x[a][f].total_cmp(&x[b][f]));
+            let mut left_sum = 0.0;
+            let mut left_n = 0.0;
+            for w in 0..order.len() - 1 {
+                let i = order[w];
+                left_sum += y[i];
+                left_n += 1.0;
+                let xv = x[i][f];
+                let xn = x[order[w + 1]][f];
+                if xv == xn {
+                    continue; // cannot split between equal values
+                }
+                let right_sum = total_sum - left_sum;
+                let right_n = n - left_n;
+                // SSE reduction = sum²/n terms (larger is better).
+                let score =
+                    left_sum * left_sum / left_n + right_sum * right_sum / right_n;
+                let threshold = 0.5 * (xv + xn);
+                if best.is_none_or(|(s, _, _)| score > s) {
+                    best = Some((score, f, threshold));
+                }
+            }
+        }
+        best.map(|(_, f, t)| (f, t))
+    }
+
+    /// Predict one row.
+    pub fn predict_row(&self, row: &[f64]) -> f64 {
+        let mut at = 0usize;
+        loop {
+            match &self.nodes[at] {
+                Node::Leaf { value } => return *value,
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    at = if row[*feature] <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
+                }
+            }
+        }
+    }
+}
+
+/// Stable-enough in-place partition: returns the count of elements
+/// satisfying the predicate, which end up in the prefix.
+fn partition(idx: &mut [usize], pred: impl Fn(usize) -> bool) -> usize {
+    let mut store = 0;
+    for i in 0..idx.len() {
+        if pred(idx[i]) {
+            idx.swap(store, i);
+            store += 1;
+        }
+    }
+    store
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn step_data() -> (Vec<Vec<f64>>, Vec<f64>) {
+        // y = 1 for x < 0.5, y = 5 otherwise: one split suffices.
+        let x: Vec<Vec<f64>> = (0..40).map(|i| vec![i as f64 / 40.0]).collect();
+        let y: Vec<f64> = x.iter().map(|r| if r[0] < 0.5 { 1.0 } else { 5.0 }).collect();
+        (x, y)
+    }
+
+    #[test]
+    fn learns_step_function() {
+        let (x, y) = step_data();
+        let idx: Vec<usize> = (0..x.len()).collect();
+        let t = RegressionTree::fit(&x, &y, &idx, TreeConfig::default(), 0);
+        assert_eq!(t.predict_row(&[0.1]), 1.0);
+        assert_eq!(t.predict_row(&[0.9]), 5.0);
+    }
+
+    #[test]
+    fn respects_max_depth() {
+        let (x, y) = step_data();
+        let idx: Vec<usize> = (0..x.len()).collect();
+        let cfg = TreeConfig {
+            max_depth: 0,
+            ..Default::default()
+        };
+        let t = RegressionTree::fit(&x, &y, &idx, cfg, 0);
+        assert_eq!(t.depth(), 0);
+        let mean = y.iter().sum::<f64>() / y.len() as f64;
+        assert!((t.predict_row(&[0.1]) - mean).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_target_is_single_leaf() {
+        let x: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64]).collect();
+        let y = vec![7.0; 10];
+        let idx: Vec<usize> = (0..10).collect();
+        let t = RegressionTree::fit(&x, &y, &idx, TreeConfig::default(), 0);
+        assert_eq!(t.node_count(), 1);
+        assert_eq!(t.predict_row(&[99.0]), 7.0);
+    }
+
+    #[test]
+    fn constant_feature_cannot_split() {
+        let x: Vec<Vec<f64>> = (0..10).map(|_| vec![1.0]).collect();
+        let y: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let idx: Vec<usize> = (0..10).collect();
+        let t = RegressionTree::fit(&x, &y, &idx, TreeConfig::default(), 0);
+        assert_eq!(t.node_count(), 1);
+    }
+
+    #[test]
+    fn bootstrap_duplicates_accepted() {
+        let (x, y) = step_data();
+        let idx = vec![0usize; 5]; // five copies of row 0
+        let t = RegressionTree::fit(&x, &y, &idx, TreeConfig::default(), 0);
+        assert_eq!(t.predict_row(&[0.0]), 1.0);
+    }
+
+    #[test]
+    fn deeper_tree_fits_quadratic_better() {
+        let x: Vec<Vec<f64>> = (0..200).map(|i| vec![i as f64 / 200.0]).collect();
+        let y: Vec<f64> = x.iter().map(|r| r[0] * r[0]).collect();
+        let idx: Vec<usize> = (0..x.len()).collect();
+        let shallow = RegressionTree::fit(
+            &x,
+            &y,
+            &idx,
+            TreeConfig {
+                max_depth: 1,
+                ..Default::default()
+            },
+            0,
+        );
+        let deep = RegressionTree::fit(
+            &x,
+            &y,
+            &idx,
+            TreeConfig {
+                max_depth: 8,
+                ..Default::default()
+            },
+            0,
+        );
+        let err = |t: &RegressionTree| -> f64 {
+            x.iter()
+                .zip(&y)
+                .map(|(r, &v)| (t.predict_row(r) - v).powi(2))
+                .sum()
+        };
+        assert!(err(&deep) < err(&shallow) / 4.0);
+    }
+
+    #[test]
+    fn partition_counts_and_orders() {
+        let mut idx = vec![0, 1, 2, 3, 4, 5];
+        let mid = partition(&mut idx, |i| i % 2 == 0);
+        assert_eq!(mid, 3);
+        assert!(idx[..3].iter().all(|&i| i % 2 == 0));
+        assert!(idx[3..].iter().all(|&i| i % 2 == 1));
+    }
+}

@@ -1,0 +1,175 @@
+//! Buffers and accessors: the data side of the SYCL-like API.
+//!
+//! Kernels in this reproduction really execute on the host (via Rayon), so
+//! buffers must support concurrent element-disjoint reads and writes from
+//! worker threads. Elements are stored in `crossbeam::atomic::AtomicCell`s,
+//! which are lock-free for the word-sized `Copy` types kernels use — safe
+//! parallel access without `unsafe` aliasing games.
+
+use crossbeam::atomic::AtomicCell;
+use std::sync::Arc;
+
+/// A device buffer of `Copy` elements.
+///
+/// Cloning a buffer is cheap and shares the storage, mirroring SYCL buffer
+/// semantics where accessors alias one allocation.
+///
+/// ```
+/// use synergy_rt::Buffer;
+///
+/// let b = Buffer::from_slice(&[1.0f32, 2.0, 3.0]);
+/// let acc = b.accessor();
+/// acc.set(1, 20.0);
+/// assert_eq!(b.to_vec(), vec![1.0, 20.0, 3.0]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Buffer<T: Copy> {
+    cells: Arc<Vec<AtomicCell<T>>>,
+}
+
+impl<T: Copy> Buffer<T> {
+    /// Create a buffer holding a copy of `data`.
+    pub fn from_slice(data: &[T]) -> Buffer<T> {
+        Buffer {
+            cells: Arc::new(data.iter().copied().map(AtomicCell::new).collect()),
+        }
+    }
+
+    /// Create a buffer of `len` copies of `value`.
+    pub fn filled(value: T, len: usize) -> Buffer<T> {
+        Buffer {
+            cells: Arc::new((0..len).map(|_| AtomicCell::new(value)).collect()),
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// True when the buffer holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Snapshot the contents to a host vector.
+    pub fn to_vec(&self) -> Vec<T> {
+        self.cells.iter().map(|c| c.load()).collect()
+    }
+
+    /// An accessor for use inside kernels (read and write).
+    pub fn accessor(&self) -> Accessor<T> {
+        Accessor {
+            cells: Arc::clone(&self.cells),
+        }
+    }
+
+    /// Overwrite the buffer from a host slice (lengths must match).
+    pub fn write_from(&self, data: &[T]) {
+        assert_eq!(data.len(), self.len(), "length mismatch");
+        for (cell, &v) in self.cells.iter().zip(data) {
+            cell.store(v);
+        }
+    }
+}
+
+impl<T: Copy + Default> Buffer<T> {
+    /// Create a zero/default-initialized buffer of `len` elements.
+    pub fn zeros(len: usize) -> Buffer<T> {
+        Buffer::filled(T::default(), len)
+    }
+}
+
+/// A kernel-side view of a buffer. `get`/`set` are element-atomic; kernels
+/// are expected (as on a GPU) to write disjoint indices.
+#[derive(Debug, Clone)]
+pub struct Accessor<T: Copy> {
+    cells: Arc<Vec<AtomicCell<T>>>,
+}
+
+impl<T: Copy> Accessor<T> {
+    /// Read element `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> T {
+        self.cells[i].load()
+    }
+
+    /// Write element `i`.
+    #[inline]
+    pub fn set(&self, i: usize, v: T) {
+        self.cells[i].store(v);
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rayon::prelude::*;
+
+    #[test]
+    fn roundtrip() {
+        let b = Buffer::from_slice(&[1.0f32, 2.0, 3.0]);
+        assert_eq!(b.len(), 3);
+        assert_eq!(b.to_vec(), vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn zeros_and_filled() {
+        let z: Buffer<f64> = Buffer::zeros(4);
+        assert_eq!(z.to_vec(), vec![0.0; 4]);
+        let f = Buffer::filled(7u32, 2);
+        assert_eq!(f.to_vec(), vec![7, 7]);
+    }
+
+    #[test]
+    fn accessor_shares_storage() {
+        let b = Buffer::from_slice(&[0i32; 8]);
+        let acc = b.accessor();
+        acc.set(3, 42);
+        assert_eq!(b.to_vec()[3], 42);
+    }
+
+    #[test]
+    fn parallel_disjoint_writes() {
+        let b: Buffer<f64> = Buffer::zeros(10_000);
+        let acc = b.accessor();
+        (0..10_000usize).into_par_iter().for_each(|i| {
+            acc.set(i, i as f64 * 2.0);
+        });
+        let v = b.to_vec();
+        assert_eq!(v[0], 0.0);
+        assert_eq!(v[9999], 19998.0);
+    }
+
+    #[test]
+    fn write_from_host() {
+        let b: Buffer<u8> = Buffer::zeros(3);
+        b.write_from(&[9, 8, 7]);
+        assert_eq!(b.to_vec(), vec![9, 8, 7]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn write_from_wrong_length() {
+        let b: Buffer<u8> = Buffer::zeros(3);
+        b.write_from(&[1]);
+    }
+
+    #[test]
+    fn atomic_cell_is_lockfree_for_kernel_types() {
+        assert!(AtomicCell::<f32>::is_lock_free());
+        assert!(AtomicCell::<f64>::is_lock_free());
+        assert!(AtomicCell::<u32>::is_lock_free());
+        assert!(AtomicCell::<i64>::is_lock_free());
+    }
+}

@@ -1,0 +1,299 @@
+//! The "compile step": feature extraction → model inference → frequency
+//! search, producing a [`TargetRegistry`] the runtime consults at kernel
+//! submission (the left half of the paper's Figure 3).
+//!
+//! Also hosts the training-side helpers of Figure 6: sweeping the
+//! micro-benchmark suite over a device's frequency table to build the
+//! training set, and fitting the four single-target metric models.
+
+use crate::registry::TargetRegistry;
+use synergy_kernel::{extract, KernelIr, MicroBenchmark};
+use synergy_metrics::{search_optimal, EnergyTarget, MetricPoint};
+use synergy_ml::{MetricModels, ModelSelection, SweepSample};
+use synergy_sim::{evaluate, ClockConfig, DeviceSpec, Workload};
+
+/// Sweep one workload over every `stride`-th supported clock configuration
+/// (mem × core) of the device, producing training samples.
+///
+/// Targets are **normalized to the kernel's default-clock values**
+/// (`t(f)/t(f_default)`, `e(f)/e(f_default)`). Absolute time and energy
+/// span orders of magnitude across kernels, which would drown the
+/// frequency effect the models must learn; every energy-target selection
+/// is invariant to this per-kernel rescaling (argmin and the ES/PL
+/// budgets all commute with a positive constant factor).
+pub fn sweep_samples(spec: &DeviceSpec, ir: &KernelIr, work_items: u64, stride: usize) -> Vec<SweepSample> {
+    let info = extract(ir);
+    let wl = Workload::from_static(&info, work_items);
+    let base = evaluate(spec, &wl, spec.baseline_clocks());
+    let t_base = base.duration_s().max(f64::MIN_POSITIVE);
+    let e_base = base.energy_j(spec.overhead_power_w).max(f64::MIN_POSITIVE);
+    let configs: Vec<ClockConfig> = spec.freq_table.configs().collect();
+    configs
+        .into_iter()
+        .step_by(stride.max(1))
+        .map(|clocks| {
+            let timing = evaluate(spec, &wl, clocks);
+            SweepSample {
+                features: info.features.as_slice().to_vec(),
+                core_mhz: clocks.core_mhz as f64,
+                mem_mhz: clocks.mem_mhz as f64,
+                time_s: timing.duration_s() / t_base,
+                energy_j: timing.energy_j(spec.overhead_power_w) / e_base,
+            }
+        })
+        .collect()
+}
+
+/// Build the full training set from a micro-benchmark suite (Figure 6,
+/// steps ①–②): every micro-benchmark is "executed" at every `stride`-th
+/// frequency configuration and its per-item time and energy recorded.
+pub fn build_training_set(
+    spec: &DeviceSpec,
+    suite: &[MicroBenchmark],
+    stride: usize,
+) -> Vec<SweepSample> {
+    suite
+        .iter()
+        .flat_map(|mb| sweep_samples(spec, &mb.ir, mb.work_items, stride))
+        .collect()
+}
+
+/// Train the four metric models for a device from a micro-benchmark suite
+/// (Figure 6, step ③).
+pub fn train_device_models(
+    spec: &DeviceSpec,
+    suite: &[MicroBenchmark],
+    selection: ModelSelection,
+    stride: usize,
+    seed: u64,
+) -> MetricModels {
+    let samples = build_training_set(spec, suite, stride);
+    MetricModels::train(
+        selection,
+        &samples,
+        spec.freq_table.max_core() as f64,
+        seed,
+    )
+}
+
+/// Predict the full per-frequency metric sweep for one kernel
+/// (Figure 6, steps ④–⑤). Times/energies are in the models' normalized
+/// scale (relative to the kernel's default-clock values); every target
+/// selection is invariant to that normalization.
+pub fn predict_sweep(
+    spec: &DeviceSpec,
+    models: &MetricModels,
+    ir: &KernelIr,
+) -> Vec<MetricPoint> {
+    let info = extract(ir);
+    let configs: Vec<ClockConfig> = spec.freq_table.configs().collect();
+    configs
+        .into_iter()
+        .map(|clocks| {
+            let p = models.predict(
+                info.features.as_slice(),
+                clocks.core_mhz as f64,
+                clocks.mem_mhz as f64,
+            );
+            MetricPoint::new(clocks, p.time_s, p.energy_j)
+        })
+        .collect()
+}
+
+/// The compile step proper (Figure 6, step ⑥): for every kernel of an
+/// application and every requested target, search the predicted sweep and
+/// record the chosen frequency in the registry.
+pub fn compile_application(
+    spec: &DeviceSpec,
+    models: &MetricModels,
+    kernels: &[KernelIr],
+    targets: &[EnergyTarget],
+) -> TargetRegistry {
+    let baseline = spec.baseline_clocks();
+    let mut registry = TargetRegistry::new();
+    for ir in kernels {
+        let sweep = predict_sweep(spec, models, ir);
+        for &target in targets {
+            if let Some(p) = search_optimal(target, &sweep, baseline) {
+                registry.insert(&ir.name, target, p.clocks);
+            }
+        }
+    }
+    registry
+}
+
+/// Measure (on the simulator) the true metric sweep for a kernel — the
+/// ground truth the accuracy study compares predictions against.
+pub fn measured_sweep(spec: &DeviceSpec, ir: &KernelIr, work_items: u64) -> Vec<MetricPoint> {
+    let info = extract(ir);
+    let wl = Workload::from_static(&info, work_items);
+    spec.freq_table
+        .configs()
+        .map(|clocks| {
+            let t = evaluate(spec, &wl, clocks);
+            MetricPoint::new(clocks, t.duration_s(), t.energy_j(spec.overhead_power_w))
+        })
+        .collect()
+}
+
+/// Default clock configuration used as the ES/PL baseline on `spec`.
+pub fn baseline_clocks(spec: &DeviceSpec) -> ClockConfig {
+    spec.baseline_clocks()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use synergy_kernel::{generate_microbench, Inst, IrBuilder, MicroBenchConfig};
+    use synergy_ml::Algorithm;
+
+    fn small_suite() -> Vec<MicroBenchmark> {
+        let cfg = MicroBenchConfig {
+            intensities: [1, 16, 64, 256],
+            mixed_kernels: 8,
+            work_items: 1 << 18,
+        };
+        generate_microbench(42, &cfg)
+    }
+
+    fn test_kernel() -> KernelIr {
+        IrBuilder::new()
+            .ops(Inst::GlobalLoad, 2)
+            .loop_n(48, |b| b.ops(Inst::FloatMul, 1).ops(Inst::FloatAdd, 1))
+            .ops(Inst::GlobalStore, 1)
+            .build("compute_heavy")
+    }
+
+    #[test]
+    fn training_set_covers_sweep() {
+        let spec = DeviceSpec::v100();
+        let suite = small_suite();
+        let set = build_training_set(&spec, &suite[..4], 16);
+        // 196 clocks / 16 stride = 13 per benchmark.
+        assert_eq!(set.len(), 4 * 13);
+        assert!(set.iter().all(|s| s.time_s > 0.0 && s.energy_j > 0.0));
+    }
+
+    #[test]
+    fn linear_time_model_predicts_measured_sweep() {
+        let spec = DeviceSpec::v100();
+        let suite = small_suite();
+        let models = train_device_models(
+            &spec,
+            &suite,
+            ModelSelection::uniform(Algorithm::Linear),
+            8,
+            0,
+        );
+        let ir = test_kernel();
+        let predicted = predict_sweep(&spec, &models, &ir);
+        let measured = measured_sweep(&spec, &ir, 1 << 18);
+        assert_eq!(predicted.len(), measured.len());
+        // Compare *shapes*: the predicted time ratio between min and max
+        // frequency should match the measured ratio within 25%.
+        let ratio = |s: &[MetricPoint]| s[0].time_s / s[s.len() - 1].time_s;
+        let rp = ratio(&predicted);
+        let rm = ratio(&measured);
+        assert!(
+            (rp / rm - 1.0).abs() < 0.25,
+            "time ratio predicted {rp:.2} vs measured {rm:.2}"
+        );
+    }
+
+    #[test]
+    fn compile_fills_registry_for_all_targets() {
+        let spec = DeviceSpec::v100();
+        let suite = small_suite();
+        let models = train_device_models(
+            &spec,
+            &suite,
+            ModelSelection::paper_best(),
+            16,
+            1,
+        );
+        let kernels = vec![test_kernel()];
+        let registry = compile_application(
+            &spec,
+            &models,
+            &kernels,
+            &EnergyTarget::PAPER_SET,
+        );
+        assert_eq!(registry.len(), EnergyTarget::PAPER_SET.len());
+        for t in EnergyTarget::PAPER_SET {
+            let c = registry.lookup("compute_heavy", t).unwrap();
+            assert!(spec.freq_table.supports(c), "{t}: {c:?}");
+        }
+    }
+
+    #[test]
+    fn registry_orders_extremes_sensibly() {
+        // MAX_PERF should pick a clock at least as high as MIN_ENERGY for a
+        // compute-bound kernel.
+        let spec = DeviceSpec::v100();
+        let suite = small_suite();
+        let models =
+            train_device_models(&spec, &suite, ModelSelection::paper_best(), 16, 2);
+        let registry = compile_application(
+            &spec,
+            &models,
+            &[test_kernel()],
+            &[EnergyTarget::MaxPerf, EnergyTarget::MinEnergy],
+        );
+        let fast = registry
+            .lookup("compute_heavy", EnergyTarget::MaxPerf)
+            .unwrap();
+        let thrifty = registry
+            .lookup("compute_heavy", EnergyTarget::MinEnergy)
+            .unwrap();
+        assert!(fast.core_mhz >= thrifty.core_mhz);
+    }
+
+    #[test]
+    fn measured_sweep_baseline_is_supported() {
+        let spec = DeviceSpec::mi100();
+        let sweep = measured_sweep(&spec, &test_kernel(), 1 << 16);
+        assert_eq!(sweep.len(), 16);
+        assert!(spec.freq_table.supports(baseline_clocks(&spec)));
+    }
+
+    #[test]
+    fn titan_x_search_covers_two_dimensions() {
+        // On a board with four memory clocks the sweep is 2-D and the
+        // search may trade memory frequency too.
+        let spec = DeviceSpec::titan_x();
+        // A strongly compute-bound kernel: plenty of FMAs per byte, so a
+        // lower memory clock costs no time but sheds memory power.
+        let heavy = IrBuilder::new()
+            .ops(Inst::GlobalLoad, 2)
+            .loop_n(512, |b| b.ops(Inst::FloatMul, 1).ops(Inst::FloatAdd, 1))
+            .ops(Inst::GlobalStore, 1)
+            .build("fma_heavy");
+        let sweep = measured_sweep(&spec, &heavy, 1 << 20);
+        assert_eq!(sweep.len(), 4 * 90);
+        let mems: std::collections::BTreeSet<u32> =
+            sweep.iter().map(|p| p.clocks.mem_mhz).collect();
+        assert_eq!(mems.len(), 4);
+        let base = spec.baseline_clocks();
+        // A compute-bound kernel's minimum-energy point does not need the
+        // top memory clock: memory power can be shed for free.
+        let min_e = synergy_metrics::search_optimal(
+            synergy_metrics::EnergyTarget::MinEnergy,
+            &sweep,
+            base,
+        )
+        .unwrap();
+        assert!(
+            min_e.clocks.mem_mhz < spec.freq_table.top_mem(),
+            "compute-bound min-energy at {:?} should drop the memory clock",
+            min_e.clocks
+        );
+        // While MAX_PERF keeps the fastest core clock.
+        let fast = synergy_metrics::search_optimal(
+            synergy_metrics::EnergyTarget::MaxPerf,
+            &sweep,
+            base,
+        )
+        .unwrap();
+        assert_eq!(fast.clocks.core_mhz, spec.freq_table.max_core());
+    }
+}

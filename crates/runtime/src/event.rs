@@ -1,0 +1,180 @@
+//! Events: the handle returned by every kernel submission.
+//!
+//! A SYCL event exposes the execution status of its command (submitted,
+//! running, complete); SYnergy leans on that to run its fine-grained
+//! profiling thread. Our event additionally carries the execution record
+//! (device-timeline window, clocks, exact energy) once complete, plus the
+//! outcome of any frequency change requested for the kernel.
+
+use parking_lot::{Condvar, Mutex};
+use std::sync::Arc;
+use synergy_hal::HalError;
+use synergy_sim::KernelExecution;
+
+/// Execution status of a submitted command (SYCL
+/// `info::event_command_status`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventStatus {
+    /// Queued, not yet picked up by the device.
+    Submitted,
+    /// Executing on the device.
+    Running,
+    /// Finished.
+    Complete,
+}
+
+#[derive(Debug)]
+struct EventState {
+    status: EventStatus,
+    record: Option<KernelExecution>,
+    clock_set_error: Option<HalError>,
+}
+
+/// A shareable handle to one kernel submission.
+#[derive(Debug, Clone)]
+pub struct Event {
+    inner: Arc<(Mutex<EventState>, Condvar)>,
+}
+
+impl Default for Event {
+    fn default() -> Self {
+        Event::new()
+    }
+}
+
+impl Event {
+    /// A fresh event in `Submitted` state.
+    pub fn new() -> Event {
+        Event {
+            inner: Arc::new((
+                Mutex::new(EventState {
+                    status: EventStatus::Submitted,
+                    record: None,
+                    clock_set_error: None,
+                }),
+                Condvar::new(),
+            )),
+        }
+    }
+
+    /// Current status.
+    pub fn status(&self) -> EventStatus {
+        self.inner.0.lock().status
+    }
+
+    /// Block until the command completes.
+    pub fn wait(&self) {
+        let (lock, cvar) = &*self.inner;
+        let mut st = lock.lock();
+        while st.status != EventStatus::Complete {
+            cvar.wait(&mut st);
+        }
+    }
+
+    /// Block until complete, then surface any frequency-change failure the
+    /// submission encountered (SYCL `wait_and_throw` flavour).
+    pub fn wait_and_throw(&self) -> Result<(), HalError> {
+        self.wait();
+        match self.inner.0.lock().clock_set_error.clone() {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    /// The execution record, once complete.
+    pub fn execution(&self) -> Option<KernelExecution> {
+        self.inner.0.lock().record.clone()
+    }
+
+    /// The frequency-change failure for this submission, if any.
+    pub fn clock_set_error(&self) -> Option<HalError> {
+        self.inner.0.lock().clock_set_error.clone()
+    }
+
+    // --- producer side (crate-internal) ------------------------------------
+
+    pub(crate) fn mark_running(&self) {
+        self.inner.0.lock().status = EventStatus::Running;
+    }
+
+    pub(crate) fn set_clock_error(&self, e: HalError) {
+        self.inner.0.lock().clock_set_error = Some(e);
+    }
+
+    pub(crate) fn complete(&self, record: KernelExecution) {
+        let (lock, cvar) = &*self.inner;
+        let mut st = lock.lock();
+        st.record = Some(record);
+        st.status = EventStatus::Complete;
+        cvar.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use synergy_sim::{ClockConfig, KernelTiming};
+
+    fn record() -> KernelExecution {
+        KernelExecution {
+            name: "k".into(),
+            start_ns: 0,
+            end_ns: 100,
+            energy_j: 1.0,
+            clocks: ClockConfig::new(877, 1312),
+            timing: KernelTiming {
+                launch_ns: 10,
+                exec_ns: 90,
+                exec_power_w: 100.0,
+                t_compute_s: 1.0,
+                t_memory_s: 0.5,
+                util_core: 1.0,
+                util_mem: 0.5,
+            },
+        }
+    }
+
+    #[test]
+    fn lifecycle() {
+        let e = Event::new();
+        assert_eq!(e.status(), EventStatus::Submitted);
+        e.mark_running();
+        assert_eq!(e.status(), EventStatus::Running);
+        e.complete(record());
+        assert_eq!(e.status(), EventStatus::Complete);
+        assert_eq!(e.execution().unwrap().name, "k");
+    }
+
+    #[test]
+    fn wait_from_another_thread() {
+        let e = Event::new();
+        let e2 = e.clone();
+        let h = std::thread::spawn(move || {
+            e2.wait();
+            e2.execution().unwrap().energy_j
+        });
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        e.complete(record());
+        assert_eq!(h.join().unwrap(), 1.0);
+    }
+
+    #[test]
+    fn wait_and_throw_surfaces_clock_errors() {
+        let e = Event::new();
+        e.set_clock_error(HalError::NoPermission);
+        e.complete(record());
+        assert_eq!(e.wait_and_throw().unwrap_err(), HalError::NoPermission);
+
+        let ok = Event::new();
+        ok.complete(record());
+        assert!(ok.wait_and_throw().is_ok());
+    }
+
+    #[test]
+    fn wait_on_complete_event_returns_immediately() {
+        let e = Event::new();
+        e.complete(record());
+        e.wait();
+        e.wait();
+    }
+}

@@ -1,0 +1,122 @@
+//! The command-group handler: where kernels are described.
+//!
+//! A SYCL command group binds accessors and calls `parallel_for`. Here the
+//! handler records (a) the kernel IR and launch size — what the device
+//! model times and the feature pass analyzes — and (b) a host closure that
+//! actually computes the result with Rayon, so examples and tests observe
+//! real numerics.
+
+use rayon::prelude::*;
+use synergy_kernel::KernelIr;
+
+/// Work submitted by one command group.
+pub(crate) struct CommandGroup {
+    /// Kernel IR (for timing/energy and the model key).
+    pub ir: KernelIr,
+    /// Number of work-items.
+    pub work_items: u64,
+    /// Host computation (runs once, internally parallel).
+    pub host: Option<Box<dyn FnOnce() + Send>>,
+}
+
+/// The command-group handler passed to `Queue::submit` closures.
+#[derive(Default)]
+pub struct Handler {
+    pub(crate) group: Option<CommandGroup>,
+}
+
+impl Handler {
+    pub(crate) fn new() -> Handler {
+        Handler::default()
+    }
+
+    /// Launch `range` work-items of the kernel described by `ir`; `body`
+    /// is invoked once per work-item (in parallel) to produce the actual
+    /// result.
+    ///
+    /// Calling `parallel_for` twice in one command group panics, as in
+    /// SYCL (one action per command group).
+    pub fn parallel_for<F>(&mut self, range: usize, ir: &KernelIr, body: F)
+    where
+        F: Fn(usize) + Send + Sync + 'static,
+    {
+        assert!(
+            self.group.is_none(),
+            "a command group may contain exactly one parallel_for"
+        );
+        let items = range as u64;
+        self.group = Some(CommandGroup {
+            ir: ir.clone(),
+            work_items: items,
+            host: Some(Box::new(move || {
+                (0..range).into_par_iter().for_each(body);
+            })),
+        });
+    }
+
+    /// Launch a kernel for timing/energy only, with no host computation —
+    /// used by benchmarks that sweep thousands of configurations where the
+    /// numeric result is irrelevant.
+    pub fn parallel_for_modeled(&mut self, range: usize, ir: &KernelIr) {
+        assert!(
+            self.group.is_none(),
+            "a command group may contain exactly one parallel_for"
+        );
+        self.group = Some(CommandGroup {
+            ir: ir.clone(),
+            work_items: range as u64,
+            host: None,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+    use synergy_kernel::IrBuilder;
+
+    #[test]
+    fn records_ir_and_items() {
+        let ir = IrBuilder::new().build("k");
+        let mut h = Handler::new();
+        h.parallel_for(128, &ir, |_i| {});
+        let g = h.group.unwrap();
+        assert_eq!(g.ir.name, "k");
+        assert_eq!(g.work_items, 128);
+        assert!(g.host.is_some());
+    }
+
+    #[test]
+    fn host_closure_runs_per_item() {
+        let ir = IrBuilder::new().build("count");
+        let counter = Arc::new(AtomicUsize::new(0));
+        let c2 = Arc::clone(&counter);
+        let mut h = Handler::new();
+        h.parallel_for(1000, &ir, move |_i| {
+            c2.fetch_add(1, Ordering::Relaxed);
+        });
+        (h.group.unwrap().host.unwrap())();
+        assert_eq!(counter.load(Ordering::Relaxed), 1000);
+    }
+
+    #[test]
+    fn modeled_launch_has_no_host_side() {
+        let ir = IrBuilder::new().build("m");
+        let mut h = Handler::new();
+        h.parallel_for_modeled(64, &ir);
+        let g = h.group.unwrap();
+        assert!(g.host.is_none());
+        assert_eq!(g.work_items, 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "exactly one parallel_for")]
+    fn double_parallel_for_panics() {
+        let ir = IrBuilder::new().build("k");
+        let mut h = Handler::new();
+        h.parallel_for(1, &ir, |_| {});
+        h.parallel_for(1, &ir, |_| {});
+    }
+}

@@ -1,0 +1,154 @@
+//! # synergy-rt
+//!
+//! The SYnergy runtime (Section 4 of the paper): an energy-aware,
+//! SYCL-flavoured queue with coarse- and fine-grained energy profiling,
+//! per-queue and per-kernel frequency scaling, and per-kernel energy
+//! targets resolved through a compile-time [`TargetRegistry`]. Also hosts
+//! the compile step (Figure 6): micro-benchmark sweeps → training sets →
+//! four single-target metric models → frequency search per target.
+//!
+//! Kernels described by a [`synergy_kernel::KernelIr`] are *timed* on the
+//! simulated device (advancing its virtual timeline and power trace) and
+//! *computed* on the host with Rayon, so applications observe both real
+//! numerics and faithful energy behaviour.
+
+#![warn(missing_docs)]
+
+pub mod buffer;
+pub mod compile;
+pub mod event;
+pub mod handler;
+pub mod profiler;
+pub mod queue;
+pub mod registry;
+
+pub use buffer::{Accessor, Buffer};
+pub use compile::{
+    baseline_clocks, build_training_set, compile_application, measured_sweep, predict_sweep,
+    sweep_samples, train_device_models,
+};
+pub use event::{Event, EventStatus};
+pub use handler::Handler;
+pub use profiler::{KernelProfiler, ProfileReport};
+pub use queue::{Queue, QueueBuilder};
+pub use registry::TargetRegistry;
+
+#[cfg(test)]
+mod proptests {
+    use crate::queue::Queue;
+    use crate::registry::TargetRegistry;
+    use proptest::prelude::*;
+    use std::sync::Arc;
+    use synergy_kernel::{Inst, IrBuilder};
+    use synergy_metrics::EnergyTarget;
+    use synergy_sim::{ClockConfig, DeviceSpec, SimDevice};
+
+    #[derive(Debug, Clone)]
+    enum Submission {
+        Plain { items_log2: u8 },
+        Frequency { items_log2: u8, core_idx: usize },
+        Target { items_log2: u8, target_idx: usize },
+    }
+
+    fn arb_submission() -> impl Strategy<Value = Submission> {
+        prop_oneof![
+            (10u8..18).prop_map(|items_log2| Submission::Plain { items_log2 }),
+            (10u8..18, 0usize..196).prop_map(|(items_log2, core_idx)| {
+                Submission::Frequency {
+                    items_log2,
+                    core_idx,
+                }
+            }),
+            (10u8..18, 0usize..10).prop_map(|(items_log2, target_idx)| {
+                Submission::Target {
+                    items_log2,
+                    target_idx,
+                }
+            }),
+        ]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// Any submission sequence completes with a consistent device
+        /// timeline: events in order, windows non-overlapping, per-kernel
+        /// energies summing to no more than the trace total, and every
+        /// executed clock a supported table entry.
+        #[test]
+        fn queue_timeline_invariants(subs in prop::collection::vec(arb_submission(), 1..12)) {
+            let dev = SimDevice::new(DeviceSpec::v100(), 0);
+            dev.set_api_restriction(false);
+            let spec = dev.spec().clone();
+            // A registry covering every paper target for our kernel.
+            let mut reg = TargetRegistry::new();
+            for (i, &t) in EnergyTarget::PAPER_SET.iter().enumerate() {
+                let core = spec.freq_table.core_mhz[(i * 19) % spec.freq_table.core_mhz.len()];
+                reg.insert("prop_kernel", t, ClockConfig::new(877, core));
+            }
+            let q = Queue::builder(Arc::clone(&dev)).registry(Arc::new(reg)).build();
+            let ir = IrBuilder::new()
+                .ops(Inst::GlobalLoad, 2)
+                .ops(Inst::FloatMul, 3)
+                .ops(Inst::FloatAdd, 3)
+                .ops(Inst::GlobalStore, 1)
+                .build("prop_kernel");
+            let mut events = Vec::new();
+            for s in &subs {
+                let ev = match *s {
+                    Submission::Plain { items_log2 } => {
+                        q.submit(|h| h.parallel_for_modeled(1 << items_log2, &ir))
+                    }
+                    Submission::Frequency { items_log2, core_idx } => {
+                        let core = spec.freq_table.core_mhz[core_idx % spec.freq_table.core_mhz.len()];
+                        q.submit_with_frequency(877, core, |h| {
+                            h.parallel_for_modeled(1 << items_log2, &ir)
+                        })
+                    }
+                    Submission::Target { items_log2, target_idx } => {
+                        let t = EnergyTarget::PAPER_SET[target_idx % 10];
+                        q.submit_with_target(t, |h| h.parallel_for_modeled(1 << items_log2, &ir))
+                    }
+                };
+                events.push(ev);
+            }
+            q.wait();
+            let mut last_end = 0u64;
+            let mut kernel_energy = 0.0;
+            for ev in &events {
+                let rec = ev.execution().expect("completed");
+                prop_assert!(rec.start_ns >= last_end, "overlapping kernels");
+                prop_assert!(rec.end_ns > rec.start_ns);
+                prop_assert!(spec.freq_table.supports(rec.clocks), "clocks {:?}", rec.clocks);
+                prop_assert!(rec.energy_j > 0.0);
+                last_end = rec.end_ns;
+                kernel_energy += rec.energy_j;
+            }
+            let total = dev.trace_snapshot().total_energy_j();
+            prop_assert!(total >= kernel_energy - 1e-9,
+                "trace {total} J below kernel sum {kernel_energy} J");
+            prop_assert_eq!(q.kernel_log().len(), subs.len());
+        }
+
+        /// The queue's coarse window equals the device energy accumulated
+        /// since construction, for any workload mix.
+        #[test]
+        fn coarse_window_matches_device_counter(sizes in prop::collection::vec(10u8..18, 1..8)) {
+            let dev = SimDevice::new(DeviceSpec::mi100(), 0);
+            let before = dev.total_energy_mj() * 1e-3;
+            let q = Queue::new(Arc::clone(&dev));
+            let ir = IrBuilder::new()
+                .ops(Inst::GlobalLoad, 1)
+                .ops(Inst::FloatAdd, 2)
+                .ops(Inst::GlobalStore, 1)
+                .build("mix");
+            for &s in &sizes {
+                q.submit(|h| h.parallel_for_modeled(1 << s, &ir));
+            }
+            q.wait();
+            let window = q.device_energy_consumption();
+            let counter = dev.total_energy_mj() * 1e-3 - before;
+            prop_assert!((window - counter).abs() < 1e-9);
+        }
+    }
+}

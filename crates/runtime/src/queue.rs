@@ -1,0 +1,522 @@
+//! The `synergy::queue` analogue — the paper's main programming-interface
+//! contribution (Section 4).
+//!
+//! A queue wraps a device with energy capabilities:
+//!
+//! * **coarse-grained profiling** — device energy accumulated since the
+//!   queue was constructed ([`Queue::device_energy_consumption`]);
+//! * **fine-grained profiling** — per-kernel energy measured by sampling
+//!   the board power over the kernel's execution window, exactly like the
+//!   paper's asynchronous polling thread
+//!   ([`Queue::kernel_energy_consumption`]);
+//! * **frequency scaling** — per-queue fixed clocks (Listing 2), per-kernel
+//!   explicit clocks (Listing 4), or per-kernel energy targets resolved
+//!   through the compile-time [`TargetRegistry`] (Listing 3).
+//!
+//! Submissions run in order on a dedicated worker thread; kernels advance
+//! the device's virtual timeline and execute their host computation with
+//! Rayon. As in Section 4.4, the frequency for a kernel is set in the
+//! command group before the kernel launches, and each vendor-library clock
+//! change costs real (virtual) time.
+
+use crate::event::Event;
+use crate::handler::{CommandGroup, Handler};
+use crate::registry::TargetRegistry;
+use crossbeam::channel::{unbounded, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use synergy_hal::{open_device, Caller, DeviceManagement};
+use synergy_kernel::extract;
+use synergy_metrics::EnergyTarget;
+use synergy_sim::{ClockConfig, PowerTrace, SimDevice, Workload};
+
+/// How a submission wants its clocks handled.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum ClockRequest {
+    /// Use the queue's fixed clocks, or the device default if none.
+    Inherit,
+    /// Explicit per-kernel clocks (Listing 4).
+    Explicit(ClockConfig),
+    /// Energy target resolved through the registry (Listing 3).
+    Target(EnergyTarget),
+}
+
+enum Msg {
+    Run {
+        group: CommandGroup,
+        clocks: ClockRequest,
+        event: Event,
+    },
+    Flush(Sender<()>),
+}
+
+struct QueueShared {
+    mgmt: Arc<dyn DeviceManagement>,
+    caller: Caller,
+    registry: Option<Arc<TargetRegistry>>,
+    fixed_clocks: Option<ClockConfig>,
+    start_energy_j: f64,
+    kernel_log: parking_lot::Mutex<Vec<synergy_sim::KernelExecution>>,
+}
+
+/// An in-order, energy-aware queue onto one device.
+pub struct Queue {
+    shared: Arc<QueueShared>,
+    sender: Option<Sender<Msg>>,
+    worker: Option<JoinHandle<()>>,
+}
+
+/// Builder for [`Queue`] (covers all the constructor shapes of Section 4.3).
+pub struct QueueBuilder {
+    device: Arc<SimDevice>,
+    caller: Caller,
+    fixed_clocks: Option<ClockConfig>,
+    registry: Option<Arc<TargetRegistry>>,
+}
+
+impl QueueBuilder {
+    /// Run management calls as `caller` (default: unprivileged uid 1000).
+    pub fn caller(mut self, caller: Caller) -> Self {
+        self.caller = caller;
+        self
+    }
+
+    /// Fix (mem, core) clocks for every kernel submitted to this queue —
+    /// the `synergy::queue q{1215, 210, gpu_selector_v}` form of Listing 2.
+    pub fn frequency(mut self, mem_mhz: u32, core_mhz: u32) -> Self {
+        self.fixed_clocks = Some(ClockConfig::new(mem_mhz, core_mhz));
+        self
+    }
+
+    /// Attach the compile-time target registry so kernels can be submitted
+    /// with energy targets.
+    pub fn registry(mut self, registry: Arc<TargetRegistry>) -> Self {
+        self.registry = Some(registry);
+        self
+    }
+
+    /// Construct the queue and start its worker.
+    pub fn build(self) -> Queue {
+        let mgmt = open_device(self.device);
+        let shared = Arc::new(QueueShared {
+            start_energy_j: mgmt.total_energy_j(),
+            mgmt,
+            caller: self.caller,
+            registry: self.registry,
+            fixed_clocks: self.fixed_clocks,
+            kernel_log: parking_lot::Mutex::new(Vec::new()),
+        });
+        let (tx, rx) = unbounded::<Msg>();
+        let worker_shared = Arc::clone(&shared);
+        let worker = std::thread::spawn(move || {
+            while let Ok(msg) = rx.recv() {
+                match msg {
+                    Msg::Run {
+                        group,
+                        clocks,
+                        event,
+                    } => run_one(&worker_shared, group, clocks, &event),
+                    Msg::Flush(ack) => {
+                        let _ = ack.send(());
+                    }
+                }
+            }
+        });
+        Queue {
+            shared,
+            sender: Some(tx),
+            worker: Some(worker),
+        }
+    }
+}
+
+fn run_one(shared: &QueueShared, group: CommandGroup, clocks: ClockRequest, event: &Event) {
+    event.mark_running();
+    // Resolve the clock request (Section 4.4: done in the command group,
+    // right before the kernel starts).
+    let wanted = match clocks {
+        ClockRequest::Inherit => shared.fixed_clocks,
+        ClockRequest::Explicit(c) => Some(c),
+        ClockRequest::Target(t) => {
+            match shared
+                .registry
+                .as_ref()
+                .and_then(|r| r.lookup(&group.ir.name, t))
+            {
+                Some(c) => Some(c),
+                None => {
+                    // No compiled decision: run at current clocks, note it.
+                    event.set_clock_error(synergy_hal::HalError::NotFound(0));
+                    None
+                }
+            }
+        }
+    };
+    if let Some(cfg) = wanted {
+        if let Err(e) = shared.mgmt.set_clocks(shared.caller, cfg) {
+            event.set_clock_error(e);
+        }
+    }
+    let info = extract(&group.ir);
+    let wl = Workload::from_static(&info, group.work_items);
+    let record = shared.mgmt.raw().execute(&wl);
+    shared.kernel_log.lock().push(record.clone());
+    if let Some(host) = group.host {
+        host();
+    }
+    event.complete(record);
+}
+
+impl Queue {
+    /// Builder with every energy option.
+    pub fn builder(device: Arc<SimDevice>) -> QueueBuilder {
+        QueueBuilder {
+            device,
+            caller: Caller::User(1000),
+            fixed_clocks: None,
+            registry: None,
+        }
+    }
+
+    /// A plain queue on `device` (default clocks, unprivileged caller).
+    pub fn new(device: Arc<SimDevice>) -> Queue {
+        Queue::builder(device).build()
+    }
+
+    /// Submit a command group; the kernel runs at the queue's clocks.
+    pub fn submit(&self, cgf: impl FnOnce(&mut Handler)) -> Event {
+        self.submit_inner(cgf, ClockRequest::Inherit)
+    }
+
+    /// Submit with explicit per-kernel clocks (Listing 4's
+    /// `q.submit(877, 1530, ...)`).
+    pub fn submit_with_frequency(
+        &self,
+        mem_mhz: u32,
+        core_mhz: u32,
+        cgf: impl FnOnce(&mut Handler),
+    ) -> Event {
+        self.submit_inner(
+            cgf,
+            ClockRequest::Explicit(ClockConfig::new(mem_mhz, core_mhz)),
+        )
+    }
+
+    /// Submit with a per-kernel energy target (Listing 3's
+    /// `q.submit(MIN_EDP, ...)`); requires a registry.
+    pub fn submit_with_target(
+        &self,
+        target: EnergyTarget,
+        cgf: impl FnOnce(&mut Handler),
+    ) -> Event {
+        self.submit_inner(cgf, ClockRequest::Target(target))
+    }
+
+    fn submit_inner(&self, cgf: impl FnOnce(&mut Handler), clocks: ClockRequest) -> Event {
+        let mut handler = Handler::new();
+        cgf(&mut handler);
+        let group = handler.group.unwrap_or_else(|| CommandGroup {
+            ir: synergy_kernel::KernelIr::new("<empty>", vec![]),
+            work_items: 0,
+            host: None,
+        });
+        let event = Event::new();
+        self.sender
+            .as_ref()
+            .expect("queue is live")
+            .send(Msg::Run {
+                group,
+                clocks,
+                event: event.clone(),
+            })
+            .expect("worker is live");
+        event
+    }
+
+    /// Block until every previously submitted command has completed.
+    pub fn wait(&self) {
+        let (ack_tx, ack_rx) = unbounded();
+        self.sender
+            .as_ref()
+            .expect("queue is live")
+            .send(Msg::Flush(ack_tx))
+            .expect("worker is live");
+        let _ = ack_rx.recv();
+    }
+
+    /// Coarse-grained profiling: device energy (joules) consumed since this
+    /// queue was constructed (Section 4.2, `device_energy_consumption`).
+    pub fn device_energy_consumption(&self) -> f64 {
+        self.shared.mgmt.total_energy_j() - self.shared.start_energy_j
+    }
+
+    /// Fine-grained profiling: the *measured* energy of one kernel, in
+    /// joules, obtained by sampling board power over the kernel's window at
+    /// the sensor interval with sensor noise — what the paper's
+    /// asynchronous polling thread reports (Section 4.2, limitations in
+    /// 4.4). Waits for the kernel first.
+    pub fn kernel_energy_consumption(&self, event: &Event) -> f64 {
+        event.wait();
+        let rec = event.execution().expect("event completed");
+        let dev = self.shared.mgmt.raw();
+        let interval = dev.spec().power_sample_interval_ns;
+        let trace = dev.trace_snapshot();
+        let noise = dev.noise();
+        let samples = trace.sample(rec.start_ns, rec.end_ns, interval, Some(&noise));
+        PowerTrace::sampled_energy_j(&samples, interval, rec.end_ns)
+    }
+
+    /// The exact (ground-truth) energy of one kernel — the quantity the
+    /// sampled measurement approaches for long-running kernels. Waits.
+    pub fn kernel_energy_exact(&self, event: &Event) -> f64 {
+        event.wait();
+        event.execution().expect("event completed").energy_j
+    }
+
+    /// Current board power as the sensor reports it.
+    pub fn power_usage_w(&self) -> f64 {
+        self.shared.mgmt.power_usage_w()
+    }
+
+    /// The underlying device (for tests and the scheduler).
+    pub fn device(&self) -> &Arc<SimDevice> {
+        self.shared.mgmt.raw()
+    }
+
+    /// Every kernel executed through this queue so far, in completion
+    /// order (waits for outstanding submissions first).
+    pub fn kernel_log(&self) -> Vec<synergy_sim::KernelExecution> {
+        self.wait();
+        self.shared.kernel_log.lock().clone()
+    }
+
+    /// Export this queue's activity as a Chrome trace-event JSON document
+    /// (kernel slices + a board-power counter track), openable in
+    /// `chrome://tracing` or Perfetto.
+    pub fn export_chrome_trace(&self) -> String {
+        let kernels = self.kernel_log();
+        let dev = self.shared.mgmt.raw();
+        let mut events = synergy_sim::kernel_events(dev.index(), &kernels);
+        events.extend(synergy_sim::power_events(
+            dev.index(),
+            &dev.trace_snapshot(),
+            dev.spec().power_sample_interval_ns,
+        ));
+        synergy_sim::to_chrome_trace(&events)
+    }
+}
+
+impl Drop for Queue {
+    fn drop(&mut self) {
+        // Closing the channel stops the worker after it drains the queue —
+        // the coarse profiling window of Section 4.2 ends at destruction.
+        self.sender.take();
+        if let Some(w) = self.worker.take() {
+            let _ = w.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::buffer::Buffer;
+    use synergy_hal::HalError;
+    use synergy_kernel::{Inst, IrBuilder, KernelIr};
+    use synergy_sim::DeviceSpec;
+
+    fn saxpy_ir() -> KernelIr {
+        IrBuilder::new()
+            .ops(Inst::GlobalLoad, 2)
+            .ops(Inst::FloatMul, 1)
+            .ops(Inst::FloatAdd, 1)
+            .ops(Inst::GlobalStore, 1)
+            .build("saxpy")
+    }
+
+    #[test]
+    fn listing1_profiling_flow() {
+        // The paper's Listing 1: submit a saxpy, wait, query energies.
+        let dev = SimDevice::new(DeviceSpec::v100(), 0);
+        let q = Queue::new(Arc::clone(&dev));
+        let n = 1 << 20;
+        let x = Buffer::from_slice(&vec![1.0f32; n]);
+        let y = Buffer::from_slice(&vec![2.0f32; n]);
+        let z: Buffer<f32> = Buffer::zeros(n);
+        let (xa, ya, za) = (x.accessor(), y.accessor(), z.accessor());
+        let a = 3.0f32;
+        let ir = saxpy_ir();
+        let e = q.submit(move |h| {
+            h.parallel_for(n, &ir, move |i| {
+                za.set(i, a * xa.get(i) + ya.get(i));
+            });
+        });
+        e.wait_and_throw().unwrap();
+        let kernel_energy = q.kernel_energy_consumption(&e);
+        let device_energy = q.device_energy_consumption();
+        assert!(kernel_energy > 0.0);
+        assert!(device_energy >= q.kernel_energy_exact(&e) * 0.99);
+        // Numerics are real.
+        assert!(z.to_vec().iter().all(|&v| v == 5.0));
+    }
+
+    #[test]
+    fn submissions_execute_in_order() {
+        let dev = SimDevice::new(DeviceSpec::v100(), 0);
+        let q = Queue::new(dev);
+        let ir = saxpy_ir();
+        let e1 = q.submit(|h| h.parallel_for_modeled(1 << 16, &ir));
+        let e2 = q.submit(|h| h.parallel_for_modeled(1 << 16, &ir));
+        e2.wait();
+        let r1 = e1.execution().unwrap();
+        let r2 = e2.execution().unwrap();
+        assert!(r1.end_ns <= r2.start_ns, "in-order queue semantics");
+    }
+
+    #[test]
+    fn fixed_frequency_queue_listing2() {
+        let dev = SimDevice::new(DeviceSpec::v100(), 0);
+        dev.set_api_restriction(false); // pretend the plugin ran
+        let q = Queue::builder(dev).frequency(877, 135).build();
+        let ir = saxpy_ir();
+        let e = q.submit(|h| h.parallel_for_modeled(1 << 16, &ir));
+        e.wait_and_throw().unwrap();
+        assert_eq!(e.execution().unwrap().clocks, ClockConfig::new(877, 135));
+    }
+
+    #[test]
+    fn per_kernel_frequency_listing4() {
+        let dev = SimDevice::new(DeviceSpec::v100(), 0);
+        dev.set_api_restriction(false);
+        let q = Queue::new(dev);
+        let ir = saxpy_ir();
+        let slow = q.submit_with_frequency(877, 135, |h| h.parallel_for_modeled(1 << 16, &ir));
+        let fast = q.submit_with_frequency(877, 1530, |h| h.parallel_for_modeled(1 << 16, &ir));
+        fast.wait();
+        assert_eq!(slow.execution().unwrap().clocks.core_mhz, 135);
+        assert_eq!(fast.execution().unwrap().clocks.core_mhz, 1530);
+    }
+
+    #[test]
+    fn restricted_device_reports_no_permission() {
+        let dev = SimDevice::new(DeviceSpec::v100(), 0);
+        // API restriction is on by default: a user queue cannot scale.
+        let q = Queue::new(Arc::clone(&dev));
+        let ir = saxpy_ir();
+        let e = q.submit_with_frequency(877, 135, |h| h.parallel_for_modeled(1 << 16, &ir));
+        assert_eq!(e.wait_and_throw().unwrap_err(), HalError::NoPermission);
+        // Kernel still ran, at default clocks.
+        assert_eq!(
+            e.execution().unwrap().clocks,
+            dev.spec().baseline_clocks()
+        );
+    }
+
+    #[test]
+    fn target_submission_uses_registry() {
+        let dev = SimDevice::new(DeviceSpec::v100(), 0);
+        dev.set_api_restriction(false);
+        let target_core = dev.spec().freq_table.nearest_core(877);
+        let mut reg = TargetRegistry::new();
+        reg.insert(
+            "saxpy",
+            EnergyTarget::MinEdp,
+            ClockConfig::new(877, target_core),
+        );
+        let q = Queue::builder(dev).registry(Arc::new(reg)).build();
+        let ir = saxpy_ir();
+        let e = q.submit_with_target(EnergyTarget::MinEdp, |h| {
+            h.parallel_for_modeled(1 << 16, &ir)
+        });
+        e.wait_and_throw().unwrap();
+        assert_eq!(e.execution().unwrap().clocks.core_mhz, target_core);
+    }
+
+    #[test]
+    fn missing_registry_entry_flags_event() {
+        let dev = SimDevice::new(DeviceSpec::v100(), 0);
+        let q = Queue::builder(dev).registry(Arc::new(TargetRegistry::new())).build();
+        let ir = saxpy_ir();
+        let e = q.submit_with_target(EnergyTarget::MinEdp, |h| {
+            h.parallel_for_modeled(1 << 10, &ir)
+        });
+        assert!(e.wait_and_throw().is_err());
+        assert!(e.execution().is_some(), "kernel still executed");
+    }
+
+    #[test]
+    fn empty_command_group_completes() {
+        let dev = SimDevice::new(DeviceSpec::v100(), 0);
+        let q = Queue::new(dev);
+        let e = q.submit(|_h| {});
+        e.wait();
+        let r = e.execution().unwrap();
+        assert_eq!(r.name, "<empty>");
+    }
+
+    #[test]
+    fn queue_wait_drains_all() {
+        let dev = SimDevice::new(DeviceSpec::v100(), 0);
+        let q = Queue::new(dev);
+        let ir = saxpy_ir();
+        let events: Vec<Event> = (0..5)
+            .map(|_| q.submit(|h| h.parallel_for_modeled(1 << 14, &ir)))
+            .collect();
+        q.wait();
+        for e in events {
+            assert_eq!(e.status(), crate::event::EventStatus::Complete);
+        }
+    }
+
+    #[test]
+    fn two_queues_one_device_interleave_on_timeline() {
+        let dev = SimDevice::new(DeviceSpec::v100(), 0);
+        dev.set_api_restriction(false);
+        let q1 = Queue::builder(Arc::clone(&dev)).frequency(877, 877).build();
+        let q2 = Queue::new(Arc::clone(&dev));
+        let ir = saxpy_ir();
+        let e1 = q1.submit(|h| h.parallel_for_modeled(1 << 16, &ir));
+        let e2 = q2.submit(|h| h.parallel_for_modeled(1 << 16, &ir));
+        e1.wait();
+        e2.wait();
+        let (r1, r2) = (e1.execution().unwrap(), e2.execution().unwrap());
+        // Device timeline is a total order: windows never overlap.
+        assert!(r1.end_ns <= r2.start_ns || r2.end_ns <= r1.start_ns);
+    }
+
+    #[test]
+    fn kernel_log_and_chrome_trace_export() {
+        let dev = SimDevice::new(DeviceSpec::v100(), 0);
+        let q = Queue::new(dev);
+        let ir = saxpy_ir();
+        for _ in 0..3 {
+            q.submit(|h| h.parallel_for_modeled(1 << 16, &ir));
+        }
+        let log = q.kernel_log();
+        assert_eq!(log.len(), 3);
+        assert!(log.windows(2).all(|w| w[0].end_ns <= w[1].start_ns));
+        let doc = q.export_chrome_trace();
+        let parsed: serde_json::Value = serde_json::from_str(&doc).unwrap();
+        let events = parsed["traceEvents"].as_array().unwrap();
+        assert!(events.len() >= 3);
+        assert!(events.iter().any(|e| e["name"] == "saxpy"));
+        assert!(events.iter().any(|e| e["name"] == "board_power"));
+    }
+
+    #[test]
+    fn sampled_energy_close_to_exact_for_long_kernel() {
+        let dev = SimDevice::new(DeviceSpec::v100(), 0);
+        let q = Queue::new(dev);
+        // Long kernel: hundreds of ms, far above the 15 ms sensor interval.
+        let ir = IrBuilder::new()
+            .ops(Inst::GlobalLoad, 1)
+            .loop_n(65_536, |b| b.ops(Inst::FloatMul, 1).ops(Inst::FloatAdd, 1))
+            .ops(Inst::GlobalStore, 1)
+            .build("long");
+        let e = q.submit(|h| h.parallel_for_modeled(1 << 24, &ir));
+        let measured = q.kernel_energy_consumption(&e);
+        let exact = q.kernel_energy_exact(&e);
+        let err = (measured - exact).abs() / exact;
+        assert!(err < 0.05, "sampled {measured} vs exact {exact} (err {err})");
+    }
+}

@@ -1,0 +1,129 @@
+//! The target registry: the artifact the "compile step" hands to the
+//! runtime.
+//!
+//! After feature extraction and model inference, every (kernel, energy
+//! target) pair maps to a concrete frequency configuration. The registry is
+//! that mapping; the queue consults it when a kernel is submitted with an
+//! energy target (Listing 3 of the paper).
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use synergy_metrics::EnergyTarget;
+use synergy_sim::ClockConfig;
+
+/// Per-kernel, per-target frequency decisions.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TargetRegistry {
+    // kernel name -> target name -> clocks (string key keeps it
+    // serde-friendly and diff-able on disk).
+    entries: BTreeMap<String, BTreeMap<String, ClockConfig>>,
+}
+
+impl TargetRegistry {
+    /// Empty registry.
+    pub fn new() -> TargetRegistry {
+        TargetRegistry::default()
+    }
+
+    /// Record the decision for `(kernel, target)`.
+    pub fn insert(&mut self, kernel: &str, target: EnergyTarget, clocks: ClockConfig) {
+        self.entries
+            .entry(kernel.to_string())
+            .or_default()
+            .insert(target.to_string(), clocks);
+    }
+
+    /// Look up the decision for `(kernel, target)`.
+    pub fn lookup(&self, kernel: &str, target: EnergyTarget) -> Option<ClockConfig> {
+        self.entries
+            .get(kernel)?
+            .get(&target.to_string())
+            .copied()
+    }
+
+    /// Kernels with at least one decision.
+    pub fn kernels(&self) -> impl Iterator<Item = &str> {
+        self.entries.keys().map(String::as_str)
+    }
+
+    /// Total number of (kernel, target) decisions.
+    pub fn len(&self) -> usize {
+        self.entries.values().map(BTreeMap::len).sum()
+    }
+
+    /// True when no decisions are recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Merge another registry into this one (other wins on conflicts).
+    pub fn merge(&mut self, other: &TargetRegistry) {
+        for (k, targets) in &other.entries {
+            let slot = self.entries.entry(k.clone()).or_default();
+            for (t, c) in targets {
+                slot.insert(t.clone(), *c);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_lookup() {
+        let mut r = TargetRegistry::new();
+        r.insert("matmul", EnergyTarget::MinEdp, ClockConfig::new(877, 1000));
+        assert_eq!(
+            r.lookup("matmul", EnergyTarget::MinEdp),
+            Some(ClockConfig::new(877, 1000))
+        );
+        assert_eq!(r.lookup("matmul", EnergyTarget::MinEd2p), None);
+        assert_eq!(r.lookup("other", EnergyTarget::MinEdp), None);
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn es_pl_targets_are_distinct_keys() {
+        let mut r = TargetRegistry::new();
+        r.insert("k", EnergyTarget::EnergySaving(25), ClockConfig::new(877, 900));
+        r.insert("k", EnergyTarget::EnergySaving(50), ClockConfig::new(877, 800));
+        r.insert("k", EnergyTarget::PerfLoss(25), ClockConfig::new(877, 1100));
+        assert_eq!(r.len(), 3);
+        assert_eq!(
+            r.lookup("k", EnergyTarget::EnergySaving(50)),
+            Some(ClockConfig::new(877, 800))
+        );
+    }
+
+    #[test]
+    fn merge_prefers_other() {
+        let mut a = TargetRegistry::new();
+        a.insert("k", EnergyTarget::MinEdp, ClockConfig::new(877, 1000));
+        let mut b = TargetRegistry::new();
+        b.insert("k", EnergyTarget::MinEdp, ClockConfig::new(877, 500));
+        b.insert("j", EnergyTarget::MaxPerf, ClockConfig::new(877, 1530));
+        a.merge(&b);
+        assert_eq!(a.lookup("k", EnergyTarget::MinEdp), Some(ClockConfig::new(877, 500)));
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let mut r = TargetRegistry::new();
+        r.insert("k", EnergyTarget::PerfLoss(75), ClockConfig::new(877, 600));
+        let s = serde_json::to_string(&r).unwrap();
+        let r2: TargetRegistry = serde_json::from_str(&s).unwrap();
+        assert_eq!(r, r2);
+    }
+
+    #[test]
+    fn kernels_iterator() {
+        let mut r = TargetRegistry::new();
+        r.insert("b", EnergyTarget::MaxPerf, ClockConfig::new(877, 1530));
+        r.insert("a", EnergyTarget::MaxPerf, ClockConfig::new(877, 1530));
+        let names: Vec<&str> = r.kernels().collect();
+        assert_eq!(names, vec!["a", "b"]);
+    }
+}

@@ -1,0 +1,139 @@
+//! Cluster state: nodes with GRES tags, as SLURM's `slurmctld` sees them.
+
+use std::collections::BTreeSet;
+use synergy_sim::SimNode;
+
+/// The GRES tag that marks frequency-scaling-capable nodes and the jobs
+/// that request the capability (Section 7.2).
+pub const NVGPUFREQ_GRES: &str = "nvgpufreq";
+
+/// One node as registered with the controller.
+#[derive(Debug)]
+pub struct ClusterNode {
+    /// The simulated hardware.
+    pub node: SimNode,
+    /// Generic-resource tags on the node.
+    pub gres: BTreeSet<String>,
+    /// Whether the NVML shared object can be `dlopen`ed on this node (one
+    /// of the plugin's checks).
+    pub nvml_available: bool,
+    /// Job currently holding the node, if any.
+    pub allocated_to: Option<u64>,
+    /// Whether the current allocation is exclusive.
+    pub exclusive: bool,
+}
+
+impl ClusterNode {
+    /// A node with the given tags.
+    pub fn new(node: SimNode, gres: impl IntoIterator<Item = String>) -> ClusterNode {
+        ClusterNode {
+            node,
+            gres: gres.into_iter().collect(),
+            nvml_available: true,
+            allocated_to: None,
+            exclusive: false,
+        }
+    }
+
+    /// True when no job holds the node.
+    pub fn is_free(&self) -> bool {
+        self.allocated_to.is_none()
+    }
+
+    /// True when the node carries a GRES tag.
+    pub fn has_gres(&self, tag: &str) -> bool {
+        self.gres.contains(tag)
+    }
+}
+
+/// The whole cluster.
+#[derive(Debug, Default)]
+pub struct Cluster {
+    /// Registered nodes.
+    pub nodes: Vec<ClusterNode>,
+}
+
+impl Cluster {
+    /// Empty cluster.
+    pub fn new() -> Cluster {
+        Cluster::default()
+    }
+
+    /// A Marconi-100 style partition: `count` nodes of four V100s each,
+    /// every node tagged `nvgpufreq` when `tagged`.
+    pub fn marconi100(count: usize, tagged: bool) -> Cluster {
+        let mut c = Cluster::new();
+        for node in synergy_sim::marconi100_partition(count) {
+            let gres: Vec<String> = if tagged {
+                vec![NVGPUFREQ_GRES.to_string()]
+            } else {
+                vec![]
+            };
+            c.nodes.push(ClusterNode::new(node, gres));
+        }
+        c
+    }
+
+    /// Add a node.
+    pub fn add_node(&mut self, node: ClusterNode) {
+        self.nodes.push(node);
+    }
+
+    /// Number of free nodes.
+    pub fn free_nodes(&self) -> usize {
+        self.nodes.iter().filter(|n| n.is_free()).count()
+    }
+
+    /// Indices of the first `count` free nodes, or `None` if insufficient.
+    pub fn find_free(&self, count: usize) -> Option<Vec<usize>> {
+        let free: Vec<usize> = self
+            .nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.is_free())
+            .map(|(i, _)| i)
+            .take(count)
+            .collect();
+        (free.len() == count).then_some(free)
+    }
+
+    /// Total GPU count across the cluster.
+    pub fn total_gpus(&self) -> usize {
+        self.nodes.iter().map(|n| n.node.gpu_count()).sum()
+    }
+
+    /// Total GPU energy recorded so far, in joules.
+    pub fn total_gpu_energy_j(&self) -> f64 {
+        self.nodes.iter().map(|n| n.node.total_gpu_energy_j()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn marconi_partition_shape() {
+        let c = Cluster::marconi100(16, true);
+        assert_eq!(c.nodes.len(), 16);
+        assert_eq!(c.total_gpus(), 64);
+        assert!(c.nodes.iter().all(|n| n.has_gres(NVGPUFREQ_GRES)));
+        assert!(c.nodes.iter().all(|n| n.nvml_available));
+    }
+
+    #[test]
+    fn untagged_partition() {
+        let c = Cluster::marconi100(2, false);
+        assert!(c.nodes.iter().all(|n| !n.has_gres(NVGPUFREQ_GRES)));
+    }
+
+    #[test]
+    fn find_free_respects_allocation() {
+        let mut c = Cluster::marconi100(3, true);
+        assert_eq!(c.find_free(2), Some(vec![0, 1]));
+        c.nodes[0].allocated_to = Some(1);
+        assert_eq!(c.find_free(2), Some(vec![1, 2]));
+        assert_eq!(c.find_free(3), None);
+        assert_eq!(c.free_nodes(), 2);
+    }
+}

@@ -1,0 +1,182 @@
+//! Batch jobs: what users submit to the scheduler.
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+use synergy_hal::Caller;
+use synergy_sim::SimNode;
+
+/// The environment a running job sees: its allocated nodes and the caller
+/// identity its management-library calls carry.
+pub struct JobContext<'a> {
+    /// Scheduler-assigned job id.
+    pub job_id: u64,
+    /// The submitting user (management calls run as `Caller::User(uid)`).
+    pub caller: Caller,
+    /// Allocated nodes, in allocation order.
+    pub nodes: &'a [&'a SimNode],
+}
+
+impl JobContext<'_> {
+    /// All GPUs across the allocation, node-major.
+    pub fn gpus(&self) -> Vec<Arc<synergy_sim::SimDevice>> {
+        self.nodes
+            .iter()
+            .flat_map(|n| n.gpus.iter().cloned())
+            .collect()
+    }
+}
+
+/// The job's payload: the "batch script".
+pub type JobPayload = Box<dyn FnOnce(&JobContext<'_>) + Send>;
+
+/// A batch-job request.
+pub struct JobRequest {
+    /// Human-readable name.
+    pub name: String,
+    /// Submitting uid.
+    pub user: u32,
+    /// Number of nodes requested.
+    pub nodes: usize,
+    /// Whether the job demands exclusive node access (required by the
+    /// nvgpufreq plugin).
+    pub exclusive: bool,
+    /// GRES the job requests (e.g. `nvgpufreq`).
+    pub gres: BTreeSet<String>,
+    /// The work.
+    pub payload: JobPayload,
+}
+
+impl JobRequest {
+    /// Start building a job.
+    pub fn builder(name: impl Into<String>, user: u32) -> JobRequestBuilder {
+        JobRequestBuilder {
+            name: name.into(),
+            user,
+            nodes: 1,
+            exclusive: false,
+            gres: BTreeSet::new(),
+        }
+    }
+}
+
+/// Builder for [`JobRequest`].
+pub struct JobRequestBuilder {
+    name: String,
+    user: u32,
+    nodes: usize,
+    exclusive: bool,
+    gres: BTreeSet<String>,
+}
+
+impl JobRequestBuilder {
+    /// Request `n` nodes.
+    pub fn nodes(mut self, n: usize) -> Self {
+        self.nodes = n.max(1);
+        self
+    }
+
+    /// Request exclusive node access (`--exclusive`).
+    pub fn exclusive(mut self) -> Self {
+        self.exclusive = true;
+        self
+    }
+
+    /// Request a GRES tag (`--gres=<tag>`).
+    pub fn gres(mut self, tag: &str) -> Self {
+        self.gres.insert(tag.to_string());
+        self
+    }
+
+    /// Attach the payload and finish.
+    pub fn payload(self, f: impl FnOnce(&JobContext<'_>) + Send + 'static) -> JobRequest {
+        JobRequest {
+            name: self.name,
+            user: self.user,
+            nodes: self.nodes,
+            exclusive: self.exclusive,
+            gres: self.gres,
+            payload: Box::new(f),
+        }
+    }
+}
+
+/// Terminal state of a job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobState {
+    /// Ran to completion.
+    Completed,
+    /// Could not be allocated (insufficient nodes).
+    Rejected,
+}
+
+/// Scheduler-side record of a finished job.
+#[derive(Debug, Clone)]
+pub struct JobRecord {
+    /// Job id.
+    pub id: u64,
+    /// Job name.
+    pub name: String,
+    /// Submitting uid.
+    pub user: u32,
+    /// Terminal state.
+    pub state: JobState,
+    /// Hostnames the job ran on.
+    pub hostnames: Vec<String>,
+    /// GPU energy attributed to the job, in joules (energy accounting).
+    pub gpu_energy_j: f64,
+    /// Job wall time in seconds of device virtual time (max across GPUs).
+    pub elapsed_s: f64,
+    /// Per-node plugin decisions, `(hostname, plugin, applied, reason)`.
+    pub plugin_log: Vec<PluginLogEntry>,
+}
+
+/// One prologue decision taken by one plugin on one node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PluginLogEntry {
+    /// Node hostname.
+    pub hostname: String,
+    /// Plugin name.
+    pub plugin: String,
+    /// Whether the plugin applied its configuration.
+    pub applied: bool,
+    /// Skip reason when not applied.
+    pub reason: Option<String>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_defaults() {
+        let j = JobRequest::builder("job", 1000).payload(|_| {});
+        assert_eq!(j.nodes, 1);
+        assert!(!j.exclusive);
+        assert!(j.gres.is_empty());
+    }
+
+    #[test]
+    fn builder_options() {
+        let j = JobRequest::builder("job", 1000)
+            .nodes(4)
+            .exclusive()
+            .gres("nvgpufreq")
+            .payload(|_| {});
+        assert_eq!(j.nodes, 4);
+        assert!(j.exclusive);
+        assert!(j.gres.contains("nvgpufreq"));
+    }
+
+    #[test]
+    fn context_collects_gpus() {
+        let n1 = SimNode::marconi100("a");
+        let n2 = SimNode::marconi100("b");
+        let nodes = vec![&n1, &n2];
+        let ctx = JobContext {
+            job_id: 1,
+            caller: Caller::User(7),
+            nodes: &nodes,
+        };
+        assert_eq!(ctx.gpus().len(), 8);
+    }
+}

@@ -1,0 +1,23 @@
+//! # synergy-sched
+//!
+//! A SLURM-like batch scheduler over the simulated cluster, with the
+//! paper's `nvgpufreq` prologue/epilogue plugin (Section 7): GRES-tagged
+//! nodes, exclusive-allocation checks, temporary privilege raising for
+//! application-clock control, guaranteed node restoration at job end, and
+//! per-job GPU energy accounting.
+
+#![warn(missing_docs)]
+
+pub mod cluster;
+pub mod job;
+pub mod plugin;
+pub mod powercap;
+pub mod slurm;
+
+pub use cluster::{Cluster, ClusterNode, NVGPUFREQ_GRES};
+pub use job::{JobContext, JobRecord, JobRequest, JobState, PluginLogEntry};
+pub use powercap::{clock_ceiling_for_cap, PowerCapConfig, PowerManager};
+pub use plugin::{
+    ControllerStatus, NvGpuFreqPlugin, PluginJobInfo, PluginOutcome, SlurmPlugin,
+};
+pub use slurm::Slurm;

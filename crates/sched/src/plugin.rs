@@ -1,0 +1,231 @@
+//! SLURM prologue/epilogue plugins, and the `nvgpufreq` plugin of
+//! Section 7.2.
+//!
+//! The plugin's prologue performs the paper's exact check chain and, only
+//! if every check passes, lowers the NVML API restriction on the node's
+//! boards so the (unprivileged) job can set application clocks. The
+//! epilogue unconditionally restores the node: default clocks, restriction
+//! back on — so the next job cannot inherit a degraded performance state.
+
+use crate::cluster::{ClusterNode, NVGPUFREQ_GRES};
+use std::collections::BTreeSet;
+use synergy_hal::{Caller, Nvml, RestrictedApi};
+
+/// What a plugin sees about the job during prologue/epilogue.
+#[derive(Debug, Clone)]
+pub struct PluginJobInfo {
+    /// Job id.
+    pub job_id: u64,
+    /// Submitting uid.
+    pub user: u32,
+    /// GRES the job requested.
+    pub gres: BTreeSet<String>,
+    /// Whether the job holds its nodes exclusively.
+    pub exclusive: bool,
+}
+
+/// Whether the controller answered the node-info query (the plugin's first
+/// check can fail on a live system).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ControllerStatus {
+    /// `slurmctld` responded.
+    Reachable,
+    /// The node-info RPC failed.
+    Unreachable,
+}
+
+/// Outcome of a plugin prologue on one node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PluginOutcome {
+    /// The plugin applied its configuration.
+    Applied,
+    /// The plugin terminated without applying anything (the paper's
+    /// "terminates its execution"), with the failed check.
+    Skipped(String),
+}
+
+impl PluginOutcome {
+    /// True when the configuration was applied.
+    pub fn applied(&self) -> bool {
+        matches!(self, PluginOutcome::Applied)
+    }
+}
+
+/// A prologue/epilogue extension hook.
+pub trait SlurmPlugin: Send + Sync {
+    /// Plugin name (for logs).
+    fn name(&self) -> &str;
+
+    /// Runs before the job starts on `node`.
+    fn prologue(
+        &self,
+        job: &PluginJobInfo,
+        node: &ClusterNode,
+        controller: ControllerStatus,
+    ) -> PluginOutcome;
+
+    /// Runs after the job ends on `node` (for any reason).
+    fn epilogue(&self, job: &PluginJobInfo, node: &ClusterNode);
+}
+
+/// The `nvgpufreq` plugin (Section 7.2).
+#[derive(Debug, Default, Clone)]
+pub struct NvGpuFreqPlugin;
+
+impl SlurmPlugin for NvGpuFreqPlugin {
+    fn name(&self) -> &str {
+        "nvgpufreq"
+    }
+
+    fn prologue(
+        &self,
+        job: &PluginJobInfo,
+        node: &ClusterNode,
+        controller: ControllerStatus,
+    ) -> PluginOutcome {
+        // 1. Node info from slurmctld.
+        if controller == ControllerStatus::Unreachable {
+            return PluginOutcome::Skipped("slurmctld node info unavailable".into());
+        }
+        // 2. Node tagged with the nvgpufreq GRES.
+        if !node.has_gres(NVGPUFREQ_GRES) {
+            return PluginOutcome::Skipped("node lacks nvgpufreq GRES".into());
+        }
+        // 3. NVML shared object loadable.
+        if !node.nvml_available {
+            return PluginOutcome::Skipped("NVML shared object not loadable".into());
+        }
+        // 4. Job tagged with the nvgpufreq GRES.
+        if !job.gres.contains(NVGPUFREQ_GRES) {
+            return PluginOutcome::Skipped("job did not request nvgpufreq GRES".into());
+        }
+        // 5. Exclusive allocation.
+        if !job.exclusive {
+            return PluginOutcome::Skipped("job does not hold the node exclusively".into());
+        }
+        // All checks passed: lower the application-clock privilege on the
+        // job's boards (the plugin runs as root).
+        let nvml = Nvml::init(&node.node.gpus);
+        for dev in nvml.devices() {
+            dev.set_api_restriction(Caller::Root, RestrictedApi::SetApplicationClocks, false)
+                .expect("plugin runs as root");
+        }
+        PluginOutcome::Applied
+    }
+
+    fn epilogue(&self, _job: &PluginJobInfo, node: &ClusterNode) {
+        // Full cleanup: default clocks, restriction restored — regardless
+        // of what the job did.
+        let nvml = Nvml::init(&node.node.gpus);
+        for dev in nvml.devices() {
+            dev.reset_application_clocks(Caller::Root)
+                .expect("plugin runs as root");
+            dev.set_api_restriction(Caller::Root, RestrictedApi::SetApplicationClocks, true)
+                .expect("plugin runs as root");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use synergy_sim::{ClockConfig, SimNode};
+
+    fn job(gres: bool, exclusive: bool) -> PluginJobInfo {
+        let mut g = BTreeSet::new();
+        if gres {
+            g.insert(NVGPUFREQ_GRES.to_string());
+        }
+        PluginJobInfo {
+            job_id: 1,
+            user: 1000,
+            gres: g,
+            exclusive,
+        }
+    }
+
+    fn tagged_node() -> ClusterNode {
+        ClusterNode::new(
+            SimNode::marconi100("node001"),
+            vec![NVGPUFREQ_GRES.to_string()],
+        )
+    }
+
+    #[test]
+    fn full_chain_applies_and_lowers_privileges() {
+        let node = tagged_node();
+        let p = NvGpuFreqPlugin;
+        let out = p.prologue(&job(true, true), &node, ControllerStatus::Reachable);
+        assert_eq!(out, PluginOutcome::Applied);
+        assert!(node.node.gpus.iter().all(|g| !g.api_restricted()));
+        // Job can now scale clocks as a user.
+        let nvml = Nvml::init(&node.node.gpus);
+        nvml.device_by_index(0)
+            .unwrap()
+            .set_application_clocks(Caller::User(1000), ClockConfig::new(877, 135))
+            .unwrap();
+        // Epilogue restores everything.
+        p.epilogue(&job(true, true), &node);
+        assert!(node.node.gpus.iter().all(|g| g.api_restricted()));
+        assert!(node.node.gpus.iter().all(|g| g.application_clocks().is_none()));
+    }
+
+    #[test]
+    fn controller_unreachable_skips() {
+        let node = tagged_node();
+        let out = NvGpuFreqPlugin.prologue(
+            &job(true, true),
+            &node,
+            ControllerStatus::Unreachable,
+        );
+        assert!(matches!(out, PluginOutcome::Skipped(ref r) if r.contains("slurmctld")));
+        assert!(node.node.gpus.iter().all(|g| g.api_restricted()));
+    }
+
+    #[test]
+    fn untagged_node_skips() {
+        let node = ClusterNode::new(SimNode::marconi100("node001"), vec![]);
+        let out =
+            NvGpuFreqPlugin.prologue(&job(true, true), &node, ControllerStatus::Reachable);
+        assert!(matches!(out, PluginOutcome::Skipped(ref r) if r.contains("GRES")));
+    }
+
+    #[test]
+    fn missing_nvml_skips() {
+        let mut node = tagged_node();
+        node.nvml_available = false;
+        let out =
+            NvGpuFreqPlugin.prologue(&job(true, true), &node, ControllerStatus::Reachable);
+        assert!(matches!(out, PluginOutcome::Skipped(ref r) if r.contains("NVML")));
+    }
+
+    #[test]
+    fn job_without_gres_skips() {
+        let node = tagged_node();
+        let out =
+            NvGpuFreqPlugin.prologue(&job(false, true), &node, ControllerStatus::Reachable);
+        assert!(matches!(out, PluginOutcome::Skipped(ref r) if r.contains("request")));
+    }
+
+    #[test]
+    fn non_exclusive_job_skips() {
+        let node = tagged_node();
+        let out =
+            NvGpuFreqPlugin.prologue(&job(true, false), &node, ControllerStatus::Reachable);
+        assert!(matches!(out, PluginOutcome::Skipped(ref r) if r.contains("exclusive")));
+        assert!(node.node.gpus.iter().all(|g| g.api_restricted()));
+    }
+
+    #[test]
+    fn epilogue_cleans_even_if_prologue_skipped() {
+        // A previous job left clocks pinned somehow; epilogue still resets.
+        let node = tagged_node();
+        node.node.gpus[0].set_api_restriction(false);
+        node.node.gpus[0]
+            .set_application_clocks(ClockConfig::new(877, 135))
+            .unwrap();
+        NvGpuFreqPlugin.epilogue(&job(false, false), &node);
+        assert!(node.node.gpus[0].api_restricted());
+        assert_eq!(node.node.gpus[0].application_clocks(), None);
+    }
+}

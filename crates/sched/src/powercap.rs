@@ -1,0 +1,281 @@
+//! Cluster power capping — the SLURM power-management behaviour the paper
+//! describes in Section 2.3: *"SLURM provides an integrated power
+//! management system for energy accounting and power capping, which takes
+//! the configured power cap for the system and distributes it across the
+//! nodes controlled by SLURM. SLURM lowers the power caps on nodes that
+//! are consuming less than their cap and redistributes that power to other
+//! nodes, with configurable power thresholds."*
+//!
+//! A node's GPU power cap is enforced the only way the boards allow:
+//! root-only locked core-clock ceilings. The mapping from a watt budget to
+//! a clock ceiling inverts the device's DVFS power curve at full activity
+//! (a conservative bound: a capped board can never exceed its budget even
+//! on a power-virus kernel).
+
+use crate::cluster::Cluster;
+use serde::{Deserialize, Serialize};
+use synergy_sim::DeviceSpec;
+
+/// Configuration of the cluster-wide power manager.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerCapConfig {
+    /// Total GPU power budget for the cluster, in watts.
+    pub cluster_budget_w: f64,
+    /// Fraction of a node's unused headroom that gets redistributed per
+    /// balancing round (SLURM's "configurable power thresholds").
+    pub redistribution_rate: f64,
+    /// Floor for any node's cap, in watts per GPU (never starve a node).
+    pub min_gpu_cap_w: f64,
+}
+
+impl PowerCapConfig {
+    /// An even-split budget with SLURM-like defaults.
+    pub fn even(cluster_budget_w: f64) -> PowerCapConfig {
+        PowerCapConfig {
+            cluster_budget_w,
+            redistribution_rate: 0.5,
+            min_gpu_cap_w: 60.0,
+        }
+    }
+}
+
+/// The power manager: per-node GPU caps plus the balancing loop.
+#[derive(Debug)]
+pub struct PowerManager {
+    config: PowerCapConfig,
+    /// Current cap per node, in watts (GPU domain only).
+    node_caps_w: Vec<f64>,
+}
+
+/// The highest supported core clock whose worst-case board power fits
+/// under `cap_w` (inverts the DVFS curve at full activity).
+pub fn clock_ceiling_for_cap(spec: &DeviceSpec, cap_w: f64) -> u32 {
+    let worst_case = |core_mhz: u32| -> f64 {
+        spec.idle_power_w
+            + spec.mem_power_w
+            + spec.core_power_budget_w() * spec.vf.dynamic_factor(core_mhz as f64)
+    };
+    let mut best = spec.freq_table.min_core();
+    for &f in &spec.freq_table.core_mhz {
+        if worst_case(f) <= cap_w {
+            best = f;
+        } else {
+            break;
+        }
+    }
+    best
+}
+
+impl PowerManager {
+    /// Start with the budget split evenly across nodes.
+    pub fn new(config: PowerCapConfig, nodes: usize) -> PowerManager {
+        assert!(nodes > 0, "power manager needs nodes");
+        let per_node = config.cluster_budget_w / nodes as f64;
+        PowerManager {
+            config,
+            node_caps_w: vec![per_node; nodes],
+        }
+    }
+
+    /// Current cap of node `i` in watts.
+    pub fn node_cap_w(&self, i: usize) -> f64 {
+        self.node_caps_w[i]
+    }
+
+    /// Sum of all node caps (never exceeds the cluster budget).
+    pub fn total_caps_w(&self) -> f64 {
+        self.node_caps_w.iter().sum()
+    }
+
+    /// Enforce the current caps on the cluster's boards via root-only
+    /// locked clocks.
+    pub fn enforce(&self, cluster: &Cluster) {
+        for (node, &cap) in cluster.nodes.iter().zip(&self.node_caps_w) {
+            let gpus = node.node.gpu_count().max(1);
+            let per_gpu = (cap / gpus as f64).max(self.config.min_gpu_cap_w);
+            for gpu in &node.node.gpus {
+                let ceiling = clock_ceiling_for_cap(gpu.spec(), per_gpu);
+                gpu.set_locked_core_clocks(Some((gpu.spec().freq_table.min_core(), ceiling)))
+                    .expect("bounds derive from the table");
+            }
+        }
+    }
+
+    /// One balancing round: read every node's current GPU power draw,
+    /// reclaim part of the headroom of under-consuming nodes, and hand it
+    /// to nodes running at their cap. Returns the watts moved.
+    pub fn rebalance(&mut self, cluster: &Cluster) -> f64 {
+        assert_eq!(cluster.nodes.len(), self.node_caps_w.len());
+        let draws: Vec<f64> = cluster
+            .nodes
+            .iter()
+            .map(|n| n.node.gpus.iter().map(|g| g.power_usage_w()).sum())
+            .collect();
+        let floor: Vec<f64> = cluster
+            .nodes
+            .iter()
+            .map(|n| self.config.min_gpu_cap_w * n.node.gpu_count() as f64)
+            .collect();
+
+        // Reclaim headroom.
+        let mut pool = 0.0;
+        let mut wants: Vec<usize> = Vec::new();
+        for i in 0..self.node_caps_w.len() {
+            let headroom = self.node_caps_w[i] - draws[i];
+            if headroom > 0.0 {
+                let reclaim = (headroom * self.config.redistribution_rate)
+                    .min(self.node_caps_w[i] - floor[i])
+                    .max(0.0);
+                self.node_caps_w[i] -= reclaim;
+                pool += reclaim;
+            } else {
+                wants.push(i);
+            }
+        }
+        // Redistribute to saturated nodes (or return to everyone evenly).
+        let moved = pool;
+        if !wants.is_empty() {
+            let share = pool / wants.len() as f64;
+            for i in wants {
+                self.node_caps_w[i] += share;
+            }
+        } else {
+            let share = pool / self.node_caps_w.len() as f64;
+            for cap in &mut self.node_caps_w {
+                *cap += share;
+            }
+        }
+        moved
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use synergy_kernel::{extract, Inst, IrBuilder};
+    use synergy_sim::{SimDevice, Workload};
+
+    fn busy_workload() -> Workload {
+        let ir = IrBuilder::new()
+            .ops(Inst::GlobalLoad, 1)
+            .loop_n(4096, |b| b.ops(Inst::FloatMul, 1).ops(Inst::FloatAdd, 1))
+            .ops(Inst::GlobalStore, 1)
+            .build("virus");
+        Workload::from_static(&extract(&ir), 1 << 24)
+    }
+
+    #[test]
+    fn clock_ceiling_respects_budget() {
+        let spec = synergy_sim::DeviceSpec::v100();
+        for cap in [100.0, 150.0, 200.0, 250.0, 300.0] {
+            let ceiling = clock_ceiling_for_cap(&spec, cap);
+            let worst = spec.idle_power_w
+                + spec.mem_power_w
+                + spec.core_power_budget_w() * spec.vf.dynamic_factor(ceiling as f64);
+            assert!(
+                worst <= cap || ceiling == spec.freq_table.min_core(),
+                "cap {cap}: ceiling {ceiling} draws {worst}"
+            );
+        }
+        // Full TDP: no throttling.
+        assert_eq!(
+            clock_ceiling_for_cap(&spec, spec.tdp_w),
+            spec.freq_table.max_core()
+        );
+    }
+
+    #[test]
+    fn enforce_caps_board_power_under_power_virus() {
+        let cluster = Cluster::marconi100(1, true);
+        let cfg = PowerCapConfig::even(4.0 * 180.0); // 180 W per GPU
+        let mgr = PowerManager::new(cfg, 1);
+        mgr.enforce(&cluster);
+        let gpu = &cluster.nodes[0].node.gpus[0];
+        let rec = gpu.execute(&busy_workload());
+        assert!(
+            rec.timing.exec_power_w <= 180.0 + 1e-9,
+            "capped board drew {} W",
+            rec.timing.exec_power_w
+        );
+        // And the board is genuinely slower than an uncapped one.
+        let free = SimDevice::new(synergy_sim::DeviceSpec::v100(), 9);
+        let fast = free.execute(&busy_workload());
+        assert!(rec.duration_s() > fast.duration_s());
+    }
+
+    #[test]
+    fn rebalance_moves_headroom_to_busy_nodes() {
+        let cluster = Cluster::marconi100(2, true);
+        // Node 0 idles; node 1 runs hard.
+        for gpu in &cluster.nodes[0].node.gpus {
+            gpu.advance_idle(100_000_000);
+        }
+        for gpu in &cluster.nodes[1].node.gpus {
+            gpu.execute(&busy_workload());
+        }
+        let mut mgr = PowerManager::new(PowerCapConfig::even(2.0 * 4.0 * 200.0), 2);
+        let before_busy = mgr.node_cap_w(1);
+        let moved = mgr.rebalance(&cluster);
+        assert!(moved > 0.0, "idle node's headroom should be reclaimed");
+        assert!(mgr.node_cap_w(1) > before_busy, "busy node gains budget");
+        assert!(mgr.node_cap_w(0) < mgr.node_cap_w(1));
+    }
+
+    #[test]
+    fn total_caps_never_exceed_cluster_budget() {
+        let cluster = Cluster::marconi100(3, true);
+        let budget = 3.0 * 4.0 * 150.0;
+        let mut mgr = PowerManager::new(PowerCapConfig::even(budget), 3);
+        for round in 0..5 {
+            // Mixed load each round.
+            for (i, node) in cluster.nodes.iter().enumerate() {
+                for gpu in &node.node.gpus {
+                    if (i + round) % 2 == 0 {
+                        gpu.advance_idle(10_000_000);
+                    } else {
+                        gpu.execute(&busy_workload());
+                    }
+                }
+            }
+            mgr.rebalance(&cluster);
+            assert!(
+                mgr.total_caps_w() <= budget + 1e-6,
+                "round {round}: caps {} exceed budget {budget}",
+                mgr.total_caps_w()
+            );
+        }
+    }
+
+    #[test]
+    fn caps_respect_floor() {
+        let cluster = Cluster::marconi100(2, true);
+        let mut mgr = PowerManager::new(
+            PowerCapConfig {
+                cluster_budget_w: 2.0 * 4.0 * 70.0,
+                redistribution_rate: 1.0,
+                min_gpu_cap_w: 60.0,
+            },
+            2,
+        );
+        for _ in 0..10 {
+            mgr.rebalance(&cluster);
+        }
+        for i in 0..2 {
+            assert!(
+                mgr.node_cap_w(i) >= 4.0 * 60.0 - 1e-9,
+                "node {i} starved: {}",
+                mgr.node_cap_w(i)
+            );
+        }
+    }
+
+    #[test]
+    fn capped_node_restores_after_clearing_bounds() {
+        let cluster = Cluster::marconi100(1, true);
+        let mgr = PowerManager::new(PowerCapConfig::even(4.0 * 120.0), 1);
+        mgr.enforce(&cluster);
+        cluster.nodes[0].node.restore_defaults();
+        let gpu = &cluster.nodes[0].node.gpus[0];
+        assert_eq!(gpu.effective_clocks(), gpu.spec().baseline_clocks());
+    }
+}

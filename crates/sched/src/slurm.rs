@@ -1,0 +1,301 @@
+//! The scheduler core: FIFO allocation, prologue → payload → epilogue
+//! execution, and per-job GPU energy accounting.
+
+use crate::cluster::Cluster;
+use crate::job::{JobContext, JobRecord, JobRequest, JobState, PluginLogEntry};
+use crate::plugin::{ControllerStatus, PluginJobInfo, SlurmPlugin};
+use synergy_hal::Caller;
+
+/// The scheduler daemon (`slurmctld` + `slurmd` rolled into one for the
+/// simulation).
+pub struct Slurm {
+    cluster: Cluster,
+    plugins: Vec<Box<dyn SlurmPlugin>>,
+    controller: ControllerStatus,
+    next_job_id: u64,
+    records: Vec<JobRecord>,
+}
+
+impl Slurm {
+    /// Bring up the scheduler over a cluster.
+    pub fn new(cluster: Cluster) -> Slurm {
+        Slurm {
+            cluster,
+            plugins: Vec::new(),
+            controller: ControllerStatus::Reachable,
+            next_job_id: 1,
+            records: Vec::new(),
+        }
+    }
+
+    /// Install a prologue/epilogue plugin.
+    pub fn register_plugin(&mut self, plugin: Box<dyn SlurmPlugin>) {
+        self.plugins.push(plugin);
+    }
+
+    /// Simulate controller (node-info RPC) health for plugin checks.
+    pub fn set_controller_status(&mut self, status: ControllerStatus) {
+        self.controller = status;
+    }
+
+    /// The cluster (inspection).
+    pub fn cluster(&self) -> &Cluster {
+        &self.cluster
+    }
+
+    /// Completed job records.
+    pub fn records(&self) -> &[JobRecord] {
+        &self.records
+    }
+
+    /// Submit and immediately run a job to completion (the simulation is
+    /// synchronous; jobs run in submission order).
+    ///
+    /// Returns the job record. Jobs that cannot get their nodes are
+    /// rejected rather than queued.
+    pub fn run(&mut self, job: JobRequest) -> &JobRecord {
+        let id = self.next_job_id;
+        self.next_job_id += 1;
+
+        let Some(node_ids) = self.cluster.find_free(job.nodes) else {
+            self.records.push(JobRecord {
+                id,
+                name: job.name,
+                user: job.user,
+                state: JobState::Rejected,
+                hostnames: vec![],
+                gpu_energy_j: 0.0,
+                elapsed_s: 0.0,
+                plugin_log: vec![],
+            });
+            return self.records.last().expect("just pushed");
+        };
+
+        // Allocate.
+        for &i in &node_ids {
+            self.cluster.nodes[i].allocated_to = Some(id);
+            self.cluster.nodes[i].exclusive = job.exclusive;
+        }
+
+        let info = PluginJobInfo {
+            job_id: id,
+            user: job.user,
+            gres: job.gres.clone(),
+            exclusive: job.exclusive,
+        };
+
+        // Prologue on every allocated node.
+        let mut plugin_log = Vec::new();
+        for &i in &node_ids {
+            let node = &self.cluster.nodes[i];
+            for plugin in &self.plugins {
+                let outcome = plugin.prologue(&info, node, self.controller);
+                plugin_log.push(PluginLogEntry {
+                    hostname: node.node.hostname.clone(),
+                    plugin: plugin.name().to_string(),
+                    applied: outcome.applied(),
+                    reason: match outcome {
+                        crate::plugin::PluginOutcome::Applied => None,
+                        crate::plugin::PluginOutcome::Skipped(r) => Some(r),
+                    },
+                });
+            }
+        }
+
+        // Energy accounting: snapshot before.
+        let energy_before: f64 = node_ids
+            .iter()
+            .map(|&i| self.cluster.nodes[i].node.total_gpu_energy_j())
+            .sum();
+        let time_before: u64 = node_ids
+            .iter()
+            .flat_map(|&i| self.cluster.nodes[i].node.gpus.iter())
+            .map(|g| g.now_ns())
+            .max()
+            .unwrap_or(0);
+
+        // Run the payload with the allocation.
+        {
+            let nodes: Vec<&synergy_sim::SimNode> =
+                node_ids.iter().map(|&i| &self.cluster.nodes[i].node).collect();
+            let ctx = JobContext {
+                job_id: id,
+                caller: Caller::User(job.user),
+                nodes: &nodes,
+            };
+            (job.payload)(&ctx);
+        }
+
+        let energy_after: f64 = node_ids
+            .iter()
+            .map(|&i| self.cluster.nodes[i].node.total_gpu_energy_j())
+            .sum();
+        let time_after: u64 = node_ids
+            .iter()
+            .flat_map(|&i| self.cluster.nodes[i].node.gpus.iter())
+            .map(|g| g.now_ns())
+            .max()
+            .unwrap_or(0);
+
+        // Epilogue on every node, then release.
+        for &i in &node_ids {
+            let node = &self.cluster.nodes[i];
+            for plugin in &self.plugins {
+                plugin.epilogue(&info, node);
+            }
+        }
+        for &i in &node_ids {
+            self.cluster.nodes[i].allocated_to = None;
+            self.cluster.nodes[i].exclusive = false;
+        }
+
+        self.records.push(JobRecord {
+            id,
+            name: job.name,
+            user: job.user,
+            state: JobState::Completed,
+            hostnames: node_ids
+                .iter()
+                .map(|&i| self.cluster.nodes[i].node.hostname.clone())
+                .collect(),
+            gpu_energy_j: energy_after - energy_before,
+            elapsed_s: (time_after.saturating_sub(time_before)) as f64 * 1e-9,
+            plugin_log,
+        });
+        self.records.last().expect("just pushed")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::NVGPUFREQ_GRES;
+    use crate::plugin::NvGpuFreqPlugin;
+    use synergy_hal::{Nvml, NvmlDevice};
+    use synergy_sim::ClockConfig;
+
+    fn scheduler(nodes: usize, tagged: bool) -> Slurm {
+        let mut s = Slurm::new(Cluster::marconi100(nodes, tagged));
+        s.register_plugin(Box::new(NvGpuFreqPlugin));
+        s
+    }
+
+    #[test]
+    fn privileged_job_can_scale_clocks() {
+        let mut s = scheduler(2, true);
+        let job = JobRequest::builder("scale", 1000)
+            .nodes(1)
+            .exclusive()
+            .gres(NVGPUFREQ_GRES)
+            .payload(|ctx| {
+                let nvml = Nvml::init(&ctx.nodes[0].gpus);
+                for i in 0..nvml.device_count() {
+                    let dev = nvml.device_by_index(i).unwrap();
+                    dev.set_application_clocks(ctx.caller, ClockConfig::new(877, 135))
+                        .unwrap();
+                }
+                // Burn some GPU time so accounting sees energy.
+                for gpu in &ctx.nodes[0].gpus {
+                    gpu.advance_idle(10_000_000);
+                }
+            });
+        let rec = s.run(job);
+        assert_eq!(rec.state, JobState::Completed);
+        assert!(rec.plugin_log.iter().all(|e| e.applied));
+        assert!(rec.gpu_energy_j > 0.0);
+        // Node restored after epilogue.
+        let gpu = &s.cluster().nodes[0].node.gpus[0];
+        assert!(gpu.api_restricted());
+        assert_eq!(gpu.application_clocks(), None);
+    }
+
+    #[test]
+    fn non_exclusive_job_cannot_scale() {
+        let mut s = scheduler(1, true);
+        let job = JobRequest::builder("noexcl", 1000)
+            .nodes(1)
+            .gres(NVGPUFREQ_GRES)
+            .payload(|ctx| {
+                let dev = NvmlDevice::new(ctx.nodes[0].gpus[0].clone()).unwrap();
+                let err = dev
+                    .set_application_clocks(ctx.caller, ClockConfig::new(877, 135))
+                    .unwrap_err();
+                assert_eq!(err, synergy_hal::HalError::NoPermission);
+            });
+        let rec = s.run(job);
+        assert_eq!(rec.state, JobState::Completed);
+        assert!(rec.plugin_log.iter().all(|e| !e.applied));
+    }
+
+    #[test]
+    fn job_rejected_when_cluster_full() {
+        let mut s = scheduler(1, true);
+        let rec = s.run(
+            JobRequest::builder("big", 1)
+                .nodes(5)
+                .payload(|_| panic!("payload must not run")),
+        );
+        assert_eq!(rec.state, JobState::Rejected);
+    }
+
+    #[test]
+    fn nodes_freed_after_job() {
+        let mut s = scheduler(2, true);
+        s.run(JobRequest::builder("a", 1).nodes(2).payload(|_| {}));
+        assert_eq!(s.cluster().free_nodes(), 2);
+        let rec = s.run(JobRequest::builder("b", 1).nodes(2).payload(|_| {}));
+        assert_eq!(rec.state, JobState::Completed);
+    }
+
+    #[test]
+    fn next_job_sees_default_clocks_even_after_misbehaving_job() {
+        // The scenario of Section 2.3 / 7.1: a job leaves a low frequency
+        // behind; the epilogue protects the next job.
+        let mut s = scheduler(1, true);
+        s.run(
+            JobRequest::builder("bad", 1000)
+                .nodes(1)
+                .exclusive()
+                .gres(NVGPUFREQ_GRES)
+                .payload(|ctx| {
+                    let dev = NvmlDevice::new(ctx.nodes[0].gpus[0].clone()).unwrap();
+                    dev.set_application_clocks(ctx.caller, ClockConfig::new(877, 135))
+                        .unwrap();
+                    // ...and "forgets" to reset.
+                }),
+        );
+        s.run(
+            JobRequest::builder("victim", 2000)
+                .nodes(1)
+                .payload(|ctx| {
+                    let gpu = &ctx.nodes[0].gpus[0];
+                    assert_eq!(gpu.application_clocks(), None);
+                    assert_eq!(gpu.effective_clocks(), gpu.spec().baseline_clocks());
+                }),
+        );
+    }
+
+    #[test]
+    fn controller_outage_blocks_privilege_raising() {
+        let mut s = scheduler(1, true);
+        s.set_controller_status(ControllerStatus::Unreachable);
+        let rec = s.run(
+            JobRequest::builder("j", 1000)
+                .nodes(1)
+                .exclusive()
+                .gres(NVGPUFREQ_GRES)
+                .payload(|_| {}),
+        );
+        assert!(rec.plugin_log.iter().all(|e| !e.applied));
+    }
+
+    #[test]
+    fn records_accumulate() {
+        let mut s = scheduler(1, true);
+        s.run(JobRequest::builder("one", 1).payload(|_| {}));
+        s.run(JobRequest::builder("two", 1).payload(|_| {}));
+        assert_eq!(s.records().len(), 2);
+        assert_eq!(s.records()[0].name, "one");
+        assert_eq!(s.records()[1].id, 2);
+    }
+}

@@ -1,0 +1,456 @@
+//! The stateful simulated GPU.
+//!
+//! A [`SimDevice`] owns a virtual timeline (nanoseconds since power-on), a
+//! power trace, and the mutable clock state that the vendor management
+//! libraries manipulate: current application clocks, the root-only locked
+//! clock bounds, and the API-restriction flag that gates unprivileged clock
+//! changes (the mechanism the paper's SLURM plugin toggles).
+//!
+//! The device is thread-safe; all state sits behind a `parking_lot::Mutex`
+//! so runtime worker threads, profiler threads and the scheduler can share
+//! it.
+
+use crate::error::SimError;
+use crate::freq::ClockConfig;
+use crate::model::{evaluate, KernelTiming, Workload};
+use crate::noise::NoiseGen;
+use crate::specs::DeviceSpec;
+use crate::trace::PowerTrace;
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// Completed kernel launch, as recorded on the device timeline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KernelExecution {
+    /// Kernel name.
+    pub name: String,
+    /// Launch start on the device timeline (ns).
+    pub start_ns: u64,
+    /// Completion time on the device timeline (ns).
+    pub end_ns: u64,
+    /// Exact energy consumed over `[start_ns, end_ns)`, in joules.
+    pub energy_j: f64,
+    /// Clocks the kernel actually ran at.
+    pub clocks: ClockConfig,
+    /// Model diagnostics for the run.
+    pub timing: KernelTiming,
+}
+
+impl KernelExecution {
+    /// Wall-clock duration in seconds.
+    pub fn duration_s(&self) -> f64 {
+        (self.end_ns - self.start_ns) as f64 * 1e-9
+    }
+}
+
+#[derive(Debug)]
+struct DeviceState {
+    /// Application clocks, if any have been set.
+    app_clocks: Option<ClockConfig>,
+    /// Root-only hard clock bounds `(min_core, max_core)`.
+    locked_core: Option<(u32, u32)>,
+    /// When true (the secure default), setting application clocks requires
+    /// root — `nvmlDeviceSetAPIRestriction` semantics.
+    api_restricted: bool,
+    /// Virtual now, ns since power-on.
+    now_ns: u64,
+    /// Continuous power record.
+    trace: PowerTrace,
+    /// Total energy counter in millijoules (NVML-style).
+    total_energy_mj: f64,
+    /// Number of kernels executed (diagnostics).
+    kernels_executed: u64,
+    /// Number of clock-change operations (diagnostics / overhead studies).
+    clock_sets: u64,
+}
+
+/// A simulated GPU board.
+#[derive(Debug)]
+pub struct SimDevice {
+    spec: Arc<DeviceSpec>,
+    index: u32,
+    uuid: String,
+    noise: NoiseGen,
+    state: Mutex<DeviceState>,
+}
+
+impl SimDevice {
+    /// Bring up a board of the given model as device `index`.
+    pub fn new(spec: DeviceSpec, index: u32) -> Arc<SimDevice> {
+        let uuid = format!("GPU-{:08x}-{}", fxhash(&spec.name) as u32, index);
+        Arc::new(SimDevice {
+            noise: NoiseGen::new(fxhash(&uuid), 0.01),
+            spec: Arc::new(spec),
+            index,
+            uuid,
+            state: Mutex::new(DeviceState {
+                app_clocks: None,
+                locked_core: None,
+                api_restricted: true,
+                now_ns: 0,
+                trace: PowerTrace::new(),
+                total_energy_mj: 0.0,
+                kernels_executed: 0,
+                clock_sets: 0,
+            }),
+        })
+    }
+
+    /// The static spec of this board.
+    pub fn spec(&self) -> &DeviceSpec {
+        &self.spec
+    }
+
+    /// Board index on its node.
+    pub fn index(&self) -> u32 {
+        self.index
+    }
+
+    /// Stable unique identifier.
+    pub fn uuid(&self) -> &str {
+        &self.uuid
+    }
+
+    /// Current virtual time in nanoseconds.
+    pub fn now_ns(&self) -> u64 {
+        self.state.lock().now_ns
+    }
+
+    /// The clocks the next kernel would run at: application clocks if set
+    /// (clamped into the locked bounds), else the baseline (default or
+    /// auto-boost), also clamped.
+    pub fn effective_clocks(&self) -> ClockConfig {
+        let st = self.state.lock();
+        Self::effective_clocks_locked(&self.spec, &st)
+    }
+
+    fn effective_clocks_locked(spec: &DeviceSpec, st: &DeviceState) -> ClockConfig {
+        let mut c = st.app_clocks.unwrap_or_else(|| spec.baseline_clocks());
+        if let Some((lo, hi)) = st.locked_core {
+            let clamped = c.core_mhz.clamp(lo, hi);
+            let snapped = spec.freq_table.nearest_core(clamped);
+            // Snapping must not escape the hard bounds: fall back to the
+            // extreme table entry inside [lo, hi].
+            c.core_mhz = if snapped > hi {
+                *spec
+                    .freq_table
+                    .core_mhz
+                    .iter().rfind(|&&f| f <= hi)
+                    .unwrap_or(&snapped)
+            } else if snapped < lo {
+                *spec
+                    .freq_table
+                    .core_mhz
+                    .iter()
+                    .find(|&&f| f >= lo)
+                    .unwrap_or(&snapped)
+            } else {
+                snapped
+            };
+        }
+        c
+    }
+
+    /// Set application clocks (raw hardware operation — permission checks
+    /// live in the HAL). Costs `clock_set_latency_ns` of idle device time,
+    /// modelling the vendor-library overhead of Section 4.4. Setting the
+    /// clocks the device is already at is a no-op and free.
+    pub fn set_application_clocks(&self, clocks: ClockConfig) -> Result<(), SimError> {
+        if !self.spec.freq_table.supports(clocks) {
+            return Err(SimError::UnsupportedClock(clocks));
+        }
+        let mut st = self.state.lock();
+        if st.app_clocks == Some(clocks) {
+            return Ok(());
+        }
+        let latency = self.spec.clock_set_latency_ns;
+        let idle = self.spec.idle_power_w;
+        Self::advance_locked(&mut st, latency, idle);
+        st.app_clocks = Some(clocks);
+        st.clock_sets += 1;
+        Ok(())
+    }
+
+    /// Clear application clocks, returning to default/auto behaviour.
+    pub fn reset_application_clocks(&self) {
+        let mut st = self.state.lock();
+        if st.app_clocks.take().is_some() {
+            let latency = self.spec.clock_set_latency_ns;
+            let idle = self.spec.idle_power_w;
+            Self::advance_locked(&mut st, latency, idle);
+            st.clock_sets += 1;
+        }
+    }
+
+    /// Set root-only hard core-clock bounds. `None` clears them.
+    pub fn set_locked_core_clocks(&self, bounds: Option<(u32, u32)>) -> Result<(), SimError> {
+        if let Some((lo, hi)) = bounds {
+            if lo > hi
+                || lo < self.spec.freq_table.min_core()
+                || hi > self.spec.freq_table.max_core()
+            {
+                return Err(SimError::InvalidClockBounds { lo, hi });
+            }
+        }
+        self.state.lock().locked_core = bounds;
+        Ok(())
+    }
+
+    /// Current application clocks, if set.
+    pub fn application_clocks(&self) -> Option<ClockConfig> {
+        self.state.lock().app_clocks
+    }
+
+    /// Whether unprivileged application-clock changes are currently blocked.
+    pub fn api_restricted(&self) -> bool {
+        self.state.lock().api_restricted
+    }
+
+    /// Toggle the API restriction (root-only at the HAL layer; raw here).
+    pub fn set_api_restriction(&self, restricted: bool) {
+        self.state.lock().api_restricted = restricted;
+    }
+
+    /// Advance the device through `duration_ns` of idle time.
+    pub fn advance_idle(&self, duration_ns: u64) {
+        let mut st = self.state.lock();
+        let idle = self.spec.idle_power_w;
+        Self::advance_locked(&mut st, duration_ns, idle);
+    }
+
+    fn advance_locked(st: &mut DeviceState, duration_ns: u64, watts: f64) {
+        if duration_ns == 0 {
+            return;
+        }
+        st.trace.push(duration_ns, watts);
+        st.now_ns += duration_ns;
+        st.total_energy_mj += watts * duration_ns as f64 * 1e-6;
+    }
+
+    /// Execute a workload at the device's effective clocks, advancing the
+    /// timeline and recording power. Returns the execution record.
+    pub fn execute(&self, wl: &Workload) -> KernelExecution {
+        let mut st = self.state.lock();
+        let clocks = Self::effective_clocks_locked(&self.spec, &st);
+        let timing = evaluate(&self.spec, wl, clocks);
+        let start = st.now_ns;
+        let overhead = self.spec.overhead_power_w;
+        Self::advance_locked(&mut st, timing.launch_ns, overhead);
+        Self::advance_locked(&mut st, timing.exec_ns, timing.exec_power_w);
+        st.kernels_executed += 1;
+        let end = st.now_ns;
+        KernelExecution {
+            name: wl.name.clone(),
+            start_ns: start,
+            end_ns: end,
+            energy_j: timing.energy_j(self.spec.overhead_power_w),
+            clocks,
+            timing,
+        }
+    }
+
+    /// What the board power sensor reads right now: smoothed over the
+    /// sensor interval, with deterministic noise. (NVML `power_usage`.)
+    pub fn power_usage_w(&self) -> f64 {
+        let st = self.state.lock();
+        let w = st
+            .trace
+            .smoothed_power(st.now_ns, self.spec.power_sample_interval_ns);
+        let base = if st.trace.is_empty() {
+            self.spec.idle_power_w
+        } else {
+            w
+        };
+        base * (1.0 + self.noise.relative(st.now_ns))
+    }
+
+    /// Total energy counter in millijoules since power-on (NVML
+    /// `total_energy_consumption`).
+    pub fn total_energy_mj(&self) -> f64 {
+        self.state.lock().total_energy_mj
+    }
+
+    /// Exact energy over a window of the timeline, in joules.
+    pub fn energy_between_j(&self, from_ns: u64, to_ns: u64) -> f64 {
+        self.state.lock().trace.energy_j(from_ns, to_ns)
+    }
+
+    /// Snapshot of the power trace (for profilers and plots).
+    pub fn trace_snapshot(&self) -> PowerTrace {
+        self.state.lock().trace.clone()
+    }
+
+    /// Deterministic sensor noise source for this board.
+    pub fn noise(&self) -> NoiseGen {
+        self.noise
+    }
+
+    /// Number of kernels executed so far.
+    pub fn kernels_executed(&self) -> u64 {
+        self.state.lock().kernels_executed
+    }
+
+    /// Number of clock-change operations performed so far.
+    pub fn clock_sets(&self) -> u64 {
+        self.state.lock().clock_sets
+    }
+}
+
+/// Tiny FxHash-style string hash for stable UUID/seed derivation.
+fn fxhash(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.bytes() {
+        h = (h ^ b as u64).wrapping_mul(0x0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use synergy_kernel::{extract, Inst, IrBuilder};
+
+    fn workload() -> Workload {
+        let ir = IrBuilder::new()
+            .ops(Inst::GlobalLoad, 1)
+            .loop_n(64, |b| b.ops(Inst::FloatMul, 1).ops(Inst::FloatAdd, 1))
+            .ops(Inst::GlobalStore, 1)
+            .build("wl");
+        Workload::from_static(&extract(&ir), 1 << 20)
+    }
+
+    #[test]
+    fn execute_advances_time_and_energy() {
+        let dev = SimDevice::new(DeviceSpec::v100(), 0);
+        let rec = dev.execute(&workload());
+        assert_eq!(rec.start_ns, 0);
+        assert!(rec.end_ns > 0);
+        assert_eq!(dev.now_ns(), rec.end_ns);
+        assert!(rec.energy_j > 0.0);
+        assert_eq!(dev.kernels_executed(), 1);
+        // Trace energy equals record energy (exact bookkeeping).
+        let trace_e = dev.energy_between_j(rec.start_ns, rec.end_ns);
+        assert!((trace_e - rec.energy_j).abs() < 1e-9);
+    }
+
+    #[test]
+    fn default_clocks_used_when_unset() {
+        let dev = SimDevice::new(DeviceSpec::v100(), 0);
+        let rec = dev.execute(&workload());
+        assert_eq!(rec.clocks, dev.spec().baseline_clocks());
+    }
+
+    #[test]
+    fn set_clocks_changes_execution_and_costs_latency() {
+        let dev = SimDevice::new(DeviceSpec::v100(), 0);
+        let target = ClockConfig::new(877, dev.spec().freq_table.nearest_core(800));
+        dev.set_application_clocks(target).unwrap();
+        assert_eq!(dev.now_ns(), dev.spec().clock_set_latency_ns);
+        let rec = dev.execute(&workload());
+        assert_eq!(rec.clocks, target);
+        assert_eq!(dev.clock_sets(), 1);
+    }
+
+    #[test]
+    fn setting_same_clocks_is_free() {
+        let dev = SimDevice::new(DeviceSpec::v100(), 0);
+        let target = ClockConfig::new(877, dev.spec().freq_table.nearest_core(800));
+        dev.set_application_clocks(target).unwrap();
+        let t = dev.now_ns();
+        dev.set_application_clocks(target).unwrap();
+        assert_eq!(dev.now_ns(), t);
+        assert_eq!(dev.clock_sets(), 1);
+    }
+
+    #[test]
+    fn unsupported_clock_rejected() {
+        let dev = SimDevice::new(DeviceSpec::v100(), 0);
+        let err = dev
+            .set_application_clocks(ClockConfig::new(877, 123_456))
+            .unwrap_err();
+        assert!(matches!(err, SimError::UnsupportedClock(_)));
+    }
+
+    #[test]
+    fn reset_returns_to_default() {
+        let dev = SimDevice::new(DeviceSpec::v100(), 0);
+        dev.set_application_clocks(ClockConfig::new(877, 135)).unwrap();
+        dev.reset_application_clocks();
+        assert_eq!(dev.application_clocks(), None);
+        assert_eq!(dev.effective_clocks(), dev.spec().baseline_clocks());
+    }
+
+    #[test]
+    fn locked_bounds_clamp_app_clocks() {
+        let dev = SimDevice::new(DeviceSpec::v100(), 0);
+        dev.set_locked_core_clocks(Some((877, 1000))).unwrap();
+        dev.set_application_clocks(ClockConfig::new(877, 1530)).unwrap();
+        let eff = dev.effective_clocks();
+        assert!(eff.core_mhz <= 1000);
+    }
+
+    #[test]
+    fn invalid_bounds_rejected() {
+        let dev = SimDevice::new(DeviceSpec::v100(), 0);
+        assert!(dev.set_locked_core_clocks(Some((1000, 500))).is_err());
+        assert!(dev.set_locked_core_clocks(Some((1, 1530))).is_err());
+        assert!(dev.set_locked_core_clocks(Some((135, 99_999))).is_err());
+    }
+
+    #[test]
+    fn slower_clock_means_longer_cheaper_compute_bound_run() {
+        let dev_hi = SimDevice::new(DeviceSpec::v100(), 0);
+        let dev_lo = SimDevice::new(DeviceSpec::v100(), 1);
+        dev_lo
+            .set_application_clocks(ClockConfig::new(
+                877,
+                dev_lo.spec().freq_table.nearest_core(765),
+            ))
+            .unwrap();
+        let hi = dev_hi.execute(&workload());
+        let lo = dev_lo.execute(&workload());
+        assert!(lo.duration_s() > hi.duration_s());
+        assert!(lo.energy_j < hi.energy_j);
+    }
+
+    #[test]
+    fn idle_advance_burns_idle_power() {
+        let dev = SimDevice::new(DeviceSpec::v100(), 0);
+        dev.advance_idle(1_000_000_000);
+        let e = dev.energy_between_j(0, 1_000_000_000);
+        assert!((e - dev.spec().idle_power_w).abs() < 1e-9);
+    }
+
+    #[test]
+    fn power_sensor_reads_smoothed_noisy_power() {
+        let dev = SimDevice::new(DeviceSpec::v100(), 0);
+        dev.advance_idle(100_000_000);
+        let p = dev.power_usage_w();
+        let idle = dev.spec().idle_power_w;
+        assert!((p - idle).abs() / idle < 0.02, "sensor read {p}, idle {idle}");
+    }
+
+    #[test]
+    fn api_restriction_default_on() {
+        let dev = SimDevice::new(DeviceSpec::v100(), 0);
+        assert!(dev.api_restricted());
+        dev.set_api_restriction(false);
+        assert!(!dev.api_restricted());
+    }
+
+    #[test]
+    fn uuids_are_unique_per_index() {
+        let a = SimDevice::new(DeviceSpec::v100(), 0);
+        let b = SimDevice::new(DeviceSpec::v100(), 1);
+        assert_ne!(a.uuid(), b.uuid());
+    }
+
+    #[test]
+    fn energy_counter_accumulates_mj() {
+        let dev = SimDevice::new(DeviceSpec::v100(), 0);
+        dev.advance_idle(1_000_000_000);
+        let mj = dev.total_energy_mj();
+        assert!((mj - dev.spec().idle_power_w * 1000.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,47 @@
+//! Simulator error types.
+
+use crate::freq::ClockConfig;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Errors raised by raw simulated-hardware operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SimError {
+    /// The requested clock pair is not in the device's frequency table.
+    UnsupportedClock(ClockConfig),
+    /// Locked-clock bounds are inverted or outside the table range.
+    InvalidClockBounds {
+        /// Requested lower bound (MHz).
+        lo: u32,
+        /// Requested upper bound (MHz).
+        hi: u32,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::UnsupportedClock(c) => {
+                write!(f, "clock configuration {c} is not supported by the device")
+            }
+            SimError::InvalidClockBounds { lo, hi } => {
+                write!(f, "invalid locked-clock bounds [{lo}, {hi}] MHz")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = SimError::UnsupportedClock(ClockConfig::new(877, 1));
+        assert!(e.to_string().contains("877MHz/1MHz"));
+        let e = SimError::InvalidClockBounds { lo: 9, hi: 1 };
+        assert!(e.to_string().contains("[9, 1]"));
+    }
+}

@@ -1,0 +1,132 @@
+//! Timeline export in the Chrome trace-event format.
+//!
+//! `chrome://tracing` / Perfetto can open the output: kernel executions
+//! become duration slices on one track per device, and the power trace
+//! becomes a counter track — the visual a performance engineer expects
+//! from an energy profiler.
+
+use crate::device::KernelExecution;
+use crate::trace::PowerTrace;
+use serde::Serialize;
+
+/// One Chrome trace event (subset of the spec we emit).
+#[derive(Debug, Clone, Serialize, PartialEq)]
+pub struct TraceEvent {
+    /// Event name (kernel name or counter name).
+    pub name: String,
+    /// Phase: `"X"` = complete slice, `"C"` = counter.
+    pub ph: String,
+    /// Timestamp in microseconds.
+    pub ts: f64,
+    /// Duration in microseconds (slices only).
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub dur: Option<f64>,
+    /// Process id (device index).
+    pub pid: u32,
+    /// Thread id (track within the device).
+    pub tid: u32,
+    /// Arguments (energy for slices, watts for counters).
+    pub args: serde_json::Value,
+}
+
+/// Build trace events for a device's kernel log.
+pub fn kernel_events(device_index: u32, kernels: &[KernelExecution]) -> Vec<TraceEvent> {
+    kernels
+        .iter()
+        .map(|k| TraceEvent {
+            name: k.name.clone(),
+            ph: "X".into(),
+            ts: k.start_ns as f64 / 1e3,
+            dur: Some((k.end_ns - k.start_ns) as f64 / 1e3),
+            pid: device_index,
+            tid: 0,
+            args: serde_json::json!({
+                "energy_j": k.energy_j,
+                "core_mhz": k.clocks.core_mhz,
+                "mem_mhz": k.clocks.mem_mhz,
+            }),
+        })
+        .collect()
+}
+
+/// Build counter events sampling the power trace every `interval_ns`.
+pub fn power_events(
+    device_index: u32,
+    trace: &PowerTrace,
+    interval_ns: u64,
+) -> Vec<TraceEvent> {
+    trace
+        .sample(0, trace.end_ns(), interval_ns, None)
+        .into_iter()
+        .map(|(t, w)| TraceEvent {
+            name: "board_power".into(),
+            ph: "C".into(),
+            ts: t as f64 / 1e3,
+            dur: None,
+            pid: device_index,
+            tid: 0,
+            args: serde_json::json!({ "watts": w }),
+        })
+        .collect()
+}
+
+/// Serialize a full Chrome trace document (`{"traceEvents": [...]}`).
+pub fn to_chrome_trace(events: &[TraceEvent]) -> String {
+    serde_json::to_string_pretty(&serde_json::json!({ "traceEvents": events }))
+        .expect("trace serializes")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::SimDevice;
+    use crate::specs::DeviceSpec;
+    use synergy_kernel::{extract, Inst, IrBuilder};
+
+    fn run_two_kernels() -> (Vec<KernelExecution>, PowerTrace) {
+        let dev = SimDevice::new(DeviceSpec::v100(), 0);
+        let ir = IrBuilder::new()
+            .ops(Inst::GlobalLoad, 1)
+            .loop_n(128, |b| b.ops(Inst::FloatAdd, 1))
+            .ops(Inst::GlobalStore, 1)
+            .build("k");
+        let info = extract(&ir);
+        let wl = crate::model::Workload::from_static(&info, 1 << 22);
+        let a = dev.execute(&wl);
+        dev.advance_idle(1_000_000);
+        let b = dev.execute(&wl);
+        (vec![a, b], dev.trace_snapshot())
+    }
+
+    #[test]
+    fn kernel_events_are_ordered_slices() {
+        let (kernels, _) = run_two_kernels();
+        let ev = kernel_events(0, &kernels);
+        assert_eq!(ev.len(), 2);
+        assert!(ev.iter().all(|e| e.ph == "X" && e.dur.unwrap() > 0.0));
+        assert!(ev[0].ts + ev[0].dur.unwrap() <= ev[1].ts + 1e-9);
+        assert_eq!(ev[0].args["core_mhz"], 1315);
+    }
+
+    #[test]
+    fn power_events_cover_trace() {
+        let (_, trace) = run_two_kernels();
+        let ev = power_events(0, &trace, 100_000);
+        assert!(!ev.is_empty());
+        assert!(ev.iter().all(|e| e.ph == "C"));
+        let watts = ev[0].args["watts"].as_f64().unwrap();
+        assert!(watts > 0.0);
+    }
+
+    #[test]
+    fn document_parses_as_json() {
+        let (kernels, trace) = run_two_kernels();
+        let mut ev = kernel_events(3, &kernels);
+        ev.extend(power_events(3, &trace, 500_000));
+        let doc = to_chrome_trace(&ev);
+        let parsed: serde_json::Value = serde_json::from_str(&doc).unwrap();
+        let arr = parsed["traceEvents"].as_array().unwrap();
+        assert_eq!(arr.len(), ev.len());
+        assert_eq!(arr[0]["pid"], 3);
+    }
+}

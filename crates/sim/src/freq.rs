@@ -1,0 +1,196 @@
+//! Clock configurations and per-device frequency tables.
+//!
+//! Mirrors what NVML / ROCm SMI expose (Figure 1 of the paper): a small set
+//! of memory frequencies (one on HBM devices) and, for each memory
+//! frequency, a list of supported core frequencies.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A (memory, core) clock pair in MHz — the unit of frequency scaling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ClockConfig {
+    /// Memory clock in MHz.
+    pub mem_mhz: u32,
+    /// Core (SM / CU) clock in MHz.
+    pub core_mhz: u32,
+}
+
+impl ClockConfig {
+    /// Construct a clock pair.
+    pub fn new(mem_mhz: u32, core_mhz: u32) -> Self {
+        ClockConfig { mem_mhz, core_mhz }
+    }
+}
+
+impl fmt::Display for ClockConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}MHz/{}MHz", self.mem_mhz, self.core_mhz)
+    }
+}
+
+/// The supported frequency configurations of a device.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FrequencyTable {
+    /// Supported memory clocks (ascending). HBM devices have exactly one.
+    pub mem_mhz: Vec<u32>,
+    /// Supported core clocks (ascending), valid for every memory clock.
+    pub core_mhz: Vec<u32>,
+}
+
+impl FrequencyTable {
+    /// Build a table; both lists are sorted and deduplicated.
+    pub fn new(mut mem_mhz: Vec<u32>, mut core_mhz: Vec<u32>) -> Self {
+        mem_mhz.sort_unstable();
+        mem_mhz.dedup();
+        core_mhz.sort_unstable();
+        core_mhz.dedup();
+        assert!(!mem_mhz.is_empty(), "at least one memory clock required");
+        assert!(!core_mhz.is_empty(), "at least one core clock required");
+        FrequencyTable { mem_mhz, core_mhz }
+    }
+
+    /// Generate `count` core clocks evenly spanning `[lo, hi]` MHz with both
+    /// endpoints exact (rounded to integer MHz). This reproduces the
+    /// cardinalities of Figure 1 without the vendor's exact step lists.
+    pub fn uniform_core_span(mem_mhz: Vec<u32>, lo: u32, hi: u32, count: usize) -> Self {
+        assert!(count >= 2 && hi > lo);
+        let core = (0..count)
+            .map(|i| {
+                let t = i as f64 / (count - 1) as f64;
+                (lo as f64 + t * (hi - lo) as f64).round() as u32
+            })
+            .collect();
+        FrequencyTable::new(mem_mhz, core)
+    }
+
+    /// Whether the pair is an exact entry of the table.
+    pub fn supports(&self, cfg: ClockConfig) -> bool {
+        self.mem_mhz.binary_search(&cfg.mem_mhz).is_ok()
+            && self.core_mhz.binary_search(&cfg.core_mhz).is_ok()
+    }
+
+    /// Lowest core clock.
+    pub fn min_core(&self) -> u32 {
+        self.core_mhz[0]
+    }
+
+    /// Highest core clock.
+    pub fn max_core(&self) -> u32 {
+        *self.core_mhz.last().unwrap()
+    }
+
+    /// The single (or highest) memory clock.
+    pub fn top_mem(&self) -> u32 {
+        *self.mem_mhz.last().unwrap()
+    }
+
+    /// Number of (mem, core) configurations.
+    pub fn len(&self) -> usize {
+        self.mem_mhz.len() * self.core_mhz.len()
+    }
+
+    /// True when the table is empty (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Snap an arbitrary core clock to the nearest supported one.
+    pub fn nearest_core(&self, core_mhz: u32) -> u32 {
+        match self.core_mhz.binary_search(&core_mhz) {
+            Ok(i) => self.core_mhz[i],
+            Err(0) => self.core_mhz[0],
+            Err(i) if i == self.core_mhz.len() => *self.core_mhz.last().unwrap(),
+            Err(i) => {
+                let lo = self.core_mhz[i - 1];
+                let hi = self.core_mhz[i];
+                if core_mhz - lo <= hi - core_mhz {
+                    lo
+                } else {
+                    hi
+                }
+            }
+        }
+    }
+
+    /// Iterate every supported (mem, core) configuration, ascending.
+    pub fn configs(&self) -> impl Iterator<Item = ClockConfig> + '_ {
+        self.mem_mhz.iter().flat_map(move |&m| {
+            self.core_mhz
+                .iter()
+                .map(move |&c| ClockConfig::new(m, c))
+        })
+    }
+
+    /// Every configuration at the top memory clock (the sweep used by the
+    /// paper on HBM devices, where memory frequency is fixed).
+    pub fn core_sweep(&self) -> Vec<ClockConfig> {
+        let m = self.top_mem();
+        self.core_mhz.iter().map(|&c| ClockConfig::new(m, c)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_span_endpoints_and_count() {
+        let t = FrequencyTable::uniform_core_span(vec![877], 135, 1530, 196);
+        assert_eq!(t.core_mhz.len(), 196);
+        assert_eq!(t.min_core(), 135);
+        assert_eq!(t.max_core(), 1530);
+        assert_eq!(t.len(), 196);
+    }
+
+    #[test]
+    fn a100_span_is_exactly_15mhz_steps() {
+        let t = FrequencyTable::uniform_core_span(vec![1215], 210, 1410, 81);
+        assert_eq!(t.core_mhz.len(), 81);
+        for w in t.core_mhz.windows(2) {
+            assert_eq!(w[1] - w[0], 15);
+        }
+    }
+
+    #[test]
+    fn supports_checks_both_axes() {
+        let t = FrequencyTable::new(vec![877], vec![500, 1000]);
+        assert!(t.supports(ClockConfig::new(877, 500)));
+        assert!(!t.supports(ClockConfig::new(877, 501)));
+        assert!(!t.supports(ClockConfig::new(900, 500)));
+    }
+
+    #[test]
+    fn nearest_core_snaps() {
+        let t = FrequencyTable::new(vec![877], vec![100, 200, 300]);
+        assert_eq!(t.nearest_core(100), 100);
+        assert_eq!(t.nearest_core(149), 100);
+        assert_eq!(t.nearest_core(151), 200);
+        assert_eq!(t.nearest_core(150), 100); // ties go low
+        assert_eq!(t.nearest_core(999), 300);
+        assert_eq!(t.nearest_core(1), 100);
+    }
+
+    #[test]
+    fn configs_enumerates_cross_product() {
+        let t = FrequencyTable::new(vec![800, 900], vec![1, 2, 3]);
+        let all: Vec<_> = t.configs().collect();
+        assert_eq!(all.len(), 6);
+        assert!(all.contains(&ClockConfig::new(900, 2)));
+    }
+
+    #[test]
+    fn core_sweep_uses_top_mem() {
+        let t = FrequencyTable::new(vec![800, 900], vec![1, 2]);
+        let sweep = t.core_sweep();
+        assert!(sweep.iter().all(|c| c.mem_mhz == 900));
+        assert_eq!(sweep.len(), 2);
+    }
+
+    #[test]
+    fn table_sorts_and_dedups() {
+        let t = FrequencyTable::new(vec![900, 800, 900], vec![3, 1, 2, 2]);
+        assert_eq!(t.mem_mhz, vec![800, 900]);
+        assert_eq!(t.core_mhz, vec![1, 2, 3]);
+    }
+}

@@ -1,0 +1,126 @@
+//! # synergy-sim
+//!
+//! Deterministic GPU/DVFS simulator — the hardware substrate of the SYnergy
+//! reproduction. Provides device models for the three boards of the paper's
+//! evaluation (NVIDIA V100, NVIDIA A100, AMD MI100) with their exact
+//! Figure-1 frequency tables, an analytical roofline execution-time model,
+//! a DVFS power model with per-device voltage/frequency curves, continuous
+//! power traces with sensor-accurate sampling, and thread-safe stateful
+//! devices whose clock controls mirror what NVML / ROCm SMI expose.
+//!
+//! Everything is deterministic: identical inputs produce identical
+//! timelines, energies and (hash-derived) sensor noise.
+
+#![warn(missing_docs)]
+
+pub mod device;
+pub mod error;
+pub mod export;
+pub mod freq;
+pub mod model;
+pub mod node;
+pub mod noise;
+pub mod specs;
+pub mod trace;
+pub mod vf;
+
+pub use device::{KernelExecution, SimDevice};
+pub use error::SimError;
+pub use export::{kernel_events, power_events, to_chrome_trace, TraceEvent};
+pub use freq::{ClockConfig, FrequencyTable};
+pub use model::{core_frequency_sweep, evaluate, KernelTiming, Workload};
+pub use node::{marconi100_partition, SimNode};
+pub use noise::NoiseGen;
+pub use specs::{DeviceSpec, Vendor};
+pub use trace::{PowerTrace, Segment};
+pub use vf::VfCurve;
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use synergy_kernel::FeatureVector;
+
+    fn arb_features() -> impl Strategy<Value = FeatureVector> {
+        prop::array::uniform10(0.0f64..64.0).prop_map(FeatureVector::from_array)
+    }
+
+    fn arb_workload() -> impl Strategy<Value = Workload> {
+        (arb_features(), 0.0f64..64.0, 1u64..(1 << 24)).prop_map(|(features, bytes, items)| {
+            Workload {
+                name: "prop".into(),
+                features,
+                dram_bytes_per_item: bytes,
+                work_items: items,
+            }
+        })
+    }
+
+    proptest! {
+        /// Execution time never increases with core frequency.
+        #[test]
+        fn time_monotone_in_core_clock(wl in arb_workload()) {
+            let spec = DeviceSpec::v100();
+            let sweep = core_frequency_sweep(&spec, &wl);
+            for w in sweep.windows(2) {
+                prop_assert!(w[1].1.exec_ns <= w[0].1.exec_ns);
+            }
+        }
+
+        /// Power stays within [idle, TDP] at every frequency.
+        #[test]
+        fn power_bounded(wl in arb_workload()) {
+            for spec in [DeviceSpec::v100(), DeviceSpec::a100(), DeviceSpec::mi100()] {
+                for (_, t) in core_frequency_sweep(&spec, &wl) {
+                    prop_assert!(t.exec_power_w >= spec.idle_power_w - 1e-9);
+                    prop_assert!(t.exec_power_w <= spec.tdp_w + 1e-9);
+                }
+            }
+        }
+
+        /// Trace integral equals the sum of per-kernel energies plus idle.
+        #[test]
+        fn trace_conserves_energy(wls in prop::collection::vec(arb_workload(), 1..6)) {
+            let dev = SimDevice::new(DeviceSpec::v100(), 0);
+            let mut kernel_e = 0.0;
+            for wl in &wls {
+                dev.advance_idle(1_000_000);
+                kernel_e += dev.execute(wl).energy_j;
+            }
+            let idle_e = wls.len() as f64 * 1_000_000.0 * 1e-9 * dev.spec().idle_power_w;
+            let total = dev.trace_snapshot().total_energy_j();
+            let want = kernel_e + idle_e;
+            prop_assert!((total - want).abs() < 1e-6 * want.max(1.0),
+                "trace {total} J vs accounted {want} J");
+        }
+
+        /// Sampled energy converges to exact energy for long executions.
+        #[test]
+        fn sampling_converges_for_long_runs(watts in 50.0f64..300.0, secs in 1u64..5) {
+            let mut trace = PowerTrace::new();
+            trace.push(secs * 1_000_000_000, watts);
+            let interval = 15_000_000;
+            let samples = trace.sample(0, trace.end_ns(), interval, None);
+            let measured = PowerTrace::sampled_energy_j(&samples, interval, trace.end_ns());
+            let exact = trace.total_energy_j();
+            prop_assert!((measured - exact).abs() / exact < 0.01);
+        }
+
+        /// Energy over a sub-range never exceeds the total.
+        #[test]
+        fn subrange_energy_bounded(
+            spans in prop::collection::vec((1u64..1_000_000, 1.0f64..400.0), 1..20),
+            a in 0u64..2_000_000,
+            b in 0u64..2_000_000,
+        ) {
+            let mut trace = PowerTrace::new();
+            for (d, w) in spans {
+                trace.push(d, w);
+            }
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            let part = trace.energy_j(lo, hi);
+            prop_assert!(part >= 0.0);
+            prop_assert!(part <= trace.total_energy_j() + 1e-9);
+        }
+    }
+}

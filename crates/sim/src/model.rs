@@ -1,0 +1,360 @@
+//! The analytical execution-time and power model.
+//!
+//! This is the physics of the simulator: given a device spec, a workload
+//! (static features × work-items) and a clock configuration, produce the
+//! kernel duration and the average board power while it runs.
+//!
+//! * **Time** follows a roofline with partial overlap: the compute phase
+//!   scales inversely with the core clock (every issued instruction,
+//!   including memory *issue*, costs core cycles), the memory phase is
+//!   DRAM-bytes over bandwidth (scaling with the memory clock), and the
+//!   kernel takes `max + rho·min` of the two plus a fixed launch overhead.
+//! * **Power** is `idle + core_budget · V(f)²·f/f_max · util_core +
+//!   mem_power · util_mem · (f_mem/f_mem_max)`, the standard DVFS
+//!   decomposition. Utilizations are the phase-time fractions.
+
+use crate::freq::ClockConfig;
+use crate::specs::DeviceSpec;
+use serde::{Deserialize, Serialize};
+use synergy_kernel::{FeatureClass, FeatureVector, KernelStaticInfo};
+
+/// A kernel ready to run on a device: static features plus launch size.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Workload {
+    /// Kernel name (model key, trace label).
+    pub name: String,
+    /// Table-1 static features per work-item.
+    pub features: FeatureVector,
+    /// DRAM bytes moved per work-item (after caches).
+    pub dram_bytes_per_item: f64,
+    /// Number of work-items launched.
+    pub work_items: u64,
+}
+
+impl Workload {
+    /// Build from the output of the feature-extraction pass.
+    pub fn from_static(info: &KernelStaticInfo, work_items: u64) -> Self {
+        Workload {
+            name: info.name.clone(),
+            features: info.features,
+            dram_bytes_per_item: info.global_bytes_per_item,
+            work_items,
+        }
+    }
+
+    /// Total DRAM traffic for the launch, in bytes.
+    pub fn total_dram_bytes(&self) -> f64 {
+        self.dram_bytes_per_item * self.work_items as f64
+    }
+}
+
+/// The model's verdict for one (device, workload, clocks) triple.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct KernelTiming {
+    /// Fixed launch overhead (runs at idle power).
+    pub launch_ns: u64,
+    /// Execution time after launch, in nanoseconds.
+    pub exec_ns: u64,
+    /// Average board power during execution, in watts.
+    pub exec_power_w: f64,
+    /// Compute-phase time in seconds (diagnostic).
+    pub t_compute_s: f64,
+    /// Memory-phase time in seconds (diagnostic).
+    pub t_memory_s: f64,
+    /// Core utilization in `[0, 1]`.
+    pub util_core: f64,
+    /// Memory utilization in `[0, 1]`.
+    pub util_mem: f64,
+}
+
+impl KernelTiming {
+    /// Total wall-clock duration of the launch in nanoseconds.
+    pub fn duration_ns(&self) -> u64 {
+        self.launch_ns + self.exec_ns
+    }
+
+    /// Total duration in seconds.
+    pub fn duration_s(&self) -> f64 {
+        self.duration_ns() as f64 * 1e-9
+    }
+
+    /// Energy of the execution phase plus the launch-overhead phase (at
+    /// the board's overhead power), in joules.
+    pub fn energy_j(&self, launch_power_w: f64) -> f64 {
+        self.exec_power_w * self.exec_ns as f64 * 1e-9
+            + launch_power_w * self.launch_ns as f64 * 1e-9
+    }
+
+    /// True when the kernel is limited by DRAM rather than issue/compute.
+    pub fn is_memory_bound(&self) -> bool {
+        self.t_memory_s > self.t_compute_s
+    }
+}
+
+/// Evaluate the model. Pure and deterministic.
+///
+/// ```
+/// use synergy_sim::{evaluate, ClockConfig, DeviceSpec, Workload};
+/// use synergy_kernel::{extract, Inst, IrBuilder};
+///
+/// let spec = DeviceSpec::v100();
+/// let ir = IrBuilder::new()
+///     .ops(Inst::GlobalLoad, 2)
+///     .ops(Inst::FloatAdd, 1)
+///     .ops(Inst::GlobalStore, 1)
+///     .build("vec_add");
+/// let wl = Workload::from_static(&extract(&ir), 1 << 20);
+/// let t = evaluate(&spec, &wl, spec.baseline_clocks());
+/// assert!(t.is_memory_bound());
+/// assert!(t.exec_power_w > spec.idle_power_w);
+/// ```
+pub fn evaluate(spec: &DeviceSpec, wl: &Workload, clocks: ClockConfig) -> KernelTiming {
+    let items = wl.work_items as f64;
+
+    // --- compute phase -----------------------------------------------------
+    let cycles_per_item: f64 = FeatureClass::ALL
+        .iter()
+        .map(|&c| spec.cpi[c as usize] * wl.features[c])
+        .sum();
+    let lanes = spec.total_lanes() as f64;
+    // Waves of `lanes` items; a partially filled last wave still takes a
+    // full pass, which floors the time for tiny launches.
+    let waves = (items / lanes).ceil().max(if items > 0.0 { 1.0 } else { 0.0 });
+    let core_hz = clocks.core_mhz as f64 * 1e6;
+    let t_compute = if core_hz > 0.0 {
+        cycles_per_item * waves / core_hz
+    } else {
+        0.0
+    };
+
+    // --- memory phase ------------------------------------------------------
+    let bw = spec.mem_bw_gbps * 1e9 * clocks.mem_mhz as f64
+        / spec.freq_table.top_mem() as f64;
+    let t_memory = if bw > 0.0 {
+        wl.total_dram_bytes() / bw
+    } else {
+        0.0
+    };
+
+    // --- roofline with partial overlap --------------------------------------
+    let rho = spec.overlap_residual;
+    let t_exec = t_compute.max(t_memory) + rho * t_compute.min(t_memory);
+
+    let (util_core, util_mem) = if t_exec > 0.0 {
+        (
+            (t_compute / t_exec).clamp(0.0, 1.0),
+            (t_memory / t_exec).clamp(0.0, 1.0),
+        )
+    } else {
+        (0.0, 0.0)
+    };
+
+    // --- power ---------------------------------------------------------------
+    // Even memory-bound kernels keep the SMs toggling (stalled warps,
+    // address math, replays), so core activity never falls to the pure
+    // compute fraction: blend in a fraction of the memory-phase activity.
+    let core_activity =
+        (util_core + spec.stall_activity * util_mem * (1.0 - util_core)).clamp(0.0, 1.0);
+    let dyn_core = spec.core_power_budget_w()
+        * spec.vf.dynamic_factor(clocks.core_mhz as f64)
+        * core_activity;
+    // Memory power: a background share (refresh, PHY, clock tree) that
+    // scales only with the memory clock, plus a traffic share that scales
+    // with utilization. Lowering the memory clock is the only way to shed
+    // the background share — which is exactly what makes multi-mem-clock
+    // boards (Titan X) interesting for compute-bound kernels.
+    let mem_ratio = clocks.mem_mhz as f64 / spec.freq_table.top_mem() as f64;
+    let dyn_mem = spec.mem_power_w
+        * (spec.mem_background + (1.0 - spec.mem_background) * util_mem)
+        * mem_ratio;
+    let exec_power = spec.idle_power_w + dyn_core + dyn_mem;
+
+    KernelTiming {
+        launch_ns: spec.launch_overhead_ns,
+        exec_ns: (t_exec * 1e9).round() as u64,
+        exec_power_w: exec_power,
+        t_compute_s: t_compute,
+        t_memory_s: t_memory,
+        util_core,
+        util_mem,
+    }
+}
+
+/// Sweep the model over every core clock at the top memory clock,
+/// returning `(clocks, timing)` pairs — the raw material for Pareto fronts
+/// and training sets.
+pub fn core_frequency_sweep(spec: &DeviceSpec, wl: &Workload) -> Vec<(ClockConfig, KernelTiming)> {
+    spec.freq_table
+        .core_sweep()
+        .into_iter()
+        .map(|c| (c, evaluate(spec, wl, c)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use synergy_kernel::{extract, Inst, IrBuilder};
+
+    fn compute_kernel(intensity: u64) -> Workload {
+        let ir = IrBuilder::new()
+            .ops(Inst::GlobalLoad, 1)
+            .loop_n(intensity, |b| b.ops(Inst::FloatMul, 1).ops(Inst::FloatAdd, 1))
+            .ops(Inst::GlobalStore, 1)
+            .build("cb");
+        Workload::from_static(&extract(&ir), 1 << 22)
+    }
+
+    fn streaming_kernel() -> Workload {
+        let ir = IrBuilder::new()
+            .ops(Inst::GlobalLoad, 4)
+            .ops(Inst::FloatAdd, 3)
+            .ops(Inst::GlobalStore, 1)
+            .build("mb");
+        Workload::from_static(&extract(&ir), 1 << 22)
+    }
+
+    #[test]
+    fn compute_bound_time_scales_inverse_with_core_clock() {
+        let spec = DeviceSpec::v100();
+        let wl = compute_kernel(512);
+        let lo = evaluate(&spec, &wl, ClockConfig::new(877, 765));
+        let hi = evaluate(&spec, &wl, ClockConfig::new(877, 1530));
+        assert!(!lo.is_memory_bound() && !hi.is_memory_bound());
+        let ratio = lo.exec_ns as f64 / hi.exec_ns as f64;
+        assert!((ratio - 2.0).abs() < 0.05, "ratio {ratio}");
+    }
+
+    #[test]
+    fn memory_bound_time_insensitive_to_core_clock() {
+        let spec = DeviceSpec::v100();
+        let wl = streaming_kernel();
+        let base = evaluate(&spec, &wl, ClockConfig::new(877, 1530));
+        assert!(base.is_memory_bound());
+        let mid = evaluate(&spec, &wl, ClockConfig::new(877, 1000));
+        let slowdown = mid.exec_ns as f64 / base.exec_ns as f64;
+        assert!(slowdown < 1.10, "slowdown {slowdown}");
+    }
+
+    #[test]
+    fn time_is_monotone_nonincreasing_in_core_clock() {
+        let spec = DeviceSpec::v100();
+        for wl in [compute_kernel(64), streaming_kernel()] {
+            let sweep = core_frequency_sweep(&spec, &wl);
+            for w in sweep.windows(2) {
+                assert!(
+                    w[1].1.exec_ns <= w[0].1.exec_ns,
+                    "time increased from {} to {} MHz",
+                    w[0].0.core_mhz,
+                    w[1].0.core_mhz
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn power_within_physical_bounds() {
+        let spec = DeviceSpec::v100();
+        for wl in [compute_kernel(512), streaming_kernel()] {
+            for (c, t) in core_frequency_sweep(&spec, &wl) {
+                assert!(t.exec_power_w >= spec.idle_power_w, "at {c}");
+                assert!(t.exec_power_w <= spec.tdp_w + 1e-9, "at {c}");
+            }
+        }
+    }
+
+    #[test]
+    fn compute_bound_energy_is_a_bathtub() {
+        // Energy per task should fall from f_min to a minimum near the DVFS
+        // knee, then rise toward f_max.
+        let spec = DeviceSpec::v100();
+        let wl = compute_kernel(512);
+        let sweep = core_frequency_sweep(&spec, &wl);
+        let energies: Vec<f64> = sweep
+            .iter()
+            .map(|(_, t)| t.energy_j(spec.overhead_power_w))
+            .collect();
+        let min_idx = energies
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.total_cmp(b.1))
+            .unwrap()
+            .0;
+        assert!(min_idx > 0, "minimum should not be at f_min");
+        assert!(
+            min_idx < energies.len() - 1,
+            "minimum should not be at f_max"
+        );
+        let f_opt = sweep[min_idx].0.core_mhz as f64;
+        assert!(
+            (500.0..1100.0).contains(&f_opt),
+            "energy-optimal frequency {f_opt} should sit near the knee"
+        );
+    }
+
+    #[test]
+    fn memory_bound_kernel_saves_energy_at_lower_core_clock() {
+        let spec = DeviceSpec::v100();
+        let wl = streaming_kernel();
+        let hi = evaluate(&spec, &wl, ClockConfig::new(877, 1530));
+        let knee = evaluate(&spec, &wl, ClockConfig::new(877, 870));
+        let e_hi = hi.energy_j(spec.overhead_power_w);
+        let e_knee = knee.energy_j(spec.overhead_power_w);
+        assert!(
+            e_knee < 0.85 * e_hi,
+            "memory-bound down-clock should save >15% energy: {e_knee} vs {e_hi}"
+        );
+        // ...while losing little performance.
+        assert!((knee.exec_ns as f64) < 1.1 * hi.exec_ns as f64);
+    }
+
+    #[test]
+    fn zero_items_takes_only_launch_overhead() {
+        let spec = DeviceSpec::v100();
+        let wl = Workload {
+            name: "empty".into(),
+            features: FeatureVector::ZERO,
+            dram_bytes_per_item: 0.0,
+            work_items: 0,
+        };
+        let t = evaluate(&spec, &wl, spec.baseline_clocks());
+        assert_eq!(t.exec_ns, 0);
+        assert_eq!(t.duration_ns(), spec.launch_overhead_ns);
+        assert_eq!(t.util_core, 0.0);
+    }
+
+    #[test]
+    fn tiny_launch_is_floored_to_one_wave() {
+        let spec = DeviceSpec::v100();
+        let info = extract(
+            &IrBuilder::new()
+                .ops(Inst::FloatAdd, 100)
+                .build("tiny"),
+        );
+        let one = evaluate(&spec, &Workload::from_static(&info, 1), spec.baseline_clocks());
+        let full = evaluate(
+            &spec,
+            &Workload::from_static(&info, spec.total_lanes()),
+            spec.baseline_clocks(),
+        );
+        // One item and one full wave take the same time.
+        assert_eq!(one.exec_ns, full.exec_ns);
+    }
+
+    #[test]
+    fn mi100_auto_runs_at_max() {
+        let spec = DeviceSpec::mi100();
+        assert_eq!(spec.baseline_clocks().core_mhz, 1502);
+    }
+
+    #[test]
+    fn utilizations_are_fractions() {
+        let spec = DeviceSpec::a100();
+        for wl in [compute_kernel(16), streaming_kernel()] {
+            for (_, t) in core_frequency_sweep(&spec, &wl) {
+                assert!((0.0..=1.0).contains(&t.util_core));
+                assert!((0.0..=1.0).contains(&t.util_mem));
+            }
+        }
+    }
+}

@@ -1,0 +1,116 @@
+//! Simulated compute nodes: a hostname plus a set of GPU boards.
+//!
+//! Matches the paper's testbeds: Marconi-100 nodes carry an IBM Power9 host
+//! and four NVIDIA V100s; the AMD node carries an EPYC 7313 and one MI100.
+
+use crate::device::SimDevice;
+use crate::specs::DeviceSpec;
+use std::sync::Arc;
+
+/// A simulated cluster node.
+#[derive(Debug, Clone)]
+pub struct SimNode {
+    /// Hostname, unique within a cluster.
+    pub hostname: String,
+    /// GPU boards installed on the node.
+    pub gpus: Vec<Arc<SimDevice>>,
+}
+
+impl SimNode {
+    /// Build a node with `gpu_count` boards of the given model.
+    pub fn new(hostname: impl Into<String>, spec: &DeviceSpec, gpu_count: u32) -> SimNode {
+        let hostname = hostname.into();
+        let gpus = (0..gpu_count)
+            .map(|i| SimDevice::new(spec.clone(), i))
+            .collect();
+        SimNode { hostname, gpus }
+    }
+
+    /// A Marconi-100 style node: four V100 boards.
+    pub fn marconi100(hostname: impl Into<String>) -> SimNode {
+        SimNode::new(hostname, &DeviceSpec::v100(), 4)
+    }
+
+    /// The paper's AMD evaluation node: one MI100 board.
+    pub fn amd_node(hostname: impl Into<String>) -> SimNode {
+        SimNode::new(hostname, &DeviceSpec::mi100(), 1)
+    }
+
+    /// Number of GPUs on the node.
+    pub fn gpu_count(&self) -> usize {
+        self.gpus.len()
+    }
+
+    /// Total energy recorded across the node's GPUs so far, in joules.
+    pub fn total_gpu_energy_j(&self) -> f64 {
+        self.gpus.iter().map(|g| g.total_energy_mj() * 1e-3).sum()
+    }
+
+    /// Restore every board to default clocks and the secure API restriction
+    /// (what the paper's epilogue does to leave the node consistent).
+    pub fn restore_defaults(&self) {
+        for gpu in &self.gpus {
+            gpu.reset_application_clocks();
+            gpu.set_locked_core_clocks(None).expect("clearing bounds");
+            gpu.set_api_restriction(true);
+        }
+    }
+}
+
+/// Build `count` Marconi-100 style nodes named `node001`, `node002`, ...
+pub fn marconi100_partition(count: usize) -> Vec<SimNode> {
+    (1..=count)
+        .map(|i| SimNode::marconi100(format!("node{i:03}")))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::freq::ClockConfig;
+
+    #[test]
+    fn marconi_node_has_four_v100s() {
+        let n = SimNode::marconi100("node001");
+        assert_eq!(n.gpu_count(), 4);
+        assert!(n.gpus.iter().all(|g| g.spec().name.contains("V100")));
+    }
+
+    #[test]
+    fn amd_node_has_one_mi100() {
+        let n = SimNode::amd_node("amd01");
+        assert_eq!(n.gpu_count(), 1);
+        assert_eq!(n.gpus[0].spec().name, "AMD MI100");
+    }
+
+    #[test]
+    fn partition_names_are_unique() {
+        let p = marconi100_partition(16);
+        assert_eq!(p.len(), 16);
+        assert_eq!(p[0].hostname, "node001");
+        assert_eq!(p[15].hostname, "node016");
+    }
+
+    #[test]
+    fn restore_defaults_clears_everything() {
+        let n = SimNode::marconi100("node001");
+        let gpu = &n.gpus[0];
+        gpu.set_api_restriction(false);
+        gpu.set_application_clocks(ClockConfig::new(877, 135)).unwrap();
+        gpu.set_locked_core_clocks(Some((135, 1000))).unwrap();
+        n.restore_defaults();
+        assert!(gpu.api_restricted());
+        assert_eq!(gpu.application_clocks(), None);
+        assert_eq!(gpu.effective_clocks(), gpu.spec().baseline_clocks());
+    }
+
+    #[test]
+    fn node_energy_aggregates_gpus() {
+        let n = SimNode::marconi100("node001");
+        for g in &n.gpus {
+            g.advance_idle(1_000_000_000);
+        }
+        let expected = 4.0 * n.gpus[0].spec().idle_power_w;
+        assert!((n.total_gpu_energy_j() - expected).abs() < 1e-6);
+    }
+}

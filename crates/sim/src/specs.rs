@@ -1,0 +1,315 @@
+//! Device specifications: the static description of a simulated GPU.
+//!
+//! Three catalogue entries reproduce the hardware of the paper's evaluation
+//! (Figure 1 and Section 8.1): NVIDIA V100 (196 core clocks, 135–1530 MHz,
+//! HBM fixed at 877 MHz), NVIDIA A100 (81 core clocks, 210–1410 MHz, HBM at
+//! 1215 MHz) and AMD MI100 (16 core clocks, 300–1502 MHz, HBM at 1200 MHz,
+//! *no* default application clock — the board boosts automatically).
+
+use crate::freq::{ClockConfig, FrequencyTable};
+use crate::vf::VfCurve;
+use serde::{Deserialize, Serialize};
+use synergy_kernel::NUM_FEATURES;
+
+/// GPU vendor, selecting which management library (HAL) drives the board.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Vendor {
+    /// NVIDIA — managed through the NVML analogue.
+    Nvidia,
+    /// AMD — managed through the ROCm SMI analogue.
+    Amd,
+}
+
+/// Static description of a simulated GPU model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceSpec {
+    /// Marketing name, e.g. `"NVIDIA V100"`.
+    pub name: String,
+    /// Vendor (selects the HAL binding).
+    pub vendor: Vendor,
+    /// Number of streaming multiprocessors / compute units.
+    pub sm_count: u32,
+    /// FP32 lanes per SM/CU.
+    pub lanes_per_sm: u32,
+    /// Cycles-per-instruction per lane for each Table-1 feature class.
+    pub cpi: [f64; NUM_FEATURES],
+    /// DRAM bandwidth in GB/s at the top memory clock.
+    pub mem_bw_gbps: f64,
+    /// Supported frequency configurations.
+    pub freq_table: FrequencyTable,
+    /// Default application clocks. `None` means the board auto-boosts
+    /// (MI100): the effective clock is the table maximum when busy.
+    pub default_clocks: Option<ClockConfig>,
+    /// DVFS voltage curve over the core clock.
+    pub vf: VfCurve,
+    /// Idle board power in watts.
+    pub idle_power_w: f64,
+    /// Board power at full compute utilization and maximum clocks (TDP).
+    pub tdp_w: f64,
+    /// Maximum memory-subsystem dynamic power in watts.
+    pub mem_power_w: f64,
+    /// Fixed kernel launch overhead in nanoseconds.
+    pub launch_overhead_ns: u64,
+    /// Board power during the launch-overhead phase (driver activity,
+    /// queue management, small transfers) — well above idle, which is why
+    /// short launches have little energy to save.
+    pub overhead_power_w: f64,
+    /// Latency of one application-clock change through the vendor library
+    /// (the overhead Section 4.4 reports growing with kernel count).
+    pub clock_set_latency_ns: u64,
+    /// Power-sensor sampling granularity (≈15 ms on data-center boards,
+    /// per Burtscher et al. cited in Section 4.4).
+    pub power_sample_interval_ns: u64,
+    /// Residual serialization when compute and memory phases overlap
+    /// (`t = max + rho * min`).
+    pub overlap_residual: f64,
+    /// Fraction of memory-phase activity that still toggles the core
+    /// domain (stalled warps, address math, replays) — keeps memory-bound
+    /// kernels from drawing implausibly little core power.
+    pub stall_activity: f64,
+    /// Share of the memory-subsystem power that is background (refresh,
+    /// PHY, clock tree) and scales only with the memory clock, not with
+    /// traffic.
+    pub mem_background: f64,
+}
+
+impl DeviceSpec {
+    /// Maximum dynamic power of the core domain (watts).
+    pub fn core_power_budget_w(&self) -> f64 {
+        (self.tdp_w - self.idle_power_w - self.mem_power_w).max(0.0)
+    }
+
+    /// The clocks a kernel actually runs at when the application has not
+    /// set any: the configured default, or the table maximum for
+    /// auto-boosting boards.
+    pub fn baseline_clocks(&self) -> ClockConfig {
+        self.default_clocks.unwrap_or_else(|| {
+            ClockConfig::new(self.freq_table.top_mem(), self.freq_table.max_core())
+        })
+    }
+
+    /// Total FP32 lanes on the board.
+    pub fn total_lanes(&self) -> u64 {
+        self.sm_count as u64 * self.lanes_per_sm as u64
+    }
+
+    /// NVIDIA V100 (SXM2 16 GB): 80 SMs, 900 GB/s HBM2.
+    ///
+    /// Figure 1: memory fixed at 877 MHz; 196 core configurations spanning
+    /// 135–1530 MHz. Default application clock 1312 MHz (the paper's
+    /// baseline in Figure 2).
+    pub fn v100() -> DeviceSpec {
+        let freq_table = FrequencyTable::uniform_core_span(vec![877], 135, 1530, 196);
+        let default_core = freq_table.nearest_core(1312);
+        DeviceSpec {
+            name: "NVIDIA V100".into(),
+            vendor: Vendor::Nvidia,
+            sm_count: 80,
+            lanes_per_sm: 64,
+            cpi: [
+                1.0,  // int_add
+                2.0,  // int_mul
+                20.0, // int_div
+                1.0,  // int_bw
+                1.0,  // float_add
+                1.0,  // float_mul
+                8.0,  // float_div
+                4.0,  // sf
+                10.0, // gl_access (address gen + LSU issue)
+                2.0,  // loc_access
+            ],
+            mem_bw_gbps: 900.0,
+            default_clocks: Some(ClockConfig::new(877, default_core)),
+            freq_table,
+            vf: VfCurve::knee(135.0, 1000.0, 1530.0, 0.712),
+            idle_power_w: 25.0,
+            tdp_w: 300.0,
+            mem_power_w: 45.0,
+            launch_overhead_ns: 4_000,
+            overhead_power_w: 120.0,
+            clock_set_latency_ns: 15_000,
+            power_sample_interval_ns: 15_000_000,
+            overlap_residual: 0.15,
+            stall_activity: 0.4,
+            mem_background: 0.25,
+        }
+    }
+
+    /// NVIDIA A100 (SXM4 40 GB): 108 SMs, 1555 GB/s HBM2e.
+    ///
+    /// Figure 1: memory fixed at 1215 MHz; 81 core configurations spanning
+    /// 210–1410 MHz in exact 15 MHz steps.
+    pub fn a100() -> DeviceSpec {
+        let freq_table = FrequencyTable::uniform_core_span(vec![1215], 210, 1410, 81);
+        DeviceSpec {
+            name: "NVIDIA A100".into(),
+            vendor: Vendor::Nvidia,
+            sm_count: 108,
+            lanes_per_sm: 64,
+            cpi: [
+                1.0, 2.0, 18.0, 1.0, 1.0, 1.0, 7.0, 4.0, 9.0, 2.0,
+            ],
+            mem_bw_gbps: 1555.0,
+            default_clocks: Some(ClockConfig::new(1215, 1410)),
+            freq_table,
+            vf: VfCurve::knee(210.0, 940.0, 1410.0, 0.73),
+            idle_power_w: 40.0,
+            tdp_w: 400.0,
+            mem_power_w: 60.0,
+            launch_overhead_ns: 3_500,
+            overhead_power_w: 150.0,
+            clock_set_latency_ns: 15_000,
+            power_sample_interval_ns: 15_000_000,
+            overlap_residual: 0.15,
+            stall_activity: 0.4,
+            mem_background: 0.25,
+        }
+    }
+
+    /// AMD MI100: 120 CUs, 1228.8 GB/s HBM2.
+    ///
+    /// Figure 1: memory fixed at 1200 MHz; 16 core configurations spanning
+    /// 300–1502 MHz. No default configuration — the board adjusts frequency
+    /// automatically (modelled as boosting to the maximum when busy), which
+    /// is why Section 8.2 finds the default always fastest on MI100.
+    pub fn mi100() -> DeviceSpec {
+        let freq_table = FrequencyTable::uniform_core_span(vec![1200], 300, 1502, 16);
+        DeviceSpec {
+            name: "AMD MI100".into(),
+            vendor: Vendor::Amd,
+            sm_count: 120,
+            lanes_per_sm: 64,
+            cpi: [
+                1.0, 2.0, 22.0, 1.0, 1.0, 1.0, 10.0, 8.0, 12.0, 2.0,
+            ],
+            mem_bw_gbps: 1228.8,
+            default_clocks: None,
+            freq_table,
+            vf: VfCurve::knee(300.0, 900.0, 1502.0, 0.74),
+            idle_power_w: 25.0,
+            tdp_w: 300.0,
+            mem_power_w: 55.0,
+            launch_overhead_ns: 5_000,
+            overhead_power_w: 110.0,
+            clock_set_latency_ns: 10_000,
+            power_sample_interval_ns: 15_000_000,
+            overlap_residual: 0.2,
+            stall_activity: 0.4,
+            mem_background: 0.25,
+        }
+    }
+
+    /// NVIDIA Titan X (Pascal): 28 SMs × 128 lanes, 480 GB/s G5X.
+    ///
+    /// Section 2.1 singles this board out: unlike the HBM data-center
+    /// parts, it lets the user *"select one out of four different memory
+    /// frequencies"* — so its frequency space is genuinely 2-D and the
+    /// target search runs over mem × core configurations.
+    pub fn titan_x() -> DeviceSpec {
+        let freq_table =
+            FrequencyTable::uniform_core_span(vec![405, 810, 4513, 5005], 139, 1911, 90);
+        let default_core = freq_table.nearest_core(1417);
+        DeviceSpec {
+            name: "NVIDIA Titan X".into(),
+            vendor: Vendor::Nvidia,
+            sm_count: 28,
+            lanes_per_sm: 128,
+            cpi: [
+                1.0, 2.0, 22.0, 1.0, 1.0, 1.0, 9.0, 5.0, 10.0, 2.0,
+            ],
+            mem_bw_gbps: 480.0,
+            default_clocks: Some(ClockConfig::new(5005, default_core)),
+            freq_table,
+            vf: VfCurve::knee(139.0, 1200.0, 1911.0, 0.70),
+            idle_power_w: 15.0,
+            tdp_w: 250.0,
+            mem_power_w: 40.0,
+            launch_overhead_ns: 5_000,
+            overhead_power_w: 90.0,
+            clock_set_latency_ns: 20_000,
+            power_sample_interval_ns: 15_000_000,
+            overlap_residual: 0.15,
+            stall_activity: 0.4,
+            mem_background: 0.25,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn v100_matches_figure1() {
+        let s = DeviceSpec::v100();
+        assert_eq!(s.freq_table.core_mhz.len(), 196);
+        assert_eq!(s.freq_table.min_core(), 135);
+        assert_eq!(s.freq_table.max_core(), 1530);
+        assert_eq!(s.freq_table.mem_mhz, vec![877]);
+        let d = s.baseline_clocks();
+        assert_eq!(d.mem_mhz, 877);
+        // default snaps to the nearest table entry around 1312
+        assert!((d.core_mhz as i64 - 1312).unsigned_abs() <= 4);
+    }
+
+    #[test]
+    fn a100_matches_figure1() {
+        let s = DeviceSpec::a100();
+        assert_eq!(s.freq_table.core_mhz.len(), 81);
+        assert_eq!(s.freq_table.min_core(), 210);
+        assert_eq!(s.freq_table.max_core(), 1410);
+        assert_eq!(s.freq_table.mem_mhz, vec![1215]);
+    }
+
+    #[test]
+    fn mi100_matches_figure1_and_has_no_default() {
+        let s = DeviceSpec::mi100();
+        assert_eq!(s.freq_table.core_mhz.len(), 16);
+        assert_eq!(s.freq_table.min_core(), 300);
+        assert_eq!(s.freq_table.max_core(), 1502);
+        assert_eq!(s.freq_table.mem_mhz, vec![1200]);
+        assert!(s.default_clocks.is_none());
+        // Auto-boost: baseline is the table max.
+        assert_eq!(s.baseline_clocks().core_mhz, 1502);
+    }
+
+    #[test]
+    fn power_budget_is_positive_and_partitions_tdp() {
+        for s in [DeviceSpec::v100(), DeviceSpec::a100(), DeviceSpec::mi100()] {
+            let b = s.core_power_budget_w();
+            assert!(b > 0.0, "{}", s.name);
+            assert!(
+                (s.idle_power_w + s.mem_power_w + b - s.tdp_w).abs() < 1e-9,
+                "{}",
+                s.name
+            );
+        }
+    }
+
+    #[test]
+    fn defaults_are_supported_configs() {
+        for s in [DeviceSpec::v100(), DeviceSpec::a100()] {
+            let d = s.default_clocks.unwrap();
+            assert!(s.freq_table.supports(d), "{}: {:?}", s.name, d);
+        }
+    }
+
+    #[test]
+    fn titan_x_has_four_memory_frequencies() {
+        let s = DeviceSpec::titan_x();
+        assert_eq!(s.freq_table.mem_mhz.len(), 4);
+        assert_eq!(s.freq_table.mem_mhz, vec![405, 810, 4513, 5005]);
+        assert_eq!(s.freq_table.top_mem(), 5005);
+        // 2-D space: 4 × 90 configurations.
+        assert_eq!(s.freq_table.len(), 4 * 90);
+        let d = s.default_clocks.unwrap();
+        assert_eq!(d.mem_mhz, 5005);
+        assert!(s.freq_table.supports(d));
+    }
+
+    #[test]
+    fn vendors() {
+        assert_eq!(DeviceSpec::v100().vendor, Vendor::Nvidia);
+        assert_eq!(DeviceSpec::mi100().vendor, Vendor::Amd);
+    }
+}

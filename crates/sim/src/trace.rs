@@ -1,0 +1,273 @@
+//! Power traces: the continuous record of board power over virtual time.
+//!
+//! The trace is the ground truth that both profiling paths of the paper's
+//! API read: exact integration gives the ideal energy, and interval
+//! sampling (Section 4.2's "asynchronous thread polling the power")
+//! reproduces the measurement error real sensors introduce on short
+//! kernels (Section 4.4).
+
+use crate::noise::NoiseGen;
+use serde::{Deserialize, Serialize};
+
+/// One constant-power span of the trace.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Segment {
+    /// Start of the span (inclusive), in nanoseconds of device time.
+    pub start_ns: u64,
+    /// End of the span (exclusive), in nanoseconds of device time.
+    pub end_ns: u64,
+    /// Board power during the span, in watts.
+    pub watts: f64,
+}
+
+impl Segment {
+    /// Energy of the span in joules.
+    pub fn energy_j(&self) -> f64 {
+        self.watts * (self.end_ns - self.start_ns) as f64 * 1e-9
+    }
+}
+
+/// A contiguous, append-only power trace starting at t = 0.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct PowerTrace {
+    segments: Vec<Segment>,
+}
+
+impl PowerTrace {
+    /// Empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// End of the trace so far (== total covered time).
+    pub fn end_ns(&self) -> u64 {
+        self.segments.last().map_or(0, |s| s.end_ns)
+    }
+
+    /// Number of stored segments (adjacent equal-power spans are merged).
+    pub fn len(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.segments.is_empty()
+    }
+
+    /// Append a span of `duration_ns` at `watts`, starting where the trace
+    /// currently ends. Zero-length spans are ignored; equal-power spans
+    /// merge with the previous segment.
+    pub fn push(&mut self, duration_ns: u64, watts: f64) {
+        if duration_ns == 0 {
+            return;
+        }
+        let start = self.end_ns();
+        if let Some(last) = self.segments.last_mut() {
+            if (last.watts - watts).abs() < 1e-12 {
+                last.end_ns += duration_ns;
+                return;
+            }
+        }
+        self.segments.push(Segment {
+            start_ns: start,
+            end_ns: start + duration_ns,
+            watts,
+        });
+    }
+
+    /// Exact energy over `[from_ns, to_ns)`, in joules.
+    pub fn energy_j(&self, from_ns: u64, to_ns: u64) -> f64 {
+        if to_ns <= from_ns {
+            return 0.0;
+        }
+        let mut e = 0.0;
+        // Binary search for the first overlapping segment.
+        let start_idx = self
+            .segments
+            .partition_point(|s| s.end_ns <= from_ns);
+        for s in &self.segments[start_idx..] {
+            if s.start_ns >= to_ns {
+                break;
+            }
+            let lo = s.start_ns.max(from_ns);
+            let hi = s.end_ns.min(to_ns);
+            e += s.watts * (hi - lo) as f64 * 1e-9;
+        }
+        e
+    }
+
+    /// Total recorded energy in joules.
+    pub fn total_energy_j(&self) -> f64 {
+        self.segments.iter().map(Segment::energy_j).sum()
+    }
+
+    /// Instantaneous power at `t_ns`, or `None` outside the trace.
+    pub fn power_at(&self, t_ns: u64) -> Option<f64> {
+        let idx = self.segments.partition_point(|s| s.end_ns <= t_ns);
+        self.segments
+            .get(idx)
+            .filter(|s| s.start_ns <= t_ns)
+            .map(|s| s.watts)
+    }
+
+    /// Power averaged over the trailing `window_ns` ending at `t_ns` — what
+    /// a real smoothed board sensor reports.
+    pub fn smoothed_power(&self, t_ns: u64, window_ns: u64) -> f64 {
+        let from = t_ns.saturating_sub(window_ns);
+        let span = t_ns - from;
+        if span == 0 {
+            return self.power_at(t_ns).unwrap_or(0.0);
+        }
+        self.energy_j(from, t_ns) / (span as f64 * 1e-9)
+    }
+
+    /// Sample the trace at a fixed `interval_ns` over `[from_ns, to_ns)`,
+    /// as the fine-grained profiling thread does. Each sample is the
+    /// smoothed sensor reading, optionally perturbed by deterministic
+    /// sensor noise. Returns `(t_ns, watts)` pairs; the integral of these
+    /// samples (rectangle rule) is the *measured* energy.
+    pub fn sample(
+        &self,
+        from_ns: u64,
+        to_ns: u64,
+        interval_ns: u64,
+        noise: Option<&NoiseGen>,
+    ) -> Vec<(u64, f64)> {
+        assert!(interval_ns > 0, "sampling interval must be positive");
+        let mut out = Vec::new();
+        let mut t = from_ns;
+        while t < to_ns {
+            let raw = self.smoothed_power(t.min(self.end_ns()), interval_ns);
+            let w = match noise {
+                Some(n) => raw * (1.0 + n.relative(t)),
+                None => raw,
+            };
+            out.push((t, w));
+            t += interval_ns;
+        }
+        out
+    }
+
+    /// Rectangle-rule energy of a sample vector over `[from_ns, to_ns)`.
+    pub fn sampled_energy_j(samples: &[(u64, f64)], interval_ns: u64, to_ns: u64) -> f64 {
+        samples
+            .iter()
+            .map(|&(t, w)| {
+                let dt = (t + interval_ns).min(to_ns).saturating_sub(t);
+                w * dt as f64 * 1e-9
+            })
+            .sum()
+    }
+
+    /// Borrow the raw segments (diagnostics, plotting).
+    pub fn segments(&self) -> &[Segment] {
+        &self.segments
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace() -> PowerTrace {
+        let mut t = PowerTrace::new();
+        t.push(1_000_000_000, 100.0); // 1 s at 100 W = 100 J
+        t.push(500_000_000, 200.0); // 0.5 s at 200 W = 100 J
+        t.push(500_000_000, 50.0); // 0.5 s at 50 W = 25 J
+        t
+    }
+
+    #[test]
+    fn total_energy_is_sum_of_segments() {
+        assert!((trace().total_energy_j() - 225.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn partial_energy() {
+        let t = trace();
+        // Second half of segment 1 + first half of segment 2.
+        let e = t.energy_j(500_000_000, 1_250_000_000);
+        assert!((e - (50.0 + 50.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn energy_of_empty_or_inverted_range_is_zero() {
+        let t = trace();
+        assert_eq!(t.energy_j(10, 10), 0.0);
+        assert_eq!(t.energy_j(100, 10), 0.0);
+    }
+
+    #[test]
+    fn power_at_boundaries() {
+        let t = trace();
+        assert_eq!(t.power_at(0), Some(100.0));
+        assert_eq!(t.power_at(999_999_999), Some(100.0));
+        assert_eq!(t.power_at(1_000_000_000), Some(200.0));
+        assert_eq!(t.power_at(2_000_000_000), None);
+    }
+
+    #[test]
+    fn equal_power_segments_merge() {
+        let mut t = PowerTrace::new();
+        t.push(10, 5.0);
+        t.push(20, 5.0);
+        t.push(30, 6.0);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.end_ns(), 60);
+    }
+
+    #[test]
+    fn zero_duration_ignored() {
+        let mut t = PowerTrace::new();
+        t.push(0, 99.0);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn smoothed_power_averages_window() {
+        let t = trace();
+        // Window covering 0.5 s of 100 W and 0.5 s of 200 W.
+        let w = t.smoothed_power(1_500_000_000, 1_000_000_000);
+        assert!((w - 150.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sampling_reconstructs_long_kernel_energy() {
+        let t = trace();
+        let interval = 15_000_000; // 15 ms
+        let samples = t.sample(0, t.end_ns(), interval, None);
+        let measured = PowerTrace::sampled_energy_j(&samples, interval, t.end_ns());
+        let exact = t.total_energy_j();
+        assert!(
+            (measured - exact).abs() / exact < 0.02,
+            "measured {measured}, exact {exact}"
+        );
+    }
+
+    #[test]
+    fn sampling_misjudges_short_kernel() {
+        // A 5 ms kernel inside a 15 ms-granularity sensor: the smoothed
+        // reading blends idle power, so measured energy is badly off —
+        // exactly the Section 4.4 limitation.
+        let mut t = PowerTrace::new();
+        t.push(100_000_000, 40.0); // 100 ms idle
+        t.push(5_000_000, 300.0); // 5 ms burst
+        t.push(100_000_000, 40.0);
+        let interval = 15_000_000;
+        let (k0, k1) = (100_000_000, 105_000_000);
+        let samples = t.sample(k0, k1, interval, None);
+        let measured = PowerTrace::sampled_energy_j(&samples, interval, k1);
+        let exact = t.energy_j(k0, k1);
+        let err = (measured - exact).abs() / exact;
+        assert!(err > 0.2, "short-kernel sampling error {err} unexpectedly small");
+    }
+
+    #[test]
+    fn noise_is_deterministic() {
+        let t = trace();
+        let n = NoiseGen::new(7, 0.01);
+        let a = t.sample(0, t.end_ns(), 15_000_000, Some(&n));
+        let b = t.sample(0, t.end_ns(), 15_000_000, Some(&n));
+        assert_eq!(a, b);
+    }
+}

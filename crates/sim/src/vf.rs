@@ -1,0 +1,139 @@
+//! Voltage/frequency (DVFS) curves.
+//!
+//! Dynamic power scales as `C · V(f)² · f`. The voltage a GPU needs is a
+//! piecewise-linear function of the core clock: flat at the minimum voltage
+//! up to a knee, then rising towards the maximum. This shape is what makes
+//! mid-range frequencies energy-optimal for compute-bound kernels — below
+//! the knee, slowing down no longer reduces voltage, so energy/task rises
+//! again as static energy accumulates.
+
+use serde::{Deserialize, Serialize};
+
+/// A piecewise-linear relative-voltage curve over core frequency.
+///
+/// Points are `(f_mhz, v_rel)` with `v_rel` normalized so the value at the
+/// maximum frequency is 1.0. Queries clamp outside the covered range.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VfCurve {
+    points: Vec<(f64, f64)>,
+}
+
+impl VfCurve {
+    /// Build a curve from `(f_mhz, v_rel)` points. Points are sorted by
+    /// frequency; at least two are required and voltages must be positive.
+    pub fn new(mut points: Vec<(f64, f64)>) -> Self {
+        assert!(points.len() >= 2, "need at least two V/f points");
+        points.sort_by(|a, b| a.0.total_cmp(&b.0));
+        assert!(
+            points.iter().all(|&(f, v)| f > 0.0 && v > 0.0),
+            "V/f points must be positive"
+        );
+        assert!(
+            points.windows(2).all(|w| w[0].1 <= w[1].1),
+            "voltage must be non-decreasing in frequency"
+        );
+        VfCurve { points }
+    }
+
+    /// The classic three-point DVFS shape: minimum voltage held flat until
+    /// `knee_mhz`, then linear up to `(max_mhz, 1.0)`.
+    pub fn knee(min_mhz: f64, knee_mhz: f64, max_mhz: f64, v_min: f64) -> Self {
+        assert!(min_mhz < knee_mhz && knee_mhz < max_mhz);
+        assert!(v_min > 0.0 && v_min < 1.0);
+        VfCurve::new(vec![(min_mhz, v_min), (knee_mhz, v_min), (max_mhz, 1.0)])
+    }
+
+    /// Relative voltage at `f_mhz` (clamped to the covered range).
+    pub fn voltage(&self, f_mhz: f64) -> f64 {
+        let pts = &self.points;
+        if f_mhz <= pts[0].0 {
+            return pts[0].1;
+        }
+        if f_mhz >= pts[pts.len() - 1].0 {
+            return pts[pts.len() - 1].1;
+        }
+        for w in pts.windows(2) {
+            let (f0, v0) = w[0];
+            let (f1, v1) = w[1];
+            if f_mhz <= f1 {
+                let t = (f_mhz - f0) / (f1 - f0);
+                return v0 + t * (v1 - v0);
+            }
+        }
+        unreachable!("clamped above")
+    }
+
+    /// The `V(f)² · f` factor that dynamic power is proportional to,
+    /// normalized to 1.0 at the curve's maximum frequency.
+    pub fn dynamic_factor(&self, f_mhz: f64) -> f64 {
+        let f_max = self.points[self.points.len() - 1].0;
+        let v = self.voltage(f_mhz);
+        (v * v * f_mhz) / f_max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn curve() -> VfCurve {
+        VfCurve::knee(135.0, 700.0, 1530.0, 0.7)
+    }
+
+    #[test]
+    fn flat_below_knee() {
+        let c = curve();
+        assert_eq!(c.voltage(135.0), 0.7);
+        assert_eq!(c.voltage(400.0), 0.7);
+        assert_eq!(c.voltage(700.0), 0.7);
+    }
+
+    #[test]
+    fn linear_above_knee() {
+        let c = curve();
+        let mid = (700.0 + 1530.0) / 2.0;
+        let v = c.voltage(mid);
+        assert!((v - (0.7 + 1.0) / 2.0).abs() < 1e-12);
+        assert_eq!(c.voltage(1530.0), 1.0);
+    }
+
+    #[test]
+    fn clamps_outside_range() {
+        let c = curve();
+        assert_eq!(c.voltage(1.0), 0.7);
+        assert_eq!(c.voltage(10_000.0), 1.0);
+    }
+
+    #[test]
+    fn dynamic_factor_normalized_at_max() {
+        let c = curve();
+        assert!((c.dynamic_factor(1530.0) - 1.0).abs() < 1e-12);
+        // Below the knee power falls linearly with f at constant V.
+        let a = c.dynamic_factor(400.0);
+        let b = c.dynamic_factor(200.0);
+        assert!((a / b - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dynamic_factor_is_monotonic() {
+        let c = curve();
+        let mut prev = 0.0;
+        for f in (135..=1530).step_by(5) {
+            let d = c.dynamic_factor(f as f64);
+            assert!(d >= prev, "dynamic factor dropped at {f} MHz");
+            prev = d;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-decreasing")]
+    fn rejects_decreasing_voltage() {
+        VfCurve::new(vec![(100.0, 1.0), (200.0, 0.5)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn rejects_single_point() {
+        VfCurve::new(vec![(100.0, 1.0)]);
+    }
+}

@@ -1,0 +1,57 @@
+//! Kernel energy characterization — the analysis behind Figures 2, 4
+//! and 5: sweep a kernel over every supported core frequency, print the
+//! Pareto front of the (time, energy) cloud, and show where each energy
+//! target lands.
+//!
+//! Pass a benchmark name (default `black_scholes`):
+//! `cargo run --release --example characterization -- sobel3`
+
+use synergy::metrics::{is_pareto_optimal, point_at, search_optimal};
+use synergy::prelude::*;
+use synergy::rt::measured_sweep;
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "black_scholes".into());
+    let bench = synergy::apps::by_name(&name).unwrap_or_else(|| {
+        eprintln!("unknown benchmark `{name}`; available:");
+        for b in synergy::apps::suite() {
+            eprintln!("  {}", b.name);
+        }
+        std::process::exit(1);
+    });
+
+    let spec = DeviceSpec::v100();
+    let sweep = measured_sweep(&spec, &bench.ir, bench.work_items);
+    let baseline = point_at(&sweep, spec.baseline_clocks()).unwrap();
+
+    println!(
+        "{} on {} ({} frequency configurations, default {})\n",
+        bench.name,
+        spec.name,
+        sweep.len(),
+        spec.baseline_clocks()
+    );
+
+    println!("Pareto front (speedup vs normalized energy):");
+    for p in pareto_front(&sweep) {
+        println!(
+            "  {:>4} MHz  speedup {:.3}  energy {:.3}",
+            p.clocks.core_mhz,
+            p.speedup_vs(&baseline),
+            p.normalized_energy_vs(&baseline)
+        );
+    }
+
+    println!("\nenergy-target selections:");
+    for target in EnergyTarget::PAPER_SET {
+        let p = search_optimal(target, &sweep, spec.baseline_clocks()).unwrap();
+        println!(
+            "  {:>10} -> {:>4} MHz  ({:+.1}% energy, {:+.1}% time, pareto: {})",
+            target.to_string(),
+            p.clocks.core_mhz,
+            (p.normalized_energy_vs(&baseline) - 1.0) * 100.0,
+            (1.0 / p.speedup_vs(&baseline) - 1.0) * 100.0,
+            is_pareto_optimal(&p, &sweep)
+        );
+    }
+}

@@ -1,0 +1,100 @@
+//! Cluster flow — Section 7 end-to-end: submit an exclusive `nvgpufreq`
+//! batch job to the SLURM-like scheduler; the plugin's prologue lowers the
+//! NVML API restriction so the (unprivileged) job can frequency-scale its
+//! GPUs; the epilogue restores the node. The job runs a CloverLeaf
+//! weak-scaling step under the ES_50 target and reports the energy saved
+//! against a default-clock job.
+//!
+//! Run with: `cargo run --release --example cluster_job`
+
+use std::sync::Arc;
+use synergy::cluster::{
+    run_weak_scaling, CommModel, FrequencySchedule, MiniApp, ScalingOutcome, WeakScalingConfig,
+};
+use synergy::kernel::{generate_microbench, MicroBenchConfig};
+use synergy::prelude::*;
+use synergy::sched::{Cluster, JobRequest, NvGpuFreqPlugin, Slurm, NVGPUFREQ_GRES};
+
+fn main() {
+    // ── compile time: train models, compile CloverLeaf's kernels ──────
+    let spec = DeviceSpec::v100();
+    let suite = generate_microbench(42, &MicroBenchConfig::default());
+    let models = train_device_models(&spec, &suite, ModelSelection::paper_best(), 8, 7);
+    let registry = Arc::new(compile_application(
+        &spec,
+        &models,
+        &synergy::apps::cloverleaf::kernel_irs(),
+        &[EnergyTarget::EnergySaving(50)],
+    ));
+
+    // ── cluster: 2 Marconi-100 nodes (8 V100s), nvgpufreq-tagged ─────
+    let mut slurm = Slurm::new(Cluster::marconi100(2, true));
+    slurm.register_plugin(Box::new(NvGpuFreqPlugin));
+
+    let cfg = WeakScalingConfig {
+        gpus: 8,
+        local_nx: 2048,
+        local_ny: 2048,
+        steps: 5,
+        comm: CommModel::edr_dragonfly(),
+    };
+
+    let result: Arc<parking_lot::Mutex<Vec<ScalingOutcome>>> =
+        Arc::new(parking_lot::Mutex::new(Vec::new()));
+
+    for (label, schedule) in [
+        ("default".to_string(), FrequencySchedule::Default),
+        (
+            "ES_50".to_string(),
+            FrequencySchedule::PerKernel {
+                registry: Arc::clone(&registry),
+                target: EnergyTarget::EnergySaving(50),
+            },
+        ),
+    ] {
+        let sink = Arc::clone(&result);
+        let job = JobRequest::builder(format!("cloverleaf-{label}"), 1000)
+            .nodes(2)
+            .exclusive()
+            .gres(NVGPUFREQ_GRES)
+            .payload(move |ctx| {
+                // Inside the job: the plugin has lowered the restriction,
+                // so clock changes as Caller::User succeed.
+                let out = run_weak_scaling(MiniApp::CloverLeaf, &cfg, &ctx.gpus(), ctx.caller, &schedule);
+                sink.lock().push(out);
+            });
+        let record = slurm.run(job);
+        println!(
+            "job {} `{}` on {:?}: plugin applied on every node: {}",
+            record.id,
+            record.name,
+            record.hostnames,
+            record.plugin_log.iter().all(|e| e.applied)
+        );
+        println!(
+            "  accounting: {:.1} J GPU energy, {:.3} s wall",
+            record.gpu_energy_j, record.elapsed_s
+        );
+    }
+
+    let outcomes = result.lock();
+    let base = &outcomes[0];
+    let es50 = &outcomes[1];
+    println!(
+        "\nCloverLeaf on 8 GPUs: default {:.1} J vs ES_50 {:.1} J -> {:.1}% saved \
+         ({:+.1}% time)",
+        base.energy_j,
+        es50.energy_j,
+        (1.0 - es50.energy_j / base.energy_j) * 100.0,
+        (es50.time_s / base.time_s - 1.0) * 100.0
+    );
+
+    // After the epilogue, the nodes are pristine for the next user.
+    for node in &slurm.cluster().nodes {
+        for gpu in &node.node.gpus {
+            assert!(gpu.api_restricted());
+            assert_eq!(gpu.application_clocks(), None);
+        }
+    }
+    println!("epilogue verified: all GPUs restored to default clocks and restricted.");
+}

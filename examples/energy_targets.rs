@@ -1,0 +1,82 @@
+//! Per-kernel energy targets — the paper's Listing 3 and Figure 6
+//! end-to-end: train the energy models on micro-benchmarks, compile an
+//! application's kernels into a target registry, then submit each kernel
+//! with its own energy target and compare the measured energies.
+//!
+//! Run with: `cargo run --release --example energy_targets`
+
+use std::sync::Arc;
+use synergy::kernel::generate_microbench;
+use synergy::kernel::MicroBenchConfig;
+use synergy::prelude::*;
+
+fn main() {
+    let spec = DeviceSpec::v100();
+
+    // ── compile time ──────────────────────────────────────────────────
+    // ① micro-benchmarks → ② frequency sweeps → ③ four metric models.
+    let suite = generate_microbench(42, &MicroBenchConfig::default());
+    let models = train_device_models(&spec, &suite, ModelSelection::paper_best(), 8, 7);
+
+    // ④–⑥ extract features of the app's kernels, predict, search.
+    let sobel = synergy::apps::by_name("sobel3").unwrap();
+    let matmul = synergy::apps::by_name("mat_mul").unwrap();
+    let registry = Arc::new(compile_application(
+        &spec,
+        &models,
+        &[sobel.ir.clone(), matmul.ir.clone()],
+        &[
+            EnergyTarget::MinEdp,
+            EnergyTarget::EnergySaving(50),
+            EnergyTarget::PerfLoss(25),
+        ],
+    ));
+    println!("compiled decisions:");
+    for kernel in ["sobel3", "mat_mul"] {
+        for target in [
+            EnergyTarget::MinEdp,
+            EnergyTarget::EnergySaving(50),
+            EnergyTarget::PerfLoss(25),
+        ] {
+            let c = registry.lookup(kernel, target).unwrap();
+            println!("  {kernel:10} {target:>8} -> {c}");
+        }
+    }
+
+    // ── run time ──────────────────────────────────────────────────────
+    // The device would normally be unlocked by the SLURM plugin; here we
+    // lower the restriction directly (see examples/cluster_job.rs for the
+    // full scheduler flow).
+    let device = SimDevice::new(spec, 0);
+    device.set_api_restriction(false);
+    let queue = Queue::builder(device).registry(Arc::clone(&registry)).build();
+
+    println!("\nmeasured per-kernel energy under each target:");
+    for bench in [&sobel, &matmul] {
+        let items = bench.work_items as usize;
+        // Baseline at default clocks.
+        let ir = bench.ir.clone();
+        let base = queue.submit(move |h| h.parallel_for_modeled(items, &ir));
+        let base_e = queue.kernel_energy_exact(&base);
+        let base_t = base.execution().unwrap().duration_s();
+        println!("  {:12} default : {:.3} J, {:.2} ms", bench.name, base_e, base_t * 1e3);
+        for target in [EnergyTarget::MinEdp, EnergyTarget::EnergySaving(50)] {
+            let ir = bench.ir.clone();
+            let ev = queue.submit_with_target(target, move |h| {
+                h.parallel_for_modeled(items, &ir)
+            });
+            ev.wait_and_throw().expect("registry entry exists");
+            let e = queue.kernel_energy_exact(&ev);
+            let rec = ev.execution().unwrap();
+            println!(
+                "  {:12} {:>8}: {:.3} J, {:.2} ms at {} ({:+.1}% energy)",
+                bench.name,
+                target.to_string(),
+                e,
+                rec.duration_s() * 1e3,
+                rec.clocks,
+                (e / base_e - 1.0) * 100.0,
+            );
+        }
+    }
+}

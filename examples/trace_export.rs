@@ -1,0 +1,39 @@
+//! Export a queue's activity as a Chrome trace — run a few CloverLeaf
+//! steps and write `cloverleaf_trace.json`, openable in `chrome://tracing`
+//! or https://ui.perfetto.dev (kernel slices with clocks + energy, plus a
+//! board-power counter track).
+//!
+//! Run with: `cargo run --release --example trace_export`
+
+use synergy::apps::CloverLeaf;
+use synergy::prelude::*;
+
+fn main() {
+    let device = SimDevice::new(DeviceSpec::v100(), 0);
+    let queue = Queue::new(device);
+
+    let mut app = CloverLeaf::new(128, 128);
+    for _ in 0..3 {
+        app.step(&queue, None);
+    }
+
+    let log = queue.kernel_log();
+    println!("executed {} kernels over 3 CloverLeaf steps:", log.len());
+    for k in log.iter().take(8) {
+        println!(
+            "  {:<22} {:>8.3} ms  {:>7.4} J  @ {}",
+            k.name,
+            k.duration_s() * 1e3,
+            k.energy_j,
+            k.clocks
+        );
+    }
+
+    let trace = queue.export_chrome_trace();
+    let path = "cloverleaf_trace.json";
+    std::fs::write(path, &trace).expect("write trace");
+    println!(
+        "\nwrote {path} ({} KiB) — open it in chrome://tracing or Perfetto",
+        trace.len() / 1024
+    );
+}

@@ -1,0 +1,82 @@
+//! # SYnergy (Rust reproduction)
+//!
+//! A full-system reproduction of *"SYnergy: Fine-grained Energy-Efficient
+//! Heterogeneous Computing for Scalable Energy Saving"* (SC '23) in Rust:
+//! an energy-aware SYCL-style runtime with per-kernel energy targets, a
+//! compile-time modeling pipeline (feature extraction → ML models →
+//! frequency search), a SLURM-like scheduler with the `nvgpufreq`
+//! privilege-raising plugin, and the simulated V100/A100/MI100 hardware
+//! substrate the evaluation runs on.
+//!
+//! This crate is a facade: it re-exports the component crates under stable
+//! module names. Start with [`rt::Queue`] (the paper's `synergy::queue`),
+//! then [`rt::compile_application`] for energy targets, and
+//! [`sched::Slurm`] for cluster runs.
+//!
+//! ```
+//! use synergy::prelude::*;
+//!
+//! // Bring up a simulated V100 and an energy-aware queue (Listing 1).
+//! let device = SimDevice::new(DeviceSpec::v100(), 0);
+//! let queue = Queue::new(device);
+//!
+//! let n = 1 << 16;
+//! let x = Buffer::from_slice(&vec![1.0f32; n]);
+//! let y = Buffer::from_slice(&vec![2.0f32; n]);
+//! let z: Buffer<f32> = Buffer::zeros(n);
+//! let (xa, ya, za) = (x.accessor(), y.accessor(), z.accessor());
+//!
+//! let ir = IrBuilder::new()
+//!     .ops(Inst::GlobalLoad, 2)
+//!     .ops(Inst::FloatAdd, 1)
+//!     .ops(Inst::GlobalStore, 1)
+//!     .build("vec_add");
+//! let event = queue.submit(move |h| {
+//!     h.parallel_for(n, &ir, move |i| za.set(i, xa.get(i) + ya.get(i)));
+//! });
+//! event.wait();
+//! assert!(queue.kernel_energy_exact(&event) > 0.0);
+//! assert_eq!(z.to_vec()[0], 3.0);
+//! ```
+
+#![warn(missing_docs)]
+
+/// Kernel IR, Table-1 static features, extraction pass, micro-benchmarks.
+pub use synergy_kernel as kernel;
+
+/// GPU/DVFS simulator: device models, frequency tables, power traces.
+pub use synergy_sim as sim;
+
+/// Vendor management-library analogues (NVML, ROCm SMI) and privileges.
+pub use synergy_hal as hal;
+
+/// Energy metrics: EDP/ED2P/ES_x/PL_x, Pareto fronts, target search.
+pub use synergy_metrics as metrics;
+
+/// Regression models (linear, lasso, random forest, SVR-RBF) and errors.
+pub use synergy_ml as ml;
+
+/// The energy-aware runtime: queues, buffers, events, the compile step.
+pub use synergy_rt as rt;
+
+/// SLURM-like scheduler with the `nvgpufreq` plugin.
+pub use synergy_sched as sched;
+
+/// The 23-benchmark suite plus CloverLeaf and MiniWeather mini-apps.
+pub use synergy_apps as apps;
+
+/// Multi-node weak-scaling simulation (Figure 10).
+pub use synergy_cluster as cluster;
+
+/// One-stop imports for applications.
+pub mod prelude {
+    pub use crate::hal::{Caller, Nvml, NvmlDevice, RocmSmi};
+    pub use crate::kernel::{extract, Inst, IrBuilder, KernelIr};
+    pub use crate::metrics::{pareto_front, EnergyTarget, MetricPoint};
+    pub use crate::ml::{Algorithm, ModelSelection};
+    pub use crate::rt::{
+        compile_application, train_device_models, Buffer, Event, Handler, Queue,
+        TargetRegistry,
+    };
+    pub use crate::sim::{ClockConfig, DeviceSpec, SimDevice, SimNode};
+}

@@ -1,0 +1,103 @@
+//! Cross-device coverage: the full catalogue (V100, A100, MI100, Titan X)
+//! must support the complete methodology — characterization, target
+//! search, model training, compilation — not just the two devices the
+//! paper's figures focus on.
+
+use synergy::kernel::{generate_microbench, MicroBenchConfig};
+use synergy::metrics::{point_at, search_optimal};
+use synergy::prelude::*;
+use synergy::rt::measured_sweep;
+
+fn catalogue() -> Vec<DeviceSpec> {
+    vec![
+        DeviceSpec::v100(),
+        DeviceSpec::a100(),
+        DeviceSpec::mi100(),
+        DeviceSpec::titan_x(),
+    ]
+}
+
+#[test]
+fn every_device_characterizes_every_benchmark() {
+    for spec in catalogue() {
+        for bench in synergy::apps::suite().into_iter().step_by(4) {
+            let sweep = measured_sweep(&spec, &bench.ir, bench.work_items);
+            assert_eq!(sweep.len(), spec.freq_table.len(), "{}", spec.name);
+            assert!(
+                sweep.iter().all(|p| p.is_physical()),
+                "{} / {}",
+                spec.name,
+                bench.name
+            );
+            let baseline = point_at(&sweep, spec.baseline_clocks());
+            assert!(baseline.is_some(), "{}: baseline missing", spec.name);
+            for target in EnergyTarget::PAPER_SET {
+                assert!(
+                    search_optimal(target, &sweep, spec.baseline_clocks()).is_some(),
+                    "{} / {} / {}",
+                    spec.name,
+                    bench.name,
+                    target
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn every_device_trains_and_compiles() {
+    let suite = generate_microbench(5, &MicroBenchConfig::default());
+    let kernels = vec![synergy::apps::by_name("black_scholes").unwrap().ir];
+    for spec in catalogue() {
+        // Coarse stride keeps the 2-D Titan X sweep affordable in tests.
+        let models = train_device_models(&spec, &suite[..16], ModelSelection::paper_best(), 24, 1);
+        let registry = compile_application(&spec, &models, &kernels, &EnergyTarget::PAPER_SET);
+        assert_eq!(
+            registry.len(),
+            EnergyTarget::PAPER_SET.len(),
+            "{}",
+            spec.name
+        );
+        for target in EnergyTarget::PAPER_SET {
+            let c = registry.lookup("black_scholes", target).unwrap();
+            assert!(spec.freq_table.supports(c), "{}: {target} -> {c}", spec.name);
+        }
+    }
+}
+
+#[test]
+fn a100_behaves_like_a_bigger_v100() {
+    // Same vendor and similar architecture: a compute-bound kernel's
+    // energy-optimal frequency should sit near the knee on both.
+    let bench = synergy::apps::by_name("nbody").unwrap();
+    for (spec, knee) in [(DeviceSpec::v100(), 1000.0), (DeviceSpec::a100(), 940.0)] {
+        let sweep = measured_sweep(&spec, &bench.ir, bench.work_items);
+        let opt = search_optimal(EnergyTarget::MinEnergy, &sweep, spec.baseline_clocks())
+            .unwrap();
+        let rel = opt.clocks.core_mhz as f64 / knee;
+        assert!(
+            (0.75..1.25).contains(&rel),
+            "{}: min-energy {} MHz vs knee {knee}",
+            spec.name,
+            opt.clocks.core_mhz
+        );
+    }
+}
+
+#[test]
+fn queues_run_on_every_device() {
+    for spec in catalogue() {
+        let dev = SimDevice::new(spec, 0);
+        let q = Queue::new(dev);
+        let ir = IrBuilder::new()
+            .ops(Inst::GlobalLoad, 2)
+            .ops(Inst::FloatAdd, 1)
+            .ops(Inst::GlobalStore, 1)
+            .build("portable");
+        let ev = q.submit(|h| h.parallel_for_modeled(1 << 18, &ir));
+        ev.wait();
+        let rec = ev.execution().unwrap();
+        assert!(rec.energy_j > 0.0);
+        assert_eq!(rec.clocks, q.device().spec().baseline_clocks());
+    }
+}

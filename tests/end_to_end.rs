@@ -1,0 +1,126 @@
+//! End-to-end integration: micro-benchmarks → trained models → compiled
+//! target registry → energy-aware queue → measured per-kernel energies,
+//! across crates.
+
+use std::sync::Arc;
+use synergy::kernel::{generate_microbench, MicroBenchConfig};
+use synergy::prelude::*;
+
+fn registry_for(spec: &DeviceSpec, kernels: &[synergy::kernel::KernelIr]) -> TargetRegistry {
+    let suite = generate_microbench(42, &MicroBenchConfig::default());
+    let models = train_device_models(spec, &suite, ModelSelection::paper_best(), 12, 5);
+    compile_application(spec, &models, kernels, &EnergyTarget::PAPER_SET)
+}
+
+#[test]
+fn compile_then_run_with_targets() {
+    let spec = DeviceSpec::v100();
+    let bench = synergy::apps::by_name("sobel3").unwrap();
+    let registry = registry_for(&spec, std::slice::from_ref(&bench.ir));
+    assert_eq!(registry.len(), EnergyTarget::PAPER_SET.len());
+
+    let device = SimDevice::new(spec, 0);
+    device.set_api_restriction(false);
+    let queue = Queue::builder(device).registry(Arc::new(registry)).build();
+
+    let items = bench.work_items as usize;
+    let run = |target: Option<EnergyTarget>| -> (f64, f64) {
+        let ir = bench.ir.clone();
+        let ev = match target {
+            Some(t) => queue.submit_with_target(t, move |h| h.parallel_for_modeled(items, &ir)),
+            None => queue.submit(move |h| h.parallel_for_modeled(items, &ir)),
+        };
+        ev.wait_and_throw().unwrap();
+        let rec = ev.execution().unwrap();
+        (rec.duration_s(), rec.energy_j)
+    };
+
+    let (t_default, e_default) = run(None);
+    let (t_max, _) = run(Some(EnergyTarget::MaxPerf));
+    let (t_min_e, e_min) = run(Some(EnergyTarget::MinEnergy));
+    let (_, e_es50) = run(Some(EnergyTarget::EnergySaving(50)));
+
+    // MAX_PERF should not be slower than default; MIN_ENERGY should not
+    // cost more energy than default; ES_50 sits in between.
+    assert!(t_max <= t_default * 1.02, "{t_max} vs {t_default}");
+    assert!(e_min <= e_default * 1.02, "{e_min} vs {e_default}");
+    assert!(t_min_e >= t_default * 0.98);
+    assert!(e_es50 <= e_default * 1.02);
+}
+
+#[test]
+fn fine_grained_beats_whole_app_default_for_mixed_kernels() {
+    // An application mixing a memory-bound and a compute-bound kernel:
+    // per-kernel MIN_ENERGY tuning must beat running everything at default.
+    let spec = DeviceSpec::v100();
+    let benches = [
+        synergy::apps::by_name("vec_add").unwrap(),
+        synergy::apps::by_name("nbody").unwrap(),
+    ];
+    let irs: Vec<_> = benches.iter().map(|b| b.ir.clone()).collect();
+    let registry = Arc::new(registry_for(&spec, &irs));
+
+    let run_app = |use_targets: bool| -> f64 {
+        let device = SimDevice::new(DeviceSpec::v100(), 0);
+        device.set_api_restriction(false);
+        let queue = Queue::builder(device).registry(Arc::clone(&registry)).build();
+        let mut total = 0.0;
+        for bench in &benches {
+            let items = bench.work_items as usize;
+            let ir = bench.ir.clone();
+            let ev = if use_targets {
+                queue.submit_with_target(EnergyTarget::MinEnergy, move |h| {
+                    h.parallel_for_modeled(items, &ir)
+                })
+            } else {
+                queue.submit(move |h| h.parallel_for_modeled(items, &ir))
+            };
+            ev.wait();
+            total += ev.execution().unwrap().energy_j;
+        }
+        total
+    };
+
+    let e_default = run_app(false);
+    let e_tuned = run_app(true);
+    assert!(
+        e_tuned < e_default,
+        "per-kernel tuning {e_tuned} J should beat default {e_default} J"
+    );
+}
+
+#[test]
+fn registry_decisions_are_supported_frequencies() {
+    let spec = DeviceSpec::mi100();
+    let kernels: Vec<_> = synergy::apps::suite()
+        .into_iter()
+        .take(6)
+        .map(|b| b.ir)
+        .collect();
+    let registry = registry_for(&spec, &kernels);
+    for kernel in kernels {
+        for target in EnergyTarget::PAPER_SET {
+            let c = registry.lookup(&kernel.name, target).unwrap();
+            assert!(spec.freq_table.supports(c), "{}: {target} -> {c}", kernel.name);
+        }
+    }
+}
+
+#[test]
+fn real_compute_still_correct_under_frequency_scaling() {
+    // Down-clocking changes time and energy but never results.
+    let device = SimDevice::new(DeviceSpec::v100(), 0);
+    device.set_api_restriction(false);
+    let lowest = device.spec().freq_table.min_core();
+    let queue = Queue::builder(device).frequency(877, lowest).build();
+    let n = 64usize;
+    let a: Vec<f32> = (0..n * n).map(|i| (i % 5) as f32).collect();
+    let b: Vec<f32> = (0..n * n).map(|i| (i % 3) as f32).collect();
+    let ab = Buffer::from_slice(&a);
+    let bb = Buffer::from_slice(&b);
+    let cb: Buffer<f32> = Buffer::zeros(n * n);
+    synergy::apps::linalg::run_mat_mul(&queue, &ab, &bb, &cb, n).wait_and_throw().unwrap();
+    let c = cb.to_vec();
+    let want: f32 = (0..n).map(|k| a[k] * b[k * n]).sum();
+    assert_eq!(c[0], want);
+}

@@ -1,0 +1,185 @@
+//! Failure injection across the stack: broken NVML on one node, controller
+//! outages, unsupported clock requests, permission races — the system must
+//! degrade exactly the way the paper's plugin design intends (skip, never
+//! crash, never leave a node dirty).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use synergy::prelude::*;
+use synergy::sched::{
+    Cluster, ClusterNode, ControllerStatus, JobRequest, NvGpuFreqPlugin, Slurm, NVGPUFREQ_GRES,
+};
+use synergy::sim::SimNode;
+
+fn gres() -> Vec<String> {
+    vec![NVGPUFREQ_GRES.to_string()]
+}
+
+#[test]
+fn broken_nvml_on_one_node_skips_only_that_node() {
+    let mut cluster = Cluster::new();
+    cluster.add_node(ClusterNode::new(SimNode::marconi100("good"), gres()));
+    let mut bad = ClusterNode::new(SimNode::marconi100("bad"), gres());
+    bad.nvml_available = false;
+    cluster.add_node(bad);
+
+    let mut slurm = Slurm::new(cluster);
+    slurm.register_plugin(Box::new(NvGpuFreqPlugin));
+
+    let record = slurm.run(
+        JobRequest::builder("mixed", 1000)
+            .nodes(2)
+            .exclusive()
+            .gres(NVGPUFREQ_GRES)
+            .payload(|ctx| {
+                // Good node: clocks scalable; bad node: permission denied.
+                let good = &ctx.nodes[0].gpus[0];
+                let bad = &ctx.nodes[1].gpus[0];
+                assert!(!good.api_restricted());
+                assert!(bad.api_restricted());
+            }),
+    );
+    let applied: Vec<bool> = record.plugin_log.iter().map(|e| e.applied).collect();
+    assert_eq!(applied, vec![true, false]);
+    assert!(record.plugin_log[1]
+        .reason
+        .as_deref()
+        .unwrap()
+        .contains("NVML"));
+}
+
+#[test]
+fn controller_outage_mid_stream_affects_only_new_jobs() {
+    let mut slurm = Slurm::new(Cluster::marconi100(1, true));
+    slurm.register_plugin(Box::new(NvGpuFreqPlugin));
+
+    let ok = slurm
+        .run(
+            JobRequest::builder("before", 1)
+                .exclusive()
+                .gres(NVGPUFREQ_GRES)
+                .payload(|_| {}),
+        )
+        .plugin_log
+        .iter()
+        .all(|e| e.applied);
+    assert!(ok);
+
+    slurm.set_controller_status(ControllerStatus::Unreachable);
+    let denied = slurm
+        .run(
+            JobRequest::builder("during", 1)
+                .exclusive()
+                .gres(NVGPUFREQ_GRES)
+                .payload(|_| {}),
+        )
+        .plugin_log
+        .iter()
+        .all(|e| !e.applied);
+    assert!(denied);
+
+    slurm.set_controller_status(ControllerStatus::Reachable);
+    let ok_again = slurm
+        .run(
+            JobRequest::builder("after", 1)
+                .exclusive()
+                .gres(NVGPUFREQ_GRES)
+                .payload(|_| {}),
+        )
+        .plugin_log
+        .iter()
+        .all(|e| e.applied);
+    assert!(ok_again);
+}
+
+#[test]
+fn unsupported_clock_requests_fail_cleanly_and_kernels_still_run() {
+    let dev = SimDevice::new(DeviceSpec::v100(), 0);
+    dev.set_api_restriction(false);
+    let queue = Queue::new(Arc::clone(&dev));
+    let ir = IrBuilder::new().ops(Inst::FloatAdd, 4).build("k");
+    // Memory clock that does not exist on V100.
+    let ev = queue.submit_with_frequency(1215, 1410, |h| h.parallel_for_modeled(1 << 16, &ir));
+    let err = ev.wait_and_throw().unwrap_err();
+    assert!(matches!(err, synergy::hal::HalError::UnsupportedClock(_)));
+    // The kernel executed at the device's current clocks regardless.
+    assert_eq!(ev.execution().unwrap().clocks, dev.spec().baseline_clocks());
+}
+
+#[test]
+fn queue_survives_many_denied_requests() {
+    // A restricted device: every frequency request is denied; the queue
+    // must keep executing and profiling correctly.
+    let dev = SimDevice::new(DeviceSpec::v100(), 0);
+    let queue = Queue::new(dev);
+    let ir = IrBuilder::new()
+        .ops(Inst::GlobalLoad, 2)
+        .ops(Inst::FloatAdd, 1)
+        .ops(Inst::GlobalStore, 1)
+        .build("denied");
+    let denials = AtomicUsize::new(0);
+    let mut events = Vec::new();
+    for i in 0..50 {
+        let core = 135 + (i * 7) % 1300;
+        events.push(queue.submit_with_frequency(877, core as u32, |h| {
+            h.parallel_for_modeled(1 << 14, &ir)
+        }));
+    }
+    for ev in &events {
+        if ev.wait_and_throw().is_err() {
+            denials.fetch_add(1, Ordering::Relaxed);
+        }
+        assert!(ev.execution().is_some());
+    }
+    assert_eq!(denials.load(Ordering::Relaxed), 50);
+    assert!(queue.device_energy_consumption() > 0.0);
+}
+
+#[test]
+fn node_restored_even_when_job_panics_are_contained_by_design() {
+    // The scheduler runs payloads synchronously; a payload that takes an
+    // early return (simulating an aborted job) must still hit the epilogue.
+    let mut slurm = Slurm::new(Cluster::marconi100(1, true));
+    slurm.register_plugin(Box::new(NvGpuFreqPlugin));
+    slurm.run(
+        JobRequest::builder("aborted", 1000)
+            .exclusive()
+            .gres(NVGPUFREQ_GRES)
+            .payload(|ctx| {
+                let dev = &ctx.nodes[0].gpus[0];
+                dev.set_application_clocks(ClockConfig::new(877, 135)).unwrap();
+                // "crash" — return without cleanup.
+            }),
+    );
+    let gpu = &slurm.cluster().nodes[0].node.gpus[0];
+    assert!(gpu.api_restricted());
+    assert_eq!(gpu.application_clocks(), None);
+}
+
+#[test]
+fn mixed_vendor_cluster_isolates_management_libraries() {
+    let mut cluster = Cluster::new();
+    cluster.add_node(ClusterNode::new(SimNode::marconi100("nv"), gres()));
+    cluster.add_node(ClusterNode::new(SimNode::amd_node("amd"), gres()));
+    let mut slurm = Slurm::new(cluster);
+    slurm.register_plugin(Box::new(NvGpuFreqPlugin));
+    let record = slurm.run(
+        JobRequest::builder("mixed-vendor", 1000)
+            .nodes(2)
+            .exclusive()
+            .gres(NVGPUFREQ_GRES)
+            .payload(|ctx| {
+                // NVML sees only the NVIDIA node's boards.
+                let nvml_nv = Nvml::init(&ctx.nodes[0].gpus);
+                let nvml_amd = Nvml::init(&ctx.nodes[1].gpus);
+                assert_eq!(nvml_nv.device_count(), 4);
+                assert_eq!(nvml_amd.device_count(), 0);
+                // The AMD board answers through ROCm SMI instead.
+                let smi = RocmSmi::init(&ctx.nodes[1].gpus);
+                assert_eq!(smi.device_count(), 1);
+            }),
+    );
+    // The nvgpufreq plugin applied on both nodes (it inspects, then
+    // unlocks whatever NVIDIA boards exist — zero on the AMD node).
+    assert!(record.plugin_log.iter().all(|e| e.applied));
+}

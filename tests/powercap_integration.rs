@@ -1,0 +1,123 @@
+//! Power capping ↔ scheduler ↔ runtime integration: a cluster watt budget
+//! enforced through locked clocks must bound what jobs can draw, survive
+//! the nvgpufreq plugin's epilogue, and interact sanely with per-kernel
+//! frequency requests.
+
+use synergy::prelude::*;
+use synergy::sched::{
+    clock_ceiling_for_cap, Cluster, JobRequest, NvGpuFreqPlugin, PowerCapConfig, PowerManager,
+    Slurm, NVGPUFREQ_GRES,
+};
+
+fn busy_ir() -> synergy::kernel::KernelIr {
+    IrBuilder::new()
+        .ops(Inst::GlobalLoad, 1)
+        .loop_n(4096, |b| b.ops(Inst::FloatMul, 1).ops(Inst::FloatAdd, 1))
+        .ops(Inst::GlobalStore, 1)
+        .build("virus")
+}
+
+#[test]
+fn capped_cluster_bounds_job_power() {
+    let cluster = Cluster::marconi100(1, true);
+    let per_gpu_cap = 160.0;
+    let mgr = PowerManager::new(PowerCapConfig::even(4.0 * per_gpu_cap), 1);
+    mgr.enforce(&cluster);
+
+    let mut slurm = Slurm::new(cluster);
+    let record = slurm.run(
+        JobRequest::builder("hot-job", 1000)
+            .nodes(1)
+            .exclusive()
+            .payload(move |ctx| {
+                for gpu in ctx.gpus() {
+                    let q = Queue::new(gpu.clone());
+                    let ir = busy_ir();
+                    let ev = q.submit(move |h| h.parallel_for_modeled(1 << 24, &ir));
+                    ev.wait();
+                    let rec = ev.execution().unwrap();
+                    assert!(
+                        rec.timing.exec_power_w <= per_gpu_cap + 1e-9,
+                        "board drew {} W above the {per_gpu_cap} W cap",
+                        rec.timing.exec_power_w
+                    );
+                }
+            }),
+    );
+    assert!(record.gpu_energy_j > 0.0);
+}
+
+#[test]
+fn cap_overrides_user_frequency_requests() {
+    // Even a privileged job asking for the max core clock is clamped by
+    // the root-only locked ceiling the power manager installed.
+    let cluster = Cluster::marconi100(1, true);
+    let mgr = PowerManager::new(PowerCapConfig::even(4.0 * 150.0), 1);
+    mgr.enforce(&cluster);
+    let ceiling = clock_ceiling_for_cap(&DeviceSpec::v100(), 150.0);
+
+    let mut slurm = Slurm::new(cluster);
+    slurm.register_plugin(Box::new(NvGpuFreqPlugin));
+    slurm.run(
+        JobRequest::builder("greedy", 1000)
+            .nodes(1)
+            .exclusive()
+            .gres(NVGPUFREQ_GRES)
+            .payload(move |ctx| {
+                let gpu = ctx.gpus()[0].clone();
+                let q = Queue::builder(gpu).caller(ctx.caller).frequency(877, 1530).build();
+                let ir = busy_ir();
+                let ev = q.submit(move |h| h.parallel_for_modeled(1 << 20, &ir));
+                ev.wait_and_throw().expect("request is accepted...");
+                let rec = ev.execution().unwrap();
+                assert!(
+                    rec.clocks.core_mhz <= ceiling,
+                    "...but the locked ceiling clamps it: ran at {} > {ceiling}",
+                    rec.clocks.core_mhz
+                );
+            }),
+    );
+}
+
+#[test]
+fn uncapped_job_is_faster_but_hotter() {
+    let run = |cap: Option<f64>| -> (f64, f64) {
+        let cluster = Cluster::marconi100(1, true);
+        if let Some(c) = cap {
+            PowerManager::new(PowerCapConfig::even(4.0 * c), 1).enforce(&cluster);
+        }
+        let gpu = cluster.nodes[0].node.gpus[0].clone();
+        let q = Queue::new(gpu);
+        let ir = busy_ir();
+        let ev = q.submit(move |h| h.parallel_for_modeled(1 << 24, &ir));
+        ev.wait();
+        let rec = ev.execution().unwrap();
+        (rec.duration_s(), rec.timing.exec_power_w)
+    };
+    let (t_free, p_free) = run(None);
+    let (t_capped, p_capped) = run(Some(140.0));
+    assert!(t_capped > t_free, "cap must slow the board");
+    assert!(p_capped < p_free, "cap must reduce power");
+}
+
+#[test]
+fn rebalancing_respects_budget_with_live_jobs() {
+    let cluster = Cluster::marconi100(2, true);
+    let budget = 2.0 * 4.0 * 170.0;
+    let mut mgr = PowerManager::new(PowerCapConfig::even(budget), 2);
+    // Node 1 works, node 0 idles.
+    for gpu in &cluster.nodes[1].node.gpus {
+        let q = Queue::new(gpu.clone());
+        let ir = busy_ir();
+        q.submit(move |h| h.parallel_for_modeled(1 << 22, &ir)).wait();
+    }
+    for gpu in &cluster.nodes[0].node.gpus {
+        gpu.advance_idle(50_000_000);
+    }
+    for _ in 0..3 {
+        mgr.rebalance(&cluster);
+        mgr.enforce(&cluster);
+        assert!(mgr.total_caps_w() <= budget + 1e-6);
+    }
+    assert!(mgr.node_cap_w(1) > mgr.node_cap_w(0));
+}

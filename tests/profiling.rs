@@ -1,0 +1,88 @@
+//! Profiling integration: the coarse (whole-device) and fine (per-kernel)
+//! energy paths of Section 4.2, including the Section 4.4 limitation that
+//! kernels shorter than the sensor interval profile poorly.
+
+use synergy::prelude::*;
+
+fn kernel(loops: u64) -> synergy::kernel::KernelIr {
+    IrBuilder::new()
+        .ops(Inst::GlobalLoad, 1)
+        .loop_n(loops, |b| b.ops(Inst::FloatMul, 1).ops(Inst::FloatAdd, 1))
+        .ops(Inst::GlobalStore, 1)
+        .build(format!("loops_{loops}"))
+}
+
+#[test]
+fn device_energy_covers_all_kernels() {
+    let device = SimDevice::new(DeviceSpec::v100(), 0);
+    let queue = Queue::new(device);
+    let mut exact_sum = 0.0;
+    for _ in 0..4 {
+        let ir = kernel(256);
+        let ev = queue.submit(move |h| h.parallel_for_modeled(1 << 20, &ir));
+        exact_sum += queue.kernel_energy_exact(&ev);
+    }
+    let device_energy = queue.device_energy_consumption();
+    assert!(
+        device_energy >= exact_sum * 0.999,
+        "coarse window {device_energy} must cover kernel sum {exact_sum}"
+    );
+}
+
+#[test]
+fn long_kernels_profile_accurately_short_ones_do_not() {
+    let device = SimDevice::new(DeviceSpec::v100(), 0);
+    let queue = Queue::new(device);
+
+    // Long kernel: hundreds of ms >> 15 ms sensor interval.
+    let long = kernel(1 << 16);
+    let ev_long = queue.submit(move |h| h.parallel_for_modeled(1 << 24, &long));
+    let exact_long = queue.kernel_energy_exact(&ev_long);
+    let sampled_long = queue.kernel_energy_consumption(&ev_long);
+    let err_long = (sampled_long - exact_long).abs() / exact_long;
+
+    // Short kernel: well under one sensor interval.
+    let short = kernel(16);
+    let ev_short = queue.submit(move |h| h.parallel_for_modeled(1 << 16, &short));
+    let exact_short = queue.kernel_energy_exact(&ev_short);
+    let sampled_short = queue.kernel_energy_consumption(&ev_short);
+    let err_short = (sampled_short - exact_short).abs() / exact_short;
+
+    assert!(err_long < 0.05, "long-kernel profiling error {err_long}");
+    assert!(
+        err_short > err_long,
+        "short kernels must profile worse: {err_short} vs {err_long}"
+    );
+}
+
+#[test]
+fn power_sensor_tracks_load() {
+    let device = SimDevice::new(DeviceSpec::v100(), 0);
+    let queue = Queue::new(std::sync::Arc::clone(&device));
+    let idle_read = queue.power_usage_w();
+    // Push a long busy phase, then read the smoothed sensor.
+    let ir = kernel(1 << 14);
+    let ev = queue.submit(move |h| h.parallel_for_modeled(1 << 24, &ir));
+    ev.wait();
+    let busy_read = queue.power_usage_w();
+    assert!(
+        busy_read > idle_read,
+        "sensor should rise under load: {idle_read} -> {busy_read}"
+    );
+    assert!(busy_read <= device.spec().tdp_w * 1.02);
+}
+
+#[test]
+fn profiling_is_deterministic() {
+    let run = || {
+        let device = SimDevice::new(DeviceSpec::v100(), 0);
+        let queue = Queue::new(device);
+        let ir = kernel(512);
+        let ev = queue.submit(move |h| h.parallel_for_modeled(1 << 22, &ir));
+        (
+            queue.kernel_energy_exact(&ev),
+            queue.kernel_energy_consumption(&ev),
+        )
+    };
+    assert_eq!(run(), run());
+}

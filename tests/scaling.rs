@@ -1,0 +1,128 @@
+//! Weak-scaling integration (the Figure-10 machinery) at test scale.
+
+use std::sync::Arc;
+use synergy::cluster::{
+    fresh_v100_ranks, run_weak_scaling, CommModel, FrequencySchedule, MiniApp,
+    WeakScalingConfig,
+};
+use synergy::kernel::{generate_microbench, MicroBenchConfig};
+use synergy::prelude::*;
+
+fn cfg(gpus: usize) -> WeakScalingConfig {
+    WeakScalingConfig {
+        gpus,
+        local_nx: 2048,
+        local_ny: 2048,
+        steps: 2,
+        comm: CommModel::edr_dragonfly(),
+    }
+}
+
+fn registry(app: MiniApp) -> Arc<TargetRegistry> {
+    let spec = DeviceSpec::v100();
+    let suite = generate_microbench(42, &MicroBenchConfig::default());
+    let models = train_device_models(&spec, &suite, ModelSelection::paper_best(), 12, 3);
+    Arc::new(compile_application(
+        &spec,
+        &models,
+        &app.kernel_irs(),
+        &EnergyTarget::PAPER_SET,
+    ))
+}
+
+#[test]
+fn runs_are_deterministic() {
+    let go = || {
+        run_weak_scaling(
+            MiniApp::CloverLeaf,
+            &cfg(4),
+            &fresh_v100_ranks(4),
+            Caller::Root,
+            &FrequencySchedule::Default,
+        )
+    };
+    let a = go();
+    let b = go();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn both_apps_save_energy_with_es50() {
+    for app in [MiniApp::CloverLeaf, MiniApp::MiniWeather] {
+        let reg = registry(app);
+        let base = run_weak_scaling(
+            app,
+            &cfg(4),
+            &fresh_v100_ranks(4),
+            Caller::Root,
+            &FrequencySchedule::Default,
+        );
+        let es = run_weak_scaling(
+            app,
+            &cfg(4),
+            &fresh_v100_ranks(4),
+            Caller::Root,
+            &FrequencySchedule::PerKernel {
+                registry: reg,
+                target: EnergyTarget::EnergySaving(50),
+            },
+        );
+        let saving = 1.0 - es.energy_j / base.energy_j;
+        assert!(
+            saving > 0.05,
+            "{}: ES_50 saving {saving:.3} too small",
+            app.name()
+        );
+    }
+}
+
+#[test]
+fn energy_scales_roughly_linearly_with_gpus() {
+    let e4 = run_weak_scaling(
+        MiniApp::MiniWeather,
+        &cfg(4),
+        &fresh_v100_ranks(4),
+        Caller::Root,
+        &FrequencySchedule::Default,
+    )
+    .energy_j;
+    let e16 = run_weak_scaling(
+        MiniApp::MiniWeather,
+        &cfg(16),
+        &fresh_v100_ranks(16),
+        Caller::Root,
+        &FrequencySchedule::Default,
+    )
+    .energy_j;
+    let ratio = e16 / e4;
+    assert!(
+        (3.5..=4.5).contains(&ratio),
+        "weak scaling should multiply energy ~4x, got {ratio:.2}"
+    );
+}
+
+#[test]
+fn pl_targets_trade_time_monotonically() {
+    let app = MiniApp::CloverLeaf;
+    let reg = registry(app);
+    let mut last_time = 0.0;
+    for x in [25u8, 50, 75] {
+        let out = run_weak_scaling(
+            app,
+            &cfg(4),
+            &fresh_v100_ranks(4),
+            Caller::Root,
+            &FrequencySchedule::PerKernel {
+                registry: Arc::clone(&reg),
+                target: EnergyTarget::PerfLoss(x),
+            },
+        );
+        assert!(
+            out.time_s >= last_time * 0.999,
+            "PL_{x} time {} should not drop below PL_{} time {last_time}",
+            out.time_s,
+            x - 25
+        );
+        last_time = out.time_s;
+    }
+}

@@ -1,0 +1,122 @@
+//! Scheduler ↔ runtime integration: jobs that build energy-aware queues on
+//! their allocated GPUs, with the nvgpufreq plugin governing who may scale
+//! clocks.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use synergy::prelude::*;
+use synergy::sched::{Cluster, JobRequest, NvGpuFreqPlugin, Slurm, NVGPUFREQ_GRES};
+
+fn scheduler(nodes: usize) -> Slurm {
+    let mut s = Slurm::new(Cluster::marconi100(nodes, true));
+    s.register_plugin(Box::new(NvGpuFreqPlugin));
+    s
+}
+
+#[test]
+fn job_queue_scales_frequencies_under_plugin() {
+    let mut slurm = scheduler(1);
+    let success = Arc::new(AtomicBool::new(false));
+    let flag = Arc::clone(&success);
+    let job = JobRequest::builder("queue-job", 1000)
+        .nodes(1)
+        .exclusive()
+        .gres(NVGPUFREQ_GRES)
+        .payload(move |ctx| {
+            let gpu = ctx.nodes[0].gpus[0].clone();
+            let queue = Queue::builder(gpu).caller(ctx.caller).frequency(877, 1001).build();
+            let ir = IrBuilder::new()
+                .ops(Inst::GlobalLoad, 2)
+                .ops(Inst::FloatAdd, 1)
+                .ops(Inst::GlobalStore, 1)
+                .build("job_kernel");
+            let ev = queue.submit(move |h| h.parallel_for_modeled(1 << 20, &ir));
+            ev.wait_and_throw().expect("plugin granted clock control");
+            assert_eq!(ev.execution().unwrap().clocks, ClockConfig::new(877, 1001));
+            flag.store(true, Ordering::SeqCst);
+        });
+    let record = slurm.run(job);
+    assert!(record.plugin_log.iter().all(|e| e.applied));
+    assert!(success.load(Ordering::SeqCst));
+    assert!(record.gpu_energy_j > 0.0, "accounting captured the queue's work");
+}
+
+#[test]
+fn job_without_gres_cannot_scale_but_still_runs() {
+    let mut slurm = scheduler(1);
+    let saw_denial = Arc::new(AtomicBool::new(false));
+    let flag = Arc::clone(&saw_denial);
+    let job = JobRequest::builder("plain-job", 1000)
+        .nodes(1)
+        .exclusive()
+        .payload(move |ctx| {
+            let gpu = ctx.nodes[0].gpus[0].clone();
+            let queue = Queue::builder(gpu.clone()).caller(ctx.caller).build();
+            let ir = IrBuilder::new().ops(Inst::FloatAdd, 8).build("k");
+            // Explicit per-kernel frequency request is denied...
+            let ev = queue.submit_with_frequency(877, 1001, move |h| {
+                h.parallel_for_modeled(1 << 18, &ir)
+            });
+            if ev.wait_and_throw().is_err() {
+                flag.store(true, Ordering::SeqCst);
+            }
+            // ...and the kernel ran at default clocks regardless.
+            assert_eq!(
+                ev.execution().unwrap().clocks,
+                gpu.spec().baseline_clocks()
+            );
+        });
+    let record = slurm.run(job);
+    assert!(record.plugin_log.iter().all(|e| !e.applied));
+    assert!(saw_denial.load(Ordering::SeqCst));
+}
+
+#[test]
+fn consecutive_jobs_are_isolated() {
+    // Job A scales down and leaves clocks dirty; job B must observe a
+    // pristine node (the epilogue guarantee of Section 7).
+    let mut slurm = scheduler(1);
+    slurm.run(
+        JobRequest::builder("dirty", 1000)
+            .nodes(1)
+            .exclusive()
+            .gres(NVGPUFREQ_GRES)
+            .payload(|ctx| {
+                let gpu = ctx.nodes[0].gpus[0].clone();
+                let queue = Queue::builder(gpu).caller(ctx.caller).frequency(877, 135).build();
+                let ir = IrBuilder::new().ops(Inst::FloatMul, 64).build("burn");
+                queue
+                    .submit(move |h| h.parallel_for_modeled(1 << 20, &ir))
+                    .wait_and_throw()
+                    .unwrap();
+                // No cleanup on purpose.
+            }),
+    );
+    slurm.run(
+        JobRequest::builder("clean", 2000)
+            .nodes(1)
+            .payload(|ctx| {
+                let gpu = &ctx.nodes[0].gpus[0];
+                assert_eq!(gpu.application_clocks(), None);
+                assert_eq!(gpu.effective_clocks(), gpu.spec().baseline_clocks());
+            }),
+    );
+    assert_eq!(slurm.records().len(), 2);
+}
+
+#[test]
+fn multi_node_job_gets_all_gpus() {
+    let mut slurm = scheduler(4);
+    let job = JobRequest::builder("wide", 1000)
+        .nodes(4)
+        .exclusive()
+        .gres(NVGPUFREQ_GRES)
+        .payload(|ctx| {
+            assert_eq!(ctx.gpus().len(), 16);
+            for gpu in ctx.gpus() {
+                assert!(!gpu.api_restricted(), "plugin unlocked every board");
+            }
+        });
+    let record = slurm.run(job);
+    assert_eq!(record.hostnames.len(), 4);
+}

@@ -1,0 +1,109 @@
+//! Suite-wide characterization invariants across all 23 benchmarks on
+//! both evaluation devices (the backbone of Figures 2, 7 and 8).
+
+use synergy::metrics::{is_pareto_optimal, point_at, EnergyTarget};
+use synergy::prelude::*;
+use synergy::rt::measured_sweep;
+
+#[test]
+fn every_benchmark_characterizes_on_v100() {
+    let spec = DeviceSpec::v100();
+    for bench in synergy::apps::suite() {
+        let sweep = measured_sweep(&spec, &bench.ir, bench.work_items);
+        assert_eq!(sweep.len(), 196, "{}", bench.name);
+        assert!(
+            sweep.iter().all(|p| p.is_physical()),
+            "{}: non-physical point",
+            bench.name
+        );
+        let front = pareto_front(&sweep);
+        assert!(!front.is_empty(), "{}", bench.name);
+        // Every paper target must resolve.
+        for target in EnergyTarget::PAPER_SET {
+            let sel = synergy::metrics::search_optimal(target, &sweep, spec.baseline_clocks());
+            assert!(sel.is_some(), "{}: {target}", bench.name);
+        }
+    }
+}
+
+#[test]
+fn mi100_default_is_fastest_for_all_benchmarks() {
+    // The paper's Section 8.2 finding, across the whole suite.
+    let spec = DeviceSpec::mi100();
+    for bench in synergy::apps::suite() {
+        let sweep = measured_sweep(&spec, &bench.ir, bench.work_items);
+        let base = point_at(&sweep, spec.baseline_clocks()).unwrap();
+        let fastest = sweep
+            .iter()
+            .map(|p| p.time_s)
+            .fold(f64::INFINITY, f64::min);
+        assert!(
+            base.time_s <= fastest * 1.0 + 1e-12,
+            "{}: default must be fastest on MI100",
+            bench.name
+        );
+        assert!(is_pareto_optimal(&base, &sweep), "{}", bench.name);
+    }
+}
+
+#[test]
+fn v100_offers_more_tradeoff_space_than_mi100_defaults() {
+    // "There exists more space to find performance-energy tradeoffs on
+    // NVIDIA V100": the V100 default is strictly slower than its fastest
+    // configuration for compute-bound kernels.
+    let spec = DeviceSpec::v100();
+    let bench = synergy::apps::by_name("sobel3").unwrap();
+    let sweep = measured_sweep(&spec, &bench.ir, bench.work_items);
+    let base = point_at(&sweep, spec.baseline_clocks()).unwrap();
+    let fastest = sweep.iter().map(|p| p.time_s).fold(f64::INFINITY, f64::min);
+    assert!(
+        fastest < base.time_s * 0.95,
+        "V100 default leaves >5% performance on the table for sobel3"
+    );
+}
+
+#[test]
+fn boundedness_labels_match_model() {
+    use synergy::apps::Boundedness;
+    let spec = DeviceSpec::v100();
+    for bench in synergy::apps::suite() {
+        let info = synergy::kernel::extract(&bench.ir);
+        let wl = synergy::sim::Workload::from_static(&info, bench.work_items);
+        let t = synergy::sim::evaluate(&spec, &wl, spec.baseline_clocks());
+        match bench.bound {
+            Boundedness::MemoryBound => assert!(
+                t.is_memory_bound(),
+                "{} labelled memory-bound but model says compute",
+                bench.name
+            ),
+            Boundedness::ComputeBound => assert!(
+                !t.is_memory_bound(),
+                "{} labelled compute-bound but model says memory",
+                bench.name
+            ),
+            Boundedness::Mixed => {} // either side is fine at default clocks
+        }
+    }
+}
+
+#[test]
+fn energy_savings_vary_across_the_suite() {
+    // Fine-grained tuning only makes sense if kernels differ; the suite
+    // must span a wide range of achievable savings.
+    let spec = DeviceSpec::v100();
+    let mut savings: Vec<f64> = synergy::apps::suite()
+        .iter()
+        .map(|bench| {
+            let sweep = measured_sweep(&spec, &bench.ir, bench.work_items);
+            let base = point_at(&sweep, spec.baseline_clocks()).unwrap();
+            let min_e = sweep.iter().map(|p| p.energy_j).fold(f64::INFINITY, f64::min);
+            1.0 - min_e / base.energy_j
+        })
+        .collect();
+    savings.sort_by(f64::total_cmp);
+    let spread = savings.last().unwrap() - savings.first().unwrap();
+    assert!(
+        spread > 0.10,
+        "suite savings spread {spread:.3} too narrow for fine-grained tuning to matter"
+    );
+}
