@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# Tier-1 verification: build, test, compile the criterion benches, and
+# regenerate experiments/BENCH_pipeline.json with the CI-sized suite so the
+# compile-time pipeline's perf trajectory is tracked on every PR.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release
+cargo test -q
+cargo bench --workspace --no-run
+cargo run --release -p synergy-bench --bin pipeline_perf -- --small

@@ -1,0 +1,115 @@
+//! Compile-time pipeline benchmarks: training-set build (serial vs
+//! parallel), model training, registry compilation, and the indexed sweep
+//! lookup — the stages `pipeline_perf` tracks end to end, isolated here so
+//! regressions pinpoint a stage.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use synergy_bench::microbench_suite;
+use synergy_kernel::{KernelIr, MicroBenchmark};
+use synergy_metrics::{point_at, EnergyTarget, IndexedSweep};
+use synergy_ml::{Algorithm, ModelSelection};
+use synergy_rt::{
+    build_training_set, build_training_set_serial, compile_application, measured_sweep,
+    train_device_models, ModelStore,
+};
+use synergy_sim::DeviceSpec;
+
+const STRIDE: usize = 32;
+
+fn small_suite() -> Vec<MicroBenchmark> {
+    let mut suite = microbench_suite();
+    suite.truncate(8);
+    suite
+}
+
+fn app_kernels(n: usize) -> Vec<KernelIr> {
+    synergy_apps::suite().into_iter().take(n).map(|b| b.ir).collect()
+}
+
+fn bench_train_set_build(c: &mut Criterion) {
+    let spec = DeviceSpec::v100();
+    let suite = small_suite();
+    c.bench_function("train_set_build_serial", |b| {
+        b.iter(|| black_box(build_training_set_serial(&spec, &suite, STRIDE)))
+    });
+    c.bench_function("train_set_build_parallel", |b| {
+        b.iter(|| black_box(build_training_set(&spec, &suite, STRIDE)))
+    });
+}
+
+fn bench_model_training(c: &mut Criterion) {
+    let spec = DeviceSpec::v100();
+    let suite = small_suite();
+    c.bench_function("train_models_linear", |b| {
+        b.iter(|| {
+            black_box(train_device_models(
+                &spec,
+                &suite,
+                ModelSelection::uniform(Algorithm::Linear),
+                STRIDE,
+                0,
+            ))
+        })
+    });
+    c.bench_function("model_store_memory_hit", |b| {
+        let store = ModelStore::in_memory();
+        let sel = ModelSelection::uniform(Algorithm::Linear);
+        let _ = store.get_or_train(&spec, &suite, sel, STRIDE, 0);
+        b.iter(|| black_box(store.get_or_train(&spec, &suite, sel, STRIDE, 0)))
+    });
+}
+
+fn bench_registry_compilation(c: &mut Criterion) {
+    let spec = DeviceSpec::v100();
+    let suite = small_suite();
+    let models = train_device_models(
+        &spec,
+        &suite,
+        ModelSelection::uniform(Algorithm::Linear),
+        STRIDE,
+        0,
+    );
+    let kernels = app_kernels(4);
+    c.bench_function("compile_registry_4_kernels", |b| {
+        b.iter(|| {
+            black_box(compile_application(
+                &spec,
+                &models,
+                &kernels,
+                &EnergyTarget::PAPER_SET,
+            ))
+        })
+    });
+}
+
+fn bench_indexed_lookup(c: &mut Criterion) {
+    let spec = DeviceSpec::v100();
+    let ir = synergy_apps::by_name("mat_mul").unwrap().ir;
+    let sweep = measured_sweep(&spec, &ir, 1 << 20);
+    let queries: Vec<_> = sweep.iter().map(|p| p.clocks).collect();
+    c.bench_function("point_at_linear_196", |b| {
+        b.iter(|| {
+            for &q in &queries {
+                black_box(point_at(&sweep, q));
+            }
+        })
+    });
+    let indexed = IndexedSweep::new(sweep.clone());
+    c.bench_function("point_at_indexed_196", |b| {
+        b.iter(|| {
+            for &q in &queries {
+                black_box(indexed.point_at(q));
+            }
+        })
+    });
+}
+
+criterion_group!(
+    pipeline,
+    bench_train_set_build,
+    bench_model_training,
+    bench_registry_compilation,
+    bench_indexed_lookup
+);
+criterion_main!(pipeline);

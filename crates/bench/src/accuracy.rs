@@ -10,11 +10,10 @@
 
 use serde::Serialize;
 use synergy_apps::suite;
-use synergy_metrics::{
-    objective_value, point_at, search_optimal, EnergyTarget, MetricPoint,
-};
+use synergy_kernel::{extract, KernelStaticInfo};
+use synergy_metrics::{objective_value, EnergyTarget, IndexedSweep, MetricPoint};
 use synergy_ml::{Algorithm, ModelSelection};
-use synergy_rt::{measured_sweep, predict_sweep, train_device_models};
+use synergy_rt::{measured_sweep_from_info, predict_sweep_from_info, ModelStore};
 use synergy_sim::DeviceSpec;
 
 /// One (algorithm, objective, benchmark) accuracy observation.
@@ -62,29 +61,48 @@ pub fn run_accuracy_study(
     let benches = suite();
     let baseline = spec.baseline_clocks();
 
-    // Measured ground truth per benchmark (shared by all algorithms).
-    let measured: Vec<(String, Vec<MetricPoint>)> = benches
+    // Per-benchmark ground truth, shared by all four algorithms: static
+    // features extracted once, the measured sweep indexed once, and the
+    // measured optimum per paper target computed once (the inner loop used
+    // to redo all three per algorithm).
+    struct Truth {
+        name: String,
+        info: KernelStaticInfo,
+        measured: IndexedSweep,
+        /// Measured optimum per target, parallel to `PAPER_SET`.
+        actual: Vec<MetricPoint>,
+    }
+    let truths: Vec<Truth> = benches
         .iter()
-        .map(|b| (b.name.to_string(), measured_sweep(spec, &b.ir, b.work_items)))
+        .map(|b| {
+            let info = extract(&b.ir);
+            let measured =
+                IndexedSweep::new(measured_sweep_from_info(spec, &info, b.work_items));
+            let actual = EnergyTarget::PAPER_SET
+                .iter()
+                .map(|&t| measured.search(t, baseline).expect("non-empty sweep"))
+                .collect();
+            Truth { name: b.name.to_string(), info, measured, actual }
+        })
         .collect();
 
     let mut records = Vec::new();
     for algo in Algorithm::ALL {
-        let models = train_device_models(
+        let models = ModelStore::global().get_or_train(
             spec,
             &micro,
             ModelSelection::uniform(algo),
             train_stride,
             seed,
         );
-        for (bench, meas) in benches.iter().zip(&measured) {
-            let predicted = predict_sweep(spec, &models, &bench.ir);
-            for &target in &EnergyTarget::PAPER_SET {
-                let pred_opt = search_optimal(target, &predicted, baseline)
-                    .expect("non-empty sweep");
-                let actual_opt =
-                    search_optimal(target, &meas.1, baseline).expect("non-empty sweep");
-                let at_pred = point_at(&meas.1, pred_opt.clocks).expect("clock in sweep");
+        for truth in &truths {
+            let predicted =
+                IndexedSweep::new(predict_sweep_from_info(spec, &models, &truth.info));
+            for (ti, &target) in EnergyTarget::PAPER_SET.iter().enumerate() {
+                let pred_opt = predicted.search(target, baseline).expect("non-empty sweep");
+                let actual_opt = truth.actual[ti];
+                let at_pred =
+                    truth.measured.point_at(pred_opt.clocks).expect("clock in sweep");
                 let actual = objective_value(target, &actual_opt);
                 let predicted_obj = objective_value(target, &at_pred);
                 let ape = if actual == 0.0 {
@@ -95,7 +113,7 @@ pub fn run_accuracy_study(
                 records.push(AccuracyRecord {
                     algorithm: algo.to_string(),
                     target: target.to_string(),
-                    benchmark: bench.name.to_string(),
+                    benchmark: truth.name.clone(),
                     ape,
                     actual_objective: actual,
                     predicted_objective: predicted_obj,

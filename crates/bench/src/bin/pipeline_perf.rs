@@ -1,0 +1,164 @@
+//! Wall-clock tracking for the compile-time pipeline: cold (train from
+//! scratch) versus warm (model cache hit) end-to-end time, plus the rayon
+//! speedup of the training-set build. Emits `BENCH_pipeline.json` so the
+//! perf trajectory is visible across PRs.
+//!
+//! Run with `--small` for the CI-sized configuration (fewer
+//! micro-benchmarks, coarser stride); the default exercises the same suite,
+//! stride and seed the figure binaries use.
+
+use std::time::Instant;
+
+use serde::Serialize;
+use synergy_bench::{microbench_suite, print_table, write_artifact, EXPERIMENT_SEED, TRAIN_STRIDE};
+use synergy_kernel::KernelIr;
+use synergy_metrics::EnergyTarget;
+use synergy_ml::ModelSelection;
+use synergy_rt::{
+    build_training_set, build_training_set_serial, compile_application, default_cache_dir,
+    ModelKey, ModelStore,
+};
+use synergy_sim::DeviceSpec;
+
+#[derive(Serialize)]
+struct PipelinePerf {
+    device: String,
+    mode: String,
+    suite_size: usize,
+    stride: usize,
+    kernels: usize,
+    /// Full pipeline, cache evicted first: training-set build + model
+    /// fitting + registry compilation.
+    cold_s: f64,
+    /// Same pipeline with the models served from the in-memory memo.
+    warm_memory_s: f64,
+    /// Same pipeline with the models deserialized from the cache file.
+    warm_disk_s: f64,
+    warm_memory_speedup: f64,
+    warm_disk_speedup: f64,
+    /// The rayon contribution on the cold path: serial vs parallel
+    /// training-set build.
+    trainset_serial_s: f64,
+    trainset_parallel_s: f64,
+    trainset_parallel_speedup: f64,
+}
+
+fn main() {
+    let small = std::env::args().any(|a| a == "--small");
+    let spec = DeviceSpec::v100();
+    let mut suite = microbench_suite();
+    let stride = if small {
+        suite.truncate(8);
+        32
+    } else {
+        TRAIN_STRIDE
+    };
+    let selection = ModelSelection::paper_best();
+    let seed = EXPERIMENT_SEED;
+    let kernels: Vec<KernelIr> = synergy_apps::suite()
+        .into_iter()
+        .take(4)
+        .map(|b| b.ir)
+        .collect();
+
+    // A dedicated cache directory so evicting for the cold run never
+    // disturbs entries the figure binaries share.
+    let dir = default_cache_dir().join("pipeline-perf");
+    let store = ModelStore::with_dir(&dir);
+    let key = ModelKey::for_training(&spec, &suite, selection, stride, seed);
+    store.evict(&key);
+
+    let pipeline = |store: &ModelStore| {
+        let models = store.get_or_train(&spec, &suite, selection, stride, seed);
+        compile_application(&spec, &models, &kernels, &EnergyTarget::PAPER_SET)
+    };
+
+    let t = Instant::now();
+    let cold_registry = pipeline(&store);
+    let cold_s = t.elapsed().as_secs_f64();
+
+    let t = Instant::now();
+    let warm_registry = pipeline(&store);
+    let warm_memory_s = t.elapsed().as_secs_f64();
+
+    // A fresh store over the same directory: first lookup must come from
+    // the cache file, not retrain.
+    let disk_store = ModelStore::with_dir(&dir);
+    let t = Instant::now();
+    let disk_registry = pipeline(&disk_store);
+    let warm_disk_s = t.elapsed().as_secs_f64();
+
+    assert_eq!(
+        cold_registry, warm_registry,
+        "memory-cached pipeline must reproduce the cold registry"
+    );
+    assert_eq!(
+        cold_registry, disk_registry,
+        "disk-cached pipeline must reproduce the cold registry"
+    );
+    let stats = store.stats();
+    assert_eq!(stats.misses, 1, "cold run must train exactly once");
+    assert_eq!(stats.memory_hits, 1, "warm run must hit the memo");
+    assert_eq!(disk_store.stats().disk_hits, 1, "fresh store must load from disk");
+
+    let t = Instant::now();
+    let serial = build_training_set_serial(&spec, &suite, stride);
+    let trainset_serial_s = t.elapsed().as_secs_f64();
+    let t = Instant::now();
+    let parallel = build_training_set(&spec, &suite, stride);
+    let trainset_parallel_s = t.elapsed().as_secs_f64();
+    assert_eq!(serial, parallel, "parallel training set must equal serial");
+
+    let perf = PipelinePerf {
+        device: spec.name.to_string(),
+        mode: if small { "small" } else { "default" }.to_string(),
+        suite_size: suite.len(),
+        stride,
+        kernels: kernels.len(),
+        cold_s,
+        warm_memory_s,
+        warm_disk_s,
+        warm_memory_speedup: cold_s / warm_memory_s.max(1e-9),
+        warm_disk_speedup: cold_s / warm_disk_s.max(1e-9),
+        trainset_serial_s,
+        trainset_parallel_s,
+        trainset_parallel_speedup: trainset_serial_s / trainset_parallel_s.max(1e-9),
+    };
+
+    println!(
+        "compile-time pipeline on {} ({} micro-benchmarks, stride {}, {} kernels, {} mode)\n",
+        perf.device, perf.suite_size, perf.stride, perf.kernels, perf.mode
+    );
+    let row = |label: &str, secs: f64, speedup: f64| {
+        vec![
+            label.to_string(),
+            format!("{:.4}", secs),
+            format!("{:.1}x", speedup),
+        ]
+    };
+    print_table(
+        &["pipeline", "seconds", "vs cold"],
+        &[
+            row("cold (train)", perf.cold_s, 1.0),
+            row("warm (memory)", perf.warm_memory_s, perf.warm_memory_speedup),
+            row("warm (disk)", perf.warm_disk_s, perf.warm_disk_speedup),
+        ],
+    );
+    println!();
+    print_table(
+        &["training-set build", "seconds", "speedup"],
+        &[
+            row("serial", perf.trainset_serial_s, 1.0),
+            row(
+                "parallel",
+                perf.trainset_parallel_s,
+                perf.trainset_parallel_speedup,
+            ),
+        ],
+    );
+    if perf.warm_memory_speedup < 5.0 || perf.warm_disk_speedup < 5.0 {
+        println!("\nWARNING: warm-cache pipeline is less than 5x faster than cold");
+    }
+
+    write_artifact("BENCH_pipeline", &perf);
+}

@@ -14,11 +14,12 @@ pub mod accuracy;
 use serde::Serialize;
 use std::fs;
 use std::path::PathBuf;
+use std::sync::Arc;
 use synergy_apps::Benchmark;
 use synergy_kernel::{generate_microbench, MicroBenchConfig, MicroBenchmark};
 use synergy_metrics::MetricPoint;
 use synergy_ml::{MetricModels, ModelSelection};
-use synergy_rt::{measured_sweep, train_device_models};
+use synergy_rt::{measured_sweep, ModelStore};
 use synergy_sim::DeviceSpec;
 
 /// Deterministic seed used by every experiment.
@@ -40,16 +41,24 @@ pub fn microbench_suite() -> Vec<MicroBenchmark> {
 pub struct DeviceContext {
     /// The device model.
     pub spec: DeviceSpec,
-    /// The four trained single-target models.
-    pub models: MetricModels,
+    /// The four trained single-target models (shared through the global
+    /// [`ModelStore`], so consecutive figure binaries and tests training
+    /// the same device reuse one cached bundle instead of retraining).
+    pub models: Arc<MetricModels>,
 }
 
 impl DeviceContext {
-    /// Train the paper-best model selection for a device.
+    /// Train (or fetch from the model cache) the paper-best model
+    /// selection for a device.
     pub fn new(spec: DeviceSpec, seed: u64) -> DeviceContext {
         let suite = microbench_suite();
-        let models =
-            train_device_models(&spec, &suite, ModelSelection::paper_best(), TRAIN_STRIDE, seed);
+        let models = ModelStore::global().get_or_train(
+            &spec,
+            &suite,
+            ModelSelection::paper_best(),
+            TRAIN_STRIDE,
+            seed,
+        );
         DeviceContext { spec, models }
     }
 
@@ -90,13 +99,17 @@ pub fn characterization_points(
 ) -> Vec<CharacterizationPoint> {
     let baseline = synergy_metrics::point_at(sweep, spec.baseline_clocks())
         .expect("baseline in sweep");
+    // One O(n log n) batch sweep instead of an O(n) scan per point; the
+    // flags are element-for-element what `is_pareto_optimal` returns.
+    let flags = synergy_metrics::pareto_flags(sweep);
     sweep
         .iter()
-        .map(|p| CharacterizationPoint {
+        .zip(flags)
+        .map(|(p, pareto)| CharacterizationPoint {
             core_mhz: p.clocks.core_mhz,
             speedup: p.speedup_vs(&baseline),
             normalized_energy: p.normalized_energy_vs(&baseline),
-            pareto: synergy_metrics::is_pareto_optimal(p, sweep),
+            pareto,
         })
         .collect()
 }

@@ -6,7 +6,7 @@ use std::io::Write;
 use synergy_kernel::{generate_microbench, MicroBenchConfig};
 use synergy_metrics::{pareto_front, point_at, search_optimal, EnergyTarget};
 use synergy_ml::ModelSelection;
-use synergy_rt::{compile_application, measured_sweep, train_device_models, TargetRegistry};
+use synergy_rt::{compile_application, measured_sweep, ModelStore, TargetRegistry};
 
 /// `synergy devices`
 pub fn devices(out: &mut dyn Write) -> std::io::Result<()> {
@@ -101,7 +101,8 @@ pub fn compile(benches: &[String], device: &str) -> Result<TargetRegistry, Usage
         irs.push(b.ir);
     }
     let suite = generate_microbench(42, &MicroBenchConfig::default());
-    let models = train_device_models(&spec, &suite, ModelSelection::paper_best(), 8, 2023);
+    let models =
+        ModelStore::global().get_or_train(&spec, &suite, ModelSelection::paper_best(), 8, 2023);
     Ok(compile_application(
         &spec,
         &models,
@@ -122,7 +123,8 @@ pub fn scaling(out: &mut dyn Write, gpus: usize, app: &str) -> Result<(), UsageE
     };
     let spec = synergy_sim::DeviceSpec::v100();
     let suite = generate_microbench(42, &MicroBenchConfig::default());
-    let models = train_device_models(&spec, &suite, ModelSelection::paper_best(), 8, 2023);
+    let models =
+        ModelStore::global().get_or_train(&spec, &suite, ModelSelection::paper_best(), 8, 2023);
     let registry = std::sync::Arc::new(compile_application(
         &spec,
         &models,

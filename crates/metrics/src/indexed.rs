@@ -1,0 +1,229 @@
+//! A sorted/indexed sweep representation.
+//!
+//! The compile step and the accuracy bookkeeping repeatedly look up "the
+//! point of this sweep at (or nearest to) these clocks" — once per target
+//! per kernel. The plain [`point_at`](crate::point_at) helper is an O(n)
+//! scan over the sweep; on a 196-configuration table queried for ten targets
+//! across four algorithms and 23 benchmarks that scan dominates the
+//! bookkeeping. [`IndexedSweep`] builds a binary-searchable index over the
+//! points once and answers every subsequent lookup in O(log n), while
+//! keeping the points in their **original order** so target selection
+//! ([`select`]) iterates exactly like the unindexed path (ties resolve
+//! identically).
+
+use crate::point::MetricPoint;
+use crate::targets::{select, EnergyTarget};
+use synergy_sim::ClockConfig;
+
+/// A metric sweep plus a binary-searchable (mem, core) index.
+///
+/// Lookups reproduce the linear-scan semantics of
+/// [`point_at`](crate::point_at) bit for bit: the memory clock must match
+/// exactly, the nearest core clock wins, and any tie (duplicate points, or
+/// two cores equidistant from the query) resolves to the point that appears
+/// first in the original sweep order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IndexedSweep {
+    /// Points in their original order (selection iterates over these).
+    points: Vec<MetricPoint>,
+    /// `(mem_mhz, core_mhz, first_original_index)` sorted by `(mem, core)`,
+    /// deduplicated to the first occurrence per clock pair.
+    index: Vec<(u32, u32, u32)>,
+}
+
+impl IndexedSweep {
+    /// Index a sweep. O(n log n) once; lookups are O(log n) afterwards.
+    pub fn new(points: Vec<MetricPoint>) -> IndexedSweep {
+        let mut index: Vec<(u32, u32, u32)> = points
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (p.clocks.mem_mhz, p.clocks.core_mhz, i as u32))
+            .collect();
+        // Sort by (mem, core, original index) then keep the first original
+        // occurrence of each (mem, core) pair — that is the point the linear
+        // scan would return for an exact hit.
+        index.sort_unstable();
+        index.dedup_by(|b, a| (a.0, a.1) == (b.0, b.1));
+        IndexedSweep { points, index }
+    }
+
+    /// The underlying points, in their original sweep order.
+    pub fn points(&self) -> &[MetricPoint] {
+        &self.points
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True when the sweep holds no points.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The point at (or nearest in core clock to) `clocks`, binary-searched.
+    ///
+    /// Equivalent to [`point_at`](crate::point_at) on the original slice.
+    pub fn point_at(&self, clocks: ClockConfig) -> Option<MetricPoint> {
+        // Range of index entries with the queried memory clock.
+        let lo = self
+            .index
+            .partition_point(|&(m, _, _)| m < clocks.mem_mhz);
+        let hi = self
+            .index
+            .partition_point(|&(m, _, _)| m <= clocks.mem_mhz);
+        let slice = &self.index[lo..hi];
+        if slice.is_empty() {
+            return None;
+        }
+        // First entry with core >= query; the best candidates are that entry
+        // and its predecessor.
+        let at = slice.partition_point(|&(_, c, _)| c < clocks.core_mhz);
+        let mut best: Option<(u32, u32)> = None; // (abs_diff, original index)
+        for cand in at.saturating_sub(1)..(at + 1).min(slice.len()) {
+            let (_, core, idx) = slice[cand];
+            let d = core.abs_diff(clocks.core_mhz);
+            // Strictly-better distance wins; on equal distance the linear
+            // scan keeps whichever point came first in the sweep.
+            let better = match best {
+                None => true,
+                Some((bd, bi)) => d < bd || (d == bd && idx < bi),
+            };
+            if better {
+                best = Some((d, idx));
+            }
+        }
+        best.map(|(_, idx)| self.points[idx as usize])
+    }
+
+    /// Run the target search against this sweep: equivalent to
+    /// [`search_optimal`](crate::search_optimal) on the original slice, with
+    /// the baseline lookup binary-searched instead of scanned.
+    pub fn search(
+        &self,
+        target: EnergyTarget,
+        baseline_clocks: ClockConfig,
+    ) -> Option<MetricPoint> {
+        let baseline = self.point_at(baseline_clocks)?;
+        select(target, &self.points, &baseline)
+    }
+
+    /// Absolute percentage error of a predicted optimal frequency against
+    /// this (measured) sweep — the indexed equivalent of
+    /// [`frequency_ape`](crate::frequency_ape).
+    pub fn frequency_ape(
+        &self,
+        target: EnergyTarget,
+        baseline_clocks: ClockConfig,
+        predicted_clocks: ClockConfig,
+    ) -> Option<f64> {
+        let actual_opt = self.search(target, baseline_clocks)?;
+        let at_predicted = self.point_at(predicted_clocks)?;
+        let actual = crate::search::objective_value(target, &actual_opt);
+        let predicted = crate::search::objective_value(target, &at_predicted);
+        if actual == 0.0 {
+            return Some(0.0);
+        }
+        Some(((predicted - actual) / actual).abs())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::search::{frequency_ape, point_at, search_optimal};
+
+    fn p(mem: u32, core: u32, t: f64, e: f64) -> MetricPoint {
+        MetricPoint::new(ClockConfig::new(mem, core), t, e)
+    }
+
+    fn two_dim_sweep() -> Vec<MetricPoint> {
+        let mut pts = Vec::new();
+        for &mem in &[405u32, 877] {
+            for (i, &core) in [400u32, 600, 800, 1000, 1200, 1312, 1530].iter().enumerate() {
+                let t = 4.0 - 0.3 * i as f64 + if mem == 405 { 0.4 } else { 0.0 };
+                let e = 8.0 - 0.5 * i as f64 + 0.09 * (i * i) as f64;
+                pts.push(p(mem, core, t, e));
+            }
+        }
+        pts
+    }
+
+    #[test]
+    fn matches_linear_point_at_everywhere() {
+        let pts = two_dim_sweep();
+        let idx = IndexedSweep::new(pts.clone());
+        for mem in [400u32, 405, 877, 900] {
+            for core in (350..1600).step_by(7) {
+                let q = ClockConfig::new(mem, core);
+                assert_eq!(idx.point_at(q), point_at(&pts, q), "query {q:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn matches_linear_search_for_all_targets() {
+        let pts = two_dim_sweep();
+        let idx = IndexedSweep::new(pts.clone());
+        let base = ClockConfig::new(877, 1312);
+        for t in EnergyTarget::PAPER_SET {
+            assert_eq!(idx.search(t, base), search_optimal(t, &pts, base), "{t}");
+        }
+    }
+
+    #[test]
+    fn matches_linear_ape() {
+        let pts = two_dim_sweep();
+        let idx = IndexedSweep::new(pts.clone());
+        let base = ClockConfig::new(877, 1312);
+        for t in EnergyTarget::PAPER_SET {
+            for &pred in &[400u32, 800, 1530] {
+                let q = ClockConfig::new(877, pred);
+                assert_eq!(
+                    idx.frequency_ape(t, base, q),
+                    frequency_ape(t, &pts, base, q),
+                    "{t} @ {pred}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tie_breaks_like_linear_scan() {
+        // 700 is equidistant from 600 and 800; the scan keeps the earlier
+        // point in sweep order. Exercise both orderings.
+        for flip in [false, true] {
+            let mut pts = vec![p(877, 600, 3.0, 6.0), p(877, 800, 2.5, 5.0)];
+            if flip {
+                pts.reverse();
+            }
+            let idx = IndexedSweep::new(pts.clone());
+            let q = ClockConfig::new(877, 700);
+            assert_eq!(idx.point_at(q), point_at(&pts, q), "flip={flip}");
+        }
+    }
+
+    #[test]
+    fn duplicate_points_resolve_to_first() {
+        let pts = vec![
+            p(877, 800, 2.5, 5.0),
+            p(877, 800, 9.9, 9.9), // duplicate clocks, later in order
+        ];
+        let idx = IndexedSweep::new(pts.clone());
+        let q = ClockConfig::new(877, 800);
+        assert_eq!(idx.point_at(q), point_at(&pts, q));
+        assert_eq!(idx.point_at(q).unwrap().time_s, 2.5);
+    }
+
+    #[test]
+    fn empty_and_wrong_mem() {
+        let idx = IndexedSweep::new(Vec::new());
+        assert!(idx.is_empty());
+        assert_eq!(idx.point_at(ClockConfig::new(877, 800)), None);
+        let idx = IndexedSweep::new(vec![p(877, 800, 1.0, 1.0)]);
+        assert_eq!(idx.len(), 1);
+        assert_eq!(idx.point_at(ClockConfig::new(900, 800)), None);
+        assert_eq!(idx.search(EnergyTarget::MinEdp, ClockConfig::new(900, 800)), None);
+    }
+}

@@ -8,12 +8,14 @@
 
 #![warn(missing_docs)]
 
+pub mod indexed;
 pub mod pareto;
 pub mod point;
 pub mod search;
 pub mod targets;
 
-pub use pareto::{is_pareto_optimal, pareto_front, pareto_indices};
+pub use indexed::IndexedSweep;
+pub use pareto::{is_pareto_optimal, pareto_flags, pareto_front, pareto_indices};
 pub use point::MetricPoint;
 pub use search::{frequency_ape, objective_value, point_at, search_optimal};
 pub use targets::{select, EnergyTarget, ParseTargetError};
@@ -138,6 +140,39 @@ mod proptests {
                 let opt = search_optimal(target, &pts, base).unwrap();
                 let ape0 = frequency_ape(target, &pts, base, opt.clocks).unwrap();
                 prop_assert!(ape0.abs() < 1e-12);
+            }
+        }
+
+        /// The batch Pareto sweep agrees with the per-point scan on every
+        /// element, including duplicate coordinates and ties.
+        #[test]
+        fn pareto_flags_match_per_point_scan(pts in arb_points()) {
+            let flags = pareto_flags(&pts);
+            for (i, p) in pts.iter().enumerate() {
+                prop_assert_eq!(flags[i], is_pareto_optimal(p, &pts), "index {}", i);
+            }
+        }
+
+        /// The indexed sweep reproduces the linear scan exactly: same
+        /// nearest point, same search result, same APE, for any sweep and
+        /// any query — including clocks absent from the sweep.
+        #[test]
+        fn indexed_sweep_matches_linear_scan(
+            pts in arb_points(),
+            mem in prop::sample::select(vec![877u32, 900]),
+            core in 50u32..2100,
+            pick in 0usize..40,
+        ) {
+            let idx = IndexedSweep::new(pts.clone());
+            let q = ClockConfig::new(mem, core);
+            prop_assert_eq!(idx.point_at(q), point_at(&pts, q));
+            let base = pts[pick % pts.len()].clocks;
+            for target in EnergyTarget::PAPER_SET {
+                prop_assert_eq!(idx.search(target, base), search_optimal(target, &pts, base));
+                prop_assert_eq!(
+                    idx.frequency_ape(target, base, q),
+                    frequency_ape(target, &pts, base, q)
+                );
             }
         }
     }

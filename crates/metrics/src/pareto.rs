@@ -71,6 +71,55 @@ pub fn is_pareto_optimal(p: &MetricPoint, points: &[MetricPoint]) -> bool {
     !points.iter().any(|q| q.dominates(p))
 }
 
+/// Pareto-optimality of every point at once, in input order:
+/// `pareto_flags(points)[i] == is_pareto_optimal(&points[i], points)`,
+/// computed in one O(n log n) sweep instead of n linear scans (the
+/// characterization figures mark a whole sweep per benchmark).
+pub fn pareto_flags(points: &[MetricPoint]) -> Vec<bool> {
+    let mut order: Vec<usize> = (0..points.len()).collect();
+    order.sort_by(|&a, &b| {
+        points[a]
+            .time_s
+            .total_cmp(&points[b].time_s)
+            .then(points[a].energy_j.total_cmp(&points[b].energy_j))
+    });
+    let mut flags = vec![true; points.len()];
+    // Minimum energy over all points with strictly smaller time.
+    let mut prev_min = f64::INFINITY;
+    let mut i = 0;
+    while i < order.len() {
+        // Group of time-equal points; sorted by energy, so the first
+        // element carries the group minimum.
+        let mut j = i;
+        while j < order.len()
+            && points[order[j]]
+                .time_s
+                .total_cmp(&points[order[i]].time_s)
+                .is_eq()
+        {
+            j += 1;
+        }
+        let group_min = points[order[i]].energy_j;
+        for &k in &order[i..j] {
+            let p = &points[k];
+            // A NaN time compares false against everything: undominated.
+            if p.time_s.is_nan() {
+                continue;
+            }
+            // Dominated by a strictly-faster point with no worse energy,
+            // or by an equal-time point with strictly better energy.
+            if prev_min <= p.energy_j || group_min < p.energy_j {
+                flags[k] = false;
+            }
+        }
+        if group_min < prev_min {
+            prev_min = group_min;
+        }
+        i = j;
+    }
+    flags
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -144,5 +193,35 @@ mod tests {
         let pts = vec![p(1, 1.0, 1.0), p(2, 2.0, 2.0)];
         assert!(!is_pareto_optimal(&pts[1], &pts));
         assert!(is_pareto_optimal(&pts[0], &pts));
+    }
+
+    #[test]
+    fn flags_match_per_point_scan() {
+        let pts = vec![
+            p(1, 1.0, 10.0),
+            p(2, 2.0, 5.0),
+            p(3, 3.0, 2.0),
+            p(4, 2.5, 6.0),
+            p(5, 1.5, 12.0),
+            // Duplicates and axis ties: equal points do not dominate each
+            // other, but strictly better same-time/same-energy points do.
+            p(6, 2.0, 5.0),
+            p(7, 2.0, 7.0),
+            p(8, 4.0, 2.0),
+        ];
+        let flags = pareto_flags(&pts);
+        for (i, q) in pts.iter().enumerate() {
+            assert_eq!(flags[i], is_pareto_optimal(q, &pts), "index {i}");
+        }
+        assert_eq!(
+            flags,
+            vec![true, true, true, false, false, true, false, false]
+        );
+    }
+
+    #[test]
+    fn flags_empty_and_single() {
+        assert!(pareto_flags(&[]).is_empty());
+        assert_eq!(pareto_flags(&[p(1, 5.0, 5.0)]), vec![true]);
     }
 }

@@ -30,7 +30,7 @@ pub use errors::{ape, mape, r2, rmse};
 pub use forest::RandomForest;
 pub use lasso::Lasso;
 pub use linear::LinearRegression;
-pub use model::{Algorithm, Regressor};
+pub use model::{Algorithm, Regressor, TrainedRegressor};
 pub use pipeline::{input_row, MetricModels, ModelSelection, PredictedMetrics, SweepSample};
 pub use svr::SvrRbf;
 pub use tree::{RegressionTree, TreeConfig};

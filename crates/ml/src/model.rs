@@ -57,6 +57,80 @@ impl Algorithm {
     }
 }
 
+/// A fitted regressor in concrete form: cloneable, comparable and
+/// serializable, so trained model bundles can be cached on disk and
+/// shipped between processes (unlike a `Box<dyn Regressor>`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TrainedRegressor {
+    /// Fitted ordinary least squares.
+    Linear(LinearRegression),
+    /// Fitted Lasso.
+    Lasso(Lasso),
+    /// Fitted random forest.
+    RandomForest(RandomForest),
+    /// Fitted ε-SVR with RBF kernel.
+    SvrRbf(SvrRbf),
+}
+
+impl TrainedRegressor {
+    /// Build `algo` with its default hyperparameters, fit it to `(x, y)`
+    /// and return the trained model (deterministic given `seed`).
+    pub fn fit(algo: Algorithm, seed: u64, x: &[Vec<f64>], y: &[f64]) -> TrainedRegressor {
+        match algo {
+            Algorithm::Linear => {
+                let mut m = LinearRegression::default();
+                m.fit(x, y);
+                TrainedRegressor::Linear(m)
+            }
+            Algorithm::Lasso => {
+                let mut m = Lasso::default();
+                m.fit(x, y);
+                TrainedRegressor::Lasso(m)
+            }
+            Algorithm::RandomForest => {
+                let mut m = RandomForest::with_seed(seed);
+                m.fit(x, y);
+                TrainedRegressor::RandomForest(m)
+            }
+            Algorithm::SvrRbf => {
+                let mut m = SvrRbf::default();
+                m.fit(x, y);
+                TrainedRegressor::SvrRbf(m)
+            }
+        }
+    }
+
+    /// The catalogue algorithm this model was trained with.
+    pub fn algorithm(&self) -> Algorithm {
+        match self {
+            TrainedRegressor::Linear(_) => Algorithm::Linear,
+            TrainedRegressor::Lasso(_) => Algorithm::Lasso,
+            TrainedRegressor::RandomForest(_) => Algorithm::RandomForest,
+            TrainedRegressor::SvrRbf(_) => Algorithm::SvrRbf,
+        }
+    }
+}
+
+impl Regressor for TrainedRegressor {
+    fn fit(&mut self, x: &[Vec<f64>], y: &[f64]) {
+        match self {
+            TrainedRegressor::Linear(m) => m.fit(x, y),
+            TrainedRegressor::Lasso(m) => m.fit(x, y),
+            TrainedRegressor::RandomForest(m) => m.fit(x, y),
+            TrainedRegressor::SvrRbf(m) => m.fit(x, y),
+        }
+    }
+
+    fn predict_row(&self, row: &[f64]) -> f64 {
+        match self {
+            TrainedRegressor::Linear(m) => m.predict_row(row),
+            TrainedRegressor::Lasso(m) => m.predict_row(row),
+            TrainedRegressor::RandomForest(m) => m.predict_row(row),
+            TrainedRegressor::SvrRbf(m) => m.predict_row(row),
+        }
+    }
+}
+
 impl fmt::Display for Algorithm {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -100,6 +174,24 @@ mod tests {
                 err < 0.2 * spread,
                 "{algo}: in-sample rmse {err} too large vs spread {spread}"
             );
+        }
+    }
+
+    #[test]
+    fn trained_regressor_matches_boxed_build() {
+        let (x, y) = toy_problem();
+        for algo in Algorithm::ALL {
+            let mut boxed = algo.build(7);
+            boxed.fit(&x, &y);
+            let trained = TrainedRegressor::fit(algo, 7, &x, &y);
+            assert_eq!(trained.algorithm(), algo);
+            for row in x.iter().step_by(17) {
+                assert_eq!(
+                    boxed.predict_row(row),
+                    trained.predict_row(row),
+                    "{algo}: enum and boxed paths diverge"
+                );
+            }
         }
     }
 

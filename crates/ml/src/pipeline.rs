@@ -9,7 +9,8 @@
 //! normalized core clock, plus the clock, its inverse, and the memory-clock
 //! ratio.
 
-use crate::model::{Algorithm, Regressor};
+use crate::model::{Algorithm, Regressor, TrainedRegressor};
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 /// One training observation: a kernel's features, the clocks it ran at,
@@ -104,17 +105,24 @@ pub fn input_row(features: &[f64], core_mhz: f64, mem_mhz: f64, f_max_mhz: f64) 
 }
 
 /// The four trained single-target models.
+///
+/// The bundle is a plain value: cloneable, comparable and serde-able, so a
+/// trained pipeline can be memoized in memory and persisted to disk (the
+/// runtime's `ModelStore` relies on this).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct MetricModels {
     selection: ModelSelection,
     f_max_mhz: f64,
-    time: Box<dyn Regressor>,
-    energy: Box<dyn Regressor>,
-    edp: Box<dyn Regressor>,
-    ed2p: Box<dyn Regressor>,
+    time: TrainedRegressor,
+    energy: TrainedRegressor,
+    edp: TrainedRegressor,
+    ed2p: TrainedRegressor,
 }
 
 impl MetricModels {
-    /// Train all four models on the sweep samples.
+    /// Train all four models on the sweep samples. The four single-target
+    /// fits are independent and run in parallel; per-model seeds are derived
+    /// from `seed` alone, so the result is identical to a serial fit.
     ///
     /// `f_max_mhz` is the device's maximum core clock (used to normalize
     /// inputs); `seed` drives any randomized algorithm deterministically.
@@ -137,16 +145,25 @@ impl MetricModels {
             .map(|s| s.energy_j * s.time_s * s.time_s)
             .collect();
 
-        let fit = |algo: Algorithm, y: &[f64], salt: u64| -> Box<dyn Regressor> {
-            let mut m = algo.build(seed.wrapping_add(salt));
-            m.fit(&x, y);
-            m
-        };
+        let jobs: Vec<(Algorithm, Vec<f64>, u64)> = vec![
+            (selection.time, t, 1),
+            (selection.energy, e, 2),
+            (selection.edp, edp, 3),
+            (selection.ed2p, ed2p, 4),
+        ];
+        let mut fitted: Vec<TrainedRegressor> = jobs
+            .into_par_iter()
+            .map(|(algo, y, salt)| TrainedRegressor::fit(algo, seed.wrapping_add(salt), &x, &y))
+            .collect();
+        let ed2p = fitted.pop().expect("four fits");
+        let edp = fitted.pop().expect("four fits");
+        let energy = fitted.pop().expect("four fits");
+        let time = fitted.pop().expect("four fits");
         MetricModels {
-            time: fit(selection.time, &t, 1),
-            energy: fit(selection.energy, &e, 2),
-            edp: fit(selection.edp, &edp, 3),
-            ed2p: fit(selection.ed2p, &ed2p, 4),
+            time,
+            energy,
+            edp,
+            ed2p,
             selection,
             f_max_mhz,
         }
@@ -289,5 +306,29 @@ mod tests {
     #[should_panic(expected = "empty")]
     fn empty_training_panics() {
         MetricModels::train(ModelSelection::paper_best(), &[], 1500.0, 0);
+    }
+
+    #[test]
+    fn training_is_deterministic_values() {
+        // The parallel four-target fit must be independent of scheduling:
+        // two trainings with the same inputs are equal as values.
+        let samples = synth_samples();
+        let a = MetricModels::train(ModelSelection::paper_best(), &samples, 1500.0, 11);
+        let b = MetricModels::train(ModelSelection::paper_best(), &samples, 1500.0, 11);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn clone_predicts_identically() {
+        let samples = synth_samples();
+        let models =
+            MetricModels::train(ModelSelection::paper_best(), &samples, 1500.0, 3);
+        let copy = models.clone();
+        assert_eq!(models, copy);
+        for s in samples.iter().step_by(13) {
+            let p = models.predict(&s.features, s.core_mhz, s.mem_mhz);
+            let q = copy.predict(&s.features, s.core_mhz, s.mem_mhz);
+            assert_eq!(p, q);
+        }
     }
 }

@@ -5,15 +5,66 @@
 //! Also hosts the training-side helpers of Figure 6: sweeping the
 //! micro-benchmark suite over a device's frequency table to build the
 //! training set, and fitting the four single-target metric models.
+//!
+//! ## Parallel sweep engine
+//!
+//! The sweeps and the per-kernel compilation fan out over Rayon: the work
+//! items are independent (micro-benchmark × frequency-configuration, or
+//! kernel × target), each is computed exactly as on the serial path, and
+//! results are collected in input order — so parallel output is
+//! element-for-element identical to the serial reference implementations
+//! ([`sweep_samples_serial`], [`build_training_set_serial`],
+//! [`measured_sweep_serial`]), which stay exported for verification.
 
 use crate::registry::TargetRegistry;
-use synergy_kernel::{extract, KernelIr, MicroBenchmark};
-use synergy_metrics::{search_optimal, EnergyTarget, MetricPoint};
+use rayon::prelude::*;
+use synergy_kernel::{extract, KernelIr, KernelStaticInfo, MicroBenchmark};
+use synergy_metrics::{EnergyTarget, IndexedSweep, MetricPoint};
 use synergy_ml::{MetricModels, ModelSelection, SweepSample};
 use synergy_sim::{evaluate, ClockConfig, DeviceSpec, Workload};
 
+/// Shared per-kernel context for one sweep: the workload and the
+/// default-clock normalizers, computed once, sampled at many clocks.
+struct SweepContext<'a> {
+    spec: &'a DeviceSpec,
+    info: &'a KernelStaticInfo,
+    wl: Workload,
+    t_base: f64,
+    e_base: f64,
+}
+
+impl<'a> SweepContext<'a> {
+    fn new(spec: &'a DeviceSpec, info: &'a KernelStaticInfo, work_items: u64) -> Self {
+        let wl = Workload::from_static(info, work_items);
+        let base = evaluate(spec, &wl, spec.baseline_clocks());
+        let t_base = base.duration_s().max(f64::MIN_POSITIVE);
+        let e_base = base.energy_j(spec.overhead_power_w).max(f64::MIN_POSITIVE);
+        SweepContext { spec, info, wl, t_base, e_base }
+    }
+
+    fn sample(&self, clocks: ClockConfig) -> SweepSample {
+        let timing = evaluate(self.spec, &self.wl, clocks);
+        SweepSample {
+            features: self.info.features.as_slice().to_vec(),
+            core_mhz: clocks.core_mhz as f64,
+            mem_mhz: clocks.mem_mhz as f64,
+            time_s: timing.duration_s() / self.t_base,
+            energy_j: timing.energy_j(self.spec.overhead_power_w) / self.e_base,
+        }
+    }
+}
+
+/// Every `stride`-th supported clock configuration, in table order.
+fn strided_configs(spec: &DeviceSpec, stride: usize) -> Vec<ClockConfig> {
+    spec.freq_table
+        .configs()
+        .step_by(stride.max(1))
+        .collect()
+}
+
 /// Sweep one workload over every `stride`-th supported clock configuration
-/// (mem × core) of the device, producing training samples.
+/// (mem × core) of the device, producing training samples. Configurations
+/// are evaluated in parallel; output order is the table order.
 ///
 /// Targets are **normalized to the kernel's default-clock values**
 /// (`t(f)/t(f_default)`, `e(f)/e(f_default)`). Absolute time and energy
@@ -23,38 +74,67 @@ use synergy_sim::{evaluate, ClockConfig, DeviceSpec, Workload};
 /// budgets all commute with a positive constant factor).
 pub fn sweep_samples(spec: &DeviceSpec, ir: &KernelIr, work_items: u64, stride: usize) -> Vec<SweepSample> {
     let info = extract(ir);
-    let wl = Workload::from_static(&info, work_items);
-    let base = evaluate(spec, &wl, spec.baseline_clocks());
-    let t_base = base.duration_s().max(f64::MIN_POSITIVE);
-    let e_base = base.energy_j(spec.overhead_power_w).max(f64::MIN_POSITIVE);
-    let configs: Vec<ClockConfig> = spec.freq_table.configs().collect();
-    configs
-        .into_iter()
-        .step_by(stride.max(1))
-        .map(|clocks| {
-            let timing = evaluate(spec, &wl, clocks);
-            SweepSample {
-                features: info.features.as_slice().to_vec(),
-                core_mhz: clocks.core_mhz as f64,
-                mem_mhz: clocks.mem_mhz as f64,
-                time_s: timing.duration_s() / t_base,
-                energy_j: timing.energy_j(spec.overhead_power_w) / e_base,
-            }
-        })
+    sweep_samples_from_info(spec, &info, work_items, stride)
+}
+
+/// [`sweep_samples`] with a pre-extracted [`KernelStaticInfo`], so callers
+/// sweeping one kernel for several devices or strides extract only once.
+pub fn sweep_samples_from_info(
+    spec: &DeviceSpec,
+    info: &KernelStaticInfo,
+    work_items: u64,
+    stride: usize,
+) -> Vec<SweepSample> {
+    let ctx = SweepContext::new(spec, info, work_items);
+    strided_configs(spec, stride)
+        .par_iter()
+        .map(|&clocks| ctx.sample(clocks))
+        .collect()
+}
+
+/// Serial reference implementation of [`sweep_samples`]; kept for the
+/// parallel-equivalence guarantee (tests assert bitwise-identical output).
+pub fn sweep_samples_serial(
+    spec: &DeviceSpec,
+    ir: &KernelIr,
+    work_items: u64,
+    stride: usize,
+) -> Vec<SweepSample> {
+    let info = extract(ir);
+    let ctx = SweepContext::new(spec, &info, work_items);
+    strided_configs(spec, stride)
+        .iter()
+        .map(|&clocks| ctx.sample(clocks))
         .collect()
 }
 
 /// Build the full training set from a micro-benchmark suite (Figure 6,
 /// steps ①–②): every micro-benchmark is "executed" at every `stride`-th
 /// frequency configuration and its per-item time and energy recorded.
+/// The (micro-benchmark × configuration) grid is evaluated in parallel;
+/// sample order matches the serial path exactly.
 pub fn build_training_set(
+    spec: &DeviceSpec,
+    suite: &[MicroBenchmark],
+    stride: usize,
+) -> Vec<SweepSample> {
+    let per_bench: Vec<Vec<SweepSample>> = suite
+        .par_iter()
+        .map(|mb| sweep_samples(spec, &mb.ir, mb.work_items, stride))
+        .collect();
+    per_bench.into_iter().flatten().collect()
+}
+
+/// Serial reference implementation of [`build_training_set`]; kept for the
+/// parallel-equivalence guarantee (tests assert bitwise-identical output).
+pub fn build_training_set_serial(
     spec: &DeviceSpec,
     suite: &[MicroBenchmark],
     stride: usize,
 ) -> Vec<SweepSample> {
     suite
         .iter()
-        .flat_map(|mb| sweep_samples(spec, &mb.ir, mb.work_items, stride))
+        .flat_map(|mb| sweep_samples_serial(spec, &mb.ir, mb.work_items, stride))
         .collect()
 }
 
@@ -86,10 +166,22 @@ pub fn predict_sweep(
     ir: &KernelIr,
 ) -> Vec<MetricPoint> {
     let info = extract(ir);
+    predict_sweep_from_info(spec, models, &info)
+}
+
+/// [`predict_sweep`] with a pre-extracted [`KernelStaticInfo`] — the
+/// accuracy study predicts the same kernel once per algorithm, and only
+/// needs to extract features once. Configurations are predicted in
+/// parallel; output order is the table order.
+pub fn predict_sweep_from_info(
+    spec: &DeviceSpec,
+    models: &MetricModels,
+    info: &KernelStaticInfo,
+) -> Vec<MetricPoint> {
     let configs: Vec<ClockConfig> = spec.freq_table.configs().collect();
     configs
-        .into_iter()
-        .map(|clocks| {
+        .par_iter()
+        .map(|&clocks| {
             let p = models.predict(
                 info.features.as_slice(),
                 clocks.core_mhz as f64,
@@ -102,7 +194,9 @@ pub fn predict_sweep(
 
 /// The compile step proper (Figure 6, step ⑥): for every kernel of an
 /// application and every requested target, search the predicted sweep and
-/// record the chosen frequency in the registry.
+/// record the chosen frequency in the registry. Kernels compile in
+/// parallel; each kernel's sweep is indexed once and searched for every
+/// target (instead of re-scanning the sweep per target).
 pub fn compile_application(
     spec: &DeviceSpec,
     models: &MetricModels,
@@ -110,13 +204,24 @@ pub fn compile_application(
     targets: &[EnergyTarget],
 ) -> TargetRegistry {
     let baseline = spec.baseline_clocks();
+    let decisions: Vec<(String, Vec<(EnergyTarget, ClockConfig)>)> = kernels
+        .par_iter()
+        .map(|ir| {
+            let info = extract(ir);
+            let sweep = IndexedSweep::new(predict_sweep_from_info(spec, models, &info));
+            let per_target: Vec<(EnergyTarget, ClockConfig)> = targets
+                .iter()
+                .filter_map(|&target| {
+                    sweep.search(target, baseline).map(|p| (target, p.clocks))
+                })
+                .collect();
+            (ir.name.clone(), per_target)
+        })
+        .collect();
     let mut registry = TargetRegistry::new();
-    for ir in kernels {
-        let sweep = predict_sweep(spec, models, ir);
-        for &target in targets {
-            if let Some(p) = search_optimal(target, &sweep, baseline) {
-                registry.insert(&ir.name, target, p.clocks);
-            }
+    for (name, per_target) in decisions {
+        for (target, clocks) in per_target {
+            registry.insert(&name, target, clocks);
         }
     }
     registry
@@ -124,7 +229,37 @@ pub fn compile_application(
 
 /// Measure (on the simulator) the true metric sweep for a kernel — the
 /// ground truth the accuracy study compares predictions against.
+/// Configurations are evaluated in parallel; output order is the table
+/// order.
 pub fn measured_sweep(spec: &DeviceSpec, ir: &KernelIr, work_items: u64) -> Vec<MetricPoint> {
+    let info = extract(ir);
+    measured_sweep_from_info(spec, &info, work_items)
+}
+
+/// [`measured_sweep`] with a pre-extracted [`KernelStaticInfo`].
+pub fn measured_sweep_from_info(
+    spec: &DeviceSpec,
+    info: &KernelStaticInfo,
+    work_items: u64,
+) -> Vec<MetricPoint> {
+    let wl = Workload::from_static(info, work_items);
+    let configs: Vec<ClockConfig> = spec.freq_table.configs().collect();
+    configs
+        .par_iter()
+        .map(|&clocks| {
+            let t = evaluate(spec, &wl, clocks);
+            MetricPoint::new(clocks, t.duration_s(), t.energy_j(spec.overhead_power_w))
+        })
+        .collect()
+}
+
+/// Serial reference implementation of [`measured_sweep`]; kept for the
+/// parallel-equivalence guarantee (tests assert bitwise-identical output).
+pub fn measured_sweep_serial(
+    spec: &DeviceSpec,
+    ir: &KernelIr,
+    work_items: u64,
+) -> Vec<MetricPoint> {
     let info = extract(ir);
     let wl = Workload::from_static(&info, work_items);
     spec.freq_table
@@ -246,6 +381,48 @@ mod tests {
             .lookup("compute_heavy", EnergyTarget::MinEnergy)
             .unwrap();
         assert!(fast.core_mhz >= thrifty.core_mhz);
+    }
+
+    #[test]
+    fn parallel_sweep_identical_to_serial() {
+        let spec = DeviceSpec::v100();
+        let suite = small_suite();
+        for stride in [1usize, 3, 8, 17] {
+            let par = build_training_set(&spec, &suite[..6], stride);
+            let ser = build_training_set_serial(&spec, &suite[..6], stride);
+            assert_eq!(par, ser, "stride {stride}: parallel and serial diverge");
+        }
+        let ir = test_kernel();
+        assert_eq!(
+            measured_sweep(&spec, &ir, 1 << 18),
+            measured_sweep_serial(&spec, &ir, 1 << 18)
+        );
+        assert_eq!(
+            sweep_samples(&spec, &ir, 1 << 18, 5),
+            sweep_samples_serial(&spec, &ir, 1 << 18, 5)
+        );
+    }
+
+    #[test]
+    fn from_info_variants_match_extracting_ones() {
+        let spec = DeviceSpec::mi100();
+        let ir = test_kernel();
+        let info = extract(&ir);
+        assert_eq!(
+            sweep_samples(&spec, &ir, 1 << 16, 4),
+            sweep_samples_from_info(&spec, &info, 1 << 16, 4)
+        );
+        assert_eq!(
+            measured_sweep(&spec, &ir, 1 << 16),
+            measured_sweep_from_info(&spec, &info, 1 << 16)
+        );
+        let suite = small_suite();
+        let models =
+            train_device_models(&spec, &suite[..6], ModelSelection::uniform(Algorithm::Linear), 16, 0);
+        assert_eq!(
+            predict_sweep(&spec, &models, &ir),
+            predict_sweep_from_info(&spec, &models, &info)
+        );
     }
 
     #[test]

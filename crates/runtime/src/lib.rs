@@ -11,6 +11,10 @@
 //! simulated device (advancing its virtual timeline and power trace) and
 //! *computed* on the host with Rayon, so applications observe both real
 //! numerics and faithful energy behaviour.
+//!
+//! The compile step fans its sweeps out over Rayon (with serial reference
+//! paths kept for equivalence testing) and memoizes trained models through
+//! the persistent [`ModelStore`].
 
 #![warn(missing_docs)]
 
@@ -21,17 +25,21 @@ pub mod handler;
 pub mod profiler;
 pub mod queue;
 pub mod registry;
+pub mod store;
 
 pub use buffer::{Accessor, Buffer};
 pub use compile::{
-    baseline_clocks, build_training_set, compile_application, measured_sweep, predict_sweep,
-    sweep_samples, train_device_models,
+    baseline_clocks, build_training_set, build_training_set_serial, compile_application,
+    measured_sweep, measured_sweep_from_info, measured_sweep_serial, predict_sweep,
+    predict_sweep_from_info, sweep_samples, sweep_samples_from_info, sweep_samples_serial,
+    train_device_models,
 };
 pub use event::{Event, EventStatus};
 pub use handler::Handler;
 pub use profiler::{KernelProfiler, ProfileReport};
 pub use queue::{Queue, QueueBuilder};
 pub use registry::TargetRegistry;
+pub use store::{default_cache_dir, CacheStats, ModelKey, ModelStore, CACHE_FORMAT_VERSION};
 
 #[cfg(test)]
 mod proptests {

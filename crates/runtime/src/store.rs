@@ -1,0 +1,411 @@
+//! The trained-model cache.
+//!
+//! Training the four metric models (Figure 6, step ③) is the most
+//! expensive part of the compile-time pipeline, and every figure binary,
+//! integration test and CLI invocation used to redo it from scratch for
+//! the same (device, suite, selection, stride, seed) inputs. The
+//! [`ModelStore`] memoizes trained [`MetricModels`] in memory and persists
+//! them under `experiments/cache/` as JSON, keyed by a content hash of the
+//! full training input, so identical trainings are paid for once per
+//! machine rather than once per process.
+//!
+//! ## Cache key
+//!
+//! The key is an FNV-1a hash over the canonical JSON serialization of
+//! `(device spec, micro-benchmark suite, model selection, stride, seed,
+//! format version)`. Any change to any of these — a different device, one
+//! extra micro-benchmark, a different stride — produces a different key
+//! and therefore a cache miss; stale entries are never served.
+//!
+//! ## Layout and invalidation
+//!
+//! One file per key: `experiments/cache/models-<hash>.json`, written
+//! atomically (temp file + rename). Loaded entries are validated against
+//! the expected key and format version; corrupt or mismatching files are
+//! ignored and overwritten by a fresh training. Delete the files (or the
+//! directory) to clear the cache — `rm -rf experiments/cache` is always
+//! safe.
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+use synergy_kernel::MicroBenchmark;
+use synergy_ml::{MetricModels, ModelSelection};
+use synergy_sim::DeviceSpec;
+
+use crate::compile::train_device_models;
+
+/// Bumped whenever the serialized model format or the training pipeline
+/// changes incompatibly; old cache files then miss and are rewritten.
+pub const CACHE_FORMAT_VERSION: u32 = 1;
+
+/// Content-hash key identifying one training input exactly.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ModelKey {
+    /// 64-bit FNV-1a hash of the canonical training input, as hex.
+    pub hash: String,
+}
+
+/// Everything that determines a training's output, hashed canonically.
+#[derive(Serialize)]
+struct KeyMaterial<'a> {
+    spec: &'a DeviceSpec,
+    suite: &'a [MicroBenchmark],
+    selection: ModelSelection,
+    stride: usize,
+    seed: u64,
+    version: u32,
+}
+
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+impl ModelKey {
+    /// Derive the cache key for one training input.
+    pub fn for_training(
+        spec: &DeviceSpec,
+        suite: &[MicroBenchmark],
+        selection: ModelSelection,
+        stride: usize,
+        seed: u64,
+    ) -> ModelKey {
+        let material = KeyMaterial {
+            spec,
+            suite,
+            selection,
+            stride,
+            seed,
+            version: CACHE_FORMAT_VERSION,
+        };
+        let json = serde_json::to_vec(&material).expect("key material serializes");
+        ModelKey {
+            hash: format!("{:016x}", fnv1a64(&json)),
+        }
+    }
+}
+
+/// One on-disk cache entry.
+#[derive(Serialize, Deserialize)]
+struct CachedModels {
+    version: u32,
+    key: String,
+    models: MetricModels,
+}
+
+/// Cache-effectiveness counters (cumulative since store construction).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Served from the in-memory map.
+    pub memory_hits: u64,
+    /// Served by deserializing a cache file.
+    pub disk_hits: u64,
+    /// Trained from scratch.
+    pub misses: u64,
+}
+
+/// Memoizing store for trained [`MetricModels`].
+///
+/// Thread-safe; clones of the returned [`Arc`] share one trained bundle.
+pub struct ModelStore {
+    dir: Option<PathBuf>,
+    mem: Mutex<HashMap<String, Arc<MetricModels>>>,
+    memory_hits: AtomicU64,
+    disk_hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ModelStore {
+    /// A store that memoizes in memory only (no files touched).
+    pub fn in_memory() -> ModelStore {
+        ModelStore {
+            dir: None,
+            mem: Mutex::new(HashMap::new()),
+            memory_hits: AtomicU64::new(0),
+            disk_hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// A store persisting entries as JSON files under `dir` (created on
+    /// first write).
+    pub fn with_dir(dir: impl Into<PathBuf>) -> ModelStore {
+        ModelStore {
+            dir: Some(dir.into()),
+            ..ModelStore::in_memory()
+        }
+    }
+
+    /// The process-wide store, persisting under the workspace's
+    /// `experiments/cache/` (override with `SYNERGY_MODEL_CACHE_DIR`).
+    pub fn global() -> &'static ModelStore {
+        static GLOBAL: OnceLock<ModelStore> = OnceLock::new();
+        GLOBAL.get_or_init(|| {
+            let dir = std::env::var_os("SYNERGY_MODEL_CACHE_DIR")
+                .map(PathBuf::from)
+                .unwrap_or_else(default_cache_dir);
+            ModelStore::with_dir(dir)
+        })
+    }
+
+    /// The directory entries persist to (`None` for in-memory stores).
+    pub fn dir(&self) -> Option<&Path> {
+        self.dir.as_deref()
+    }
+
+    /// Return the trained models for this input, training at most once.
+    ///
+    /// Lookup order: in-memory map → cache file → train (then populate
+    /// both). The returned models are value-identical to what
+    /// [`train_device_models`] would produce for the same input.
+    pub fn get_or_train(
+        &self,
+        spec: &DeviceSpec,
+        suite: &[MicroBenchmark],
+        selection: ModelSelection,
+        stride: usize,
+        seed: u64,
+    ) -> Arc<MetricModels> {
+        let key = ModelKey::for_training(spec, suite, selection, stride, seed);
+        if let Some(models) = self.mem.lock().get(&key.hash) {
+            self.memory_hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(models);
+        }
+        if let Some(models) = self.load(&key) {
+            self.disk_hits.fetch_add(1, Ordering::Relaxed);
+            let models = Arc::new(models);
+            self.mem
+                .lock()
+                .insert(key.hash.clone(), Arc::clone(&models));
+            return models;
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let models = Arc::new(train_device_models(spec, suite, selection, stride, seed));
+        self.persist(&key, &models);
+        self.mem
+            .lock()
+            .insert(key.hash.clone(), Arc::clone(&models));
+        models
+    }
+
+    /// Drop one entry from memory and disk (no-op when absent). The next
+    /// [`Self::get_or_train`] for that input retrains from scratch.
+    pub fn evict(&self, key: &ModelKey) {
+        self.mem.lock().remove(&key.hash);
+        if let Some(path) = self.entry_path(key) {
+            let _ = fs::remove_file(path);
+        }
+    }
+
+    /// Drop every entry from memory and every `models-*.json` cache file
+    /// from the store directory (other files are left alone).
+    pub fn clear(&self) {
+        self.mem.lock().clear();
+        let Some(dir) = &self.dir else { return };
+        let Ok(entries) = fs::read_dir(dir) else { return };
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if name.starts_with("models-") && name.ends_with(".json") {
+                let _ = fs::remove_file(entry.path());
+            }
+        }
+    }
+
+    /// Cumulative hit/miss counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            memory_hits: self.memory_hits.load(Ordering::Relaxed),
+            disk_hits: self.disk_hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+
+    fn entry_path(&self, key: &ModelKey) -> Option<PathBuf> {
+        self.dir
+            .as_ref()
+            .map(|d| d.join(format!("models-{}.json", key.hash)))
+    }
+
+    fn load(&self, key: &ModelKey) -> Option<MetricModels> {
+        let path = self.entry_path(key)?;
+        let text = fs::read_to_string(path).ok()?;
+        let cached: CachedModels = serde_json::from_str(&text).ok()?;
+        if cached.version != CACHE_FORMAT_VERSION || cached.key != key.hash {
+            return None;
+        }
+        Some(cached.models)
+    }
+
+    /// Best-effort persistence: an unwritable cache directory degrades the
+    /// store to in-memory memoization rather than failing the pipeline.
+    fn persist(&self, key: &ModelKey, models: &MetricModels) {
+        let Some(path) = self.entry_path(key) else { return };
+        let Some(dir) = path.parent() else { return };
+        if fs::create_dir_all(dir).is_err() {
+            return;
+        }
+        let cached = CachedModels {
+            version: CACHE_FORMAT_VERSION,
+            key: key.hash.clone(),
+            models: models.clone(),
+        };
+        let Ok(json) = serde_json::to_string(&cached) else { return };
+        // Atomic-ish: write a process-unique temp file, then rename over
+        // the final name so concurrent readers never see a torn file.
+        let tmp = dir.join(format!(".tmp-{}-{}", std::process::id(), key.hash));
+        if fs::write(&tmp, json).is_ok() && fs::rename(&tmp, &path).is_err() {
+            let _ = fs::remove_file(&tmp);
+        }
+    }
+}
+
+/// The workspace-level default cache directory, `experiments/cache/`.
+pub fn default_cache_dir() -> PathBuf {
+    let mut dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    dir.pop(); // crates/
+    dir.pop(); // workspace root
+    dir.push("experiments");
+    dir.push("cache");
+    dir
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use synergy_kernel::{generate_microbench, MicroBenchConfig};
+    use synergy_ml::Algorithm;
+
+    fn tiny_suite() -> Vec<MicroBenchmark> {
+        let cfg = MicroBenchConfig {
+            intensities: [1, 8, 32, 128],
+            mixed_kernels: 2,
+            work_items: 1 << 16,
+        };
+        generate_microbench(42, &cfg)[..6].to_vec()
+    }
+
+    fn test_dir(name: &str) -> PathBuf {
+        default_cache_dir().join(format!("test-{}-{}", name, std::process::id()))
+    }
+
+    #[test]
+    fn key_is_deterministic_and_input_sensitive() {
+        let spec = DeviceSpec::v100();
+        let suite = tiny_suite();
+        let sel = ModelSelection::uniform(Algorithm::Linear);
+        let k1 = ModelKey::for_training(&spec, &suite, sel, 8, 0);
+        let k2 = ModelKey::for_training(&spec, &suite, sel, 8, 0);
+        assert_eq!(k1, k2);
+        // Every key ingredient must perturb the hash.
+        let others = [
+            ModelKey::for_training(&DeviceSpec::mi100(), &suite, sel, 8, 0),
+            ModelKey::for_training(&spec, &suite[..5], sel, 8, 0),
+            ModelKey::for_training(&spec, &suite, ModelSelection::paper_best(), 8, 0),
+            ModelKey::for_training(&spec, &suite, sel, 9, 0),
+            ModelKey::for_training(&spec, &suite, sel, 8, 1),
+        ];
+        for (i, k) in others.iter().enumerate() {
+            assert_ne!(&k1, k, "ingredient {i} did not change the key");
+        }
+    }
+
+    #[test]
+    fn memory_memoization_shares_one_training() {
+        let store = ModelStore::in_memory();
+        let spec = DeviceSpec::v100();
+        let suite = tiny_suite();
+        let sel = ModelSelection::uniform(Algorithm::Linear);
+        let a = store.get_or_train(&spec, &suite, sel, 32, 0);
+        let b = store.get_or_train(&spec, &suite, sel, 32, 0);
+        assert!(Arc::ptr_eq(&a, &b), "second call must hit the memo");
+        let s = store.stats();
+        assert_eq!((s.misses, s.memory_hits, s.disk_hits), (1, 1, 0));
+    }
+
+    #[test]
+    fn disk_round_trip_is_value_identical() {
+        let dir = test_dir("roundtrip");
+        let spec = DeviceSpec::v100();
+        let suite = tiny_suite();
+        let sel = ModelSelection::uniform(Algorithm::Linear);
+
+        let store = ModelStore::with_dir(&dir);
+        let trained = store.get_or_train(&spec, &suite, sel, 32, 7);
+        assert_eq!(store.stats().misses, 1);
+
+        // A fresh store over the same directory must load, not retrain,
+        // and the loaded bundle must equal the trained one as a value.
+        let fresh = ModelStore::with_dir(&dir);
+        let loaded = fresh.get_or_train(&spec, &suite, sel, 32, 7);
+        let s = fresh.stats();
+        assert_eq!((s.misses, s.disk_hits), (0, 1));
+        assert_eq!(*trained, *loaded);
+
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn eviction_forces_retraining() {
+        let dir = test_dir("evict");
+        let spec = DeviceSpec::v100();
+        let suite = tiny_suite();
+        let sel = ModelSelection::uniform(Algorithm::Linear);
+        let key = ModelKey::for_training(&spec, &suite, sel, 32, 0);
+
+        let store = ModelStore::with_dir(&dir);
+        let _ = store.get_or_train(&spec, &suite, sel, 32, 0);
+        store.evict(&key);
+        let _ = store.get_or_train(&spec, &suite, sel, 32, 0);
+        assert_eq!(store.stats().misses, 2, "evicted entry must retrain");
+
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_cache_file_is_ignored() {
+        let dir = test_dir("corrupt");
+        let spec = DeviceSpec::v100();
+        let suite = tiny_suite();
+        let sel = ModelSelection::uniform(Algorithm::Linear);
+        let key = ModelKey::for_training(&spec, &suite, sel, 32, 0);
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(dir.join(format!("models-{}.json", key.hash)), "{not json").unwrap();
+
+        let store = ModelStore::with_dir(&dir);
+        let _ = store.get_or_train(&spec, &suite, sel, 32, 0);
+        let s = store.stats();
+        assert_eq!((s.misses, s.disk_hits), (1, 0), "corrupt file must not be served");
+
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn clear_removes_only_cache_files() {
+        let dir = test_dir("clear");
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(dir.join("keep.txt"), "unrelated").unwrap();
+        let spec = DeviceSpec::v100();
+        let suite = tiny_suite();
+        let sel = ModelSelection::uniform(Algorithm::Linear);
+        let store = ModelStore::with_dir(&dir);
+        let _ = store.get_or_train(&spec, &suite, sel, 32, 0);
+        store.clear();
+        let names: Vec<String> = fs::read_dir(&dir)
+            .unwrap()
+            .flatten()
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .collect();
+        assert_eq!(names, vec!["keep.txt".to_string()]);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

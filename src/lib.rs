@@ -75,7 +75,7 @@ pub mod prelude {
     pub use crate::metrics::{pareto_front, EnergyTarget, MetricPoint};
     pub use crate::ml::{Algorithm, ModelSelection};
     pub use crate::rt::{
-        compile_application, train_device_models, Buffer, Event, Handler, Queue,
+        compile_application, train_device_models, Buffer, Event, Handler, ModelStore, Queue,
         TargetRegistry,
     };
     pub use crate::sim::{ClockConfig, DeviceSpec, SimDevice, SimNode};

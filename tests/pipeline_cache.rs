@@ -1,0 +1,126 @@
+//! Cross-crate pipeline properties: the parallel sweep engine is
+//! bit-identical to the serial reference path, and the trained-model cache
+//! is deterministic across stores (round-trip through disk preserves every
+//! prediction) while any key-ingredient change invalidates it.
+
+use proptest::prelude::*;
+use synergy::kernel::{generate_microbench, MicroBenchConfig, MicroBenchmark};
+use synergy::ml::{Algorithm, ModelSelection};
+use synergy::rt::{
+    build_training_set, build_training_set_serial, default_cache_dir, predict_sweep,
+    ModelKey, ModelStore,
+};
+use synergy::sim::DeviceSpec;
+
+fn small_suite(gen_seed: u64) -> Vec<MicroBenchmark> {
+    let cfg = MicroBenchConfig {
+        intensities: [1, 8, 32, 128],
+        mixed_kernels: 4,
+        work_items: 1 << 16,
+    };
+    generate_microbench(gen_seed, &cfg)
+}
+
+fn test_dir(name: &str) -> std::path::PathBuf {
+    default_cache_dir().join(format!("test-it-{}-{}", name, std::process::id()))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The rayon fan-out must not change a single bit of the training set:
+    /// for any device, stride and suite subset, parallel == serial.
+    #[test]
+    fn parallel_training_set_is_bitwise_serial(
+        stride in 1usize..40,
+        take in 1usize..8,
+        gen_seed in 0u64..4,
+        device in 0usize..3,
+    ) {
+        let spec = match device {
+            0 => DeviceSpec::v100(),
+            1 => DeviceSpec::mi100(),
+            _ => DeviceSpec::titan_x(),
+        };
+        let suite = small_suite(gen_seed);
+        let take = take.min(suite.len());
+        let par = build_training_set(&spec, &suite[..take], stride);
+        let ser = build_training_set_serial(&spec, &suite[..take], stride);
+        prop_assert_eq!(par, ser);
+    }
+}
+
+#[test]
+fn cache_round_trip_preserves_predictions() {
+    let dir = test_dir("roundtrip");
+    let spec = DeviceSpec::v100();
+    let suite = small_suite(42);
+    let sel = ModelSelection::paper_best();
+
+    let store = ModelStore::with_dir(&dir);
+    let trained = store.get_or_train(&spec, &suite, sel, 32, 7);
+    assert_eq!(store.stats().misses, 1);
+
+    // A fresh store over the same directory loads the file instead of
+    // retraining, and the loaded bundle predicts identically everywhere.
+    let fresh = ModelStore::with_dir(&dir);
+    let loaded = fresh.get_or_train(&spec, &suite, sel, 32, 7);
+    assert_eq!(fresh.stats().disk_hits, 1);
+    assert_eq!(*trained, *loaded);
+    for b in synergy::apps::suite().into_iter().take(3) {
+        assert_eq!(
+            predict_sweep(&spec, &trained, &b.ir),
+            predict_sweep(&spec, &loaded, &b.ir),
+            "{}",
+            b.name
+        );
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn cache_key_changes_with_every_ingredient() {
+    let spec = DeviceSpec::v100();
+    let suite = small_suite(42);
+    let sel = ModelSelection::uniform(Algorithm::Linear);
+    let base = ModelKey::for_training(&spec, &suite, sel, 16, 0);
+    // Deterministic for identical input...
+    assert_eq!(base, ModelKey::for_training(&spec, &suite, sel, 16, 0));
+    // ...and sensitive to each ingredient.
+    let perturbed = [
+        ModelKey::for_training(&DeviceSpec::mi100(), &suite, sel, 16, 0),
+        ModelKey::for_training(&spec, &suite[..suite.len() - 1], sel, 16, 0),
+        ModelKey::for_training(&spec, &suite, ModelSelection::paper_best(), 16, 0),
+        ModelKey::for_training(&spec, &suite, sel, 17, 0),
+        ModelKey::for_training(&spec, &suite, sel, 16, 1),
+    ];
+    for (i, k) in perturbed.iter().enumerate() {
+        assert_ne!(&base, k, "ingredient {i} must perturb the key");
+    }
+}
+
+#[test]
+fn changed_key_retrains_instead_of_serving_stale() {
+    let dir = test_dir("invalidate");
+    let spec = DeviceSpec::v100();
+    let suite = small_suite(42);
+    let sel = ModelSelection::uniform(Algorithm::Linear);
+
+    let store = ModelStore::with_dir(&dir);
+    let a = store.get_or_train(&spec, &suite, sel, 32, 0);
+    let b = store.get_or_train(&spec, &suite, sel, 32, 1); // seed changed
+    let c = store.get_or_train(&spec, &suite, sel, 24, 0); // stride changed
+    let d = store.get_or_train(&spec, &suite[..4], sel, 32, 0); // suite changed
+    assert_eq!(
+        store.stats().misses,
+        4,
+        "every key change must train fresh models"
+    );
+    // And the original entry still hits.
+    let a2 = store.get_or_train(&spec, &suite, sel, 32, 0);
+    assert_eq!(*a, *a2);
+    let _ = (b, c, d);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
