@@ -7,5 +7,6 @@ cd "$(dirname "$0")/.."
 
 cargo build --release
 cargo test -q
+cargo clippy --workspace --all-targets -- -D warnings
 cargo bench --workspace --no-run
 cargo run --release -p synergy-bench --bin pipeline_perf -- --small

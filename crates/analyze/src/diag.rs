@@ -1,0 +1,285 @@
+//! Diagnostics: levels, tree-addressed spans, findings and reports.
+//!
+//! A [`Diagnostic`] is one finding of one lint: a stable code, a severity,
+//! a tree-addressed path into the analyzed subject (e.g.
+//! `body[2].loop.body[0]` for a statement of a kernel IR), a message, and
+//! an optional suggestion. A [`Report`] is an ordered collection of
+//! diagnostics with human (`render`) and machine (`to_json`) output.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::fmt::Write as _;
+
+/// A lint level, doubling as the severity of an emitted diagnostic.
+///
+/// Ordered `Allow < Warn < Deny`: an allow-level lint does not run at all,
+/// a warn-level finding is advisory, and a deny-level finding aborts the
+/// compile step.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+#[serde(rename_all = "lowercase")]
+pub enum Level {
+    /// The lint is disabled; no diagnostics are produced.
+    Allow,
+    /// Advisory finding: reported, never fatal.
+    Warn,
+    /// Fatal finding: aborts compilation when surfaced through
+    /// `compile_application`.
+    Deny,
+}
+
+impl fmt::Display for Level {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Level::Allow => "allow",
+            Level::Warn => "warn",
+            Level::Deny => "deny",
+        })
+    }
+}
+
+impl std::str::FromStr for Level {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "allow" => Ok(Level::Allow),
+            "warn" => Ok(Level::Warn),
+            "deny" => Ok(Level::Deny),
+            other => Err(format!("unknown lint level `{other}`")),
+        }
+    }
+}
+
+/// A tree-addressed span: a dotted path of segments pointing into the
+/// analyzed subject.
+///
+/// For kernel IR the convention is `body[i]` for the i-th statement of a
+/// body, `loop.body[j]` below a loop, and `branch.then[k]` /
+/// `branch.else[k]` below a branch; e.g. `body[2].loop.body[0]` is the
+/// first statement inside the loop that is the third top-level statement.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SpanPath {
+    segs: Vec<String>,
+}
+
+impl SpanPath {
+    /// The empty path (renders as `<root>`).
+    pub fn root() -> SpanPath {
+        SpanPath::default()
+    }
+
+    /// Append a plain segment (builder style).
+    pub fn seg(mut self, name: impl Into<String>) -> SpanPath {
+        self.segs.push(name.into());
+        self
+    }
+
+    /// Append an indexed segment `name[i]` (builder style).
+    pub fn index(self, name: &str, i: usize) -> SpanPath {
+        self.seg(format!("{name}[{i}]"))
+    }
+
+    /// Render as a dotted path string.
+    pub fn render(&self) -> String {
+        if self.segs.is_empty() {
+            "<root>".to_string()
+        } else {
+            self.segs.join(".")
+        }
+    }
+}
+
+impl fmt::Display for SpanPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+/// One finding of one lint.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Diagnostic {
+    /// Stable lint code, e.g. `IR001`.
+    pub code: String,
+    /// Severity (the lint's effective level when it fired).
+    pub severity: Level,
+    /// Tree-addressed location, e.g. `body[2].loop.body[0]`.
+    pub path: String,
+    /// What is wrong.
+    pub message: String,
+    /// How to fix it, when the lint knows.
+    pub suggestion: Option<String>,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let word = match self.severity {
+            Level::Deny => "error",
+            Level::Warn => "warning",
+            Level::Allow => "allowed",
+        };
+        write!(f, "{word}[{}] {}: {}", self.code, self.path, self.message)?;
+        if let Some(s) = &self.suggestion {
+            write!(f, "\n  help: {s}")?;
+        }
+        Ok(())
+    }
+}
+
+/// An ordered collection of diagnostics.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Report {
+    /// The findings, in emission order.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl Report {
+    /// An empty report.
+    pub fn new() -> Report {
+        Report::default()
+    }
+
+    /// True when nothing at warn level or above was found.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// True when at least one deny-level diagnostic is present.
+    pub fn has_deny(&self) -> bool {
+        self.diagnostics.iter().any(|d| d.severity == Level::Deny)
+    }
+
+    /// Number of deny-level diagnostics.
+    pub fn deny_count(&self) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Level::Deny)
+            .count()
+    }
+
+    /// Number of warn-level diagnostics.
+    pub fn warn_count(&self) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Level::Warn)
+            .count()
+    }
+
+    /// The codes present, in emission order with duplicates retained.
+    pub fn codes(&self) -> Vec<&str> {
+        self.diagnostics.iter().map(|d| d.code.as_str()).collect()
+    }
+
+    /// True when a diagnostic with `code` is present.
+    pub fn has_code(&self, code: &str) -> bool {
+        self.diagnostics.iter().any(|d| d.code == code)
+    }
+
+    /// Append all diagnostics of `other`.
+    pub fn merge(&mut self, other: Report) {
+        self.diagnostics.extend(other.diagnostics);
+    }
+
+    /// Prefix every diagnostic path with `prefix.` — used to scope
+    /// per-kernel findings by kernel name in a whole-application report.
+    pub fn prefixed(mut self, prefix: &str) -> Report {
+        for d in &mut self.diagnostics {
+            d.path = format!("{prefix}.{}", d.path);
+        }
+        self
+    }
+
+    /// Render for humans: one block per diagnostic plus a summary line.
+    /// Returns the empty string for a clean report.
+    pub fn render(&self) -> String {
+        if self.diagnostics.is_empty() {
+            return String::new();
+        }
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            let _ = writeln!(out, "{d}");
+        }
+        let (e, w) = (self.deny_count(), self.warn_count());
+        let _ = writeln!(
+            out,
+            "{e} error{}, {w} warning{}",
+            if e == 1 { "" } else { "s" },
+            if w == 1 { "" } else { "s" }
+        );
+        out
+    }
+
+    /// Serialize the report as pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report serializes")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_path_renders_dotted_indices() {
+        let p = SpanPath::root().index("body", 2).seg("loop").index("body", 0);
+        assert_eq!(p.render(), "body[2].loop.body[0]");
+        assert_eq!(SpanPath::root().render(), "<root>");
+        assert_eq!(
+            SpanPath::root().index("body", 1).seg("branch").index("else", 3).render(),
+            "body[1].branch.else[3]"
+        );
+    }
+
+    #[test]
+    fn level_order_and_parse() {
+        assert!(Level::Allow < Level::Warn && Level::Warn < Level::Deny);
+        assert_eq!("deny".parse::<Level>().unwrap(), Level::Deny);
+        assert_eq!(" Warn ".parse::<Level>().unwrap(), Level::Warn);
+        assert!("fatal".parse::<Level>().is_err());
+        assert_eq!(Level::Warn.to_string(), "warn");
+    }
+
+    fn diag(code: &str, severity: Level) -> Diagnostic {
+        Diagnostic {
+            code: code.into(),
+            severity,
+            path: "body[0]".into(),
+            message: "something".into(),
+            suggestion: Some("fix it".into()),
+        }
+    }
+
+    #[test]
+    fn report_counts_and_render() {
+        let mut r = Report::new();
+        assert!(r.is_clean());
+        assert_eq!(r.render(), "");
+        r.diagnostics.push(diag("IR001", Level::Deny));
+        r.diagnostics.push(diag("IR007", Level::Warn));
+        assert!(!r.is_clean());
+        assert!(r.has_deny());
+        assert_eq!((r.deny_count(), r.warn_count()), (1, 1));
+        let text = r.render();
+        assert!(text.contains("error[IR001] body[0]: something"));
+        assert!(text.contains("help: fix it"));
+        assert!(text.contains("1 error, 1 warning"));
+    }
+
+    #[test]
+    fn report_merge_prefix_and_json() {
+        let mut r = Report::new();
+        r.diagnostics.push(diag("SW001", Level::Deny));
+        let r = r.prefixed("vec_add");
+        assert_eq!(r.diagnostics[0].path, "vec_add.body[0]");
+        let mut all = Report::new();
+        all.merge(r.clone());
+        all.merge(r);
+        assert_eq!(all.deny_count(), 2);
+        assert!(all.has_code("SW001"));
+        let json = all.to_json();
+        let back: Report = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, all);
+        assert!(json.contains("\"severity\": \"deny\""));
+    }
+}

@@ -1,0 +1,543 @@
+//! The IR lint family (`IR001`–`IR011`): structural defects, degenerate
+//! control flow, dead memory traffic and a feature-extraction cross-check
+//! over [`KernelIr`] trees.
+//!
+//! `IR001`–`IR005` reproduce the defect classes of the original
+//! `synergy_kernel::display::validate` pass at deny level; the rest are new
+//! diagnostics that the six-defect validator could not express.
+
+use crate::diag::{Level, SpanPath};
+use crate::lint::{Lint, Sink, Subject};
+use synergy_kernel::{extract, FeatureClass, FeatureVector, Inst, KernelIr, Stmt, TripCount};
+
+/// Probability below which a branch side is considered unreachable.
+const DEGENERATE_PROB: f64 = 1e-6;
+
+/// Expected trip count above which a loop is considered runaway (more
+/// iterations per work-item than any real kernel body executes).
+const RUNAWAY_TRIPS: f64 = 1e9;
+
+/// Walk every statement of a body, calling `f` with its tree-addressed
+/// path: `body[i]` at the top level, `…loop.body[j]` inside loops and
+/// `…branch.then[k]` / `…branch.else[k]` inside branches.
+fn visit(stmts: &[Stmt], base: &SpanPath, seg: &str, f: &mut dyn FnMut(&SpanPath, &Stmt)) {
+    for (i, stmt) in stmts.iter().enumerate() {
+        let path = base.clone().index(seg, i);
+        f(&path, stmt);
+        match stmt {
+            Stmt::Op(..) => {}
+            Stmt::Loop { body, .. } => {
+                visit(body, &path.clone().seg("loop"), "body", f);
+            }
+            Stmt::Branch { then, els, .. } => {
+                let bp = path.clone().seg("branch");
+                visit(then, &bp, "then", f);
+                visit(els, &bp, "else", f);
+            }
+        }
+    }
+}
+
+/// Walk a whole kernel (entry point for the statement visitors).
+fn visit_kernel(kernel: &KernelIr, f: &mut dyn FnMut(&SpanPath, &Stmt)) {
+    visit(&kernel.body, &SpanPath::root(), "body", f);
+}
+
+/// The path used for kernel-level (non-statement) findings.
+fn kernel_path() -> SpanPath {
+    SpanPath::root().seg("kernel")
+}
+
+/// Re-derive the Table-1 feature vector with an iterative worklist,
+/// independently of the recursive accumulation in `extract.rs`: each op
+/// contributes `scale · count` to its class, where `scale` is the product
+/// of enclosing trip counts and branch probabilities.
+fn rederive_features(kernel: &KernelIr) -> FeatureVector {
+    let mut acc = FeatureVector::ZERO;
+    let mut work: Vec<(&[Stmt], f64)> = vec![(&kernel.body, 1.0)];
+    while let Some((stmts, scale)) = work.pop() {
+        for stmt in stmts {
+            match stmt {
+                Stmt::Op(inst, n) => acc[inst.feature_class()] += scale * *n as f64,
+                Stmt::Loop { trip, body } => {
+                    work.push((body, scale * trip.expected().max(0.0)));
+                }
+                Stmt::Branch { prob, then, els } => {
+                    let p = prob.clamp(0.0, 1.0);
+                    work.push((then, scale * p));
+                    work.push((els, scale * (1.0 - p)));
+                }
+            }
+        }
+    }
+    acc
+}
+
+fn roughly_equal(a: f64, b: f64) -> bool {
+    // Relative tolerance: the two walks sum in different orders, so exact
+    // equality is not guaranteed for deep trees. NaN never compares equal.
+    (a - b).abs() <= 1e-6 * a.abs().max(b.abs()).max(1.0)
+}
+
+/// IR001: an op with repeat count zero is a dead statement.
+struct ZeroCountOp;
+
+impl Lint for ZeroCountOp {
+    fn code(&self) -> &'static str {
+        "IR001"
+    }
+    fn summary(&self) -> &'static str {
+        "op with a zero repeat count (dead statement)"
+    }
+    fn default_level(&self) -> Level {
+        Level::Deny
+    }
+    fn check(&self, subject: &Subject<'_>, sink: &mut Sink<'_>) {
+        let Subject::Kernel(k) = subject else { return };
+        visit_kernel(k, &mut |path, stmt| {
+            if let Stmt::Op(inst, 0) = stmt {
+                sink.emit_with(
+                    path,
+                    format!("`{inst:?}` has repeat count 0 and contributes nothing"),
+                    "remove the statement or give it a positive count",
+                );
+            }
+        });
+    }
+}
+
+/// IR002: a non-finite or negative estimated trip count.
+struct BadTripCount;
+
+impl Lint for BadTripCount {
+    fn code(&self) -> &'static str {
+        "IR002"
+    }
+    fn summary(&self) -> &'static str {
+        "loop trip count not finite or negative"
+    }
+    fn default_level(&self) -> Level {
+        Level::Deny
+    }
+    fn check(&self, subject: &Subject<'_>, sink: &mut Sink<'_>) {
+        let Subject::Kernel(k) = subject else { return };
+        visit_kernel(k, &mut |path, stmt| {
+            if let Stmt::Loop {
+                trip: TripCount::Estimated(e),
+                ..
+            } = stmt
+            {
+                if !e.is_finite() || *e < 0.0 {
+                    sink.emit_with(
+                        path,
+                        format!("estimated trip count {e} is not a finite non-negative number"),
+                        "use a finite estimate >= 0 (profile data or a heuristic)",
+                    );
+                }
+            }
+        });
+    }
+}
+
+/// IR003: a branch probability outside `[0, 1]` or not finite.
+struct BadBranchProbability;
+
+impl Lint for BadBranchProbability {
+    fn code(&self) -> &'static str {
+        "IR003"
+    }
+    fn summary(&self) -> &'static str {
+        "branch probability outside [0, 1] or not finite"
+    }
+    fn default_level(&self) -> Level {
+        Level::Deny
+    }
+    fn check(&self, subject: &Subject<'_>, sink: &mut Sink<'_>) {
+        let Subject::Kernel(k) = subject else { return };
+        visit_kernel(k, &mut |path, stmt| {
+            if let Stmt::Branch { prob, .. } = stmt {
+                if !prob.is_finite() || !(0.0..=1.0).contains(prob) {
+                    sink.emit_with(
+                        path,
+                        format!("branch probability {prob} is not in [0, 1]"),
+                        "clamp the probability into [0, 1]",
+                    );
+                }
+            }
+        });
+    }
+}
+
+/// IR004: an empty loop body burns trips doing nothing.
+struct EmptyLoopBody;
+
+impl Lint for EmptyLoopBody {
+    fn code(&self) -> &'static str {
+        "IR004"
+    }
+    fn summary(&self) -> &'static str {
+        "loop with an empty body"
+    }
+    fn default_level(&self) -> Level {
+        Level::Deny
+    }
+    fn check(&self, subject: &Subject<'_>, sink: &mut Sink<'_>) {
+        let Subject::Kernel(k) = subject else { return };
+        visit_kernel(k, &mut |path, stmt| {
+            if let Stmt::Loop { body, .. } = stmt {
+                if body.is_empty() {
+                    sink.emit_with(
+                        path,
+                        "loop body is empty; the loop burns trips doing nothing",
+                        "remove the loop or give it a body",
+                    );
+                }
+            }
+        });
+    }
+}
+
+/// IR005: coalescing or DRAM fraction outside their valid ranges.
+struct BadMemoryFractions;
+
+impl Lint for BadMemoryFractions {
+    fn code(&self) -> &'static str {
+        "IR005"
+    }
+    fn summary(&self) -> &'static str {
+        "coalescing or dram_fraction outside [0, 1] or not finite"
+    }
+    fn default_level(&self) -> Level {
+        Level::Deny
+    }
+    fn check(&self, subject: &Subject<'_>, sink: &mut Sink<'_>) {
+        let Subject::Kernel(k) = subject else { return };
+        if !(0.0..=1.0).contains(&k.coalescing)
+            || !(0.0..=1.0).contains(&k.dram_fraction)
+            || !k.coalescing.is_finite()
+            || !k.dram_fraction.is_finite()
+        {
+            sink.emit_with(
+                &kernel_path(),
+                format!(
+                    "memory fractions out of range: coalescing = {}, dram_fraction = {}",
+                    k.coalescing, k.dram_fraction
+                ),
+                "use the with_coalescing / with_dram_fraction builders, which clamp",
+            );
+        }
+    }
+}
+
+/// IR006: a branch whose probability makes one side effectively
+/// unreachable — degenerate control flow that should be a straight line.
+struct DegenerateBranch;
+
+impl Lint for DegenerateBranch {
+    fn code(&self) -> &'static str {
+        "IR006"
+    }
+    fn summary(&self) -> &'static str {
+        "branch with p ~ 0 or p ~ 1 (one side unreachable)"
+    }
+    fn default_level(&self) -> Level {
+        Level::Warn
+    }
+    fn check(&self, subject: &Subject<'_>, sink: &mut Sink<'_>) {
+        let Subject::Kernel(k) = subject else { return };
+        visit_kernel(k, &mut |path, stmt| {
+            let Stmt::Branch { prob, then, els } = stmt else {
+                return;
+            };
+            // Out-of-range probabilities are IR003's business.
+            if !prob.is_finite() || !(0.0..=1.0).contains(prob) {
+                return;
+            }
+            if *prob <= DEGENERATE_PROB && !then.is_empty() {
+                sink.emit_with(
+                    path,
+                    format!("then-side is effectively unreachable (p = {prob})"),
+                    "drop the branch and keep only the else statements",
+                );
+            } else if *prob >= 1.0 - DEGENERATE_PROB && !els.is_empty() {
+                sink.emit_with(
+                    path,
+                    format!("else-side is effectively unreachable (p = {prob})"),
+                    "drop the branch and keep only the then statements",
+                );
+            }
+        });
+    }
+}
+
+/// IR007: a loop with zero expected trips (dead) or an implausibly large
+/// trip count (runaway estimate that will swamp the feature vector).
+struct SuspiciousTripCount;
+
+impl Lint for SuspiciousTripCount {
+    fn code(&self) -> &'static str {
+        "IR007"
+    }
+    fn summary(&self) -> &'static str {
+        "loop with zero or runaway expected trip count"
+    }
+    fn default_level(&self) -> Level {
+        Level::Warn
+    }
+    fn check(&self, subject: &Subject<'_>, sink: &mut Sink<'_>) {
+        let Subject::Kernel(k) = subject else { return };
+        visit_kernel(k, &mut |path, stmt| {
+            let Stmt::Loop { trip, .. } = stmt else {
+                return;
+            };
+            let e = trip.expected();
+            // Broken counts are IR002's business.
+            if !e.is_finite() || e < 0.0 {
+                return;
+            }
+            if e == 0.0 {
+                sink.emit_with(
+                    path,
+                    "loop never executes (expected trip count 0)",
+                    "remove the loop or give it a positive trip count",
+                );
+            } else if e > RUNAWAY_TRIPS {
+                sink.emit_with(
+                    path,
+                    format!("expected trip count {e:.3e} exceeds {RUNAWAY_TRIPS:.0e} per work-item"),
+                    "check the trip estimate; per-item loops this long indicate a bad profile",
+                );
+            }
+        });
+    }
+}
+
+/// IR008: local (shared-memory) stores in a kernel that never loads from
+/// local memory — the stored values are dead.
+struct DeadLocalStore;
+
+impl Lint for DeadLocalStore {
+    fn code(&self) -> &'static str {
+        "IR008"
+    }
+    fn summary(&self) -> &'static str {
+        "local stores without any local load (dead shared-memory traffic)"
+    }
+    fn default_level(&self) -> Level {
+        Level::Warn
+    }
+    fn check(&self, subject: &Subject<'_>, sink: &mut Sink<'_>) {
+        let Subject::Kernel(k) = subject else { return };
+        let mut has_load = false;
+        visit_kernel(k, &mut |_, stmt| {
+            if let Stmt::Op(Inst::LocalLoad, n) = stmt {
+                has_load |= *n > 0;
+            }
+        });
+        if has_load {
+            return;
+        }
+        visit_kernel(k, &mut |path, stmt| {
+            if let Stmt::Op(Inst::LocalStore, n) = stmt {
+                if *n > 0 {
+                    sink.emit_with(
+                        path,
+                        "value stored to local memory is never loaded back",
+                        "remove the store or add the consuming local loads",
+                    );
+                }
+            }
+        });
+    }
+}
+
+/// IR009: the kernel's declared memory model disagrees with its extracted
+/// global traffic — coalescing/DRAM fractions on a kernel with no global
+/// accesses, or global accesses that extract to zero bytes.
+struct MemoryModelMismatch;
+
+impl Lint for MemoryModelMismatch {
+    fn code(&self) -> &'static str {
+        "IR009"
+    }
+    fn summary(&self) -> &'static str {
+        "coalescing/dram_fraction inconsistent with extracted global traffic"
+    }
+    fn default_level(&self) -> Level {
+        Level::Warn
+    }
+    fn check(&self, subject: &Subject<'_>, sink: &mut Sink<'_>) {
+        let Subject::Kernel(k) = subject else { return };
+        let info = extract(k);
+        let accesses = info.features[FeatureClass::GlobalAccess];
+        if accesses == 0.0 && (k.coalescing < 1.0 || k.dram_fraction < 1.0) {
+            sink.emit_with(
+                &kernel_path(),
+                format!(
+                    "coalescing = {} / dram_fraction = {} declared, but the kernel \
+                     performs no global accesses",
+                    k.coalescing, k.dram_fraction
+                ),
+                "drop the memory-model overrides on a compute-only kernel",
+            );
+        }
+        if accesses > 0.0 && info.global_bytes_per_item == 0.0 {
+            sink.emit_with(
+                &kernel_path(),
+                format!(
+                    "{accesses} global accesses per work-item extract to zero DRAM bytes"
+                ),
+                "check element_width, coalescing and dram_fraction; traffic cannot be zero",
+            );
+        }
+    }
+}
+
+/// IR010: the extraction pass and an independent re-derivation disagree on
+/// the feature vector, or extraction produced an invalid vector. Either
+/// way the downstream models would be fed garbage.
+struct FeatureBudget;
+
+impl Lint for FeatureBudget {
+    fn code(&self) -> &'static str {
+        "IR010"
+    }
+    fn summary(&self) -> &'static str {
+        "feature vector invalid or diverging from an independent re-derivation"
+    }
+    fn default_level(&self) -> Level {
+        Level::Deny
+    }
+    fn check(&self, subject: &Subject<'_>, sink: &mut Sink<'_>) {
+        let Subject::Kernel(k) = subject else { return };
+        let info = extract(k);
+        if !info.features.is_valid() {
+            sink.emit_with(
+                &kernel_path(),
+                format!(
+                    "extracted feature vector has non-finite or negative entries: {}",
+                    info.features
+                ),
+                "fix the trip counts / probabilities the extraction multiplied",
+            );
+            return;
+        }
+        let independent = rederive_features(k);
+        for (class, got) in info.features.iter() {
+            let expect = independent[class];
+            if !roughly_equal(got, expect) {
+                sink.emit(
+                    &kernel_path(),
+                    format!(
+                        "feature `{class}` diverges: extract = {got}, re-derivation = {expect}"
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// IR011: a kernel that moves global memory but performs zero compute.
+/// Its ops-per-byte intensity is 0 and any compute-frequency model input
+/// is pure noise — usually a sign the body was stubbed out.
+struct PureMemoryKernel;
+
+impl Lint for PureMemoryKernel {
+    fn code(&self) -> &'static str {
+        "IR011"
+    }
+    fn summary(&self) -> &'static str {
+        "pure-memory kernel: global traffic with zero compute ops"
+    }
+    fn default_level(&self) -> Level {
+        Level::Warn
+    }
+    fn check(&self, subject: &Subject<'_>, sink: &mut Sink<'_>) {
+        let Subject::Kernel(k) = subject else { return };
+        let info = extract(k);
+        if !info.features.is_valid() {
+            return;
+        }
+        if info.features.compute_ops() == 0.0 && info.features[FeatureClass::GlobalAccess] > 0.0 {
+            sink.emit_with(
+                &kernel_path(),
+                "kernel moves global memory but performs no compute (ops_per_byte = 0)",
+                "expected for a pure copy; otherwise the compute body is missing",
+            );
+        }
+    }
+}
+
+/// All IR-family lints in code order.
+pub fn builtin() -> Vec<Box<dyn Lint>> {
+    vec![
+        Box::new(ZeroCountOp),
+        Box::new(BadTripCount),
+        Box::new(BadBranchProbability),
+        Box::new(EmptyLoopBody),
+        Box::new(BadMemoryFractions),
+        Box::new(DegenerateBranch),
+        Box::new(SuspiciousTripCount),
+        Box::new(DeadLocalStore),
+        Box::new(MemoryModelMismatch),
+        Box::new(FeatureBudget),
+        Box::new(PureMemoryKernel),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lint::LintRegistry;
+    use synergy_kernel::IrBuilder;
+
+    fn registry() -> LintRegistry {
+        let mut r = LintRegistry::empty();
+        for l in builtin() {
+            r.register(l);
+        }
+        r
+    }
+
+    #[test]
+    fn healthy_kernel_is_clean() {
+        let k = IrBuilder::new()
+            .ops(Inst::GlobalLoad, 2)
+            .loop_n(8, |b| b.ops(Inst::FloatMul, 1).ops(Inst::FloatAdd, 1))
+            .ops(Inst::GlobalStore, 1)
+            .build("healthy");
+        let rep = registry().check_kernel(&k);
+        assert!(rep.is_clean(), "unexpected findings:\n{}", rep.render());
+    }
+
+    #[test]
+    fn nested_findings_carry_tree_paths() {
+        let k = IrBuilder::new()
+            .ops(Inst::IntAdd, 1)
+            .loop_n(4, |b| b.ops(Inst::FloatAdd, 1).ops(Inst::IntMul, 0))
+            .build("nested");
+        let rep = registry().check_kernel(&k);
+        assert_eq!(rep.codes(), vec!["IR001"]);
+        assert_eq!(rep.diagnostics[0].path, "body[1].loop.body[1]");
+    }
+
+    #[test]
+    fn rederivation_matches_extract_on_weighted_trees() {
+        let k = IrBuilder::new()
+            .loop_est(3.5, |b| {
+                b.ops(Inst::GlobalLoad, 2).branch(
+                    0.25,
+                    |b| b.ops(Inst::SpecialFn, 4),
+                    |b| b.ops(Inst::IntBitwise, 8),
+                )
+            })
+            .ops(Inst::GlobalStore, 1)
+            .build("weighted");
+        let ours = rederive_features(&k);
+        let theirs = extract(&k).features;
+        for (class, a) in theirs.iter() {
+            assert!(roughly_equal(a, ours[class]), "{class}: {a} vs {}", ours[class]);
+        }
+        assert!(registry().check_kernel(&k).is_clean());
+    }
+}

@@ -1,0 +1,47 @@
+//! `synergy-analyze`: cross-stack lint & diagnostics for the SYnergy
+//! pipeline.
+//!
+//! The SYnergy workflow chains three fragile artifact kinds: kernel IR
+//! trees whose extracted features drive everything downstream, frequency
+//! sweeps whose Pareto structure defines the energy targets, and trained
+//! metric-model bundles that are cached across runs. A defect in any of
+//! them flows silently into a pinned per-kernel frequency. This crate is
+//! the shared diagnostics framework that audits all three before that
+//! happens:
+//!
+//! - [`ir_lints`] (`IR001`–`IR011`) walk [`synergy_kernel::KernelIr`]
+//!   trees: structural defects (zero-count ops, bad trip counts and branch
+//!   probabilities, empty loops), suspicious shapes (degenerate branches,
+//!   zero-/runaway-trip loops, dead local stores, pure-memory kernels),
+//!   memory-model inconsistencies, and an independent re-derivation of the
+//!   Table-1 feature vector cross-checking `extract`.
+//! - [`sweep_lints`] (`SW001`–`SW006`) audit frequency sweeps and the
+//!   target selections made on them: non-physical points, duplicate or
+//!   out-of-order configurations, empty Pareto fronts, off-front `ES_x` /
+//!   `PL_x` selections, and missing baseline points.
+//! - [`model_lints`] (`ML001`–`ML005`) audit trained
+//!   [`synergy_ml::MetricModels`] bundles and the on-disk `ModelStore`
+//!   cache: absurd regressor weights, stale or mis-keyed cache files,
+//!   feature-dimensionality mismatches, out-of-range device clocks and
+//!   collapsed predictions.
+//!
+//! Findings are [`Diagnostic`]s with stable codes, tree-addressed spans
+//! (e.g. `body[2].loop.body[0]`) and optional fix suggestions, collected
+//! into [`Report`]s. The [`LintRegistry`] owns the pass set and per-lint
+//! [`Level`] overrides (`allow`/`warn`/`deny`); deny-level findings abort
+//! `synergy_rt::compile_application`, and the `synergy lint` CLI command
+//! renders reports for humans or as JSON.
+
+#![warn(missing_docs)]
+
+pub mod diag;
+pub mod ir_lints;
+pub mod lint;
+pub mod model_lints;
+pub mod sweep_lints;
+
+pub use diag::{Diagnostic, Level, Report, SpanPath};
+pub use lint::{
+    expected_row_len, CacheSubject, Lint, LintRegistry, ModelSubject, Sink, Subject,
+    SweepSubject,
+};

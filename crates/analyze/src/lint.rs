@@ -1,0 +1,363 @@
+//! The `Lint` trait, analysis subjects and the lint registry.
+//!
+//! A lint is a single named pass over one kind of [`Subject`]. The
+//! [`LintRegistry`] owns a set of lints plus per-lint level overrides and
+//! runs every applicable lint over a subject, collecting the findings in a
+//! [`Report`]. Future pass families (race / divergence analysis, schedule
+//! audits) plug in by implementing [`Lint`] and registering.
+
+use crate::diag::{Diagnostic, Level, Report, SpanPath};
+use crate::ir_lints;
+use crate::model_lints;
+use crate::sweep_lints;
+use std::collections::HashMap;
+use std::path::Path;
+use synergy_kernel::KernelIr;
+use synergy_metrics::{EnergyTarget, MetricPoint};
+use synergy_ml::MetricModels;
+use synergy_sim::{ClockConfig, DeviceSpec};
+
+/// A measured or predicted frequency sweep, plus the context the target
+/// search runs it with.
+#[derive(Debug, Clone, Copy)]
+pub struct SweepSubject<'a> {
+    /// The sweep points, in production order (the frequency table's
+    /// ascending (mem, core) enumeration).
+    pub points: &'a [MetricPoint],
+    /// The default-frequency configuration ES/PL semantics are judged
+    /// against.
+    pub baseline: ClockConfig,
+    /// The energy targets whose selections are audited.
+    pub targets: &'a [EnergyTarget],
+}
+
+/// A trained model bundle plus the device it will be queried for.
+#[derive(Debug, Clone, Copy)]
+pub struct ModelSubject<'a> {
+    /// The trained four-metric bundle.
+    pub models: &'a MetricModels,
+    /// The device whose frequency table the models will be swept over.
+    pub spec: &'a DeviceSpec,
+    /// Width of the feature vectors the models should have been trained
+    /// on (`NUM_FEATURES` for Table-1 models).
+    pub expected_features: usize,
+}
+
+/// An on-disk `ModelStore` cache directory.
+#[derive(Debug, Clone, Copy)]
+pub struct CacheSubject<'a> {
+    /// The cache directory (missing directory = trivially clean).
+    pub dir: &'a Path,
+    /// The cache format version current builds write.
+    pub expected_version: u32,
+    /// The model-input row width current builds train with.
+    pub expected_row_len: usize,
+}
+
+/// Everything the framework knows how to analyze.
+#[derive(Debug, Clone, Copy)]
+pub enum Subject<'a> {
+    /// A kernel IR tree (the IR lint family).
+    Kernel(&'a KernelIr),
+    /// A frequency sweep with its search context (the sweep lint family).
+    Sweep(SweepSubject<'a>),
+    /// A trained model bundle (the model lint family).
+    Models(ModelSubject<'a>),
+    /// A persisted model cache directory (the model lint family).
+    ModelCache(CacheSubject<'a>),
+}
+
+/// The model-input row width for `features`-wide feature vectors.
+///
+/// This re-derives the basis-expansion width independently of
+/// `synergy_ml::input_row` (each fraction raw and clock-divided, plus
+/// clock, inverse clock, memory ratio and log magnitude) so the model
+/// lints cross-check rather than echo the training code.
+pub fn expected_row_len(features: usize) -> usize {
+    2 * features + 4
+}
+
+/// Where a running lint deposits its findings. Carries the lint's code and
+/// effective level so call sites only provide location and message.
+pub struct Sink<'a> {
+    code: &'static str,
+    level: Level,
+    out: &'a mut Vec<Diagnostic>,
+}
+
+impl Sink<'_> {
+    /// Emit a finding at `path`.
+    pub fn emit(&mut self, path: &SpanPath, message: impl Into<String>) {
+        self.push(path, message.into(), None);
+    }
+
+    /// Emit a finding with a fix suggestion.
+    pub fn emit_with(
+        &mut self,
+        path: &SpanPath,
+        message: impl Into<String>,
+        suggestion: impl Into<String>,
+    ) {
+        self.push(path, message.into(), Some(suggestion.into()));
+    }
+
+    fn push(&mut self, path: &SpanPath, message: String, suggestion: Option<String>) {
+        self.out.push(Diagnostic {
+            code: self.code.to_string(),
+            severity: self.level,
+            path: path.render(),
+            message,
+            suggestion,
+        });
+    }
+}
+
+/// One analysis pass: a stable code, a default level, and a check over a
+/// subject. A lint that does not apply to a subject kind simply returns
+/// without emitting.
+pub trait Lint: Send + Sync {
+    /// Stable diagnostic code (`IR001`, `SW004`, `ML002`, ...).
+    fn code(&self) -> &'static str;
+
+    /// One-line description for the catalog.
+    fn summary(&self) -> &'static str;
+
+    /// The level the lint runs at unless overridden.
+    fn default_level(&self) -> Level;
+
+    /// Inspect `subject`, emitting findings into `sink`.
+    fn check(&self, subject: &Subject<'_>, sink: &mut Sink<'_>);
+}
+
+/// A set of lints with per-lint level overrides.
+pub struct LintRegistry {
+    lints: Vec<Box<dyn Lint>>,
+    levels: HashMap<String, Level>,
+}
+
+impl LintRegistry {
+    /// A registry with no lints (build your own pass set).
+    pub fn empty() -> LintRegistry {
+        LintRegistry {
+            lints: Vec::new(),
+            levels: HashMap::new(),
+        }
+    }
+
+    /// The full built-in catalog: IR, sweep and model lint families.
+    pub fn with_builtin() -> LintRegistry {
+        let mut r = LintRegistry::empty();
+        for l in ir_lints::builtin() {
+            r.register(l);
+        }
+        for l in sweep_lints::builtin() {
+            r.register(l);
+        }
+        for l in model_lints::builtin() {
+            r.register(l);
+        }
+        r
+    }
+
+    /// Add a lint. Later registrations with an existing code replace the
+    /// earlier lint (overrides keep working — they key on the code).
+    pub fn register(&mut self, lint: Box<dyn Lint>) {
+        self.lints.retain(|l| l.code() != lint.code());
+        self.lints.push(lint);
+    }
+
+    /// Override the level of the lint with `code` (unknown codes are
+    /// remembered so a later registration picks the override up).
+    pub fn set_level(&mut self, code: impl Into<String>, level: Level) -> &mut Self {
+        self.levels.insert(code.into(), level);
+        self
+    }
+
+    /// The level `code` runs at (override, else its default; `None` for a
+    /// code not in the registry).
+    pub fn level_of(&self, code: &str) -> Option<Level> {
+        let lint = self.lints.iter().find(|l| l.code() == code)?;
+        Some(
+            self.levels
+                .get(code)
+                .copied()
+                .unwrap_or_else(|| lint.default_level()),
+        )
+    }
+
+    /// `(code, summary, effective level)` for every registered lint, in
+    /// registration order.
+    pub fn catalog(&self) -> Vec<(&'static str, &'static str, Level)> {
+        self.lints
+            .iter()
+            .map(|l| {
+                let level = self
+                    .levels
+                    .get(l.code())
+                    .copied()
+                    .unwrap_or_else(|| l.default_level());
+                (l.code(), l.summary(), level)
+            })
+            .collect()
+    }
+
+    /// Run every non-allowed lint over `subject`.
+    pub fn check(&self, subject: &Subject<'_>) -> Report {
+        let mut out = Vec::new();
+        for lint in &self.lints {
+            let level = self
+                .levels
+                .get(lint.code())
+                .copied()
+                .unwrap_or_else(|| lint.default_level());
+            if level == Level::Allow {
+                continue;
+            }
+            let mut sink = Sink {
+                code: lint.code(),
+                level,
+                out: &mut out,
+            };
+            lint.check(subject, &mut sink);
+        }
+        Report { diagnostics: out }
+    }
+
+    /// Run the registry over a kernel IR.
+    pub fn check_kernel(&self, kernel: &KernelIr) -> Report {
+        self.check(&Subject::Kernel(kernel))
+    }
+
+    /// Run the registry over a frequency sweep.
+    pub fn check_sweep(
+        &self,
+        points: &[MetricPoint],
+        baseline: ClockConfig,
+        targets: &[EnergyTarget],
+    ) -> Report {
+        self.check(&Subject::Sweep(SweepSubject {
+            points,
+            baseline,
+            targets,
+        }))
+    }
+
+    /// Run the registry over a trained model bundle.
+    pub fn check_models(
+        &self,
+        models: &MetricModels,
+        spec: &DeviceSpec,
+        expected_features: usize,
+    ) -> Report {
+        self.check(&Subject::Models(ModelSubject {
+            models,
+            spec,
+            expected_features,
+        }))
+    }
+
+    /// Run the registry over a persisted model cache directory.
+    pub fn check_model_cache(
+        &self,
+        dir: &Path,
+        expected_version: u32,
+        expected_row_len: usize,
+    ) -> Report {
+        self.check(&Subject::ModelCache(CacheSubject {
+            dir,
+            expected_version,
+            expected_row_len,
+        }))
+    }
+}
+
+impl Default for LintRegistry {
+    fn default() -> Self {
+        LintRegistry::with_builtin()
+    }
+}
+
+impl std::fmt::Debug for LintRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LintRegistry")
+            .field("codes", &self.lints.iter().map(|l| l.code()).collect::<Vec<_>>())
+            .field("overrides", &self.levels)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct AlwaysFires;
+
+    impl Lint for AlwaysFires {
+        fn code(&self) -> &'static str {
+            "XX001"
+        }
+        fn summary(&self) -> &'static str {
+            "fires on every kernel"
+        }
+        fn default_level(&self) -> Level {
+            Level::Warn
+        }
+        fn check(&self, subject: &Subject<'_>, sink: &mut Sink<'_>) {
+            if let Subject::Kernel(_) = subject {
+                sink.emit(&SpanPath::root().seg("kernel"), "hello");
+            }
+        }
+    }
+
+    #[test]
+    fn registry_runs_and_overrides_levels() {
+        let mut r = LintRegistry::empty();
+        r.register(Box::new(AlwaysFires));
+        let k = KernelIr::new("k", vec![]);
+        let rep = r.check_kernel(&k);
+        assert_eq!(rep.diagnostics.len(), 1);
+        assert_eq!(rep.diagnostics[0].severity, Level::Warn);
+        assert_eq!(rep.diagnostics[0].path, "kernel");
+        assert_eq!(r.level_of("XX001"), Some(Level::Warn));
+
+        r.set_level("XX001", Level::Deny);
+        assert!(r.check_kernel(&k).has_deny());
+        assert_eq!(r.level_of("XX001"), Some(Level::Deny));
+
+        r.set_level("XX001", Level::Allow);
+        assert!(r.check_kernel(&k).is_clean());
+        assert_eq!(r.level_of("YY999"), None);
+    }
+
+    #[test]
+    fn builtin_catalog_spans_three_families() {
+        let r = LintRegistry::with_builtin();
+        let catalog = r.catalog();
+        assert!(catalog.len() >= 10, "need at least 10 lint codes");
+        let codes: Vec<&str> = catalog.iter().map(|(c, _, _)| *c).collect();
+        assert!(codes.iter().any(|c| c.starts_with("IR")));
+        assert!(codes.iter().any(|c| c.starts_with("SW")));
+        assert!(codes.iter().any(|c| c.starts_with("ML")));
+        let mut unique = codes.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), codes.len(), "codes are unique");
+    }
+
+    #[test]
+    fn re_registering_a_code_replaces_the_lint() {
+        let mut r = LintRegistry::empty();
+        r.register(Box::new(AlwaysFires));
+        r.register(Box::new(AlwaysFires));
+        assert_eq!(r.catalog().len(), 1);
+    }
+
+    #[test]
+    fn expected_row_len_matches_ml_basis() {
+        // 10 Table-1 features: raw + clock-divided fractions, clock,
+        // inverse clock, memory ratio, log magnitude.
+        assert_eq!(expected_row_len(10), 24);
+        let row = synergy_ml::input_row(&[1.0; 10], 1000.0, 877.0, 1530.0);
+        assert_eq!(row.len(), expected_row_len(10));
+    }
+}

@@ -1,0 +1,377 @@
+//! The model lint family (`ML001`–`ML005`): audits over trained
+//! [`MetricModels`] bundles and the persisted `ModelStore` cache files.
+//!
+//! Trained models are cached and reused across runs (PR 1), which makes
+//! silent staleness possible: a bundle trained against an older feature
+//! dimensionality or cache format would deserialize fine and then predict
+//! garbage. These lints catch that before any frequency is pinned.
+
+use crate::diag::{Level, SpanPath};
+use crate::lint::{expected_row_len, Lint, Sink, Subject};
+use synergy_ml::MetricModels;
+
+/// Coefficient magnitude beyond which a linear-family weight is absurd:
+/// inputs are O(1) shape fractions and normalized clocks, targets are
+/// O(1) normalized metrics, so honest weights are small.
+const ABSURD_WEIGHT: f64 = 1e8;
+
+/// Prediction floor tolerance: `MetricModels::predict` floors at 1e-12,
+/// so a metric at (or within 10^3 of) the floor means the model output
+/// collapsed or went negative/NaN.
+const COLLAPSED_PREDICTION: f64 = 1e-9;
+
+/// Path for findings about one of the four regressors.
+fn model_path(name: &str) -> SpanPath {
+    SpanPath::root().seg("models").seg(name)
+}
+
+/// True when any linear-family regressor's coefficient width disagrees
+/// with the expected input-row width (the tree/kernel models carry no
+/// flat coefficient view and are skipped).
+fn has_dimension_mismatch(models: &MetricModels, expected: usize) -> bool {
+    models.regressors().iter().any(|(_, reg)| {
+        reg.coefficients()
+            .is_some_and(|(w, _)| w.len() != expected)
+    })
+}
+
+/// ML001: NaN, infinite or absurdly large regressor weights in a
+/// linear-family model — the fit diverged or was fed broken targets.
+struct AbsurdWeights;
+
+impl Lint for AbsurdWeights {
+    fn code(&self) -> &'static str {
+        "ML001"
+    }
+    fn summary(&self) -> &'static str {
+        "non-finite or absurdly large regressor weights"
+    }
+    fn default_level(&self) -> Level {
+        Level::Deny
+    }
+    fn check(&self, subject: &Subject<'_>, sink: &mut Sink<'_>) {
+        let Subject::Models(m) = subject else { return };
+        for (name, reg) in m.models.regressors() {
+            let Some((weights, intercept)) = reg.coefficients() else {
+                continue;
+            };
+            let bad = |v: f64| !v.is_finite() || v.abs() > ABSURD_WEIGHT;
+            if weights.iter().any(|&w| bad(w)) || bad(intercept) {
+                sink.emit_with(
+                    &model_path(name),
+                    format!(
+                        "{} model has non-finite or > {ABSURD_WEIGHT:.0e} coefficients",
+                        reg.algorithm()
+                    ),
+                    "retrain; the fit diverged or the training targets were broken",
+                );
+            }
+        }
+    }
+}
+
+/// ML002: persisted cache bundles that current builds would mis-serve or
+/// silently retrain around — corrupt JSON, a stale format version, a key
+/// that disagrees with the filename, or linear weights of the wrong
+/// dimensionality.
+struct StaleCacheBundle;
+
+impl Lint for StaleCacheBundle {
+    fn code(&self) -> &'static str {
+        "ML002"
+    }
+    fn summary(&self) -> &'static str {
+        "cached model bundle corrupt, stale or mis-keyed"
+    }
+    fn default_level(&self) -> Level {
+        Level::Warn
+    }
+    fn check(&self, subject: &Subject<'_>, sink: &mut Sink<'_>) {
+        let Subject::ModelCache(c) = subject else { return };
+        let Ok(entries) = std::fs::read_dir(c.dir) else {
+            return; // no cache directory = nothing stale
+        };
+        let mut names: Vec<String> = entries
+            .flatten()
+            .filter(|e| e.path().is_file())
+            .filter_map(|e| e.file_name().to_str().map(String::from))
+            .filter(|n| n.starts_with("models-") && n.ends_with(".json"))
+            .collect();
+        names.sort_unstable();
+        for name in names {
+            let path = SpanPath::root().seg("cache").seg(&name);
+            let key = &name["models-".len()..name.len() - ".json".len()];
+            let Ok(text) = std::fs::read_to_string(c.dir.join(&name)) else {
+                sink.emit(&path, "cache file is unreadable");
+                continue;
+            };
+            let Ok(v) = serde_json::from_str::<serde_json::Value>(&text) else {
+                sink.emit_with(
+                    &path,
+                    "cache file is not valid JSON",
+                    "delete it; the store will retrain and rewrite",
+                );
+                continue;
+            };
+            match v.get("version").and_then(|x| x.as_u64()) {
+                Some(ver) if ver == c.expected_version as u64 => {}
+                Some(ver) => sink.emit_with(
+                    &path,
+                    format!(
+                        "cache format version {ver} does not match the current {}",
+                        c.expected_version
+                    ),
+                    "delete the file; it will never be served again",
+                ),
+                None => sink.emit(&path, "cache file has no version field"),
+            }
+            if v.get("key").and_then(|x| x.as_str()) != Some(key) {
+                sink.emit_with(
+                    &path,
+                    "embedded key does not match the filename hash",
+                    "the file was renamed or tampered with; delete it",
+                );
+            }
+            for metric in ["time", "energy", "edp", "ed2p"] {
+                for family in ["Linear", "Lasso"] {
+                    let ptr = format!("/models/{metric}/{family}/weights");
+                    if let Some(w) = v.pointer(&ptr).and_then(|x| x.as_array()) {
+                        if w.len() != c.expected_row_len {
+                            sink.emit_with(
+                                &path,
+                                format!(
+                                    "{metric} model was trained on {}-wide rows; \
+                                     current builds use {}",
+                                    w.len(),
+                                    c.expected_row_len
+                                ),
+                                "delete the file; the feature basis changed",
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// ML003: a linear-family model whose coefficient count disagrees with
+/// the input-row width the current feature basis produces. Predictions
+/// would panic or silently mix up features.
+struct DimensionMismatch;
+
+impl Lint for DimensionMismatch {
+    fn code(&self) -> &'static str {
+        "ML003"
+    }
+    fn summary(&self) -> &'static str {
+        "regressor dimensionality disagrees with the current feature basis"
+    }
+    fn default_level(&self) -> Level {
+        Level::Deny
+    }
+    fn check(&self, subject: &Subject<'_>, sink: &mut Sink<'_>) {
+        let Subject::Models(m) = subject else { return };
+        let expected = expected_row_len(m.expected_features);
+        for (name, reg) in m.models.regressors() {
+            let Some((weights, _)) = reg.coefficients() else {
+                continue;
+            };
+            if weights.len() != expected {
+                sink.emit_with(
+                    &model_path(name),
+                    format!(
+                        "model expects {}-wide input rows, but {} features expand to {}",
+                        weights.len(),
+                        m.expected_features,
+                        expected
+                    ),
+                    "retrain against the current feature extraction",
+                );
+            }
+        }
+    }
+}
+
+/// ML004: the device's frequency table reaches above the clock normalizer
+/// the models were trained with — every query at the top clocks is an
+/// extrapolation outside the training frequency range.
+struct OutsideTrainingRange;
+
+impl Lint for OutsideTrainingRange {
+    fn code(&self) -> &'static str {
+        "ML004"
+    }
+    fn summary(&self) -> &'static str {
+        "device clocks exceed the models' training frequency range"
+    }
+    fn default_level(&self) -> Level {
+        Level::Warn
+    }
+    fn check(&self, subject: &Subject<'_>, sink: &mut Sink<'_>) {
+        let Subject::Models(m) = subject else { return };
+        let device_max = m.spec.freq_table.max_core() as f64;
+        let trained_max = m.models.f_max_mhz();
+        if device_max > trained_max {
+            sink.emit_with(
+                &model_path("f_max"),
+                format!(
+                    "{} sweeps up to {device_max} MHz but the models were \
+                     normalized to f_max = {trained_max} MHz",
+                    m.spec.name
+                ),
+                "retrain with the device's own frequency table",
+            );
+        }
+    }
+}
+
+/// ML005: probing the models at the corners of the device's frequency
+/// table yields collapsed (floored) or non-finite metrics — the bundle
+/// predicts nothing meaningful on this device.
+struct DegeneratePredictions;
+
+impl Lint for DegeneratePredictions {
+    fn code(&self) -> &'static str {
+        "ML005"
+    }
+    fn summary(&self) -> &'static str {
+        "predictions collapse at the device's frequency-table corners"
+    }
+    fn default_level(&self) -> Level {
+        Level::Warn
+    }
+    fn check(&self, subject: &Subject<'_>, sink: &mut Sink<'_>) {
+        let Subject::Models(m) = subject else { return };
+        // A wrong-width model would panic inside predict; ML003 already
+        // denies that case.
+        if has_dimension_mismatch(m.models, expected_row_len(m.expected_features)) {
+            return;
+        }
+        let probe = vec![1.0; m.expected_features];
+        let table = &m.spec.freq_table;
+        let mems = [table.mem_mhz[0], table.top_mem()];
+        let cores = [table.min_core(), table.max_core()];
+        for &mem in &mems {
+            for &core in &cores {
+                let p = m.models.predict(&probe, core as f64, mem as f64);
+                let metrics = [
+                    ("time", p.time_s),
+                    ("energy", p.energy_j),
+                    ("edp", p.edp),
+                    ("ed2p", p.ed2p),
+                ];
+                for (name, v) in metrics {
+                    if !v.is_finite() || v < COLLAPSED_PREDICTION {
+                        sink.emit_with(
+                            &model_path(name),
+                            format!(
+                                "predicted {name} = {v} at {mem} MHz / {core} MHz \
+                                 (collapsed to the positive floor or non-finite)"
+                            ),
+                            "the model learned nothing at this corner; retrain or widen the sweep",
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// All model-family lints in code order.
+pub fn builtin() -> Vec<Box<dyn Lint>> {
+    vec![
+        Box::new(AbsurdWeights),
+        Box::new(StaleCacheBundle),
+        Box::new(DimensionMismatch),
+        Box::new(OutsideTrainingRange),
+        Box::new(DegeneratePredictions),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lint::LintRegistry;
+    use synergy_kernel::NUM_FEATURES;
+    use synergy_ml::{Algorithm, ModelSelection, SweepSample};
+    use synergy_sim::DeviceSpec;
+
+    fn registry() -> LintRegistry {
+        let mut r = LintRegistry::empty();
+        for l in builtin() {
+            r.register(l);
+        }
+        r
+    }
+
+    /// A small physically-shaped training set over NUM_FEATURES-wide
+    /// feature vectors and the V100 clock range.
+    fn samples() -> Vec<SweepSample> {
+        let mut out = Vec::new();
+        for k in [1.0f64, 4.0, 16.0] {
+            for step in 0..16 {
+                let core = 135.0 + step as f64 * 93.0;
+                let fhat = core / 1530.0;
+                let mut features = vec![0.0; NUM_FEATURES];
+                features[0] = k;
+                features[8] = 2.0;
+                let time = (0.2 * k + 0.3) / fhat + 0.05;
+                let power = 40.0 + 200.0 * fhat * fhat * fhat;
+                out.push(SweepSample {
+                    features,
+                    core_mhz: core,
+                    mem_mhz: 877.0,
+                    time_s: time,
+                    energy_j: power * time,
+                });
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn healthy_models_are_clean() {
+        let models = MetricModels::train(
+            ModelSelection::uniform(Algorithm::Linear),
+            &samples(),
+            1530.0,
+            0,
+        );
+        let rep = registry().check_models(&models, &DeviceSpec::v100(), NUM_FEATURES);
+        assert!(rep.is_clean(), "unexpected findings:\n{}", rep.render());
+    }
+
+    #[test]
+    fn narrow_models_deny_dimensions_without_panicking() {
+        // Trained on 2-wide features: ML003 must fire and ML005 must skip
+        // its probing (which would panic on the row-length mismatch).
+        let narrow: Vec<SweepSample> = samples()
+            .into_iter()
+            .map(|mut s| {
+                s.features.truncate(2);
+                s
+            })
+            .collect();
+        let models = MetricModels::train(
+            ModelSelection::uniform(Algorithm::Linear),
+            &narrow,
+            1530.0,
+            0,
+        );
+        let rep = registry().check_models(&models, &DeviceSpec::v100(), NUM_FEATURES);
+        assert!(rep.has_code("ML003"));
+        assert!(rep.has_deny());
+        assert!(!rep.has_code("ML005"));
+    }
+
+    #[test]
+    fn missing_cache_dir_is_clean() {
+        let rep = registry().check_model_cache(
+            std::path::Path::new("/nonexistent/synergy-analyze-cache"),
+            1,
+            expected_row_len(NUM_FEATURES),
+        );
+        assert!(rep.is_clean());
+    }
+}

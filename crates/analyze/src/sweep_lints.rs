@@ -1,0 +1,293 @@
+//! The sweep lint family (`SW001`–`SW006`): sanity checks over frequency
+//! sweeps (measured or predicted) and the target selections made on them.
+//!
+//! Degenerate sweeps are the dominant source of bad DVFS decisions: a
+//! single non-physical point shifts every argmin, a duplicated or
+//! out-of-order configuration breaks the nearest-clock lookup invariants,
+//! and a selection that falls off the Pareto front means the target search
+//! is leaving either time or energy on the table.
+
+use crate::diag::{Level, SpanPath};
+use crate::lint::{Lint, Sink, Subject};
+use std::collections::HashSet;
+use synergy_metrics::{is_pareto_optimal, pareto_front, point_at, search_optimal};
+
+/// The path for whole-sweep findings.
+fn sweep_path() -> SpanPath {
+    SpanPath::root().seg("sweep")
+}
+
+/// SW001: a point with non-finite or non-positive time or energy. Every
+/// downstream argmin and Pareto comparison is garbage once one slips in.
+struct NonPhysicalPoint;
+
+impl Lint for NonPhysicalPoint {
+    fn code(&self) -> &'static str {
+        "SW001"
+    }
+    fn summary(&self) -> &'static str {
+        "sweep point with non-finite or non-positive time/energy"
+    }
+    fn default_level(&self) -> Level {
+        Level::Deny
+    }
+    fn check(&self, subject: &Subject<'_>, sink: &mut Sink<'_>) {
+        let Subject::Sweep(s) = subject else { return };
+        for (i, p) in s.points.iter().enumerate() {
+            if !p.is_physical() {
+                sink.emit_with(
+                    &SpanPath::root().index("sweep", i),
+                    format!(
+                        "point at {} is not physical: time = {} s, energy = {} J",
+                        p.clocks, p.time_s, p.energy_j
+                    ),
+                    "time and energy must be finite and strictly positive",
+                );
+            }
+        }
+    }
+}
+
+/// SW002: two sweep points with the same (mem, core) configuration. The
+/// nearest-clock lookup silently keeps the first; the second is dead data
+/// or, worse, a conflicting measurement.
+struct DuplicateConfig;
+
+impl Lint for DuplicateConfig {
+    fn code(&self) -> &'static str {
+        "SW002"
+    }
+    fn summary(&self) -> &'static str {
+        "duplicate (mem, core) configuration in a sweep"
+    }
+    fn default_level(&self) -> Level {
+        Level::Warn
+    }
+    fn check(&self, subject: &Subject<'_>, sink: &mut Sink<'_>) {
+        let Subject::Sweep(s) = subject else { return };
+        let mut seen = HashSet::new();
+        for (i, p) in s.points.iter().enumerate() {
+            if !seen.insert((p.clocks.mem_mhz, p.clocks.core_mhz)) {
+                sink.emit_with(
+                    &SpanPath::root().index("sweep", i),
+                    format!("configuration {} appears more than once", p.clocks),
+                    "keep one point per configuration; lookups ignore the later duplicates",
+                );
+            }
+        }
+    }
+}
+
+/// SW003: sweep points out of ascending (mem, core) order. Sweeps are
+/// produced by the frequency table's ordered enumeration; a reordering
+/// means the sweep was assembled by hand or corrupted in transit.
+struct NonMonotonicSweep;
+
+impl Lint for NonMonotonicSweep {
+    fn code(&self) -> &'static str {
+        "SW003"
+    }
+    fn summary(&self) -> &'static str {
+        "sweep points not in ascending (mem, core) order"
+    }
+    fn default_level(&self) -> Level {
+        Level::Warn
+    }
+    fn check(&self, subject: &Subject<'_>, sink: &mut Sink<'_>) {
+        let Subject::Sweep(s) = subject else { return };
+        for (i, w) in s.points.windows(2).enumerate() {
+            let (prev, cur) = (w[0].clocks, w[1].clocks);
+            // Strictly decreasing pairs only: equality is SW002's business.
+            if (cur.mem_mhz, cur.core_mhz) < (prev.mem_mhz, prev.core_mhz) {
+                sink.emit_with(
+                    &SpanPath::root().index("sweep", i + 1),
+                    format!("{cur} follows {prev}, breaking ascending (mem, core) order"),
+                    "emit sweeps in frequency-table order",
+                );
+            }
+        }
+    }
+}
+
+/// SW004: an empty sweep, or one whose Pareto front is empty (possible
+/// only when every point has broken coordinates). The energy targets of
+/// Section 5 are defined over the front; without one there is nothing to
+/// select.
+struct EmptyParetoFront;
+
+impl Lint for EmptyParetoFront {
+    fn code(&self) -> &'static str {
+        "SW004"
+    }
+    fn summary(&self) -> &'static str {
+        "empty sweep or empty Pareto front"
+    }
+    fn default_level(&self) -> Level {
+        Level::Deny
+    }
+    fn check(&self, subject: &Subject<'_>, sink: &mut Sink<'_>) {
+        let Subject::Sweep(s) = subject else { return };
+        if s.points.is_empty() {
+            sink.emit_with(
+                &sweep_path(),
+                "sweep contains no points",
+                "predict or measure at least one frequency configuration",
+            );
+        } else if pareto_front(s.points).is_empty() {
+            sink.emit(
+                &sweep_path(),
+                "no point survives Pareto filtering (all coordinates broken)",
+            );
+        }
+    }
+}
+
+/// SW005: a target selection that is not Pareto-optimal within the sweep
+/// it was selected from — the search is about to pin a frequency that
+/// wastes time or energy for free.
+struct OffFrontSelection;
+
+impl Lint for OffFrontSelection {
+    fn code(&self) -> &'static str {
+        "SW005"
+    }
+    fn summary(&self) -> &'static str {
+        "target selection off the sweep's Pareto front"
+    }
+    fn default_level(&self) -> Level {
+        Level::Warn
+    }
+    fn check(&self, subject: &Subject<'_>, sink: &mut Sink<'_>) {
+        let Subject::Sweep(s) = subject else { return };
+        if s.points.is_empty() {
+            return; // SW004's business.
+        }
+        for target in s.targets {
+            let Some(sel) = search_optimal(*target, s.points, s.baseline) else {
+                continue; // no baseline point — SW006's business.
+            };
+            if !is_pareto_optimal(&sel, s.points) {
+                sink.emit_with(
+                    &SpanPath::root().seg("targets").seg(target.to_string()),
+                    format!(
+                        "{target} selects {} (time {} s, energy {} J), which is \
+                         dominated within the sweep",
+                        sel.clocks, sel.time_s, sel.energy_j
+                    ),
+                    "another configuration is at least as fast and strictly cheaper (or vice versa)",
+                );
+            }
+        }
+    }
+}
+
+/// SW006: the sweep has no point sharing the baseline's memory clock, so
+/// the ES/PL baseline lookup fails and every constrained target silently
+/// returns nothing.
+struct MissingBaseline;
+
+impl Lint for MissingBaseline {
+    fn code(&self) -> &'static str {
+        "SW006"
+    }
+    fn summary(&self) -> &'static str {
+        "no sweep point shares the baseline memory clock"
+    }
+    fn default_level(&self) -> Level {
+        Level::Deny
+    }
+    fn check(&self, subject: &Subject<'_>, sink: &mut Sink<'_>) {
+        let Subject::Sweep(s) = subject else { return };
+        if !s.points.is_empty() && point_at(s.points, s.baseline).is_none() {
+            sink.emit_with(
+                &SpanPath::root().seg("baseline"),
+                format!(
+                    "baseline {} has no sweep point at its memory clock; \
+                     ES/PL targets cannot be evaluated",
+                    s.baseline
+                ),
+                "sweep the baseline memory clock, or fix the baseline configuration",
+            );
+        }
+    }
+}
+
+/// All sweep-family lints in code order.
+pub fn builtin() -> Vec<Box<dyn Lint>> {
+    vec![
+        Box::new(NonPhysicalPoint),
+        Box::new(DuplicateConfig),
+        Box::new(NonMonotonicSweep),
+        Box::new(EmptyParetoFront),
+        Box::new(OffFrontSelection),
+        Box::new(MissingBaseline),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lint::LintRegistry;
+    use synergy_metrics::{EnergyTarget, MetricPoint};
+    use synergy_sim::ClockConfig;
+
+    fn registry() -> LintRegistry {
+        let mut r = LintRegistry::empty();
+        for l in builtin() {
+            r.register(l);
+        }
+        r
+    }
+
+    fn p(core: u32, t: f64, e: f64) -> MetricPoint {
+        MetricPoint::new(ClockConfig::new(877, core), t, e)
+    }
+
+    fn healthy() -> Vec<MetricPoint> {
+        vec![
+            p(400, 4.0, 8.0),
+            p(600, 3.0, 6.0),
+            p(800, 2.5, 5.0),
+            p(1000, 2.2, 5.5),
+            p(1312, 1.9, 7.5),
+            p(1530, 1.8, 9.0),
+        ]
+    }
+
+    #[test]
+    fn healthy_sweep_is_clean() {
+        let rep = registry().check_sweep(
+            &healthy(),
+            ClockConfig::new(877, 1312),
+            &EnergyTarget::PAPER_SET,
+        );
+        assert!(rep.is_clean(), "unexpected findings:\n{}", rep.render());
+    }
+
+    #[test]
+    fn broken_sweep_fires_the_family() {
+        let mut pts = healthy();
+        pts.push(p(1530, f64::NAN, 1.0)); // duplicate AND non-physical
+        pts.push(p(500, 3.5, 7.0)); // order violation
+        let rep = registry().check_sweep(
+            &pts,
+            ClockConfig::new(877, 1312),
+            &EnergyTarget::PAPER_SET,
+        );
+        assert!(rep.has_code("SW001"));
+        assert!(rep.has_code("SW002"));
+        assert!(rep.has_code("SW003"));
+        assert_eq!(rep.diagnostics[0].path, "sweep[6]");
+    }
+
+    #[test]
+    fn empty_sweep_and_missing_baseline_deny() {
+        let r = registry();
+        let rep = r.check_sweep(&[], ClockConfig::new(877, 1312), &[]);
+        assert_eq!(rep.codes(), vec!["SW004"]);
+        assert!(rep.has_deny());
+
+        let rep = r.check_sweep(&healthy(), ClockConfig::new(900, 1312), &[]);
+        assert_eq!(rep.codes(), vec!["SW006"]);
+    }
+}

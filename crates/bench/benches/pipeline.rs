@@ -73,12 +73,10 @@ fn bench_registry_compilation(c: &mut Criterion) {
     let kernels = app_kernels(4);
     c.bench_function("compile_registry_4_kernels", |b| {
         b.iter(|| {
-            black_box(compile_application(
-                &spec,
-                &models,
-                &kernels,
-                &EnergyTarget::PAPER_SET,
-            ))
+            black_box(
+                compile_application(&spec, &models, &kernels, &EnergyTarget::PAPER_SET)
+                    .expect("bench kernels lint clean"),
+            )
         })
     });
 }

@@ -21,12 +21,10 @@ struct Figure10 {
 }
 
 fn compile_registry(ctx: &DeviceContext, app: MiniApp) -> Arc<TargetRegistry> {
-    Arc::new(compile_application(
-        &ctx.spec,
-        &ctx.models,
-        &app.kernel_irs(),
-        &EnergyTarget::PAPER_SET,
-    ))
+    Arc::new(
+        compile_application(&ctx.spec, &ctx.models, &app.kernel_irs(), &EnergyTarget::PAPER_SET)
+            .expect("mini-app kernels lint clean"),
+    )
 }
 
 fn main() {
@@ -160,6 +158,12 @@ mod parking_lot_stub {
         /// Take the value out.
         pub fn take(&self) -> Option<T> {
             self.0.lock().take()
+        }
+    }
+
+    impl<T> Default for Slot<T> {
+        fn default() -> Self {
+            Slot::new()
         }
     }
 }

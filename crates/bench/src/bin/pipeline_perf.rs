@@ -71,6 +71,7 @@ fn main() {
     let pipeline = |store: &ModelStore| {
         let models = store.get_or_train(&spec, &suite, selection, stride, seed);
         compile_application(&spec, &models, &kernels, &EnergyTarget::PAPER_SET)
+            .expect("suite kernels lint clean")
     };
 
     let t = Instant::now();

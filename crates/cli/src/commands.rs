@@ -3,10 +3,13 @@
 
 use crate::{device_by_key, UsageError};
 use std::io::Write;
-use synergy_kernel::{generate_microbench, MicroBenchConfig};
+use synergy_analyze::{expected_row_len, LintRegistry, Report};
+use synergy_kernel::{generate_microbench, MicroBenchConfig, NUM_FEATURES};
 use synergy_metrics::{pareto_front, point_at, search_optimal, EnergyTarget};
 use synergy_ml::ModelSelection;
-use synergy_rt::{compile_application, measured_sweep, ModelStore, TargetRegistry};
+use synergy_rt::{
+    compile_application, measured_sweep, ModelStore, TargetRegistry, CACHE_FORMAT_VERSION,
+};
 
 /// `synergy devices`
 pub fn devices(out: &mut dyn Write) -> std::io::Result<()> {
@@ -103,12 +106,61 @@ pub fn compile(benches: &[String], device: &str) -> Result<TargetRegistry, Usage
     let suite = generate_microbench(42, &MicroBenchConfig::default());
     let models =
         ModelStore::global().get_or_train(&spec, &suite, ModelSelection::paper_best(), 8, 2023);
-    Ok(compile_application(
-        &spec,
-        &models,
-        &irs,
-        &EnergyTarget::PAPER_SET,
-    ))
+    compile_application(&spec, &models, &irs, &EnergyTarget::PAPER_SET)
+        .map_err(|e| UsageError(e.to_string()))
+}
+
+/// `synergy lint <bench> --device <key> [--json]`: run every built-in
+/// lint family over one benchmark — its IR, its measured frequency sweep
+/// with the paper's target set, the trained model bundle for the device,
+/// and the on-disk model cache. Returns the report so callers can set the
+/// exit code from `has_deny()`.
+pub fn lint(
+    out: &mut dyn Write,
+    bench: &str,
+    device: &str,
+    json: bool,
+) -> Result<Report, UsageError> {
+    let spec = device_by_key(device)
+        .ok_or_else(|| UsageError(format!("unknown device `{device}`")))?;
+    let b = synergy_apps::by_name(bench)
+        .ok_or_else(|| UsageError(format!("unknown benchmark `{bench}`")))?;
+    let lints = LintRegistry::with_builtin();
+
+    let mut report = lints.check_kernel(&b.ir).prefixed(b.name);
+    let sweep = measured_sweep(&spec, &b.ir, b.work_items);
+    report.merge(
+        lints
+            .check_sweep(&sweep, spec.baseline_clocks(), &EnergyTarget::PAPER_SET)
+            .prefixed(b.name),
+    );
+    let suite = generate_microbench(42, &MicroBenchConfig::default());
+    let store = ModelStore::global();
+    let models = store.get_or_train(&spec, &suite, ModelSelection::paper_best(), 8, 2023);
+    report.merge(lints.check_models(&models, &spec, NUM_FEATURES));
+    if let Some(dir) = store.dir() {
+        report.merge(lints.check_model_cache(
+            dir,
+            CACHE_FORMAT_VERSION,
+            expected_row_len(NUM_FEATURES),
+        ));
+    }
+
+    let w = |r: std::io::Result<()>| r.map_err(|e| UsageError(e.to_string()));
+    if json {
+        w(writeln!(out, "{}", report.to_json()))?;
+    } else if report.is_clean() {
+        w(writeln!(
+            out,
+            "{} on {}: clean ({} lints ran)",
+            b.name,
+            spec.name,
+            lints.catalog().len()
+        ))?;
+    } else {
+        w(write!(out, "{}", report.render()))?;
+    }
+    Ok(report)
 }
 
 /// `synergy scaling --gpus N --app <name>`
@@ -125,12 +177,10 @@ pub fn scaling(out: &mut dyn Write, gpus: usize, app: &str) -> Result<(), UsageE
     let suite = generate_microbench(42, &MicroBenchConfig::default());
     let models =
         ModelStore::global().get_or_train(&spec, &suite, ModelSelection::paper_best(), 8, 2023);
-    let registry = std::sync::Arc::new(compile_application(
-        &spec,
-        &models,
-        &app.kernel_irs(),
-        &EnergyTarget::PAPER_SET,
-    ));
+    let registry = std::sync::Arc::new(
+        compile_application(&spec, &models, &app.kernel_irs(), &EnergyTarget::PAPER_SET)
+            .map_err(|e| UsageError(e.to_string()))?,
+    );
     let cfg = WeakScalingConfig::figure10(gpus);
     let w = |r: std::io::Result<()>| r.map_err(|e| UsageError(e.to_string()));
     w(writeln!(
@@ -229,6 +279,30 @@ mod tests {
         let json = serde_json::to_string(&reg).unwrap();
         let back: TargetRegistry = serde_json::from_str(&json).unwrap();
         assert_eq!(back, reg);
+    }
+
+    #[test]
+    fn lint_reports_clean_suite_kernel() {
+        let mut buf = Vec::new();
+        let report = lint(&mut buf, "vec_add", "v100", false).unwrap();
+        assert!(!report.has_deny());
+        let s = String::from_utf8(buf).unwrap();
+        assert!(s.contains("vec_add"));
+    }
+
+    #[test]
+    fn lint_json_round_trips() {
+        let mut buf = Vec::new();
+        let report = lint(&mut buf, "mat_mul", "v100", true).unwrap();
+        let parsed: Report = serde_json::from_slice(&buf).unwrap();
+        assert_eq!(parsed, report);
+    }
+
+    #[test]
+    fn lint_rejects_unknowns() {
+        let mut buf = Vec::new();
+        assert!(lint(&mut buf, "nope", "v100", false).is_err());
+        assert!(lint(&mut buf, "vec_add", "h100", false).is_err());
     }
 
     #[test]

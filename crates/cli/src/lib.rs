@@ -13,6 +13,8 @@
 //!   frequency sweep, Pareto front, and per-target selections;
 //! * `compile <bench>... [--device ...] [--out registry.json]` — train
 //!   models and emit the target registry JSON;
+//! * `lint <bench> [--device ...] [--json]` — run the `synergy-analyze`
+//!   diagnostics (IR, sweep and model lint families) over one benchmark;
 //! * `scaling [--gpus N] [--app cloverleaf|miniweather]` — a Figure-10
 //!   style weak-scaling run.
 
@@ -44,6 +46,15 @@ pub enum Command {
         device: String,
         /// Output path (`-` = stdout).
         out: String,
+    },
+    /// Lint one benchmark: IR, measured sweep and trained models.
+    Lint {
+        /// Benchmark name.
+        bench: String,
+        /// Device key.
+        device: String,
+        /// Emit the report as JSON instead of rendered text.
+        json: bool,
     },
     /// Weak-scaling study.
     Scaling {
@@ -124,6 +135,36 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Us
                 out: take_flag("--out", "-"),
             })
         }
+        "lint" => {
+            let mut bench: Option<String> = None;
+            let mut device = "v100".to_string();
+            let mut json = false;
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--json" => json = true,
+                    "--device" => {
+                        device = it
+                            .next()
+                            .ok_or_else(|| UsageError("--device needs a value".into()))?
+                            .clone();
+                    }
+                    flag if flag.starts_with("--") => {
+                        return Err(UsageError(format!("unknown lint flag `{flag}`")));
+                    }
+                    name => {
+                        if bench.is_some() {
+                            return Err(UsageError("lint takes one benchmark".into()));
+                        }
+                        bench = Some(name.to_string());
+                    }
+                }
+            }
+            Ok(Command::Lint {
+                bench: bench.ok_or_else(|| UsageError("lint needs a benchmark name".into()))?,
+                device,
+                json,
+            })
+        }
         "scaling" => {
             let gpus: usize = take_flag("--gpus", "4")
                 .parse()
@@ -150,6 +191,7 @@ USAGE:
   synergy benchmarks
   synergy characterize <bench> [--device v100|a100|mi100|titanx]
   synergy compile <bench>... [--device v100|...] [--out registry.json]
+  synergy lint <bench> [--device v100|...] [--json]
   synergy scaling [--gpus N] [--app cloverleaf|miniweather]
 ";
 
@@ -223,6 +265,34 @@ mod tests {
         );
         assert!(parse_args(args("scaling --gpus zero")).is_err());
         assert!(parse_args(args("scaling --gpus 0")).is_err());
+    }
+
+    #[test]
+    fn lint_parses_flags_in_any_order() {
+        assert_eq!(
+            parse_args(args("lint vec_add")).unwrap(),
+            Command::Lint {
+                bench: "vec_add".into(),
+                device: "v100".into(),
+                json: false
+            }
+        );
+        assert_eq!(
+            parse_args(args("lint --json --device mi100 sobel3")).unwrap(),
+            Command::Lint {
+                bench: "sobel3".into(),
+                device: "mi100".into(),
+                json: true
+            }
+        );
+    }
+
+    #[test]
+    fn lint_rejects_bad_invocations() {
+        assert!(parse_args(args("lint")).is_err());
+        assert!(parse_args(args("lint a b")).is_err());
+        assert!(parse_args(args("lint vec_add --device")).is_err());
+        assert!(parse_args(args("lint vec_add --frob")).is_err());
     }
 
     #[test]

@@ -41,6 +41,22 @@ fn main() -> ExitCode {
                     Ok(())
                 }
             }),
+        Command::Lint {
+            bench,
+            device,
+            json,
+        } => {
+            // Exit codes: 0 = clean or warnings only, 1 = deny-level
+            // findings or a usage error.
+            return match commands::lint(&mut out, &bench, &device, json) {
+                Ok(report) if report.has_deny() => ExitCode::FAILURE,
+                Ok(_) => ExitCode::SUCCESS,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            };
+        }
         Command::Scaling { gpus, app } => {
             commands::scaling(&mut out, gpus, &app).map_err(|e| e.to_string())
         }

@@ -235,12 +235,10 @@ mod tests {
         let suite = synergy_kernel::microbench::generate_default(7);
         let models =
             train_device_models(&spec, &suite, ModelSelection::paper_best(), 24, 0);
-        Arc::new(compile_application(
-            &spec,
-            &models,
-            &app.kernel_irs(),
-            &EnergyTarget::PAPER_SET,
-        ))
+        Arc::new(
+            compile_application(&spec, &models, &app.kernel_irs(), &EnergyTarget::PAPER_SET)
+                .expect("suite kernels lint clean"),
+        )
     }
 
     #[test]

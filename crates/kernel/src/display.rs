@@ -4,7 +4,9 @@
 //! indented, one statement per line — which makes calibration reviews and
 //! bug reports tractable. `validate` rejects structurally broken IRs
 //! (non-finite probabilities or trip counts, zero-count ops) before they
-//! reach the extraction pass.
+//! reach the extraction pass; it is deprecated in favour of the
+//! `synergy-analyze` IR lints, which report the same defects (and more)
+//! with tree-addressed locations and configurable severities.
 
 use crate::ir::{KernelIr, Stmt, TripCount};
 use std::fmt::Write;
@@ -65,6 +67,11 @@ fn dump_stmts(stmts: &[Stmt], depth: usize, out: &mut String) {
 }
 
 /// A structural defect found by [`validate`].
+#[deprecated(
+    since = "0.1.0",
+    note = "superseded by the synergy-analyze IR lints (codes IR001–IR005), \
+            which add tree-addressed paths, severities and suggestions"
+)]
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum IrDefect {
     /// An `Op` with a zero repeat count (dead statement).
@@ -80,6 +87,16 @@ pub enum IrDefect {
 }
 
 /// Validate a kernel IR; returns every defect found (empty = valid).
+///
+/// Kept as a thin shim for existing callers; the checks live on as the
+/// deny-level built-in lints `IR001`–`IR005` of `synergy-analyze`, which
+/// report *where* each defect sits (`body[2].loop.body[0]`) instead of
+/// only that it exists.
+#[deprecated(
+    since = "0.1.0",
+    note = "use synergy_analyze::LintRegistry::with_builtin().check_kernel(...) \
+            (codes IR001–IR005) instead"
+)]
 pub fn validate(kernel: &KernelIr) -> Vec<IrDefect> {
     let mut defects = Vec::new();
     if !(0.0..=1.0).contains(&kernel.coalescing)
@@ -122,6 +139,9 @@ pub fn validate(kernel: &KernelIr) -> Vec<IrDefect> {
 
 #[cfg(test)]
 mod tests {
+    // The deprecated shim keeps its tests until it is removed.
+    #![allow(deprecated)]
+
     use super::*;
     use crate::ir::{Inst, IrBuilder};
 

@@ -35,10 +35,17 @@ pub struct KernelStaticInfo {
 
 impl KernelStaticInfo {
     /// Arithmetic intensity of the kernel in ops per global byte.
-    /// `INFINITY` when the kernel touches no global memory.
+    /// `INFINITY` when a computing kernel touches no global memory; 0.0
+    /// when it neither computes nor moves global memory (an empty or
+    /// pure-bookkeeping kernel has no arithmetic intensity, not an
+    /// infinite one — the IR011 lint flags the pure-memory case).
     pub fn ops_per_byte(&self) -> f64 {
         if self.global_bytes_per_item == 0.0 {
-            f64::INFINITY
+            if self.features.compute_ops() == 0.0 {
+                0.0
+            } else {
+                f64::INFINITY
+            }
         } else {
             self.features.compute_ops() / self.global_bytes_per_item
         }
@@ -221,7 +228,15 @@ mod tests {
     fn empty_kernel_is_zero() {
         let info = extract(&KernelIr::new("empty", vec![]));
         assert_eq!(info.features, FeatureVector::ZERO);
-        assert!(info.ops_per_byte().is_infinite());
+        assert_eq!(info.ops_per_byte(), 0.0);
+    }
+
+    #[test]
+    fn ops_per_byte_distinguishes_compute_only_from_empty() {
+        let compute_only = IrBuilder::new().ops(Inst::FloatMul, 4).build("c");
+        assert!(extract(&compute_only).ops_per_byte().is_infinite());
+        let memory_only = IrBuilder::new().ops(Inst::GlobalLoad, 2).build("m");
+        assert_eq!(extract(&memory_only).ops_per_byte(), 0.0);
     }
 
     #[test]

@@ -19,7 +19,9 @@ pub mod features;
 pub mod ir;
 pub mod microbench;
 
-pub use display::{dump, validate, IrDefect};
+pub use display::dump;
+#[allow(deprecated)]
+pub use display::{validate, IrDefect};
 pub use extract::{extract, KernelStaticInfo};
 pub use features::{FeatureClass, FeatureVector, NUM_FEATURES};
 pub use ir::{ElementWidth, Inst, IrBuilder, KernelIr, Stmt, TripCount};

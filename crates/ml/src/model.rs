@@ -109,6 +109,19 @@ impl TrainedRegressor {
             TrainedRegressor::SvrRbf(_) => Algorithm::SvrRbf,
         }
     }
+
+    /// The flat `(weights, intercept)` view of a linear-family model, for
+    /// introspection (e.g. static analysis of a trained bundle). Lasso
+    /// folds its intercept into the target scaler, so it reports 0.0 here;
+    /// tree and kernel models have no flat coefficient view and return
+    /// `None`.
+    pub fn coefficients(&self) -> Option<(&[f64], f64)> {
+        match self {
+            TrainedRegressor::Linear(m) => Some((&m.weights, m.intercept)),
+            TrainedRegressor::Lasso(m) => Some((m.coefficients(), 0.0)),
+            TrainedRegressor::RandomForest(_) | TrainedRegressor::SvrRbf(_) => None,
+        }
+    }
 }
 
 impl Regressor for TrainedRegressor {
@@ -193,6 +206,25 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn coefficients_expose_linear_families_only() {
+        let (x, y) = toy_problem();
+        let linear = TrainedRegressor::fit(Algorithm::Linear, 0, &x, &y);
+        let (w, b) = linear.coefficients().unwrap();
+        assert_eq!(w.len(), x[0].len());
+        assert!(b.is_finite());
+
+        let lasso = TrainedRegressor::fit(Algorithm::Lasso, 0, &x, &y);
+        let (w, b) = lasso.coefficients().unwrap();
+        assert_eq!(w.len(), x[0].len());
+        assert_eq!(b, 0.0);
+
+        let forest = TrainedRegressor::fit(Algorithm::RandomForest, 0, &x, &y);
+        assert!(forest.coefficients().is_none());
+        let svr = TrainedRegressor::fit(Algorithm::SvrRbf, 0, &x, &y);
+        assert!(svr.coefficients().is_none());
     }
 
     #[test]

@@ -192,6 +192,18 @@ impl MetricModels {
     pub fn f_max_mhz(&self) -> f64 {
         self.f_max_mhz
     }
+
+    /// The four trained regressors with their metric names, in
+    /// `(time, energy, edp, ed2p)` order — for introspection passes that
+    /// audit a trained bundle.
+    pub fn regressors(&self) -> [(&'static str, &TrainedRegressor); 4] {
+        [
+            ("time", &self.time),
+            ("energy", &self.energy),
+            ("edp", &self.edp),
+            ("ed2p", &self.ed2p),
+        ]
+    }
 }
 
 #[cfg(test)]
@@ -300,6 +312,17 @@ mod tests {
         assert_eq!(models.f_max_mhz(), 1500.0);
         assert_eq!(sel.time, Algorithm::Linear);
         assert_eq!(sel.energy, Algorithm::RandomForest);
+    }
+
+    #[test]
+    fn regressors_expose_the_four_models_in_order() {
+        let samples = synth_samples();
+        let models = MetricModels::train(ModelSelection::paper_best(), &samples, 1500.0, 0);
+        let regs = models.regressors();
+        let names: Vec<&str> = regs.iter().map(|(n, _)| *n).collect();
+        assert_eq!(names, ["time", "energy", "edp", "ed2p"]);
+        assert_eq!(regs[0].1.algorithm(), Algorithm::Linear);
+        assert_eq!(regs[1].1.algorithm(), Algorithm::RandomForest);
     }
 
     #[test]

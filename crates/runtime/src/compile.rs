@@ -18,7 +18,8 @@
 
 use crate::registry::TargetRegistry;
 use rayon::prelude::*;
-use synergy_kernel::{extract, KernelIr, KernelStaticInfo, MicroBenchmark};
+use synergy_analyze::{LintRegistry, Report};
+use synergy_kernel::{extract, KernelIr, KernelStaticInfo, MicroBenchmark, NUM_FEATURES};
 use synergy_metrics::{EnergyTarget, IndexedSweep, MetricPoint};
 use synergy_ml::{MetricModels, ModelSelection, SweepSample};
 use synergy_sim::{evaluate, ClockConfig, DeviceSpec, Workload};
@@ -192,39 +193,91 @@ pub fn predict_sweep_from_info(
         .collect()
 }
 
+/// The compile step aborted: at least one deny-level diagnostic was found
+/// while linting the kernels, their predicted sweeps or the model bundle.
+///
+/// The full [`Report`] (including any warn-level findings collected before
+/// the abort) is carried along so callers can render or serialize it.
+#[derive(Debug, Clone)]
+pub struct CompileError {
+    /// Everything the lint passes found, deny-level findings included.
+    pub report: Report,
+}
+
+impl std::fmt::Display for CompileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "compile aborted by {} deny-level diagnostic(s):\n{}",
+            self.report.deny_count(),
+            self.report.render()
+        )
+    }
+}
+
+impl std::error::Error for CompileError {}
+
 /// The compile step proper (Figure 6, step ⑥): for every kernel of an
 /// application and every requested target, search the predicted sweep and
 /// record the chosen frequency in the registry. Kernels compile in
 /// parallel; each kernel's sweep is indexed once and searched for every
 /// target (instead of re-scanning the sweep per target).
+///
+/// Every input is linted with the built-in [`LintRegistry`] first: the
+/// model bundle once, then each kernel's IR and predicted sweep. A
+/// deny-level finding aborts with a [`CompileError`] carrying the full
+/// report. Warn-level findings do not block (run `synergy lint` or
+/// [`compile_application_with_lints`] with stricter levels to surface
+/// them).
 pub fn compile_application(
     spec: &DeviceSpec,
     models: &MetricModels,
     kernels: &[KernelIr],
     targets: &[EnergyTarget],
-) -> TargetRegistry {
+) -> Result<TargetRegistry, CompileError> {
+    compile_application_with_lints(spec, models, kernels, targets, &LintRegistry::with_builtin())
+}
+
+/// [`compile_application`] with a caller-provided lint registry, so levels
+/// can be tightened (warn → deny), relaxed (deny → allow) or extended with
+/// project-specific passes.
+pub fn compile_application_with_lints(
+    spec: &DeviceSpec,
+    models: &MetricModels,
+    kernels: &[KernelIr],
+    targets: &[EnergyTarget],
+    lints: &LintRegistry,
+) -> Result<TargetRegistry, CompileError> {
     let baseline = spec.baseline_clocks();
-    let decisions: Vec<(String, Vec<(EnergyTarget, ClockConfig)>)> = kernels
+    let mut report = lints.check_models(models, spec, NUM_FEATURES);
+    let decisions: Vec<(String, Report, Vec<(EnergyTarget, ClockConfig)>)> = kernels
         .par_iter()
         .map(|ir| {
+            let mut rep = lints.check_kernel(ir);
             let info = extract(ir);
-            let sweep = IndexedSweep::new(predict_sweep_from_info(spec, models, &info));
+            let points = predict_sweep_from_info(spec, models, &info);
+            rep.merge(lints.check_sweep(&points, baseline, targets));
+            let sweep = IndexedSweep::new(points);
             let per_target: Vec<(EnergyTarget, ClockConfig)> = targets
                 .iter()
                 .filter_map(|&target| {
                     sweep.search(target, baseline).map(|p| (target, p.clocks))
                 })
                 .collect();
-            (ir.name.clone(), per_target)
+            (ir.name.clone(), rep, per_target)
         })
         .collect();
     let mut registry = TargetRegistry::new();
-    for (name, per_target) in decisions {
+    for (name, rep, per_target) in decisions {
+        report.merge(rep.prefixed(&name));
         for (target, clocks) in per_target {
             registry.insert(&name, target, clocks);
         }
     }
-    registry
+    if report.has_deny() {
+        return Err(CompileError { report });
+    }
+    Ok(registry)
 }
 
 /// Measure (on the simulator) the true metric sweep for a kernel — the
@@ -352,7 +405,8 @@ mod tests {
             &models,
             &kernels,
             &EnergyTarget::PAPER_SET,
-        );
+        )
+        .expect("clean inputs compile");
         assert_eq!(registry.len(), EnergyTarget::PAPER_SET.len());
         for t in EnergyTarget::PAPER_SET {
             let c = registry.lookup("compute_heavy", t).unwrap();
@@ -373,7 +427,8 @@ mod tests {
             &models,
             &[test_kernel()],
             &[EnergyTarget::MaxPerf, EnergyTarget::MinEnergy],
-        );
+        )
+        .expect("clean inputs compile");
         let fast = registry
             .lookup("compute_heavy", EnergyTarget::MaxPerf)
             .unwrap();

@@ -30,9 +30,9 @@ pub mod store;
 pub use buffer::{Accessor, Buffer};
 pub use compile::{
     baseline_clocks, build_training_set, build_training_set_serial, compile_application,
-    measured_sweep, measured_sweep_from_info, measured_sweep_serial, predict_sweep,
-    predict_sweep_from_info, sweep_samples, sweep_samples_from_info, sweep_samples_serial,
-    train_device_models,
+    compile_application_with_lints, measured_sweep, measured_sweep_from_info,
+    measured_sweep_serial, predict_sweep, predict_sweep_from_info, sweep_samples,
+    sweep_samples_from_info, sweep_samples_serial, train_device_models, CompileError,
 };
 pub use event::{Event, EventStatus};
 pub use handler::Handler;

@@ -20,12 +20,15 @@ fn main() {
     let spec = DeviceSpec::v100();
     let suite = generate_microbench(42, &MicroBenchConfig::default());
     let models = train_device_models(&spec, &suite, ModelSelection::paper_best(), 8, 7);
-    let registry = Arc::new(compile_application(
-        &spec,
-        &models,
-        &synergy::apps::cloverleaf::kernel_irs(),
-        &[EnergyTarget::EnergySaving(50)],
-    ));
+    let registry = Arc::new(
+        compile_application(
+            &spec,
+            &models,
+            &synergy::apps::cloverleaf::kernel_irs(),
+            &[EnergyTarget::EnergySaving(50)],
+        )
+        .expect("CloverLeaf kernels lint clean"),
+    );
 
     // ── cluster: 2 Marconi-100 nodes (8 V100s), nvgpufreq-tagged ─────
     let mut slurm = Slurm::new(Cluster::marconi100(2, true));

@@ -44,6 +44,9 @@
 /// Kernel IR, Table-1 static features, extraction pass, micro-benchmarks.
 pub use synergy_kernel as kernel;
 
+/// Cross-stack lint & diagnostics: IR, sweep and model lint families.
+pub use synergy_analyze as analyze;
+
 /// GPU/DVFS simulator: device models, frequency tables, power traces.
 pub use synergy_sim as sim;
 
@@ -70,13 +73,14 @@ pub use synergy_cluster as cluster;
 
 /// One-stop imports for applications.
 pub mod prelude {
+    pub use crate::analyze::{Level, LintRegistry, Report};
     pub use crate::hal::{Caller, Nvml, NvmlDevice, RocmSmi};
     pub use crate::kernel::{extract, Inst, IrBuilder, KernelIr};
     pub use crate::metrics::{pareto_front, EnergyTarget, MetricPoint};
     pub use crate::ml::{Algorithm, ModelSelection};
     pub use crate::rt::{
-        compile_application, train_device_models, Buffer, Event, Handler, ModelStore, Queue,
-        TargetRegistry,
+        compile_application, train_device_models, Buffer, CompileError, Event, Handler,
+        ModelStore, Queue, TargetRegistry,
     };
     pub use crate::sim::{ClockConfig, DeviceSpec, SimDevice, SimNode};
 }

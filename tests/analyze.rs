@@ -1,0 +1,461 @@
+//! Integration coverage for the `synergy-analyze` lint framework: every
+//! built-in lint code fires on a crafted defect and stays quiet on healthy
+//! inputs, level overrides promote and silence lints, deny-level findings
+//! abort `compile_application`, and the whole 23-benchmark suite lints
+//! warn-clean end to end through the CLI entry point.
+
+use synergy::analyze::{expected_row_len, Level, LintRegistry, Report};
+use synergy::kernel::{
+    generate_microbench, Inst, IrBuilder, KernelIr, MicroBenchConfig, Stmt, NUM_FEATURES,
+};
+use synergy::metrics::{EnergyTarget, MetricPoint};
+use synergy::ml::{Algorithm, MetricModels, ModelSelection, SweepSample};
+use synergy::rt::{
+    compile_application, compile_application_with_lints, train_device_models,
+    CACHE_FORMAT_VERSION,
+};
+use synergy::sim::{ClockConfig, DeviceSpec};
+
+fn lints() -> LintRegistry {
+    LintRegistry::with_builtin()
+}
+
+/// A kernel no lint has anything to say about.
+fn healthy_kernel() -> KernelIr {
+    IrBuilder::new()
+        .ops(Inst::GlobalLoad, 2)
+        .loop_n(8, |b| b.ops(Inst::FloatMul, 1).ops(Inst::FloatAdd, 1))
+        .ops(Inst::GlobalStore, 1)
+        .build("healthy")
+}
+
+/// A physically-shaped training set over NUM_FEATURES-wide vectors and the
+/// V100 clock range: time follows the 1/f compute law, power a DVFS cubic.
+fn samples() -> Vec<SweepSample> {
+    let mut out = Vec::new();
+    for k in [1.0f64, 4.0, 16.0] {
+        for step in 0..16 {
+            let core = 135.0 + step as f64 * 93.0;
+            let fhat = core / 1530.0;
+            let mut features = vec![0.0; NUM_FEATURES];
+            features[0] = k;
+            features[8] = 2.0;
+            let time = (0.2 * k + 0.3) / fhat + 0.05;
+            let power = 40.0 + 200.0 * fhat * fhat * fhat;
+            out.push(SweepSample {
+                features,
+                core_mhz: core,
+                mem_mhz: 877.0,
+                time_s: time,
+                energy_j: power * time,
+            });
+        }
+    }
+    out
+}
+
+fn linear_models(samples: &[SweepSample], f_max: f64) -> MetricModels {
+    MetricModels::train(ModelSelection::uniform(Algorithm::Linear), samples, f_max, 0)
+}
+
+fn point(core: u32, t: f64, e: f64) -> MetricPoint {
+    MetricPoint::new(ClockConfig::new(877, core), t, e)
+}
+
+fn healthy_sweep() -> Vec<MetricPoint> {
+    vec![
+        point(400, 4.0, 8.0),
+        point(600, 3.0, 6.0),
+        point(800, 2.5, 5.0),
+        point(1000, 2.2, 5.5),
+        point(1312, 1.9, 7.5),
+        point(1530, 1.8, 9.0),
+    ]
+}
+
+#[test]
+fn catalog_lists_all_builtin_codes_in_family_order() {
+    let catalog = lints().catalog();
+    let codes: Vec<&str> = catalog.iter().map(|(c, _, _)| *c).collect();
+    let expected = [
+        "IR001", "IR002", "IR003", "IR004", "IR005", "IR006", "IR007", "IR008", "IR009",
+        "IR010", "IR011", "SW001", "SW002", "SW003", "SW004", "SW005", "SW006", "ML001",
+        "ML002", "ML003", "ML004", "ML005",
+    ];
+    assert_eq!(codes, expected);
+    for (code, summary, _) in catalog {
+        assert!(!summary.is_empty(), "{code} has no summary");
+    }
+}
+
+#[test]
+fn findings_carry_tree_addressed_paths() {
+    let k = IrBuilder::new()
+        .ops(Inst::IntAdd, 1)
+        .loop_n(4, |b| b.ops(Inst::FloatAdd, 1).ops(Inst::IntMul, 0))
+        .build("nested");
+    let rep = lints().check_kernel(&k);
+    assert_eq!(rep.codes(), vec!["IR001"]);
+    assert_eq!(rep.diagnostics[0].path, "body[1].loop.body[1]");
+
+    let k = IrBuilder::new()
+        .branch(
+            0.5,
+            |b| b.loop_n(2, |b| b.ops(Inst::FloatMul, 0)),
+            |b| b.ops(Inst::FloatAdd, 1),
+        )
+        .build("branchy");
+    let rep = lints().check_kernel(&k);
+    assert_eq!(rep.diagnostics[0].path, "body[0].branch.then[0].loop.body[0]");
+    let line = rep.render();
+    assert!(line.contains("error[IR001]"), "render:\n{line}");
+
+    // Per-kernel scoping for whole-application reports.
+    let scoped = lints().check_kernel(&k).prefixed("branchy");
+    assert!(scoped.diagnostics[0].path.starts_with("branchy.body[0]"));
+}
+
+#[test]
+fn every_ir_lint_has_a_trigger_and_healthy_kernels_stay_clean() {
+    let clean = lints().check_kernel(&healthy_kernel());
+    assert!(clean.is_clean(), "unexpected findings:\n{}", clean.render());
+
+    let zero_op = IrBuilder::new()
+        .ops(Inst::FloatAdd, 0)
+        .ops(Inst::FloatAdd, 1)
+        .build("zero_op");
+    let nan_trip = IrBuilder::new()
+        .loop_est(f64::NAN, |b| b.ops(Inst::FloatAdd, 1))
+        .build("nan_trip");
+    // The builder clamps probabilities, so an out-of-range one has to be
+    // assembled by hand — exactly the hostile input the lint exists for.
+    let bad_prob = KernelIr::new(
+        "bad_prob",
+        vec![Stmt::Branch {
+            prob: 1.5,
+            then: vec![Stmt::op(Inst::FloatAdd)],
+            els: vec![Stmt::op(Inst::FloatMul)],
+        }],
+    );
+    let empty_loop = IrBuilder::new().loop_n(4, |b| b).build("empty_loop");
+    let mut bad_fractions = IrBuilder::new().ops(Inst::FloatAdd, 1).build("bad_fractions");
+    bad_fractions.coalescing = 2.0; // the builder clamps; a hand-built IR can't rely on that
+    let one_sided = IrBuilder::new()
+        .branch(1.0, |b| b.ops(Inst::FloatAdd, 1), |b| b.ops(Inst::FloatMul, 1))
+        .build("one_sided");
+    let dead_loop = IrBuilder::new()
+        .loop_n(0, |b| b.ops(Inst::FloatAdd, 1))
+        .build("dead_loop");
+    let runaway_loop = IrBuilder::new()
+        .loop_est(1e12, |b| b.ops(Inst::FloatAdd, 1))
+        .build("runaway_loop");
+    let dead_store = IrBuilder::new()
+        .ops(Inst::LocalStore, 4)
+        .ops(Inst::FloatAdd, 1)
+        .build("dead_store");
+    let compute_with_fractions = IrBuilder::new()
+        .ops(Inst::FloatAdd, 4)
+        .build("compute_with_fractions")
+        .with_coalescing(0.5);
+    // A NaN probability survives the builder's clamp and poisons the
+    // extracted feature vector, which IR010's validity check catches.
+    let nan_features = IrBuilder::new()
+        .branch(f64::NAN, |b| b.ops(Inst::FloatAdd, 1), |b| b.ops(Inst::FloatMul, 1))
+        .build("nan_features");
+    let pure_copy = IrBuilder::new()
+        .ops(Inst::GlobalLoad, 2)
+        .ops(Inst::GlobalStore, 1)
+        .build("pure_copy");
+
+    let cases: Vec<(&str, &KernelIr)> = vec![
+        ("IR001", &zero_op),
+        ("IR002", &nan_trip),
+        ("IR003", &bad_prob),
+        ("IR004", &empty_loop),
+        ("IR005", &bad_fractions),
+        ("IR006", &one_sided),
+        ("IR007", &dead_loop),
+        ("IR007", &runaway_loop),
+        ("IR008", &dead_store),
+        ("IR009", &compute_with_fractions),
+        ("IR010", &nan_features),
+        ("IR011", &pure_copy),
+    ];
+    let registry = lints();
+    for (code, kernel) in cases {
+        let rep = registry.check_kernel(kernel);
+        assert!(
+            rep.has_code(code),
+            "{code} did not fire on `{}`:\n{}",
+            kernel.name,
+            rep.render()
+        );
+    }
+}
+
+#[test]
+fn level_overrides_promote_and_silence_lints() {
+    let k = IrBuilder::new()
+        .branch(1.0, |b| b.ops(Inst::FloatAdd, 1), |b| b.ops(Inst::FloatMul, 1))
+        .build("one_sided");
+
+    let mut registry = lints();
+    let rep = registry.check_kernel(&k);
+    assert!(rep.has_code("IR006") && !rep.has_deny(), "IR006 defaults to warn");
+    assert_eq!(registry.level_of("IR006"), Some(Level::Warn));
+
+    registry.set_level("IR006", Level::Deny);
+    let rep = registry.check_kernel(&k);
+    assert!(rep.has_deny(), "promoted IR006 must deny");
+    assert_eq!(registry.level_of("IR006"), Some(Level::Deny));
+
+    registry.set_level("IR006", Level::Allow);
+    let rep = registry.check_kernel(&k);
+    assert!(rep.is_clean(), "allowed IR006 must not run:\n{}", rep.render());
+}
+
+#[test]
+fn every_sweep_lint_has_a_trigger_and_healthy_sweeps_stay_clean() {
+    let registry = lints();
+    let baseline = ClockConfig::new(877, 1312);
+
+    let rep = registry.check_sweep(&healthy_sweep(), baseline, &EnergyTarget::PAPER_SET);
+    assert!(rep.is_clean(), "unexpected findings:\n{}", rep.render());
+
+    // SW001: a non-physical point.
+    let mut pts = healthy_sweep();
+    pts.push(point(1600, f64::NAN, 1.0));
+    assert!(registry.check_sweep(&pts, baseline, &[]).has_code("SW001"));
+
+    // SW002: a duplicated configuration.
+    let mut pts = healthy_sweep();
+    pts.push(point(1530, 1.8, 9.0));
+    assert!(registry.check_sweep(&pts, baseline, &[]).has_code("SW002"));
+
+    // SW003: a point out of ascending (mem, core) order.
+    let mut pts = healthy_sweep();
+    pts.push(point(500, 3.5, 7.0));
+    assert!(registry.check_sweep(&pts, baseline, &[]).has_code("SW003"));
+
+    // SW004: nothing to select from (deny).
+    let rep = registry.check_sweep(&[], baseline, &EnergyTarget::PAPER_SET);
+    assert_eq!(rep.codes(), vec!["SW004"]);
+    assert!(rep.has_deny());
+
+    // SW005: ES_50's fastest-feasible tie-break lands on a point another
+    // configuration dominates (equal time, strictly cheaper).
+    let pts = vec![
+        point(400, 4.0, 4.0),
+        point(600, 2.0, 8.0),
+        point(1000, 2.0, 7.0),
+        point(1312, 1.5, 12.0),
+    ];
+    let rep = registry.check_sweep(&pts, baseline, &[EnergyTarget::EnergySaving(50)]);
+    assert!(rep.has_code("SW005"), "findings:\n{}", rep.render());
+
+    // SW006: no point at the baseline memory clock (deny).
+    let rep = registry.check_sweep(&healthy_sweep(), ClockConfig::new(900, 1312), &[]);
+    assert_eq!(rep.codes(), vec!["SW006"]);
+    assert!(rep.has_deny());
+}
+
+#[test]
+fn every_model_lint_has_a_trigger_and_healthy_models_stay_clean() {
+    let registry = lints();
+    let v100 = DeviceSpec::v100();
+
+    let rep = registry.check_models(&linear_models(&samples(), 1530.0), &v100, NUM_FEATURES);
+    assert!(rep.is_clean(), "unexpected findings:\n{}", rep.render());
+
+    // ML001: targets 12 orders of magnitude out scale the OLS weights far
+    // past anything honest (deny).
+    let huge: Vec<SweepSample> = samples()
+        .into_iter()
+        .map(|mut s| {
+            s.time_s *= 1e12;
+            s.energy_j *= 1e12;
+            s
+        })
+        .collect();
+    let rep = registry.check_models(&linear_models(&huge, 1530.0), &v100, NUM_FEATURES);
+    assert!(rep.has_code("ML001"), "findings:\n{}", rep.render());
+    assert!(rep.has_deny());
+
+    // ML003: a bundle trained on 2-wide features against the 10-feature
+    // basis (deny) — and ML005 must skip probing it rather than panic.
+    let narrow: Vec<SweepSample> = samples()
+        .into_iter()
+        .map(|mut s| {
+            s.features.truncate(2);
+            s
+        })
+        .collect();
+    let rep = registry.check_models(&linear_models(&narrow, 1530.0), &v100, NUM_FEATURES);
+    assert!(rep.has_code("ML003") && rep.has_deny());
+    assert!(!rep.has_code("ML005"));
+
+    // ML004: models normalized to 1000 MHz queried on a device sweeping to
+    // 1530 MHz.
+    let rep = registry.check_models(&linear_models(&samples(), 1000.0), &v100, NUM_FEATURES);
+    assert!(rep.has_code("ML004"), "findings:\n{}", rep.render());
+
+    // ML005: targets at the prediction floor collapse every corner probe.
+    let collapsed: Vec<SweepSample> = samples()
+        .into_iter()
+        .map(|mut s| {
+            s.time_s = 1e-15;
+            s.energy_j = 1e-15;
+            s
+        })
+        .collect();
+    let rep = registry.check_models(&linear_models(&collapsed, 1530.0), &v100, NUM_FEATURES);
+    assert!(rep.has_code("ML005"), "findings:\n{}", rep.render());
+}
+
+#[test]
+fn cache_lint_flags_stale_and_mismatched_bundles() {
+    let registry = lints();
+    let row_len = expected_row_len(NUM_FEATURES);
+
+    // A directory that never existed is trivially clean.
+    let rep = registry.check_model_cache(
+        std::path::Path::new("/nonexistent/synergy-analyze-it"),
+        CACHE_FORMAT_VERSION,
+        row_len,
+    );
+    assert!(rep.is_clean());
+
+    let dir = std::env::temp_dir().join(format!("synergy-analyze-it-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp cache dir");
+    let weights: Vec<f64> = vec![0.0; row_len];
+    let bundle = |key: &str, version: u32, weights: &[f64]| {
+        serde_json::json!({
+            "version": version,
+            "key": key,
+            "models": { "time": { "Linear": { "weights": weights, "intercept": 0.0 } } },
+        })
+        .to_string()
+    };
+    let cases = [
+        ("models-good00.json", bundle("good00", CACHE_FORMAT_VERSION, &weights)),
+        ("models-badver.json", bundle("badver", CACHE_FORMAT_VERSION + 1, &weights)),
+        ("models-miskey.json", bundle("other!", CACHE_FORMAT_VERSION, &weights)),
+        ("models-narrow.json", bundle("narrow", CACHE_FORMAT_VERSION, &weights[..2])),
+        ("models-broken.json", "not json {".to_string()),
+    ];
+    for (name, text) in &cases {
+        std::fs::write(dir.join(name), text).expect("write cache fixture");
+    }
+
+    let rep = registry.check_model_cache(&dir, CACHE_FORMAT_VERSION, row_len);
+    std::fs::remove_dir_all(&dir).ok();
+
+    assert!(rep.codes().iter().all(|c| *c == "ML002"), "findings:\n{}", rep.render());
+    for bad in ["badver", "miskey", "narrow", "broken"] {
+        assert!(
+            rep.diagnostics.iter().any(|d| d.path.contains(bad)),
+            "models-{bad}.json not flagged:\n{}",
+            rep.render()
+        );
+    }
+    assert!(
+        !rep.diagnostics.iter().any(|d| d.path.contains("good00")),
+        "the self-consistent bundle must not be flagged:\n{}",
+        rep.render()
+    );
+    assert!(!rep.has_deny(), "ML002 defaults to warn");
+}
+
+#[test]
+fn compile_application_aborts_on_deny_findings() {
+    let spec = DeviceSpec::v100();
+    let suite = generate_microbench(5, &MicroBenchConfig::default());
+    let models = train_device_models(&spec, &suite[..16], ModelSelection::paper_best(), 24, 1);
+
+    let dead = IrBuilder::new()
+        .ops(Inst::FloatAdd, 0)
+        .ops(Inst::GlobalLoad, 1)
+        .ops(Inst::FloatMul, 2)
+        .ops(Inst::GlobalStore, 1)
+        .build("dead");
+    let err = compile_application(&spec, &models, &[dead], &EnergyTarget::PAPER_SET)
+        .expect_err("a deny-level IR defect must abort the compile step");
+    assert!(err.report.has_deny());
+    assert!(err.report.has_code("IR001"));
+    assert!(
+        err.report.diagnostics.iter().any(|d| d.path.starts_with("dead.")),
+        "findings are scoped by kernel name:\n{}",
+        err.report.render()
+    );
+    let rendered = err.to_string();
+    assert!(rendered.contains("compile aborted"), "{rendered}");
+    assert!(rendered.contains("IR001"), "{rendered}");
+
+    let registry = compile_application(
+        &spec,
+        &models,
+        &[healthy_kernel()],
+        &EnergyTarget::PAPER_SET,
+    )
+    .expect("a healthy kernel compiles");
+    assert_eq!(registry.len(), EnergyTarget::PAPER_SET.len());
+}
+
+#[test]
+fn compile_with_custom_lints_honors_level_overrides() {
+    let spec = DeviceSpec::v100();
+    let suite = generate_microbench(5, &MicroBenchConfig::default());
+    let models = train_device_models(&spec, &suite[..16], ModelSelection::paper_best(), 24, 1);
+    let copy = IrBuilder::new()
+        .ops(Inst::GlobalLoad, 2)
+        .ops(Inst::GlobalStore, 1)
+        .build("pure_copy");
+
+    // IR011 is a warning by default: a pure copy kernel compiles.
+    compile_application(&spec, &models, std::slice::from_ref(&copy), &[EnergyTarget::MinEdp])
+        .expect("warn-level findings do not block");
+
+    // Promoted to deny it aborts the same compile.
+    let mut strict = LintRegistry::with_builtin();
+    strict.set_level("IR011", Level::Deny);
+    let err = compile_application_with_lints(
+        &spec,
+        &models,
+        std::slice::from_ref(&copy),
+        &[EnergyTarget::MinEdp],
+        &strict,
+    )
+    .expect_err("deny-promoted IR011 must abort");
+    assert!(err.report.has_code("IR011"));
+}
+
+#[test]
+fn reports_round_trip_as_json() {
+    let k = IrBuilder::new().ops(Inst::FloatAdd, 0).build("zero_op");
+    let rep = lints().check_kernel(&k).prefixed("zero_op");
+    assert!(!rep.is_clean());
+    let back: Report = serde_json::from_str(&rep.to_json()).expect("report JSON parses");
+    assert_eq!(back, rep);
+}
+
+#[test]
+fn cli_lint_runs_warn_clean_over_the_whole_suite() {
+    // The acceptance bar for the shipped benchmarks: every suite kernel,
+    // its measured V100 sweep, the trained paper-best models and the model
+    // cache produce zero findings at any level.
+    let suite = synergy::apps::suite();
+    assert_eq!(suite.len(), 23);
+    for bench in suite {
+        let mut buf = Vec::new();
+        let report = synergy_cli::commands::lint(&mut buf, bench.name, "v100", false)
+            .expect("lint runs");
+        assert!(
+            report.is_clean(),
+            "{} is not warn-clean:\n{}",
+            bench.name,
+            report.render()
+        );
+        let text = String::from_utf8(buf).expect("utf-8 output");
+        assert!(text.contains("clean"), "{text}");
+    }
+}

@@ -18,7 +18,8 @@ fn step1_train_compile_persist_reload() {
         .take(4)
         .map(|b| b.ir)
         .collect();
-    let registry = compile_application(&spec, &models, &kernels, &EnergyTarget::PAPER_SET);
+    let registry = compile_application(&spec, &models, &kernels, &EnergyTarget::PAPER_SET)
+        .expect("suite kernels lint clean");
     assert_eq!(registry.len(), 4 * EnergyTarget::PAPER_SET.len());
 
     // Persist next to the binaries, reload, and verify it is identical —
@@ -38,12 +39,15 @@ fn step2_plugin_installation_and_opt_in_job() {
     let suite = generate_microbench(42, &MicroBenchConfig::default());
     let models = train_device_models(&spec, &suite, ModelSelection::paper_best(), 16, 1);
     let bench = synergy::apps::by_name("black_scholes").unwrap();
-    let registry = Arc::new(compile_application(
-        &spec,
-        &models,
-        std::slice::from_ref(&bench.ir),
-        &[EnergyTarget::MinEdp],
-    ));
+    let registry = Arc::new(
+        compile_application(
+            &spec,
+            &models,
+            std::slice::from_ref(&bench.ir),
+            &[EnergyTarget::MinEdp],
+        )
+        .expect("benchmark kernel lints clean"),
+    );
 
     let record = slurm.run(
         JobRequest::builder("artifact-demo", 1000)

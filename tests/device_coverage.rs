@@ -51,7 +51,8 @@ fn every_device_trains_and_compiles() {
     for spec in catalogue() {
         // Coarse stride keeps the 2-D Titan X sweep affordable in tests.
         let models = train_device_models(&spec, &suite[..16], ModelSelection::paper_best(), 24, 1);
-        let registry = compile_application(&spec, &models, &kernels, &EnergyTarget::PAPER_SET);
+        let registry = compile_application(&spec, &models, &kernels, &EnergyTarget::PAPER_SET)
+            .expect("benchmark kernel lints clean");
         assert_eq!(
             registry.len(),
             EnergyTarget::PAPER_SET.len(),

@@ -10,6 +10,7 @@ fn registry_for(spec: &DeviceSpec, kernels: &[synergy::kernel::KernelIr]) -> Tar
     let suite = generate_microbench(42, &MicroBenchConfig::default());
     let models = train_device_models(spec, &suite, ModelSelection::paper_best(), 12, 5);
     compile_application(spec, &models, kernels, &EnergyTarget::PAPER_SET)
+        .expect("benchmark kernels lint clean")
 }
 
 #[test]

@@ -22,12 +22,10 @@ fn registry(app: MiniApp) -> Arc<TargetRegistry> {
     let spec = DeviceSpec::v100();
     let suite = generate_microbench(42, &MicroBenchConfig::default());
     let models = train_device_models(&spec, &suite, ModelSelection::paper_best(), 12, 3);
-    Arc::new(compile_application(
-        &spec,
-        &models,
-        &app.kernel_irs(),
-        &EnergyTarget::PAPER_SET,
-    ))
+    Arc::new(
+        compile_application(&spec, &models, &app.kernel_irs(), &EnergyTarget::PAPER_SET)
+            .expect("mini-app kernels lint clean"),
+    )
 }
 
 #[test]
