@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
-# Tier-1 verification: build, test, compile the criterion benches, and
+# Tier-1 verification: build, test, compile the criterion benches,
 # regenerate experiments/BENCH_pipeline.json with the CI-sized suite so the
-# compile-time pipeline's perf trajectory is tracked on every PR.
+# compile-time pipeline's perf trajectory (and telemetry overhead) is
+# tracked on every PR, and smoke-test the `synergy trace` exporter.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -10,3 +11,11 @@ cargo test -q
 cargo clippy --workspace --all-targets -- -D warnings
 cargo bench --workspace --no-run
 cargo run --release -p synergy-bench --bin pipeline_perf -- --small
+
+# Smoke test: one benchmark through the traced pipeline; the exported
+# Chrome trace must be non-trivial JSON.
+trace_out="$(mktemp -t synergy-trace-XXXXXX.json)"
+trap 'rm -f "$trace_out"' EXIT
+cargo run --release -p synergy-cli --bin synergy -- \
+  trace vec_add --device v100 --out "$trace_out" --summary
+grep -q '"traceEvents"' "$trace_out"

@@ -214,6 +214,20 @@ impl Report {
     pub fn to_json(&self) -> String {
         serde_json::to_string_pretty(self).expect("report serializes")
     }
+
+    /// Record every diagnostic into a telemetry recorder as one
+    /// [`synergy_telemetry::EventKind::Annotation`] each, so lint findings
+    /// land on the trace's `annotations` track next to the run they
+    /// describe.
+    pub fn annotate(&self, recorder: &synergy_telemetry::Recorder) {
+        for d in &self.diagnostics {
+            recorder.record_with(0, || synergy_telemetry::EventKind::Annotation {
+                code: d.code.clone(),
+                level: d.severity.to_string(),
+                message: format!("{}: {}", d.path, d.message),
+            });
+        }
+    }
 }
 
 #[cfg(test)]
@@ -281,5 +295,33 @@ mod tests {
         let back: Report = serde_json::from_str(&json).unwrap();
         assert_eq!(back, all);
         assert!(json.contains("\"severity\": \"deny\""));
+    }
+
+    #[test]
+    fn annotate_puts_findings_on_the_trace() {
+        use synergy_telemetry::{EventKind, Recorder};
+        let mut r = Report::new();
+        r.diagnostics.push(diag("IR001", Level::Deny));
+        r.diagnostics.push(diag("SW002", Level::Warn));
+        let rec = Recorder::enabled();
+        r.annotate(&rec);
+        let notes: Vec<(String, String, String)> = rec
+            .drain()
+            .into_iter()
+            .filter_map(|e| match e.kind {
+                EventKind::Annotation { code, level, message } => Some((code, level, message)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(notes.len(), 2);
+        assert_eq!(notes[0].0, "IR001");
+        assert_eq!(notes[0].1, "deny");
+        assert!(notes[0].2.contains("body[0]") && notes[0].2.contains("something"));
+        assert_eq!(notes[1].1, "warn");
+
+        // A disabled recorder stays empty (and costs nothing).
+        let off = Recorder::disabled();
+        r.annotate(&off);
+        assert!(off.is_empty());
     }
 }

@@ -1,0 +1,53 @@
+//! Telemetry hot-path micro-benchmarks: the cost of a `record_with` call
+//! against a disabled recorder (must be a branch on a `None`), against an
+//! enabled recorder (one shard lock + push), and the drain/export path.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use synergy_telemetry::{ChromeTrace, Clocks, EventKind, Recorder, TelemetrySummary};
+
+fn kernel_run(i: u64) -> EventKind {
+    EventKind::KernelRun {
+        kernel: "bench_kernel".to_string(),
+        start_ns: i * 1_000,
+        end_ns: i * 1_000 + 800,
+        energy_j: 1.25e-3,
+        clocks: Clocks {
+            core_mhz: 1380,
+            mem_mhz: 877,
+        },
+    }
+}
+
+fn bench_record(c: &mut Criterion) {
+    let disabled = Recorder::disabled();
+    c.bench_function("record_disabled", |b| {
+        b.iter(|| disabled.record_with(black_box(42), || kernel_run(black_box(7))))
+    });
+
+    let enabled = Recorder::enabled();
+    let mut i = 0u64;
+    c.bench_function("record_enabled", |b| {
+        b.iter(|| {
+            i += 1;
+            enabled.record_with(black_box(i), || kernel_run(black_box(i)))
+        })
+    });
+}
+
+fn bench_export(c: &mut Criterion) {
+    let rec = Recorder::enabled();
+    for i in 0..10_000 {
+        rec.record_with(i, || kernel_run(i));
+    }
+    let events = rec.drain();
+    c.bench_function("chrome_export_10k", |b| {
+        b.iter(|| black_box(ChromeTrace::from_events(black_box(&events)).to_json()))
+    });
+    c.bench_function("summary_10k", |b| {
+        b.iter(|| black_box(TelemetrySummary::from_events(black_box(&events), 0)))
+    });
+}
+
+criterion_group!(benches, bench_record, bench_export);
+criterion_main!(benches);

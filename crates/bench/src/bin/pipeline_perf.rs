@@ -10,15 +10,17 @@
 use std::time::Instant;
 
 use serde::Serialize;
+use synergy_analyze::LintRegistry;
 use synergy_bench::{microbench_suite, print_table, write_artifact, EXPERIMENT_SEED, TRAIN_STRIDE};
 use synergy_kernel::KernelIr;
 use synergy_metrics::EnergyTarget;
 use synergy_ml::ModelSelection;
 use synergy_rt::{
-    build_training_set, build_training_set_serial, compile_application, default_cache_dir,
-    ModelKey, ModelStore,
+    build_training_set, build_training_set_serial, compile_application,
+    compile_application_traced, default_cache_dir, ModelKey, ModelStore,
 };
 use synergy_sim::DeviceSpec;
+use synergy_telemetry::Recorder;
 
 #[derive(Serialize)]
 struct PipelinePerf {
@@ -41,6 +43,12 @@ struct PipelinePerf {
     trainset_serial_s: f64,
     trainset_parallel_s: f64,
     trainset_parallel_speedup: f64,
+    /// Warm pipeline with the telemetry recorder disabled vs enabled:
+    /// the disabled path must be free, the enabled path cheap.
+    telemetry_off_s: f64,
+    telemetry_on_s: f64,
+    telemetry_overhead_pct: f64,
+    telemetry_events: usize,
 }
 
 fn main() {
@@ -102,6 +110,33 @@ fn main() {
     assert_eq!(stats.memory_hits, 1, "warm run must hit the memo");
     assert_eq!(disk_store.stats().disk_hits, 1, "fresh store must load from disk");
 
+    // Telemetry overhead on the warm (memory-cached) pipeline: the same
+    // traced entry points once with a disabled recorder — which must cost
+    // nothing — and once recording every phase and cache event. Best of a
+    // few reps, since the warm path is fast enough to be noisy.
+    let lints = LintRegistry::with_builtin();
+    let traced_pipeline = |rec: &Recorder| {
+        let models = store.get_or_train_traced(&spec, &suite, selection, stride, seed, rec);
+        compile_application_traced(&spec, &models, &kernels, &EnergyTarget::PAPER_SET, &lints, rec)
+            .expect("suite kernels lint clean")
+    };
+    const TELEMETRY_REPS: usize = 5;
+    let best_of = |rec: &Recorder| {
+        (0..TELEMETRY_REPS)
+            .map(|_| {
+                let t = Instant::now();
+                let reg = traced_pipeline(rec);
+                let s = t.elapsed().as_secs_f64();
+                assert_eq!(reg, cold_registry, "traced pipeline must reproduce the registry");
+                s
+            })
+            .fold(f64::INFINITY, f64::min)
+    };
+    let telemetry_off_s = best_of(&Recorder::disabled());
+    let on = Recorder::enabled();
+    let telemetry_on_s = best_of(&on);
+    let telemetry_events = on.drain().len();
+
     let t = Instant::now();
     let serial = build_training_set_serial(&spec, &suite, stride);
     let trainset_serial_s = t.elapsed().as_secs_f64();
@@ -124,6 +159,10 @@ fn main() {
         trainset_serial_s,
         trainset_parallel_s,
         trainset_parallel_speedup: trainset_serial_s / trainset_parallel_s.max(1e-9),
+        telemetry_off_s,
+        telemetry_on_s,
+        telemetry_overhead_pct: (telemetry_on_s / telemetry_off_s.max(1e-9) - 1.0) * 100.0,
+        telemetry_events,
     };
 
     println!(
@@ -155,6 +194,21 @@ fn main() {
                 perf.trainset_parallel_s,
                 perf.trainset_parallel_speedup,
             ),
+        ],
+    );
+    println!();
+    print_table(
+        &["telemetry (warm)", "seconds", "overhead"],
+        &[
+            row("disabled", perf.telemetry_off_s, 1.0),
+            vec![
+                "enabled".to_string(),
+                format!("{:.4}", perf.telemetry_on_s),
+                format!(
+                    "{:+.2}% ({} events)",
+                    perf.telemetry_overhead_pct, perf.telemetry_events
+                ),
+            ],
         ],
     );
     if perf.warm_memory_speedup < 5.0 || perf.warm_disk_speedup < 5.0 {

@@ -163,6 +163,112 @@ pub fn lint(
     Ok(report)
 }
 
+/// `synergy trace <bench> --device <key> [--target T] [--out path]
+/// [--summary]`: run one benchmark through the whole pipeline — model
+/// cache, compile phases, kernel submission, per-kernel frequency change,
+/// asynchronous profiling — with telemetry enabled, and export the
+/// resulting Chrome trace-event JSON (loadable in Perfetto or
+/// `chrome://tracing`). Returns the collected events so tests and the
+/// shell can inspect them; the JSON goes to `trace_path` (`-` = `out`).
+pub fn trace(
+    out: &mut dyn Write,
+    bench: &str,
+    device: &str,
+    target: &str,
+    trace_path: &str,
+    summary: bool,
+) -> Result<Vec<synergy_telemetry::TelemetryEvent>, UsageError> {
+    use synergy_rt::{compile_application_traced, KernelProfiler, Queue};
+    use synergy_telemetry::{ChromeTrace, Recorder, TelemetrySummary};
+
+    let spec = device_by_key(device)
+        .ok_or_else(|| UsageError(format!("unknown device `{device}`")))?;
+    let b = synergy_apps::by_name(bench)
+        .ok_or_else(|| UsageError(format!("unknown benchmark `{bench}`")))?;
+    let target: Option<EnergyTarget> = if target.is_empty() {
+        None
+    } else {
+        Some(
+            target
+                .parse()
+                .map_err(|e| UsageError(format!("bad --target: {e}")))?,
+        )
+    };
+
+    let rec = Recorder::enabled();
+
+    // Compile time: cached models, then the four pipeline phases. Lint
+    // findings ride along on the annotations track.
+    let suite = generate_microbench(42, &MicroBenchConfig::default());
+    let models = ModelStore::global().get_or_train_traced(
+        &spec,
+        &suite,
+        ModelSelection::paper_best(),
+        8,
+        2023,
+        &rec,
+    );
+    let lints = LintRegistry::with_builtin();
+    lints.check_kernel(&b.ir).prefixed(b.name).annotate(&rec);
+    let registry = compile_application_traced(
+        &spec,
+        &models,
+        std::slice::from_ref(&b.ir),
+        &EnergyTarget::PAPER_SET,
+        &lints,
+        &rec,
+    )
+    .map_err(|e| UsageError(e.to_string()))?;
+
+    // Run time: a traced queue on a fresh device (restriction lowered, as
+    // the SLURM plugin would), one kernel per paper target — or just the
+    // requested one — each watched by the asynchronous profiler.
+    let dev = synergy_sim::SimDevice::new(spec, 0);
+    dev.set_api_restriction(false);
+    let q = Queue::builder(std::sync::Arc::clone(&dev))
+        .registry(std::sync::Arc::new(registry))
+        .telemetry(rec.clone())
+        .build();
+    let items = b.work_items as usize;
+    let submitted: Vec<EnergyTarget> = match target {
+        Some(t) => vec![t],
+        None => vec![EnergyTarget::MaxPerf, EnergyTarget::MinEdp, EnergyTarget::MinEnergy],
+    };
+    for t in &submitted {
+        let ir = b.ir.clone();
+        let ev = q.submit_with_target(*t, move |h| h.parallel_for_modeled(items, &ir));
+        let profiler = KernelProfiler::start_with(
+            std::sync::Arc::clone(&dev),
+            ev.clone(),
+            rec.clone(),
+        );
+        ev.wait_and_throw().map_err(|e| UsageError(e.to_string()))?;
+        profiler.join().map_err(|e| UsageError(e.to_string()))?;
+    }
+
+    let dropped = rec.dropped();
+    let events = rec.drain();
+    let chrome = ChromeTrace::from_events(&events);
+    let json = chrome.to_json();
+    let w = |r: std::io::Result<()>| r.map_err(|e| UsageError(e.to_string()));
+    if trace_path == "-" {
+        w(writeln!(out, "{json}"))?;
+    } else {
+        std::fs::write(trace_path, json).map_err(|e| UsageError(e.to_string()))?;
+        w(writeln!(
+            out,
+            "wrote {} events ({} trace slices) to {trace_path}",
+            events.len(),
+            chrome.trace_events.len()
+        ))?;
+    }
+    if summary {
+        let s = TelemetrySummary::from_events(&events, dropped);
+        w(write!(out, "{}", s.render()))?;
+    }
+    Ok(events)
+}
+
 /// `synergy scaling --gpus N --app <name>`
 pub fn scaling(out: &mut dyn Write, gpus: usize, app: &str) -> Result<(), UsageError> {
     use synergy_cluster::{
@@ -318,5 +424,56 @@ mod tests {
     fn scaling_rejects_unknown_app() {
         let mut buf = Vec::new();
         assert!(scaling(&mut buf, 2, "linpack").is_err());
+    }
+
+    #[test]
+    fn trace_writes_a_loadable_chrome_trace() {
+        use synergy_telemetry::{ChromeTrace, EventKind};
+        let path = std::env::temp_dir().join(format!(
+            "synergy-trace-test-{}.json",
+            std::process::id()
+        ));
+        let path_s = path.to_str().unwrap().to_string();
+        let mut buf = Vec::new();
+        let events = trace(&mut buf, "vec_add", "v100", "", &path_s, true).unwrap();
+        let json = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        let back = ChromeTrace::from_json(&json).unwrap();
+        assert!(!back.trace_events.is_empty());
+        // The trace must cover every layer: submission, execution, clock
+        // changes, profiler windows, the model cache and compile phases.
+        let has = |f: fn(&EventKind) -> bool| events.iter().any(|e| f(&e.kind));
+        assert!(has(|k| matches!(k, EventKind::KernelSubmit { .. })));
+        assert!(has(|k| matches!(k, EventKind::KernelRun { .. })));
+        assert!(has(|k| matches!(k, EventKind::ClockChange { .. })));
+        assert!(has(|k| matches!(k, EventKind::ProfilerWindow { .. })));
+        assert!(has(|k| matches!(k, EventKind::ModelCache { .. })));
+        assert!(has(|k| matches!(k, EventKind::PhaseEnd { .. })));
+        // --summary printed the rendered totals after the write notice.
+        let s = String::from_utf8(buf).unwrap();
+        assert!(s.contains("wrote "));
+        assert!(s.contains("kernels"));
+    }
+
+    #[test]
+    fn trace_honours_an_explicit_target_and_stdout() {
+        use synergy_telemetry::EventKind;
+        let mut buf = Vec::new();
+        let events = trace(&mut buf, "vec_add", "v100", "ES_50", "-", false).unwrap();
+        let submits = events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::KernelSubmit { .. }))
+            .count();
+        assert_eq!(submits, 1);
+        let s = String::from_utf8(buf).unwrap();
+        assert!(s.trim_start().starts_with('{'), "stdout holds the JSON");
+    }
+
+    #[test]
+    fn trace_rejects_unknowns() {
+        let mut buf = Vec::new();
+        assert!(trace(&mut buf, "nope", "v100", "", "-", false).is_err());
+        assert!(trace(&mut buf, "vec_add", "h100", "", "-", false).is_err());
+        assert!(trace(&mut buf, "vec_add", "v100", "FASTER", "-", false).is_err());
     }
 }

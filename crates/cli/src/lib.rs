@@ -16,7 +16,10 @@
 //! * `lint <bench> [--device ...] [--json]` — run the `synergy-analyze`
 //!   diagnostics (IR, sweep and model lint families) over one benchmark;
 //! * `scaling [--gpus N] [--app cloverleaf|miniweather]` — a Figure-10
-//!   style weak-scaling run.
+//!   style weak-scaling run;
+//! * `trace <bench> [--device ...] [--target ES_50] [--out trace.json]
+//!   [--summary]` — run one benchmark through the full pipeline with
+//!   telemetry on and export a Chrome/Perfetto trace.
 
 #![warn(missing_docs)]
 
@@ -62,6 +65,20 @@ pub enum Command {
         gpus: usize,
         /// App name (`cloverleaf` or `miniweather`).
         app: String,
+    },
+    /// Trace one benchmark end to end and export a Chrome trace.
+    Trace {
+        /// Benchmark name.
+        bench: String,
+        /// Device key.
+        device: String,
+        /// Energy target to compile and submit under (e.g. `ES_50`,
+        /// `MIN_EDP`); empty = default clocks.
+        target: String,
+        /// Trace output path (`-` = stdout).
+        out: String,
+        /// Also print the human-readable telemetry summary.
+        summary: bool,
     },
     /// Print usage.
     Help,
@@ -177,6 +194,52 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Us
                 app: take_flag("--app", "cloverleaf"),
             })
         }
+        "trace" => {
+            let mut bench: Option<String> = None;
+            let mut device = "v100".to_string();
+            let mut target = String::new();
+            let mut out = "trace.json".to_string();
+            let mut summary = false;
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--summary" => summary = true,
+                    "--device" => {
+                        device = it
+                            .next()
+                            .ok_or_else(|| UsageError("--device needs a value".into()))?
+                            .clone();
+                    }
+                    "--target" => {
+                        target = it
+                            .next()
+                            .ok_or_else(|| UsageError("--target needs a value".into()))?
+                            .clone();
+                    }
+                    "--out" => {
+                        out = it
+                            .next()
+                            .ok_or_else(|| UsageError("--out needs a value".into()))?
+                            .clone();
+                    }
+                    flag if flag.starts_with("--") => {
+                        return Err(UsageError(format!("unknown trace flag `{flag}`")));
+                    }
+                    name => {
+                        if bench.is_some() {
+                            return Err(UsageError("trace takes one benchmark".into()));
+                        }
+                        bench = Some(name.to_string());
+                    }
+                }
+            }
+            Ok(Command::Trace {
+                bench: bench.ok_or_else(|| UsageError("trace needs a benchmark name".into()))?,
+                device,
+                target,
+                out,
+                summary,
+            })
+        }
         "help" | "--help" | "-h" => Ok(Command::Help),
         other => Err(UsageError(format!("unknown subcommand `{other}`"))),
     }
@@ -193,6 +256,7 @@ USAGE:
   synergy compile <bench>... [--device v100|...] [--out registry.json]
   synergy lint <bench> [--device v100|...] [--json]
   synergy scaling [--gpus N] [--app cloverleaf|miniweather]
+  synergy trace <bench> [--device v100|...] [--target ES_50] [--out trace.json] [--summary]
 ";
 
 /// Resolve a device key to its spec.
@@ -293,6 +357,39 @@ mod tests {
         assert!(parse_args(args("lint a b")).is_err());
         assert!(parse_args(args("lint vec_add --device")).is_err());
         assert!(parse_args(args("lint vec_add --frob")).is_err());
+    }
+
+    #[test]
+    fn trace_parses_flags_and_defaults() {
+        assert_eq!(
+            parse_args(args("trace sobel3")).unwrap(),
+            Command::Trace {
+                bench: "sobel3".into(),
+                device: "v100".into(),
+                target: String::new(),
+                out: "trace.json".into(),
+                summary: false
+            }
+        );
+        assert_eq!(
+            parse_args(args("trace --summary --target ES_50 mat_mul --device mi100 --out t.json"))
+                .unwrap(),
+            Command::Trace {
+                bench: "mat_mul".into(),
+                device: "mi100".into(),
+                target: "ES_50".into(),
+                out: "t.json".into(),
+                summary: true
+            }
+        );
+    }
+
+    #[test]
+    fn trace_rejects_bad_invocations() {
+        assert!(parse_args(args("trace")).is_err());
+        assert!(parse_args(args("trace a b")).is_err());
+        assert!(parse_args(args("trace vec_add --out")).is_err());
+        assert!(parse_args(args("trace vec_add --frob")).is_err());
     }
 
     #[test]

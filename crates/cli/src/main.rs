@@ -60,6 +60,15 @@ fn main() -> ExitCode {
         Command::Scaling { gpus, app } => {
             commands::scaling(&mut out, gpus, &app).map_err(|e| e.to_string())
         }
+        Command::Trace {
+            bench,
+            device,
+            target,
+            out: trace_path,
+            summary,
+        } => commands::trace(&mut out, &bench, &device, &target, &trace_path, summary)
+            .map(|_| ())
+            .map_err(|e| e.to_string()),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,

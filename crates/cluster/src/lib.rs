@@ -15,6 +15,6 @@ pub mod weak_scaling;
 pub use comm::{hops_for, CommModel};
 pub use strong_scaling::{run_strong_scaling, StrongScalingConfig};
 pub use weak_scaling::{
-    fresh_v100_ranks, run_weak_scaling, FrequencySchedule, MiniApp, ScalingOutcome,
-    WeakScalingConfig,
+    fresh_v100_ranks, run_weak_scaling, run_weak_scaling_traced, FrequencySchedule, MiniApp,
+    ScalingOutcome, WeakScalingConfig,
 };

@@ -13,11 +13,12 @@
 use crate::comm::{hops_for, CommModel};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
-use synergy_hal::{open_device, Caller, DeviceManagement};
+use synergy_hal::{open_device, Caller, DeviceManagement, InstrumentedManagement};
 use synergy_kernel::{extract, KernelIr};
 use synergy_metrics::EnergyTarget;
 use synergy_rt::TargetRegistry;
 use synergy_sim::{SimDevice, Workload};
+use synergy_telemetry::{EventKind, Recorder};
 
 /// Which mini-app to scale.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -146,6 +147,21 @@ pub fn run_weak_scaling(
     caller: Caller,
     schedule: &FrequencySchedule,
 ) -> ScalingOutcome {
+    run_weak_scaling_traced(app, cfg, devices, caller, schedule, &Recorder::disabled())
+}
+
+/// [`run_weak_scaling`] with a telemetry recorder: every management call
+/// goes through an [`InstrumentedManagement`] wrapper, and each rank's
+/// per-timestep compute window is recorded as an
+/// [`EventKind::ClusterStep`] with the rank's GPU energy for that step.
+pub fn run_weak_scaling_traced(
+    app: MiniApp,
+    cfg: &WeakScalingConfig,
+    devices: &[Arc<SimDevice>],
+    caller: Caller,
+    schedule: &FrequencySchedule,
+    recorder: &Recorder,
+) -> ScalingOutcome {
     assert_eq!(devices.len(), cfg.gpus, "one device per rank");
     let irs = app.kernel_irs();
     let infos: Vec<_> = irs.iter().map(extract).collect();
@@ -153,15 +169,19 @@ pub fn run_weak_scaling(
     let hops = hops_for(cfg.nodes());
     let halo = app.halo_bytes(cfg.local_nx, cfg.local_ny);
 
-    let mgmt: Vec<Arc<dyn DeviceManagement>> =
-        devices.iter().map(|d| open_device(Arc::clone(d))).collect();
+    let mgmt: Vec<Arc<dyn DeviceManagement>> = devices
+        .iter()
+        .map(|d| InstrumentedManagement::wrap(open_device(Arc::clone(d)), recorder.clone()))
+        .collect();
 
     let t0: Vec<u64> = devices.iter().map(|d| d.now_ns()).collect();
     let e0: f64 = devices.iter().map(|d| d.total_energy_mj()).sum::<f64>() * 1e-3;
 
-    for _step in 0..cfg.steps {
+    for step in 0..cfg.steps {
         // Compute phase on every rank.
         for (rank, dev) in devices.iter().enumerate() {
+            let step_start_ns = dev.now_ns();
+            let step_e0_mj = dev.total_energy_mj();
             for (ir, info) in irs.iter().zip(&infos) {
                 let wanted = match schedule {
                     FrequencySchedule::Default => None,
@@ -178,6 +198,13 @@ pub fn run_weak_scaling(
                 let wl = Workload::from_static(info, items);
                 dev.execute(&wl);
             }
+            recorder.record_with(dev.now_ns(), || EventKind::ClusterStep {
+                rank: rank as u32,
+                step: step as u32,
+                start_ns: step_start_ns,
+                end_ns: dev.now_ns(),
+                energy_j: (dev.total_energy_mj() - step_e0_mj) * 1e-3,
+            });
         }
         // Synchronization + halo exchange: every rank waits for the
         // slowest, then pays the transfer (single-rank runs skip it).
@@ -354,6 +381,71 @@ mod tests {
             &FrequencySchedule::Default,
         );
         assert!(out.time_s > 0.0);
+    }
+
+    #[test]
+    fn traced_run_records_every_rank_and_step() {
+        let rec = Recorder::enabled();
+        let cfg = small_cfg(2);
+        let devs = fresh_v100_ranks(2);
+        let out = run_weak_scaling_traced(
+            MiniApp::CloverLeaf,
+            &cfg,
+            &devs,
+            Caller::Root,
+            &FrequencySchedule::Default,
+            &rec,
+        );
+        let events = rec.drain();
+        let steps: Vec<(u32, u32, u64, u64, f64)> = events
+            .iter()
+            .filter_map(|e| match &e.kind {
+                EventKind::ClusterStep {
+                    rank,
+                    step,
+                    start_ns,
+                    end_ns,
+                    energy_j,
+                } => Some((*rank, *step, *start_ns, *end_ns, *energy_j)),
+                _ => None,
+            })
+            .collect();
+        // 2 ranks x 3 steps, each a non-empty window with positive energy.
+        assert_eq!(steps.len(), 6);
+        let ranks: std::collections::BTreeSet<u32> = steps.iter().map(|s| s.0).collect();
+        assert_eq!(ranks.len(), 2);
+        assert!(steps.iter().all(|s| s.3 > s.2 && s.4 > 0.0));
+        // Step compute energy is part of (but below) the run total, which
+        // also includes idle and communication windows.
+        let step_energy: f64 = steps.iter().map(|s| s.4).sum();
+        assert!(step_energy > 0.0 && step_energy <= out.energy_j + 1e-9);
+
+        let summary = synergy_telemetry::TelemetrySummary::from_events(&events, 0);
+        assert_eq!(summary.cluster_steps, 6);
+        assert_eq!(summary.cluster_ranks, 2);
+        assert!((summary.cluster_energy_j - step_energy).abs() < 1e-12);
+    }
+
+    #[test]
+    fn traced_clock_changes_surface_as_hal_calls() {
+        let rec = Recorder::enabled();
+        let cfg = small_cfg(2);
+        let devs = fresh_v100_ranks(2);
+        let clocks =
+            synergy_sim::ClockConfig::new(877, devs[0].spec().freq_table.nearest_core(900));
+        let _ = run_weak_scaling_traced(
+            MiniApp::CloverLeaf,
+            &cfg,
+            &devs,
+            Caller::Root,
+            &FrequencySchedule::Coarse(clocks),
+            &rec,
+        );
+        let summary = synergy_telemetry::TelemetrySummary::from_events(&rec.drain(), 0);
+        // One set_clocks per kernel per step per rank, all as root, all ok.
+        let kernels = MiniApp::CloverLeaf.kernel_irs().len() as u64;
+        assert_eq!(summary.hal_calls, 2 * 3 * kernels);
+        assert_eq!(summary.hal_failures, 0);
     }
 
     #[test]

@@ -18,12 +18,14 @@ pub mod error;
 pub mod mgmt;
 pub mod nvml;
 pub mod rocm;
+pub mod trace;
 
 pub use caller::Caller;
 pub use error::{HalError, HalResult};
 pub use mgmt::{open_device, DeviceManagement};
 pub use nvml::{Nvml, NvmlDevice, RestrictedApi};
 pub use rocm::{PerfLevel, RocmDevice, RocmSmi};
+pub use trace::InstrumentedManagement;
 
 #[cfg(test)]
 mod proptests {

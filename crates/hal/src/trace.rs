@@ -1,0 +1,168 @@
+//! Telemetry instrumentation over the portable management layer.
+//!
+//! [`InstrumentedManagement`] decorates any [`DeviceManagement`] handle
+//! and records one [`EventKind::HalCall`] per state-changing call
+//! (`set_clocks`, `reset_clocks`, `set_restriction`) with the caller
+//! identity and the outcome — the vendor-library traffic a production
+//! deployment would see in its NVML/SMI audit logs. Sensor reads are not
+//! recorded: they are high-frequency and carry no decision.
+//!
+//! The wrapper is only worth paying for when a recorder is live;
+//! [`InstrumentedManagement::wrap`] returns the inner handle untouched
+//! for a disabled recorder, so the default path stays one virtual call.
+
+use crate::caller::Caller;
+use crate::error::HalResult;
+use crate::mgmt::DeviceManagement;
+use std::sync::Arc;
+use synergy_sim::{ClockConfig, SimDevice};
+use synergy_telemetry::{EventKind, Recorder};
+
+/// A [`DeviceManagement`] decorator that records every state-changing
+/// management call into a telemetry [`Recorder`].
+pub struct InstrumentedManagement {
+    inner: Arc<dyn DeviceManagement>,
+    recorder: Recorder,
+}
+
+impl InstrumentedManagement {
+    /// Decorate `inner`, recording management calls into `recorder`.
+    pub fn new(inner: Arc<dyn DeviceManagement>, recorder: Recorder) -> InstrumentedManagement {
+        InstrumentedManagement { inner, recorder }
+    }
+
+    /// Decorate `inner` only when `recorder` is enabled; a disabled
+    /// recorder returns `inner` unchanged (zero overhead).
+    pub fn wrap(
+        inner: Arc<dyn DeviceManagement>,
+        recorder: Recorder,
+    ) -> Arc<dyn DeviceManagement> {
+        if recorder.is_enabled() {
+            Arc::new(InstrumentedManagement::new(inner, recorder))
+        } else {
+            inner
+        }
+    }
+
+    fn record(&self, api: &'static str, caller: Caller, ok: bool) {
+        self.recorder
+            .record_with(self.inner.raw().now_ns(), || EventKind::HalCall {
+                api: api.to_string(),
+                caller: caller.to_string(),
+                ok,
+            });
+    }
+}
+
+impl DeviceManagement for InstrumentedManagement {
+    fn name(&self) -> String {
+        self.inner.name()
+    }
+
+    fn supported_memory_clocks(&self) -> Vec<u32> {
+        self.inner.supported_memory_clocks()
+    }
+
+    fn supported_core_clocks(&self) -> Vec<u32> {
+        self.inner.supported_core_clocks()
+    }
+
+    fn set_clocks(&self, caller: Caller, clocks: ClockConfig) -> HalResult<()> {
+        let result = self.inner.set_clocks(caller, clocks);
+        self.record("set_clocks", caller, result.is_ok());
+        result
+    }
+
+    fn reset_clocks(&self, caller: Caller) -> HalResult<()> {
+        let result = self.inner.reset_clocks(caller);
+        self.record("reset_clocks", caller, result.is_ok());
+        result
+    }
+
+    fn set_restriction(&self, caller: Caller, restricted: bool) -> HalResult<()> {
+        let result = self.inner.set_restriction(caller, restricted);
+        self.record("set_restriction", caller, result.is_ok());
+        result
+    }
+
+    fn restricted(&self) -> bool {
+        self.inner.restricted()
+    }
+
+    fn power_usage_w(&self) -> f64 {
+        self.inner.power_usage_w()
+    }
+
+    fn total_energy_j(&self) -> f64 {
+        self.inner.total_energy_j()
+    }
+
+    fn raw(&self) -> &Arc<SimDevice> {
+        self.inner.raw()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mgmt::open_device;
+    use synergy_sim::DeviceSpec;
+
+    #[test]
+    fn wrap_is_identity_for_disabled_recorders() {
+        let inner = open_device(SimDevice::new(DeviceSpec::v100(), 0));
+        let wrapped = InstrumentedManagement::wrap(Arc::clone(&inner), Recorder::disabled());
+        assert!(Arc::ptr_eq(&wrapped, &inner));
+    }
+
+    #[test]
+    fn calls_are_recorded_with_caller_and_outcome() {
+        let rec = Recorder::enabled();
+        let dev = InstrumentedManagement::wrap(
+            open_device(SimDevice::new(DeviceSpec::v100(), 0)),
+            rec.clone(),
+        );
+        // Restricted device: the user call fails, the root calls succeed.
+        let cfg = ClockConfig::new(877, dev.supported_core_clocks()[0]);
+        let _ = dev.set_clocks(Caller::User(1000), cfg);
+        dev.set_clocks(Caller::Root, cfg).unwrap();
+        dev.reset_clocks(Caller::Root).unwrap();
+        dev.set_restriction(Caller::Root, false).unwrap();
+        // Sensor reads must not generate events.
+        let _ = dev.power_usage_w();
+        let _ = dev.total_energy_j();
+
+        let events = rec.drain();
+        assert_eq!(events.len(), 4);
+        let calls: Vec<(String, String, bool)> = events
+            .iter()
+            .map(|e| match &e.kind {
+                EventKind::HalCall { api, caller, ok } => {
+                    (api.clone(), caller.clone(), *ok)
+                }
+                other => panic!("unexpected event {other:?}"),
+            })
+            .collect();
+        assert_eq!(calls[0], ("set_clocks".into(), "uid 1000".into(), false));
+        assert_eq!(calls[1], ("set_clocks".into(), "root".into(), true));
+        assert_eq!(calls[2], ("reset_clocks".into(), "root".into(), true));
+        assert_eq!(calls[3], ("set_restriction".into(), "root".into(), true));
+        // Virtual timestamps follow the device timeline (clock changes
+        // cost virtual time).
+        assert!(events.windows(2).all(|w| w[0].ts_virtual_ns <= w[1].ts_virtual_ns));
+    }
+
+    #[test]
+    fn summary_counts_hal_failures() {
+        let rec = Recorder::enabled();
+        let dev = InstrumentedManagement::wrap(
+            open_device(SimDevice::new(DeviceSpec::mi100(), 0)),
+            rec.clone(),
+        );
+        let cfg = ClockConfig::new(1200, dev.supported_core_clocks()[0]);
+        let _ = dev.set_clocks(Caller::User(7), cfg); // restricted → fails
+        dev.set_clocks(Caller::Root, cfg).unwrap();
+        let s = rec.summary();
+        assert_eq!((s.hal_calls, s.hal_failures), (2, 1));
+    }
+}

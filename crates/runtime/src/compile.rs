@@ -18,11 +18,34 @@
 
 use crate::registry::TargetRegistry;
 use rayon::prelude::*;
+use std::time::Instant;
 use synergy_analyze::{LintRegistry, Report};
 use synergy_kernel::{extract, KernelIr, KernelStaticInfo, MicroBenchmark, NUM_FEATURES};
 use synergy_metrics::{EnergyTarget, IndexedSweep, MetricPoint};
 use synergy_ml::{MetricModels, ModelSelection, SweepSample};
 use synergy_sim::{evaluate, ClockConfig, DeviceSpec, Workload};
+use synergy_telemetry::{EventKind, Phase, Recorder};
+
+/// Record one compile-pipeline phase: wall-time it around `f` and emit a
+/// [`EventKind::PhaseEnd`] (at virtual time 0 — pipeline phases run on the
+/// host, not on any device timeline).
+fn timed_phase<T>(
+    recorder: &Recorder,
+    phase: Phase,
+    detail: &str,
+    items: impl FnOnce(&T) -> u64,
+    f: impl FnOnce() -> T,
+) -> T {
+    let t0 = Instant::now();
+    let out = f();
+    recorder.record_with(0, || EventKind::PhaseEnd {
+        phase,
+        wall_dur_ns: t0.elapsed().as_nanos() as u64,
+        items: items(&out),
+        detail: detail.to_string(),
+    });
+    out
+}
 
 /// Shared per-kernel context for one sweep: the workload and the
 /// default-clock normalizers, computed once, sampled at many clocks.
@@ -148,12 +171,41 @@ pub fn train_device_models(
     stride: usize,
     seed: u64,
 ) -> MetricModels {
-    let samples = build_training_set(spec, suite, stride);
-    MetricModels::train(
-        selection,
-        &samples,
-        spec.freq_table.max_core() as f64,
-        seed,
+    train_device_models_traced(spec, suite, selection, stride, seed, &Recorder::disabled())
+}
+
+/// [`train_device_models`] with a telemetry recorder: the sweep and the
+/// model fit are wall-timed and recorded as `sweep` and `train`
+/// [`EventKind::PhaseEnd`] events tagged with the device name.
+pub fn train_device_models_traced(
+    spec: &DeviceSpec,
+    suite: &[MicroBenchmark],
+    selection: ModelSelection,
+    stride: usize,
+    seed: u64,
+    recorder: &Recorder,
+) -> MetricModels {
+    let samples = timed_phase(
+        recorder,
+        Phase::Sweep,
+        &spec.name,
+        |s: &Vec<SweepSample>| s.len() as u64,
+        || build_training_set(spec, suite, stride),
+    );
+    let n_samples = samples.len() as u64;
+    timed_phase(
+        recorder,
+        Phase::Train,
+        &spec.name,
+        |_| n_samples,
+        || {
+            MetricModels::train(
+                selection,
+                &samples,
+                spec.freq_table.max_core() as f64,
+                seed,
+            )
+        },
     )
 }
 
@@ -248,25 +300,54 @@ pub fn compile_application_with_lints(
     targets: &[EnergyTarget],
     lints: &LintRegistry,
 ) -> Result<TargetRegistry, CompileError> {
+    compile_application_traced(spec, models, kernels, targets, lints, &Recorder::disabled())
+}
+
+/// [`compile_application_with_lints`] with a telemetry recorder: feature
+/// extraction and the predict-and-search pass are wall-timed and recorded
+/// as `extract` and `select` [`EventKind::PhaseEnd`] events.
+pub fn compile_application_traced(
+    spec: &DeviceSpec,
+    models: &MetricModels,
+    kernels: &[KernelIr],
+    targets: &[EnergyTarget],
+    lints: &LintRegistry,
+    recorder: &Recorder,
+) -> Result<TargetRegistry, CompileError> {
     let baseline = spec.baseline_clocks();
     let mut report = lints.check_models(models, spec, NUM_FEATURES);
-    let decisions: Vec<(String, Report, Vec<(EnergyTarget, ClockConfig)>)> = kernels
-        .par_iter()
-        .map(|ir| {
-            let mut rep = lints.check_kernel(ir);
-            let info = extract(ir);
-            let points = predict_sweep_from_info(spec, models, &info);
-            rep.merge(lints.check_sweep(&points, baseline, targets));
-            let sweep = IndexedSweep::new(points);
-            let per_target: Vec<(EnergyTarget, ClockConfig)> = targets
-                .iter()
-                .filter_map(|&target| {
-                    sweep.search(target, baseline).map(|p| (target, p.clocks))
+    let infos = timed_phase(
+        recorder,
+        Phase::Extract,
+        &spec.name,
+        |i: &Vec<KernelStaticInfo>| i.len() as u64,
+        || kernels.par_iter().map(extract).collect(),
+    );
+    let decisions: Vec<(String, Report, Vec<(EnergyTarget, ClockConfig)>)> = timed_phase(
+        recorder,
+        Phase::Select,
+        &spec.name,
+        |_| (kernels.len() * targets.len()) as u64,
+        || {
+            kernels
+                .par_iter()
+                .zip(infos.par_iter())
+                .map(|(ir, info)| {
+                    let mut rep = lints.check_kernel(ir);
+                    let points = predict_sweep_from_info(spec, models, info);
+                    rep.merge(lints.check_sweep(&points, baseline, targets));
+                    let sweep = IndexedSweep::new(points);
+                    let per_target: Vec<(EnergyTarget, ClockConfig)> = targets
+                        .iter()
+                        .filter_map(|&target| {
+                            sweep.search(target, baseline).map(|p| (target, p.clocks))
+                        })
+                        .collect();
+                    (ir.name.clone(), rep, per_target)
                 })
-                .collect();
-            (ir.name.clone(), rep, per_target)
-        })
-        .collect();
+                .collect()
+        },
+    );
     let mut registry = TargetRegistry::new();
     for (name, rep, per_target) in decisions {
         report.merge(rep.prefixed(&name));
@@ -436,6 +517,64 @@ mod tests {
             .lookup("compute_heavy", EnergyTarget::MinEnergy)
             .unwrap();
         assert!(fast.core_mhz >= thrifty.core_mhz);
+    }
+
+    #[test]
+    fn traced_pipeline_emits_all_four_phases() {
+        let spec = DeviceSpec::v100();
+        let suite = small_suite();
+        let rec = Recorder::enabled();
+        let models = train_device_models_traced(
+            &spec,
+            &suite[..4],
+            ModelSelection::uniform(Algorithm::Linear),
+            16,
+            0,
+            &rec,
+        );
+        let registry = compile_application_traced(
+            &spec,
+            &models,
+            &[test_kernel()],
+            &[EnergyTarget::MinEnergy],
+            &LintRegistry::with_builtin(),
+            &rec,
+        )
+        .expect("clean inputs compile");
+        assert_eq!(registry.len(), 1);
+
+        let phases: Vec<(Phase, u64, String)> = rec
+            .drain()
+            .into_iter()
+            .filter_map(|e| match e.kind {
+                EventKind::PhaseEnd { phase, items, detail, .. } => {
+                    Some((phase, items, detail))
+                }
+                _ => None,
+            })
+            .collect();
+        let order: Vec<Phase> = phases.iter().map(|p| p.0).collect();
+        assert_eq!(
+            order,
+            vec![Phase::Sweep, Phase::Train, Phase::Extract, Phase::Select]
+        );
+        // 196 clocks / 16 stride = 13 samples per micro-benchmark.
+        assert_eq!(phases[0].1, 4 * 13);
+        assert_eq!(phases[1].1, 4 * 13);
+        assert_eq!(phases[2].1, 1, "one kernel extracted");
+        assert_eq!(phases[3].1, 1, "one kernel x one target selected");
+        assert!(phases.iter().all(|p| p.2 == spec.name));
+
+        // The untraced entry points are the traced ones with a disabled
+        // recorder — value-identical output.
+        let direct = train_device_models(
+            &spec,
+            &suite[..4],
+            ModelSelection::uniform(Algorithm::Linear),
+            16,
+            0,
+        );
+        assert_eq!(models, direct);
     }
 
     #[test]

@@ -108,6 +108,18 @@ impl Event {
         st.status = EventStatus::Complete;
         cvar.notify_all();
     }
+
+    /// Terminate the event without an execution record — the submission
+    /// never reached the device (e.g. the queue worker is gone). Waiters
+    /// are released; `execution()` stays `None` and `wait_and_throw`
+    /// surfaces `error`.
+    pub(crate) fn fail(&self, error: HalError) {
+        let (lock, cvar) = &*self.inner;
+        let mut st = lock.lock();
+        st.clock_set_error = Some(error);
+        st.status = EventStatus::Complete;
+        cvar.notify_all();
+    }
 }
 
 #[cfg(test)]
@@ -168,6 +180,16 @@ mod tests {
         let ok = Event::new();
         ok.complete(record());
         assert!(ok.wait_and_throw().is_ok());
+    }
+
+    #[test]
+    fn failed_event_releases_waiters_without_a_record() {
+        let e = Event::new();
+        e.fail(HalError::Uninitialized);
+        e.wait();
+        assert_eq!(e.status(), EventStatus::Complete);
+        assert!(e.execution().is_none());
+        assert_eq!(e.wait_and_throw().unwrap_err(), HalError::Uninitialized);
     }
 
     #[test]

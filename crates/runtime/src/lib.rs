@@ -30,14 +30,15 @@ pub mod store;
 pub use buffer::{Accessor, Buffer};
 pub use compile::{
     baseline_clocks, build_training_set, build_training_set_serial, compile_application,
-    compile_application_with_lints, measured_sweep, measured_sweep_from_info,
-    measured_sweep_serial, predict_sweep, predict_sweep_from_info, sweep_samples,
-    sweep_samples_from_info, sweep_samples_serial, train_device_models, CompileError,
+    compile_application_traced, compile_application_with_lints, measured_sweep,
+    measured_sweep_from_info, measured_sweep_serial, predict_sweep, predict_sweep_from_info,
+    sweep_samples, sweep_samples_from_info, sweep_samples_serial, train_device_models,
+    train_device_models_traced, CompileError,
 };
 pub use event::{Event, EventStatus};
 pub use handler::Handler;
-pub use profiler::{KernelProfiler, ProfileReport};
-pub use queue::{Queue, QueueBuilder};
+pub use profiler::{KernelProfiler, ProfileReport, ProfilerError};
+pub use queue::{Queue, QueueBuilder, QueueError};
 pub use registry::TargetRegistry;
 pub use store::{default_cache_dir, CacheStats, ModelKey, ModelStore, CACHE_FORMAT_VERSION};
 

@@ -6,12 +6,46 @@
 //! and, once the kernel completes, reads the power samples covering its
 //! execution window (at the board's sensor interval, with sensor noise)
 //! and integrates them into the measured energy.
+//!
+//! The poll sleep is derived from the board's power-sensor interval
+//! ([`KernelProfiler::poll_interval_ns`]) rather than hard-coded: polling
+//! much faster than the sensor updates buys nothing, polling much slower
+//! misses short kernels. Each measurement window can be recorded into a
+//! telemetry [`Recorder`] ([`KernelProfiler::start_with`]), including the
+//! configured interval and the poll cadence actually achieved.
 
 use crate::event::{Event, EventStatus};
+use std::fmt;
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
-use synergy_sim::{PowerTrace, SimDevice};
+use std::time::{Duration, Instant};
+use synergy_sim::{DeviceSpec, PowerTrace, SimDevice};
+use synergy_telemetry::{EventKind, Recorder};
+
+/// How many status polls should fit into one power-sensor interval: the
+/// poller needs to notice completion well within a sample period so the
+/// window boundaries are sharp, without busy-spinning.
+const POLLS_PER_SAMPLE_INTERVAL: u64 = 300;
+
+/// Lower clamp for the derived poll sleep (ns) — below this the poller is
+/// effectively a spin loop.
+const MIN_POLL_INTERVAL_NS: u64 = 10_000;
+
+/// Upper clamp for the derived poll sleep (ns) — above this short kernels
+/// would complete entirely between two polls.
+const MAX_POLL_INTERVAL_NS: u64 = 1_000_000;
+
+/// The profiler's polling thread panicked (it never produced a report).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProfilerError(pub String);
+
+impl fmt::Display for ProfilerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "profiler thread panicked: {}", self.0)
+    }
+}
+
+impl std::error::Error for ProfilerError {}
 
 /// A handle to an in-flight asynchronous kernel-energy measurement.
 pub struct KernelProfiler {
@@ -29,6 +63,12 @@ pub struct ProfileReport {
     pub samples: usize,
     /// How many poll iterations saw the kernel still incomplete.
     pub polls_while_running: usize,
+    /// The configured sleep between status polls, wall nanoseconds
+    /// (derived from the board's power-sensor interval).
+    pub poll_interval_ns: u64,
+    /// Mean wall time between polls actually achieved (0 when the kernel
+    /// was already complete at the first poll).
+    pub poll_cadence_ns: u64,
 }
 
 impl ProfileReport {
@@ -43,35 +83,87 @@ impl ProfileReport {
 }
 
 impl KernelProfiler {
+    /// The poll sleep used on a board: the power-sensor interval divided
+    /// by [`POLLS_PER_SAMPLE_INTERVAL`], clamped to
+    /// `[`[`MIN_POLL_INTERVAL_NS`]`, `[`MAX_POLL_INTERVAL_NS`]`]`. For
+    /// every current spec (15 ms sensors) this is 50 µs — the value that
+    /// used to be hard-coded.
+    pub fn poll_interval_ns(spec: &DeviceSpec) -> u64 {
+        (spec.power_sample_interval_ns / POLLS_PER_SAMPLE_INTERVAL)
+            .clamp(MIN_POLL_INTERVAL_NS, MAX_POLL_INTERVAL_NS)
+    }
+
     /// Start profiling `event` on `device`. The returned handle joins to
     /// the report once the kernel completes.
     pub fn start(device: Arc<SimDevice>, event: Event) -> KernelProfiler {
+        KernelProfiler::start_with(device, event, Recorder::disabled())
+    }
+
+    /// [`KernelProfiler::start`] with a telemetry recorder: the completed
+    /// measurement window is recorded as one
+    /// [`EventKind::ProfilerWindow`] event, timestamped at the window's
+    /// end on the device's virtual timeline.
+    pub fn start_with(device: Arc<SimDevice>, event: Event, recorder: Recorder) -> KernelProfiler {
         let handle = std::thread::spawn(move || {
+            let poll_interval_ns = KernelProfiler::poll_interval_ns(device.spec());
+            let poll_start = Instant::now();
             let mut polls = 0usize;
             // Poll the kernel status, as the paper's profiling thread does.
             while event.status() != EventStatus::Complete {
                 polls += 1;
-                std::thread::sleep(Duration::from_micros(50));
+                std::thread::sleep(Duration::from_nanos(poll_interval_ns));
             }
+            // Mean wall time per poll actually achieved — sleep overshoot
+            // and scheduling noise make this larger than the configured
+            // interval; the trace records both.
+            let poll_cadence_ns = if polls > 0 {
+                (poll_start.elapsed().as_nanos() as u64) / polls as u64
+            } else {
+                0
+            };
             let rec = event.execution().expect("event completed");
             let interval = device.spec().power_sample_interval_ns;
             let trace = device.trace_snapshot();
             let noise = device.noise();
             let samples = trace.sample(rec.start_ns, rec.end_ns, interval, Some(&noise));
             let measured = PowerTrace::sampled_energy_j(&samples, interval, rec.end_ns);
+            recorder.record_with(rec.end_ns, || EventKind::ProfilerWindow {
+                kernel: rec.name.clone(),
+                start_ns: rec.start_ns,
+                end_ns: rec.end_ns,
+                polls: polls as u64,
+                samples: samples.len() as u64,
+                measured_j: measured,
+                exact_j: rec.energy_j,
+                poll_interval_ns,
+                poll_cadence_ns,
+            });
             ProfileReport {
                 measured_energy_j: measured,
                 exact_energy_j: rec.energy_j,
                 samples: samples.len(),
                 polls_while_running: polls,
+                poll_interval_ns,
+                poll_cadence_ns,
             }
         });
         KernelProfiler { handle }
     }
 
-    /// Wait for the measurement.
-    pub fn join(self) -> ProfileReport {
-        self.handle.join().expect("profiler thread completes")
+    /// Wait for the measurement. A panicking profiler thread (e.g. the
+    /// event was dropped without completing) surfaces as a
+    /// [`ProfilerError`] instead of poisoning the caller.
+    pub fn join(self) -> Result<ProfileReport, ProfilerError> {
+        self.handle.join().map_err(|panic| {
+            let msg = if let Some(s) = panic.downcast_ref::<&str>() {
+                (*s).to_string()
+            } else if let Some(s) = panic.downcast_ref::<String>() {
+                s.clone()
+            } else {
+                "unknown panic payload".to_string()
+            };
+            ProfilerError(msg)
+        })
     }
 }
 
@@ -93,7 +185,7 @@ mod tests {
             .build("profiled");
         let ev = q.submit(|h| h.parallel_for_modeled(1 << 24, &ir));
         let profiler = KernelProfiler::start(Arc::clone(&dev), ev.clone());
-        let report = profiler.join();
+        let report = profiler.join().unwrap();
         let post_hoc = q.kernel_energy_consumption(&ev);
         assert_eq!(report.measured_energy_j, post_hoc);
         assert!(report.exact_energy_j > 0.0);
@@ -110,7 +202,7 @@ mod tests {
             .ops(Inst::GlobalStore, 1)
             .build("long");
         let ev = q.submit(|h| h.parallel_for_modeled(1 << 24, &ir));
-        let report = KernelProfiler::start(dev, ev).join();
+        let report = KernelProfiler::start(dev, ev).join().unwrap();
         assert!(
             report.relative_error() < 0.05,
             "error {}",
@@ -137,7 +229,7 @@ mod tests {
                 std::hint::black_box(acc);
             });
         });
-        let report = KernelProfiler::start(dev, ev).join();
+        let report = KernelProfiler::start(dev, ev).join().unwrap();
         assert!(report.exact_energy_j > 0.0);
         // polls_while_running is best-effort (scheduling dependent) — the
         // report itself proves the thread ran to completion either way.
@@ -159,8 +251,80 @@ mod tests {
             })
             .collect();
         for p in profilers {
-            let r = p.join();
+            let r = p.join().unwrap();
             assert!(r.measured_energy_j > 0.0);
         }
+    }
+
+    #[test]
+    fn poll_interval_derives_from_the_sensor_interval() {
+        let mut spec = DeviceSpec::v100();
+        // 15 ms sensor / 300 = the historical 50 µs.
+        assert_eq!(KernelProfiler::poll_interval_ns(&spec), 50_000);
+        // A (hypothetical) 1 µs sensor clamps at the 10 µs floor.
+        spec.power_sample_interval_ns = 1_000;
+        assert_eq!(KernelProfiler::poll_interval_ns(&spec), MIN_POLL_INTERVAL_NS);
+        // A 10 s sensor clamps at the 1 ms ceiling.
+        spec.power_sample_interval_ns = 10_000_000_000;
+        assert_eq!(KernelProfiler::poll_interval_ns(&spec), MAX_POLL_INTERVAL_NS);
+        // Every shipped spec uses 15 ms sensors today.
+        for s in [
+            DeviceSpec::a100(),
+            DeviceSpec::mi100(),
+            DeviceSpec::titan_x(),
+        ] {
+            assert_eq!(KernelProfiler::poll_interval_ns(&s), 50_000);
+        }
+    }
+
+    #[test]
+    fn profiler_window_lands_in_the_trace() {
+        let rec = Recorder::enabled();
+        let dev = SimDevice::new(DeviceSpec::v100(), 0);
+        let q = Queue::new(Arc::clone(&dev));
+        let ir = IrBuilder::new()
+            .ops(Inst::GlobalLoad, 1)
+            .loop_n(1 << 14, |b| b.ops(Inst::FloatMul, 1))
+            .ops(Inst::GlobalStore, 1)
+            .build("traced");
+        let ev = q.submit(|h| h.parallel_for_modeled(1 << 22, &ir));
+        let report = KernelProfiler::start_with(dev, ev.clone(), rec.clone())
+            .join()
+            .unwrap();
+        let window = rec
+            .drain()
+            .into_iter()
+            .find_map(|e| match e.kind {
+                EventKind::ProfilerWindow {
+                    kernel,
+                    polls,
+                    samples,
+                    measured_j,
+                    exact_j,
+                    poll_interval_ns,
+                    ..
+                } => Some((kernel, polls, samples, measured_j, exact_j, poll_interval_ns)),
+                _ => None,
+            })
+            .expect("a ProfilerWindow event");
+        assert_eq!(window.0, "traced");
+        assert_eq!(window.1, report.polls_while_running as u64);
+        assert_eq!(window.2, report.samples as u64);
+        assert_eq!(window.3, report.measured_energy_j);
+        assert_eq!(window.4, report.exact_energy_j);
+        assert_eq!(window.5, 50_000);
+    }
+
+    #[test]
+    fn join_surfaces_profiler_panics_as_errors() {
+        // An event that completes without a record makes the profiler
+        // thread panic on `execution().expect(...)`; join must return Err
+        // rather than propagate the panic.
+        let dev = SimDevice::new(DeviceSpec::v100(), 0);
+        let ev = Event::new();
+        let profiler = KernelProfiler::start(dev, ev.clone());
+        ev.fail(synergy_hal::HalError::Uninitialized);
+        let err = profiler.join().unwrap_err();
+        assert!(err.to_string().contains("profiler thread panicked"));
     }
 }

@@ -23,12 +23,36 @@ use crate::event::Event;
 use crate::handler::{CommandGroup, Handler};
 use crate::registry::TargetRegistry;
 use crossbeam::channel::{unbounded, Sender};
+use std::fmt;
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use synergy_hal::{open_device, Caller, DeviceManagement};
+use synergy_hal::{open_device, Caller, DeviceManagement, HalError, InstrumentedManagement};
 use synergy_kernel::extract;
 use synergy_metrics::EnergyTarget;
 use synergy_sim::{ClockConfig, PowerTrace, SimDevice, Workload};
+use synergy_telemetry::{Clocks, EventKind, Recorder};
+
+/// Errors from the queue's worker lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueueError {
+    /// The worker thread panicked (a host closure blew up); queued
+    /// submissions after the panic were failed, not run.
+    WorkerPanicked,
+}
+
+impl fmt::Display for QueueError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueueError::WorkerPanicked => write!(f, "queue worker thread panicked"),
+        }
+    }
+}
+
+impl std::error::Error for QueueError {}
+
+fn tele_clocks(c: ClockConfig) -> Clocks {
+    Clocks::new(c.mem_mhz, c.core_mhz)
+}
 
 /// How a submission wants its clocks handled.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -57,6 +81,7 @@ struct QueueShared {
     fixed_clocks: Option<ClockConfig>,
     start_energy_j: f64,
     kernel_log: parking_lot::Mutex<Vec<synergy_sim::KernelExecution>>,
+    telemetry: Recorder,
 }
 
 /// An in-order, energy-aware queue onto one device.
@@ -72,6 +97,7 @@ pub struct QueueBuilder {
     caller: Caller,
     fixed_clocks: Option<ClockConfig>,
     registry: Option<Arc<TargetRegistry>>,
+    telemetry: Recorder,
 }
 
 impl QueueBuilder {
@@ -95,9 +121,19 @@ impl QueueBuilder {
         self
     }
 
+    /// Record this queue's activity (submissions, clock changes, kernel
+    /// completions, management calls) into `recorder`. The default is the
+    /// disabled recorder, which costs one branch per would-be event.
+    pub fn telemetry(mut self, recorder: Recorder) -> Self {
+        self.telemetry = recorder;
+        self
+    }
+
     /// Construct the queue and start its worker.
     pub fn build(self) -> Queue {
-        let mgmt = open_device(self.device);
+        // With a live recorder the management handle is decorated so HAL
+        // calls land in the trace too; disabled recorders skip the wrapper.
+        let mgmt = InstrumentedManagement::wrap(open_device(self.device), self.telemetry.clone());
         let shared = Arc::new(QueueShared {
             start_energy_j: mgmt.total_energy_j(),
             mgmt,
@@ -105,6 +141,7 @@ impl QueueBuilder {
             registry: self.registry,
             fixed_clocks: self.fixed_clocks,
             kernel_log: parking_lot::Mutex::new(Vec::new()),
+            telemetry: self.telemetry,
         });
         let (tx, rx) = unbounded::<Msg>();
         let worker_shared = Arc::clone(&shared);
@@ -153,13 +190,31 @@ fn run_one(shared: &QueueShared, group: CommandGroup, clocks: ClockRequest, even
         }
     };
     if let Some(cfg) = wanted {
-        if let Err(e) = shared.mgmt.set_clocks(shared.caller, cfg) {
+        let dev = shared.mgmt.raw();
+        let before = dev.effective_clocks();
+        let t0 = dev.now_ns();
+        let result = shared.mgmt.set_clocks(shared.caller, cfg);
+        shared.telemetry.record_with(dev.now_ns(), || EventKind::ClockChange {
+            from: tele_clocks(before),
+            to: tele_clocks(cfg),
+            latency_ns: dev.now_ns() - t0,
+            ok: result.is_ok(),
+            error: result.as_ref().err().map(|e| e.to_string()),
+        });
+        if let Err(e) = result {
             event.set_clock_error(e);
         }
     }
     let info = extract(&group.ir);
     let wl = Workload::from_static(&info, group.work_items);
     let record = shared.mgmt.raw().execute(&wl);
+    shared.telemetry.record_with(record.end_ns, || EventKind::KernelRun {
+        kernel: record.name.clone(),
+        start_ns: record.start_ns,
+        end_ns: record.end_ns,
+        energy_j: record.energy_j,
+        clocks: tele_clocks(record.clocks),
+    });
     shared.kernel_log.lock().push(record.clone());
     if let Some(host) = group.host {
         host();
@@ -175,6 +230,7 @@ impl Queue {
             caller: Caller::User(1000),
             fixed_clocks: None,
             registry: None,
+            telemetry: Recorder::disabled(),
         }
     }
 
@@ -221,27 +277,53 @@ impl Queue {
             host: None,
         });
         let event = Event::new();
-        self.sender
-            .as_ref()
-            .expect("queue is live")
-            .send(Msg::Run {
+        self.shared
+            .telemetry
+            .record_with(self.shared.mgmt.raw().now_ns(), || EventKind::KernelSubmit {
+                kernel: group.ir.name.clone(),
+                work_items: group.work_items,
+            });
+        let sent = self.sender.as_ref().is_some_and(|tx| {
+            tx.send(Msg::Run {
                 group,
                 clocks,
                 event: event.clone(),
             })
-            .expect("worker is live");
+            .is_ok()
+        });
+        if !sent {
+            // The worker is gone (it panicked, or the queue was closed):
+            // terminate the event so waiters do not hang, instead of
+            // panicking the submitting thread. `close()` reports the
+            // underlying worker failure.
+            event.fail(HalError::Uninitialized);
+        }
         event
     }
 
-    /// Block until every previously submitted command has completed.
+    /// Block until every previously submitted command has completed. A
+    /// no-op when the worker is gone (nothing can still be in flight).
     pub fn wait(&self) {
         let (ack_tx, ack_rx) = unbounded();
-        self.sender
+        let sent = self
+            .sender
             .as_ref()
-            .expect("queue is live")
-            .send(Msg::Flush(ack_tx))
-            .expect("worker is live");
-        let _ = ack_rx.recv();
+            .is_some_and(|tx| tx.send(Msg::Flush(ack_tx)).is_ok());
+        if sent {
+            let _ = ack_rx.recv();
+        }
+    }
+
+    /// Shut the queue down after draining it, surfacing a worker panic as
+    /// an error — the graceful counterpart of `Drop` (which swallows it).
+    /// Idempotent: closing an already-closed queue reports the first
+    /// outcome's success/failure only once; later calls return `Ok`.
+    pub fn close(&mut self) -> Result<(), QueueError> {
+        self.sender.take();
+        match self.worker.take() {
+            Some(w) => w.join().map_err(|_| QueueError::WorkerPanicked),
+            None => Ok(()),
+        }
     }
 
     /// Coarse-grained profiling: device energy (joules) consumed since this
@@ -310,10 +392,8 @@ impl Drop for Queue {
     fn drop(&mut self) {
         // Closing the channel stops the worker after it drains the queue —
         // the coarse profiling window of Section 4.2 ends at destruction.
-        self.sender.take();
-        if let Some(w) = self.worker.take() {
-            let _ = w.join();
-        }
+        // A worker panic is swallowed here; call `close()` to observe it.
+        let _ = self.close();
     }
 }
 
@@ -501,6 +581,123 @@ mod tests {
         assert!(events.len() >= 3);
         assert!(events.iter().any(|e| e["name"] == "saxpy"));
         assert!(events.iter().any(|e| e["name"] == "board_power"));
+    }
+
+    #[test]
+    fn telemetry_records_the_full_kernel_lifecycle() {
+        let rec = Recorder::enabled();
+        let dev = SimDevice::new(DeviceSpec::v100(), 0);
+        dev.set_api_restriction(false);
+        let q = Queue::builder(Arc::clone(&dev))
+            .telemetry(rec.clone())
+            .build();
+        let ir = saxpy_ir();
+        let e = q.submit_with_frequency(877, 135, |h| h.parallel_for_modeled(1 << 16, &ir));
+        e.wait_and_throw().unwrap();
+        q.wait();
+
+        let events = rec.snapshot();
+        let kinds: Vec<&str> = events.iter().map(|e| e.kind.track()).collect();
+        assert!(kinds.contains(&"kernels"), "kinds: {kinds:?}");
+        assert!(kinds.contains(&"clocks"), "kinds: {kinds:?}");
+        assert!(kinds.contains(&"hal"), "kinds: {kinds:?}");
+        // The submit instant precedes the run, and the run window matches
+        // the execution record exactly.
+        let rec_exec = e.execution().unwrap();
+        let run = events
+            .iter()
+            .find_map(|ev| match &ev.kind {
+                EventKind::KernelRun { kernel, start_ns, end_ns, energy_j, clocks } => {
+                    Some((kernel.clone(), *start_ns, *end_ns, *energy_j, *clocks))
+                }
+                _ => None,
+            })
+            .expect("a KernelRun event");
+        assert_eq!(run.0, "saxpy");
+        assert_eq!((run.1, run.2), (rec_exec.start_ns, rec_exec.end_ns));
+        assert_eq!(run.3, rec_exec.energy_j);
+        assert_eq!(run.4, Clocks::new(877, 135));
+        let change = events
+            .iter()
+            .find_map(|ev| match &ev.kind {
+                EventKind::ClockChange { to, latency_ns, ok, .. } => {
+                    Some((*to, *latency_ns, *ok))
+                }
+                _ => None,
+            })
+            .expect("a ClockChange event");
+        assert_eq!(change.0, Clocks::new(877, 135));
+        assert!(change.2, "root-free device: change succeeds");
+        assert!(change.1 > 0, "clock changes cost virtual time");
+        let s = rec.summary();
+        assert_eq!((s.kernel_submits, s.kernels, s.clock_changes), (1, 1, 1));
+        assert!(s.hal_calls >= 1);
+    }
+
+    #[test]
+    fn failed_clock_changes_are_traced_with_their_error() {
+        let rec = Recorder::enabled();
+        // Restricted device + unprivileged caller: the change must fail.
+        let dev = SimDevice::new(DeviceSpec::v100(), 0);
+        let q = Queue::builder(dev).telemetry(rec.clone()).build();
+        let ir = saxpy_ir();
+        let e = q.submit_with_frequency(877, 135, |h| h.parallel_for_modeled(1 << 12, &ir));
+        assert!(e.wait_and_throw().is_err());
+        let change = rec
+            .snapshot()
+            .into_iter()
+            .find_map(|ev| match ev.kind {
+                EventKind::ClockChange { ok, error, latency_ns, .. } => {
+                    Some((ok, error, latency_ns))
+                }
+                _ => None,
+            })
+            .expect("a ClockChange event");
+        assert!(!change.0);
+        assert!(change.1.unwrap().contains("permission"));
+        assert_eq!(change.2, 0, "failed calls cost no switch latency");
+        assert_eq!(rec.summary().clock_change_failures, 1);
+    }
+
+    #[test]
+    fn untraced_queue_records_nothing() {
+        let dev = SimDevice::new(DeviceSpec::v100(), 0);
+        let q = Queue::new(dev);
+        let ir = saxpy_ir();
+        q.submit(|h| h.parallel_for_modeled(1 << 12, &ir)).wait();
+        // Nothing to assert on a disabled recorder beyond construction
+        // succeeding — the default builder has no recorder attached at all.
+        assert!(!Recorder::default().is_enabled());
+    }
+
+    #[test]
+    fn close_surfaces_worker_panics_and_later_submits_fail_cleanly() {
+        let dev = SimDevice::new(DeviceSpec::v100(), 0);
+        let mut q = Queue::new(dev);
+        let ir = saxpy_ir();
+        // A host closure that panics kills the worker thread.
+        let _boom = q.submit(|h| {
+            h.parallel_for(16, &ir, |_| panic!("host bug"));
+        });
+        assert_eq!(q.close(), Err(QueueError::WorkerPanicked));
+        assert_eq!(q.close(), Ok(()), "second close is idempotent");
+        // Submissions and waits after the worker died degrade gracefully:
+        // no panic, no hang — the event completes with an error.
+        let e = q.submit(|h| h.parallel_for_modeled(16, &ir));
+        e.wait();
+        assert!(e.execution().is_none());
+        assert_eq!(e.wait_and_throw().unwrap_err(), HalError::Uninitialized);
+        q.wait();
+    }
+
+    #[test]
+    fn clean_close_returns_ok() {
+        let dev = SimDevice::new(DeviceSpec::v100(), 0);
+        let mut q = Queue::new(dev);
+        let ir = saxpy_ir();
+        let e = q.submit(|h| h.parallel_for_modeled(1 << 12, &ir));
+        assert_eq!(q.close(), Ok(()));
+        assert_eq!(e.status(), crate::event::EventStatus::Complete);
     }
 
     #[test]

@@ -36,8 +36,9 @@ use std::sync::{Arc, OnceLock};
 use synergy_kernel::MicroBenchmark;
 use synergy_ml::{MetricModels, ModelSelection};
 use synergy_sim::DeviceSpec;
+use synergy_telemetry::{CacheOp, EventKind, Recorder};
 
-use crate::compile::train_device_models;
+use crate::compile::train_device_models_traced;
 
 /// Bumped whenever the serialized model format or the training pipeline
 /// changes incompatibly; old cache files then miss and are rewritten.
@@ -111,6 +112,9 @@ pub struct CacheStats {
     pub disk_hits: u64,
     /// Trained from scratch.
     pub misses: u64,
+    /// Entries written to disk (0 for in-memory stores and when the cache
+    /// directory is unwritable — persistence is best-effort).
+    pub persists: u64,
 }
 
 /// Memoizing store for trained [`MetricModels`].
@@ -122,6 +126,7 @@ pub struct ModelStore {
     memory_hits: AtomicU64,
     disk_hits: AtomicU64,
     misses: AtomicU64,
+    persists: AtomicU64,
 }
 
 impl ModelStore {
@@ -133,6 +138,7 @@ impl ModelStore {
             memory_hits: AtomicU64::new(0),
             disk_hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            persists: AtomicU64::new(0),
         }
     }
 
@@ -175,13 +181,35 @@ impl ModelStore {
         stride: usize,
         seed: u64,
     ) -> Arc<MetricModels> {
+        self.get_or_train_traced(spec, suite, selection, stride, seed, &Recorder::disabled())
+    }
+
+    /// [`Self::get_or_train`] with a telemetry recorder: the lookup's
+    /// outcome (memory hit, disk hit or miss) and any successful disk
+    /// persist are recorded as [`EventKind::ModelCache`] events keyed by
+    /// the entry's content hash, and a miss's training is phase-traced.
+    pub fn get_or_train_traced(
+        &self,
+        spec: &DeviceSpec,
+        suite: &[MicroBenchmark],
+        selection: ModelSelection,
+        stride: usize,
+        seed: u64,
+        recorder: &Recorder,
+    ) -> Arc<MetricModels> {
         let key = ModelKey::for_training(spec, suite, selection, stride, seed);
+        let cache_event = |op: CacheOp| EventKind::ModelCache {
+            op,
+            key: key.hash.clone(),
+        };
         if let Some(models) = self.mem.lock().get(&key.hash) {
             self.memory_hits.fetch_add(1, Ordering::Relaxed);
+            recorder.record_with(0, || cache_event(CacheOp::MemoryHit));
             return Arc::clone(models);
         }
         if let Some(models) = self.load(&key) {
             self.disk_hits.fetch_add(1, Ordering::Relaxed);
+            recorder.record_with(0, || cache_event(CacheOp::DiskHit));
             let models = Arc::new(models);
             self.mem
                 .lock()
@@ -189,8 +217,14 @@ impl ModelStore {
             return models;
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
-        let models = Arc::new(train_device_models(spec, suite, selection, stride, seed));
-        self.persist(&key, &models);
+        recorder.record_with(0, || cache_event(CacheOp::Miss));
+        let models = Arc::new(train_device_models_traced(
+            spec, suite, selection, stride, seed, recorder,
+        ));
+        if self.persist(&key, &models) {
+            self.persists.fetch_add(1, Ordering::Relaxed);
+            recorder.record_with(0, || cache_event(CacheOp::Persist));
+        }
         self.mem
             .lock()
             .insert(key.hash.clone(), Arc::clone(&models));
@@ -221,12 +255,13 @@ impl ModelStore {
         }
     }
 
-    /// Cumulative hit/miss counters.
+    /// Cumulative hit/miss/persist counters.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
             memory_hits: self.memory_hits.load(Ordering::Relaxed),
             disk_hits: self.disk_hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
+            persists: self.persists.load(Ordering::Relaxed),
         }
     }
 
@@ -248,24 +283,30 @@ impl ModelStore {
 
     /// Best-effort persistence: an unwritable cache directory degrades the
     /// store to in-memory memoization rather than failing the pipeline.
-    fn persist(&self, key: &ModelKey, models: &MetricModels) {
-        let Some(path) = self.entry_path(key) else { return };
-        let Some(dir) = path.parent() else { return };
+    /// Returns whether the entry actually reached disk.
+    fn persist(&self, key: &ModelKey, models: &MetricModels) -> bool {
+        let Some(path) = self.entry_path(key) else { return false };
+        let Some(dir) = path.parent() else { return false };
         if fs::create_dir_all(dir).is_err() {
-            return;
+            return false;
         }
         let cached = CachedModels {
             version: CACHE_FORMAT_VERSION,
             key: key.hash.clone(),
             models: models.clone(),
         };
-        let Ok(json) = serde_json::to_string(&cached) else { return };
+        let Ok(json) = serde_json::to_string(&cached) else { return false };
         // Atomic-ish: write a process-unique temp file, then rename over
         // the final name so concurrent readers never see a torn file.
         let tmp = dir.join(format!(".tmp-{}-{}", std::process::id(), key.hash));
-        if fs::write(&tmp, json).is_ok() && fs::rename(&tmp, &path).is_err() {
-            let _ = fs::remove_file(&tmp);
+        if fs::write(&tmp, json).is_err() {
+            return false;
         }
+        if fs::rename(&tmp, &path).is_err() {
+            let _ = fs::remove_file(&tmp);
+            return false;
+        }
+        true
     }
 }
 
@@ -387,6 +428,60 @@ mod tests {
         assert_eq!((s.misses, s.disk_hits), (1, 0), "corrupt file must not be served");
 
         let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn persist_counter_and_cache_trace_follow_the_lookup_path() {
+        let dir = test_dir("traced");
+        let spec = DeviceSpec::v100();
+        let suite = tiny_suite();
+        let sel = ModelSelection::uniform(Algorithm::Linear);
+        let rec = Recorder::enabled();
+
+        // Miss → train → persist, then a memory hit.
+        let store = ModelStore::with_dir(&dir);
+        let _ = store.get_or_train_traced(&spec, &suite, sel, 32, 3, &rec);
+        let _ = store.get_or_train_traced(&spec, &suite, sel, 32, 3, &rec);
+        let s = store.stats();
+        assert_eq!(
+            (s.misses, s.persists, s.memory_hits, s.disk_hits),
+            (1, 1, 1, 0)
+        );
+
+        // And a disk hit from a fresh store over the same directory.
+        let fresh = ModelStore::with_dir(&dir);
+        let _ = fresh.get_or_train_traced(&spec, &suite, sel, 32, 3, &rec);
+        assert_eq!(fresh.stats().disk_hits, 1);
+
+        let ops: Vec<CacheOp> = rec
+            .drain()
+            .into_iter()
+            .filter_map(|e| match e.kind {
+                EventKind::ModelCache { op, .. } => Some(op),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            ops,
+            vec![
+                CacheOp::Miss,
+                CacheOp::Persist,
+                CacheOp::MemoryHit,
+                CacheOp::DiskHit
+            ]
+        );
+
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn in_memory_store_never_persists() {
+        let store = ModelStore::in_memory();
+        let spec = DeviceSpec::v100();
+        let suite = tiny_suite();
+        let sel = ModelSelection::uniform(Algorithm::Linear);
+        let _ = store.get_or_train(&spec, &suite, sel, 32, 0);
+        assert_eq!(store.stats().persists, 0);
     }
 
     #[test]

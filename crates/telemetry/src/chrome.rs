@@ -1,0 +1,470 @@
+//! Chrome trace-event export.
+//!
+//! Converts a recorded event stream into the Chrome trace-event JSON
+//! format (the `chrome://tracing` / [Perfetto](https://ui.perfetto.dev)
+//! on-disk format). Two process tracks are emitted:
+//!
+//! * **pid 0 — virtual timeline**: device-side activity placed on the
+//!   simulator's deterministic nanosecond timeline (kernel slices, clock
+//!   changes, profiler windows, per-rank cluster steps, cumulative energy
+//!   counter).
+//! * **pid 1 — wall clock**: host-side activity placed on real time since
+//!   the recorder was constructed (pipeline phases as slices; every other
+//!   event as an instant, so host/device interleaving stays visible).
+//!
+//! Timestamps follow the format's convention of *microseconds* expressed
+//! as doubles, so nanosecond precision survives.
+
+use crate::event::{EventKind, TelemetryEvent};
+use serde::{Deserialize, Serialize};
+use serde_json::{json, Value};
+
+/// Pid of the virtual (device) timeline track.
+pub const PID_VIRTUAL: u64 = 0;
+/// Pid of the wall-clock track.
+pub const PID_WALL: u64 = 1;
+
+/// Tid offset for per-rank cluster threads on the virtual track.
+const TID_CLUSTER_BASE: u64 = 100;
+
+/// One entry in the `traceEvents` array.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChromeEvent {
+    /// Slice / counter / instant name.
+    pub name: String,
+    /// Category — the telemetry track the event came from.
+    pub cat: String,
+    /// Phase: `"X"` complete slice, `"i"` instant, `"C"` counter,
+    /// `"M"` metadata.
+    pub ph: String,
+    /// Timestamp in microseconds.
+    pub ts: f64,
+    /// Duration in microseconds (complete slices only).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub dur: Option<f64>,
+    /// Process id (track group).
+    pub pid: u64,
+    /// Thread id (track lane).
+    pub tid: u64,
+    /// Instant scope (`"t"` thread) — instants only.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub s: Option<String>,
+    /// Event payload.
+    #[serde(skip_serializing_if = "Value::is_null", default)]
+    pub args: Value,
+}
+
+/// A complete trace document (`{"traceEvents": [...], ...}` object form).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChromeTrace {
+    /// The events.
+    #[serde(rename = "traceEvents")]
+    pub trace_events: Vec<ChromeEvent>,
+    /// Display unit hint for viewers.
+    #[serde(rename = "displayTimeUnit")]
+    pub display_time_unit: String,
+}
+
+fn us(ns: u64) -> f64 {
+    ns as f64 / 1_000.0
+}
+
+/// Stable tid for a track name on either pid.
+fn track_tid(track: &str) -> u64 {
+    match track {
+        "kernels" => 1,
+        "clocks" => 2,
+        "profiler" => 3,
+        "hal" => 4,
+        "model-cache" => 5,
+        "pipeline" => 6,
+        "cluster" => 7,
+        _ => 8, // annotations
+    }
+}
+
+fn meta(pid: u64, tid: Option<u64>, key: &str, name: &str) -> ChromeEvent {
+    ChromeEvent {
+        name: key.to_string(),
+        cat: "__metadata".to_string(),
+        ph: "M".to_string(),
+        ts: 0.0,
+        dur: None,
+        pid,
+        tid: tid.unwrap_or(0),
+        s: None,
+        args: json!({ "name": name }),
+    }
+}
+
+fn slice(pid: u64, tid: u64, cat: &str, name: String, start_ns: u64, end_ns: u64, args: Value) -> ChromeEvent {
+    ChromeEvent {
+        name,
+        cat: cat.to_string(),
+        ph: "X".to_string(),
+        ts: us(start_ns),
+        dur: Some(us(end_ns.saturating_sub(start_ns))),
+        pid,
+        tid,
+        s: None,
+        args,
+    }
+}
+
+fn instant(pid: u64, tid: u64, cat: &str, name: String, ts_ns: u64, args: Value) -> ChromeEvent {
+    ChromeEvent {
+        name,
+        cat: cat.to_string(),
+        ph: "i".to_string(),
+        ts: us(ts_ns),
+        dur: None,
+        pid,
+        tid,
+        s: Some("t".to_string()),
+        args,
+    }
+}
+
+impl ChromeTrace {
+    /// Build a two-track trace from an ordered event stream (as returned
+    /// by `Recorder::snapshot`/`drain`).
+    pub fn from_events(events: &[TelemetryEvent]) -> ChromeTrace {
+        let mut out = Vec::with_capacity(events.len() * 2 + 16);
+        out.push(meta(PID_VIRTUAL, None, "process_name", "virtual timeline (device ns)"));
+        out.push(meta(PID_WALL, None, "process_name", "wall clock"));
+
+        let mut seen_tracks: Vec<(&'static str, bool)> = Vec::new(); // (track, on_virtual)
+        let mut seen_ranks: Vec<u32> = Vec::new();
+        let mut cumulative_j = 0.0f64;
+
+        for ev in events {
+            let track = ev.kind.track();
+            let tid = track_tid(track);
+            let args = serde_json::to_value(&ev.kind).unwrap_or(Value::Null);
+
+            // Virtual-track representation for device-side events.
+            let on_virtual = match &ev.kind {
+                EventKind::KernelRun {
+                    kernel,
+                    start_ns,
+                    end_ns,
+                    energy_j,
+                    ..
+                } => {
+                    out.push(slice(PID_VIRTUAL, tid, track, kernel.clone(), *start_ns, *end_ns, args.clone()));
+                    cumulative_j += energy_j;
+                    out.push(ChromeEvent {
+                        name: "cumulative_energy_j".to_string(),
+                        cat: "energy".to_string(),
+                        ph: "C".to_string(),
+                        ts: us(*end_ns),
+                        dur: None,
+                        pid: PID_VIRTUAL,
+                        tid: 0,
+                        s: None,
+                        args: json!({ "J": cumulative_j }),
+                    });
+                    true
+                }
+                EventKind::KernelSubmit { kernel, .. } => {
+                    out.push(instant(PID_VIRTUAL, tid, track, format!("submit {kernel}"), ev.ts_virtual_ns, args.clone()));
+                    true
+                }
+                EventKind::ClockChange { to, latency_ns, ok, .. } => {
+                    let name = if *ok { format!("set {to}") } else { format!("set {to} (failed)") };
+                    let start = ev.ts_virtual_ns.saturating_sub(*latency_ns);
+                    out.push(slice(PID_VIRTUAL, tid, track, name, start, ev.ts_virtual_ns, args.clone()));
+                    true
+                }
+                EventKind::ProfilerWindow { kernel, start_ns, end_ns, .. } => {
+                    out.push(slice(PID_VIRTUAL, tid, track, format!("profile {kernel}"), *start_ns, *end_ns, args.clone()));
+                    true
+                }
+                EventKind::ClusterStep { rank, step, start_ns, end_ns, .. } => {
+                    let rank_tid = TID_CLUSTER_BASE + u64::from(*rank);
+                    if !seen_ranks.contains(rank) {
+                        seen_ranks.push(*rank);
+                        out.push(meta(PID_VIRTUAL, Some(rank_tid), "thread_name", &format!("rank {rank}")));
+                    }
+                    out.push(slice(PID_VIRTUAL, rank_tid, track, format!("step {step}"), *start_ns, *end_ns, args.clone()));
+                    true
+                }
+                // Host-side events live on the wall track only.
+                EventKind::HalCall { .. }
+                | EventKind::ModelCache { .. }
+                | EventKind::PhaseEnd { .. }
+                | EventKind::Annotation { .. } => false,
+            };
+            if on_virtual && !seen_tracks.contains(&(track, true)) {
+                seen_tracks.push((track, true));
+                out.push(meta(PID_VIRTUAL, Some(tid), "thread_name", track));
+            }
+
+            // Wall-track representation for every event.
+            let wall = match &ev.kind {
+                EventKind::PhaseEnd { phase, wall_dur_ns, detail, .. } => {
+                    let name = if detail.is_empty() {
+                        phase.name().to_string()
+                    } else {
+                        format!("{} ({detail})", phase.name())
+                    };
+                    let start = ev.ts_wall_ns.saturating_sub(*wall_dur_ns);
+                    slice(PID_WALL, tid, track, name, start, ev.ts_wall_ns, args)
+                }
+                EventKind::HalCall { api, ok, .. } => {
+                    let name = if *ok { api.clone() } else { format!("{api} (failed)") };
+                    instant(PID_WALL, tid, track, name, ev.ts_wall_ns, args)
+                }
+                EventKind::ModelCache { op, .. } => instant(
+                    PID_WALL,
+                    tid,
+                    track,
+                    format!("{op:?}"),
+                    ev.ts_wall_ns,
+                    args,
+                ),
+                EventKind::Annotation { code, level, .. } => {
+                    instant(PID_WALL, tid, track, format!("{level} {code}"), ev.ts_wall_ns, args)
+                }
+                EventKind::KernelRun { kernel, .. } => {
+                    instant(PID_WALL, tid, track, format!("{kernel} done"), ev.ts_wall_ns, args)
+                }
+                EventKind::KernelSubmit { kernel, .. } => {
+                    instant(PID_WALL, tid, track, format!("submit {kernel}"), ev.ts_wall_ns, args)
+                }
+                EventKind::ClockChange { to, .. } => {
+                    instant(PID_WALL, tid, track, format!("set {to}"), ev.ts_wall_ns, args)
+                }
+                EventKind::ProfilerWindow { kernel, .. } => {
+                    instant(PID_WALL, tid, track, format!("profiled {kernel}"), ev.ts_wall_ns, args)
+                }
+                EventKind::ClusterStep { rank, step, .. } => {
+                    instant(PID_WALL, tid, track, format!("rank {rank} step {step}"), ev.ts_wall_ns, args)
+                }
+            };
+            out.push(wall);
+            if !seen_tracks.contains(&(track, false)) {
+                seen_tracks.push((track, false));
+                out.push(meta(PID_WALL, Some(tid), "thread_name", track));
+            }
+        }
+
+        ChromeTrace {
+            trace_events: out,
+            display_time_unit: "ns".to_string(),
+        }
+    }
+
+    /// Serialize to pretty JSON (the file handed to Perfetto).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("trace serializes")
+    }
+
+    /// Parse a trace document back (golden-file round-trips).
+    pub fn from_json(json: &str) -> Result<ChromeTrace, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+
+    /// Non-metadata events, for assertions.
+    pub fn payload_events(&self) -> impl Iterator<Item = &ChromeEvent> {
+        self.trace_events.iter().filter(|e| e.ph != "M")
+    }
+
+    /// Categories present in the trace (deduped, sorted).
+    pub fn categories(&self) -> Vec<String> {
+        let mut cats: Vec<String> = self
+            .payload_events()
+            .map(|e| e.cat.clone())
+            .collect();
+        cats.sort();
+        cats.dedup();
+        cats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{CacheOp, Clocks, Phase};
+
+    fn ev(ts_virtual: u64, ts_wall: u64, seq: u64, kind: EventKind) -> TelemetryEvent {
+        TelemetryEvent {
+            ts_virtual_ns: ts_virtual,
+            ts_wall_ns: ts_wall,
+            seq,
+            kind,
+        }
+    }
+
+    fn stream() -> Vec<TelemetryEvent> {
+        vec![
+            ev(
+                1_000,
+                10,
+                0,
+                EventKind::KernelSubmit {
+                    kernel: "mt".into(),
+                    work_items: 4096,
+                },
+            ),
+            ev(
+                16_000,
+                20,
+                1,
+                EventKind::ClockChange {
+                    from: Clocks::new(877, 1312),
+                    to: Clocks::new(877, 900),
+                    latency_ns: 15_000,
+                    ok: true,
+                    error: None,
+                },
+            ),
+            ev(
+                46_000,
+                40,
+                2,
+                EventKind::KernelRun {
+                    kernel: "mt".into(),
+                    start_ns: 16_000,
+                    end_ns: 46_000,
+                    energy_j: 0.004,
+                    clocks: Clocks::new(877, 900),
+                },
+            ),
+            ev(
+                46_000,
+                50,
+                3,
+                EventKind::ProfilerWindow {
+                    kernel: "mt".into(),
+                    start_ns: 16_000,
+                    end_ns: 46_000,
+                    polls: 3,
+                    samples: 2,
+                    measured_j: 0.0039,
+                    exact_j: 0.004,
+                    poll_interval_ns: 50_000,
+                    poll_cadence_ns: 51_000,
+                },
+            ),
+            ev(
+                0,
+                60,
+                4,
+                EventKind::ModelCache {
+                    op: CacheOp::DiskHit,
+                    key: "deadbeef".into(),
+                },
+            ),
+            ev(
+                0,
+                5_000_070,
+                5,
+                EventKind::PhaseEnd {
+                    phase: Phase::Select,
+                    wall_dur_ns: 5_000_000,
+                    items: 3,
+                    detail: "v100".into(),
+                },
+            ),
+        ]
+    }
+
+    #[test]
+    fn builds_both_tracks_with_metadata() {
+        let trace = ChromeTrace::from_events(&stream());
+        let pids: Vec<u64> = trace.payload_events().map(|e| e.pid).collect();
+        assert!(pids.contains(&PID_VIRTUAL));
+        assert!(pids.contains(&PID_WALL));
+        assert!(trace
+            .trace_events
+            .iter()
+            .any(|e| e.ph == "M" && e.name == "process_name" && e.pid == PID_VIRTUAL));
+        // Kernel slice on the virtual track carries its virtual duration.
+        let kernel = trace
+            .payload_events()
+            .find(|e| e.ph == "X" && e.cat == "kernels")
+            .unwrap();
+        assert_eq!(kernel.ts, 16.0);
+        assert_eq!(kernel.dur, Some(30.0));
+        // Phase slice sits on the wall track, back-dated by its duration.
+        let phase = trace
+            .payload_events()
+            .find(|e| e.ph == "X" && e.cat == "pipeline")
+            .unwrap();
+        assert_eq!(phase.pid, PID_WALL);
+        assert!((phase.ts - 0.07).abs() < 1e-9);
+        assert_eq!(phase.dur, Some(5_000.0));
+    }
+
+    #[test]
+    fn counter_tracks_cumulative_energy() {
+        let trace = ChromeTrace::from_events(&stream());
+        let counter = trace
+            .payload_events()
+            .find(|e| e.ph == "C")
+            .expect("energy counter emitted");
+        assert_eq!(counter.args["J"], 0.004);
+    }
+
+    #[test]
+    fn covers_all_recorded_categories() {
+        let trace = ChromeTrace::from_events(&stream());
+        let cats = trace.categories();
+        for want in ["kernels", "clocks", "profiler", "model-cache", "pipeline"] {
+            assert!(cats.iter().any(|c| c == want), "missing category {want}");
+        }
+    }
+
+    #[test]
+    fn json_round_trips_exactly() {
+        let trace = ChromeTrace::from_events(&stream());
+        let json = trace.to_json();
+        let back = ChromeTrace::from_json(&json).unwrap();
+        assert_eq!(back, trace);
+        // And the document is a valid Chrome trace object.
+        let value: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert!(value["traceEvents"].is_array());
+    }
+
+    #[test]
+    fn cluster_steps_get_per_rank_threads() {
+        let events = vec![
+            ev(
+                100,
+                1,
+                0,
+                EventKind::ClusterStep {
+                    rank: 0,
+                    step: 0,
+                    start_ns: 0,
+                    end_ns: 100,
+                    energy_j: 1.0,
+                },
+            ),
+            ev(
+                100,
+                2,
+                1,
+                EventKind::ClusterStep {
+                    rank: 3,
+                    step: 0,
+                    start_ns: 0,
+                    end_ns: 100,
+                    energy_j: 1.0,
+                },
+            ),
+        ];
+        let trace = ChromeTrace::from_events(&events);
+        let tids: Vec<u64> = trace
+            .payload_events()
+            .filter(|e| e.pid == PID_VIRTUAL && e.ph == "X")
+            .map(|e| e.tid)
+            .collect();
+        assert_eq!(tids, vec![100, 103]);
+        assert!(trace
+            .trace_events
+            .iter()
+            .any(|e| e.ph == "M" && e.name == "thread_name" && e.args["name"] == "rank 3"));
+    }
+}

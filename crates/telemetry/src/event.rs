@@ -1,0 +1,264 @@
+//! Typed telemetry events.
+//!
+//! Every layer of the stack records its activity as one of these variants:
+//! the queue worker (kernel lifecycle and clock changes), the asynchronous
+//! profiler (poll/sample windows), the HAL (management-library calls), the
+//! model store (cache traffic), the compile pipeline (phases) and the
+//! cluster driver (per-rank steps). Each event carries two timestamps —
+//! the device's *virtual* timeline (deterministic across identical runs)
+//! and the recorder's *wall clock* (nanoseconds since recorder
+//! construction) — so exported traces can show both views.
+
+use serde::{Deserialize, Serialize};
+
+/// A (mem, core) clock pair in MHz.
+///
+/// Mirror of `synergy_sim::ClockConfig`, kept dependency-free so the
+/// telemetry crate sits below every other crate in the workspace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Clocks {
+    /// Memory clock in MHz.
+    pub mem_mhz: u32,
+    /// Core clock in MHz.
+    pub core_mhz: u32,
+}
+
+impl Clocks {
+    /// Construct a clock pair.
+    pub fn new(mem_mhz: u32, core_mhz: u32) -> Clocks {
+        Clocks { mem_mhz, core_mhz }
+    }
+}
+
+impl std::fmt::Display for Clocks {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{} MHz", self.mem_mhz, self.core_mhz)
+    }
+}
+
+/// What happened at a model-cache lookup or write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum CacheOp {
+    /// Served from the in-memory memo.
+    MemoryHit,
+    /// Served by deserializing a cache file.
+    DiskHit,
+    /// Trained from scratch.
+    Miss,
+    /// A freshly trained bundle was written to disk.
+    Persist,
+}
+
+/// One phase of the compile-time pipeline (Figure 6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum Phase {
+    /// Static feature extraction from kernel IR.
+    Extract,
+    /// Micro-benchmark frequency sweep building the training set.
+    Sweep,
+    /// Fitting the four single-target metric models.
+    Train,
+    /// Per-kernel, per-target frequency search filling the registry.
+    Select,
+}
+
+impl Phase {
+    /// Stable lowercase name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Phase::Extract => "extract",
+            Phase::Sweep => "sweep",
+            Phase::Train => "train",
+            Phase::Select => "select",
+        }
+    }
+}
+
+/// The payload of one telemetry event.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "type", rename_all = "snake_case")]
+pub enum EventKind {
+    /// A command group was submitted to a queue.
+    KernelSubmit {
+        /// Kernel name.
+        kernel: String,
+        /// Launch size.
+        work_items: u64,
+    },
+    /// A kernel completed on the device timeline.
+    KernelRun {
+        /// Kernel name.
+        kernel: String,
+        /// Launch start on the virtual timeline (ns).
+        start_ns: u64,
+        /// Completion on the virtual timeline (ns).
+        end_ns: u64,
+        /// Exact energy over the window, joules.
+        energy_j: f64,
+        /// Clocks the kernel ran at.
+        clocks: Clocks,
+    },
+    /// A clock-change request (the Section 4.4 vendor-library call).
+    ClockChange {
+        /// Clocks in effect before the request.
+        from: Clocks,
+        /// Requested clocks.
+        to: Clocks,
+        /// Virtual time the change cost (ns); 0 for failed or no-op calls.
+        latency_ns: u64,
+        /// Whether the management call succeeded.
+        ok: bool,
+        /// Error rendering, for failed calls.
+        #[serde(default, skip_serializing_if = "Option::is_none")]
+        error: Option<String>,
+    },
+    /// One complete profiler measurement window (Section 4.2's
+    /// asynchronous polling thread).
+    ProfilerWindow {
+        /// Profiled kernel name.
+        kernel: String,
+        /// Window start on the virtual timeline (ns).
+        start_ns: u64,
+        /// Window end on the virtual timeline (ns).
+        end_ns: u64,
+        /// Poll iterations that saw the kernel still running.
+        polls: u64,
+        /// Power samples integrated into the measurement.
+        samples: u64,
+        /// Sampled (measured) energy, joules.
+        measured_j: f64,
+        /// Ground-truth energy, joules.
+        exact_j: f64,
+        /// Configured poll sleep (wall ns between status polls).
+        poll_interval_ns: u64,
+        /// Actual mean poll cadence observed (wall ns), 0 if no poll ran.
+        poll_cadence_ns: u64,
+    },
+    /// One management-library call through the HAL.
+    HalCall {
+        /// API name (`set_clocks`, `reset_clocks`, ...).
+        api: String,
+        /// Caller identity rendering (`root`, `uid 1000`).
+        caller: String,
+        /// Whether the call succeeded.
+        ok: bool,
+    },
+    /// Model-store traffic.
+    ModelCache {
+        /// Hit/miss/persist.
+        op: CacheOp,
+        /// Content-hash key of the entry.
+        key: String,
+    },
+    /// One compile-pipeline phase, recorded at phase end.
+    PhaseEnd {
+        /// Which phase.
+        phase: Phase,
+        /// Wall-clock duration of the phase (ns).
+        wall_dur_ns: u64,
+        /// Work items processed (sweep points, kernels, samples — per
+        /// phase semantics).
+        items: u64,
+        /// Free-form detail (device, kernel set, ...).
+        detail: String,
+    },
+    /// One rank finishing one weak-scaling timestep.
+    ClusterStep {
+        /// MPI-like rank index.
+        rank: u32,
+        /// Timestep index.
+        step: u32,
+        /// Step start on the rank's virtual timeline (ns).
+        start_ns: u64,
+        /// Step end (after halo synchronization), ns.
+        end_ns: u64,
+        /// Rank GPU energy over the step, joules.
+        energy_j: f64,
+    },
+    /// A free-form annotation (e.g. a `synergy-analyze` diagnostic).
+    Annotation {
+        /// Stable code (`IR003`, `SW001`, ...) or source tag.
+        code: String,
+        /// Severity or category label.
+        level: String,
+        /// Human-readable message.
+        message: String,
+    },
+}
+
+impl EventKind {
+    /// Stable track name used by the Chrome exporter and summaries.
+    pub fn track(&self) -> &'static str {
+        match self {
+            EventKind::KernelSubmit { .. } | EventKind::KernelRun { .. } => "kernels",
+            EventKind::ClockChange { .. } => "clocks",
+            EventKind::ProfilerWindow { .. } => "profiler",
+            EventKind::HalCall { .. } => "hal",
+            EventKind::ModelCache { .. } => "model-cache",
+            EventKind::PhaseEnd { .. } => "pipeline",
+            EventKind::ClusterStep { .. } => "cluster",
+            EventKind::Annotation { .. } => "annotations",
+        }
+    }
+}
+
+/// One recorded event: payload plus dual timestamps and a global sequence
+/// number (the tie-breaker that keeps exports stably ordered).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TelemetryEvent {
+    /// Position on the device's virtual timeline (ns since power-on);
+    /// deterministic across identical runs. Host-side events (pipeline
+    /// phases, cache traffic) use 0.
+    pub ts_virtual_ns: u64,
+    /// Wall-clock nanoseconds since the recorder was constructed.
+    pub ts_wall_ns: u64,
+    /// Global sequence number in record order.
+    pub seq: u64,
+    /// The payload.
+    pub kind: EventKind,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_serialize_with_type_tags() {
+        let ev = EventKind::ClockChange {
+            from: Clocks::new(877, 1312),
+            to: Clocks::new(877, 900),
+            latency_ns: 15_000,
+            ok: true,
+            error: None,
+        };
+        let json = serde_json::to_value(&ev).unwrap();
+        assert_eq!(json["type"], "clock_change");
+        assert_eq!(json["to"]["core_mhz"], 900);
+        let back: EventKind = serde_json::from_value(json).unwrap();
+        assert_eq!(back, ev);
+    }
+
+    #[test]
+    fn tracks_are_stable() {
+        let k = EventKind::KernelSubmit {
+            kernel: "k".into(),
+            work_items: 1,
+        };
+        assert_eq!(k.track(), "kernels");
+        let p = EventKind::PhaseEnd {
+            phase: Phase::Sweep,
+            wall_dur_ns: 1,
+            items: 2,
+            detail: String::new(),
+        };
+        assert_eq!(p.track(), "pipeline");
+        assert_eq!(Phase::Select.name(), "select");
+    }
+
+    #[test]
+    fn clocks_display() {
+        assert_eq!(Clocks::new(877, 1312).to_string(), "877/1312 MHz");
+    }
+}

@@ -1,0 +1,510 @@
+//! Counters, histograms and the aggregated [`TelemetrySummary`].
+//!
+//! The summary is *derived from the event stream* — every total is the
+//! fold of the corresponding per-event values, so tests can assert the
+//! aggregation exactly against independent sums over the drained events.
+
+use crate::event::{CacheOp, EventKind, TelemetryEvent};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Decade exponents covered by the energy histogram: 1 nJ .. 1 kJ.
+const HIST_MIN_EXP: i32 = -9;
+const HIST_MAX_EXP: i32 = 3;
+
+/// A fixed decade-bucketed histogram for positive physical quantities
+/// (per-kernel energy in joules). Bucket `i` counts values in
+/// `[10^(i-9), 10^(i-8))`; out-of-range values clamp to the end buckets.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Histogram {
+    /// Counts per decade bucket, lowest decade first.
+    pub counts: Vec<u64>,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram {
+            counts: vec![0; (HIST_MAX_EXP - HIST_MIN_EXP + 1) as usize],
+        }
+    }
+}
+
+impl Histogram {
+    /// Record one observation (non-positive values clamp to the lowest
+    /// bucket).
+    pub fn observe(&mut self, value: f64) {
+        let exp = if value > 0.0 {
+            (value.log10().floor() as i32).clamp(HIST_MIN_EXP, HIST_MAX_EXP)
+        } else {
+            HIST_MIN_EXP
+        };
+        self.counts[(exp - HIST_MIN_EXP) as usize] += 1;
+    }
+
+    /// Total observations.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// `(lower bound, count)` for every non-empty bucket.
+    pub fn nonzero_buckets(&self) -> Vec<(f64, u64)> {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (10f64.powi(i as i32 + HIST_MIN_EXP), c))
+            .collect()
+    }
+}
+
+/// Totals for one compile-pipeline phase.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct PhaseTotals {
+    /// Number of `PhaseEnd` events.
+    pub count: u64,
+    /// Summed wall-clock time, ns.
+    pub wall_ns: u64,
+    /// Summed work items (sweep points, kernels, samples).
+    pub items: u64,
+}
+
+impl PhaseTotals {
+    /// Items per second of wall time (0 when no time was recorded).
+    pub fn throughput_per_s(&self) -> f64 {
+        if self.wall_ns == 0 {
+            0.0
+        } else {
+            self.items as f64 / (self.wall_ns as f64 * 1e-9)
+        }
+    }
+}
+
+/// Aggregated view of one recorded session, derived entirely from the
+/// event stream.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TelemetrySummary {
+    /// Events aggregated.
+    pub events: u64,
+    /// Events lost to ring overflow before aggregation.
+    pub dropped: u64,
+
+    /// Kernel submissions observed.
+    pub kernel_submits: u64,
+    /// Kernel completions observed.
+    pub kernels: u64,
+    /// Summed exact kernel energy, joules.
+    pub kernel_energy_j: f64,
+    /// Summed kernel wall (virtual) time, ns.
+    pub kernel_time_ns: u64,
+    /// Per-kernel energy distribution (decade buckets, 1 nJ .. 1 kJ).
+    pub kernel_energy_hist: Histogram,
+
+    /// Clock-change requests observed.
+    pub clock_changes: u64,
+    /// Clock-change requests that failed.
+    pub clock_change_failures: u64,
+    /// Summed virtual latency paid for clock changes, ns.
+    pub clock_change_latency_ns: u64,
+
+    /// Profiler measurement windows completed.
+    pub profiler_windows: u64,
+    /// Summed poll iterations across windows.
+    pub poll_iterations: u64,
+    /// Summed power samples integrated.
+    pub power_samples: u64,
+    /// Summed measured (sampled) energy, joules.
+    pub measured_energy_j: f64,
+    /// Summed ground-truth energy over the same windows, joules.
+    pub exact_energy_j: f64,
+
+    /// HAL management calls observed.
+    pub hal_calls: u64,
+    /// HAL calls that failed.
+    pub hal_failures: u64,
+
+    /// Model-cache lookups served from memory.
+    pub cache_memory_hits: u64,
+    /// Model-cache lookups served from disk.
+    pub cache_disk_hits: u64,
+    /// Model-cache lookups that trained from scratch.
+    pub cache_misses: u64,
+    /// Model bundles persisted to disk.
+    pub cache_persists: u64,
+
+    /// Per-phase pipeline totals, keyed by phase name.
+    pub phases: BTreeMap<String, PhaseTotals>,
+
+    /// Cluster steps observed (rank × timestep).
+    pub cluster_steps: u64,
+    /// Distinct cluster ranks seen.
+    pub cluster_ranks: u64,
+    /// Summed per-step rank energy, joules.
+    pub cluster_energy_j: f64,
+
+    /// Annotations attached (diagnostics etc.).
+    pub annotations: u64,
+}
+
+impl TelemetrySummary {
+    /// Fold an event stream into totals. `dropped` is carried through from
+    /// the recorder so readers know when totals are partial.
+    pub fn from_events(events: &[TelemetryEvent], dropped: u64) -> TelemetrySummary {
+        let mut s = TelemetrySummary {
+            events: events.len() as u64,
+            dropped,
+            ..TelemetrySummary::default()
+        };
+        let mut ranks = std::collections::BTreeSet::new();
+        for ev in events {
+            match &ev.kind {
+                EventKind::KernelSubmit { .. } => s.kernel_submits += 1,
+                EventKind::KernelRun {
+                    start_ns,
+                    end_ns,
+                    energy_j,
+                    ..
+                } => {
+                    s.kernels += 1;
+                    s.kernel_energy_j += energy_j;
+                    s.kernel_time_ns += end_ns - start_ns;
+                    s.kernel_energy_hist.observe(*energy_j);
+                }
+                EventKind::ClockChange {
+                    latency_ns, ok, ..
+                } => {
+                    s.clock_changes += 1;
+                    if !ok {
+                        s.clock_change_failures += 1;
+                    }
+                    s.clock_change_latency_ns += latency_ns;
+                }
+                EventKind::ProfilerWindow {
+                    polls,
+                    samples,
+                    measured_j,
+                    exact_j,
+                    ..
+                } => {
+                    s.profiler_windows += 1;
+                    s.poll_iterations += polls;
+                    s.power_samples += samples;
+                    s.measured_energy_j += measured_j;
+                    s.exact_energy_j += exact_j;
+                }
+                EventKind::HalCall { ok, .. } => {
+                    s.hal_calls += 1;
+                    if !ok {
+                        s.hal_failures += 1;
+                    }
+                }
+                EventKind::ModelCache { op, .. } => match op {
+                    CacheOp::MemoryHit => s.cache_memory_hits += 1,
+                    CacheOp::DiskHit => s.cache_disk_hits += 1,
+                    CacheOp::Miss => s.cache_misses += 1,
+                    CacheOp::Persist => s.cache_persists += 1,
+                },
+                EventKind::PhaseEnd {
+                    phase,
+                    wall_dur_ns,
+                    items,
+                    ..
+                } => {
+                    let t = s.phases.entry(phase.name().to_string()).or_default();
+                    t.count += 1;
+                    t.wall_ns += wall_dur_ns;
+                    t.items += items;
+                }
+                EventKind::ClusterStep {
+                    rank, energy_j, ..
+                } => {
+                    s.cluster_steps += 1;
+                    ranks.insert(*rank);
+                    s.cluster_energy_j += energy_j;
+                }
+                EventKind::Annotation { .. } => s.annotations += 1,
+            }
+        }
+        s.cluster_ranks = ranks.len() as u64;
+        s
+    }
+
+    /// Cache hit ratio over all lookups (hits / (hits + misses)); 0 when
+    /// no lookup happened.
+    pub fn cache_hit_ratio(&self) -> f64 {
+        let hits = self.cache_memory_hits + self.cache_disk_hits;
+        let total = hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            hits as f64 / total as f64
+        }
+    }
+
+    /// Mean profiler measurement error versus ground truth (relative), 0
+    /// when nothing was profiled or the exact energy is 0.
+    pub fn profiler_relative_error(&self) -> f64 {
+        if self.exact_energy_j == 0.0 {
+            0.0
+        } else {
+            ((self.measured_energy_j - self.exact_energy_j) / self.exact_energy_j).abs()
+        }
+    }
+
+    /// Human-readable report.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "telemetry summary ({} events, {} dropped)", self.events, self.dropped);
+        let _ = writeln!(
+            out,
+            "  kernels:      {} completed / {} submitted, {:.6} J, {:.3} ms device time",
+            self.kernels,
+            self.kernel_submits,
+            self.kernel_energy_j,
+            self.kernel_time_ns as f64 * 1e-6
+        );
+        for (lo, count) in self.kernel_energy_hist.nonzero_buckets() {
+            let _ = writeln!(out, "    energy [{lo:>9.0e} J, ×10): {count}");
+        }
+        let _ = writeln!(
+            out,
+            "  clock sets:   {} ({} failed), {:.3} ms virtual latency",
+            self.clock_changes,
+            self.clock_change_failures,
+            self.clock_change_latency_ns as f64 * 1e-6
+        );
+        let _ = writeln!(
+            out,
+            "  profiler:     {} windows, {} polls, {} samples, measured {:.6} J vs exact {:.6} J ({:.2}% err)",
+            self.profiler_windows,
+            self.poll_iterations,
+            self.power_samples,
+            self.measured_energy_j,
+            self.exact_energy_j,
+            self.profiler_relative_error() * 100.0
+        );
+        let _ = writeln!(
+            out,
+            "  hal:          {} calls ({} failed)",
+            self.hal_calls, self.hal_failures
+        );
+        let _ = writeln!(
+            out,
+            "  model cache:  {} mem + {} disk hits, {} misses, {} persists (hit ratio {:.2})",
+            self.cache_memory_hits,
+            self.cache_disk_hits,
+            self.cache_misses,
+            self.cache_persists,
+            self.cache_hit_ratio()
+        );
+        for (name, t) in &self.phases {
+            let _ = writeln!(
+                out,
+                "  phase {:<8} {} run(s), {:.3} ms wall, {} items ({:.0}/s)",
+                format!("{name}:"),
+                t.count,
+                t.wall_ns as f64 * 1e-6,
+                t.items,
+                t.throughput_per_s()
+            );
+        }
+        if self.cluster_steps > 0 {
+            let _ = writeln!(
+                out,
+                "  cluster:      {} steps over {} ranks, {:.3} J",
+                self.cluster_steps, self.cluster_ranks, self.cluster_energy_j
+            );
+        }
+        if self.annotations > 0 {
+            let _ = writeln!(out, "  annotations:  {}", self.annotations);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{Clocks, Phase};
+
+    fn ev(ts: u64, seq: u64, kind: EventKind) -> TelemetryEvent {
+        TelemetryEvent {
+            ts_virtual_ns: ts,
+            ts_wall_ns: ts,
+            seq,
+            kind,
+        }
+    }
+
+    fn sample_events() -> Vec<TelemetryEvent> {
+        vec![
+            ev(
+                0,
+                0,
+                EventKind::KernelSubmit {
+                    kernel: "k".into(),
+                    work_items: 64,
+                },
+            ),
+            ev(
+                10,
+                1,
+                EventKind::ClockChange {
+                    from: Clocks::new(877, 1312),
+                    to: Clocks::new(877, 900),
+                    latency_ns: 15_000,
+                    ok: true,
+                    error: None,
+                },
+            ),
+            ev(
+                20,
+                2,
+                EventKind::KernelRun {
+                    kernel: "k".into(),
+                    start_ns: 20,
+                    end_ns: 1020,
+                    energy_j: 2.5,
+                    clocks: Clocks::new(877, 900),
+                },
+            ),
+            ev(
+                1020,
+                3,
+                EventKind::ProfilerWindow {
+                    kernel: "k".into(),
+                    start_ns: 20,
+                    end_ns: 1020,
+                    polls: 7,
+                    samples: 4,
+                    measured_j: 2.4,
+                    exact_j: 2.5,
+                    poll_interval_ns: 50_000,
+                    poll_cadence_ns: 52_000,
+                },
+            ),
+            ev(
+                1020,
+                4,
+                EventKind::HalCall {
+                    api: "set_clocks".into(),
+                    caller: "root".into(),
+                    ok: false,
+                },
+            ),
+            ev(
+                0,
+                5,
+                EventKind::ModelCache {
+                    op: CacheOp::Miss,
+                    key: "abc".into(),
+                },
+            ),
+            ev(
+                0,
+                6,
+                EventKind::ModelCache {
+                    op: CacheOp::MemoryHit,
+                    key: "abc".into(),
+                },
+            ),
+            ev(
+                0,
+                7,
+                EventKind::PhaseEnd {
+                    phase: Phase::Sweep,
+                    wall_dur_ns: 2_000_000,
+                    items: 1000,
+                    detail: "v100".into(),
+                },
+            ),
+            ev(
+                500,
+                8,
+                EventKind::ClusterStep {
+                    rank: 3,
+                    step: 0,
+                    start_ns: 0,
+                    end_ns: 500,
+                    energy_j: 1.5,
+                },
+            ),
+            ev(
+                0,
+                9,
+                EventKind::Annotation {
+                    code: "IR001".into(),
+                    level: "warn".into(),
+                    message: "m".into(),
+                },
+            ),
+        ]
+    }
+
+    #[test]
+    fn totals_match_per_event_sums() {
+        let events = sample_events();
+        let s = TelemetrySummary::from_events(&events, 2);
+        assert_eq!(s.events, events.len() as u64);
+        assert_eq!(s.dropped, 2);
+        assert_eq!((s.kernel_submits, s.kernels), (1, 1));
+        assert_eq!(s.kernel_energy_j, 2.5);
+        assert_eq!(s.kernel_time_ns, 1000);
+        assert_eq!((s.clock_changes, s.clock_change_failures), (1, 0));
+        assert_eq!(s.clock_change_latency_ns, 15_000);
+        assert_eq!((s.profiler_windows, s.poll_iterations, s.power_samples), (1, 7, 4));
+        assert_eq!((s.hal_calls, s.hal_failures), (1, 1));
+        assert_eq!(
+            (s.cache_memory_hits, s.cache_disk_hits, s.cache_misses, s.cache_persists),
+            (1, 0, 1, 0)
+        );
+        assert_eq!(s.cache_hit_ratio(), 0.5);
+        let sweep = &s.phases["sweep"];
+        assert_eq!((sweep.count, sweep.items), (1, 1000));
+        assert!((sweep.throughput_per_s() - 500_000.0).abs() < 1e-6);
+        assert_eq!((s.cluster_steps, s.cluster_ranks), (1, 1));
+        assert_eq!(s.annotations, 1);
+        assert!((s.profiler_relative_error() - 0.04).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_buckets_by_decade() {
+        let mut h = Histogram::default();
+        h.observe(2.5); // 10^0 decade
+        h.observe(0.03); // 10^-2
+        h.observe(0.0); // clamps to lowest
+        h.observe(1e9); // clamps to highest
+        assert_eq!(h.total(), 4);
+        let buckets = h.nonzero_buckets();
+        assert_eq!(buckets.len(), 4);
+        assert_eq!(buckets[0].0, 1e-9);
+        assert!(buckets.iter().any(|&(lo, c)| lo == 1.0 && c == 1));
+        assert!(buckets.iter().any(|&(lo, c)| lo == 0.01 && c == 1));
+        assert_eq!(buckets.last().unwrap().0, 1e3);
+    }
+
+    #[test]
+    fn render_mentions_every_section() {
+        let s = TelemetrySummary::from_events(&sample_events(), 0);
+        let text = s.render();
+        for needle in ["kernels:", "clock sets:", "profiler:", "hal:", "model cache:", "phase sweep:", "cluster:", "annotations:"] {
+            assert!(text.contains(needle), "missing `{needle}` in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn summary_serde_round_trips() {
+        let s = TelemetrySummary::from_events(&sample_events(), 1);
+        let json = serde_json::to_string(&s).unwrap();
+        let back: TelemetrySummary = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn empty_stream_is_all_zero() {
+        let s = TelemetrySummary::from_events(&[], 0);
+        assert_eq!(s, TelemetrySummary::default());
+        assert_eq!(s.cache_hit_ratio(), 0.0);
+        assert_eq!(s.profiler_relative_error(), 0.0);
+    }
+}

@@ -21,16 +21,19 @@ fn main() {
     // ④–⑥ extract features of the app's kernels, predict, search.
     let sobel = synergy::apps::by_name("sobel3").unwrap();
     let matmul = synergy::apps::by_name("mat_mul").unwrap();
-    let registry = Arc::new(compile_application(
-        &spec,
-        &models,
-        &[sobel.ir.clone(), matmul.ir.clone()],
-        &[
-            EnergyTarget::MinEdp,
-            EnergyTarget::EnergySaving(50),
-            EnergyTarget::PerfLoss(25),
-        ],
-    ));
+    let registry = Arc::new(
+        compile_application(
+            &spec,
+            &models,
+            &[sobel.ir.clone(), matmul.ir.clone()],
+            &[
+                EnergyTarget::MinEdp,
+                EnergyTarget::EnergySaving(50),
+                EnergyTarget::PerfLoss(25),
+            ],
+        )
+        .expect("example kernels lint clean"),
+    );
     println!("compiled decisions:");
     for kernel in ["sobel3", "mat_mul"] {
         for target in [

@@ -71,6 +71,9 @@ pub use synergy_apps as apps;
 /// Multi-node weak-scaling simulation (Figure 10).
 pub use synergy_cluster as cluster;
 
+/// Structured tracing: typed events, counters, Chrome/Perfetto export.
+pub use synergy_telemetry as telemetry;
+
 /// One-stop imports for applications.
 pub mod prelude {
     pub use crate::analyze::{Level, LintRegistry, Report};
@@ -83,4 +86,5 @@ pub mod prelude {
         ModelStore, Queue, TargetRegistry,
     };
     pub use crate::sim::{ClockConfig, DeviceSpec, SimDevice, SimNode};
+    pub use crate::telemetry::{ChromeTrace, Recorder, TelemetrySummary};
 }

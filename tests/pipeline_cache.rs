@@ -60,12 +60,14 @@ fn cache_round_trip_preserves_predictions() {
     let store = ModelStore::with_dir(&dir);
     let trained = store.get_or_train(&spec, &suite, sel, 32, 7);
     assert_eq!(store.stats().misses, 1);
+    assert_eq!(store.stats().persists, 1, "fresh training must persist once");
 
     // A fresh store over the same directory loads the file instead of
     // retraining, and the loaded bundle predicts identically everywhere.
     let fresh = ModelStore::with_dir(&dir);
     let loaded = fresh.get_or_train(&spec, &suite, sel, 32, 7);
     assert_eq!(fresh.stats().disk_hits, 1);
+    assert_eq!(fresh.stats().persists, 0, "a disk hit must not rewrite the file");
     assert_eq!(*trained, *loaded);
     for b in synergy::apps::suite().into_iter().take(3) {
         assert_eq!(
@@ -116,6 +118,11 @@ fn changed_key_retrains_instead_of_serving_stale() {
         store.stats().misses,
         4,
         "every key change must train fresh models"
+    );
+    assert_eq!(
+        store.stats().persists,
+        4,
+        "every fresh training must persist its own cache entry"
     );
     // And the original entry still hits.
     let a2 = store.get_or_train(&spec, &suite, sel, 32, 0);

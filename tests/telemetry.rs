@@ -1,0 +1,206 @@
+//! Cross-crate telemetry properties: a full traced run (model cache →
+//! compile phases → queue → profiler) exports a Chrome trace that
+//! round-trips losslessly, the virtual timeline is bit-deterministic
+//! across identical runs, and the summary's totals equal per-event sums.
+
+use std::sync::Arc;
+
+use synergy::analyze::LintRegistry;
+use synergy::kernel::{generate_microbench, KernelIr, MicroBenchConfig};
+use synergy::metrics::EnergyTarget;
+use synergy::ml::ModelSelection;
+use synergy::rt::{compile_application_traced, KernelProfiler, ModelStore, Queue};
+use synergy::sim::{DeviceSpec, SimDevice};
+use synergy::telemetry::{ChromeTrace, EventKind, Recorder, TelemetryEvent, TelemetrySummary};
+
+/// One complete pipeline + runtime pass with telemetry on: train (in-memory
+/// store, so the cache op stream is a fixed `Miss`), compile all four
+/// phases, then run two kernels under two targets with the asynchronous
+/// profiler watching. Returns the drained events and the drop count.
+fn traced_run() -> (Vec<TelemetryEvent>, u64) {
+    let spec = DeviceSpec::v100();
+    let suite = generate_microbench(
+        42,
+        &MicroBenchConfig {
+            intensities: [1, 8, 32, 128],
+            mixed_kernels: 4,
+            work_items: 1 << 16,
+        },
+    );
+    let kernels: Vec<KernelIr> = ["vec_add", "mat_mul"]
+        .iter()
+        .map(|n| synergy::apps::by_name(n).unwrap().ir)
+        .collect();
+
+    let rec = Recorder::enabled();
+    let store = ModelStore::in_memory();
+    let models =
+        store.get_or_train_traced(&spec, &suite, ModelSelection::paper_best(), 32, 7, &rec);
+    let registry = compile_application_traced(
+        &spec,
+        &models,
+        &kernels,
+        &EnergyTarget::PAPER_SET,
+        &LintRegistry::with_builtin(),
+        &rec,
+    )
+    .expect("suite kernels lint clean");
+
+    let dev = SimDevice::new(spec, 0);
+    dev.set_api_restriction(false);
+    let q = Queue::builder(Arc::clone(&dev))
+        .registry(Arc::new(registry))
+        .telemetry(rec.clone())
+        .build();
+    for target in [EnergyTarget::MinEdp, EnergyTarget::EnergySaving(50)] {
+        for ir in &kernels {
+            let ir = ir.clone();
+            let ev = q.submit_with_target(target, move |h| h.parallel_for_modeled(1 << 16, &ir));
+            let profiler = KernelProfiler::start_with(Arc::clone(&dev), ev.clone(), rec.clone());
+            ev.wait_and_throw().expect("kernel completes");
+            profiler.join().expect("profiler joins");
+        }
+    }
+    let dropped = rec.dropped();
+    (rec.drain(), dropped)
+}
+
+#[test]
+fn chrome_trace_round_trips_losslessly() {
+    let (events, _) = traced_run();
+    let trace = ChromeTrace::from_events(&events);
+    let json = trace.to_json();
+
+    // Golden stability: parse → re-serialize is a byte-identical fixpoint,
+    // so a trace file on disk is a faithful representation of the export.
+    let back = ChromeTrace::from_json(&json).unwrap();
+    assert_eq!(back, trace);
+    assert_eq!(back.to_json(), json);
+
+    // And it is a well-formed Chrome trace document Perfetto will accept.
+    let doc: serde_json::Value = serde_json::from_str(&json).unwrap();
+    assert!(doc["traceEvents"].is_array());
+    assert_eq!(doc["displayTimeUnit"], "ns");
+    for required in ["kernels", "clocks", "profiler", "model-cache", "pipeline"] {
+        assert!(
+            trace.categories().iter().any(|c| c == required),
+            "trace must cover category {required}"
+        );
+    }
+    // Both process tracks are named.
+    for pid in [synergy::telemetry::PID_VIRTUAL, synergy::telemetry::PID_WALL] {
+        assert!(trace
+            .trace_events
+            .iter()
+            .any(|e| e.ph == "M" && e.name == "process_name" && e.pid == pid));
+    }
+}
+
+/// Project an event onto its deterministic payload: everything that lives
+/// on the virtual timeline, with the wall-clock-dependent profiler fields
+/// (polls, samples, measured energy) masked out.
+fn virtual_fingerprint(ev: &TelemetryEvent) -> Option<(u64, String)> {
+    let body = match &ev.kind {
+        EventKind::KernelSubmit { kernel, work_items } => {
+            format!("submit {kernel} {work_items}")
+        }
+        EventKind::KernelRun {
+            kernel,
+            start_ns,
+            end_ns,
+            energy_j,
+            clocks,
+        } => format!(
+            "run {kernel} {start_ns} {end_ns} {:x} {clocks}",
+            energy_j.to_bits()
+        ),
+        EventKind::ClockChange {
+            from,
+            to,
+            latency_ns,
+            ok,
+            ..
+        } => format!("clock {from} -> {to} {latency_ns} {ok}"),
+        EventKind::ProfilerWindow {
+            kernel,
+            start_ns,
+            end_ns,
+            ..
+        } => format!("window {kernel} {start_ns} {end_ns}"),
+        _ => return None,
+    };
+    Some((ev.ts_virtual_ns, body))
+}
+
+#[test]
+fn virtual_timeline_is_deterministic_across_runs() {
+    let (a, _) = traced_run();
+    let (b, _) = traced_run();
+    let fa: Vec<_> = a.iter().filter_map(virtual_fingerprint).collect();
+    let fb: Vec<_> = b.iter().filter_map(virtual_fingerprint).collect();
+    assert!(!fa.is_empty(), "runs must produce device-side events");
+    assert_eq!(fa, fb, "virtual timeline must be identical run to run");
+}
+
+#[test]
+fn summary_totals_match_per_event_sums() {
+    let (events, dropped) = traced_run();
+    let s = TelemetrySummary::from_events(&events, dropped);
+    assert_eq!(s.events, events.len() as u64);
+    assert_eq!(s.dropped, dropped);
+
+    let count = |f: fn(&EventKind) -> bool| events.iter().filter(|e| f(&e.kind)).count() as u64;
+    assert_eq!(
+        s.kernel_submits,
+        count(|k| matches!(k, EventKind::KernelSubmit { .. }))
+    );
+    assert_eq!(s.kernels, count(|k| matches!(k, EventKind::KernelRun { .. })));
+    assert_eq!(
+        s.clock_changes,
+        count(|k| matches!(k, EventKind::ClockChange { .. }))
+    );
+    assert_eq!(
+        s.profiler_windows,
+        count(|k| matches!(k, EventKind::ProfilerWindow { .. }))
+    );
+    assert_eq!(
+        s.cache_misses + s.cache_memory_hits + s.cache_disk_hits,
+        count(|k| matches!(k, EventKind::ModelCache { op, .. }
+            if !matches!(op, synergy::telemetry::CacheOp::Persist)))
+    );
+    assert_eq!(
+        s.phases.len() as u64,
+        {
+            let mut names: Vec<&str> = events
+                .iter()
+                .filter_map(|e| match &e.kind {
+                    EventKind::PhaseEnd { phase, .. } => Some(phase.name()),
+                    _ => None,
+                })
+                .collect();
+            names.sort_unstable();
+            names.dedup();
+            names.len() as u64
+        },
+        "summary keys one entry per distinct phase"
+    );
+
+    let energy: f64 = events
+        .iter()
+        .filter_map(|e| match &e.kind {
+            EventKind::KernelRun { energy_j, .. } => Some(*energy_j),
+            _ => None,
+        })
+        .sum();
+    assert!((s.kernel_energy_j - energy).abs() <= 1e-12 * energy.abs().max(1.0));
+    assert!(s.kernel_energy_j > 0.0, "kernels consume energy");
+
+    let latency: u64 = events
+        .iter()
+        .filter_map(|e| match &e.kind {
+            EventKind::ClockChange { latency_ns, .. } => Some(*latency_ns),
+            _ => None,
+        })
+        .sum();
+    assert_eq!(s.clock_change_latency_ns, latency);
+}
