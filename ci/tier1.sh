@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Tier-1 verification: build, test, compile the criterion benches,
-# regenerate experiments/BENCH_pipeline.json with the CI-sized suite so the
-# compile-time pipeline's perf trajectory (and telemetry overhead) is
-# tracked on every PR, and smoke-test the `synergy trace` exporter.
+# regenerate experiments/BENCH_pipeline.json and BENCH_serve.json with the
+# CI-sized configurations so the compile-time pipeline's and the serving
+# path's perf trajectories are tracked on every PR, and smoke-test the
+# `synergy trace` exporter and the `synergy serve` daemon.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -11,6 +12,7 @@ cargo test -q
 cargo clippy --workspace --all-targets -- -D warnings
 cargo bench --workspace --no-run
 cargo run --release -p synergy-bench --bin pipeline_perf -- --small
+cargo run --release -p synergy-bench --bin serve_perf -- --small
 
 # Smoke test: one benchmark through the traced pipeline; the exported
 # Chrome trace must be non-trivial JSON.
@@ -19,3 +21,22 @@ trap 'rm -f "$trace_out"' EXIT
 cargo run --release -p synergy-cli --bin synergy -- \
   trace vec_add --device v100 --out "$trace_out" --summary
 grep -q '"traceEvents"' "$trace_out"
+
+# Smoke test: start the daemon on an ephemeral port, serve one request,
+# drain, and check it exits cleanly with final counters.
+serve_out="$(mktemp -t synergy-serve-XXXXXX.log)"
+trap 'rm -f "$trace_out" "$serve_out"' EXIT
+cargo run --release -p synergy-cli --bin synergy -- \
+  serve --small --addr 127.0.0.1:0 --workers 2 > "$serve_out" &
+serve_pid=$!
+for _ in $(seq 1 100); do
+  grep -q '^listening on ' "$serve_out" && break
+  sleep 0.1
+done
+serve_addr="$(sed -n 's/^listening on //p' "$serve_out")"
+synergy_bin=target/release/synergy
+"$synergy_bin" request ping --addr "$serve_addr"
+"$synergy_bin" request compile vec_add --device v100 --targets ES_50 --addr "$serve_addr"
+"$synergy_bin" request drain --addr "$serve_addr"
+wait "$serve_pid"
+grep -q '^drained: ' "$serve_out"

@@ -1,0 +1,248 @@
+//! Closed-loop load test for the `synergy-serve` daemon: N client
+//! threads hammer an in-process server with a mixed Compile / Sweep /
+//! Predict / Ping workload over a deliberately small benchmark pool, so
+//! duplicate in-flight keys exercise request coalescing and the bounded
+//! queue exercises admission control. Emits `BENCH_serve.json` so the
+//! serving-path perf trajectory is visible across PRs.
+//!
+//! Every request must come back with a response of the matching kind —
+//! `Busy` replies are retried after the server-suggested backoff, and
+//! the binary exits non-zero on any dropped or mismatched response.
+//!
+//! Run with `--small` for the CI-sized configuration (8 clients, fewer
+//! requests); the default runs 16 clients.
+
+use std::thread;
+use std::time::{Duration, Instant};
+
+use synergy_bench::{artifact_dir, print_table};
+use synergy_kernel::NUM_FEATURES;
+use synergy_serve::{spawn, Client, Json, ModelProfile, Request, Response, ServeConfig};
+
+/// Deterministic per-client request mixer (no external RNG).
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0 >> 33
+    }
+}
+
+/// The small pool keeps duplicate (kernel, device, target) keys in
+/// flight simultaneously, which is what coalescing collapses.
+const BENCH_POOL: [&str; 3] = ["vec_add", "sobel3", "mat_mul"];
+
+fn pick_request(rng: &mut Lcg) -> Request {
+    let bench = BENCH_POOL[(rng.next() % BENCH_POOL.len() as u64) as usize].to_string();
+    match rng.next() % 100 {
+        0..=44 => Request::Compile {
+            bench,
+            device: "v100".to_string(),
+            targets: vec!["ES_50".to_string()],
+        },
+        45..=74 => Request::Sweep {
+            bench,
+            device: "v100".to_string(),
+        },
+        75..=89 => Request::Predict {
+            device: "v100".to_string(),
+            features: vec![1.0; NUM_FEATURES],
+            mem_mhz: 877,
+            core_mhz: 1312,
+        },
+        _ => Request::Ping,
+    }
+}
+
+fn matches_kind(req: &Request, resp: &Response) -> bool {
+    matches!(
+        (req, resp),
+        (Request::Compile { .. }, Response::Compiled { .. })
+            | (Request::Sweep { .. }, Response::SweepFront { .. })
+            | (Request::Predict { .. }, Response::Predicted { .. })
+            | (Request::Ping, Response::Pong)
+    )
+}
+
+/// Per-client tally, merged after the join.
+#[derive(Default)]
+struct ClientReport {
+    latencies_ms: Vec<f64>,
+    busy_retries: u64,
+    mismatched: u64,
+    answered: u64,
+}
+
+fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let idx = ((p / 100.0) * (sorted_ms.len() - 1) as f64).round() as usize;
+    sorted_ms[idx.min(sorted_ms.len() - 1)]
+}
+
+fn main() {
+    let small = std::env::args().any(|a| a == "--small");
+    let (clients, per_client) = if small { (8usize, 24usize) } else { (16usize, 96usize) };
+
+    // A short synthetic service time keeps requests overlapping, so the
+    // queue actually fills and duplicate keys coalesce; model training
+    // itself is memoized after the first hit.
+    let handle = spawn(ServeConfig {
+        workers: 4,
+        queue_capacity: 2 * clients,
+        profile: ModelProfile::small(),
+        compute_delay: Duration::from_millis(2),
+        ..ServeConfig::default()
+    })
+    .expect("bind loopback");
+    let addr = handle.addr();
+    println!(
+        "serve_perf: {clients} clients x {per_client} requests against {addr} ({} mode)",
+        if small { "small" } else { "default" }
+    );
+
+    let started = Instant::now();
+    let reports: Vec<ClientReport> = {
+        let mut joins = Vec::new();
+        for c in 0..clients {
+            joins.push(thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                let mut rng = Lcg(0x5eed ^ (c as u64) << 17);
+                let mut report = ClientReport::default();
+                for _ in 0..per_client {
+                    let req = pick_request(&mut rng);
+                    let begun = Instant::now();
+                    loop {
+                        let resp = client
+                            .request_with_deadline(req.clone(), 10_000)
+                            .expect("transport");
+                        match resp {
+                            Response::Busy { retry_after_ms } => {
+                                report.busy_retries += 1;
+                                thread::sleep(Duration::from_millis(retry_after_ms));
+                            }
+                            other => {
+                                if matches_kind(&req, &other) {
+                                    report.answered += 1;
+                                } else {
+                                    report.mismatched += 1;
+                                }
+                                break;
+                            }
+                        }
+                    }
+                    report
+                        .latencies_ms
+                        .push(begun.elapsed().as_secs_f64() * 1e3);
+                }
+                report
+            }));
+        }
+        joins.into_iter().map(|j| j.join().expect("client thread")).collect()
+    };
+    let elapsed = started.elapsed().as_secs_f64();
+
+    handle.drain();
+    let stats = handle.join();
+
+    let mut latencies: Vec<f64> = Vec::new();
+    let (mut busy_retries, mut mismatched, mut answered) = (0u64, 0u64, 0u64);
+    for r in &reports {
+        latencies.extend_from_slice(&r.latencies_ms);
+        busy_retries += r.busy_retries;
+        mismatched += r.mismatched;
+        answered += r.answered;
+    }
+    latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latency"));
+
+    let total = (clients * per_client) as u64;
+    let dropped = total - answered - mismatched;
+    let throughput = answered as f64 / elapsed;
+    let (p50, p95, p99) = (
+        percentile(&latencies, 50.0),
+        percentile(&latencies, 95.0),
+        percentile(&latencies, 99.0),
+    );
+    let coalesce_total = stats.coalesce_leaders + stats.coalesce_joins;
+    let coalesce_rate = if coalesce_total == 0 {
+        0.0
+    } else {
+        stats.coalesce_joins as f64 / coalesce_total as f64
+    };
+
+    print_table(
+        &["metric", "value"],
+        &[
+            vec!["clients".into(), clients.to_string()],
+            vec!["requests".into(), total.to_string()],
+            vec!["answered".into(), answered.to_string()],
+            vec!["mismatched".into(), mismatched.to_string()],
+            vec!["dropped".into(), dropped.to_string()],
+            vec!["busy retries".into(), busy_retries.to_string()],
+            vec!["expired".into(), stats.expired.to_string()],
+            vec!["throughput (req/s)".into(), format!("{throughput:.1}")],
+            vec!["p50 latency (ms)".into(), format!("{p50:.3}")],
+            vec!["p95 latency (ms)".into(), format!("{p95:.3}")],
+            vec!["p99 latency (ms)".into(), format!("{p99:.3}")],
+            vec!["peak queue depth".into(), stats.queue_depth_max.to_string()],
+            vec!["coalesce leaders".into(), stats.coalesce_leaders.to_string()],
+            vec!["coalesce joins".into(), stats.coalesce_joins.to_string()],
+            vec!["coalescing rate".into(), format!("{coalesce_rate:.3}")],
+        ],
+    );
+
+    // The artifact is hand-encoded through the serve JSON codec so the
+    // binary stays independent of serde for its output path.
+    let f = |v: f64| Json::Num(v);
+    let i = |v: u64| Json::Int(v as i128);
+    let artifact = Json::Obj(vec![
+        ("mode".into(), Json::Str(if small { "small" } else { "default" }.into())),
+        ("clients".into(), i(clients as u64)),
+        ("requests_per_client".into(), i(per_client as u64)),
+        ("total_requests".into(), i(total)),
+        ("answered".into(), i(answered)),
+        ("mismatched".into(), i(mismatched)),
+        ("dropped".into(), i(dropped)),
+        ("busy_retries".into(), i(busy_retries)),
+        ("expired".into(), i(stats.expired)),
+        ("elapsed_s".into(), f(elapsed)),
+        ("throughput_rps".into(), f(throughput)),
+        ("p50_ms".into(), f(p50)),
+        ("p95_ms".into(), f(p95)),
+        ("p99_ms".into(), f(p99)),
+        ("queue_depth_max".into(), i(stats.queue_depth_max)),
+        ("coalesce_leaders".into(), i(stats.coalesce_leaders)),
+        ("coalesce_joins".into(), i(stats.coalesce_joins)),
+        ("coalescing_rate".into(), f(coalesce_rate)),
+        ("busy_rejections".into(), i(stats.busy_rejections)),
+        ("lint_denials".into(), i(stats.lint_denials)),
+        ("errors".into(), i(stats.errors)),
+        ("connections".into(), i(stats.connections)),
+    ]);
+    let dir = artifact_dir();
+    std::fs::create_dir_all(&dir).expect("create experiments dir");
+    let path = dir.join("BENCH_serve.json");
+    std::fs::write(&path, artifact.encode()).expect("write artifact");
+    println!("\n[artifact] {}", path.display());
+
+    // Acceptance gates: every request answered with the matching kind,
+    // and duplicate-key traffic actually coalesced.
+    let mut failed = false;
+    if dropped != 0 || mismatched != 0 {
+        eprintln!("FAIL: {dropped} dropped, {mismatched} mismatched responses");
+        failed = true;
+    }
+    if stats.coalesce_joins == 0 {
+        eprintln!("FAIL: coalescing never triggered on duplicate-key traffic");
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    println!("serve_perf: OK");
+}

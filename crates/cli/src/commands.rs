@@ -337,6 +337,160 @@ pub fn scaling(out: &mut dyn Write, gpus: usize, app: &str) -> Result<(), UsageE
     Ok(())
 }
 
+/// `synergy serve [--addr ...] [--workers N] [--queue N] [--small]`
+///
+/// Runs the tuning daemon in the foreground. The first output line is
+/// `listening on <addr>` (with the actual bound port, so `--addr :0`
+/// works in scripts); the process then blocks until some client sends
+/// `drain`, finishes the accepted work, and prints the final counters.
+pub fn serve(
+    out: &mut dyn Write,
+    addr: &str,
+    workers: usize,
+    queue: usize,
+    small: bool,
+) -> Result<(), UsageError> {
+    let profile = if small {
+        synergy_serve::ModelProfile::small()
+    } else {
+        synergy_serve::ModelProfile::paper()
+    };
+    let handle = synergy_serve::spawn(synergy_serve::ServeConfig {
+        addr: addr.to_string(),
+        workers,
+        queue_capacity: queue,
+        profile,
+        ..synergy_serve::ServeConfig::default()
+    })
+    .map_err(|e| UsageError(format!("cannot bind `{addr}`: {e}")))?;
+    let w = |r: std::io::Result<()>| r.map_err(|e| UsageError(e.to_string()));
+    w(writeln!(out, "listening on {}", handle.addr()))?;
+    w(out.flush())?;
+    while !handle.stats().draining {
+        std::thread::sleep(std::time::Duration::from_millis(100));
+    }
+    let stats = handle.join();
+    w(writeln!(
+        out,
+        "drained: {} connections, {} requests enqueued, {} responses, \
+         {} coalesced, {} busy-rejected, {} expired, peak queue depth {}",
+        stats.connections,
+        stats.enqueued,
+        stats.responses,
+        stats.coalesce_joins,
+        stats.busy_rejections,
+        stats.expired,
+        stats.queue_depth_max,
+    ))?;
+    Ok(())
+}
+
+/// `synergy request <op> ... [--addr ...] [--deadline ms]`
+///
+/// Connects to a running daemon, sends one request, renders the reply.
+/// Returns the response so `main` can pick the exit code (`Busy`,
+/// `Expired` and `Error` replies exit non-zero).
+pub fn request(
+    out: &mut dyn Write,
+    addr: &str,
+    deadline_ms: u64,
+    req: synergy_serve::Request,
+) -> Result<synergy_serve::Response, UsageError> {
+    let mut client = synergy_serve::Client::connect(addr)
+        .map_err(|e| UsageError(format!("cannot connect to `{addr}`: {e}")))?;
+    let resp = if deadline_ms == 0 {
+        client.request(req)
+    } else {
+        client.request_with_deadline(req, deadline_ms)
+    }
+    .map_err(|e| UsageError(format!("request failed: {e}")))?;
+    let w = |r: std::io::Result<()>| r.map_err(|e| UsageError(e.to_string()));
+    match &resp {
+        synergy_serve::Response::Pong => w(writeln!(out, "pong"))?,
+        synergy_serve::Response::Compiled {
+            device,
+            coalesced,
+            decisions,
+        } => {
+            w(writeln!(
+                out,
+                "compiled for {device} ({} decisions{})",
+                decisions.len(),
+                if *coalesced { ", coalesced" } else { "" }
+            ))?;
+            for d in decisions {
+                w(writeln!(
+                    out,
+                    "  {:<22} {:>10} -> {:>5}/{:>5} MHz",
+                    d.kernel, d.target, d.mem_mhz, d.core_mhz
+                ))?;
+            }
+        }
+        synergy_serve::Response::Predicted {
+            time_s,
+            energy_j,
+            edp,
+            ed2p,
+        } => {
+            w(writeln!(
+                out,
+                "time {time_s:.6e} s  energy {energy_j:.6e} J  EDP {edp:.6e}  ED2P {ed2p:.6e}"
+            ))?;
+        }
+        synergy_serve::Response::SweepFront {
+            device,
+            bench,
+            configurations,
+            pareto,
+        } => {
+            w(writeln!(
+                out,
+                "{bench} on {device}: {configurations} configurations, {} Pareto points",
+                pareto.len()
+            ))?;
+            for p in pareto {
+                w(writeln!(
+                    out,
+                    "  {:>5}/{:>5} MHz  time {:.6e} s  energy {:.6e} J",
+                    p.mem_mhz, p.core_mhz, p.time_s, p.energy_j
+                ))?;
+            }
+        }
+        synergy_serve::Response::StatsReply { .. } => {
+            let rendered = synergy_serve::ResponseFrame {
+                id: 0,
+                resp: resp.clone(),
+            }
+            .encode();
+            w(writeln!(out, "{}", String::from_utf8_lossy(&rendered)))?;
+        }
+        synergy_serve::Response::Busy { retry_after_ms } => {
+            w(writeln!(out, "busy: retry after {retry_after_ms} ms"))?;
+        }
+        synergy_serve::Response::Draining { pending } => {
+            w(writeln!(out, "draining ({pending} pending)"))?;
+        }
+        synergy_serve::Response::Expired { waited_ms } => {
+            w(writeln!(out, "expired after {waited_ms} ms in queue"))?;
+        }
+        synergy_serve::Response::Error {
+            kind,
+            message,
+            diagnostics,
+        } => {
+            w(writeln!(out, "error [{}]: {message}", kind.name()))?;
+            for d in diagnostics {
+                w(writeln!(
+                    out,
+                    "  {} {} at {}: {}",
+                    d.severity, d.code, d.path, d.message
+                ))?;
+            }
+        }
+    }
+    Ok(resp)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -19,7 +19,12 @@
 //!   style weak-scaling run;
 //! * `trace <bench> [--device ...] [--target ES_50] [--out trace.json]
 //!   [--summary]` — run one benchmark through the full pipeline with
-//!   telemetry on and export a Chrome/Perfetto trace.
+//!   telemetry on and export a Chrome/Perfetto trace;
+//! * `serve [--addr host:port] [--workers N] [--queue N] [--small]` —
+//!   run the `synergy-serve` tuning daemon until a client drains it;
+//! * `request <op> ... [--addr host:port] [--deadline ms]` — send one
+//!   request (`ping`, `stats`, `drain`, `compile`, `sweep`, `predict`)
+//!   to a running daemon and render the reply.
 
 #![warn(missing_docs)]
 
@@ -79,6 +84,26 @@ pub enum Command {
         out: String,
         /// Also print the human-readable telemetry summary.
         summary: bool,
+    },
+    /// Run the energy-tuning daemon until drained.
+    Serve {
+        /// Listen address (`host:port`; port `0` = ephemeral).
+        addr: String,
+        /// Worker threads computing responses.
+        workers: usize,
+        /// Bounded queue capacity (admission control).
+        queue: usize,
+        /// Use the fast training profile (coarser sweep stride).
+        small: bool,
+    },
+    /// Send one request to a running daemon.
+    Request {
+        /// Daemon address to connect to.
+        addr: String,
+        /// Client-side deadline in milliseconds (0 = server default).
+        deadline_ms: u64,
+        /// The request to send.
+        req: synergy_serve::Request,
     },
     /// Print usage.
     Help,
@@ -240,6 +265,177 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Us
                 summary,
             })
         }
+        "serve" => {
+            let mut addr = "127.0.0.1:7411".to_string();
+            let mut workers = 4usize;
+            let mut queue = 64usize;
+            let mut small = false;
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--small" => small = true,
+                    "--addr" => {
+                        addr = it
+                            .next()
+                            .ok_or_else(|| UsageError("--addr needs a value".into()))?
+                            .clone();
+                    }
+                    "--workers" => {
+                        workers = it
+                            .next()
+                            .ok_or_else(|| UsageError("--workers needs a value".into()))?
+                            .parse()
+                            .map_err(|_| UsageError("--workers must be a number".into()))?;
+                    }
+                    "--queue" => {
+                        queue = it
+                            .next()
+                            .ok_or_else(|| UsageError("--queue needs a value".into()))?
+                            .parse()
+                            .map_err(|_| UsageError("--queue must be a number".into()))?;
+                    }
+                    flag if flag.starts_with("--") => {
+                        return Err(UsageError(format!("unknown serve flag `{flag}`")));
+                    }
+                    other => {
+                        return Err(UsageError(format!(
+                            "serve takes no positional argument `{other}`"
+                        )));
+                    }
+                }
+            }
+            if workers == 0 || queue == 0 {
+                return Err(UsageError("--workers and --queue must be positive".into()));
+            }
+            Ok(Command::Serve {
+                addr,
+                workers,
+                queue,
+                small,
+            })
+        }
+        "request" => {
+            let mut addr = "127.0.0.1:7411".to_string();
+            let mut deadline_ms = 0u64;
+            let mut device = "v100".to_string();
+            let mut targets: Vec<String> = Vec::new();
+            let mut features: Vec<f64> = Vec::new();
+            let mut mem = 877u32;
+            let mut core = 1312u32;
+            let mut positional: Vec<String> = Vec::new();
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--addr" => {
+                        addr = it
+                            .next()
+                            .ok_or_else(|| UsageError("--addr needs a value".into()))?
+                            .clone();
+                    }
+                    "--deadline" => {
+                        deadline_ms = it
+                            .next()
+                            .ok_or_else(|| UsageError("--deadline needs a value".into()))?
+                            .parse()
+                            .map_err(|_| UsageError("--deadline must be milliseconds".into()))?;
+                    }
+                    "--device" => {
+                        device = it
+                            .next()
+                            .ok_or_else(|| UsageError("--device needs a value".into()))?
+                            .clone();
+                    }
+                    "--targets" => {
+                        let csv = it
+                            .next()
+                            .ok_or_else(|| UsageError("--targets needs a value".into()))?;
+                        targets = csv
+                            .split(',')
+                            .filter(|s| !s.is_empty())
+                            .map(String::from)
+                            .collect();
+                    }
+                    "--features" => {
+                        let csv = it
+                            .next()
+                            .ok_or_else(|| UsageError("--features needs a value".into()))?;
+                        features = csv
+                            .split(',')
+                            .filter(|s| !s.is_empty())
+                            .map(|s| {
+                                s.parse::<f64>().map_err(|_| {
+                                    UsageError(format!("bad feature value `{s}`"))
+                                })
+                            })
+                            .collect::<Result<_, _>>()?;
+                    }
+                    "--mem" => {
+                        mem = it
+                            .next()
+                            .ok_or_else(|| UsageError("--mem needs a value".into()))?
+                            .parse()
+                            .map_err(|_| UsageError("--mem must be MHz".into()))?;
+                    }
+                    "--core" => {
+                        core = it
+                            .next()
+                            .ok_or_else(|| UsageError("--core needs a value".into()))?
+                            .parse()
+                            .map_err(|_| UsageError("--core must be MHz".into()))?;
+                    }
+                    flag if flag.starts_with("--") => {
+                        return Err(UsageError(format!("unknown request flag `{flag}`")));
+                    }
+                    word => positional.push(word.to_string()),
+                }
+            }
+            let mut pos = positional.into_iter();
+            let op = pos
+                .next()
+                .ok_or_else(|| UsageError("request needs an operation".into()))?;
+            let req = match op.as_str() {
+                "ping" => synergy_serve::Request::Ping,
+                "stats" => synergy_serve::Request::Stats,
+                "drain" => synergy_serve::Request::Drain,
+                "compile" => synergy_serve::Request::Compile {
+                    bench: pos
+                        .next()
+                        .ok_or_else(|| UsageError("request compile needs a benchmark".into()))?,
+                    device,
+                    targets,
+                },
+                "sweep" => synergy_serve::Request::Sweep {
+                    bench: pos
+                        .next()
+                        .ok_or_else(|| UsageError("request sweep needs a benchmark".into()))?,
+                    device,
+                },
+                "predict" => {
+                    if features.is_empty() {
+                        return Err(UsageError(
+                            "request predict needs --features v1,v2,...".into(),
+                        ));
+                    }
+                    synergy_serve::Request::Predict {
+                        device,
+                        features,
+                        mem_mhz: mem,
+                        core_mhz: core,
+                    }
+                }
+                other => {
+                    return Err(UsageError(format!("unknown request operation `{other}`")));
+                }
+            };
+            if let Some(extra) = pos.next() {
+                return Err(UsageError(format!(
+                    "unexpected request argument `{extra}`"
+                )));
+            }
+            Ok(Command::Request {
+                addr,
+                deadline_ms,
+                req,
+            })
+        }
         "help" | "--help" | "-h" => Ok(Command::Help),
         other => Err(UsageError(format!("unknown subcommand `{other}`"))),
     }
@@ -257,6 +453,11 @@ USAGE:
   synergy lint <bench> [--device v100|...] [--json]
   synergy scaling [--gpus N] [--app cloverleaf|miniweather]
   synergy trace <bench> [--device v100|...] [--target ES_50] [--out trace.json] [--summary]
+  synergy serve [--addr 127.0.0.1:7411] [--workers N] [--queue N] [--small]
+  synergy request ping|stats|drain [--addr ...] [--deadline ms]
+  synergy request compile <bench> [--device v100|...] [--targets ES_50,MIN_EDP] [--addr ...]
+  synergy request sweep <bench> [--device v100|...] [--addr ...]
+  synergy request predict --features v1,v2,... [--device v100|...] [--mem MHz] [--core MHz]
 ";
 
 /// Resolve a device key to its spec.
@@ -390,6 +591,104 @@ mod tests {
         assert!(parse_args(args("trace a b")).is_err());
         assert!(parse_args(args("trace vec_add --out")).is_err());
         assert!(parse_args(args("trace vec_add --frob")).is_err());
+    }
+
+    #[test]
+    fn serve_parses_flags_and_defaults() {
+        assert_eq!(
+            parse_args(args("serve")).unwrap(),
+            Command::Serve {
+                addr: "127.0.0.1:7411".into(),
+                workers: 4,
+                queue: 64,
+                small: false
+            }
+        );
+        assert_eq!(
+            parse_args(args("serve --small --addr 0.0.0.0:9000 --workers 2 --queue 8")).unwrap(),
+            Command::Serve {
+                addr: "0.0.0.0:9000".into(),
+                workers: 2,
+                queue: 8,
+                small: true
+            }
+        );
+        assert!(parse_args(args("serve extra")).is_err());
+        assert!(parse_args(args("serve --workers 0")).is_err());
+        assert!(parse_args(args("serve --frob")).is_err());
+    }
+
+    #[test]
+    fn request_parses_each_operation() {
+        assert_eq!(
+            parse_args(args("request ping")).unwrap(),
+            Command::Request {
+                addr: "127.0.0.1:7411".into(),
+                deadline_ms: 0,
+                req: synergy_serve::Request::Ping
+            }
+        );
+        assert_eq!(
+            parse_args(args("request drain --addr 127.0.0.1:7500 --deadline 250")).unwrap(),
+            Command::Request {
+                addr: "127.0.0.1:7500".into(),
+                deadline_ms: 250,
+                req: synergy_serve::Request::Drain
+            }
+        );
+        assert_eq!(
+            parse_args(args("request compile vec_add --device mi100 --targets ES_50,MIN_EDP"))
+                .unwrap(),
+            Command::Request {
+                addr: "127.0.0.1:7411".into(),
+                deadline_ms: 0,
+                req: synergy_serve::Request::Compile {
+                    bench: "vec_add".into(),
+                    device: "mi100".into(),
+                    targets: vec!["ES_50".into(), "MIN_EDP".into()]
+                }
+            }
+        );
+        assert_eq!(
+            parse_args(args("request sweep sobel3")).unwrap(),
+            Command::Request {
+                addr: "127.0.0.1:7411".into(),
+                deadline_ms: 0,
+                req: synergy_serve::Request::Sweep {
+                    bench: "sobel3".into(),
+                    device: "v100".into()
+                }
+            }
+        );
+        let c = parse_args(args("request predict --features 1,2,3 --mem 800 --core 1000")).unwrap();
+        match c {
+            Command::Request {
+                req:
+                    synergy_serve::Request::Predict {
+                        features,
+                        mem_mhz,
+                        core_mhz,
+                        ..
+                    },
+                ..
+            } => {
+                assert_eq!(features, vec![1.0, 2.0, 3.0]);
+                assert_eq!((mem_mhz, core_mhz), (800, 1000));
+            }
+            other => panic!("unexpected parse: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn request_rejects_bad_invocations() {
+        assert!(parse_args(args("request")).is_err());
+        assert!(parse_args(args("request frobnicate")).is_err());
+        assert!(parse_args(args("request compile")).is_err());
+        assert!(parse_args(args("request sweep")).is_err());
+        assert!(parse_args(args("request predict")).is_err());
+        assert!(parse_args(args("request predict --features a,b")).is_err());
+        assert!(parse_args(args("request ping extra")).is_err());
+        assert!(parse_args(args("request ping --frob")).is_err());
     }
 
     #[test]

@@ -60,6 +60,32 @@ fn main() -> ExitCode {
         Command::Scaling { gpus, app } => {
             commands::scaling(&mut out, gpus, &app).map_err(|e| e.to_string())
         }
+        Command::Serve {
+            addr,
+            workers,
+            queue,
+            small,
+        } => commands::serve(&mut out, &addr, workers, queue, small).map_err(|e| e.to_string()),
+        Command::Request {
+            addr,
+            deadline_ms,
+            req,
+        } => {
+            // Exit codes: 0 = the request was answered, 1 = connection or
+            // usage failure, Busy/Expired/Error replies.
+            return match commands::request(&mut out, &addr, deadline_ms, req) {
+                Ok(
+                    synergy_serve::Response::Busy { .. }
+                    | synergy_serve::Response::Expired { .. }
+                    | synergy_serve::Response::Error { .. },
+                ) => ExitCode::FAILURE,
+                Ok(_) => ExitCode::SUCCESS,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            };
+        }
         Command::Trace {
             bench,
             device,

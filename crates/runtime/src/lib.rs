@@ -40,7 +40,10 @@ pub use handler::Handler;
 pub use profiler::{KernelProfiler, ProfileReport, ProfilerError};
 pub use queue::{Queue, QueueBuilder, QueueError};
 pub use registry::TargetRegistry;
-pub use store::{default_cache_dir, CacheStats, ModelKey, ModelStore, CACHE_FORMAT_VERSION};
+pub use store::{
+    default_cache_dir, CacheStats, ModelKey, ModelStore, CACHE_FORMAT_VERSION,
+    DEFAULT_MEMORY_CAPACITY,
+};
 
 #[cfg(test)]
 mod proptests {

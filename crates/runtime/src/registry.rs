@@ -56,6 +56,17 @@ impl TargetRegistry {
         self.entries.is_empty()
     }
 
+    /// Every `(kernel, target name, clocks)` decision in deterministic
+    /// (kernel, target) order — the flat view wire encoders and reports
+    /// want.
+    pub fn decisions(&self) -> impl Iterator<Item = (&str, &str, ClockConfig)> {
+        self.entries.iter().flat_map(|(kernel, targets)| {
+            targets
+                .iter()
+                .map(move |(target, clocks)| (kernel.as_str(), target.as_str(), *clocks))
+        })
+    }
+
     /// Merge another registry into this one (other wins on conflicts).
     pub fn merge(&mut self, other: &TargetRegistry) {
         for (k, targets) in &other.entries {
@@ -125,5 +136,20 @@ mod tests {
         r.insert("a", EnergyTarget::MaxPerf, ClockConfig::new(877, 1530));
         let names: Vec<&str> = r.kernels().collect();
         assert_eq!(names, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn decisions_iterate_flat_and_ordered() {
+        let mut r = TargetRegistry::new();
+        r.insert("b", EnergyTarget::MaxPerf, ClockConfig::new(877, 1530));
+        r.insert("a", EnergyTarget::MinEdp, ClockConfig::new(877, 1000));
+        r.insert("a", EnergyTarget::EnergySaving(50), ClockConfig::new(877, 800));
+        let flat: Vec<(String, String, ClockConfig)> = r
+            .decisions()
+            .map(|(k, t, c)| (k.to_string(), t.to_string(), c))
+            .collect();
+        assert_eq!(flat.len(), r.len());
+        assert_eq!(flat[0].0, "a");
+        assert_eq!(flat[2], ("b".to_string(), "MAX_PERF".to_string(), ClockConfig::new(877, 1530)));
     }
 }

@@ -22,9 +22,21 @@
 //! One file per key: `experiments/cache/models-<hash>.json`, written
 //! atomically (temp file + rename). Loaded entries are validated against
 //! the expected key and format version; corrupt or mismatching files are
-//! ignored and overwritten by a fresh training. Delete the files (or the
-//! directory) to clear the cache — `rm -rf experiments/cache` is always
-//! safe.
+//! ignored and overwritten by a fresh training (counted in
+//! [`CacheStats::corrupt_files`] — deserialization failures never
+//! propagate). Delete the files (or the directory) to clear the cache —
+//! `rm -rf experiments/cache` is always safe.
+//!
+//! ## Memory bound
+//!
+//! The in-memory memo holds at most a configurable number of trained
+//! bundles ([`DEFAULT_MEMORY_CAPACITY`] unless overridden with
+//! [`ModelStore::with_memory_capacity`]), evicting the least-recently
+//! used entry when full. Long-lived processes — the `synergy-serve`
+//! daemon in particular — therefore cannot grow without bound no matter
+//! how many distinct (device, suite, stride, seed) inputs they see.
+//! Evictions only drop the memo; the disk entry, when one exists, still
+//! serves the next lookup.
 
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
@@ -43,6 +55,10 @@ use crate::compile::train_device_models_traced;
 /// Bumped whenever the serialized model format or the training pipeline
 /// changes incompatibly; old cache files then miss and are rewritten.
 pub const CACHE_FORMAT_VERSION: u32 = 1;
+
+/// Default bound on in-memory entries — generous (a trained bundle is a
+/// few kilobytes; real workloads touch a handful of devices), but finite.
+pub const DEFAULT_MEMORY_CAPACITY: usize = 256;
 
 /// Content-hash key identifying one training input exactly.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -115,6 +131,17 @@ pub struct CacheStats {
     /// Entries written to disk (0 for in-memory stores and when the cache
     /// directory is unwritable — persistence is best-effort).
     pub persists: u64,
+    /// In-memory entries dropped by the LRU bound.
+    pub evictions: u64,
+    /// Cache files that existed but failed to deserialize (corrupt or
+    /// truncated); each was treated as a miss and later overwritten.
+    pub corrupt_files: u64,
+}
+
+/// One memoized bundle plus its recency stamp for LRU eviction.
+struct MemEntry {
+    models: Arc<MetricModels>,
+    last_used: u64,
 }
 
 /// Memoizing store for trained [`MetricModels`].
@@ -122,11 +149,15 @@ pub struct CacheStats {
 /// Thread-safe; clones of the returned [`Arc`] share one trained bundle.
 pub struct ModelStore {
     dir: Option<PathBuf>,
-    mem: Mutex<HashMap<String, Arc<MetricModels>>>,
+    capacity: usize,
+    mem: Mutex<HashMap<String, MemEntry>>,
+    tick: AtomicU64,
     memory_hits: AtomicU64,
     disk_hits: AtomicU64,
     misses: AtomicU64,
     persists: AtomicU64,
+    evictions: AtomicU64,
+    corrupt_files: AtomicU64,
 }
 
 impl ModelStore {
@@ -134,12 +165,28 @@ impl ModelStore {
     pub fn in_memory() -> ModelStore {
         ModelStore {
             dir: None,
+            capacity: DEFAULT_MEMORY_CAPACITY,
             mem: Mutex::new(HashMap::new()),
+            tick: AtomicU64::new(0),
             memory_hits: AtomicU64::new(0),
             disk_hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             persists: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            corrupt_files: AtomicU64::new(0),
         }
+    }
+
+    /// Cap the in-memory memo at `capacity` entries (at least 1),
+    /// evicting least-recently-used bundles past the bound.
+    pub fn with_memory_capacity(mut self, capacity: usize) -> ModelStore {
+        self.capacity = capacity.max(1);
+        self
+    }
+
+    /// The in-memory memo bound.
+    pub fn memory_capacity(&self) -> usize {
+        self.capacity
     }
 
     /// A store persisting entries as JSON files under `dir` (created on
@@ -202,18 +249,20 @@ impl ModelStore {
             op,
             key: key.hash.clone(),
         };
-        if let Some(models) = self.mem.lock().get(&key.hash) {
-            self.memory_hits.fetch_add(1, Ordering::Relaxed);
-            recorder.record_with(0, || cache_event(CacheOp::MemoryHit));
-            return Arc::clone(models);
+        {
+            let mut mem = self.mem.lock();
+            if let Some(entry) = mem.get_mut(&key.hash) {
+                entry.last_used = self.tick.fetch_add(1, Ordering::Relaxed);
+                self.memory_hits.fetch_add(1, Ordering::Relaxed);
+                recorder.record_with(0, || cache_event(CacheOp::MemoryHit));
+                return Arc::clone(&entry.models);
+            }
         }
         if let Some(models) = self.load(&key) {
             self.disk_hits.fetch_add(1, Ordering::Relaxed);
             recorder.record_with(0, || cache_event(CacheOp::DiskHit));
             let models = Arc::new(models);
-            self.mem
-                .lock()
-                .insert(key.hash.clone(), Arc::clone(&models));
+            self.remember(&key.hash, &models);
             return models;
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
@@ -225,10 +274,31 @@ impl ModelStore {
             self.persists.fetch_add(1, Ordering::Relaxed);
             recorder.record_with(0, || cache_event(CacheOp::Persist));
         }
-        self.mem
-            .lock()
-            .insert(key.hash.clone(), Arc::clone(&models));
+        self.remember(&key.hash, &models);
         models
+    }
+
+    /// Insert into the memo, evicting the least-recently-used entry when
+    /// the bound is reached.
+    fn remember(&self, hash: &str, models: &Arc<MetricModels>) {
+        let mut mem = self.mem.lock();
+        if !mem.contains_key(hash) && mem.len() >= self.capacity {
+            let oldest = mem
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone());
+            if let Some(oldest) = oldest {
+                mem.remove(&oldest);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        mem.insert(
+            hash.to_string(),
+            MemEntry {
+                models: Arc::clone(models),
+                last_used: self.tick.fetch_add(1, Ordering::Relaxed),
+            },
+        );
     }
 
     /// Drop one entry from memory and disk (no-op when absent). The next
@@ -255,13 +325,15 @@ impl ModelStore {
         }
     }
 
-    /// Cumulative hit/miss/persist counters.
+    /// Cumulative hit/miss/persist/eviction counters.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
             memory_hits: self.memory_hits.load(Ordering::Relaxed),
             disk_hits: self.disk_hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             persists: self.persists.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            corrupt_files: self.corrupt_files.load(Ordering::Relaxed),
         }
     }
 
@@ -271,10 +343,23 @@ impl ModelStore {
             .map(|d| d.join(format!("models-{}.json", key.hash)))
     }
 
+    /// Read one cache file; `None` is always a miss, never an error. A
+    /// file that exists but fails to deserialize (corrupt, truncated,
+    /// wrong format) is counted and treated exactly like a missing file —
+    /// the caller retrains and the fresh persist overwrites it.
     fn load(&self, key: &ModelKey) -> Option<MetricModels> {
         let path = self.entry_path(key)?;
-        let text = fs::read_to_string(path).ok()?;
-        let cached: CachedModels = serde_json::from_str(&text).ok()?;
+        let text = match fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(_) => return None, // missing or unreadable: plain miss
+        };
+        let cached: CachedModels = match serde_json::from_str(&text) {
+            Ok(cached) => cached,
+            Err(_) => {
+                self.corrupt_files.fetch_add(1, Ordering::Relaxed);
+                return None;
+            }
+        };
         if cached.version != CACHE_FORMAT_VERSION || cached.key != key.hash {
             return None;
         }
@@ -413,21 +498,99 @@ mod tests {
     }
 
     #[test]
-    fn corrupt_cache_file_is_ignored() {
+    fn corrupt_cache_file_is_counted_and_overwritten() {
         let dir = test_dir("corrupt");
         let spec = DeviceSpec::v100();
         let suite = tiny_suite();
         let sel = ModelSelection::uniform(Algorithm::Linear);
         let key = ModelKey::for_training(&spec, &suite, sel, 32, 0);
         fs::create_dir_all(&dir).unwrap();
-        fs::write(dir.join(format!("models-{}.json", key.hash)), "{not json").unwrap();
+        let path = dir.join(format!("models-{}.json", key.hash));
+        fs::write(&path, "{not json").unwrap();
 
         let store = ModelStore::with_dir(&dir);
         let _ = store.get_or_train(&spec, &suite, sel, 32, 0);
         let s = store.stats();
         assert_eq!((s.misses, s.disk_hits), (1, 0), "corrupt file must not be served");
+        assert_eq!(s.corrupt_files, 1, "the bad file must be counted");
+        assert_eq!(s.persists, 1, "the retrain must overwrite the bad file");
+        assert_ne!(
+            fs::read_to_string(&path).unwrap(),
+            "{not json",
+            "the persisted entry must replace the corrupt bytes"
+        );
 
         let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncated_cache_file_is_a_miss_not_an_error() {
+        let dir = test_dir("truncated");
+        let spec = DeviceSpec::v100();
+        let suite = tiny_suite();
+        let sel = ModelSelection::uniform(Algorithm::Linear);
+        let key = ModelKey::for_training(&spec, &suite, sel, 32, 5);
+
+        // Produce a valid file, then truncate it mid-document.
+        let store = ModelStore::with_dir(&dir);
+        let trained = store.get_or_train(&spec, &suite, sel, 32, 5);
+        let path = dir.join(format!("models-{}.json", key.hash));
+        let full = fs::read_to_string(&path).unwrap();
+        fs::write(&path, &full[..full.len() / 2]).unwrap();
+
+        let fresh = ModelStore::with_dir(&dir);
+        let retrained = fresh.get_or_train(&spec, &suite, sel, 32, 5);
+        let s = fresh.stats();
+        assert_eq!((s.misses, s.disk_hits), (1, 0));
+        assert_eq!(*trained, *retrained, "retraining must reproduce the bundle");
+
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn lru_bound_evicts_oldest_and_counts() {
+        use crate::compile::train_device_models;
+
+        let store = ModelStore::in_memory().with_memory_capacity(2);
+        assert_eq!(store.memory_capacity(), 2);
+        let spec = DeviceSpec::v100();
+        let suite = tiny_suite();
+        let sel = ModelSelection::uniform(Algorithm::Linear);
+        let models = Arc::new(train_device_models(&spec, &suite, sel, 32, 0));
+
+        store.remember("a", &models);
+        store.remember("b", &models);
+        // Freshen "a" the way a memory hit does.
+        {
+            let tick = store.tick.fetch_add(1, Ordering::Relaxed);
+            store.mem.lock().get_mut("a").unwrap().last_used = tick;
+        }
+        // Past the bound: "b" is now the least recently used.
+        store.remember("c", &models);
+        let mem = store.mem.lock();
+        assert!(mem.contains_key("a"), "recently-used entry must survive");
+        assert!(mem.contains_key("c"));
+        assert!(!mem.contains_key("b"), "LRU entry must be evicted");
+        assert_eq!(mem.len(), 2);
+        drop(mem);
+        assert_eq!(store.stats().evictions, 1);
+
+        // Re-inserting an existing key neither grows nor evicts.
+        store.remember("c", &models);
+        assert_eq!(store.mem.lock().len(), 2);
+        assert_eq!(store.stats().evictions, 1);
+    }
+
+    #[test]
+    fn capacity_floor_is_one() {
+        let store = ModelStore::in_memory().with_memory_capacity(0);
+        assert_eq!(store.memory_capacity(), 1);
+        let spec = DeviceSpec::v100();
+        let suite = tiny_suite();
+        let sel = ModelSelection::uniform(Algorithm::Linear);
+        let _ = store.get_or_train(&spec, &suite, sel, 32, 0);
+        let _ = store.get_or_train(&spec, &suite, sel, 32, 0);
+        assert_eq!(store.stats().memory_hits, 1, "a single slot still memoizes");
     }
 
     #[test]

@@ -1,0 +1,156 @@
+//! A blocking client for the daemon.
+//!
+//! One [`Client`] wraps one TCP connection. Requests are synchronous:
+//! `request` sends a frame and reads frames until the response carrying
+//! the request's id arrives (the server answers each connection's
+//! requests in the order it finishes them, which for control-plane
+//! requests interleaved with slow data-plane work may not be send
+//! order — matching on id makes the client immune to that).
+
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use crate::protocol::{
+    read_frame, write_frame, FrameError, Request, RequestFrame, Response, ResponseFrame,
+};
+
+/// Why a client call failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Connecting or writing failed.
+    Io(std::io::Error),
+    /// The server's bytes were not a valid response frame.
+    Frame(FrameError),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "i/o error: {e}"),
+            ClientError::Frame(e) => write!(f, "protocol error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<FrameError> for ClientError {
+    fn from(e: FrameError) -> Self {
+        match e {
+            FrameError::Io(io) => ClientError::Io(io),
+            other => ClientError::Frame(other),
+        }
+    }
+}
+
+/// A blocking connection to a `synergy-serve` daemon.
+pub struct Client {
+    stream: TcpStream,
+    next_id: u64,
+}
+
+impl Client {
+    /// Connect to the daemon.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        Ok(Client { stream, next_id: 0 })
+    }
+
+    /// Set (or clear) the socket read timeout for responses.
+    pub fn set_timeout(&self, timeout: Option<Duration>) -> Result<(), ClientError> {
+        self.stream.set_read_timeout(timeout)?;
+        Ok(())
+    }
+
+    /// Send one request with the server-default deadline and wait for
+    /// its response.
+    pub fn request(&mut self, req: Request) -> Result<Response, ClientError> {
+        self.request_with_deadline(req, 0)
+    }
+
+    /// Send one request with an explicit queue-wait deadline
+    /// (milliseconds; 0 = server default) and wait for its response.
+    pub fn request_with_deadline(
+        &mut self,
+        req: Request,
+        deadline_ms: u64,
+    ) -> Result<Response, ClientError> {
+        self.next_id += 1;
+        let id = self.next_id;
+        let frame = RequestFrame {
+            id,
+            deadline_ms,
+            req,
+        };
+        write_frame(&mut self.stream, &frame.encode())?;
+        loop {
+            let payload = read_frame(&mut self.stream)?;
+            let resp = ResponseFrame::decode(&payload)?;
+            if resp.id == id {
+                return Ok(resp.resp);
+            }
+            // A response to an earlier request of ours that we stopped
+            // waiting for (e.g. after a timeout): skip it.
+        }
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<Response, ClientError> {
+        self.request(Request::Ping)
+    }
+
+    /// Fetch the server counters.
+    pub fn stats(&mut self) -> Result<Response, ClientError> {
+        self.request(Request::Stats)
+    }
+
+    /// Ask the server to drain.
+    pub fn drain(&mut self) -> Result<Response, ClientError> {
+        self.request(Request::Drain)
+    }
+
+    /// Compile a suite benchmark for a device and target set.
+    pub fn compile(
+        &mut self,
+        bench: &str,
+        device: &str,
+        targets: &[&str],
+    ) -> Result<Response, ClientError> {
+        self.request(Request::Compile {
+            bench: bench.to_string(),
+            device: device.to_string(),
+            targets: targets.iter().map(|t| t.to_string()).collect(),
+        })
+    }
+
+    /// Predict the four metrics for a feature vector at one clock pair.
+    pub fn predict(
+        &mut self,
+        device: &str,
+        features: Vec<f64>,
+        mem_mhz: u32,
+        core_mhz: u32,
+    ) -> Result<Response, ClientError> {
+        self.request(Request::Predict {
+            device: device.to_string(),
+            features,
+            mem_mhz,
+            core_mhz,
+        })
+    }
+
+    /// Fetch a benchmark's measured Pareto frontier.
+    pub fn sweep(&mut self, bench: &str, device: &str) -> Result<Response, ClientError> {
+        self.request(Request::Sweep {
+            bench: bench.to_string(),
+            device: device.to_string(),
+        })
+    }
+}

@@ -1,0 +1,619 @@
+//! A small, self-contained JSON value type with a recursive-descent parser
+//! and a writer.
+//!
+//! The wire protocol cannot afford any lossiness: request ids are `u64`,
+//! feature vectors are `f64`, and both must survive an encode → decode
+//! round trip bit-identically. Integers are therefore kept in a dedicated
+//! [`Json::Int`] variant (`i128`, wide enough for every `u64`) instead of
+//! being collapsed into floating point, and floats are printed with
+//! Rust's shortest-round-trip `{}` formatting.
+//!
+//! The parser is hardened for untrusted network input: it enforces a
+//! nesting-depth limit, rejects trailing garbage, and never panics on
+//! malformed bytes — every failure is a typed [`JsonError`].
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Maximum nesting depth the parser will follow before giving up.
+///
+/// Protocol messages are at most a handful of levels deep; anything
+/// deeper is garbage or an attack, and recursing into it risks stack
+/// exhaustion.
+pub const MAX_DEPTH: usize = 64;
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number that was written without a fraction or exponent.
+    Int(i128),
+    /// A number with a fraction or exponent.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object. Insertion order is preserved so encodes are
+    /// deterministic.
+    Obj(Vec<(String, Json)>),
+}
+
+/// Why a parse or a typed lookup failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JsonError {
+    /// Malformed syntax at a byte offset.
+    Syntax {
+        /// Byte offset of the offending input.
+        at: usize,
+        /// What went wrong.
+        what: &'static str,
+    },
+    /// The value nests deeper than [`MAX_DEPTH`].
+    TooDeep,
+    /// A typed accessor found a missing or wrongly-typed field.
+    Schema {
+        /// Dotted path of the field.
+        field: String,
+        /// What was expected there.
+        expected: &'static str,
+    },
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JsonError::Syntax { at, what } => write!(f, "json syntax error at byte {at}: {what}"),
+            JsonError::TooDeep => write!(f, "json nests deeper than {MAX_DEPTH} levels"),
+            JsonError::Schema { field, expected } => {
+                write!(f, "json field `{field}`: expected {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+impl Json {
+    /// Parse a complete JSON document. Trailing non-whitespace is an
+    /// error.
+    pub fn parse(input: &str) -> Result<Json, JsonError> {
+        let bytes = input.as_bytes();
+        let mut p = Parser { bytes, pos: 0 };
+        p.skip_ws();
+        let v = p.value(0)?;
+        p.skip_ws();
+        if p.pos != bytes.len() {
+            return Err(JsonError::Syntax {
+                at: p.pos,
+                what: "trailing characters after document",
+            });
+        }
+        Ok(v)
+    }
+
+    /// Serialize to a compact string.
+    pub fn encode(&self) -> String {
+        let mut out = String::with_capacity(64);
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(true) => out.push_str("true"),
+            Json::Bool(false) => out.push_str("false"),
+            Json::Int(i) => {
+                out.push_str(&i.to_string());
+            }
+            Json::Num(n) => {
+                if n.is_finite() {
+                    let s = format!("{n}");
+                    // `{}` prints integral floats without a fraction
+                    // ("3"), which would round-trip as Int; pin the type.
+                    let needs_dot = !s.contains(['.', 'e', 'E']);
+                    out.push_str(&s);
+                    if needs_dot {
+                        out.push_str(".0");
+                    }
+                } else {
+                    // JSON has no Inf/NaN; null is the least-bad encoding.
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => write_string(s, out),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_string(k, out);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// Look up a field of an object; `None` for non-objects or missing
+    /// keys.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Typed field access: `u64`.
+    pub fn u64_field(&self, key: &str) -> Result<u64, JsonError> {
+        match self.get(key) {
+            Some(Json::Int(i)) if *i >= 0 && *i <= u64::MAX as i128 => Ok(*i as u64),
+            _ => Err(schema(key, "a u64")),
+        }
+    }
+
+    /// Typed field access: `u32`.
+    pub fn u32_field(&self, key: &str) -> Result<u32, JsonError> {
+        match self.get(key) {
+            Some(Json::Int(i)) if *i >= 0 && *i <= u32::MAX as i128 => Ok(*i as u32),
+            _ => Err(schema(key, "a u32")),
+        }
+    }
+
+    /// Typed field access: `f64` (accepts integer-written numbers).
+    pub fn f64_field(&self, key: &str) -> Result<f64, JsonError> {
+        match self.get(key) {
+            Some(Json::Num(n)) => Ok(*n),
+            Some(Json::Int(i)) => Ok(*i as f64),
+            _ => Err(schema(key, "a number")),
+        }
+    }
+
+    /// Typed field access: string slice.
+    pub fn str_field(&self, key: &str) -> Result<&str, JsonError> {
+        match self.get(key) {
+            Some(Json::Str(s)) => Ok(s),
+            _ => Err(schema(key, "a string")),
+        }
+    }
+
+    /// Typed field access: bool.
+    pub fn bool_field(&self, key: &str) -> Result<bool, JsonError> {
+        match self.get(key) {
+            Some(Json::Bool(b)) => Ok(*b),
+            _ => Err(schema(key, "a bool")),
+        }
+    }
+
+    /// Typed field access: array slice.
+    pub fn arr_field(&self, key: &str) -> Result<&[Json], JsonError> {
+        match self.get(key) {
+            Some(Json::Arr(items)) => Ok(items),
+            _ => Err(schema(key, "an array")),
+        }
+    }
+
+    /// The value as `f64` if it is any kind of number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            Json::Int(i) => Some(*i as f64),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Build an object from key/value pairs (helper for encoders).
+    pub fn obj(fields: Vec<(&str, Json)>) -> Json {
+        Json::Obj(fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// Sort object keys recursively — canonical form for hashing.
+    pub fn canonicalize(&mut self) {
+        match self {
+            Json::Arr(items) => items.iter_mut().for_each(Json::canonicalize),
+            Json::Obj(fields) => {
+                fields.iter_mut().for_each(|(_, v)| v.canonicalize());
+                let mut sorted: BTreeMap<String, Json> = BTreeMap::new();
+                for (k, v) in fields.drain(..) {
+                    sorted.insert(k, v);
+                }
+                fields.extend(sorted);
+            }
+            _ => {}
+        }
+    }
+}
+
+fn schema(field: &str, expected: &'static str) -> JsonError {
+    JsonError::Schema {
+        field: field.to_string(),
+        expected,
+    }
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn err(&self, what: &'static str) -> JsonError {
+        JsonError::Syntax { at: self.pos, what }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8, what: &'static str) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(what))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Json, JsonError> {
+        if depth > MAX_DEPTH {
+            return Err(JsonError::TooDeep);
+        }
+        match self.peek() {
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b'[') => self.array(depth),
+            Some(b'{') => self.object(depth),
+            Some(b'-') | Some(b'0'..=b'9') => self.number(),
+            _ => Err(self.err("expected a value")),
+        }
+    }
+
+    fn literal(&mut self, word: &'static str, v: Json) -> Result<Json, JsonError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(self.err("bad literal"))
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Json, JsonError> {
+        self.expect(b'[', "expected '['")?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Json, JsonError> {
+        self.expect(b'{', "expected '{'")?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':', "expected ':'")?;
+            self.skip_ws();
+            let value = self.value(depth + 1)?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"', "expected '\"'")?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'b') => out.push('\u{0008}'),
+                        Some(b'f') => out.push('\u{000c}'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let cp = self.hex4()?;
+                            let c = if (0xD800..0xDC00).contains(&cp) {
+                                // High surrogate: a \uXXXX low surrogate
+                                // must follow.
+                                if self.peek() != Some(b'\\') {
+                                    return Err(self.err("lone high surrogate"));
+                                }
+                                self.pos += 1;
+                                self.expect(b'u', "expected low surrogate")?;
+                                let lo = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err(self.err("bad low surrogate"));
+                                }
+                                let combined =
+                                    0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+                                char::from_u32(combined)
+                                    .ok_or_else(|| self.err("bad surrogate pair"))?
+                            } else {
+                                char::from_u32(cp).ok_or_else(|| self.err("bad codepoint"))?
+                            };
+                            out.push(c);
+                            // hex4 leaves pos after the 4 digits; the
+                            // outer loop's +1 below must not run.
+                            continue;
+                        }
+                        _ => return Err(self.err("bad escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(b) if b < 0x20 => return Err(self.err("control byte in string")),
+                Some(_) => {
+                    // Advance by one full UTF-8 char; the input is a
+                    // &str so boundaries are valid.
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest).map_err(|_| self.err("bad utf-8"))?;
+                    let c = s.chars().next().ok_or_else(|| self.err("empty"))?;
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonError> {
+        let mut cp: u32 = 0;
+        for _ in 0..4 {
+            let b = self.peek().ok_or_else(|| self.err("truncated \\u escape"))?;
+            let d = match b {
+                b'0'..=b'9' => (b - b'0') as u32,
+                b'a'..=b'f' => (b - b'a' + 10) as u32,
+                b'A'..=b'F' => (b - b'A' + 10) as u32,
+                _ => return Err(self.err("bad hex digit")),
+            };
+            cp = cp * 16 + d;
+            self.pos += 1;
+        }
+        Ok(cp)
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let int_digits = self.digits()?;
+        if int_digits == 0 {
+            return Err(self.err("expected digits"));
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            if self.digits()? == 0 {
+                return Err(self.err("expected fraction digits"));
+            }
+        }
+        if matches!(self.peek(), Some(b'e') | Some(b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+') | Some(b'-')) {
+                self.pos += 1;
+            }
+            if self.digits()? == 0 {
+                return Err(self.err("expected exponent digits"));
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("bad number bytes"))?;
+        if is_float {
+            text.parse::<f64>()
+                .map(Json::Num)
+                .map_err(|_| self.err("unparseable float"))
+        } else {
+            match text.parse::<i128>() {
+                Ok(i) => Ok(Json::Int(i)),
+                // Out of i128 range: fall back to float semantics.
+                Err(_) => text
+                    .parse::<f64>()
+                    .map(Json::Num)
+                    .map_err(|_| self.err("unparseable number")),
+            }
+        }
+    }
+
+    fn digits(&mut self) -> Result<usize, JsonError> {
+        let start = self.pos;
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        Ok(self.pos - start)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_round_trip() {
+        for text in ["null", "true", "false", "0", "-7", "18446744073709551615"] {
+            let v = Json::parse(text).unwrap();
+            assert_eq!(v.encode(), text, "{text}");
+        }
+    }
+
+    #[test]
+    fn u64_max_survives() {
+        let v = Json::parse(&u64::MAX.to_string()).unwrap();
+        assert_eq!(v, Json::Int(u64::MAX as i128));
+        let back = Json::parse(&v.encode()).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn floats_round_trip_bit_identically() {
+        for f in [0.1, -2.5e-8, 1234.5678, 1e300, f64::MIN_POSITIVE, 3.0] {
+            let v = Json::Num(f);
+            let back = Json::parse(&v.encode()).unwrap();
+            match back {
+                Json::Num(g) => assert_eq!(g.to_bits(), f.to_bits(), "{f}"),
+                other => panic!("float {f} decoded as {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn strings_with_escapes_round_trip() {
+        let s = "quote \" backslash \\ newline \n tab \t unicode \u{1F600} nul-ish \u{0001}";
+        let v = Json::Str(s.to_string());
+        let back = Json::parse(&v.encode()).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn surrogate_pairs_decode() {
+        let v = Json::parse("\"\\ud83d\\ude00\"").unwrap();
+        assert_eq!(v, Json::Str("\u{1F600}".to_string()));
+        assert!(Json::parse("\"\\ud83d\"").is_err());
+        assert!(Json::parse("\"\\ud83dx\"").is_err());
+    }
+
+    #[test]
+    fn nested_structures_round_trip() {
+        let text = r#"{"a":[1,2.5,{"b":null,"c":[true,false]}],"d":"x"}"#;
+        let v = Json::parse(text).unwrap();
+        assert_eq!(v.encode(), text);
+    }
+
+    #[test]
+    fn garbage_is_rejected_not_panicked() {
+        for bad in [
+            "", "{", "[1,", "{\"a\"}", "tru", "1e", "\"\\q\"", "01x", "{}{}", "nan",
+            "[1 2]", "\u{0007}",
+        ] {
+            assert!(Json::parse(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn depth_limit_enforced() {
+        let deep = "[".repeat(MAX_DEPTH + 2) + &"]".repeat(MAX_DEPTH + 2);
+        assert_eq!(Json::parse(&deep), Err(JsonError::TooDeep));
+        let ok = "[".repeat(8) + &"]".repeat(8);
+        assert!(Json::parse(&ok).is_ok());
+    }
+
+    #[test]
+    fn typed_accessors_enforce_schema() {
+        let v = Json::parse(r#"{"id":7,"name":"x","fs":[1.5,2],"flag":true}"#).unwrap();
+        assert_eq!(v.u64_field("id").unwrap(), 7);
+        assert_eq!(v.str_field("name").unwrap(), "x");
+        assert_eq!(v.arr_field("fs").unwrap().len(), 2);
+        assert!(v.bool_field("flag").unwrap());
+        assert!(v.u64_field("name").is_err());
+        assert!(v.f64_field("missing").is_err());
+        assert_eq!(v.f64_field("id").unwrap(), 7.0);
+    }
+
+    #[test]
+    fn canonicalize_sorts_keys_recursively() {
+        let mut v = Json::parse(r#"{"b":1,"a":{"z":2,"y":3}}"#).unwrap();
+        v.canonicalize();
+        assert_eq!(v.encode(), r#"{"a":{"y":3,"z":2},"b":1}"#);
+    }
+
+    #[test]
+    fn integral_floats_stay_floats() {
+        let v = Json::Num(3.0);
+        assert_eq!(v.encode(), "3.0");
+        assert_eq!(Json::parse("3.0").unwrap(), Json::Num(3.0));
+    }
+}

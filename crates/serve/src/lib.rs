@@ -1,0 +1,59 @@
+//! # synergy-serve
+//!
+//! A concurrent energy-tuning daemon for the SYnergy stack. Long-lived
+//! services (schedulers, CI bots, autotuners) connect over TCP and ask
+//! the server to compile per-kernel frequency registries, predict
+//! metrics for raw feature vectors, or fetch measured Pareto frontiers
+//! — without paying model-training or process-startup cost per query,
+//! and with the trained-model cache ([`synergy_rt::ModelStore`]) shared
+//! across every client.
+//!
+//! The pieces:
+//!
+//! * [`protocol`] — length-prefixed JSON frames with typed
+//!   [`Request`]/[`Response`] enums and a hardened self-contained codec
+//!   ([`json`]).
+//! * [`server`] — the daemon: one reader thread per connection, a
+//!   bounded work queue with admission control (`Busy`) and per-request
+//!   deadlines (`Expired`), a worker pool with in-flight request
+//!   coalescing, and graceful drain.
+//! * [`client`] — a blocking client used by the CLI, the tests and the
+//!   `serve_perf` load generator.
+//!
+//! Quick start:
+//!
+//! ```
+//! use synergy_serve::{spawn, Client, ModelProfile, Request, Response, ServeConfig};
+//!
+//! let handle = spawn(ServeConfig {
+//!     profile: ModelProfile::small(),
+//!     ..ServeConfig::default()
+//! })
+//! .unwrap();
+//! let mut client = Client::connect(handle.addr()).unwrap();
+//! assert!(matches!(client.ping().unwrap(), Response::Pong));
+//! let resp = client.request(Request::Compile {
+//!     bench: "vec_add".to_string(),
+//!     device: "v100".to_string(),
+//!     targets: vec!["ES_50".to_string()],
+//! });
+//! assert!(matches!(resp.unwrap(), Response::Compiled { .. }));
+//! handle.drain();
+//! let stats = handle.join();
+//! assert_eq!(stats.responses, 2);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod json;
+pub mod protocol;
+pub mod server;
+
+pub use client::{Client, ClientError};
+pub use json::{Json, JsonError};
+pub use protocol::{
+    read_frame, write_frame, Decision, ErrorKind, FrameError, Request, RequestFrame, Response,
+    ResponseFrame, SweepPoint, WireDiagnostic, MAX_FRAME_LEN,
+};
+pub use server::{spawn, ModelProfile, ServeConfig, ServerHandle, StatsSnapshot};

@@ -1,0 +1,916 @@
+//! The `synergy-serve` wire protocol.
+//!
+//! Frames are a 4-byte big-endian length prefix followed by exactly that
+//! many bytes of UTF-8 JSON (the [`json`](crate::json) codec, not
+//! `serde_json`, so every field round-trips bit-identically). Requests
+//! and responses are tagged objects:
+//!
+//! ```text
+//! frame     := u32_be(len) payload[len]            len <= MAX_FRAME_LEN
+//! request   := {"id": u64, "deadline_ms": u64, "op": <op>, ...fields}
+//! response  := {"id": u64, "op": <op>, ...fields}
+//! ```
+//!
+//! The `id` is chosen by the client and echoed verbatim; on one
+//! connection responses may arrive out of order relative to *other*
+//! clients' traffic but each connection's responses carry the ids it
+//! sent, so a blocking client can simply match them up. A `deadline_ms`
+//! of 0 means "use the server default".
+
+use std::io::{Read, Write};
+
+use crate::json::{Json, JsonError};
+
+/// Hard ceiling on a frame's payload length. Anything longer is a
+/// protocol violation — the peer is garbage or hostile — and the
+/// connection is dropped without allocating the claimed size.
+pub const MAX_FRAME_LEN: usize = 8 * 1024 * 1024;
+
+/// Why reading or decoding a frame failed.
+#[derive(Debug)]
+pub enum FrameError {
+    /// The peer closed the connection cleanly at a frame boundary.
+    Closed,
+    /// An I/O error (including read timeouts, which the server's reader
+    /// loop inspects via [`std::io::Error::kind`]).
+    Io(std::io::Error),
+    /// The length prefix exceeds [`MAX_FRAME_LEN`].
+    TooLarge {
+        /// The claimed payload length.
+        claimed: usize,
+    },
+    /// The payload was not a well-formed protocol message.
+    Malformed(String),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Closed => write!(f, "connection closed"),
+            FrameError::Io(e) => write!(f, "i/o error: {e}"),
+            FrameError::TooLarge { claimed } => {
+                write!(f, "frame of {claimed} bytes exceeds cap of {MAX_FRAME_LEN}")
+            }
+            FrameError::Malformed(m) => write!(f, "malformed frame: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<JsonError> for FrameError {
+    fn from(e: JsonError) -> Self {
+        FrameError::Malformed(e.to_string())
+    }
+}
+
+/// Write one length-prefixed frame.
+pub fn write_frame(w: &mut dyn Write, payload: &[u8]) -> std::io::Result<()> {
+    let len = payload.len() as u32;
+    w.write_all(&len.to_be_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Read one length-prefixed frame.
+///
+/// Returns [`FrameError::Closed`] only for EOF exactly at a frame
+/// boundary; EOF mid-frame is an I/O error (truncated peer).
+pub fn read_frame(r: &mut dyn Read) -> Result<Vec<u8>, FrameError> {
+    let mut len_buf = [0u8; 4];
+    let mut filled = 0;
+    while filled < 4 {
+        match r.read(&mut len_buf[filled..]) {
+            Ok(0) => {
+                return if filled == 0 {
+                    Err(FrameError::Closed)
+                } else {
+                    Err(FrameError::Io(std::io::Error::new(
+                        std::io::ErrorKind::UnexpectedEof,
+                        "eof inside length prefix",
+                    )))
+                };
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    let len = u32::from_be_bytes(len_buf) as usize;
+    if len > MAX_FRAME_LEN {
+        return Err(FrameError::TooLarge { claimed: len });
+    }
+    let mut payload = vec![0u8; len];
+    let mut got = 0;
+    while got < len {
+        match r.read(&mut payload[got..]) {
+            Ok(0) => {
+                return Err(FrameError::Io(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "eof inside frame payload",
+                )));
+            }
+            Ok(n) => got += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    Ok(payload)
+}
+
+/// A request body.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Liveness probe.
+    Ping,
+    /// Compile one suite benchmark for a device: train (or fetch cached)
+    /// models, lint, and fill a per-kernel frequency registry for the
+    /// named energy targets (empty = the full paper set).
+    Compile {
+        /// Suite benchmark name (`vec_add`, `mat_mul`, ...).
+        bench: String,
+        /// Device key (`v100`, `a100`, `mi100`, `titanx`).
+        device: String,
+        /// Energy-target names (`ES_50`, `MIN_EDP`, ...); empty for all.
+        targets: Vec<String>,
+    },
+    /// Predict the four metrics for a raw feature vector at one clock
+    /// configuration.
+    Predict {
+        /// Device key.
+        device: String,
+        /// Static feature vector (must be `NUM_FEATURES` long).
+        features: Vec<f64>,
+        /// Memory clock, MHz.
+        mem_mhz: u32,
+        /// Core clock, MHz.
+        core_mhz: u32,
+    },
+    /// Run the measured frequency sweep for a benchmark's first kernel
+    /// and return the Pareto-efficient (time, energy) frontier.
+    Sweep {
+        /// Suite benchmark name.
+        bench: String,
+        /// Device key.
+        device: String,
+    },
+    /// Server counters snapshot.
+    Stats,
+    /// Begin graceful shutdown: stop accepting, finish queued work.
+    Drain,
+}
+
+impl Request {
+    /// Stable lowercase tag, used on the wire and in telemetry.
+    pub fn op(&self) -> &'static str {
+        match self {
+            Request::Ping => "ping",
+            Request::Compile { .. } => "compile",
+            Request::Predict { .. } => "predict",
+            Request::Sweep { .. } => "sweep",
+            Request::Stats => "stats",
+            Request::Drain => "drain",
+        }
+    }
+}
+
+/// One registry entry in a [`Response::Compiled`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Decision {
+    /// Kernel name.
+    pub kernel: String,
+    /// Energy-target name.
+    pub target: String,
+    /// Chosen memory clock, MHz.
+    pub mem_mhz: u32,
+    /// Chosen core clock, MHz.
+    pub core_mhz: u32,
+}
+
+/// One frontier point in a [`Response::SweepFront`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepPoint {
+    /// Memory clock, MHz.
+    pub mem_mhz: u32,
+    /// Core clock, MHz.
+    pub core_mhz: u32,
+    /// Measured execution time, seconds.
+    pub time_s: f64,
+    /// Measured energy, joules.
+    pub energy_j: f64,
+}
+
+/// One `synergy-analyze` diagnostic carried in an error response.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireDiagnostic {
+    /// Stable code (`IR003`, `SW001`, ...).
+    pub code: String,
+    /// Severity label (`deny`, `warn`, `note`).
+    pub severity: String,
+    /// Where in the artifact.
+    pub path: String,
+    /// Human-readable message.
+    pub message: String,
+}
+
+/// Machine-readable error class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// The request was syntactically valid but semantically wrong
+    /// (unknown benchmark/device/target, wrong feature count, ...).
+    BadRequest,
+    /// `synergy-analyze` raised deny-level findings; the compile was
+    /// refused. The diagnostics ride along.
+    LintDeny,
+    /// The server failed internally.
+    Internal,
+}
+
+impl ErrorKind {
+    /// Stable lowercase name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ErrorKind::BadRequest => "bad_request",
+            ErrorKind::LintDeny => "lint_deny",
+            ErrorKind::Internal => "internal",
+        }
+    }
+
+    fn from_name(s: &str) -> Option<ErrorKind> {
+        Some(match s {
+            "bad_request" => ErrorKind::BadRequest,
+            "lint_deny" => ErrorKind::LintDeny,
+            "internal" => ErrorKind::Internal,
+            _ => return None,
+        })
+    }
+}
+
+/// A response body.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Reply to [`Request::Ping`].
+    Pong,
+    /// Reply to [`Request::Compile`].
+    Compiled {
+        /// Device key the registry was built for.
+        device: String,
+        /// Whether this response was produced by joining an identical
+        /// in-flight computation instead of computing independently.
+        coalesced: bool,
+        /// The per-kernel, per-target clock decisions.
+        decisions: Vec<Decision>,
+    },
+    /// Reply to [`Request::Predict`].
+    Predicted {
+        /// Predicted time, seconds.
+        time_s: f64,
+        /// Predicted energy, joules.
+        energy_j: f64,
+        /// Predicted energy-delay product.
+        edp: f64,
+        /// Predicted energy-delay-squared product.
+        ed2p: f64,
+    },
+    /// Reply to [`Request::Sweep`].
+    SweepFront {
+        /// Device key.
+        device: String,
+        /// Benchmark name.
+        bench: String,
+        /// Total clock configurations swept.
+        configurations: u64,
+        /// Pareto-efficient (time, energy) frontier, ascending time.
+        pareto: Vec<SweepPoint>,
+    },
+    /// Reply to [`Request::Stats`].
+    StatsReply {
+        /// Connections accepted since start.
+        connections: u64,
+        /// Requests admitted to the queue.
+        enqueued: u64,
+        /// Requests rejected at admission.
+        busy_rejections: u64,
+        /// Requests whose deadline expired in the queue.
+        expired: u64,
+        /// Responses written (all kinds).
+        responses: u64,
+        /// Requests that led an in-flight computation.
+        coalesce_leaders: u64,
+        /// Requests that joined an in-flight computation.
+        coalesce_joins: u64,
+        /// Compiles refused by deny-level lint findings.
+        lint_denials: u64,
+        /// Error responses written.
+        errors: u64,
+        /// Current queue depth.
+        queue_depth: u64,
+        /// High-water queue depth.
+        queue_depth_max: u64,
+        /// Whether the server is draining.
+        draining: bool,
+    },
+    /// Admission control: the queue is full, try again later.
+    Busy {
+        /// Suggested client back-off, milliseconds.
+        retry_after_ms: u64,
+    },
+    /// The server is draining and rejected new work.
+    Draining {
+        /// Requests still in flight at rejection time.
+        pending: u64,
+    },
+    /// The request's deadline expired before a worker picked it up.
+    Expired {
+        /// How long the request waited, milliseconds.
+        waited_ms: u64,
+    },
+    /// The request failed.
+    Error {
+        /// Machine-readable class.
+        kind: ErrorKind,
+        /// Human-readable explanation.
+        message: String,
+        /// Lint diagnostics, for [`ErrorKind::LintDeny`].
+        diagnostics: Vec<WireDiagnostic>,
+    },
+}
+
+impl Response {
+    /// Stable lowercase tag, used on the wire and in telemetry.
+    pub fn op(&self) -> &'static str {
+        match self {
+            Response::Pong => "pong",
+            Response::Compiled { .. } => "compiled",
+            Response::Predicted { .. } => "predicted",
+            Response::SweepFront { .. } => "sweep_front",
+            Response::StatsReply { .. } => "stats",
+            Response::Busy { .. } => "busy",
+            Response::Draining { .. } => "draining",
+            Response::Expired { .. } => "expired",
+            Response::Error { .. } => "error",
+        }
+    }
+}
+
+/// A request plus its envelope fields.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RequestFrame {
+    /// Client-chosen correlation id, echoed in the response.
+    pub id: u64,
+    /// Queue-wait budget in milliseconds; 0 = server default.
+    pub deadline_ms: u64,
+    /// The request body.
+    pub req: Request,
+}
+
+/// A response plus its envelope fields.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResponseFrame {
+    /// The id of the request this answers.
+    pub id: u64,
+    /// The response body.
+    pub resp: Response,
+}
+
+fn f64s(items: &[f64]) -> Json {
+    Json::Arr(items.iter().map(|f| Json::Num(*f)).collect())
+}
+
+fn strs(items: &[String]) -> Json {
+    Json::Arr(items.iter().map(|s| Json::Str(s.clone())).collect())
+}
+
+impl RequestFrame {
+    /// Encode to compact JSON bytes (unframed).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut fields = vec![
+            ("id", Json::Int(self.id as i128)),
+            ("deadline_ms", Json::Int(self.deadline_ms as i128)),
+            ("op", Json::Str(self.req.op().to_string())),
+        ];
+        match &self.req {
+            Request::Ping | Request::Stats | Request::Drain => {}
+            Request::Compile {
+                bench,
+                device,
+                targets,
+            } => {
+                fields.push(("bench", Json::Str(bench.clone())));
+                fields.push(("device", Json::Str(device.clone())));
+                fields.push(("targets", strs(targets)));
+            }
+            Request::Predict {
+                device,
+                features,
+                mem_mhz,
+                core_mhz,
+            } => {
+                fields.push(("device", Json::Str(device.clone())));
+                fields.push(("features", f64s(features)));
+                fields.push(("mem_mhz", Json::Int(*mem_mhz as i128)));
+                fields.push(("core_mhz", Json::Int(*core_mhz as i128)));
+            }
+            Request::Sweep { bench, device } => {
+                fields.push(("bench", Json::Str(bench.clone())));
+                fields.push(("device", Json::Str(device.clone())));
+            }
+        }
+        Json::obj(fields).encode().into_bytes()
+    }
+
+    /// Decode from JSON bytes.
+    pub fn decode(bytes: &[u8]) -> Result<RequestFrame, FrameError> {
+        let text = std::str::from_utf8(bytes)
+            .map_err(|_| FrameError::Malformed("payload is not utf-8".to_string()))?;
+        let v = Json::parse(text)?;
+        let id = v.u64_field("id")?;
+        let deadline_ms = v.u64_field("deadline_ms")?;
+        let op = v.str_field("op")?;
+        let req = match op {
+            "ping" => Request::Ping,
+            "stats" => Request::Stats,
+            "drain" => Request::Drain,
+            "compile" => Request::Compile {
+                bench: v.str_field("bench")?.to_string(),
+                device: v.str_field("device")?.to_string(),
+                targets: {
+                    let mut out = Vec::new();
+                    for t in v.arr_field("targets")? {
+                        out.push(
+                            t.as_str()
+                                .ok_or_else(|| {
+                                    FrameError::Malformed("non-string target".to_string())
+                                })?
+                                .to_string(),
+                        );
+                    }
+                    out
+                },
+            },
+            "predict" => Request::Predict {
+                device: v.str_field("device")?.to_string(),
+                features: {
+                    let mut out = Vec::new();
+                    for f in v.arr_field("features")? {
+                        out.push(f.as_f64().ok_or_else(|| {
+                            FrameError::Malformed("non-numeric feature".to_string())
+                        })?);
+                    }
+                    out
+                },
+                mem_mhz: v.u32_field("mem_mhz")?,
+                core_mhz: v.u32_field("core_mhz")?,
+            },
+            "sweep" => Request::Sweep {
+                bench: v.str_field("bench")?.to_string(),
+                device: v.str_field("device")?.to_string(),
+            },
+            other => {
+                return Err(FrameError::Malformed(format!("unknown request op `{other}`")));
+            }
+        };
+        Ok(RequestFrame {
+            id,
+            deadline_ms,
+            req,
+        })
+    }
+}
+
+impl ResponseFrame {
+    /// Encode to compact JSON bytes (unframed).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut fields = vec![
+            ("id", Json::Int(self.id as i128)),
+            ("op", Json::Str(self.resp.op().to_string())),
+        ];
+        match &self.resp {
+            Response::Pong => {}
+            Response::Compiled {
+                device,
+                coalesced,
+                decisions,
+            } => {
+                fields.push(("device", Json::Str(device.clone())));
+                fields.push(("coalesced", Json::Bool(*coalesced)));
+                fields.push((
+                    "decisions",
+                    Json::Arr(
+                        decisions
+                            .iter()
+                            .map(|d| {
+                                Json::obj(vec![
+                                    ("kernel", Json::Str(d.kernel.clone())),
+                                    ("target", Json::Str(d.target.clone())),
+                                    ("mem_mhz", Json::Int(d.mem_mhz as i128)),
+                                    ("core_mhz", Json::Int(d.core_mhz as i128)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ));
+            }
+            Response::Predicted {
+                time_s,
+                energy_j,
+                edp,
+                ed2p,
+            } => {
+                fields.push(("time_s", Json::Num(*time_s)));
+                fields.push(("energy_j", Json::Num(*energy_j)));
+                fields.push(("edp", Json::Num(*edp)));
+                fields.push(("ed2p", Json::Num(*ed2p)));
+            }
+            Response::SweepFront {
+                device,
+                bench,
+                configurations,
+                pareto,
+            } => {
+                fields.push(("device", Json::Str(device.clone())));
+                fields.push(("bench", Json::Str(bench.clone())));
+                fields.push(("configurations", Json::Int(*configurations as i128)));
+                fields.push((
+                    "pareto",
+                    Json::Arr(
+                        pareto
+                            .iter()
+                            .map(|p| {
+                                Json::obj(vec![
+                                    ("mem_mhz", Json::Int(p.mem_mhz as i128)),
+                                    ("core_mhz", Json::Int(p.core_mhz as i128)),
+                                    ("time_s", Json::Num(p.time_s)),
+                                    ("energy_j", Json::Num(p.energy_j)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ));
+            }
+            Response::StatsReply {
+                connections,
+                enqueued,
+                busy_rejections,
+                expired,
+                responses,
+                coalesce_leaders,
+                coalesce_joins,
+                lint_denials,
+                errors,
+                queue_depth,
+                queue_depth_max,
+                draining,
+            } => {
+                fields.push(("connections", Json::Int(*connections as i128)));
+                fields.push(("enqueued", Json::Int(*enqueued as i128)));
+                fields.push(("busy_rejections", Json::Int(*busy_rejections as i128)));
+                fields.push(("expired", Json::Int(*expired as i128)));
+                fields.push(("responses", Json::Int(*responses as i128)));
+                fields.push(("coalesce_leaders", Json::Int(*coalesce_leaders as i128)));
+                fields.push(("coalesce_joins", Json::Int(*coalesce_joins as i128)));
+                fields.push(("lint_denials", Json::Int(*lint_denials as i128)));
+                fields.push(("errors", Json::Int(*errors as i128)));
+                fields.push(("queue_depth", Json::Int(*queue_depth as i128)));
+                fields.push(("queue_depth_max", Json::Int(*queue_depth_max as i128)));
+                fields.push(("draining", Json::Bool(*draining)));
+            }
+            Response::Busy { retry_after_ms } => {
+                fields.push(("retry_after_ms", Json::Int(*retry_after_ms as i128)));
+            }
+            Response::Draining { pending } => {
+                fields.push(("pending", Json::Int(*pending as i128)));
+            }
+            Response::Expired { waited_ms } => {
+                fields.push(("waited_ms", Json::Int(*waited_ms as i128)));
+            }
+            Response::Error {
+                kind,
+                message,
+                diagnostics,
+            } => {
+                fields.push(("kind", Json::Str(kind.name().to_string())));
+                fields.push(("message", Json::Str(message.clone())));
+                fields.push((
+                    "diagnostics",
+                    Json::Arr(
+                        diagnostics
+                            .iter()
+                            .map(|d| {
+                                Json::obj(vec![
+                                    ("code", Json::Str(d.code.clone())),
+                                    ("severity", Json::Str(d.severity.clone())),
+                                    ("path", Json::Str(d.path.clone())),
+                                    ("message", Json::Str(d.message.clone())),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ));
+            }
+        }
+        Json::obj(fields).encode().into_bytes()
+    }
+
+    /// Decode from JSON bytes.
+    pub fn decode(bytes: &[u8]) -> Result<ResponseFrame, FrameError> {
+        let text = std::str::from_utf8(bytes)
+            .map_err(|_| FrameError::Malformed("payload is not utf-8".to_string()))?;
+        let v = Json::parse(text)?;
+        let id = v.u64_field("id")?;
+        let op = v.str_field("op")?;
+        let resp = match op {
+            "pong" => Response::Pong,
+            "compiled" => Response::Compiled {
+                device: v.str_field("device")?.to_string(),
+                coalesced: v.bool_field("coalesced")?,
+                decisions: {
+                    let mut out = Vec::new();
+                    for d in v.arr_field("decisions")? {
+                        out.push(Decision {
+                            kernel: d.str_field("kernel")?.to_string(),
+                            target: d.str_field("target")?.to_string(),
+                            mem_mhz: d.u32_field("mem_mhz")?,
+                            core_mhz: d.u32_field("core_mhz")?,
+                        });
+                    }
+                    out
+                },
+            },
+            "predicted" => Response::Predicted {
+                time_s: v.f64_field("time_s")?,
+                energy_j: v.f64_field("energy_j")?,
+                edp: v.f64_field("edp")?,
+                ed2p: v.f64_field("ed2p")?,
+            },
+            "sweep_front" => Response::SweepFront {
+                device: v.str_field("device")?.to_string(),
+                bench: v.str_field("bench")?.to_string(),
+                configurations: v.u64_field("configurations")?,
+                pareto: {
+                    let mut out = Vec::new();
+                    for p in v.arr_field("pareto")? {
+                        out.push(SweepPoint {
+                            mem_mhz: p.u32_field("mem_mhz")?,
+                            core_mhz: p.u32_field("core_mhz")?,
+                            time_s: p.f64_field("time_s")?,
+                            energy_j: p.f64_field("energy_j")?,
+                        });
+                    }
+                    out
+                },
+            },
+            "stats" => Response::StatsReply {
+                connections: v.u64_field("connections")?,
+                enqueued: v.u64_field("enqueued")?,
+                busy_rejections: v.u64_field("busy_rejections")?,
+                expired: v.u64_field("expired")?,
+                responses: v.u64_field("responses")?,
+                coalesce_leaders: v.u64_field("coalesce_leaders")?,
+                coalesce_joins: v.u64_field("coalesce_joins")?,
+                lint_denials: v.u64_field("lint_denials")?,
+                errors: v.u64_field("errors")?,
+                queue_depth: v.u64_field("queue_depth")?,
+                queue_depth_max: v.u64_field("queue_depth_max")?,
+                draining: v.bool_field("draining")?,
+            },
+            "busy" => Response::Busy {
+                retry_after_ms: v.u64_field("retry_after_ms")?,
+            },
+            "draining" => Response::Draining {
+                pending: v.u64_field("pending")?,
+            },
+            "expired" => Response::Expired {
+                waited_ms: v.u64_field("waited_ms")?,
+            },
+            "error" => Response::Error {
+                kind: ErrorKind::from_name(v.str_field("kind")?).ok_or_else(|| {
+                    FrameError::Malformed("unknown error kind".to_string())
+                })?,
+                message: v.str_field("message")?.to_string(),
+                diagnostics: {
+                    let mut out = Vec::new();
+                    for d in v.arr_field("diagnostics")? {
+                        out.push(WireDiagnostic {
+                            code: d.str_field("code")?.to_string(),
+                            severity: d.str_field("severity")?.to_string(),
+                            path: d.str_field("path")?.to_string(),
+                            message: d.str_field("message")?.to_string(),
+                        });
+                    }
+                    out
+                },
+            },
+            other => {
+                return Err(FrameError::Malformed(format!(
+                    "unknown response op `{other}`"
+                )));
+            }
+        };
+        Ok(ResponseFrame { id, resp })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rt_req(frame: RequestFrame) {
+        let bytes = frame.encode();
+        let back = RequestFrame::decode(&bytes).unwrap();
+        assert_eq!(back, frame);
+    }
+
+    fn rt_resp(frame: ResponseFrame) {
+        let bytes = frame.encode();
+        let back = ResponseFrame::decode(&bytes).unwrap();
+        assert_eq!(back, frame);
+    }
+
+    #[test]
+    fn every_request_round_trips() {
+        rt_req(RequestFrame {
+            id: u64::MAX,
+            deadline_ms: 0,
+            req: Request::Ping,
+        });
+        rt_req(RequestFrame {
+            id: 1,
+            deadline_ms: 250,
+            req: Request::Compile {
+                bench: "vec_add".to_string(),
+                device: "v100".to_string(),
+                targets: vec!["ES_50".to_string(), "MIN_EDP".to_string()],
+            },
+        });
+        rt_req(RequestFrame {
+            id: 2,
+            deadline_ms: 0,
+            req: Request::Predict {
+                device: "a100".to_string(),
+                features: vec![0.1, -2.5e-8, 1e300, 0.0],
+                mem_mhz: 877,
+                core_mhz: 1312,
+            },
+        });
+        rt_req(RequestFrame {
+            id: 3,
+            deadline_ms: 9,
+            req: Request::Sweep {
+                bench: "mat_mul".to_string(),
+                device: "mi100".to_string(),
+            },
+        });
+        rt_req(RequestFrame {
+            id: 4,
+            deadline_ms: 0,
+            req: Request::Stats,
+        });
+        rt_req(RequestFrame {
+            id: 5,
+            deadline_ms: 0,
+            req: Request::Drain,
+        });
+    }
+
+    #[test]
+    fn every_response_round_trips() {
+        rt_resp(ResponseFrame {
+            id: 7,
+            resp: Response::Pong,
+        });
+        rt_resp(ResponseFrame {
+            id: 8,
+            resp: Response::Compiled {
+                device: "v100".to_string(),
+                coalesced: true,
+                decisions: vec![Decision {
+                    kernel: "vec_add".to_string(),
+                    target: "ES_50".to_string(),
+                    mem_mhz: 877,
+                    core_mhz: 1312,
+                }],
+            },
+        });
+        rt_resp(ResponseFrame {
+            id: 9,
+            resp: Response::Predicted {
+                time_s: 0.001_234,
+                energy_j: 1.5,
+                edp: 0.001_851,
+                ed2p: 2.284e-6,
+            },
+        });
+        rt_resp(ResponseFrame {
+            id: 10,
+            resp: Response::SweepFront {
+                device: "titanx".to_string(),
+                bench: "vec_add".to_string(),
+                configurations: 48,
+                pareto: vec![SweepPoint {
+                    mem_mhz: 810,
+                    core_mhz: 1000,
+                    time_s: 0.002,
+                    energy_j: 0.9,
+                }],
+            },
+        });
+        rt_resp(ResponseFrame {
+            id: 11,
+            resp: Response::StatsReply {
+                connections: 1,
+                enqueued: 2,
+                busy_rejections: 3,
+                expired: 4,
+                responses: 5,
+                coalesce_leaders: 6,
+                coalesce_joins: 7,
+                lint_denials: 8,
+                errors: 9,
+                queue_depth: 10,
+                queue_depth_max: 11,
+                draining: true,
+            },
+        });
+        rt_resp(ResponseFrame {
+            id: 12,
+            resp: Response::Busy { retry_after_ms: 25 },
+        });
+        rt_resp(ResponseFrame {
+            id: 13,
+            resp: Response::Draining { pending: 2 },
+        });
+        rt_resp(ResponseFrame {
+            id: 14,
+            resp: Response::Expired { waited_ms: 50 },
+        });
+        rt_resp(ResponseFrame {
+            id: 15,
+            resp: Response::Error {
+                kind: ErrorKind::LintDeny,
+                message: "2 deny findings".to_string(),
+                diagnostics: vec![WireDiagnostic {
+                    code: "IR003".to_string(),
+                    severity: "deny".to_string(),
+                    path: "kernel/vec_add".to_string(),
+                    message: "unbounded loop".to_string(),
+                }],
+            },
+        });
+    }
+
+    #[test]
+    fn framing_round_trips_over_a_cursor() {
+        let frame = RequestFrame {
+            id: 42,
+            deadline_ms: 100,
+            req: Request::Stats,
+        };
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &frame.encode()).unwrap();
+        let mut cursor = std::io::Cursor::new(buf);
+        let payload = read_frame(&mut cursor).unwrap();
+        assert_eq!(RequestFrame::decode(&payload).unwrap(), frame);
+        // A second read hits clean EOF.
+        assert!(matches!(read_frame(&mut cursor), Err(FrameError::Closed)));
+    }
+
+    #[test]
+    fn oversized_frames_are_rejected_without_allocating() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(MAX_FRAME_LEN as u32 + 1).to_be_bytes());
+        let mut cursor = std::io::Cursor::new(buf);
+        assert!(matches!(
+            read_frame(&mut cursor),
+            Err(FrameError::TooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn truncated_frames_are_io_errors_not_panics() {
+        // Length says 100, only 3 bytes follow.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&100u32.to_be_bytes());
+        buf.extend_from_slice(b"abc");
+        let mut cursor = std::io::Cursor::new(buf);
+        assert!(matches!(read_frame(&mut cursor), Err(FrameError::Io(_))));
+        // EOF inside the length prefix itself.
+        let mut cursor = std::io::Cursor::new(vec![0u8, 0]);
+        assert!(matches!(read_frame(&mut cursor), Err(FrameError::Io(_))));
+    }
+
+    #[test]
+    fn garbage_payloads_decode_to_errors() {
+        for bad in [
+            &b"not json"[..],
+            br#"{"id":1}"#,
+            br#"{"id":"x","deadline_ms":0,"op":"ping"}"#,
+            br#"{"id":1,"deadline_ms":0,"op":"warp"}"#,
+            br#"{"id":1,"deadline_ms":0,"op":"compile","bench":"vec_add"}"#,
+            &[0xFF, 0xFE][..],
+        ] {
+            assert!(RequestFrame::decode(bad).is_err());
+            assert!(ResponseFrame::decode(bad).is_err());
+        }
+    }
+}

@@ -1,0 +1,1097 @@
+//! The daemon: acceptor, per-connection readers, a bounded work queue,
+//! and a worker pool.
+//!
+//! ```text
+//!              ┌────────────┐   try_push    ┌───────────────┐
+//!  TCP ──────► │ reader / N │ ────────────► │ BoundedQueue  │
+//!   accept     │ (1/conn)   │  full → Busy  │ (admission)   │
+//!              └────────────┘               └──────┬────────┘
+//!                    ▲                             │ pop
+//!                    │ responses                   ▼
+//!              ┌─────┴──────┐               ┌───────────────┐
+//!              │ TcpStream  │ ◄──────────── │ worker / K    │
+//!              │ Arc<Mutex> │               │ (coalescing)  │
+//!              └────────────┘               └───────────────┘
+//! ```
+//!
+//! **Control plane vs data plane.** `Ping`, `Stats` and `Drain` are
+//! answered directly by the connection's reader thread — they are O(1)
+//! and must keep working when the queue is saturated (a `Drain` that
+//! could be rejected `Busy` would make graceful shutdown impossible).
+//! `Compile`, `Predict` and `Sweep` go through the bounded queue and are
+//! subject to admission control and deadlines.
+//!
+//! **Admission control.** The queue has a hard capacity; a full queue
+//! rejects the request immediately with `Busy { retry_after_ms }` rather
+//! than queueing unbounded work. Each queued request also carries a
+//! deadline — if it expires before a worker dequeues it, the worker
+//! answers `Expired` without doing the work.
+//!
+//! **Coalescing.** `Compile` and `Sweep` requests are keyed by
+//! `(kernel-IR hash, device, target set)`. When a worker starts one, the
+//! key is published in an in-flight table; duplicates that arrive while
+//! it runs register as waiters and are answered from the leader's result
+//! (`coalesced: true`), never recomputing.
+//!
+//! **Drain.** `drain()` (or a `Drain` request) stops the acceptor,
+//! makes readers answer new data-plane requests with `Draining`, lets
+//! workers finish everything already admitted, then `join()` tears the
+//! threads down. No accepted request is dropped.
+
+use std::collections::{HashMap, VecDeque};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use parking_lot::{Condvar, Mutex};
+use synergy_analyze::LintRegistry;
+use synergy_apps as apps;
+use synergy_kernel::{generate_microbench, MicroBenchConfig, NUM_FEATURES};
+use synergy_metrics::{EnergyTarget, MetricPoint};
+use synergy_ml::ModelSelection;
+use synergy_rt::{compile_application_traced, measured_sweep, ModelStore};
+use synergy_sim::DeviceSpec;
+use synergy_telemetry::{EventKind, Recorder, ServeOp};
+
+use crate::protocol::{
+    read_frame, write_frame, Decision, ErrorKind, FrameError, Request, RequestFrame, Response,
+    ResponseFrame, SweepPoint, WireDiagnostic,
+};
+
+/// How model training is parameterized, mirroring the CLI's profiles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ModelProfile {
+    /// Sweep subsampling stride for training (larger = faster, coarser).
+    pub stride: usize,
+    /// Microbench generation seed.
+    pub seed: u64,
+}
+
+impl ModelProfile {
+    /// The paper-faithful profile (stride 8, seed 2023).
+    pub fn paper() -> ModelProfile {
+        ModelProfile {
+            stride: 8,
+            seed: 2023,
+        }
+    }
+
+    /// A fast profile for CI and smoke tests (stride 32).
+    pub fn small() -> ModelProfile {
+        ModelProfile {
+            stride: 32,
+            seed: 2023,
+        }
+    }
+}
+
+/// Daemon configuration.
+pub struct ServeConfig {
+    /// Bind address; use port 0 for an OS-assigned port.
+    pub addr: String,
+    /// Worker threads computing data-plane responses.
+    pub workers: usize,
+    /// Bounded queue capacity (admission-control knob).
+    pub queue_capacity: usize,
+    /// Queue-wait budget applied when a request's `deadline_ms` is 0.
+    pub default_deadline_ms: u64,
+    /// Back-off hint carried in `Busy` responses.
+    pub retry_after_ms: u64,
+    /// Training profile.
+    pub profile: ModelProfile,
+    /// Synthetic per-request service time added before data-plane
+    /// computation. Zero in production; load tests raise it to make
+    /// queueing and coalescing observable at realistic service rates.
+    pub compute_delay: Duration,
+    /// Model store override; `None` uses [`ModelStore::global()`].
+    pub store: Option<Arc<ModelStore>>,
+    /// Telemetry sink; disabled by default.
+    pub recorder: Arc<Recorder>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 4,
+            queue_capacity: 64,
+            default_deadline_ms: 5_000,
+            retry_after_ms: 25,
+            profile: ModelProfile::paper(),
+            compute_delay: Duration::ZERO,
+            store: None,
+            recorder: Arc::new(Recorder::disabled()),
+        }
+    }
+}
+
+/// A point-in-time copy of the server counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Connections accepted since start.
+    pub connections: u64,
+    /// Requests admitted to the queue.
+    pub enqueued: u64,
+    /// Requests rejected at admission.
+    pub busy_rejections: u64,
+    /// Requests whose deadline expired in the queue.
+    pub expired: u64,
+    /// Responses written (all kinds).
+    pub responses: u64,
+    /// Requests that led an in-flight computation.
+    pub coalesce_leaders: u64,
+    /// Requests that joined an in-flight computation.
+    pub coalesce_joins: u64,
+    /// Compiles refused by deny-level lint findings.
+    pub lint_denials: u64,
+    /// Error responses written.
+    pub errors: u64,
+    /// Current queue depth.
+    pub queue_depth: u64,
+    /// High-water queue depth.
+    pub queue_depth_max: u64,
+    /// Whether the server is draining.
+    pub draining: bool,
+}
+
+impl StatsSnapshot {
+    fn to_response(self) -> Response {
+        Response::StatsReply {
+            connections: self.connections,
+            enqueued: self.enqueued,
+            busy_rejections: self.busy_rejections,
+            expired: self.expired,
+            responses: self.responses,
+            coalesce_leaders: self.coalesce_leaders,
+            coalesce_joins: self.coalesce_joins,
+            lint_denials: self.lint_denials,
+            errors: self.errors,
+            queue_depth: self.queue_depth,
+            queue_depth_max: self.queue_depth_max,
+            draining: self.draining,
+        }
+    }
+}
+
+#[derive(Default)]
+struct Counters {
+    connections: AtomicU64,
+    enqueued: AtomicU64,
+    busy_rejections: AtomicU64,
+    expired: AtomicU64,
+    responses: AtomicU64,
+    coalesce_leaders: AtomicU64,
+    coalesce_joins: AtomicU64,
+    lint_denials: AtomicU64,
+    errors: AtomicU64,
+    queue_depth_max: AtomicU64,
+}
+
+impl Counters {
+    fn bump(&self, c: &AtomicU64) {
+        c.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn watermark_depth(&self, depth: u64) {
+        self.queue_depth_max.fetch_max(depth, Ordering::Relaxed);
+    }
+}
+
+/// A multi-producer, multi-consumer FIFO with a hard capacity.
+///
+/// `try_push` never blocks (admission control wants an immediate
+/// verdict); `pop` blocks until an item arrives or the queue is closed
+/// *and* empty, so closing drains rather than drops.
+struct BoundedQueue<T> {
+    inner: Mutex<QueueInner<T>>,
+    available: Condvar,
+    capacity: usize,
+}
+
+struct QueueInner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// Why `try_push` refused an item.
+enum PushError {
+    Full,
+    Closed,
+}
+
+impl<T> BoundedQueue<T> {
+    fn new(capacity: usize) -> BoundedQueue<T> {
+        BoundedQueue {
+            inner: Mutex::new(QueueInner {
+                items: VecDeque::with_capacity(capacity),
+                closed: false,
+            }),
+            available: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// Admit an item, or report why not. Returns the depth after the
+    /// push on success.
+    fn try_push(&self, item: T) -> Result<usize, PushError> {
+        let mut inner = self.inner.lock();
+        if inner.closed {
+            return Err(PushError::Closed);
+        }
+        if inner.items.len() >= self.capacity {
+            return Err(PushError::Full);
+        }
+        inner.items.push_back(item);
+        let depth = inner.items.len();
+        drop(inner);
+        self.available.notify_one();
+        Ok(depth)
+    }
+
+    /// Block until an item is available; `None` once closed and empty.
+    fn pop(&self) -> Option<T> {
+        let mut inner = self.inner.lock();
+        loop {
+            if let Some(item) = inner.items.pop_front() {
+                return Some(item);
+            }
+            if inner.closed {
+                return None;
+            }
+            self.available.wait(&mut inner);
+        }
+    }
+
+    /// Stop accepting; wake every blocked consumer so the remaining
+    /// items drain and the pool can exit.
+    fn close(&self) {
+        self.inner.lock().closed = true;
+        self.available.notify_all();
+    }
+
+    fn len(&self) -> usize {
+        self.inner.lock().items.len()
+    }
+}
+
+/// One admitted data-plane request, waiting for a worker.
+struct Job {
+    conn: u64,
+    frame: RequestFrame,
+    admitted: Instant,
+    deadline: Duration,
+    writer: Arc<Mutex<TcpStream>>,
+}
+
+/// A duplicate request parked on an in-flight computation.
+struct Waiter {
+    conn: u64,
+    id: u64,
+    writer: Arc<Mutex<TcpStream>>,
+}
+
+struct Shared {
+    profile: ModelProfile,
+    default_deadline: Duration,
+    retry_after_ms: u64,
+    compute_delay: Duration,
+    store: Option<Arc<ModelStore>>,
+    recorder: Arc<Recorder>,
+    queue: BoundedQueue<Job>,
+    counters: Counters,
+    draining: AtomicBool,
+    shutdown: AtomicBool,
+    readers: Mutex<Vec<JoinHandle<()>>>,
+    inflight: Mutex<HashMap<String, Vec<Waiter>>>,
+}
+
+impl Shared {
+    fn store(&self) -> &ModelStore {
+        match &self.store {
+            Some(s) => s,
+            None => ModelStore::global(),
+        }
+    }
+
+    fn snapshot(&self) -> StatsSnapshot {
+        let c = &self.counters;
+        StatsSnapshot {
+            connections: c.connections.load(Ordering::Relaxed),
+            enqueued: c.enqueued.load(Ordering::Relaxed),
+            busy_rejections: c.busy_rejections.load(Ordering::Relaxed),
+            expired: c.expired.load(Ordering::Relaxed),
+            responses: c.responses.load(Ordering::Relaxed),
+            coalesce_leaders: c.coalesce_leaders.load(Ordering::Relaxed),
+            coalesce_joins: c.coalesce_joins.load(Ordering::Relaxed),
+            lint_denials: c.lint_denials.load(Ordering::Relaxed),
+            errors: c.errors.load(Ordering::Relaxed),
+            queue_depth: self.queue.len() as u64,
+            queue_depth_max: c.queue_depth_max.load(Ordering::Relaxed),
+            draining: self.draining.load(Ordering::Relaxed),
+        }
+    }
+
+    fn serve_event(&self, op: ServeOp, conn: u64, req: u64, detail: &str) {
+        self.recorder.record_with(0, || EventKind::Serve {
+            op,
+            conn,
+            req,
+            detail: detail.to_string(),
+            queue_depth: self.queue.len() as u64,
+        });
+    }
+
+    /// Serialize, frame and send one response; accounting included.
+    /// Write errors mean the client went away — not the server's
+    /// problem, so they are swallowed after counting the attempt.
+    fn respond(&self, writer: &Arc<Mutex<TcpStream>>, conn: u64, frame: ResponseFrame) {
+        let op = frame.resp.op();
+        if matches!(frame.resp, Response::Error { .. }) {
+            self.counters.bump(&self.counters.errors);
+        }
+        let payload = frame.encode();
+        let mut stream = writer.lock();
+        let _ = write_frame(&mut *stream, &payload);
+        drop(stream);
+        self.counters.bump(&self.counters.responses);
+        self.serve_event(ServeOp::Respond, conn, frame.id, op);
+    }
+}
+
+/// A running daemon. Dropping the handle without calling [`join`]
+/// detaches the threads; call [`drain`] + [`join`] for a clean stop.
+///
+/// [`join`]: ServerHandle::join
+/// [`drain`]: ServerHandle::drain
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.shared.snapshot()
+    }
+
+    /// Begin graceful shutdown: stop accepting connections, answer new
+    /// data-plane requests with `Draining`, keep computing admitted
+    /// work. Idempotent.
+    pub fn drain(&self) {
+        begin_drain(&self.shared);
+    }
+
+    /// Drain (if not already draining), wait for every admitted request
+    /// to be answered, tear down all threads, and return the final
+    /// counters.
+    pub fn join(mut self) -> StatsSnapshot {
+        self.drain();
+        if let Some(a) = self.acceptor.take() {
+            let _ = a.join();
+        }
+        // No producer is left (acceptor gone, readers reject while
+        // draining): close the queue so workers drain it and exit.
+        self.shared.queue.close();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        // Admitted work is done; now release the readers, which poll
+        // the shutdown flag on their read timeout.
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        let readers: Vec<JoinHandle<()>> = std::mem::take(&mut *self.shared.readers.lock());
+        for r in readers {
+            let _ = r.join();
+        }
+        self.shared.snapshot()
+    }
+}
+
+fn begin_drain(shared: &Shared) {
+    if !shared.draining.swap(true, Ordering::SeqCst) {
+        shared.serve_event(ServeOp::Drain, 0, 0, "drain");
+    }
+}
+
+/// Bind and spawn the daemon threads.
+pub fn spawn(config: ServeConfig) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&config.addr)?;
+    listener.set_nonblocking(true)?;
+    let addr = listener.local_addr()?;
+
+    let shared = Arc::new(Shared {
+        profile: config.profile,
+        default_deadline: Duration::from_millis(config.default_deadline_ms.max(1)),
+        retry_after_ms: config.retry_after_ms,
+        compute_delay: config.compute_delay,
+        store: config.store,
+        recorder: config.recorder,
+        queue: BoundedQueue::new(config.queue_capacity.max(1)),
+        counters: Counters::default(),
+        draining: AtomicBool::new(false),
+        shutdown: AtomicBool::new(false),
+        readers: Mutex::new(Vec::new()),
+        inflight: Mutex::new(HashMap::new()),
+    });
+
+    let mut workers = Vec::with_capacity(config.workers.max(1));
+    for i in 0..config.workers.max(1) {
+        let shared = Arc::clone(&shared);
+        workers.push(
+            std::thread::Builder::new()
+                .name(format!("serve-worker-{i}"))
+                .spawn(move || worker_loop(&shared))?,
+        );
+    }
+
+    let acceptor = {
+        let shared = Arc::clone(&shared);
+        std::thread::Builder::new()
+            .name("serve-acceptor".to_string())
+            .spawn(move || acceptor_loop(listener, &shared))?
+    };
+
+    Ok(ServerHandle {
+        addr,
+        shared,
+        acceptor: Some(acceptor),
+        workers,
+    })
+}
+
+fn acceptor_loop(listener: TcpListener, shared: &Arc<Shared>) {
+    let mut next_conn: u64 = 0;
+    loop {
+        if shared.draining.load(Ordering::SeqCst) {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                next_conn += 1;
+                let conn = next_conn;
+                shared.counters.bump(&shared.counters.connections);
+                shared.serve_event(ServeOp::Accept, conn, 0, "accept");
+                let shared2 = Arc::clone(shared);
+                let handle = std::thread::Builder::new()
+                    .name(format!("serve-conn-{conn}"))
+                    .spawn(move || reader_loop(stream, conn, &shared2));
+                match handle {
+                    Ok(h) => shared.readers.lock().push(h),
+                    Err(_) => {
+                        // Thread spawn failed (resource exhaustion);
+                        // drop the connection rather than the server.
+                    }
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(_) => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+        }
+    }
+}
+
+fn reader_loop(stream: TcpStream, conn: u64, shared: &Arc<Shared>) {
+    // The read timeout doubles as the shutdown poll interval.
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
+    let _ = stream.set_nodelay(true);
+    let writer = match stream.try_clone() {
+        Ok(w) => Arc::new(Mutex::new(w)),
+        Err(_) => return,
+    };
+    let mut reader = stream;
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let payload = match read_frame(&mut reader) {
+            Ok(p) => p,
+            Err(FrameError::Closed) => return,
+            Err(FrameError::Io(e))
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            Err(FrameError::Io(_)) => return,
+            Err(FrameError::TooLarge { claimed }) => {
+                // The stream is out of sync past an oversized prefix;
+                // report and hang up.
+                shared.respond(
+                    &writer,
+                    conn,
+                    ResponseFrame {
+                        id: 0,
+                        resp: Response::Error {
+                            kind: ErrorKind::BadRequest,
+                            message: format!(
+                                "frame of {claimed} bytes exceeds the protocol cap"
+                            ),
+                            diagnostics: Vec::new(),
+                        },
+                    },
+                );
+                return;
+            }
+            Err(FrameError::Malformed(m)) => {
+                shared.respond(
+                    &writer,
+                    conn,
+                    ResponseFrame {
+                        id: 0,
+                        resp: Response::Error {
+                            kind: ErrorKind::BadRequest,
+                            message: m,
+                            diagnostics: Vec::new(),
+                        },
+                    },
+                );
+                return;
+            }
+        };
+        let frame = match RequestFrame::decode(&payload) {
+            Ok(f) => f,
+            Err(e) => {
+                // A complete but meaningless frame: answer and keep the
+                // connection — framing is still in sync.
+                shared.respond(
+                    &writer,
+                    conn,
+                    ResponseFrame {
+                        id: 0,
+                        resp: Response::Error {
+                            kind: ErrorKind::BadRequest,
+                            message: e.to_string(),
+                            diagnostics: Vec::new(),
+                        },
+                    },
+                );
+                continue;
+            }
+        };
+        let id = frame.id;
+        match frame.req {
+            // Control plane: answered here, immune to queue pressure.
+            Request::Ping => {
+                shared.respond(
+                    &writer,
+                    conn,
+                    ResponseFrame {
+                        id,
+                        resp: Response::Pong,
+                    },
+                );
+            }
+            Request::Stats => {
+                shared.respond(
+                    &writer,
+                    conn,
+                    ResponseFrame {
+                        id,
+                        resp: shared.snapshot().to_response(),
+                    },
+                );
+            }
+            Request::Drain => {
+                begin_drain(shared);
+                shared.respond(
+                    &writer,
+                    conn,
+                    ResponseFrame {
+                        id,
+                        resp: Response::Draining {
+                            pending: shared.queue.len() as u64,
+                        },
+                    },
+                );
+            }
+            // Data plane: admission control, then the queue.
+            req @ (Request::Compile { .. } | Request::Predict { .. } | Request::Sweep { .. }) => {
+                let op = req.op();
+                if shared.draining.load(Ordering::SeqCst) {
+                    shared.respond(
+                        &writer,
+                        conn,
+                        ResponseFrame {
+                            id,
+                            resp: Response::Draining {
+                                pending: shared.queue.len() as u64,
+                            },
+                        },
+                    );
+                    continue;
+                }
+                let deadline = if frame.deadline_ms == 0 {
+                    shared.default_deadline
+                } else {
+                    Duration::from_millis(frame.deadline_ms)
+                };
+                let job = Job {
+                    conn,
+                    frame: RequestFrame {
+                        id,
+                        deadline_ms: frame.deadline_ms,
+                        req,
+                    },
+                    admitted: Instant::now(),
+                    deadline,
+                    writer: Arc::clone(&writer),
+                };
+                match shared.queue.try_push(job) {
+                    Ok(depth) => {
+                        shared.counters.bump(&shared.counters.enqueued);
+                        shared.counters.watermark_depth(depth as u64);
+                        shared.serve_event(ServeOp::Enqueue, conn, id, op);
+                    }
+                    Err(PushError::Full) => {
+                        shared.counters.bump(&shared.counters.busy_rejections);
+                        shared.serve_event(ServeOp::Busy, conn, id, op);
+                        shared.respond(
+                            &writer,
+                            conn,
+                            ResponseFrame {
+                                id,
+                                resp: Response::Busy {
+                                    retry_after_ms: shared.retry_after_ms,
+                                },
+                            },
+                        );
+                    }
+                    Err(PushError::Closed) => {
+                        shared.respond(
+                            &writer,
+                            conn,
+                            ResponseFrame {
+                                id,
+                                resp: Response::Draining { pending: 0 },
+                            },
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn worker_loop(shared: &Arc<Shared>) {
+    while let Some(job) = shared.queue.pop() {
+        let waited = job.admitted.elapsed();
+        let id = job.frame.id;
+        let conn = job.conn;
+        if waited > job.deadline {
+            shared.counters.bump(&shared.counters.expired);
+            shared.serve_event(ServeOp::Expire, conn, id, job.frame.req.op());
+            shared.respond(
+                &job.writer,
+                conn,
+                ResponseFrame {
+                    id,
+                    resp: Response::Expired {
+                        waited_ms: waited.as_millis() as u64,
+                    },
+                },
+            );
+            continue;
+        }
+        shared.serve_event(ServeOp::Dispatch, conn, id, job.frame.req.op());
+
+        // Coalescable ops first check the in-flight table.
+        if let Some(key) = coalesce_key(&job.frame.req) {
+            let mut inflight = shared.inflight.lock();
+            if let Some(waiters) = inflight.get_mut(&key) {
+                waiters.push(Waiter {
+                    conn,
+                    id,
+                    writer: Arc::clone(&job.writer),
+                });
+                shared.counters.bump(&shared.counters.coalesce_joins);
+                shared.serve_event(ServeOp::CoalesceJoin, conn, id, &key);
+                continue;
+            }
+            inflight.insert(key.clone(), Vec::new());
+            drop(inflight);
+            shared.counters.bump(&shared.counters.coalesce_leaders);
+
+            let resp = compute(shared, &job.frame.req);
+
+            // Claim the waiters *before* responding so a duplicate
+            // arriving now starts its own computation instead of
+            // joining a finished one.
+            let waiters = shared.inflight.lock().remove(&key).unwrap_or_default();
+            shared.respond(
+                &job.writer,
+                conn,
+                ResponseFrame {
+                    id,
+                    resp: resp.clone(),
+                },
+            );
+            for w in waiters {
+                shared.respond(
+                    &w.writer,
+                    w.conn,
+                    ResponseFrame {
+                        id: w.id,
+                        resp: mark_coalesced(resp.clone()),
+                    },
+                );
+            }
+        } else {
+            let resp = compute(shared, &job.frame.req);
+            shared.respond(&job.writer, conn, ResponseFrame { id, resp });
+        }
+    }
+}
+
+/// The in-flight table key: kernel-IR content hash + device + targets.
+fn coalesce_key(req: &Request) -> Option<String> {
+    match req {
+        Request::Compile {
+            bench,
+            device,
+            targets,
+        } => {
+            let ir_hash = bench_ir_hash(bench);
+            Some(format!(
+                "compile/{ir_hash:016x}/{device}/{}",
+                targets.join("+")
+            ))
+        }
+        Request::Sweep { bench, device } => {
+            let ir_hash = bench_ir_hash(bench);
+            Some(format!("sweep/{ir_hash:016x}/{device}"))
+        }
+        _ => None,
+    }
+}
+
+/// FNV-1a over the benchmark's kernel IR (its exhaustive `Debug`
+/// rendering — stable within a process, which is all the in-flight
+/// table needs). Unknown benchmarks hash their name; they fail
+/// identically anyway.
+fn bench_ir_hash(bench: &str) -> u64 {
+    match apps::by_name(bench) {
+        Some(b) => fnv1a64(format!("{:?}", b.ir).as_bytes()),
+        None => fnv1a64(bench.as_bytes()),
+    }
+}
+
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+fn mark_coalesced(resp: Response) -> Response {
+    match resp {
+        Response::Compiled {
+            device, decisions, ..
+        } => Response::Compiled {
+            device,
+            coalesced: true,
+            decisions,
+        },
+        other => other,
+    }
+}
+
+fn device_spec(key: &str) -> Option<DeviceSpec> {
+    match key.to_ascii_lowercase().as_str() {
+        "v100" => Some(DeviceSpec::v100()),
+        "a100" => Some(DeviceSpec::a100()),
+        "mi100" => Some(DeviceSpec::mi100()),
+        "titanx" | "titan_x" => Some(DeviceSpec::titan_x()),
+        _ => None,
+    }
+}
+
+fn bad_request(message: String) -> Response {
+    Response::Error {
+        kind: ErrorKind::BadRequest,
+        message,
+        diagnostics: Vec::new(),
+    }
+}
+
+fn compute(shared: &Shared, req: &Request) -> Response {
+    if !shared.compute_delay.is_zero() {
+        std::thread::sleep(shared.compute_delay);
+    }
+    match req {
+        Request::Compile {
+            bench,
+            device,
+            targets,
+        } => compute_compile(shared, bench, device, targets),
+        Request::Predict {
+            device,
+            features,
+            mem_mhz,
+            core_mhz,
+        } => compute_predict(shared, device, features, *mem_mhz, *core_mhz),
+        Request::Sweep { bench, device } => compute_sweep(bench, device),
+        // Control-plane ops never reach the queue.
+        Request::Ping => Response::Pong,
+        Request::Stats => shared.snapshot().to_response(),
+        Request::Drain => Response::Draining { pending: 0 },
+    }
+}
+
+fn trained_models(
+    shared: &Shared,
+    spec: &DeviceSpec,
+) -> std::sync::Arc<synergy_ml::MetricModels> {
+    let suite = generate_microbench(42, &MicroBenchConfig::default());
+    shared.store().get_or_train_traced(
+        spec,
+        &suite,
+        ModelSelection::paper_best(),
+        shared.profile.stride,
+        shared.profile.seed,
+        &shared.recorder,
+    )
+}
+
+fn compute_compile(shared: &Shared, bench: &str, device: &str, targets: &[String]) -> Response {
+    let Some(spec) = device_spec(device) else {
+        return bad_request(format!("unknown device `{device}`"));
+    };
+    let Some(b) = apps::by_name(bench) else {
+        return bad_request(format!("unknown benchmark `{bench}`"));
+    };
+    let parsed: Vec<EnergyTarget> = if targets.is_empty() {
+        EnergyTarget::PAPER_SET.to_vec()
+    } else {
+        let mut out = Vec::with_capacity(targets.len());
+        for t in targets {
+            match t.parse::<EnergyTarget>() {
+                Ok(parsed) => out.push(parsed),
+                Err(_) => return bad_request(format!("unknown energy target `{t}`")),
+            }
+        }
+        out
+    };
+    let models = trained_models(shared, &spec);
+    match compile_application_traced(
+        &spec,
+        &models,
+        std::slice::from_ref(&b.ir),
+        &parsed,
+        &LintRegistry::with_builtin(),
+        &shared.recorder,
+    ) {
+        Ok(registry) => Response::Compiled {
+            device: device.to_string(),
+            coalesced: false,
+            decisions: registry
+                .decisions()
+                .map(|(kernel, target, clocks)| Decision {
+                    kernel: kernel.to_string(),
+                    target: target.to_string(),
+                    mem_mhz: clocks.mem_mhz,
+                    core_mhz: clocks.core_mhz,
+                })
+                .collect(),
+        },
+        Err(e) => {
+            shared.counters.bump(&shared.counters.lint_denials);
+            Response::Error {
+                kind: ErrorKind::LintDeny,
+                message: format!(
+                    "compile refused by {} deny-level finding(s)",
+                    e.report.deny_count()
+                ),
+                diagnostics: e
+                    .report
+                    .diagnostics
+                    .iter()
+                    .map(|d| WireDiagnostic {
+                        code: d.code.to_string(),
+                        severity: d.severity.to_string(),
+                        path: d.path.clone(),
+                        message: d.message.clone(),
+                    })
+                    .collect(),
+            }
+        }
+    }
+}
+
+fn compute_predict(
+    shared: &Shared,
+    device: &str,
+    features: &[f64],
+    mem_mhz: u32,
+    core_mhz: u32,
+) -> Response {
+    let Some(spec) = device_spec(device) else {
+        return bad_request(format!("unknown device `{device}`"));
+    };
+    if features.len() != NUM_FEATURES {
+        return bad_request(format!(
+            "expected {NUM_FEATURES} features, got {}",
+            features.len()
+        ));
+    }
+    let models = trained_models(shared, &spec);
+    let p = models.predict(features, core_mhz as f64, mem_mhz as f64);
+    Response::Predicted {
+        time_s: p.time_s,
+        energy_j: p.energy_j,
+        edp: p.edp,
+        ed2p: p.ed2p,
+    }
+}
+
+fn compute_sweep(bench: &str, device: &str) -> Response {
+    let Some(spec) = device_spec(device) else {
+        return bad_request(format!("unknown device `{device}`"));
+    };
+    let Some(b) = apps::by_name(bench) else {
+        return bad_request(format!("unknown benchmark `{bench}`"));
+    };
+    let points = measured_sweep(&spec, &b.ir, b.work_items);
+    let configurations = points.len() as u64;
+    Response::SweepFront {
+        device: device.to_string(),
+        bench: bench.to_string(),
+        configurations,
+        pareto: pareto_front(points),
+    }
+}
+
+/// The Pareto-efficient subset of (time, energy), ascending in time.
+fn pareto_front(mut points: Vec<MetricPoint>) -> Vec<SweepPoint> {
+    points.sort_by(|a, b| {
+        a.time_s
+            .partial_cmp(&b.time_s)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(
+                a.energy_j
+                    .partial_cmp(&b.energy_j)
+                    .unwrap_or(std::cmp::Ordering::Equal),
+            )
+    });
+    let mut front = Vec::new();
+    let mut best_energy = f64::INFINITY;
+    for p in points {
+        if p.energy_j < best_energy {
+            best_energy = p.energy_j;
+            front.push(SweepPoint {
+                mem_mhz: p.clocks.mem_mhz,
+                core_mhz: p.clocks.core_mhz,
+                time_s: p.time_s,
+                energy_j: p.energy_j,
+            });
+        }
+    }
+    front
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounded_queue_admits_to_capacity_then_rejects() {
+        let q: BoundedQueue<u32> = BoundedQueue::new(2);
+        assert!(matches!(q.try_push(1), Ok(1)));
+        assert!(matches!(q.try_push(2), Ok(2)));
+        assert!(matches!(q.try_push(3), Err(PushError::Full)));
+        assert_eq!(q.pop(), Some(1));
+        assert!(matches!(q.try_push(3), Ok(2)));
+    }
+
+    #[test]
+    fn closed_queue_drains_then_ends() {
+        let q: BoundedQueue<u32> = BoundedQueue::new(8);
+        q.try_push(1).ok();
+        q.try_push(2).ok();
+        q.close();
+        assert!(matches!(q.try_push(3), Err(PushError::Closed)));
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn close_wakes_blocked_consumers() {
+        let q: Arc<BoundedQueue<u32>> = Arc::new(BoundedQueue::new(1));
+        let q2 = Arc::clone(&q);
+        let t = std::thread::spawn(move || q2.pop());
+        std::thread::sleep(Duration::from_millis(20));
+        q.close();
+        assert_eq!(t.join().unwrap(), None);
+    }
+
+    #[test]
+    fn pareto_front_is_monotone() {
+        use synergy_sim::ClockConfig;
+        let mk = |t: f64, e: f64| MetricPoint::new(ClockConfig::new(877, 1000), t, e);
+        let front = pareto_front(vec![
+            mk(3.0, 1.0),
+            mk(1.0, 5.0),
+            mk(2.0, 2.0),
+            mk(2.5, 4.0), // dominated by (2.0, 2.0)
+            mk(1.0, 4.5),
+        ]);
+        let times: Vec<f64> = front.iter().map(|p| p.time_s).collect();
+        let energies: Vec<f64> = front.iter().map(|p| p.energy_j).collect();
+        assert_eq!(times, vec![1.0, 2.0, 3.0]);
+        assert_eq!(energies, vec![4.5, 2.0, 1.0]);
+    }
+
+    #[test]
+    fn coalesce_keys_distinguish_device_and_targets() {
+        let a = coalesce_key(&Request::Compile {
+            bench: "vec_add".to_string(),
+            device: "v100".to_string(),
+            targets: vec!["ES_50".to_string()],
+        })
+        .unwrap();
+        let b = coalesce_key(&Request::Compile {
+            bench: "vec_add".to_string(),
+            device: "a100".to_string(),
+            targets: vec!["ES_50".to_string()],
+        })
+        .unwrap();
+        let c = coalesce_key(&Request::Compile {
+            bench: "vec_add".to_string(),
+            device: "v100".to_string(),
+            targets: vec!["ES_75".to_string()],
+        })
+        .unwrap();
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert!(coalesce_key(&Request::Ping).is_none());
+        assert!(coalesce_key(&Request::Stats).is_none());
+        // Same logical request → same key.
+        let a2 = coalesce_key(&Request::Compile {
+            bench: "vec_add".to_string(),
+            device: "v100".to_string(),
+            targets: vec!["ES_50".to_string()],
+        })
+        .unwrap();
+        assert_eq!(a, a2);
+    }
+
+    #[test]
+    fn device_lookup_matches_cli_keys() {
+        assert!(device_spec("v100").is_some());
+        assert!(device_spec("TitanX").is_some());
+        assert!(device_spec("h100").is_none());
+    }
+}

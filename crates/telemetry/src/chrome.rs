@@ -79,6 +79,7 @@ fn track_tid(track: &str) -> u64 {
         "model-cache" => 5,
         "pipeline" => 6,
         "cluster" => 7,
+        "serve" => 9,
         _ => 8, // annotations
     }
 }
@@ -193,6 +194,7 @@ impl ChromeTrace {
                 EventKind::HalCall { .. }
                 | EventKind::ModelCache { .. }
                 | EventKind::PhaseEnd { .. }
+                | EventKind::Serve { .. }
                 | EventKind::Annotation { .. } => false,
             };
             if on_virtual && !seen_tracks.contains(&(track, true)) {
@@ -223,6 +225,14 @@ impl ChromeTrace {
                     ev.ts_wall_ns,
                     args,
                 ),
+                EventKind::Serve { op, detail, .. } => {
+                    let name = if detail.is_empty() {
+                        op.name().to_string()
+                    } else {
+                        format!("{} {detail}", op.name())
+                    };
+                    instant(PID_WALL, tid, track, name, ev.ts_wall_ns, args)
+                }
                 EventKind::Annotation { code, level, .. } => {
                     instant(PID_WALL, tid, track, format!("{level} {code}"), ev.ts_wall_ns, args)
                 }

@@ -50,6 +50,45 @@ pub enum CacheOp {
     Persist,
 }
 
+/// One stage of a request's lifecycle inside the `synergy-serve` daemon.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum ServeOp {
+    /// A client connection was accepted.
+    Accept,
+    /// A request frame was admitted to the bounded work queue.
+    Enqueue,
+    /// A request was rejected at admission (`Busy` sent instead).
+    Busy,
+    /// A worker dequeued the request and started computing.
+    Dispatch,
+    /// The request joined an identical in-flight computation instead of
+    /// starting its own (request coalescing).
+    CoalesceJoin,
+    /// A response frame was written back to the client.
+    Respond,
+    /// The request's deadline expired while it sat in the queue.
+    Expire,
+    /// A drain was initiated (no further connections accepted).
+    Drain,
+}
+
+impl ServeOp {
+    /// Stable lowercase name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ServeOp::Accept => "accept",
+            ServeOp::Enqueue => "enqueue",
+            ServeOp::Busy => "busy",
+            ServeOp::Dispatch => "dispatch",
+            ServeOp::CoalesceJoin => "coalesce_join",
+            ServeOp::Respond => "respond",
+            ServeOp::Expire => "expire",
+            ServeOp::Drain => "drain",
+        }
+    }
+}
+
 /// One phase of the compile-time pipeline (Figure 6).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 #[serde(rename_all = "snake_case")]
@@ -177,6 +216,21 @@ pub enum EventKind {
         /// Rank GPU energy over the step, joules.
         energy_j: f64,
     },
+    /// One lifecycle stage of a request served by the `synergy-serve`
+    /// daemon (accept → enqueue → dispatch → respond, plus the admission
+    /// and coalescing branch points).
+    Serve {
+        /// Which stage.
+        op: ServeOp,
+        /// Server-assigned connection number (1-based; 0 = server-wide).
+        conn: u64,
+        /// Client-assigned request id (0 for connection-level stages).
+        req: u64,
+        /// Request or response kind (`compile`, `busy`, ...).
+        detail: String,
+        /// Bounded-queue depth observed at the stage.
+        queue_depth: u64,
+    },
     /// A free-form annotation (e.g. a `synergy-analyze` diagnostic).
     Annotation {
         /// Stable code (`IR003`, `SW001`, ...) or source tag.
@@ -199,6 +253,7 @@ impl EventKind {
             EventKind::ModelCache { .. } => "model-cache",
             EventKind::PhaseEnd { .. } => "pipeline",
             EventKind::ClusterStep { .. } => "cluster",
+            EventKind::Serve { .. } => "serve",
             EventKind::Annotation { .. } => "annotations",
         }
     }
@@ -255,6 +310,24 @@ mod tests {
         };
         assert_eq!(p.track(), "pipeline");
         assert_eq!(Phase::Select.name(), "select");
+    }
+
+    #[test]
+    fn serve_events_tag_and_track() {
+        let ev = EventKind::Serve {
+            op: ServeOp::CoalesceJoin,
+            conn: 3,
+            req: 17,
+            detail: "compile".into(),
+            queue_depth: 2,
+        };
+        assert_eq!(ev.track(), "serve");
+        let json = serde_json::to_value(&ev).unwrap();
+        assert_eq!(json["type"], "serve");
+        assert_eq!(json["op"], "coalesce_join");
+        let back: EventKind = serde_json::from_value(json).unwrap();
+        assert_eq!(back, ev);
+        assert_eq!(ServeOp::Expire.name(), "expire");
     }
 
     #[test]

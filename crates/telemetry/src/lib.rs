@@ -37,6 +37,6 @@ mod recorder;
 mod summary;
 
 pub use chrome::{ChromeEvent, ChromeTrace, PID_VIRTUAL, PID_WALL};
-pub use event::{CacheOp, Clocks, EventKind, Phase, TelemetryEvent};
+pub use event::{CacheOp, Clocks, EventKind, Phase, ServeOp, TelemetryEvent};
 pub use recorder::{Recorder, DEFAULT_SHARD_CAPACITY};
 pub use summary::{Histogram, PhaseTotals, TelemetrySummary};

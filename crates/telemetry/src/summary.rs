@@ -4,7 +4,7 @@
 //! fold of the corresponding per-event values, so tests can assert the
 //! aggregation exactly against independent sums over the drained events.
 
-use crate::event::{CacheOp, EventKind, TelemetryEvent};
+use crate::event::{CacheOp, EventKind, ServeOp, TelemetryEvent};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
@@ -141,6 +141,23 @@ pub struct TelemetrySummary {
     /// Summed per-step rank energy, joules.
     pub cluster_energy_j: f64,
 
+    /// Daemon connections accepted.
+    pub serve_connections: u64,
+    /// Daemon requests admitted to the work queue.
+    pub serve_enqueued: u64,
+    /// Daemon requests dispatched to a worker.
+    pub serve_dispatched: u64,
+    /// Daemon responses written back.
+    pub serve_responses: u64,
+    /// Daemon requests rejected at admission (`Busy`).
+    pub serve_busy: u64,
+    /// Daemon requests that joined an in-flight identical computation.
+    pub serve_coalesced: u64,
+    /// Daemon requests whose deadline expired in the queue.
+    pub serve_expired: u64,
+    /// Highest bounded-queue depth observed on any serve event.
+    pub serve_queue_depth_max: u64,
+
     /// Annotations attached (diagnostics etc.).
     pub annotations: u64,
 }
@@ -220,6 +237,21 @@ impl TelemetrySummary {
                     s.cluster_steps += 1;
                     ranks.insert(*rank);
                     s.cluster_energy_j += energy_j;
+                }
+                EventKind::Serve {
+                    op, queue_depth, ..
+                } => {
+                    match op {
+                        ServeOp::Accept => s.serve_connections += 1,
+                        ServeOp::Enqueue => s.serve_enqueued += 1,
+                        ServeOp::Dispatch => s.serve_dispatched += 1,
+                        ServeOp::Respond => s.serve_responses += 1,
+                        ServeOp::Busy => s.serve_busy += 1,
+                        ServeOp::CoalesceJoin => s.serve_coalesced += 1,
+                        ServeOp::Expire => s.serve_expired += 1,
+                        ServeOp::Drain => {}
+                    }
+                    s.serve_queue_depth_max = s.serve_queue_depth_max.max(*queue_depth);
                 }
                 EventKind::Annotation { .. } => s.annotations += 1,
             }
@@ -313,6 +345,19 @@ impl TelemetrySummary {
                 out,
                 "  cluster:      {} steps over {} ranks, {:.3} J",
                 self.cluster_steps, self.cluster_ranks, self.cluster_energy_j
+            );
+        }
+        if self.serve_enqueued + self.serve_busy + self.serve_connections > 0 {
+            let _ = writeln!(
+                out,
+                "  serve:        {} conns, {} enqueued, {} responded, {} busy, {} coalesced, {} expired (queue peak {})",
+                self.serve_connections,
+                self.serve_enqueued,
+                self.serve_responses,
+                self.serve_busy,
+                self.serve_coalesced,
+                self.serve_expired,
+                self.serve_queue_depth_max
             );
         }
         if self.annotations > 0 {
@@ -438,6 +483,28 @@ mod tests {
                     message: "m".into(),
                 },
             ),
+            ev(
+                0,
+                10,
+                EventKind::Serve {
+                    op: ServeOp::Enqueue,
+                    conn: 1,
+                    req: 1,
+                    detail: "compile".into(),
+                    queue_depth: 3,
+                },
+            ),
+            ev(
+                0,
+                11,
+                EventKind::Serve {
+                    op: ServeOp::CoalesceJoin,
+                    conn: 2,
+                    req: 1,
+                    detail: "compile".into(),
+                    queue_depth: 1,
+                },
+            ),
         ]
     }
 
@@ -464,6 +531,8 @@ mod tests {
         assert!((sweep.throughput_per_s() - 500_000.0).abs() < 1e-6);
         assert_eq!((s.cluster_steps, s.cluster_ranks), (1, 1));
         assert_eq!(s.annotations, 1);
+        assert_eq!((s.serve_enqueued, s.serve_coalesced), (1, 1));
+        assert_eq!(s.serve_queue_depth_max, 3);
         assert!((s.profiler_relative_error() - 0.04).abs() < 1e-12);
     }
 
@@ -487,7 +556,7 @@ mod tests {
     fn render_mentions_every_section() {
         let s = TelemetrySummary::from_events(&sample_events(), 0);
         let text = s.render();
-        for needle in ["kernels:", "clock sets:", "profiler:", "hal:", "model cache:", "phase sweep:", "cluster:", "annotations:"] {
+        for needle in ["kernels:", "clock sets:", "profiler:", "hal:", "model cache:", "phase sweep:", "cluster:", "serve:", "annotations:"] {
             assert!(text.contains(needle), "missing `{needle}` in:\n{text}");
         }
     }

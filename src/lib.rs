@@ -74,6 +74,9 @@ pub use synergy_cluster as cluster;
 /// Structured tracing: typed events, counters, Chrome/Perfetto export.
 pub use synergy_telemetry as telemetry;
 
+/// The energy-tuning daemon: wire protocol, server, blocking client.
+pub use synergy_serve as serve;
+
 /// One-stop imports for applications.
 pub mod prelude {
     pub use crate::analyze::{Level, LintRegistry, Report};

@@ -1,0 +1,570 @@
+//! Integration tests for the `synergy-serve` daemon: concurrent mixed
+//! workloads come back complete and correct, duplicate in-flight keys
+//! coalesce, a tiny queue bound produces `Busy` admission rejections,
+//! queue-wait deadlines produce `Expired`, and drain finishes accepted
+//! work without stranding any client. A proptest block round-trips the
+//! wire protocol and fuzzes the frame decoder.
+
+use std::thread;
+use std::time::Duration;
+
+use proptest::prelude::*;
+use synergy::serve::{
+    spawn, Client, Decision, ErrorKind, ModelProfile, Request, RequestFrame, Response,
+    ResponseFrame, ServeConfig, SweepPoint, WireDiagnostic,
+};
+
+fn small_server(config: ServeConfig) -> synergy::serve::ServerHandle {
+    spawn(ServeConfig {
+        profile: ModelProfile::small(),
+        ..config
+    })
+    .expect("bind loopback")
+}
+
+/// N threads x M mixed requests: every request is answered with a
+/// response of the matching kind and plausible content.
+#[test]
+fn mixed_concurrent_load_is_answered_completely_and_correctly() {
+    let handle = small_server(ServeConfig {
+        workers: 4,
+        queue_capacity: 64,
+        ..ServeConfig::default()
+    });
+    let addr = handle.addr();
+    const CLIENTS: usize = 6;
+    const PER_CLIENT: usize = 10;
+    let joins: Vec<_> = (0..CLIENTS)
+        .map(|c| {
+            thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                for i in 0..PER_CLIENT {
+                    match (c + i) % 4 {
+                        0 => {
+                            let resp = client
+                                .request(Request::Compile {
+                                    bench: "vec_add".into(),
+                                    device: "v100".into(),
+                                    targets: vec!["ES_50".into()],
+                                })
+                                .expect("transport");
+                            match resp {
+                                Response::Compiled { device, decisions, .. } => {
+                                    assert_eq!(device, "v100");
+                                    assert!(!decisions.is_empty());
+                                    for d in &decisions {
+                                        assert!(d.mem_mhz > 0 && d.core_mhz > 0);
+                                    }
+                                }
+                                other => panic!("expected Compiled, got {other:?}"),
+                            }
+                        }
+                        1 => {
+                            let resp = client
+                                .request(Request::Sweep {
+                                    bench: "sobel3".into(),
+                                    device: "v100".into(),
+                                })
+                                .expect("transport");
+                            match resp {
+                                Response::SweepFront { configurations, pareto, .. } => {
+                                    assert!(configurations > 0);
+                                    assert!(!pareto.is_empty());
+                                    // Frontier ascends in time and descends in energy.
+                                    for w in pareto.windows(2) {
+                                        assert!(w[0].time_s <= w[1].time_s);
+                                        assert!(w[0].energy_j > w[1].energy_j);
+                                    }
+                                }
+                                other => panic!("expected SweepFront, got {other:?}"),
+                            }
+                        }
+                        2 => {
+                            let resp = client
+                                .request(Request::Predict {
+                                    device: "v100".into(),
+                                    features: vec![1.0; synergy::kernel::NUM_FEATURES],
+                                    mem_mhz: 877,
+                                    core_mhz: 1312,
+                                })
+                                .expect("transport");
+                            match resp {
+                                Response::Predicted { time_s, energy_j, .. } => {
+                                    assert!(time_s.is_finite());
+                                    assert!(energy_j.is_finite());
+                                }
+                                other => panic!("expected Predicted, got {other:?}"),
+                            }
+                        }
+                        _ => {
+                            assert!(matches!(
+                                client.ping().expect("transport"),
+                                Response::Pong
+                            ));
+                        }
+                    }
+                }
+            })
+        })
+        .collect();
+    for j in joins {
+        j.join().expect("client thread");
+    }
+    handle.drain();
+    let stats = handle.join();
+    assert_eq!(stats.connections, CLIENTS as u64);
+    assert!(stats.responses >= (CLIENTS * PER_CLIENT) as u64);
+    assert_eq!(stats.errors, 0);
+    assert_eq!(stats.busy_rejections, 0);
+    assert_eq!(stats.expired, 0);
+}
+
+/// Identical concurrent requests collapse onto one computation: with a
+/// synthetic service time long enough to hold the key in flight, the
+/// followers join the leader instead of recomputing.
+#[test]
+fn duplicate_inflight_keys_coalesce() {
+    let handle = small_server(ServeConfig {
+        workers: 4,
+        queue_capacity: 64,
+        compute_delay: Duration::from_millis(60),
+        ..ServeConfig::default()
+    });
+    let addr = handle.addr();
+    let joins: Vec<_> = (0..8)
+        .map(|_| {
+            thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                let resp = client
+                    .request(Request::Compile {
+                        bench: "mat_mul".into(),
+                        device: "v100".into(),
+                        targets: vec!["MIN_EDP".into()],
+                    })
+                    .expect("transport");
+                match resp {
+                    Response::Compiled { decisions, .. } => decisions,
+                    other => panic!("expected Compiled, got {other:?}"),
+                }
+            })
+        })
+        .collect();
+    let all: Vec<Vec<Decision>> = joins
+        .into_iter()
+        .map(|j| j.join().expect("client thread"))
+        .collect();
+    // Every caller sees the same decisions, leader or joiner.
+    for d in &all[1..] {
+        assert_eq!(d, &all[0]);
+    }
+    handle.drain();
+    let stats = handle.join();
+    assert!(
+        stats.coalesce_joins > 0,
+        "8 identical in-flight requests should coalesce, stats: {stats:?}"
+    );
+    assert_eq!(stats.coalesce_joins + stats.coalesce_leaders, 8);
+}
+
+/// A tiny queue bound sheds load as `Busy{retry_after}` instead of
+/// queueing without limit; retried requests eventually succeed.
+#[test]
+fn tiny_queue_bound_rejects_with_busy() {
+    let handle = small_server(ServeConfig {
+        workers: 1,
+        queue_capacity: 1,
+        retry_after_ms: 5,
+        compute_delay: Duration::from_millis(40),
+        ..ServeConfig::default()
+    });
+    let addr = handle.addr();
+    // Distinct benches so coalescing cannot absorb the burst.
+    let benches = ["vec_add", "sobel3", "mat_mul", "lud", "kmeans", "nbody"];
+    let joins: Vec<_> = benches
+        .into_iter()
+        .map(|b| {
+            thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                let mut busy = 0u64;
+                loop {
+                    let resp = client
+                        .request(Request::Sweep {
+                            bench: b.to_string(),
+                            device: "v100".into(),
+                        })
+                        .expect("transport");
+                    match resp {
+                        Response::Busy { retry_after_ms } => {
+                            assert_eq!(retry_after_ms, 5);
+                            busy += 1;
+                            thread::sleep(Duration::from_millis(retry_after_ms));
+                        }
+                        Response::SweepFront { .. } => return busy,
+                        other => panic!("expected SweepFront or Busy, got {other:?}"),
+                    }
+                }
+            })
+        })
+        .collect();
+    let busy_seen: u64 = joins
+        .into_iter()
+        .map(|j| j.join().expect("client thread"))
+        .sum();
+    handle.drain();
+    let stats = handle.join();
+    assert!(
+        busy_seen > 0 && stats.busy_rejections == busy_seen,
+        "six concurrent 40ms jobs against a 1-deep queue must shed load \
+         (clients saw {busy_seen}, server counted {})",
+        stats.busy_rejections
+    );
+}
+
+/// A request whose queue-wait deadline elapses before a worker picks it
+/// up comes back as `Expired`, not as a late result.
+#[test]
+fn stale_queued_requests_expire() {
+    let handle = small_server(ServeConfig {
+        workers: 1,
+        queue_capacity: 16,
+        compute_delay: Duration::from_millis(80),
+        ..ServeConfig::default()
+    });
+    let addr = handle.addr();
+    // First request occupies the single worker; the rest sit in the
+    // queue past their 1ms deadlines.
+    let benches = ["vec_add", "sobel3", "mat_mul", "lud"];
+    let joins: Vec<_> = benches
+        .into_iter()
+        .map(|b| {
+            thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                client
+                    .request_with_deadline(
+                        Request::Sweep {
+                            bench: b.to_string(),
+                            device: "v100".into(),
+                        },
+                        1,
+                    )
+                    .expect("transport")
+            })
+        })
+        .collect();
+    let responses: Vec<Response> = joins
+        .into_iter()
+        .map(|j| j.join().expect("client thread"))
+        .collect();
+    handle.drain();
+    let stats = handle.join();
+    let expired = responses
+        .iter()
+        .filter(|r| matches!(r, Response::Expired { .. }))
+        .count() as u64;
+    assert!(
+        expired > 0,
+        "queued 80ms jobs with 1ms deadlines must expire, got {responses:?}"
+    );
+    assert_eq!(stats.expired, expired);
+    for r in &responses {
+        assert!(
+            matches!(r, Response::Expired { .. } | Response::SweepFront { .. }),
+            "unexpected response {r:?}"
+        );
+    }
+}
+
+/// Bad requests produce structured errors, not hangups: unknown
+/// benchmarks and wrong-arity feature vectors keep the connection
+/// usable.
+#[test]
+fn malformed_requests_get_structured_errors() {
+    let handle = small_server(ServeConfig::default());
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    match client
+        .request(Request::Compile {
+            bench: "no_such_kernel".into(),
+            device: "v100".into(),
+            targets: vec![],
+        })
+        .expect("transport")
+    {
+        Response::Error { kind, message, .. } => {
+            assert_eq!(kind, ErrorKind::BadRequest);
+            assert!(message.contains("no_such_kernel"));
+        }
+        other => panic!("expected Error, got {other:?}"),
+    }
+    match client
+        .request(Request::Predict {
+            device: "v100".into(),
+            features: vec![1.0; 3],
+            mem_mhz: 877,
+            core_mhz: 1312,
+        })
+        .expect("transport")
+    {
+        Response::Error { kind, .. } => assert_eq!(kind, ErrorKind::BadRequest),
+        other => panic!("expected Error, got {other:?}"),
+    }
+    // The connection survives both errors.
+    assert!(matches!(client.ping().expect("transport"), Response::Pong));
+    handle.drain();
+    handle.join();
+}
+
+/// Drain finishes accepted work: clients in flight at drain time get
+/// real answers or an explicit `Draining` rejection — nobody hangs.
+#[test]
+fn drain_leaves_no_stuck_clients() {
+    let handle = small_server(ServeConfig {
+        workers: 2,
+        queue_capacity: 32,
+        compute_delay: Duration::from_millis(10),
+        ..ServeConfig::default()
+    });
+    let addr = handle.addr();
+    let joins: Vec<_> = (0..6)
+        .map(|c| {
+            thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                let mut outcomes = Vec::new();
+                for _ in 0..6 {
+                    match client.request(Request::Compile {
+                        bench: "vec_add".into(),
+                        device: "v100".into(),
+                        targets: vec!["ES_50".into()],
+                    }) {
+                        Ok(resp) => {
+                            assert!(
+                                matches!(
+                                    resp,
+                                    Response::Compiled { .. } | Response::Draining { .. }
+                                ),
+                                "client {c}: unexpected response {resp:?}"
+                            );
+                            outcomes.push(resp);
+                        }
+                        // The reader may hang up once the server shuts
+                        // down; that is a clean refusal, not a hang.
+                        Err(_) => break,
+                    }
+                }
+                outcomes
+            })
+        })
+        .collect();
+    thread::sleep(Duration::from_millis(30));
+    handle.drain();
+    // Every client thread terminates promptly — accepted work was
+    // finished and new work was refused, so join cannot deadlock.
+    for j in joins {
+        j.join().expect("client thread");
+    }
+    let stats = handle.join();
+    assert!(stats.draining);
+    assert_eq!(stats.queue_depth, 0, "drain left work queued: {stats:?}");
+}
+
+// ---------------------------------------------------------------------------
+// Wire-protocol proptests (satellite): encode → frame → decode is
+// bit-identical for arbitrary frames, and the decoder rejects oversized
+// and garbage input without panicking.
+// ---------------------------------------------------------------------------
+
+/// Name pool with JSON-hostile content: quotes, backslashes, control
+/// characters, non-ASCII and astral-plane scalars.
+const TRICKY: [&str; 7] = [
+    "plain",
+    "with \"quotes\"",
+    "back\\slash",
+    "line\nbreak\ttab",
+    "unicode-éναι",
+    "astral-\u{1F600}",
+    "ctl-\u{1}\u{1f}",
+];
+
+fn arb_name() -> impl Strategy<Value = String> {
+    (0usize..TRICKY.len(), 0u32..1000)
+        .prop_map(|(i, n)| format!("{}-{n}", TRICKY[i]))
+}
+
+fn arb_request() -> impl Strategy<Value = Request> {
+    (
+        (0usize..6, arb_name(), arb_name()),
+        prop::collection::vec(arb_name(), 0..4),
+        (
+            prop::collection::vec(-1e300f64..1e300, 0..12),
+            0u32..4000,
+            0u32..4000,
+        ),
+    )
+        .prop_map(
+            |((variant, bench, device), targets, (features, mem_mhz, core_mhz))| match variant {
+                0 => Request::Ping,
+                1 => Request::Stats,
+                2 => Request::Drain,
+                3 => Request::Compile {
+                    bench,
+                    device,
+                    targets,
+                },
+                4 => Request::Sweep { bench, device },
+                _ => Request::Predict {
+                    device,
+                    features,
+                    mem_mhz,
+                    core_mhz,
+                },
+            },
+        )
+}
+
+fn arb_response() -> impl Strategy<Value = Response> {
+    (
+        (0usize..9, arb_name(), arb_name()),
+        (
+            prop::collection::vec((arb_name(), arb_name(), 1u32..2000, 1u32..2000), 0..4),
+            prop::collection::vec(
+                (1u32..2000, 1u32..2000, 0f64..1e3, 0f64..1e6),
+                0..5,
+            ),
+        ),
+        (
+            prop::collection::vec((arb_name(), arb_name(), arb_name(), arb_name()), 0..3),
+            (0u64..u64::MAX / 2, 0u64..100_000, 0f64..1e9),
+        ),
+    )
+        .prop_map(
+            |(
+                (variant, name_a, name_b),
+                (decisions, points),
+                (diags, (big, small_n, metric)),
+            )| {
+                match variant {
+                    0 => Response::Pong,
+                    1 => Response::Compiled {
+                        device: name_a,
+                        coalesced: big % 2 == 0,
+                        decisions: decisions
+                            .into_iter()
+                            .map(|(kernel, target, mem_mhz, core_mhz)| Decision {
+                                kernel,
+                                target,
+                                mem_mhz,
+                                core_mhz,
+                            })
+                            .collect(),
+                    },
+                    2 => Response::Predicted {
+                        time_s: metric,
+                        energy_j: metric * 2.0,
+                        edp: metric * 3.0,
+                        ed2p: metric * 4.0,
+                    },
+                    3 => Response::SweepFront {
+                        device: name_a,
+                        bench: name_b,
+                        configurations: big,
+                        pareto: points
+                            .into_iter()
+                            .map(|(mem_mhz, core_mhz, time_s, energy_j)| SweepPoint {
+                                mem_mhz,
+                                core_mhz,
+                                time_s,
+                                energy_j,
+                            })
+                            .collect(),
+                    },
+                    4 => Response::StatsReply {
+                        connections: big,
+                        enqueued: big / 2,
+                        busy_rejections: small_n,
+                        expired: small_n / 3,
+                        responses: big / 4,
+                        coalesce_leaders: small_n / 2,
+                        coalesce_joins: small_n / 5,
+                        lint_denials: small_n / 7,
+                        errors: small_n / 9,
+                        queue_depth: small_n % 64,
+                        queue_depth_max: small_n % 128,
+                        draining: big % 2 == 1,
+                    },
+                    5 => Response::Busy {
+                        retry_after_ms: small_n,
+                    },
+                    6 => Response::Draining { pending: small_n },
+                    7 => Response::Expired { waited_ms: small_n },
+                    _ => Response::Error {
+                        kind: match big % 3 {
+                            0 => ErrorKind::BadRequest,
+                            1 => ErrorKind::LintDeny,
+                            _ => ErrorKind::Internal,
+                        },
+                        message: name_b,
+                        diagnostics: diags
+                            .into_iter()
+                            .map(|(code, severity, path, message)| WireDiagnostic {
+                                code,
+                                severity,
+                                path,
+                                message,
+                            })
+                            .collect(),
+                    },
+                }
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Request frames survive encode → length-prefixed framing → decode
+    /// bit-identically, for hostile strings and extreme numbers.
+    #[test]
+    fn request_frames_round_trip(id in 0u64..u64::MAX, deadline_ms in 0u64..u64::MAX / 2, req in arb_request()) {
+        let frame = RequestFrame { id, deadline_ms, req };
+        let payload = frame.encode();
+        let mut wire = Vec::new();
+        synergy::serve::write_frame(&mut wire, &payload).expect("write");
+        let mut cursor = std::io::Cursor::new(wire);
+        let read = synergy::serve::read_frame(&mut cursor).expect("read");
+        prop_assert_eq!(&read, &payload);
+        let decoded = RequestFrame::decode(&read).expect("decode");
+        prop_assert_eq!(decoded, frame);
+    }
+
+    /// Response frames survive the same round trip.
+    #[test]
+    fn response_frames_round_trip(id in 0u64..u64::MAX, resp in arb_response()) {
+        let frame = ResponseFrame { id, resp };
+        let payload = frame.encode();
+        let decoded = ResponseFrame::decode(&payload).expect("decode");
+        prop_assert_eq!(decoded, frame);
+    }
+
+    /// Arbitrary garbage never panics the decoder: it errors or — for
+    /// the rare accidentally-valid input — decodes.
+    #[test]
+    fn garbage_bytes_never_panic_the_decoder(bytes in prop::collection::vec(0u8..=255, 0..512)) {
+        let _ = RequestFrame::decode(&bytes);
+        let _ = ResponseFrame::decode(&bytes);
+        let mut cursor = std::io::Cursor::new(bytes);
+        let _ = synergy::serve::read_frame(&mut cursor);
+    }
+
+    /// A frame header claiming more than `MAX_FRAME_LEN` is rejected
+    /// before any allocation, whatever follows it.
+    #[test]
+    fn oversized_frames_are_rejected(extra in 1u32..1_000_000, tail in prop::collection::vec(0u8..=255, 0..64)) {
+        let claimed = synergy::serve::MAX_FRAME_LEN as u32 + extra;
+        let mut wire = claimed.to_be_bytes().to_vec();
+        wire.extend_from_slice(&tail);
+        let mut cursor = std::io::Cursor::new(wire);
+        prop_assert!(matches!(
+            synergy::serve::read_frame(&mut cursor),
+            Err(synergy::serve::FrameError::TooLarge { .. })
+        ));
+    }
+}
