@@ -14,6 +14,24 @@ cargo bench --workspace --no-run
 cargo run --release -p synergy-bench --bin pipeline_perf -- --small
 cargo run --release -p synergy-bench --bin serve_perf -- --small
 
+# The batched inference engine must report its throughput fields and be at
+# least as fast as the per-config reference on the full V/F grid.
+python3 - <<'EOF'
+import json
+with open("experiments/BENCH_pipeline.json") as f:
+    perf = json.load(f)
+for field in (
+    "predict_rows_per_sec_serial",
+    "predict_rows_per_sec_batch",
+    "predict_batch_speedup",
+):
+    assert field in perf, f"BENCH_pipeline.json missing {field}"
+    assert perf[field] > 0.0, f"{field} must be positive, got {perf[field]}"
+speedup = perf["predict_batch_speedup"]
+assert speedup >= 1.0, f"batched prediction slower than per-config path: {speedup:.2f}x"
+print(f"predict_batch_speedup {speedup:.2f}x over {perf['predict_grid_configs']} configs")
+EOF
+
 # Smoke test: one benchmark through the traced pipeline; the exported
 # Chrome trace must be non-trivial JSON.
 trace_out="$(mktemp -t synergy-trace-XXXXXX.json)"

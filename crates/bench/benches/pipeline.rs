@@ -10,7 +10,8 @@ use synergy_kernel::{KernelIr, MicroBenchmark};
 use synergy_metrics::{point_at, EnergyTarget, IndexedSweep};
 use synergy_ml::{Algorithm, ModelSelection};
 use synergy_rt::{
-    build_training_set, build_training_set_serial, compile_application, measured_sweep,
+    build_training_set, build_training_set_serial, clock_grid, compile_application,
+    measured_sweep, predict_sweep_from_info_serial, predict_sweep_over_grid,
     train_device_models, ModelStore,
 };
 use synergy_sim::DeviceSpec;
@@ -103,11 +104,28 @@ fn bench_indexed_lookup(c: &mut Criterion) {
     });
 }
 
+fn bench_predict_batch(c: &mut Criterion) {
+    let spec = DeviceSpec::v100();
+    let suite = small_suite();
+    // The paper-best selection is the forest/SVR-heavy hot path the
+    // batched engine targets.
+    let models = train_device_models(&spec, &suite, ModelSelection::paper_best(), STRIDE, 0);
+    let info = synergy_kernel::extract(&synergy_apps::by_name("mat_mul").unwrap().ir);
+    let grid = clock_grid(&spec);
+    c.bench_function("predict_sweep_per_config_196", |b| {
+        b.iter(|| black_box(predict_sweep_from_info_serial(&spec, &models, &info)))
+    });
+    c.bench_function("predict_sweep_batch_196", |b| {
+        b.iter(|| black_box(predict_sweep_over_grid(&models, &info, &grid)))
+    });
+}
+
 criterion_group!(
     pipeline,
     bench_train_set_build,
     bench_model_training,
     bench_registry_compilation,
-    bench_indexed_lookup
+    bench_indexed_lookup,
+    bench_predict_batch
 );
 criterion_main!(pipeline);

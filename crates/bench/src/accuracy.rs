@@ -13,7 +13,7 @@ use synergy_apps::suite;
 use synergy_kernel::{extract, KernelStaticInfo};
 use synergy_metrics::{objective_value, EnergyTarget, IndexedSweep, MetricPoint};
 use synergy_ml::{Algorithm, ModelSelection};
-use synergy_rt::{measured_sweep_from_info, predict_sweep_from_info, ModelStore};
+use synergy_rt::{clock_grid, measured_sweep_from_info, predict_sweep_over_grid, ModelStore};
 use synergy_sim::DeviceSpec;
 
 /// One (algorithm, objective, benchmark) accuracy observation.
@@ -60,6 +60,9 @@ pub fn run_accuracy_study(
     let micro = crate::microbench_suite();
     let benches = suite();
     let baseline = spec.baseline_clocks();
+    // One clock-grid collection for the whole study: every predicted
+    // sweep below batches over this shared grid.
+    let grid = clock_grid(spec);
 
     // Per-benchmark ground truth, shared by all four algorithms: static
     // features extracted once, the measured sweep indexed once, and the
@@ -97,7 +100,7 @@ pub fn run_accuracy_study(
         );
         for truth in &truths {
             let predicted =
-                IndexedSweep::new(predict_sweep_from_info(spec, &models, &truth.info));
+                IndexedSweep::new(predict_sweep_over_grid(&models, &truth.info, &grid));
             for (ti, &target) in EnergyTarget::PAPER_SET.iter().enumerate() {
                 let pred_opt = predicted.search(target, baseline).expect("non-empty sweep");
                 let actual_opt = truth.actual[ti];

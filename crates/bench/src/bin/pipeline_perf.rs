@@ -16,8 +16,9 @@ use synergy_kernel::KernelIr;
 use synergy_metrics::EnergyTarget;
 use synergy_ml::ModelSelection;
 use synergy_rt::{
-    build_training_set, build_training_set_serial, compile_application,
-    compile_application_traced, default_cache_dir, ModelKey, ModelStore,
+    build_training_set, build_training_set_serial, clock_grid, compile_application,
+    compile_application_traced, default_cache_dir, predict_sweep_from_info_serial,
+    predict_sweep_over_grid, ModelKey, ModelStore,
 };
 use synergy_sim::DeviceSpec;
 use synergy_telemetry::Recorder;
@@ -49,6 +50,13 @@ struct PipelinePerf {
     telemetry_on_s: f64,
     telemetry_overhead_pct: f64,
     telemetry_events: usize,
+    /// The inference hot path over the full V/F grid: per-config
+    /// reference predictions vs the batched engine (bitwise-identical
+    /// results, best-of-reps timing).
+    predict_grid_configs: usize,
+    predict_rows_per_sec_serial: f64,
+    predict_rows_per_sec_batch: f64,
+    predict_batch_speedup: f64,
 }
 
 fn main() {
@@ -145,6 +153,42 @@ fn main() {
     let trainset_parallel_s = t.elapsed().as_secs_f64();
     assert_eq!(serial, parallel, "parallel training set must equal serial");
 
+    // The prediction hot path: one kernel's metrics over the full V/F
+    // grid, per-config reference vs the batched engine. Both paths must
+    // agree bit for bit; timing is best-of-reps since one sweep is fast.
+    let models = store.get_or_train(&spec, &suite, selection, stride, seed);
+    let info = synergy_kernel::extract(&kernels[0]);
+    let grid = clock_grid(&spec);
+    const PREDICT_REPS: usize = 9;
+    let serial_sweep = predict_sweep_from_info_serial(&spec, &models, &info);
+    let batch_sweep = predict_sweep_over_grid(&models, &info, &grid);
+    assert_eq!(serial_sweep.len(), batch_sweep.len());
+    for (a, b) in serial_sweep.iter().zip(&batch_sweep) {
+        assert_eq!(a.clocks, b.clocks);
+        assert_eq!(
+            a.time_s.to_bits(),
+            b.time_s.to_bits(),
+            "batched sweep must be bitwise identical to the reference"
+        );
+        assert_eq!(a.energy_j.to_bits(), b.energy_j.to_bits());
+    }
+    let best_of_predict = |f: &dyn Fn() -> usize| {
+        (0..PREDICT_REPS)
+            .map(|_| {
+                let t = Instant::now();
+                let n = f();
+                let s = t.elapsed().as_secs_f64();
+                assert_eq!(n, grid.len());
+                s
+            })
+            .fold(f64::INFINITY, f64::min)
+    };
+    let predict_serial_s =
+        best_of_predict(&|| predict_sweep_from_info_serial(&spec, &models, &info).len());
+    let predict_batch_s =
+        best_of_predict(&|| predict_sweep_over_grid(&models, &info, &grid).len());
+    let rows = grid.len() as f64;
+
     let perf = PipelinePerf {
         device: spec.name.to_string(),
         mode: if small { "small" } else { "default" }.to_string(),
@@ -163,6 +207,10 @@ fn main() {
         telemetry_on_s,
         telemetry_overhead_pct: (telemetry_on_s / telemetry_off_s.max(1e-9) - 1.0) * 100.0,
         telemetry_events,
+        predict_grid_configs: grid.len(),
+        predict_rows_per_sec_serial: rows / predict_serial_s.max(1e-12),
+        predict_rows_per_sec_batch: rows / predict_batch_s.max(1e-12),
+        predict_batch_speedup: predict_serial_s / predict_batch_s.max(1e-12),
     };
 
     println!(
@@ -173,6 +221,13 @@ fn main() {
         vec![
             label.to_string(),
             format!("{:.4}", secs),
+            format!("{:.1}x", speedup),
+        ]
+    };
+    let row_rate = |label: &str, rate: f64, speedup: f64| {
+        vec![
+            label.to_string(),
+            format!("{:.0}", rate),
             format!("{:.1}x", speedup),
         ]
     };
@@ -211,8 +266,24 @@ fn main() {
             ],
         ],
     );
+    println!();
+    println!("predicted sweep over {} configurations:", perf.predict_grid_configs);
+    print_table(
+        &["predicted sweep", "rows/s", "speedup"],
+        &[
+            row_rate("per-config", perf.predict_rows_per_sec_serial, 1.0),
+            row_rate(
+                "batched",
+                perf.predict_rows_per_sec_batch,
+                perf.predict_batch_speedup,
+            ),
+        ],
+    );
     if perf.warm_memory_speedup < 5.0 || perf.warm_disk_speedup < 5.0 {
         println!("\nWARNING: warm-cache pipeline is less than 5x faster than cold");
+    }
+    if perf.predict_batch_speedup < 1.0 {
+        println!("\nWARNING: batched prediction is slower than the per-config path");
     }
 
     write_artifact("BENCH_pipeline", &perf);

@@ -1,0 +1,152 @@
+//! The batched-inference input container: a flat, row-major feature
+//! matrix.
+//!
+//! Every prediction hot path in the system — the compile-time sweep, the
+//! accuracy study, the serve daemon — asks the same question many times:
+//! "what are the metrics for *this kernel* at *each of these clocks*?".
+//! Answering it row by row pays a `Vec` allocation per configuration plus
+//! per-row dispatch into every model. [`FeatureMatrix`] amortizes that:
+//! one contiguous allocation holds the whole grid, rows are borrowed
+//! slices, and the per-algorithm `predict_batch` fast paths stream over
+//! it without allocating per row.
+//!
+//! The contract shared with the per-row reference path is **bitwise
+//! identity**: a batched prediction over row `i` must produce exactly the
+//! bits `predict_row(matrix.row(i))` produces, so the batch engine can be
+//! swapped into any caller without perturbing a single decision
+//! downstream (mirroring the serial-vs-parallel sweep contract).
+
+/// A dense row-major feature matrix with a fixed column count.
+///
+/// All rows share one width, enforced at insertion — the batched
+/// prediction paths rely on it and validate the width once per call
+/// instead of once per row.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FeatureMatrix {
+    data: Vec<f64>,
+    rows: usize,
+    cols: usize,
+}
+
+impl FeatureMatrix {
+    /// An empty matrix with `cols` columns and room for `rows` rows.
+    pub fn with_capacity(rows: usize, cols: usize) -> FeatureMatrix {
+        FeatureMatrix {
+            data: Vec::with_capacity(rows * cols),
+            rows: 0,
+            cols,
+        }
+    }
+
+    /// Copy a slice-of-rows dataset into a flat matrix. Panics on ragged
+    /// input (all rows must share the first row's width).
+    pub fn from_rows(x: &[Vec<f64>]) -> FeatureMatrix {
+        let cols = x.first().map_or(0, Vec::len);
+        let mut m = FeatureMatrix::with_capacity(x.len(), cols);
+        for row in x {
+            m.push_row(row);
+        }
+        m
+    }
+
+    /// Append one row. Panics if the width does not match `cols`.
+    pub fn push_row(&mut self, row: &[f64]) {
+        assert_eq!(
+            row.len(),
+            self.cols,
+            "row {} has width {}, matrix has {} columns",
+            self.rows,
+            row.len(),
+            self.cols
+        );
+        self.data.extend_from_slice(row);
+        self.rows += 1;
+    }
+
+    /// Begin a new row and return the writable slice for it. The caller
+    /// fills the `cols` slots in place — this is the zero-copy path the
+    /// grid builder uses to stream clock columns into a pre-written
+    /// static prefix.
+    pub fn push_row_uninit(&mut self) -> &mut [f64] {
+        let start = self.data.len();
+        self.data.resize(start + self.cols, 0.0);
+        self.rows += 1;
+        &mut self.data[start..]
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns (row width).
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// True when no rows have been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// Borrow row `i`.
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Iterate over the rows as slices.
+    pub fn iter_rows(&self) -> impl ExactSizeIterator<Item = &[f64]> {
+        self.data.chunks_exact(self.cols.max(1))
+    }
+
+    /// The flat row-major backing storage.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_rows_round_trips() {
+        let rows = vec![vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]];
+        let m = FeatureMatrix::from_rows(&rows);
+        assert_eq!((m.rows(), m.cols()), (3, 2));
+        for (i, r) in rows.iter().enumerate() {
+            assert_eq!(m.row(i), r.as_slice());
+        }
+        let collected: Vec<&[f64]> = m.iter_rows().collect();
+        assert_eq!(collected.len(), 3);
+        assert_eq!(collected[1], &[3.0, 4.0]);
+        assert_eq!(m.as_slice(), &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "width")]
+    fn ragged_push_panics() {
+        let mut m = FeatureMatrix::with_capacity(2, 3);
+        m.push_row(&[1.0, 2.0, 3.0]);
+        m.push_row(&[1.0]);
+    }
+
+    #[test]
+    fn uninit_rows_are_writable_in_place() {
+        let mut m = FeatureMatrix::with_capacity(2, 2);
+        m.push_row_uninit().copy_from_slice(&[7.0, 8.0]);
+        let slot = m.push_row_uninit();
+        slot[0] = 9.0;
+        slot[1] = 10.0;
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.row(0), &[7.0, 8.0]);
+        assert_eq!(m.row(1), &[9.0, 10.0]);
+    }
+
+    #[test]
+    fn empty_matrix_iterates_nothing() {
+        let m = FeatureMatrix::with_capacity(0, 4);
+        assert!(m.is_empty());
+        assert_eq!(m.iter_rows().count(), 0);
+    }
+}

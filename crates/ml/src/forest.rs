@@ -2,16 +2,124 @@
 //! subsampling, fitted in parallel with Rayon. Fully deterministic given
 //! the forest seed (per-tree seeds are derived, independent of thread
 //! scheduling).
+//!
+//! Batched prediction runs on a [`FlatForest`]: every tree's node arena
+//! flattened into shared struct-of-arrays storage (feature index,
+//! threshold, children, leaf value), traversed iteratively with no
+//! per-node pointer chasing. The flat layout is derived state — built at
+//! fit time and rebuilt lazily after deserialization — so the serialized
+//! forest format is unchanged.
 
+use crate::batch::FeatureMatrix;
 use crate::model::Regressor;
-use crate::tree::{RegressionTree, TreeConfig};
+use crate::tree::{Node, RegressionTree, TreeConfig};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
+use std::sync::OnceLock;
+
+/// Sentinel feature index marking a leaf in the flat layout.
+const LEAF: u32 = u32::MAX;
+
+/// A forest flattened into struct-of-arrays form for batched traversal.
+///
+/// All trees share four parallel arrays indexed by a global node id:
+/// `feature[i]` is the split feature (or [`LEAF`]), `threshold[i]` the
+/// split threshold, `left[i]`/`right[i]` the child ids, and `value[i]`
+/// the leaf value. `roots` holds each tree's root id. Every threshold and
+/// leaf value is copied bit-for-bit from the boxed tree, and trees are
+/// visited in fit order, so a flat prediction is bitwise identical to the
+/// per-tree reference path.
+#[derive(Debug, Clone, Default)]
+pub struct FlatForest {
+    roots: Vec<u32>,
+    feature: Vec<u32>,
+    threshold: Vec<f64>,
+    left: Vec<u32>,
+    right: Vec<u32>,
+    value: Vec<f64>,
+}
+
+impl FlatForest {
+    /// Flatten fitted trees into SoA storage.
+    pub(crate) fn from_trees(trees: &[RegressionTree]) -> FlatForest {
+        let total: usize = trees.iter().map(RegressionTree::node_count).sum();
+        let mut flat = FlatForest {
+            roots: Vec::with_capacity(trees.len()),
+            feature: Vec::with_capacity(total),
+            threshold: Vec::with_capacity(total),
+            left: Vec::with_capacity(total),
+            right: Vec::with_capacity(total),
+            value: Vec::with_capacity(total),
+        };
+        for tree in trees {
+            let base = flat.feature.len() as u32;
+            flat.roots.push(base);
+            for node in tree.nodes() {
+                match node {
+                    Node::Leaf { value } => {
+                        flat.feature.push(LEAF);
+                        flat.threshold.push(0.0);
+                        flat.left.push(0);
+                        flat.right.push(0);
+                        flat.value.push(*value);
+                    }
+                    Node::Split {
+                        feature,
+                        threshold,
+                        left,
+                        right,
+                    } => {
+                        flat.feature.push(*feature as u32);
+                        flat.threshold.push(*threshold);
+                        flat.left.push(base + *left as u32);
+                        flat.right.push(base + *right as u32);
+                        flat.value.push(0.0);
+                    }
+                }
+            }
+        }
+        flat
+    }
+
+    /// Number of trees.
+    pub fn tree_count(&self) -> usize {
+        self.roots.len()
+    }
+
+    /// Total flattened nodes across all trees.
+    pub fn node_count(&self) -> usize {
+        self.feature.len()
+    }
+
+    /// Mean leaf value over all trees for one row — the forest prediction.
+    /// Trees accumulate in fit order from 0.0 and divide by the tree
+    /// count, exactly like the per-tree reference path.
+    #[inline]
+    pub fn predict_row(&self, row: &[f64]) -> f64 {
+        let mut acc = 0.0;
+        for &root in &self.roots {
+            let mut at = root as usize;
+            loop {
+                let f = self.feature[at];
+                if f == LEAF {
+                    acc += self.value[at];
+                    break;
+                }
+                at = if row[f as usize] <= self.threshold[at] {
+                    self.left[at] as usize
+                } else {
+                    self.right[at] as usize
+                };
+            }
+        }
+        acc / self.roots.len() as f64
+    }
+}
 
 /// Random forest hyperparameters and fitted state.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct RandomForest {
     /// Number of trees.
     pub n_trees: usize,
@@ -21,6 +129,21 @@ pub struct RandomForest {
     /// Forest seed.
     pub seed: u64,
     trees: Vec<RegressionTree>,
+    /// Derived SoA layout: primed at fit time, rebuilt lazily after
+    /// deserialization. Never serialized, never compared.
+    #[serde(skip)]
+    flat: OnceLock<FlatForest>,
+}
+
+// `flat` is a cache of `trees`; equality is over the fitted state only,
+// so a freshly deserialized forest (flat unset) equals its source.
+impl PartialEq for RandomForest {
+    fn eq(&self, other: &Self) -> bool {
+        self.n_trees == other.n_trees
+            && self.tree_config == other.tree_config
+            && self.seed == other.seed
+            && self.trees == other.trees
+    }
 }
 
 impl Default for RandomForest {
@@ -30,6 +153,7 @@ impl Default for RandomForest {
             tree_config: TreeConfig::default(),
             seed: 0,
             trees: Vec::new(),
+            flat: OnceLock::new(),
         }
     }
 }
@@ -52,6 +176,12 @@ impl RandomForest {
     /// Number of fitted trees (0 before fit).
     pub fn tree_count(&self) -> usize {
         self.trees.len()
+    }
+
+    /// The flattened SoA view of the fitted trees, built on first use
+    /// (deserialized forests arrive without it) and cached.
+    pub fn flat(&self) -> &FlatForest {
+        self.flat.get_or_init(|| FlatForest::from_trees(&self.trees))
     }
 }
 
@@ -78,11 +208,19 @@ impl Regressor for RandomForest {
                 RegressionTree::fit(x, y, &bootstrap, cfg, rng.random())
             })
             .collect();
+        self.flat = OnceLock::new();
+        let _ = self.flat.set(FlatForest::from_trees(&self.trees));
     }
 
     fn predict_row(&self, row: &[f64]) -> f64 {
         assert!(!self.trees.is_empty(), "predict before fit");
         self.trees.iter().map(|t| t.predict_row(row)).sum::<f64>() / self.trees.len() as f64
+    }
+
+    fn predict_batch(&self, x: &FeatureMatrix) -> Vec<f64> {
+        assert!(!self.trees.is_empty(), "predict before fit");
+        let flat = self.flat();
+        x.iter_rows().map(|row| flat.predict_row(row)).collect()
     }
 }
 
@@ -167,5 +305,43 @@ mod tests {
         let mut f = RandomForest::with_seed(0);
         f.fit(&[vec![1.0, 2.0]], &[5.0]);
         assert_eq!(f.predict_row(&[9.0, 9.0]), 5.0);
+    }
+
+    #[test]
+    fn flat_forest_is_bitwise_identical_to_boxed_trees() {
+        let (x, y) = wavy();
+        let mut f = RandomForest::with_seed(11).with_trees(12);
+        f.fit(&x, &y);
+        let flat = f.flat();
+        assert_eq!(flat.tree_count(), 12);
+        assert!(flat.node_count() >= flat.tree_count());
+        for row in &x {
+            assert_eq!(flat.predict_row(row).to_bits(), f.predict_row(row).to_bits());
+        }
+        let m = FeatureMatrix::from_rows(&x);
+        let batch = f.predict_batch(&m);
+        for (i, row) in x.iter().enumerate() {
+            assert_eq!(batch[i].to_bits(), f.predict_row(row).to_bits());
+        }
+    }
+
+    #[test]
+    fn flat_forest_rebuilds_after_clone_without_cache() {
+        let (x, y) = wavy();
+        let mut f = RandomForest::with_seed(4).with_trees(6);
+        f.fit(&x, &y);
+        // A forest whose cache was never primed (as after deserialization)
+        // must lazily rebuild an identical flat layout.
+        let fresh = RandomForest {
+            n_trees: f.n_trees,
+            tree_config: f.tree_config,
+            seed: f.seed,
+            trees: f.trees.clone(),
+            flat: OnceLock::new(),
+        };
+        assert_eq!(f, fresh);
+        for row in x.iter().take(25) {
+            assert_eq!(fresh.flat().predict_row(row), f.predict_row(row));
+        }
     }
 }

@@ -1,6 +1,7 @@
 //! Lasso (L1-regularized least squares) via cyclic coordinate descent on
 //! standardized features, with soft-thresholding updates.
 
+use crate::batch::FeatureMatrix;
 use crate::data::{StandardScaler, TargetScaler};
 use crate::model::Regressor;
 use serde::{Deserialize, Serialize};
@@ -118,9 +119,33 @@ impl Regressor for Lasso {
     fn predict_row(&self, row: &[f64]) -> f64 {
         let scaler = self.scaler.as_ref().expect("predict before fit");
         let ts = self.target.expect("predict before fit");
+        debug_assert_eq!(row.len(), self.weights.len(), "row width mismatch");
         let rs = scaler.transform_row(row);
         let z: f64 = rs.iter().zip(&self.weights).map(|(a, b)| a * b).sum();
         ts.inverse(z)
+    }
+
+    fn predict_batch(&self, x: &FeatureMatrix) -> Vec<f64> {
+        let scaler = self.scaler.as_ref().expect("predict before fit");
+        let ts = self.target.expect("predict before fit");
+        assert_eq!(x.cols(), self.weights.len(), "matrix width mismatch");
+        // Standardization fused into the dot product: each term is
+        // ((v − mean) / std) · w accumulated in column order, the exact
+        // operation sequence of `transform_row` + zip-map-sum.
+        x.iter_rows()
+            .map(|row| {
+                let mut z = 0.0;
+                for (((&v, &m), &s), &w) in row
+                    .iter()
+                    .zip(&scaler.mean)
+                    .zip(&scaler.std)
+                    .zip(&self.weights)
+                {
+                    z += (v - m) / s * w;
+                }
+                ts.inverse(z)
+            })
+            .collect()
     }
 }
 

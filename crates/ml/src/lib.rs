@@ -12,6 +12,7 @@
 
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod cv;
 pub mod data;
 pub mod errors;
@@ -24,14 +25,17 @@ pub mod pipeline;
 pub mod svr;
 pub mod tree;
 
+pub use batch::FeatureMatrix;
 pub use cv::{compare_algorithms, cross_validate, kfold_assignment, select_algorithm, CvScore};
 pub use data::{Dataset, StandardScaler, TargetScaler};
 pub use errors::{ape, mape, r2, rmse};
-pub use forest::RandomForest;
+pub use forest::{FlatForest, RandomForest};
 pub use lasso::Lasso;
 pub use linear::LinearRegression;
 pub use model::{Algorithm, Regressor, TrainedRegressor};
-pub use pipeline::{input_row, MetricModels, ModelSelection, PredictedMetrics, SweepSample};
+pub use pipeline::{
+    input_matrix, input_row, MetricModels, ModelSelection, PredictedMetrics, SweepSample,
+};
 pub use svr::SvrRbf;
 pub use tree::{RegressionTree, TreeConfig};
 
@@ -116,6 +120,76 @@ mod proptests {
             for j in 0..x[0].len() {
                 let mean: f64 = t.iter().map(|r| r[j]).sum::<f64>() / t.len() as f64;
                 prop_assert!(mean.abs() < 1e-9);
+            }
+        }
+
+        /// The batched fast path of every algorithm is bitwise identical
+        /// to the per-row reference path, on the training rows and on a
+        /// derived out-of-sample matrix.
+        #[test]
+        fn predict_batch_bitwise_identical_to_predict_row(
+            (x, y) in arb_xy(),
+            seed in 0u64..1000,
+        ) {
+            // Probe rows the models never saw: shifted and scaled copies.
+            let probes: Vec<Vec<f64>> = x
+                .iter()
+                .map(|r| r.iter().map(|v| v * 1.37 - 0.21).collect())
+                .collect();
+            for rows in [&x, &probes] {
+                let matrix = FeatureMatrix::from_rows(rows);
+                for algo in Algorithm::ALL {
+                    let m = TrainedRegressor::fit(algo, seed, &x, &y);
+                    let batch = m.predict_batch(&matrix);
+                    prop_assert_eq!(batch.len(), rows.len());
+                    for (row, got) in rows.iter().zip(&batch) {
+                        let reference = m.predict_row(row);
+                        prop_assert_eq!(
+                            got.to_bits(),
+                            reference.to_bits(),
+                            "{}: batch {} != per-row {}",
+                            algo, got, reference
+                        );
+                    }
+                }
+            }
+        }
+
+        /// The batched sweep of the trained metric-model bundle matches
+        /// the per-configuration reference bit for bit.
+        #[test]
+        fn sweep_batch_bitwise_identical(
+            (x, _y) in arb_xy(),
+            seed in 0u64..100,
+        ) {
+            let f_max = 1500.0;
+            let samples: Vec<SweepSample> = x
+                .iter()
+                .enumerate()
+                .map(|(i, r)| {
+                    let core = 400.0 + (i as f64 * 193.0) % 1100.0;
+                    SweepSample {
+                        features: r.iter().map(|v| v.abs() * 8.0).collect(),
+                        core_mhz: core,
+                        mem_mhz: 877.0,
+                        time_s: 0.1 + 1500.0 / core,
+                        energy_j: 0.2 + core / 1500.0,
+                    }
+                })
+                .collect();
+            let models = MetricModels::train(ModelSelection::paper_best(), &samples, f_max, seed);
+            let clocks: Vec<(f64, f64)> = samples
+                .iter()
+                .map(|s| (s.core_mhz, s.mem_mhz))
+                .collect();
+            let features = &samples[0].features;
+            let batch = models.predict_sweep_batch(features, &clocks);
+            for (p, &(core, mem)) in batch.iter().zip(&clocks) {
+                let q = models.predict(features, core, mem);
+                prop_assert_eq!(p.time_s.to_bits(), q.time_s.to_bits());
+                prop_assert_eq!(p.energy_j.to_bits(), q.energy_j.to_bits());
+                prop_assert_eq!(p.edp.to_bits(), q.edp.to_bits());
+                prop_assert_eq!(p.ed2p.to_bits(), q.ed2p.to_bits());
             }
         }
     }

@@ -2,6 +2,7 @@
 //! numerical stability on collinear inputs), solved via the normal
 //! equations and Cholesky factorization.
 
+use crate::batch::FeatureMatrix;
 use crate::linalg::{dot, solve_spd, Matrix};
 use crate::model::Regressor;
 use serde::{Deserialize, Serialize};
@@ -60,6 +61,15 @@ impl Regressor for LinearRegression {
     fn predict_row(&self, row: &[f64]) -> f64 {
         assert_eq!(row.len(), self.weights.len(), "predict before fit?");
         dot(row, &self.weights) + self.intercept
+    }
+
+    fn predict_batch(&self, x: &FeatureMatrix) -> Vec<f64> {
+        // Width checked once for the whole batch; each row is then one
+        // fused weights·row pass over contiguous storage.
+        assert_eq!(x.cols(), self.weights.len(), "matrix width mismatch");
+        x.iter_rows()
+            .map(|row| dot(row, &self.weights) + self.intercept)
+            .collect()
     }
 }
 

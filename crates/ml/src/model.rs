@@ -2,6 +2,7 @@
 //! paper's Section 8.3: Linear regression, Lasso, Random Forest, and
 //! SVR with an RBF kernel.
 
+use crate::batch::FeatureMatrix;
 use crate::forest::RandomForest;
 use crate::lasso::Lasso;
 use crate::linear::LinearRegression;
@@ -17,9 +18,32 @@ pub trait Regressor: Send + Sync {
     /// Predict one row. Must be called after `fit`.
     fn predict_row(&self, row: &[f64]) -> f64;
 
-    /// Predict many rows.
+    /// Predict many rows. Panics on ragged input: a malformed request
+    /// must fail loudly here, not feed truncated rows into a scaler and
+    /// come back as a plausible-looking garbage prediction.
     fn predict(&self, x: &[Vec<f64>]) -> Vec<f64> {
+        if let Some(first) = x.first() {
+            let width = first.len();
+            for (i, row) in x.iter().enumerate() {
+                assert_eq!(
+                    row.len(),
+                    width,
+                    "ragged prediction input: row {i} has width {} but row 0 has width {width}",
+                    row.len(),
+                );
+            }
+        }
         x.iter().map(|r| self.predict_row(r)).collect()
+    }
+
+    /// Predict every row of a flat matrix.
+    ///
+    /// The default is the **per-row reference path** — algorithms
+    /// override it with allocation-free fast paths whose output must be
+    /// bitwise identical to this definition (property-tested per
+    /// algorithm).
+    fn predict_batch(&self, x: &FeatureMatrix) -> Vec<f64> {
+        x.iter_rows().map(|r| self.predict_row(r)).collect()
     }
 }
 
@@ -142,6 +166,16 @@ impl Regressor for TrainedRegressor {
             TrainedRegressor::SvrRbf(m) => m.predict_row(row),
         }
     }
+
+    fn predict_batch(&self, x: &FeatureMatrix) -> Vec<f64> {
+        // One enum dispatch for the whole batch instead of one per row.
+        match self {
+            TrainedRegressor::Linear(m) => m.predict_batch(x),
+            TrainedRegressor::Lasso(m) => m.predict_batch(x),
+            TrainedRegressor::RandomForest(m) => m.predict_batch(x),
+            TrainedRegressor::SvrRbf(m) => m.predict_batch(x),
+        }
+    }
 }
 
 impl fmt::Display for Algorithm {
@@ -225,6 +259,32 @@ mod tests {
         assert!(forest.coefficients().is_none());
         let svr = TrainedRegressor::fit(Algorithm::SvrRbf, 0, &x, &y);
         assert!(svr.coefficients().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_predict_input_panics() {
+        let (x, y) = toy_problem();
+        let m = TrainedRegressor::fit(Algorithm::Linear, 0, &x, &y);
+        m.predict(&[vec![0.1, 0.2], vec![0.3]]);
+    }
+
+    #[test]
+    fn batch_dispatch_matches_per_row_for_all_algorithms() {
+        let (x, y) = toy_problem();
+        let matrix = FeatureMatrix::from_rows(&x);
+        for algo in Algorithm::ALL {
+            let m = TrainedRegressor::fit(algo, 7, &x, &y);
+            let batch = m.predict_batch(&matrix);
+            assert_eq!(batch.len(), x.len());
+            for (row, got) in x.iter().zip(&batch) {
+                assert_eq!(
+                    got.to_bits(),
+                    m.predict_row(row).to_bits(),
+                    "{algo}: batch and per-row paths diverge"
+                );
+            }
+        }
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //! normalized core clock, plus the clock, its inverse, and the memory-clock
 //! ratio.
 
+use crate::batch::FeatureMatrix;
 use crate::model::{Algorithm, Regressor, TrainedRegressor};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
@@ -104,6 +105,41 @@ pub fn input_row(features: &[f64], core_mhz: f64, mem_mhz: f64, f_max_mhz: f64) 
     row
 }
 
+/// Build the whole model-input grid for one kernel at many clock
+/// configurations as a flat [`FeatureMatrix`] — the batched counterpart
+/// of calling [`input_row`] once per `(core_mhz, mem_mhz)` pair.
+///
+/// The kernel-dependent parts of the basis (shape fractions, their total
+/// and the log-magnitude term) are computed **once** and replayed into
+/// every row; only the clock-dependent columns are evaluated per
+/// configuration. Each value is produced by the same operation sequence
+/// as `input_row` (`k/denom` cached, then divided by `f̂` — division is
+/// left-associative, so the cached fraction is the identical
+/// intermediate), making every row bitwise identical to the per-row
+/// reference.
+pub fn input_matrix(features: &[f64], clocks: &[(f64, f64)], f_max_mhz: f64) -> FeatureMatrix {
+    let d = features.len();
+    let total: f64 = features.iter().sum();
+    let denom = total.max(1e-9);
+    let frac: Vec<f64> = features.iter().map(|&k| k / denom).collect();
+    let log_total = (1.0 + total).log10();
+    let mut m = FeatureMatrix::with_capacity(clocks.len(), 2 * d + 4);
+    for &(core_mhz, mem_mhz) in clocks {
+        let fhat = (core_mhz / f_max_mhz).max(1e-6);
+        let mem_ratio = if f_max_mhz > 0.0 { mem_mhz / f_max_mhz } else { 0.0 };
+        let row = m.push_row_uninit();
+        row[..d].copy_from_slice(&frac);
+        for j in 0..d {
+            row[d + j] = frac[j] / fhat;
+        }
+        row[2 * d] = fhat;
+        row[2 * d + 1] = 1.0 / fhat;
+        row[2 * d + 2] = mem_ratio;
+        row[2 * d + 3] = log_total;
+    }
+    m
+}
+
 /// The four trained single-target models.
 ///
 /// The bundle is a plain value: cloneable, comparable and serde-able, so a
@@ -181,6 +217,35 @@ impl MetricModels {
             edp: self.edp.predict_row(&row).max(floor),
             ed2p: self.ed2p.predict_row(&row).max(floor),
         }
+    }
+
+    /// Predict all four metrics for one kernel across a whole clock grid
+    /// in one batched pass: the input matrix is built once
+    /// ([`input_matrix`]) and each model's `predict_batch` fast path
+    /// streams over it — four model dispatches total instead of four per
+    /// configuration, and no per-configuration allocations.
+    ///
+    /// Output element `i` is bitwise identical to
+    /// `self.predict(features, clocks[i].0, clocks[i].1)`.
+    pub fn predict_sweep_batch(
+        &self,
+        features: &[f64],
+        clocks: &[(f64, f64)],
+    ) -> Vec<PredictedMetrics> {
+        let m = input_matrix(features, clocks, self.f_max_mhz);
+        let t = self.time.predict_batch(&m);
+        let e = self.energy.predict_batch(&m);
+        let edp = self.edp.predict_batch(&m);
+        let ed2p = self.ed2p.predict_batch(&m);
+        let floor = 1e-12;
+        (0..clocks.len())
+            .map(|i| PredictedMetrics {
+                time_s: t[i].max(floor),
+                energy_j: e[i].max(floor),
+                edp: edp[i].max(floor),
+                ed2p: ed2p[i].max(floor),
+            })
+            .collect()
     }
 
     /// The algorithm selection this bundle was trained with.
@@ -301,6 +366,53 @@ mod tests {
         assert_eq!(row[4], 0.5); // f̂
         assert_eq!(row[5], 2.0); // 1/f̂
         assert!((row[7] - 6f64.log10()).abs() < 1e-12); // log magnitude
+    }
+
+    #[test]
+    fn input_matrix_rows_are_bitwise_input_rows() {
+        let features = [3.0, 0.0, 11.5];
+        let clocks: Vec<(f64, f64)> = (0..25)
+            .map(|i| (400.0 + i as f64 * 47.0, if i % 2 == 0 { 877.0 } else { 405.0 }))
+            .collect();
+        let m = input_matrix(&features, &clocks, 1500.0);
+        assert_eq!(m.rows(), clocks.len());
+        assert_eq!(m.cols(), 2 * features.len() + 4);
+        for (i, &(core, mem)) in clocks.iter().enumerate() {
+            let reference = input_row(&features, core, mem, 1500.0);
+            let got = m.row(i);
+            assert_eq!(got.len(), reference.len());
+            for (a, b) in got.iter().zip(&reference) {
+                assert_eq!(a.to_bits(), b.to_bits(), "config {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn sweep_batch_is_bitwise_identical_to_per_config_predict() {
+        let samples = synth_samples();
+        let models = MetricModels::train(ModelSelection::paper_best(), &samples, 1500.0, 5);
+        let clocks: Vec<(f64, f64)> = samples
+            .iter()
+            .step_by(3)
+            .map(|s| (s.core_mhz, s.mem_mhz))
+            .collect();
+        let features = [4.0, 8.0];
+        let batch = models.predict_sweep_batch(&features, &clocks);
+        assert_eq!(batch.len(), clocks.len());
+        for (p, &(core, mem)) in batch.iter().zip(&clocks) {
+            let q = models.predict(&features, core, mem);
+            assert_eq!(p.time_s.to_bits(), q.time_s.to_bits());
+            assert_eq!(p.energy_j.to_bits(), q.energy_j.to_bits());
+            assert_eq!(p.edp.to_bits(), q.edp.to_bits());
+            assert_eq!(p.ed2p.to_bits(), q.ed2p.to_bits());
+        }
+    }
+
+    #[test]
+    fn sweep_batch_empty_grid_is_empty() {
+        let samples = synth_samples();
+        let models = MetricModels::train(ModelSelection::paper_best(), &samples, 1500.0, 5);
+        assert!(models.predict_sweep_batch(&[4.0, 8.0], &[]).is_empty());
     }
 
     #[test]

@@ -13,13 +13,56 @@
 //! Features and targets are standardized internally so the default
 //! hyperparameters are meaningful at any scale.
 
+use crate::batch::FeatureMatrix;
 use crate::data::{StandardScaler, TargetScaler};
-use crate::linalg::sq_dist;
+use crate::linalg::{dot, sq_dist};
 use crate::model::Regressor;
 use serde::{Deserialize, Serialize};
+use std::sync::OnceLock;
+
+/// The active support vectors in prediction-ready form: flat row-major
+/// standardized coordinates, their dual coefficients, and precomputed
+/// squared norms so the RBF exponent `‖s−r‖² = ‖s‖² − 2 s·r + ‖r‖²`
+/// costs one dot product per (support vector, row) pair.
+///
+/// Derived state: built from `(beta, train_x)` at fit time, rebuilt
+/// lazily after deserialization. Zero-β training points are dropped (in
+/// training order, matching the reference path's filter).
+#[derive(Debug, Clone, Default)]
+pub(crate) struct SupportSet {
+    dim: usize,
+    x: Vec<f64>,
+    beta: Vec<f64>,
+    sq_norm: Vec<f64>,
+}
+
+impl SupportSet {
+    fn build(beta: &[f64], train_x: &[Vec<f64>]) -> SupportSet {
+        let dim = train_x.first().map_or(0, Vec::len);
+        let mut set = SupportSet {
+            dim,
+            x: Vec::new(),
+            beta: Vec::new(),
+            sq_norm: Vec::new(),
+        };
+        for (sv, &b) in train_x.iter().zip(beta) {
+            if b != 0.0 {
+                set.x.extend_from_slice(sv);
+                set.beta.push(b);
+                set.sq_norm.push(dot(sv, sv));
+            }
+        }
+        set
+    }
+
+    /// Number of support vectors.
+    fn len(&self) -> usize {
+        self.beta.len()
+    }
+}
 
 /// ε-SVR with an RBF kernel `exp(-γ‖x−z‖²)`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SvrRbf {
     /// Box constraint (regularization strength).
     pub c: f64,
@@ -36,6 +79,26 @@ pub struct SvrRbf {
     gamma_fitted: f64,
     scaler: Option<StandardScaler>,
     target: Option<TargetScaler>,
+    /// Derived support-vector layout; never serialized, never compared.
+    #[serde(skip)]
+    support: OnceLock<SupportSet>,
+}
+
+// `support` is a cache of `(beta, train_x)`; equality covers the fitted
+// state only, so a freshly deserialized model equals its source.
+impl PartialEq for SvrRbf {
+    fn eq(&self, other: &Self) -> bool {
+        self.c == other.c
+            && self.epsilon == other.epsilon
+            && self.gamma == other.gamma
+            && self.max_iter == other.max_iter
+            && self.tol == other.tol
+            && self.beta == other.beta
+            && self.train_x == other.train_x
+            && self.gamma_fitted == other.gamma_fitted
+            && self.scaler == other.scaler
+            && self.target == other.target
+    }
 }
 
 impl Default for SvrRbf {
@@ -51,6 +114,7 @@ impl Default for SvrRbf {
             gamma_fitted: 0.0,
             scaler: None,
             target: None,
+            support: OnceLock::new(),
         }
     }
 }
@@ -71,9 +135,27 @@ impl SvrRbf {
         self.beta.iter().filter(|b| **b != 0.0).count()
     }
 
-    fn kernel(&self, a: &[f64], b: &[f64]) -> f64 {
-        // +1 absorbs the bias term.
-        (-self.gamma_fitted * sq_dist(a, b)).exp() + 1.0
+    fn support(&self) -> &SupportSet {
+        self.support
+            .get_or_init(|| SupportSet::build(&self.beta, &self.train_x))
+    }
+
+    /// Decision value for one standardized row with its precomputed
+    /// squared norm. Support vectors accumulate in training order; the
+    /// RBF exponent is expanded as `‖s‖² − 2 s·r + ‖r‖²` (clamped at 0,
+    /// it is a distance) so only the dot product varies per pair. Both
+    /// the per-row and the batched entry points funnel through here,
+    /// which is what makes them bitwise identical.
+    fn decision(&self, rs: &[f64], rs_norm: f64) -> f64 {
+        let set = self.support();
+        let mut z = 0.0;
+        for i in 0..set.len() {
+            let sv = &set.x[i * set.dim..(i + 1) * set.dim];
+            let d2 = (set.sq_norm[i] - 2.0 * dot(sv, rs) + rs_norm).max(0.0);
+            // +1 absorbs the bias term.
+            z += set.beta[i] * ((-self.gamma_fitted * d2).exp() + 1.0);
+        }
+        z
     }
 }
 
@@ -142,20 +224,40 @@ impl Regressor for SvrRbf {
         self.train_x = xs;
         self.scaler = Some(scaler);
         self.target = Some(ts);
+        self.support = OnceLock::new();
+        let _ = self
+            .support
+            .set(SupportSet::build(&self.beta, &self.train_x));
     }
 
     fn predict_row(&self, row: &[f64]) -> f64 {
         let scaler = self.scaler.as_ref().expect("predict before fit");
         let ts = self.target.expect("predict before fit");
+        debug_assert_eq!(row.len(), scaler.mean.len(), "row width mismatch");
         let rs = scaler.transform_row(row);
-        let z: f64 = self
-            .train_x
-            .iter()
-            .zip(&self.beta)
-            .filter(|(_, &b)| b != 0.0)
-            .map(|(sv, &b)| b * self.kernel(sv, &rs))
-            .sum();
-        ts.inverse(z)
+        let rs_norm = dot(&rs, &rs);
+        ts.inverse(self.decision(&rs, rs_norm))
+    }
+
+    fn predict_batch(&self, x: &FeatureMatrix) -> Vec<f64> {
+        let scaler = self.scaler.as_ref().expect("predict before fit");
+        let ts = self.target.expect("predict before fit");
+        assert_eq!(x.cols(), scaler.mean.len(), "matrix width mismatch");
+        // One scratch row reused across the batch: standardize in place,
+        // column order identical to `transform_row`.
+        let mut rs = vec![0.0f64; x.cols()];
+        x.iter_rows()
+            .map(|row| {
+                for (slot, ((&v, &m), &s)) in rs
+                    .iter_mut()
+                    .zip(row.iter().zip(&scaler.mean).zip(&scaler.std))
+                {
+                    *slot = (v - m) / s;
+                }
+                let rs_norm = dot(&rs, &rs);
+                ts.inverse(self.decision(&rs, rs_norm))
+            })
+            .collect()
     }
 }
 

@@ -31,7 +31,7 @@ impl Default for TreeConfig {
 }
 
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-enum Node {
+pub(crate) enum Node {
     Leaf {
         value: f64,
     },
@@ -74,6 +74,12 @@ impl RegressionTree {
     /// Number of nodes (diagnostics).
     pub fn node_count(&self) -> usize {
         self.nodes.len()
+    }
+
+    /// The node arena (root at index 0) — the forest's flattened SoA
+    /// layout is built from this.
+    pub(crate) fn nodes(&self) -> &[Node] {
+        &self.nodes
     }
 
     /// Depth of the deepest leaf.

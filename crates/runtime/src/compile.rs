@@ -15,6 +15,18 @@
 //! element-for-element identical to the serial reference implementations
 //! ([`sweep_samples_serial`], [`build_training_set_serial`],
 //! [`measured_sweep_serial`]), which stay exported for verification.
+//!
+//! ## Batched prediction
+//!
+//! Predicted sweeps run through the batched inference engine: the clock
+//! grid is collected once per compile ([`clock_grid`]), each kernel's
+//! input matrix is built in one pass, and the four metric models consume
+//! it through their `predict_batch` fast paths
+//! ([`predict_sweep_over_grid`]) — Rayon fans out per grid *chunk*, not
+//! per configuration, and nothing allocates per configuration. The
+//! per-configuration path stays exported as
+//! [`predict_sweep_from_info_serial`], and the batched output is asserted
+//! bitwise identical to it.
 
 use crate::registry::TargetRegistry;
 use rayon::prelude::*;
@@ -224,17 +236,31 @@ pub fn predict_sweep(
 
 /// [`predict_sweep`] with a pre-extracted [`KernelStaticInfo`] — the
 /// accuracy study predicts the same kernel once per algorithm, and only
-/// needs to extract features once. Configurations are predicted in
-/// parallel; output order is the table order.
+/// needs to extract features once. The supported clock grid is collected
+/// once and fed through the batched engine
+/// ([`predict_sweep_over_grid`]); output order is the table order.
 pub fn predict_sweep_from_info(
     spec: &DeviceSpec,
     models: &MetricModels,
     info: &KernelStaticInfo,
 ) -> Vec<MetricPoint> {
-    let configs: Vec<ClockConfig> = spec.freq_table.configs().collect();
-    configs
-        .par_iter()
-        .map(|&clocks| {
+    let grid = clock_grid(spec);
+    predict_sweep_over_grid(models, info, &grid)
+}
+
+/// Serial per-configuration reference implementation of
+/// [`predict_sweep_from_info`]: one `input_row` allocation and four
+/// `predict_row` dispatches per configuration. Kept exported for the
+/// batched-equivalence guarantee — tests assert the batched grid path is
+/// bitwise identical to this.
+pub fn predict_sweep_from_info_serial(
+    spec: &DeviceSpec,
+    models: &MetricModels,
+    info: &KernelStaticInfo,
+) -> Vec<MetricPoint> {
+    spec.freq_table
+        .configs()
+        .map(|clocks| {
             let p = models.predict(
                 info.features.as_slice(),
                 clocks.core_mhz as f64,
@@ -243,6 +269,51 @@ pub fn predict_sweep_from_info(
             MetricPoint::new(clocks, p.time_s, p.energy_j)
         })
         .collect()
+}
+
+/// The device's full supported clock grid in table order — collect it
+/// once per compile or study and share it across kernels instead of
+/// re-collecting per predicted sweep.
+pub fn clock_grid(spec: &DeviceSpec) -> Vec<ClockConfig> {
+    spec.freq_table.configs().collect()
+}
+
+/// Grid rows handed to one batched model dispatch. Large enough to
+/// amortize the four model dispatches, small enough that a 196-config
+/// grid still fans out across workers.
+const PREDICT_CHUNK: usize = 64;
+
+/// Predict the metric sweep for one kernel over a pre-collected clock
+/// grid, batched: the grid is split into chunks, each chunk builds its
+/// slice of the input matrix once and runs the four models' batched fast
+/// paths over it. Rayon parallelism is per **chunk**, not per
+/// configuration, and no allocations happen per configuration.
+///
+/// Output is bitwise identical to [`predict_sweep_from_info_serial`] —
+/// element `i` of the result is element `i` of the serial reference.
+pub fn predict_sweep_over_grid(
+    models: &MetricModels,
+    info: &KernelStaticInfo,
+    grid: &[ClockConfig],
+) -> Vec<MetricPoint> {
+    let features = info.features.as_slice();
+    let pairs: Vec<(f64, f64)> = grid
+        .iter()
+        .map(|c| (c.core_mhz as f64, c.mem_mhz as f64))
+        .collect();
+    let per_chunk: Vec<Vec<MetricPoint>> = pairs
+        .par_chunks(PREDICT_CHUNK)
+        .zip(grid.par_chunks(PREDICT_CHUNK))
+        .map(|(chunk_pairs, chunk_clocks)| {
+            models
+                .predict_sweep_batch(features, chunk_pairs)
+                .into_iter()
+                .zip(chunk_clocks)
+                .map(|(p, &clocks)| MetricPoint::new(clocks, p.time_s, p.energy_j))
+                .collect()
+        })
+        .collect();
+    per_chunk.into_iter().flatten().collect()
 }
 
 /// The compile step aborted: at least one deny-level diagnostic was found
@@ -315,6 +386,7 @@ pub fn compile_application_traced(
     recorder: &Recorder,
 ) -> Result<TargetRegistry, CompileError> {
     let baseline = spec.baseline_clocks();
+    let grid = clock_grid(spec);
     let mut report = lints.check_models(models, spec, NUM_FEATURES);
     let infos = timed_phase(
         recorder,
@@ -334,7 +406,7 @@ pub fn compile_application_traced(
                 .zip(infos.par_iter())
                 .map(|(ir, info)| {
                     let mut rep = lints.check_kernel(ir);
-                    let points = predict_sweep_from_info(spec, models, info);
+                    let points = predict_sweep_over_grid(models, info, &grid);
                     rep.merge(lints.check_sweep(&points, baseline, targets));
                     let sweep = IndexedSweep::new(points);
                     let per_target: Vec<(EnergyTarget, ClockConfig)> = targets
@@ -615,6 +687,48 @@ mod tests {
             train_device_models(&spec, &suite[..6], ModelSelection::uniform(Algorithm::Linear), 16, 0);
         assert_eq!(
             predict_sweep(&spec, &models, &ir),
+            predict_sweep_from_info(&spec, &models, &info)
+        );
+    }
+
+    #[test]
+    fn batched_sweep_identical_to_serial_reference() {
+        // The batched grid path (flat input matrix + per-algorithm
+        // predict_batch + per-chunk fan-out) must reproduce the serial
+        // per-configuration reference bit for bit, for every algorithm
+        // family in the default selection and for uneven tail chunks.
+        for spec in [DeviceSpec::v100(), DeviceSpec::titan_x()] {
+            let suite = small_suite();
+            for selection in [
+                ModelSelection::paper_best(),
+                ModelSelection::uniform(Algorithm::Lasso),
+                ModelSelection::uniform(Algorithm::SvrRbf),
+            ] {
+                let models = train_device_models(&spec, &suite[..4], selection, 16, 3);
+                let info = extract(&test_kernel());
+                let batched = predict_sweep_from_info(&spec, &models, &info);
+                let serial = predict_sweep_from_info_serial(&spec, &models, &info);
+                assert_eq!(batched.len(), serial.len());
+                for (b, s) in batched.iter().zip(&serial) {
+                    assert_eq!(b.clocks, s.clocks);
+                    assert_eq!(b.time_s.to_bits(), s.time_s.to_bits());
+                    assert_eq!(b.energy_j.to_bits(), s.energy_j.to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn grid_hoisting_matches_per_call_collection() {
+        let spec = DeviceSpec::v100();
+        let grid = clock_grid(&spec);
+        assert_eq!(grid.len(), 196);
+        let suite = small_suite();
+        let models =
+            train_device_models(&spec, &suite[..4], ModelSelection::paper_best(), 16, 0);
+        let info = extract(&test_kernel());
+        assert_eq!(
+            predict_sweep_over_grid(&models, &info, &grid),
             predict_sweep_from_info(&spec, &models, &info)
         );
     }

@@ -28,10 +28,14 @@
 //! answers `Expired` without doing the work.
 //!
 //! **Coalescing.** `Compile` and `Sweep` requests are keyed by
-//! `(kernel-IR hash, device, target set)`. When a worker starts one, the
-//! key is published in an in-flight table; duplicates that arrive while
-//! it runs register as waiters and are answered from the leader's result
-//! (`coalesced: true`), never recomputing.
+//! `(kernel-IR hash, device, target set)`; `Predict` requests by
+//! `(device, feature/clock bits)`. When a worker starts one, the key is
+//! published in an in-flight table; duplicates that arrive while it runs
+//! register as waiters and are answered from the leader's result
+//! (`coalesced: true` on compiles), never recomputing. The micro-bench
+//! training suite and the per-device model bundle are generated once and
+//! shared as `Arc`s, so neither a coalesced group's leader nor any later
+//! request re-derives them.
 //!
 //! **Drain.** `drain()` (or a `Drain` request) stops the acceptor,
 //! makes readers answer new data-plane requests with `Draining`, lets
@@ -41,17 +45,17 @@
 use std::collections::{HashMap, VecDeque};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use parking_lot::{Condvar, Mutex};
 use synergy_analyze::LintRegistry;
 use synergy_apps as apps;
-use synergy_kernel::{generate_microbench, MicroBenchConfig, NUM_FEATURES};
+use synergy_kernel::{generate_microbench, MicroBenchConfig, MicroBenchmark, NUM_FEATURES};
 use synergy_metrics::{EnergyTarget, MetricPoint};
-use synergy_ml::ModelSelection;
-use synergy_rt::{compile_application_traced, measured_sweep, ModelStore};
+use synergy_ml::{MetricModels, ModelSelection};
+use synergy_rt::{clock_grid, compile_application_traced, measured_sweep, ModelStore};
 use synergy_sim::DeviceSpec;
 use synergy_telemetry::{EventKind, Recorder, ServeOp};
 
@@ -305,6 +309,12 @@ struct Shared {
     shutdown: AtomicBool,
     readers: Mutex<Vec<JoinHandle<()>>>,
     inflight: Mutex<HashMap<String, Vec<Waiter>>>,
+    /// Micro-bench training suite, generated once per server (every
+    /// data-plane request used to regenerate it from scratch).
+    suite: OnceLock<Vec<MicroBenchmark>>,
+    /// Per-device model bundles, shared by every request — including
+    /// every leader of a coalesced group — after the first fetch.
+    models: Mutex<HashMap<String, Arc<MetricModels>>>,
 }
 
 impl Shared {
@@ -313,6 +323,21 @@ impl Shared {
             Some(s) => s,
             None => ModelStore::global(),
         }
+    }
+
+    fn suite(&self) -> &[MicroBenchmark] {
+        self.suite
+            .get_or_init(|| generate_microbench(42, &MicroBenchConfig::default()))
+    }
+
+    /// Record one batched inference call so batch sizes surface in the
+    /// telemetry summary.
+    fn predict_event(&self, source: &str, rows: u64, wall: Duration) {
+        self.recorder.record_with(0, || EventKind::PredictBatch {
+            source: source.to_string(),
+            rows,
+            wall_dur_ns: wall.as_nanos() as u64,
+        });
     }
 
     fn snapshot(&self) -> StatsSnapshot {
@@ -440,6 +465,8 @@ pub fn spawn(config: ServeConfig) -> std::io::Result<ServerHandle> {
         shutdown: AtomicBool::new(false),
         readers: Mutex::new(Vec::new()),
         inflight: Mutex::new(HashMap::new()),
+        suite: OnceLock::new(),
+        models: Mutex::new(HashMap::new()),
     });
 
     let mut workers = Vec::with_capacity(config.workers.max(1));
@@ -753,7 +780,10 @@ fn worker_loop(shared: &Arc<Shared>) {
     }
 }
 
-/// The in-flight table key: kernel-IR content hash + device + targets.
+/// The in-flight table key: kernel-IR content hash + device + targets for
+/// compiles and sweeps; device + exact feature/clock bits for predicts
+/// (bit-level equality is the right notion — two requests whose inputs
+/// differ in any bit may legitimately predict differently).
 fn coalesce_key(req: &Request) -> Option<String> {
     match req {
         Request::Compile {
@@ -770,6 +800,20 @@ fn coalesce_key(req: &Request) -> Option<String> {
         Request::Sweep { bench, device } => {
             let ir_hash = bench_ir_hash(bench);
             Some(format!("sweep/{ir_hash:016x}/{device}"))
+        }
+        Request::Predict {
+            device,
+            features,
+            mem_mhz,
+            core_mhz,
+        } => {
+            let mut bytes = Vec::with_capacity(features.len() * 8 + 8);
+            for f in features {
+                bytes.extend_from_slice(&f.to_bits().to_le_bytes());
+            }
+            bytes.extend_from_slice(&mem_mhz.to_le_bytes());
+            bytes.extend_from_slice(&core_mhz.to_le_bytes());
+            Some(format!("predict/{:016x}/{device}", fnv1a64(&bytes)))
         }
         _ => None,
     }
@@ -850,18 +894,28 @@ fn compute(shared: &Shared, req: &Request) -> Response {
     }
 }
 
-fn trained_models(
-    shared: &Shared,
-    spec: &DeviceSpec,
-) -> std::sync::Arc<synergy_ml::MetricModels> {
-    let suite = generate_microbench(42, &MicroBenchConfig::default());
-    shared.store().get_or_train_traced(
+/// The device's model bundle: fetched (or trained) once, then handed out
+/// as a shared `Arc`. Before this cache, every request — every leader of
+/// every coalesced group — regenerated the micro-bench suite and re-keyed
+/// the model store from scratch.
+fn trained_models(shared: &Shared, spec: &DeviceSpec) -> Arc<MetricModels> {
+    if let Some(models) = shared.models.lock().get(&spec.name) {
+        return Arc::clone(models);
+    }
+    let models = shared.store().get_or_train_traced(
         spec,
-        &suite,
+        shared.suite(),
         ModelSelection::paper_best(),
         shared.profile.stride,
         shared.profile.seed,
         &shared.recorder,
+    );
+    Arc::clone(
+        shared
+            .models
+            .lock()
+            .entry(spec.name.clone())
+            .or_insert(models),
     )
 }
 
@@ -885,14 +939,18 @@ fn compute_compile(shared: &Shared, bench: &str, device: &str, targets: &[String
         out
     };
     let models = trained_models(shared, &spec);
-    match compile_application_traced(
+    let started = Instant::now();
+    let compiled = compile_application_traced(
         &spec,
         &models,
         std::slice::from_ref(&b.ir),
         &parsed,
         &LintRegistry::with_builtin(),
         &shared.recorder,
-    ) {
+    );
+    // The compile predicted the full V/F grid for the kernel in one batch.
+    shared.predict_event("compile", clock_grid(&spec).len() as u64, started.elapsed());
+    match compiled {
         Ok(registry) => Response::Compiled {
             device: device.to_string(),
             coalesced: false,
@@ -947,7 +1005,13 @@ fn compute_predict(
         ));
     }
     let models = trained_models(shared, &spec);
-    let p = models.predict(features, core_mhz as f64, mem_mhz as f64);
+    let started = Instant::now();
+    // One-row batch through the batched engine — bitwise identical to
+    // `models.predict` (the proptested contract).
+    let p = models
+        .predict_sweep_batch(features, &[(core_mhz as f64, mem_mhz as f64)])
+        .remove(0);
+    shared.predict_event("predict", 1, started.elapsed());
     Response::Predicted {
         time_s: p.time_s,
         energy_j: p.energy_j,
@@ -1086,6 +1150,25 @@ mod tests {
         })
         .unwrap();
         assert_eq!(a, a2);
+    }
+
+    #[test]
+    fn predict_coalesce_keys_are_bit_exact() {
+        let req = |features: Vec<f64>, core_mhz: u32| Request::Predict {
+            device: "v100".to_string(),
+            features,
+            mem_mhz: 877,
+            core_mhz,
+        };
+        let a = coalesce_key(&req(vec![1.0, 2.0, 3.0], 1312)).unwrap();
+        // Same logical request → same key.
+        assert_eq!(coalesce_key(&req(vec![1.0, 2.0, 3.0], 1312)).unwrap(), a);
+        // Any differing clock or feature bit → different key (−0.0 and
+        // 0.0 compare equal as floats but are distinct inputs).
+        assert_ne!(coalesce_key(&req(vec![1.0, 2.0, 3.0], 1005)).unwrap(), a);
+        let pos = coalesce_key(&req(vec![0.0], 1312)).unwrap();
+        let neg = coalesce_key(&req(vec![-0.0], 1312)).unwrap();
+        assert_ne!(pos, neg);
     }
 
     #[test]

@@ -80,6 +80,7 @@ fn track_tid(track: &str) -> u64 {
         "pipeline" => 6,
         "cluster" => 7,
         "serve" => 9,
+        "predict" => 10,
         _ => 8, // annotations
     }
 }
@@ -195,6 +196,7 @@ impl ChromeTrace {
                 | EventKind::ModelCache { .. }
                 | EventKind::PhaseEnd { .. }
                 | EventKind::Serve { .. }
+                | EventKind::PredictBatch { .. }
                 | EventKind::Annotation { .. } => false,
             };
             if on_virtual && !seen_tracks.contains(&(track, true)) {
@@ -232,6 +234,18 @@ impl ChromeTrace {
                         format!("{} {detail}", op.name())
                     };
                     instant(PID_WALL, tid, track, name, ev.ts_wall_ns, args)
+                }
+                EventKind::PredictBatch { source, rows, wall_dur_ns } => {
+                    let start = ev.ts_wall_ns.saturating_sub(*wall_dur_ns);
+                    slice(
+                        PID_WALL,
+                        tid,
+                        track,
+                        format!("predict ×{rows} ({source})"),
+                        start,
+                        ev.ts_wall_ns,
+                        args,
+                    )
                 }
                 EventKind::Annotation { code, level, .. } => {
                     instant(PID_WALL, tid, track, format!("{level} {code}"), ev.ts_wall_ns, args)

@@ -231,6 +231,17 @@ pub enum EventKind {
         /// Bounded-queue depth observed at the stage.
         queue_depth: u64,
     },
+    /// One batched model-inference call on the prediction hot path: how
+    /// many input rows went through `predict_batch` in one shot, so batch
+    /// sizes are visible in summaries and traces.
+    PredictBatch {
+        /// What issued the batch (`predict`, `compile`, `sweep`, ...).
+        source: String,
+        /// Input rows predicted by the call.
+        rows: u64,
+        /// Wall-clock duration of the batched call (ns).
+        wall_dur_ns: u64,
+    },
     /// A free-form annotation (e.g. a `synergy-analyze` diagnostic).
     Annotation {
         /// Stable code (`IR003`, `SW001`, ...) or source tag.
@@ -254,6 +265,7 @@ impl EventKind {
             EventKind::PhaseEnd { .. } => "pipeline",
             EventKind::ClusterStep { .. } => "cluster",
             EventKind::Serve { .. } => "serve",
+            EventKind::PredictBatch { .. } => "predict",
             EventKind::Annotation { .. } => "annotations",
         }
     }
@@ -328,6 +340,26 @@ mod tests {
         let back: EventKind = serde_json::from_value(json).unwrap();
         assert_eq!(back, ev);
         assert_eq!(ServeOp::Expire.name(), "expire");
+    }
+
+    #[test]
+    fn predict_batch_tags_and_tracks() {
+        let ev = EventKind::PredictBatch {
+            source: "compile".into(),
+            rows: 196,
+            wall_dur_ns: 12_000,
+        };
+        assert_eq!(ev.track(), "predict");
+        let clone = ev.clone();
+        assert_eq!(clone, ev);
+        match clone {
+            EventKind::PredictBatch { source, rows, wall_dur_ns } => {
+                assert_eq!(source, "compile");
+                assert_eq!(rows, 196);
+                assert_eq!(wall_dur_ns, 12_000);
+            }
+            other => panic!("unexpected kind {other:?}"),
+        }
     }
 
     #[test]

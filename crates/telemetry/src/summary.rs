@@ -158,6 +158,15 @@ pub struct TelemetrySummary {
     /// Highest bounded-queue depth observed on any serve event.
     pub serve_queue_depth_max: u64,
 
+    /// Batched model-inference calls observed.
+    pub predict_batches: u64,
+    /// Summed input rows across all batched inference calls.
+    pub predict_rows: u64,
+    /// Summed wall-clock time of batched inference calls, ns.
+    pub predict_wall_ns: u64,
+    /// Largest single inference batch seen, in rows.
+    pub predict_rows_max: u64,
+
     /// Annotations attached (diagnostics etc.).
     pub annotations: u64,
 }
@@ -253,6 +262,14 @@ impl TelemetrySummary {
                     }
                     s.serve_queue_depth_max = s.serve_queue_depth_max.max(*queue_depth);
                 }
+                EventKind::PredictBatch {
+                    rows, wall_dur_ns, ..
+                } => {
+                    s.predict_batches += 1;
+                    s.predict_rows += rows;
+                    s.predict_wall_ns += wall_dur_ns;
+                    s.predict_rows_max = s.predict_rows_max.max(*rows);
+                }
                 EventKind::Annotation { .. } => s.annotations += 1,
             }
         }
@@ -279,6 +296,16 @@ impl TelemetrySummary {
             0.0
         } else {
             ((self.measured_energy_j - self.exact_energy_j) / self.exact_energy_j).abs()
+        }
+    }
+
+    /// Predicted rows per second of wall time across all batched
+    /// inference calls (0 when no time was recorded).
+    pub fn predict_rows_per_s(&self) -> f64 {
+        if self.predict_wall_ns == 0 {
+            0.0
+        } else {
+            self.predict_rows as f64 / (self.predict_wall_ns as f64 * 1e-9)
         }
     }
 
@@ -358,6 +385,17 @@ impl TelemetrySummary {
                 self.serve_coalesced,
                 self.serve_expired,
                 self.serve_queue_depth_max
+            );
+        }
+        if self.predict_batches > 0 {
+            let _ = writeln!(
+                out,
+                "  predict:      {} batches, {} rows (max {}/batch), {:.3} ms wall ({:.0} rows/s)",
+                self.predict_batches,
+                self.predict_rows,
+                self.predict_rows_max,
+                self.predict_wall_ns as f64 * 1e-6,
+                self.predict_rows_per_s()
             );
         }
         if self.annotations > 0 {
@@ -505,6 +543,24 @@ mod tests {
                     queue_depth: 1,
                 },
             ),
+            ev(
+                0,
+                12,
+                EventKind::PredictBatch {
+                    source: "compile".into(),
+                    rows: 196,
+                    wall_dur_ns: 500_000,
+                },
+            ),
+            ev(
+                0,
+                13,
+                EventKind::PredictBatch {
+                    source: "predict".into(),
+                    rows: 4,
+                    wall_dur_ns: 500_000,
+                },
+            ),
         ]
     }
 
@@ -533,6 +589,8 @@ mod tests {
         assert_eq!(s.annotations, 1);
         assert_eq!((s.serve_enqueued, s.serve_coalesced), (1, 1));
         assert_eq!(s.serve_queue_depth_max, 3);
+        assert_eq!((s.predict_batches, s.predict_rows, s.predict_rows_max), (2, 200, 196));
+        assert!((s.predict_rows_per_s() - 200_000.0).abs() < 1e-6);
         assert!((s.profiler_relative_error() - 0.04).abs() < 1e-12);
     }
 
@@ -556,7 +614,7 @@ mod tests {
     fn render_mentions_every_section() {
         let s = TelemetrySummary::from_events(&sample_events(), 0);
         let text = s.render();
-        for needle in ["kernels:", "clock sets:", "profiler:", "hal:", "model cache:", "phase sweep:", "cluster:", "serve:", "annotations:"] {
+        for needle in ["kernels:", "clock sets:", "profiler:", "hal:", "model cache:", "phase sweep:", "cluster:", "serve:", "predict:", "annotations:"] {
             assert!(text.contains(needle), "missing `{needle}` in:\n{text}");
         }
     }

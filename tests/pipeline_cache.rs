@@ -7,8 +7,8 @@ use proptest::prelude::*;
 use synergy::kernel::{generate_microbench, MicroBenchConfig, MicroBenchmark};
 use synergy::ml::{Algorithm, ModelSelection};
 use synergy::rt::{
-    build_training_set, build_training_set_serial, default_cache_dir, predict_sweep,
-    ModelKey, ModelStore,
+    build_training_set, build_training_set_serial, clock_grid, default_cache_dir,
+    predict_sweep, predict_sweep_over_grid, ModelKey, ModelStore,
 };
 use synergy::sim::DeviceSpec;
 
@@ -76,6 +76,23 @@ fn cache_round_trip_preserves_predictions() {
             "{}",
             b.name
         );
+    }
+
+    // The cache format must keep feeding the batched engine: a bundle
+    // deserialized from disk lazily rebuilds its `FlatForest` caches (they
+    // are `#[serde(skip)]`) and the batched sweep over it is bit-for-bit
+    // the sweep over the freshly trained models.
+    let grid = clock_grid(&spec);
+    for b in synergy::apps::suite().into_iter().take(3) {
+        let info = synergy::kernel::extract(&b.ir);
+        let from_trained = predict_sweep_over_grid(&trained, &info, &grid);
+        let from_loaded = predict_sweep_over_grid(&loaded, &info, &grid);
+        assert_eq!(from_trained.len(), from_loaded.len(), "{}", b.name);
+        for (x, y) in from_trained.iter().zip(&from_loaded) {
+            assert_eq!(x.clocks, y.clocks, "{}", b.name);
+            assert_eq!(x.time_s.to_bits(), y.time_s.to_bits(), "{}", b.name);
+            assert_eq!(x.energy_j.to_bits(), y.energy_j.to_bits(), "{}", b.name);
+        }
     }
 
     let _ = std::fs::remove_dir_all(&dir);
