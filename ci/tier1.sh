@@ -32,6 +32,27 @@ assert speedup >= 1.0, f"batched prediction slower than per-config path: {speedu
 print(f"predict_batch_speedup {speedup:.2f}x over {perf['predict_grid_configs']} configs")
 EOF
 
+# The serve load test must report the client count, tail latency and the
+# accept-to-first-byte percentiles, and must have answered everything.
+python3 - <<'EOF'
+import json
+with open("experiments/BENCH_serve.json") as f:
+    perf = json.load(f)
+for field in ("clients", "p99_ms", "first_byte_p50_ms", "first_byte_p99_ms"):
+    assert field in perf, f"BENCH_serve.json missing {field}"
+assert perf["clients"] > 0, "serve_perf must record the simulated client count"
+assert perf["dropped"] == 0 and perf["mismatched"] == 0, \
+    f"serve_perf dropped {perf['dropped']}, mismatched {perf['mismatched']}"
+print(f"serve_perf: {perf['clients']} clients, p99 {perf['p99_ms']:.2f} ms, "
+      f"first byte p99 {perf['first_byte_p99_ms']:.2f} ms")
+with open("experiments/bench_history.jsonl") as f:
+    lines = [json.loads(l) for l in f if l.strip()]
+assert any(l.get("bench") == "serve_perf" for l in lines), \
+    "bench_history.jsonl missing a serve_perf line"
+assert any(l.get("bench") == "pipeline_perf" for l in lines), \
+    "bench_history.jsonl missing a pipeline_perf line"
+EOF
+
 # Smoke test: one benchmark through the traced pipeline; the exported
 # Chrome trace must be non-trivial JSON.
 trace_out="$(mktemp -t synergy-trace-XXXXXX.json)"

@@ -287,4 +287,8 @@ fn main() {
     }
 
     write_artifact("BENCH_pipeline", &perf);
+    synergy_bench::append_bench_history(
+        "pipeline_perf",
+        &serde_json::to_value(&perf).expect("serialize history record"),
+    );
 }

@@ -1,23 +1,45 @@
-//! Closed-loop load test for the `synergy-serve` daemon: N client
-//! threads hammer an in-process server with a mixed Compile / Sweep /
-//! Predict / Ping workload over a deliberately small benchmark pool, so
-//! duplicate in-flight keys exercise request coalescing and the bounded
-//! queue exercises admission control. Emits `BENCH_serve.json` so the
-//! serving-path perf trajectory is visible across PRs.
+//! Closed-loop load test for the `synergy-serve` daemon.
+//!
+//! N simulated clients hammer an in-process server with a mixed
+//! Compile / Sweep / Predict / Ping workload over a deliberately small
+//! benchmark pool, so duplicate in-flight keys exercise request
+//! coalescing and the bounded queue exercises admission control. The
+//! clients are *multiplexed*: a handful of driver threads each run a
+//! `poll(2)` loop over nonblocking sockets, one state machine per
+//! connection, so `--clients 10000` costs ten thousand sockets rather
+//! than ten thousand threads — the same trick the server's reactor
+//! plays, pointed back at it.
 //!
 //! Every request must come back with a response of the matching kind —
 //! `Busy` replies are retried after the server-suggested backoff, and
 //! the binary exits non-zero on any dropped or mismatched response.
 //!
-//! Run with `--small` for the CI-sized configuration (8 clients, fewer
-//! requests); the default runs 16 clients.
+//! Flags:
+//!
+//! * `--small` — the CI-sized configuration (8 clients, fewer requests).
+//! * `--clients N` — simulate N connections (default 16; scales to 10k).
+//! * `--duration SECS` — run each client until the wall deadline instead
+//!   of a fixed per-client request count.
+//! * `--reactors N` — server reactor shards (default: scaled to clients).
+//!
+//! Emits `BENCH_serve.json` (including `clients`, `p99_ms` and
+//! accept→first-byte percentiles) and appends a commit-stamped line to
+//! `experiments/bench_history.jsonl` so the serving-path perf trajectory
+//! is visible across PRs.
 
+use std::io::Write;
+use std::net::{SocketAddr, TcpStream};
+use std::os::unix::io::{AsRawFd, RawFd};
 use std::thread;
 use std::time::{Duration, Instant};
 
-use synergy_bench::{artifact_dir, print_table};
+use synergy_bench::{append_bench_history, artifact_dir, print_table};
 use synergy_kernel::NUM_FEATURES;
-use synergy_serve::{spawn, Client, Json, ModelProfile, Request, Response, ServeConfig};
+use synergy_serve::poll::{self, PollFd, POLLIN, POLLOUT};
+use synergy_serve::{
+    spawn, Client, FrameBuffer, Json, ModelProfile, Request, RequestFrame, Response,
+    ResponseFrame, ServeConfig,
+};
 
 /// Deterministic per-client request mixer (no external RNG).
 struct Lcg(u64);
@@ -72,6 +94,7 @@ fn matches_kind(req: &Request, resp: &Response) -> bool {
 #[derive(Default)]
 struct ClientReport {
     latencies_ms: Vec<f64>,
+    first_byte_ms: Option<f64>,
     busy_retries: u64,
     mismatched: u64,
     answered: u64,
@@ -85,16 +108,356 @@ fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
     sorted_ms[idx.min(sorted_ms.len() - 1)]
 }
 
+/// One simulated connection: a nonblocking socket plus the closed-loop
+/// request state machine a client thread used to be.
+struct SimClient {
+    stream: TcpStream,
+    fd: RawFd,
+    inbuf: FrameBuffer,
+    /// Encoded-but-unsent request bytes ([`out_at`](Self::out_at) is the
+    /// write cursor; partial writes resume there).
+    out: Vec<u8>,
+    out_at: usize,
+    rng: Lcg,
+    next_id: u64,
+    /// The in-flight request: id, body (kept for kind-matching and Busy
+    /// retries), and when the *logical* request began — retries are part
+    /// of the same latency sample, as in the thread-per-client harness.
+    outstanding: Option<(u64, Request, Instant)>,
+    /// A Busy backoff in progress: when to resend, what, and the
+    /// original begin time.
+    retry_at: Option<(Instant, Request, Instant)>,
+    connected_at: Instant,
+    /// Requests left in fixed-count mode; `None` in `--duration` mode.
+    remaining: Option<usize>,
+    done: bool,
+    report: ClientReport,
+}
+
+impl SimClient {
+    fn connect(
+        addr: SocketAddr,
+        seed: u64,
+        remaining: Option<usize>,
+    ) -> SimClient {
+        let stream = connect_with_retry(addr);
+        let _ = stream.set_nodelay(true);
+        stream.set_nonblocking(true).expect("nonblocking client");
+        let fd = stream.as_raw_fd();
+        SimClient {
+            stream,
+            fd,
+            inbuf: FrameBuffer::new(),
+            out: Vec::new(),
+            out_at: 0,
+            rng: Lcg(seed),
+            next_id: 0,
+            outstanding: None,
+            retry_at: None,
+            connected_at: Instant::now(),
+            remaining,
+            done: false,
+            report: ClientReport::default(),
+        }
+    }
+
+    fn send_request(&mut self, req: Request, begun: Instant) {
+        self.next_id += 1;
+        let frame = RequestFrame {
+            id: self.next_id,
+            deadline_ms: 10_000,
+            req: req.clone(),
+        };
+        self.out.extend_from_slice(&frame.encode_framed());
+        self.outstanding = Some((self.next_id, req, begun));
+    }
+
+    /// Begin the next logical request, or mark the client finished.
+    fn issue_next(&mut self, wall_deadline: Option<Instant>) {
+        let more = match (self.remaining.as_mut(), wall_deadline) {
+            (Some(0), _) => false,
+            (Some(n), _) => {
+                *n -= 1;
+                true
+            }
+            (None, Some(d)) => Instant::now() < d,
+            (None, None) => false,
+        };
+        if !more {
+            self.done = true;
+            return;
+        }
+        let req = pick_request(&mut self.rng);
+        self.send_request(req, Instant::now());
+    }
+
+    /// Write queued bytes as far as the socket allows.
+    fn flush(&mut self) {
+        while self.out_at < self.out.len() {
+            match (&self.stream).write(&self.out[self.out_at..]) {
+                Ok(0) => panic!("server closed connection mid-write"),
+                Ok(n) => self.out_at += n,
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => panic!("transport write: {e}"),
+            }
+        }
+        if self.out_at == self.out.len() {
+            self.out.clear();
+            self.out_at = 0;
+        }
+    }
+
+    /// Drain the socket and run the state machine over every complete
+    /// response frame.
+    fn read_and_dispatch(&mut self, wall_deadline: Option<Instant>) {
+        loop {
+            let n = {
+                let mut r = &self.stream;
+                self.inbuf.read_from(&mut r)
+            };
+            match n {
+                Ok(0) => panic!("server closed connection with a request outstanding"),
+                Ok(_) => {
+                    if self.report.first_byte_ms.is_none() {
+                        self.report.first_byte_ms =
+                            Some(self.connected_at.elapsed().as_secs_f64() * 1e3);
+                    }
+                    loop {
+                        // Small copy so the state machine can borrow
+                        // `self` mutably; response frames are tiny.
+                        let payload = match self.inbuf.next_frame() {
+                            Ok(Some(p)) => p.to_vec(),
+                            Ok(None) => break,
+                            Err(e) => panic!("response framing: {e}"),
+                        };
+                        self.on_response(&payload, wall_deadline);
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => panic!("transport read: {e}"),
+            }
+        }
+    }
+
+    fn on_response(&mut self, payload: &[u8], wall_deadline: Option<Instant>) {
+        let resp = ResponseFrame::decode(payload).expect("decode response");
+        let Some((id, req, begun)) = self.outstanding.take() else {
+            return; // stale response to a request we no longer track
+        };
+        if resp.id != id {
+            self.outstanding = Some((id, req, begun));
+            return;
+        }
+        match resp.resp {
+            Response::Busy { retry_after_ms } => {
+                self.report.busy_retries += 1;
+                self.retry_at = Some((
+                    Instant::now() + Duration::from_millis(retry_after_ms),
+                    req,
+                    begun,
+                ));
+            }
+            other => {
+                if matches_kind(&req, &other) {
+                    self.report.answered += 1;
+                } else {
+                    self.report.mismatched += 1;
+                }
+                self.report
+                    .latencies_ms
+                    .push(begun.elapsed().as_secs_f64() * 1e3);
+                self.issue_next(wall_deadline);
+            }
+        }
+    }
+}
+
+/// In-process load tests cost two descriptors per simulated client
+/// (client socket + accepted socket), so 10k clients overruns the usual
+/// 1024-fd soft limit by an order of magnitude. Raise the soft limit
+/// toward the hard limit, best-effort — the same minimal-FFI approach
+/// as the `poll(2)` wrapper.
+#[cfg(unix)]
+fn raise_fd_limit(want: u64) {
+    #[repr(C)]
+    struct RLimit {
+        cur: u64,
+        max: u64,
+    }
+    #[cfg(target_os = "linux")]
+    const RLIMIT_NOFILE: i32 = 7;
+    #[cfg(not(target_os = "linux"))]
+    const RLIMIT_NOFILE: i32 = 8;
+    extern "C" {
+        fn getrlimit(resource: i32, rlim: *mut RLimit) -> i32;
+        fn setrlimit(resource: i32, rlim: *const RLimit) -> i32;
+    }
+    unsafe {
+        let mut lim = RLimit { cur: 0, max: 0 };
+        if getrlimit(RLIMIT_NOFILE, &mut lim) == 0 && lim.cur < want {
+            lim.cur = want.min(lim.max);
+            let _ = setrlimit(RLIMIT_NOFILE, &lim);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+fn raise_fd_limit(_want: u64) {}
+
+/// Loopback connects can transiently fail while thousands of clients
+/// pile onto one listener backlog; back off and retry.
+fn connect_with_retry(addr: SocketAddr) -> TcpStream {
+    let mut delay = Duration::from_millis(2);
+    for _ in 0..60 {
+        match TcpStream::connect(addr) {
+            Ok(s) => return s,
+            Err(_) => {
+                thread::sleep(delay);
+                delay = (delay * 2).min(Duration::from_millis(100));
+            }
+        }
+    }
+    panic!("could not connect to {addr} after repeated retries");
+}
+
+/// Drive one chunk of clients to completion over a poll loop.
+fn drive(mut clients: Vec<SimClient>, wall_deadline: Option<Instant>) -> Vec<ClientReport> {
+    let mut fds: Vec<PollFd> = Vec::new();
+    let mut idxs: Vec<usize> = Vec::new();
+    loop {
+        // Fire due Busy retries; find the next backoff deadline.
+        let now = Instant::now();
+        let mut next_retry: Option<Instant> = None;
+        for c in clients.iter_mut() {
+            if c.done || c.retry_at.is_none() {
+                continue;
+            }
+            let (when, _, _) = c.retry_at.as_ref().expect("checked above");
+            if *when <= now {
+                let (_, req, begun) = c.retry_at.take().expect("checked above");
+                c.send_request(req, begun);
+            } else {
+                let when = *when;
+                next_retry = Some(next_retry.map_or(when, |n| n.min(when)));
+            }
+        }
+
+        fds.clear();
+        idxs.clear();
+        for (i, c) in clients.iter().enumerate() {
+            if c.done {
+                continue;
+            }
+            let mut interest = POLLIN;
+            if c.out_at < c.out.len() {
+                interest |= POLLOUT;
+            }
+            fds.push(PollFd::new(c.fd, interest));
+            idxs.push(i);
+        }
+        if fds.is_empty() {
+            break;
+        }
+
+        let timeout = match next_retry {
+            Some(t) => t.saturating_duration_since(now),
+            None => Duration::from_millis(100),
+        };
+        let _ = poll::wait(&mut fds, Some(timeout));
+
+        for (k, fd) in fds.iter().enumerate() {
+            let c = &mut clients[idxs[k]];
+            if fd.writable() {
+                c.flush();
+            }
+            if fd.readable() {
+                c.read_and_dispatch(wall_deadline);
+            }
+            // Responses often trigger the next request immediately;
+            // push it now rather than waiting a poll cycle.
+            if c.out_at < c.out.len() {
+                c.flush();
+            }
+        }
+    }
+    clients.into_iter().map(|c| c.report).collect()
+}
+
+struct Cli {
+    small: bool,
+    clients: usize,
+    per_client: Option<usize>,
+    duration: Option<Duration>,
+    reactors: usize,
+}
+
+fn parse_cli() -> Cli {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let small = args.iter().any(|a| a == "--small");
+    let mut clients = if small { 8 } else { 16 };
+    let mut duration = None;
+    let mut reactors = 0;
+    let mut explicit_clients = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut grab = |name: &str| {
+            it.next()
+                .unwrap_or_else(|| panic!("{name} needs a value"))
+                .parse::<f64>()
+                .unwrap_or_else(|_| panic!("{name} needs a number"))
+        };
+        match a.as_str() {
+            "--clients" => {
+                clients = grab("--clients") as usize;
+                explicit_clients = true;
+            }
+            "--duration" => duration = Some(Duration::from_secs_f64(grab("--duration"))),
+            "--reactors" => reactors = grab("--reactors") as usize,
+            "--small" => {}
+            other => panic!("unknown serve_perf flag `{other}` (try --small, --clients, --duration, --reactors)"),
+        }
+    }
+    let clients = clients.max(1);
+    // Fixed per-client count unless a wall-clock duration was given.
+    let per_client = if duration.is_some() {
+        None
+    } else if small {
+        Some(24)
+    } else if explicit_clients {
+        // Scale the fixed budget down as the client count grows so
+        // `--clients 10000` stays a minutes-not-hours run by default.
+        Some((4096 / clients).clamp(4, 96))
+    } else {
+        Some(96)
+    };
+    if reactors == 0 {
+        reactors = if clients >= 512 { 2 } else { 1 };
+    }
+    Cli {
+        small,
+        clients,
+        per_client,
+        duration,
+        reactors,
+    }
+}
+
 fn main() {
-    let small = std::env::args().any(|a| a == "--small");
-    let (clients, per_client) = if small { (8usize, 24usize) } else { (16usize, 96usize) };
+    let cli = parse_cli();
+    let (clients, per_client) = (cli.clients, cli.per_client);
+    raise_fd_limit(2 * clients as u64 + 512);
 
     // A short synthetic service time keeps requests overlapping, so the
     // queue actually fills and duplicate keys coalesce; model training
-    // itself is memoized after the first hit.
+    // itself is memoized after the first hit. The queue cap is bounded
+    // so queue *wait* stays well inside the request deadline no matter
+    // how many clients pile in — overflow turns into Busy/retry instead.
     let handle = spawn(ServeConfig {
         workers: 4,
-        queue_capacity: 2 * clients,
+        reactors: cli.reactors,
+        queue_capacity: (2 * clients).min(1024),
         profile: ModelProfile::small(),
         compute_delay: Duration::from_millis(2),
         ..ServeConfig::default()
@@ -102,65 +465,75 @@ fn main() {
     .expect("bind loopback");
     let addr = handle.addr();
     println!(
-        "serve_perf: {clients} clients x {per_client} requests against {addr} ({} mode)",
-        if small { "small" } else { "default" }
+        "serve_perf: {clients} clients x {} against {addr} ({} mode, {} reactor shard(s))",
+        match (per_client, cli.duration) {
+            (Some(n), _) => format!("{n} requests"),
+            (None, Some(d)) => format!("{:.1}s", d.as_secs_f64()),
+            (None, None) => "nothing".to_string(),
+        },
+        if cli.small { "small" } else { "default" },
+        cli.reactors,
     );
 
-    let started = Instant::now();
-    let reports: Vec<ClientReport> = {
-        let mut joins = Vec::new();
-        for c in 0..clients {
-            joins.push(thread::spawn(move || {
-                let mut client = Client::connect(addr).expect("connect");
-                let mut rng = Lcg(0x5eed ^ (c as u64) << 17);
-                let mut report = ClientReport::default();
-                for _ in 0..per_client {
-                    let req = pick_request(&mut rng);
-                    let begun = Instant::now();
-                    loop {
-                        let resp = client
-                            .request_with_deadline(req.clone(), 10_000)
-                            .expect("transport");
-                        match resp {
-                            Response::Busy { retry_after_ms } => {
-                                report.busy_retries += 1;
-                                thread::sleep(Duration::from_millis(retry_after_ms));
-                            }
-                            other => {
-                                if matches_kind(&req, &other) {
-                                    report.answered += 1;
-                                } else {
-                                    report.mismatched += 1;
-                                }
-                                break;
-                            }
-                        }
-                    }
-                    report
-                        .latencies_ms
-                        .push(begun.elapsed().as_secs_f64() * 1e3);
-                }
-                report
-            }));
+    // Big fleets: pre-train the models through one blocking client so
+    // ten thousand cold-start compiles don't all wait on the trainer.
+    if clients > 64 {
+        let mut warm = Client::connect(addr).expect("warmup connect");
+        let _ = warm.set_timeout(Some(Duration::from_secs(300)));
+        for bench in BENCH_POOL {
+            let _ = warm.compile(bench, "v100", &["ES_50"]);
         }
-        joins.into_iter().map(|j| j.join().expect("client thread")).collect()
-    };
+    }
+
+    // Each driver thread connects its own chunk and starts traffic per
+    // client as soon as it is connected — no fleet-wide barrier, and at
+    // most `drivers` concurrent connects, so the listener backlog never
+    // overflows even at ten thousand clients.
+    let started = Instant::now();
+    let wall_deadline = cli.duration.map(|d| started + d);
+    let drivers = clients.clamp(1, 8);
+    let reports: Vec<ClientReport> = (0..drivers)
+        .map(|d| {
+            thread::spawn(move || {
+                let sims: Vec<SimClient> = (d..clients)
+                    .step_by(drivers)
+                    .map(|c| {
+                        let mut s =
+                            SimClient::connect(addr, 0x5eed ^ (c as u64) << 17, per_client);
+                        s.issue_next(wall_deadline);
+                        s.flush();
+                        s
+                    })
+                    .collect();
+                drive(sims, wall_deadline)
+            })
+        })
+        .collect::<Vec<_>>()
+        .into_iter()
+        .flat_map(|j| j.join().expect("driver thread"))
+        .collect();
     let elapsed = started.elapsed().as_secs_f64();
 
     handle.drain();
     let stats = handle.join();
 
     let mut latencies: Vec<f64> = Vec::new();
+    let mut first_bytes: Vec<f64> = Vec::new();
     let (mut busy_retries, mut mismatched, mut answered) = (0u64, 0u64, 0u64);
     for r in &reports {
         latencies.extend_from_slice(&r.latencies_ms);
+        first_bytes.extend(r.first_byte_ms);
         busy_retries += r.busy_retries;
         mismatched += r.mismatched;
         answered += r.answered;
     }
     latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latency"));
+    first_bytes.sort_by(|a, b| a.partial_cmp(b).expect("finite latency"));
 
-    let total = (clients * per_client) as u64;
+    let total = match per_client {
+        Some(n) => (clients * n) as u64,
+        None => answered + mismatched, // duration mode issues until the bell
+    };
     let dropped = total - answered - mismatched;
     let throughput = answered as f64 / elapsed;
     let (p50, p95, p99) = (
@@ -168,6 +541,7 @@ fn main() {
         percentile(&latencies, 95.0),
         percentile(&latencies, 99.0),
     );
+    let (fb_p50, fb_p99) = (percentile(&first_bytes, 50.0), percentile(&first_bytes, 99.0));
     let coalesce_total = stats.coalesce_leaders + stats.coalesce_joins;
     let coalesce_rate = if coalesce_total == 0 {
         0.0
@@ -189,6 +563,8 @@ fn main() {
             vec!["p50 latency (ms)".into(), format!("{p50:.3}")],
             vec!["p95 latency (ms)".into(), format!("{p95:.3}")],
             vec!["p99 latency (ms)".into(), format!("{p99:.3}")],
+            vec!["first byte p50 (ms)".into(), format!("{fb_p50:.3}")],
+            vec!["first byte p99 (ms)".into(), format!("{fb_p99:.3}")],
             vec!["peak queue depth".into(), stats.queue_depth_max.to_string()],
             vec!["coalesce leaders".into(), stats.coalesce_leaders.to_string()],
             vec!["coalesce joins".into(), stats.coalesce_joins.to_string()],
@@ -198,12 +574,21 @@ fn main() {
 
     // The artifact is hand-encoded through the serve JSON codec so the
     // binary stays independent of serde for its output path.
-    let f = |v: f64| Json::Num(v);
+    let f = Json::Num;
     let i = |v: u64| Json::Int(v as i128);
     let artifact = Json::Obj(vec![
-        ("mode".into(), Json::Str(if small { "small" } else { "default" }.into())),
+        ("mode".into(), Json::Str(if cli.small { "small" } else { "default" }.into())),
         ("clients".into(), i(clients as u64)),
-        ("requests_per_client".into(), i(per_client as u64)),
+        (
+            "requests_per_client".into(),
+            per_client.map_or(Json::Null, |n| i(n as u64)),
+        ),
+        (
+            "duration_requested_s".into(),
+            cli.duration.map_or(Json::Null, |d| f(d.as_secs_f64())),
+        ),
+        ("reactors".into(), i(cli.reactors as u64)),
+        ("driver_threads".into(), i(drivers as u64)),
         ("total_requests".into(), i(total)),
         ("answered".into(), i(answered)),
         ("mismatched".into(), i(mismatched)),
@@ -215,6 +600,8 @@ fn main() {
         ("p50_ms".into(), f(p50)),
         ("p95_ms".into(), f(p95)),
         ("p99_ms".into(), f(p99)),
+        ("first_byte_p50_ms".into(), f(fb_p50)),
+        ("first_byte_p99_ms".into(), f(fb_p99)),
         ("queue_depth_max".into(), i(stats.queue_depth_max)),
         ("coalesce_leaders".into(), i(stats.coalesce_leaders)),
         ("coalesce_joins".into(), i(stats.coalesce_joins)),
@@ -229,6 +616,26 @@ fn main() {
     let path = dir.join("BENCH_serve.json");
     std::fs::write(&path, artifact.encode()).expect("write artifact");
     println!("\n[artifact] {}", path.display());
+
+    append_bench_history(
+        "serve_perf",
+        &serde_json::json!({
+            "mode": if cli.small { "small" } else { "default" },
+            "clients": clients,
+            "reactors": cli.reactors,
+            "total_requests": total,
+            "busy_retries": busy_retries,
+            "elapsed_s": elapsed,
+            "throughput_rps": throughput,
+            "p50_ms": p50,
+            "p95_ms": p95,
+            "p99_ms": p99,
+            "first_byte_p50_ms": fb_p50,
+            "first_byte_p99_ms": fb_p99,
+            "coalesce_joins": stats.coalesce_joins,
+            "queue_depth_max": stats.queue_depth_max,
+        }),
+    );
 
     // Acceptance gates: every request answered with the matching kind,
     // and duplicate-key traffic actually coalesced.

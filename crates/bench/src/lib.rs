@@ -133,6 +133,67 @@ pub fn write_artifact<T: Serialize>(name: &str, value: &T) {
     println!("\n[artifact] {}", path.display());
 }
 
+/// Short commit hash of the working tree, or `"unknown"` outside git
+/// (history lines must stay writable from exported tarballs).
+pub fn current_commit() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// Build one benchmark-history line: the run's parameters and counters
+/// wrapped in an envelope of benchmark name, commit hash and Unix
+/// timestamp. Envelope keys win on collision; a non-object record nests
+/// under `"record"`.
+pub fn bench_history_line(bench: &str, record: &serde_json::Value) -> serde_json::Value {
+    let mut line = serde_json::Map::new();
+    line.insert("bench".into(), serde_json::Value::from(bench));
+    line.insert("commit".into(), serde_json::Value::from(current_commit()));
+    let epoch_s = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    line.insert("unix_time_s".into(), serde_json::Value::from(epoch_s));
+    match record {
+        serde_json::Value::Object(fields) => {
+            for (k, v) in fields {
+                line.entry(k.clone()).or_insert_with(|| v.clone());
+            }
+        }
+        other => {
+            line.insert("record".into(), other.clone());
+        }
+    }
+    serde_json::Value::Object(line)
+}
+
+/// Append one run to the append-only benchmark trajectory,
+/// `experiments/bench_history.jsonl` — one JSON object per line, so the
+/// file accumulates a commit-stamped performance history across runs
+/// (compare with `jq`, never overwritten). Best-effort: an unwritable
+/// file degrades to a no-op rather than failing the benchmark.
+pub fn append_bench_history(bench: &str, record: &serde_json::Value) {
+    use std::io::Write as _;
+    let line = bench_history_line(bench, record);
+    let dir = artifact_dir();
+    if fs::create_dir_all(&dir).is_err() {
+        return;
+    }
+    let path = dir.join("bench_history.jsonl");
+    let Ok(mut f) = fs::OpenOptions::new().create(true).append(true).open(&path) else {
+        return;
+    };
+    if writeln!(f, "{line}").is_ok() {
+        println!("[history] {}", path.display());
+    }
+}
+
 /// Render a simple aligned text table.
 pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
     let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
@@ -180,5 +241,24 @@ mod tests {
     fn artifact_dir_is_workspace_experiments() {
         let d = artifact_dir();
         assert!(d.ends_with("experiments"));
+    }
+
+    #[test]
+    fn bench_history_line_carries_envelope_and_record() {
+        let rec = serde_json::json!({"clients": 64, "p99_ms": 1.5, "bench": "spoof"});
+        let line = bench_history_line("serve_perf", &rec);
+        let obj = line.as_object().unwrap();
+        // Envelope keys present and authoritative on collision.
+        assert_eq!(obj["bench"], "serve_perf");
+        assert!(obj.contains_key("commit"));
+        assert!(obj["unix_time_s"].as_u64().is_some());
+        // Record fields merged through.
+        assert_eq!(obj["clients"], 64);
+        assert_eq!(obj["p99_ms"], 1.5);
+        // A non-object record nests instead of merging.
+        let scalar = bench_history_line("x", &serde_json::json!(3));
+        assert_eq!(scalar.as_object().unwrap()["record"], 3);
+        // JSONL lines must be single-line.
+        assert!(!line.to_string().contains('\n'));
     }
 }

@@ -337,7 +337,7 @@ pub fn scaling(out: &mut dyn Write, gpus: usize, app: &str) -> Result<(), UsageE
     Ok(())
 }
 
-/// `synergy serve [--addr ...] [--workers N] [--queue N] [--small]`
+/// `synergy serve [--addr ...] [--workers N] [--queue N] [--reactors N] [--small]`
 ///
 /// Runs the tuning daemon in the foreground. The first output line is
 /// `listening on <addr>` (with the actual bound port, so `--addr :0`
@@ -348,6 +348,7 @@ pub fn serve(
     addr: &str,
     workers: usize,
     queue: usize,
+    reactors: usize,
     small: bool,
 ) -> Result<(), UsageError> {
     let profile = if small {
@@ -359,6 +360,7 @@ pub fn serve(
         addr: addr.to_string(),
         workers,
         queue_capacity: queue,
+        reactors,
         profile,
         ..synergy_serve::ServeConfig::default()
     })
@@ -366,9 +368,9 @@ pub fn serve(
     let w = |r: std::io::Result<()>| r.map_err(|e| UsageError(e.to_string()));
     w(writeln!(out, "listening on {}", handle.addr()))?;
     w(out.flush())?;
-    while !handle.stats().draining {
-        std::thread::sleep(std::time::Duration::from_millis(100));
-    }
+    // Parked on the server's drain condvar — no polling loop; the drain
+    // request wakes this thread the moment the flag flips.
+    handle.wait_for_drain();
     let stats = handle.join();
     w(writeln!(
         out,

@@ -20,7 +20,7 @@
 //! * `trace <bench> [--device ...] [--target ES_50] [--out trace.json]
 //!   [--summary]` — run one benchmark through the full pipeline with
 //!   telemetry on and export a Chrome/Perfetto trace;
-//! * `serve [--addr host:port] [--workers N] [--queue N] [--small]` —
+//! * `serve [--addr host:port] [--workers N] [--queue N] [--reactors N] [--small]` —
 //!   run the `synergy-serve` tuning daemon until a client drains it;
 //! * `request <op> ... [--addr host:port] [--deadline ms]` — send one
 //!   request (`ping`, `stats`, `drain`, `compile`, `sweep`, `predict`)
@@ -93,6 +93,8 @@ pub enum Command {
         workers: usize,
         /// Bounded queue capacity (admission control).
         queue: usize,
+        /// Reactor shards multiplexing connection I/O.
+        reactors: usize,
         /// Use the fast training profile (coarser sweep stride).
         small: bool,
     },
@@ -269,6 +271,7 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Us
             let mut addr = "127.0.0.1:7411".to_string();
             let mut workers = 4usize;
             let mut queue = 64usize;
+            let mut reactors = 1usize;
             let mut small = false;
             while let Some(a) = it.next() {
                 match a.as_str() {
@@ -293,6 +296,13 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Us
                             .parse()
                             .map_err(|_| UsageError("--queue must be a number".into()))?;
                     }
+                    "--reactors" => {
+                        reactors = it
+                            .next()
+                            .ok_or_else(|| UsageError("--reactors needs a value".into()))?
+                            .parse()
+                            .map_err(|_| UsageError("--reactors must be a number".into()))?;
+                    }
                     flag if flag.starts_with("--") => {
                         return Err(UsageError(format!("unknown serve flag `{flag}`")));
                     }
@@ -303,13 +313,16 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Us
                     }
                 }
             }
-            if workers == 0 || queue == 0 {
-                return Err(UsageError("--workers and --queue must be positive".into()));
+            if workers == 0 || queue == 0 || reactors == 0 {
+                return Err(UsageError(
+                    "--workers, --queue and --reactors must be positive".into(),
+                ));
             }
             Ok(Command::Serve {
                 addr,
                 workers,
                 queue,
+                reactors,
                 small,
             })
         }
@@ -453,7 +466,7 @@ USAGE:
   synergy lint <bench> [--device v100|...] [--json]
   synergy scaling [--gpus N] [--app cloverleaf|miniweather]
   synergy trace <bench> [--device v100|...] [--target ES_50] [--out trace.json] [--summary]
-  synergy serve [--addr 127.0.0.1:7411] [--workers N] [--queue N] [--small]
+  synergy serve [--addr 127.0.0.1:7411] [--workers N] [--queue N] [--reactors N] [--small]
   synergy request ping|stats|drain [--addr ...] [--deadline ms]
   synergy request compile <bench> [--device v100|...] [--targets ES_50,MIN_EDP] [--addr ...]
   synergy request sweep <bench> [--device v100|...] [--addr ...]
@@ -601,20 +614,26 @@ mod tests {
                 addr: "127.0.0.1:7411".into(),
                 workers: 4,
                 queue: 64,
+                reactors: 1,
                 small: false
             }
         );
         assert_eq!(
-            parse_args(args("serve --small --addr 0.0.0.0:9000 --workers 2 --queue 8")).unwrap(),
+            parse_args(args(
+                "serve --small --addr 0.0.0.0:9000 --workers 2 --queue 8 --reactors 3"
+            ))
+            .unwrap(),
             Command::Serve {
                 addr: "0.0.0.0:9000".into(),
                 workers: 2,
                 queue: 8,
+                reactors: 3,
                 small: true
             }
         );
         assert!(parse_args(args("serve extra")).is_err());
         assert!(parse_args(args("serve --workers 0")).is_err());
+        assert!(parse_args(args("serve --reactors 0")).is_err());
         assert!(parse_args(args("serve --frob")).is_err());
     }
 

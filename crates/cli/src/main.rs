@@ -64,8 +64,10 @@ fn main() -> ExitCode {
             addr,
             workers,
             queue,
+            reactors,
             small,
-        } => commands::serve(&mut out, &addr, workers, queue, small).map_err(|e| e.to_string()),
+        } => commands::serve(&mut out, &addr, workers, queue, reactors, small)
+            .map_err(|e| e.to_string()),
         Command::Request {
             addr,
             deadline_ms,

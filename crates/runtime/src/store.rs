@@ -37,13 +37,24 @@
 //! how many distinct (device, suite, stride, seed) inputs they see.
 //! Evictions only drop the memo; the disk entry, when one exists, still
 //! serves the next lookup.
+//!
+//! ## Concurrency
+//!
+//! The memo is striped across [`MEM_SHARDS`] reader-writer locks keyed
+//! by entry hash, and recency stamps are atomics: the hot path — a
+//! memory hit, which is every `synergy-serve` data-plane request after
+//! warmup — takes one shard *read* lock and bumps an atomic, so
+//! concurrent hits on any keys proceed in parallel. Writes (insert,
+//! evict, clear) take shard write locks; the capacity check and global
+//! LRU scan happen only on the insert path, which is already paying for
+//! a training or a disk load.
 
-use parking_lot::Mutex;
+use parking_lot::RwLock;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fs;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
 use synergy_kernel::MicroBenchmark;
 use synergy_ml::{MetricModels, ModelSelection};
@@ -59,6 +70,11 @@ pub const CACHE_FORMAT_VERSION: u32 = 1;
 /// Default bound on in-memory entries — generous (a trained bundle is a
 /// few kilobytes; real workloads touch a handful of devices), but finite.
 pub const DEFAULT_MEMORY_CAPACITY: usize = 256;
+
+/// Lock stripes in the in-memory memo (power of two; entries map to a
+/// stripe by key hash). Sixteen is far more stripes than the serve
+/// daemon has workers, so shard collisions on the hit path are rare.
+pub const MEM_SHARDS: usize = 16;
 
 /// Content-hash key identifying one training input exactly.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -138,10 +154,11 @@ pub struct CacheStats {
     pub corrupt_files: u64,
 }
 
-/// One memoized bundle plus its recency stamp for LRU eviction.
+/// One memoized bundle plus its recency stamp for LRU eviction. The
+/// stamp is atomic so a shard *read* lock suffices to freshen it.
 struct MemEntry {
     models: Arc<MetricModels>,
-    last_used: u64,
+    last_used: AtomicU64,
 }
 
 /// Memoizing store for trained [`MetricModels`].
@@ -150,7 +167,10 @@ struct MemEntry {
 pub struct ModelStore {
     dir: Option<PathBuf>,
     capacity: usize,
-    mem: Mutex<HashMap<String, MemEntry>>,
+    mem: Vec<RwLock<HashMap<String, MemEntry>>>,
+    /// Total entries across all shards, maintained on the write paths so
+    /// the capacity check does not sweep every stripe.
+    mem_len: AtomicUsize,
     tick: AtomicU64,
     memory_hits: AtomicU64,
     disk_hits: AtomicU64,
@@ -166,7 +186,8 @@ impl ModelStore {
         ModelStore {
             dir: None,
             capacity: DEFAULT_MEMORY_CAPACITY,
-            mem: Mutex::new(HashMap::new()),
+            mem: (0..MEM_SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
+            mem_len: AtomicUsize::new(0),
             tick: AtomicU64::new(0),
             memory_hits: AtomicU64::new(0),
             disk_hits: AtomicU64::new(0),
@@ -175,6 +196,10 @@ impl ModelStore {
             evictions: AtomicU64::new(0),
             corrupt_files: AtomicU64::new(0),
         }
+    }
+
+    fn shard_of(&self, hash: &str) -> usize {
+        (fnv1a64(hash.as_bytes()) as usize) & (MEM_SHARDS - 1)
     }
 
     /// Cap the in-memory memo at `capacity` entries (at least 1),
@@ -250,9 +275,13 @@ impl ModelStore {
             key: key.hash.clone(),
         };
         {
-            let mut mem = self.mem.lock();
-            if let Some(entry) = mem.get_mut(&key.hash) {
-                entry.last_used = self.tick.fetch_add(1, Ordering::Relaxed);
+            // Hot path: shard read lock only — concurrent hits (same or
+            // different keys) never serialize on a store-wide mutex.
+            let shard = self.mem[self.shard_of(&key.hash)].read();
+            if let Some(entry) = shard.get(&key.hash) {
+                entry
+                    .last_used
+                    .store(self.tick.fetch_add(1, Ordering::Relaxed), Ordering::Relaxed);
                 self.memory_hits.fetch_add(1, Ordering::Relaxed);
                 recorder.record_with(0, || cache_event(CacheOp::MemoryHit));
                 return Arc::clone(&entry.models);
@@ -278,33 +307,66 @@ impl ModelStore {
         models
     }
 
-    /// Insert into the memo, evicting the least-recently-used entry when
-    /// the bound is reached.
+    /// Insert into the memo, evicting the least-recently-used entry
+    /// (across all stripes) when the bound is reached.
     fn remember(&self, hash: &str, models: &Arc<MetricModels>) {
-        let mut mem = self.mem.lock();
-        if !mem.contains_key(hash) && mem.len() >= self.capacity {
-            let oldest = mem
-                .iter()
-                .min_by_key(|(_, e)| e.last_used)
-                .map(|(k, _)| k.clone());
-            if let Some(oldest) = oldest {
-                mem.remove(&oldest);
+        let idx = self.shard_of(hash);
+        let new_key = !self.mem[idx].read().contains_key(hash);
+        if new_key && self.mem_len.load(Ordering::Relaxed) >= self.capacity {
+            // Evict without holding our shard's lock (the victim may
+            // live anywhere, including our own shard). A concurrent
+            // insert can transiently overshoot the bound by a slot —
+            // the bound is a budget, not an invariant the hit path
+            // should pay a global lock for.
+            self.evict_lru();
+        }
+        let mut shard = self.mem[idx].write();
+        let inserted = shard
+            .insert(
+                hash.to_string(),
+                MemEntry {
+                    models: Arc::clone(models),
+                    last_used: AtomicU64::new(self.tick.fetch_add(1, Ordering::Relaxed)),
+                },
+            )
+            .is_none();
+        if inserted {
+            self.mem_len.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Find and drop the globally least-recently-used entry. Scans shard
+    /// by shard under read locks, then removes under the victim shard's
+    /// write lock.
+    fn evict_lru(&self) {
+        let mut victim: Option<(usize, String, u64)> = None;
+        for (idx, lock) in self.mem.iter().enumerate() {
+            let shard = lock.read();
+            for (k, e) in shard.iter() {
+                let t = e.last_used.load(Ordering::Relaxed);
+                if victim.as_ref().is_none_or(|(_, _, vt)| t < *vt) {
+                    victim = Some((idx, k.clone(), t));
+                }
+            }
+        }
+        if let Some((idx, key, _)) = victim {
+            if self.mem[idx].write().remove(&key).is_some() {
+                self.mem_len.fetch_sub(1, Ordering::Relaxed);
                 self.evictions.fetch_add(1, Ordering::Relaxed);
             }
         }
-        mem.insert(
-            hash.to_string(),
-            MemEntry {
-                models: Arc::clone(models),
-                last_used: self.tick.fetch_add(1, Ordering::Relaxed),
-            },
-        );
     }
 
     /// Drop one entry from memory and disk (no-op when absent). The next
     /// [`Self::get_or_train`] for that input retrains from scratch.
     pub fn evict(&self, key: &ModelKey) {
-        self.mem.lock().remove(&key.hash);
+        if self.mem[self.shard_of(&key.hash)]
+            .write()
+            .remove(&key.hash)
+            .is_some()
+        {
+            self.mem_len.fetch_sub(1, Ordering::Relaxed);
+        }
         if let Some(path) = self.entry_path(key) {
             let _ = fs::remove_file(path);
         }
@@ -313,7 +375,12 @@ impl ModelStore {
     /// Drop every entry from memory and every `models-*.json` cache file
     /// from the store directory (other files are left alone).
     pub fn clear(&self) {
-        self.mem.lock().clear();
+        for lock in &self.mem {
+            let mut shard = lock.write();
+            let n = shard.len();
+            shard.clear();
+            self.mem_len.fetch_sub(n, Ordering::Relaxed);
+        }
         let Some(dir) = &self.dir else { return };
         let Ok(entries) = fs::read_dir(dir) else { return };
         for entry in entries.flatten() {
@@ -392,6 +459,32 @@ impl ModelStore {
             return false;
         }
         true
+    }
+
+    /// Freshen an entry's recency exactly the way a memory hit does.
+    #[cfg(test)]
+    fn touch(&self, hash: &str) -> bool {
+        let shard = self.mem[self.shard_of(hash)].read();
+        match shard.get(hash) {
+            Some(e) => {
+                e.last_used
+                    .store(self.tick.fetch_add(1, Ordering::Relaxed), Ordering::Relaxed);
+                true
+            }
+            None => false,
+        }
+    }
+
+    #[cfg(test)]
+    fn contains(&self, hash: &str) -> bool {
+        self.mem[self.shard_of(hash)].read().contains_key(hash)
+    }
+
+    /// Entries actually present across all stripes (cross-checks the
+    /// `mem_len` counter in tests).
+    #[cfg(test)]
+    fn mem_entries(&self) -> usize {
+        self.mem.iter().map(|l| l.read().len()).sum()
     }
 }
 
@@ -561,24 +654,57 @@ mod tests {
         store.remember("a", &models);
         store.remember("b", &models);
         // Freshen "a" the way a memory hit does.
-        {
-            let tick = store.tick.fetch_add(1, Ordering::Relaxed);
-            store.mem.lock().get_mut("a").unwrap().last_used = tick;
-        }
+        assert!(store.touch("a"));
         // Past the bound: "b" is now the least recently used.
         store.remember("c", &models);
-        let mem = store.mem.lock();
-        assert!(mem.contains_key("a"), "recently-used entry must survive");
-        assert!(mem.contains_key("c"));
-        assert!(!mem.contains_key("b"), "LRU entry must be evicted");
-        assert_eq!(mem.len(), 2);
-        drop(mem);
+        assert!(store.contains("a"), "recently-used entry must survive");
+        assert!(store.contains("c"));
+        assert!(!store.contains("b"), "LRU entry must be evicted");
+        assert_eq!(store.mem_entries(), 2);
         assert_eq!(store.stats().evictions, 1);
 
         // Re-inserting an existing key neither grows nor evicts.
         store.remember("c", &models);
-        assert_eq!(store.mem.lock().len(), 2);
+        assert_eq!(store.mem_entries(), 2);
         assert_eq!(store.stats().evictions, 1);
+
+        // The striped-length counter tracks the real entry count.
+        store.evict(&ModelKey {
+            hash: "c".to_string(),
+        });
+        assert_eq!(store.mem_entries(), 1);
+        store.clear();
+        assert_eq!(store.mem_entries(), 0);
+    }
+
+    #[test]
+    fn concurrent_hits_take_only_read_locks_and_share_one_bundle() {
+        let store = Arc::new(ModelStore::in_memory());
+        let spec = DeviceSpec::v100();
+        let suite = tiny_suite();
+        let sel = ModelSelection::uniform(Algorithm::Linear);
+        let first = store.get_or_train(&spec, &suite, sel, 32, 0);
+
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let store = Arc::clone(&store);
+                let spec = spec.clone();
+                let suite = suite.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..50 {
+                        let _ = store.get_or_train(&spec, &suite, sel, 32, 0);
+                    }
+                    store.get_or_train(&spec, &suite, sel, 32, 0)
+                })
+            })
+            .collect();
+        for t in threads {
+            let m = t.join().unwrap();
+            assert!(Arc::ptr_eq(&first, &m), "all hits must share one bundle");
+        }
+        let s = store.stats();
+        assert_eq!(s.misses, 1, "exactly one training");
+        assert_eq!(s.memory_hits, 8 * 51, "every other lookup is a memory hit");
     }
 
     #[test]

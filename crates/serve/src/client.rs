@@ -10,9 +10,9 @@
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
-use crate::protocol::{
-    read_frame, write_frame, FrameError, Request, RequestFrame, Response, ResponseFrame,
-};
+use crate::frame::FrameBuffer;
+use crate::protocol::{FrameError, Request, RequestFrame, Response, ResponseFrame};
+use std::io::Write;
 
 /// Why a client call failed.
 #[derive(Debug)]
@@ -50,8 +50,13 @@ impl From<FrameError> for ClientError {
 }
 
 /// A blocking connection to a `synergy-serve` daemon.
+///
+/// Responses are reassembled through a persistent [`FrameBuffer`], so a
+/// read timeout mid-frame loses no bytes — the next call resumes where
+/// the stream left off instead of desynchronizing.
 pub struct Client {
     stream: TcpStream,
+    inbuf: FrameBuffer,
     next_id: u64,
 }
 
@@ -60,7 +65,11 @@ impl Client {
     pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, ClientError> {
         let stream = TcpStream::connect(addr)?;
         let _ = stream.set_nodelay(true);
-        Ok(Client { stream, next_id: 0 })
+        Ok(Client {
+            stream,
+            inbuf: FrameBuffer::new(),
+            next_id: 0,
+        })
     }
 
     /// Set (or clear) the socket read timeout for responses.
@@ -89,15 +98,28 @@ impl Client {
             deadline_ms,
             req,
         };
-        write_frame(&mut self.stream, &frame.encode())?;
+        self.stream.write_all(&frame.encode_framed())?;
         loop {
-            let payload = read_frame(&mut self.stream)?;
-            let resp = ResponseFrame::decode(&payload)?;
-            if resp.id == id {
-                return Ok(resp.resp);
+            if let Some(payload) = self.inbuf.next_frame()? {
+                let resp = ResponseFrame::decode(payload)?;
+                if resp.id == id {
+                    return Ok(resp.resp);
+                }
+                // A response to an earlier request of ours that we
+                // stopped waiting for (e.g. after a timeout): skip it.
+                continue;
             }
-            // A response to an earlier request of ours that we stopped
-            // waiting for (e.g. after a timeout): skip it.
+            let n = self.inbuf.read_from(&mut self.stream)?;
+            if n == 0 {
+                return Err(if self.inbuf.pending() == 0 {
+                    ClientError::Frame(FrameError::Closed)
+                } else {
+                    ClientError::Io(std::io::Error::new(
+                        std::io::ErrorKind::UnexpectedEof,
+                        "eof inside response frame",
+                    ))
+                });
+            }
         }
     }
 

@@ -1,0 +1,214 @@
+//! Incremental, allocation-recycling frame decoding.
+//!
+//! The thread-per-connection server could afford `read_exact` into a
+//! fresh `Vec` per frame — blocking reads always return complete
+//! frames eventually, and each connection owned its thread. An
+//! event-driven reader gets bytes as the kernel delivers them: a frame
+//! may arrive one byte at a time, the 4-byte length prefix may be split
+//! across reads, and one read may carry several coalesced frames. The
+//! [`FrameBuffer`] owns a single growable per-connection buffer, appends
+//! whatever the socket yields, and hands out complete payloads as
+//! borrowed slices — zero copies and zero per-frame allocations once the
+//! buffer has grown to the connection's working size.
+//!
+//! Wire format and limits are identical to the blocking codec in
+//! [`protocol`](crate::protocol): a `u32` big-endian payload length
+//! (capped at [`MAX_FRAME_LEN`] *before* any allocation) followed by
+//! exactly that many payload bytes.
+
+use std::io::Read;
+
+use crate::protocol::{FrameError, MAX_FRAME_LEN};
+
+/// How much to request from the socket per `read` call. Large enough to
+/// drain several typical frames per syscall, small enough that 10k idle
+/// connections do not pin hundreds of megabytes.
+const READ_CHUNK: usize = 16 * 1024;
+
+/// A per-connection reassembly buffer for length-prefixed frames.
+///
+/// Feed it with [`read_from`](FrameBuffer::read_from) (socket) or
+/// [`extend`](FrameBuffer::extend) (tests, in-memory transports), then
+/// drain complete frames with [`next_frame`](FrameBuffer::next_frame).
+/// Partial frames stay buffered across calls; consumed bytes are
+/// reclaimed by compaction rather than reallocation.
+pub struct FrameBuffer {
+    buf: Vec<u8>,
+    /// Index of the first unconsumed byte; everything before it is
+    /// dead space reclaimed on the next compaction.
+    start: usize,
+    max_frame: usize,
+}
+
+impl Default for FrameBuffer {
+    fn default() -> FrameBuffer {
+        FrameBuffer::new()
+    }
+}
+
+impl FrameBuffer {
+    /// An empty buffer enforcing the protocol's [`MAX_FRAME_LEN`].
+    pub fn new() -> FrameBuffer {
+        FrameBuffer::with_max_frame(MAX_FRAME_LEN)
+    }
+
+    /// An empty buffer with a custom frame-size cap (tests).
+    pub fn with_max_frame(max_frame: usize) -> FrameBuffer {
+        FrameBuffer {
+            buf: Vec::new(),
+            start: 0,
+            max_frame,
+        }
+    }
+
+    /// Bytes buffered but not yet consumed by [`next_frame`].
+    pub fn pending(&self) -> usize {
+        self.buf.len() - self.start
+    }
+
+    /// Drop consumed bytes so the buffer never grows past the largest
+    /// in-flight frame. Cheap when nothing is pending (pointer reset);
+    /// a `memmove` of the partial tail otherwise.
+    fn compact(&mut self) {
+        if self.start == 0 {
+            return;
+        }
+        if self.start == self.buf.len() {
+            self.buf.clear();
+        } else {
+            self.buf.copy_within(self.start.., 0);
+            self.buf.truncate(self.buf.len() - self.start);
+        }
+        self.start = 0;
+    }
+
+    /// Append raw bytes (in-memory feeding path).
+    pub fn extend(&mut self, bytes: &[u8]) {
+        self.compact();
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Issue one `read` into the buffer's tail. Returns the byte count
+    /// (`Ok(0)` = clean EOF); `WouldBlock` and friends surface as
+    /// errors for the caller's readiness loop to interpret.
+    pub fn read_from(&mut self, r: &mut dyn Read) -> std::io::Result<usize> {
+        self.compact();
+        let end = self.buf.len();
+        self.buf.resize(end + READ_CHUNK, 0);
+        match r.read(&mut self.buf[end..]) {
+            Ok(n) => {
+                self.buf.truncate(end + n);
+                Ok(n)
+            }
+            Err(e) => {
+                self.buf.truncate(end);
+                Err(e)
+            }
+        }
+    }
+
+    /// Extract the next complete frame's payload, if the buffer holds
+    /// one. The slice borrows the internal buffer — decode it before
+    /// feeding more bytes. `Ok(None)` means "need more bytes";
+    /// [`FrameError::TooLarge`] means the peer claimed a frame past the
+    /// cap and the connection should be dropped (the stream can never
+    /// resynchronize past an oversized prefix).
+    pub fn next_frame(&mut self) -> Result<Option<&[u8]>, FrameError> {
+        let pending = &self.buf[self.start..];
+        if pending.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_be_bytes([pending[0], pending[1], pending[2], pending[3]]) as usize;
+        if len > self.max_frame {
+            return Err(FrameError::TooLarge { claimed: len });
+        }
+        if pending.len() < 4 + len {
+            return Ok(None);
+        }
+        let payload_start = self.start + 4;
+        self.start = payload_start + len;
+        Ok(Some(&self.buf[payload_start..payload_start + len]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame(payload: &[u8]) -> Vec<u8> {
+        let mut out = (payload.len() as u32).to_be_bytes().to_vec();
+        out.extend_from_slice(payload);
+        out
+    }
+
+    #[test]
+    fn one_byte_trickle_reassembles() {
+        let wire = frame(b"hello");
+        let mut fb = FrameBuffer::new();
+        for (i, b) in wire.iter().enumerate() {
+            fb.extend(&[*b]);
+            let got = fb.next_frame().unwrap();
+            if i + 1 < wire.len() {
+                assert!(got.is_none(), "frame complete too early at byte {i}");
+            } else {
+                assert_eq!(got.unwrap(), b"hello");
+            }
+        }
+        assert_eq!(fb.pending(), 0);
+    }
+
+    #[test]
+    fn header_split_mid_length_prefix() {
+        let wire = frame(b"payload");
+        let mut fb = FrameBuffer::new();
+        fb.extend(&wire[..2]); // half the length prefix
+        assert!(fb.next_frame().unwrap().is_none());
+        fb.extend(&wire[2..]);
+        assert_eq!(fb.next_frame().unwrap().unwrap(), b"payload");
+    }
+
+    #[test]
+    fn coalesced_frames_in_one_read() {
+        let mut wire = frame(b"first");
+        wire.extend_from_slice(&frame(b""));
+        wire.extend_from_slice(&frame(b"third"));
+        let mut fb = FrameBuffer::new();
+        fb.extend(&wire);
+        assert_eq!(fb.next_frame().unwrap().unwrap(), b"first");
+        assert_eq!(fb.next_frame().unwrap().unwrap(), b"");
+        assert_eq!(fb.next_frame().unwrap().unwrap(), b"third");
+        assert!(fb.next_frame().unwrap().is_none());
+    }
+
+    #[test]
+    fn oversized_prefix_is_rejected_before_buffering() {
+        let mut fb = FrameBuffer::with_max_frame(16);
+        fb.extend(&17u32.to_be_bytes());
+        assert!(matches!(
+            fb.next_frame(),
+            Err(FrameError::TooLarge { claimed: 17 })
+        ));
+    }
+
+    #[test]
+    fn compaction_reclaims_consumed_space() {
+        let mut fb = FrameBuffer::new();
+        for _ in 0..1000 {
+            fb.extend(&frame(&[7u8; 100]));
+            assert_eq!(fb.next_frame().unwrap().unwrap(), &[7u8; 100][..]);
+        }
+        // All frames consumed as they arrived: the buffer holds at most
+        // one frame's worth of bytes, not a thousand.
+        assert!(fb.buf.capacity() < 8 * 1024, "buffer grew without bound");
+    }
+
+    #[test]
+    fn read_from_reports_eof_and_preserves_partial() {
+        let wire = frame(b"abc");
+        let mut cursor = std::io::Cursor::new(wire[..5].to_vec()); // header + 1 byte
+        let mut fb = FrameBuffer::new();
+        while fb.read_from(&mut cursor).unwrap() > 0 {}
+        assert!(fb.next_frame().unwrap().is_none());
+        assert_eq!(fb.pending(), 5);
+    }
+}

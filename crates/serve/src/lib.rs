@@ -13,10 +13,16 @@
 //! * [`protocol`] — length-prefixed JSON frames with typed
 //!   [`Request`]/[`Response`] enums and a hardened self-contained codec
 //!   ([`json`]).
-//! * [`server`] — the daemon: one reader thread per connection, a
-//!   bounded work queue with admission control (`Busy`) and per-request
-//!   deadlines (`Expired`), a worker pool with in-flight request
-//!   coalescing, and graceful drain.
+//! * [`poll`] — a minimal self-contained readiness API over `poll(2)`
+//!   plus a self-pipe waker; no external dependencies.
+//! * [`frame`] — incremental frame reassembly ([`FrameBuffer`]): bytes
+//!   in as the kernel delivers them, complete payloads out as borrowed
+//!   slices.
+//! * [`server`] — the daemon: a sharded event-loop reactor multiplexing
+//!   every connection over a few threads (10k connections ≠ 10k
+//!   threads), a bounded work queue with admission control (`Busy`) and
+//!   per-request deadlines (`Expired`), a worker pool with in-flight
+//!   request coalescing, and graceful event-driven drain.
 //! * [`client`] — a blocking client used by the CLI, the tests and the
 //!   `serve_perf` load generator.
 //!
@@ -46,14 +52,18 @@
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod frame;
 pub mod json;
+pub mod poll;
 pub mod protocol;
+mod reactor;
 pub mod server;
 
 pub use client::{Client, ClientError};
+pub use frame::FrameBuffer;
 pub use json::{Json, JsonError};
 pub use protocol::{
-    read_frame, write_frame, Decision, ErrorKind, FrameError, Request, RequestFrame, Response,
-    ResponseFrame, SweepPoint, WireDiagnostic, MAX_FRAME_LEN,
+    frame_bytes, read_frame, write_frame, Decision, ErrorKind, FrameError, Request, RequestFrame,
+    Response, ResponseFrame, SweepPoint, WireDiagnostic, MAX_FRAME_LEN,
 };
 pub use server::{spawn, ModelProfile, ServeConfig, ServerHandle, StatsSnapshot};

@@ -1,0 +1,169 @@
+//! A minimal, self-contained readiness API over `poll(2)`.
+//!
+//! The reactor needs exactly one thing from the OS that `std` does not
+//! expose: "block until any of these sockets is readable/writable". No
+//! `mio` (an external dependency) and no `libc` crate — the two FFI
+//! items required are declared here directly against the platform C
+//! library, which every Rust binary on Unix already links.
+//!
+//! The module also provides [`Waker`]/[`WakeReceiver`], the classic
+//! self-pipe: a nonblocking socketpair whose read end sits in the poll
+//! set so any thread (a worker finishing a response, a drain request)
+//! can interrupt a blocked `poll` by writing one byte.
+
+use std::io::{self, Read, Write};
+use std::os::unix::io::RawFd;
+use std::os::unix::net::UnixStream;
+use std::time::Duration;
+
+/// Readable readiness (or a pending `accept`).
+pub const POLLIN: i16 = 0x001;
+/// Writable readiness.
+pub const POLLOUT: i16 = 0x004;
+/// Error condition (always reported, never requested).
+pub const POLLERR: i16 = 0x008;
+/// Peer hung up (always reported, never requested).
+pub const POLLHUP: i16 = 0x010;
+/// Invalid descriptor (always reported, never requested).
+pub const POLLNVAL: i16 = 0x020;
+
+/// One entry in the poll set, layout-compatible with `struct pollfd`.
+#[repr(C)]
+#[derive(Debug, Clone, Copy)]
+pub struct PollFd {
+    /// The descriptor to watch.
+    pub fd: RawFd,
+    /// Requested events (`POLLIN` / `POLLOUT`).
+    pub events: i16,
+    /// Returned events (filled by [`wait`]).
+    pub revents: i16,
+}
+
+impl PollFd {
+    /// Watch `fd` for `events`.
+    pub fn new(fd: RawFd, events: i16) -> PollFd {
+        PollFd {
+            fd,
+            events,
+            revents: 0,
+        }
+    }
+
+    /// Whether any readable-side event fired (data, error, or hangup —
+    /// all of which a read will surface).
+    pub fn readable(&self) -> bool {
+        self.revents & (POLLIN | POLLERR | POLLHUP | POLLNVAL) != 0
+    }
+
+    /// Whether the descriptor became writable (or errored, which a
+    /// write will surface).
+    pub fn writable(&self) -> bool {
+        self.revents & (POLLOUT | POLLERR | POLLHUP | POLLNVAL) != 0
+    }
+}
+
+extern "C" {
+    fn poll(fds: *mut PollFd, nfds: std::ffi::c_ulong, timeout: std::ffi::c_int) -> std::ffi::c_int;
+}
+
+/// Block until at least one descriptor in `fds` is ready, the timeout
+/// elapses (`Ok(0)`), or a signal interrupts (retried internally).
+/// `None` blocks indefinitely.
+pub fn wait(fds: &mut [PollFd], timeout: Option<Duration>) -> io::Result<usize> {
+    let timeout_ms: std::ffi::c_int = match timeout {
+        None => -1,
+        // Round up so a 100µs timeout polls for 1ms, not busily for 0.
+        Some(t) => t.as_millis().min(i32::MAX as u128).max(1) as std::ffi::c_int,
+    };
+    loop {
+        let rc = unsafe { poll(fds.as_mut_ptr(), fds.len() as std::ffi::c_ulong, timeout_ms) };
+        if rc >= 0 {
+            return Ok(rc as usize);
+        }
+        let err = io::Error::last_os_error();
+        if err.kind() != io::ErrorKind::Interrupted {
+            return Err(err);
+        }
+    }
+}
+
+/// The write end of a wake pipe. Cheap to clone behind an `Arc`; safe
+/// to call from any thread, including the polling thread itself.
+pub struct Waker {
+    tx: UnixStream,
+}
+
+/// The read end of a wake pipe, registered in its owner's poll set.
+pub struct WakeReceiver {
+    rx: UnixStream,
+}
+
+/// Create a connected waker pair. Both ends are nonblocking: `wake` on
+/// a full pipe is a no-op (a wakeup is already pending), and `drain`
+/// stops at empty.
+pub fn wake_pair() -> io::Result<(Waker, WakeReceiver)> {
+    let (tx, rx) = UnixStream::pair()?;
+    tx.set_nonblocking(true)?;
+    rx.set_nonblocking(true)?;
+    Ok((Waker { tx }, WakeReceiver { rx }))
+}
+
+impl Waker {
+    /// Interrupt the receiver's `poll`. Never blocks.
+    pub fn wake(&self) {
+        // WouldBlock means the pipe already holds an unconsumed wakeup;
+        // any other error means the receiver is gone — both are fine.
+        let _ = (&self.tx).write(&[1]);
+    }
+}
+
+impl WakeReceiver {
+    /// The descriptor to register with [`POLLIN`].
+    pub fn fd(&self) -> RawFd {
+        use std::os::unix::io::AsRawFd;
+        self.rx.as_raw_fd()
+    }
+
+    /// Consume every pending wakeup byte.
+    pub fn drain(&self) {
+        let mut buf = [0u8; 64];
+        while let Ok(n) = (&self.rx).read(&mut buf) {
+            if n == 0 {
+                return;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn waker_interrupts_a_blocked_poll() {
+        let (waker, rx) = wake_pair().unwrap();
+        let t = std::thread::spawn(move || {
+            let mut fds = [PollFd::new(rx.fd(), POLLIN)];
+            let n = wait(&mut fds, Some(Duration::from_secs(5))).unwrap();
+            assert_eq!(n, 1);
+            assert!(fds[0].readable());
+            rx.drain();
+            // Drained: a zero-timeout poll sees nothing.
+            let mut fds = [PollFd::new(rx.fd(), POLLIN)];
+            wait(&mut fds, Some(Duration::from_millis(1))).unwrap();
+            assert!(!fds[0].readable());
+        });
+        std::thread::sleep(Duration::from_millis(10));
+        waker.wake();
+        waker.wake(); // coalesces, never blocks
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn timeout_returns_zero_ready() {
+        let (_waker, rx) = wake_pair().unwrap();
+        let mut fds = [PollFd::new(rx.fd(), POLLIN)];
+        let n = wait(&mut fds, Some(Duration::from_millis(5))).unwrap();
+        assert_eq!(n, 0);
+    }
+}

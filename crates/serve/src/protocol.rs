@@ -72,6 +72,15 @@ pub fn write_frame(w: &mut dyn Write, payload: &[u8]) -> std::io::Result<()> {
     w.flush()
 }
 
+/// Prefix a payload with its 4-byte big-endian length, yielding one
+/// contiguous buffer ready for a socket or a connection outbox.
+pub fn frame_bytes(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(payload.len() + 4);
+    out.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
 /// Read one length-prefixed frame.
 ///
 /// Returns [`FrameError::Closed`] only for EOF exactly at a frame
@@ -419,6 +428,11 @@ impl RequestFrame {
         Json::obj(fields).encode().into_bytes()
     }
 
+    /// Encode to a complete wire frame (length prefix + JSON payload).
+    pub fn encode_framed(&self) -> Vec<u8> {
+        frame_bytes(&self.encode())
+    }
+
     /// Decode from JSON bytes.
     pub fn decode(bytes: &[u8]) -> Result<RequestFrame, FrameError> {
         let text = std::str::from_utf8(bytes)
@@ -479,6 +493,11 @@ impl RequestFrame {
 }
 
 impl ResponseFrame {
+    /// Encode to a complete wire frame (length prefix + JSON payload).
+    pub fn encode_framed(&self) -> Vec<u8> {
+        frame_bytes(&self.encode())
+    }
+
     /// Encode to compact JSON bytes (unframed).
     pub fn encode(&self) -> Vec<u8> {
         let mut fields = vec![

@@ -1,0 +1,479 @@
+//! The readiness-driven data plane: sharded `poll(2)` reactors.
+//!
+//! Thread-per-connection puts every idle client on the scheduler's
+//! books — 10k connections is 10k blocked threads, 10k stacks, and a
+//! wakeup storm on every drain. Here each *shard* is one thread running
+//! a readiness loop over its share of the connections:
+//!
+//! ```text
+//!            ┌──────────────────────────────┐
+//!  accept ──►│ shard 0: poll(listener,      │   admitted    ┌─────────┐
+//!            │          wake, conns...)     ├──────────────►│ Bounded │
+//!            ├──────────────────────────────┤     jobs      │ Queue   │
+//!  inject ──►│ shard k: poll(wake, conns...)│◄──────────────┤ workers │
+//!            └──────────────────────────────┘  wake+outbox  └─────────┘
+//! ```
+//!
+//! * **Accept** is nonblocking on shard 0; new connections are assigned
+//!   round-robin and *injected* into their shard through a mailbox plus
+//!   a [`Waker`] nudge.
+//! * **Reads** land in a per-connection [`FrameBuffer`]; complete frames
+//!   are handed to the server's [`ConnEvents::on_frame`] (control plane
+//!   answered inline, data plane admitted to the worker queue) without
+//!   copying the payload out of the buffer.
+//! * **Writes** go through a per-connection [`Outbox`]: workers append
+//!   encoded frames from their own threads and wake the shard, which
+//!   flushes as far as the socket allows and re-registers `POLLOUT`
+//!   interest for the remainder — a slow client stalls only its own
+//!   connection, never a worker or another client.
+//! * **Shutdown** stops reading, flushes every outbox (bounded by
+//!   [`FLUSH_DEADLINE`]), then drops the connections.
+
+use std::collections::VecDeque;
+use std::io::{self, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::unix::io::AsRawFd;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+use crate::frame::FrameBuffer;
+use crate::poll::{self, PollFd, WakeReceiver, Waker, POLLIN, POLLOUT};
+use crate::protocol::FrameError;
+
+/// How long shutdown waits for slow clients to accept their final
+/// responses before dropping the connection anyway.
+const FLUSH_DEADLINE: Duration = Duration::from_secs(5);
+
+/// Server-side hooks the reactor drives. Implemented by the server's
+/// shared state; every method must be non-blocking — a stalled hook
+/// stalls the whole shard.
+pub(crate) trait ConnEvents: Send + Sync {
+    /// A complete frame payload arrived on `conn`. Responses (now or
+    /// later, from a worker) go through the handle's outbox.
+    fn on_frame(&self, conn: &ConnHandle, payload: &[u8]);
+    /// The peer sent a length prefix past the protocol cap. The
+    /// connection closes after flush; this hook writes the goodbye.
+    fn on_oversized(&self, conn: &ConnHandle, claimed: usize);
+    /// A connection was accepted.
+    fn on_accept(&self, conn: u64);
+    /// A connection went away (EOF, error, or post-violation close).
+    fn on_disconnect(&self, conn: u64);
+    /// Whether the listener should stop accepting.
+    fn draining(&self) -> bool;
+    /// Whether shards should stop reading, flush, and exit.
+    fn shutdown(&self) -> bool;
+}
+
+/// Queued response bytes for one connection, appended by workers,
+/// drained by the connection's shard.
+pub(crate) struct Outbox {
+    inner: Mutex<OutboxInner>,
+}
+
+struct OutboxInner {
+    bytes: VecDeque<u8>,
+    /// Set when the connection is dropped: late responses for a dead
+    /// peer are discarded, matching the old "write errors are the
+    /// client's problem" semantics.
+    closed: bool,
+}
+
+impl Outbox {
+    fn new() -> Arc<Outbox> {
+        Arc::new(Outbox {
+            inner: Mutex::new(OutboxInner {
+                bytes: VecDeque::new(),
+                closed: false,
+            }),
+        })
+    }
+
+    fn has_pending(&self) -> bool {
+        !self.inner.lock().bytes.is_empty()
+    }
+
+    fn close(&self) {
+        let mut inner = self.inner.lock();
+        inner.closed = true;
+        inner.bytes.clear();
+    }
+}
+
+/// A worker-side handle to one connection: enough to queue a response
+/// and wake the owning shard, nothing more. Cloneable and cheap.
+#[derive(Clone)]
+pub(crate) struct ConnHandle {
+    /// The connection id (telemetry correlation).
+    pub(crate) conn: u64,
+    outbox: Arc<Outbox>,
+    waker: Arc<Waker>,
+}
+
+impl ConnHandle {
+    /// Queue one already-framed response and nudge the shard. A closed
+    /// (disconnected) outbox discards silently.
+    pub(crate) fn send(&self, frame_bytes: &[u8]) {
+        {
+            let mut inner = self.outbox.inner.lock();
+            if inner.closed {
+                return;
+            }
+            inner.bytes.extend(frame_bytes);
+        }
+        self.waker.wake();
+    }
+}
+
+/// A running set of reactor shards.
+pub(crate) struct Reactor {
+    /// Shard threads; behind a mutex because the server reaches the
+    /// reactor through a shared `OnceLock` yet `join` needs ownership.
+    handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    /// Per-shard wakers: drain/shutdown signals must wake every shard.
+    wakers: Vec<Arc<Waker>>,
+}
+
+impl Reactor {
+    /// Nudge every shard (after flipping a drain/shutdown flag).
+    pub(crate) fn wake_all(&self) {
+        for w in &self.wakers {
+            w.wake();
+        }
+    }
+
+    /// Take ownership of the shard threads for joining. Subsequent
+    /// calls return an empty vec, making teardown idempotent.
+    pub(crate) fn take_handles(&self) -> Vec<std::thread::JoinHandle<()>> {
+        std::mem::take(&mut *self.handles.lock())
+    }
+}
+
+type Mailbox = Arc<Mutex<Vec<(u64, TcpStream)>>>;
+
+/// Spawn `shards` reactor threads; shard 0 owns the (nonblocking)
+/// listener and deals accepted connections round-robin.
+pub(crate) fn spawn_reactor(
+    listener: TcpListener,
+    events: Arc<dyn ConnEvents>,
+    shards: usize,
+) -> io::Result<Reactor> {
+    let shards = shards.max(1);
+    let mut wakers = Vec::with_capacity(shards);
+    let mut receivers = Vec::with_capacity(shards);
+    let mut mailboxes: Vec<Mailbox> = Vec::with_capacity(shards);
+    for _ in 0..shards {
+        let (tx, rx) = poll::wake_pair()?;
+        wakers.push(Arc::new(tx));
+        receivers.push(rx);
+        mailboxes.push(Arc::new(Mutex::new(Vec::new())));
+    }
+    let conn_ids = Arc::new(AtomicU64::new(0));
+    let mut handles = Vec::with_capacity(shards);
+    for (idx, wake_rx) in receivers.into_iter().enumerate() {
+        let shard = Shard {
+            idx,
+            listener: if idx == 0 { Some(listener.try_clone()?) } else { None },
+            events: Arc::clone(&events),
+            wake_rx,
+            waker: Arc::clone(&wakers[idx]),
+            mailbox: Arc::clone(&mailboxes[idx]),
+            peers: mailboxes
+                .iter()
+                .cloned()
+                .zip(wakers.iter().cloned())
+                .collect(),
+            conn_ids: Arc::clone(&conn_ids),
+            conns: Vec::new(),
+            free: Vec::new(),
+        };
+        handles.push(
+            std::thread::Builder::new()
+                .name(format!("serve-reactor-{idx}"))
+                .spawn(move || shard.run())?,
+        );
+    }
+    Ok(Reactor {
+        handles: Mutex::new(handles),
+        wakers,
+    })
+}
+
+/// Per-connection reactor state. The stream, the reassembly buffer and
+/// the outbox live here; workers only ever see the [`ConnHandle`].
+struct ConnState {
+    id: u64,
+    stream: TcpStream,
+    inbuf: FrameBuffer,
+    handle: ConnHandle,
+    /// Reading stopped (protocol violation); close once flushed.
+    closing: bool,
+}
+
+/// Why a connection left the shard.
+enum Gone {
+    No,
+    Yes,
+}
+
+struct Shard {
+    idx: usize,
+    listener: Option<TcpListener>,
+    events: Arc<dyn ConnEvents>,
+    wake_rx: WakeReceiver,
+    waker: Arc<Waker>,
+    mailbox: Mailbox,
+    /// Every shard's (mailbox, waker), indexed by shard — how shard 0
+    /// hands an accepted connection to its owner.
+    peers: Vec<(Mailbox, Arc<Waker>)>,
+    conn_ids: Arc<AtomicU64>,
+    conns: Vec<Option<ConnState>>,
+    free: Vec<usize>,
+}
+
+impl Shard {
+    fn run(mut self) {
+        let mut fds: Vec<PollFd> = Vec::new();
+        // fds index -> conns slot, for entries past the fixed prefix.
+        let mut slots: Vec<usize> = Vec::new();
+        let mut shutdown_since: Option<Instant> = None;
+
+        loop {
+            let shutting = self.events.shutdown();
+            if shutting && shutdown_since.is_none() {
+                shutdown_since = Some(Instant::now());
+            }
+            if self.events.draining() {
+                // Stop accepting: dropping the listener refuses new
+                // connections at the OS level.
+                self.listener = None;
+            }
+
+            // Adopt connections shard 0 assigned to us.
+            let injected: Vec<(u64, TcpStream)> =
+                std::mem::take(&mut *self.mailbox.lock());
+            for (id, stream) in injected {
+                self.register(id, stream);
+            }
+
+            // Reap connections that are done: flushed and closing, or
+            // flushed during shutdown. Flush-deadline overruns drop
+            // whatever is left unsent.
+            let flush_expired =
+                shutdown_since.is_some_and(|t| t.elapsed() > FLUSH_DEADLINE);
+            for slot in 0..self.conns.len() {
+                let done = match &self.conns[slot] {
+                    Some(c) => {
+                        let pending = c.handle.outbox.has_pending();
+                        (c.closing || shutting) && (!pending || flush_expired)
+                    }
+                    None => false,
+                };
+                if done {
+                    self.drop_conn(slot);
+                }
+            }
+            if shutting && self.conns.iter().all(Option::is_none) {
+                return;
+            }
+
+            // Build the poll set: wake pipe, listener (shard 0, while
+            // accepting), then every live connection — read interest
+            // unless stopped, write interest while the outbox has bytes.
+            fds.clear();
+            slots.clear();
+            fds.push(PollFd::new(self.wake_rx.fd(), POLLIN));
+            let listener_at = self.listener.as_ref().map(|l| {
+                fds.push(PollFd::new(l.as_raw_fd(), POLLIN));
+                fds.len() - 1
+            });
+            let fixed = fds.len();
+            for (slot, conn) in self.conns.iter().enumerate() {
+                let Some(c) = conn else { continue };
+                let mut interest = 0i16;
+                if !shutting && !c.closing {
+                    interest |= POLLIN;
+                }
+                if c.handle.outbox.has_pending() {
+                    interest |= POLLOUT;
+                }
+                if interest != 0 {
+                    fds.push(PollFd::new(c.stream.as_raw_fd(), interest));
+                    slots.push(slot);
+                }
+            }
+
+            // Block until something happens. Every cross-thread state
+            // change (drain, shutdown, worker response, injection)
+            // wakes us through the pipe; only the shutdown flush phase
+            // needs a timeout, to re-check its deadline.
+            let timeout = shutting.then_some(Duration::from_millis(50));
+            if poll::wait(&mut fds, timeout).is_err() {
+                // EBADF etc. — a descriptor raced close; rebuild.
+                continue;
+            }
+
+            if fds[0].readable() {
+                self.wake_rx.drain();
+            }
+            if let Some(at) = listener_at {
+                if fds[at].readable() {
+                    self.accept_ready();
+                }
+            }
+            for (i, fd) in fds[fixed..].iter().enumerate() {
+                let slot = slots[i];
+                if fd.readable() && !shutting {
+                    if let Gone::Yes = self.read_ready(slot) {
+                        continue;
+                    }
+                }
+                if fd.writable() || fd.readable() {
+                    // Flush opportunistically after reads too: control
+                    // plane responses are queued during read handling.
+                    self.flush_ready(slot);
+                }
+            }
+        }
+    }
+
+    /// Accept until the backlog is empty, dealing connections to shards
+    /// round-robin by id.
+    fn accept_ready(&mut self) {
+        loop {
+            let Some(listener) = &self.listener else { return };
+            match listener.accept() {
+                Ok((stream, _peer)) => {
+                    let id = self.conn_ids.fetch_add(1, Ordering::Relaxed) + 1;
+                    let _ = stream.set_nonblocking(true);
+                    let _ = stream.set_nodelay(true);
+                    self.events.on_accept(id);
+                    let target = (id as usize) % self.peers.len();
+                    if target == self.idx {
+                        self.register(id, stream);
+                    } else {
+                        let (mailbox, waker) = &self.peers[target];
+                        mailbox.lock().push((id, stream));
+                        waker.wake();
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                // Transient per-connection accept failures
+                // (ECONNABORTED and kin): skip, keep the listener.
+                Err(_) => return,
+            }
+        }
+    }
+
+    fn register(&mut self, id: u64, stream: TcpStream) {
+        let state = ConnState {
+            id,
+            stream,
+            inbuf: FrameBuffer::new(),
+            handle: ConnHandle {
+                conn: id,
+                outbox: Outbox::new(),
+                waker: Arc::clone(&self.waker),
+            },
+            closing: false,
+        };
+        match self.free.pop() {
+            Some(slot) => self.conns[slot] = Some(state),
+            None => self.conns.push(Some(state)),
+        }
+    }
+
+    fn drop_conn(&mut self, slot: usize) {
+        if let Some(c) = self.conns[slot].take() {
+            c.handle.outbox.close();
+            self.events.on_disconnect(c.id);
+            self.free.push(slot);
+        }
+    }
+
+    /// Drain the socket into the frame buffer and dispatch every
+    /// complete frame. Returns whether the connection was dropped.
+    fn read_ready(&mut self, slot: usize) -> Gone {
+        let Some(c) = self.conns[slot].as_mut() else {
+            return Gone::Yes;
+        };
+        loop {
+            let n = {
+                let ConnState { inbuf, stream, .. } = c;
+                inbuf.read_from(stream)
+            };
+            match n {
+                Ok(0) => {
+                    // EOF: the peer is done sending. Responses already
+                    // queued still flush below before the drop sweep.
+                    c.closing = true;
+                    break;
+                }
+                Ok(_) => loop {
+                    match c.inbuf.next_frame() {
+                        Ok(Some(payload)) => {
+                            self.events.on_frame(&c.handle, payload);
+                        }
+                        Ok(None) => break,
+                        Err(FrameError::TooLarge { claimed }) => {
+                            self.events.on_oversized(&c.handle, claimed);
+                            c.closing = true;
+                            break;
+                        }
+                        // The incremental decoder only raises TooLarge.
+                        Err(_) => {
+                            c.closing = true;
+                            break;
+                        }
+                    }
+                },
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.drop_conn(slot);
+                    return Gone::Yes;
+                }
+            }
+            if c.closing {
+                break;
+            }
+        }
+        Gone::No
+    }
+
+    /// Write as much queued output as the socket accepts; leftover
+    /// bytes re-register `POLLOUT` interest on the next loop.
+    fn flush_ready(&mut self, slot: usize) {
+        let Some(c) = self.conns[slot].as_mut() else {
+            return;
+        };
+        let failed = {
+            let mut inner = c.handle.outbox.inner.lock();
+            let mut failed = false;
+            while !inner.bytes.is_empty() {
+                let (head, _) = inner.bytes.as_slices();
+                match c.stream.write(head) {
+                    Ok(0) => {
+                        failed = true;
+                        break;
+                    }
+                    Ok(n) => {
+                        inner.bytes.drain(..n);
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        failed = true;
+                        break;
+                    }
+                }
+            }
+            failed
+        };
+        if failed {
+            self.drop_conn(slot);
+        }
+    }
+}

@@ -1,25 +1,32 @@
-//! The daemon: acceptor, per-connection readers, a bounded work queue,
-//! and a worker pool.
+//! The daemon: sharded event-loop reactors, a bounded work queue, and a
+//! worker pool.
 //!
 //! ```text
-//!              ┌────────────┐   try_push    ┌───────────────┐
-//!  TCP ──────► │ reader / N │ ────────────► │ BoundedQueue  │
-//!   accept     │ (1/conn)   │  full → Busy  │ (admission)   │
-//!              └────────────┘               └──────┬────────┘
-//!                    ▲                             │ pop
-//!                    │ responses                   ▼
-//!              ┌─────┴──────┐               ┌───────────────┐
-//!              │ TcpStream  │ ◄──────────── │ worker / K    │
-//!              │ Arc<Mutex> │               │ (coalescing)  │
-//!              └────────────┘               └───────────────┘
+//!             ┌───────────────┐   try_push    ┌───────────────┐
+//!  TCP ─────► │ reactor shard │ ────────────► │ BoundedQueue  │
+//!  (accept,   │  (poll loop,  │  full → Busy  │ (admission)   │
+//!   frames)   │   1/shard)    │               └──────┬────────┘
+//!             └───────▲───────┘                      │ pop
+//!                     │ outbox + wake                ▼
+//!                     │                       ┌───────────────┐
+//!                     └────────────────────── │ worker / K    │
+//!                          responses          │ (coalescing)  │
+//!                                             └───────────────┘
 //! ```
 //!
+//! **Data plane.** Each reactor shard is one thread multiplexing its
+//! share of the connections over `poll(2)` ([`crate::reactor`]):
+//! nonblocking accept, incremental frame reassembly in per-connection
+//! buffers ([`crate::frame`]), and partial-write-aware response
+//! flushing. Ten thousand mostly-idle connections cost ten thousand
+//! descriptors in a handful of poll sets, not ten thousand threads.
+//!
 //! **Control plane vs data plane.** `Ping`, `Stats` and `Drain` are
-//! answered directly by the connection's reader thread — they are O(1)
-//! and must keep working when the queue is saturated (a `Drain` that
-//! could be rejected `Busy` would make graceful shutdown impossible).
-//! `Compile`, `Predict` and `Sweep` go through the bounded queue and are
-//! subject to admission control and deadlines.
+//! answered directly on the reactor thread — they are O(1) and must
+//! keep working when the queue is saturated (a `Drain` that could be
+//! rejected `Busy` would make graceful shutdown impossible). `Compile`,
+//! `Predict` and `Sweep` go through the bounded queue and are subject
+//! to admission control and deadlines.
 //!
 //! **Admission control.** The queue has a hard capacity; a full queue
 //! rejects the request immediately with `Busy { retry_after_ms }` rather
@@ -38,12 +45,15 @@
 //! request re-derives them.
 //!
 //! **Drain.** `drain()` (or a `Drain` request) stops the acceptor,
-//! makes readers answer new data-plane requests with `Draining`, lets
-//! workers finish everything already admitted, then `join()` tears the
-//! threads down. No accepted request is dropped.
+//! makes reactors answer new data-plane requests with `Draining`, lets
+//! workers finish everything already admitted, then `join()` flushes
+//! the outboxes and tears the threads down. No accepted request is
+//! dropped. Drain is fully event-driven: flipping the flag wakes every
+//! shard through its wake pipe, and [`ServerHandle::wait_for_drain`]
+//! parks callers on a condvar instead of a sleep-poll.
 
 use std::collections::{HashMap, VecDeque};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{SocketAddr, TcpListener};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::thread::JoinHandle;
@@ -60,9 +70,10 @@ use synergy_sim::DeviceSpec;
 use synergy_telemetry::{EventKind, Recorder, ServeOp};
 
 use crate::protocol::{
-    read_frame, write_frame, Decision, ErrorKind, FrameError, Request, RequestFrame, Response,
-    ResponseFrame, SweepPoint, WireDiagnostic,
+    Decision, ErrorKind, Request, RequestFrame, Response, ResponseFrame, SweepPoint,
+    WireDiagnostic,
 };
+use crate::reactor::{spawn_reactor, ConnEvents, ConnHandle, Reactor};
 
 /// How model training is parameterized, mirroring the CLI's profiles.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -97,6 +108,9 @@ pub struct ServeConfig {
     pub addr: String,
     /// Worker threads computing data-plane responses.
     pub workers: usize,
+    /// Reactor shards multiplexing connections (1 is plenty up to a few
+    /// thousand mostly-idle clients; shard for dense traffic).
+    pub reactors: usize,
     /// Bounded queue capacity (admission-control knob).
     pub queue_capacity: usize,
     /// Queue-wait budget applied when a request's `deadline_ms` is 0.
@@ -120,6 +134,7 @@ impl Default for ServeConfig {
         ServeConfig {
             addr: "127.0.0.1:0".to_string(),
             workers: 4,
+            reactors: 1,
             queue_capacity: 64,
             default_deadline_ms: 5_000,
             retry_after_ms: 25,
@@ -206,8 +221,8 @@ impl Counters {
 /// A multi-producer, multi-consumer FIFO with a hard capacity.
 ///
 /// `try_push` never blocks (admission control wants an immediate
-/// verdict); `pop` blocks until an item arrives or the queue is closed
-/// *and* empty, so closing drains rather than drops.
+/// verdict); `pop` blocks on a condvar until an item arrives or the
+/// queue is closed *and* empty, so closing drains rather than drops.
 struct BoundedQueue<T> {
     inner: Mutex<QueueInner<T>>,
     available: Condvar,
@@ -282,18 +297,16 @@ impl<T> BoundedQueue<T> {
 
 /// One admitted data-plane request, waiting for a worker.
 struct Job {
-    conn: u64,
     frame: RequestFrame,
     admitted: Instant,
     deadline: Duration,
-    writer: Arc<Mutex<TcpStream>>,
+    writer: ConnHandle,
 }
 
 /// A duplicate request parked on an in-flight computation.
 struct Waiter {
-    conn: u64,
     id: u64,
-    writer: Arc<Mutex<TcpStream>>,
+    writer: ConnHandle,
 }
 
 struct Shared {
@@ -307,7 +320,13 @@ struct Shared {
     counters: Counters,
     draining: AtomicBool,
     shutdown: AtomicBool,
-    readers: Mutex<Vec<JoinHandle<()>>>,
+    /// Condvar companion to `draining`, so `wait_for_drain` parks
+    /// instead of sleep-polling.
+    drain_flag: Mutex<bool>,
+    drained: Condvar,
+    /// Set once the reactor is up; drain/shutdown flips wake every
+    /// shard through these.
+    reactor: OnceLock<Reactor>,
     inflight: Mutex<HashMap<String, Vec<Waiter>>>,
     /// Micro-bench training suite, generated once per server (every
     /// data-plane request used to regenerate it from scratch).
@@ -368,20 +387,171 @@ impl Shared {
         });
     }
 
-    /// Serialize, frame and send one response; accounting included.
-    /// Write errors mean the client went away — not the server's
-    /// problem, so they are swallowed after counting the attempt.
-    fn respond(&self, writer: &Arc<Mutex<TcpStream>>, conn: u64, frame: ResponseFrame) {
+    /// Serialize, frame and queue one response on the connection's
+    /// outbox; accounting included. A vanished client discards the
+    /// bytes — not the server's problem — after counting the attempt.
+    fn respond(&self, writer: &ConnHandle, frame: ResponseFrame) {
         let op = frame.resp.op();
         if matches!(frame.resp, Response::Error { .. }) {
             self.counters.bump(&self.counters.errors);
         }
-        let payload = frame.encode();
-        let mut stream = writer.lock();
-        let _ = write_frame(&mut *stream, &payload);
-        drop(stream);
+        writer.send(&frame.encode_framed());
         self.counters.bump(&self.counters.responses);
-        self.serve_event(ServeOp::Respond, conn, frame.id, op);
+        self.serve_event(ServeOp::Respond, writer.conn, frame.id, op);
+    }
+}
+
+/// The reactor-facing half of the server: frame dispatch, admission
+/// control, and connection-lifecycle accounting. Runs on reactor
+/// threads, so everything here is non-blocking.
+impl ConnEvents for Shared {
+    fn on_accept(&self, conn: u64) {
+        self.counters.bump(&self.counters.connections);
+        self.serve_event(ServeOp::Accept, conn, 0, "accept");
+    }
+
+    fn on_disconnect(&self, conn: u64) {
+        self.serve_event(ServeOp::Disconnect, conn, 0, "disconnect");
+    }
+
+    fn on_oversized(&self, conn: &ConnHandle, claimed: usize) {
+        // The stream is out of sync past an oversized prefix; report
+        // and hang up (the reactor closes after flushing this).
+        self.respond(
+            conn,
+            ResponseFrame {
+                id: 0,
+                resp: Response::Error {
+                    kind: ErrorKind::BadRequest,
+                    message: format!("frame of {claimed} bytes exceeds the protocol cap"),
+                    diagnostics: Vec::new(),
+                },
+            },
+        );
+    }
+
+    fn draining(&self) -> bool {
+        self.draining.load(Ordering::SeqCst)
+    }
+
+    fn shutdown(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    fn on_frame(&self, conn: &ConnHandle, payload: &[u8]) {
+        let frame = match RequestFrame::decode(payload) {
+            Ok(f) => f,
+            Err(e) => {
+                // A complete but meaningless frame: answer and keep the
+                // connection — framing is still in sync.
+                self.respond(
+                    conn,
+                    ResponseFrame {
+                        id: 0,
+                        resp: Response::Error {
+                            kind: ErrorKind::BadRequest,
+                            message: e.to_string(),
+                            diagnostics: Vec::new(),
+                        },
+                    },
+                );
+                return;
+            }
+        };
+        let id = frame.id;
+        match frame.req {
+            // Control plane: answered here, immune to queue pressure.
+            Request::Ping => {
+                self.respond(
+                    conn,
+                    ResponseFrame {
+                        id,
+                        resp: Response::Pong,
+                    },
+                );
+            }
+            Request::Stats => {
+                self.respond(
+                    conn,
+                    ResponseFrame {
+                        id,
+                        resp: self.snapshot().to_response(),
+                    },
+                );
+            }
+            Request::Drain => {
+                begin_drain(self);
+                self.respond(
+                    conn,
+                    ResponseFrame {
+                        id,
+                        resp: Response::Draining {
+                            pending: self.queue.len() as u64,
+                        },
+                    },
+                );
+            }
+            // Data plane: admission control, then the queue.
+            req @ (Request::Compile { .. } | Request::Predict { .. } | Request::Sweep { .. }) => {
+                let op = req.op();
+                if self.draining.load(Ordering::SeqCst) {
+                    self.respond(
+                        conn,
+                        ResponseFrame {
+                            id,
+                            resp: Response::Draining {
+                                pending: self.queue.len() as u64,
+                            },
+                        },
+                    );
+                    return;
+                }
+                let deadline = if frame.deadline_ms == 0 {
+                    self.default_deadline
+                } else {
+                    Duration::from_millis(frame.deadline_ms)
+                };
+                let job = Job {
+                    frame: RequestFrame {
+                        id,
+                        deadline_ms: frame.deadline_ms,
+                        req,
+                    },
+                    admitted: Instant::now(),
+                    deadline,
+                    writer: conn.clone(),
+                };
+                match self.queue.try_push(job) {
+                    Ok(depth) => {
+                        self.counters.bump(&self.counters.enqueued);
+                        self.counters.watermark_depth(depth as u64);
+                        self.serve_event(ServeOp::Enqueue, conn.conn, id, op);
+                    }
+                    Err(PushError::Full) => {
+                        self.counters.bump(&self.counters.busy_rejections);
+                        self.serve_event(ServeOp::Busy, conn.conn, id, op);
+                        self.respond(
+                            conn,
+                            ResponseFrame {
+                                id,
+                                resp: Response::Busy {
+                                    retry_after_ms: self.retry_after_ms,
+                                },
+                            },
+                        );
+                    }
+                    Err(PushError::Closed) => {
+                        self.respond(
+                            conn,
+                            ResponseFrame {
+                                id,
+                                resp: Response::Draining { pending: 0 },
+                            },
+                        );
+                    }
+                }
+            }
+        }
     }
 }
 
@@ -393,7 +563,6 @@ impl Shared {
 pub struct ServerHandle {
     addr: SocketAddr,
     shared: Arc<Shared>,
-    acceptor: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
 }
 
@@ -415,26 +584,35 @@ impl ServerHandle {
         begin_drain(&self.shared);
     }
 
+    /// Park until some client (or [`drain`](Self::drain)) starts a
+    /// drain. Event-driven: a condvar wakeup, not a stats poll.
+    pub fn wait_for_drain(&self) {
+        let mut flag = self.shared.drain_flag.lock();
+        while !*flag {
+            self.shared.drained.wait(&mut flag);
+        }
+    }
+
     /// Drain (if not already draining), wait for every admitted request
-    /// to be answered, tear down all threads, and return the final
-    /// counters.
+    /// to be answered, flush every connection, tear down all threads,
+    /// and return the final counters.
     pub fn join(mut self) -> StatsSnapshot {
         self.drain();
-        if let Some(a) = self.acceptor.take() {
-            let _ = a.join();
-        }
-        // No producer is left (acceptor gone, readers reject while
-        // draining): close the queue so workers drain it and exit.
+        // No producer is left (reactors reject data-plane work while
+        // draining): close the queue so workers drain it and exit. Every
+        // response lands in a connection outbox before the worker exits.
         self.shared.queue.close();
         for w in self.workers.drain(..) {
             let _ = w.join();
         }
-        // Admitted work is done; now release the readers, which poll
-        // the shutdown flag on their read timeout.
+        // Admitted work is answered; now release the reactors, which
+        // flush the outboxes and drop the connections.
         self.shared.shutdown.store(true, Ordering::SeqCst);
-        let readers: Vec<JoinHandle<()>> = std::mem::take(&mut *self.shared.readers.lock());
-        for r in readers {
-            let _ = r.join();
+        if let Some(reactor) = self.shared.reactor.get() {
+            reactor.wake_all();
+            for h in reactor.take_handles() {
+                let _ = h.join();
+            }
         }
         self.shared.snapshot()
     }
@@ -443,6 +621,11 @@ impl ServerHandle {
 fn begin_drain(shared: &Shared) {
     if !shared.draining.swap(true, Ordering::SeqCst) {
         shared.serve_event(ServeOp::Drain, 0, 0, "drain");
+        *shared.drain_flag.lock() = true;
+        shared.drained.notify_all();
+        if let Some(reactor) = shared.reactor.get() {
+            reactor.wake_all();
+        }
     }
 }
 
@@ -463,7 +646,9 @@ pub fn spawn(config: ServeConfig) -> std::io::Result<ServerHandle> {
         counters: Counters::default(),
         draining: AtomicBool::new(false),
         shutdown: AtomicBool::new(false),
-        readers: Mutex::new(Vec::new()),
+        drain_flag: Mutex::new(false),
+        drained: Condvar::new(),
+        reactor: OnceLock::new(),
         inflight: Mutex::new(HashMap::new()),
         suite: OnceLock::new(),
         models: Mutex::new(HashMap::new()),
@@ -479,248 +664,27 @@ pub fn spawn(config: ServeConfig) -> std::io::Result<ServerHandle> {
         );
     }
 
-    let acceptor = {
-        let shared = Arc::clone(&shared);
-        std::thread::Builder::new()
-            .name("serve-acceptor".to_string())
-            .spawn(move || acceptor_loop(listener, &shared))?
-    };
+    let events: Arc<dyn ConnEvents> = Arc::clone(&shared) as Arc<dyn ConnEvents>;
+    let reactor = spawn_reactor(listener, events, config.reactors.max(1))?;
+    let _ = shared.reactor.set(reactor);
 
     Ok(ServerHandle {
         addr,
         shared,
-        acceptor: Some(acceptor),
         workers,
     })
-}
-
-fn acceptor_loop(listener: TcpListener, shared: &Arc<Shared>) {
-    let mut next_conn: u64 = 0;
-    loop {
-        if shared.draining.load(Ordering::SeqCst) {
-            return;
-        }
-        match listener.accept() {
-            Ok((stream, _peer)) => {
-                next_conn += 1;
-                let conn = next_conn;
-                shared.counters.bump(&shared.counters.connections);
-                shared.serve_event(ServeOp::Accept, conn, 0, "accept");
-                let shared2 = Arc::clone(shared);
-                let handle = std::thread::Builder::new()
-                    .name(format!("serve-conn-{conn}"))
-                    .spawn(move || reader_loop(stream, conn, &shared2));
-                match handle {
-                    Ok(h) => shared.readers.lock().push(h),
-                    Err(_) => {
-                        // Thread spawn failed (resource exhaustion);
-                        // drop the connection rather than the server.
-                    }
-                }
-            }
-            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                std::thread::sleep(Duration::from_millis(10));
-            }
-            Err(_) => {
-                std::thread::sleep(Duration::from_millis(10));
-            }
-        }
-    }
-}
-
-fn reader_loop(stream: TcpStream, conn: u64, shared: &Arc<Shared>) {
-    // The read timeout doubles as the shutdown poll interval.
-    let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
-    let _ = stream.set_nodelay(true);
-    let writer = match stream.try_clone() {
-        Ok(w) => Arc::new(Mutex::new(w)),
-        Err(_) => return,
-    };
-    let mut reader = stream;
-    loop {
-        if shared.shutdown.load(Ordering::SeqCst) {
-            return;
-        }
-        let payload = match read_frame(&mut reader) {
-            Ok(p) => p,
-            Err(FrameError::Closed) => return,
-            Err(FrameError::Io(e))
-                if e.kind() == std::io::ErrorKind::WouldBlock
-                    || e.kind() == std::io::ErrorKind::TimedOut =>
-            {
-                continue;
-            }
-            Err(FrameError::Io(_)) => return,
-            Err(FrameError::TooLarge { claimed }) => {
-                // The stream is out of sync past an oversized prefix;
-                // report and hang up.
-                shared.respond(
-                    &writer,
-                    conn,
-                    ResponseFrame {
-                        id: 0,
-                        resp: Response::Error {
-                            kind: ErrorKind::BadRequest,
-                            message: format!(
-                                "frame of {claimed} bytes exceeds the protocol cap"
-                            ),
-                            diagnostics: Vec::new(),
-                        },
-                    },
-                );
-                return;
-            }
-            Err(FrameError::Malformed(m)) => {
-                shared.respond(
-                    &writer,
-                    conn,
-                    ResponseFrame {
-                        id: 0,
-                        resp: Response::Error {
-                            kind: ErrorKind::BadRequest,
-                            message: m,
-                            diagnostics: Vec::new(),
-                        },
-                    },
-                );
-                return;
-            }
-        };
-        let frame = match RequestFrame::decode(&payload) {
-            Ok(f) => f,
-            Err(e) => {
-                // A complete but meaningless frame: answer and keep the
-                // connection — framing is still in sync.
-                shared.respond(
-                    &writer,
-                    conn,
-                    ResponseFrame {
-                        id: 0,
-                        resp: Response::Error {
-                            kind: ErrorKind::BadRequest,
-                            message: e.to_string(),
-                            diagnostics: Vec::new(),
-                        },
-                    },
-                );
-                continue;
-            }
-        };
-        let id = frame.id;
-        match frame.req {
-            // Control plane: answered here, immune to queue pressure.
-            Request::Ping => {
-                shared.respond(
-                    &writer,
-                    conn,
-                    ResponseFrame {
-                        id,
-                        resp: Response::Pong,
-                    },
-                );
-            }
-            Request::Stats => {
-                shared.respond(
-                    &writer,
-                    conn,
-                    ResponseFrame {
-                        id,
-                        resp: shared.snapshot().to_response(),
-                    },
-                );
-            }
-            Request::Drain => {
-                begin_drain(shared);
-                shared.respond(
-                    &writer,
-                    conn,
-                    ResponseFrame {
-                        id,
-                        resp: Response::Draining {
-                            pending: shared.queue.len() as u64,
-                        },
-                    },
-                );
-            }
-            // Data plane: admission control, then the queue.
-            req @ (Request::Compile { .. } | Request::Predict { .. } | Request::Sweep { .. }) => {
-                let op = req.op();
-                if shared.draining.load(Ordering::SeqCst) {
-                    shared.respond(
-                        &writer,
-                        conn,
-                        ResponseFrame {
-                            id,
-                            resp: Response::Draining {
-                                pending: shared.queue.len() as u64,
-                            },
-                        },
-                    );
-                    continue;
-                }
-                let deadline = if frame.deadline_ms == 0 {
-                    shared.default_deadline
-                } else {
-                    Duration::from_millis(frame.deadline_ms)
-                };
-                let job = Job {
-                    conn,
-                    frame: RequestFrame {
-                        id,
-                        deadline_ms: frame.deadline_ms,
-                        req,
-                    },
-                    admitted: Instant::now(),
-                    deadline,
-                    writer: Arc::clone(&writer),
-                };
-                match shared.queue.try_push(job) {
-                    Ok(depth) => {
-                        shared.counters.bump(&shared.counters.enqueued);
-                        shared.counters.watermark_depth(depth as u64);
-                        shared.serve_event(ServeOp::Enqueue, conn, id, op);
-                    }
-                    Err(PushError::Full) => {
-                        shared.counters.bump(&shared.counters.busy_rejections);
-                        shared.serve_event(ServeOp::Busy, conn, id, op);
-                        shared.respond(
-                            &writer,
-                            conn,
-                            ResponseFrame {
-                                id,
-                                resp: Response::Busy {
-                                    retry_after_ms: shared.retry_after_ms,
-                                },
-                            },
-                        );
-                    }
-                    Err(PushError::Closed) => {
-                        shared.respond(
-                            &writer,
-                            conn,
-                            ResponseFrame {
-                                id,
-                                resp: Response::Draining { pending: 0 },
-                            },
-                        );
-                    }
-                }
-            }
-        }
-    }
 }
 
 fn worker_loop(shared: &Arc<Shared>) {
     while let Some(job) = shared.queue.pop() {
         let waited = job.admitted.elapsed();
         let id = job.frame.id;
-        let conn = job.conn;
+        let conn = job.writer.conn;
         if waited > job.deadline {
             shared.counters.bump(&shared.counters.expired);
             shared.serve_event(ServeOp::Expire, conn, id, job.frame.req.op());
             shared.respond(
                 &job.writer,
-                conn,
                 ResponseFrame {
                     id,
                     resp: Response::Expired {
@@ -737,9 +701,8 @@ fn worker_loop(shared: &Arc<Shared>) {
             let mut inflight = shared.inflight.lock();
             if let Some(waiters) = inflight.get_mut(&key) {
                 waiters.push(Waiter {
-                    conn,
                     id,
-                    writer: Arc::clone(&job.writer),
+                    writer: job.writer.clone(),
                 });
                 shared.counters.bump(&shared.counters.coalesce_joins);
                 shared.serve_event(ServeOp::CoalesceJoin, conn, id, &key);
@@ -757,7 +720,6 @@ fn worker_loop(shared: &Arc<Shared>) {
             let waiters = shared.inflight.lock().remove(&key).unwrap_or_default();
             shared.respond(
                 &job.writer,
-                conn,
                 ResponseFrame {
                     id,
                     resp: resp.clone(),
@@ -766,7 +728,6 @@ fn worker_loop(shared: &Arc<Shared>) {
             for w in waiters {
                 shared.respond(
                     &w.writer,
-                    w.conn,
                     ResponseFrame {
                         id: w.id,
                         resp: mark_coalesced(resp.clone()),
@@ -775,7 +736,7 @@ fn worker_loop(shared: &Arc<Shared>) {
             }
         } else {
             let resp = compute(shared, &job.frame.req);
-            shared.respond(&job.writer, conn, ResponseFrame { id, resp });
+            shared.respond(&job.writer, ResponseFrame { id, resp });
         }
     }
 }

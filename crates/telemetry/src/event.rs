@@ -71,6 +71,9 @@ pub enum ServeOp {
     Expire,
     /// A drain was initiated (no further connections accepted).
     Drain,
+    /// A client connection went away (EOF, error, or protocol
+    /// violation) and its reactor state was released.
+    Disconnect,
 }
 
 impl ServeOp {
@@ -85,6 +88,7 @@ impl ServeOp {
             ServeOp::Respond => "respond",
             ServeOp::Expire => "expire",
             ServeOp::Drain => "drain",
+            ServeOp::Disconnect => "disconnect",
         }
     }
 }

@@ -155,6 +155,8 @@ pub struct TelemetrySummary {
     pub serve_coalesced: u64,
     /// Daemon requests whose deadline expired in the queue.
     pub serve_expired: u64,
+    /// Daemon connections released (EOF, error, or protocol violation).
+    pub serve_disconnects: u64,
     /// Highest bounded-queue depth observed on any serve event.
     pub serve_queue_depth_max: u64,
 
@@ -258,6 +260,7 @@ impl TelemetrySummary {
                         ServeOp::Busy => s.serve_busy += 1,
                         ServeOp::CoalesceJoin => s.serve_coalesced += 1,
                         ServeOp::Expire => s.serve_expired += 1,
+                        ServeOp::Disconnect => s.serve_disconnects += 1,
                         ServeOp::Drain => {}
                     }
                     s.serve_queue_depth_max = s.serve_queue_depth_max.max(*queue_depth);
@@ -377,8 +380,9 @@ impl TelemetrySummary {
         if self.serve_enqueued + self.serve_busy + self.serve_connections > 0 {
             let _ = writeln!(
                 out,
-                "  serve:        {} conns, {} enqueued, {} responded, {} busy, {} coalesced, {} expired (queue peak {})",
+                "  serve:        {} conns ({} closed), {} enqueued, {} responded, {} busy, {} coalesced, {} expired (queue peak {})",
                 self.serve_connections,
+                self.serve_disconnects,
                 self.serve_enqueued,
                 self.serve_responses,
                 self.serve_busy,

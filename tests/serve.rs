@@ -2,8 +2,10 @@
 //! workloads come back complete and correct, duplicate in-flight keys
 //! coalesce, a tiny queue bound produces `Busy` admission rejections,
 //! queue-wait deadlines produce `Expired`, and drain finishes accepted
-//! work without stranding any client. A proptest block round-trips the
-//! wire protocol and fuzzes the frame decoder.
+//! work without stranding any client. Proptest blocks round-trip the
+//! wire protocol, fuzz the frame decoder, and check the incremental
+//! (reactor-side) decoder against the blocking reader at arbitrary
+//! byte-stream split points.
 
 use std::thread;
 use std::time::Duration;
@@ -566,5 +568,114 @@ proptest! {
             synergy::serve::read_frame(&mut cursor),
             Err(synergy::serve::FrameError::TooLarge { .. })
         ));
+    }
+}
+
+// --- Incremental frame decoder (the reactor's read path) ---------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The incremental decoder reassembles frames bit-identically to the
+    /// blocking whole-frame reader no matter where the byte stream is
+    /// cut: headers split mid-length-prefix, payloads fragmented, and
+    /// several frames coalesced into one read all yield the same frame
+    /// sequence.
+    #[test]
+    fn incremental_decoder_is_split_invariant(
+        payloads in prop::collection::vec(prop::collection::vec(0u8..=255, 0..300), 0..6),
+        cuts in prop::collection::vec(1usize..600, 1..12),
+    ) {
+        let mut wire = Vec::new();
+        for p in &payloads {
+            wire.extend_from_slice(&synergy::serve::frame_bytes(p));
+        }
+
+        // Reference: the blocking reader over the same byte stream.
+        let mut cursor = std::io::Cursor::new(wire.clone());
+        let mut reference: Vec<Vec<u8>> = Vec::new();
+        while let Ok(p) = synergy::serve::read_frame(&mut cursor) {
+            reference.push(p);
+        }
+        prop_assert_eq!(&reference, &payloads);
+
+        // Incremental: the same bytes arriving in arbitrary chunks.
+        let mut buf = synergy::serve::FrameBuffer::new();
+        let mut got: Vec<Vec<u8>> = Vec::new();
+        let (mut at, mut cut) = (0usize, 0usize);
+        while at < wire.len() {
+            let n = cuts[cut % cuts.len()].min(wire.len() - at);
+            cut += 1;
+            buf.extend(&wire[at..at + n]);
+            at += n;
+            while let Some(p) = buf.next_frame().unwrap() {
+                got.push(p.to_vec());
+            }
+        }
+        prop_assert_eq!(&got, &payloads);
+        prop_assert_eq!(buf.pending(), 0);
+    }
+
+    /// One-byte trickle: worst-case fragmentation still yields the frame,
+    /// and never a moment earlier than the final byte.
+    #[test]
+    fn incremental_decoder_survives_one_byte_trickle(
+        payload in prop::collection::vec(0u8..=255, 0..600),
+    ) {
+        let wire = synergy::serve::frame_bytes(&payload);
+        let mut buf = synergy::serve::FrameBuffer::new();
+        let mut got: Option<Vec<u8>> = None;
+        for (i, b) in wire.iter().enumerate() {
+            buf.extend(std::slice::from_ref(b));
+            if let Some(p) = buf.next_frame().unwrap() {
+                prop_assert_eq!(i, wire.len() - 1, "frame completed before its last byte");
+                got = Some(p.to_vec());
+            }
+        }
+        prop_assert_eq!(got.as_deref(), Some(payload.as_slice()));
+    }
+
+    /// An oversized length prefix is rejected as soon as the header is
+    /// readable — before the claimed payload is buffered — with an error,
+    /// never a panic or an allocation of the claimed size.
+    #[test]
+    fn incremental_decoder_rejects_oversized_headers(
+        extra in 1u32..1_000_000,
+        tail in prop::collection::vec(0u8..=255, 0..64),
+    ) {
+        let claimed = synergy::serve::MAX_FRAME_LEN as u32 + extra;
+        let mut buf = synergy::serve::FrameBuffer::new();
+        buf.extend(&claimed.to_be_bytes());
+        buf.extend(&tail);
+        prop_assert!(matches!(
+            buf.next_frame(),
+            Err(synergy::serve::FrameError::TooLarge { .. })
+        ));
+    }
+
+    /// Arbitrary garbage fed incrementally never panics the decoder:
+    /// every step either waits for more bytes, yields a (garbage) frame,
+    /// or rejects an oversized claim — after which the server would drop
+    /// the connection.
+    #[test]
+    fn incremental_decoder_survives_garbage(
+        bytes in prop::collection::vec(0u8..=255, 0..512),
+        cuts in prop::collection::vec(1usize..16, 1..8),
+    ) {
+        let mut buf = synergy::serve::FrameBuffer::new();
+        let (mut at, mut cut) = (0usize, 0usize);
+        'feed: while at < bytes.len() {
+            let n = cuts[cut % cuts.len()].min(bytes.len() - at);
+            cut += 1;
+            buf.extend(&bytes[at..at + n]);
+            at += n;
+            loop {
+                match buf.next_frame() {
+                    Ok(Some(_)) => continue,
+                    Ok(None) => break,
+                    Err(_) => break 'feed,
+                }
+            }
+        }
     }
 }
