@@ -14,6 +14,33 @@ cargo bench --workspace --no-run
 cargo run --release -p synergy-bench --bin pipeline_perf -- --small
 cargo run --release -p synergy-bench --bin serve_perf -- --small
 
+# Static-analysis ratchet: the whole suite x every device must analyze
+# clean against the grandfathered baseline — any new finding (or baseline
+# drift) fails the gate. The SARIF artifact is what CI annotators consume.
+analyze_out="$(mktemp -t synergy-analyze-XXXXXX.sarif)"
+target/release/synergy analyze --all --device all --format sarif \
+  --out "$analyze_out" --baseline experiments/lint_baseline.json
+grep -q '"version":"2.1.0"' "$analyze_out"
+rm -f "$analyze_out"
+
+# Unsafe audit: every `unsafe` block or fn in the workspace must carry a
+# `// SAFETY:` comment on an adjacent preceding line.
+python3 - <<'EOF'
+import pathlib, re, sys
+bad = []
+for path in pathlib.Path("crates").rglob("*.rs"):
+    lines = path.read_text().splitlines()
+    for i, line in enumerate(lines):
+        code = line.split("//")[0]
+        if not re.search(r"\bunsafe\b\s*(\{|fn\b)", code):
+            continue
+        window = lines[max(0, i - 6):i]
+        if not any("SAFETY:" in w for w in window):
+            bad.append(f"{path}:{i + 1}: unsafe without a // SAFETY: comment")
+print("\n".join(bad) or "unsafe audit: every unsafe block documents its safety argument")
+sys.exit(1 if bad else 0)
+EOF
+
 # The batched inference engine must report its throughput fields and be at
 # least as fast as the per-config reference on the full V/F grid.
 python3 - <<'EOF'

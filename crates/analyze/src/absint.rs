@@ -1,0 +1,572 @@
+//! Interval abstract interpretation over kernel IR.
+//!
+//! The extraction pass in `synergy_kernel::extract` collapses every source
+//! of static uncertainty into a point estimate: branches are weighted by
+//! their probability, estimated trip counts are taken at face value. This
+//! module re-runs the same walk over an *interval domain* instead — each
+//! [`FeatureClass`] count, the global load/store split and the DRAM bytes
+//! per work-item become `[lo, hi]` envelopes:
+//!
+//! - a **branch** contributes the hull of its two arms (min of the lows,
+//!   max of the highs) — the count any actual execution path can produce,
+//!   not the average over paths;
+//! - a **constant** trip count stays exact (`lo == hi`), while an
+//!   **estimated** trip widens by the configurable relative
+//!   [`AbsIntConfig::trip_uncertainty`] (`[e·(1−u), e·(1+u)]`, floored at
+//!   zero);
+//! - every bound carries the [`SpanPath`] provenance of its *dominating
+//!   contributor* — the single `Op` whose (scaled) contribution to that
+//!   bound is largest — so a blown-up envelope points at the statement
+//!   responsible.
+//!
+//! The defining invariant, asserted suite-wide and property-tested in
+//! `tests/analyze.rs`: for every kernel, the envelope **contains** the
+//! point estimate (`lo ≤ expected ≤ hi` per quantity). The `IR102` lint
+//! treats a violation as an extraction bug.
+
+use crate::diag::SpanPath;
+use synergy_kernel::extract::{effective_bytes_per_access, KernelStaticInfo};
+use synergy_kernel::{FeatureClass, Inst, KernelIr, Stmt, NUM_FEATURES};
+
+/// Tuning knobs of the abstract interpreter.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AbsIntConfig {
+    /// Relative widening applied to `TripCount::Estimated` loops: an
+    /// estimate `e` runs as the interval `[e·(1−u), e·(1+u)]` (floored at
+    /// zero). `Const` trip counts are never widened.
+    pub trip_uncertainty: f64,
+}
+
+impl Default for AbsIntConfig {
+    fn default() -> Self {
+        // Heuristic trip estimates in real compilers are rarely better
+        // than "right order of magnitude"; ±50% is a conservative default.
+        AbsIntConfig {
+            trip_uncertainty: 0.5,
+        }
+    }
+}
+
+/// A `[lo, hi]` envelope with per-bound provenance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Interval {
+    /// Lower bound (always `>= 0` for count envelopes).
+    pub lo: f64,
+    /// Upper bound.
+    pub hi: f64,
+    lo_origin: Option<String>,
+    hi_origin: Option<String>,
+    // Largest single (scaled) op contribution folded into each bound so
+    // far — the tie-breaker deciding which origin dominates a sum.
+    lo_top: f64,
+    hi_top: f64,
+}
+
+impl Interval {
+    /// The `[0, 0]` envelope with no provenance.
+    pub fn zero() -> Interval {
+        Interval {
+            lo: 0.0,
+            hi: 0.0,
+            lo_origin: None,
+            hi_origin: None,
+            lo_top: 0.0,
+            hi_top: 0.0,
+        }
+    }
+
+    fn point(v: f64, path: &SpanPath) -> Interval {
+        let origin = Some(path.render());
+        Interval {
+            lo: v,
+            hi: v,
+            lo_origin: origin.clone(),
+            hi_origin: origin,
+            lo_top: v,
+            hi_top: v,
+        }
+    }
+
+    fn add_assign(&mut self, other: &Interval) {
+        self.lo += other.lo;
+        self.hi += other.hi;
+        if other.lo_top > self.lo_top {
+            self.lo_top = other.lo_top;
+            self.lo_origin = other.lo_origin.clone();
+        }
+        if other.hi_top > self.hi_top {
+            self.hi_top = other.hi_top;
+            self.hi_origin = other.hi_origin.clone();
+        }
+    }
+
+    /// Scale the bounds by a (non-negative) factor interval: `lo` by
+    /// `s_lo`, `hi` by `s_hi`. Sound because count envelopes never go
+    /// negative.
+    fn scaled(&self, s_lo: f64, s_hi: f64) -> Interval {
+        Interval {
+            lo: self.lo * s_lo,
+            hi: self.hi * s_hi,
+            lo_origin: self.lo_origin.clone(),
+            hi_origin: self.hi_origin.clone(),
+            lo_top: self.lo_top * s_lo,
+            hi_top: self.hi_top * s_hi,
+        }
+    }
+
+    /// The join of two control-flow alternatives: `[min lo, max hi]`,
+    /// each bound inheriting the provenance of the arm that produced it.
+    fn hull(&self, other: &Interval) -> Interval {
+        let (lo, lo_origin, lo_top) = if other.lo < self.lo {
+            (other.lo, other.lo_origin.clone(), other.lo_top)
+        } else {
+            (self.lo, self.lo_origin.clone(), self.lo_top)
+        };
+        let (hi, hi_origin, hi_top) = if other.hi > self.hi {
+            (other.hi, other.hi_origin.clone(), other.hi_top)
+        } else {
+            (self.hi, self.hi_origin.clone(), self.hi_top)
+        };
+        Interval {
+            lo,
+            hi,
+            lo_origin,
+            hi_origin,
+            lo_top,
+            hi_top,
+        }
+    }
+
+    /// Envelope width `hi − lo`.
+    pub fn width(&self) -> f64 {
+        self.hi - self.lo
+    }
+
+    /// Whether `v` lies inside the envelope, with a small relative slack
+    /// absorbing the float-rounding difference between the weighted-sum
+    /// walk (extract) and the hull walk (this module).
+    pub fn contains(&self, v: f64) -> bool {
+        let slack = 1e-9 * self.hi.abs().max(v.abs()).max(1.0);
+        v >= self.lo - slack && v <= self.hi + slack
+    }
+
+    /// Provenance of the lower bound: the rendered [`SpanPath`] of its
+    /// dominating contributor (`None` when the bound is an empty sum).
+    pub fn lo_origin(&self) -> Option<&str> {
+        self.lo_origin.as_deref()
+    }
+
+    /// Provenance of the upper bound.
+    pub fn hi_origin(&self) -> Option<&str> {
+        self.hi_origin.as_deref()
+    }
+}
+
+/// One walk state: the interval analogue of the extraction pass's
+/// accumulated counts.
+#[derive(Debug, Clone)]
+struct State {
+    classes: Vec<Interval>,
+    loads: Interval,
+    stores: Interval,
+}
+
+impl State {
+    fn zero() -> State {
+        State {
+            classes: vec![Interval::zero(); NUM_FEATURES],
+            loads: Interval::zero(),
+            stores: Interval::zero(),
+        }
+    }
+
+    fn add_op(&mut self, inst: Inst, count: f64, path: &SpanPath) {
+        let p = Interval::point(count, path);
+        self.classes[inst.feature_class() as usize].add_assign(&p);
+        match inst {
+            Inst::GlobalLoad => self.loads.add_assign(&p),
+            Inst::GlobalStore => self.stores.add_assign(&p),
+            _ => {}
+        }
+    }
+
+    fn add_assign(&mut self, other: &State) {
+        for (mine, theirs) in self.classes.iter_mut().zip(&other.classes) {
+            mine.add_assign(theirs);
+        }
+        self.loads.add_assign(&other.loads);
+        self.stores.add_assign(&other.stores);
+    }
+
+    fn scaled(&self, s_lo: f64, s_hi: f64) -> State {
+        State {
+            classes: self.classes.iter().map(|i| i.scaled(s_lo, s_hi)).collect(),
+            loads: self.loads.scaled(s_lo, s_hi),
+            stores: self.stores.scaled(s_lo, s_hi),
+        }
+    }
+
+    fn hull(&self, other: &State) -> State {
+        State {
+            classes: self
+                .classes
+                .iter()
+                .zip(&other.classes)
+                .map(|(a, b)| a.hull(b))
+                .collect(),
+            loads: self.loads.hull(&other.loads),
+            stores: self.stores.hull(&other.stores),
+        }
+    }
+}
+
+/// The interval result of abstract-interpreting one kernel.
+#[derive(Debug, Clone)]
+pub struct KernelEnvelope {
+    /// Kernel name (model key, same as the point estimate's).
+    pub name: String,
+    /// Per-feature-class count envelopes, in Table-1 order.
+    pub classes: Vec<Interval>,
+    /// Global loads per work-item.
+    pub global_loads: Interval,
+    /// Global stores per work-item.
+    pub global_stores: Interval,
+    /// DRAM bytes per work-item (access envelope × the same effective
+    /// bytes-per-access model the extraction pass charges).
+    pub global_bytes_per_item: Interval,
+}
+
+impl KernelEnvelope {
+    /// The envelope of one feature class.
+    pub fn class(&self, c: FeatureClass) -> &Interval {
+        &self.classes[c as usize]
+    }
+
+    /// The compute-ops envelope (sum of all non-memory class envelopes,
+    /// mirroring `FeatureVector::compute_ops`).
+    pub fn compute_ops(&self) -> Interval {
+        let mut acc = Interval::zero();
+        for &c in FeatureClass::ALL.iter().filter(|c| !c.is_memory()) {
+            acc.add_assign(&self.classes[c as usize]);
+        }
+        acc
+    }
+
+    /// The arithmetic-intensity envelope in compute ops per DRAM byte,
+    /// `[lo, hi]` with the same degenerate-case conventions as
+    /// `KernelStaticInfo::ops_per_byte`: a byte bound of zero yields
+    /// `0.0` when the paired ops bound is also zero (nothing happening is
+    /// not infinite intensity) and `INFINITY` otherwise.
+    pub fn ops_per_byte(&self) -> (f64, f64) {
+        let ops = self.compute_ops();
+        let bytes = &self.global_bytes_per_item;
+        let hi = if bytes.lo == 0.0 {
+            if ops.hi == 0.0 {
+                0.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            ops.hi / bytes.lo
+        };
+        let lo = if bytes.hi == 0.0 {
+            if ops.lo == 0.0 {
+                0.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            ops.lo / bytes.hi
+        };
+        (lo, hi)
+    }
+
+    /// Check the defining invariant against a point-estimate extraction:
+    /// every expected value must lie inside its envelope. Returns one
+    /// human-readable violation per escaped quantity (empty = contained).
+    pub fn containment_violations(&self, info: &KernelStaticInfo) -> Vec<String> {
+        let mut out = Vec::new();
+        for &c in FeatureClass::ALL.iter() {
+            let iv = self.class(c);
+            let v = info.features[c];
+            if !iv.contains(v) {
+                out.push(format!(
+                    "feature {} expected {v} escapes envelope [{}, {}]",
+                    c.name(),
+                    iv.lo,
+                    iv.hi
+                ));
+            }
+        }
+        for (what, iv, v) in [
+            ("global_loads", &self.global_loads, info.global_loads),
+            ("global_stores", &self.global_stores, info.global_stores),
+            (
+                "global_bytes_per_item",
+                &self.global_bytes_per_item,
+                info.global_bytes_per_item,
+            ),
+        ] {
+            if !iv.contains(v) {
+                out.push(format!(
+                    "{what} expected {v} escapes envelope [{}, {}]",
+                    iv.lo, iv.hi
+                ));
+            }
+        }
+        let (opb_lo, opb_hi) = self.ops_per_byte();
+        let opb = info.ops_per_byte();
+        let contained = if opb.is_infinite() {
+            opb_hi.is_infinite()
+        } else {
+            let slack = 1e-9 * opb.abs().max(1.0);
+            opb >= opb_lo - slack && (opb_hi.is_infinite() || opb <= opb_hi + slack)
+        };
+        if !contained {
+            out.push(format!(
+                "ops_per_byte expected {opb} escapes envelope [{opb_lo}, {opb_hi}]"
+            ));
+        }
+        out
+    }
+}
+
+fn walk(stmts: &[Stmt], parent: &SpanPath, name: &str, u: f64) -> State {
+    let mut acc = State::zero();
+    for (i, stmt) in stmts.iter().enumerate() {
+        let path = parent.clone().index(name, i);
+        match stmt {
+            Stmt::Op(inst, count) => acc.add_op(*inst, *count as f64, &path),
+            Stmt::Loop { trip, body } => {
+                let inner = walk(body, &path.seg("loop"), "body", u);
+                let (t_lo, t_hi) = trip.bounds(u);
+                acc.add_assign(&inner.scaled(t_lo, t_hi));
+            }
+            Stmt::Branch { then, els, .. } => {
+                // Hull, not probability weighting: any single execution
+                // takes one arm, so the reachable counts are the union of
+                // the arms, and the expectation (a convex combination)
+                // always lies inside the hull.
+                let branch = path.seg("branch");
+                let a = walk(then, &branch, "then", u);
+                let b = walk(els, &branch, "else", u);
+                acc.add_assign(&a.hull(&b));
+            }
+        }
+    }
+    acc
+}
+
+/// Abstract-interpret one kernel over the interval domain.
+///
+/// Pure and total, like [`synergy_kernel::extract`]: an empty body yields
+/// all-zero envelopes.
+pub fn interpret(kernel: &KernelIr, cfg: &AbsIntConfig) -> KernelEnvelope {
+    let state = walk(
+        &kernel.body,
+        &SpanPath::root(),
+        "body",
+        cfg.trip_uncertainty,
+    );
+    let eff_bytes = effective_bytes_per_access(kernel);
+    let mut accesses = state.loads.clone();
+    accesses.add_assign(&state.stores);
+    // Multiply in the same order as extract (`accesses * eff * dram`) so
+    // point-matching kernels produce bit-identical byte bounds.
+    let bytes = accesses
+        .scaled(eff_bytes, eff_bytes)
+        .scaled(kernel.dram_fraction, kernel.dram_fraction);
+    KernelEnvelope {
+        name: kernel.name.clone(),
+        classes: state.classes,
+        global_loads: state.loads,
+        global_stores: state.stores,
+        global_bytes_per_item: bytes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use synergy_kernel::{extract, IrBuilder, TripCount};
+
+    fn cfg(u: f64) -> AbsIntConfig {
+        AbsIntConfig {
+            trip_uncertainty: u,
+        }
+    }
+
+    #[test]
+    fn straight_line_is_exact() {
+        let k = IrBuilder::new()
+            .ops(Inst::IntAdd, 3)
+            .ops(Inst::GlobalLoad, 2)
+            .ops(Inst::GlobalStore, 1)
+            .build("sl");
+        let env = interpret(&k, &AbsIntConfig::default());
+        let add = env.class(FeatureClass::IntAdd);
+        assert_eq!((add.lo, add.hi), (3.0, 3.0));
+        assert_eq!(add.hi_origin(), Some("body[0]"));
+        let ga = env.class(FeatureClass::GlobalAccess);
+        assert_eq!((ga.lo, ga.hi), (3.0, 3.0));
+        // The 2-count load dominates the 1-count store.
+        assert_eq!(ga.hi_origin(), Some("body[1]"));
+        assert_eq!((env.global_loads.lo, env.global_stores.hi), (2.0, 1.0));
+        // Fully coalesced Word4: 3 accesses * 4 bytes, exactly as extract.
+        assert_eq!(
+            (env.global_bytes_per_item.lo, env.global_bytes_per_item.hi),
+            (12.0, 12.0)
+        );
+        assert!(env.containment_violations(&extract(&k)).is_empty());
+    }
+
+    #[test]
+    fn branches_hull_instead_of_weighting() {
+        let k = IrBuilder::new()
+            .branch(
+                0.25,
+                |b| b.ops(Inst::SpecialFn, 4),
+                |b| b.ops(Inst::IntBitwise, 8),
+            )
+            .build("br");
+        let env = interpret(&k, &AbsIntConfig::default());
+        // Either arm may or may not run: [0, 4] and [0, 8].
+        let sf = env.class(FeatureClass::SpecialFn);
+        assert_eq!((sf.lo, sf.hi), (0.0, 4.0));
+        assert_eq!(sf.hi_origin(), Some("body[0].branch.then[0]"));
+        assert_eq!(sf.lo_origin(), None, "low bound comes from the empty arm");
+        let bw = env.class(FeatureClass::IntBitwise);
+        assert_eq!((bw.lo, bw.hi), (0.0, 8.0));
+        assert_eq!(bw.hi_origin(), Some("body[0].branch.else[0]"));
+        // extract's weighted point (1.0 and 6.0) sits inside.
+        assert!(env.containment_violations(&extract(&k)).is_empty());
+    }
+
+    #[test]
+    fn both_arms_present_lifts_the_floor() {
+        let k = IrBuilder::new()
+            .branch(
+                0.5,
+                |b| b.ops(Inst::FloatAdd, 2),
+                |b| b.ops(Inst::FloatAdd, 10),
+            )
+            .build("both");
+        let env = interpret(&k, &AbsIntConfig::default());
+        let fa = env.class(FeatureClass::FloatAdd);
+        assert_eq!((fa.lo, fa.hi), (2.0, 10.0));
+        assert_eq!(fa.lo_origin(), Some("body[0].branch.then[0]"));
+        assert_eq!(fa.hi_origin(), Some("body[0].branch.else[0]"));
+    }
+
+    #[test]
+    fn const_trips_stay_exact_estimated_widen() {
+        let k = IrBuilder::new()
+            .loop_n(10, |b| b.ops(Inst::FloatMul, 2))
+            .build("const");
+        let env = interpret(&k, &cfg(0.5));
+        let fm = env.class(FeatureClass::FloatMul);
+        assert_eq!((fm.lo, fm.hi), (20.0, 20.0));
+        assert_eq!(fm.hi_origin(), Some("body[0].loop.body[0]"));
+
+        let k = IrBuilder::new()
+            .loop_est(10.0, |b| b.ops(Inst::FloatMul, 2))
+            .build("est");
+        let env = interpret(&k, &cfg(0.5));
+        let fm = env.class(FeatureClass::FloatMul);
+        assert_eq!((fm.lo, fm.hi), (10.0, 30.0));
+        // Zero uncertainty collapses to the point estimate.
+        let env = interpret(&k, &cfg(0.0));
+        let fm = env.class(FeatureClass::FloatMul);
+        assert_eq!((fm.lo, fm.hi), (20.0, 20.0));
+    }
+
+    #[test]
+    fn nested_provenance_points_at_the_hot_op() {
+        // A small op at the top, a big op buried in a x100 loop: both
+        // bounds must blame the loop body.
+        let k = IrBuilder::new()
+            .ops(Inst::FloatAdd, 1)
+            .loop_n(100, |b| b.ops(Inst::FloatAdd, 5))
+            .build("hot");
+        let env = interpret(&k, &AbsIntConfig::default());
+        let fa = env.class(FeatureClass::FloatAdd);
+        assert_eq!((fa.lo, fa.hi), (501.0, 501.0));
+        assert_eq!(fa.hi_origin(), Some("body[1].loop.body[0]"));
+        assert_eq!(fa.lo_origin(), Some("body[1].loop.body[0]"));
+    }
+
+    #[test]
+    fn degenerate_trips_match_extracts_clamp() {
+        for trip in [TripCount::Estimated(-4.0), TripCount::Estimated(f64::NAN)] {
+            let k = synergy_kernel::KernelIr::new(
+                "deg",
+                vec![Stmt::Loop {
+                    trip,
+                    body: vec![Stmt::op(Inst::IntAdd)],
+                }],
+            );
+            let env = interpret(&k, &AbsIntConfig::default());
+            let ia = env.class(FeatureClass::IntAdd);
+            assert_eq!((ia.lo, ia.hi), (0.0, 0.0));
+            assert!(env.containment_violations(&extract(&k)).is_empty());
+        }
+    }
+
+    #[test]
+    fn ops_per_byte_envelope_handles_degenerate_cases() {
+        let empty = interpret(
+            &synergy_kernel::KernelIr::new("e", vec![]),
+            &AbsIntConfig::default(),
+        );
+        assert_eq!(empty.ops_per_byte(), (0.0, 0.0));
+
+        let compute = interpret(
+            &IrBuilder::new().ops(Inst::FloatMul, 4).build("c"),
+            &AbsIntConfig::default(),
+        );
+        let (lo, hi) = compute.ops_per_byte();
+        assert!(lo.is_infinite() && hi.is_infinite());
+
+        let memory = interpret(
+            &IrBuilder::new().ops(Inst::GlobalLoad, 2).build("m"),
+            &AbsIntConfig::default(),
+        );
+        assert_eq!(memory.ops_per_byte(), (0.0, 0.0));
+
+        // A branch between compute-only and memory-only spans the whole
+        // axis: lo = 0 (all-memory path), hi = inf (all-compute path).
+        let mixed = interpret(
+            &IrBuilder::new()
+                .branch(
+                    0.5,
+                    |b| b.ops(Inst::FloatMul, 4),
+                    |b| b.ops(Inst::GlobalLoad, 2),
+                )
+                .build("mix"),
+            &AbsIntConfig::default(),
+        );
+        let (lo, hi) = mixed.ops_per_byte();
+        assert_eq!(lo, 0.0);
+        assert!(hi.is_infinite());
+        for k in [
+            IrBuilder::new().ops(Inst::FloatMul, 4).build("c"),
+            IrBuilder::new().ops(Inst::GlobalLoad, 2).build("m"),
+        ] {
+            let env = interpret(&k, &AbsIntConfig::default());
+            assert!(env.containment_violations(&extract(&k)).is_empty());
+        }
+    }
+
+    #[test]
+    fn interpretation_is_deterministic() {
+        let k = IrBuilder::new()
+            .loop_est(7.5, |b| b.ops(Inst::FloatDiv, 1).ops(Inst::GlobalLoad, 2))
+            .branch(0.5, |b| b.ops(Inst::SpecialFn, 1), |b| b)
+            .build("det");
+        let a = interpret(&k, &AbsIntConfig::default());
+        let b = interpret(&k, &AbsIntConfig::default());
+        for (x, y) in a.classes.iter().zip(&b.classes) {
+            assert_eq!(x, y);
+        }
+    }
+}

@@ -1,0 +1,409 @@
+//! Suite-wide aggregation and the ratcheting lint baseline.
+//!
+//! `synergy analyze` runs the full [`crate::lint::LintRegistry`] over
+//! every benchmark × device pair and needs three things the per-subject
+//! [`crate::diag::Report`] does not provide: a stable identity for each
+//! run (so findings can be compared across invocations), per-code counts
+//! (the ratchet currency), and deterministic serialization (the baseline
+//! file is committed to the repository and diffed by CI).
+//!
+//! The ratchet contract: a [`Baseline`] grandfathers every finding
+//! present when it was written. A later run *fails* if any
+//! `benchmark/device/code` bucket grows past its baselined count (a new
+//! finding) and is *flagged as drift* if a bucket shrinks or disappears
+//! (the baseline overstates reality and should be re-written so the
+//! improvement is locked in). Counts only ever ratchet downward through
+//! explicit `--write-baseline` runs.
+//!
+//! Serialization goes through the in-crate [`crate::json`] codec — object
+//! keys are emitted in insertion order and the encoder is deterministic,
+//! so re-writing an unchanged baseline is a byte-level no-op.
+
+use crate::diag::{Diagnostic, Level, Report};
+use crate::json::{Json, JsonError};
+use std::collections::BTreeMap;
+
+/// One registry run: the findings for a single benchmark on one device.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunRecord {
+    /// Suite benchmark name (kernel IR name).
+    pub bench: String,
+    /// Device key, e.g. `v100`.
+    pub device: String,
+    /// The findings of the full registry on this pair.
+    pub report: Report,
+}
+
+/// All runs of one `synergy analyze` invocation, in deterministic
+/// (suite × device) order.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SuiteReport {
+    /// The per-pair runs, in the order they were scheduled.
+    pub runs: Vec<RunRecord>,
+}
+
+impl SuiteReport {
+    /// An empty report.
+    pub fn new() -> SuiteReport {
+        SuiteReport::default()
+    }
+
+    /// Append one run.
+    pub fn push(&mut self, bench: impl Into<String>, device: impl Into<String>, report: Report) {
+        self.runs.push(RunRecord {
+            bench: bench.into(),
+            device: device.into(),
+            report,
+        });
+    }
+
+    /// All findings with their run identity, in run order.
+    pub fn findings(&self) -> impl Iterator<Item = (&RunRecord, &Diagnostic)> {
+        self.runs
+            .iter()
+            .flat_map(|r| r.report.diagnostics.iter().map(move |d| (r, d)))
+    }
+
+    /// Total number of findings.
+    pub fn total(&self) -> usize {
+        self.runs.iter().map(|r| r.report.diagnostics.len()).sum()
+    }
+
+    /// Number of deny-level findings.
+    pub fn deny_count(&self) -> usize {
+        self.findings()
+            .filter(|(_, d)| d.severity == Level::Deny)
+            .count()
+    }
+
+    /// Findings per lint code, sorted by code.
+    pub fn counts_by_code(&self) -> BTreeMap<String, u64> {
+        let mut counts = BTreeMap::new();
+        for (_, d) in self.findings() {
+            *counts.entry(d.code.clone()).or_insert(0) += 1;
+        }
+        counts
+    }
+
+    /// Findings per `bench/device/code` ratchet bucket, sorted by key.
+    pub fn counts_by_bucket(&self) -> BTreeMap<String, u64> {
+        let mut counts = BTreeMap::new();
+        for (run, d) in self.findings() {
+            let key = format!("{}/{}/{}", run.bench, run.device, d.code);
+            *counts.entry(key).or_insert(0) += 1;
+        }
+        counts
+    }
+
+    /// Deterministic JSON form: run list with full diagnostics plus the
+    /// per-code summary.
+    pub fn to_json(&self) -> Json {
+        let runs = self
+            .runs
+            .iter()
+            .map(|r| {
+                Json::obj(vec![
+                    ("bench", Json::Str(r.bench.clone())),
+                    ("device", Json::Str(r.device.clone())),
+                    (
+                        "diagnostics",
+                        Json::Arr(
+                            r.report
+                                .diagnostics
+                                .iter()
+                                .map(|d| {
+                                    Json::obj(vec![
+                                        ("code", Json::Str(d.code.clone())),
+                                        ("level", Json::Str(d.severity.to_string())),
+                                        ("path", Json::Str(d.path.clone())),
+                                        ("message", Json::Str(d.message.clone())),
+                                        (
+                                            "suggestion",
+                                            match &d.suggestion {
+                                                Some(s) => Json::Str(s.clone()),
+                                                None => Json::Null,
+                                            },
+                                        ),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ),
+                ])
+            })
+            .collect();
+        let summary = self
+            .counts_by_code()
+            .into_iter()
+            .map(|(code, n)| (code, Json::Int(n as i128)))
+            .collect();
+        Json::Obj(vec![
+            ("runs".to_string(), Json::Arr(runs)),
+            ("summary".to_string(), Json::Obj(summary)),
+            ("total".to_string(), Json::Int(self.total() as i128)),
+        ])
+    }
+}
+
+/// The committed ratchet state: grandfathered finding counts per
+/// `bench/device/code` bucket.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Baseline {
+    /// Bucket → grandfathered count.
+    pub buckets: BTreeMap<String, u64>,
+}
+
+/// The result of diffing a fresh [`SuiteReport`] against a [`Baseline`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RatchetOutcome {
+    /// Buckets that grew past their grandfathered count — these fail the
+    /// gate. Each entry is `(bucket, baselined, observed)`.
+    pub regressions: Vec<(String, u64, u64)>,
+    /// Buckets that shrank below (or vanished from) the baseline — the
+    /// committed baseline is stale; re-write it to lock the improvement
+    /// in. Each entry is `(bucket, baselined, observed)`.
+    pub improvements: Vec<(String, u64, u64)>,
+}
+
+impl RatchetOutcome {
+    /// No new findings (improvements may still be pending a re-write).
+    pub fn no_regressions(&self) -> bool {
+        self.regressions.is_empty()
+    }
+
+    /// Baseline exactly matches reality.
+    pub fn is_exact(&self) -> bool {
+        self.regressions.is_empty() && self.improvements.is_empty()
+    }
+
+    /// Human-readable summary lines, regressions first.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (bucket, was, now) in &self.regressions {
+            out.push_str(&format!(
+                "ratchet: NEW findings in {bucket}: {now} observed, {was} grandfathered\n"
+            ));
+        }
+        for (bucket, was, now) in &self.improvements {
+            out.push_str(&format!(
+                "ratchet: stale baseline for {bucket}: {now} observed, {was} grandfathered \
+                 (re-run with --write-baseline to lock in the improvement)\n"
+            ));
+        }
+        out
+    }
+}
+
+impl Baseline {
+    /// An empty baseline (everything is a new finding).
+    pub fn empty() -> Baseline {
+        Baseline::default()
+    }
+
+    /// Snapshot a report as the new baseline.
+    pub fn from_report(report: &SuiteReport) -> Baseline {
+        Baseline {
+            buckets: report.counts_by_bucket(),
+        }
+    }
+
+    /// Parse the committed baseline file.
+    pub fn from_json_str(text: &str) -> Result<Baseline, JsonError> {
+        let json = Json::parse(text)?;
+        let Json::Obj(fields) = &json else {
+            return Err(JsonError::Schema {
+                field: "<root>".to_string(),
+                expected: "object",
+            });
+        };
+        let Some(Json::Obj(buckets)) = fields
+            .iter()
+            .find(|(k, _)| k == "buckets")
+            .map(|(_, v)| v)
+        else {
+            return Err(JsonError::Schema {
+                field: "buckets".to_string(),
+                expected: "object",
+            });
+        };
+        let mut out = BTreeMap::new();
+        for (key, value) in buckets {
+            let n = match value {
+                Json::Int(n) if *n >= 0 => *n as u64,
+                _ => {
+                    return Err(JsonError::Schema {
+                        field: format!("buckets.{key}"),
+                        expected: "non-negative integer count",
+                    })
+                }
+            };
+            out.insert(key.clone(), n);
+        }
+        Ok(Baseline { buckets: out })
+    }
+
+    /// Deterministic JSON encoding (sorted buckets, stable field order).
+    pub fn encode(&self) -> String {
+        let buckets = self
+            .buckets
+            .iter()
+            .map(|(k, v)| (k.clone(), Json::Int(*v as i128)))
+            .collect();
+        let json = Json::Obj(vec![
+            (
+                "comment".to_string(),
+                Json::Str(
+                    "Grandfathered `synergy analyze` findings (bench/device/code -> count). \
+                     CI fails on growth; shrinkage asks for --write-baseline."
+                        .to_string(),
+                ),
+            ),
+            ("buckets".to_string(), Json::Obj(buckets)),
+        ]);
+        let mut text = json.encode();
+        text.push('\n');
+        text
+    }
+
+    /// Diff a fresh report against the grandfathered counts.
+    pub fn diff(&self, report: &SuiteReport) -> RatchetOutcome {
+        let observed = report.counts_by_bucket();
+        let mut outcome = RatchetOutcome::default();
+        for (bucket, &now) in &observed {
+            let was = self.buckets.get(bucket).copied().unwrap_or(0);
+            if now > was {
+                outcome.regressions.push((bucket.clone(), was, now));
+            } else if now < was {
+                outcome.improvements.push((bucket.clone(), was, now));
+            }
+        }
+        for (bucket, &was) in &self.buckets {
+            if !observed.contains_key(bucket) {
+                outcome.improvements.push((bucket.clone(), was, 0));
+            }
+        }
+        outcome.improvements.sort();
+        outcome
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::SpanPath;
+
+    fn finding(code: &str, level: Level, msg: &str) -> Diagnostic {
+        Diagnostic {
+            code: code.to_string(),
+            severity: level,
+            path: SpanPath::root().seg("body").render(),
+            message: msg.to_string(),
+            suggestion: None,
+        }
+    }
+
+    fn sample_report() -> SuiteReport {
+        let mut suite = SuiteReport::new();
+        let mut rep = Report::new();
+        rep.diagnostics.push(finding("IR006", Level::Warn, "degenerate branch"));
+        rep.diagnostics.push(finding("IR006", Level::Warn, "another one"));
+        suite.push("vec_add", "v100", rep);
+        let mut rep = Report::new();
+        rep.diagnostics.push(finding("IR101", Level::Warn, "unstable"));
+        suite.push("mat_mul", "mi100", rep);
+        suite.push("sobel", "v100", Report::new());
+        suite
+    }
+
+    #[test]
+    fn buckets_count_per_bench_device_code() {
+        let suite = sample_report();
+        let buckets = suite.counts_by_bucket();
+        assert_eq!(buckets.get("vec_add/v100/IR006"), Some(&2));
+        assert_eq!(buckets.get("mat_mul/mi100/IR101"), Some(&1));
+        assert_eq!(buckets.len(), 2, "clean runs contribute no buckets");
+        assert_eq!(suite.total(), 3);
+        assert_eq!(suite.deny_count(), 0);
+    }
+
+    #[test]
+    fn baseline_round_trips_through_json() {
+        let baseline = Baseline::from_report(&sample_report());
+        let text = baseline.encode();
+        let parsed = Baseline::from_json_str(&text).unwrap();
+        assert_eq!(parsed, baseline);
+        // Deterministic: encoding twice is byte-identical.
+        assert_eq!(parsed.encode(), text);
+    }
+
+    #[test]
+    fn ratchet_passes_when_counts_match() {
+        let suite = sample_report();
+        let baseline = Baseline::from_report(&suite);
+        let outcome = baseline.diff(&suite);
+        assert!(outcome.is_exact(), "{}", outcome.render());
+    }
+
+    #[test]
+    fn ratchet_fails_on_new_findings() {
+        let baseline = Baseline::from_report(&sample_report());
+        let mut grown = sample_report();
+        let mut rep = Report::new();
+        rep.diagnostics.push(finding("IR006", Level::Warn, "fresh"));
+        grown.push("sobel2", "v100", rep);
+        let outcome = baseline.diff(&grown);
+        assert!(!outcome.no_regressions());
+        assert_eq!(
+            outcome.regressions,
+            vec![("sobel2/v100/IR006".to_string(), 0, 1)]
+        );
+        // Growth inside an existing bucket is also a regression.
+        let mut more = sample_report();
+        more.runs[0]
+            .report
+            .diagnostics
+            .push(finding("IR006", Level::Warn, "third"));
+        let outcome = baseline.diff(&more);
+        assert_eq!(
+            outcome.regressions,
+            vec![("vec_add/v100/IR006".to_string(), 2, 3)]
+        );
+    }
+
+    #[test]
+    fn ratchet_flags_stale_baseline_as_improvement() {
+        let baseline = Baseline::from_report(&sample_report());
+        let mut fixed = sample_report();
+        fixed.runs[1].report.diagnostics.clear(); // mat_mul now clean
+        let outcome = baseline.diff(&fixed);
+        assert!(outcome.no_regressions());
+        assert!(!outcome.is_exact());
+        assert_eq!(
+            outcome.improvements,
+            vec![("mat_mul/mi100/IR101".to_string(), 1, 0)]
+        );
+        assert!(outcome.render().contains("--write-baseline"));
+    }
+
+    #[test]
+    fn malformed_baselines_are_rejected() {
+        assert!(Baseline::from_json_str("[]").is_err());
+        assert!(Baseline::from_json_str("{}").is_err());
+        assert!(
+            Baseline::from_json_str(r#"{"buckets": {"a/b/C001": -2}}"#).is_err(),
+            "negative counts must be rejected"
+        );
+        assert!(Baseline::from_json_str(r#"{"buckets": {}}"#).unwrap().buckets.is_empty());
+    }
+
+    #[test]
+    fn suite_report_json_is_deterministic_and_complete() {
+        let suite = sample_report();
+        let a = suite.to_json().encode();
+        let b = suite.to_json().encode();
+        assert_eq!(a, b);
+        assert!(a.contains("\"IR006\":2"));
+        assert!(a.contains("\"total\":3"));
+        assert!(a.contains("degenerate branch"));
+    }
+}

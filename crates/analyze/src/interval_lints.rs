@@ -1,0 +1,456 @@
+//! The interval lint family (`IR101`–`IR104`): static roofline and
+//! robustness judgements over the envelopes the abstract interpreter
+//! ([`crate::absint`]) produces.
+//!
+//! Unlike the structural `IR0xx` family these lints need a *device*: the
+//! subject is a kernel × [`synergy_sim::DeviceSpec`] pair
+//! ([`crate::lint::EnvelopeSubject`]), and every judgement compares the
+//! kernel's `[lo, hi]` arithmetic-intensity envelope against the board's
+//! roofline balance point and frequency table. All four lints are pure
+//! functions of the IR and the device catalogue — no sweeps, no trained
+//! models, no randomness — so their findings are byte-identical across
+//! machines, which is what lets `synergy analyze` gate CI on them.
+
+use crate::absint::{interpret, KernelEnvelope};
+use crate::diag::{Level, SpanPath};
+use crate::lint::{EnvelopeSubject, Lint, Sink, Subject};
+use synergy_kernel::{extract, FeatureClass};
+use synergy_sim::DeviceSpec;
+
+/// The path used for envelope-level findings.
+fn envelope_path() -> SpanPath {
+    SpanPath::root().seg("envelope")
+}
+
+/// Relative envelope width above which `IR104` calls the static estimate
+/// unbounded: `lo` contributes less than 10% of `hi`.
+const WIDTH_RATIO: f64 = 0.9;
+
+/// Absolute op-count width below which `IR104` stays quiet regardless of
+/// the ratio (a [0, 3] envelope is wide relatively but harmless).
+const WIDTH_MIN_OPS: f64 = 16.0;
+
+/// Format an intensity bound for messages (`inf` for compute-only).
+fn fmt_opb(v: f64) -> String {
+    if v.is_infinite() {
+        "inf".to_string()
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+/// The static sweet-spot core clock for arithmetic intensity `opb` on
+/// `spec`, in MHz snapped to the frequency table: the clock where the
+/// roofline's compute time equals its memory time at the top memory
+/// clock (`f* = opb · BW / lanes`). Intensities above the board's range
+/// snap to the maximum core clock, zero snaps to the minimum.
+fn sweet_spot_core(spec: &DeviceSpec, opb: f64) -> u32 {
+    let table = &spec.freq_table;
+    if opb.is_infinite() {
+        return table.max_core();
+    }
+    let bw = spec.mem_bandwidth_at(table.top_mem());
+    let f_mhz = opb * bw / spec.total_lanes() as f64 / 1e6;
+    let clamped = f_mhz.clamp(table.min_core() as f64, table.max_core() as f64);
+    table.nearest_core(clamped.round() as u32)
+}
+
+fn interpret_subject(s: &EnvelopeSubject<'_>) -> KernelEnvelope {
+    interpret(s.kernel, &s.config)
+}
+
+/// IR101: the memory-/compute-bound classification differs between the
+/// two ends of the arithmetic-intensity envelope at baseline clocks —
+/// the boundedness label the tuner acts on is not robust to the branch
+/// and trip-count uncertainty the IR already admits.
+struct UnstableClassification;
+
+impl Lint for UnstableClassification {
+    fn code(&self) -> &'static str {
+        "IR101"
+    }
+    fn summary(&self) -> &'static str {
+        "roofline classification unstable across the intensity envelope"
+    }
+    fn default_level(&self) -> Level {
+        Level::Warn
+    }
+    fn check(&self, subject: &Subject<'_>, sink: &mut Sink<'_>) {
+        let Subject::Envelope(s) = subject else { return };
+        let env = interpret_subject(s);
+        let (lo, hi) = env.ops_per_byte();
+        if lo == hi {
+            return;
+        }
+        let balance = s.spec.balance_point(s.spec.baseline_clocks());
+        if lo < balance && hi > balance {
+            let blame = env
+                .compute_ops()
+                .hi_origin()
+                .map(|p| format!(" (dominant compute contributor: {p})"))
+                .unwrap_or_default();
+            sink.emit_with(
+                &envelope_path(),
+                format!(
+                    "intensity envelope [{}, {}] ops/B straddles the {} balance point \
+                     {:.3} ops/B: memory-bound at the low end, compute-bound at the \
+                     high end{blame}",
+                    fmt_opb(lo),
+                    fmt_opb(hi),
+                    s.spec.name,
+                    balance
+                ),
+                "tighten the widest trip estimate or split the divergent branch \
+                 into separate kernels",
+            );
+        }
+    }
+}
+
+/// IR102: the point estimate the rest of the stack runs on escapes the
+/// envelope that is supposed to bound it. The two walks share the IR and
+/// the memory model, so this can only mean an extraction (or
+/// interpretation) bug — deny level.
+struct ExpectedEscapesEnvelope;
+
+impl Lint for ExpectedEscapesEnvelope {
+    fn code(&self) -> &'static str {
+        "IR102"
+    }
+    fn summary(&self) -> &'static str {
+        "expected-value extraction escapes its interval envelope"
+    }
+    fn default_level(&self) -> Level {
+        Level::Deny
+    }
+    fn check(&self, subject: &Subject<'_>, sink: &mut Sink<'_>) {
+        let Subject::Envelope(s) = subject else { return };
+        let info = extract(s.kernel);
+        if !info.features.is_valid() {
+            // Broken inputs (NaN probabilities and the like) are the
+            // structural IR lints' business; containment is only defined
+            // over valid extractions.
+            return;
+        }
+        let env = interpret_subject(s);
+        for violation in env.containment_violations(&info) {
+            sink.emit_with(
+                &envelope_path(),
+                violation,
+                "file a bug: extract.rs and absint.rs disagree about this IR",
+            );
+        }
+    }
+}
+
+/// IR103: the statically-preferred core frequency differs between the
+/// two ends of the intensity envelope by more than one table step — the
+/// frequency decision the tuner is about to pin is fragile under the
+/// IR's own uncertainty.
+struct FragileFrequencyChoice;
+
+impl Lint for FragileFrequencyChoice {
+    fn code(&self) -> &'static str {
+        "IR103"
+    }
+    fn summary(&self) -> &'static str {
+        "sweet-spot frequency flips within the intensity envelope"
+    }
+    fn default_level(&self) -> Level {
+        Level::Warn
+    }
+    fn check(&self, subject: &Subject<'_>, sink: &mut Sink<'_>) {
+        let Subject::Envelope(s) = subject else { return };
+        let env = interpret_subject(s);
+        let (lo, hi) = env.ops_per_byte();
+        if lo == hi {
+            return;
+        }
+        let f_lo = sweet_spot_core(s.spec, lo);
+        let f_hi = sweet_spot_core(s.spec, hi);
+        if f_lo == f_hi {
+            return;
+        }
+        // One table step of disagreement is quantization noise, not
+        // fragility.
+        let cores = &s.spec.freq_table.core_mhz;
+        let steps = match (
+            cores.iter().position(|&c| c == f_lo),
+            cores.iter().position(|&c| c == f_hi),
+        ) {
+            (Some(a), Some(b)) => a.abs_diff(b),
+            _ => usize::MAX,
+        };
+        if steps <= 1 {
+            return;
+        }
+        sink.emit_with(
+            &envelope_path(),
+            format!(
+                "static sweet-spot core clock on {} spans {f_lo}-{f_hi} MHz \
+                 ({steps} table steps) across the intensity envelope \
+                 [{}, {}] ops/B",
+                s.spec.name,
+                fmt_opb(lo),
+                fmt_opb(hi)
+            ),
+            "narrow the envelope (tighter trip estimates, restructured \
+             branches) or verify the choice with a measured sweep before \
+             pinning a frequency",
+        );
+    }
+}
+
+/// IR104: an envelope so wide the static analysis is effectively
+/// unbounded — the lower bound contributes less than 10% of the upper
+/// bound for the total compute-ops or DRAM-bytes count. Points at the
+/// dominating contributor so the offending loop or branch can be found.
+struct UnboundedEnvelope;
+
+impl Lint for UnboundedEnvelope {
+    fn code(&self) -> &'static str {
+        "IR104"
+    }
+    fn summary(&self) -> &'static str {
+        "interval envelope too wide to bound the kernel statically"
+    }
+    fn default_level(&self) -> Level {
+        Level::Warn
+    }
+    fn check(&self, subject: &Subject<'_>, sink: &mut Sink<'_>) {
+        let Subject::Envelope(s) = subject else { return };
+        let env = interpret_subject(s);
+        for (what, iv) in [
+            ("compute ops", env.compute_ops()),
+            ("DRAM bytes", env.global_bytes_per_item.clone()),
+        ] {
+            if iv.width() < WIDTH_MIN_OPS || iv.hi <= 0.0 {
+                continue;
+            }
+            if iv.width() / iv.hi > WIDTH_RATIO {
+                let blame = iv
+                    .hi_origin()
+                    .map(|p| format!(" (dominant contributor: {p})"))
+                    .unwrap_or_default();
+                sink.emit_with(
+                    &envelope_path(),
+                    format!(
+                        "{what} envelope [{:.1}, {:.1}] spans more than a 10x \
+                         range — the static estimate is effectively \
+                         unbounded{blame}",
+                        iv.lo, iv.hi
+                    ),
+                    "replace estimated trip counts with constants where the \
+                     kernel shape is actually fixed, or balance the branch arms",
+                );
+            }
+        }
+        // A genuinely degenerate case worth its own message: the
+        // GlobalAccess envelope reaches zero while its top end carries
+        // real traffic — the kernel flips between pure-compute and
+        // memory-moving behaviour.
+        let ga = env.class(FeatureClass::GlobalAccess);
+        if ga.lo == 0.0 && ga.hi >= 1.0 {
+            let blame = ga
+                .hi_origin()
+                .map(|p| format!(" (dominant contributor: {p})"))
+                .unwrap_or_default();
+            sink.emit(
+                &envelope_path(),
+                format!(
+                    "global accesses span [0, {:.1}]: some execution paths \
+                     touch no global memory at all{blame}",
+                    ga.hi
+                ),
+            );
+        }
+    }
+}
+
+/// The built-in interval lint family, in code order.
+pub fn builtin() -> Vec<Box<dyn Lint>> {
+    vec![
+        Box::new(UnstableClassification),
+        Box::new(ExpectedEscapesEnvelope),
+        Box::new(FragileFrequencyChoice),
+        Box::new(UnboundedEnvelope),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::absint::AbsIntConfig;
+    use crate::lint::LintRegistry;
+    use synergy_kernel::{Inst, IrBuilder, KernelIr};
+
+    fn check(k: &KernelIr, spec: &DeviceSpec) -> crate::diag::Report {
+        LintRegistry::with_builtin().check_kernel_on_device(k, spec, AbsIntConfig::default())
+    }
+
+    /// A kernel pinned deep in memory-bound territory on every device:
+    /// streams global words with almost no compute.
+    fn streaming_kernel() -> KernelIr {
+        IrBuilder::new()
+            .ops(Inst::GlobalLoad, 8)
+            .ops(Inst::FloatAdd, 2)
+            .ops(Inst::GlobalStore, 4)
+            .build("stream")
+    }
+
+    #[test]
+    fn stable_kernels_are_clean() {
+        let rep = check(&streaming_kernel(), &DeviceSpec::v100());
+        assert!(
+            !rep.has_code("IR101") && !rep.has_code("IR102") && !rep.has_code("IR103"),
+            "{}",
+            rep.render()
+        );
+    }
+
+    #[test]
+    fn ir101_fires_when_envelope_straddles_balance() {
+        // V100 baseline balance is ~8.1 ops/B. One global load (4 B) with
+        // an estimated loop of compute: [16, 48] FloatMul over 4 bytes =
+        // [4, 12] ops/B straddles it.
+        let k = IrBuilder::new()
+            .ops(Inst::GlobalLoad, 1)
+            .loop_est(32.0, |b| b.ops(Inst::FloatMul, 1))
+            .build("straddle");
+        let rep = check(&k, &DeviceSpec::v100());
+        assert!(rep.has_code("IR101"), "{}", rep.render());
+        let d = rep
+            .diagnostics
+            .iter()
+            .find(|d| d.code == "IR101")
+            .unwrap();
+        assert!(d.message.contains("balance point"), "{}", d.message);
+        assert!(
+            d.message.contains("loop.body[0]"),
+            "provenance missing: {}",
+            d.message
+        );
+        // The same kernel with a constant trip is exact: no envelope, no
+        // instability.
+        let k = IrBuilder::new()
+            .ops(Inst::GlobalLoad, 1)
+            .loop_n(32, |b| b.ops(Inst::FloatMul, 1))
+            .build("exact");
+        assert!(!check(&k, &DeviceSpec::v100()).has_code("IR101"));
+    }
+
+    #[test]
+    fn ir102_is_silent_on_every_healthy_kernel() {
+        for spec in [DeviceSpec::v100(), DeviceSpec::mi100()] {
+            for bench in synergy_kernel::microbench::generate_default(7) {
+                let rep = check(&bench.ir, &spec);
+                assert!(
+                    !rep.has_code("IR102"),
+                    "{} on {}: {}",
+                    bench.ir.name,
+                    spec.name,
+                    rep.render()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ir102_skips_invalid_extractions() {
+        // A NaN probability breaks extract (IR003's deny business); the
+        // containment lint must not pile on.
+        let k = KernelIr::new(
+            "nan",
+            vec![synergy_kernel::Stmt::Branch {
+                prob: f64::NAN,
+                then: vec![synergy_kernel::Stmt::op(Inst::IntAdd)],
+                els: vec![],
+            }],
+        );
+        // The structural family (on the plain kernel subject) denies it...
+        assert!(LintRegistry::with_builtin().check_kernel(&k).has_code("IR003"));
+        // ...and the envelope family stays out of the way.
+        let rep = check(&k, &DeviceSpec::v100());
+        assert!(!rep.has_code("IR102"), "{}", rep.render());
+    }
+
+    #[test]
+    fn ir103_fires_when_frequency_hint_flips() {
+        // Wide intensity envelope in the tunable band: the sweet-spot
+        // clock at 4 ops/B vs 12 ops/B differs by many V100 table steps.
+        let k = IrBuilder::new()
+            .ops(Inst::GlobalLoad, 1)
+            .loop_est(32.0, |b| b.ops(Inst::FloatMul, 1))
+            .build("flip");
+        let rep = check(&k, &DeviceSpec::v100());
+        assert!(rep.has_code("IR103"), "{}", rep.render());
+        let d = rep
+            .diagnostics
+            .iter()
+            .find(|d| d.code == "IR103")
+            .unwrap();
+        assert!(d.message.contains("MHz"), "{}", d.message);
+    }
+
+    #[test]
+    fn ir103_quiet_when_both_ends_saturate() {
+        // Compute-only: both envelope ends are inf -> lo == hi == inf.
+        let k = IrBuilder::new()
+            .loop_est(100.0, |b| b.ops(Inst::FloatMul, 8))
+            .build("sat");
+        assert!(!check(&k, &DeviceSpec::v100()).has_code("IR103"));
+    }
+
+    #[test]
+    fn ir104_fires_on_effectively_unbounded_envelopes() {
+        // A branch whose then-arm does 100x the work of its else-arm:
+        // compute ops span [0-ish, huge].
+        let k = IrBuilder::new()
+            .branch(
+                0.5,
+                |b| b.loop_n(100, |b| b.ops(Inst::FloatMul, 4)),
+                |b| b,
+            )
+            .build("wide");
+        let rep = check(&k, &DeviceSpec::v100());
+        assert!(rep.has_code("IR104"), "{}", rep.render());
+        let d = rep
+            .diagnostics
+            .iter()
+            .find(|d| d.code == "IR104")
+            .unwrap();
+        assert!(
+            d.message.contains("branch.then[0]"),
+            "provenance missing: {}",
+            d.message
+        );
+        // Balanced arms doing comparable work *in the same class* stay
+        // quiet (the domain is per-class, so mixing classes across arms
+        // would rightly hull each class down to zero).
+        let k = IrBuilder::new()
+            .branch(
+                0.5,
+                |b| b.loop_n(100, |b| b.ops(Inst::FloatMul, 4)),
+                |b| b.loop_n(90, |b| b.ops(Inst::FloatMul, 4)),
+            )
+            .build("balanced");
+        assert!(!check(&k, &DeviceSpec::v100()).has_code("IR104"));
+    }
+
+    #[test]
+    fn sweet_spot_snaps_to_the_table() {
+        let spec = DeviceSpec::v100();
+        assert_eq!(
+            sweet_spot_core(&spec, f64::INFINITY),
+            spec.freq_table.max_core()
+        );
+        assert_eq!(sweet_spot_core(&spec, 0.0), spec.freq_table.min_core());
+        // The balance intensity at max clocks maps back to ~max core.
+        let balance_at_max = spec.balance_point(synergy_sim::ClockConfig::new(
+            spec.freq_table.top_mem(),
+            spec.freq_table.max_core(),
+        ));
+        let f = sweet_spot_core(&spec, balance_at_max);
+        assert_eq!(f, spec.freq_table.max_core());
+    }
+}

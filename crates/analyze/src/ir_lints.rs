@@ -2,9 +2,10 @@
 //! control flow, dead memory traffic and a feature-extraction cross-check
 //! over [`KernelIr`] trees.
 //!
-//! `IR001`–`IR005` reproduce the defect classes of the original
-//! `synergy_kernel::display::validate` pass at deny level; the rest are new
-//! diagnostics that the six-defect validator could not express.
+//! `IR001`–`IR005` cover the hard structural defect classes at deny level
+//! (the `try_*` builders on `synergy_kernel::IrBuilder` reject the same
+//! inputs at construction time); the rest are softer diagnostics over
+//! suspicious-but-legal shapes.
 
 use crate::diag::{Level, SpanPath};
 use crate::lint::{Lint, Sink, Subject};

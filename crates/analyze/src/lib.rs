@@ -19,11 +19,18 @@
 //!   target selections made on them: non-physical points, duplicate or
 //!   out-of-order configurations, empty Pareto fronts, off-front `ES_x` /
 //!   `PL_x` selections, and missing baseline points.
-//! - [`model_lints`] (`ML001`–`ML005`) audit trained
+//! - [`model_lints`] (`ML001`–`ML006`) audit trained
 //!   [`synergy_ml::MetricModels`] bundles and the on-disk `ModelStore`
 //!   cache: absurd regressor weights, stale or mis-keyed cache files,
 //!   feature-dimensionality mismatches, out-of-range device clocks and
 //!   collapsed predictions.
+//! - [`interval_lints`] (`IR101`–`IR104`) run the [`absint`] abstract
+//!   interpreter to bound every kernel feature in a `[lo, hi]` interval
+//!   under branch and trip-count uncertainty, then judge the envelope
+//!   against a device's roofline: unstable memory-/compute-bound
+//!   classification, point estimates escaping their envelope (an
+//!   extraction bug), fragile frequency choices and effectively
+//!   unbounded envelopes.
 //!
 //! Findings are [`Diagnostic`]s with stable codes, tree-addressed spans
 //! (e.g. `body[2].loop.body[0]`) and optional fix suggestions, collected
@@ -31,17 +38,31 @@
 //! [`Level`] overrides (`allow`/`warn`/`deny`); deny-level findings abort
 //! `synergy_rt::compile_application`, and the `synergy lint` CLI command
 //! renders reports for humans or as JSON.
+//!
+//! On top of the per-subject passes, [`aggregate`] runs the whole
+//! registry over every suite benchmark × catalogue device, folds the
+//! findings into a [`aggregate::SuiteReport`], diffs it against a
+//! ratcheting [`aggregate::Baseline`], and [`sarif`] renders the result
+//! as a SARIF 2.1.0 log for code-scanning UIs — the machinery behind
+//! `synergy analyze` and the tier-1 lint gate.
 
 #![warn(missing_docs)]
 
+pub mod absint;
+pub mod aggregate;
 pub mod diag;
+pub mod interval_lints;
 pub mod ir_lints;
+pub mod json;
 pub mod lint;
 pub mod model_lints;
+pub mod sarif;
 pub mod sweep_lints;
 
+pub use absint::{interpret, AbsIntConfig, Interval, KernelEnvelope};
+pub use aggregate::{Baseline, RatchetOutcome, SuiteReport};
 pub use diag::{Diagnostic, Level, Report, SpanPath};
 pub use lint::{
-    expected_row_len, CacheSubject, Lint, LintRegistry, ModelSubject, Sink, Subject,
-    SweepSubject,
+    expected_row_len, CacheSubject, EnvelopeSubject, Lint, LintRegistry, ModelSubject, Sink,
+    Subject, SweepSubject,
 };

@@ -6,7 +6,9 @@
 //! [`Report`]. Future pass families (race / divergence analysis, schedule
 //! audits) plug in by implementing [`Lint`] and registering.
 
+use crate::absint::{AbsIntConfig, KernelEnvelope};
 use crate::diag::{Diagnostic, Level, Report, SpanPath};
+use crate::interval_lints;
 use crate::ir_lints;
 use crate::model_lints;
 use crate::sweep_lints;
@@ -29,6 +31,10 @@ pub struct SweepSubject<'a> {
     pub baseline: ClockConfig,
     /// The energy targets whose selections are audited.
     pub targets: &'a [EnergyTarget],
+    /// The interval envelope of the kernel this sweep was measured for,
+    /// when the caller has one — unlocks the envelope-aware sweep lints
+    /// (`SW007`). `None` keeps the family purely dynamic.
+    pub envelope: Option<&'a KernelEnvelope>,
 }
 
 /// A trained model bundle plus the device it will be queried for.
@@ -41,6 +47,24 @@ pub struct ModelSubject<'a> {
     /// Width of the feature vectors the models should have been trained
     /// on (`NUM_FEATURES` for Table-1 models).
     pub expected_features: usize,
+    /// The interval envelope of a kernel the models will be queried
+    /// around, when the caller has one — unlocks the envelope-aware
+    /// model lints (`ML006`). `None` keeps the family envelope-free.
+    pub envelope: Option<&'a KernelEnvelope>,
+}
+
+/// A kernel paired with the device it will be tuned on: the subject of
+/// the interval (`IR1xx`) lint family, which abstract-interprets the IR
+/// and judges the envelope against the device's roofline.
+#[derive(Debug, Clone, Copy)]
+pub struct EnvelopeSubject<'a> {
+    /// The kernel to abstract-interpret.
+    pub kernel: &'a KernelIr,
+    /// The device whose balance point and frequency table the envelope
+    /// is judged against.
+    pub spec: &'a DeviceSpec,
+    /// Abstract-interpreter tuning (trip-count widening).
+    pub config: AbsIntConfig,
 }
 
 /// An on-disk `ModelStore` cache directory.
@@ -65,6 +89,8 @@ pub enum Subject<'a> {
     Models(ModelSubject<'a>),
     /// A persisted model cache directory (the model lint family).
     ModelCache(CacheSubject<'a>),
+    /// A kernel × device pair (the interval lint family).
+    Envelope(EnvelopeSubject<'a>),
 }
 
 /// The model-input row width for `features`-wide feature vectors.
@@ -156,6 +182,9 @@ impl LintRegistry {
         for l in model_lints::builtin() {
             r.register(l);
         }
+        for l in interval_lints::builtin() {
+            r.register(l);
+        }
         r
     }
 
@@ -228,6 +257,22 @@ impl LintRegistry {
         self.check(&Subject::Kernel(kernel))
     }
 
+    /// Run the registry over a kernel × device pair: abstract-interprets
+    /// the kernel and runs the interval (`IR1xx`) lint family against
+    /// the device's roofline and frequency table.
+    pub fn check_kernel_on_device(
+        &self,
+        kernel: &KernelIr,
+        spec: &DeviceSpec,
+        config: AbsIntConfig,
+    ) -> Report {
+        self.check(&Subject::Envelope(EnvelopeSubject {
+            kernel,
+            spec,
+            config,
+        }))
+    }
+
     /// Run the registry over a frequency sweep.
     pub fn check_sweep(
         &self,
@@ -239,6 +284,25 @@ impl LintRegistry {
             points,
             baseline,
             targets,
+            envelope: None,
+        }))
+    }
+
+    /// Run the registry over a frequency sweep with the measured
+    /// kernel's interval envelope attached, enabling the envelope-aware
+    /// sweep lints (`SW007`) on top of the plain family.
+    pub fn check_sweep_enveloped(
+        &self,
+        points: &[MetricPoint],
+        baseline: ClockConfig,
+        targets: &[EnergyTarget],
+        envelope: &KernelEnvelope,
+    ) -> Report {
+        self.check(&Subject::Sweep(SweepSubject {
+            points,
+            baseline,
+            targets,
+            envelope: Some(envelope),
         }))
     }
 
@@ -253,6 +317,25 @@ impl LintRegistry {
             models,
             spec,
             expected_features,
+            envelope: None,
+        }))
+    }
+
+    /// Run the registry over a trained model bundle with a kernel
+    /// envelope attached, enabling the envelope-aware model lints
+    /// (`ML006`) on top of the plain family.
+    pub fn check_models_enveloped(
+        &self,
+        models: &MetricModels,
+        spec: &DeviceSpec,
+        expected_features: usize,
+        envelope: &KernelEnvelope,
+    ) -> Report {
+        self.check(&Subject::Models(ModelSubject {
+            models,
+            spec,
+            expected_features,
+            envelope: Some(envelope),
         }))
     }
 

@@ -1,10 +1,12 @@
-//! The model lint family (`ML001`–`ML005`): audits over trained
+//! The model lint family (`ML001`–`ML006`): audits over trained
 //! [`MetricModels`] bundles and the persisted `ModelStore` cache files.
 //!
 //! Trained models are cached and reused across runs (PR 1), which makes
 //! silent staleness possible: a bundle trained against an older feature
 //! dimensionality or cache format would deserialize fine and then predict
-//! garbage. These lints catch that before any frequency is pinned.
+//! garbage. These lints catch that before any frequency is pinned. When
+//! the caller attaches a kernel's interval envelope, `ML006` additionally
+//! probes the model at the envelope's corners for clock monotonicity.
 
 use crate::diag::{Level, SpanPath};
 use crate::lint::{expected_row_len, Lint, Sink, Subject};
@@ -278,6 +280,78 @@ impl Lint for DegeneratePredictions {
     }
 }
 
+/// ML006: the model loses clock monotonicity inside the kernel's
+/// interval envelope. Only runs when the caller attaches a
+/// [`crate::absint::KernelEnvelope`] to the subject.
+///
+/// Physics gives one inequality for free: at a fixed memory clock, a
+/// higher core clock never makes a kernel *slower*. ML005 probes an
+/// all-ones feature vector; this lint probes the two corners of the
+/// actual kernel's envelope (every per-class count at its lower/upper
+/// bound), so a model that is sane on generic inputs but inverted in the
+/// region this kernel will actually query is still caught.
+struct EnvelopeMonotonicity;
+
+/// Relative slack before a time inversion counts as a finding: regression
+/// noise near-flat kernels is not an inverted model.
+const MONOTONE_TOL: f64 = 0.05;
+
+impl Lint for EnvelopeMonotonicity {
+    fn code(&self) -> &'static str {
+        "ML006"
+    }
+    fn summary(&self) -> &'static str {
+        "model predicts slower execution at a higher core clock inside the kernel envelope"
+    }
+    fn default_level(&self) -> Level {
+        Level::Warn
+    }
+    fn check(&self, subject: &Subject<'_>, sink: &mut Sink<'_>) {
+        let Subject::Models(m) = subject else { return };
+        let Some(env) = m.envelope else { return };
+        // A wrong-width model would panic inside predict (ML003 denies it),
+        // and an envelope of the wrong width is not this bundle's kernel.
+        if has_dimension_mismatch(m.models, expected_row_len(m.expected_features))
+            || env.classes.len() != m.expected_features
+        {
+            return;
+        }
+        let table = &m.spec.freq_table;
+        let mem = table.top_mem() as f64;
+        let corners: [(&str, Vec<f64>); 2] = [
+            ("lo", env.classes.iter().map(|iv| iv.lo).collect()),
+            ("hi", env.classes.iter().map(|iv| iv.hi).collect()),
+        ];
+        for (corner, features) in &corners {
+            let t_slow = m
+                .models
+                .predict(features, table.min_core() as f64, mem)
+                .time_s;
+            let t_fast = m
+                .models
+                .predict(features, table.max_core() as f64, mem)
+                .time_s;
+            if !t_slow.is_finite() || !t_fast.is_finite() {
+                continue; // ML005's business.
+            }
+            if t_fast > t_slow * (1.0 + MONOTONE_TOL) {
+                sink.emit_with(
+                    &model_path("time"),
+                    format!(
+                        "at the {corner} corner of kernel `{}`'s envelope, predicted \
+                         time rises from {t_slow:.4} at {} MHz to {t_fast:.4} at {} MHz",
+                        env.name,
+                        table.min_core(),
+                        table.max_core()
+                    ),
+                    "a higher core clock must never predict slower execution; \
+                     retrain or widen the training sweep around this kernel",
+                );
+            }
+        }
+    }
+}
+
 /// All model-family lints in code order.
 pub fn builtin() -> Vec<Box<dyn Lint>> {
     vec![
@@ -286,6 +360,7 @@ pub fn builtin() -> Vec<Box<dyn Lint>> {
         Box::new(DimensionMismatch),
         Box::new(OutsideTrainingRange),
         Box::new(DegeneratePredictions),
+        Box::new(EnvelopeMonotonicity),
     ]
 }
 
@@ -363,6 +438,60 @@ mod tests {
         assert!(rep.has_code("ML003"));
         assert!(rep.has_deny());
         assert!(!rep.has_code("ML005"));
+    }
+
+    #[test]
+    fn ml006_flags_clock_inverted_models_via_the_envelope() {
+        use crate::absint::{interpret, AbsIntConfig};
+        use synergy_kernel::{Inst, IrBuilder};
+
+        let kernel = IrBuilder::new()
+            .ops(Inst::IntAdd, 2)
+            .ops(Inst::GlobalLoad, 2)
+            .loop_est(8.0, |b| b.ops(Inst::IntAdd, 1))
+            .build("inv");
+        let env = interpret(&kernel, &AbsIntConfig::default());
+
+        // A training set whose time *rises* with the core clock: the fitted
+        // model inverts the physical 1/f law.
+        let inverted: Vec<SweepSample> = samples()
+            .into_iter()
+            .map(|mut s| {
+                let fhat = s.core_mhz / 1530.0;
+                s.time_s = 0.1 + 0.5 * fhat;
+                s.energy_j = s.time_s * 100.0;
+                s
+            })
+            .collect();
+        let models = MetricModels::train(
+            ModelSelection::uniform(Algorithm::Linear),
+            &inverted,
+            1530.0,
+            0,
+        );
+        let rep = registry().check_models_enveloped(
+            &models,
+            &DeviceSpec::v100(),
+            NUM_FEATURES,
+            &env,
+        );
+        assert!(rep.has_code("ML006"), "{}", rep.render());
+
+        // A physically-shaped bundle probed on the same envelope is quiet,
+        // and without an envelope the lint never runs.
+        let models = MetricModels::train(
+            ModelSelection::uniform(Algorithm::Linear),
+            &samples(),
+            1530.0,
+            0,
+        );
+        let rep = registry().check_models_enveloped(
+            &models,
+            &DeviceSpec::v100(),
+            NUM_FEATURES,
+            &env,
+        );
+        assert!(!rep.has_code("ML006"), "{}", rep.render());
     }
 
     #[test]

@@ -1,0 +1,208 @@
+//! SARIF 2.1.0 export for `synergy analyze`.
+//!
+//! [SARIF] (Static Analysis Results Interchange Format) is the schema
+//! code-scanning UIs ingest. One `synergy analyze` invocation maps to one
+//! SARIF *run*: the tool driver advertises every registered lint as a
+//! `reportingDescriptor` (so viewers can render names and default
+//! severities even for codes with zero findings), and each
+//! [`crate::diag::Diagnostic`] becomes a `result` whose logical location
+//! is the `bench/device: span.path` triple — our subjects are IR trees
+//! and model bundles, not source files, so locations are logical rather
+//! than physical.
+//!
+//! Level mapping: `Deny` → `error`, `Warn` → `warning`, `Allow` → `note`
+//! (an allow-level lint normally emits nothing, but overrides can demote
+//! a lint while keeping its findings visible).
+//!
+//! Encoding goes through the deterministic in-crate [`crate::json`]
+//! codec: field order is fixed, so golden-file tests can compare bytes.
+//!
+//! [SARIF]: https://docs.oasis-open.org/sarif/sarif/v2.1.0/sarif-v2.1.0.html
+
+use crate::aggregate::SuiteReport;
+use crate::diag::Level;
+use crate::json::Json;
+
+/// The schema URI embedded in every log.
+pub const SARIF_SCHEMA: &str =
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json";
+
+/// The SARIF `level` string for a diagnostic severity.
+pub fn sarif_level(level: Level) -> &'static str {
+    match level {
+        Level::Deny => "error",
+        Level::Warn => "warning",
+        Level::Allow => "note",
+    }
+}
+
+/// Build a SARIF 2.1.0 log for a suite report.
+///
+/// `catalog` is the registry's rule table (code, summary, default level)
+/// in registration order — [`crate::lint::LintRegistry::catalog`].
+pub fn to_sarif(report: &SuiteReport, catalog: &[(&'static str, &'static str, Level)]) -> Json {
+    let rules = catalog
+        .iter()
+        .map(|(code, summary, level)| {
+            Json::obj(vec![
+                ("id", Json::Str(code.to_string())),
+                (
+                    "shortDescription",
+                    Json::obj(vec![("text", Json::Str(summary.to_string()))]),
+                ),
+                (
+                    "defaultConfiguration",
+                    Json::obj(vec![("level", Json::Str(sarif_level(*level).to_string()))]),
+                ),
+            ])
+        })
+        .collect();
+
+    let results = report
+        .findings()
+        .map(|(run, d)| {
+            let mut message = d.message.clone();
+            if let Some(s) = &d.suggestion {
+                message.push_str("\nhelp: ");
+                message.push_str(s);
+            }
+            Json::obj(vec![
+                ("ruleId", Json::Str(d.code.clone())),
+                ("level", Json::Str(sarif_level(d.severity).to_string())),
+                ("message", Json::obj(vec![("text", Json::Str(message))])),
+                (
+                    "locations",
+                    Json::Arr(vec![Json::obj(vec![(
+                        "logicalLocations",
+                        Json::Arr(vec![Json::obj(vec![
+                            (
+                                "fullyQualifiedName",
+                                Json::Str(format!(
+                                    "{}/{}: {}",
+                                    run.bench, run.device, d.path
+                                )),
+                            ),
+                            ("kind", Json::Str("member".to_string())),
+                        ])]),
+                    )])]),
+                ),
+            ])
+        })
+        .collect();
+
+    let driver = Json::obj(vec![
+        ("name", Json::Str("synergy-analyze".to_string())),
+        (
+            "informationUri",
+            Json::Str("https://example.org/synergy-rs".to_string()),
+        ),
+        ("rules", Json::Arr(rules)),
+    ]);
+
+    Json::obj(vec![
+        ("$schema", Json::Str(SARIF_SCHEMA.to_string())),
+        ("version", Json::Str("2.1.0".to_string())),
+        (
+            "runs",
+            Json::Arr(vec![Json::obj(vec![
+                ("tool", Json::obj(vec![("driver", driver)])),
+                ("results", Json::Arr(results)),
+            ])]),
+        ),
+    ])
+}
+
+/// Encode a suite report as a SARIF log string (trailing newline
+/// included, byte-deterministic).
+pub fn encode_sarif(
+    report: &SuiteReport,
+    catalog: &[(&'static str, &'static str, Level)],
+) -> String {
+    let mut text = to_sarif(report, catalog).encode();
+    text.push('\n');
+    text
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::{Diagnostic, Report};
+    use crate::lint::LintRegistry;
+
+    fn suite_with_levels() -> SuiteReport {
+        let mut suite = SuiteReport::new();
+        let mut rep = Report::new();
+        rep.diagnostics.push(Diagnostic {
+            code: "IR102".to_string(),
+            severity: Level::Deny,
+            path: "envelope".to_string(),
+            message: "expected value escapes".to_string(),
+            suggestion: Some("file a bug".to_string()),
+        });
+        rep.diagnostics.push(Diagnostic {
+            code: "IR101".to_string(),
+            severity: Level::Warn,
+            path: "body[2].loop.body[0]".to_string(),
+            message: "classification unstable".to_string(),
+            suggestion: None,
+        });
+        rep.diagnostics.push(Diagnostic {
+            code: "IR008".to_string(),
+            severity: Level::Allow,
+            path: "body[0]".to_string(),
+            message: "demoted finding".to_string(),
+            suggestion: None,
+        });
+        suite.push("vec_add", "v100", rep);
+        suite
+    }
+
+    #[test]
+    fn levels_map_to_sarif_vocabulary() {
+        assert_eq!(sarif_level(Level::Deny), "error");
+        assert_eq!(sarif_level(Level::Warn), "warning");
+        assert_eq!(sarif_level(Level::Allow), "note");
+    }
+
+    #[test]
+    fn log_structure_is_valid_sarif() {
+        let registry = LintRegistry::with_builtin();
+        let log = to_sarif(&suite_with_levels(), &registry.catalog());
+        assert_eq!(log.str_field("version").unwrap(), "2.1.0");
+        assert!(log.str_field("$schema").unwrap().contains("sarif-schema-2.1.0"));
+        let runs = log.arr_field("runs").unwrap();
+        assert_eq!(runs.len(), 1);
+        let results = runs[0].arr_field("results").unwrap();
+        assert_eq!(results.len(), 3);
+        // Every registered lint appears as a rule, findings or not.
+        let rules = runs[0]
+            .get("tool")
+            .and_then(|t| t.get("driver"))
+            .unwrap()
+            .arr_field("rules")
+            .unwrap();
+        assert_eq!(rules.len(), registry.catalog().len());
+        // Results carry the logical bench/device/path identity.
+        let fqn = results[0].arr_field("locations").unwrap()[0]
+            .arr_field("logicalLocations")
+            .unwrap()[0]
+            .str_field("fullyQualifiedName")
+            .unwrap()
+            .to_string();
+        assert_eq!(fqn, "vec_add/v100: envelope");
+        // Suggestion folded into the message.
+        let msg = results[0].get("message").unwrap().str_field("text").unwrap();
+        assert!(msg.contains("help: file a bug"));
+    }
+
+    #[test]
+    fn encoding_is_deterministic_and_round_trips() {
+        let registry = LintRegistry::with_builtin();
+        let suite = suite_with_levels();
+        let a = encode_sarif(&suite, &registry.catalog());
+        let b = encode_sarif(&suite, &registry.catalog());
+        assert_eq!(a, b);
+        let parsed = Json::parse(&a).unwrap();
+        assert_eq!(parsed.encode() + "\n", a);
+    }
+}

@@ -1,11 +1,14 @@
-//! The sweep lint family (`SW001`–`SW006`): sanity checks over frequency
+//! The sweep lint family (`SW001`–`SW007`): sanity checks over frequency
 //! sweeps (measured or predicted) and the target selections made on them.
 //!
 //! Degenerate sweeps are the dominant source of bad DVFS decisions: a
 //! single non-physical point shifts every argmin, a duplicated or
 //! out-of-order configuration breaks the nearest-clock lookup invariants,
 //! and a selection that falls off the Pareto front means the target search
-//! is leaving either time or energy on the table.
+//! is leaving either time or energy on the table. When the caller attaches
+//! the kernel's static interval envelope, `SW007` additionally cross-checks
+//! the measurements against what the envelope proves about the kernel's
+//! shape.
 
 use crate::diag::{Level, SpanPath};
 use crate::lint::{Lint, Sink, Subject};
@@ -212,6 +215,92 @@ impl Lint for MissingBaseline {
     }
 }
 
+/// SW007: the measured sweep contradicts the kernel's static interval
+/// envelope. Only runs when the caller attaches a
+/// [`crate::absint::KernelEnvelope`] to the subject. Two contradictions
+/// are checked, both robust across the *whole* envelope (no point
+/// estimate involved):
+///
+/// - the envelope says the kernel executes no compute at all (the
+///   compute-ops upper bound is zero), yet the measured time scales
+///   strongly with the core clock;
+/// - the envelope says the kernel moves no DRAM traffic on any path
+///   (bytes upper bound zero) while doing real compute, yet the measured
+///   time barely reacts to the core clock.
+///
+/// Either way the sweep was measured for a different kernel than the IR
+/// describes (mislabeled data, stale cache) or the IR is wrong.
+struct EnvelopeContradiction;
+
+/// Minimum core-clock spread (max/min) before SW007 trusts a scaling
+/// judgement.
+const MIN_CLOCK_SPREAD: f64 = 1.5;
+
+impl Lint for EnvelopeContradiction {
+    fn code(&self) -> &'static str {
+        "SW007"
+    }
+    fn summary(&self) -> &'static str {
+        "measured sweep contradicts the kernel's static envelope"
+    }
+    fn default_level(&self) -> Level {
+        Level::Warn
+    }
+    fn check(&self, subject: &Subject<'_>, sink: &mut Sink<'_>) {
+        let Subject::Sweep(s) = subject else { return };
+        let Some(env) = s.envelope else { return };
+        // Judge core scaling at the baseline memory clock so the memory
+        // subsystem is held constant.
+        let mut slow = None; // (core_mhz, time_s) at the lowest core clock
+        let mut fast = None; // ... at the highest
+        for p in s.points {
+            if p.clocks.mem_mhz != s.baseline.mem_mhz || !p.is_physical() {
+                continue;
+            }
+            let entry = (p.clocks.core_mhz, p.time_s);
+            if slow.is_none_or(|(c, _)| entry.0 < c) {
+                slow = Some(entry);
+            }
+            if fast.is_none_or(|(c, _)| entry.0 > c) {
+                fast = Some(entry);
+            }
+        }
+        let (Some((core_lo, t_slow)), Some((core_hi, t_fast))) = (slow, fast) else {
+            return;
+        };
+        if (core_hi as f64) < MIN_CLOCK_SPREAD * core_lo as f64 {
+            return; // not enough clock range to judge scaling
+        }
+        let scaling = t_slow / t_fast; // > 1 when the core clock matters
+        let compute = env.compute_ops();
+        let bytes = &env.global_bytes_per_item;
+        if compute.hi == 0.0 && scaling > 1.5 {
+            sink.emit_with(
+                &sweep_path(),
+                format!(
+                    "envelope proves the kernel executes no compute ops on any \
+                     path, yet measured time scales {scaling:.2}x across cores \
+                     {core_lo}-{core_hi} MHz"
+                ),
+                "the sweep belongs to a different kernel than this IR (stale \
+                 cache or mislabeled measurement), or the IR is missing its \
+                 compute",
+            );
+        } else if bytes.hi == 0.0 && compute.lo > 0.0 && scaling < 1.1 {
+            sink.emit_with(
+                &sweep_path(),
+                format!(
+                    "envelope proves the kernel moves no DRAM traffic (pure \
+                     compute), yet measured time is flat ({scaling:.2}x) across \
+                     cores {core_lo}-{core_hi} MHz"
+                ),
+                "a pure-compute kernel must speed up with the core clock; the \
+                 sweep and the IR describe different kernels",
+            );
+        }
+    }
+}
+
 /// All sweep-family lints in code order.
 pub fn builtin() -> Vec<Box<dyn Lint>> {
     vec![
@@ -221,6 +310,7 @@ pub fn builtin() -> Vec<Box<dyn Lint>> {
         Box::new(EmptyParetoFront),
         Box::new(OffFrontSelection),
         Box::new(MissingBaseline),
+        Box::new(EnvelopeContradiction),
     ]
 }
 
@@ -289,5 +379,67 @@ mod tests {
 
         let rep = r.check_sweep(&healthy(), ClockConfig::new(900, 1312), &[]);
         assert_eq!(rep.codes(), vec!["SW006"]);
+    }
+
+    #[test]
+    fn sw007_flags_core_scaling_for_a_proven_memory_only_kernel() {
+        use crate::absint::{interpret, AbsIntConfig};
+        use synergy_kernel::{Inst, IrBuilder};
+
+        // The envelope proves zero compute on every path...
+        let k = IrBuilder::new()
+            .ops(Inst::GlobalLoad, 4)
+            .ops(Inst::GlobalStore, 2)
+            .build("memcpyish");
+        let env = interpret(&k, &AbsIntConfig::default());
+        // ...but the "measured" sweep speeds up 2.2x with the core clock.
+        let rep = registry().check_sweep_enveloped(
+            &healthy(),
+            ClockConfig::new(877, 1312),
+            &EnergyTarget::PAPER_SET,
+            &env,
+        );
+        assert!(rep.has_code("SW007"), "{}", rep.render());
+
+        // A compute-carrying kernel with the same sweep is consistent.
+        let k = IrBuilder::new()
+            .ops(Inst::GlobalLoad, 1)
+            .loop_n(64, |b| b.ops(Inst::FloatMul, 2))
+            .build("compute");
+        let env = interpret(&k, &AbsIntConfig::default());
+        let rep = registry().check_sweep_enveloped(
+            &healthy(),
+            ClockConfig::new(877, 1312),
+            &EnergyTarget::PAPER_SET,
+            &env,
+        );
+        assert!(!rep.has_code("SW007"), "{}", rep.render());
+    }
+
+    #[test]
+    fn sw007_flags_flat_time_for_a_proven_pure_compute_kernel() {
+        use crate::absint::{interpret, AbsIntConfig};
+        use synergy_kernel::{Inst, IrBuilder};
+
+        let k = IrBuilder::new()
+            .loop_n(128, |b| b.ops(Inst::FloatMul, 2))
+            .build("flops");
+        let env = interpret(&k, &AbsIntConfig::default());
+        // Time barely moves across a 3.8x core range.
+        let flat: Vec<MetricPoint> = [400u32, 800, 1312, 1530]
+            .iter()
+            .map(|&c| p(c, 2.0 + 0.01 * (1530 - c) as f64 / 1530.0, 5.0))
+            .collect();
+        let rep = registry().check_sweep_enveloped(
+            &flat,
+            ClockConfig::new(877, 1312),
+            &[],
+            &env,
+        );
+        assert!(rep.has_code("SW007"), "{}", rep.render());
+
+        // Without an envelope the lint stays silent on the same sweep.
+        let rep = registry().check_sweep(&flat, ClockConfig::new(877, 1312), &[]);
+        assert!(!rep.has_code("SW007"));
     }
 }

@@ -27,6 +27,8 @@
 //! `experiments/bench_history.jsonl` so the serving-path perf trajectory
 //! is visible across PRs.
 
+#![deny(unsafe_op_in_unsafe_fn)]
+
 use std::io::Write;
 use std::net::{SocketAddr, TcpStream};
 use std::os::unix::io::{AsRawFd, RawFd};
@@ -294,6 +296,10 @@ fn raise_fd_limit(want: u64) {
         fn getrlimit(resource: i32, rlim: *mut RLimit) -> i32;
         fn setrlimit(resource: i32, rlim: *const RLimit) -> i32;
     }
+    // SAFETY: `RLimit` is `#[repr(C)]` with the kernel's two-u64
+    // `struct rlimit` layout; `getrlimit` writes through a valid pointer
+    // to a stack local we exclusively own, and `setrlimit` only reads
+    // its pointee. Both calls are checked for failure and best-effort.
     unsafe {
         let mut lim = RLimit { cur: 0, max: 0 };
         if getrlimit(RLIMIT_NOFILE, &mut lim) == 0 && lim.cur < want {

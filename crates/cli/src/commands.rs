@@ -2,8 +2,13 @@
 //! `io::Write` sink so tests can capture output.
 
 use crate::{device_by_key, UsageError};
+use rayon::prelude::*;
 use std::io::Write;
-use synergy_analyze::{expected_row_len, LintRegistry, Report};
+use synergy_analyze::sarif::encode_sarif;
+use synergy_analyze::{
+    expected_row_len, interpret, AbsIntConfig, Baseline, LintRegistry, RatchetOutcome, Report,
+    SuiteReport,
+};
 use synergy_kernel::{generate_microbench, MicroBenchConfig, NUM_FEATURES};
 use synergy_metrics::{pareto_front, point_at, search_optimal, EnergyTarget};
 use synergy_ml::ModelSelection;
@@ -161,6 +166,231 @@ pub fn lint(
         w(write!(out, "{}", report.render()))?;
     }
     Ok(report)
+}
+
+/// Options for `synergy analyze` (mirrors the command-line flags).
+#[derive(Debug, Clone)]
+pub struct AnalyzeOptions {
+    /// Benchmark names; empty = whole suite.
+    pub benches: Vec<String>,
+    /// Device key or `all`.
+    pub device: String,
+    /// `text`, `json` or `sarif`.
+    pub format: String,
+    /// Formatted-report destination (`-` = the output sink).
+    pub out: String,
+    /// Ratchet baseline path; empty = no ratchet.
+    pub baseline: String,
+    /// Re-write the baseline from this run instead of diffing.
+    pub write_baseline: bool,
+    /// Trip-count widening for the abstract interpreter.
+    pub uncertainty: f64,
+    /// Also run the dynamic subjects (measured sweeps, trained models).
+    pub deep: bool,
+}
+
+/// What `synergy analyze` concluded, for exit-code decisions.
+#[derive(Debug)]
+pub struct AnalyzeOutcome {
+    /// Every benchmark × device run.
+    pub suite: SuiteReport,
+    /// The baseline diff, when a baseline was given (and not re-written).
+    pub ratchet: Option<RatchetOutcome>,
+    /// True when `--write-baseline` replaced the baseline file.
+    pub wrote_baseline: bool,
+}
+
+impl AnalyzeOutcome {
+    /// The gate verdict: with a baseline, any deviation from it fails
+    /// (new findings AND stale grandfathered entries — the ratchet must
+    /// be re-written to lock improvements in); without one, deny-level
+    /// findings fail.
+    pub fn failed(&self) -> bool {
+        match &self.ratchet {
+            Some(o) => !o.is_exact(),
+            None => self.suite.deny_count() > 0,
+        }
+    }
+}
+
+/// The catalogue keys `--device all` expands to, in report order.
+const ALL_DEVICE_KEYS: [&str; 4] = ["v100", "a100", "mi100", "titanx"];
+
+/// `synergy analyze`: run the lint registry over benchmark × device
+/// pairs in parallel and aggregate the findings.
+///
+/// The default subject set is purely static — the structural IR family
+/// plus the interval/roofline family over the abstract interpreter's
+/// envelopes — so the findings are identical on every machine and can be
+/// ratcheted in CI. `--deep` adds the dynamic subjects (measured sweeps
+/// with `SW` lints, trained models with `ML` lints), which depend on the
+/// simulator and RNG and therefore stay out of the baseline gate.
+pub fn analyze(out: &mut dyn Write, opts: &AnalyzeOptions) -> Result<AnalyzeOutcome, UsageError> {
+    let device_keys: Vec<&str> = if opts.device == "all" {
+        ALL_DEVICE_KEYS.to_vec()
+    } else {
+        vec![opts.device.as_str()]
+    };
+    let mut devices = Vec::new();
+    for key in &device_keys {
+        let spec = device_by_key(key)
+            .ok_or_else(|| UsageError(format!("unknown device `{key}`")))?;
+        devices.push((key.to_string(), spec));
+    }
+    let benches = if opts.benches.is_empty() {
+        synergy_apps::suite()
+    } else {
+        let mut picked = Vec::new();
+        for name in &opts.benches {
+            picked.push(
+                synergy_apps::by_name(name)
+                    .ok_or_else(|| UsageError(format!("unknown benchmark `{name}`")))?,
+            );
+        }
+        picked
+    };
+
+    let registry = LintRegistry::with_builtin();
+    let config = AbsIntConfig {
+        trip_uncertainty: opts.uncertainty,
+    };
+    // Deep mode trains one model bundle per device up front (the store is
+    // shared; doing it inside the parallel loop would race the training
+    // work for no benefit).
+    let deep_models = if opts.deep {
+        let suite = generate_microbench(42, &MicroBenchConfig::default());
+        let store = ModelStore::global();
+        devices
+            .iter()
+            .map(|(_, spec)| {
+                store.get_or_train(spec, &suite, ModelSelection::paper_best(), 8, 2023)
+            })
+            .collect()
+    } else {
+        Vec::new()
+    };
+
+    // One job per (bench, device), in deterministic suite × catalogue
+    // order; par_iter + collect preserves that order in the results.
+    let jobs: Vec<(usize, usize)> = (0..benches.len())
+        .flat_map(|b| (0..devices.len()).map(move |d| (b, d)))
+        .collect();
+    let runs: Vec<(usize, usize, Report)> = jobs
+        .par_iter()
+        .map(|&(bi, di)| {
+            let bench = &benches[bi];
+            let (_, spec) = &devices[di];
+            let mut report = registry.check_kernel(&bench.ir);
+            report.merge(registry.check_kernel_on_device(&bench.ir, spec, config));
+            if opts.deep {
+                let envelope = interpret(&bench.ir, &config);
+                let sweep = measured_sweep(spec, &bench.ir, bench.work_items);
+                report.merge(registry.check_sweep_enveloped(
+                    &sweep,
+                    spec.baseline_clocks(),
+                    &EnergyTarget::PAPER_SET,
+                    &envelope,
+                ));
+                report.merge(registry.check_models_enveloped(
+                    &deep_models[di],
+                    spec,
+                    NUM_FEATURES,
+                    &envelope,
+                ));
+            }
+            (bi, di, report)
+        })
+        .collect();
+    let mut suite = SuiteReport::new();
+    for (bi, di, report) in runs {
+        suite.push(benches[bi].name, devices[di].0.clone(), report);
+    }
+
+    let w = |r: std::io::Result<()>| r.map_err(|e| UsageError(e.to_string()));
+    let rendered = match opts.format.as_str() {
+        "json" => {
+            let mut text = suite.to_json().encode();
+            text.push('\n');
+            text
+        }
+        "sarif" => encode_sarif(&suite, &registry.catalog()),
+        _ => {
+            let mut text = String::new();
+            for run in &suite.runs {
+                if !run.report.is_clean() {
+                    text.push_str(&format!("== {} on {} ==\n", run.bench, run.device));
+                    text.push_str(&run.report.render());
+                }
+            }
+            let counts = suite.counts_by_code();
+            let summary: Vec<String> =
+                counts.iter().map(|(c, n)| format!("{c}:{n}")).collect();
+            text.push_str(&format!(
+                "analyzed {} benchmarks x {} devices: {} findings ({} deny){}\n",
+                benches.len(),
+                devices.len(),
+                suite.total(),
+                suite.deny_count(),
+                if summary.is_empty() {
+                    String::new()
+                } else {
+                    format!(" [{}]", summary.join(" "))
+                }
+            ));
+            text
+        }
+    };
+    if opts.out == "-" {
+        w(out.write_all(rendered.as_bytes()))?;
+    } else {
+        std::fs::write(&opts.out, &rendered)
+            .map_err(|e| UsageError(format!("cannot write `{}`: {e}", opts.out)))?;
+        w(writeln!(out, "wrote {}", opts.out))?;
+    }
+
+    let mut ratchet = None;
+    let mut wrote_baseline = false;
+    if !opts.baseline.is_empty() {
+        if opts.write_baseline {
+            let baseline = Baseline::from_report(&suite);
+            std::fs::write(&opts.baseline, baseline.encode())
+                .map_err(|e| UsageError(format!("cannot write `{}`: {e}", opts.baseline)))?;
+            w(writeln!(
+                out,
+                "baseline written to {} ({} buckets, {} findings)",
+                opts.baseline,
+                baseline.buckets.len(),
+                baseline.buckets.values().sum::<u64>()
+            ))?;
+            wrote_baseline = true;
+        } else {
+            let text = std::fs::read_to_string(&opts.baseline).map_err(|e| {
+                UsageError(format!(
+                    "cannot read baseline `{}`: {e} (create it with --write-baseline)",
+                    opts.baseline
+                ))
+            })?;
+            let baseline = Baseline::from_json_str(&text).map_err(|e| {
+                UsageError(format!("malformed baseline `{}`: {e}", opts.baseline))
+            })?;
+            let outcome = baseline.diff(&suite);
+            if outcome.is_exact() {
+                w(writeln!(
+                    out,
+                    "ratchet: clean ({} grandfathered findings)",
+                    baseline.buckets.values().sum::<u64>()
+                ))?;
+            } else {
+                w(out.write_all(outcome.render().as_bytes()))?;
+            }
+            ratchet = Some(outcome);
+        }
+    }
+    Ok(AnalyzeOutcome {
+        suite,
+        ratchet,
+        wrote_baseline,
+    })
 }
 
 /// `synergy trace <bench> --device <key> [--target T] [--out path]

@@ -15,6 +15,11 @@
 //!   models and emit the target registry JSON;
 //! * `lint <bench> [--device ...] [--json]` — run the `synergy-analyze`
 //!   diagnostics (IR, sweep and model lint families) over one benchmark;
+//! * `analyze (--all | <bench>...) [--device ...|all] [--format
+//!   text|json|sarif] [--baseline PATH]` — run the static lint registry
+//!   (structural IR lints plus the interval/roofline family) over many
+//!   benchmark × device pairs in parallel, export JSON or SARIF 2.1.0,
+//!   and ratchet against a committed baseline;
 //! * `scaling [--gpus N] [--app cloverleaf|miniweather]` — a Figure-10
 //!   style weak-scaling run;
 //! * `trace <bench> [--device ...] [--target ES_50] [--out trace.json]
@@ -63,6 +68,28 @@ pub enum Command {
         device: String,
         /// Emit the report as JSON instead of rendered text.
         json: bool,
+    },
+    /// Run the static lint registry over many benchmark × device pairs,
+    /// with optional SARIF export and ratcheting baseline.
+    Analyze {
+        /// Benchmark names; empty means the whole suite (`--all`).
+        benches: Vec<String>,
+        /// Device key, or `all` for the full catalogue.
+        device: String,
+        /// Output format: `text`, `json` or `sarif`.
+        format: String,
+        /// Output path (`-` = stdout).
+        out: String,
+        /// Ratchet baseline path; empty = no ratchet.
+        baseline: String,
+        /// Re-write the baseline from this run instead of diffing.
+        write_baseline: bool,
+        /// Trip-count widening factor for the abstract interpreter.
+        uncertainty: f64,
+        /// Also run the dynamic subjects (measured sweeps, trained
+        /// models) — slower and environment-dependent, so not part of
+        /// the ratchet gate.
+        deep: bool,
     },
     /// Weak-scaling study.
     Scaling {
@@ -207,6 +234,94 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Us
                 bench: bench.ok_or_else(|| UsageError("lint needs a benchmark name".into()))?,
                 device,
                 json,
+            })
+        }
+        "analyze" => {
+            let mut benches: Vec<String> = Vec::new();
+            let mut all = false;
+            let mut device = "v100".to_string();
+            let mut format = "text".to_string();
+            let mut out = "-".to_string();
+            let mut baseline = String::new();
+            let mut write_baseline = false;
+            let mut uncertainty = 0.5f64;
+            let mut deep = false;
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--all" => all = true,
+                    "--deep" => deep = true,
+                    "--write-baseline" => write_baseline = true,
+                    "--device" => {
+                        device = it
+                            .next()
+                            .ok_or_else(|| UsageError("--device needs a value".into()))?
+                            .clone();
+                    }
+                    "--format" => {
+                        format = it
+                            .next()
+                            .ok_or_else(|| UsageError("--format needs a value".into()))?
+                            .clone();
+                    }
+                    "--out" => {
+                        out = it
+                            .next()
+                            .ok_or_else(|| UsageError("--out needs a value".into()))?
+                            .clone();
+                    }
+                    "--baseline" => {
+                        baseline = it
+                            .next()
+                            .ok_or_else(|| UsageError("--baseline needs a value".into()))?
+                            .clone();
+                    }
+                    "--uncertainty" => {
+                        uncertainty = it
+                            .next()
+                            .ok_or_else(|| UsageError("--uncertainty needs a value".into()))?
+                            .parse()
+                            .map_err(|_| UsageError("--uncertainty must be a number".into()))?;
+                        if !uncertainty.is_finite() || uncertainty < 0.0 {
+                            return Err(UsageError(
+                                "--uncertainty must be finite and non-negative".into(),
+                            ));
+                        }
+                    }
+                    flag if flag.starts_with("--") => {
+                        return Err(UsageError(format!("unknown analyze flag `{flag}`")));
+                    }
+                    name => benches.push(name.to_string()),
+                }
+            }
+            if all && !benches.is_empty() {
+                return Err(UsageError(
+                    "--all and explicit benchmark names are mutually exclusive".into(),
+                ));
+            }
+            if !all && benches.is_empty() {
+                return Err(UsageError(
+                    "analyze needs benchmark names or --all".into(),
+                ));
+            }
+            if !matches!(format.as_str(), "text" | "json" | "sarif") {
+                return Err(UsageError(format!(
+                    "--format must be text, json or sarif, not `{format}`"
+                )));
+            }
+            if write_baseline && baseline.is_empty() {
+                return Err(UsageError(
+                    "--write-baseline needs --baseline PATH".into(),
+                ));
+            }
+            Ok(Command::Analyze {
+                benches,
+                device,
+                format,
+                out,
+                baseline,
+                write_baseline,
+                uncertainty,
+                deep,
             })
         }
         "scaling" => {
@@ -464,6 +579,8 @@ USAGE:
   synergy characterize <bench> [--device v100|a100|mi100|titanx]
   synergy compile <bench>... [--device v100|...] [--out registry.json]
   synergy lint <bench> [--device v100|...] [--json]
+  synergy analyze (--all | <bench>...) [--device v100|...|all] [--format text|json|sarif]
+                  [--out PATH] [--baseline PATH] [--write-baseline] [--uncertainty F] [--deep]
   synergy scaling [--gpus N] [--app cloverleaf|miniweather]
   synergy trace <bench> [--device v100|...] [--target ES_50] [--out trace.json] [--summary]
   synergy serve [--addr 127.0.0.1:7411] [--workers N] [--queue N] [--reactors N] [--small]
@@ -571,6 +688,51 @@ mod tests {
         assert!(parse_args(args("lint a b")).is_err());
         assert!(parse_args(args("lint vec_add --device")).is_err());
         assert!(parse_args(args("lint vec_add --frob")).is_err());
+    }
+
+    #[test]
+    fn analyze_parses_flags_and_defaults() {
+        assert_eq!(
+            parse_args(args("analyze --all")).unwrap(),
+            Command::Analyze {
+                benches: vec![],
+                device: "v100".into(),
+                format: "text".into(),
+                out: "-".into(),
+                baseline: String::new(),
+                write_baseline: false,
+                uncertainty: 0.5,
+                deep: false
+            }
+        );
+        assert_eq!(
+            parse_args(args(
+                "analyze vec_add sobel3 --device all --format sarif --out s.json \
+                 --baseline base.json --write-baseline --uncertainty 0.25 --deep"
+            ))
+            .unwrap(),
+            Command::Analyze {
+                benches: vec!["vec_add".into(), "sobel3".into()],
+                device: "all".into(),
+                format: "sarif".into(),
+                out: "s.json".into(),
+                baseline: "base.json".into(),
+                write_baseline: true,
+                uncertainty: 0.25,
+                deep: true
+            }
+        );
+    }
+
+    #[test]
+    fn analyze_rejects_bad_invocations() {
+        assert!(parse_args(args("analyze")).is_err());
+        assert!(parse_args(args("analyze --all vec_add")).is_err());
+        assert!(parse_args(args("analyze --all --format yaml")).is_err());
+        assert!(parse_args(args("analyze --all --uncertainty nope")).is_err());
+        assert!(parse_args(args("analyze --all --uncertainty -1")).is_err());
+        assert!(parse_args(args("analyze --all --write-baseline")).is_err());
+        assert!(parse_args(args("analyze --all --frob")).is_err());
     }
 
     #[test]

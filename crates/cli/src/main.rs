@@ -57,6 +57,38 @@ fn main() -> ExitCode {
                 }
             };
         }
+        Command::Analyze {
+            benches,
+            device,
+            format,
+            out: out_path,
+            baseline,
+            write_baseline,
+            uncertainty,
+            deep,
+        } => {
+            // Exit codes: 0 = clean (or baseline exactly matched),
+            // 1 = new findings / baseline drift / deny-level findings
+            // without a baseline / usage error.
+            let opts = commands::AnalyzeOptions {
+                benches,
+                device,
+                format,
+                out: out_path,
+                baseline,
+                write_baseline,
+                uncertainty,
+                deep,
+            };
+            return match commands::analyze(&mut out, &opts) {
+                Ok(outcome) if outcome.failed() => ExitCode::FAILURE,
+                Ok(_) => ExitCode::SUCCESS,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            };
+        }
         Command::Scaling { gpus, app } => {
             commands::scaling(&mut out, gpus, &app).map_err(|e| e.to_string())
         }

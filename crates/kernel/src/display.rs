@@ -1,12 +1,12 @@
-//! Human-readable IR dumps and structural validation.
+//! Human-readable IR dumps.
 //!
 //! `dump` renders a kernel the way a compiler's `-emit-ir` flag would —
 //! indented, one statement per line — which makes calibration reviews and
-//! bug reports tractable. `validate` rejects structurally broken IRs
-//! (non-finite probabilities or trip counts, zero-count ops) before they
-//! reach the extraction pass; it is deprecated in favour of the
-//! `synergy-analyze` IR lints, which report the same defects (and more)
-//! with tree-addressed locations and configurable severities.
+//! bug reports tractable. Structural validation lives in the
+//! `synergy-analyze` IR lints (codes `IR001`–`IR005`), which report each
+//! defect with a tree-addressed location and a configurable severity;
+//! fallible IR construction is available through the `try_*` builders on
+//! [`crate::ir::IrBuilder`] / [`crate::ir::KernelIr`].
 
 use crate::ir::{KernelIr, Stmt, TripCount};
 use std::fmt::Write;
@@ -66,82 +66,8 @@ fn dump_stmts(stmts: &[Stmt], depth: usize, out: &mut String) {
     }
 }
 
-/// A structural defect found by [`validate`].
-#[deprecated(
-    since = "0.1.0",
-    note = "superseded by the synergy-analyze IR lints (codes IR001–IR005), \
-            which add tree-addressed paths, severities and suggestions"
-)]
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum IrDefect {
-    /// An `Op` with a zero repeat count (dead statement).
-    ZeroCountOp,
-    /// A loop trip count that is not finite or is negative.
-    BadTripCount,
-    /// A branch probability outside `[0, 1]` or not finite.
-    BadBranchProbability,
-    /// An empty loop body (burns trips doing nothing).
-    EmptyLoopBody,
-    /// Coalescing or DRAM fraction outside their valid ranges.
-    BadMemoryFractions,
-}
-
-/// Validate a kernel IR; returns every defect found (empty = valid).
-///
-/// Kept as a thin shim for existing callers; the checks live on as the
-/// deny-level built-in lints `IR001`–`IR005` of `synergy-analyze`, which
-/// report *where* each defect sits (`body[2].loop.body[0]`) instead of
-/// only that it exists.
-#[deprecated(
-    since = "0.1.0",
-    note = "use synergy_analyze::LintRegistry::with_builtin().check_kernel(...) \
-            (codes IR001–IR005) instead"
-)]
-pub fn validate(kernel: &KernelIr) -> Vec<IrDefect> {
-    let mut defects = Vec::new();
-    if !(0.0..=1.0).contains(&kernel.coalescing)
-        || !(0.0..=1.0).contains(&kernel.dram_fraction)
-        || !kernel.coalescing.is_finite()
-        || !kernel.dram_fraction.is_finite()
-    {
-        defects.push(IrDefect::BadMemoryFractions);
-    }
-    fn walk(stmts: &[Stmt], defects: &mut Vec<IrDefect>) {
-        for stmt in stmts {
-            match stmt {
-                Stmt::Op(_, 0) => defects.push(IrDefect::ZeroCountOp),
-                Stmt::Op(..) => {}
-                Stmt::Loop { trip, body } => {
-                    match trip {
-                        TripCount::Estimated(e) if !e.is_finite() || *e < 0.0 => {
-                            defects.push(IrDefect::BadTripCount)
-                        }
-                        _ => {}
-                    }
-                    if body.is_empty() {
-                        defects.push(IrDefect::EmptyLoopBody);
-                    }
-                    walk(body, defects);
-                }
-                Stmt::Branch { prob, then, els } => {
-                    if !prob.is_finite() || !(0.0..=1.0).contains(prob) {
-                        defects.push(IrDefect::BadBranchProbability);
-                    }
-                    walk(then, defects);
-                    walk(els, defects);
-                }
-            }
-        }
-    }
-    walk(&kernel.body, &mut defects);
-    defects
-}
-
 #[cfg(test)]
 mod tests {
-    // The deprecated shim keeps its tests until it is removed.
-    #![allow(deprecated)]
-
     use super::*;
     use crate::ir::{Inst, IrBuilder};
 
@@ -171,57 +97,17 @@ mod tests {
     }
 
     #[test]
-    fn valid_kernels_have_no_defects() {
-        assert!(validate(&sample()).is_empty());
-        for b in crate::microbench::generate_default(3) {
-            assert!(validate(&b.ir).is_empty(), "{}", b.ir.name);
-        }
+    fn estimated_loops_dump_with_tilde() {
+        let k = IrBuilder::new()
+            .loop_est(5.5, |b| b.ops(Inst::GlobalLoad, 1))
+            .build("est");
+        assert!(dump(&k).contains("loop ~5.5 {"));
     }
 
     #[test]
-    fn detects_zero_count_op() {
-        let k = KernelIr::new("z", vec![Stmt::Op(Inst::IntAdd, 0)]);
-        assert_eq!(validate(&k), vec![IrDefect::ZeroCountOp]);
-    }
-
-    #[test]
-    fn detects_bad_trip_and_empty_body() {
-        let k = KernelIr::new(
-            "bad",
-            vec![Stmt::Loop {
-                trip: TripCount::Estimated(f64::NAN),
-                body: vec![],
-            }],
-        );
-        let d = validate(&k);
-        assert!(d.contains(&IrDefect::BadTripCount));
-        assert!(d.contains(&IrDefect::EmptyLoopBody));
-    }
-
-    #[test]
-    fn detects_bad_branch_probability() {
-        let k = KernelIr::new(
-            "p",
-            vec![Stmt::Branch {
-                prob: f64::INFINITY,
-                then: vec![],
-                els: vec![],
-            }],
-        );
-        assert_eq!(validate(&k), vec![IrDefect::BadBranchProbability]);
-    }
-
-    #[test]
-    fn detects_bad_memory_fractions() {
-        let mut k = sample();
-        k.dram_fraction = f64::NAN;
-        assert!(validate(&k).contains(&IrDefect::BadMemoryFractions));
-    }
-
-    #[test]
-    fn suite_irs_dump_and_validate() {
+    fn suite_irs_dump() {
         // Smoke over the micro-benchmark suite: dumps stay proportional to
-        // node counts and all validate.
+        // node counts.
         for b in crate::microbench::generate_default(1) {
             let text = dump(&b.ir);
             assert!(text.lines().count() >= 3);

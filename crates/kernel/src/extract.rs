@@ -96,6 +96,23 @@ fn walk(stmts: &[Stmt]) -> Counts {
     acc
 }
 
+/// Expected DRAM-visible bytes *one* global access moves before the
+/// cache (DRAM-fraction) discount, after the kernel's coalescing factor.
+///
+/// Shared between the point-estimate pass ([`extract`]) and the interval
+/// abstract interpreter in `synergy-analyze`, so both charge memory
+/// traffic identically: coalesced accesses move exactly the element
+/// width; uncoalesced ones drag a 32-byte DRAM sector for each element
+/// touched. Callers multiply by `dram_fraction` (in this order, so the
+/// two passes agree bit-for-bit).
+pub fn effective_bytes_per_access(kernel: &KernelIr) -> f64 {
+    // Coalesced accesses move exactly the element width; uncoalesced ones
+    // drag a 32-byte DRAM sector for each element touched.
+    const UNCOALESCED_SECTOR: f64 = 32.0;
+    let w = kernel.element_width.bytes();
+    kernel.coalescing * w + (1.0 - kernel.coalescing) * UNCOALESCED_SECTOR.max(w)
+}
+
 /// Run the extraction pass over one kernel.
 ///
 /// This is a pure function of the IR: calling it twice yields identical
@@ -104,12 +121,7 @@ fn walk(stmts: &[Stmt]) -> Counts {
 pub fn extract(kernel: &KernelIr) -> KernelStaticInfo {
     let counts = walk(&kernel.body);
     let accesses = counts.global_loads + counts.global_stores;
-    // Coalesced accesses move exactly the element width; uncoalesced ones
-    // drag a 32-byte DRAM sector for each element touched.
-    const UNCOALESCED_SECTOR: f64 = 32.0;
-    let w = kernel.element_width.bytes();
-    let eff_bytes =
-        kernel.coalescing * w + (1.0 - kernel.coalescing) * UNCOALESCED_SECTOR.max(w);
+    let eff_bytes = effective_bytes_per_access(kernel);
     KernelStaticInfo {
         name: kernel.name.clone(),
         features: counts.features,

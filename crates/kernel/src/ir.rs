@@ -82,7 +82,75 @@ impl TripCount {
             TripCount::Estimated(e) => e,
         }
     }
+
+    /// A validated estimated trip count: rejects NaN, infinite and
+    /// negative estimates instead of deferring to the deny-level lints.
+    pub fn try_estimated(e: f64) -> Result<TripCount, IrError> {
+        if !e.is_finite() || e < 0.0 {
+            Err(IrError::BadTripEstimate(e))
+        } else {
+            Ok(TripCount::Estimated(e))
+        }
+    }
+
+    /// The `[lo, hi]` interval the abstract interpreter runs loops with.
+    ///
+    /// A `Const` trip count is exact (`lo == hi == n`). An `Estimated`
+    /// trip widens symmetrically by the relative `uncertainty` factor:
+    /// `[e·(1−u), e·(1+u)]`, floored at zero. Degenerate estimates
+    /// (NaN, negative) collapse to `[0, 0]`, matching the extraction
+    /// pass's `expected().max(0.0)` clamping so the interval always
+    /// contains the point estimate the rest of the stack uses.
+    pub fn bounds(self, uncertainty: f64) -> (f64, f64) {
+        let u = if uncertainty.is_finite() {
+            uncertainty.max(0.0)
+        } else {
+            0.0
+        };
+        match self {
+            TripCount::Const(n) => (n as f64, n as f64),
+            TripCount::Estimated(e) => {
+                let e = e.max(0.0); // NaN/negative → 0, as in extract
+                ((e * (1.0 - u)).max(0.0), e * (1.0 + u))
+            }
+        }
+    }
 }
+
+/// A rejected IR construction: the value is outside the domain the
+/// extraction pass and the device model are defined over.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum IrError {
+    /// An estimated trip count that is NaN, infinite or negative.
+    BadTripEstimate(f64),
+    /// A branch probability outside `[0, 1]` or not finite.
+    BadBranchProb(f64),
+    /// A coalescing fraction outside `[0, 1]` or not finite.
+    BadCoalescing(f64),
+    /// A DRAM fraction outside `(0, 1]` or not finite.
+    BadDramFraction(f64),
+}
+
+impl std::fmt::Display for IrError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IrError::BadTripEstimate(v) => {
+                write!(f, "estimated trip count {v} must be finite and >= 0")
+            }
+            IrError::BadBranchProb(v) => {
+                write!(f, "branch probability {v} must be finite and in [0, 1]")
+            }
+            IrError::BadCoalescing(v) => {
+                write!(f, "coalescing fraction {v} must be finite and in [0, 1]")
+            }
+            IrError::BadDramFraction(v) => {
+                write!(f, "dram fraction {v} must be finite and in (0, 1]")
+            }
+        }
+    }
+}
+
+impl std::error::Error for IrError {}
 
 /// A statement of the kernel body.
 // repr(C): dodge a layout-niche miscompilation observed with the default
@@ -127,6 +195,17 @@ impl Stmt {
         Stmt::Loop {
             trip: TripCount::Const(trip),
             body,
+        }
+    }
+
+    /// A validated branch: rejects probabilities that are NaN, infinite
+    /// or outside `[0, 1]` (the infallible [`IrBuilder::branch`] clamps
+    /// instead, deferring NaN to the deny-level `IR003` lint).
+    pub fn try_branch(prob: f64, then: Vec<Stmt>, els: Vec<Stmt>) -> Result<Stmt, IrError> {
+        if !prob.is_finite() || !(0.0..=1.0).contains(&prob) {
+            Err(IrError::BadBranchProb(prob))
+        } else {
+            Ok(Stmt::Branch { prob, then, els })
         }
     }
 }
@@ -197,6 +276,26 @@ impl KernelIr {
         self
     }
 
+    /// Validating builder: set the coalescing fraction, rejecting NaN,
+    /// infinite and out-of-range values instead of clamping.
+    pub fn try_with_coalescing(mut self, c: f64) -> Result<Self, IrError> {
+        if !c.is_finite() || !(0.0..=1.0).contains(&c) {
+            return Err(IrError::BadCoalescing(c));
+        }
+        self.coalescing = c;
+        Ok(self)
+    }
+
+    /// Validating builder: set the DRAM fraction, rejecting NaN,
+    /// infinite, non-positive and above-one values instead of clamping.
+    pub fn try_with_dram_fraction(mut self, f: f64) -> Result<Self, IrError> {
+        if !f.is_finite() || f <= 0.0 || f > 1.0 {
+            return Err(IrError::BadDramFraction(f));
+        }
+        self.dram_fraction = f;
+        Ok(self)
+    }
+
     /// Total number of `Stmt` nodes (for diagnostics and tests).
     pub fn node_count(&self) -> usize {
         fn count(stmts: &[Stmt]) -> usize {
@@ -265,6 +364,36 @@ impl IrBuilder {
         self
     }
 
+    /// Append an estimated-trip loop, rejecting NaN/infinite/negative
+    /// estimates at construction time.
+    pub fn try_loop_est(
+        mut self,
+        trip: f64,
+        f: impl FnOnce(IrBuilder) -> IrBuilder,
+    ) -> Result<Self, IrError> {
+        let trip = TripCount::try_estimated(trip)?;
+        let body = f(IrBuilder::new()).stmts;
+        self.push_loop(trip, body);
+        Ok(self)
+    }
+
+    /// Append a branch, rejecting NaN/infinite/out-of-range
+    /// probabilities at construction time.
+    pub fn try_branch(
+        mut self,
+        prob: f64,
+        then: impl FnOnce(IrBuilder) -> IrBuilder,
+        els: impl FnOnce(IrBuilder) -> IrBuilder,
+    ) -> Result<Self, IrError> {
+        if !prob.is_finite() || !(0.0..=1.0).contains(&prob) {
+            return Err(IrError::BadBranchProb(prob));
+        }
+        let then_stmts = then(IrBuilder::new()).stmts;
+        let els_stmts = els(IrBuilder::new()).stmts;
+        self.push_branch(prob, then_stmts, els_stmts);
+        Ok(self)
+    }
+
     /// Append a branch taken with probability `prob`.
     pub fn branch(
         mut self,
@@ -319,6 +448,100 @@ mod tests {
     fn trip_count_expected() {
         assert_eq!(TripCount::Const(16).expected(), 16.0);
         assert_eq!(TripCount::Estimated(3.5).expected(), 3.5);
+    }
+
+    #[test]
+    fn trip_count_bounds_widen_estimates_only() {
+        assert_eq!(TripCount::Const(16).bounds(0.5), (16.0, 16.0));
+        assert_eq!(TripCount::Estimated(10.0).bounds(0.5), (5.0, 15.0));
+        // Over-unity uncertainty floors the low end at zero.
+        assert_eq!(TripCount::Estimated(10.0).bounds(2.0), (0.0, 30.0));
+        // Degenerate estimates collapse to [0, 0], like extract's clamp.
+        assert_eq!(TripCount::Estimated(-3.0).bounds(0.5), (0.0, 0.0));
+        assert_eq!(TripCount::Estimated(f64::NAN).bounds(0.5), (0.0, 0.0));
+        // Degenerate uncertainty is treated as exact.
+        assert_eq!(TripCount::Estimated(4.0).bounds(f64::NAN), (4.0, 4.0));
+        let (lo, hi) = TripCount::Estimated(4.0).bounds(-1.0);
+        assert_eq!((lo, hi), (4.0, 4.0));
+    }
+
+    #[test]
+    fn try_estimated_rejects_nan_inf_negative() {
+        assert_eq!(
+            TripCount::try_estimated(2.5),
+            Ok(TripCount::Estimated(2.5))
+        );
+        assert!(matches!(
+            TripCount::try_estimated(-1.0),
+            Err(IrError::BadTripEstimate(_))
+        ));
+        assert!(matches!(
+            TripCount::try_estimated(f64::NAN),
+            Err(IrError::BadTripEstimate(_))
+        ));
+        assert!(matches!(
+            TripCount::try_estimated(f64::INFINITY),
+            Err(IrError::BadTripEstimate(_))
+        ));
+    }
+
+    #[test]
+    fn try_branch_rejects_bad_probability() {
+        assert!(Stmt::try_branch(0.5, vec![], vec![]).is_ok());
+        for bad in [-0.1, 1.5, f64::NAN, f64::INFINITY] {
+            assert!(
+                matches!(
+                    Stmt::try_branch(bad, vec![], vec![]),
+                    Err(IrError::BadBranchProb(_))
+                ),
+                "{bad}"
+            );
+        }
+        assert!(IrBuilder::new().try_branch(2.0, |b| b, |b| b).is_err());
+        assert!(IrBuilder::new().try_branch(0.25, |b| b, |b| b).is_ok());
+    }
+
+    #[test]
+    fn try_loop_est_rejects_bad_trip() {
+        assert!(IrBuilder::new()
+            .try_loop_est(f64::NAN, |b| b.ops(Inst::IntAdd, 1))
+            .is_err());
+        assert!(IrBuilder::new()
+            .try_loop_est(-2.0, |b| b.ops(Inst::IntAdd, 1))
+            .is_err());
+        let k = IrBuilder::new()
+            .try_loop_est(6.5, |b| b.ops(Inst::IntAdd, 1))
+            .unwrap()
+            .build("ok");
+        assert_eq!(k.node_count(), 2);
+    }
+
+    #[test]
+    fn try_memory_fractions_reject_out_of_range() {
+        let k = KernelIr::new("k", vec![]);
+        assert!(k.clone().try_with_coalescing(0.5).is_ok());
+        for bad in [-0.1, 1.1, f64::NAN, f64::INFINITY] {
+            assert!(
+                matches!(
+                    k.clone().try_with_coalescing(bad),
+                    Err(IrError::BadCoalescing(_))
+                ),
+                "{bad}"
+            );
+        }
+        assert!(k.clone().try_with_dram_fraction(1.0).is_ok());
+        for bad in [0.0, -0.5, 1.5, f64::NAN] {
+            assert!(
+                matches!(
+                    k.clone().try_with_dram_fraction(bad),
+                    Err(IrError::BadDramFraction(_))
+                ),
+                "{bad}"
+            );
+        }
+        // Error messages are self-describing.
+        let e = k.try_with_dram_fraction(f64::NAN).unwrap_err();
+        assert!(e.to_string().contains("dram fraction"));
     }
 
     #[test]

@@ -20,11 +20,9 @@ pub mod ir;
 pub mod microbench;
 
 pub use display::dump;
-#[allow(deprecated)]
-pub use display::{validate, IrDefect};
-pub use extract::{extract, KernelStaticInfo};
+pub use extract::{effective_bytes_per_access, extract, KernelStaticInfo};
 pub use features::{FeatureClass, FeatureVector, NUM_FEATURES};
-pub use ir::{ElementWidth, Inst, IrBuilder, KernelIr, Stmt, TripCount};
+pub use ir::{ElementWidth, Inst, IrBuilder, IrError, KernelIr, Stmt, TripCount};
 pub use microbench::{generate as generate_microbench, MicroBenchConfig, MicroBenchmark};
 
 #[cfg(test)]

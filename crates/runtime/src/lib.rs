@@ -17,6 +17,7 @@
 //! the persistent [`ModelStore`].
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod buffer;
 pub mod compile;

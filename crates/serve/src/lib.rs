@@ -50,10 +50,11 @@
 //! ```
 
 #![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod client;
 pub mod frame;
-pub mod json;
+pub use synergy_analyze::json;
 pub mod poll;
 pub mod protocol;
 mod reactor;
@@ -61,7 +62,7 @@ pub mod server;
 
 pub use client::{Client, ClientError};
 pub use frame::FrameBuffer;
-pub use json::{Json, JsonError};
+pub use synergy_analyze::json::{Json, JsonError};
 pub use protocol::{
     frame_bytes, read_frame, write_frame, Decision, ErrorKind, FrameError, Request, RequestFrame,
     Response, ResponseFrame, SweepPoint, WireDiagnostic, MAX_FRAME_LEN,

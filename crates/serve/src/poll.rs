@@ -76,6 +76,11 @@ pub fn wait(fds: &mut [PollFd], timeout: Option<Duration>) -> io::Result<usize> 
         Some(t) => t.as_millis().min(i32::MAX as u128).max(1) as std::ffi::c_int,
     };
     loop {
+        // SAFETY: `PollFd` is `#[repr(C)]` and layout-identical to the
+        // libc `struct pollfd`, so the kernel writes `revents` in place
+        // through a valid, exclusively-borrowed buffer; `fds.len()` is
+        // the true element count of that buffer, and `poll(2)` reads or
+        // writes nothing beyond it.
         let rc = unsafe { poll(fds.as_mut_ptr(), fds.len() as std::ffi::c_ulong, timeout_ms) };
         if rc >= 0 {
             return Ok(rc as usize);

@@ -93,6 +93,47 @@ impl DeviceSpec {
         self.sm_count as u64 * self.lanes_per_sm as u64
     }
 
+    /// Peak issue throughput at `core_mhz`, in single-cycle ops per
+    /// second (classic roofline ceiling: one op per lane per cycle —
+    /// per-class CPIs push real kernels below it, so this is the
+    /// optimistic compute roof, matching how roofline plots are drawn).
+    pub fn peak_ops_per_sec(&self, core_mhz: u32) -> f64 {
+        self.total_lanes() as f64 * core_mhz as f64 * 1e6
+    }
+
+    /// DRAM bandwidth in bytes per second at `mem_mhz`, scaling the
+    /// top-clock catalogue figure linearly with the memory clock.
+    pub fn mem_bandwidth_at(&self, mem_mhz: u32) -> f64 {
+        let top = self.freq_table.top_mem().max(1) as f64;
+        self.mem_bw_gbps * 1e9 * (mem_mhz as f64 / top)
+    }
+
+    /// The roofline balance point at `clocks`, in compute ops per DRAM
+    /// byte: kernels whose arithmetic intensity sits below it are
+    /// memory-bound at those clocks, kernels above are compute-bound.
+    pub fn balance_point(&self, clocks: ClockConfig) -> f64 {
+        let bw = self.mem_bandwidth_at(clocks.mem_mhz);
+        if bw <= 0.0 {
+            return f64::INFINITY;
+        }
+        self.peak_ops_per_sec(clocks.core_mhz) / bw
+    }
+
+    /// The `[lo, hi]` range the balance point sweeps across the board's
+    /// whole frequency table: `lo` at (min core, top mem), `hi` at
+    /// (max core, bottom mem). A kernel whose arithmetic intensity falls
+    /// inside this span flips between memory- and compute-bound depending
+    /// on the chosen clocks — exactly the kernels DVFS tuning can help.
+    pub fn balance_span(&self) -> (f64, f64) {
+        let bottom_mem = self.freq_table.mem_mhz.iter().copied().min().unwrap_or(1);
+        let lo = self.balance_point(ClockConfig::new(
+            self.freq_table.top_mem(),
+            self.freq_table.min_core(),
+        ));
+        let hi = self.balance_point(ClockConfig::new(bottom_mem, self.freq_table.max_core()));
+        (lo, hi)
+    }
+
     /// NVIDIA V100 (SXM2 16 GB): 80 SMs, 900 GB/s HBM2.
     ///
     /// Figure 1: memory fixed at 877 MHz; 196 core configurations spanning
@@ -305,6 +346,45 @@ mod tests {
         let d = s.default_clocks.unwrap();
         assert_eq!(d.mem_mhz, 5005);
         assert!(s.freq_table.supports(d));
+    }
+
+    #[test]
+    fn balance_point_matches_hand_roofline() {
+        let s = DeviceSpec::v100();
+        // 80 SMs x 64 lanes x 1530 MHz = 7.83 Tops/s over 900 GB/s.
+        let at_max = s.balance_point(ClockConfig::new(877, 1530));
+        let want = (80.0 * 64.0 * 1530.0e6) / 900.0e9;
+        assert!((at_max - want).abs() < 1e-12, "{at_max} vs {want}");
+        // The balance point scales linearly with the core clock.
+        let at_half = s.balance_point(ClockConfig::new(877, 765));
+        assert!((at_half - want / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn balance_span_orders_and_brackets_the_baseline() {
+        for s in [
+            DeviceSpec::v100(),
+            DeviceSpec::a100(),
+            DeviceSpec::mi100(),
+            DeviceSpec::titan_x(),
+        ] {
+            let (lo, hi) = s.balance_span();
+            assert!(lo > 0.0 && lo < hi, "{}: [{lo}, {hi}]", s.name);
+            let base = s.balance_point(s.baseline_clocks());
+            assert!(
+                (lo..=hi).contains(&base),
+                "{}: baseline {base} outside [{lo}, {hi}]",
+                s.name
+            );
+        }
+    }
+
+    #[test]
+    fn mem_bandwidth_scales_with_mem_clock() {
+        let s = DeviceSpec::titan_x();
+        assert!((s.mem_bandwidth_at(5005) - 480.0e9).abs() < 1e-3);
+        let half = s.mem_bandwidth_at(5005 / 2);
+        assert!(half < 241.0e9 && half > 239.0e9);
     }
 
     #[test]

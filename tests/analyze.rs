@@ -1,12 +1,21 @@
 //! Integration coverage for the `synergy-analyze` lint framework: every
 //! built-in lint code fires on a crafted defect and stays quiet on healthy
 //! inputs, level overrides promote and silence lints, deny-level findings
-//! abort `compile_application`, and the whole 23-benchmark suite lints
-//! warn-clean end to end through the CLI entry point.
+//! abort `compile_application`, the interval abstract interpreter's
+//! envelopes contain the extraction pass's point estimates for the whole
+//! suite (and for arbitrary generated IR trees), SARIF export matches a
+//! golden fixture byte for byte, the ratcheting baseline catches both
+//! regressions and drift, and the whole 23-benchmark suite lints
+//! warn-clean end to end through the CLI entry points.
 
-use synergy::analyze::{expected_row_len, Level, LintRegistry, Report};
+use proptest::prelude::*;
+use synergy::analyze::{
+    expected_row_len, interpret, AbsIntConfig, Baseline, Level, LintRegistry, Report,
+    SuiteReport,
+};
 use synergy::kernel::{
-    generate_microbench, Inst, IrBuilder, KernelIr, MicroBenchConfig, Stmt, NUM_FEATURES,
+    extract, generate_microbench, Inst, IrBuilder, KernelIr, MicroBenchConfig, Stmt, TripCount,
+    NUM_FEATURES,
 };
 use synergy::metrics::{EnergyTarget, MetricPoint};
 use synergy::ml::{Algorithm, MetricModels, ModelSelection, SweepSample};
@@ -79,8 +88,9 @@ fn catalog_lists_all_builtin_codes_in_family_order() {
     let codes: Vec<&str> = catalog.iter().map(|(c, _, _)| *c).collect();
     let expected = [
         "IR001", "IR002", "IR003", "IR004", "IR005", "IR006", "IR007", "IR008", "IR009",
-        "IR010", "IR011", "SW001", "SW002", "SW003", "SW004", "SW005", "SW006", "ML001",
-        "ML002", "ML003", "ML004", "ML005",
+        "IR010", "IR011", "SW001", "SW002", "SW003", "SW004", "SW005", "SW006", "SW007",
+        "ML001", "ML002", "ML003", "ML004", "ML005", "ML006", "IR101", "IR102", "IR103",
+        "IR104",
     ];
     assert_eq!(codes, expected);
     for (code, summary, _) in catalog {
@@ -436,6 +446,246 @@ fn reports_round_trip_as_json() {
     assert!(!rep.is_clean());
     let back: Report = serde_json::from_str(&rep.to_json()).expect("report JSON parses");
     assert_eq!(back, rep);
+}
+
+#[test]
+fn suite_envelopes_contain_the_extraction_point_estimates() {
+    // The defining soundness invariant of the abstract interpreter,
+    // checked over every shipped benchmark: the point estimate the
+    // extraction pass computes lies inside the interval envelope for
+    // every feature class, the access counters, and ops/byte.
+    let cfg = AbsIntConfig::default();
+    for bench in synergy::apps::suite() {
+        let info = extract(&bench.ir);
+        assert!(info.features.is_valid(), "{} extracts invalid features", bench.name);
+        let env = interpret(&bench.ir, &cfg);
+        let violations = env.containment_violations(&info);
+        assert!(
+            violations.is_empty(),
+            "{} escapes its envelope:\n{}",
+            bench.name,
+            violations.join("\n")
+        );
+    }
+}
+
+fn arb_inst() -> impl Strategy<Value = Inst> {
+    prop_oneof![
+        Just(Inst::IntAdd),
+        Just(Inst::IntMul),
+        Just(Inst::FloatAdd),
+        Just(Inst::FloatMul),
+        Just(Inst::FloatDiv),
+        Just(Inst::SpecialFn),
+        Just(Inst::GlobalLoad),
+        Just(Inst::GlobalStore),
+        Just(Inst::LocalLoad),
+        Just(Inst::LocalStore),
+    ]
+}
+
+fn arb_stmt() -> impl Strategy<Value = Stmt> {
+    let leaf = (arb_inst(), 0u64..64).prop_map(|(i, n)| Stmt::Op(i, n));
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        let trip = prop_oneof![
+            (0u64..32).prop_map(TripCount::Const),
+            (0.1f64..48.0).prop_map(TripCount::Estimated),
+        ];
+        prop_oneof![
+            (trip, prop::collection::vec(inner.clone(), 0..4))
+                .prop_map(|(trip, body)| Stmt::Loop { trip, body }),
+            (
+                0.0f64..1.0,
+                prop::collection::vec(inner.clone(), 0..3),
+                prop::collection::vec(inner, 0..3),
+            )
+                .prop_map(|(prob, then, els)| Stmt::Branch { prob, then, els }),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// For arbitrary IR trees (nested loops, branches, estimated trip
+    /// counts) and any widening factor, the envelope contains the
+    /// extraction pass's expected values — branch hulls and loop scaling
+    /// never cut the point estimate out.
+    #[test]
+    fn envelopes_contain_extraction_for_arbitrary_ir(
+        body in prop::collection::vec(arb_stmt(), 1..5),
+        u in 0.0f64..2.0,
+    ) {
+        let k = KernelIr::new("prop", body);
+        let info = extract(&k);
+        // Generated probabilities and trips are always finite, so the
+        // extraction is valid; guard anyway rather than assume support.
+        if info.features.is_valid() {
+            let env = interpret(&k, &AbsIntConfig { trip_uncertainty: u });
+            let violations = env.containment_violations(&info);
+            prop_assert!(violations.is_empty(), "{}", violations.join("\n"));
+        }
+    }
+}
+
+/// A deterministic three-level suite report for the SARIF fixture: one
+/// deny, one warn, one allow-level diagnostic with tree-addressed paths.
+fn sarif_fixture_report() -> SuiteReport {
+    use synergy::analyze::Diagnostic;
+    let mut deny = Report::new();
+    deny.diagnostics.push(Diagnostic {
+        code: "IR001".into(),
+        severity: Level::Deny,
+        path: "body[1].loop.body[0]".into(),
+        message: "op bundle with count 0".into(),
+        suggestion: Some("drop the statement".into()),
+    });
+    let mut warn = Report::new();
+    warn.diagnostics.push(Diagnostic {
+        code: "IR011".into(),
+        severity: Level::Warn,
+        path: "body[0]".into(),
+        message: "kernel performs no compute".into(),
+        suggestion: None,
+    });
+    warn.diagnostics.push(Diagnostic {
+        code: "IR104".into(),
+        severity: Level::Allow,
+        path: "body[2].branch.then[0]".into(),
+        message: "compute ops envelope [0, 400] is effectively unbounded".into(),
+        suggestion: Some("bound the hot arm".into()),
+    });
+    let mut suite = SuiteReport::default();
+    suite.push("vecadd", "v100", deny);
+    suite.push("mandelbrot", "mi100", warn);
+    suite.push("nbody", "a100", Report::new());
+    suite
+}
+
+#[test]
+fn sarif_export_matches_the_golden_fixture_and_round_trips() {
+    use synergy::analyze::json::Json;
+    use synergy::analyze::sarif::encode_sarif;
+
+    let suite = sarif_fixture_report();
+    let text = encode_sarif(&suite, &lints().catalog());
+
+    // Byte-for-byte against the checked-in fixture: SARIF output is part
+    // of the tool's contract (CI annotators parse it), so any change must
+    // be deliberate and show up in review. Regenerate with
+    // `SYNERGY_REGEN_FIXTURES=1 cargo test sarif_export`.
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/fixtures/analyze_golden.sarif");
+    if std::env::var_os("SYNERGY_REGEN_FIXTURES").is_some() {
+        std::fs::write(path, &text).expect("write fixture");
+    }
+    let golden = std::fs::read_to_string(path).expect("golden fixture exists");
+    assert_eq!(
+        text, golden,
+        "SARIF encoding drifted from tests/fixtures/analyze_golden.sarif; \
+         if the change is intended, regenerate the fixture"
+    );
+
+    // Round trip through the self-contained codec and check the SARIF
+    // 2.1.0 shape: schema/version, one run, rules present, three results
+    // at three distinct levels, logical locations carrying provenance.
+    let doc = Json::parse(&text).expect("SARIF parses");
+    assert_eq!(doc.str_field("version").unwrap(), "2.1.0");
+    let runs = doc.arr_field("runs").unwrap();
+    assert_eq!(runs.len(), 1);
+    let results = runs[0].arr_field("results").unwrap();
+    assert_eq!(results.len(), 3);
+    let levels: Vec<&str> = results.iter().map(|r| r.str_field("level").unwrap()).collect();
+    assert_eq!(levels, vec!["error", "warning", "note"]);
+    for r in results {
+        let loc = &r.arr_field("locations").unwrap()[0].arr_field("logicalLocations").unwrap()[0];
+        let fqn = loc.str_field("fullyQualifiedName").unwrap();
+        assert!(fqn.contains(": body["), "no provenance path in {fqn}");
+    }
+    let driver = runs[0]
+        .get("tool")
+        .and_then(|t| t.get("driver"))
+        .expect("driver present");
+    let rules = driver.arr_field("rules").unwrap();
+    let rule_ids: Vec<&str> = rules.iter().map(|r| r.str_field("id").unwrap()).collect();
+    for id in ["IR001", "IR011", "IR104", "SW007", "ML006"] {
+        assert!(rule_ids.contains(&id), "rule {id} missing from the SARIF catalog");
+    }
+}
+
+#[test]
+fn ratchet_baseline_catches_regressions_and_drift() {
+    let suite = sarif_fixture_report();
+    let baseline = Baseline::from_report(&suite);
+
+    // Same findings → exact match, no regressions, no drift.
+    let diff = baseline.diff(&suite);
+    assert!(diff.no_regressions() && diff.is_exact());
+
+    // A new finding in a fresh bucket is a regression and fails the gate.
+    let mut grown = sarif_fixture_report();
+    let mut extra = Report::new();
+    extra.diagnostics.push(synergy::analyze::Diagnostic {
+        code: "IR006".into(),
+        severity: Level::Warn,
+        path: "body[0].branch".into(),
+        message: "branch probability 1".into(),
+        suggestion: None,
+    });
+    grown.push("bfs", "titanx", extra);
+    let diff = baseline.diff(&grown);
+    assert!(!diff.no_regressions());
+    assert!(diff.render().contains("bfs/titanx/IR006"), "{}", diff.render());
+
+    // A disappeared finding is drift: not a regression, but not exact —
+    // the gate asks for a --write-baseline re-lock.
+    let mut shrunk = SuiteReport::default();
+    shrunk.push("nbody", "a100", Report::new());
+    let diff = baseline.diff(&shrunk);
+    assert!(diff.no_regressions() && !diff.is_exact());
+    assert!(diff.render().contains("--write-baseline"), "{}", diff.render());
+
+    // The on-disk encoding round-trips exactly.
+    let back = Baseline::from_json_str(&baseline.encode()).expect("baseline parses");
+    assert!(back.diff(&suite).is_exact());
+}
+
+#[test]
+fn cli_analyze_writes_sarif_and_ratchets_against_a_baseline() {
+    let dir = std::env::temp_dir().join(format!("synergy-analyze-cli-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let sarif_path = dir.join("out.sarif");
+    let base_path = dir.join("baseline.json");
+
+    // First run: --all across every device, write the baseline.
+    let mut opts = synergy_cli::commands::AnalyzeOptions {
+        benches: Vec::new(),
+        device: "all".into(),
+        format: "sarif".into(),
+        out: sarif_path.display().to_string(),
+        baseline: base_path.display().to_string(),
+        write_baseline: true,
+        uncertainty: 0.5,
+        deep: false,
+    };
+    let mut buf = Vec::new();
+    let outcome = synergy_cli::commands::analyze(&mut buf, &opts).expect("analyze runs");
+    assert!(!outcome.failed(), "baseline write must succeed");
+    assert!(outcome.wrote_baseline);
+
+    // The SARIF artifact parses and covers suite × devices.
+    let text = std::fs::read_to_string(&sarif_path).expect("sarif written");
+    let doc = synergy::analyze::json::Json::parse(&text).expect("sarif parses");
+    assert_eq!(doc.str_field("version").unwrap(), "2.1.0");
+
+    // Second run against the just-written baseline: exact match, exit 0.
+    opts.write_baseline = false;
+    let mut buf = Vec::new();
+    let outcome = synergy_cli::commands::analyze(&mut buf, &opts).expect("analyze runs");
+    assert!(!outcome.failed(), "a just-written baseline must ratchet clean");
+    let log = String::from_utf8(buf).expect("utf-8");
+    assert!(log.contains("ratchet: clean"), "{log}");
+
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 #[test]
