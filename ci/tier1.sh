@@ -59,19 +59,24 @@ assert speedup >= 1.0, f"batched prediction slower than per-config path: {speedu
 print(f"predict_batch_speedup {speedup:.2f}x over {perf['predict_grid_configs']} configs")
 EOF
 
-# The serve load test must report the client count, tail latency and the
-# accept-to-first-byte percentiles, and must have answered everything.
+# The serve load test must report the client count, tail latency, the
+# accept-to-first-byte percentiles and the measured live-metrics
+# overhead, and must have answered everything.
 python3 - <<'EOF'
 import json
 with open("experiments/BENCH_serve.json") as f:
     perf = json.load(f)
-for field in ("clients", "p99_ms", "first_byte_p50_ms", "first_byte_p99_ms"):
+for field in ("clients", "p99_ms", "first_byte_p50_ms", "first_byte_p99_ms",
+              "metrics_overhead_pct"):
     assert field in perf, f"BENCH_serve.json missing {field}"
 assert perf["clients"] > 0, "serve_perf must record the simulated client count"
 assert perf["dropped"] == 0 and perf["mismatched"] == 0, \
     f"serve_perf dropped {perf['dropped']}, mismatched {perf['mismatched']}"
+assert perf["metrics_overhead_pct"] >= 0.0, \
+    "metrics_overhead_pct must be a clamped percentage"
 print(f"serve_perf: {perf['clients']} clients, p99 {perf['p99_ms']:.2f} ms, "
-      f"first byte p99 {perf['first_byte_p99_ms']:.2f} ms")
+      f"first byte p99 {perf['first_byte_p99_ms']:.2f} ms, "
+      f"metrics overhead {perf['metrics_overhead_pct']:.2f}%")
 with open("experiments/bench_history.jsonl") as f:
     lines = [json.loads(l) for l in f if l.strip()]
 assert any(l.get("bench") == "serve_perf" for l in lines), \
@@ -89,9 +94,11 @@ cargo run --release -p synergy-cli --bin synergy -- \
 grep -q '"traceEvents"' "$trace_out"
 
 # Smoke test: start the daemon on an ephemeral port, serve one request,
-# drain, and check it exits cleanly with final counters.
+# scrape the live metrics plane mid-run in both formats, drain, and
+# check it exits cleanly with final counters and a final snapshot.
 serve_out="$(mktemp -t synergy-serve-XXXXXX.log)"
-trap 'rm -f "$trace_out" "$serve_out"' EXIT
+metrics_out="$(mktemp -t synergy-metrics-XXXXXX.om)"
+trap 'rm -f "$trace_out" "$serve_out" "$metrics_out"' EXIT
 cargo run --release -p synergy-cli --bin synergy -- \
   serve --small --addr 127.0.0.1:0 --workers 2 > "$serve_out" &
 serve_pid=$!
@@ -103,6 +110,21 @@ serve_addr="$(sed -n 's/^listening on //p' "$serve_out")"
 synergy_bin=target/release/synergy
 "$synergy_bin" request ping --addr "$serve_addr"
 "$synergy_bin" request compile vec_add --device v100 --targets ES_50 --addr "$serve_addr"
+"$synergy_bin" metrics "$serve_addr" --format openmetrics > "$metrics_out"
+grep -q '^# EOF$' "$metrics_out"
+"$synergy_bin" metrics "$serve_addr" --format json | python3 - <<'EOF'
+import json, sys
+snap = json.load(sys.stdin)
+kinds = {tuple(tuple(l) for l in s["labels"]): s["value"]
+         for s in snap["counters"] if s["name"] == "synergy_requests_total"}
+total = sum(kinds.values())
+assert total > 0, "mid-run scrape saw no requests"
+assert kinds.get((("kind", "ping"),)) == 1.0, f"ping counter wrong: {kinds}"
+assert kinds.get((("kind", "compile"),)) == 1.0, f"compile counter wrong: {kinds}"
+print(f"daemon metrics scrape: {int(total)} requests counted across "
+      f"{len(kinds)} kinds")
+EOF
 "$synergy_bin" request drain --addr "$serve_addr"
 wait "$serve_pid"
 grep -q '^drained: ' "$serve_out"
+python3 -c 'import json; json.load(open("experiments/metrics_final.json"))'

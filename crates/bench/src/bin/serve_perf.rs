@@ -22,10 +22,17 @@
 //!   of a fixed per-client request count.
 //! * `--reactors N` — server reactor shards (default: scaled to clients).
 //!
-//! Emits `BENCH_serve.json` (including `clients`, `p99_ms` and
-//! accept→first-byte percentiles) and appends a commit-stamped line to
-//! `experiments/bench_history.jsonl` so the serving-path perf trajectory
-//! is visible across PRs.
+//! Latency percentiles come from the shared telemetry
+//! [`LogHistogram`] — the same fixed-bucket type the daemon's live
+//! metrics plane uses — so per-client tallies merge exactly instead of
+//! concatenating and sorting every sample. A pair of small calibration
+//! passes (metrics plane disabled, then enabled) measures the live
+//! metrics overhead on the closed-loop wall time.
+//!
+//! Emits `BENCH_serve.json` (including `clients`, `p99_ms`,
+//! accept→first-byte percentiles and `metrics_overhead_pct`) and appends
+//! a commit-stamped line to `experiments/bench_history.jsonl` so the
+//! serving-path perf trajectory is visible across PRs.
 
 #![deny(unsafe_op_in_unsafe_fn)]
 
@@ -40,8 +47,9 @@ use synergy_kernel::NUM_FEATURES;
 use synergy_serve::poll::{self, PollFd, POLLIN, POLLOUT};
 use synergy_serve::{
     spawn, Client, FrameBuffer, Json, ModelProfile, Request, RequestFrame, Response,
-    ResponseFrame, ServeConfig,
+    ResponseFrame, ServeConfig, StatsSnapshot,
 };
+use synergy_telemetry::{LogHistogram, Metrics};
 
 /// Deterministic per-client request mixer (no external RNG).
 struct Lcg(u64);
@@ -92,22 +100,16 @@ fn matches_kind(req: &Request, resp: &Response) -> bool {
     )
 }
 
-/// Per-client tally, merged after the join.
+/// Per-client tally. The latency and first-byte distributions live in
+/// the shared log-bucketed histogram, so merging reports after the join
+/// is exact bucket addition — no per-sample vectors, no full sort.
 #[derive(Default)]
 struct ClientReport {
-    latencies_ms: Vec<f64>,
-    first_byte_ms: Option<f64>,
+    latency: LogHistogram,
+    first_byte: LogHistogram,
     busy_retries: u64,
     mismatched: u64,
     answered: u64,
-}
-
-fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
-    if sorted_ms.is_empty() {
-        return 0.0;
-    }
-    let idx = ((p / 100.0) * (sorted_ms.len() - 1) as f64).round() as usize;
-    sorted_ms[idx.min(sorted_ms.len() - 1)]
 }
 
 /// One simulated connection: a nonblocking socket plus the closed-loop
@@ -221,9 +223,8 @@ impl SimClient {
             match n {
                 Ok(0) => panic!("server closed connection with a request outstanding"),
                 Ok(_) => {
-                    if self.report.first_byte_ms.is_none() {
-                        self.report.first_byte_ms =
-                            Some(self.connected_at.elapsed().as_secs_f64() * 1e3);
+                    if self.report.first_byte.count() == 0 {
+                        self.report.first_byte.observe(self.connected_at.elapsed());
                     }
                     loop {
                         // Small copy so the state machine can borrow
@@ -267,9 +268,7 @@ impl SimClient {
                 } else {
                     self.report.mismatched += 1;
                 }
-                self.report
-                    .latencies_ms
-                    .push(begun.elapsed().as_secs_f64() * 1e3);
+                self.report.latency.observe(begun.elapsed());
                 self.issue_next(wall_deadline);
             }
         }
@@ -450,11 +449,27 @@ fn parse_cli() -> Cli {
     }
 }
 
-fn main() {
-    let cli = parse_cli();
-    let (clients, per_client) = (cli.clients, cli.per_client);
-    raise_fd_limit(2 * clients as u64 + 512);
+/// The merged result of one complete closed-loop pass.
+struct LoadOutcome {
+    elapsed: f64,
+    latency: LogHistogram,
+    first_byte: LogHistogram,
+    busy_retries: u64,
+    mismatched: u64,
+    answered: u64,
+    stats: StatsSnapshot,
+}
 
+/// Spawn a server (with the given live-metrics registry), run the fleet
+/// against it, drain, and merge the per-client reports exactly.
+fn run_load(
+    label: &str,
+    clients: usize,
+    per_client: Option<usize>,
+    duration: Option<Duration>,
+    reactors: usize,
+    metrics: Metrics,
+) -> LoadOutcome {
     // A short synthetic service time keeps requests overlapping, so the
     // queue actually fills and duplicate keys coalesce; model training
     // itself is memoized after the first hit. The queue cap is bounded
@@ -462,23 +477,22 @@ fn main() {
     // how many clients pile in — overflow turns into Busy/retry instead.
     let handle = spawn(ServeConfig {
         workers: 4,
-        reactors: cli.reactors,
+        reactors,
         queue_capacity: (2 * clients).min(1024),
         profile: ModelProfile::small(),
         compute_delay: Duration::from_millis(2),
+        metrics,
         ..ServeConfig::default()
     })
     .expect("bind loopback");
     let addr = handle.addr();
     println!(
-        "serve_perf: {clients} clients x {} against {addr} ({} mode, {} reactor shard(s))",
-        match (per_client, cli.duration) {
+        "serve_perf[{label}]: {clients} clients x {} against {addr} ({reactors} reactor shard(s))",
+        match (per_client, duration) {
             (Some(n), _) => format!("{n} requests"),
             (None, Some(d)) => format!("{:.1}s", d.as_secs_f64()),
             (None, None) => "nothing".to_string(),
         },
-        if cli.small { "small" } else { "default" },
-        cli.reactors,
     );
 
     // Big fleets: pre-train the models through one blocking client so
@@ -496,7 +510,7 @@ fn main() {
     // most `drivers` concurrent connects, so the listener backlog never
     // overflows even at ten thousand clients.
     let started = Instant::now();
-    let wall_deadline = cli.duration.map(|d| started + d);
+    let wall_deadline = duration.map(|d| started + d);
     let drivers = clients.clamp(1, 8);
     let reports: Vec<ClientReport> = (0..drivers)
         .map(|d| {
@@ -523,31 +537,85 @@ fn main() {
     handle.drain();
     let stats = handle.join();
 
-    let mut latencies: Vec<f64> = Vec::new();
-    let mut first_bytes: Vec<f64> = Vec::new();
+    let latency = LogHistogram::new();
+    let first_byte = LogHistogram::new();
     let (mut busy_retries, mut mismatched, mut answered) = (0u64, 0u64, 0u64);
     for r in &reports {
-        latencies.extend_from_slice(&r.latencies_ms);
-        first_bytes.extend(r.first_byte_ms);
+        latency.merge_from(&r.latency);
+        first_byte.merge_from(&r.first_byte);
         busy_retries += r.busy_retries;
         mismatched += r.mismatched;
         answered += r.answered;
     }
-    latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latency"));
-    first_bytes.sort_by(|a, b| a.partial_cmp(b).expect("finite latency"));
+    LoadOutcome {
+        elapsed,
+        latency,
+        first_byte,
+        busy_retries,
+        mismatched,
+        answered,
+        stats,
+    }
+}
 
+fn main() {
+    let cli = parse_cli();
+    let (clients, per_client) = (cli.clients, cli.per_client);
+    raise_fd_limit(2 * clients as u64 + 512);
+
+    let run = run_load(
+        "main",
+        clients,
+        per_client,
+        cli.duration,
+        cli.reactors,
+        Metrics::disabled(),
+    );
+    let (elapsed, stats) = (run.elapsed, run.stats);
+    let (busy_retries, mismatched, answered) =
+        (run.busy_retries, run.mismatched, run.answered);
+
+    // Live-metrics overhead: the identical CI-sized workload twice —
+    // instruments disabled, then enabled — on one reactor shard. The
+    // closed-loop wall-time delta is the cost of the metrics plane; the
+    // 2ms synthetic service time dominates both passes, so anything
+    // beyond noise indicates real hot-path regression.
+    let cal_clients = clients.min(8);
+    let t_dis = run_load(
+        "overhead-off",
+        cal_clients,
+        Some(24),
+        None,
+        1,
+        Metrics::disabled(),
+    )
+    .elapsed;
+    let t_en = run_load(
+        "overhead-on",
+        cal_clients,
+        Some(24),
+        None,
+        1,
+        Metrics::enabled(),
+    )
+    .elapsed;
+    let metrics_overhead_pct = ((t_en - t_dis) / t_dis * 100.0).max(0.0);
+
+    let drivers = clients.clamp(1, 8);
     let total = match per_client {
         Some(n) => (clients * n) as u64,
         None => answered + mismatched, // duration mode issues until the bell
     };
     let dropped = total - answered - mismatched;
     let throughput = answered as f64 / elapsed;
+    let lat = run.latency.snapshot_values();
+    let fb = run.first_byte.snapshot_values();
     let (p50, p95, p99) = (
-        percentile(&latencies, 50.0),
-        percentile(&latencies, 95.0),
-        percentile(&latencies, 99.0),
+        lat.quantile_ms(0.50),
+        lat.quantile_ms(0.95),
+        lat.quantile_ms(0.99),
     );
-    let (fb_p50, fb_p99) = (percentile(&first_bytes, 50.0), percentile(&first_bytes, 99.0));
+    let (fb_p50, fb_p99) = (fb.quantile_ms(0.50), fb.quantile_ms(0.99));
     let coalesce_total = stats.coalesce_leaders + stats.coalesce_joins;
     let coalesce_rate = if coalesce_total == 0 {
         0.0
@@ -575,6 +643,10 @@ fn main() {
             vec!["coalesce leaders".into(), stats.coalesce_leaders.to_string()],
             vec!["coalesce joins".into(), stats.coalesce_joins.to_string()],
             vec!["coalescing rate".into(), format!("{coalesce_rate:.3}")],
+            vec![
+                "metrics overhead (%)".into(),
+                format!("{metrics_overhead_pct:.2}"),
+            ],
         ],
     );
 
@@ -612,6 +684,7 @@ fn main() {
         ("coalesce_leaders".into(), i(stats.coalesce_leaders)),
         ("coalesce_joins".into(), i(stats.coalesce_joins)),
         ("coalescing_rate".into(), f(coalesce_rate)),
+        ("metrics_overhead_pct".into(), f(metrics_overhead_pct)),
         ("busy_rejections".into(), i(stats.busy_rejections)),
         ("lint_denials".into(), i(stats.lint_denials)),
         ("errors".into(), i(stats.errors)),
@@ -640,6 +713,7 @@ fn main() {
             "first_byte_p99_ms": fb_p99,
             "coalesce_joins": stats.coalesce_joins,
             "queue_depth_max": stats.queue_depth_max,
+            "metrics_overhead_pct": metrics_overhead_pct,
         }),
     );
 

@@ -592,6 +592,7 @@ pub fn serve(
         queue_capacity: queue,
         reactors,
         profile,
+        metrics: synergy_telemetry::Metrics::enabled(),
         ..synergy_serve::ServeConfig::default()
     })
     .map_err(|e| UsageError(format!("cannot bind `{addr}`: {e}")))?;
@@ -601,7 +602,15 @@ pub fn serve(
     // Parked on the server's drain condvar — no polling loop; the drain
     // request wakes this thread the moment the flag flips.
     handle.wait_for_drain();
+    // Persist the last metrics snapshot before the registry goes away so
+    // post-mortem tooling can read what the daemon saw at drain time.
+    let final_snapshot = synergy_serve::snapshot_to_wire(&handle.metrics_snapshot()).encode();
     let stats = handle.join();
+    if std::fs::create_dir_all("experiments").is_ok() {
+        if let Err(e) = std::fs::write("experiments/metrics_final.json", &final_snapshot) {
+            w(writeln!(out, "warning: could not write metrics_final.json: {e}"))?;
+        }
+    }
     w(writeln!(
         out,
         "drained: {} connections, {} requests enqueued, {} responses, \
@@ -615,6 +624,63 @@ pub fn serve(
         stats.queue_depth_max,
     ))?;
     Ok(())
+}
+
+/// `synergy metrics [--addr ...] [--format json|openmetrics] [--watch SECS]`
+///
+/// Scrapes a running daemon's live metrics snapshot. `json` prints the
+/// wire-format snapshot verbatim; `openmetrics` renders the same
+/// snapshot as OpenMetrics exposition text. With `--watch SECS` the
+/// scrape repeats every SECS seconds until the daemon goes away (the
+/// first scrape must succeed; later failures end the loop cleanly).
+pub fn metrics(
+    out: &mut dyn Write,
+    addr: &str,
+    format: &str,
+    watch: Option<u64>,
+) -> Result<(), UsageError> {
+    let w = |r: std::io::Result<()>| r.map_err(|e| UsageError(e.to_string()));
+    let mut first = true;
+    loop {
+        let scraped = scrape_metrics(addr);
+        let snapshot = match scraped {
+            Ok(s) => s,
+            Err(e) if first => return Err(e),
+            Err(_) => return Ok(()),
+        };
+        match format {
+            "json" => w(writeln!(out, "{}", snapshot.encode()))?,
+            "openmetrics" => {
+                let snap = synergy_serve::snapshot_from_wire(&snapshot)
+                    .map_err(|e| UsageError(format!("malformed metrics snapshot: {e}")))?;
+                w(write!(
+                    out,
+                    "{}",
+                    synergy_telemetry::expose::render_openmetrics(&snap)
+                ))?;
+            }
+            other => return Err(UsageError(format!("unknown metrics format `{other}`"))),
+        }
+        w(out.flush())?;
+        match watch {
+            Some(secs) => std::thread::sleep(std::time::Duration::from_secs(secs.max(1))),
+            None => return Ok(()),
+        }
+        first = false;
+    }
+}
+
+fn scrape_metrics(addr: &str) -> Result<synergy_serve::Json, UsageError> {
+    let mut client = synergy_serve::Client::connect(addr)
+        .map_err(|e| UsageError(format!("cannot connect to `{addr}`: {e}")))?;
+    match client.metrics() {
+        Ok(synergy_serve::Response::MetricsReply { snapshot }) => Ok(snapshot),
+        Ok(other) => Err(UsageError(format!(
+            "unexpected `{}` reply to metrics request",
+            other.op()
+        ))),
+        Err(e) => Err(UsageError(format!("metrics request failed: {e}"))),
+    }
 }
 
 /// `synergy request <op> ... [--addr ...] [--deadline ms]`
@@ -695,6 +761,9 @@ pub fn request(
             }
             .encode();
             w(writeln!(out, "{}", String::from_utf8_lossy(&rendered)))?;
+        }
+        synergy_serve::Response::MetricsReply { snapshot } => {
+            w(writeln!(out, "{}", snapshot.encode()))?;
         }
         synergy_serve::Response::Busy { retry_after_ms } => {
             w(writeln!(out, "busy: retry after {retry_after_ms} ms"))?;

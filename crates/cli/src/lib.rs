@@ -27,9 +27,12 @@
 //!   telemetry on and export a Chrome/Perfetto trace;
 //! * `serve [--addr host:port] [--workers N] [--queue N] [--reactors N] [--small]` —
 //!   run the `synergy-serve` tuning daemon until a client drains it;
+//! * `metrics [<addr>] [--format json|openmetrics] [--watch SECS]` —
+//!   scrape a running daemon's live metrics snapshot, as the JSON wire
+//!   form or OpenMetrics exposition text;
 //! * `request <op> ... [--addr host:port] [--deadline ms]` — send one
-//!   request (`ping`, `stats`, `drain`, `compile`, `sweep`, `predict`)
-//!   to a running daemon and render the reply.
+//!   request (`ping`, `stats`, `metrics`, `drain`, `compile`, `sweep`,
+//!   `predict`) to a running daemon and render the reply.
 
 #![warn(missing_docs)]
 
@@ -124,6 +127,15 @@ pub enum Command {
         reactors: usize,
         /// Use the fast training profile (coarser sweep stride).
         small: bool,
+    },
+    /// Scrape a running daemon's live metrics snapshot.
+    Metrics {
+        /// Daemon address to connect to.
+        addr: String,
+        /// Output format: `json` or `openmetrics`.
+        format: String,
+        /// Re-scrape every N seconds until the daemon goes away.
+        watch: Option<u64>,
     },
     /// Send one request to a running daemon.
     Request {
@@ -441,6 +453,54 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Us
                 small,
             })
         }
+        "metrics" => {
+            let mut addr = "127.0.0.1:7411".to_string();
+            let mut format = "json".to_string();
+            let mut watch: Option<u64> = None;
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--addr" => {
+                        addr = it
+                            .next()
+                            .ok_or_else(|| UsageError("--addr needs a value".into()))?
+                            .clone();
+                    }
+                    "--format" => {
+                        format = it
+                            .next()
+                            .ok_or_else(|| UsageError("--format needs a value".into()))?
+                            .clone();
+                    }
+                    "--watch" => {
+                        let secs: u64 = it
+                            .next()
+                            .ok_or_else(|| UsageError("--watch needs a value".into()))?
+                            .parse()
+                            .map_err(|_| UsageError("--watch must be seconds".into()))?;
+                        if secs == 0 {
+                            return Err(UsageError("--watch must be positive".into()));
+                        }
+                        watch = Some(secs);
+                    }
+                    flag if flag.starts_with("--") => {
+                        return Err(UsageError(format!("unknown metrics flag `{flag}`")));
+                    }
+                    // `synergy metrics 127.0.0.1:7411` — bare positional
+                    // address, matching the issue's short form.
+                    word => addr = word.to_string(),
+                }
+            }
+            if !matches!(format.as_str(), "json" | "openmetrics") {
+                return Err(UsageError(format!(
+                    "--format must be json or openmetrics, not `{format}`"
+                )));
+            }
+            Ok(Command::Metrics {
+                addr,
+                format,
+                watch,
+            })
+        }
         "request" => {
             let mut addr = "127.0.0.1:7411".to_string();
             let mut deadline_ms = 0u64;
@@ -522,6 +582,7 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Us
             let req = match op.as_str() {
                 "ping" => synergy_serve::Request::Ping,
                 "stats" => synergy_serve::Request::Stats,
+                "metrics" => synergy_serve::Request::Metrics,
                 "drain" => synergy_serve::Request::Drain,
                 "compile" => synergy_serve::Request::Compile {
                     bench: pos
@@ -584,7 +645,8 @@ USAGE:
   synergy scaling [--gpus N] [--app cloverleaf|miniweather]
   synergy trace <bench> [--device v100|...] [--target ES_50] [--out trace.json] [--summary]
   synergy serve [--addr 127.0.0.1:7411] [--workers N] [--queue N] [--reactors N] [--small]
-  synergy request ping|stats|drain [--addr ...] [--deadline ms]
+  synergy metrics [<addr>] [--addr 127.0.0.1:7411] [--format json|openmetrics] [--watch SECS]
+  synergy request ping|stats|metrics|drain [--addr ...] [--deadline ms]
   synergy request compile <bench> [--device v100|...] [--targets ES_50,MIN_EDP] [--addr ...]
   synergy request sweep <bench> [--device v100|...] [--addr ...]
   synergy request predict --features v1,v2,... [--device v100|...] [--mem MHz] [--core MHz]
@@ -800,6 +862,42 @@ mod tests {
     }
 
     #[test]
+    fn metrics_parses_flags_and_defaults() {
+        assert_eq!(
+            parse_args(args("metrics")).unwrap(),
+            Command::Metrics {
+                addr: "127.0.0.1:7411".into(),
+                format: "json".into(),
+                watch: None
+            }
+        );
+        assert_eq!(
+            parse_args(args("metrics 127.0.0.1:7500 --format openmetrics --watch 2")).unwrap(),
+            Command::Metrics {
+                addr: "127.0.0.1:7500".into(),
+                format: "openmetrics".into(),
+                watch: Some(2)
+            }
+        );
+        assert_eq!(
+            parse_args(args("metrics --addr 10.0.0.1:7411")).unwrap(),
+            Command::Metrics {
+                addr: "10.0.0.1:7411".into(),
+                format: "json".into(),
+                watch: None
+            }
+        );
+    }
+
+    #[test]
+    fn metrics_rejects_bad_invocations() {
+        assert!(parse_args(args("metrics --format yaml")).is_err());
+        assert!(parse_args(args("metrics --watch 0")).is_err());
+        assert!(parse_args(args("metrics --watch soon")).is_err());
+        assert!(parse_args(args("metrics --frob")).is_err());
+    }
+
+    #[test]
     fn request_parses_each_operation() {
         assert_eq!(
             parse_args(args("request ping")).unwrap(),
@@ -807,6 +905,14 @@ mod tests {
                 addr: "127.0.0.1:7411".into(),
                 deadline_ms: 0,
                 req: synergy_serve::Request::Ping
+            }
+        );
+        assert_eq!(
+            parse_args(args("request metrics")).unwrap(),
+            Command::Request {
+                addr: "127.0.0.1:7411".into(),
+                deadline_ms: 0,
+                req: synergy_serve::Request::Metrics
             }
         );
         assert_eq!(

@@ -100,6 +100,11 @@ fn main() -> ExitCode {
             small,
         } => commands::serve(&mut out, &addr, workers, queue, reactors, small)
             .map_err(|e| e.to_string()),
+        Command::Metrics {
+            addr,
+            format,
+            watch,
+        } => commands::metrics(&mut out, &addr, &format, watch).map_err(|e| e.to_string()),
         Command::Request {
             addr,
             deadline_ms,

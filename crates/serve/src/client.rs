@@ -133,6 +133,11 @@ impl Client {
         self.request(Request::Stats)
     }
 
+    /// Fetch the server's live metrics snapshot.
+    pub fn metrics(&mut self) -> Result<Response, ClientError> {
+        self.request(Request::Metrics)
+    }
+
     /// Ask the server to drain.
     pub fn drain(&mut self) -> Result<Response, ClientError> {
         self.request(Request::Drain)

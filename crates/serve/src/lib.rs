@@ -64,7 +64,10 @@ pub use client::{Client, ClientError};
 pub use frame::FrameBuffer;
 pub use synergy_analyze::json::{Json, JsonError};
 pub use protocol::{
-    frame_bytes, read_frame, write_frame, Decision, ErrorKind, FrameError, Request, RequestFrame,
-    Response, ResponseFrame, SweepPoint, WireDiagnostic, MAX_FRAME_LEN,
+    frame_bytes, read_frame, write_frame, Decision, ErrorKind, FrameError, KindPercentiles,
+    Request, RequestFrame, Response, ResponseFrame, SweepPoint, WireDiagnostic, MAX_FRAME_LEN,
 };
-pub use server::{spawn, ModelProfile, ServeConfig, ServerHandle, StatsSnapshot};
+pub use server::{
+    snapshot_from_wire, snapshot_to_wire, spawn, ModelProfile, ServeConfig, ServerHandle,
+    StatsSnapshot,
+};

@@ -165,6 +165,10 @@ pub enum Request {
     },
     /// Server counters snapshot.
     Stats,
+    /// Live metrics snapshot: every counter, gauge and latency histogram
+    /// plus the fleet cost rollup, as a JSON document (see
+    /// [`Response::MetricsReply`]).
+    Metrics,
     /// Begin graceful shutdown: stop accepting, finish queued work.
     Drain,
 }
@@ -178,6 +182,7 @@ impl Request {
             Request::Predict { .. } => "predict",
             Request::Sweep { .. } => "sweep",
             Request::Stats => "stats",
+            Request::Metrics => "metrics",
             Request::Drain => "drain",
         }
     }
@@ -207,6 +212,22 @@ pub struct SweepPoint {
     pub time_s: f64,
     /// Measured energy, joules.
     pub energy_j: f64,
+}
+
+/// Latency percentiles for one request kind, carried in a
+/// [`Response::StatsReply`]. Sourced from the server's log-bucketed
+/// end-to-end histograms, so each value is within the histogram's
+/// bounded relative error (6.25%) of the exact order statistic.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KindPercentiles {
+    /// Request kind (`compile`, `predict`, `sweep`, `ping`).
+    pub kind: String,
+    /// Median end-to-end latency, milliseconds.
+    pub p50_ms: f64,
+    /// 95th-percentile end-to-end latency, milliseconds.
+    pub p95_ms: f64,
+    /// 99th-percentile end-to-end latency, milliseconds.
+    pub p99_ms: f64,
 }
 
 /// One `synergy-analyze` diagnostic carried in an error response.
@@ -318,6 +339,10 @@ pub enum Response {
         queue_depth_max: u64,
         /// Whether the server is draining.
         draining: bool,
+        /// Per-request-kind end-to-end latency percentiles, sorted by
+        /// kind. Empty when the server runs with metrics disabled (and
+        /// when decoding frames from servers predating the field).
+        percentiles: Vec<KindPercentiles>,
     },
     /// Admission control: the queue is full, try again later.
     Busy {
@@ -328,6 +353,13 @@ pub enum Response {
     Draining {
         /// Requests still in flight at rejection time.
         pending: u64,
+    },
+    /// Reply to [`Request::Metrics`]: the full metrics snapshot as a
+    /// JSON document (counters, gauges, histograms, cost rollup) in the
+    /// shape produced by `synergy_telemetry::MetricsSnapshot`.
+    MetricsReply {
+        /// The snapshot document.
+        snapshot: Json,
     },
     /// The request's deadline expired before a worker picked it up.
     Expired {
@@ -354,6 +386,7 @@ impl Response {
             Response::Predicted { .. } => "predicted",
             Response::SweepFront { .. } => "sweep_front",
             Response::StatsReply { .. } => "stats",
+            Response::MetricsReply { .. } => "metrics",
             Response::Busy { .. } => "busy",
             Response::Draining { .. } => "draining",
             Response::Expired { .. } => "expired",
@@ -399,7 +432,7 @@ impl RequestFrame {
             ("op", Json::Str(self.req.op().to_string())),
         ];
         match &self.req {
-            Request::Ping | Request::Stats | Request::Drain => {}
+            Request::Ping | Request::Stats | Request::Metrics | Request::Drain => {}
             Request::Compile {
                 bench,
                 device,
@@ -444,6 +477,7 @@ impl RequestFrame {
         let req = match op {
             "ping" => Request::Ping,
             "stats" => Request::Stats,
+            "metrics" => Request::Metrics,
             "drain" => Request::Drain,
             "compile" => Request::Compile {
                 bench: v.str_field("bench")?.to_string(),
@@ -580,6 +614,7 @@ impl ResponseFrame {
                 queue_depth,
                 queue_depth_max,
                 draining,
+                percentiles,
             } => {
                 fields.push(("connections", Json::Int(*connections as i128)));
                 fields.push(("enqueued", Json::Int(*enqueued as i128)));
@@ -593,6 +628,25 @@ impl ResponseFrame {
                 fields.push(("queue_depth", Json::Int(*queue_depth as i128)));
                 fields.push(("queue_depth_max", Json::Int(*queue_depth_max as i128)));
                 fields.push(("draining", Json::Bool(*draining)));
+                fields.push((
+                    "percentiles",
+                    Json::Arr(
+                        percentiles
+                            .iter()
+                            .map(|p| {
+                                Json::obj(vec![
+                                    ("kind", Json::Str(p.kind.clone())),
+                                    ("p50_ms", Json::Num(p.p50_ms)),
+                                    ("p95_ms", Json::Num(p.p95_ms)),
+                                    ("p99_ms", Json::Num(p.p99_ms)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ));
+            }
+            Response::MetricsReply { snapshot } => {
+                fields.push(("snapshot", snapshot.clone()));
             }
             Response::Busy { retry_after_ms } => {
                 fields.push(("retry_after_ms", Json::Int(*retry_after_ms as i128)));
@@ -692,6 +746,29 @@ impl ResponseFrame {
                 queue_depth: v.u64_field("queue_depth")?,
                 queue_depth_max: v.u64_field("queue_depth_max")?,
                 draining: v.bool_field("draining")?,
+                // Additive field: frames from servers predating it
+                // decode to an empty list.
+                percentiles: match v.get("percentiles") {
+                    None => Vec::new(),
+                    Some(_) => {
+                        let mut out = Vec::new();
+                        for p in v.arr_field("percentiles")? {
+                            out.push(KindPercentiles {
+                                kind: p.str_field("kind")?.to_string(),
+                                p50_ms: p.f64_field("p50_ms")?,
+                                p95_ms: p.f64_field("p95_ms")?,
+                                p99_ms: p.f64_field("p99_ms")?,
+                            });
+                        }
+                        out
+                    }
+                },
+            },
+            "metrics" => Response::MetricsReply {
+                snapshot: v
+                    .get("snapshot")
+                    .ok_or_else(|| FrameError::Malformed("missing snapshot".to_string()))?
+                    .clone(),
             },
             "busy" => Response::Busy {
                 retry_after_ms: v.u64_field("retry_after_ms")?,
@@ -790,6 +867,11 @@ mod tests {
             deadline_ms: 0,
             req: Request::Drain,
         });
+        rt_req(RequestFrame {
+            id: 6,
+            deadline_ms: 0,
+            req: Request::Metrics,
+        });
     }
 
     #[test]
@@ -849,11 +931,41 @@ mod tests {
                 queue_depth: 10,
                 queue_depth_max: 11,
                 draining: true,
+                percentiles: vec![
+                    KindPercentiles {
+                        kind: "compile".to_string(),
+                        p50_ms: 1.5,
+                        p95_ms: 4.25,
+                        p99_ms: 9.0,
+                    },
+                    KindPercentiles {
+                        kind: "ping".to_string(),
+                        p50_ms: 0.031,
+                        p95_ms: 0.062,
+                        p99_ms: 0.125,
+                    },
+                ],
             },
         });
         rt_resp(ResponseFrame {
             id: 12,
             resp: Response::Busy { retry_after_ms: 25 },
+        });
+        rt_resp(ResponseFrame {
+            id: 21,
+            resp: Response::MetricsReply {
+                snapshot: Json::obj(vec![
+                    ("uptime_s", Json::Num(1.25)),
+                    (
+                        "counters",
+                        Json::Arr(vec![Json::obj(vec![
+                            ("name", Json::Str("synergy_serve_responses_total".into())),
+                            ("labels", Json::Arr(vec![])),
+                            ("value", Json::Num(42.0)),
+                        ])]),
+                    ),
+                ]),
+            },
         });
         rt_resp(ResponseFrame {
             id: 13,
@@ -876,6 +988,20 @@ mod tests {
                 }],
             },
         });
+    }
+
+    #[test]
+    fn stats_without_percentiles_stays_wire_compatible() {
+        // A frame from a server predating the percentiles field.
+        let legacy = br#"{"id":3,"op":"stats","connections":1,"enqueued":2,"busy_rejections":0,"expired":0,"responses":2,"coalesce_leaders":0,"coalesce_joins":0,"lint_denials":0,"errors":0,"queue_depth":0,"queue_depth_max":1,"draining":false}"#;
+        let frame = ResponseFrame::decode(legacy).unwrap();
+        match frame.resp {
+            Response::StatsReply { percentiles, connections, .. } => {
+                assert_eq!(connections, 1);
+                assert!(percentiles.is_empty());
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
     }
 
     #[test]

@@ -65,6 +65,13 @@ pub(crate) trait ConnEvents: Send + Sync {
     fn draining(&self) -> bool;
     /// Whether shards should stop reading, flush, and exit.
     fn shutdown(&self) -> bool;
+    /// Whether the server wants per-shard loop/flush timings. Checked
+    /// once at shard start; `false` keeps clock reads off the loop.
+    fn wants_timings(&self) -> bool;
+    /// One readiness dispatch pass (post-`poll` work) took `dur`.
+    fn on_loop_pass(&self, shard: usize, dur: Duration);
+    /// One outbox flush attempt with pending bytes took `dur`.
+    fn on_flush(&self, shard: usize, dur: Duration);
 }
 
 /// Queued response bytes for one connection, appended by workers,
@@ -171,10 +178,12 @@ pub(crate) fn spawn_reactor(
         mailboxes.push(Arc::new(Mutex::new(Vec::new())));
     }
     let conn_ids = Arc::new(AtomicU64::new(0));
+    let timed = events.wants_timings();
     let mut handles = Vec::with_capacity(shards);
     for (idx, wake_rx) in receivers.into_iter().enumerate() {
         let shard = Shard {
             idx,
+            timed,
             listener: if idx == 0 { Some(listener.try_clone()?) } else { None },
             events: Arc::clone(&events),
             wake_rx,
@@ -220,6 +229,8 @@ enum Gone {
 
 struct Shard {
     idx: usize,
+    /// Metrics are live: time dispatch passes and outbox flushes.
+    timed: bool,
     listener: Option<TcpListener>,
     events: Arc<dyn ConnEvents>,
     wake_rx: WakeReceiver,
@@ -315,6 +326,10 @@ impl Shard {
                 continue;
             }
 
+            // Time the dispatch pass (everything after the blocking
+            // poll), never the wait itself.
+            let pass_started = self.timed.then(Instant::now);
+
             if fds[0].readable() {
                 self.wake_rx.drain();
             }
@@ -335,6 +350,10 @@ impl Shard {
                     // plane responses are queued during read handling.
                     self.flush_ready(slot);
                 }
+            }
+
+            if let Some(t) = pass_started {
+                self.events.on_loop_pass(self.idx, t.elapsed());
             }
         }
     }
@@ -449,6 +468,7 @@ impl Shard {
         let Some(c) = self.conns[slot].as_mut() else {
             return;
         };
+        let flush_started = (self.timed && c.handle.outbox.has_pending()).then(Instant::now);
         let failed = {
             let mut inner = c.handle.outbox.inner.lock();
             let mut failed = false;
@@ -472,6 +492,9 @@ impl Shard {
             }
             failed
         };
+        if let Some(t) = flush_started {
+            self.events.on_flush(self.idx, t.elapsed());
+        }
         if failed {
             self.drop_conn(slot);
         }

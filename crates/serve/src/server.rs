@@ -67,11 +67,15 @@ use synergy_metrics::{EnergyTarget, MetricPoint};
 use synergy_ml::{MetricModels, ModelSelection};
 use synergy_rt::{clock_grid, compile_application_traced, measured_sweep, ModelStore};
 use synergy_sim::DeviceSpec;
-use synergy_telemetry::{EventKind, Recorder, ServeOp};
+use synergy_telemetry::{
+    CostSnapshot, Counter, EventKind, Gauge, Histo, HistogramSample, HistogramValues, Labels,
+    Metrics, MetricsSnapshot, Recorder, Sample, ServeOp,
+};
 
+use crate::json::{Json, JsonError};
 use crate::protocol::{
-    Decision, ErrorKind, Request, RequestFrame, Response, ResponseFrame, SweepPoint,
-    WireDiagnostic,
+    Decision, ErrorKind, KindPercentiles, Request, RequestFrame, Response, ResponseFrame,
+    SweepPoint, WireDiagnostic,
 };
 use crate::reactor::{spawn_reactor, ConnEvents, ConnHandle, Reactor};
 
@@ -127,6 +131,12 @@ pub struct ServeConfig {
     pub store: Option<Arc<ModelStore>>,
     /// Telemetry sink; disabled by default.
     pub recorder: Arc<Recorder>,
+    /// Live metrics registry; disabled by default. Pass
+    /// [`Metrics::enabled`] (or `enabled_with` for a custom $/kWh) to
+    /// get per-request-kind latency histograms, queue/in-flight gauges,
+    /// reactor shard timings and the running cost rollup, scrapeable via
+    /// `Request::Metrics`.
+    pub metrics: Metrics,
 }
 
 impl Default for ServeConfig {
@@ -142,6 +152,7 @@ impl Default for ServeConfig {
             compute_delay: Duration::ZERO,
             store: None,
             recorder: Arc::new(Recorder::disabled()),
+            metrics: Metrics::disabled(),
         }
     }
 }
@@ -175,25 +186,6 @@ pub struct StatsSnapshot {
     pub draining: bool,
 }
 
-impl StatsSnapshot {
-    fn to_response(self) -> Response {
-        Response::StatsReply {
-            connections: self.connections,
-            enqueued: self.enqueued,
-            busy_rejections: self.busy_rejections,
-            expired: self.expired,
-            responses: self.responses,
-            coalesce_leaders: self.coalesce_leaders,
-            coalesce_joins: self.coalesce_joins,
-            lint_denials: self.lint_denials,
-            errors: self.errors,
-            queue_depth: self.queue_depth,
-            queue_depth_max: self.queue_depth_max,
-            draining: self.draining,
-        }
-    }
-}
-
 #[derive(Default)]
 struct Counters {
     connections: AtomicU64,
@@ -215,6 +207,102 @@ impl Counters {
 
     fn watermark_depth(&self, depth: u64) {
         self.queue_depth_max.fetch_max(depth, Ordering::Relaxed);
+    }
+}
+
+/// Protocol ops in sorted order, one instrument bundle each.
+const REQUEST_KINDS: [&str; 7] = [
+    "compile", "drain", "metrics", "ping", "predict", "stats", "sweep",
+];
+
+/// The per-request-kind latency instruments.
+struct KindInstruments {
+    kind: &'static str,
+    /// Requests of this kind seen (counted at frame decode, before any
+    /// admission decision).
+    requests: Counter,
+    /// End-to-end: frame decode (control plane) or admission (data
+    /// plane) to response queued.
+    e2e: Histo,
+    /// Admission to dequeue (data plane only).
+    queue_wait: Histo,
+    /// Time inside `compute` (coalesce leaders and uncoalesced work).
+    service: Histo,
+}
+
+/// Every cached metrics handle the serve stack touches. Built once at
+/// spawn; when the registry is disabled every handle is a no-op and
+/// `enabled` short-circuits the few paths that would otherwise read the
+/// clock or a lock.
+struct Instruments {
+    metrics: Metrics,
+    enabled: bool,
+    kinds: Vec<KindInstruments>,
+    queue_depth: Gauge,
+    in_flight: Gauge,
+    connections: Counter,
+    enqueued: Counter,
+    busy: Counter,
+    expired: Counter,
+    responses: Counter,
+    errors: Counter,
+    coalesce_leaders: Counter,
+    coalesce_joins: Counter,
+    lint_denials: Counter,
+    /// Per-reactor-shard dispatch-pass timings, indexed by shard.
+    reactor_loop: Vec<Histo>,
+    /// Per-reactor-shard outbox flush timings, indexed by shard.
+    outbox_flush: Vec<Histo>,
+}
+
+impl Instruments {
+    fn new(metrics: Metrics, shards: usize) -> Instruments {
+        let m = &metrics;
+        let kinds = REQUEST_KINDS
+            .iter()
+            .map(|&kind| KindInstruments {
+                kind,
+                requests: m.counter("synergy_requests_total", &[("kind", kind)]),
+                e2e: m.histogram("synergy_request_seconds", &[("kind", kind)]),
+                queue_wait: m.histogram("synergy_queue_wait_seconds", &[("kind", kind)]),
+                service: m.histogram("synergy_service_seconds", &[("kind", kind)]),
+            })
+            .collect();
+        let shard_histo = |name: &str| {
+            (0..shards)
+                .map(|i| m.histogram(name, &[("shard", &i.to_string())]))
+                .collect()
+        };
+        Instruments {
+            enabled: m.is_enabled(),
+            kinds,
+            queue_depth: m.gauge("synergy_queue_depth", &[]),
+            in_flight: m.gauge("synergy_inflight_requests", &[]),
+            connections: m.counter("synergy_connections_total", &[]),
+            enqueued: m.counter("synergy_enqueued_total", &[]),
+            busy: m.counter("synergy_busy_rejections_total", &[]),
+            expired: m.counter("synergy_expired_total", &[]),
+            responses: m.counter("synergy_responses_total", &[]),
+            errors: m.counter("synergy_errors_total", &[]),
+            coalesce_leaders: m.counter("synergy_coalesce_total", &[("role", "leader")]),
+            coalesce_joins: m.counter("synergy_coalesce_total", &[("role", "join")]),
+            lint_denials: m.counter("synergy_lint_denials_total", &[]),
+            reactor_loop: shard_histo("synergy_reactor_loop_seconds"),
+            outbox_flush: shard_histo("synergy_outbox_flush_seconds"),
+            metrics,
+        }
+    }
+
+    /// The instrument bundle for a protocol op. Disabled registries skip
+    /// the name lookup — every bundle is a no-op anyway.
+    fn kind(&self, op: &str) -> &KindInstruments {
+        if !self.enabled {
+            return &self.kinds[0];
+        }
+        match self.kinds.binary_search_by(|k| k.kind.cmp(op)) {
+            Ok(i) => &self.kinds[i],
+            Err(_) => &self.kinds[0],
+        }
     }
 }
 
@@ -307,6 +395,9 @@ struct Job {
 struct Waiter {
     id: u64,
     writer: ConnHandle,
+    /// When this duplicate was admitted — its end-to-end latency runs
+    /// from here, not from the leader's admission.
+    admitted: Instant,
 }
 
 struct Shared {
@@ -316,6 +407,7 @@ struct Shared {
     compute_delay: Duration,
     store: Option<Arc<ModelStore>>,
     recorder: Arc<Recorder>,
+    instruments: Instruments,
     queue: BoundedQueue<Job>,
     counters: Counters,
     draining: AtomicBool,
@@ -359,6 +451,100 @@ impl Shared {
         });
     }
 
+    /// `Some(now)` only when metrics are live: the disabled path never
+    /// reads the clock, keeping the no-op overhead to a branch.
+    fn metrics_clock(&self) -> Option<Instant> {
+        self.instruments.enabled.then(Instant::now)
+    }
+
+    /// Close out a control-plane request's end-to-end histogram.
+    fn finish_control(&self, op: &str, started: Option<Instant>) {
+        if let Some(t) = started {
+            self.instruments.kind(op).e2e.observe(t.elapsed());
+        }
+    }
+
+    /// Per-kind p50/p95/p99 from the end-to-end histograms, for the
+    /// `StatsReply` extension. Empty when metrics are disabled; kinds
+    /// with no traffic are omitted.
+    fn percentiles(&self) -> Vec<KindPercentiles> {
+        if !self.instruments.enabled {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        for ki in &self.instruments.kinds {
+            let v = ki.e2e.values();
+            if v.count == 0 {
+                continue;
+            }
+            out.push(KindPercentiles {
+                kind: ki.kind.to_string(),
+                p50_ms: v.quantile_ms(0.50),
+                p95_ms: v.quantile_ms(0.95),
+                p99_ms: v.quantile_ms(0.99),
+            });
+        }
+        out
+    }
+
+    fn stats_response(&self) -> Response {
+        let s = self.snapshot();
+        Response::StatsReply {
+            connections: s.connections,
+            enqueued: s.enqueued,
+            busy_rejections: s.busy_rejections,
+            expired: s.expired,
+            responses: s.responses,
+            coalesce_leaders: s.coalesce_leaders,
+            coalesce_joins: s.coalesce_joins,
+            lint_denials: s.lint_denials,
+            errors: s.errors,
+            queue_depth: s.queue_depth,
+            queue_depth_max: s.queue_depth_max,
+            draining: s.draining,
+            percentiles: self.percentiles(),
+        }
+    }
+
+    /// A live [`MetricsSnapshot`] with the counters that live outside
+    /// the registry — `ModelStore` cache stats and the recorder's
+    /// overflow drop count — grafted in. Empty when metrics are
+    /// disabled.
+    fn metrics_snapshot(&self) -> MetricsSnapshot {
+        let mut snap = self.instruments.metrics.snapshot();
+        if self.instruments.enabled {
+            let cs = self.store().stats();
+            snap.push_counter(
+                "synergy_model_store_hits_total",
+                &[("tier", "memory")],
+                cs.memory_hits as f64,
+            );
+            snap.push_counter(
+                "synergy_model_store_hits_total",
+                &[("tier", "disk")],
+                cs.disk_hits as f64,
+            );
+            snap.push_counter("synergy_model_store_misses_total", &[], cs.misses as f64);
+            snap.push_counter("synergy_model_store_persists_total", &[], cs.persists as f64);
+            snap.push_counter(
+                "synergy_model_store_evictions_total",
+                &[],
+                cs.evictions as f64,
+            );
+            snap.push_counter(
+                "synergy_model_store_corrupt_files_total",
+                &[],
+                cs.corrupt_files as f64,
+            );
+            snap.push_counter(
+                "synergy_recorder_dropped_events_total",
+                &[],
+                self.recorder.dropped() as f64,
+            );
+        }
+        snap
+    }
+
     fn snapshot(&self) -> StatsSnapshot {
         let c = &self.counters;
         StatsSnapshot {
@@ -394,9 +580,11 @@ impl Shared {
         let op = frame.resp.op();
         if matches!(frame.resp, Response::Error { .. }) {
             self.counters.bump(&self.counters.errors);
+            self.instruments.errors.inc();
         }
         writer.send(&frame.encode_framed());
         self.counters.bump(&self.counters.responses);
+        self.instruments.responses.inc();
         self.serve_event(ServeOp::Respond, writer.conn, frame.id, op);
     }
 }
@@ -407,6 +595,7 @@ impl Shared {
 impl ConnEvents for Shared {
     fn on_accept(&self, conn: u64) {
         self.counters.bump(&self.counters.connections);
+        self.instruments.connections.inc();
         self.serve_event(ServeOp::Accept, conn, 0, "accept");
     }
 
@@ -438,6 +627,22 @@ impl ConnEvents for Shared {
         self.shutdown.load(Ordering::SeqCst)
     }
 
+    fn wants_timings(&self) -> bool {
+        self.instruments.enabled
+    }
+
+    fn on_loop_pass(&self, shard: usize, dur: Duration) {
+        if let Some(h) = self.instruments.reactor_loop.get(shard) {
+            h.observe(dur);
+        }
+    }
+
+    fn on_flush(&self, shard: usize, dur: Duration) {
+        if let Some(h) = self.instruments.outbox_flush.get(shard) {
+            h.observe(dur);
+        }
+    }
+
     fn on_frame(&self, conn: &ConnHandle, payload: &[u8]) {
         let frame = match RequestFrame::decode(payload) {
             Ok(f) => f,
@@ -459,9 +664,11 @@ impl ConnEvents for Shared {
             }
         };
         let id = frame.id;
+        self.instruments.kind(frame.req.op()).requests.inc();
         match frame.req {
             // Control plane: answered here, immune to queue pressure.
             Request::Ping => {
+                let started = self.metrics_clock();
                 self.respond(
                     conn,
                     ResponseFrame {
@@ -469,17 +676,35 @@ impl ConnEvents for Shared {
                         resp: Response::Pong,
                     },
                 );
+                self.finish_control("ping", started);
             }
             Request::Stats => {
+                let started = self.metrics_clock();
                 self.respond(
                     conn,
                     ResponseFrame {
                         id,
-                        resp: self.snapshot().to_response(),
+                        resp: self.stats_response(),
                     },
                 );
+                self.finish_control("stats", started);
+            }
+            Request::Metrics => {
+                let started = self.metrics_clock();
+                let snap = self.metrics_snapshot();
+                self.respond(
+                    conn,
+                    ResponseFrame {
+                        id,
+                        resp: Response::MetricsReply {
+                            snapshot: snapshot_to_wire(&snap),
+                        },
+                    },
+                );
+                self.finish_control("metrics", started);
             }
             Request::Drain => {
+                let started = self.metrics_clock();
                 begin_drain(self);
                 self.respond(
                     conn,
@@ -490,6 +715,7 @@ impl ConnEvents for Shared {
                         },
                     },
                 );
+                self.finish_control("drain", started);
             }
             // Data plane: admission control, then the queue.
             req @ (Request::Compile { .. } | Request::Predict { .. } | Request::Sweep { .. }) => {
@@ -525,10 +751,14 @@ impl ConnEvents for Shared {
                     Ok(depth) => {
                         self.counters.bump(&self.counters.enqueued);
                         self.counters.watermark_depth(depth as u64);
+                        self.instruments.enqueued.inc();
+                        self.instruments.in_flight.add(1);
+                        self.instruments.queue_depth.set(depth as i64);
                         self.serve_event(ServeOp::Enqueue, conn.conn, id, op);
                     }
                     Err(PushError::Full) => {
                         self.counters.bump(&self.counters.busy_rejections);
+                        self.instruments.busy.inc();
                         self.serve_event(ServeOp::Busy, conn.conn, id, op);
                         self.respond(
                             conn,
@@ -575,6 +805,13 @@ impl ServerHandle {
     /// Current counters.
     pub fn stats(&self) -> StatsSnapshot {
         self.shared.snapshot()
+    }
+
+    /// A live metrics snapshot — the same view `Request::Metrics`
+    /// returns, with model-store and recorder-drop counters grafted in.
+    /// Empty (default) when metrics are disabled.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.shared.metrics_snapshot()
     }
 
     /// Begin graceful shutdown: stop accepting connections, answer new
@@ -642,6 +879,7 @@ pub fn spawn(config: ServeConfig) -> std::io::Result<ServerHandle> {
         compute_delay: config.compute_delay,
         store: config.store,
         recorder: config.recorder,
+        instruments: Instruments::new(config.metrics, config.reactors.max(1)),
         queue: BoundedQueue::new(config.queue_capacity.max(1)),
         counters: Counters::default(),
         draining: AtomicBool::new(false),
@@ -677,12 +915,25 @@ pub fn spawn(config: ServeConfig) -> std::io::Result<ServerHandle> {
 
 fn worker_loop(shared: &Arc<Shared>) {
     while let Some(job) = shared.queue.pop() {
+        let inst = &shared.instruments;
+        if inst.enabled {
+            inst.queue_depth.set(shared.queue.len() as i64);
+        }
         let waited = job.admitted.elapsed();
         let id = job.frame.id;
         let conn = job.writer.conn;
+        let op = job.frame.req.op();
+        let ki = inst.kind(op);
+        ki.queue_wait.observe(waited);
         if waited > job.deadline {
             shared.counters.bump(&shared.counters.expired);
-            shared.serve_event(ServeOp::Expire, conn, id, job.frame.req.op());
+            inst.expired.inc();
+            shared.serve_event(ServeOp::Expire, conn, id, op);
+            // Instruments settle *before* the response is queued: once
+            // the client can see the reply, a scrape must already count
+            // this request (the e2e metrics test relies on that order).
+            ki.e2e.observe(waited);
+            inst.in_flight.add(-1);
             shared.respond(
                 &job.writer,
                 ResponseFrame {
@@ -694,7 +945,7 @@ fn worker_loop(shared: &Arc<Shared>) {
             );
             continue;
         }
-        shared.serve_event(ServeOp::Dispatch, conn, id, job.frame.req.op());
+        shared.serve_event(ServeOp::Dispatch, conn, id, op);
 
         // Coalescable ops first check the in-flight table.
         if let Some(key) = coalesce_key(&job.frame.req) {
@@ -703,21 +954,34 @@ fn worker_loop(shared: &Arc<Shared>) {
                 waiters.push(Waiter {
                     id,
                     writer: job.writer.clone(),
+                    admitted: job.admitted,
                 });
                 shared.counters.bump(&shared.counters.coalesce_joins);
+                inst.coalesce_joins.inc();
                 shared.serve_event(ServeOp::CoalesceJoin, conn, id, &key);
                 continue;
             }
             inflight.insert(key.clone(), Vec::new());
             drop(inflight);
             shared.counters.bump(&shared.counters.coalesce_leaders);
+            inst.coalesce_leaders.inc();
 
+            let service_started = shared.metrics_clock();
             let resp = compute(shared, &job.frame.req);
+            if let Some(t) = service_started {
+                ki.service.observe(t.elapsed());
+            }
 
             // Claim the waiters *before* responding so a duplicate
             // arriving now starts its own computation instead of
             // joining a finished one.
             let waiters = shared.inflight.lock().remove(&key).unwrap_or_default();
+            // Observe before responding, so a scrape racing the reply
+            // already counts the finished request.
+            if inst.enabled {
+                ki.e2e.observe(job.admitted.elapsed());
+            }
+            inst.in_flight.add(-1);
             shared.respond(
                 &job.writer,
                 ResponseFrame {
@@ -726,6 +990,10 @@ fn worker_loop(shared: &Arc<Shared>) {
                 },
             );
             for w in waiters {
+                if inst.enabled {
+                    ki.e2e.observe(w.admitted.elapsed());
+                }
+                inst.in_flight.add(-1);
                 shared.respond(
                     &w.writer,
                     ResponseFrame {
@@ -735,7 +1003,15 @@ fn worker_loop(shared: &Arc<Shared>) {
                 );
             }
         } else {
+            let service_started = shared.metrics_clock();
             let resp = compute(shared, &job.frame.req);
+            if let Some(t) = service_started {
+                ki.service.observe(t.elapsed());
+            }
+            if inst.enabled {
+                ki.e2e.observe(job.admitted.elapsed());
+            }
+            inst.in_flight.add(-1);
             shared.respond(&job.writer, ResponseFrame { id, resp });
         }
     }
@@ -847,10 +1123,13 @@ fn compute(shared: &Shared, req: &Request) -> Response {
             mem_mhz,
             core_mhz,
         } => compute_predict(shared, device, features, *mem_mhz, *core_mhz),
-        Request::Sweep { bench, device } => compute_sweep(bench, device),
+        Request::Sweep { bench, device } => compute_sweep(shared, bench, device),
         // Control-plane ops never reach the queue.
         Request::Ping => Response::Pong,
-        Request::Stats => shared.snapshot().to_response(),
+        Request::Stats => shared.stats_response(),
+        Request::Metrics => Response::MetricsReply {
+            snapshot: snapshot_to_wire(&shared.metrics_snapshot()),
+        },
         Request::Drain => Response::Draining { pending: 0 },
     }
 }
@@ -927,6 +1206,7 @@ fn compute_compile(shared: &Shared, bench: &str, device: &str, targets: &[String
         },
         Err(e) => {
             shared.counters.bump(&shared.counters.lint_denials);
+            shared.instruments.lint_denials.inc();
             Response::Error {
                 kind: ErrorKind::LintDeny,
                 message: format!(
@@ -981,7 +1261,7 @@ fn compute_predict(
     }
 }
 
-fn compute_sweep(bench: &str, device: &str) -> Response {
+fn compute_sweep(shared: &Shared, bench: &str, device: &str) -> Response {
     let Some(spec) = device_spec(device) else {
         return bad_request(format!("unknown device `{device}`"));
     };
@@ -989,6 +1269,10 @@ fn compute_sweep(bench: &str, device: &str) -> Response {
         return bad_request(format!("unknown benchmark `{bench}`"));
     };
     let points = measured_sweep(&spec, &b.ir, b.work_items);
+    // Measured (simulated-profiler) energy rolls into the per-device
+    // cost counters the TCO rollup sums.
+    let joules: f64 = points.iter().map(|p| p.energy_j).sum();
+    shared.instruments.metrics.add_energy_joules(&spec.name, joules);
     let configurations = points.len() as u64;
     Response::SweepFront {
         device: device.to_string(),
@@ -1024,6 +1308,207 @@ fn pareto_front(mut points: Vec<MetricPoint>) -> Vec<SweepPoint> {
         }
     }
     front
+}
+
+// ---------------------------------------------------------------------------
+// MetricsSnapshot <-> wire JSON
+// ---------------------------------------------------------------------------
+//
+// The snapshot crosses the wire (and lands in `metrics_final.json`)
+// through the protocol's own hand-rolled codec, not serde: the serve
+// stack must not depend on a JSON library for its runtime path. Tuples
+// encode as two-element arrays, mirroring the serde layout, so the two
+// renderings of a snapshot agree structurally.
+
+fn wire_schema(field: &'static str, expected: &'static str) -> JsonError {
+    JsonError::Schema {
+        field: field.to_string(),
+        expected,
+    }
+}
+
+fn labels_to_wire(labels: &Labels) -> Json {
+    Json::Arr(
+        labels
+            .iter()
+            .map(|(k, v)| Json::Arr(vec![Json::Str(k.clone()), Json::Str(v.clone())]))
+            .collect(),
+    )
+}
+
+fn labels_from_wire(v: Option<&Json>) -> Result<Labels, JsonError> {
+    let Some(Json::Arr(items)) = v else {
+        return Err(wire_schema("labels", "an array of [key, value] pairs"));
+    };
+    let mut out = Labels::with_capacity(items.len());
+    for pair in items {
+        let Json::Arr(kv) = pair else {
+            return Err(wire_schema("labels", "an array of [key, value] pairs"));
+        };
+        match (kv.first().and_then(Json::as_str), kv.get(1).and_then(Json::as_str)) {
+            (Some(k), Some(val)) if kv.len() == 2 => out.push((k.to_string(), val.to_string())),
+            _ => return Err(wire_schema("labels", "an array of [key, value] pairs")),
+        }
+    }
+    Ok(out)
+}
+
+fn sample_to_wire(s: &Sample) -> Json {
+    Json::obj(vec![
+        ("name", Json::Str(s.name.clone())),
+        ("labels", labels_to_wire(&s.labels)),
+        ("value", Json::Num(s.value)),
+    ])
+}
+
+fn sample_from_wire(v: &Json) -> Result<Sample, JsonError> {
+    Ok(Sample {
+        name: v.str_field("name")?.to_string(),
+        labels: labels_from_wire(v.get("labels"))?,
+        value: v.f64_field("value")?,
+    })
+}
+
+fn histogram_to_wire(h: &HistogramSample) -> Json {
+    Json::obj(vec![
+        ("name", Json::Str(h.name.clone())),
+        ("labels", labels_to_wire(&h.labels)),
+        (
+            "values",
+            Json::obj(vec![
+                ("count", Json::Int(h.values.count as i128)),
+                ("sum_ns", Json::Int(h.values.sum_ns as i128)),
+                (
+                    "buckets",
+                    Json::Arr(
+                        h.values
+                            .buckets
+                            .iter()
+                            .map(|&(idx, n)| {
+                                Json::Arr(vec![Json::Int(idx as i128), Json::Int(n as i128)])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ]),
+        ),
+    ])
+}
+
+fn histogram_from_wire(v: &Json) -> Result<HistogramSample, JsonError> {
+    let values = v
+        .get("values")
+        .ok_or_else(|| wire_schema("values", "an object"))?;
+    let mut buckets = Vec::new();
+    for pair in values.arr_field("buckets")? {
+        let Json::Arr(kv) = pair else {
+            return Err(wire_schema("buckets", "an array of [index, count] pairs"));
+        };
+        match (kv.first(), kv.get(1)) {
+            (Some(Json::Int(idx)), Some(Json::Int(n)))
+                if kv.len() == 2
+                    && *idx >= 0
+                    && *idx <= u32::MAX as i128
+                    && *n >= 0
+                    && *n <= u64::MAX as i128 =>
+            {
+                buckets.push((*idx as u32, *n as u64));
+            }
+            _ => return Err(wire_schema("buckets", "an array of [index, count] pairs")),
+        }
+    }
+    Ok(HistogramSample {
+        name: v.str_field("name")?.to_string(),
+        labels: labels_from_wire(v.get("labels"))?,
+        values: HistogramValues {
+            count: values.u64_field("count")?,
+            sum_ns: values.u64_field("sum_ns")?,
+            buckets,
+        },
+    })
+}
+
+/// Encode a [`MetricsSnapshot`] as protocol JSON — the payload of
+/// [`Response::MetricsReply`] and the body of
+/// `experiments/metrics_final.json`.
+pub fn snapshot_to_wire(snap: &MetricsSnapshot) -> Json {
+    Json::obj(vec![
+        ("uptime_s", Json::Num(snap.uptime_s)),
+        (
+            "counters",
+            Json::Arr(snap.counters.iter().map(sample_to_wire).collect()),
+        ),
+        (
+            "gauges",
+            Json::Arr(snap.gauges.iter().map(sample_to_wire).collect()),
+        ),
+        (
+            "histograms",
+            Json::Arr(snap.histograms.iter().map(histogram_to_wire).collect()),
+        ),
+        (
+            "cost",
+            Json::obj(vec![
+                ("node_seconds", Json::Num(snap.cost.node_seconds)),
+                ("usd_per_kwh", Json::Num(snap.cost.usd_per_kwh)),
+                ("total_joules", Json::Num(snap.cost.total_joules)),
+                ("kwh", Json::Num(snap.cost.kwh)),
+                ("tco_usd", Json::Num(snap.cost.tco_usd)),
+                (
+                    "joules_by_device",
+                    Json::Arr(
+                        snap.cost
+                            .joules_by_device
+                            .iter()
+                            .map(|(d, j)| Json::Arr(vec![Json::Str(d.clone()), Json::Num(*j)]))
+                            .collect(),
+                    ),
+                ),
+            ]),
+        ),
+    ])
+}
+
+/// Decode a [`MetricsSnapshot`] from its protocol JSON form — the
+/// client side of `Request::Metrics`.
+pub fn snapshot_from_wire(v: &Json) -> Result<MetricsSnapshot, JsonError> {
+    let cost = v.get("cost").ok_or_else(|| wire_schema("cost", "an object"))?;
+    let mut joules_by_device = Vec::new();
+    for pair in cost.arr_field("joules_by_device")? {
+        let Json::Arr(kv) = pair else {
+            return Err(wire_schema("joules_by_device", "an array of [device, joules]"));
+        };
+        match (kv.first().and_then(Json::as_str), kv.get(1).and_then(Json::as_f64)) {
+            (Some(d), Some(j)) if kv.len() == 2 => joules_by_device.push((d.to_string(), j)),
+            _ => return Err(wire_schema("joules_by_device", "an array of [device, joules]")),
+        }
+    }
+    Ok(MetricsSnapshot {
+        uptime_s: v.f64_field("uptime_s")?,
+        counters: v
+            .arr_field("counters")?
+            .iter()
+            .map(sample_from_wire)
+            .collect::<Result<_, _>>()?,
+        gauges: v
+            .arr_field("gauges")?
+            .iter()
+            .map(sample_from_wire)
+            .collect::<Result<_, _>>()?,
+        histograms: v
+            .arr_field("histograms")?
+            .iter()
+            .map(histogram_from_wire)
+            .collect::<Result<_, _>>()?,
+        cost: CostSnapshot {
+            node_seconds: cost.f64_field("node_seconds")?,
+            usd_per_kwh: cost.f64_field("usd_per_kwh")?,
+            total_joules: cost.f64_field("total_joules")?,
+            kwh: cost.f64_field("kwh")?,
+            tco_usd: cost.f64_field("tco_usd")?,
+            joules_by_device,
+        },
+    })
 }
 
 #[cfg(test)]
@@ -1137,5 +1622,53 @@ mod tests {
         assert!(device_spec("v100").is_some());
         assert!(device_spec("TitanX").is_some());
         assert!(device_spec("h100").is_none());
+    }
+
+    #[test]
+    fn metrics_snapshot_roundtrips_through_wire_json() {
+        let m = Metrics::enabled();
+        m.counter("synergy_requests_total", &[("kind", "ping")]).add(3);
+        m.gauge("synergy_queue_depth", &[]).set(7);
+        let h = m.histogram("synergy_request_seconds", &[("kind", "ping")]);
+        h.observe_ns(5);
+        h.observe_ns(123_456);
+        m.add_energy_joules("v100", 42.5);
+        let snap = m.snapshot();
+
+        // Value round-trip.
+        let wire = snapshot_to_wire(&snap);
+        assert_eq!(snapshot_from_wire(&wire).unwrap(), snap);
+
+        // Byte round-trip through the codec, as the client sees it.
+        let parsed = Json::parse(&wire.encode()).unwrap();
+        assert_eq!(snapshot_from_wire(&parsed).unwrap(), snap);
+    }
+
+    #[test]
+    fn empty_snapshot_roundtrips_and_decode_rejects_garbage() {
+        let snap = MetricsSnapshot::default();
+        let wire = snapshot_to_wire(&snap);
+        assert_eq!(snapshot_from_wire(&wire).unwrap(), snap);
+        assert!(snapshot_from_wire(&Json::Null).is_err());
+        assert!(snapshot_from_wire(&Json::obj(vec![("uptime_s", Json::Num(1.0))])).is_err());
+    }
+
+    #[test]
+    fn instruments_disabled_lookup_is_inert() {
+        let inst = Instruments::new(Metrics::disabled(), 2);
+        assert!(!inst.enabled);
+        inst.kind("predict").requests.inc();
+        inst.kind("nonsense").e2e.observe_ns(5);
+        assert_eq!(inst.metrics.snapshot(), MetricsSnapshot::default());
+    }
+
+    #[test]
+    fn instruments_kind_lookup_finds_every_op() {
+        let inst = Instruments::new(Metrics::enabled(), 1);
+        for op in REQUEST_KINDS {
+            assert_eq!(inst.kind(op).kind, op);
+        }
+        // Unknown ops fall back to the first bundle instead of panicking.
+        assert_eq!(inst.kind("bogus").kind, REQUEST_KINDS[0]);
     }
 }

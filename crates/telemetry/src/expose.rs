@@ -1,0 +1,271 @@
+//! Exposition: turn a [`MetricsSnapshot`] into scrape-ready text.
+//!
+//! Two formats:
+//!
+//! * **JSON** — `serde_json` over the snapshot struct. Field order is
+//!   fixed by the struct definitions and every collection is sorted by
+//!   `(name, labels)`, so identical state serializes identically.
+//! * **OpenMetrics / Prometheus text** — [`render_openmetrics`], a
+//!   deterministic renderer: metrics ordered by name, label pairs by
+//!   key, `# TYPE` line per metric family, histogram families expanded
+//!   into cumulative `_bucket{le=...}` / `_sum` / `_count` series, the
+//!   cost rollup as derived gauges, terminated by `# EOF`. The output
+//!   is byte-stable for a given snapshot and golden-tested.
+//!
+//! Grammar subset emitted (one sample per line):
+//!
+//! ```text
+//! exposition   = *(family) "# EOF\n"
+//! family       = "# TYPE " name " " ("counter"|"gauge"|"histogram") "\n" *(sample)
+//! sample       = name [labels] " " value "\n"
+//! labels       = "{" pair *("," pair) "}"
+//! pair         = key "=\"" escaped "\""
+//! ```
+
+use crate::metrics::{HistogramValues, MetricsSnapshot, Sample};
+
+/// Render the snapshot as deterministic OpenMetrics text.
+pub fn render_openmetrics(snap: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    scalar_families(&mut out, &snap.counters, "counter");
+    scalar_families(&mut out, &snap.gauges, "gauge");
+
+    for (name, group) in group_by_name(&snap.histograms, |h| &h.name) {
+        push_type(&mut out, name, "histogram");
+        for h in group {
+            render_histogram(&mut out, name, &h.labels, &h.values);
+        }
+    }
+
+    // Derived cost/uptime gauges, after the registry-backed families so
+    // they cannot interleave with a registered metric of the same name.
+    for (name, value) in [
+        ("synergy_uptime_seconds", snap.uptime_s),
+        ("synergy_cost_node_seconds", snap.cost.node_seconds),
+        ("synergy_cost_usd_per_kwh", snap.cost.usd_per_kwh),
+        ("synergy_cost_energy_joules", snap.cost.total_joules),
+        ("synergy_cost_energy_kwh", snap.cost.kwh),
+        ("synergy_cost_tco_usd", snap.cost.tco_usd),
+    ] {
+        push_type(&mut out, name, "gauge");
+        out.push_str(name);
+        out.push(' ');
+        push_value(&mut out, value);
+        out.push('\n');
+    }
+
+    out.push_str("# EOF\n");
+    out
+}
+
+fn scalar_families(out: &mut String, samples: &[Sample], kind: &str) {
+    for (name, group) in group_by_name(samples, |s| &s.name) {
+        push_type(out, name, kind);
+        for s in group {
+            out.push_str(name);
+            push_labels(out, &s.labels, None);
+            out.push(' ');
+            push_value(out, s.value);
+            out.push('\n');
+        }
+    }
+}
+
+fn render_histogram(
+    out: &mut String,
+    name: &str,
+    labels: &[(String, String)],
+    values: &HistogramValues,
+) {
+    let mut cumulative = 0u64;
+    for &(idx, n) in &values.buckets {
+        cumulative += n;
+        let le = match HistogramValues::upper_bound_s(idx) {
+            Some(b) => fmt_value(b),
+            None => "+Inf".to_string(),
+        };
+        out.push_str(name);
+        out.push_str("_bucket");
+        push_labels(out, labels, Some(&le));
+        out.push(' ');
+        out.push_str(&cumulative.to_string());
+        out.push('\n');
+    }
+    // The mandatory +Inf bucket (skip if the sparse list ended on it).
+    if values
+        .buckets
+        .last()
+        .is_none_or(|&(idx, _)| HistogramValues::upper_bound_s(idx).is_some())
+    {
+        out.push_str(name);
+        out.push_str("_bucket");
+        push_labels(out, labels, Some("+Inf"));
+        out.push(' ');
+        out.push_str(&values.count.to_string());
+        out.push('\n');
+    }
+    out.push_str(name);
+    out.push_str("_sum");
+    push_labels(out, labels, None);
+    out.push(' ');
+    push_value(out, values.sum_ns as f64 / 1e9);
+    out.push('\n');
+    out.push_str(name);
+    out.push_str("_count");
+    push_labels(out, labels, None);
+    out.push(' ');
+    out.push_str(&values.count.to_string());
+    out.push('\n');
+}
+
+/// Iterate contiguous runs sharing a name (inputs are already sorted).
+fn group_by_name<'a, T>(
+    items: &'a [T],
+    name: impl Fn(&T) -> &String,
+) -> Vec<(&'a str, &'a [T])> {
+    let mut groups = Vec::new();
+    let mut start = 0;
+    while start < items.len() {
+        let n = name(&items[start]);
+        let mut end = start + 1;
+        while end < items.len() && name(&items[end]) == n {
+            end += 1;
+        }
+        groups.push((n.as_str(), &items[start..end]));
+        start = end;
+    }
+    groups
+}
+
+fn push_type(out: &mut String, name: &str, kind: &str) {
+    out.push_str("# TYPE ");
+    out.push_str(name);
+    out.push(' ');
+    out.push_str(kind);
+    out.push('\n');
+}
+
+fn push_labels(out: &mut String, labels: &[(String, String)], le: Option<&str>) {
+    if labels.is_empty() && le.is_none() {
+        return;
+    }
+    out.push('{');
+    let mut first = true;
+    for (k, v) in labels {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(k);
+        out.push_str("=\"");
+        push_escaped(out, v);
+        out.push('"');
+    }
+    if let Some(le) = le {
+        if !first {
+            out.push(',');
+        }
+        out.push_str("le=\"");
+        out.push_str(le);
+        out.push('"');
+    }
+    out.push('}');
+}
+
+fn push_escaped(out: &mut String, v: &str) {
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            other => out.push(other),
+        }
+    }
+}
+
+/// Shortest-roundtrip float rendering, with integral values kept
+/// integral-looking plus `.0` stripped off — `12`, `0.25`, `1e-9`-free.
+fn fmt_value(v: f64) -> String {
+    let s = format!("{v}");
+    s.strip_suffix(".0").map(str::to_string).unwrap_or(s)
+}
+
+fn push_value(out: &mut String, v: f64) {
+    out.push_str(&fmt_value(v));
+}
+
+/// Encode the snapshot as a JSON string (the `Request::Metrics` wire
+/// payload and the `experiments/metrics_final.json` artifact body).
+pub fn snapshot_to_json(snap: &MetricsSnapshot) -> String {
+    serde_json::to_string(snap).expect("snapshot serializes")
+}
+
+/// Decode a snapshot from its JSON form (the client side of the wire).
+pub fn snapshot_from_json(text: &str) -> Result<MetricsSnapshot, String> {
+    serde_json::from_str(text).map_err(|e| e.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Metrics;
+
+    #[test]
+    fn renders_types_sorted_and_terminated() {
+        let m = Metrics::enabled();
+        m.counter("b_total", &[("kind", "x")]).add(2);
+        m.counter("a_total", &[]).inc();
+        m.gauge("depth", &[]).set(5);
+        let text = render_openmetrics(&m.snapshot());
+        let a = text.find("# TYPE a_total counter").expect("a family");
+        let b = text.find("# TYPE b_total counter").expect("b family");
+        assert!(a < b, "families must be name-sorted");
+        assert!(text.contains("b_total{kind=\"x\"} 2\n"));
+        assert!(text.contains("a_total 1\n"));
+        assert!(text.contains("# TYPE depth gauge\ndepth 5\n"));
+        assert!(text.ends_with("# EOF\n"));
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_with_inf() {
+        let m = Metrics::enabled();
+        let h = m.histogram("lat_seconds", &[("kind", "ping")]);
+        h.observe_ns(5); // exact unit bucket
+        h.observe_ns(5);
+        h.observe_ns(1_000_000); // 1ms
+        let text = render_openmetrics(&m.snapshot());
+        assert!(
+            text.contains("lat_seconds_bucket{kind=\"ping\",le=\"+Inf\"} 3\n"),
+            "missing +Inf bucket in:\n{text}"
+        );
+        assert!(text.contains("lat_seconds_count{kind=\"ping\"} 3\n"));
+        // First populated bucket holds the two 5ns samples.
+        assert!(text.contains("le=\"0.000000006\"} 2\n"), "got:\n{text}");
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let m = Metrics::enabled();
+        m.counter("c_total", &[("k", "a\"b\\c\nd")]).inc();
+        let text = render_openmetrics(&m.snapshot());
+        assert!(text.contains("c_total{k=\"a\\\"b\\\\c\\nd\"} 1\n"));
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_snapshot() {
+        let m = Metrics::enabled();
+        m.counter("x_total", &[]).add(3);
+        m.histogram("h_seconds", &[]).observe_ns(1234);
+        m.add_energy_joules("v100", 2.5);
+        let snap = m.snapshot();
+        let back = snapshot_from_json(&snapshot_to_json(&snap)).unwrap();
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn value_formatting_is_stable() {
+        assert_eq!(fmt_value(12.0), "12");
+        assert_eq!(fmt_value(0.25), "0.25");
+        assert_eq!(fmt_value(0.000000006), "0.000000006");
+    }
+}

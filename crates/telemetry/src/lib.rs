@@ -25,6 +25,13 @@
 //!    drop-oldest flight-recorder semantics; overflow is counted, never
 //!    silently ignored.
 //!
+//! Alongside the event recorder sits the *live metrics plane*
+//! ([`metrics`]): sharded lock-free counters/gauges and log-bucketed
+//! latency histograms with the same zero-cost-when-disabled contract,
+//! plus fleet cost rollups (joules → kWh → $) and the deterministic
+//! OpenMetrics / JSON exposition renderers ([`expose`]) the
+//! `synergy-serve` daemon scrapes from.
+//!
 //! This crate deliberately has no dependency on the rest of the
 //! workspace (it defines its own [`Clocks`] mirror), so every other
 //! crate can depend on it without cycles.
@@ -33,10 +40,16 @@
 
 mod chrome;
 mod event;
+pub mod expose;
+pub mod metrics;
 mod recorder;
 mod summary;
 
 pub use chrome::{ChromeEvent, ChromeTrace, PID_VIRTUAL, PID_WALL};
 pub use event::{CacheOp, Clocks, EventKind, Phase, ServeOp, TelemetryEvent};
+pub use metrics::{
+    CostConfig, CostSnapshot, Counter, FloatCounter, Gauge, Histo, HistogramSample,
+    HistogramValues, Labels, LogHistogram, Metrics, MetricsSnapshot, Sample,
+};
 pub use recorder::{Recorder, DEFAULT_SHARD_CAPACITY};
 pub use summary::{Histogram, PhaseTotals, TelemetrySummary};

@@ -1,0 +1,960 @@
+//! Live metrics: sharded lock-free counters/gauges and log-bucketed
+//! latency histograms with a zero-cost disabled path.
+//!
+//! This is the *always-on* side of telemetry. Where the [`Recorder`]
+//! (PR 3) captures a bounded flight-recorder of discrete events for
+//! post-hoc traces, the [`Metrics`] registry keeps cheap cumulative
+//! aggregates — counters, gauges, latency histograms, energy/cost
+//! rollups — that a live operator can scrape at any moment without
+//! stopping the world.
+//!
+//! Design constraints, mirroring the recorder:
+//!
+//! 1. **Zero-cost when disabled.** [`Metrics::disabled()`] holds no
+//!    allocation; every instrument handle it hands out is `None` inside,
+//!    so a record is a single branch and no label strings are ever
+//!    materialized.
+//! 2. **Lock-free on the hot path.** Counters are sharded across
+//!    cache-line-padded atomics indexed by a thread-local slot (the same
+//!    scheme as the recorder's shard selection), gauges are single
+//!    atomics, and histogram buckets are plain relaxed `fetch_add`s on
+//!    distinct cache lines. The only mutex in the module guards
+//!    *registration* (finding or creating an instrument by name+labels),
+//!    which callers do once at startup and cache the returned handle.
+//! 3. **Bounded relative error.** [`LogHistogram`] uses fixed
+//!    log-linear bucket boundaries (8 sub-buckets per octave), so two
+//!    histograms merge *exactly* (element-wise bucket sums) and any
+//!    quantile estimate is within **6.25%** relative error of the exact
+//!    order statistic for in-range samples — see
+//!    [`LogHistogram::MAX_RELATIVE_ERROR`], proven by property test.
+//!
+//! [`Recorder`]: crate::Recorder
+
+use std::sync::atomic::{AtomicI64, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+/// Shards per counter; writes from different threads usually land on
+/// different cache lines.
+pub const COUNTER_SHARDS: usize = 8;
+
+/// Mantissa bits per octave: 2^3 = 8 sub-buckets, bounding quantile
+/// relative error at 1/16.
+const SUB_BITS: u32 = 3;
+const SUB: u64 = 1 << SUB_BITS;
+
+/// Largest finite octave exponent: values at or above `2^MAX_EXP` ns
+/// (~18.3 minutes) land in the overflow bucket.
+const MAX_EXP: u32 = 40;
+
+/// Finite buckets: 8 exact unit buckets for values `< 8`, then 8
+/// sub-buckets per octave up to `2^MAX_EXP`.
+const FINITE_BUCKETS: usize = (SUB as usize) * (MAX_EXP as usize - 2);
+
+/// Finite buckets plus the overflow bucket.
+pub const HISTOGRAM_BUCKETS: usize = FINITE_BUCKETS + 1;
+
+static NEXT_THREAD_SLOT: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// Each thread picks a round-robin shard once and sticks with it.
+    static THREAD_SLOT: usize =
+        NEXT_THREAD_SLOT.fetch_add(1, Ordering::Relaxed) % COUNTER_SHARDS;
+}
+
+#[inline]
+fn thread_slot() -> usize {
+    THREAD_SLOT.with(|s| *s)
+}
+
+/// A cache-line-padded atomic, so sharded counters do not false-share.
+#[repr(align(64))]
+#[derive(Default)]
+struct PaddedU64(AtomicU64);
+
+// ---------------------------------------------------------------------------
+// Log-linear histogram
+// ---------------------------------------------------------------------------
+
+/// Map a nanosecond value to its fixed bucket index.
+///
+/// Values `< 8` get exact unit buckets; otherwise the bucket is the
+/// octave (floor log2) refined by the top [`SUB_BITS`] mantissa bits —
+/// the HDR-histogram log-linear scheme, computed with pure integer ops.
+#[inline]
+fn bucket_index(v: u64) -> usize {
+    if v < SUB {
+        return v as usize;
+    }
+    let e = 63 - v.leading_zeros();
+    if e >= MAX_EXP {
+        return FINITE_BUCKETS; // overflow
+    }
+    // Normalize to [8, 16): the top 3 mantissa bits pick the sub-bucket.
+    let m = (v >> (e - SUB_BITS)) as usize;
+    (m - SUB as usize) + SUB as usize * (e as usize - 2)
+}
+
+/// Inclusive-exclusive `[lo, hi)` nanosecond bounds of a finite bucket.
+fn bucket_bounds(idx: usize) -> (u64, u64) {
+    if idx < SUB as usize {
+        return (idx as u64, idx as u64 + 1);
+    }
+    let e = (idx / SUB as usize + 2) as u32;
+    let sub = (idx % SUB as usize) as u64;
+    let lo = (SUB + sub) << (e - SUB_BITS);
+    let hi = lo + (1u64 << (e - SUB_BITS));
+    (lo, hi)
+}
+
+/// The representative value (ns) reported for a bucket: exact for the
+/// unit buckets, the arithmetic midpoint otherwise. The midpoint of a
+/// `[lo, lo + lo/(8+sub))` bucket is within `1/16` of any point inside.
+fn bucket_estimate(idx: usize) -> f64 {
+    if idx < SUB as usize {
+        return idx as f64;
+    }
+    if idx >= FINITE_BUCKETS {
+        // Overflow: report the scale's ceiling; error is unbounded here
+        // by construction, which MAX_EXP makes irrelevant for latencies.
+        return (1u64 << MAX_EXP) as f64;
+    }
+    let (lo, hi) = bucket_bounds(idx);
+    (lo + hi) as f64 / 2.0
+}
+
+/// A fixed-boundary log-linear latency histogram over nanoseconds.
+///
+/// * **Lock-free**: `observe_ns` is three relaxed `fetch_add`s.
+/// * **Exact merge**: [`merge_from`](Self::merge_from) sums bucket
+///   counts element-wise; merging is associative and commutative, so
+///   per-thread or per-node histograms aggregate without error.
+/// * **Bounded-error quantiles**: any [`quantile`](Self::quantile) of
+///   samples in `[8, 2^40)` ns is within
+///   [`MAX_RELATIVE_ERROR`](Self::MAX_RELATIVE_ERROR) of the exact
+///   nearest-rank order statistic (samples `< 8` ns are exact).
+pub struct LogHistogram {
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum_ns: AtomicU64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        LogHistogram::new()
+    }
+}
+
+impl LogHistogram {
+    /// Worst-case relative error of a quantile estimate for in-range
+    /// samples: half a bucket's width over its lower bound, `1/16`.
+    pub const MAX_RELATIVE_ERROR: f64 = 1.0 / 16.0;
+
+    /// An empty histogram.
+    pub fn new() -> LogHistogram {
+        LogHistogram {
+            buckets: (0..HISTOGRAM_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum_ns: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one nanosecond sample.
+    #[inline]
+    pub fn observe_ns(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_ns.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Record one [`Duration`] sample.
+    #[inline]
+    pub fn observe(&self, d: Duration) {
+        self.observe_ns(d.as_nanos().min(u64::MAX as u128) as u64);
+    }
+
+    /// Samples recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Exact merge: add every bucket of `other` into `self`.
+    pub fn merge_from(&self, other: &LogHistogram) {
+        for (mine, theirs) in self.buckets.iter().zip(&other.buckets) {
+            let n = theirs.load(Ordering::Relaxed);
+            if n != 0 {
+                mine.fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        self.count
+            .fetch_add(other.count.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.sum_ns
+            .fetch_add(other.sum_ns.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
+    /// Estimate the `q`-quantile (`0.0..=1.0`) in nanoseconds.
+    pub fn quantile(&self, q: f64) -> f64 {
+        self.snapshot_values().quantile(q)
+    }
+
+    /// A point-in-time copy of the bucket contents.
+    ///
+    /// Concurrent observers may land between the bucket and count reads;
+    /// the snapshot is still a valid histogram, just of a slightly
+    /// earlier or later traffic prefix.
+    pub fn snapshot_values(&self) -> HistogramValues {
+        let buckets: Vec<(u32, u64)> = self
+            .buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| {
+                let n = b.load(Ordering::Relaxed);
+                (n != 0).then_some((i as u32, n))
+            })
+            .collect();
+        let count = buckets.iter().map(|(_, n)| *n).sum();
+        HistogramValues {
+            count,
+            sum_ns: self.sum_ns.load(Ordering::Relaxed),
+            buckets,
+        }
+    }
+}
+
+/// The owned, serializable contents of a [`LogHistogram`]: a sparse
+/// `(bucket index, count)` list plus totals. This is the form that
+/// crosses the wire and feeds the OpenMetrics renderer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HistogramValues {
+    /// Total samples (sum of bucket counts at snapshot time).
+    pub count: u64,
+    /// Sum of all observed nanosecond values.
+    pub sum_ns: u64,
+    /// Non-empty buckets as `(index, count)`, ascending by index.
+    pub buckets: Vec<(u32, u64)>,
+}
+
+impl HistogramValues {
+    /// Estimate the `q`-quantile (`0.0..=1.0`) in nanoseconds using the
+    /// nearest-rank definition (`rank = round(q * (count - 1))`), the
+    /// same convention an exact sort-and-index uses.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * (self.count - 1) as f64).round() as u64;
+        let mut seen = 0u64;
+        for &(idx, n) in &self.buckets {
+            seen += n;
+            if seen > rank {
+                return bucket_estimate(idx as usize);
+            }
+        }
+        bucket_estimate(FINITE_BUCKETS)
+    }
+
+    /// The `q`-quantile in milliseconds (the serving path's native unit).
+    pub fn quantile_ms(&self, q: f64) -> f64 {
+        self.quantile(q) / 1e6
+    }
+
+    /// Mean sample in nanoseconds (0 when empty).
+    pub fn mean_ns(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_ns as f64 / self.count as f64
+        }
+    }
+
+    /// Upper bound (exclusive, in seconds) of bucket `idx` — the
+    /// OpenMetrics `le` boundary.
+    pub fn upper_bound_s(idx: u32) -> Option<f64> {
+        if (idx as usize) >= FINITE_BUCKETS {
+            return None; // +Inf
+        }
+        Some(bucket_bounds(idx as usize).1 as f64 / 1e9)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Instruments
+// ---------------------------------------------------------------------------
+
+/// Owned label pairs, kept sorted by key for deterministic identity.
+pub type Labels = Vec<(String, String)>;
+
+fn make_labels(labels: &[(&str, &str)]) -> Labels {
+    let mut v: Labels = labels
+        .iter()
+        .map(|(k, val)| (k.to_string(), val.to_string()))
+        .collect();
+    v.sort();
+    v
+}
+
+struct CounterCore {
+    name: String,
+    labels: Labels,
+    shards: [PaddedU64; COUNTER_SHARDS],
+}
+
+impl CounterCore {
+    fn value(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.0.load(Ordering::Relaxed))
+            .sum()
+    }
+}
+
+/// A monotonic counter handle; cloning shares the underlying cells.
+/// All operations are no-ops on handles from a disabled registry.
+#[derive(Clone)]
+pub struct Counter(Option<Arc<CounterCore>>);
+
+impl Counter {
+    /// A no-op counter, for default-constructed configs.
+    pub fn disabled() -> Counter {
+        Counter(None)
+    }
+
+    /// Add `n` to the counter.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if let Some(core) = &self.0 {
+            core.shards[thread_slot()].0.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Add one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value (sum over shards).
+    pub fn value(&self) -> u64 {
+        self.0.as_ref().map_or(0, |c| c.value())
+    }
+}
+
+struct GaugeCore {
+    name: String,
+    labels: Labels,
+    value: AtomicI64,
+}
+
+/// An instantaneous gauge handle (queue depth, in-flight work).
+#[derive(Clone)]
+pub struct Gauge(Option<Arc<GaugeCore>>);
+
+impl Gauge {
+    /// A no-op gauge.
+    pub fn disabled() -> Gauge {
+        Gauge(None)
+    }
+
+    /// Set the gauge to an absolute value.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        if let Some(core) = &self.0 {
+            core.value.store(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Add a (possibly negative) delta.
+    #[inline]
+    pub fn add(&self, d: i64) {
+        if let Some(core) = &self.0 {
+            core.value.fetch_add(d, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value.
+    pub fn value(&self) -> i64 {
+        self.0.as_ref().map_or(0, |c| c.value.load(Ordering::Relaxed))
+    }
+}
+
+struct FloatCounterCore {
+    name: String,
+    labels: Labels,
+    bits: AtomicU64,
+}
+
+impl FloatCounterCore {
+    fn value(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+/// A monotonic floating-point counter (joules), updated by CAS loop.
+#[derive(Clone)]
+pub struct FloatCounter(Option<Arc<FloatCounterCore>>);
+
+impl FloatCounter {
+    /// A no-op float counter.
+    pub fn disabled() -> FloatCounter {
+        FloatCounter(None)
+    }
+
+    /// Add `d` (negative deltas are ignored; counters are monotonic).
+    pub fn add(&self, d: f64) {
+        let Some(core) = &self.0 else { return };
+        if !(d > 0.0) {
+            return;
+        }
+        let mut cur = core.bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + d).to_bits();
+            match core
+                .bits
+                .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Current value.
+    pub fn value(&self) -> f64 {
+        self.0.as_ref().map_or(0.0, |c| c.value())
+    }
+}
+
+struct HistogramCore {
+    name: String,
+    labels: Labels,
+    hist: LogHistogram,
+}
+
+/// A latency histogram handle backed by a shared [`LogHistogram`].
+#[derive(Clone)]
+pub struct Histo(Option<Arc<HistogramCore>>);
+
+impl Histo {
+    /// A no-op histogram.
+    pub fn disabled() -> Histo {
+        Histo(None)
+    }
+
+    /// Record one nanosecond sample.
+    #[inline]
+    pub fn observe_ns(&self, v: u64) {
+        if let Some(core) = &self.0 {
+            core.hist.observe_ns(v);
+        }
+    }
+
+    /// Record one [`Duration`] sample.
+    #[inline]
+    pub fn observe(&self, d: Duration) {
+        if let Some(core) = &self.0 {
+            core.hist.observe(d);
+        }
+    }
+
+    /// Point-in-time bucket contents (empty when disabled).
+    pub fn values(&self) -> HistogramValues {
+        self.0.as_ref().map_or(
+            HistogramValues {
+                count: 0,
+                sum_ns: 0,
+                buckets: Vec::new(),
+            },
+            |c| c.hist.snapshot_values(),
+        )
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+/// Fleet cost model: how running joules and node time turn into money.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostConfig {
+    /// Electricity price in dollars per kilowatt-hour.
+    pub usd_per_kwh: f64,
+}
+
+impl Default for CostConfig {
+    fn default() -> CostConfig {
+        // A round on-demand datacenter electricity figure; override via
+        // `ServeConfig`/CLI when modeling a specific fleet.
+        CostConfig { usd_per_kwh: 0.12 }
+    }
+}
+
+struct MetricsInner {
+    start: Instant,
+    cost: CostConfig,
+    counters: Mutex<Vec<Arc<CounterCore>>>,
+    gauges: Mutex<Vec<Arc<GaugeCore>>>,
+    floats: Mutex<Vec<Arc<FloatCounterCore>>>,
+    histograms: Mutex<Vec<Arc<HistogramCore>>>,
+}
+
+/// The metrics registry handle. Cloning is one `Arc` clone (or a copy of
+/// `None` when disabled); every layer of the serve stack holds one.
+///
+/// Instrument lookup (`counter`/`gauge`/`histogram`/`float_counter`)
+/// takes a registration mutex and should be done once per instrument at
+/// startup, caching the returned handle; the handles themselves are
+/// lock-free.
+#[derive(Clone, Default)]
+pub struct Metrics {
+    inner: Option<Arc<MetricsInner>>,
+}
+
+impl Metrics {
+    /// The no-op registry: every handle is a single-branch no-op and no
+    /// memory is allocated.
+    pub fn disabled() -> Metrics {
+        Metrics { inner: None }
+    }
+
+    /// A live registry with the default [`CostConfig`].
+    pub fn enabled() -> Metrics {
+        Metrics::enabled_with(CostConfig::default())
+    }
+
+    /// A live registry with an explicit cost model.
+    pub fn enabled_with(cost: CostConfig) -> Metrics {
+        Metrics {
+            inner: Some(Arc::new(MetricsInner {
+                start: Instant::now(),
+                cost,
+                counters: Mutex::new(Vec::new()),
+                gauges: Mutex::new(Vec::new()),
+                floats: Mutex::new(Vec::new()),
+                histograms: Mutex::new(Vec::new()),
+            })),
+        }
+    }
+
+    /// Whether this registry records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Find or create the counter `name{labels}`.
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Counter {
+        let Some(inner) = &self.inner else {
+            return Counter(None);
+        };
+        let labels = make_labels(labels);
+        let mut reg = inner.counters.lock();
+        if let Some(c) = reg.iter().find(|c| c.name == name && c.labels == labels) {
+            return Counter(Some(c.clone()));
+        }
+        let core = Arc::new(CounterCore {
+            name: name.to_string(),
+            labels,
+            shards: Default::default(),
+        });
+        reg.push(core.clone());
+        Counter(Some(core))
+    }
+
+    /// Find or create the gauge `name{labels}`.
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Gauge {
+        let Some(inner) = &self.inner else {
+            return Gauge(None);
+        };
+        let labels = make_labels(labels);
+        let mut reg = inner.gauges.lock();
+        if let Some(g) = reg.iter().find(|g| g.name == name && g.labels == labels) {
+            return Gauge(Some(g.clone()));
+        }
+        let core = Arc::new(GaugeCore {
+            name: name.to_string(),
+            labels,
+            value: AtomicI64::new(0),
+        });
+        reg.push(core.clone());
+        Gauge(Some(core))
+    }
+
+    /// Find or create the monotonic float counter `name{labels}`.
+    pub fn float_counter(&self, name: &str, labels: &[(&str, &str)]) -> FloatCounter {
+        let Some(inner) = &self.inner else {
+            return FloatCounter(None);
+        };
+        let labels = make_labels(labels);
+        let mut reg = inner.floats.lock();
+        if let Some(f) = reg.iter().find(|f| f.name == name && f.labels == labels) {
+            return FloatCounter(Some(f.clone()));
+        }
+        let core = Arc::new(FloatCounterCore {
+            name: name.to_string(),
+            labels,
+            bits: AtomicU64::new(0f64.to_bits()),
+        });
+        reg.push(core.clone());
+        FloatCounter(Some(core))
+    }
+
+    /// Find or create the latency histogram `name{labels}`.
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Histo {
+        let Some(inner) = &self.inner else {
+            return Histo(None);
+        };
+        let labels = make_labels(labels);
+        let mut reg = inner.histograms.lock();
+        if let Some(h) = reg.iter().find(|h| h.name == name && h.labels == labels) {
+            return Histo(Some(h.clone()));
+        }
+        let core = Arc::new(HistogramCore {
+            name: name.to_string(),
+            labels,
+            hist: LogHistogram::new(),
+        });
+        reg.push(core.clone());
+        Histo(Some(core))
+    }
+
+    /// Accumulate simulated energy for `device`, in joules. Convenience
+    /// wrapper over the per-device `synergy_device_energy_joules_total`
+    /// float counter the cost rollup sums.
+    pub fn add_energy_joules(&self, device: &str, joules: f64) {
+        if self.inner.is_none() {
+            return;
+        }
+        self.float_counter(ENERGY_COUNTER, &[("device", device)])
+            .add(joules);
+    }
+
+    /// Build a point-in-time [`MetricsSnapshot`] of every registered
+    /// instrument plus the cost rollup. Empty when disabled.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let Some(inner) = &self.inner else {
+            return MetricsSnapshot::default();
+        };
+        let mut counters: Vec<Sample> = inner
+            .counters
+            .lock()
+            .iter()
+            .map(|c| Sample {
+                name: c.name.clone(),
+                labels: c.labels.clone(),
+                value: c.value() as f64,
+            })
+            .collect();
+        let mut joules_by_device: Vec<(String, f64)> = Vec::new();
+        for f in inner.floats.lock().iter() {
+            if f.name == ENERGY_COUNTER {
+                if let Some((_, dev)) = f.labels.iter().find(|(k, _)| k == "device") {
+                    joules_by_device.push((dev.clone(), f.value()));
+                }
+            }
+            counters.push(Sample {
+                name: f.name.clone(),
+                labels: f.labels.clone(),
+                value: f.value(),
+            });
+        }
+        let mut gauges: Vec<Sample> = inner
+            .gauges
+            .lock()
+            .iter()
+            .map(|g| Sample {
+                name: g.name.clone(),
+                labels: g.labels.clone(),
+                value: g.value.load(Ordering::Relaxed) as f64,
+            })
+            .collect();
+        let mut histograms: Vec<HistogramSample> = inner
+            .histograms
+            .lock()
+            .iter()
+            .map(|h| HistogramSample {
+                name: h.name.clone(),
+                labels: h.labels.clone(),
+                values: h.hist.snapshot_values(),
+            })
+            .collect();
+        counters.sort_by(|a, b| (&a.name, &a.labels).cmp(&(&b.name, &b.labels)));
+        gauges.sort_by(|a, b| (&a.name, &a.labels).cmp(&(&b.name, &b.labels)));
+        histograms.sort_by(|a, b| (&a.name, &a.labels).cmp(&(&b.name, &b.labels)));
+        joules_by_device.sort_by(|a, b| a.0.cmp(&b.0));
+
+        let node_seconds = inner.start.elapsed().as_secs_f64();
+        // fold from +0.0: an empty `sum()` yields -0.0, which would
+        // render as "-0" in the exposition before any energy lands.
+        let total_joules: f64 = joules_by_device.iter().fold(0.0, |a, (_, j)| a + j);
+        let kwh = total_joules / 3.6e6;
+        MetricsSnapshot {
+            uptime_s: node_seconds,
+            counters,
+            gauges,
+            histograms,
+            cost: CostSnapshot {
+                node_seconds,
+                usd_per_kwh: inner.cost.usd_per_kwh,
+                total_joules,
+                kwh,
+                tco_usd: kwh * inner.cost.usd_per_kwh,
+                joules_by_device,
+            },
+        }
+    }
+}
+
+/// Canonical name of the per-device energy counter the cost rollup sums.
+pub const ENERGY_COUNTER: &str = "synergy_device_energy_joules_total";
+
+// ---------------------------------------------------------------------------
+// Snapshot types
+// ---------------------------------------------------------------------------
+
+/// One scalar sample: a counter or gauge with its identity.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Sample {
+    /// Metric name (already in OpenMetrics form, e.g.
+    /// `synergy_serve_responses_total`).
+    pub name: String,
+    /// Sorted label pairs.
+    pub labels: Labels,
+    /// The value. Integer counters are exact here up to 2^53.
+    pub value: f64,
+}
+
+/// One histogram with its identity.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HistogramSample {
+    /// Metric name (e.g. `synergy_request_seconds`).
+    pub name: String,
+    /// Sorted label pairs.
+    pub labels: Labels,
+    /// Sparse bucket contents.
+    pub values: HistogramValues,
+}
+
+/// Fleet cost rollup: cumulative energy turned into money.
+///
+/// `tco_usd = total_joules / 3.6e6 [kWh] * usd_per_kwh`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct CostSnapshot {
+    /// Seconds this node (daemon) has been up.
+    pub node_seconds: f64,
+    /// Configured electricity price.
+    pub usd_per_kwh: f64,
+    /// Sum of all per-device energy counters, joules.
+    pub total_joules: f64,
+    /// `total_joules` in kilowatt-hours.
+    pub kwh: f64,
+    /// Running total cost of the energy served so far.
+    pub tco_usd: f64,
+    /// Cumulative joules per device, sorted by device name.
+    pub joules_by_device: Vec<(String, f64)>,
+}
+
+/// A complete point-in-time view of the registry: what crosses the wire
+/// for `Request::Metrics` and what the OpenMetrics renderer consumes.
+///
+/// All collections are sorted by `(name, labels)`, so two snapshots of
+/// identical state serialize identically.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct MetricsSnapshot {
+    /// Seconds since the registry was created.
+    pub uptime_s: f64,
+    /// Monotonic counters (integer and float), sorted.
+    pub counters: Vec<Sample>,
+    /// Instantaneous gauges, sorted.
+    pub gauges: Vec<Sample>,
+    /// Latency histograms, sorted.
+    pub histograms: Vec<HistogramSample>,
+    /// The cost rollup.
+    pub cost: CostSnapshot,
+}
+
+impl MetricsSnapshot {
+    /// Append a scalar counter sample (used by the server to graft in
+    /// sources that live outside the registry, like `ModelStore` cache
+    /// stats and the recorder drop counter) and restore sorted order.
+    pub fn push_counter(&mut self, name: &str, labels: &[(&str, &str)], value: f64) {
+        self.counters.push(Sample {
+            name: name.to_string(),
+            labels: make_labels(labels),
+            value,
+        });
+        self.counters
+            .sort_by(|a, b| (&a.name, &a.labels).cmp(&(&b.name, &b.labels)));
+    }
+
+    /// Look up a scalar counter by name and labels.
+    pub fn counter_value(&self, name: &str, labels: &[(&str, &str)]) -> Option<f64> {
+        let labels = make_labels(labels);
+        self.counters
+            .iter()
+            .find(|s| s.name == name && s.labels == labels)
+            .map(|s| s.value)
+    }
+
+    /// Look up a histogram by name and labels.
+    pub fn histogram_values(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+    ) -> Option<&HistogramValues> {
+        let labels = make_labels(labels);
+        self.histograms
+            .iter()
+            .find(|s| s.name == name && s.labels == labels)
+            .map(|s| &s.values)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_is_monotonic_and_bounded() {
+        let mut last = 0usize;
+        for v in [0u64, 1, 7, 8, 9, 15, 16, 100, 1_000, 1 << 20, (1 << 40) - 1] {
+            let idx = bucket_index(v);
+            assert!(idx >= last, "index must not decrease: v={v} idx={idx}");
+            assert!(idx < HISTOGRAM_BUCKETS);
+            last = idx;
+        }
+        assert_eq!(bucket_index(1 << 40), FINITE_BUCKETS);
+        assert_eq!(bucket_index(u64::MAX), FINITE_BUCKETS);
+    }
+
+    #[test]
+    fn bucket_bounds_contain_their_values() {
+        for v in [0u64, 1, 7, 8, 12, 255, 256, 1_000_000, (1 << 40) - 1] {
+            let idx = bucket_index(v);
+            let (lo, hi) = bucket_bounds(idx);
+            assert!(lo <= v && v < hi, "v={v} not in [{lo},{hi}) (idx {idx})");
+        }
+    }
+
+    #[test]
+    fn bucket_bounds_are_contiguous() {
+        for idx in 0..FINITE_BUCKETS - 1 {
+            assert_eq!(bucket_bounds(idx).1, bucket_bounds(idx + 1).0);
+        }
+        assert_eq!(bucket_bounds(FINITE_BUCKETS - 1).1, 1u64 << MAX_EXP);
+    }
+
+    #[test]
+    fn quantiles_of_known_distribution() {
+        let h = LogHistogram::new();
+        for v in 1..=1000u64 {
+            h.observe_ns(v * 1_000); // 1us .. 1ms
+        }
+        let p50 = h.quantile(0.5);
+        let exact = 501_000.0; // nearest-rank: round(0.5 * 999) = 500 -> 501 us
+        assert!(
+            (p50 - exact).abs() / exact <= LogHistogram::MAX_RELATIVE_ERROR,
+            "p50 {p50} vs {exact}"
+        );
+        assert_eq!(h.count(), 1000);
+    }
+
+    #[test]
+    fn merge_is_exact() {
+        let a = LogHistogram::new();
+        let b = LogHistogram::new();
+        let whole = LogHistogram::new();
+        for v in 0..500u64 {
+            a.observe_ns(v * 17 + 3);
+            whole.observe_ns(v * 17 + 3);
+        }
+        for v in 0..300u64 {
+            b.observe_ns(v * v + 11);
+            whole.observe_ns(v * v + 11);
+        }
+        a.merge_from(&b);
+        assert_eq!(a.snapshot_values(), whole.snapshot_values());
+    }
+
+    #[test]
+    fn disabled_registry_is_inert() {
+        let m = Metrics::disabled();
+        assert!(!m.is_enabled());
+        let c = m.counter("x_total", &[]);
+        c.inc();
+        assert_eq!(c.value(), 0);
+        let h = m.histogram("x_seconds", &[]);
+        h.observe_ns(123);
+        assert_eq!(h.values().count, 0);
+        m.add_energy_joules("v100", 5.0);
+        let snap = m.snapshot();
+        assert_eq!(snap, MetricsSnapshot::default());
+    }
+
+    #[test]
+    fn registry_dedupes_and_sorts() {
+        let m = Metrics::enabled();
+        let c1 = m.counter("requests_total", &[("kind", "ping")]);
+        let c2 = m.counter("requests_total", &[("kind", "ping")]);
+        c1.inc();
+        c2.add(2);
+        assert_eq!(c1.value(), 3);
+        m.counter("requests_total", &[("kind", "compile")]).add(7);
+        let g = m.gauge("queue_depth", &[]);
+        g.set(4);
+        g.add(-1);
+        let snap = m.snapshot();
+        let names: Vec<&str> = snap
+            .counters
+            .iter()
+            .map(|s| s.labels[0].1.as_str())
+            .collect();
+        assert_eq!(names, vec!["compile", "ping"]);
+        assert_eq!(
+            snap.counter_value("requests_total", &[("kind", "ping")]),
+            Some(3.0)
+        );
+        assert_eq!(snap.gauges[0].value, 3.0);
+    }
+
+    #[test]
+    fn cost_rollup_sums_devices() {
+        let m = Metrics::enabled_with(CostConfig { usd_per_kwh: 0.5 });
+        m.add_energy_joules("v100", 1.8e6);
+        m.add_energy_joules("a100", 1.8e6);
+        m.add_energy_joules("v100", 3.6e6);
+        let snap = m.snapshot();
+        assert_eq!(snap.cost.total_joules, 7.2e6);
+        assert_eq!(snap.cost.kwh, 2.0);
+        assert_eq!(snap.cost.tco_usd, 1.0);
+        assert_eq!(
+            snap.cost.joules_by_device,
+            vec![("a100".to_string(), 1.8e6), ("v100".to_string(), 5.4e6)]
+        );
+        assert!(snap.cost.node_seconds >= 0.0);
+    }
+
+    #[test]
+    fn snapshot_roundtrips_through_serde() {
+        let m = Metrics::enabled();
+        m.counter("a_total", &[("k", "v")]).add(9);
+        m.histogram("lat_seconds", &[]).observe_ns(42_000);
+        m.add_energy_joules("v100", 1.0);
+        let snap = m.snapshot();
+        let text = serde_json::to_string(&snap).unwrap();
+        let back: MetricsSnapshot = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn float_counter_ignores_nonpositive() {
+        let m = Metrics::enabled();
+        let f = m.float_counter("j_total", &[]);
+        f.add(1.5);
+        f.add(-3.0);
+        f.add(f64::NAN);
+        f.add(2.5);
+        assert_eq!(f.value(), 4.0);
+    }
+}

@@ -302,6 +302,18 @@ impl TelemetrySummary {
         }
     }
 
+    /// Fraction of the recorded session lost to ring overflow:
+    /// `dropped / (events + dropped)`, 0 when nothing was recorded.
+    /// Nonzero means every total in this summary is a lower bound.
+    pub fn drop_ratio(&self) -> f64 {
+        let seen = self.events + self.dropped;
+        if seen == 0 {
+            0.0
+        } else {
+            self.dropped as f64 / seen as f64
+        }
+    }
+
     /// Predicted rows per second of wall time across all batched
     /// inference calls (0 when no time was recorded).
     pub fn predict_rows_per_s(&self) -> f64 {
@@ -317,6 +329,14 @@ impl TelemetrySummary {
         use std::fmt::Write as _;
         let mut out = String::new();
         let _ = writeln!(out, "telemetry summary ({} events, {} dropped)", self.events, self.dropped);
+        if self.dropped > 0 {
+            let _ = writeln!(
+                out,
+                "  WARNING:      {} events lost to ring overflow ({:.1}% of the session) — every total below is a lower bound",
+                self.dropped,
+                self.drop_ratio() * 100.0
+            );
+        }
         let _ = writeln!(
             out,
             "  kernels:      {} completed / {} submitted, {:.6} J, {:.3} ms device time",
@@ -621,6 +641,19 @@ mod tests {
         for needle in ["kernels:", "clock sets:", "profiler:", "hal:", "model cache:", "phase sweep:", "cluster:", "serve:", "predict:", "annotations:"] {
             assert!(text.contains(needle), "missing `{needle}` in:\n{text}");
         }
+        assert!(
+            !text.contains("WARNING:"),
+            "no drop warning expected for a lossless session:\n{text}"
+        );
+    }
+
+    #[test]
+    fn render_warns_loudly_about_dropped_events() {
+        let s = TelemetrySummary::from_events(&sample_events(), 14);
+        let text = s.render();
+        assert!(text.contains("WARNING:"), "missing drop warning:\n{text}");
+        assert!(text.contains("14 events lost to ring overflow (50.0%"));
+        assert_eq!(s.drop_ratio(), 0.5);
     }
 
     #[test]

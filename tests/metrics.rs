@@ -1,0 +1,154 @@
+//! Properties of the live metrics plane: log-bucketed histogram merges
+//! are associative and lossless, quantile estimates stay within the
+//! advertised relative-error bound of an exact sort-and-index, and the
+//! OpenMetrics rendering is byte-pinned against a golden fixture
+//! (regenerate with `SYNERGY_REGEN_FIXTURES=1 cargo test openmetrics`).
+
+use proptest::prelude::*;
+use synergy::telemetry::expose::render_openmetrics;
+use synergy::telemetry::{LogHistogram, Metrics, MetricsSnapshot};
+
+/// Values above the histogram's finite range land in the overflow
+/// bucket where the relative-error bound intentionally does not hold,
+/// so the property tests stay below 2^40 ns (~18 minutes) — far beyond
+/// any latency the daemon records.
+const MAX_FINITE_NS: u64 = (1u64 << 40) - 1;
+
+fn observed(values: &[u64]) -> LogHistogram {
+    let h = LogHistogram::new();
+    for &v in values {
+        h.observe_ns(v);
+    }
+    h
+}
+
+fn merged(parts: &[&LogHistogram]) -> LogHistogram {
+    let m = LogHistogram::new();
+    for p in parts {
+        m.merge_from(p);
+    }
+    m
+}
+
+/// The same nearest-rank convention `HistogramValues::quantile` uses,
+/// computed exactly from the sorted sample.
+fn exact_nearest_rank(sorted: &[u64], q: f64) -> u64 {
+    let rank = (q * (sorted.len() - 1) as f64).round() as usize;
+    sorted[rank]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Merging is exact (bucket-wise addition), so any grouping of the
+    /// same observations — one histogram, or shards merged in either
+    /// association order — yields identical snapshots.
+    #[test]
+    fn histogram_merge_is_associative_and_lossless(
+        a in prop::collection::vec(0u64..=MAX_FINITE_NS, 0..120),
+        b in prop::collection::vec(0u64..=MAX_FINITE_NS, 0..120),
+        c in prop::collection::vec(0u64..=MAX_FINITE_NS, 0..120),
+    ) {
+        let (ha, hb, hc) = (observed(&a), observed(&b), observed(&c));
+        let left = merged(&[&merged(&[&ha, &hb]), &hc]);
+        let right = merged(&[&ha, &merged(&[&hb, &hc])]);
+        let all: Vec<u64> = a.iter().chain(&b).chain(&c).copied().collect();
+        let direct = observed(&all);
+        prop_assert_eq!(left.snapshot_values(), direct.snapshot_values());
+        prop_assert_eq!(right.snapshot_values(), direct.snapshot_values());
+        let v = direct.snapshot_values();
+        prop_assert_eq!(v.count, all.len() as u64);
+        prop_assert_eq!(v.sum_ns, all.iter().sum::<u64>());
+    }
+
+    /// Every quantile estimate lands within `MAX_RELATIVE_ERROR` of the
+    /// exact sort-and-index answer under the same nearest-rank
+    /// convention (and is exact below 8 ns, where buckets are unit
+    /// width).
+    #[test]
+    fn histogram_quantiles_stay_within_the_error_bound(
+        values in prop::collection::vec(0u64..=MAX_FINITE_NS, 1..300),
+    ) {
+        let h = observed(&values);
+        let mut sorted = values;
+        sorted.sort_unstable();
+        for q in [0.0, 0.01, 0.25, 0.5, 0.9, 0.95, 0.99, 1.0] {
+            let exact = exact_nearest_rank(&sorted, q) as f64;
+            let est = h.quantile(q);
+            let bound = exact * LogHistogram::MAX_RELATIVE_ERROR;
+            prop_assert!(
+                (est - exact).abs() <= bound + 1e-9,
+                "q={q}: estimate {est} vs exact {exact} (bound {bound})"
+            );
+        }
+    }
+
+    /// The snapshot's quantile agrees with the live histogram's — the
+    /// wire form loses nothing the estimator needs.
+    #[test]
+    fn snapshot_quantiles_match_the_live_histogram(
+        values in prop::collection::vec(0u64..=MAX_FINITE_NS, 1..200),
+    ) {
+        let h = observed(&values);
+        let snap = h.snapshot_values();
+        for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+            prop_assert_eq!(h.quantile(q).to_bits(), snap.quantile(q).to_bits());
+        }
+    }
+}
+
+/// A deterministic snapshot: fixed counters, gauges, one histogram and
+/// two energy devices, with the wall-clock-dependent fields pinned.
+fn fixture_snapshot() -> MetricsSnapshot {
+    let m = Metrics::enabled();
+    m.counter("synergy_requests_total", &[("kind", "ping")]).add(3);
+    m.counter("synergy_requests_total", &[("kind", "compile")])
+        .add(2);
+    m.counter("synergy_responses_total", &[]).add(6);
+    m.gauge("synergy_queue_depth", &[]).set(5);
+    m.gauge("synergy_inflight_requests", &[]).set(2);
+    let h = m.histogram("synergy_request_seconds", &[("kind", "compile")]);
+    h.observe_ns(1_000); // 1 µs
+    h.observe_ns(1_000_000); // 1 ms
+    h.observe_ns(250_000_000); // 250 ms
+    m.add_energy_joules("v100", 120.0);
+    m.add_energy_joules("a100", 30.5);
+    let mut snap = m.snapshot();
+    // The only nondeterministic inputs are the registry's age; pin them
+    // so the rendering is byte-stable.
+    snap.uptime_s = 1.5;
+    snap.cost.node_seconds = 1.5;
+    snap
+}
+
+#[test]
+fn openmetrics_rendering_matches_the_golden_fixture() {
+    let text = render_openmetrics(&fixture_snapshot());
+
+    // Byte-for-byte against the checked-in fixture: scrapers and CI
+    // parse this text, so any change to the exposition format must be
+    // deliberate and show up in review. Regenerate with
+    // `SYNERGY_REGEN_FIXTURES=1 cargo test openmetrics`.
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/fixtures/metrics_golden.om"
+    );
+    if std::env::var_os("SYNERGY_REGEN_FIXTURES").is_some() {
+        std::fs::write(path, &text).expect("write fixture");
+    }
+    let golden = std::fs::read_to_string(path).expect("golden fixture exists");
+    assert_eq!(
+        text, golden,
+        "OpenMetrics rendering drifted from tests/fixtures/metrics_golden.om; \
+         if the change is intended, regenerate the fixture"
+    );
+
+    // Structural sanity independent of the exact bytes.
+    assert!(text.ends_with("# EOF\n"));
+    assert!(text.contains("# TYPE synergy_request_seconds histogram"));
+    assert!(text.contains("le=\"+Inf\""));
+    assert!(text.contains("synergy_requests_total{kind=\"ping\"} 3"));
+    assert!(text.contains("synergy_cost_usd_per_kwh 0.12"));
+    // Rendering the same snapshot twice is bit-identical.
+    assert_eq!(text, render_openmetrics(&fixture_snapshot()));
+}

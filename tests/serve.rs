@@ -12,8 +12,8 @@ use std::time::Duration;
 
 use proptest::prelude::*;
 use synergy::serve::{
-    spawn, Client, Decision, ErrorKind, ModelProfile, Request, RequestFrame, Response,
-    ResponseFrame, ServeConfig, SweepPoint, WireDiagnostic,
+    spawn, Client, Decision, ErrorKind, Json, KindPercentiles, ModelProfile, Request,
+    RequestFrame, Response, ResponseFrame, ServeConfig, SweepPoint, WireDiagnostic,
 };
 
 fn small_server(config: ServeConfig) -> synergy::serve::ServerHandle {
@@ -368,6 +368,112 @@ fn drain_leaves_no_stuck_clients() {
     assert_eq!(stats.queue_depth, 0, "drain left work queued: {stats:?}");
 }
 
+/// The live metrics plane agrees with the traffic that produced it:
+/// per-kind request counters and latency histograms match the requests
+/// sent, sweep energy rolls into the cost counters, and the same
+/// snapshot renders as valid OpenMetrics text.
+#[test]
+fn metrics_scrape_is_consistent_with_traffic() {
+    let handle = small_server(ServeConfig {
+        workers: 2,
+        queue_capacity: 32,
+        metrics: synergy::telemetry::Metrics::enabled(),
+        ..ServeConfig::default()
+    });
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    const PINGS: u64 = 3;
+    const COMPILES: u64 = 2;
+    for _ in 0..PINGS {
+        assert!(matches!(client.ping().expect("transport"), Response::Pong));
+    }
+    for bench in ["vec_add", "sobel3"] {
+        assert!(matches!(
+            client.compile(bench, "v100", &["ES_50"]).expect("transport"),
+            Response::Compiled { .. }
+        ));
+    }
+    assert!(matches!(
+        client.sweep("mat_mul", "v100").expect("transport"),
+        Response::SweepFront { .. }
+    ));
+
+    let snapshot = match client.metrics().expect("transport") {
+        Response::MetricsReply { snapshot } => snapshot,
+        other => panic!("expected MetricsReply, got {other:?}"),
+    };
+    let snap = synergy::serve::snapshot_from_wire(&snapshot).expect("well-formed snapshot");
+
+    // Per-kind request counters match the traffic exactly.
+    for (kind, n) in [("ping", PINGS), ("compile", COMPILES), ("sweep", 1)] {
+        assert_eq!(
+            snap.counter_value("synergy_requests_total", &[("kind", kind)]),
+            Some(n as f64),
+            "kind {kind}"
+        );
+    }
+    // The scrape itself was counted before the snapshot was taken.
+    assert_eq!(
+        snap.counter_value("synergy_requests_total", &[("kind", "metrics")]),
+        Some(1.0)
+    );
+    assert_eq!(
+        snap.counter_value("synergy_connections_total", &[]),
+        Some(1.0)
+    );
+    assert_eq!(
+        snap.counter_value("synergy_enqueued_total", &[]),
+        Some((COMPILES + 1) as f64),
+        "data-plane admissions"
+    );
+
+    // End-to-end latency histograms saw one observation per request, all
+    // with nonzero recorded time; queue-wait saw the data-plane ones.
+    for (kind, n) in [("ping", PINGS), ("compile", COMPILES), ("sweep", 1)] {
+        let h = snap
+            .histogram_values("synergy_request_seconds", &[("kind", kind)])
+            .unwrap_or_else(|| panic!("missing e2e histogram for {kind}"));
+        assert_eq!(h.count, n, "e2e observations for {kind}");
+        assert!(h.sum_ns > 0);
+        assert!(h.quantile(0.99) > 0.0);
+    }
+    let qw = snap
+        .histogram_values("synergy_queue_wait_seconds", &[("kind", "compile")])
+        .expect("queue-wait histogram");
+    assert_eq!(qw.count, COMPILES);
+    let svc = snap
+        .histogram_values("synergy_service_seconds", &[("kind", "sweep")])
+        .expect("service histogram");
+    assert_eq!(svc.count, 1);
+
+    // The sweep's measured energy rolled into the fleet cost counters.
+    assert!(snap.cost.total_joules > 0.0, "cost: {:?}", snap.cost);
+    assert!(snap.cost.tco_usd > 0.0);
+    assert!(snap
+        .counters
+        .iter()
+        .any(|s| s.name == "synergy_device_energy_joules_total" && s.value > 0.0));
+
+    // The grafted gauges/counters are present and sane.
+    assert_eq!(
+        snap.counter_value("synergy_recorder_dropped_events_total", &[]),
+        Some(0.0)
+    );
+    assert!(snap
+        .counter_value("synergy_model_store_misses_total", &[])
+        .is_some());
+
+    // The very same snapshot renders as OpenMetrics exposition text.
+    let text = synergy::telemetry::expose::render_openmetrics(&snap);
+    assert!(text.ends_with("# EOF\n"), "exposition must be terminated");
+    assert!(text.contains("synergy_requests_total{kind=\"ping\"} 3"));
+    assert!(text.contains("# TYPE synergy_request_seconds histogram"));
+    assert!(text.contains("synergy_cost_tco_usd"));
+
+    handle.drain();
+    let stats = handle.join();
+    assert_eq!(stats.errors, 0);
+}
+
 // ---------------------------------------------------------------------------
 // Wire-protocol proptests (satellite): encode → frame → decode is
 // bit-identical for arbitrary frames, and the decoder rejects oversized
@@ -393,7 +499,7 @@ fn arb_name() -> impl Strategy<Value = String> {
 
 fn arb_request() -> impl Strategy<Value = Request> {
     (
-        (0usize..6, arb_name(), arb_name()),
+        (0usize..7, arb_name(), arb_name()),
         prop::collection::vec(arb_name(), 0..4),
         (
             prop::collection::vec(-1e300f64..1e300, 0..12),
@@ -405,13 +511,14 @@ fn arb_request() -> impl Strategy<Value = Request> {
             |((variant, bench, device), targets, (features, mem_mhz, core_mhz))| match variant {
                 0 => Request::Ping,
                 1 => Request::Stats,
-                2 => Request::Drain,
-                3 => Request::Compile {
+                2 => Request::Metrics,
+                3 => Request::Drain,
+                4 => Request::Compile {
                     bench,
                     device,
                     targets,
                 },
-                4 => Request::Sweep { bench, device },
+                5 => Request::Sweep { bench, device },
                 _ => Request::Predict {
                     device,
                     features,
@@ -424,7 +531,7 @@ fn arb_request() -> impl Strategy<Value = Request> {
 
 fn arb_response() -> impl Strategy<Value = Response> {
     (
-        (0usize..9, arb_name(), arb_name()),
+        (0usize..10, arb_name(), arb_name()),
         (
             prop::collection::vec((arb_name(), arb_name(), 1u32..2000, 1u32..2000), 0..4),
             prop::collection::vec(
@@ -491,12 +598,45 @@ fn arb_response() -> impl Strategy<Value = Response> {
                         queue_depth: small_n % 64,
                         queue_depth_max: small_n % 128,
                         draining: big % 2 == 1,
+                        percentiles: vec![
+                            KindPercentiles {
+                                kind: name_a,
+                                p50_ms: metric,
+                                p95_ms: metric * 2.0,
+                                p99_ms: metric * 3.0,
+                            },
+                            KindPercentiles {
+                                kind: name_b,
+                                p50_ms: 0.0,
+                                p95_ms: 0.25,
+                                p99_ms: metric,
+                            },
+                        ],
                     },
-                    5 => Response::Busy {
+                    5 => Response::MetricsReply {
+                        snapshot: Json::obj(vec![
+                            ("uptime_s", Json::Num(metric)),
+                            (
+                                "counters",
+                                Json::Arr(vec![Json::obj(vec![
+                                    ("name", Json::Str(name_a)),
+                                    (
+                                        "labels",
+                                        Json::Arr(vec![Json::Arr(vec![
+                                            Json::Str("kind".into()),
+                                            Json::Str(name_b),
+                                        ])]),
+                                    ),
+                                    ("value", Json::Int(big as i128)),
+                                ])]),
+                            ),
+                        ]),
+                    },
+                    6 => Response::Busy {
                         retry_after_ms: small_n,
                     },
-                    6 => Response::Draining { pending: small_n },
-                    7 => Response::Expired { waited_ms: small_n },
+                    7 => Response::Draining { pending: small_n },
+                    8 => Response::Expired { waited_ms: small_n },
                     _ => Response::Error {
                         kind: match big % 3 {
                             0 => ErrorKind::BadRequest,
