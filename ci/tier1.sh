@@ -13,6 +13,7 @@ cargo clippy --workspace --all-targets -- -D warnings
 cargo bench --workspace --no-run
 cargo run --release -p synergy-bench --bin pipeline_perf -- --small
 cargo run --release -p synergy-bench --bin serve_perf -- --small
+cargo run --release -p synergy-bench --bin fleet_perf -- --small
 
 # Static-analysis ratchet: the whole suite x every device must analyze
 # clean against the grandfathered baseline — any new finding (or baseline
@@ -85,6 +86,36 @@ assert any(l.get("bench") == "pipeline_perf" for l in lines), \
     "bench_history.jsonl missing a pipeline_perf line"
 EOF
 
+# The fleet load test must have run its node-count ladder plus the
+# preemption (volatility) pass with nothing dropped or mismatched
+# anywhere, and the coordinator must actually have preempted a node.
+python3 - <<'EOF'
+import json
+with open("experiments/BENCH_fleet.json") as f:
+    perf = json.load(f)
+for field in ("node_counts", "scaling_max", "passes"):
+    assert field in perf, f"BENCH_fleet.json missing {field}"
+assert len(perf["passes"]) == len(perf["node_counts"]) + 1, \
+    "expected one pass per node count plus the volatility pass"
+for p in perf["passes"]:
+    assert p["dropped"] == 0 and p["mismatched"] == 0, \
+        f"fleet pass at {p['nodes']} nodes dropped {p['dropped']}, " \
+        f"mismatched {p['mismatched']}"
+    assert p["answered"] == p["total_requests"] - p["expired"], \
+        f"fleet pass at {p['nodes']} nodes lost accepted requests"
+vol = perf["passes"][-1]
+assert vol["volatility"] and vol["preemptions"] > 0, \
+    "the volatility pass never preempted a node"
+print(f"fleet_perf: ladder {perf['node_counts']}, "
+      f"scaling {perf['scaling_max']:.2f}x, volatility pass answered "
+      f"{vol['answered']}/{vol['total_requests']} with "
+      f"{vol['reassigned']} reassigned")
+with open("experiments/bench_history.jsonl") as f:
+    lines = [json.loads(l) for l in f if l.strip()]
+assert any(l.get("bench") == "fleet_perf" for l in lines), \
+    "bench_history.jsonl missing a fleet_perf line"
+EOF
+
 # Smoke test: one benchmark through the traced pipeline; the exported
 # Chrome trace must be non-trivial JSON.
 trace_out="$(mktemp -t synergy-trace-XXXXXX.json)"
@@ -128,3 +159,65 @@ EOF
 wait "$serve_pid"
 grep -q '^drained: ' "$serve_out"
 python3 -c 'import json; json.load(open("experiments/metrics_final.json"))'
+
+# Fleet e2e smoke: a coordinator over three daemons; kill one with
+# SIGKILL while chunked sweeps are in flight. Every accepted sweep must
+# still exit 0 (orphaned chunks complete elsewhere), the roster and the
+# fleet cost rollup must render, and the coordinator must drain cleanly.
+fleet_out="$(mktemp -t synergy-fleet-XXXXXX.log)"
+node_logs=()
+node_pids=()
+node_addrs=()
+trap 'rm -f "$trace_out" "$serve_out" "$metrics_out" "$fleet_out" "${node_logs[@]:-}"' EXIT
+for i in 1 2 3; do
+  node_log="$(mktemp -t synergy-fleet-node${i}-XXXXXX.log)"
+  node_logs+=("$node_log")
+  "$synergy_bin" serve --small --addr 127.0.0.1:0 --workers 2 > "$node_log" &
+  node_pids+=($!)
+done
+for node_log in "${node_logs[@]}"; do
+  for _ in $(seq 1 100); do
+    grep -q '^listening on ' "$node_log" && break
+    sleep 0.1
+  done
+  node_addrs+=("$(sed -n 's/^listening on //p' "$node_log")")
+done
+"$synergy_bin" fleet --addr 127.0.0.1:0 \
+  --node "${node_addrs[0]}" --node "${node_addrs[1]}" --node "${node_addrs[2]}" \
+  --heartbeat 50 --dead-after 400 --sweep-chunk 16 > "$fleet_out" &
+fleet_pid=$!
+for _ in $(seq 1 100); do
+  grep -q '^fleet listening on ' "$fleet_out" && break
+  sleep 0.1
+done
+fleet_addr="$(sed -n 's/^fleet listening on //p' "$fleet_out")"
+"$synergy_bin" request ping --addr "$fleet_addr"
+sweep_pids=()
+sweep_logs=()
+for bench in mat_mul sobel3 vec_add black_scholes; do
+  sweep_log="$(mktemp -t synergy-fleet-sweep-XXXXXX.log)"
+  sweep_logs+=("$sweep_log")
+  "$synergy_bin" request sweep "$bench" --device v100 \
+    --addr "$fleet_addr" --deadline 60000 --retries 1000 > "$sweep_log" &
+  sweep_pids+=($!)
+done
+# Yank the third node mid-sweep: no drain, no goodbye.
+kill -9 "${node_pids[2]}"
+wait "${node_pids[2]}" 2>/dev/null || true
+for pid in "${sweep_pids[@]}"; do
+  wait "$pid"   # set -e: a dropped or errored sweep fails the gate here
+done
+for sweep_log in "${sweep_logs[@]}"; do
+  grep -q 'Pareto points' "$sweep_log"
+done
+"$synergy_bin" request nodes --addr "$fleet_addr" | grep -q 'node(s)'
+"$synergy_bin" metrics "$fleet_addr" --fleet | grep -q 'fleet cost rollup'
+"$synergy_bin" request drain --addr "$fleet_addr"
+wait "$fleet_pid"
+grep -q '^drained: ' "$fleet_out"
+for i in 0 1; do
+  "$synergy_bin" request drain --addr "${node_addrs[$i]}"
+  wait "${node_pids[$i]}"
+done
+rm -f "${sweep_logs[@]}"
+echo "fleet e2e smoke: survived a SIGKILL mid-sweep with zero drops"

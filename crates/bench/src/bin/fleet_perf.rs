@@ -1,0 +1,421 @@
+//! Scaling and volatility harness for the `synergy-fleet` coordinator.
+//!
+//! Spawns N in-process `synergy-serve` nodes behind one coordinator and
+//! drives the `serve_perf` traffic mix (Compile / Sweep / Predict /
+//! Ping over a small benchmark pool) through the fleet with blocking
+//! clients, at a ladder of node counts. Each pass reports closed-loop
+//! throughput; the ladder yields `scaling_max` — pass-N throughput over
+//! pass-1 throughput — the fleet's headline number.
+//!
+//! After the ladder, a *volatility* pass at the widest node count
+//! preempts one node mid-run (grace window, then rejoin): its queued
+//! work is orphaned, the rebalancer re-dispatches it through the exact
+//! Hungarian matcher, and the pass still must answer every accepted
+//! request with the matching kind — the zero-drop guarantee under
+//! preemption, measured rather than asserted in a unit test.
+//!
+//! Clients retry `Busy { retry_after_ms }` through the shared
+//! [`RetryPolicy`] (the same jittered-backoff schedule the CLI and the
+//! coordinator's forwarders use), with an effectively unbounded budget
+//! so admission rejections never masquerade as drops.
+//!
+//! Flags:
+//!
+//! * `--small` — CI-sized: node ladder 1→4, fewer requests.
+//! * `--nodes N` — cap the ladder at N nodes (default 8).
+//! * `--per-client N` — fixed requests per client (default scaled).
+//!
+//! Emits `experiments/BENCH_fleet.json` and appends a commit-stamped
+//! `fleet_perf` line to `experiments/bench_history.jsonl`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use synergy_bench::{append_bench_history, artifact_dir, print_table};
+use synergy_fleet::{spawn_fleet, FleetConfig, FleetStats, NodeConfig};
+use synergy_kernel::NUM_FEATURES;
+use synergy_serve::{
+    spawn, Client, Json, ModelProfile, Request, Response, RetryPolicy, ServeConfig, ServerHandle,
+};
+use synergy_telemetry::Metrics;
+
+/// Deterministic per-client request mixer (no external RNG) — the same
+/// LCG and mix as `serve_perf`, so fleet numbers compare like for like.
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0 >> 33
+    }
+}
+
+const BENCH_POOL: [&str; 3] = ["vec_add", "sobel3", "mat_mul"];
+
+fn pick_request(rng: &mut Lcg) -> Request {
+    let bench = BENCH_POOL[(rng.next() % BENCH_POOL.len() as u64) as usize].to_string();
+    match rng.next() % 100 {
+        0..=44 => Request::Compile {
+            bench,
+            device: "v100".to_string(),
+            targets: vec!["ES_50".to_string()],
+        },
+        45..=74 => Request::Sweep {
+            bench,
+            device: "v100".to_string(),
+        },
+        75..=89 => Request::Predict {
+            device: "v100".to_string(),
+            features: vec![1.0; NUM_FEATURES],
+            mem_mhz: 877,
+            core_mhz: 1312,
+        },
+        _ => Request::Ping,
+    }
+}
+
+fn matches_kind(req: &Request, resp: &Response) -> bool {
+    matches!(
+        (req, resp),
+        (Request::Compile { .. }, Response::Compiled { .. })
+            | (Request::Sweep { .. }, Response::SweepFront { .. })
+            | (Request::Predict { .. }, Response::Predicted { .. })
+            | (Request::Ping, Response::Pong)
+    )
+}
+
+/// One pass's merged client-side tally plus the coordinator's counters.
+struct PassOutcome {
+    nodes: usize,
+    clients: usize,
+    total: u64,
+    answered: u64,
+    mismatched: u64,
+    expired: u64,
+    busy_retries: u64,
+    elapsed_s: f64,
+    throughput_rps: f64,
+    fleet: FleetStats,
+}
+
+impl PassOutcome {
+    fn dropped(&self) -> u64 {
+        self.total - self.answered - self.mismatched - self.expired
+    }
+}
+
+/// Spawn `n` serve nodes, pre-train their model caches (so the timed
+/// region measures steady-state routing, not one-off training), front
+/// them with a coordinator, and drive `clients × per_client` requests.
+///
+/// `preempt_one` turns on the volatility injection: ~a third of the way
+/// in, one node is preempted with a 50ms grace window and rejoined 300ms
+/// later; the pass must still answer everything.
+fn run_pass(n: usize, clients: usize, per_client: usize, preempt_one: bool) -> PassOutcome {
+    let mut nodes: Vec<ServerHandle> = (0..n)
+        .map(|_| {
+            spawn(ServeConfig {
+                workers: 4,
+                queue_capacity: 64,
+                profile: ModelProfile::small(),
+                compute_delay: Duration::from_millis(2),
+                metrics: Metrics::disabled(),
+                ..ServeConfig::default()
+            })
+            .expect("bind node")
+        })
+        .collect();
+    for node in &nodes {
+        let mut warm = Client::connect(node.addr()).expect("warmup connect");
+        let _ = warm.set_timeout(Some(Duration::from_secs(300)));
+        for bench in BENCH_POOL {
+            let _ = warm.compile(bench, "v100", &["ES_50"]);
+        }
+    }
+
+    let roster: Vec<NodeConfig> = nodes
+        .iter()
+        .map(|h| NodeConfig {
+            addr: h.addr().to_string(),
+            devices: Vec::new(),
+        })
+        .collect();
+    let fleet = spawn_fleet(FleetConfig {
+        nodes: roster,
+        heartbeat_interval: Duration::from_millis(100),
+        dead_after: Duration::from_millis(1000),
+        max_inflight_per_node: 8,
+        metrics: Metrics::disabled(),
+        ..FleetConfig::default()
+    })
+    .expect("bind coordinator");
+    let addr = fleet.addr();
+    println!(
+        "fleet_perf[{}]: {clients} clients x {per_client} through {addr} over {n} node(s){}",
+        if preempt_one { "volatility" } else { "scaling" },
+        if preempt_one { " with preemption" } else { "" },
+    );
+
+    let answered = AtomicU64::new(0);
+    let mismatched = AtomicU64::new(0);
+    let expired = AtomicU64::new(0);
+    let busy_retries = AtomicU64::new(0);
+    let started = Instant::now();
+    thread::scope(|s| {
+        for c in 0..clients {
+            let (answered, mismatched, expired, busy_retries) =
+                (&answered, &mismatched, &expired, &busy_retries);
+            s.spawn(move || {
+                let mut client = Client::connect(addr).expect("client connect");
+                let _ = client.set_timeout(Some(Duration::from_secs(60)));
+                let mut rng = Lcg(0xf1ee7 ^ (c as u64) << 17);
+                for _ in 0..per_client {
+                    let req = pick_request(&mut rng);
+                    // Effectively unbounded: an admission rejection must
+                    // never exhaust into a client-visible Busy, or it
+                    // would read as a drop.
+                    let budget = 1_000_000u32;
+                    let mut policy = RetryPolicy::new(budget, 5, 200, 0xb0ff ^ c as u64);
+                    let resp = client
+                        .request_with_retry(&req, 30_000, &mut policy)
+                        .expect("fleet request");
+                    busy_retries
+                        .fetch_add((budget - policy.retries_left()) as u64, Ordering::Relaxed);
+                    match resp {
+                        Response::Expired { .. } => expired.fetch_add(1, Ordering::Relaxed),
+                        other if matches_kind(&req, &other) => {
+                            answered.fetch_add(1, Ordering::Relaxed)
+                        }
+                        _ => mismatched.fetch_add(1, Ordering::Relaxed),
+                    };
+                }
+            });
+        }
+        if preempt_one {
+            let fleet = &fleet;
+            let victim = nodes.last().expect("at least one node").addr().to_string();
+            s.spawn(move || {
+                thread::sleep(Duration::from_millis(150));
+                assert!(fleet.preempt(&victim, 50), "victim node not in roster");
+                thread::sleep(Duration::from_millis(300));
+                fleet.join_node(&victim);
+            });
+        }
+    });
+    let elapsed_s = started.elapsed().as_secs_f64();
+
+    fleet.drain();
+    let stats = fleet.join();
+    for node in nodes.drain(..) {
+        node.drain();
+        node.join();
+    }
+
+    let answered = answered.into_inner();
+    PassOutcome {
+        nodes: n,
+        clients,
+        total: (clients * per_client) as u64,
+        answered,
+        mismatched: mismatched.into_inner(),
+        expired: expired.into_inner(),
+        busy_retries: busy_retries.into_inner(),
+        elapsed_s,
+        throughput_rps: answered as f64 / elapsed_s,
+        fleet: stats,
+    }
+}
+
+struct Cli {
+    small: bool,
+    max_nodes: usize,
+    per_client: Option<usize>,
+}
+
+fn parse_cli() -> Cli {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let small = args.iter().any(|a| a == "--small");
+    let mut max_nodes = if small { 4 } else { 8 };
+    let mut per_client = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut grab = |name: &str| {
+            it.next()
+                .unwrap_or_else(|| panic!("{name} needs a value"))
+                .parse::<usize>()
+                .unwrap_or_else(|_| panic!("{name} needs a number"))
+        };
+        match a.as_str() {
+            "--nodes" => max_nodes = grab("--nodes").max(1),
+            "--per-client" => per_client = Some(grab("--per-client").max(1)),
+            "--small" => {}
+            other => panic!("unknown fleet_perf flag `{other}` (try --small, --nodes, --per-client)"),
+        }
+    }
+    Cli {
+        small,
+        max_nodes,
+        per_client,
+    }
+}
+
+fn main() {
+    let cli = parse_cli();
+    // The node-count ladder: powers of two up to the cap.
+    let mut ladder = vec![1usize];
+    while *ladder.last().expect("nonempty") * 2 <= cli.max_nodes {
+        ladder.push(ladder.last().expect("nonempty") * 2);
+    }
+    let per_client = cli.per_client.unwrap_or(if cli.small { 12 } else { 24 });
+
+    // Scaling ladder: offered load grows with the fleet (6 clients per
+    // node — inside the 8-slot admission bound, so Busy churn stays low
+    // and the ladder measures capacity, not retry backoff).
+    let mut passes: Vec<PassOutcome> = ladder
+        .iter()
+        .map(|&n| run_pass(n, 6 * n, per_client, false))
+        .collect();
+
+    let base = passes[0].throughput_rps;
+    let top = passes.last().expect("nonempty").throughput_rps;
+    let scaling_max = if base > 0.0 { top / base } else { 0.0 };
+
+    // Volatility pass at the widest count: preempt one node mid-run,
+    // rejoin it, and still answer everything.
+    let widest = *ladder.last().expect("nonempty");
+    let volatility = run_pass(widest.max(2), 6 * widest.max(2), per_client, true);
+
+    let mut rows: Vec<Vec<String>> = passes
+        .iter()
+        .map(|p| {
+            vec![
+                format!("{} node(s)", p.nodes),
+                p.total.to_string(),
+                p.answered.to_string(),
+                p.dropped().to_string(),
+                p.busy_retries.to_string(),
+                format!("{:.1}", p.throughput_rps),
+                p.fleet.reassigned.to_string(),
+                p.fleet.preemptions.to_string(),
+            ]
+        })
+        .collect();
+    rows.push(vec![
+        format!("{} +preempt", volatility.nodes),
+        volatility.total.to_string(),
+        volatility.answered.to_string(),
+        volatility.dropped().to_string(),
+        volatility.busy_retries.to_string(),
+        format!("{:.1}", volatility.throughput_rps),
+        volatility.fleet.reassigned.to_string(),
+        volatility.fleet.preemptions.to_string(),
+    ]);
+    print_table(
+        &[
+            "pass",
+            "requests",
+            "answered",
+            "dropped",
+            "busy retries",
+            "req/s",
+            "reassigned",
+            "preemptions",
+        ],
+        &rows,
+    );
+    println!("scaling 1->{widest}: {scaling_max:.2}x");
+
+    passes.push(volatility);
+    let pass_json = |p: &PassOutcome, volatility: bool| {
+        Json::Obj(vec![
+            ("nodes".into(), Json::Int(p.nodes as i128)),
+            ("clients".into(), Json::Int(p.clients as i128)),
+            ("volatility".into(), Json::Bool(volatility)),
+            ("total_requests".into(), Json::Int(p.total as i128)),
+            ("answered".into(), Json::Int(p.answered as i128)),
+            ("mismatched".into(), Json::Int(p.mismatched as i128)),
+            ("expired".into(), Json::Int(p.expired as i128)),
+            ("dropped".into(), Json::Int(p.dropped() as i128)),
+            ("busy_retries".into(), Json::Int(p.busy_retries as i128)),
+            ("elapsed_s".into(), Json::Num(p.elapsed_s)),
+            ("throughput_rps".into(), Json::Num(p.throughput_rps)),
+            ("forwarded".into(), Json::Int(p.fleet.forwarded as i128)),
+            ("reassigned".into(), Json::Int(p.fleet.reassigned as i128)),
+            ("orphaned".into(), Json::Int(p.fleet.orphaned as i128)),
+            ("preemptions".into(), Json::Int(p.fleet.preemptions as i128)),
+            ("dead_nodes".into(), Json::Int(p.fleet.dead_nodes as i128)),
+        ])
+    };
+    let last = passes.len() - 1;
+    let artifact = Json::Obj(vec![
+        (
+            "mode".into(),
+            Json::Str(if cli.small { "small" } else { "default" }.into()),
+        ),
+        ("per_client".into(), Json::Int(per_client as i128)),
+        (
+            "node_counts".into(),
+            Json::Arr(ladder.iter().map(|&n| Json::Int(n as i128)).collect()),
+        ),
+        ("scaling_max".into(), Json::Num(scaling_max)),
+        (
+            "passes".into(),
+            Json::Arr(
+                passes
+                    .iter()
+                    .enumerate()
+                    .map(|(i, p)| pass_json(p, i == last))
+                    .collect(),
+            ),
+        ),
+    ]);
+    let dir = artifact_dir();
+    std::fs::create_dir_all(&dir).expect("create experiments dir");
+    let path = dir.join("BENCH_fleet.json");
+    std::fs::write(&path, artifact.encode()).expect("write artifact");
+    println!("\n[artifact] {}", path.display());
+
+    let vol = passes.last().expect("nonempty");
+    append_bench_history(
+        "fleet_perf",
+        &serde_json::json!({
+            "mode": if cli.small { "small" } else { "default" },
+            "node_counts": ladder,
+            "per_client": per_client,
+            "scaling_max": scaling_max,
+            "base_throughput_rps": base,
+            "top_throughput_rps": top,
+            "volatility_answered": vol.answered,
+            "volatility_dropped": vol.dropped(),
+            "volatility_reassigned": vol.fleet.reassigned,
+            "volatility_preemptions": vol.fleet.preemptions,
+        }),
+    );
+
+    // Acceptance gates: nothing dropped or mismatched anywhere, and the
+    // volatility pass actually exercised preemption.
+    let mut failed = false;
+    for p in &passes {
+        if p.dropped() != 0 || p.mismatched != 0 {
+            eprintln!(
+                "FAIL: pass at {} node(s): {} dropped, {} mismatched",
+                p.nodes,
+                p.dropped(),
+                p.mismatched
+            );
+            failed = true;
+        }
+    }
+    if vol.fleet.preemptions == 0 {
+        eprintln!("FAIL: volatility pass never preempted a node");
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    println!("fleet_perf: OK");
+}

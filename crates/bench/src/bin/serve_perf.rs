@@ -47,7 +47,7 @@ use synergy_kernel::NUM_FEATURES;
 use synergy_serve::poll::{self, PollFd, POLLIN, POLLOUT};
 use synergy_serve::{
     spawn, Client, FrameBuffer, Json, ModelProfile, Request, RequestFrame, Response,
-    ResponseFrame, ServeConfig, StatsSnapshot,
+    ResponseFrame, RetryPolicy, ServeConfig, StatsSnapshot,
 };
 use synergy_telemetry::{LogHistogram, Metrics};
 
@@ -124,6 +124,11 @@ struct SimClient {
     out_at: usize,
     rng: Lcg,
     next_id: u64,
+    /// Backoff schedule for Busy replies — the shared [`RetryPolicy`]
+    /// (jittered exponential growth over the server's hint), re-armed
+    /// per logical request with an unbounded budget so the closed loop
+    /// never abandons a request.
+    policy: RetryPolicy,
     /// The in-flight request: id, body (kept for kind-matching and Busy
     /// retries), and when the *logical* request began — retries are part
     /// of the same latency sample, as in the thread-per-client harness.
@@ -156,6 +161,7 @@ impl SimClient {
             out_at: 0,
             rng: Lcg(seed),
             next_id: 0,
+            policy: RetryPolicy::new(u32::MAX, 1, 400, seed | 1),
             outstanding: None,
             retry_at: None,
             connected_at: Instant::now(),
@@ -192,6 +198,9 @@ impl SimClient {
             return;
         }
         let req = pick_request(&mut self.rng);
+        // Fresh backoff per logical request, so one congested stretch
+        // doesn't ratchet the floor up for the rest of the run.
+        self.policy = RetryPolicy::new(u32::MAX, 1, 400, self.rng.next() | 1);
         self.send_request(req, Instant::now());
     }
 
@@ -256,11 +265,11 @@ impl SimClient {
         match resp.resp {
             Response::Busy { retry_after_ms } => {
                 self.report.busy_retries += 1;
-                self.retry_at = Some((
-                    Instant::now() + Duration::from_millis(retry_after_ms),
-                    req,
-                    begun,
-                ));
+                let delay = self
+                    .policy
+                    .next_delay(retry_after_ms)
+                    .expect("unbounded retry budget");
+                self.retry_at = Some((Instant::now() + delay, req, begun));
             }
             other => {
                 if matches_kind(&req, &other) {
@@ -501,7 +510,13 @@ fn run_load(
         let mut warm = Client::connect(addr).expect("warmup connect");
         let _ = warm.set_timeout(Some(Duration::from_secs(300)));
         for bench in BENCH_POOL {
-            let _ = warm.compile(bench, "v100", &["ES_50"]);
+            let req = Request::Compile {
+                bench: bench.to_string(),
+                device: "v100".to_string(),
+                targets: vec!["ES_50".to_string()],
+            };
+            let mut policy = RetryPolicy::standard(0x5eed);
+            let _ = warm.request_with_retry(&req, 0, &mut policy);
         }
     }
 

@@ -626,18 +626,80 @@ pub fn serve(
     Ok(())
 }
 
-/// `synergy metrics [--addr ...] [--format json|openmetrics] [--watch SECS]`
+/// `synergy fleet --node host:port[=v100,a100]... [--addr ...] [...]`
+///
+/// Runs the fleet coordinator in the foreground, fronting the given
+/// serve nodes. Mirrors `serve`: the first output line is
+/// `fleet listening on <addr>` with the actual bound port; the process
+/// then blocks until a client sends `drain`, the in-flight work
+/// finishes, and the final counters print.
+#[allow(clippy::too_many_arguments)]
+pub fn fleet(
+    out: &mut dyn Write,
+    addr: &str,
+    nodes: &[String],
+    reactors: usize,
+    heartbeat_ms: u64,
+    dead_after_ms: u64,
+    max_inflight: usize,
+    sweep_chunk: usize,
+) -> Result<(), UsageError> {
+    let nodes = nodes
+        .iter()
+        .map(|spec| synergy_fleet::NodeConfig::parse(spec).map_err(UsageError))
+        .collect::<Result<Vec<_>, _>>()?;
+    let handle = synergy_fleet::spawn_fleet(synergy_fleet::FleetConfig {
+        addr: addr.to_string(),
+        nodes,
+        reactors,
+        heartbeat_interval: std::time::Duration::from_millis(heartbeat_ms),
+        dead_after: std::time::Duration::from_millis(dead_after_ms),
+        max_inflight_per_node: max_inflight,
+        sweep_chunk,
+        metrics: synergy_telemetry::Metrics::enabled(),
+        ..synergy_fleet::FleetConfig::default()
+    })
+    .map_err(|e| UsageError(format!("cannot bind `{addr}`: {e}")))?;
+    let w = |r: std::io::Result<()>| r.map_err(|e| UsageError(e.to_string()));
+    w(writeln!(out, "fleet listening on {}", handle.addr()))?;
+    w(out.flush())?;
+    handle.wait_for_drain();
+    let stats = handle.join();
+    w(writeln!(
+        out,
+        "drained: {} connections, {} accepted, {} responses, {} forwarded, \
+         {} reassigned, {} orphaned, {} busy-rejected, {} expired, \
+         {} preemptions, {} dead nodes",
+        stats.connections,
+        stats.accepted,
+        stats.responses,
+        stats.forwarded,
+        stats.reassigned,
+        stats.orphaned,
+        stats.busy_rejections,
+        stats.expired,
+        stats.preemptions,
+        stats.dead_nodes,
+    ))?;
+    Ok(())
+}
+
+/// `synergy metrics [--addr ...] [--format json|openmetrics] [--watch SECS] [--fleet]`
 ///
 /// Scrapes a running daemon's live metrics snapshot. `json` prints the
 /// wire-format snapshot verbatim; `openmetrics` renders the same
-/// snapshot as OpenMetrics exposition text. With `--watch SECS` the
-/// scrape repeats every SECS seconds until the daemon goes away (the
-/// first scrape must succeed; later failures end the loop cleanly).
+/// snapshot as OpenMetrics exposition text; `--fleet` renders the cost
+/// rollup summary instead (against a coordinator the scraped snapshot
+/// is already the bucket-exact merge across every live node). With
+/// `--watch SECS` the scrape repeats every SECS seconds until the
+/// daemon goes away (the first scrape must succeed; later failures end
+/// the loop cleanly).
 pub fn metrics(
     out: &mut dyn Write,
     addr: &str,
     format: &str,
     watch: Option<u64>,
+    fleet: bool,
 ) -> Result<(), UsageError> {
     let w = |r: std::io::Result<()>| r.map_err(|e| UsageError(e.to_string()));
     let mut first = true;
@@ -648,18 +710,24 @@ pub fn metrics(
             Err(e) if first => return Err(e),
             Err(_) => return Ok(()),
         };
-        match format {
-            "json" => w(writeln!(out, "{}", snapshot.encode()))?,
-            "openmetrics" => {
-                let snap = synergy_serve::snapshot_from_wire(&snapshot)
-                    .map_err(|e| UsageError(format!("malformed metrics snapshot: {e}")))?;
-                w(write!(
-                    out,
-                    "{}",
-                    synergy_telemetry::expose::render_openmetrics(&snap)
-                ))?;
+        if fleet {
+            let snap = synergy_serve::snapshot_from_wire(&snapshot)
+                .map_err(|e| UsageError(format!("malformed metrics snapshot: {e}")))?;
+            render_cost_rollup(out, &snap)?;
+        } else {
+            match format {
+                "json" => w(writeln!(out, "{}", snapshot.encode()))?,
+                "openmetrics" => {
+                    let snap = synergy_serve::snapshot_from_wire(&snapshot)
+                        .map_err(|e| UsageError(format!("malformed metrics snapshot: {e}")))?;
+                    w(write!(
+                        out,
+                        "{}",
+                        synergy_telemetry::expose::render_openmetrics(&snap)
+                    ))?;
+                }
+                other => return Err(UsageError(format!("unknown metrics format `{other}`"))),
             }
-            other => return Err(UsageError(format!("unknown metrics format `{other}`"))),
         }
         w(out.flush())?;
         match watch {
@@ -668,6 +736,35 @@ pub fn metrics(
         }
         first = false;
     }
+}
+
+/// Human-readable fleet cost rollup: the `CostSnapshot` plus a per-device
+/// energy breakdown, from an (already merged) metrics snapshot.
+fn render_cost_rollup(
+    out: &mut dyn Write,
+    snap: &synergy_telemetry::MetricsSnapshot,
+) -> Result<(), UsageError> {
+    let w = |r: std::io::Result<()>| r.map_err(|e| UsageError(e.to_string()));
+    let c = &snap.cost;
+    w(writeln!(
+        out,
+        "fleet cost rollup ({:.1} node-seconds @ {:.4} USD/kWh)",
+        c.node_seconds, c.usd_per_kwh
+    ))?;
+    w(writeln!(
+        out,
+        "  energy {:>14.3} J  ({:.9} kWh)  cost {:.9} USD",
+        c.total_joules, c.kwh, c.tco_usd
+    ))?;
+    for (device, joules) in &c.joules_by_device {
+        let share = if c.total_joules > 0.0 {
+            100.0 * joules / c.total_joules
+        } else {
+            0.0
+        };
+        w(writeln!(out, "  {device:<12} {joules:>14.3} J  ({share:5.1}%)"))?;
+    }
+    Ok(())
 }
 
 fn scrape_metrics(addr: &str) -> Result<synergy_serve::Json, UsageError> {
@@ -683,20 +780,26 @@ fn scrape_metrics(addr: &str) -> Result<synergy_serve::Json, UsageError> {
     }
 }
 
-/// `synergy request <op> ... [--addr ...] [--deadline ms]`
+/// `synergy request <op> ... [--addr ...] [--deadline ms] [--retries N]`
 ///
 /// Connects to a running daemon, sends one request, renders the reply.
+/// With `--retries N` a `busy {retry_after_ms}` reply is retried up to N
+/// times with jittered exponential backoff honouring the server's hint.
 /// Returns the response so `main` can pick the exit code (`Busy`,
 /// `Expired` and `Error` replies exit non-zero).
 pub fn request(
     out: &mut dyn Write,
     addr: &str,
     deadline_ms: u64,
+    retries: u32,
     req: synergy_serve::Request,
 ) -> Result<synergy_serve::Response, UsageError> {
     let mut client = synergy_serve::Client::connect(addr)
         .map_err(|e| UsageError(format!("cannot connect to `{addr}`: {e}")))?;
-    let resp = if deadline_ms == 0 {
+    let resp = if retries > 0 {
+        let mut policy = synergy_serve::RetryPolicy::new(retries, 25, 800, std::process::id() as u64);
+        client.request_with_retry(&req, deadline_ms, &mut policy)
+    } else if deadline_ms == 0 {
         client.request(req)
     } else {
         client.request_with_deadline(req, deadline_ms)
@@ -751,6 +854,45 @@ pub fn request(
                     out,
                     "  {:>5}/{:>5} MHz  time {:.6e} s  energy {:.6e} J",
                     p.mem_mhz, p.core_mhz, p.time_s, p.energy_j
+                ))?;
+            }
+        }
+        synergy_serve::Response::SweepPartial {
+            device,
+            bench,
+            offset,
+            configurations,
+            points,
+        } => {
+            w(writeln!(
+                out,
+                "{bench} on {device}: chunk at offset {offset}/{configurations}, {} points",
+                points.len()
+            ))?;
+        }
+        synergy_serve::Response::HeartbeatReply {
+            draining,
+            queue_depth,
+            warm_keys,
+        } => {
+            w(writeln!(
+                out,
+                "alive{}: queue depth {queue_depth}, warm [{}]",
+                if *draining { " (draining)" } else { "" },
+                warm_keys.join(", ")
+            ))?;
+        }
+        synergy_serve::Response::FleetNodesReply { nodes } => {
+            w(writeln!(out, "{} node(s)", nodes.len()))?;
+            for n in nodes {
+                w(writeln!(
+                    out,
+                    "  {:<21} {:<10} in-flight {:>3}  forwarded {:>7}  warm [{}]",
+                    n.addr,
+                    n.state,
+                    n.in_flight,
+                    n.forwarded,
+                    n.warm_keys.join(", ")
                 ))?;
             }
         }

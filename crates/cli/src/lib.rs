@@ -27,12 +27,17 @@
 //!   telemetry on and export a Chrome/Perfetto trace;
 //! * `serve [--addr host:port] [--workers N] [--queue N] [--reactors N] [--small]` —
 //!   run the `synergy-serve` tuning daemon until a client drains it;
-//! * `metrics [<addr>] [--format json|openmetrics] [--watch SECS]` —
+//! * `fleet --node host:port[=v100,a100]...` — run the `synergy-fleet`
+//!   coordinator fronting N serve nodes: cache-affinity routing,
+//!   chunked sweeps, preemption tolerance and exact work reassignment;
+//! * `metrics [<addr>] [--format json|openmetrics] [--watch SECS] [--fleet]` —
 //!   scrape a running daemon's live metrics snapshot, as the JSON wire
-//!   form or OpenMetrics exposition text;
-//! * `request <op> ... [--addr host:port] [--deadline ms]` — send one
-//!   request (`ping`, `stats`, `metrics`, `drain`, `compile`, `sweep`,
-//!   `predict`) to a running daemon and render the reply.
+//!   form, OpenMetrics exposition text, or the fleet cost rollup;
+//! * `request <op> ... [--addr host:port] [--deadline ms] [--retries N]` —
+//!   send one request (`ping`, `stats`, `metrics`, `drain`, `compile`,
+//!   `sweep`, `predict`, `nodes`, `join`, `preempt`) to a running daemon
+//!   or coordinator and render the reply, retrying `busy` replies with
+//!   jittered exponential backoff when `--retries` is given.
 
 #![warn(missing_docs)]
 
@@ -128,6 +133,23 @@ pub enum Command {
         /// Use the fast training profile (coarser sweep stride).
         small: bool,
     },
+    /// Run the fleet coordinator until drained.
+    Fleet {
+        /// Listen address (`host:port`; port `0` = ephemeral).
+        addr: String,
+        /// Node specs: `host:port` or `host:port=v100,a100`.
+        nodes: Vec<String>,
+        /// Reactor shards multiplexing client connection I/O.
+        reactors: usize,
+        /// Heartbeat probe interval, milliseconds.
+        heartbeat_ms: u64,
+        /// Silence threshold before a node is declared dead, ms.
+        dead_after_ms: u64,
+        /// Per-node bound on queued-plus-in-flight forwards.
+        max_inflight: usize,
+        /// Clock-grid rows per forwarded sweep chunk.
+        sweep_chunk: usize,
+    },
     /// Scrape a running daemon's live metrics snapshot.
     Metrics {
         /// Daemon address to connect to.
@@ -136,6 +158,8 @@ pub enum Command {
         format: String,
         /// Re-scrape every N seconds until the daemon goes away.
         watch: Option<u64>,
+        /// Render the fleet cost rollup summary instead of raw output.
+        fleet: bool,
     },
     /// Send one request to a running daemon.
     Request {
@@ -143,6 +167,8 @@ pub enum Command {
         addr: String,
         /// Client-side deadline in milliseconds (0 = server default).
         deadline_ms: u64,
+        /// Resend budget for `busy` replies (jittered backoff).
+        retries: u32,
         /// The request to send.
         req: synergy_serve::Request,
     },
@@ -453,12 +479,107 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Us
                 small,
             })
         }
+        "fleet" => {
+            let mut addr = "127.0.0.1:7412".to_string();
+            let mut nodes: Vec<String> = Vec::new();
+            let mut reactors = 1usize;
+            let mut heartbeat_ms = 250u64;
+            let mut dead_after_ms = 1500u64;
+            let mut max_inflight = 8usize;
+            let mut sweep_chunk = 48usize;
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--addr" => {
+                        addr = it
+                            .next()
+                            .ok_or_else(|| UsageError("--addr needs a value".into()))?
+                            .clone();
+                    }
+                    "--node" => {
+                        nodes.push(
+                            it.next()
+                                .ok_or_else(|| UsageError("--node needs a value".into()))?
+                                .clone(),
+                        );
+                    }
+                    "--reactors" => {
+                        reactors = it
+                            .next()
+                            .ok_or_else(|| UsageError("--reactors needs a value".into()))?
+                            .parse()
+                            .map_err(|_| UsageError("--reactors must be a number".into()))?;
+                    }
+                    "--heartbeat" => {
+                        heartbeat_ms = it
+                            .next()
+                            .ok_or_else(|| UsageError("--heartbeat needs a value".into()))?
+                            .parse()
+                            .map_err(|_| UsageError("--heartbeat must be milliseconds".into()))?;
+                    }
+                    "--dead-after" => {
+                        dead_after_ms = it
+                            .next()
+                            .ok_or_else(|| UsageError("--dead-after needs a value".into()))?
+                            .parse()
+                            .map_err(|_| UsageError("--dead-after must be milliseconds".into()))?;
+                    }
+                    "--max-inflight" => {
+                        max_inflight = it
+                            .next()
+                            .ok_or_else(|| UsageError("--max-inflight needs a value".into()))?
+                            .parse()
+                            .map_err(|_| UsageError("--max-inflight must be a number".into()))?;
+                    }
+                    "--sweep-chunk" => {
+                        sweep_chunk = it
+                            .next()
+                            .ok_or_else(|| UsageError("--sweep-chunk needs a value".into()))?
+                            .parse()
+                            .map_err(|_| UsageError("--sweep-chunk must be a number".into()))?;
+                    }
+                    flag if flag.starts_with("--") => {
+                        return Err(UsageError(format!("unknown fleet flag `{flag}`")));
+                    }
+                    other => {
+                        return Err(UsageError(format!(
+                            "fleet takes no positional argument `{other}` (use --node)"
+                        )));
+                    }
+                }
+            }
+            if nodes.is_empty() {
+                return Err(UsageError("fleet needs at least one --node".into()));
+            }
+            if reactors == 0
+                || heartbeat_ms == 0
+                || dead_after_ms == 0
+                || max_inflight == 0
+                || sweep_chunk == 0
+            {
+                return Err(UsageError(
+                    "--reactors, --heartbeat, --dead-after, --max-inflight and \
+                     --sweep-chunk must be positive"
+                        .into(),
+                ));
+            }
+            Ok(Command::Fleet {
+                addr,
+                nodes,
+                reactors,
+                heartbeat_ms,
+                dead_after_ms,
+                max_inflight,
+                sweep_chunk,
+            })
+        }
         "metrics" => {
             let mut addr = "127.0.0.1:7411".to_string();
             let mut format = "json".to_string();
             let mut watch: Option<u64> = None;
+            let mut fleet = false;
             while let Some(a) = it.next() {
                 match a.as_str() {
+                    "--fleet" => fleet = true,
                     "--addr" => {
                         addr = it
                             .next()
@@ -499,6 +620,7 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Us
                 addr,
                 format,
                 watch,
+                fleet,
             })
         }
         "request" => {
@@ -509,6 +631,8 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Us
             let mut features: Vec<f64> = Vec::new();
             let mut mem = 877u32;
             let mut core = 1312u32;
+            let mut retries = 0u32;
+            let mut grace_ms = 1000u64;
             let mut positional: Vec<String> = Vec::new();
             while let Some(a) = it.next() {
                 match a.as_str() {
@@ -569,6 +693,20 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Us
                             .parse()
                             .map_err(|_| UsageError("--core must be MHz".into()))?;
                     }
+                    "--retries" => {
+                        retries = it
+                            .next()
+                            .ok_or_else(|| UsageError("--retries needs a value".into()))?
+                            .parse()
+                            .map_err(|_| UsageError("--retries must be a number".into()))?;
+                    }
+                    "--grace" => {
+                        grace_ms = it
+                            .next()
+                            .ok_or_else(|| UsageError("--grace needs a value".into()))?
+                            .parse()
+                            .map_err(|_| UsageError("--grace must be milliseconds".into()))?;
+                    }
                     flag if flag.starts_with("--") => {
                         return Err(UsageError(format!("unknown request flag `{flag}`")));
                     }
@@ -584,6 +722,20 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Us
                 "stats" => synergy_serve::Request::Stats,
                 "metrics" => synergy_serve::Request::Metrics,
                 "drain" => synergy_serve::Request::Drain,
+                "nodes" => synergy_serve::Request::FleetNodes,
+                "join" => synergy_serve::Request::FleetJoin {
+                    addr: pos
+                        .next()
+                        .ok_or_else(|| UsageError("request join needs a node address".into()))?,
+                },
+                "preempt" => synergy_serve::Request::FleetPreempt {
+                    addr: pos
+                        .next()
+                        .ok_or_else(|| {
+                            UsageError("request preempt needs a node address".into())
+                        })?,
+                    grace_ms,
+                },
                 "compile" => synergy_serve::Request::Compile {
                     bench: pos
                         .next()
@@ -622,6 +774,7 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Us
             Ok(Command::Request {
                 addr,
                 deadline_ms,
+                retries,
                 req,
             })
         }
@@ -645,8 +798,12 @@ USAGE:
   synergy scaling [--gpus N] [--app cloverleaf|miniweather]
   synergy trace <bench> [--device v100|...] [--target ES_50] [--out trace.json] [--summary]
   synergy serve [--addr 127.0.0.1:7411] [--workers N] [--queue N] [--reactors N] [--small]
+  synergy fleet --node host:port[=v100,a100]... [--addr 127.0.0.1:7412] [--reactors N]
+                [--heartbeat MS] [--dead-after MS] [--max-inflight N] [--sweep-chunk N]
   synergy metrics [<addr>] [--addr 127.0.0.1:7411] [--format json|openmetrics] [--watch SECS]
-  synergy request ping|stats|metrics|drain [--addr ...] [--deadline ms]
+                  [--fleet]
+  synergy request ping|stats|metrics|drain|nodes [--addr ...] [--deadline ms] [--retries N]
+  synergy request join <node-addr> | preempt <node-addr> [--grace MS] [--addr ...]
   synergy request compile <bench> [--device v100|...] [--targets ES_50,MIN_EDP] [--addr ...]
   synergy request sweep <bench> [--device v100|...] [--addr ...]
   synergy request predict --features v1,v2,... [--device v100|...] [--mem MHz] [--core MHz]
@@ -868,7 +1025,8 @@ mod tests {
             Command::Metrics {
                 addr: "127.0.0.1:7411".into(),
                 format: "json".into(),
-                watch: None
+                watch: None,
+                fleet: false
             }
         );
         assert_eq!(
@@ -876,17 +1034,61 @@ mod tests {
             Command::Metrics {
                 addr: "127.0.0.1:7500".into(),
                 format: "openmetrics".into(),
-                watch: Some(2)
+                watch: Some(2),
+                fleet: false
             }
         );
         assert_eq!(
-            parse_args(args("metrics --addr 10.0.0.1:7411")).unwrap(),
+            parse_args(args("metrics --addr 10.0.0.1:7411 --fleet")).unwrap(),
             Command::Metrics {
                 addr: "10.0.0.1:7411".into(),
                 format: "json".into(),
-                watch: None
+                watch: None,
+                fleet: true
             }
         );
+    }
+
+    #[test]
+    fn fleet_parses_flags_and_defaults() {
+        assert_eq!(
+            parse_args(args("fleet --node 127.0.0.1:7411")).unwrap(),
+            Command::Fleet {
+                addr: "127.0.0.1:7412".into(),
+                nodes: vec!["127.0.0.1:7411".into()],
+                reactors: 1,
+                heartbeat_ms: 250,
+                dead_after_ms: 1500,
+                max_inflight: 8,
+                sweep_chunk: 48
+            }
+        );
+        assert_eq!(
+            parse_args(args(
+                "fleet --addr 0.0.0.0:9000 --node n1:7411=v100 --node n2:7411=a100,mi100 \
+                 --reactors 2 --heartbeat 100 --dead-after 600 --max-inflight 4 --sweep-chunk 16"
+            ))
+            .unwrap(),
+            Command::Fleet {
+                addr: "0.0.0.0:9000".into(),
+                nodes: vec!["n1:7411=v100".into(), "n2:7411=a100,mi100".into()],
+                reactors: 2,
+                heartbeat_ms: 100,
+                dead_after_ms: 600,
+                max_inflight: 4,
+                sweep_chunk: 16
+            }
+        );
+    }
+
+    #[test]
+    fn fleet_rejects_bad_invocations() {
+        assert!(parse_args(args("fleet")).is_err()); // no nodes
+        assert!(parse_args(args("fleet extra")).is_err());
+        assert!(parse_args(args("fleet --node")).is_err());
+        assert!(parse_args(args("fleet --node a:1 --heartbeat 0")).is_err());
+        assert!(parse_args(args("fleet --node a:1 --sweep-chunk 0")).is_err());
+        assert!(parse_args(args("fleet --node a:1 --frob")).is_err());
     }
 
     #[test]
@@ -904,6 +1106,7 @@ mod tests {
             Command::Request {
                 addr: "127.0.0.1:7411".into(),
                 deadline_ms: 0,
+                retries: 0,
                 req: synergy_serve::Request::Ping
             }
         );
@@ -912,6 +1115,7 @@ mod tests {
             Command::Request {
                 addr: "127.0.0.1:7411".into(),
                 deadline_ms: 0,
+                retries: 0,
                 req: synergy_serve::Request::Metrics
             }
         );
@@ -920,6 +1124,7 @@ mod tests {
             Command::Request {
                 addr: "127.0.0.1:7500".into(),
                 deadline_ms: 250,
+                retries: 0,
                 req: synergy_serve::Request::Drain
             }
         );
@@ -929,6 +1134,7 @@ mod tests {
             Command::Request {
                 addr: "127.0.0.1:7411".into(),
                 deadline_ms: 0,
+                retries: 0,
                 req: synergy_serve::Request::Compile {
                     bench: "vec_add".into(),
                     device: "mi100".into(),
@@ -941,6 +1147,7 @@ mod tests {
             Command::Request {
                 addr: "127.0.0.1:7411".into(),
                 deadline_ms: 0,
+                retries: 0,
                 req: synergy_serve::Request::Sweep {
                     bench: "sobel3".into(),
                     device: "v100".into()
@@ -967,6 +1174,42 @@ mod tests {
     }
 
     #[test]
+    fn request_parses_fleet_operations() {
+        assert_eq!(
+            parse_args(args("request nodes --addr 127.0.0.1:7412")).unwrap(),
+            Command::Request {
+                addr: "127.0.0.1:7412".into(),
+                deadline_ms: 0,
+                retries: 0,
+                req: synergy_serve::Request::FleetNodes
+            }
+        );
+        assert_eq!(
+            parse_args(args("request join 127.0.0.1:7413")).unwrap(),
+            Command::Request {
+                addr: "127.0.0.1:7411".into(),
+                deadline_ms: 0,
+                retries: 0,
+                req: synergy_serve::Request::FleetJoin {
+                    addr: "127.0.0.1:7413".into()
+                }
+            }
+        );
+        assert_eq!(
+            parse_args(args("request preempt 127.0.0.1:7413 --grace 500 --retries 3")).unwrap(),
+            Command::Request {
+                addr: "127.0.0.1:7411".into(),
+                deadline_ms: 0,
+                retries: 3,
+                req: synergy_serve::Request::FleetPreempt {
+                    addr: "127.0.0.1:7413".into(),
+                    grace_ms: 500
+                }
+            }
+        );
+    }
+
+    #[test]
     fn request_rejects_bad_invocations() {
         assert!(parse_args(args("request")).is_err());
         assert!(parse_args(args("request frobnicate")).is_err());
@@ -976,6 +1219,9 @@ mod tests {
         assert!(parse_args(args("request predict --features a,b")).is_err());
         assert!(parse_args(args("request ping extra")).is_err());
         assert!(parse_args(args("request ping --frob")).is_err());
+        assert!(parse_args(args("request join")).is_err());
+        assert!(parse_args(args("request preempt")).is_err());
+        assert!(parse_args(args("request ping --retries many")).is_err());
     }
 
     #[test]

@@ -100,19 +100,40 @@ fn main() -> ExitCode {
             small,
         } => commands::serve(&mut out, &addr, workers, queue, reactors, small)
             .map_err(|e| e.to_string()),
+        Command::Fleet {
+            addr,
+            nodes,
+            reactors,
+            heartbeat_ms,
+            dead_after_ms,
+            max_inflight,
+            sweep_chunk,
+        } => commands::fleet(
+            &mut out,
+            &addr,
+            &nodes,
+            reactors,
+            heartbeat_ms,
+            dead_after_ms,
+            max_inflight,
+            sweep_chunk,
+        )
+        .map_err(|e| e.to_string()),
         Command::Metrics {
             addr,
             format,
             watch,
-        } => commands::metrics(&mut out, &addr, &format, watch).map_err(|e| e.to_string()),
+            fleet,
+        } => commands::metrics(&mut out, &addr, &format, watch, fleet).map_err(|e| e.to_string()),
         Command::Request {
             addr,
             deadline_ms,
+            retries,
             req,
         } => {
             // Exit codes: 0 = the request was answered, 1 = connection or
             // usage failure, Busy/Expired/Error replies.
-            return match commands::request(&mut out, &addr, deadline_ms, req) {
+            return match commands::request(&mut out, &addr, deadline_ms, retries, req) {
                 Ok(
                     synergy_serve::Response::Busy { .. }
                     | synergy_serve::Response::Expired { .. }

@@ -1,0 +1,283 @@
+//! Exact minimum-cost assignment (the Hungarian algorithm).
+//!
+//! The rebalancer turns orphaned work into rows and free node slots
+//! into columns of a cost matrix, then asks for the cheapest perfect
+//! matching. A greedy pass would strand work: give the warm node to the
+//! job that merely *prefers* it and the job that *needs* it pays a cold
+//! retrain. The O(n³) potentials formulation (Kuhn/Jonker-Volgenant)
+//! is exact and, at fleet sizes (tens of rows), effectively free.
+//!
+//! Infeasible edges are expressed as [`f64::INFINITY`]. Internally they
+//! become a finite sentinel larger than any possible feasible-matching
+//! cost difference, which makes the optimum a *minimum-cost
+//! maximum-cardinality* matching on the feasible edges; rows whose
+//! match used the sentinel come back as `None`.
+
+/// The result of [`assign_min_cost`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Assignment {
+    /// For each row (job), the chosen column (slot), or `None` when the
+    /// row is unassignable (more rows than columns, or every feasible
+    /// column went to rows that needed it more).
+    pub row_to_col: Vec<Option<usize>>,
+    /// Sum of the original matrix entries over the assigned pairs.
+    pub total_cost: f64,
+}
+
+impl Assignment {
+    /// Number of rows that received a column.
+    pub fn matched(&self) -> usize {
+        self.row_to_col.iter().filter(|c| c.is_some()).count()
+    }
+}
+
+/// Minimum-cost assignment of rows to columns.
+///
+/// `cost[i][j]` is the cost of giving row `i` column `j`; use
+/// [`f64::INFINITY`] for forbidden pairs. The matrix may be rectangular
+/// and rows may be wholly infeasible. Among all matchings of maximum
+/// cardinality (counting only feasible edges), the returned one has
+/// minimum total cost. Every row of `cost` must have the same length.
+///
+/// # Panics
+///
+/// Panics if rows have differing lengths or any entry is NaN.
+pub fn assign_min_cost(cost: &[Vec<f64>]) -> Assignment {
+    let rows = cost.len();
+    let cols = cost.first().map_or(0, Vec::len);
+    for row in cost {
+        assert_eq!(row.len(), cols, "ragged cost matrix");
+        for &c in row {
+            assert!(!c.is_nan(), "NaN cost");
+        }
+    }
+    if rows == 0 || cols == 0 {
+        return Assignment {
+            row_to_col: vec![None; rows],
+            total_cost: 0.0,
+        };
+    }
+
+    // The sentinel must dominate any achievable cost *difference*
+    // between matchings over finite edges, so minimizing total cost
+    // first minimizes sentinel-edge count (maximizes cardinality).
+    let max_abs = cost
+        .iter()
+        .flatten()
+        .filter(|c| c.is_finite())
+        .fold(1.0f64, |m, &c| m.max(c.abs()));
+    let n = rows;
+    let m = cols.max(rows); // pad columns so every row can be matched
+    let big = 1.0 + 2.0 * (n as f64) * max_abs;
+    let at = |i: usize, j: usize| -> f64 {
+        if j >= cols {
+            return big;
+        }
+        let c = cost[i][j];
+        if c.is_finite() {
+            c
+        } else {
+            big
+        }
+    };
+
+    // Kuhn's algorithm with potentials, 1-indexed (index 0 is the
+    // virtual free row/column).
+    let mut u = vec![0.0f64; n + 1];
+    let mut v = vec![0.0f64; m + 1];
+    let mut matched = vec![0usize; m + 1]; // column -> row (0 = free)
+    let mut way = vec![0usize; m + 1];
+    for i in 1..=n {
+        matched[0] = i;
+        let mut j0 = 0usize;
+        let mut minv = vec![f64::INFINITY; m + 1];
+        let mut used = vec![false; m + 1];
+        loop {
+            used[j0] = true;
+            let i0 = matched[j0];
+            let mut delta = f64::INFINITY;
+            let mut j1 = 0usize;
+            for j in 1..=m {
+                if used[j] {
+                    continue;
+                }
+                let cur = at(i0 - 1, j - 1) - u[i0] - v[j];
+                if cur < minv[j] {
+                    minv[j] = cur;
+                    way[j] = j0;
+                }
+                if minv[j] < delta {
+                    delta = minv[j];
+                    j1 = j;
+                }
+            }
+            for j in 0..=m {
+                if used[j] {
+                    u[matched[j]] += delta;
+                    v[j] -= delta;
+                } else {
+                    minv[j] -= delta;
+                }
+            }
+            j0 = j1;
+            if matched[j0] == 0 {
+                break;
+            }
+        }
+        // Augment along the alternating path back to the free column.
+        loop {
+            let j1 = way[j0];
+            matched[j0] = matched[j1];
+            j0 = j1;
+            if j0 == 0 {
+                break;
+            }
+        }
+    }
+
+    let mut row_to_col = vec![None; rows];
+    let mut total_cost = 0.0;
+    for (j, &i) in matched.iter().enumerate().skip(1) {
+        if i == 0 {
+            continue;
+        }
+        let (row, col) = (i - 1, j - 1);
+        // Sentinel edges are padding or infeasible pairs: unmatched.
+        if col < cols && cost[row][col].is_finite() {
+            row_to_col[row] = Some(col);
+            total_cost += cost[row][col];
+        }
+    }
+    Assignment {
+        row_to_col,
+        total_cost,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{assign_min_cost, Assignment};
+    use proptest::prelude::*;
+
+    /// Exhaustive reference: maximum-cardinality, then minimum-cost,
+    /// matching by trying every row→(column | skip) injection.
+    fn brute_force(cost: &[Vec<f64>]) -> (usize, f64) {
+        let cols = cost.first().map_or(0, Vec::len);
+        fn go(cost: &[Vec<f64>], row: usize, taken: &mut Vec<bool>, best: &mut (usize, f64), cur: (usize, f64)) {
+            if row == cost.len() {
+                if cur.0 > best.0 || (cur.0 == best.0 && cur.1 < best.1) {
+                    *best = cur;
+                }
+                return;
+            }
+            go(cost, row + 1, taken, best, cur); // leave this row out
+            for col in 0..taken.len() {
+                if !taken[col] && cost[row][col].is_finite() {
+                    taken[col] = true;
+                    go(cost, row + 1, taken, best, (cur.0 + 1, cur.1 + cost[row][col]));
+                    taken[col] = false;
+                }
+            }
+        }
+        let mut best = (0usize, f64::INFINITY);
+        go(cost, 0, &mut vec![false; cols], &mut best, (0, 0.0));
+        if best.0 == 0 {
+            best.1 = 0.0;
+        }
+        (best.0, best.1)
+    }
+
+    fn check_valid(cost: &[Vec<f64>], a: &Assignment) {
+        let mut seen = std::collections::HashSet::new();
+        let mut sum = 0.0;
+        for (i, c) in a.row_to_col.iter().enumerate() {
+            if let Some(j) = *c {
+                assert!(seen.insert(j), "column {j} assigned twice");
+                assert!(cost[i][j].is_finite(), "infeasible edge used");
+                sum += cost[i][j];
+            }
+        }
+        assert!((sum - a.total_cost).abs() < 1e-9);
+    }
+
+    #[test]
+    fn trivial_cases() {
+        let a = assign_min_cost(&[]);
+        assert_eq!(a.row_to_col, Vec::<Option<usize>>::new());
+        let a = assign_min_cost(&[vec![], vec![]]);
+        assert_eq!(a.row_to_col, vec![None, None]);
+        let a = assign_min_cost(&[vec![3.0]]);
+        assert_eq!(a.row_to_col, vec![Some(0)]);
+        assert_eq!(a.total_cost, 3.0);
+    }
+
+    #[test]
+    fn picks_the_cheaper_cross_assignment() {
+        // Greedy (row 0 takes its min, col 0) would cost 1 + 10 = 11;
+        // the optimum crosses over for 2 + 1 = 3.
+        let cost = vec![vec![1.0, 2.0], vec![1.0, 10.0]];
+        let a = assign_min_cost(&cost);
+        assert_eq!(a.matched(), 2);
+        assert_eq!(a.row_to_col, vec![Some(1), Some(0)]);
+        assert!((a.total_cost - 3.0).abs() < 1e-9, "cost {}", a.total_cost);
+    }
+
+    #[test]
+    fn infeasible_rows_stay_unmatched() {
+        let inf = f64::INFINITY;
+        let cost = vec![vec![inf, inf], vec![5.0, 1.0]];
+        let a = assign_min_cost(&cost);
+        assert_eq!(a.row_to_col[0], None);
+        assert_eq!(a.row_to_col[1], Some(1));
+        assert_eq!(a.total_cost, 1.0);
+    }
+
+    #[test]
+    fn more_rows_than_columns_drops_the_costliest() {
+        let cost = vec![vec![9.0], vec![1.0], vec![5.0]];
+        let a = assign_min_cost(&cost);
+        assert_eq!(a.row_to_col, vec![None, Some(0), None]);
+        assert_eq!(a.total_cost, 1.0);
+    }
+
+    #[test]
+    fn negative_costs_are_handled_exactly() {
+        let cost = vec![vec![-5.0, 2.0], vec![-4.0, -10.0]];
+        let a = assign_min_cost(&cost);
+        let (bc, bcost) = brute_force(&cost);
+        assert_eq!(a.matched(), bc);
+        assert!((a.total_cost - bcost).abs() < 1e-9);
+    }
+
+    fn arb_cost(max_dim: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
+        (1..=max_dim, 1..=max_dim).prop_flat_map(|(r, c)| {
+            prop::collection::vec(
+                prop::collection::vec(
+                    prop_oneof![
+                        4 => (-100i32..=100).prop_map(|v| v as f64 / 2.0),
+                        1 => Just(f64::INFINITY),
+                    ],
+                    c,
+                ),
+                r,
+            )
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        /// The matcher agrees with exhaustive search on cardinality and
+        /// total cost for every matrix up to 6×6, including rectangular
+        /// shapes and infeasible edges.
+        #[test]
+        fn matches_brute_force(cost in arb_cost(6)) {
+            let a = assign_min_cost(&cost);
+            check_valid(&cost, &a);
+            let (bc, bcost) = brute_force(&cost);
+            prop_assert_eq!(a.matched(), bc, "cardinality");
+            prop_assert!((a.total_cost - bcost).abs() < 1e-6,
+                "cost {} vs brute {}", a.total_cost, bcost);
+        }
+    }
+}

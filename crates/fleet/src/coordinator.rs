@@ -1,0 +1,1558 @@
+//! The fleet coordinator: one daemon fronting N `synergy-serve` nodes.
+//!
+//! Clients speak the ordinary serve wire protocol to the coordinator;
+//! nodes are plain, unmodified `synergy-serve` daemons the coordinator
+//! talks to with the blocking [`Client`]. Three planes:
+//!
+//! * **Membership** — nodes join via config or [`Request::FleetJoin`];
+//!   a heartbeat thread probes each node every interval, adopting the
+//!   warm-cache keys and metrics snapshot it advertises, and declares a
+//!   node dead after [`FleetConfig::dead_after`] of silence (or a burst
+//!   of connection failures). Dead nodes auto-rejoin on the next
+//!   successful heartbeat; *preempted* nodes need an explicit
+//!   `FleetJoin`.
+//! * **Routing** — data-plane requests are admitted against the fleet's
+//!   total free capacity (mirroring serve's `Busy { retry_after_ms }`
+//!   semantics, but with per-node in-flight bounds), then steered to an
+//!   *up* node that owns the device, preferring nodes whose
+//!   [`ModelStore`](synergy_rt::ModelStore) is already warm for it.
+//!   Sweeps are split into [`Request::SweepPart`] chunks — the fleet's
+//!   unit of checkpointed, reassignable work — and the merged frontier
+//!   is computed with [`pareto_points`], bit-identical to a single
+//!   node's [`Response::SweepFront`].
+//! * **Volatility** — [`Request::FleetPreempt`] starts a grace window
+//!   during which the node gets no new work; at the deadline its queued
+//!   work is orphaned. Orphans (also produced by node death and I/O
+//!   failures) are re-dispatched by a rebalancer that solves an exact
+//!   minimum-cost assignment ([`crate::assign`]) of orphans onto free
+//!   node slots, pricing cold caches and queue depth. An accepted
+//!   request is answered exactly once, whatever happens to the node it
+//!   first landed on — by result, `Busy`, or `Expired`, never silence.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::net::{SocketAddr, TcpListener};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use parking_lot::{Condvar, Mutex};
+
+use synergy_serve::reactor::{spawn_reactor, ConnEvents, ConnHandle, Reactor};
+use synergy_serve::{
+    canonical_device_key, device_spec, pareto_points, snapshot_from_wire, snapshot_to_wire,
+    Client, ErrorKind, FleetNodeStatus, Request, RequestFrame, Response, ResponseFrame,
+    RetryPolicy, SweepPoint,
+};
+use synergy_telemetry::{Counter, Metrics, MetricsSnapshot};
+
+use crate::assign::assign_min_cost;
+
+/// One node in the static fleet roster.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeConfig {
+    /// The node's `host:port` address.
+    pub addr: String,
+    /// Canonical device keys this node owns; empty = serves any device.
+    pub devices: Vec<String>,
+}
+
+impl NodeConfig {
+    /// Parse `addr` or `addr=dev1,dev2` (the CLI `--node` syntax).
+    pub fn parse(s: &str) -> Result<NodeConfig, String> {
+        let (addr, devs) = match s.split_once('=') {
+            Some((a, d)) => (a, d),
+            None => (s, ""),
+        };
+        if addr.is_empty() {
+            return Err(format!("node spec `{s}` has no address"));
+        }
+        let mut devices = Vec::new();
+        for d in devs.split(',').filter(|d| !d.is_empty()) {
+            match canonical_device_key(d) {
+                Some(k) => devices.push(k),
+                None => return Err(format!("node spec `{s}`: unknown device `{d}`")),
+            }
+        }
+        devices.sort();
+        devices.dedup();
+        Ok(NodeConfig {
+            addr: addr.to_string(),
+            devices,
+        })
+    }
+}
+
+/// Coordinator configuration.
+pub struct FleetConfig {
+    /// Listen address (`host:port`; port 0 picks an ephemeral port).
+    pub addr: String,
+    /// Initial roster; more nodes can join at runtime.
+    pub nodes: Vec<NodeConfig>,
+    /// Reactor shards for the client-facing listener.
+    pub reactors: usize,
+    /// How often the membership plane probes each node.
+    pub heartbeat_interval: Duration,
+    /// Silence threshold after which a node is declared dead.
+    pub dead_after: Duration,
+    /// Per-node bound on queued-plus-in-flight forwarded requests.
+    pub max_inflight_per_node: usize,
+    /// Forwarder connections (threads) per node.
+    pub links_per_node: usize,
+    /// Queue-wait budget for requests that do not set one, ms.
+    pub default_deadline_ms: u64,
+    /// Back-off hint sent with fleet-level `Busy` rejections, ms.
+    pub retry_after_ms: u64,
+    /// Clock-grid rows per [`Request::SweepPart`] chunk.
+    pub sweep_chunk: usize,
+    /// Reassignment-cost penalty for routing a device onto a node with
+    /// a cold model cache, in milliseconds-equivalent units.
+    pub cold_penalty_ms: f64,
+    /// Coordinator-side metrics registry (merged with node snapshots
+    /// for the fleet cost rollup). [`Metrics::disabled`] is free.
+    pub metrics: Metrics,
+}
+
+impl Default for FleetConfig {
+    fn default() -> FleetConfig {
+        FleetConfig {
+            addr: "127.0.0.1:0".to_string(),
+            nodes: Vec::new(),
+            reactors: 1,
+            heartbeat_interval: Duration::from_millis(250),
+            dead_after: Duration::from_millis(1500),
+            max_inflight_per_node: 8,
+            links_per_node: 2,
+            default_deadline_ms: 10_000,
+            retry_after_ms: 25,
+            sweep_chunk: 48,
+            cold_penalty_ms: 150.0,
+            metrics: Metrics::disabled(),
+        }
+    }
+}
+
+/// A point-in-time copy of the coordinator counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FleetStats {
+    /// Client connections accepted.
+    pub connections: u64,
+    /// Data-plane requests accepted (each is answered exactly once).
+    pub accepted: u64,
+    /// Responses written to clients.
+    pub responses: u64,
+    /// Fleet-level `Busy` rejections (no free slot anywhere).
+    pub busy_rejections: u64,
+    /// Accepted requests that expired before completing.
+    pub expired: u64,
+    /// Error responses relayed or produced.
+    pub errors: u64,
+    /// Sub-requests handed to forwarders (includes re-dispatches).
+    pub forwarded: u64,
+    /// Orphaned sub-requests re-dispatched to a different-or-same node.
+    pub reassigned: u64,
+    /// Sub-requests orphaned by death, preemption or I/O failure.
+    pub orphaned: u64,
+    /// Preemption notices honoured.
+    pub preemptions: u64,
+    /// Nodes currently marked dead.
+    pub dead_nodes: u64,
+}
+
+#[derive(Default)]
+struct FleetCounters {
+    connections: AtomicU64,
+    accepted: AtomicU64,
+    responses: AtomicU64,
+    busy_rejections: AtomicU64,
+    expired: AtomicU64,
+    errors: AtomicU64,
+    forwarded: AtomicU64,
+    reassigned: AtomicU64,
+    orphaned: AtomicU64,
+    preemptions: AtomicU64,
+}
+
+/// Registry handles mirroring [`FleetCounters`] (no-ops when disabled).
+struct Instr {
+    accepted: Counter,
+    reassigned: Counter,
+    orphaned: Counter,
+    preemptions: Counter,
+}
+
+impl Instr {
+    fn new(m: &Metrics) -> Instr {
+        Instr {
+            accepted: m.counter("synergy_fleet_requests_total", &[]),
+            reassigned: m.counter("synergy_fleet_reassigned_total", &[]),
+            orphaned: m.counter("synergy_fleet_orphaned_total", &[]),
+            preemptions: m.counter("synergy_fleet_preemptions_total", &[]),
+        }
+    }
+}
+
+/// Membership state of one node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum NodeState {
+    /// Routable.
+    Up,
+    /// The node reported it is draining: finish its work, route nothing
+    /// new to it.
+    Draining,
+    /// Preemption notice received; no new work. At `until` the queued
+    /// work is orphaned and the state becomes [`NodeState::Preempted`].
+    Preempting {
+        /// Grace deadline.
+        until: Instant,
+    },
+    /// Preempted; requires an explicit `FleetJoin` to return.
+    Preempted,
+    /// Missed heartbeats past the threshold. Auto-revived by the next
+    /// successful heartbeat.
+    Dead,
+}
+
+impl NodeState {
+    fn name(self) -> &'static str {
+        match self {
+            NodeState::Up => "up",
+            NodeState::Draining => "draining",
+            NodeState::Preempting { .. } => "preempting",
+            NodeState::Preempted => "preempted",
+            NodeState::Dead => "dead",
+        }
+    }
+
+    fn routable(self) -> bool {
+        matches!(self, NodeState::Up)
+    }
+}
+
+struct NodeInner {
+    state: NodeState,
+    /// Canonical device keys the node advertises warm model caches for.
+    warm: BTreeSet<String>,
+    last_seen: Instant,
+    /// Queued-plus-in-flight forwarded sub-requests.
+    in_flight: usize,
+    /// Sub-requests ever handed to this node's forwarders.
+    forwarded: u64,
+    /// Consecutive forwarder I/O failures; a burst marks the node dead
+    /// ahead of the heartbeat timeout.
+    failures: u32,
+    /// Last metrics snapshot scraped from the node.
+    snapshot: Option<MetricsSnapshot>,
+}
+
+struct NodeQueue {
+    q: VecDeque<SubJob>,
+    closed: bool,
+}
+
+struct Node {
+    addr: String,
+    /// Device ownership (canonical, sorted); empty = any device.
+    devices: Vec<String>,
+    queue: Mutex<NodeQueue>,
+    queue_cv: Condvar,
+    inner: Mutex<NodeInner>,
+}
+
+impl Node {
+    fn new(cfg: NodeConfig) -> Arc<Node> {
+        Arc::new(Node {
+            addr: cfg.addr,
+            devices: cfg.devices,
+            queue: Mutex::new(NodeQueue {
+                q: VecDeque::new(),
+                closed: false,
+            }),
+            queue_cv: Condvar::new(),
+            inner: Mutex::new(NodeInner {
+                state: NodeState::Up,
+                warm: BTreeSet::new(),
+                last_seen: Instant::now(),
+                in_flight: 0,
+                forwarded: 0,
+                failures: 0,
+                snapshot: None,
+            }),
+        })
+    }
+
+    fn owns(&self, device: &str) -> bool {
+        self.devices.is_empty() || self.devices.iter().any(|d| d == device)
+    }
+
+    fn status(&self) -> FleetNodeStatus {
+        let inner = self.inner.lock();
+        FleetNodeStatus {
+            addr: self.addr.clone(),
+            state: inner.state.name().to_string(),
+            warm_keys: inner.warm.iter().cloned().collect(),
+            in_flight: inner.in_flight as u64,
+            forwarded: inner.forwarded,
+        }
+    }
+}
+
+/// Partial results of a chunked sweep, keyed by grid offset.
+struct SweepParts {
+    pending: BTreeSet<u64>,
+    points: BTreeMap<u64, Vec<SweepPoint>>,
+}
+
+/// Checkpoint state for one chunked sweep: completed chunks survive the
+/// death of the node that computed the rest.
+struct SweepAgg {
+    bench: String,
+    configurations: u64,
+    parts: Mutex<SweepParts>,
+}
+
+/// One accepted client request. Responded to exactly once (`done`).
+struct Job {
+    client: ConnHandle,
+    frame_id: u64,
+    deadline_ms: u64,
+    accepted: Instant,
+    /// Canonical device key (the routing dimension).
+    device: String,
+    req: Request,
+    done: AtomicBool,
+    sweep: Option<SweepAgg>,
+}
+
+impl Job {
+    fn expired(&self) -> bool {
+        self.accepted.elapsed() >= Duration::from_millis(self.deadline_ms)
+    }
+}
+
+/// The unit of routable, reassignable work: a whole single-shot request
+/// or one sweep chunk.
+struct SubJob {
+    job: Arc<Job>,
+    /// `(offset, limit)` for a sweep chunk; `None` forwards `job.req`.
+    part: Option<(u64, u64)>,
+    /// Dispatch attempts so far; failed attempts back off re-dispatch.
+    attempts: u32,
+    /// Earliest re-dispatch time for orphans.
+    not_before: Instant,
+    /// True once the work was orphaned by node death, preemption, a
+    /// transient rejection or an I/O failure — as opposed to merely
+    /// deferred while every slot was busy. Placing an orphaned sub-job
+    /// is what counts as a reassignment.
+    orphaned: bool,
+}
+
+impl SubJob {
+    fn request(&self) -> Request {
+        match self.part {
+            Some((offset, limit)) => Request::SweepPart {
+                bench: self
+                    .job
+                    .sweep
+                    .as_ref()
+                    .map(|s| s.bench.clone())
+                    .unwrap_or_default(),
+                device: self.job.device.clone(),
+                offset,
+                limit,
+            },
+            None => self.job.req.clone(),
+        }
+    }
+}
+
+struct Shared {
+    heartbeat_interval: Duration,
+    dead_after: Duration,
+    max_inflight: usize,
+    default_deadline_ms: u64,
+    retry_after_ms: u64,
+    sweep_chunk: usize,
+    cold_penalty_ms: f64,
+    metrics: Metrics,
+    instr: Instr,
+    counters: FleetCounters,
+    nodes: Mutex<BTreeMap<String, Arc<Node>>>,
+    orphans: Mutex<VecDeque<SubJob>>,
+    /// Rebalancer doorbell: set on orphan pushes, freed slots and
+    /// membership changes.
+    kick_flag: Mutex<bool>,
+    kick: Condvar,
+    /// Accepted-but-unanswered jobs; drain/join wait for zero.
+    outstanding: AtomicU64,
+    outstanding_max: AtomicU64,
+    idle_flag: Mutex<()>,
+    idle: Condvar,
+    draining: AtomicBool,
+    shutdown: AtomicBool,
+    drain_flag: Mutex<bool>,
+    drained: Condvar,
+    reactor: OnceLock<Reactor>,
+    /// Forwarder threads, appended as nodes register.
+    forwarders: Mutex<Vec<JoinHandle<()>>>,
+    /// Back-reference so reactor hooks (`&self`) can spawn owning
+    /// threads; set once at spawn, before any hook can fire.
+    self_ref: OnceLock<std::sync::Weak<Shared>>,
+}
+
+impl Shared {
+    fn respond(&self, conn: &ConnHandle, id: u64, resp: Response) {
+        if matches!(resp, Response::Error { .. }) {
+            self.counters.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        self.counters.responses.fetch_add(1, Ordering::Relaxed);
+        conn.send(&ResponseFrame { id, resp }.encode_framed());
+    }
+
+    /// Answer an accepted job. The `done` flag makes this exactly-once:
+    /// late duplicate results (a reassigned chunk finishing twice, a
+    /// timed-out forward completing after all) are discarded.
+    fn finish_job(&self, job: &Job, resp: Response) {
+        if job.done.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        match &resp {
+            Response::Expired { .. } => {
+                self.counters.expired.fetch_add(1, Ordering::Relaxed);
+            }
+            Response::Error { .. } => {
+                self.counters.errors.fetch_add(1, Ordering::Relaxed);
+            }
+            _ => {}
+        }
+        self.counters.responses.fetch_add(1, Ordering::Relaxed);
+        job.client
+            .send(&ResponseFrame { id: job.frame_id, resp }.encode_framed());
+        if self.outstanding.fetch_sub(1, Ordering::SeqCst) == 1 {
+            let _g = self.idle_flag.lock();
+            self.idle.notify_all();
+        }
+    }
+
+    fn kick_rebalancer(&self) {
+        *self.kick_flag.lock() = true;
+        self.kick.notify_all();
+    }
+
+    fn node(&self, addr: &str) -> Option<Arc<Node>> {
+        self.nodes.lock().get(addr).cloned()
+    }
+
+    fn roster(&self) -> Vec<Arc<Node>> {
+        self.nodes.lock().values().cloned().collect()
+    }
+
+    fn roster_response(&self) -> Response {
+        Response::FleetNodesReply {
+            nodes: self.roster().iter().map(|n| n.status()).collect(),
+        }
+    }
+
+    fn stats(&self) -> FleetStats {
+        let c = &self.counters;
+        FleetStats {
+            connections: c.connections.load(Ordering::Relaxed),
+            accepted: c.accepted.load(Ordering::Relaxed),
+            responses: c.responses.load(Ordering::Relaxed),
+            busy_rejections: c.busy_rejections.load(Ordering::Relaxed),
+            expired: c.expired.load(Ordering::Relaxed),
+            errors: c.errors.load(Ordering::Relaxed),
+            forwarded: c.forwarded.load(Ordering::Relaxed),
+            reassigned: c.reassigned.load(Ordering::Relaxed),
+            orphaned: c.orphaned.load(Ordering::Relaxed),
+            preemptions: c.preemptions.load(Ordering::Relaxed),
+            dead_nodes: self
+                .roster()
+                .iter()
+                .filter(|n| n.inner.lock().state == NodeState::Dead)
+                .count() as u64,
+        }
+    }
+
+    fn stats_response(&self) -> Response {
+        let s = self.stats();
+        Response::StatsReply {
+            connections: s.connections,
+            enqueued: s.accepted,
+            busy_rejections: s.busy_rejections,
+            expired: s.expired,
+            responses: s.responses,
+            coalesce_leaders: 0,
+            coalesce_joins: 0,
+            lint_denials: 0,
+            errors: s.errors,
+            queue_depth: self.outstanding.load(Ordering::Relaxed),
+            queue_depth_max: self.outstanding_max.load(Ordering::Relaxed),
+            draining: self.draining.load(Ordering::SeqCst),
+            percentiles: Vec::new(),
+        }
+    }
+
+    /// The fleet rollup: the coordinator's own registry merged with the
+    /// last metrics snapshot scraped from every node. Counters and
+    /// gauges sum, histograms merge bucket-wise, the cost rollup sums
+    /// joules and node-seconds fleet-wide.
+    fn merged_snapshot(&self) -> MetricsSnapshot {
+        let mut snap = self.metrics.snapshot();
+        for node in self.roster() {
+            if let Some(s) = node.inner.lock().snapshot.as_ref() {
+                snap.merge_from(s);
+            }
+        }
+        snap
+    }
+
+    fn warm_union(&self) -> Vec<String> {
+        let mut keys = BTreeSet::new();
+        for node in self.roster() {
+            keys.extend(node.inner.lock().warm.iter().cloned());
+        }
+        keys.into_iter().collect()
+    }
+
+    /// Register (or revive) a node and spawn its forwarder links.
+    fn register_node(self: &Arc<Shared>, cfg: NodeConfig, links: usize) {
+        let addr = cfg.addr.clone();
+        let node = {
+            let mut nodes = self.nodes.lock();
+            if let Some(existing) = nodes.get(&addr) {
+                let mut inner = existing.inner.lock();
+                inner.state = NodeState::Up;
+                inner.last_seen = Instant::now();
+                inner.failures = 0;
+                drop(inner);
+                self.kick_rebalancer();
+                return;
+            }
+            let node = Node::new(cfg);
+            nodes.insert(addr.clone(), Arc::clone(&node));
+            node
+        };
+        let mut handles = self.forwarders.lock();
+        for k in 0..links.max(1) {
+            let shared = Arc::clone(self);
+            let node = Arc::clone(&node);
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("fleet-fwd-{addr}-{k}"))
+                    .spawn(move || forwarder_loop(&shared, &node, k as u64))
+                    .expect("spawn forwarder"),
+            );
+        }
+        self.kick_rebalancer();
+    }
+
+    fn preempt(&self, addr: &str, grace_ms: u64) -> bool {
+        let Some(node) = self.node(addr) else {
+            return false;
+        };
+        {
+            let mut inner = node.inner.lock();
+            inner.state = NodeState::Preempting {
+                until: Instant::now() + Duration::from_millis(grace_ms),
+            };
+        }
+        self.counters.preemptions.fetch_add(1, Ordering::Relaxed);
+        self.instr.preemptions.inc();
+        self.kick_rebalancer();
+        true
+    }
+
+    /// Declare a node dead and orphan everything queued on it. Its
+    /// in-flight forwards resolve through forwarder I/O errors.
+    fn mark_dead(&self, node: &Node) {
+        {
+            let mut inner = node.inner.lock();
+            if matches!(inner.state, NodeState::Dead | NodeState::Preempted) {
+                return;
+            }
+            inner.state = NodeState::Dead;
+        }
+        self.orphan_queued(node);
+    }
+
+    /// Move a node's queued (not yet in-flight) sub-jobs to the orphan
+    /// pool.
+    fn orphan_queued(&self, node: &Node) {
+        let drained: Vec<SubJob> = {
+            let mut q = node.queue.lock();
+            q.q.drain(..).collect()
+        };
+        if drained.is_empty() {
+            self.kick_rebalancer();
+            return;
+        }
+        {
+            let mut inner = node.inner.lock();
+            inner.in_flight = inner.in_flight.saturating_sub(drained.len());
+        }
+        let n = drained.len() as u64;
+        self.counters.orphaned.fetch_add(n, Ordering::Relaxed);
+        self.instr.orphaned.add(n);
+        let mut orphans = self.orphans.lock();
+        orphans.extend(drained.into_iter().map(|mut sj| {
+            sj.orphaned = true;
+            sj
+        }));
+        drop(orphans);
+        self.kick_rebalancer();
+    }
+
+    fn push_orphan(&self, mut sj: SubJob) {
+        sj.orphaned = true;
+        sj.not_before = Instant::now() + Duration::from_millis(20 * u64::from(sj.attempts.min(10)));
+        self.counters.orphaned.fetch_add(1, Ordering::Relaxed);
+        self.instr.orphaned.inc();
+        self.orphans.lock().push_back(sj);
+        self.kick_rebalancer();
+    }
+
+    /// Park a sub-job in the rebalancer's pool because no slot is free
+    /// right now. Unlike [`Self::push_orphan`] this is normal queueing
+    /// under load, not a volatility event: no counters move.
+    fn defer(&self, mut sj: SubJob) {
+        sj.not_before = Instant::now();
+        self.orphans.lock().push_back(sj);
+        self.kick_rebalancer();
+    }
+
+    /// Hand a sub-job to a node's forwarders (the in-flight slot was
+    /// already reserved by the caller under `inner`).
+    fn enqueue_reserved(&self, node: &Node, sj: SubJob) {
+        self.counters.forwarded.fetch_add(1, Ordering::Relaxed);
+        let mut q = node.queue.lock();
+        q.q.push_back(sj);
+        drop(q);
+        node.queue_cv.notify_one();
+    }
+
+    /// Route one sub-job: the cheapest routable node with a free slot,
+    /// preferring warm caches, then shorter queues. Falls back to the
+    /// orphan pool (the rebalancer's problem) when nothing fits now.
+    fn route(&self, sj: SubJob) {
+        let device = sj.job.device.clone();
+        let mut best: Option<(f64, Arc<Node>)> = None;
+        for node in self.roster() {
+            if !node.owns(&device) {
+                continue;
+            }
+            let inner = node.inner.lock();
+            if !inner.state.routable() || inner.in_flight >= self.max_inflight {
+                continue;
+            }
+            let cost = self.slot_cost(&inner, &device, 0);
+            drop(inner);
+            if best.as_ref().is_none_or(|(c, _)| cost < *c) {
+                best = Some((cost, node));
+            }
+        }
+        match best {
+            Some((_, node)) => {
+                let reserved = {
+                    let mut inner = node.inner.lock();
+                    if inner.state.routable() && inner.in_flight < self.max_inflight {
+                        inner.in_flight += 1;
+                        inner.forwarded += 1;
+                        true
+                    } else {
+                        false
+                    }
+                };
+                if reserved {
+                    self.enqueue_reserved(&node, sj);
+                } else {
+                    self.defer(sj);
+                }
+            }
+            None => self.defer(sj),
+        }
+    }
+
+    /// The reassignment cost of putting `device` work onto a node as
+    /// its `slot`-th extra item: a cold model cache costs a retrain
+    /// (`cold_penalty_ms`), each queued item ahead costs estimated
+    /// queue wait.
+    fn slot_cost(&self, inner: &NodeInner, device: &str, slot: usize) -> f64 {
+        let cold = if inner.warm.contains(device) {
+            0.0
+        } else {
+            self.cold_penalty_ms
+        };
+        cold + 5.0 * (inner.in_flight + slot) as f64
+    }
+
+    /// Whether any routable node could ever take `device` work, and
+    /// whether one has a free slot right now.
+    fn capacity(&self, device: &str) -> (bool, bool) {
+        let mut routable = false;
+        let mut free = false;
+        for node in self.roster() {
+            if !node.owns(device) {
+                continue;
+            }
+            let inner = node.inner.lock();
+            if inner.state.routable() {
+                routable = true;
+                if inner.in_flight < self.max_inflight {
+                    free = true;
+                }
+            }
+        }
+        (routable, free)
+    }
+
+    /// Admit one data-plane request: validate the device, check fleet
+    /// capacity, build the job (chunking sweeps), and route its pieces.
+    fn admit(self: &Arc<Shared>, conn: &ConnHandle, frame: RequestFrame) {
+        let RequestFrame {
+            id,
+            deadline_ms,
+            req,
+        } = frame;
+        let raw_device = match &req {
+            Request::Compile { device, .. }
+            | Request::Predict { device, .. }
+            | Request::Sweep { device, .. }
+            | Request::SweepPart { device, .. } => device.clone(),
+            _ => unreachable!("admit only sees data-plane requests"),
+        };
+        let Some(device) = canonical_device_key(&raw_device) else {
+            self.respond(
+                conn,
+                id,
+                Response::Error {
+                    kind: ErrorKind::BadRequest,
+                    message: format!("unknown device `{raw_device}`"),
+                    diagnostics: Vec::new(),
+                },
+            );
+            return;
+        };
+        let (routable, free) = self.capacity(&device);
+        if !routable || !free {
+            self.counters.busy_rejections.fetch_add(1, Ordering::Relaxed);
+            self.respond(
+                conn,
+                id,
+                Response::Busy {
+                    retry_after_ms: self.retry_after_ms,
+                },
+            );
+            return;
+        }
+        let sweep = match &req {
+            Request::Sweep { bench, .. } => {
+                let spec = device_spec(&device).expect("canonical key has a spec");
+                Some(SweepAgg {
+                    bench: bench.clone(),
+                    configurations: synergy_rt::clock_grid(&spec).len() as u64,
+                    parts: Mutex::new(SweepParts {
+                        pending: BTreeSet::new(),
+                        points: BTreeMap::new(),
+                    }),
+                })
+            }
+            _ => None,
+        };
+        let job = Arc::new(Job {
+            client: conn.clone(),
+            frame_id: id,
+            deadline_ms: if deadline_ms > 0 {
+                deadline_ms
+            } else {
+                self.default_deadline_ms
+            },
+            accepted: Instant::now(),
+            device,
+            req,
+            done: AtomicBool::new(false),
+            sweep,
+        });
+        self.counters.accepted.fetch_add(1, Ordering::Relaxed);
+        self.instr.accepted.inc();
+        let depth = self.outstanding.fetch_add(1, Ordering::SeqCst) + 1;
+        self.outstanding_max.fetch_max(depth, Ordering::Relaxed);
+
+        match &job.sweep {
+            Some(agg) => {
+                let total = agg.configurations;
+                let chunk = self.sweep_chunk.max(1) as u64;
+                let mut offsets = Vec::new();
+                let mut off = 0;
+                while off < total {
+                    offsets.push((off, chunk.min(total - off)));
+                    off += chunk;
+                }
+                {
+                    let mut parts = agg.parts.lock();
+                    for (o, _) in &offsets {
+                        parts.pending.insert(*o);
+                    }
+                }
+                for (offset, limit) in offsets {
+                    self.route(SubJob {
+                        job: Arc::clone(&job),
+                        part: Some((offset, limit)),
+                        attempts: 0,
+                        not_before: Instant::now(),
+                        orphaned: false,
+                    });
+                }
+            }
+            None => self.route(SubJob {
+                job,
+                part: None,
+                attempts: 0,
+                not_before: Instant::now(),
+                orphaned: false,
+            }),
+        }
+    }
+
+    /// Fold one sub-response into its job and answer the client when
+    /// the job is complete (or failed).
+    fn complete(&self, sj: SubJob, node: &Node, resp: Response) {
+        // A successful data-plane response means the node now holds
+        // warm models for the device: advertise without waiting a
+        // heartbeat.
+        if matches!(
+            resp,
+            Response::Compiled { .. } | Response::Predicted { .. } | Response::SweepPartial { .. } | Response::SweepFront { .. }
+        ) {
+            node.inner.lock().warm.insert(sj.job.device.clone());
+        }
+        match (&sj.part, resp) {
+            // Transient rejections: the work survives as an orphan and
+            // is re-dispatched (possibly elsewhere).
+            (_, Response::Busy { .. }) | (_, Response::Draining { .. }) => {
+                let mut sj = sj;
+                sj.attempts += 1;
+                self.push_orphan(sj);
+            }
+            (Some((offset, _)), Response::SweepPartial { offset: ro, points, .. }) => {
+                debug_assert_eq!(*offset, ro);
+                let job = Arc::clone(&sj.job);
+                let agg = job.sweep.as_ref().expect("chunked job has sweep state");
+                let finished = {
+                    let mut parts = agg.parts.lock();
+                    parts.points.insert(ro, points);
+                    parts.pending.remove(&ro);
+                    parts.pending.is_empty()
+                };
+                if finished {
+                    let all: Vec<SweepPoint> = {
+                        let mut parts = agg.parts.lock();
+                        std::mem::take(&mut parts.points)
+                            .into_values()
+                            .flatten()
+                            .collect()
+                    };
+                    self.finish_job(
+                        &job,
+                        Response::SweepFront {
+                            device: job.device.clone(),
+                            bench: agg.bench.clone(),
+                            configurations: agg.configurations,
+                            pareto: pareto_points(all),
+                        },
+                    );
+                }
+            }
+            (Some(_), Response::Expired { .. }) => {
+                self.finish_job(
+                    &sj.job,
+                    Response::Expired {
+                        waited_ms: sj.job.accepted.elapsed().as_millis() as u64,
+                    },
+                );
+            }
+            (Some(_), resp @ Response::Error { .. }) => {
+                // One bad chunk fails the whole sweep (same answer the
+                // node would give the whole request).
+                self.finish_job(&sj.job, resp);
+            }
+            (Some(_), _other) => {
+                self.finish_job(
+                    &sj.job,
+                    Response::Error {
+                        kind: ErrorKind::Internal,
+                        message: "node returned an unexpected response to a sweep chunk"
+                            .to_string(),
+                        diagnostics: Vec::new(),
+                    },
+                );
+            }
+            // Single-shot requests relay the node's answer verbatim.
+            (None, resp) => self.finish_job(&sj.job, resp),
+        }
+    }
+}
+
+impl ConnEvents for Shared {
+    fn on_accept(&self, _conn: u64) {
+        self.counters.connections.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn on_disconnect(&self, _conn: u64) {}
+
+    fn on_oversized(&self, conn: &ConnHandle, claimed: usize) {
+        self.respond(
+            conn,
+            0,
+            Response::Error {
+                kind: ErrorKind::BadRequest,
+                message: format!("frame of {claimed} bytes exceeds the protocol cap"),
+                diagnostics: Vec::new(),
+            },
+        );
+    }
+
+    fn draining(&self) -> bool {
+        self.draining.load(Ordering::SeqCst)
+    }
+
+    fn shutdown(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    fn wants_timings(&self) -> bool {
+        false
+    }
+
+    fn on_loop_pass(&self, _shard: usize, _dur: Duration) {}
+
+    fn on_flush(&self, _shard: usize, _dur: Duration) {}
+
+    fn on_frame(&self, conn: &ConnHandle, payload: &[u8]) {
+        let frame = match RequestFrame::decode(payload) {
+            Ok(f) => f,
+            Err(e) => {
+                self.respond(
+                    conn,
+                    0,
+                    Response::Error {
+                        kind: ErrorKind::BadRequest,
+                        message: e.to_string(),
+                        diagnostics: Vec::new(),
+                    },
+                );
+                return;
+            }
+        };
+        let id = frame.id;
+        match frame.req {
+            // Control plane: answered on the reactor thread, immune to
+            // node load. Never blocks on node I/O — the metrics rollup
+            // reads heartbeat-cached snapshots.
+            Request::Ping => self.respond(conn, id, Response::Pong),
+            Request::Stats => {
+                let resp = self.stats_response();
+                self.respond(conn, id, resp);
+            }
+            Request::Metrics => {
+                let snapshot = snapshot_to_wire(&self.merged_snapshot());
+                self.respond(conn, id, Response::MetricsReply { snapshot });
+            }
+            Request::Heartbeat => {
+                let resp = Response::HeartbeatReply {
+                    draining: self.draining.load(Ordering::SeqCst),
+                    queue_depth: self.outstanding.load(Ordering::Relaxed),
+                    warm_keys: self.warm_union(),
+                };
+                self.respond(conn, id, resp);
+            }
+            Request::FleetNodes => {
+                let resp = self.roster_response();
+                self.respond(conn, id, resp);
+            }
+            Request::FleetJoin { ref addr } => {
+                // Reactor hooks get `&self`; recover the Arc to spawn
+                // owning forwarder threads.
+                let this = self.arc_self();
+                this.register_node(
+                    NodeConfig {
+                        addr: addr.clone(),
+                        devices: Vec::new(),
+                    },
+                    this.links_per_node_hint(),
+                );
+                let resp = self.roster_response();
+                self.respond(conn, id, resp);
+            }
+            Request::FleetPreempt { ref addr, grace_ms } => {
+                if self.preempt(addr, grace_ms) {
+                    let resp = self.roster_response();
+                    self.respond(conn, id, resp);
+                } else {
+                    self.respond(
+                        conn,
+                        id,
+                        Response::Error {
+                            kind: ErrorKind::BadRequest,
+                            message: format!("unknown node `{addr}`"),
+                            diagnostics: Vec::new(),
+                        },
+                    );
+                }
+            }
+            Request::Drain => {
+                begin_drain(self);
+                let resp = Response::Draining {
+                    pending: self.outstanding.load(Ordering::Relaxed),
+                };
+                self.respond(conn, id, resp);
+            }
+            req @ (Request::Compile { .. }
+            | Request::Predict { .. }
+            | Request::Sweep { .. }
+            | Request::SweepPart { .. }) => {
+                if self.draining.load(Ordering::SeqCst) {
+                    self.respond(
+                        conn,
+                        id,
+                        Response::Draining {
+                            pending: self.outstanding.load(Ordering::Relaxed),
+                        },
+                    );
+                    return;
+                }
+                let this = self.arc_self();
+                this.admit(
+                    conn,
+                    RequestFrame {
+                        id,
+                        deadline_ms: frame.deadline_ms,
+                        req,
+                    },
+                );
+            }
+        }
+    }
+}
+
+impl Shared {
+    fn links_per_node_hint(&self) -> usize {
+        // Runtime joins reuse the in-flight bound as link parallelism
+        // hint, capped to keep thread counts sane.
+        self.max_inflight.clamp(1, 4)
+    }
+
+    fn arc_self(&self) -> Arc<Shared> {
+        self.self_ref
+            .get()
+            .and_then(std::sync::Weak::upgrade)
+            .expect("self_ref is set at spawn, before any hook fires")
+    }
+}
+
+fn begin_drain(shared: &Shared) {
+    if !shared.draining.swap(true, Ordering::SeqCst) {
+        *shared.drain_flag.lock() = true;
+        shared.drained.notify_all();
+        if let Some(reactor) = shared.reactor.get() {
+            reactor.wake_all();
+        }
+    }
+}
+
+/// One forwarder link: a blocking [`Client`] draining its node's queue.
+fn forwarder_loop(shared: &Arc<Shared>, node: &Arc<Node>, seed: u64) {
+    let mut client: Option<Client> = None;
+    let io_timeout = shared.dead_after.max(Duration::from_secs(5));
+    loop {
+        // Pop the next sub-job, or exit when the fleet shuts down.
+        let sj = {
+            let mut q = node.queue.lock();
+            loop {
+                if let Some(sj) = q.q.pop_front() {
+                    break Some(sj);
+                }
+                if q.closed || shared.shutdown.load(Ordering::SeqCst) {
+                    break None;
+                }
+                node.queue_cv.wait_for(&mut q, Duration::from_millis(100));
+            }
+        };
+        let Some(mut sj) = sj else { return };
+
+        let finish_slot = |freed_failure: Option<()>| {
+            let mut inner = node.inner.lock();
+            inner.in_flight = inner.in_flight.saturating_sub(1);
+            match freed_failure {
+                Some(()) => inner.failures += 1,
+                None => inner.failures = 0,
+            }
+            let failures = inner.failures;
+            drop(inner);
+            if failures >= 3 {
+                shared.mark_dead(node);
+            }
+            shared.kick_rebalancer();
+        };
+
+        if sj.job.done.load(Ordering::SeqCst) {
+            finish_slot(None);
+            continue;
+        }
+        if sj.job.expired() {
+            finish_slot(None);
+            shared.finish_job(
+                &sj.job,
+                Response::Expired {
+                    waited_ms: sj.job.accepted.elapsed().as_millis() as u64,
+                },
+            );
+            continue;
+        }
+
+        if client.is_none() {
+            match Client::connect(&node.addr) {
+                Ok(c) => {
+                    let _ = c.set_timeout(Some(io_timeout));
+                    client = Some(c);
+                }
+                Err(_) => {
+                    finish_slot(Some(()));
+                    sj.attempts += 1;
+                    shared.push_orphan(sj);
+                    continue;
+                }
+            }
+        }
+        let c = client.as_mut().expect("connected above");
+
+        let elapsed = sj.job.accepted.elapsed().as_millis() as u64;
+        let remaining = sj.job.deadline_ms.saturating_sub(elapsed).max(1);
+        let mut policy = RetryPolicy::new(3, shared.retry_after_ms.max(1), 250, seed ^ elapsed | 1);
+        let req = sj.request();
+        match c.request_with_retry(&req, remaining, &mut policy) {
+            Ok(resp) => {
+                finish_slot(None);
+                shared.complete(sj, node, resp);
+            }
+            Err(_) => {
+                // Connection-level failure: reconnect next time, orphan
+                // the work so the rebalancer can place it elsewhere.
+                client = None;
+                finish_slot(Some(()));
+                sj.attempts += 1;
+                shared.push_orphan(sj);
+            }
+        }
+    }
+}
+
+/// The membership plane: probe every node each interval, adopt its
+/// warm keys and metrics snapshot, declare silence past the threshold
+/// death, honour preemption grace deadlines.
+fn heartbeat_loop(shared: &Arc<Shared>) {
+    let probe_timeout = shared.heartbeat_interval.max(Duration::from_millis(250));
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        for node in shared.roster() {
+            let state = node.inner.lock().state;
+            if state == NodeState::Preempted {
+                continue; // explicit FleetJoin required
+            }
+            if let NodeState::Preempting { until } = state {
+                if Instant::now() >= until {
+                    let mut inner = node.inner.lock();
+                    if matches!(inner.state, NodeState::Preempting { .. }) {
+                        inner.state = NodeState::Preempted;
+                    }
+                    drop(inner);
+                    shared.orphan_queued(&node);
+                }
+                continue;
+            }
+            let probe = Client::connect(&node.addr).and_then(|mut c| {
+                let _ = c.set_timeout(Some(probe_timeout));
+                let hb = c.request(Request::Heartbeat)?;
+                let metrics = c.request(Request::Metrics)?;
+                Ok((hb, metrics))
+            });
+            match probe {
+                Ok((Response::HeartbeatReply {
+                    draining,
+                    warm_keys,
+                    ..
+                }, metrics)) => {
+                    let mut inner = node.inner.lock();
+                    inner.last_seen = Instant::now();
+                    inner.failures = 0;
+                    for k in warm_keys {
+                        if let Some(c) = canonical_device_key(&k) {
+                            inner.warm.insert(c);
+                        }
+                    }
+                    if let Response::MetricsReply { snapshot } = metrics {
+                        if let Ok(s) = snapshot_from_wire(&snapshot) {
+                            inner.snapshot = Some(s);
+                        }
+                    }
+                    match inner.state {
+                        NodeState::Dead | NodeState::Up | NodeState::Draining => {
+                            inner.state = if draining {
+                                NodeState::Draining
+                            } else {
+                                NodeState::Up
+                            };
+                        }
+                        _ => {}
+                    }
+                    drop(inner);
+                    shared.kick_rebalancer();
+                }
+                Ok(_) | Err(_) => {
+                    let dead = {
+                        let inner = node.inner.lock();
+                        inner.last_seen.elapsed() > shared.dead_after
+                    };
+                    if dead {
+                        shared.mark_dead(&node);
+                    }
+                }
+            }
+        }
+        // Sleep out the interval in slices so shutdown is prompt; the
+        // rebalancer's doorbell is not ours to consume.
+        let mut slept = Duration::ZERO;
+        while slept < shared.heartbeat_interval && !shared.shutdown.load(Ordering::SeqCst) {
+            let slice = Duration::from_millis(25).min(shared.heartbeat_interval - slept);
+            std::thread::sleep(slice);
+            slept += slice;
+        }
+    }
+}
+
+/// The optimal-reassignment plane: expire overdue orphans, then solve a
+/// minimum-cost assignment of the rest onto the fleet's free slots.
+fn rebalance_loop(shared: &Arc<Shared>) {
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        {
+            let mut flag = shared.kick_flag.lock();
+            if !*flag {
+                let _ = shared.kick.wait_for(&mut flag, Duration::from_millis(50));
+            }
+            *flag = false;
+        }
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        rebalance_once(shared);
+    }
+}
+
+fn rebalance_once(shared: &Arc<Shared>) {
+    let now = Instant::now();
+    let taken: Vec<SubJob> = shared.orphans.lock().drain(..).collect();
+    if taken.is_empty() {
+        return;
+    }
+    let mut rows: Vec<SubJob> = Vec::new();
+    let mut held: Vec<SubJob> = Vec::new();
+    for sj in taken {
+        if sj.job.done.load(Ordering::SeqCst) {
+            continue;
+        }
+        if sj.job.expired() {
+            shared.finish_job(
+                &sj.job,
+                Response::Expired {
+                    waited_ms: sj.job.accepted.elapsed().as_millis() as u64,
+                },
+            );
+            continue;
+        }
+        if sj.not_before > now {
+            held.push(sj);
+        } else {
+            rows.push(sj);
+        }
+    }
+
+    // Columns: every free slot on every routable node, priced per slot
+    // so two orphans placed on one node pay increasing queue-wait.
+    let mut cols: Vec<(Arc<Node>, usize)> = Vec::new();
+    for node in shared.roster() {
+        let inner = node.inner.lock();
+        if !inner.state.routable() {
+            continue;
+        }
+        let free = shared.max_inflight.saturating_sub(inner.in_flight);
+        drop(inner);
+        for slot in 0..free {
+            cols.push((Arc::clone(&node), slot));
+        }
+    }
+
+    if rows.is_empty() || cols.is_empty() {
+        let mut orphans = shared.orphans.lock();
+        for sj in held.into_iter().chain(rows) {
+            orphans.push_back(sj);
+        }
+        return;
+    }
+
+    let cost: Vec<Vec<f64>> = rows
+        .iter()
+        .map(|sj| {
+            cols.iter()
+                .map(|(node, slot)| {
+                    if !node.owns(&sj.job.device) {
+                        return f64::INFINITY;
+                    }
+                    let inner = node.inner.lock();
+                    if !inner.state.routable() {
+                        return f64::INFINITY;
+                    }
+                    shared.slot_cost(&inner, &sj.job.device, *slot)
+                })
+                .collect()
+        })
+        .collect();
+    let assignment = assign_min_cost(&cost);
+
+    let mut orphans_back: Vec<SubJob> = held;
+    for (sj, col) in rows.into_iter().zip(assignment.row_to_col) {
+        match col {
+            Some(j) => {
+                let (node, _) = &cols[j];
+                let reserved = {
+                    let mut inner = node.inner.lock();
+                    if inner.state.routable() && inner.in_flight < shared.max_inflight {
+                        inner.in_flight += 1;
+                        inner.forwarded += 1;
+                        true
+                    } else {
+                        false
+                    }
+                };
+                if reserved {
+                    if sj.orphaned {
+                        shared.counters.reassigned.fetch_add(1, Ordering::Relaxed);
+                        shared.instr.reassigned.inc();
+                    }
+                    shared.enqueue_reserved(node, sj);
+                } else {
+                    orphans_back.push(sj);
+                }
+            }
+            None => orphans_back.push(sj),
+        }
+    }
+    if !orphans_back.is_empty() {
+        let mut orphans = shared.orphans.lock();
+        orphans.extend(orphans_back);
+    }
+}
+
+/// A running coordinator. [`drain`](FleetHandle::drain) +
+/// [`join`](FleetHandle::join) for a clean stop.
+pub struct FleetHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl FleetHandle {
+    /// The bound client-facing address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Current coordinator counters.
+    pub fn stats(&self) -> FleetStats {
+        self.shared.stats()
+    }
+
+    /// Per-node membership status.
+    pub fn nodes(&self) -> Vec<FleetNodeStatus> {
+        self.shared.roster().iter().map(|n| n.status()).collect()
+    }
+
+    /// The fleet-wide metrics rollup (own registry merged with every
+    /// node's heartbeat-scraped snapshot).
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.shared.merged_snapshot()
+    }
+
+    /// Register a node at runtime (idempotent; revives preempted and
+    /// dead nodes).
+    pub fn join_node(&self, addr: &str) {
+        self.shared.register_node(
+            NodeConfig {
+                addr: addr.to_string(),
+                devices: Vec::new(),
+            },
+            self.shared.links_per_node_hint(),
+        );
+    }
+
+    /// Inject a preemption notice. Returns false for unknown nodes.
+    pub fn preempt(&self, addr: &str, grace_ms: u64) -> bool {
+        self.shared.preempt(addr, grace_ms)
+    }
+
+    /// Begin graceful shutdown: reject new data-plane work, keep
+    /// answering what was accepted. Idempotent.
+    pub fn drain(&self) {
+        begin_drain(&self.shared);
+    }
+
+    /// Park until a drain starts (from this handle or a client).
+    pub fn wait_for_drain(&self) {
+        let mut flag = self.shared.drain_flag.lock();
+        while !*flag {
+            self.shared.drained.wait(&mut flag);
+        }
+    }
+
+    /// Drain, wait for every accepted request to be answered (results,
+    /// errors or deadline expiry guarantee progress), then tear down
+    /// every thread and return the final counters.
+    pub fn join(mut self) -> FleetStats {
+        self.drain();
+        {
+            let mut g = self.shared.idle_flag.lock();
+            while self.shared.outstanding.load(Ordering::SeqCst) > 0 {
+                self.shared
+                    .idle
+                    .wait_for(&mut g, Duration::from_millis(100));
+                // Overdue orphans are expired by the rebalancer; keep
+                // nudging it so a stalled fleet still converges.
+                self.shared.kick_rebalancer();
+            }
+        }
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        for node in self.shared.roster() {
+            node.queue.lock().closed = true;
+            node.queue_cv.notify_all();
+        }
+        self.shared.kick_rebalancer();
+        if let Some(reactor) = self.shared.reactor.get() {
+            reactor.wake_all();
+            for h in reactor.take_handles() {
+                let _ = h.join();
+            }
+        }
+        for h in self.shared.forwarders.lock().drain(..) {
+            let _ = h.join();
+        }
+        for h in self.threads.drain(..) {
+            let _ = h.join();
+        }
+        self.shared.stats()
+    }
+}
+
+/// Bind the coordinator and spawn its planes.
+pub fn spawn_fleet(config: FleetConfig) -> std::io::Result<FleetHandle> {
+    let listener = TcpListener::bind(&config.addr)?;
+    listener.set_nonblocking(true)?;
+    let addr = listener.local_addr()?;
+
+    let shared = Arc::new(Shared {
+        heartbeat_interval: config.heartbeat_interval.max(Duration::from_millis(10)),
+        dead_after: config.dead_after.max(Duration::from_millis(20)),
+        max_inflight: config.max_inflight_per_node.max(1),
+        default_deadline_ms: config.default_deadline_ms.max(1),
+        retry_after_ms: config.retry_after_ms.max(1),
+        sweep_chunk: config.sweep_chunk.max(1),
+        cold_penalty_ms: config.cold_penalty_ms.max(0.0),
+        instr: Instr::new(&config.metrics),
+        metrics: config.metrics,
+        counters: FleetCounters::default(),
+        nodes: Mutex::new(BTreeMap::new()),
+        orphans: Mutex::new(VecDeque::new()),
+        kick_flag: Mutex::new(false),
+        kick: Condvar::new(),
+        outstanding: AtomicU64::new(0),
+        outstanding_max: AtomicU64::new(0),
+        idle_flag: Mutex::new(()),
+        idle: Condvar::new(),
+        draining: AtomicBool::new(false),
+        shutdown: AtomicBool::new(false),
+        drain_flag: Mutex::new(false),
+        drained: Condvar::new(),
+        reactor: OnceLock::new(),
+        forwarders: Mutex::new(Vec::new()),
+        self_ref: OnceLock::new(),
+    });
+    shared
+        .self_ref
+        .set(Arc::downgrade(&shared))
+        .unwrap_or_else(|_| unreachable!("self_ref set once"));
+
+    let links = config.links_per_node.max(1);
+    for node in config.nodes {
+        shared.register_node(node, links);
+    }
+
+    let mut threads = Vec::new();
+    {
+        let shared = Arc::clone(&shared);
+        threads.push(
+            std::thread::Builder::new()
+                .name("fleet-heartbeat".to_string())
+                .spawn(move || heartbeat_loop(&shared))?,
+        );
+    }
+    {
+        let shared = Arc::clone(&shared);
+        threads.push(
+            std::thread::Builder::new()
+                .name("fleet-rebalance".to_string())
+                .spawn(move || rebalance_loop(&shared))?,
+        );
+    }
+
+    let events: Arc<dyn ConnEvents> = Arc::clone(&shared) as Arc<dyn ConnEvents>;
+    let reactor = spawn_reactor(listener, events, config.reactors.max(1))?;
+    shared
+        .reactor
+        .set(reactor)
+        .unwrap_or_else(|_| unreachable!("reactor set once"));
+
+    Ok(FleetHandle {
+        addr,
+        shared,
+        threads,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_config_parse() {
+        let n = NodeConfig::parse("127.0.0.1:9001").unwrap();
+        assert_eq!(n.addr, "127.0.0.1:9001");
+        assert!(n.devices.is_empty());
+        let n = NodeConfig::parse("10.0.0.2:9001=v100,TITAN_X").unwrap();
+        assert_eq!(n.devices, vec!["titanx".to_string(), "v100".to_string()]);
+        assert!(NodeConfig::parse("=v100").is_err());
+        assert!(NodeConfig::parse("h:1=notadevice").is_err());
+    }
+
+    #[test]
+    fn node_state_names() {
+        assert_eq!(NodeState::Up.name(), "up");
+        assert_eq!(
+            NodeState::Preempting {
+                until: Instant::now()
+            }
+            .name(),
+            "preempting"
+        );
+        assert_eq!(NodeState::Preempted.name(), "preempted");
+        assert_eq!(NodeState::Dead.name(), "dead");
+        assert!(!NodeState::Dead.routable());
+        assert!(NodeState::Up.routable());
+    }
+}

@@ -1,0 +1,32 @@
+//! # synergy-fleet
+//!
+//! A distributed tuning fleet for the SYnergy stack: one coordinator
+//! daemon fronting N unmodified `synergy-serve` nodes, speaking the
+//! existing wire protocol on both sides. The coordinator adds what a
+//! single node cannot give you:
+//!
+//! * **Cache-affinity routing** — nodes advertise which devices they
+//!   hold warm trained-model caches for (via heartbeats and observed
+//!   responses); requests are steered to warm nodes first, so a fleet
+//!   retrains each device's models roughly once instead of everywhere.
+//! * **Scale-out sweeps** — a measured frequency sweep is chunked into
+//!   `SweepPart` slices fanned out across the fleet; the merged Pareto
+//!   frontier is bit-identical to a single node's answer.
+//! * **Preemption tolerance** — preemption notices start a grace
+//!   window; when it lapses (or a node simply dies) the node's
+//!   unfinished work is *orphaned*, and a rebalancer re-dispatches
+//!   orphans with an exact minimum-cost assignment ([`assign`]) that
+//!   prices cold caches and queue depth. Accepted requests are answered
+//!   exactly once — by result, `Busy`, or `Expired` — never dropped.
+//!
+//! See `DESIGN.md` §15 for the architecture discussion and the
+//! `fleet_perf` bench for the scaling harness.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod assign;
+pub mod coordinator;
+
+pub use assign::{assign_min_cost, Assignment};
+pub use coordinator::{spawn_fleet, FleetConfig, FleetHandle, FleetStats, NodeConfig};

@@ -459,6 +459,32 @@ pub fn measured_sweep_from_info(
         .collect()
 }
 
+/// Measure one contiguous slice `[offset, offset + limit)` of the clock
+/// grid — the unit of checkpointable sweep work the fleet coordinator
+/// hands out. Each configuration is evaluated independently, so the
+/// concatenation of range results in offset order is bitwise identical
+/// to one full [`measured_sweep`] over the same kernel.
+pub fn measured_sweep_range(
+    spec: &DeviceSpec,
+    ir: &KernelIr,
+    work_items: u64,
+    offset: usize,
+    limit: usize,
+) -> Vec<MetricPoint> {
+    let info = extract(ir);
+    let wl = Workload::from_static(&info, work_items);
+    let configs: Vec<ClockConfig> = spec.freq_table.configs().collect();
+    let end = offset.saturating_add(limit).min(configs.len());
+    let slice = &configs[offset.min(configs.len())..end];
+    slice
+        .par_iter()
+        .map(|&clocks| {
+            let t = evaluate(spec, &wl, clocks);
+            MetricPoint::new(clocks, t.duration_s(), t.energy_j(spec.overhead_power_w))
+        })
+        .collect()
+}
+
 /// Serial reference implementation of [`measured_sweep`]; kept for the
 /// parallel-equivalence guarantee (tests assert bitwise-identical output).
 pub fn measured_sweep_serial(

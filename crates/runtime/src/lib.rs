@@ -32,7 +32,8 @@ pub use buffer::{Accessor, Buffer};
 pub use compile::{
     baseline_clocks, build_training_set, build_training_set_serial, clock_grid,
     compile_application, compile_application_traced, compile_application_with_lints,
-    measured_sweep, measured_sweep_from_info, measured_sweep_serial, predict_sweep,
+    measured_sweep, measured_sweep_from_info, measured_sweep_range, measured_sweep_serial,
+    predict_sweep,
     predict_sweep_from_info, predict_sweep_from_info_serial, predict_sweep_over_grid,
     sweep_samples, sweep_samples_from_info, sweep_samples_serial, train_device_models,
     train_device_models_traced, CompileError,

@@ -180,4 +180,131 @@ impl Client {
             device: device.to_string(),
         })
     }
+
+    /// Send one request, sleeping and resending while the server answers
+    /// `Busy`. Every other response (including `Expired` and `Error`)
+    /// returns immediately; the final `Busy` is returned once the policy
+    /// is exhausted. The request is cloned per attempt, so the caller
+    /// keeps ownership semantics identical to [`request`](Self::request).
+    pub fn request_with_retry(
+        &mut self,
+        req: &Request,
+        deadline_ms: u64,
+        policy: &mut RetryPolicy,
+    ) -> Result<Response, ClientError> {
+        loop {
+            let resp = self.request_with_deadline(req.clone(), deadline_ms)?;
+            let Response::Busy { retry_after_ms } = resp else {
+                return Ok(resp);
+            };
+            let Some(delay) = policy.next_delay(retry_after_ms) else {
+                return Ok(Response::Busy { retry_after_ms });
+            };
+            std::thread::sleep(delay);
+        }
+    }
+}
+
+/// Backoff schedule for `Busy { retry_after_ms }` responses: exponential
+/// growth from `base_backoff_ms`, capped at `max_backoff_ms`, never below
+/// the server's hint, with deterministic ±25% jitter so a herd of
+/// rejected clients doesn't re-arrive in lockstep.
+///
+/// The schedule is pure — [`next_delay`](Self::next_delay) only computes;
+/// the caller sleeps — so it is testable without wall-clock time and
+/// reusable by simulators that track virtual time (`serve_perf`,
+/// `fleet_perf`).
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Attempts remaining; `next_delay` returns `None` once exhausted.
+    retries_left: u32,
+    /// Current backoff floor in milliseconds; doubles per retry.
+    backoff_ms: u64,
+    /// Upper bound on the backoff floor.
+    max_backoff_ms: u64,
+    /// xorshift64* state for jitter.
+    rng: u64,
+}
+
+impl RetryPolicy {
+    /// A schedule allowing `retries` resends, starting at
+    /// `base_backoff_ms` and capping at `max_backoff_ms`. `seed` makes
+    /// the jitter deterministic (any value works; 0 is remapped).
+    pub fn new(retries: u32, base_backoff_ms: u64, max_backoff_ms: u64, seed: u64) -> RetryPolicy {
+        RetryPolicy {
+            retries_left: retries,
+            backoff_ms: base_backoff_ms.max(1),
+            max_backoff_ms: max_backoff_ms.max(1),
+            rng: if seed == 0 { 0x9e3779b97f4a7c15 } else { seed },
+        }
+    }
+
+    /// The CLI/forwarder default: 5 retries, 25ms..800ms backoff.
+    pub fn standard(seed: u64) -> RetryPolicy {
+        RetryPolicy::new(5, 25, 800, seed)
+    }
+
+    /// The delay before the next resend, or `None` when the budget is
+    /// spent. `server_hint_ms` is the `retry_after_ms` the server sent;
+    /// the returned delay is `max(hint, backoff)` jittered by ±25%.
+    pub fn next_delay(&mut self, server_hint_ms: u64) -> Option<Duration> {
+        if self.retries_left == 0 {
+            return None;
+        }
+        self.retries_left -= 1;
+        let floor = self.backoff_ms.max(server_hint_ms).max(1);
+        self.backoff_ms = (self.backoff_ms * 2).min(self.max_backoff_ms);
+        // xorshift64*: cheap, deterministic, good-enough spread.
+        self.rng ^= self.rng << 13;
+        self.rng ^= self.rng >> 7;
+        self.rng ^= self.rng << 17;
+        let quarter = (floor / 4).max(1);
+        // Jitter in [-quarter, +quarter]; saturates at zero → min 1ms.
+        let jitter = (self.rng % (2 * quarter + 1)) as i64 - quarter as i64;
+        let ms = (floor as i64 + jitter).max(1) as u64;
+        Some(Duration::from_millis(ms))
+    }
+
+    /// Attempts still available.
+    pub fn retries_left(&self) -> u32 {
+        self.retries_left
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::RetryPolicy;
+
+    #[test]
+    fn retry_schedule_is_deterministic_and_bounded() {
+        let mut a = RetryPolicy::new(6, 20, 200, 42);
+        let mut b = RetryPolicy::new(6, 20, 200, 42);
+        let mut floor = 20u64;
+        for _ in 0..6 {
+            let da = a.next_delay(0).expect("budget left");
+            let db = b.next_delay(0).expect("budget left");
+            assert_eq!(da, db, "same seed, same schedule");
+            let ms = da.as_millis() as u64;
+            let quarter = (floor / 4).max(1);
+            assert!(ms >= floor.saturating_sub(quarter).max(1));
+            assert!(ms <= floor + quarter);
+            floor = (floor * 2).min(200);
+        }
+        assert!(a.next_delay(0).is_none(), "budget exhausted");
+        assert_eq!(a.retries_left(), 0);
+    }
+
+    #[test]
+    fn retry_respects_server_hint() {
+        let mut p = RetryPolicy::new(3, 10, 1000, 7);
+        // Hint far above the backoff floor: delay is hint ± 25%.
+        let d = p.next_delay(400).unwrap().as_millis() as u64;
+        assert!((300..=500).contains(&d), "delay {d} not near hint 400");
+    }
+
+    #[test]
+    fn zero_retries_never_sleeps() {
+        let mut p = RetryPolicy::new(0, 10, 100, 1);
+        assert!(p.next_delay(50).is_none());
+    }
 }

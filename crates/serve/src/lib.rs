@@ -57,17 +57,19 @@ pub mod frame;
 pub use synergy_analyze::json;
 pub mod poll;
 pub mod protocol;
-mod reactor;
+pub mod reactor;
 pub mod server;
 
-pub use client::{Client, ClientError};
+pub use client::{Client, ClientError, RetryPolicy};
 pub use frame::FrameBuffer;
 pub use synergy_analyze::json::{Json, JsonError};
 pub use protocol::{
-    frame_bytes, read_frame, write_frame, Decision, ErrorKind, FrameError, KindPercentiles,
-    Request, RequestFrame, Response, ResponseFrame, SweepPoint, WireDiagnostic, MAX_FRAME_LEN,
+    frame_bytes, read_frame, write_frame, Decision, ErrorKind, FleetNodeStatus, FrameError,
+    KindPercentiles, Request, RequestFrame, Response, ResponseFrame, SweepPoint, WireDiagnostic,
+    MAX_FRAME_LEN,
 };
+pub use reactor::{spawn_reactor, ConnEvents, ConnHandle, Reactor};
 pub use server::{
-    snapshot_from_wire, snapshot_to_wire, spawn, ModelProfile, ServeConfig, ServerHandle,
-    StatsSnapshot,
+    canonical_device_key, device_spec, pareto_points, snapshot_from_wire, snapshot_to_wire, spawn,
+    ModelProfile, ServeConfig, ServerHandle, StatsSnapshot,
 };

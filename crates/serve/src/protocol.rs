@@ -163,6 +163,43 @@ pub enum Request {
         /// Device key.
         device: String,
     },
+    /// Run one contiguous slice of a benchmark's measured frequency
+    /// sweep — the checkpointable unit of sweep work the fleet
+    /// coordinator fans out. Returns the **raw** measured points for
+    /// grid rows `[offset, offset + limit)` (not the Pareto frontier),
+    /// so the coordinator can merge chunks and compute the frontier
+    /// with exactly single-node semantics.
+    SweepPart {
+        /// Suite benchmark name.
+        bench: String,
+        /// Device key.
+        device: String,
+        /// First clock-grid row of the slice.
+        offset: u64,
+        /// Number of grid rows in the slice.
+        limit: u64,
+    },
+    /// Fleet membership probe: liveness plus the node's warm model-cache
+    /// keys and queue depth, answered on the control plane (never
+    /// queued). Sent periodically by the fleet coordinator.
+    Heartbeat,
+    /// Fleet roster snapshot (coordinator only; serve nodes reply
+    /// `Error{BadRequest}`).
+    FleetNodes,
+    /// Register (or re-register) a serve node with the coordinator.
+    FleetJoin {
+        /// The node's `host:port` address.
+        addr: String,
+    },
+    /// Inject a preemption notice for a node: it stops receiving new
+    /// work immediately and after the grace window its unfinished work
+    /// is reassigned (coordinator only).
+    FleetPreempt {
+        /// The node's `host:port` address.
+        addr: String,
+        /// Grace window before unfinished work is reassigned.
+        grace_ms: u64,
+    },
     /// Server counters snapshot.
     Stats,
     /// Live metrics snapshot: every counter, gauge and latency histogram
@@ -181,11 +218,32 @@ impl Request {
             Request::Compile { .. } => "compile",
             Request::Predict { .. } => "predict",
             Request::Sweep { .. } => "sweep",
+            Request::SweepPart { .. } => "sweep_part",
+            Request::Heartbeat => "heartbeat",
+            Request::FleetNodes => "fleet_nodes",
+            Request::FleetJoin { .. } => "fleet_join",
+            Request::FleetPreempt { .. } => "fleet_preempt",
             Request::Stats => "stats",
             Request::Metrics => "metrics",
             Request::Drain => "drain",
         }
     }
+}
+
+/// One node's status in a [`Response::FleetNodesReply`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetNodeStatus {
+    /// The node's `host:port` address.
+    pub addr: String,
+    /// Membership state: `up`, `draining`, `preempting`, `preempted`
+    /// or `dead`.
+    pub state: String,
+    /// Device keys the node advertises warm trained-model caches for.
+    pub warm_keys: Vec<String>,
+    /// Sub-requests queued or in flight on the node right now.
+    pub in_flight: u64,
+    /// Sub-requests forwarded to the node since it joined.
+    pub forwarded: u64,
 }
 
 /// One registry entry in a [`Response::Compiled`].
@@ -313,6 +371,37 @@ pub enum Response {
         /// Pareto-efficient (time, energy) frontier, ascending time.
         pareto: Vec<SweepPoint>,
     },
+    /// Reply to [`Request::SweepPart`]: the raw measured points for one
+    /// slice of the clock grid, in grid order.
+    SweepPartial {
+        /// Device key.
+        device: String,
+        /// Benchmark name.
+        bench: String,
+        /// First clock-grid row of the slice.
+        offset: u64,
+        /// Total rows in the device's full clock grid (so the caller
+        /// can plan the remaining slices).
+        configurations: u64,
+        /// Measured (time, energy) per configuration in the slice.
+        points: Vec<SweepPoint>,
+    },
+    /// Reply to [`Request::Heartbeat`].
+    HeartbeatReply {
+        /// Whether the node is draining (finish what it has, route
+        /// nothing new to it).
+        draining: bool,
+        /// Current data-plane queue depth on the node.
+        queue_depth: u64,
+        /// Device keys with warm trained-model caches, sorted.
+        warm_keys: Vec<String>,
+    },
+    /// Reply to [`Request::FleetNodes`] / [`Request::FleetJoin`] /
+    /// [`Request::FleetPreempt`]: the roster after the operation.
+    FleetNodesReply {
+        /// Per-node status, in registration order.
+        nodes: Vec<FleetNodeStatus>,
+    },
     /// Reply to [`Request::Stats`].
     StatsReply {
         /// Connections accepted since start.
@@ -385,6 +474,9 @@ impl Response {
             Response::Compiled { .. } => "compiled",
             Response::Predicted { .. } => "predicted",
             Response::SweepFront { .. } => "sweep_front",
+            Response::SweepPartial { .. } => "sweep_partial",
+            Response::HeartbeatReply { .. } => "heartbeat",
+            Response::FleetNodesReply { .. } => "fleet_nodes",
             Response::StatsReply { .. } => "stats",
             Response::MetricsReply { .. } => "metrics",
             Response::Busy { .. } => "busy",
@@ -423,6 +515,47 @@ fn strs(items: &[String]) -> Json {
     Json::Arr(items.iter().map(|s| Json::Str(s.clone())).collect())
 }
 
+fn sweep_points(points: &[SweepPoint]) -> Json {
+    Json::Arr(
+        points
+            .iter()
+            .map(|p| {
+                Json::obj(vec![
+                    ("mem_mhz", Json::Int(p.mem_mhz as i128)),
+                    ("core_mhz", Json::Int(p.core_mhz as i128)),
+                    ("time_s", Json::Num(p.time_s)),
+                    ("energy_j", Json::Num(p.energy_j)),
+                ])
+            })
+            .collect(),
+    )
+}
+
+fn decode_sweep_points(v: &Json, field: &str) -> Result<Vec<SweepPoint>, FrameError> {
+    let mut out = Vec::new();
+    for p in v.arr_field(field)? {
+        out.push(SweepPoint {
+            mem_mhz: p.u32_field("mem_mhz")?,
+            core_mhz: p.u32_field("core_mhz")?,
+            time_s: p.f64_field("time_s")?,
+            energy_j: p.f64_field("energy_j")?,
+        });
+    }
+    Ok(out)
+}
+
+fn decode_strs(v: &Json, field: &str) -> Result<Vec<String>, FrameError> {
+    let mut out = Vec::new();
+    for s in v.arr_field(field)? {
+        out.push(
+            s.as_str()
+                .ok_or_else(|| FrameError::Malformed(format!("non-string in `{field}`")))?
+                .to_string(),
+        );
+    }
+    Ok(out)
+}
+
 impl RequestFrame {
     /// Encode to compact JSON bytes (unframed).
     pub fn encode(&self) -> Vec<u8> {
@@ -432,7 +565,12 @@ impl RequestFrame {
             ("op", Json::Str(self.req.op().to_string())),
         ];
         match &self.req {
-            Request::Ping | Request::Stats | Request::Metrics | Request::Drain => {}
+            Request::Ping
+            | Request::Heartbeat
+            | Request::FleetNodes
+            | Request::Stats
+            | Request::Metrics
+            | Request::Drain => {}
             Request::Compile {
                 bench,
                 device,
@@ -456,6 +594,24 @@ impl RequestFrame {
             Request::Sweep { bench, device } => {
                 fields.push(("bench", Json::Str(bench.clone())));
                 fields.push(("device", Json::Str(device.clone())));
+            }
+            Request::SweepPart {
+                bench,
+                device,
+                offset,
+                limit,
+            } => {
+                fields.push(("bench", Json::Str(bench.clone())));
+                fields.push(("device", Json::Str(device.clone())));
+                fields.push(("offset", Json::Int(*offset as i128)));
+                fields.push(("limit", Json::Int(*limit as i128)));
+            }
+            Request::FleetJoin { addr } => {
+                fields.push(("addr", Json::Str(addr.clone())));
+            }
+            Request::FleetPreempt { addr, grace_ms } => {
+                fields.push(("addr", Json::Str(addr.clone())));
+                fields.push(("grace_ms", Json::Int(*grace_ms as i128)));
             }
         }
         Json::obj(fields).encode().into_bytes()
@@ -513,6 +669,21 @@ impl RequestFrame {
             "sweep" => Request::Sweep {
                 bench: v.str_field("bench")?.to_string(),
                 device: v.str_field("device")?.to_string(),
+            },
+            "sweep_part" => Request::SweepPart {
+                bench: v.str_field("bench")?.to_string(),
+                device: v.str_field("device")?.to_string(),
+                offset: v.u64_field("offset")?,
+                limit: v.u64_field("limit")?,
+            },
+            "heartbeat" => Request::Heartbeat,
+            "fleet_nodes" => Request::FleetNodes,
+            "fleet_join" => Request::FleetJoin {
+                addr: v.str_field("addr")?.to_string(),
+            },
+            "fleet_preempt" => Request::FleetPreempt {
+                addr: v.str_field("addr")?.to_string(),
+                grace_ms: v.u64_field("grace_ms")?,
             },
             other => {
                 return Err(FrameError::Malformed(format!("unknown request op `{other}`")));
@@ -584,17 +755,43 @@ impl ResponseFrame {
                 fields.push(("device", Json::Str(device.clone())));
                 fields.push(("bench", Json::Str(bench.clone())));
                 fields.push(("configurations", Json::Int(*configurations as i128)));
+                fields.push(("pareto", sweep_points(pareto)));
+            }
+            Response::SweepPartial {
+                device,
+                bench,
+                offset,
+                configurations,
+                points,
+            } => {
+                fields.push(("device", Json::Str(device.clone())));
+                fields.push(("bench", Json::Str(bench.clone())));
+                fields.push(("offset", Json::Int(*offset as i128)));
+                fields.push(("configurations", Json::Int(*configurations as i128)));
+                fields.push(("points", sweep_points(points)));
+            }
+            Response::HeartbeatReply {
+                draining,
+                queue_depth,
+                warm_keys,
+            } => {
+                fields.push(("draining", Json::Bool(*draining)));
+                fields.push(("queue_depth", Json::Int(*queue_depth as i128)));
+                fields.push(("warm_keys", strs(warm_keys)));
+            }
+            Response::FleetNodesReply { nodes } => {
                 fields.push((
-                    "pareto",
+                    "nodes",
                     Json::Arr(
-                        pareto
+                        nodes
                             .iter()
-                            .map(|p| {
+                            .map(|n| {
                                 Json::obj(vec![
-                                    ("mem_mhz", Json::Int(p.mem_mhz as i128)),
-                                    ("core_mhz", Json::Int(p.core_mhz as i128)),
-                                    ("time_s", Json::Num(p.time_s)),
-                                    ("energy_j", Json::Num(p.energy_j)),
+                                    ("addr", Json::Str(n.addr.clone())),
+                                    ("state", Json::Str(n.state.clone())),
+                                    ("warm_keys", strs(&n.warm_keys)),
+                                    ("in_flight", Json::Int(n.in_flight as i128)),
+                                    ("forwarded", Json::Int(n.forwarded as i128)),
                                 ])
                             })
                             .collect(),
@@ -720,14 +917,30 @@ impl ResponseFrame {
                 device: v.str_field("device")?.to_string(),
                 bench: v.str_field("bench")?.to_string(),
                 configurations: v.u64_field("configurations")?,
-                pareto: {
+                pareto: decode_sweep_points(&v, "pareto")?,
+            },
+            "sweep_partial" => Response::SweepPartial {
+                device: v.str_field("device")?.to_string(),
+                bench: v.str_field("bench")?.to_string(),
+                offset: v.u64_field("offset")?,
+                configurations: v.u64_field("configurations")?,
+                points: decode_sweep_points(&v, "points")?,
+            },
+            "heartbeat" => Response::HeartbeatReply {
+                draining: v.bool_field("draining")?,
+                queue_depth: v.u64_field("queue_depth")?,
+                warm_keys: decode_strs(&v, "warm_keys")?,
+            },
+            "fleet_nodes" => Response::FleetNodesReply {
+                nodes: {
                     let mut out = Vec::new();
-                    for p in v.arr_field("pareto")? {
-                        out.push(SweepPoint {
-                            mem_mhz: p.u32_field("mem_mhz")?,
-                            core_mhz: p.u32_field("core_mhz")?,
-                            time_s: p.f64_field("time_s")?,
-                            energy_j: p.f64_field("energy_j")?,
+                    for n in v.arr_field("nodes")? {
+                        out.push(FleetNodeStatus {
+                            addr: n.str_field("addr")?.to_string(),
+                            state: n.str_field("state")?.to_string(),
+                            warm_keys: decode_strs(n, "warm_keys")?,
+                            in_flight: n.u64_field("in_flight")?,
+                            forwarded: n.u64_field("forwarded")?,
                         });
                     }
                     out
@@ -872,6 +1085,41 @@ mod tests {
             deadline_ms: 0,
             req: Request::Metrics,
         });
+        rt_req(RequestFrame {
+            id: 7,
+            deadline_ms: 100,
+            req: Request::SweepPart {
+                bench: "sobel3".to_string(),
+                device: "v100".to_string(),
+                offset: 32,
+                limit: 16,
+            },
+        });
+        rt_req(RequestFrame {
+            id: 8,
+            deadline_ms: 0,
+            req: Request::Heartbeat,
+        });
+        rt_req(RequestFrame {
+            id: 9,
+            deadline_ms: 0,
+            req: Request::FleetNodes,
+        });
+        rt_req(RequestFrame {
+            id: 10,
+            deadline_ms: 0,
+            req: Request::FleetJoin {
+                addr: "127.0.0.1:9001".to_string(),
+            },
+        });
+        rt_req(RequestFrame {
+            id: 11,
+            deadline_ms: 0,
+            req: Request::FleetPreempt {
+                addr: "127.0.0.1:9001".to_string(),
+                grace_ms: 250,
+            },
+        });
     }
 
     #[test]
@@ -950,6 +1198,41 @@ mod tests {
         rt_resp(ResponseFrame {
             id: 12,
             resp: Response::Busy { retry_after_ms: 25 },
+        });
+        rt_resp(ResponseFrame {
+            id: 31,
+            resp: Response::SweepPartial {
+                device: "v100".to_string(),
+                bench: "sobel3".to_string(),
+                offset: 32,
+                configurations: 196,
+                points: vec![SweepPoint {
+                    mem_mhz: 877,
+                    core_mhz: 1000,
+                    time_s: 0.0015,
+                    energy_j: 0.75,
+                }],
+            },
+        });
+        rt_resp(ResponseFrame {
+            id: 32,
+            resp: Response::HeartbeatReply {
+                draining: false,
+                queue_depth: 3,
+                warm_keys: vec!["a100".to_string(), "v100".to_string()],
+            },
+        });
+        rt_resp(ResponseFrame {
+            id: 33,
+            resp: Response::FleetNodesReply {
+                nodes: vec![FleetNodeStatus {
+                    addr: "127.0.0.1:9001".to_string(),
+                    state: "up".to_string(),
+                    warm_keys: vec!["v100".to_string()],
+                    in_flight: 2,
+                    forwarded: 40,
+                }],
+            },
         });
         rt_resp(ResponseFrame {
             id: 21,

@@ -50,7 +50,7 @@ const FLUSH_DEADLINE: Duration = Duration::from_secs(5);
 /// Server-side hooks the reactor drives. Implemented by the server's
 /// shared state; every method must be non-blocking — a stalled hook
 /// stalls the whole shard.
-pub(crate) trait ConnEvents: Send + Sync {
+pub trait ConnEvents: Send + Sync {
     /// A complete frame payload arrived on `conn`. Responses (now or
     /// later, from a worker) go through the handle's outbox.
     fn on_frame(&self, conn: &ConnHandle, payload: &[u8]);
@@ -112,9 +112,9 @@ impl Outbox {
 /// A worker-side handle to one connection: enough to queue a response
 /// and wake the owning shard, nothing more. Cloneable and cheap.
 #[derive(Clone)]
-pub(crate) struct ConnHandle {
+pub struct ConnHandle {
     /// The connection id (telemetry correlation).
-    pub(crate) conn: u64,
+    pub conn: u64,
     outbox: Arc<Outbox>,
     waker: Arc<Waker>,
 }
@@ -122,7 +122,7 @@ pub(crate) struct ConnHandle {
 impl ConnHandle {
     /// Queue one already-framed response and nudge the shard. A closed
     /// (disconnected) outbox discards silently.
-    pub(crate) fn send(&self, frame_bytes: &[u8]) {
+    pub fn send(&self, frame_bytes: &[u8]) {
         {
             let mut inner = self.outbox.inner.lock();
             if inner.closed {
@@ -135,7 +135,7 @@ impl ConnHandle {
 }
 
 /// A running set of reactor shards.
-pub(crate) struct Reactor {
+pub struct Reactor {
     /// Shard threads; behind a mutex because the server reaches the
     /// reactor through a shared `OnceLock` yet `join` needs ownership.
     handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
@@ -145,7 +145,7 @@ pub(crate) struct Reactor {
 
 impl Reactor {
     /// Nudge every shard (after flipping a drain/shutdown flag).
-    pub(crate) fn wake_all(&self) {
+    pub fn wake_all(&self) {
         for w in &self.wakers {
             w.wake();
         }
@@ -153,7 +153,7 @@ impl Reactor {
 
     /// Take ownership of the shard threads for joining. Subsequent
     /// calls return an empty vec, making teardown idempotent.
-    pub(crate) fn take_handles(&self) -> Vec<std::thread::JoinHandle<()>> {
+    pub fn take_handles(&self) -> Vec<std::thread::JoinHandle<()>> {
         std::mem::take(&mut *self.handles.lock())
     }
 }
@@ -162,7 +162,7 @@ type Mailbox = Arc<Mutex<Vec<(u64, TcpStream)>>>;
 
 /// Spawn `shards` reactor threads; shard 0 owns the (nonblocking)
 /// listener and deals accepted connections round-robin.
-pub(crate) fn spawn_reactor(
+pub fn spawn_reactor(
     listener: TcpListener,
     events: Arc<dyn ConnEvents>,
     shards: usize,

@@ -52,7 +52,7 @@
 //! shard through its wake pipe, and [`ServerHandle::wait_for_drain`]
 //! parks callers on a condvar instead of a sleep-poll.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeSet, HashMap, VecDeque};
 use std::net::{SocketAddr, TcpListener};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
@@ -211,8 +211,19 @@ impl Counters {
 }
 
 /// Protocol ops in sorted order, one instrument bundle each.
-const REQUEST_KINDS: [&str; 7] = [
-    "compile", "drain", "metrics", "ping", "predict", "stats", "sweep",
+const REQUEST_KINDS: [&str; 12] = [
+    "compile",
+    "drain",
+    "fleet_join",
+    "fleet_nodes",
+    "fleet_preempt",
+    "heartbeat",
+    "metrics",
+    "ping",
+    "predict",
+    "stats",
+    "sweep",
+    "sweep_part",
 ];
 
 /// The per-request-kind latency instruments.
@@ -426,6 +437,10 @@ struct Shared {
     /// Per-device model bundles, shared by every request — including
     /// every leader of a coalesced group — after the first fetch.
     models: Mutex<HashMap<String, Arc<MetricModels>>>,
+    /// Canonical device keys with a warm in-memory model bundle,
+    /// advertised in heartbeat replies so a fleet coordinator can route
+    /// by cache affinity.
+    warm: Mutex<BTreeSet<String>>,
 }
 
 impl Shared {
@@ -485,6 +500,28 @@ impl Shared {
             });
         }
         out
+    }
+
+    /// Note that `device`'s model bundle is now warm in memory. Keys are
+    /// canonicalized so `TitanX`, `titan_x` and `titanx` advertise one
+    /// warm entry.
+    fn mark_warm(&self, device: &str) {
+        if let Some(key) = canonical_device_key(device) {
+            self.warm.lock().insert(key);
+        }
+    }
+
+    /// Sorted canonical device keys with warm model bundles.
+    fn warm_keys(&self) -> Vec<String> {
+        self.warm.lock().iter().cloned().collect()
+    }
+
+    fn heartbeat_response(&self) -> Response {
+        Response::HeartbeatReply {
+            draining: self.draining.load(Ordering::SeqCst),
+            queue_depth: self.queue.len() as u64,
+            warm_keys: self.warm_keys(),
+        }
     }
 
     fn stats_response(&self) -> Response {
@@ -717,8 +754,43 @@ impl ConnEvents for Shared {
                 );
                 self.finish_control("drain", started);
             }
+            // Membership probes are control plane: a saturated queue
+            // must not make a healthy node look dead.
+            Request::Heartbeat => {
+                let started = self.metrics_clock();
+                self.respond(
+                    conn,
+                    ResponseFrame {
+                        id,
+                        resp: self.heartbeat_response(),
+                    },
+                );
+                self.finish_control("heartbeat", started);
+            }
+            // Fleet-roster ops only mean something to a coordinator.
+            req @ (Request::FleetNodes
+            | Request::FleetJoin { .. }
+            | Request::FleetPreempt { .. }) => {
+                self.respond(
+                    conn,
+                    ResponseFrame {
+                        id,
+                        resp: Response::Error {
+                            kind: ErrorKind::BadRequest,
+                            message: format!(
+                                "`{}` is a fleet-coordinator op; this is a serve node",
+                                req.op()
+                            ),
+                            diagnostics: Vec::new(),
+                        },
+                    },
+                );
+            }
             // Data plane: admission control, then the queue.
-            req @ (Request::Compile { .. } | Request::Predict { .. } | Request::Sweep { .. }) => {
+            req @ (Request::Compile { .. }
+            | Request::Predict { .. }
+            | Request::Sweep { .. }
+            | Request::SweepPart { .. }) => {
                 let op = req.op();
                 if self.draining.load(Ordering::SeqCst) {
                     self.respond(
@@ -853,6 +925,29 @@ impl ServerHandle {
         }
         self.shared.snapshot()
     }
+
+    /// Abrupt teardown — no drain, no goodbye frames. Queued jobs are
+    /// discarded unanswered and connections are dropped mid-stream, the
+    /// way a node dies when its spot instance is reclaimed. Fleet tests
+    /// use this to simulate node death; production stops should use
+    /// [`join`](Self::join).
+    pub fn kill(mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.draining.store(true, Ordering::SeqCst);
+        // Close without letting workers answer what's queued: the close
+        // wakes blocked pops, and the shutdown flag makes reactors drop
+        // every connection without flushing.
+        self.shared.queue.close();
+        if let Some(reactor) = self.shared.reactor.get() {
+            reactor.wake_all();
+            for h in reactor.take_handles() {
+                let _ = h.join();
+            }
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
 }
 
 fn begin_drain(shared: &Shared) {
@@ -890,6 +985,7 @@ pub fn spawn(config: ServeConfig) -> std::io::Result<ServerHandle> {
         inflight: Mutex::new(HashMap::new()),
         suite: OnceLock::new(),
         models: Mutex::new(HashMap::new()),
+        warm: Mutex::new(BTreeSet::new()),
     });
 
     let mut workers = Vec::with_capacity(config.workers.max(1));
@@ -1038,6 +1134,15 @@ fn coalesce_key(req: &Request) -> Option<String> {
             let ir_hash = bench_ir_hash(bench);
             Some(format!("sweep/{ir_hash:016x}/{device}"))
         }
+        Request::SweepPart {
+            bench,
+            device,
+            offset,
+            limit,
+        } => {
+            let ir_hash = bench_ir_hash(bench);
+            Some(format!("sweep_part/{ir_hash:016x}/{device}/{offset}+{limit}"))
+        }
         Request::Predict {
             device,
             features,
@@ -1089,12 +1194,27 @@ fn mark_coalesced(resp: Response) -> Response {
     }
 }
 
-fn device_spec(key: &str) -> Option<DeviceSpec> {
+/// Resolve a request's device key to its simulator spec. Exported so a
+/// fleet coordinator can plan sweep chunking (grid size) with exactly
+/// the node's device resolution.
+pub fn device_spec(key: &str) -> Option<DeviceSpec> {
     match key.to_ascii_lowercase().as_str() {
         "v100" => Some(DeviceSpec::v100()),
         "a100" => Some(DeviceSpec::a100()),
         "mi100" => Some(DeviceSpec::mi100()),
         "titanx" | "titan_x" => Some(DeviceSpec::titan_x()),
+        _ => None,
+    }
+}
+
+/// The canonical lowercase form of a device key (`TitanX` / `titan_x`
+/// → `titanx`), or `None` for unknown devices. Warm-cache advertisement
+/// and affinity routing compare keys in this form.
+pub fn canonical_device_key(key: &str) -> Option<String> {
+    let k = key.to_ascii_lowercase();
+    match k.as_str() {
+        "v100" | "a100" | "mi100" | "titanx" => Some(k),
+        "titan_x" => Some("titanx".to_string()),
         _ => None,
     }
 }
@@ -1124,13 +1244,23 @@ fn compute(shared: &Shared, req: &Request) -> Response {
             core_mhz,
         } => compute_predict(shared, device, features, *mem_mhz, *core_mhz),
         Request::Sweep { bench, device } => compute_sweep(shared, bench, device),
+        Request::SweepPart {
+            bench,
+            device,
+            offset,
+            limit,
+        } => compute_sweep_part(shared, bench, device, *offset, *limit),
         // Control-plane ops never reach the queue.
         Request::Ping => Response::Pong,
+        Request::Heartbeat => shared.heartbeat_response(),
         Request::Stats => shared.stats_response(),
         Request::Metrics => Response::MetricsReply {
             snapshot: snapshot_to_wire(&shared.metrics_snapshot()),
         },
         Request::Drain => Response::Draining { pending: 0 },
+        req @ (Request::FleetNodes | Request::FleetJoin { .. } | Request::FleetPreempt { .. }) => {
+            bad_request(format!("`{}` is a fleet-coordinator op", req.op()))
+        }
     }
 }
 
@@ -1179,6 +1309,7 @@ fn compute_compile(shared: &Shared, bench: &str, device: &str, targets: &[String
         out
     };
     let models = trained_models(shared, &spec);
+    shared.mark_warm(device);
     let started = Instant::now();
     let compiled = compile_application_traced(
         &spec,
@@ -1246,6 +1377,7 @@ fn compute_predict(
         ));
     }
     let models = trained_models(shared, &spec);
+    shared.mark_warm(device);
     let started = Instant::now();
     // One-row batch through the batched engine — bitwise identical to
     // `models.predict` (the proptested contract).
@@ -1282,8 +1414,74 @@ fn compute_sweep(shared: &Shared, bench: &str, device: &str) -> Response {
     }
 }
 
+/// One checkpointable slice of a sweep: the raw measured points for
+/// clock-grid rows `[offset, offset + limit)`. Energy accounting is per
+/// slice, so a chunked sweep's counters sum to a whole sweep's.
+fn compute_sweep_part(
+    shared: &Shared,
+    bench: &str,
+    device: &str,
+    offset: u64,
+    limit: u64,
+) -> Response {
+    let Some(spec) = device_spec(device) else {
+        return bad_request(format!("unknown device `{device}`"));
+    };
+    let Some(b) = apps::by_name(bench) else {
+        return bad_request(format!("unknown benchmark `{bench}`"));
+    };
+    let configurations = clock_grid(&spec).len() as u64;
+    if offset >= configurations {
+        return bad_request(format!(
+            "sweep offset {offset} is past the {configurations}-row clock grid"
+        ));
+    }
+    let points = synergy_rt::measured_sweep_range(
+        &spec,
+        &b.ir,
+        b.work_items,
+        offset as usize,
+        limit as usize,
+    );
+    let joules: f64 = points.iter().map(|p| p.energy_j).sum();
+    shared.instruments.metrics.add_energy_joules(&spec.name, joules);
+    Response::SweepPartial {
+        device: device.to_string(),
+        bench: bench.to_string(),
+        offset,
+        configurations,
+        points: points
+            .into_iter()
+            .map(|p| SweepPoint {
+                mem_mhz: p.clocks.mem_mhz,
+                core_mhz: p.clocks.core_mhz,
+                time_s: p.time_s,
+                energy_j: p.energy_j,
+            })
+            .collect(),
+    }
+}
+
 /// The Pareto-efficient subset of (time, energy), ascending in time.
-fn pareto_front(mut points: Vec<MetricPoint>) -> Vec<SweepPoint> {
+fn pareto_front(points: Vec<MetricPoint>) -> Vec<SweepPoint> {
+    pareto_points(
+        points
+            .into_iter()
+            .map(|p| SweepPoint {
+                mem_mhz: p.clocks.mem_mhz,
+                core_mhz: p.clocks.core_mhz,
+                time_s: p.time_s,
+                energy_j: p.energy_j,
+            })
+            .collect(),
+    )
+}
+
+/// The Pareto-efficient subset of wire sweep points, ascending in time —
+/// exactly the frontier semantics of `Response::SweepFront`. Exported so
+/// a fleet coordinator merging `SweepPartial` chunks computes a frontier
+/// bitwise identical to the one a single node would have returned.
+pub fn pareto_points(mut points: Vec<SweepPoint>) -> Vec<SweepPoint> {
     points.sort_by(|a, b| {
         a.time_s
             .partial_cmp(&b.time_s)
@@ -1299,12 +1497,7 @@ fn pareto_front(mut points: Vec<MetricPoint>) -> Vec<SweepPoint> {
     for p in points {
         if p.energy_j < best_energy {
             best_energy = p.energy_j;
-            front.push(SweepPoint {
-                mem_mhz: p.clocks.mem_mhz,
-                core_mhz: p.clocks.core_mhz,
-                time_s: p.time_s,
-                energy_j: p.energy_j,
-            });
+            front.push(p);
         }
     }
     front

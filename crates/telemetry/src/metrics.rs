@@ -809,6 +809,85 @@ impl MetricsSnapshot {
             .find(|s| s.name == name && s.labels == labels)
             .map(|s| &s.values)
     }
+
+    /// Merge another node's snapshot into this one — the fleet rollup.
+    ///
+    /// Counters and gauges with the same `(name, labels)` identity are
+    /// summed; histograms merge **exactly** by element-wise bucket
+    /// addition (the same guarantee as [`LogHistogram::merge_from`],
+    /// since bucket boundaries are fixed); unmatched instruments are
+    /// appended. Cost rollups add energy, node-seconds and
+    /// per-device joules, then recompute `kwh`/`tco_usd` from the
+    /// merged totals under `self`'s electricity price (a fleet has one
+    /// price; `other.usd_per_kwh` is adopted only when `self` has
+    /// none). `uptime_s` becomes the max, since fleet uptime is the
+    /// oldest member's. Merging is commutative up to sort order and
+    /// associative, so per-node snapshots aggregate in any order.
+    pub fn merge_from(&mut self, other: &MetricsSnapshot) {
+        fn merge_scalars(mine: &mut Vec<Sample>, theirs: &[Sample]) {
+            for s in theirs {
+                match mine
+                    .iter_mut()
+                    .find(|m| m.name == s.name && m.labels == s.labels)
+                {
+                    Some(m) => m.value += s.value,
+                    None => mine.push(s.clone()),
+                }
+            }
+            mine.sort_by(|a, b| (&a.name, &a.labels).cmp(&(&b.name, &b.labels)));
+        }
+        merge_scalars(&mut self.counters, &other.counters);
+        merge_scalars(&mut self.gauges, &other.gauges);
+        for h in &other.histograms {
+            match self
+                .histograms
+                .iter_mut()
+                .find(|m| m.name == h.name && m.labels == h.labels)
+            {
+                Some(m) => m.values.merge_from(&h.values),
+                None => self.histograms.push(h.clone()),
+            }
+        }
+        self.histograms
+            .sort_by(|a, b| (&a.name, &a.labels).cmp(&(&b.name, &b.labels)));
+        self.uptime_s = self.uptime_s.max(other.uptime_s);
+
+        self.cost.node_seconds += other.cost.node_seconds;
+        self.cost.total_joules += other.cost.total_joules;
+        for (dev, j) in &other.cost.joules_by_device {
+            match self
+                .cost
+                .joules_by_device
+                .iter_mut()
+                .find(|(d, _)| d == dev)
+            {
+                Some((_, mine)) => *mine += j,
+                None => self.cost.joules_by_device.push((dev.clone(), *j)),
+            }
+        }
+        self.cost.joules_by_device.sort_by(|a, b| a.0.cmp(&b.0));
+        if self.cost.usd_per_kwh == 0.0 {
+            self.cost.usd_per_kwh = other.cost.usd_per_kwh;
+        }
+        self.cost.kwh = self.cost.total_joules / 3.6e6;
+        self.cost.tco_usd = self.cost.kwh * self.cost.usd_per_kwh;
+    }
+}
+
+impl HistogramValues {
+    /// Exact merge of another sparse histogram into this one: bucket
+    /// counts add element-wise by index, totals add. The sparse list
+    /// stays ascending by index.
+    pub fn merge_from(&mut self, other: &HistogramValues) {
+        for &(idx, n) in &other.buckets {
+            match self.buckets.binary_search_by_key(&idx, |&(i, _)| i) {
+                Ok(pos) => self.buckets[pos].1 += n,
+                Err(pos) => self.buckets.insert(pos, (idx, n)),
+            }
+        }
+        self.count += other.count;
+        self.sum_ns += other.sum_ns;
+    }
 }
 
 #[cfg(test)]
@@ -945,6 +1024,72 @@ mod tests {
         let text = serde_json::to_string(&snap).unwrap();
         let back: MetricsSnapshot = serde_json::from_str(&text).unwrap();
         assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn snapshot_merge_sums_and_merges_exactly() {
+        let a = Metrics::enabled_with(CostConfig { usd_per_kwh: 0.5 });
+        a.counter("req_total", &[("kind", "ping")]).add(3);
+        a.gauge("depth", &[]).set(2);
+        a.histogram("lat_seconds", &[]).observe_ns(1_000);
+        a.add_energy_joules("v100", 1.8e6);
+
+        let b = Metrics::enabled_with(CostConfig { usd_per_kwh: 0.5 });
+        b.counter("req_total", &[("kind", "ping")]).add(4);
+        b.counter("req_total", &[("kind", "sweep")]).add(1);
+        b.gauge("depth", &[]).set(5);
+        b.histogram("lat_seconds", &[]).observe_ns(1_000_000);
+        b.add_energy_joules("v100", 1.8e6);
+        b.add_energy_joules("a100", 3.6e6);
+
+        // Reference: one registry that saw all the traffic.
+        let whole = Metrics::enabled_with(CostConfig { usd_per_kwh: 0.5 });
+        whole.counter("req_total", &[("kind", "ping")]).add(7);
+        whole.counter("req_total", &[("kind", "sweep")]).add(1);
+        whole.gauge("depth", &[]).set(7);
+        whole.histogram("lat_seconds", &[]).observe_ns(1_000);
+        whole.histogram("lat_seconds", &[]).observe_ns(1_000_000);
+        whole.add_energy_joules("v100", 3.6e6);
+        whole.add_energy_joules("a100", 3.6e6);
+
+        let mut merged = a.snapshot();
+        merged.merge_from(&b.snapshot());
+        let reference = whole.snapshot();
+        assert_eq!(merged.counters, reference.counters);
+        assert_eq!(merged.gauges, reference.gauges);
+        assert_eq!(merged.histograms, reference.histograms);
+        assert_eq!(merged.cost.total_joules, 7.2e6);
+        assert_eq!(merged.cost.kwh, 2.0);
+        assert_eq!(merged.cost.tco_usd, 1.0);
+        assert_eq!(
+            merged.cost.joules_by_device,
+            vec![("a100".to_string(), 3.6e6), ("v100".to_string(), 3.6e6)]
+        );
+
+        // Commutativity: b + a gives the same instruments and cost.
+        let mut flipped = b.snapshot();
+        flipped.merge_from(&a.snapshot());
+        assert_eq!(flipped.counters, merged.counters);
+        assert_eq!(flipped.histograms, merged.histograms);
+        assert_eq!(flipped.cost.total_joules, merged.cost.total_joules);
+    }
+
+    #[test]
+    fn histogram_values_merge_matches_live_merge() {
+        let a = LogHistogram::new();
+        let b = LogHistogram::new();
+        let whole = LogHistogram::new();
+        for v in 0..400u64 {
+            a.observe_ns(v * 13 + 1);
+            whole.observe_ns(v * 13 + 1);
+        }
+        for v in 0..250u64 {
+            b.observe_ns(v * v + 5);
+            whole.observe_ns(v * v + 5);
+        }
+        let mut av = a.snapshot_values();
+        av.merge_from(&b.snapshot_values());
+        assert_eq!(av, whole.snapshot_values());
     }
 
     #[test]

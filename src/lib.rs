@@ -77,6 +77,10 @@ pub use synergy_telemetry as telemetry;
 /// The energy-tuning daemon: wire protocol, server, blocking client.
 pub use synergy_serve as serve;
 
+/// The distributed tuning fleet: coordinator, affinity routing,
+/// preemption tolerance, exact work reassignment.
+pub use synergy_fleet as fleet;
+
 /// One-stop imports for applications.
 pub mod prelude {
     pub use crate::analyze::{Level, LintRegistry, Report};

@@ -1,0 +1,416 @@
+//! Integration tests for the `synergy-fleet` coordinator: mixed load
+//! routes across a fleet and every request is answered with the matching
+//! kind; a node killed mid-sweep loses no accepted work and the merged
+//! Pareto front stays bit-identical to a single node's; a saturated
+//! fleet rejects with `Busy` and the shared retry policy absorbs it;
+//! preemption honours the grace window and a rejoin revives the node;
+//! and the coordinator's metrics rollup sums the per-node snapshots
+//! exactly.
+
+use std::thread;
+use std::time::{Duration, Instant};
+
+use synergy::fleet::{spawn_fleet, FleetConfig, FleetHandle, NodeConfig};
+use synergy::serve::{
+    spawn, Client, ModelProfile, Request, Response, RetryPolicy, ServeConfig, ServerHandle,
+    SweepPoint,
+};
+use synergy::telemetry::Metrics;
+
+fn spawn_node(config: ServeConfig) -> ServerHandle {
+    spawn(ServeConfig {
+        workers: 2,
+        queue_capacity: 64,
+        profile: ModelProfile::small(),
+        ..config
+    })
+    .expect("bind node")
+}
+
+fn spawn_fleet_over(nodes: &[&ServerHandle], config: FleetConfig) -> FleetHandle {
+    let roster = nodes
+        .iter()
+        .map(|h| NodeConfig {
+            addr: h.addr().to_string(),
+            devices: Vec::new(),
+        })
+        .collect();
+    spawn_fleet(FleetConfig {
+        nodes: roster,
+        heartbeat_interval: Duration::from_millis(25),
+        dead_after: Duration::from_millis(250),
+        ..config
+    })
+    .expect("bind coordinator")
+}
+
+/// Fetch one sweep front directly from a standalone node — the
+/// reference the fleet's chunk-merged front must match exactly.
+fn reference_front(bench: &str, device: &str) -> Vec<SweepPoint> {
+    let node = spawn_node(ServeConfig::default());
+    let mut client = Client::connect(node.addr()).expect("connect reference");
+    let resp = client.sweep(bench, device).expect("reference sweep");
+    node.drain();
+    node.join();
+    match resp {
+        Response::SweepFront { pareto, .. } => pareto,
+        other => panic!("expected SweepFront, got {other:?}"),
+    }
+}
+
+/// Mixed Compile / Sweep / Predict / Ping load through a 3-node fleet:
+/// everything is answered with the matching kind, the coordinator
+/// forwards (rather than computing), and the roster stays up.
+#[test]
+fn mixed_load_routes_across_three_nodes() {
+    let nodes: Vec<ServerHandle> = (0..3).map(|_| spawn_node(ServeConfig::default())).collect();
+    let fleet = spawn_fleet_over(&nodes.iter().collect::<Vec<_>>(), FleetConfig::default());
+    let addr = fleet.addr();
+
+    const CLIENTS: usize = 4;
+    const PER_CLIENT: usize = 8;
+    let joins: Vec<_> = (0..CLIENTS)
+        .map(|c| {
+            thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                let mut policy = RetryPolicy::new(1000, 2, 50, c as u64 + 1);
+                for i in 0..PER_CLIENT {
+                    let req = match (c + i) % 4 {
+                        0 => Request::Compile {
+                            bench: "vec_add".into(),
+                            device: "v100".into(),
+                            targets: vec!["ES_50".into()],
+                        },
+                        1 => Request::Sweep {
+                            bench: "sobel3".into(),
+                            device: "v100".into(),
+                        },
+                        2 => Request::Predict {
+                            device: "v100".into(),
+                            features: vec![1.0; synergy::kernel::NUM_FEATURES],
+                            mem_mhz: 877,
+                            core_mhz: 1312,
+                        },
+                        _ => Request::Ping,
+                    };
+                    let resp = client
+                        .request_with_retry(&req, 30_000, &mut policy)
+                        .expect("transport");
+                    let ok = matches!(
+                        (&req, &resp),
+                        (Request::Compile { .. }, Response::Compiled { .. })
+                            | (Request::Sweep { .. }, Response::SweepFront { .. })
+                            | (Request::Predict { .. }, Response::Predicted { .. })
+                            | (Request::Ping, Response::Pong)
+                    );
+                    assert!(ok, "request {req:?} got mismatched response {resp:?}");
+                }
+            })
+        })
+        .collect();
+    for j in joins {
+        j.join().expect("client thread");
+    }
+
+    let roster = fleet.nodes();
+    assert_eq!(roster.len(), 3);
+    assert!(roster.iter().all(|n| n.state == "up"), "roster: {roster:?}");
+
+    let stats = fleet.join();
+    // Pings are control plane — answered inline on the reactor, never
+    // admitted as data-plane work. Each client's 8 requests hit every
+    // kind exactly twice, so 6 of 8 are accepted and 2 are pings.
+    let data_plane = (CLIENTS * PER_CLIENT * 3 / 4) as u64;
+    let pings = (CLIENTS * PER_CLIENT / 4) as u64;
+    assert_eq!(stats.accepted, data_plane);
+    assert!(stats.forwarded > 0, "coordinator never forwarded work");
+    assert_eq!(stats.responses, data_plane + pings + stats.busy_rejections);
+    for node in nodes {
+        node.drain();
+        node.join();
+    }
+}
+
+/// The volatility guarantee, end to end: kill a node abruptly while
+/// chunked sweeps are in flight across a 3-node fleet. Every sweep must
+/// still come back, the merged Pareto front must be bit-identical to a
+/// standalone node's answer, and the coordinator must have reassigned
+/// the dead node's orphaned chunks rather than dropping them.
+#[test]
+fn killed_node_mid_sweep_loses_nothing() {
+    let reference = reference_front("mat_mul", "v100");
+
+    let mut nodes: Vec<ServerHandle> = (0..3)
+        .map(|_| {
+            spawn_node(ServeConfig {
+                // Stretch each chunk so the kill lands mid-sweep.
+                compute_delay: Duration::from_millis(3),
+                ..ServeConfig::default()
+            })
+        })
+        .collect();
+    let fleet = spawn_fleet_over(
+        &nodes.iter().collect::<Vec<_>>(),
+        FleetConfig {
+            // Small chunks -> many per sweep -> work on every node.
+            sweep_chunk: 16,
+            ..FleetConfig::default()
+        },
+    );
+    let addr = fleet.addr();
+
+    const SWEEPS: usize = 6;
+    let joins: Vec<_> = (0..SWEEPS)
+        .map(|c| {
+            thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                let _ = client.set_timeout(Some(Duration::from_secs(60)));
+                let mut policy = RetryPolicy::new(10_000, 2, 50, c as u64 + 1);
+                let req = Request::Sweep {
+                    bench: "mat_mul".into(),
+                    device: "v100".into(),
+                };
+                match client.request_with_retry(&req, 60_000, &mut policy) {
+                    Ok(Response::SweepFront { pareto, configurations, .. }) => {
+                        (pareto, configurations)
+                    }
+                    other => panic!("sweep {c} not answered with a front: {other:?}"),
+                }
+            })
+        })
+        .collect();
+
+    // Let chunks spread across the fleet, then yank a node with no
+    // drain, no goodbye — in-flight chunks die with it.
+    thread::sleep(Duration::from_millis(30));
+    let victim = nodes.pop().expect("three nodes");
+    victim.kill();
+
+    let mut fronts = Vec::new();
+    for j in joins {
+        fronts.push(j.join().expect("sweep client"));
+    }
+    for (pareto, configurations) in &fronts {
+        assert!(*configurations > 0);
+        assert_eq!(
+            pareto, &reference,
+            "fleet-merged front differs from the single-node reference"
+        );
+    }
+
+    let stats = fleet.join();
+    assert_eq!(stats.accepted, SWEEPS as u64);
+    // Every accepted sweep answered exactly once; the only other
+    // responses are `Busy` bounces the retry policy absorbed.
+    assert_eq!(
+        stats.responses,
+        stats.accepted + stats.busy_rejections,
+        "a sweep went unanswered: {stats:?}"
+    );
+    assert!(
+        stats.reassigned + stats.orphaned > 0,
+        "the kill should have orphaned or reassigned at least one chunk: {stats:?}"
+    );
+    for node in nodes {
+        node.drain();
+        node.join();
+    }
+}
+
+/// One single-slot node: concurrent clients overflow admission into
+/// `Busy`, and the shared retry policy absorbs every rejection.
+#[test]
+fn saturation_rejects_busy_and_retries_recover() {
+    let node = spawn_node(ServeConfig {
+        compute_delay: Duration::from_millis(2),
+        ..ServeConfig::default()
+    });
+    let fleet = spawn_fleet_over(
+        &[&node],
+        FleetConfig {
+            max_inflight_per_node: 1,
+            ..FleetConfig::default()
+        },
+    );
+    let addr = fleet.addr();
+
+    const CLIENTS: usize = 6;
+    let joins: Vec<_> = (0..CLIENTS)
+        .map(|c| {
+            thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                let mut policy = RetryPolicy::new(10_000, 1, 20, c as u64 + 1);
+                // Compiles (not pings — those are control plane and are
+                // never admission-checked) so the single slot saturates.
+                let req = Request::Compile {
+                    bench: "vec_add".into(),
+                    device: "v100".into(),
+                    targets: vec!["ES_50".into()],
+                };
+                for _ in 0..4 {
+                    let resp = client
+                        .request_with_retry(&req, 30_000, &mut policy)
+                        .expect("transport");
+                    assert!(matches!(resp, Response::Compiled { .. }), "got {resp:?}");
+                }
+            })
+        })
+        .collect();
+    for j in joins {
+        j.join().expect("client thread");
+    }
+
+    let stats = fleet.join();
+    assert_eq!(stats.accepted, (CLIENTS * 4) as u64);
+    assert!(
+        stats.busy_rejections > 0,
+        "a single-slot fleet under 6 concurrent clients must reject: {stats:?}"
+    );
+    node.drain();
+    node.join();
+}
+
+/// Preemption honours the grace window, the roster tracks the state
+/// machine, and an explicit rejoin revives the node.
+#[test]
+fn preemption_grace_window_and_rejoin() {
+    let nodes: Vec<ServerHandle> = (0..2).map(|_| spawn_node(ServeConfig::default())).collect();
+    let fleet = spawn_fleet_over(&nodes.iter().collect::<Vec<_>>(), FleetConfig::default());
+    let victim = nodes[1].addr().to_string();
+
+    assert!(fleet.preempt(&victim, 60), "victim should be known");
+    let state_of = |fleet: &FleetHandle, addr: &str| {
+        fleet
+            .nodes()
+            .into_iter()
+            .find(|n| n.addr == addr)
+            .map(|n| n.state)
+            .expect("in roster")
+    };
+    assert_eq!(state_of(&fleet, &victim), "preempting");
+
+    // Past the grace window the heartbeat plane finalizes the
+    // preemption and orphans anything still queued there.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while state_of(&fleet, &victim) != "preempted" {
+        assert!(Instant::now() < deadline, "preemption never finalized");
+        thread::sleep(Duration::from_millis(10));
+    }
+
+    // The fleet still answers on the surviving node.
+    let mut client = Client::connect(fleet.addr()).expect("connect");
+    let mut policy = RetryPolicy::standard(7);
+    let resp = client
+        .request_with_retry(
+            &Request::Compile {
+                bench: "vec_add".into(),
+                device: "v100".into(),
+                targets: vec!["ES_50".into()],
+            },
+            30_000,
+            &mut policy,
+        )
+        .expect("transport");
+    assert!(matches!(resp, Response::Compiled { .. }), "got {resp:?}");
+
+    // Rejoin revives the node; heartbeats confirm it within a beat or
+    // two.
+    fleet.join_node(&victim);
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while state_of(&fleet, &victim) != "up" {
+        assert!(Instant::now() < deadline, "rejoined node never came up");
+        thread::sleep(Duration::from_millis(10));
+    }
+
+    let stats = fleet.join();
+    assert!(stats.preemptions >= 1);
+    for node in nodes {
+        node.drain();
+        node.join();
+    }
+}
+
+/// The coordinator's `metrics` op returns the bucket-exact merge of the
+/// per-node snapshots: fleet-wide energy equals the sum over nodes.
+#[test]
+fn fleet_metrics_rollup_sums_node_energy() {
+    let nodes: Vec<ServerHandle> = (0..2)
+        .map(|_| {
+            spawn_node(ServeConfig {
+                metrics: Metrics::enabled(),
+                ..ServeConfig::default()
+            })
+        })
+        .collect();
+    let fleet = spawn_fleet_over(
+        &nodes.iter().collect::<Vec<_>>(),
+        FleetConfig {
+            metrics: Metrics::enabled(),
+            ..FleetConfig::default()
+        },
+    );
+    let addr = fleet.addr();
+
+    // Sweeps are what feed the per-device energy counters; spread a few
+    // across the fleet.
+    let mut client = Client::connect(addr).expect("connect");
+    let mut policy = RetryPolicy::new(1000, 2, 50, 3);
+    for bench in ["vec_add", "sobel3", "mat_mul"] {
+        let resp = client
+            .request_with_retry(
+                &Request::Sweep {
+                    bench: bench.into(),
+                    device: "v100".into(),
+                },
+                30_000,
+                &mut policy,
+            )
+            .expect("transport");
+        assert!(matches!(resp, Response::SweepFront { .. }), "got {resp:?}");
+    }
+
+    // The rollup is heartbeat-fed; poll until it catches up with the
+    // ground truth read straight off the nodes.
+    let expected: f64 = nodes
+        .iter()
+        .map(|n| n.metrics_snapshot().cost.total_joules)
+        .sum();
+    assert!(expected > 0.0, "sweeps should have accrued energy");
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        let merged = fleet.metrics_snapshot();
+        if (merged.cost.total_joules - expected).abs() < 1e-9 {
+            assert_eq!(
+                merged.cost.joules_by_device.len(),
+                1,
+                "all energy came from v100: {:?}",
+                merged.cost.joules_by_device
+            );
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "rollup never converged: merged {} vs nodes {}",
+            merged.cost.total_joules,
+            expected
+        );
+        thread::sleep(Duration::from_millis(20));
+    }
+
+    // The same rollup crosses the wire through the coordinator's
+    // `metrics` op.
+    let resp = client.metrics().expect("transport");
+    match resp {
+        Response::MetricsReply { snapshot } => {
+            let snap = synergy::serve::snapshot_from_wire(&snapshot).expect("wire snapshot");
+            assert!((snap.cost.total_joules - expected).abs() < 1e-9);
+        }
+        other => panic!("expected MetricsReply, got {other:?}"),
+    }
+
+    fleet.join();
+    for node in nodes {
+        node.drain();
+        node.join();
+    }
+}
