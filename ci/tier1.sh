@@ -15,6 +15,15 @@ cargo run --release -p synergy-bench --bin pipeline_perf -- --small
 cargo run --release -p synergy-bench --bin serve_perf -- --small
 cargo run --release -p synergy-bench --bin fleet_perf -- --small
 
+# Perf-regression gate: diff the headline counters of the runs above
+# against the previous same-parameter line in bench_history.jsonl.
+# A fresh clone has no baseline yet — the diff skips cleanly and the
+# gate arms itself on the next run. Tolerance is loose (35%) because
+# CI boxes are noisy; the default 10% is for interactive use.
+for suite in pipeline serve fleet; do
+  target/release/synergy bench "$suite" --no-run --tolerance 35
+done
+
 # Static-analysis ratchet: the whole suite x every device must analyze
 # clean against the grandfathered baseline — any new finding (or baseline
 # drift) fails the gate. The SARIF artifact is what CI annotators consume.
@@ -43,7 +52,9 @@ sys.exit(1 if bad else 0)
 EOF
 
 # The batched inference engine must report its throughput fields and be at
-# least as fast as the per-config reference on the full V/F grid.
+# least as fast as the per-config reference on the full V/F grid, and the
+# flat training engine must report its cold-fit time and never be slower
+# than the reference trainers it bit-for-bit reproduces.
 python3 - <<'EOF'
 import json
 with open("experiments/BENCH_pipeline.json") as f:
@@ -52,12 +63,19 @@ for field in (
     "predict_rows_per_sec_serial",
     "predict_rows_per_sec_batch",
     "predict_batch_speedup",
+    "train_cold_s",
+    "train_speedup",
 ):
     assert field in perf, f"BENCH_pipeline.json missing {field}"
     assert perf[field] > 0.0, f"{field} must be positive, got {perf[field]}"
 speedup = perf["predict_batch_speedup"]
 assert speedup >= 1.0, f"batched prediction slower than per-config path: {speedup:.2f}x"
 print(f"predict_batch_speedup {speedup:.2f}x over {perf['predict_grid_configs']} configs")
+train_speedup = perf["train_speedup"]
+assert train_speedup >= 1.0, \
+    f"flat training engine slower than the reference trainers: {train_speedup:.2f}x"
+print(f"train_speedup {train_speedup:.2f}x "
+      f"(cold fit {perf['train_cold_s'] * 1e3:.1f} ms)")
 EOF
 
 # The serve load test must report the client count, tail latency, the

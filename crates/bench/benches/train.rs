@@ -1,0 +1,61 @@
+//! Training-engine benchmarks: the flat (pre-sorted, allocation-free)
+//! trainers against the original reference implementations, per algorithm
+//! and for the full four-model bundle — the cold-compile hot path
+//! `pipeline_perf` tracks as `train_cold_s`/`train_speedup`, isolated so
+//! a regression pinpoints the algorithm responsible.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use synergy_bench::microbench_suite;
+use synergy_ml::{
+    Algorithm, MetricModels, ModelSelection, SweepSample, TrainedRegressor, TrainMatrix,
+};
+use synergy_rt::build_training_set;
+use synergy_sim::DeviceSpec;
+
+const STRIDE: usize = 32;
+
+fn training_samples() -> (Vec<SweepSample>, f64) {
+    let spec = DeviceSpec::v100();
+    let mut suite = microbench_suite();
+    suite.truncate(8);
+    let samples = build_training_set(&spec, &suite, STRIDE);
+    (samples, spec.freq_table.max_core() as f64)
+}
+
+fn training_xy() -> (Vec<Vec<f64>>, Vec<f64>) {
+    let (samples, f_max) = training_samples();
+    let x: Vec<Vec<f64>> = samples
+        .iter()
+        .map(|s| synergy_ml::input_row(&s.features, s.core_mhz, s.mem_mhz, f_max))
+        .collect();
+    let y: Vec<f64> = samples.iter().map(|s| s.energy_j).collect();
+    (x, y)
+}
+
+fn bench_per_algorithm(c: &mut Criterion) {
+    let (x, y) = training_xy();
+    let m = TrainMatrix::from_rows(&x);
+    for algo in Algorithm::ALL {
+        c.bench_function(format!("train_flat_{algo}").as_str(), |b| {
+            b.iter(|| black_box(TrainedRegressor::fit_flat(algo, 0, &m, &y)))
+        });
+        c.bench_function(format!("train_reference_{algo}").as_str(), |b| {
+            b.iter(|| black_box(TrainedRegressor::fit_reference(algo, 0, &x, &y)))
+        });
+    }
+}
+
+fn bench_full_bundle(c: &mut Criterion) {
+    let (samples, f_max) = training_samples();
+    let sel = ModelSelection::paper_best();
+    c.bench_function("train_bundle_flat", |b| {
+        b.iter(|| black_box(MetricModels::train(sel, &samples, f_max, 0)))
+    });
+    c.bench_function("train_bundle_reference", |b| {
+        b.iter(|| black_box(MetricModels::train_reference(sel, &samples, f_max, 0)))
+    });
+}
+
+criterion_group!(train, bench_per_algorithm, bench_full_bundle);
+criterion_main!(train);

@@ -5,6 +5,9 @@ use serde::Serialize;
 use synergy_bench::{print_table, write_artifact};
 use synergy_sim::DeviceSpec;
 
+// Fields are read only through the `Serialize` derive (the offline
+// check harness's marker-serde stub would otherwise flag them dead).
+#[allow(dead_code)]
 #[derive(Serialize)]
 struct DeviceFrequencies {
     device: String,

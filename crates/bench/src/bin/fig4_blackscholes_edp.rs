@@ -9,6 +9,9 @@ use synergy_bench::{characterize, print_table, write_artifact};
 use synergy_metrics::{search_optimal, EnergyTarget};
 use synergy_sim::DeviceSpec;
 
+// Fields are read only through the `Serialize` derive (the offline
+// check harness's marker-serde stub would otherwise flag them dead).
+#[allow(dead_code)]
 #[derive(Serialize)]
 struct EdpCurvePoint {
     core_mhz: u32,
@@ -18,6 +21,9 @@ struct EdpCurvePoint {
     ed2p: f64,
 }
 
+// Fields are read only through the `Serialize` derive (the offline
+// check harness's marker-serde stub would otherwise flag them dead).
+#[allow(dead_code)]
 #[derive(Serialize)]
 struct Figure4 {
     min_edp_core_mhz: u32,

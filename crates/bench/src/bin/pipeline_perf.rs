@@ -14,7 +14,7 @@ use synergy_analyze::LintRegistry;
 use synergy_bench::{microbench_suite, print_table, write_artifact, EXPERIMENT_SEED, TRAIN_STRIDE};
 use synergy_kernel::KernelIr;
 use synergy_metrics::EnergyTarget;
-use synergy_ml::ModelSelection;
+use synergy_ml::{MetricModels, ModelSelection};
 use synergy_rt::{
     build_training_set, build_training_set_serial, clock_grid, compile_application,
     compile_application_traced, default_cache_dir, predict_sweep_from_info_serial,
@@ -39,6 +39,12 @@ struct PipelinePerf {
     warm_disk_s: f64,
     warm_memory_speedup: f64,
     warm_disk_speedup: f64,
+    /// The model-fitting step alone, on already-built samples: the flat
+    /// training engine vs the original reference trainers
+    /// (bitwise-identical bundles, best-of-reps timing).
+    train_cold_s: f64,
+    train_reference_s: f64,
+    train_speedup: f64,
     /// The rayon contribution on the cold path: serial vs parallel
     /// training-set build.
     trainset_serial_s: f64,
@@ -153,6 +159,32 @@ fn main() {
     let trainset_parallel_s = t.elapsed().as_secs_f64();
     assert_eq!(serial, parallel, "parallel training set must equal serial");
 
+    // The model-fitting step alone: the flat training engine against the
+    // original reference trainers, on the same already-built samples.
+    // Timed directly (no store) so the cache counters asserted above are
+    // untouched; the two bundles must be equal in every learned value.
+    let f_max = spec.freq_table.max_core() as f64;
+    const TRAIN_REPS: usize = 5;
+    let best_of_train = |f: &dyn Fn() -> MetricModels| {
+        let mut best = f64::INFINITY;
+        let mut out = None;
+        for _ in 0..TRAIN_REPS {
+            let t = Instant::now();
+            let m = f();
+            best = best.min(t.elapsed().as_secs_f64());
+            out = Some(m);
+        }
+        (best, out.expect("at least one rep"))
+    };
+    let (train_cold_s, flat_models) =
+        best_of_train(&|| MetricModels::train(selection, &parallel, f_max, seed));
+    let (train_reference_s, reference_models) =
+        best_of_train(&|| MetricModels::train_reference(selection, &parallel, f_max, seed));
+    assert_eq!(
+        flat_models, reference_models,
+        "flat training engine must reproduce the reference bundle exactly"
+    );
+
     // The prediction hot path: one kernel's metrics over the full V/F
     // grid, per-config reference vs the batched engine. Both paths must
     // agree bit for bit; timing is best-of-reps since one sweep is fast.
@@ -200,6 +232,9 @@ fn main() {
         warm_disk_s,
         warm_memory_speedup: cold_s / warm_memory_s.max(1e-9),
         warm_disk_speedup: cold_s / warm_disk_s.max(1e-9),
+        train_cold_s,
+        train_reference_s,
+        train_speedup: train_reference_s / train_cold_s.max(1e-12),
         trainset_serial_s,
         trainset_parallel_s,
         trainset_parallel_speedup: trainset_serial_s / trainset_parallel_s.max(1e-9),
@@ -237,6 +272,14 @@ fn main() {
             row("cold (train)", perf.cold_s, 1.0),
             row("warm (memory)", perf.warm_memory_s, perf.warm_memory_speedup),
             row("warm (disk)", perf.warm_disk_s, perf.warm_disk_speedup),
+        ],
+    );
+    println!();
+    print_table(
+        &["model fitting", "seconds", "speedup"],
+        &[
+            row("reference trainers", perf.train_reference_s, 1.0),
+            row("flat engine", perf.train_cold_s, perf.train_speedup),
         ],
     );
     println!();
@@ -284,6 +327,9 @@ fn main() {
     }
     if perf.predict_batch_speedup < 1.0 {
         println!("\nWARNING: batched prediction is slower than the per-config path");
+    }
+    if perf.train_speedup < 1.0 {
+        println!("\nWARNING: flat training engine is slower than the reference trainers");
     }
 
     write_artifact("BENCH_pipeline", &perf);

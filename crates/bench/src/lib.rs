@@ -10,6 +10,7 @@
 #![warn(missing_docs)]
 
 pub mod accuracy;
+pub mod regress;
 
 use serde::Serialize;
 use std::fs;

@@ -1,0 +1,316 @@
+//! Benchmark regression diffing for `synergy bench <suite>`.
+//!
+//! The perf binaries append one commit-stamped JSON line per run to
+//! `experiments/bench_history.jsonl`. This module turns that trajectory
+//! into a regression gate: pick the two newest lines of a suite whose
+//! run parameters match exactly, diff the suite's headline counters with
+//! a direction-aware tolerance, and report which counters regressed.
+//! Everything here is pure (text in, verdict out) so the policy is unit
+//! testable without spawning benchmark binaries.
+
+use serde_json::Value;
+
+/// Whether a counter is better when it grows or when it shrinks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Throughput-like: larger is better.
+    HigherIsBetter,
+    /// Latency-like: smaller is better.
+    LowerIsBetter,
+}
+
+/// One headline counter a suite is gated on.
+#[derive(Debug, Clone, Copy)]
+pub struct Counter {
+    /// JSON field name in the history line.
+    pub name: &'static str,
+    /// Which way improvement points.
+    pub direction: Direction,
+}
+
+/// A benchmark suite's diffing contract: which history lines belong to
+/// it, which fields identify "the same run configuration", and which
+/// counters gate.
+#[derive(Debug, Clone, Copy)]
+pub struct SuiteSpec {
+    /// Suite name as used on the CLI (`pipeline`, `serve`, `fleet`).
+    pub name: &'static str,
+    /// The `bench` envelope value its history lines carry.
+    pub bench: &'static str,
+    /// The perf binary that produces those lines.
+    pub binary: &'static str,
+    /// Fields that must match exactly between two comparable lines.
+    pub params: &'static [&'static str],
+    /// Gated counters.
+    pub counters: &'static [Counter],
+}
+
+const HIGHER: Direction = Direction::HigherIsBetter;
+const LOWER: Direction = Direction::LowerIsBetter;
+
+/// The three regression-gated suites.
+pub static SUITES: &[SuiteSpec] = &[
+    SuiteSpec {
+        name: "pipeline",
+        bench: "pipeline_perf",
+        binary: "pipeline_perf",
+        params: &["device", "mode", "suite_size", "stride", "kernels"],
+        counters: &[
+            Counter { name: "cold_s", direction: LOWER },
+            Counter { name: "train_cold_s", direction: LOWER },
+            Counter { name: "warm_memory_s", direction: LOWER },
+            Counter { name: "warm_disk_s", direction: LOWER },
+            Counter { name: "predict_rows_per_sec_batch", direction: HIGHER },
+        ],
+    },
+    SuiteSpec {
+        name: "serve",
+        bench: "serve_perf",
+        binary: "serve_perf",
+        params: &["mode", "clients", "reactors"],
+        counters: &[
+            Counter { name: "throughput_rps", direction: HIGHER },
+            Counter { name: "p50_ms", direction: LOWER },
+            Counter { name: "p99_ms", direction: LOWER },
+        ],
+    },
+    SuiteSpec {
+        name: "fleet",
+        bench: "fleet_perf",
+        binary: "fleet_perf",
+        params: &["mode", "node_counts", "per_client"],
+        counters: &[
+            Counter { name: "scaling_max", direction: HIGHER },
+            Counter { name: "top_throughput_rps", direction: HIGHER },
+        ],
+    },
+];
+
+/// Look a suite up by CLI name.
+pub fn suite_by_name(name: &str) -> Option<&'static SuiteSpec> {
+    SUITES.iter().find(|s| s.name == name)
+}
+
+/// One counter's comparison between the current run and its baseline.
+#[derive(Debug, Clone)]
+pub struct DeltaRow {
+    /// Counter name.
+    pub counter: &'static str,
+    /// Which way improvement points.
+    pub direction: Direction,
+    /// Value in the newest matching line (`None` when absent).
+    pub current: Option<f64>,
+    /// Value in the previous matching line (`None` when absent or zero,
+    /// which cannot anchor a relative comparison).
+    pub baseline: Option<f64>,
+    /// Relative change in percent, signed so that positive always means
+    /// "worse" (`None` when either side is missing).
+    pub worse_pct: Option<f64>,
+    /// Whether the change exceeds the tolerance in the bad direction.
+    pub regressed: bool,
+}
+
+/// The verdict for one `synergy bench` invocation.
+#[derive(Debug, Clone)]
+pub struct BenchDiff {
+    /// Suite that was diffed.
+    pub suite: &'static str,
+    /// Commit hash of the current (newest) line, when present.
+    pub current_commit: Option<String>,
+    /// Commit hash of the baseline line, when present.
+    pub baseline_commit: Option<String>,
+    /// Per-counter comparisons (empty when skipped).
+    pub rows: Vec<DeltaRow>,
+    /// True when fewer than two matching history lines exist — nothing
+    /// to compare, which is a pass (fresh clones must not fail CI).
+    pub skipped: bool,
+}
+
+impl BenchDiff {
+    /// Whether any gated counter regressed beyond tolerance.
+    pub fn failed(&self) -> bool {
+        self.rows.iter().any(|r| r.regressed)
+    }
+}
+
+fn as_f64(v: &Value) -> Option<f64> {
+    v.as_f64()
+}
+
+/// Diff the two newest history lines of `spec`'s suite whose parameter
+/// fields all match, at `tolerance_pct` percent. `history_text` is the
+/// raw `bench_history.jsonl` contents; unparsable lines are ignored
+/// (the file is append-only and best-effort by design).
+pub fn diff_history(spec: &SuiteSpec, history_text: &str, tolerance_pct: f64) -> BenchDiff {
+    let lines: Vec<Value> = history_text
+        .lines()
+        .filter_map(|l| serde_json::from_str::<Value>(l).ok())
+        .filter(|v| v.get("bench").and_then(Value::as_str) == Some(spec.bench))
+        .collect();
+
+    // Newest matching line is the current run; its baseline is the next
+    // newest line with identical parameters (missing params compare as
+    // null on both sides, so old lines without a later-added field still
+    // pair with each other).
+    let current = lines.last();
+    let baseline = current.and_then(|cur| {
+        lines[..lines.len() - 1].iter().rev().find(|prev| {
+            spec.params.iter().all(|p| {
+                cur.get(p).unwrap_or(&Value::Null) == prev.get(p).unwrap_or(&Value::Null)
+            })
+        })
+    });
+
+    let (Some(cur), Some(base)) = (current, baseline) else {
+        return BenchDiff {
+            suite: spec.name,
+            current_commit: None,
+            baseline_commit: None,
+            rows: Vec::new(),
+            skipped: true,
+        };
+    };
+
+    let commit_of = |v: &Value| v.get("commit").and_then(Value::as_str).map(String::from);
+    let rows = spec
+        .counters
+        .iter()
+        .map(|c| {
+            let current = cur.get(c.name).and_then(as_f64);
+            let baseline = base.get(c.name).and_then(as_f64).filter(|b| *b != 0.0);
+            let worse_pct = match (current, baseline) {
+                (Some(now), Some(then)) => {
+                    let change = (now - then) / then * 100.0;
+                    Some(match c.direction {
+                        Direction::HigherIsBetter => -change,
+                        Direction::LowerIsBetter => change,
+                    })
+                }
+                _ => None,
+            };
+            DeltaRow {
+                counter: c.name,
+                direction: c.direction,
+                current,
+                baseline,
+                worse_pct,
+                regressed: worse_pct.is_some_and(|w| w > tolerance_pct),
+            }
+        })
+        .collect();
+
+    BenchDiff {
+        suite: spec.name,
+        current_commit: commit_of(cur),
+        baseline_commit: commit_of(base),
+        rows,
+        skipped: false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> &'static SuiteSpec {
+        suite_by_name("serve").unwrap()
+    }
+
+    fn line(commit: &str, clients: u64, rps: f64, p99: f64) -> String {
+        format!(
+            r#"{{"bench":"serve_perf","commit":"{commit}","mode":"small","clients":{clients},"reactors":2,"throughput_rps":{rps},"p50_ms":0.1,"p99_ms":{p99}}}"#
+        )
+    }
+
+    #[test]
+    fn all_suites_resolve_by_name() {
+        for s in SUITES {
+            assert!(std::ptr::eq(suite_by_name(s.name).unwrap(), s));
+        }
+        assert!(suite_by_name("nope").is_none());
+    }
+
+    #[test]
+    fn fewer_than_two_matching_lines_skips() {
+        let d = diff_history(spec(), "", 10.0);
+        assert!(d.skipped && !d.failed());
+        let d = diff_history(spec(), &line("aaa", 64, 1000.0, 1.0), 10.0);
+        assert!(d.skipped && !d.failed());
+        // A second line with different parameters is not a baseline.
+        let text = format!("{}\n{}", line("aaa", 32, 900.0, 1.0), line("bbb", 64, 1000.0, 1.0));
+        let d = diff_history(spec(), &text, 10.0);
+        assert!(d.skipped && !d.failed());
+    }
+
+    #[test]
+    fn identical_reruns_pass() {
+        let text = format!("{}\n{}", line("aaa", 64, 1000.0, 1.0), line("bbb", 64, 1000.0, 1.0));
+        let d = diff_history(spec(), &text, 10.0);
+        assert!(!d.skipped && !d.failed());
+        assert_eq!(d.current_commit.as_deref(), Some("bbb"));
+        assert_eq!(d.baseline_commit.as_deref(), Some("aaa"));
+        for r in &d.rows {
+            assert_eq!(r.worse_pct, Some(0.0), "{}", r.counter);
+        }
+    }
+
+    #[test]
+    fn throughput_drop_beyond_tolerance_fails() {
+        // 20% throughput drop with 10% tolerance: regression.
+        let text = format!("{}\n{}", line("aaa", 64, 1000.0, 1.0), line("bbb", 64, 800.0, 1.0));
+        let d = diff_history(spec(), &text, 10.0);
+        assert!(d.failed());
+        let row = d.rows.iter().find(|r| r.counter == "throughput_rps").unwrap();
+        assert!(row.regressed);
+        assert!((row.worse_pct.unwrap() - 20.0).abs() < 1e-9);
+        // The same drop passes at 25% tolerance and with --tolerance 19.99… fails.
+        assert!(!diff_history(spec(), &text, 25.0).failed());
+    }
+
+    #[test]
+    fn latency_growth_beyond_tolerance_fails() {
+        let text = format!("{}\n{}", line("aaa", 64, 1000.0, 1.0), line("bbb", 64, 1000.0, 1.2));
+        let d = diff_history(spec(), &text, 10.0);
+        let row = d.rows.iter().find(|r| r.counter == "p99_ms").unwrap();
+        assert!(row.regressed, "20% slower p99 must regress at 10%");
+        // Latency *improvement* never fails, however large.
+        let text = format!("{}\n{}", line("aaa", 64, 1000.0, 1.0), line("bbb", 64, 1000.0, 0.1));
+        assert!(!diff_history(spec(), &text, 10.0).failed());
+    }
+
+    #[test]
+    fn baseline_is_nearest_matching_line_not_just_previous() {
+        // A run at different parameters interleaves; the diff must reach
+        // past it to the nearest same-parameter line.
+        let text = format!(
+            "{}\n{}\n{}",
+            line("old", 64, 1000.0, 1.0),
+            line("mid", 32, 10.0, 9.0),
+            line("new", 64, 995.0, 1.0)
+        );
+        let d = diff_history(spec(), &text, 10.0);
+        assert!(!d.skipped && !d.failed());
+        assert_eq!(d.baseline_commit.as_deref(), Some("old"));
+    }
+
+    #[test]
+    fn missing_and_zero_counters_are_not_regressions() {
+        // Baseline lacks p99_ms entirely and has zero throughput.
+        let old = r#"{"bench":"serve_perf","commit":"old","mode":"small","clients":64,"reactors":2,"throughput_rps":0.0,"p50_ms":0.1}"#;
+        let text = format!("{}\n{}", old, line("new", 64, 500.0, 1.0));
+        let d = diff_history(spec(), &text, 10.0);
+        assert!(!d.skipped && !d.failed());
+        for r in &d.rows {
+            if r.counter != "p50_ms" {
+                assert_eq!(r.worse_pct, None, "{}", r.counter);
+            }
+        }
+    }
+
+    #[test]
+    fn garbage_lines_are_ignored() {
+        let text = format!("not json\n{}\n{{}}\n{}", line("aaa", 64, 1000.0, 1.0), line("bbb", 64, 1000.0, 1.0));
+        let d = diff_history(spec(), &text, 10.0);
+        assert!(!d.skipped && !d.failed());
+    }
+}

@@ -934,6 +934,145 @@ pub fn request(
     Ok(resp)
 }
 
+/// Options for `synergy bench` (mirrors the command-line flags).
+#[derive(Debug, Clone)]
+pub struct BenchOptions {
+    /// Suite name (`pipeline`, `serve` or `fleet`).
+    pub suite: String,
+    /// Regression tolerance in percent.
+    pub tolerance: f64,
+    /// Report regressions but exit 0 anyway.
+    pub no_fail: bool,
+    /// Skip running the perf binary; diff the existing history only.
+    pub no_run: bool,
+    /// History file override (default `experiments/bench_history.jsonl`).
+    pub history: Option<String>,
+    /// Directory holding the `*_perf` binaries (default: next to the
+    /// running executable).
+    pub bin_dir: Option<String>,
+}
+
+/// What `synergy bench` concluded, for exit-code decisions.
+#[derive(Debug)]
+pub struct BenchOutcome {
+    /// The per-counter diff against the previous same-parameter run.
+    pub diff: synergy_bench::regress::BenchDiff,
+    /// `--no-fail` was given: regressions are reported but never gate.
+    pub no_fail: bool,
+}
+
+impl BenchOutcome {
+    /// The gate verdict: any counter regressed beyond tolerance, unless
+    /// `--no-fail` turned the gate off.
+    pub fn failed(&self) -> bool {
+        !self.no_fail && self.diff.failed()
+    }
+}
+
+/// `synergy bench <suite>`: run the suite's `*_perf --small` binary
+/// (appending one line to the benchmark history), then diff its headline
+/// counters against the previous run with identical parameters.
+///
+/// Fewer than two matching history lines is a clean pass — fresh clones
+/// have no baseline to regress against.
+pub fn bench(out: &mut dyn Write, opts: &BenchOptions) -> Result<BenchOutcome, UsageError> {
+    use synergy_bench::regress::{diff_history, suite_by_name, Direction};
+
+    let w = |r: std::io::Result<()>| r.map_err(|e| UsageError(e.to_string()));
+    let spec = suite_by_name(&opts.suite)
+        .ok_or_else(|| UsageError(format!("unknown bench suite `{}`", opts.suite)))?;
+
+    if !opts.no_run {
+        let dir = match &opts.bin_dir {
+            Some(d) => std::path::PathBuf::from(d),
+            None => std::env::current_exe()
+                .ok()
+                .and_then(|p| p.parent().map(|d| d.to_path_buf()))
+                .ok_or_else(|| UsageError("cannot locate the perf binaries".into()))?,
+        };
+        let binary = dir.join(spec.binary);
+        w(writeln!(out, "running {} --small ...", binary.display()))?;
+        let status = std::process::Command::new(&binary)
+            .arg("--small")
+            .status()
+            .map_err(|e| UsageError(format!("cannot run `{}`: {e}", binary.display())))?;
+        if !status.success() {
+            return Err(UsageError(format!(
+                "`{} --small` failed with {status}",
+                binary.display()
+            )));
+        }
+    }
+
+    let history_path = match &opts.history {
+        Some(p) => std::path::PathBuf::from(p),
+        None => synergy_bench::artifact_dir().join("bench_history.jsonl"),
+    };
+    // A missing history file is the fresh-clone case: nothing to diff.
+    let text = std::fs::read_to_string(&history_path).unwrap_or_default();
+    let diff = diff_history(spec, &text, opts.tolerance);
+
+    if diff.skipped {
+        w(writeln!(
+            out,
+            "bench {}: no previous run with matching parameters in {} — nothing to diff",
+            spec.name,
+            history_path.display()
+        ))?;
+        return Ok(BenchOutcome {
+            diff,
+            no_fail: opts.no_fail,
+        });
+    }
+
+    let fmt_val = |v: Option<f64>| match v {
+        Some(x) if x.abs() >= 1000.0 => format!("{x:.0}"),
+        Some(x) => format!("{x:.4}"),
+        None => "n/a".to_string(),
+    };
+    w(writeln!(
+        out,
+        "bench {}: {} (current) vs {} (baseline), tolerance {}%",
+        spec.name,
+        diff.current_commit.as_deref().unwrap_or("?"),
+        diff.baseline_commit.as_deref().unwrap_or("?"),
+        opts.tolerance
+    ))?;
+    for r in &diff.rows {
+        let arrow = match r.direction {
+            Direction::HigherIsBetter => "higher",
+            Direction::LowerIsBetter => "lower",
+        };
+        let verdict = match r.worse_pct {
+            None => "n/a".to_string(),
+            Some(p) if r.regressed => format!("{p:+.1}% worse  REGRESSED"),
+            Some(p) => format!("{p:+.1}% worse  ok"),
+        };
+        w(writeln!(
+            out,
+            "  {:<28} ({arrow:>6} is better)  {:>12} -> {:>12}  {verdict}",
+            r.counter,
+            fmt_val(r.baseline),
+            fmt_val(r.current)
+        ))?;
+    }
+    if diff.failed() {
+        w(writeln!(
+            out,
+            "bench {}: REGRESSION beyond {}% tolerance{}",
+            spec.name,
+            opts.tolerance,
+            if opts.no_fail { " (--no-fail: exit 0)" } else { "" }
+        ))?;
+    } else {
+        w(writeln!(out, "bench {}: within tolerance", spec.name))?;
+    }
+    Ok(BenchOutcome {
+        diff,
+        no_fail: opts.no_fail,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -37,7 +37,12 @@
 //!   send one request (`ping`, `stats`, `metrics`, `drain`, `compile`,
 //!   `sweep`, `predict`, `nodes`, `join`, `preempt`) to a running daemon
 //!   or coordinator and render the reply, retrying `busy` replies with
-//!   jittered exponential backoff when `--retries` is given.
+//!   jittered exponential backoff when `--retries` is given;
+//! * `bench <suite> [--tolerance PCT] [--no-fail] [--no-run]` — run a perf
+//!   suite (`pipeline`, `serve`, `fleet`) in its `--small` configuration,
+//!   then diff its headline counters against the previous same-parameter
+//!   line in `experiments/bench_history.jsonl`, exiting non-zero when any
+//!   counter regressed beyond tolerance.
 
 #![warn(missing_docs)]
 
@@ -171,6 +176,23 @@ pub enum Command {
         retries: u32,
         /// The request to send.
         req: synergy_serve::Request,
+    },
+    /// Run one perf suite and diff it against the benchmark history.
+    Bench {
+        /// Suite name (`pipeline`, `serve` or `fleet`).
+        suite: String,
+        /// Regression tolerance in percent (worse beyond this fails).
+        tolerance: f64,
+        /// Report regressions but exit 0 anyway.
+        no_fail: bool,
+        /// Skip running the perf binary; diff the existing history only.
+        no_run: bool,
+        /// History file override (default:
+        /// `experiments/bench_history.jsonl`).
+        history: Option<String>,
+        /// Directory holding the `*_perf` binaries (default: next to the
+        /// running executable).
+        bin_dir: Option<String>,
     },
     /// Print usage.
     Help,
@@ -778,6 +800,70 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Us
                 req,
             })
         }
+        "bench" => {
+            let mut suite: Option<String> = None;
+            let mut tolerance = 10.0f64;
+            let mut no_fail = false;
+            let mut no_run = false;
+            let mut history: Option<String> = None;
+            let mut bin_dir: Option<String> = None;
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--no-fail" => no_fail = true,
+                    "--no-run" => no_run = true,
+                    "--tolerance" => {
+                        tolerance = it
+                            .next()
+                            .ok_or_else(|| UsageError("--tolerance needs a value".into()))?
+                            .parse()
+                            .map_err(|_| UsageError("--tolerance must be a percentage".into()))?;
+                        if !tolerance.is_finite() || tolerance < 0.0 {
+                            return Err(UsageError(
+                                "--tolerance must be finite and non-negative".into(),
+                            ));
+                        }
+                    }
+                    "--history" => {
+                        history = Some(
+                            it.next()
+                                .ok_or_else(|| UsageError("--history needs a value".into()))?
+                                .clone(),
+                        );
+                    }
+                    "--bin-dir" => {
+                        bin_dir = Some(
+                            it.next()
+                                .ok_or_else(|| UsageError("--bin-dir needs a value".into()))?
+                                .clone(),
+                        );
+                    }
+                    flag if flag.starts_with("--") => {
+                        return Err(UsageError(format!("unknown bench flag `{flag}`")));
+                    }
+                    name => {
+                        if suite.is_some() {
+                            return Err(UsageError("bench takes one suite".into()));
+                        }
+                        suite = Some(name.to_string());
+                    }
+                }
+            }
+            let suite =
+                suite.ok_or_else(|| UsageError("bench needs a suite name".into()))?;
+            if synergy_bench::regress::suite_by_name(&suite).is_none() {
+                return Err(UsageError(format!(
+                    "unknown bench suite `{suite}` (pipeline, serve or fleet)"
+                )));
+            }
+            Ok(Command::Bench {
+                suite,
+                tolerance,
+                no_fail,
+                no_run,
+                history,
+                bin_dir,
+            })
+        }
         "help" | "--help" | "-h" => Ok(Command::Help),
         other => Err(UsageError(format!("unknown subcommand `{other}`"))),
     }
@@ -807,6 +893,8 @@ USAGE:
   synergy request compile <bench> [--device v100|...] [--targets ES_50,MIN_EDP] [--addr ...]
   synergy request sweep <bench> [--device v100|...] [--addr ...]
   synergy request predict --features v1,v2,... [--device v100|...] [--mem MHz] [--core MHz]
+  synergy bench pipeline|serve|fleet [--tolerance PCT] [--no-fail] [--no-run]
+                [--history PATH] [--bin-dir DIR]
 ";
 
 /// Resolve a device key to its spec.
@@ -1222,6 +1310,46 @@ mod tests {
         assert!(parse_args(args("request join")).is_err());
         assert!(parse_args(args("request preempt")).is_err());
         assert!(parse_args(args("request ping --retries many")).is_err());
+    }
+
+    #[test]
+    fn bench_parses_flags_and_defaults() {
+        assert_eq!(
+            parse_args(args("bench pipeline")).unwrap(),
+            Command::Bench {
+                suite: "pipeline".into(),
+                tolerance: 10.0,
+                no_fail: false,
+                no_run: false,
+                history: None,
+                bin_dir: None
+            }
+        );
+        assert_eq!(
+            parse_args(args(
+                "bench serve --tolerance 25 --no-fail --no-run --history h.jsonl --bin-dir bin"
+            ))
+            .unwrap(),
+            Command::Bench {
+                suite: "serve".into(),
+                tolerance: 25.0,
+                no_fail: true,
+                no_run: true,
+                history: Some("h.jsonl".into()),
+                bin_dir: Some("bin".into())
+            }
+        );
+    }
+
+    #[test]
+    fn bench_rejects_bad_invocations() {
+        assert!(parse_args(args("bench")).is_err());
+        assert!(parse_args(args("bench nope")).is_err());
+        assert!(parse_args(args("bench pipeline serve")).is_err());
+        assert!(parse_args(args("bench pipeline --tolerance lots")).is_err());
+        assert!(parse_args(args("bench pipeline --tolerance -5")).is_err());
+        assert!(parse_args(args("bench pipeline --history")).is_err());
+        assert!(parse_args(args("bench pipeline --frob")).is_err());
     }
 
     #[test]

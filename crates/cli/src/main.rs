@@ -146,6 +146,34 @@ fn main() -> ExitCode {
                 }
             };
         }
+        Command::Bench {
+            suite,
+            tolerance,
+            no_fail,
+            no_run,
+            history,
+            bin_dir,
+        } => {
+            // Exit codes: 0 = within tolerance (or nothing to diff, or
+            // --no-fail), 1 = a counter regressed beyond tolerance or a
+            // usage/run failure.
+            let opts = commands::BenchOptions {
+                suite,
+                tolerance,
+                no_fail,
+                no_run,
+                history,
+                bin_dir,
+            };
+            return match commands::bench(&mut out, &opts) {
+                Ok(outcome) if outcome.failed() => ExitCode::FAILURE,
+                Ok(_) => ExitCode::SUCCESS,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            };
+        }
         Command::Trace {
             bench,
             device,

@@ -1,0 +1,104 @@
+//! End-to-end exit-code contract of `synergy bench`: spawn the real
+//! binary against a temp history file and pin the exit codes for a
+//! synthetic regression, an unchanged re-run, `--no-fail`, and the
+//! missing-baseline skip.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn temp_history(name: &str, lines: &[String]) -> PathBuf {
+    let path = std::env::temp_dir().join(format!(
+        "synergy-bench-cli-{name}-{}.jsonl",
+        std::process::id()
+    ));
+    std::fs::write(&path, lines.join("\n")).expect("write temp history");
+    path
+}
+
+fn pipeline_line(commit: &str, train_cold_s: f64, rows_per_sec: f64) -> String {
+    format!(
+        r#"{{"bench":"pipeline_perf","commit":"{commit}","device":"NVIDIA V100","mode":"small","suite_size":8,"stride":32,"kernels":4,"cold_s":1.0,"train_cold_s":{train_cold_s},"warm_memory_s":0.01,"warm_disk_s":0.02,"predict_rows_per_sec_batch":{rows_per_sec}}}"#
+    )
+}
+
+fn run_bench(history: &PathBuf, extra: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_synergy"))
+        .args(["bench", "pipeline", "--no-run", "--history"])
+        .arg(history)
+        .args(extra)
+        .output()
+        .expect("spawn synergy bench")
+}
+
+#[test]
+fn regression_beyond_tolerance_exits_one() {
+    // train_cold_s grows 50% and batch throughput halves: both regress
+    // at the default 10% tolerance.
+    let history = temp_history(
+        "regress",
+        &[
+            pipeline_line("aaa1111", 0.10, 100_000.0),
+            pipeline_line("bbb2222", 0.15, 50_000.0),
+        ],
+    );
+    let out = run_bench(&history, &[]);
+    assert_eq!(out.status.code(), Some(1), "regression must exit 1");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("REGRESSED"), "stdout:\n{stdout}");
+    assert!(stdout.contains("train_cold_s"), "stdout:\n{stdout}");
+
+    // The same diff passes with --no-fail and with a huge tolerance.
+    assert_eq!(run_bench(&history, &["--no-fail"]).status.code(), Some(0));
+    assert_eq!(
+        run_bench(&history, &["--tolerance", "60"]).status.code(),
+        Some(0)
+    );
+    let _ = std::fs::remove_file(&history);
+}
+
+#[test]
+fn unchanged_rerun_exits_zero() {
+    let history = temp_history(
+        "stable",
+        &[
+            pipeline_line("aaa1111", 0.10, 100_000.0),
+            pipeline_line("bbb2222", 0.10, 100_000.0),
+        ],
+    );
+    let out = run_bench(&history, &[]);
+    assert_eq!(out.status.code(), Some(0), "identical re-run must pass");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("within tolerance"), "stdout:\n{stdout}");
+    let _ = std::fs::remove_file(&history);
+}
+
+#[test]
+fn missing_or_single_line_history_skips_cleanly() {
+    // No history file at all.
+    let missing = std::env::temp_dir().join(format!(
+        "synergy-bench-cli-missing-{}.jsonl",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&missing);
+    let out = run_bench(&missing, &[]);
+    assert_eq!(out.status.code(), Some(0), "fresh clone must pass");
+
+    // One line only: no baseline yet.
+    let history = temp_history("single", &[pipeline_line("aaa1111", 0.10, 100_000.0)]);
+    let out = run_bench(&history, &[]);
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("nothing to diff"), "stdout:\n{stdout}");
+    let _ = std::fs::remove_file(&history);
+}
+
+#[test]
+fn unknown_suite_is_a_usage_error() {
+    let out = Command::new(env!("CARGO_BIN_EXE_synergy"))
+        .args(["bench", "frobnicate", "--no-run"])
+        .output()
+        .expect("spawn synergy bench");
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown bench suite"), "stderr:\n{stderr}");
+}

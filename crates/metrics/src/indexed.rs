@@ -81,8 +81,8 @@ impl IndexedSweep {
         // and its predecessor.
         let at = slice.partition_point(|&(_, c, _)| c < clocks.core_mhz);
         let mut best: Option<(u32, u32)> = None; // (abs_diff, original index)
-        for cand in at.saturating_sub(1)..(at + 1).min(slice.len()) {
-            let (_, core, idx) = slice[cand];
+        let cands = at.saturating_sub(1)..(at + 1).min(slice.len());
+        for &(_, core, idx) in &slice[cands] {
             let d = core.abs_diff(clocks.core_mhz);
             // Strictly-better distance wins; on equal distance the linear
             // scan keeps whichever point came first in the sweep.

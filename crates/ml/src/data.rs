@@ -1,5 +1,6 @@
 //! Datasets, standardization, and deterministic splits.
 
+use crate::train::TrainMatrix;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -124,6 +125,37 @@ impl StandardScaler {
         StandardScaler { mean, std }
     }
 
+    /// Fit to the columns of a flat training matrix.
+    ///
+    /// Bitwise identical to [`fit`](StandardScaler::fit) on the same
+    /// data: the row-major reference interleaves columns, but each
+    /// per-column accumulator still sees its values in ascending row
+    /// order — exactly the order a contiguous column scan visits them.
+    pub fn fit_matrix(m: &TrainMatrix) -> StandardScaler {
+        assert!(m.n_rows() > 0, "cannot fit a scaler to no data");
+        let n = m.n_rows() as f64;
+        let d = m.n_features();
+        let mut mean = Vec::with_capacity(d);
+        let mut std = Vec::with_capacity(d);
+        for j in 0..d {
+            let col = m.col(j);
+            let mut mj = 0.0;
+            for &v in col {
+                mj += v;
+            }
+            mj /= n;
+            let mut var = 0.0;
+            for &v in col {
+                let dlt = v - mj;
+                var += dlt * dlt;
+            }
+            let s = (var / n).sqrt();
+            mean.push(mj);
+            std.push(if s > 1e-12 { s } else { 1.0 });
+        }
+        StandardScaler { mean, std }
+    }
+
     /// Transform one row.
     pub fn transform_row(&self, row: &[f64]) -> Vec<f64> {
         row.iter()
@@ -243,6 +275,19 @@ mod tests {
         assert_eq!(t[0][0], 0.0);
         assert_eq!(t[1][0], 0.0);
         assert!(t[0][1].is_finite());
+    }
+
+    #[test]
+    fn fit_matrix_is_bitwise_fit() {
+        let x: Vec<Vec<f64>> = (0..25)
+            .map(|i| vec![i as f64 * 0.37, 4.0, (i as f64).sin()])
+            .collect();
+        let a = StandardScaler::fit(&x);
+        let b = StandardScaler::fit_matrix(&TrainMatrix::from_rows(&x));
+        for j in 0..3 {
+            assert_eq!(a.mean[j].to_bits(), b.mean[j].to_bits());
+            assert_eq!(a.std[j].to_bits(), b.std[j].to_bits());
+        }
     }
 
     #[test]

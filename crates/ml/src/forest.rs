@@ -12,6 +12,7 @@
 
 use crate::batch::FeatureMatrix;
 use crate::model::Regressor;
+use crate::train::{TrainMatrix, TreeScratch};
 use crate::tree::{Node, RegressionTree, TreeConfig};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -178,10 +179,84 @@ impl RandomForest {
         self.trees.len()
     }
 
+    /// Build the derived SoA layout from the fitted trees — the **one**
+    /// constructor both the eager (fit-time) and lazy (post-deserialize)
+    /// paths share.
+    fn rebuild_flat(&self) -> FlatForest {
+        FlatForest::from_trees(&self.trees)
+    }
+
     /// The flattened SoA view of the fitted trees, built on first use
     /// (deserialized forests arrive without it) and cached.
     pub fn flat(&self) -> &FlatForest {
-        self.flat.get_or_init(|| FlatForest::from_trees(&self.trees))
+        self.flat.get_or_init(|| self.rebuild_flat())
+    }
+
+    /// Ensure the flat layout exists; returns `true` when it had to be
+    /// rebuilt (i.e. the forest arrived without its derived cache, as
+    /// after deserialization). The runtime's model store counts these.
+    pub fn prime_flat(&self) -> bool {
+        let mut rebuilt = false;
+        self.flat.get_or_init(|| {
+            rebuilt = true;
+            self.rebuild_flat()
+        });
+        rebuilt
+    }
+
+    /// Fit over a prebuilt flat matrix: per-worker bootstrap buffers and
+    /// [`TreeScratch`] arenas are reused across every tree that worker
+    /// fits, and each tree uses the pre-sorted-columns builder. Bitwise
+    /// identical to [`fit_reference`](RandomForest::fit_reference).
+    pub fn fit_flat(&mut self, m: &TrainMatrix, y: &[f64]) {
+        assert!(m.n_rows() > 0, "cannot fit to an empty dataset");
+        assert_eq!(m.n_rows(), y.len());
+        let n = m.n_rows();
+        let cfg = self.tree_config;
+        let seed = self.seed;
+        self.trees = (0..self.n_trees)
+            .into_par_iter()
+            .map_init(
+                || (Vec::<usize>::new(), TreeScratch::default()),
+                |(bootstrap, scratch), t| {
+                    // Derive a stable per-tree seed.
+                    let tree_seed = seed
+                        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                        .wrapping_add(t as u64);
+                    let mut rng = StdRng::seed_from_u64(tree_seed);
+                    bootstrap.clear();
+                    bootstrap.extend((0..n).map(|_| rng.random_range(0..n)));
+                    RegressionTree::fit_flat(m, y, bootstrap, cfg, rng.random(), scratch)
+                },
+            )
+            .collect();
+        self.flat = OnceLock::new();
+        let _ = self.flat.set(self.rebuild_flat());
+    }
+
+    /// The original training path (per-tree allocations, per-node sorts
+    /// over ragged rows), kept as the bit-identity oracle for
+    /// [`fit_flat`](RandomForest::fit_flat).
+    pub fn fit_reference(&mut self, x: &[Vec<f64>], y: &[f64]) {
+        assert!(!x.is_empty(), "cannot fit to an empty dataset");
+        assert_eq!(x.len(), y.len());
+        let n = x.len();
+        let cfg = self.tree_config;
+        let seed = self.seed;
+        self.trees = (0..self.n_trees)
+            .into_par_iter()
+            .map(|t| {
+                let tree_seed = seed
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    .wrapping_add(t as u64);
+                let mut rng = StdRng::seed_from_u64(tree_seed);
+                let bootstrap: Vec<usize> =
+                    (0..n).map(|_| rng.random_range(0..n)).collect();
+                RegressionTree::fit_reference(x, y, &bootstrap, cfg, rng.random())
+            })
+            .collect();
+        self.flat = OnceLock::new();
+        let _ = self.flat.set(self.rebuild_flat());
     }
 }
 
@@ -189,27 +264,11 @@ impl Regressor for RandomForest {
     fn fit(&mut self, x: &[Vec<f64>], y: &[f64]) {
         assert!(!x.is_empty(), "cannot fit to an empty dataset");
         assert_eq!(x.len(), y.len());
-        let n = x.len();
         // Regression forests default to considering every feature per split
         // (bagging alone decorrelates); callers can opt into subsampling
         // via `tree_config.feature_subsample`.
-        let cfg = self.tree_config;
-        let seed = self.seed;
-        self.trees = (0..self.n_trees)
-            .into_par_iter()
-            .map(|t| {
-                // Derive a stable per-tree seed.
-                let tree_seed = seed
-                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-                    .wrapping_add(t as u64);
-                let mut rng = StdRng::seed_from_u64(tree_seed);
-                let bootstrap: Vec<usize> =
-                    (0..n).map(|_| rng.random_range(0..n)).collect();
-                RegressionTree::fit(x, y, &bootstrap, cfg, rng.random())
-            })
-            .collect();
-        self.flat = OnceLock::new();
-        let _ = self.flat.set(FlatForest::from_trees(&self.trees));
+        let m = TrainMatrix::from_rows(x);
+        self.fit_flat(&m, y);
     }
 
     fn predict_row(&self, row: &[f64]) -> f64 {
@@ -323,6 +382,40 @@ mod tests {
         for (i, row) in x.iter().enumerate() {
             assert_eq!(batch[i].to_bits(), f.predict_row(row).to_bits());
         }
+    }
+
+    #[test]
+    fn flat_fit_matches_reference_bitwise() {
+        let (x, y) = wavy();
+        let mut flat = RandomForest::with_seed(21).with_trees(10);
+        flat.fit(&x, &y);
+        let mut reference = RandomForest::with_seed(21).with_trees(10);
+        reference.fit_reference(&x, &y);
+        assert_eq!(flat, reference);
+        for row in x.iter().take(30) {
+            assert_eq!(
+                flat.predict_row(row).to_bits(),
+                reference.predict_row(row).to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn prime_flat_reports_rebuilds() {
+        let (x, y) = wavy();
+        let mut f = RandomForest::with_seed(4).with_trees(5);
+        f.fit(&x, &y);
+        // Fit primes the cache eagerly, so priming again is a no-op.
+        assert!(!f.prime_flat());
+        let fresh = RandomForest {
+            n_trees: f.n_trees,
+            tree_config: f.tree_config,
+            seed: f.seed,
+            trees: f.trees.clone(),
+            flat: OnceLock::new(),
+        };
+        assert!(fresh.prime_flat(), "unprimed forest must rebuild");
+        assert!(!fresh.prime_flat(), "second prime must hit the cache");
     }
 
     #[test]

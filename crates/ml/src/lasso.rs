@@ -4,6 +4,7 @@
 use crate::batch::FeatureMatrix;
 use crate::data::{StandardScaler, TargetScaler};
 use crate::model::Regressor;
+use crate::train::TrainMatrix;
 use serde::{Deserialize, Serialize};
 
 /// Lasso regression.
@@ -55,20 +56,72 @@ impl Lasso {
     pub fn zero_count(&self) -> usize {
         self.weights.iter().filter(|w| **w == 0.0).count()
     }
-}
 
-fn soft_threshold(v: f64, t: f64) -> f64 {
-    if v > t {
-        v - t
-    } else if v < -t {
-        v + t
-    } else {
-        0.0
+    /// Coordinate descent over flat standardized columns with precomputed
+    /// squared norms and an active set (the non-constant columns — the
+    /// exact coordinates the reference visits). Bitwise identical to
+    /// [`fit_reference`](Lasso::fit_reference).
+    pub fn fit_flat(&mut self, m: &TrainMatrix, y: &[f64]) {
+        assert!(m.n_rows() > 0, "cannot fit to an empty dataset");
+        assert_eq!(m.n_rows(), y.len());
+        let scaler = StandardScaler::fit_matrix(m);
+        let ts = TargetScaler::fit(y);
+        let ys: Vec<f64> = y.iter().map(|&v| ts.transform(v)).collect();
+
+        let n = m.n_rows();
+        let d = m.n_features();
+        let nf = n as f64;
+        // Standardized columns, contiguous per feature. Each element is
+        // the reference's `transform_row` value for that (row, column).
+        let mut xs = vec![0.0f64; d * n];
+        for j in 0..d {
+            let (mean, std) = (scaler.mean[j], scaler.std[j]);
+            for (slot, &v) in xs[j * n..(j + 1) * n].iter_mut().zip(m.col(j)) {
+                *slot = (v - mean) / std;
+            }
+        }
+        // Column norms, accumulated in the reference's row order.
+        let col_sq: Vec<f64> = (0..d)
+            .map(|j| xs[j * n..(j + 1) * n].iter().map(|&v| v * v).sum::<f64>() / nf)
+            .collect();
+        // The active set: the reference `continue`s on zero-norm columns
+        // every sweep; hoisting the filter out of the loop visits the
+        // identical coordinate sequence.
+        let active: Vec<usize> = (0..d).filter(|&j| col_sq[j] != 0.0).collect();
+        let mut w = vec![0.0; d];
+        let mut residual = ys.clone(); // r = y - Xw, starts at y since w = 0
+        for _ in 0..self.max_iter {
+            let mut max_delta: f64 = 0.0;
+            for &j in &active {
+                let col = &xs[j * n..(j + 1) * n];
+                // rho = (1/n) x_j · (r + w_j x_j)
+                let mut rho = 0.0;
+                for (&xv, r) in col.iter().zip(&residual) {
+                    rho += xv * r;
+                }
+                rho = rho / nf + w[j] * col_sq[j];
+                let new_w = soft_threshold(rho, self.lambda) / col_sq[j];
+                let delta = new_w - w[j];
+                if delta != 0.0 {
+                    for (&xv, r) in col.iter().zip(residual.iter_mut()) {
+                        *r -= delta * xv;
+                    }
+                    w[j] = new_w;
+                    max_delta = max_delta.max(delta.abs());
+                }
+            }
+            if max_delta < self.tol {
+                break;
+            }
+        }
+        self.weights = w;
+        self.scaler = Some(scaler);
+        self.target = Some(ts);
     }
-}
 
-impl Regressor for Lasso {
-    fn fit(&mut self, x: &[Vec<f64>], y: &[f64]) {
+    /// The original row-major coordinate descent, kept as the
+    /// bit-identity oracle for [`fit_flat`](Lasso::fit_flat).
+    pub fn fit_reference(&mut self, x: &[Vec<f64>], y: &[f64]) {
         assert!(!x.is_empty(), "cannot fit to an empty dataset");
         assert_eq!(x.len(), y.len());
         let scaler = StandardScaler::fit(x);
@@ -114,6 +167,25 @@ impl Regressor for Lasso {
         self.weights = w;
         self.scaler = Some(scaler);
         self.target = Some(ts);
+    }
+}
+
+fn soft_threshold(v: f64, t: f64) -> f64 {
+    if v > t {
+        v - t
+    } else if v < -t {
+        v + t
+    } else {
+        0.0
+    }
+}
+
+impl Regressor for Lasso {
+    fn fit(&mut self, x: &[Vec<f64>], y: &[f64]) {
+        assert!(!x.is_empty(), "cannot fit to an empty dataset");
+        assert_eq!(x.len(), y.len());
+        let m = TrainMatrix::from_rows(x);
+        self.fit_flat(&m, y);
     }
 
     fn predict_row(&self, row: &[f64]) -> f64 {

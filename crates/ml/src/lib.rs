@@ -23,6 +23,7 @@ pub mod linear;
 pub mod model;
 pub mod pipeline;
 pub mod svr;
+pub mod train;
 pub mod tree;
 
 pub use batch::FeatureMatrix;
@@ -37,6 +38,7 @@ pub use pipeline::{
     input_matrix, input_row, MetricModels, ModelSelection, PredictedMetrics, SweepSample,
 };
 pub use svr::SvrRbf;
+pub use train::{TrainMatrix, TreeScratch};
 pub use tree::{RegressionTree, TreeConfig};
 
 #[cfg(test)]
@@ -155,6 +157,28 @@ mod proptests {
             }
         }
 
+        /// The flat training engine is bitwise identical to the original
+        /// per-algorithm reference fits, for all four algorithms: equal
+        /// as models (every learned parameter) and in prediction bits.
+        #[test]
+        fn fit_flat_bitwise_identical_to_fit_reference(
+            (x, y) in arb_xy(),
+            seed in 0u64..1000,
+        ) {
+            for algo in Algorithm::ALL {
+                let flat = TrainedRegressor::fit(algo, seed, &x, &y);
+                let reference = TrainedRegressor::fit_reference(algo, seed, &x, &y);
+                prop_assert_eq!(&flat, &reference, "{} models differ", algo);
+                for row in &x {
+                    prop_assert_eq!(
+                        flat.predict_row(row).to_bits(),
+                        reference.predict_row(row).to_bits(),
+                        "{} prediction differs on {:?}", algo, row
+                    );
+                }
+            }
+        }
+
         /// The batched sweep of the trained metric-model bundle matches
         /// the per-configuration reference bit for bit.
         #[test]
@@ -192,5 +216,59 @@ mod proptests {
                 prop_assert_eq!(p.ed2p.to_bits(), q.ed2p.to_bits());
             }
         }
+    }
+}
+
+#[cfg(test)]
+mod degenerate_identity {
+    //! Flat-vs-reference bit-identity on the datasets where tie handling
+    //! and empty splits are most likely to diverge: constant columns,
+    //! duplicated rows, all-zero features, and a single sample.
+
+    use super::*;
+
+    fn check_all(x: &[Vec<f64>], y: &[f64]) {
+        for algo in Algorithm::ALL {
+            for seed in [0u64, 7] {
+                let flat = TrainedRegressor::fit(algo, seed, x, y);
+                let reference = TrainedRegressor::fit_reference(algo, seed, x, y);
+                assert_eq!(flat, reference, "{algo} seed {seed}");
+                for row in x {
+                    assert_eq!(
+                        flat.predict_row(row).to_bits(),
+                        reference.predict_row(row).to_bits(),
+                        "{algo} seed {seed} row {row:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn constant_columns() {
+        let x: Vec<Vec<f64>> = (0..20).map(|i| vec![3.0, i as f64, -1.5]).collect();
+        let y: Vec<f64> = (0..20).map(|i| (i % 5) as f64).collect();
+        check_all(&x, &y);
+    }
+
+    #[test]
+    fn duplicate_rows_and_tied_values() {
+        let x: Vec<Vec<f64>> = (0..24)
+            .map(|i| vec![(i % 3) as f64, ((i / 3) % 2) as f64])
+            .collect();
+        let y: Vec<f64> = (0..24).map(|i| (i % 4) as f64 * 0.25).collect();
+        check_all(&x, &y);
+    }
+
+    #[test]
+    fn single_row() {
+        check_all(&[vec![1.0, 2.0]], &[3.5]);
+    }
+
+    #[test]
+    fn all_zero_features() {
+        let x = vec![vec![0.0, 0.0]; 8];
+        let y: Vec<f64> = (0..8).map(|i| i as f64).collect();
+        check_all(&x, &y);
     }
 }

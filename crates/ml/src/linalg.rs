@@ -21,6 +21,12 @@ impl Matrix {
         }
     }
 
+    /// Build from already-flat row-major storage (`rows × cols` values).
+    pub fn from_flat(rows: usize, cols: usize, data: Vec<f64>) -> Matrix {
+        assert_eq!(data.len(), rows * cols, "flat data has the wrong length");
+        Matrix { rows, cols, data }
+    }
+
     /// Build from a row iterator; every row must have `cols` entries.
     pub fn from_rows(rows: &[Vec<f64>]) -> Matrix {
         let r = rows.len();

@@ -5,6 +5,7 @@
 use crate::batch::FeatureMatrix;
 use crate::linalg::{dot, solve_spd, Matrix};
 use crate::model::Regressor;
+use crate::train::TrainMatrix;
 use serde::{Deserialize, Serialize};
 
 /// Linear regression `y = w·x + b`.
@@ -27,10 +28,39 @@ impl LinearRegression {
             ..Default::default()
         }
     }
-}
 
-impl Regressor for LinearRegression {
-    fn fit(&mut self, x: &[Vec<f64>], y: &[f64]) {
+    /// Normal-equation fit over a prebuilt flat matrix: the augmented
+    /// `[X | 1]` design is assembled in one flat buffer (no per-row
+    /// `Vec`s). The Gram matrix reads elements in the identical order as
+    /// the reference, so the fit is bitwise identical to
+    /// [`fit_reference`](LinearRegression::fit_reference).
+    pub fn fit_flat(&mut self, m: &TrainMatrix, y: &[f64]) {
+        assert!(m.n_rows() > 0, "cannot fit to an empty dataset");
+        assert_eq!(m.n_rows(), y.len());
+        let n = m.n_rows();
+        let d = m.n_features();
+        let mut data = Vec::with_capacity(n * (d + 1));
+        for i in 0..n {
+            data.extend_from_slice(m.row(i));
+            data.push(1.0);
+        }
+        let xm = Matrix::from_flat(n, d + 1, data);
+        let mut gram = xm.gram();
+        if self.ridge > 0.0 {
+            // Do not penalize the intercept.
+            for i in 0..d {
+                gram.set(i, i, gram.get(i, i) + self.ridge);
+            }
+        }
+        let rhs = xm.t_mul_vec(y);
+        let sol = solve_spd(&gram, &rhs);
+        self.intercept = sol[d];
+        self.weights = sol[..d].to_vec();
+    }
+
+    /// The original row-of-vecs fit, kept as the bit-identity oracle for
+    /// [`fit_flat`](LinearRegression::fit_flat).
+    pub fn fit_reference(&mut self, x: &[Vec<f64>], y: &[f64]) {
         assert!(!x.is_empty(), "cannot fit to an empty dataset");
         assert_eq!(x.len(), y.len());
         let d = x[0].len();
@@ -56,6 +86,15 @@ impl Regressor for LinearRegression {
         let sol = solve_spd(&gram, &rhs);
         self.intercept = sol[d];
         self.weights = sol[..d].to_vec();
+    }
+}
+
+impl Regressor for LinearRegression {
+    fn fit(&mut self, x: &[Vec<f64>], y: &[f64]) {
+        assert!(!x.is_empty(), "cannot fit to an empty dataset");
+        assert_eq!(x.len(), y.len());
+        let m = TrainMatrix::from_rows(x);
+        self.fit_flat(&m, y);
     }
 
     fn predict_row(&self, row: &[f64]) -> f64 {

@@ -7,6 +7,7 @@ use crate::forest::RandomForest;
 use crate::lasso::Lasso;
 use crate::linear::LinearRegression;
 use crate::svr::SvrRbf;
+use crate::train::TrainMatrix;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -100,25 +101,67 @@ impl TrainedRegressor {
     /// Build `algo` with its default hyperparameters, fit it to `(x, y)`
     /// and return the trained model (deterministic given `seed`).
     pub fn fit(algo: Algorithm, seed: u64, x: &[Vec<f64>], y: &[f64]) -> TrainedRegressor {
+        assert!(!x.is_empty(), "cannot fit to an empty dataset");
+        let m = TrainMatrix::from_rows(x);
+        TrainedRegressor::fit_flat(algo, seed, &m, y)
+    }
+
+    /// [`fit`](TrainedRegressor::fit) over a prebuilt flat matrix —
+    /// callers training several targets on the same inputs (the metric
+    /// pipeline) build the matrix once and share it across fits.
+    pub fn fit_flat(algo: Algorithm, seed: u64, m: &TrainMatrix, y: &[f64]) -> TrainedRegressor {
+        match algo {
+            Algorithm::Linear => {
+                let mut model = LinearRegression::default();
+                model.fit_flat(m, y);
+                TrainedRegressor::Linear(model)
+            }
+            Algorithm::Lasso => {
+                let mut model = Lasso::default();
+                model.fit_flat(m, y);
+                TrainedRegressor::Lasso(model)
+            }
+            Algorithm::RandomForest => {
+                let mut model = RandomForest::with_seed(seed);
+                model.fit_flat(m, y);
+                TrainedRegressor::RandomForest(model)
+            }
+            Algorithm::SvrRbf => {
+                let mut model = SvrRbf::default();
+                model.fit_flat(m, y);
+                TrainedRegressor::SvrRbf(model)
+            }
+        }
+    }
+
+    /// The original per-algorithm training paths, kept as the
+    /// bit-identity oracle for [`fit_flat`](TrainedRegressor::fit_flat)
+    /// (property-tested in the crate root).
+    pub fn fit_reference(
+        algo: Algorithm,
+        seed: u64,
+        x: &[Vec<f64>],
+        y: &[f64],
+    ) -> TrainedRegressor {
         match algo {
             Algorithm::Linear => {
                 let mut m = LinearRegression::default();
-                m.fit(x, y);
+                m.fit_reference(x, y);
                 TrainedRegressor::Linear(m)
             }
             Algorithm::Lasso => {
                 let mut m = Lasso::default();
-                m.fit(x, y);
+                m.fit_reference(x, y);
                 TrainedRegressor::Lasso(m)
             }
             Algorithm::RandomForest => {
                 let mut m = RandomForest::with_seed(seed);
-                m.fit(x, y);
+                m.fit_reference(x, y);
                 TrainedRegressor::RandomForest(m)
             }
             Algorithm::SvrRbf => {
                 let mut m = SvrRbf::default();
-                m.fit(x, y);
+                m.fit_reference(x, y);
                 TrainedRegressor::SvrRbf(m)
             }
         }

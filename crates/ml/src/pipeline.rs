@@ -11,6 +11,7 @@
 
 use crate::batch::FeatureMatrix;
 use crate::model::{Algorithm, Regressor, TrainedRegressor};
+use crate::train::TrainMatrix;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
@@ -173,6 +174,8 @@ impl MetricModels {
             .iter()
             .map(|s| input_row(&s.features, s.core_mhz, s.mem_mhz, f_max_mhz))
             .collect();
+        // One flat matrix shared by all four fits.
+        let m = TrainMatrix::from_rows(&x);
         let t: Vec<f64> = samples.iter().map(|s| s.time_s).collect();
         let e: Vec<f64> = samples.iter().map(|s| s.energy_j).collect();
         let edp: Vec<f64> = samples.iter().map(|s| s.energy_j * s.time_s).collect();
@@ -189,7 +192,9 @@ impl MetricModels {
         ];
         let mut fitted: Vec<TrainedRegressor> = jobs
             .into_par_iter()
-            .map(|(algo, y, salt)| TrainedRegressor::fit(algo, seed.wrapping_add(salt), &x, &y))
+            .map(|(algo, y, salt)| {
+                TrainedRegressor::fit_flat(algo, seed.wrapping_add(salt), &m, &y)
+            })
             .collect();
         let ed2p = fitted.pop().expect("four fits");
         let edp = fitted.pop().expect("four fits");
@@ -203,6 +208,74 @@ impl MetricModels {
             selection,
             f_max_mhz,
         }
+    }
+
+    /// [`train`](MetricModels::train) through the original per-algorithm
+    /// reference paths — the bit-identity oracle for the flat training
+    /// engine, and the baseline the `pipeline_perf` benchmark times the
+    /// optimized path against.
+    pub fn train_reference(
+        selection: ModelSelection,
+        samples: &[SweepSample],
+        f_max_mhz: f64,
+        seed: u64,
+    ) -> MetricModels {
+        assert!(!samples.is_empty(), "cannot train on an empty sweep");
+        let x: Vec<Vec<f64>> = samples
+            .iter()
+            .map(|s| input_row(&s.features, s.core_mhz, s.mem_mhz, f_max_mhz))
+            .collect();
+        let t: Vec<f64> = samples.iter().map(|s| s.time_s).collect();
+        let e: Vec<f64> = samples.iter().map(|s| s.energy_j).collect();
+        let edp: Vec<f64> = samples.iter().map(|s| s.energy_j * s.time_s).collect();
+        let ed2p: Vec<f64> = samples
+            .iter()
+            .map(|s| s.energy_j * s.time_s * s.time_s)
+            .collect();
+
+        let jobs: Vec<(Algorithm, Vec<f64>, u64)> = vec![
+            (selection.time, t, 1),
+            (selection.energy, e, 2),
+            (selection.edp, edp, 3),
+            (selection.ed2p, ed2p, 4),
+        ];
+        let mut fitted: Vec<TrainedRegressor> = jobs
+            .into_par_iter()
+            .map(|(algo, y, salt)| {
+                TrainedRegressor::fit_reference(algo, seed.wrapping_add(salt), &x, &y)
+            })
+            .collect();
+        let ed2p = fitted.pop().expect("four fits");
+        let edp = fitted.pop().expect("four fits");
+        let energy = fitted.pop().expect("four fits");
+        let time = fitted.pop().expect("four fits");
+        MetricModels {
+            time,
+            energy,
+            edp,
+            ed2p,
+            selection,
+            f_max_mhz,
+        }
+    }
+
+    /// Rebuild every derived per-model cache (forest SoA layouts, SVR
+    /// support sets) that did not survive deserialization; returns how
+    /// many models had to rebuild. Freshly trained bundles return 0 —
+    /// fit primes the caches eagerly.
+    pub fn prime_derived(&self) -> usize {
+        let mut rebuilt = 0;
+        for (_, r) in self.regressors() {
+            let did = match r {
+                TrainedRegressor::RandomForest(f) => f.prime_flat(),
+                TrainedRegressor::SvrRbf(s) => s.prime_support(),
+                TrainedRegressor::Linear(_) | TrainedRegressor::Lasso(_) => false,
+            };
+            if did {
+                rebuilt += 1;
+            }
+        }
+        rebuilt
     }
 
     /// Predict all four metrics for a kernel at one clock configuration.
@@ -451,6 +524,48 @@ mod tests {
         let a = MetricModels::train(ModelSelection::paper_best(), &samples, 1500.0, 11);
         let b = MetricModels::train(ModelSelection::paper_best(), &samples, 1500.0, 11);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn train_matches_train_reference_bitwise() {
+        let samples = synth_samples();
+        // Cover all four algorithms across the two selections.
+        let mixed = ModelSelection {
+            time: Algorithm::Lasso,
+            energy: Algorithm::SvrRbf,
+            edp: Algorithm::RandomForest,
+            ed2p: Algorithm::Linear,
+        };
+        for sel in [ModelSelection::paper_best(), mixed] {
+            let flat = MetricModels::train(sel, &samples, 1500.0, 11);
+            let reference = MetricModels::train_reference(sel, &samples, 1500.0, 11);
+            assert_eq!(flat, reference);
+            for s in samples.iter().step_by(17) {
+                let p = flat.predict(&s.features, s.core_mhz, s.mem_mhz);
+                let q = reference.predict(&s.features, s.core_mhz, s.mem_mhz);
+                assert_eq!(p.time_s.to_bits(), q.time_s.to_bits());
+                assert_eq!(p.energy_j.to_bits(), q.energy_j.to_bits());
+                assert_eq!(p.edp.to_bits(), q.edp.to_bits());
+                assert_eq!(p.ed2p.to_bits(), q.ed2p.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn prime_derived_counts_rebuilt_caches() {
+        let samples = synth_samples();
+        // paper_best has two forests; fit primes them, so nothing rebuilds.
+        let models = MetricModels::train(ModelSelection::paper_best(), &samples, 1500.0, 2);
+        assert_eq!(models.prime_derived(), 0);
+        // A serde round-trip drops the derived caches: both forests rebuild.
+        let json = serde_json::to_string(&models).expect("serialize");
+        let thawed: MetricModels = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(thawed.prime_derived(), 2);
+        assert_eq!(thawed.prime_derived(), 0);
+        // All-linear bundles have no derived caches at all.
+        let lin =
+            MetricModels::train(ModelSelection::uniform(Algorithm::Linear), &samples, 1500.0, 2);
+        assert_eq!(lin.prime_derived(), 0);
     }
 
     #[test]

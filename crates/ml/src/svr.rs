@@ -17,6 +17,7 @@ use crate::batch::FeatureMatrix;
 use crate::data::{StandardScaler, TargetScaler};
 use crate::linalg::{dot, sq_dist};
 use crate::model::Regressor;
+use crate::train::TrainMatrix;
 use serde::{Deserialize, Serialize};
 use std::sync::OnceLock;
 
@@ -50,6 +51,28 @@ impl SupportSet {
                 set.x.extend_from_slice(sv);
                 set.beta.push(b);
                 set.sq_norm.push(dot(sv, sv));
+            }
+        }
+        set
+    }
+
+    /// Build from flat row-major standardized rows with squared norms
+    /// already computed (the optimized fit has them on hand). The filter
+    /// runs in training order like [`build`](SupportSet::build), and each
+    /// retained `sq_norm[i]` was produced by the same `dot(row, row)`
+    /// operation sequence, so the two constructors are bitwise identical.
+    fn from_flat(beta: &[f64], xs: &[f64], dim: usize, sq_norm: &[f64]) -> SupportSet {
+        let mut set = SupportSet {
+            dim,
+            x: Vec::new(),
+            beta: Vec::new(),
+            sq_norm: Vec::new(),
+        };
+        for (i, &b) in beta.iter().enumerate() {
+            if b != 0.0 {
+                set.x.extend_from_slice(&xs[i * dim..(i + 1) * dim]);
+                set.beta.push(b);
+                set.sq_norm.push(sq_norm[i]);
             }
         }
         set
@@ -140,37 +163,120 @@ impl SvrRbf {
             .get_or_init(|| SupportSet::build(&self.beta, &self.train_x))
     }
 
-    /// Decision value for one standardized row with its precomputed
-    /// squared norm. Support vectors accumulate in training order; the
-    /// RBF exponent is expanded as `‖s‖² − 2 s·r + ‖r‖²` (clamped at 0,
-    /// it is a distance) so only the dot product varies per pair. Both
-    /// the per-row and the batched entry points funnel through here,
-    /// which is what makes them bitwise identical.
-    fn decision(&self, rs: &[f64], rs_norm: f64) -> f64 {
-        let set = self.support();
-        let mut z = 0.0;
-        for i in 0..set.len() {
-            let sv = &set.x[i * set.dim..(i + 1) * set.dim];
-            let d2 = (set.sq_norm[i] - 2.0 * dot(sv, rs) + rs_norm).max(0.0);
-            // +1 absorbs the bias term.
-            z += set.beta[i] * ((-self.gamma_fitted * d2).exp() + 1.0);
+    /// Ensure the support-vector layout exists; returns `true` when it
+    /// had to be rebuilt (i.e. the model arrived without its derived
+    /// cache, as after deserialization). The runtime's model store
+    /// counts these.
+    pub fn prime_support(&self) -> bool {
+        let mut rebuilt = false;
+        self.support.get_or_init(|| {
+            rebuilt = true;
+            SupportSet::build(&self.beta, &self.train_x)
+        });
+        rebuilt
+    }
+
+    /// Fit over a prebuilt flat matrix with lazily materialized kernel
+    /// rows.
+    ///
+    /// The reference fills the dense `n×n` kernel up front; this path
+    /// computes a row only the first time its coordinate takes an
+    /// effective step, into a reused arena. Rows are generated with the
+    /// same `sq_dist`-then-`exp` operation sequence — `sq_dist(a, b)`
+    /// and `sq_dist(b, a)` are bitwise equal ((a−b)² ≡ (b−a)² in IEEE
+    /// arithmetic), so the mirrored half of the reference matrix is
+    /// reproduced exactly, and the whole fit is bitwise identical to
+    /// [`fit_reference`](SvrRbf::fit_reference). Squared row norms are
+    /// precomputed once and feed the support set directly.
+    pub fn fit_flat(&mut self, m: &TrainMatrix, y: &[f64]) {
+        assert!(m.n_rows() > 0, "cannot fit to an empty dataset");
+        assert_eq!(m.n_rows(), y.len());
+        let scaler = StandardScaler::fit_matrix(m);
+        let ts = TargetScaler::fit(y);
+        let ys: Vec<f64> = y.iter().map(|&v| ts.transform(v)).collect();
+        let n = m.n_rows();
+        let d = m.n_features();
+        self.gamma_fitted = self.gamma.unwrap_or(1.0 / (d as f64).max(1.0));
+        let gamma = self.gamma_fitted;
+
+        // Standardized rows, flat row-major — elementwise the values the
+        // reference's `scaler.transform(x)` produces.
+        let mut xs = vec![0.0f64; n * d];
+        for (i, row) in m.rows_flat().chunks_exact(d.max(1)).enumerate().take(n) {
+            for (j, &v) in row.iter().enumerate() {
+                xs[i * d + j] = (v - scaler.mean[j]) / scaler.std[j];
+            }
         }
-        z
-    }
-}
+        let row_of = |i: usize| &xs[i * d..(i + 1) * d];
+        // Kernel diagonal (the only kernel values every sweep reads) and
+        // squared norms for the support set, both in reference op order.
+        let diag: Vec<f64> = (0..n)
+            .map(|i| (-gamma * sq_dist(row_of(i), row_of(i))).exp() + 1.0)
+            .collect();
+        let sq_norm: Vec<f64> = (0..n).map(|i| dot(row_of(i), row_of(i))).collect();
 
-fn soft_threshold(v: f64, t: f64) -> f64 {
-    if v > t {
-        v - t
-    } else if v < -t {
-        v + t
-    } else {
-        0.0
-    }
-}
+        // Lazy kernel-row arena: `krow_slot[i]` is the row's slot in the
+        // arena, `u32::MAX` until first materialization.
+        const UNMATERIALIZED: u32 = u32::MAX;
+        let mut kcache: Vec<f64> = Vec::new();
+        let mut krow_slot = vec![UNMATERIALIZED; n];
 
-impl Regressor for SvrRbf {
-    fn fit(&mut self, x: &[Vec<f64>], y: &[f64]) {
+        let mut beta = vec![0.0f64; n];
+        // f_i = Σ_j K_ij β_j, maintained incrementally.
+        let mut f = vec![0.0f64; n];
+        for _sweep in 0..self.max_iter {
+            let mut max_delta: f64 = 0.0;
+            for i in 0..n {
+                let kii = diag[i];
+                if kii <= 0.0 {
+                    continue;
+                }
+                // Minimize ½ kii b² + (f_i − kii β_i) b + ε|b| − y_i b over b.
+                let g = f[i] - kii * beta[i];
+                let unclipped = soft_threshold(ys[i] - g, self.epsilon) / kii;
+                let new_b = unclipped.clamp(-self.c, self.c);
+                let delta = new_b - beta[i];
+                if delta != 0.0 {
+                    if krow_slot[i] == UNMATERIALIZED {
+                        krow_slot[i] = (kcache.len() / n) as u32;
+                        let ri = row_of(i);
+                        kcache.extend(
+                            (0..n).map(|j| (-gamma * sq_dist(ri, row_of(j))).exp() + 1.0),
+                        );
+                    }
+                    let start = krow_slot[i] as usize * n;
+                    let krow = &kcache[start..start + n];
+                    for (fj, &kij) in f.iter_mut().zip(krow) {
+                        *fj += delta * kij;
+                    }
+                    beta[i] = new_b;
+                    max_delta = max_delta.max(delta.abs());
+                }
+            }
+            if max_delta < self.tol {
+                break;
+            }
+        }
+
+        self.beta = beta;
+        // Reconstruct the serialized row-of-vecs form (zero-width rows
+        // still need one empty vec per observation, like the reference).
+        self.train_x = if d == 0 {
+            vec![Vec::new(); n]
+        } else {
+            xs.chunks_exact(d).map(<[f64]>::to_vec).collect()
+        };
+        self.scaler = Some(scaler);
+        self.target = Some(ts);
+        self.support = OnceLock::new();
+        let _ = self
+            .support
+            .set(SupportSet::from_flat(&self.beta, &xs, d, &sq_norm));
+    }
+
+    /// The original dense-kernel training path, kept as the bit-identity
+    /// oracle for [`fit_flat`](SvrRbf::fit_flat).
+    pub fn fit_reference(&mut self, x: &[Vec<f64>], y: &[f64]) {
         assert!(!x.is_empty(), "cannot fit to an empty dataset");
         assert_eq!(x.len(), y.len());
         let scaler = StandardScaler::fit(x);
@@ -228,6 +334,43 @@ impl Regressor for SvrRbf {
         let _ = self
             .support
             .set(SupportSet::build(&self.beta, &self.train_x));
+    }
+
+    /// Decision value for one standardized row with its precomputed
+    /// squared norm. Support vectors accumulate in training order; the
+    /// RBF exponent is expanded as `‖s‖² − 2 s·r + ‖r‖²` (clamped at 0,
+    /// it is a distance) so only the dot product varies per pair. Both
+    /// the per-row and the batched entry points funnel through here,
+    /// which is what makes them bitwise identical.
+    fn decision(&self, rs: &[f64], rs_norm: f64) -> f64 {
+        let set = self.support();
+        let mut z = 0.0;
+        for i in 0..set.len() {
+            let sv = &set.x[i * set.dim..(i + 1) * set.dim];
+            let d2 = (set.sq_norm[i] - 2.0 * dot(sv, rs) + rs_norm).max(0.0);
+            // +1 absorbs the bias term.
+            z += set.beta[i] * ((-self.gamma_fitted * d2).exp() + 1.0);
+        }
+        z
+    }
+}
+
+fn soft_threshold(v: f64, t: f64) -> f64 {
+    if v > t {
+        v - t
+    } else if v < -t {
+        v + t
+    } else {
+        0.0
+    }
+}
+
+impl Regressor for SvrRbf {
+    fn fit(&mut self, x: &[Vec<f64>], y: &[f64]) {
+        assert!(!x.is_empty(), "cannot fit to an empty dataset");
+        assert_eq!(x.len(), y.len());
+        let m = TrainMatrix::from_rows(x);
+        self.fit_flat(&m, y);
     }
 
     fn predict_row(&self, row: &[f64]) -> f64 {
@@ -333,6 +476,42 @@ mod tests {
         let mut m = SvrRbf::default();
         m.fit(&x, &y);
         assert!((m.predict_row(&[10.0]) - 3.0).abs() < 0.2);
+    }
+
+    #[test]
+    fn flat_fit_matches_reference_bitwise() {
+        let (x, y) = sine_problem();
+        let mut flat = SvrRbf::default();
+        flat.fit(&x, &y);
+        let mut reference = SvrRbf::default();
+        reference.fit_reference(&x, &y);
+        assert_eq!(flat, reference);
+        for row in x.iter().take(20) {
+            assert_eq!(
+                flat.predict_row(row).to_bits(),
+                reference.predict_row(row).to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn prime_support_reports_rebuilds() {
+        let (x, y) = sine_problem();
+        let mut m = SvrRbf::default();
+        m.fit(&x, &y);
+        // Fit primes the cache eagerly.
+        assert!(!m.prime_support());
+        let fresh = SvrRbf {
+            beta: m.beta.clone(),
+            train_x: m.train_x.clone(),
+            gamma_fitted: m.gamma_fitted,
+            scaler: m.scaler.clone(),
+            target: m.target,
+            support: OnceLock::new(),
+            ..SvrRbf::default()
+        };
+        assert!(fresh.prime_support(), "unprimed model must rebuild");
+        assert!(!fresh.prime_support(), "second prime must hit the cache");
     }
 
     #[test]

@@ -1,0 +1,189 @@
+//! Flat training inputs and reusable scratch arenas for the cold-compile
+//! training hot path.
+//!
+//! [`TrainMatrix`] is the training-side analogue of the prediction-side
+//! `FeatureMatrix`: one dataset held in both row-major and column-major
+//! form, built **once per fit** so every trainer streams over contiguous
+//! storage instead of ragged `&[Vec<f64>]` rows. [`TreeScratch`] is the
+//! per-worker arena the pre-sorted-columns CART builder recycles across
+//! trees — bootstrap index buffers, root-sorted feature orders, run
+//! tables — so a whole forest fit allocates nothing per node.
+//!
+//! Every consumer of these types carries a bit-identity contract: the
+//! optimized `fit` paths must produce models bitwise identical to the
+//! retained `fit_reference` implementations (property-tested per
+//! algorithm in the crate root).
+
+/// A training dataset in flat dual layout: row-major rows for kernels
+/// that stream observations, column-major columns for per-feature scans
+/// (tree splits, coordinate descent, column norms).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainMatrix {
+    rows: Vec<f64>,
+    cols: Vec<f64>,
+    n: usize,
+    d: usize,
+}
+
+impl TrainMatrix {
+    /// Build from ragged rows; every row must share one width.
+    ///
+    /// Panics on an empty or ragged input — trainers rely on at least one
+    /// row existing.
+    pub fn from_rows(x: &[Vec<f64>]) -> TrainMatrix {
+        assert!(!x.is_empty(), "cannot build a training matrix from no rows");
+        let n = x.len();
+        let d = x[0].len();
+        assert!(n < u32::MAX as usize, "row count exceeds u32 index space");
+        let mut rows = Vec::with_capacity(n * d);
+        for (i, row) in x.iter().enumerate() {
+            assert_eq!(row.len(), d, "ragged row {i}");
+            rows.extend_from_slice(row);
+        }
+        let mut cols = vec![0.0; n * d];
+        for (i, row) in rows.chunks_exact(d.max(1)).enumerate().take(n) {
+            for (j, &v) in row.iter().enumerate() {
+                cols[j * n + i] = v;
+            }
+        }
+        TrainMatrix { rows, cols, n, d }
+    }
+
+    /// Number of observations.
+    pub fn n_rows(&self) -> usize {
+        self.n
+    }
+
+    /// Feature dimensionality.
+    pub fn n_features(&self) -> usize {
+        self.d
+    }
+
+    /// Row `i` as a contiguous slice.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.rows[i * self.d..(i + 1) * self.d]
+    }
+
+    /// Feature column `j` as a contiguous slice (indexed by row id).
+    #[inline]
+    pub fn col(&self, j: usize) -> &[f64] {
+        &self.cols[j * self.n..(j + 1) * self.n]
+    }
+
+    /// All rows as one flat row-major slice (`n × d`).
+    #[inline]
+    pub fn rows_flat(&self) -> &[f64] {
+        &self.rows
+    }
+}
+
+/// Reusable arena for the pre-sorted-columns CART builder.
+///
+/// A forest worker creates one of these and hands it to every tree it
+/// fits; [`prepare`](TreeScratch::prepare) resizes the buffers for the
+/// current bootstrap sample without releasing capacity, so after the
+/// first tree the entire build is allocation-free.
+#[derive(Debug, Default)]
+pub struct TreeScratch {
+    /// The node index multiset, maintained by the reference partition.
+    pub(crate) idx: Vec<u32>,
+    /// Per-feature value-sorted orders, one `n`-stride column per feature,
+    /// maintained down the tree by both-sides-stable partition.
+    pub(crate) orders: Vec<u32>,
+    /// Double buffer A for the per-node running sort order.
+    pub(crate) order_a: Vec<u32>,
+    /// Double buffer B for the per-node running sort order.
+    pub(crate) order_b: Vec<u32>,
+    /// Run id per source row id (counting-sort class table).
+    pub(crate) run_of: Vec<u32>,
+    /// Run start offsets, then placement cursors, during one fixup pass.
+    pub(crate) run_cursor: Vec<u32>,
+    /// Right-side spill buffer for the stable column partition.
+    pub(crate) part: Vec<u32>,
+    /// Candidate feature list (shuffled when subsampling).
+    pub(crate) features: Vec<usize>,
+}
+
+impl TreeScratch {
+    /// Size every buffer for a fit over `indices` rows of `m` and sort
+    /// each feature column once at the root. Only the run structure
+    /// (groups of bitwise-equal values) of these orders is consumed
+    /// downstream, so an unstable sort is sufficient here.
+    pub(crate) fn prepare(&mut self, m: &TrainMatrix, indices: &[usize]) {
+        let n = indices.len();
+        let d = m.n_features();
+        self.idx.clear();
+        self.idx.extend(indices.iter().map(|&i| {
+            debug_assert!(i < m.n_rows(), "index {i} out of range");
+            i as u32
+        }));
+        self.orders.clear();
+        self.orders.resize(d * n, 0);
+        for f in 0..d {
+            let col = m.col(f);
+            let seg = &mut self.orders[f * n..(f + 1) * n];
+            seg.copy_from_slice(&self.idx);
+            seg.sort_unstable_by(|&a, &b| col[a as usize].total_cmp(&col[b as usize]));
+        }
+        self.order_a.resize(n, 0);
+        self.order_b.resize(n, 0);
+        self.run_cursor.resize(n, 0);
+        self.part.resize(n, 0);
+        // `run_of` is indexed by source row id, not node position.
+        self.run_of.resize(m.n_rows(), 0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dual_layout_round_trips() {
+        let x = vec![vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]];
+        let m = TrainMatrix::from_rows(&x);
+        assert_eq!(m.n_rows(), 2);
+        assert_eq!(m.n_features(), 3);
+        assert_eq!(m.row(1), &[4.0, 5.0, 6.0]);
+        assert_eq!(m.col(0), &[1.0, 4.0]);
+        assert_eq!(m.col(2), &[3.0, 6.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_rows_panic() {
+        TrainMatrix::from_rows(&[vec![1.0], vec![1.0, 2.0]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "no rows")]
+    fn empty_panics() {
+        TrainMatrix::from_rows(&[]);
+    }
+
+    #[test]
+    fn scratch_prepare_sorts_each_column() {
+        let x = vec![
+            vec![3.0, 0.5],
+            vec![1.0, 0.5],
+            vec![2.0, 0.1],
+            vec![1.0, 0.9],
+        ];
+        let m = TrainMatrix::from_rows(&x);
+        let mut s = TreeScratch::default();
+        // Bootstrap-style duplicate indices are allowed.
+        s.prepare(&m, &[0, 1, 2, 3, 1]);
+        assert_eq!(s.idx, vec![0, 1, 2, 3, 1]);
+        for f in 0..2 {
+            let col = m.col(f);
+            let seg = &s.orders[f * 5..(f + 1) * 5];
+            for w in 0..4 {
+                assert!(
+                    col[seg[w] as usize].total_cmp(&col[seg[w + 1] as usize]).is_le(),
+                    "feature {f} not sorted at {w}"
+                );
+            }
+        }
+    }
+}

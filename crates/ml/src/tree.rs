@@ -1,6 +1,27 @@
 //! CART regression trees: variance-reduction splits, depth and leaf-size
 //! limits, and optional per-node feature subsampling (for forests).
+//!
+//! Two fit paths produce **bitwise-identical** trees:
+//!
+//! * [`RegressionTree::fit_reference`] — the original implementation:
+//!   per node it copies the index set and re-sorts it per feature over
+//!   ragged rows (`O(d·n log n)` sorting and one `Vec` per node).
+//! * [`RegressionTree::fit_flat`] — the pre-sorted-columns scheme over a
+//!   flat [`TrainMatrix`]: every feature order is sorted **once** at the
+//!   root, maintained down the tree by stable in-place partition, and the
+//!   reference's per-node stable re-sort is replayed in `O(d·n)` by a
+//!   counting sort over bitwise-equal value runs ([`fixup`]). All working
+//!   memory lives in a reusable [`TreeScratch`] arena — no per-node
+//!   allocations.
+//!
+//! The identity argument (see DESIGN.md §16): `total_cmp` ties are
+//! exactly bitwise equality, so the reference's stable sort is determined
+//! by (a) the run structure of the value-sorted column and (b) the
+//! previous order within each run — both of which the flat path tracks
+//! explicitly. The split scan then visits the same indices in the same
+//! order and executes the same float operations.
 
+use crate::train::{TrainMatrix, TreeScratch};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -53,7 +74,26 @@ pub struct RegressionTree {
 impl RegressionTree {
     /// Fit a tree to the rows of `x` selected by `indices` (duplicates
     /// allowed — that is how bagging delivers bootstrap samples).
+    ///
+    /// Delegates to [`fit_flat`](RegressionTree::fit_flat) over a
+    /// freshly built [`TrainMatrix`]; the result is bitwise identical to
+    /// [`fit_reference`](RegressionTree::fit_reference).
     pub fn fit(
+        x: &[Vec<f64>],
+        y: &[f64],
+        indices: &[usize],
+        config: TreeConfig,
+        seed: u64,
+    ) -> RegressionTree {
+        assert!(!indices.is_empty(), "cannot fit a tree to no samples");
+        let m = TrainMatrix::from_rows(x);
+        let mut scratch = TreeScratch::default();
+        RegressionTree::fit_flat(&m, y, indices, config, seed, &mut scratch)
+    }
+
+    /// The original per-node-sort fit, kept as the bit-identity oracle
+    /// for the optimized path (property-tested in the crate root).
+    pub fn fit_reference(
         x: &[Vec<f64>],
         y: &[f64],
         indices: &[usize],
@@ -69,6 +109,55 @@ impl RegressionTree {
         let mut idx = indices.to_vec();
         tree.build(x, y, &mut idx, 0, &mut rng);
         tree
+    }
+
+    /// Fit with the pre-sorted-columns scheme over a flat matrix, using
+    /// (and resizing) the caller's scratch arena. Produces a tree bitwise
+    /// identical to [`fit_reference`](RegressionTree::fit_reference) on
+    /// the same inputs.
+    pub fn fit_flat(
+        m: &TrainMatrix,
+        y: &[f64],
+        indices: &[usize],
+        config: TreeConfig,
+        seed: u64,
+        scratch: &mut TreeScratch,
+    ) -> RegressionTree {
+        assert!(!indices.is_empty(), "cannot fit a tree to no samples");
+        assert_eq!(m.n_rows(), y.len());
+        scratch.prepare(m, indices);
+        let n = indices.len();
+        let TreeScratch {
+            idx,
+            orders,
+            order_a,
+            order_b,
+            run_of,
+            run_cursor,
+            part,
+            features,
+        } = scratch;
+        let mut builder = FlatBuilder {
+            m,
+            y,
+            config,
+            rng: StdRng::seed_from_u64(seed),
+            nodes: Vec::new(),
+            stride: n,
+            idx,
+            orders,
+            order_a,
+            order_b,
+            run_of,
+            run_cursor,
+            part,
+            features,
+        };
+        builder.build(0, n, 0);
+        RegressionTree {
+            config,
+            nodes: builder.nodes,
+        }
     }
 
     /// Number of nodes (diagnostics).
@@ -219,6 +308,202 @@ fn partition(idx: &mut [usize], pred: impl Fn(usize) -> bool) -> usize {
     store
 }
 
+/// The pre-sorted-columns tree builder: all state borrowed from a
+/// [`TreeScratch`], recursion over `[lo, hi)` ranges of the shared
+/// buffers instead of sub-slices, zero allocations past the output node
+/// arena.
+struct FlatBuilder<'a> {
+    m: &'a TrainMatrix,
+    y: &'a [f64],
+    config: TreeConfig,
+    rng: StdRng,
+    nodes: Vec<Node>,
+    /// Root sample count — the stride between feature columns in `orders`.
+    stride: usize,
+    idx: &'a mut Vec<u32>,
+    orders: &'a mut Vec<u32>,
+    order_a: &'a mut Vec<u32>,
+    order_b: &'a mut Vec<u32>,
+    run_of: &'a mut Vec<u32>,
+    run_cursor: &'a mut Vec<u32>,
+    part: &'a mut Vec<u32>,
+    features: &'a mut Vec<usize>,
+}
+
+impl FlatBuilder<'_> {
+    /// Mirror of the reference `build` over `idx[lo..hi]`: same mean/SSE
+    /// accumulation order, same stop rule, same partition-then-check
+    /// control flow (including the partition that a failed leaf-size
+    /// check discards — it only touches ranges no other node reads).
+    fn build(&mut self, lo: usize, hi: usize, depth: usize) -> usize {
+        let n = hi - lo;
+        let y = self.y;
+        let mean = self.idx[lo..hi].iter().map(|&i| y[i as usize]).sum::<f64>() / n as f64;
+        let sse: f64 = self.idx[lo..hi]
+            .iter()
+            .map(|&i| (y[i as usize] - mean) * (y[i as usize] - mean))
+            .sum();
+
+        let stop = depth >= self.config.max_depth
+            || n < self.config.min_samples_split
+            || sse <= 1e-12;
+        if !stop {
+            if let Some((feature, threshold)) = self.best_split(lo, hi) {
+                let mid = self.partition_node(lo, hi, feature, threshold);
+                if mid >= self.config.min_samples_leaf && n - mid >= self.config.min_samples_leaf
+                {
+                    let node_id = self.nodes.len();
+                    self.nodes.push(Node::Leaf { value: mean }); // placeholder
+                    let left = self.build(lo, lo + mid, depth + 1);
+                    let right = self.build(lo + mid, hi, depth + 1);
+                    self.nodes[node_id] = Node::Split {
+                        feature,
+                        threshold,
+                        left,
+                        right,
+                    };
+                    return node_id;
+                }
+            }
+        }
+        let node_id = self.nodes.len();
+        self.nodes.push(Node::Leaf { value: mean });
+        node_id
+    }
+
+    /// Mirror of the reference `best_split`: the running order starts as
+    /// the node's index multiset (the reference's `idx.to_vec()`) and is
+    /// stably re-sorted per candidate feature — here in `O(n)` via
+    /// [`fixup`] against the maintained value-sorted column instead of a
+    /// comparison sort. The split scan is operation-for-operation the
+    /// reference loop.
+    fn best_split(&mut self, lo: usize, hi: usize) -> Option<(usize, f64)> {
+        let m = self.m;
+        let y = self.y;
+        let d = m.n_features();
+        self.features.clear();
+        self.features.extend(0..d);
+        if let Some(k) = self.config.feature_subsample {
+            self.features.shuffle(&mut self.rng);
+            self.features.truncate(k.clamp(1, d));
+        }
+        let len = hi - lo;
+        let n = len as f64;
+        let total_sum: f64 = self.idx[lo..hi].iter().map(|&i| y[i as usize]).sum();
+        let mut best: Option<(f64, usize, f64)> = None; // (score, feature, threshold)
+        self.order_a[..len].copy_from_slice(&self.idx[lo..hi]);
+        let mut cur_in_a = true;
+        for fi in 0..self.features.len() {
+            let f = self.features[fi];
+            let col = m.col(f);
+            let sorted = &self.orders[f * self.stride + lo..f * self.stride + hi];
+            let (prev, cur) = if cur_in_a {
+                (&self.order_a[..len], &mut self.order_b[..len])
+            } else {
+                (&self.order_b[..len], &mut self.order_a[..len])
+            };
+            fixup(col, sorted, prev, cur, self.run_of, self.run_cursor);
+            cur_in_a = !cur_in_a;
+            let order: &[u32] = cur;
+            let mut left_sum = 0.0;
+            let mut left_n = 0.0;
+            for w in 0..len - 1 {
+                let i = order[w] as usize;
+                left_sum += y[i];
+                left_n += 1.0;
+                let xv = col[i];
+                let xn = col[order[w + 1] as usize];
+                if xv == xn {
+                    continue; // cannot split between equal values
+                }
+                let right_sum = total_sum - left_sum;
+                let right_n = n - left_n;
+                // SSE reduction = sum²/n terms (larger is better).
+                let score =
+                    left_sum * left_sum / left_n + right_sum * right_sum / right_n;
+                let threshold = 0.5 * (xv + xn);
+                if best.is_none_or(|(s, _, _)| score > s) {
+                    best = Some((score, f, threshold));
+                }
+            }
+        }
+        best.map(|(_, f, t)| (f, t))
+    }
+
+    /// Partition the node's index range with the verbatim reference swap
+    /// partition (so children inherit the identical index order), then
+    /// keep every feature's value-sorted order valid for both children
+    /// with a both-sides-stable partition: a stable partition of a sorted
+    /// sequence leaves each side sorted.
+    fn partition_node(&mut self, lo: usize, hi: usize, feature: usize, threshold: f64) -> usize {
+        let m = self.m;
+        let col = m.col(feature);
+        let seg = &mut self.idx[lo..hi];
+        let mut store = 0;
+        for i in 0..seg.len() {
+            if col[seg[i] as usize] <= threshold {
+                seg.swap(store, i);
+                store += 1;
+            }
+        }
+        let len = hi - lo;
+        for f in 0..m.n_features() {
+            let sorted = &mut self.orders[f * self.stride + lo..f * self.stride + hi];
+            let mut w = 0usize;
+            let mut r = 0usize;
+            for k in 0..len {
+                let e = sorted[k];
+                if col[e as usize] <= threshold {
+                    sorted[w] = e;
+                    w += 1;
+                } else {
+                    self.part[r] = e;
+                    r += 1;
+                }
+            }
+            sorted[w..].copy_from_slice(&self.part[..r]);
+        }
+        store
+    }
+}
+
+/// Stable counting sort of `prev` by the `total_cmp` equivalence class of
+/// each element's `col` value, in `O(n)`.
+///
+/// `sorted` is the node's value-sorted order for this feature; since
+/// `total_cmp` equality is exactly bitwise equality, its maximal runs of
+/// equal bits are the sort's equivalence classes in ascending order. Pass
+/// one records each run's start offset and tags every row id with its run;
+/// pass two places `prev` elements at their run cursors in encounter
+/// order. The output is bit-for-bit `prev.sort_by(total_cmp)` — ties keep
+/// `prev` order (stability), classes land at the offsets the sorted
+/// column dictates.
+fn fixup(
+    col: &[f64],
+    sorted: &[u32],
+    prev: &[u32],
+    out: &mut [u32],
+    run_of: &mut [u32],
+    cursor: &mut [u32],
+) {
+    let mut runs = 0usize;
+    let mut prev_bits = 0u64;
+    for (w, &r) in sorted.iter().enumerate() {
+        let bits = col[r as usize].to_bits();
+        if w == 0 || bits != prev_bits {
+            cursor[runs] = w as u32;
+            runs += 1;
+            prev_bits = bits;
+        }
+        run_of[r as usize] = (runs - 1) as u32;
+    }
+    for &e in prev {
+        let c = &mut cursor[run_of[e as usize] as usize];
+        out[*c as usize] = e;
+        *c += 1;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -312,6 +597,55 @@ mod tests {
                 .sum()
         };
         assert!(err(&deep) < err(&shallow) / 4.0);
+    }
+
+    #[test]
+    fn flat_fit_matches_reference_bitwise() {
+        // Heavy ties in both features, plus a smooth column.
+        let x: Vec<Vec<f64>> = (0..90)
+            .map(|i| vec![(i % 9) as f64, ((i * 7) % 5) as f64, i as f64 / 90.0])
+            .collect();
+        let y: Vec<f64> = x
+            .iter()
+            .map(|r| 2.0 * r[0] - r[1] + (6.0 * r[2]).sin())
+            .collect();
+        let full: Vec<usize> = (0..x.len()).collect();
+        let boot: Vec<usize> = (0..x.len()).map(|i| (i * 37) % x.len()).collect();
+        let configs = [
+            TreeConfig::default(),
+            TreeConfig {
+                max_depth: 3,
+                ..Default::default()
+            },
+            TreeConfig {
+                feature_subsample: Some(2),
+                ..Default::default()
+            },
+        ];
+        for idx in [&full, &boot] {
+            for cfg in configs {
+                for seed in [0u64, 9] {
+                    let flat = RegressionTree::fit(&x, &y, idx, cfg, seed);
+                    let reference = RegressionTree::fit_reference(&x, &y, idx, cfg, seed);
+                    assert_eq!(flat, reference, "cfg {cfg:?} seed {seed}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_across_fits_is_clean() {
+        let (x, y) = step_data();
+        let m = TrainMatrix::from_rows(&x);
+        let mut scratch = TreeScratch::default();
+        let big: Vec<usize> = (0..x.len()).collect();
+        let small = vec![3usize, 5, 5, 9];
+        // Large fit, then a smaller one reusing the same arena, then the
+        // large one again: results must not depend on arena history.
+        let a = RegressionTree::fit_flat(&m, &y, &big, TreeConfig::default(), 1, &mut scratch);
+        let _ = RegressionTree::fit_flat(&m, &y, &small, TreeConfig::default(), 2, &mut scratch);
+        let b = RegressionTree::fit_flat(&m, &y, &big, TreeConfig::default(), 1, &mut scratch);
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -374,6 +374,10 @@ pub fn compile_application_with_lints(
     compile_application_traced(spec, models, kernels, targets, lints, &Recorder::disabled())
 }
 
+/// Per-kernel selection outcome: kernel name, its lint report, and the
+/// chosen clocks per energy target.
+type KernelDecision = (String, Report, Vec<(EnergyTarget, ClockConfig)>);
+
 /// [`compile_application_with_lints`] with a telemetry recorder: feature
 /// extraction and the predict-and-search pass are wall-timed and recorded
 /// as `extract` and `select` [`EventKind::PhaseEnd`] events.
@@ -395,7 +399,7 @@ pub fn compile_application_traced(
         |i: &Vec<KernelStaticInfo>| i.len() as u64,
         || kernels.par_iter().map(extract).collect(),
     );
-    let decisions: Vec<(String, Report, Vec<(EnergyTarget, ClockConfig)>)> = timed_phase(
+    let decisions: Vec<KernelDecision> = timed_phase(
         recorder,
         Phase::Select,
         &spec.name,

@@ -84,7 +84,9 @@ pub struct ModelKey {
 }
 
 /// Everything that determines a training's output, hashed canonically.
+/// The fields are read only through the `Serialize` derive.
 #[derive(Serialize)]
+#[allow(dead_code)]
 struct KeyMaterial<'a> {
     spec: &'a DeviceSpec,
     suite: &'a [MicroBenchmark],
@@ -152,6 +154,11 @@ pub struct CacheStats {
     /// Cache files that existed but failed to deserialize (corrupt or
     /// truncated); each was treated as a miss and later overwritten.
     pub corrupt_files: u64,
+    /// Derived per-model caches (forest SoA layouts, SVR support sets)
+    /// rebuilt after deserializing a disk entry — they are skipped by
+    /// serde and freshly trained bundles carry them already, so every
+    /// rebuild here is real post-load work the disk hit paid for.
+    pub flat_rebuilds: u64,
 }
 
 /// One memoized bundle plus its recency stamp for LRU eviction. The
@@ -178,6 +185,7 @@ pub struct ModelStore {
     persists: AtomicU64,
     evictions: AtomicU64,
     corrupt_files: AtomicU64,
+    flat_rebuilds: AtomicU64,
 }
 
 impl ModelStore {
@@ -195,6 +203,7 @@ impl ModelStore {
             persists: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
             corrupt_files: AtomicU64::new(0),
+            flat_rebuilds: AtomicU64::new(0),
         }
     }
 
@@ -401,6 +410,7 @@ impl ModelStore {
             persists: self.persists.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
             corrupt_files: self.corrupt_files.load(Ordering::Relaxed),
+            flat_rebuilds: self.flat_rebuilds.load(Ordering::Relaxed),
         }
     }
 
@@ -430,6 +440,12 @@ impl ModelStore {
         if cached.version != CACHE_FORMAT_VERSION || cached.key != key.hash {
             return None;
         }
+        // Serde skips the derived prediction caches; rebuild them now so
+        // the disk hit hands out a bundle as query-ready as a fresh
+        // training, instead of paying lazily inside the first predictions.
+        let rebuilt = cached.models.prime_derived();
+        self.flat_rebuilds
+            .fetch_add(rebuilt as u64, Ordering::Relaxed);
         Some(cached.models)
     }
 
@@ -569,6 +585,42 @@ mod tests {
         let s = fresh.stats();
         assert_eq!((s.misses, s.disk_hits), (0, 1));
         assert_eq!(*trained, *loaded);
+
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn disk_hit_rebuilds_derived_caches_and_counts() {
+        let dir = test_dir("rebuilds");
+        let spec = DeviceSpec::v100();
+        let suite = tiny_suite();
+        // paper_best carries two random forests — the models whose flat
+        // prediction layout does not survive serialization.
+        let sel = ModelSelection::paper_best();
+
+        let store = ModelStore::with_dir(&dir);
+        let trained = store.get_or_train(&spec, &suite, sel, 32, 7);
+        let _ = store.get_or_train(&spec, &suite, sel, 32, 7);
+        assert_eq!(
+            store.stats().flat_rebuilds,
+            0,
+            "misses and memory hits serve fit-primed bundles"
+        );
+
+        // A fresh store over the same directory loads from disk (under
+        // the current CACHE_FORMAT_VERSION, proving the optimized
+        // trainers changed nothing on disk) and rebuilds both forests.
+        let fresh = ModelStore::with_dir(&dir);
+        let loaded = fresh.get_or_train(&spec, &suite, sel, 32, 7);
+        let s = fresh.stats();
+        assert_eq!((s.misses, s.disk_hits), (0, 1));
+        assert_eq!(s.flat_rebuilds, 2, "both forests rebuild exactly once");
+        assert_eq!(*trained, *loaded, "round trip is value-identical");
+        assert_eq!(
+            loaded.prime_derived(),
+            0,
+            "the served bundle is already primed"
+        );
 
         let _ = fs::remove_dir_all(&dir);
     }

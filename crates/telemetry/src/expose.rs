@@ -119,10 +119,7 @@ fn render_histogram(
 }
 
 /// Iterate contiguous runs sharing a name (inputs are already sorted).
-fn group_by_name<'a, T>(
-    items: &'a [T],
-    name: impl Fn(&T) -> &String,
-) -> Vec<(&'a str, &'a [T])> {
+fn group_by_name<T>(items: &[T], name: impl Fn(&T) -> &String) -> Vec<(&str, &[T])> {
     let mut groups = Vec::new();
     let mut start = 0;
     while start < items.len() {

@@ -405,7 +405,8 @@ impl FloatCounter {
     /// Add `d` (negative deltas are ignored; counters are monotonic).
     pub fn add(&self, d: f64) {
         let Some(core) = &self.0 else { return };
-        if !(d > 0.0) {
+        // Also drops NaN deltas: only a strict Greater ordering passes.
+        if d.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
             return;
         }
         let mut cur = core.bits.load(Ordering::Relaxed);
